@@ -1,0 +1,58 @@
+//===- bench/BenchCommon.h - shared helpers for the table benches --------------//
+//
+// Part of the delinq project. Each bench binary regenerates one table of the
+// paper's evaluation; these helpers keep the binaries declarative.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_BENCH_BENCHCOMMON_H
+#define DLQ_BENCH_BENCHCOMMON_H
+
+#include "pipeline/Pipeline.h"
+#include "support/Format.h"
+#include "support/Table.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <string>
+
+namespace dlq {
+namespace bench {
+
+/// Prints the bench banner: which table of the paper this regenerates.
+inline void banner(const char *TableId, const char *Caption) {
+  std::printf("== %s: %s ==\n", TableId, Caption);
+}
+
+/// Prints a rendered table followed by a blank line.
+inline void emit(const TextTable &T) {
+  std::fputs(T.render().c_str(), stdout);
+  std::fputs("\n", stdout);
+}
+
+/// Prints a "paper reports ..." footnote.
+inline void footnote(const std::string &Text) {
+  std::printf("paper: %s\n\n", Text.c_str());
+}
+
+/// "x / y (p%)" cell in the style of the paper's Table 1/10.
+inline std::string ratioCell(size_t Num, size_t Den) {
+  double Frac = Den == 0 ? 0 : static_cast<double>(Num) / Den;
+  return formatString("%zu / %zu (%s)", Num, Den,
+                      formatPercent(Frac).c_str());
+}
+
+/// Percent cell with no decimals, like most of the paper's tables.
+inline std::string pct(double Frac, unsigned Decimals = 0) {
+  return formatPercent(Frac, Decimals);
+}
+
+/// The paper analog name for a workload ("181.mcf (mcf_like)").
+inline std::string benchLabel(const workloads::Workload &W) {
+  return W.PaperAnalog + " (" + W.Name + ")";
+}
+
+} // namespace bench
+} // namespace dlq
+
+#endif // DLQ_BENCH_BENCHCOMMON_H

@@ -1,0 +1,70 @@
+//===- bench/Training.h - shared observation builder for Tables 3/4/5 ----------//
+//
+// Part of the delinq project. Builds the per-class dynamic observations the
+// Section 7 trainer consumes: every load contributes its execution and miss
+// counts to each class any of its address patterns belongs to.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_BENCH_TRAINING_H
+#define DLQ_BENCH_TRAINING_H
+
+#include "classify/Trainer.h"
+#include "pipeline/Pipeline.h"
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dlq {
+namespace bench {
+
+/// Maps one address pattern to the class labels it belongs to.
+using PatternLabeler =
+    std::function<std::vector<std::string>(const ap::ApNode *)>;
+
+/// Builds one benchmark's class observation under \p Labeler.
+inline classify::BenchmarkObservation
+observeBenchmark(pipeline::Driver &D, const std::string &Name,
+                 const PatternLabeler &Labeler,
+                 const sim::CacheConfig &Cache) {
+  pipeline::GroundTruth G =
+      D.groundTruth(Name, pipeline::InputSel::Input1, 0, Cache);
+  const pipeline::Compiled &C =
+      D.compiled(Name, pipeline::InputSel::Input1, 0);
+
+  classify::BenchmarkObservation Obs;
+  Obs.Name = Name;
+  Obs.TotalMisses = G.TotalLoadMisses;
+  for (const auto &[Ref, Pats] : C.Analysis->loadPatterns()) {
+    std::set<std::string> Labels;
+    for (const ap::ApNode *P : Pats)
+      for (const std::string &L : Labeler(P))
+        Labels.insert(L);
+    auto It = G.Stats.find(Ref);
+    if (It == G.Stats.end())
+      continue;
+    for (const std::string &L : Labels) {
+      classify::ClassDynStats &S = Obs.PerClass[L];
+      S.Execs += It->second.Execs;
+      S.Misses += It->second.Misses;
+    }
+  }
+  return Obs;
+}
+
+/// Trains over the eleven training benchmarks under \p Labeler.
+inline classify::ClassTrainer
+trainOverTrainingSet(pipeline::Driver &D, const PatternLabeler &Labeler,
+                     const sim::CacheConfig &Cache) {
+  classify::ClassTrainer Trainer;
+  for (const std::string &Name : workloads::trainingSetNames())
+    Trainer.addObservation(observeBenchmark(D, Name, Labeler, Cache));
+  return Trainer;
+}
+
+} // namespace bench
+} // namespace dlq
+
+#endif // DLQ_BENCH_TRAINING_H

@@ -1,0 +1,126 @@
+//===- bench/ablation_knobs.cpp - design-choice ablations ------------------------//
+//
+// Ablations for the design choices DESIGN.md calls out, beyond the paper's
+// own ablations (Table 11 = AG8/AG9, Table 13 = delta):
+//
+//  1. address-pattern expansion caps (alternatives per use, patterns per
+//     load): correctness guard rails — how much do they change the flagged
+//     sets?
+//  2. the H5 frequency thresholds (rare < 100, seldom < 1000);
+//  3. the basic-block profiling coverage fraction (the paper fixes 90%).
+//
+// Run on three representative benchmarks (one pointer chaser, one array
+// code, one hash table).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "metrics/Metrics.h"
+
+using namespace dlq;
+using namespace dlq::bench;
+using namespace dlq::pipeline;
+
+namespace {
+
+const char *Benchmarks[] = {"mcf_like", "equake_like", "compress_like"};
+
+void ablateExpansionCaps(Driver &D) {
+  std::printf("--- ablation 1: pattern-expansion caps ---\n");
+  sim::CacheConfig Cache = sim::CacheConfig::baseline();
+  TextTable T({"benchmark", "alts/use", "patterns/load", "avg patterns",
+               "pi", "rho"});
+  for (const char *Name : Benchmarks) {
+    GroundTruth G = D.groundTruth(Name, InputSel::Input1, 0, Cache);
+    const Compiled &C = D.compiled(Name, InputSel::Input1, 0);
+    for (auto [Alts, Pats] : {std::pair<unsigned, unsigned>{1, 1},
+                              {2, 4},
+                              {4, 16},
+                              {8, 64}}) {
+      ap::ApBuilderOptions Opts;
+      Opts.MaxAltsPerUse = Alts;
+      Opts.MaxPatternsPerLoad = Pats;
+      classify::ModuleAnalysis MA(*C.M, Opts);
+
+      size_t TotalPatterns = 0;
+      for (const auto &[Ref, P] : MA.loadPatterns())
+        TotalPatterns += P.size();
+      double AvgPatterns =
+          static_cast<double>(TotalPatterns) / MA.loadPatterns().size();
+
+      classify::ExecCountMap Execs;
+      for (const auto &[Ref, S] : G.Stats)
+        Execs[Ref] = S.Execs;
+      classify::HeuristicOptions HOpts;
+      auto Delta = MA.delinquentSet(HOpts, &Execs);
+      auto E = metrics::evaluate(C.lambda(), Delta, G.Stats);
+      T.addRow({Name, std::to_string(Alts), std::to_string(Pats),
+                formatString("%.2f", AvgPatterns), formatPercent(E.pi()),
+                pct(E.rho())});
+    }
+    T.addRule();
+  }
+  emit(T);
+  std::printf("takeaway: one pattern per load already carries most of the "
+              "signal; the caps\nexist for pathological control flow, not "
+              "for quality.\n\n");
+}
+
+void ablateFreqThresholds(Driver &D) {
+  std::printf("--- ablation 2: H5 frequency thresholds ---\n");
+  sim::CacheConfig Cache = sim::CacheConfig::baseline();
+  TextTable T({"benchmark", "rare< / seldom<", "pi", "rho"});
+  for (const char *Name : Benchmarks) {
+    for (auto [Rare, Seldom] :
+         {std::pair<uint64_t, uint64_t>{10, 100},
+          {100, 1000},
+          {1000, 10000},
+          {10000, 100000}}) {
+      classify::HeuristicOptions Opts;
+      Opts.RareBelow = Rare;
+      Opts.SeldomBelow = Seldom;
+      HeuristicEval E =
+          D.evalHeuristic(Name, InputSel::Input1, 0, Cache, Opts);
+      T.addRow({Name, formatString("%llu / %llu",
+                                   (unsigned long long)Rare,
+                                   (unsigned long long)Seldom),
+                formatPercent(E.E.pi()), pct(E.E.rho())});
+    }
+    T.addRule();
+  }
+  emit(T);
+  std::printf("takeaway: pi falls as the thresholds rise; coverage survives "
+              "until the\nthresholds reach hot-loop execution counts.\n\n");
+}
+
+void ablateProfilingCoverage(Driver &D) {
+  std::printf("--- ablation 3: profiling hotspot coverage fraction ---\n");
+  sim::CacheConfig Cache = sim::CacheConfig::baseline();
+  TextTable T({"benchmark", "cycle coverage", "Delta_P pi", "Delta_P rho"});
+  for (const char *Name : Benchmarks) {
+    GroundTruth G = D.groundTruth(Name, InputSel::Input1, 0, Cache);
+    const Compiled &C = D.compiled(Name, InputSel::Input1, 0);
+    for (double Frac : {0.50, 0.75, 0.90, 0.99}) {
+      auto DeltaP = D.hotspotLoads(Name, InputSel::Input1, 0, Cache, Frac);
+      auto E = metrics::evaluate(C.lambda(), DeltaP, G.Stats);
+      T.addRow({Name, formatPercent(Frac, 0), formatPercent(E.pi()),
+                pct(E.rho())});
+    }
+    T.addRule();
+  }
+  emit(T);
+  std::printf("takeaway: the paper's 90%% sits on the knee — 50%% already "
+              "misses real\ndelinquents, 99%% drags in cold blocks.\n");
+}
+
+} // namespace
+
+int main() {
+  banner("Ablations", "expansion caps, H5 thresholds, hotspot fraction");
+  Driver D;
+  ablateExpansionCaps(D);
+  ablateFreqThresholds(D);
+  ablateProfilingCoverage(D);
+  return 0;
+}

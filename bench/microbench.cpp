@@ -1,0 +1,111 @@
+//===- bench/microbench.cpp - google-benchmark microbenchmarks ------------------//
+//
+// Performance microbenchmarks of the library's hot paths: the cache model,
+// the functional simulator, MinC compilation, address-pattern construction
+// and whole-module analysis. These guard the throughput that makes the
+// table reproductions (hundreds of millions of simulated instructions)
+// tractable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "classify/Delinquency.h"
+#include "masm/Parser.h"
+#include "masm/Printer.h"
+#include "mcc/Compiler.h"
+#include "sim/Cache.h"
+#include "sim/Machine.h"
+#include "support/Rng.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace dlq;
+
+static void BM_CacheAccess(benchmark::State &State) {
+  sim::Cache Cache(sim::CacheConfig::baseline());
+  Rng R(1);
+  std::vector<uint32_t> Addrs;
+  for (int I = 0; I != 4096; ++I)
+    Addrs.push_back(static_cast<uint32_t>(R.nextBelow(1 << 20)));
+  size_t Idx = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(Cache.access(Addrs[Idx]));
+    Idx = (Idx + 1) & 4095;
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(State.iterations()));
+}
+BENCHMARK(BM_CacheAccess);
+
+static std::string tinyLoopSource() {
+  return "int a[4096];"
+         "int main() {"
+         "  int i; int s; s = 0;"
+         "  for (i = 0; i < 100000; i = i + 1)"
+         "    s = s + a[i & 4095];"
+         "  return s & 255; }";
+}
+
+static void BM_Compile(benchmark::State &State) {
+  const workloads::Workload *W = workloads::findWorkload("mcf_like");
+  std::string Source = workloads::instantiate(*W, W->Input1);
+  for (auto _ : State) {
+    mcc::CompileResult R = mcc::compile(Source);
+    benchmark::DoNotOptimize(R.M.get());
+  }
+}
+BENCHMARK(BM_Compile);
+
+static void BM_SimulatorThroughput(benchmark::State &State) {
+  mcc::CompileResult CR = mcc::compile(tinyLoopSource());
+  masm::Layout L(*CR.M);
+  uint64_t Instrs = 0;
+  for (auto _ : State) {
+    sim::Machine M(*CR.M, L, sim::MachineOptions());
+    sim::RunResult R = M.run();
+    Instrs += R.InstrsExecuted;
+    benchmark::DoNotOptimize(R.ExitCode);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Instrs));
+  State.SetLabel("items = simulated instructions");
+}
+BENCHMARK(BM_SimulatorThroughput);
+
+static void BM_AssemblyParse(benchmark::State &State) {
+  mcc::CompileResult CR = mcc::compile(tinyLoopSource());
+  // Round-trip through the printer to obtain parser input.
+  std::string Text = masm::printModule(*CR.M);
+  for (auto _ : State) {
+    masm::ParseResult R = masm::parseAssembly(Text);
+    benchmark::DoNotOptimize(R.M.get());
+  }
+  State.SetBytesProcessed(
+      static_cast<int64_t>(State.iterations() * Text.size()));
+}
+BENCHMARK(BM_AssemblyParse);
+
+static void BM_ModuleAnalysis(benchmark::State &State) {
+  const workloads::Workload *W = workloads::findWorkload("mcf_like");
+  std::string Source = workloads::instantiate(*W, W->Input1);
+  mcc::CompileResult CR = mcc::compile(Source);
+  for (auto _ : State) {
+    classify::ModuleAnalysis MA(*CR.M);
+    benchmark::DoNotOptimize(MA.loadPatterns().size());
+  }
+}
+BENCHMARK(BM_ModuleAnalysis);
+
+static void BM_HeuristicScoring(benchmark::State &State) {
+  const workloads::Workload *W = workloads::findWorkload("mcf_like");
+  std::string Source = workloads::instantiate(*W, W->Input1);
+  mcc::CompileResult CR = mcc::compile(Source);
+  classify::ModuleAnalysis MA(*CR.M);
+  classify::HeuristicOptions Opts;
+  Opts.UseFreqClasses = false;
+  for (auto _ : State) {
+    auto Scores = MA.scores(Opts, nullptr);
+    benchmark::DoNotOptimize(Scores.size());
+  }
+}
+BENCHMARK(BM_HeuristicScoring);
+
+BENCHMARK_MAIN();

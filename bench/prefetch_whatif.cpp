@@ -1,0 +1,109 @@
+//===- bench/prefetch_whatif.cpp - the motivating application --------------------//
+//
+// The paper's introduction argues that identifying delinquent loads matters
+// because prefetching "every load instruction ... will be too costly": the
+// win comes from triggering prefetches only where they pay. This bench
+// closes that loop with the simulator's next-line software prefetcher,
+// comparing four targeting policies on every benchmark:
+//
+//   none      no prefetching (baseline misses)
+//   Delta_H   prefetch at the heuristic's possibly-delinquent loads
+//   random    prefetch at |Delta_H| random loads (same instruction budget)
+//   all       prefetch at every load (the paper's "too costly" strawman)
+//
+// "overhead" is prefetches issued per 1000 instructions — the cost a real
+// system pays in issue slots and bandwidth.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "support/Rng.h"
+
+using namespace dlq;
+using namespace dlq::bench;
+using namespace dlq::pipeline;
+
+namespace {
+
+struct PolicyResult {
+  uint64_t Misses = 0;
+  uint64_t Issued = 0;
+};
+
+PolicyResult runWithPrefetch(const Compiled &C,
+                             const std::set<masm::InstrRef> &Targets,
+                             const sim::CacheConfig &Cache) {
+  sim::MachineOptions Opts;
+  Opts.DCache = Cache;
+  Opts.PrefetchLoads = Targets;
+  sim::Machine Mach(*C.M, *C.L, Opts);
+  sim::RunResult R = Mach.run();
+  return PolicyResult{R.LoadMisses, R.PrefetchesIssued};
+}
+
+} // namespace
+
+int main() {
+  banner("Prefetch what-if", "targeting policies for next-line prefetching");
+
+  Driver D;
+  sim::CacheConfig Cache = sim::CacheConfig::baseline();
+  classify::HeuristicOptions HOpts;
+  Rng PickRng(777);
+
+  TextTable T({"Benchmark", "baseline misses", "Delta_H miss redux",
+               "random miss redux", "all-loads miss redux",
+               "Delta_H pf/1k instr", "all pf/1k instr"});
+  double SumH = 0, SumR = 0, SumA = 0;
+  unsigned N = 0;
+
+  for (const workloads::Workload &W : workloads::allWorkloads()) {
+    const Compiled &C = D.compiled(W.Name, InputSel::Input1, 0);
+    const sim::RunResult &Base = D.run(W.Name, InputSel::Input1, 0, Cache);
+    HeuristicEval H = D.evalHeuristic(W.Name, InputSel::Input1, 0, Cache,
+                                      HOpts);
+
+    // Random control: |Delta_H| loads drawn uniformly from Lambda.
+    std::vector<masm::InstrRef> AllLoads;
+    for (const auto &[Ref, Pats] : C.Analysis->loadPatterns())
+      AllLoads.push_back(Ref);
+    std::set<masm::InstrRef> RandomSet;
+    while (RandomSet.size() < H.Delta.size() &&
+           RandomSet.size() < AllLoads.size())
+      RandomSet.insert(
+          AllLoads[PickRng.nextBelow(AllLoads.size())]);
+    std::set<masm::InstrRef> AllSet(AllLoads.begin(), AllLoads.end());
+
+    PolicyResult PH = runWithPrefetch(C, H.Delta, Cache);
+    PolicyResult PR = runWithPrefetch(C, RandomSet, Cache);
+    PolicyResult PA = runWithPrefetch(C, AllSet, Cache);
+
+    auto redux = [&](const PolicyResult &P) {
+      return Base.LoadMisses == 0
+                 ? 0.0
+                 : 1.0 - static_cast<double>(P.Misses) / Base.LoadMisses;
+    };
+    auto per1k = [&](const PolicyResult &P) {
+      return 1000.0 * static_cast<double>(P.Issued) /
+             static_cast<double>(Base.InstrsExecuted);
+    };
+
+    T.addRow({benchLabel(W), formatWithCommas(Base.LoadMisses),
+              pct(redux(PH)), pct(redux(PR)), pct(redux(PA)),
+              formatString("%.1f", per1k(PH)),
+              formatString("%.1f", per1k(PA))});
+    SumH += redux(PH);
+    SumR += redux(PR);
+    SumA += redux(PA);
+    ++N;
+  }
+  T.addRule();
+  T.addRow({"AVERAGE", "", pct(SumH / N), pct(SumR / N), pct(SumA / N), "",
+            ""});
+  emit(T);
+  footnote("the point of the paper: Delta_H captures nearly all of the "
+           "all-loads miss reduction at a small fraction of the issued "
+           "prefetches; random same-size targeting captures almost none");
+  return 0;
+}

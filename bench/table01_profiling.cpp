@@ -1,0 +1,62 @@
+//===- bench/table01_profiling.cpp - Table 1 reproduction ----------------------//
+//
+// Table 1, "Use of profiling in identifying delinquent loads": for every
+// benchmark, the total static load count Lambda, the size of the greedy
+// ideal set that covers the same misses, the size of the profiling set
+// Delta_P (all loads in basic blocks covering 90% of cycles), and Delta_P's
+// coverage rho.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "metrics/Metrics.h"
+
+using namespace dlq;
+using namespace dlq::bench;
+using namespace dlq::pipeline;
+
+int main() {
+  banner("Table 1", "profiling-only identification vs the greedy ideal");
+
+  Driver D;
+  sim::CacheConfig Cache = sim::CacheConfig::baseline();
+
+  TextTable T({"Benchmark", "Lambda", "Ideal |D| (pi)", "Profiling |D| (pi)",
+               "rho"});
+  double SumIdealPi = 0, SumProfPi = 0, SumRho = 0;
+  unsigned N = 0;
+
+  for (const workloads::Workload &W : workloads::allWorkloads()) {
+    GroundTruth G = D.groundTruth(W.Name, InputSel::Input1, 0, Cache);
+    const Compiled &C = D.compiled(W.Name, InputSel::Input1, 0);
+    size_t Lambda = C.lambda();
+
+    metrics::LoadSet DeltaP = D.hotspotLoads(W.Name, InputSel::Input1, 0,
+                                             Cache, 0.90);
+    metrics::EvalResult ProfE = metrics::evaluate(Lambda, DeltaP, G.Stats);
+
+    // The ideal set matching the profiling coverage (the paper's greedy
+    // construction).
+    metrics::LoadSet Ideal = metrics::idealSetForCoverage(G.Stats,
+                                                          ProfE.rho());
+    double IdealPi = Lambda == 0 ? 0
+                                 : static_cast<double>(Ideal.size()) / Lambda;
+
+    T.addRow({benchLabel(W), std::to_string(Lambda),
+              formatString("%zu (%s)", Ideal.size(),
+                           formatPercent(IdealPi).c_str()),
+              ratioCell(DeltaP.size(), Lambda), pct(ProfE.rho())});
+    SumIdealPi += IdealPi;
+    SumProfPi += ProfE.pi();
+    SumRho += ProfE.rho();
+    ++N;
+  }
+  T.addRule();
+  T.addRow({"AVERAGE", "", formatPercent(SumIdealPi / N),
+            formatPercent(SumProfPi / N), pct(SumRho / N, 1)});
+  emit(T);
+  footnote("ideal 0.73%, profiling 4.73% of loads covering 87.5% of misses "
+           "on average; profiling coverage collapses for 124.m88ksim");
+  return 0;
+}

@@ -1,0 +1,38 @@
+//===- bench/table02_runtime.cpp - Table 2 reproduction ------------------------//
+//
+// Table 2, "Typical runtime characteristics of the SPEC benchmarks we used":
+// instructions executed, L1 data cache accesses, and L1 data cache misses
+// per benchmark under the training cache configuration.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace dlq;
+using namespace dlq::bench;
+using namespace dlq::pipeline;
+
+int main() {
+  banner("Table 2", "runtime characteristics of the benchmark suite");
+
+  Driver D;
+  sim::CacheConfig Cache = sim::CacheConfig::baseline();
+
+  TextTable T({"Benchmark", "Instr executed", "L1 D accesses",
+               "L1 D misses", "Miss rate"});
+  for (const workloads::Workload &W : workloads::allWorkloads()) {
+    GroundTruth G = D.groundTruth(W.Name, InputSel::Input1, 0, Cache);
+    uint64_t Misses = G.R->LoadMisses + G.R->StoreMisses;
+    double MissRate = G.R->DataAccesses == 0
+                          ? 0
+                          : static_cast<double>(Misses) / G.R->DataAccesses;
+    T.addRow({benchLabel(W), formatScientific(G.R->InstrsExecuted),
+              formatScientific(G.R->DataAccesses), formatScientific(Misses),
+              pct(MissRate, 2)});
+  }
+  emit(T);
+  footnote("SPEC runs are 1e8..1e12 instructions; the suite here is scaled "
+           "to simulator-friendly sizes while preserving the cache-behaviour "
+           "mix (pointer chasers miss at ~8-11%, 124.m88ksim at ~0%)");
+  return 0;
+}

@@ -1,0 +1,42 @@
+//===- bench/table04_class5.cpp - Table 4 reproduction -------------------------//
+//
+// Table 4, "m_j and n_j values of class 5 'sp=1,gp=1'": per benchmark, the
+// class's miss probability m_j and its share of all misses n_j, plus the
+// weight W(F5) the Section 7.2 formula derives from them.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "Training.h"
+
+using namespace dlq;
+using namespace dlq::bench;
+
+int main() {
+  banner("Table 4", "m_j / n_j of H1 class 'sp=1,gp=1'");
+
+  pipeline::Driver D;
+  sim::CacheConfig Cache = sim::CacheConfig::baseline();
+  const std::string Class = "sp=1,gp=1";
+
+  PatternLabeler H1 = [](const ap::ApNode *P) {
+    return std::vector<std::string>{classify::h1ClassLabel(P)};
+  };
+  classify::ClassTrainer Trainer = trainOverTrainingSet(D, H1, Cache);
+
+  TextTable T({"Benchmark", "m_j(F5,C)", "n_j(F5,C)", "relevant"});
+  for (const classify::BenchmarkObservation &Obs : Trainer.observations()) {
+    auto It = Obs.PerClass.find(Class);
+    if (It == Obs.PerClass.end() || It->second.Execs == 0)
+      continue;
+    T.addRow({Obs.Name, pct(Trainer.missProb(Class, Obs.Name), 2),
+              pct(Trainer.missShare(Class, Obs.Name), 2),
+              Trainer.isRelevant(Class, Obs.Name) ? "yes" : "no"});
+  }
+  emit(T);
+
+  std::printf("derived W(F5) = %.3f (mean of m/n over relevant benchmarks)\n",
+              Trainer.positiveWeight(Class));
+  footnote("the paper's class-5 weight is W(F5) = 2.37 / 5 = 0.47");
+  return 0;
+}

@@ -1,0 +1,54 @@
+//===- bench/table08_assoc.cpp - Table 8 reproduction --------------------------//
+//
+// Table 8, "Performance of heuristic on different associativities": with
+// optimized ('-O') code and a fixed input, pi is fixed per benchmark while
+// rho is measured under 2-, 4- and 8-way caches of the baseline size.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace dlq;
+using namespace dlq::bench;
+using namespace dlq::pipeline;
+
+int main() {
+  banner("Table 8", "rho stability across cache associativity (-O code)");
+
+  Driver D;
+  classify::HeuristicOptions Opts;
+  const unsigned OptLevel = 1;
+  const uint32_t Assocs[3] = {2, 4, 8};
+
+  TextTable T({"Benchmark", "pi", "Assoc 2 rho", "Assoc 4 rho",
+               "Assoc 8 rho"});
+  double SumPi = 0, SumRho[3] = {0, 0, 0};
+  unsigned N = 0;
+  for (const std::string &Name : workloads::trainingSetNames()) {
+    const workloads::Workload &W = *workloads::findWorkload(Name);
+    std::vector<std::string> Cells = {benchLabel(W)};
+    double Pi = 0;
+    for (unsigned AI = 0; AI != 3; ++AI) {
+      sim::CacheConfig Cache{8 * 1024, Assocs[AI], 32};
+      HeuristicEval E =
+          D.evalHeuristic(Name, InputSel::Input1, OptLevel, Cache, Opts);
+      if (AI == 0) {
+        Pi = E.E.pi();
+        Cells.push_back(pct(Pi));
+      }
+      Cells.push_back(pct(E.E.rho()));
+      SumRho[AI] += E.E.rho();
+    }
+    T.addRow(Cells);
+    SumPi += Pi;
+    ++N;
+  }
+  T.addRule();
+  T.addRow({"AVERAGE", pct(SumPi / N), pct(SumRho[0] / N),
+            pct(SumRho[1] / N), pct(SumRho[2] / N)});
+  emit(T);
+  footnote("paper: rho averages 91/92/90% across 2/4/8-way — coverage is "
+           "insensitive to associativity. (pi differs across benchmarks "
+           "because execution-frequency classes see each run's profile.)");
+  return 0;
+}

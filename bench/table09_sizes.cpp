@@ -1,0 +1,52 @@
+//===- bench/table09_sizes.cpp - Table 9 reproduction --------------------------//
+//
+// Table 9: with optimized code, rho measured under 8/16/32/64 KB 4-way
+// caches.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace dlq;
+using namespace dlq::bench;
+using namespace dlq::pipeline;
+
+int main() {
+  banner("Table 9", "rho stability across cache sizes (-O code)");
+
+  Driver D;
+  classify::HeuristicOptions Opts;
+  const unsigned OptLevel = 1;
+  const uint32_t SizesKb[4] = {8, 16, 32, 64};
+
+  TextTable T({"Benchmark", "pi", "8k rho", "16k rho", "32k rho",
+               "64k rho"});
+  double SumPi = 0, SumRho[4] = {0, 0, 0, 0};
+  unsigned N = 0;
+  for (const std::string &Name : workloads::trainingSetNames()) {
+    const workloads::Workload &W = *workloads::findWorkload(Name);
+    std::vector<std::string> Cells = {benchLabel(W)};
+    double Pi = 0;
+    for (unsigned SI = 0; SI != 4; ++SI) {
+      sim::CacheConfig Cache{SizesKb[SI] * 1024, 4, 32};
+      HeuristicEval E =
+          D.evalHeuristic(Name, InputSel::Input1, OptLevel, Cache, Opts);
+      if (SI == 0) {
+        Pi = E.E.pi();
+        Cells.push_back(pct(Pi));
+      }
+      Cells.push_back(pct(E.E.rho()));
+      SumRho[SI] += E.E.rho();
+    }
+    T.addRow(Cells);
+    SumPi += Pi;
+    ++N;
+  }
+  T.addRule();
+  T.addRow({"AVERAGE", pct(SumPi / N), pct(SumRho[0] / N),
+            pct(SumRho[1] / N), pct(SumRho[2] / N), pct(SumRho[3] / N)});
+  emit(T);
+  footnote("paper: rho averages 92/92/91/91% across 8k/16k/32k/64k — the "
+           "identified loads stay delinquent as the cache grows");
+  return 0;
+}

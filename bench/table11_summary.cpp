@@ -1,0 +1,66 @@
+//===- bench/table11_summary.cpp - Table 11 reproduction -----------------------//
+//
+// Table 11, "Performance summary of our heuristic method": pi/rho with the
+// full heuristic, the dynamic false-positive impact xi (executions of loads
+// flagged but absent from the Table 1 ideal set), and pi/rho with the
+// frequency classes AG8/AG9 removed (the fully static variant).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "metrics/Metrics.h"
+
+using namespace dlq;
+using namespace dlq::bench;
+using namespace dlq::pipeline;
+
+int main() {
+  banner("Table 11", "full summary: with and without AG8/AG9, plus xi");
+
+  Driver D;
+  sim::CacheConfig Cache = sim::CacheConfig::baseline();
+
+  classify::HeuristicOptions Full;
+  classify::HeuristicOptions NoFreq;
+  NoFreq.UseFreqClasses = false;
+
+  TextTable T({"Benchmark", "pi", "rho", "xi", "pi (no AG8/9)",
+               "rho (no AG8/9)"});
+  double Sp = 0, Sr = 0, Sx = 0, Snp = 0, Snr = 0;
+  unsigned N = 0;
+  for (const workloads::Workload &W : workloads::allWorkloads()) {
+    GroundTruth G = D.groundTruth(W.Name, InputSel::Input1, 0, Cache);
+    HeuristicEval EF = D.evalHeuristic(W.Name, InputSel::Input1, 0, Cache,
+                                       Full);
+    HeuristicEval EN = D.evalHeuristic(W.Name, InputSel::Input1, 0, Cache,
+                                       NoFreq);
+
+    // The strict false-positive measure: the ideal set is the Table 1 greedy
+    // set matching the profiling coverage.
+    metrics::LoadSet DeltaP =
+        D.hotspotLoads(W.Name, InputSel::Input1, 0, Cache, 0.90);
+    metrics::EvalResult ProfE =
+        metrics::evaluate(EF.E.Lambda, DeltaP, G.Stats);
+    metrics::LoadSet Ideal =
+        metrics::idealSetForCoverage(G.Stats, ProfE.rho());
+    double Xi = metrics::falsePositiveImpact(EF.Delta, Ideal, G.Stats);
+
+    T.addRow({benchLabel(W), formatPercent(EF.E.pi()), pct(EF.E.rho()),
+              pct(Xi), formatPercent(EN.E.pi()), pct(EN.E.rho())});
+    Sp += EF.E.pi();
+    Sr += EF.E.rho();
+    Sx += Xi;
+    Snp += EN.E.pi();
+    Snr += EN.E.rho();
+    ++N;
+  }
+  T.addRule();
+  T.addRow({"AVERAGE", formatPercent(Sp / N), pct(Sr / N, 2),
+            formatPercent(Sx / N), formatPercent(Snp / N), pct(Snr / N, 2)});
+  emit(T);
+  footnote("paper averages: 10.15%/92.61% with AG8+AG9, xi 14.04%, and "
+           "20.82%/92.89% without them — dropping the frequency classes "
+           "roughly doubles pi at unchanged coverage");
+  return 0;
+}

@@ -1,0 +1,68 @@
+//===- bench/table12_baselines.cpp - Table 12 reproduction ---------------------//
+//
+// Table 12, "Performance of the OKN and BDH methods": the two prior static
+// classifiers evaluated on the same binaries and cache configuration, next
+// to our heuristic. The paper's point: their coverage is comparable, their
+// precision is far worse.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "baselines/Bdh.h"
+#include "baselines/Okn.h"
+#include "metrics/Metrics.h"
+
+using namespace dlq;
+using namespace dlq::bench;
+using namespace dlq::pipeline;
+
+int main() {
+  banner("Table 12", "OKN and BDH baselines vs our heuristic");
+
+  Driver D;
+  sim::CacheConfig Cache = sim::CacheConfig::baseline();
+  classify::HeuristicOptions Opts;
+
+  TextTable T({"Benchmark", "OKN pi", "OKN rho", "BDH pi", "BDH rho",
+               "Ours pi", "Ours rho"});
+  double Sop = 0, Sor = 0, Sbp = 0, Sbr = 0, Shp = 0, Shr = 0;
+  unsigned N = 0;
+  for (const workloads::Workload &W : workloads::allWorkloads()) {
+    GroundTruth G = D.groundTruth(W.Name, InputSel::Input1, 0, Cache);
+    const Compiled &C = D.compiled(W.Name, InputSel::Input1, 0);
+    size_t Lambda = C.lambda();
+
+    metrics::LoadSet OknD = baselines::oknDelinquentSet(*C.Analysis);
+    metrics::EvalResult OknE = metrics::evaluate(Lambda, OknD, G.Stats);
+
+    baselines::BdhAnalyzer Bdh(*C.Analysis);
+    metrics::LoadSet BdhD = Bdh.delinquentSet();
+    metrics::EvalResult BdhE = metrics::evaluate(Lambda, BdhD, G.Stats);
+
+    HeuristicEval Ours = D.evalHeuristic(W.Name, InputSel::Input1, 0, Cache,
+                                         Opts);
+
+    T.addRow({benchLabel(W), formatPercent(OknE.pi()), pct(OknE.rho()),
+              formatPercent(BdhE.pi()), pct(BdhE.rho()),
+              formatPercent(Ours.E.pi()), pct(Ours.E.rho())});
+    Sop += OknE.pi();
+    Sor += OknE.rho();
+    Sbp += BdhE.pi();
+    Sbr += BdhE.rho();
+    Shp += Ours.E.pi();
+    Shr += Ours.E.rho();
+    ++N;
+  }
+  T.addRule();
+  T.addRow({"AVERAGE", formatPercent(Sop / N), pct(Sor / N, 2),
+            formatPercent(Sbp / N), pct(Sbr / N, 2), formatPercent(Shp / N),
+            pct(Shr / N, 2)});
+  emit(T);
+  footnote("paper: OKN 55.88%/92.06%, BDH 50.73%/93.00%, ours 10.15%/92.61% "
+           "— all three cover most misses; only ours is precise. (Absolute "
+           "baseline pi here is lower than SPEC's because unoptimized MinC "
+           "binaries carry a larger share of plain stack-slot reloads that "
+           "no structural method flags.)");
+  return 0;
+}

@@ -1,0 +1,54 @@
+//===- bench/table13_threshold.cpp - Table 13 reproduction ---------------------//
+//
+// Table 13, "Varying the delinquency threshold": pi/rho for delta in
+// {0.10, 0.20, 0.30, 0.40} on the training benchmarks, using the 16 KB
+// cache and optimized code as in the paper.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace dlq;
+using namespace dlq::bench;
+using namespace dlq::pipeline;
+
+int main() {
+  banner("Table 13", "delinquency-threshold sweep (16 KB cache, -O code)");
+
+  Driver D;
+  sim::CacheConfig Cache{16 * 1024, 4, 32};
+  const unsigned OptLevel = 1;
+  const double Deltas[4] = {0.10, 0.20, 0.30, 0.40};
+
+  TextTable T({"Benchmark", "d=0.10 pi/rho", "d=0.20 pi/rho",
+               "d=0.30 pi/rho", "d=0.40 pi/rho"});
+  double Sp[4] = {}, Sr[4] = {};
+  unsigned N = 0;
+  for (const std::string &Name : workloads::trainingSetNames()) {
+    const workloads::Workload &W = *workloads::findWorkload(Name);
+    std::vector<std::string> Cells = {benchLabel(W)};
+    for (unsigned DI = 0; DI != 4; ++DI) {
+      classify::HeuristicOptions Opts;
+      Opts.Delta = Deltas[DI];
+      HeuristicEval E =
+          D.evalHeuristic(Name, InputSel::Input1, OptLevel, Cache, Opts);
+      Cells.push_back(formatString("%s / %s", pct(E.E.pi()).c_str(),
+                                   pct(E.E.rho()).c_str()));
+      Sp[DI] += E.E.pi();
+      Sr[DI] += E.E.rho();
+    }
+    T.addRow(Cells);
+    ++N;
+  }
+  T.addRule();
+  std::vector<std::string> Avg = {"AVERAGE"};
+  for (unsigned DI = 0; DI != 4; ++DI)
+    Avg.push_back(formatString("%s / %s", pct(Sp[DI] / N).c_str(),
+                               pct(Sr[DI] / N).c_str()));
+  T.addRow(Avg);
+  emit(T);
+  footnote("paper averages 14/92, 12/89, 9/78, 6/68 — raising delta trades "
+           "coverage for precision, with per-benchmark cliffs (164.gzip "
+           "falls from 94% to 34% coverage at delta=0.40)");
+  return 0;
+}

@@ -1,0 +1,82 @@
+//===- bench/table14_epsilon.cpp - Table 14 reproduction -----------------------//
+//
+// Table 14, "Varying the epsilon factor": the Section 9 combination of
+// profiling and the heuristic. At epsilon=0 the prediction is the
+// intersection Delta_P with Delta_H; growing epsilon admits the
+// highest-scoring heuristic-only loads. rho* is the coverage of a random
+// same-size sample from the hotspot loads (averaged over three draws) — the
+// control showing the heuristic's ranking carries real information.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "metrics/Metrics.h"
+#include "support/Rng.h"
+
+using namespace dlq;
+using namespace dlq::bench;
+using namespace dlq::pipeline;
+
+int main() {
+  banner("Table 14", "combining the heuristic with basic-block profiling");
+
+  Driver D;
+  sim::CacheConfig Cache = sim::CacheConfig::baseline();
+  classify::HeuristicOptions Opts;
+  const double Epsilons[4] = {0.0, 0.10, 0.20, 0.30};
+  Rng SampleRng(20040321);
+
+  TextTable T({"Benchmark", "e=0 pi/rho/rho*", "e=0.1 pi/rho",
+               "e=0.2 pi/rho", "e=0.3 pi/rho"});
+  double Sp[4] = {}, Sr[4] = {}, SrStar = 0;
+  unsigned N = 0;
+  for (const workloads::Workload &W : workloads::allWorkloads()) {
+    GroundTruth G = D.groundTruth(W.Name, InputSel::Input1, 0, Cache);
+    const Compiled &C = D.compiled(W.Name, InputSel::Input1, 0);
+    size_t Lambda = C.lambda();
+    HeuristicEval H = D.evalHeuristic(W.Name, InputSel::Input1, 0, Cache,
+                                      Opts);
+    metrics::LoadSet DeltaP =
+        D.hotspotLoads(W.Name, InputSel::Input1, 0, Cache, 0.90);
+
+    std::vector<std::string> Cells = {benchLabel(W)};
+    for (unsigned EI = 0; EI != 4; ++EI) {
+      metrics::LoadSet Combined = metrics::combineWithProfiling(
+          DeltaP, H.Delta, H.Scores, Epsilons[EI]);
+      metrics::EvalResult E = metrics::evaluate(Lambda, Combined, G.Stats);
+      if (EI == 0) {
+        double RhoStar = metrics::randomSampleCoverage(
+            DeltaP, Combined.size(), G.Stats, SampleRng, 3);
+        Cells.push_back(formatString("%s / %s / %s",
+                                     formatPercent(E.pi()).c_str(),
+                                     pct(E.rho()).c_str(),
+                                     pct(RhoStar).c_str()));
+        SrStar += RhoStar;
+      } else {
+        Cells.push_back(formatString("%s / %s",
+                                     formatPercent(E.pi()).c_str(),
+                                     pct(E.rho()).c_str()));
+      }
+      Sp[EI] += E.pi();
+      Sr[EI] += E.rho();
+    }
+    T.addRow(Cells);
+    ++N;
+  }
+  T.addRule();
+  std::vector<std::string> Avg = {"AVERAGE"};
+  Avg.push_back(formatString("%s / %s / %s",
+                             formatPercent(Sp[0] / N).c_str(),
+                             pct(Sr[0] / N).c_str(),
+                             pct(SrStar / N).c_str()));
+  for (unsigned EI = 1; EI != 4; ++EI)
+    Avg.push_back(formatString("%s / %s", formatPercent(Sp[EI] / N).c_str(),
+                               pct(Sr[EI] / N).c_str()));
+  T.addRow(Avg);
+  emit(T);
+  footnote("paper: epsilon=0 pins 1.30% of loads covering 82% of misses "
+           "while random same-size hotspot samples cover only 23% (rho*); "
+           "epsilon=0.3 reaches 3.95%/88%");
+  return 0;
+}

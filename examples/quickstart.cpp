@@ -1,0 +1,88 @@
+//===- examples/quickstart.cpp - the 60-second tour ------------------------------//
+//
+// Compiles a small C program, prints the generated MIPS-like assembly, the
+// address pattern of every load, the phi score each gets from the Table 5
+// weights, and the resulting possibly-delinquent set — the whole pipeline of
+// the paper on one screen.
+//
+// Run:  ./quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "classify/Delinquency.h"
+#include "masm/Printer.h"
+#include "classify/Trainer.h"
+#include "mcc/Compiler.h"
+
+#include <cstdio>
+
+using namespace dlq;
+
+static const char *Program = R"(
+struct Node { int value; struct Node *next; };
+
+struct Node *head;
+int table[1024];
+
+int sum_list() {
+  struct Node *n;
+  int sum;
+  sum = 0;
+  for (n = head; n != 0; n = n->next)
+    sum = sum + n->value + table[n->value & 1023];
+  return sum;
+}
+
+int main() {
+  return sum_list();
+}
+)";
+
+int main() {
+  // 1. Compile (the paper uses GCC-for-MIPS; we use the bundled MinC
+  //    compiler, unoptimized, as in the paper's training setup).
+  mcc::CompileResult CR = mcc::compile(Program);
+  if (!CR.ok()) {
+    std::fprintf(stderr, "compile error:\n%s", CR.Errors.c_str());
+    return 1;
+  }
+  std::printf("--- generated assembly ---------------------------------\n%s\n",
+              masm::printModule(*CR.M).c_str());
+
+  // 2. Static analysis: CFG + reaching definitions + address patterns.
+  classify::ModuleAnalysis Analysis(*CR.M);
+
+  // 3. Score every load with the paper's Table 5 weights. Without a profile
+  //    the heuristic runs in its fully static AG1..AG7 form.
+  classify::HeuristicOptions Opts;
+  Opts.UseFreqClasses = false;
+  auto Scores = Analysis.scores(Opts, nullptr);
+
+  std::printf("--- loads, address patterns, phi scores ----------------\n");
+  for (const auto &[Ref, Patterns] : Analysis.loadPatterns()) {
+    const masm::Function &F = CR.M->functions()[Ref.FuncIdx];
+    std::printf("%s+%u: %s\n", F.name().c_str(), Ref.InstrIdx,
+                masm::printInstr(F.instrs()[Ref.InstrIdx]).c_str());
+    for (const ap::ApNode *P : Patterns) {
+      std::printf("    pattern %-28s classes:",
+                  ap::printPattern(P).c_str());
+      for (const std::string &L : classify::aggClassLabels(P))
+        std::printf(" %s", L.c_str());
+      std::printf("\n");
+    }
+    double Phi = Scores.at(Ref);
+    std::printf("    phi = %+.2f  ->  %s\n", Phi,
+                classify::isPossiblyDelinquent(Phi, Opts)
+                    ? "POSSIBLY DELINQUENT"
+                    : "not delinquent");
+  }
+
+  auto Delta = Analysis.delinquentSet(Opts, nullptr);
+  std::printf("\n%zu of %zu loads flagged as possibly delinquent "
+              "(delta = %.2f)\n",
+              Delta.size(), Analysis.loadPatterns().size(), Opts.Delta);
+  std::printf("Expect the n->next / n->value dereferences and the scaled\n"
+              "table[] gather to be flagged, and the plain stack reloads "
+              "not to be.\n");
+  return 0;
+}

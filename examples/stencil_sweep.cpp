@@ -1,0 +1,65 @@
+//===- examples/stencil_sweep.cpp - threshold and cache sweeps -------------------//
+//
+// Sensitivity study on an array-dominated workload (the 101.tomcatv-style
+// stencil): how the delinquency threshold delta trades precision for
+// coverage, and how stable the predicted set's coverage is across cache
+// sizes — the Section 8.3 / 8.6 experiments in miniature, on one program.
+//
+// Run:  ./stencil_sweep
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Pipeline.h"
+#include "support/Format.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace dlq;
+using namespace dlq::pipeline;
+
+int main() {
+  Driver D;
+  const char *Bench = "tomcatv_like";
+
+  std::printf("workload: %s (%s)\n\n", Bench,
+              workloads::findWorkload(Bench)->PaperAnalog.c_str());
+
+  // Sweep delta at the baseline cache.
+  {
+    TextTable T({"delta", "flagged loads", "pi", "rho"});
+    sim::CacheConfig Cache = sim::CacheConfig::baseline();
+    for (double Delta : {0.05, 0.10, 0.20, 0.30, 0.40, 0.60}) {
+      classify::HeuristicOptions Opts;
+      Opts.Delta = Delta;
+      HeuristicEval E = D.evalHeuristic(Bench, InputSel::Input1, 0, Cache,
+                                        Opts);
+      T.addRow({formatString("%.2f", Delta), std::to_string(E.E.DeltaSize),
+                formatPercent(E.E.pi()), formatPercent(E.E.rho())});
+    }
+    std::printf("--- delta sweep (8 KB cache) ---\n%s\n",
+                T.render().c_str());
+  }
+
+  // Sweep the cache size at the default threshold.
+  {
+    TextTable T({"cache", "load misses", "pi", "rho"});
+    classify::HeuristicOptions Opts;
+    for (uint32_t Kb : {4u, 8u, 16u, 32u, 64u}) {
+      sim::CacheConfig Cache{Kb * 1024, 4, 32};
+      GroundTruth G = D.groundTruth(Bench, InputSel::Input1, 0, Cache);
+      HeuristicEval E = D.evalHeuristic(Bench, InputSel::Input1, 0, Cache,
+                                        Opts);
+      T.addRow({Cache.describe(),
+                formatWithCommas(G.TotalLoadMisses),
+                formatPercent(E.E.pi()), formatPercent(E.E.rho())});
+    }
+    std::printf("--- cache-size sweep (delta = 0.10) ---\n%s\n",
+                T.render().c_str());
+  }
+
+  std::printf("the flagged set barely moves while absolute miss counts "
+              "change by orders of magnitude:\nthe prediction names the "
+              "loads, the cache decides how often they miss.\n");
+  return 0;
+}

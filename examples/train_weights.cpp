@@ -1,0 +1,108 @@
+//===- examples/train_weights.cpp - retraining the heuristic ---------------------//
+//
+// Reruns the paper's Section 7 training procedure end to end: simulate the
+// eleven training benchmarks, accumulate per-class miss statistics, derive
+// a fresh weight set (m/n means for positive classes, the trimmed-mean
+// negation for AG8/AG9), and compare both weight sets on the seven held-out
+// benchmarks.
+//
+// Run:  ./train_weights
+//
+//===----------------------------------------------------------------------===//
+
+#include "classify/Trainer.h"
+#include "pipeline/Pipeline.h"
+#include "support/Format.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <set>
+
+using namespace dlq;
+using namespace dlq::pipeline;
+using classify::AggClass;
+
+int main() {
+  Driver D;
+  // The paper trains on its 32 KB split-L1 configuration; with this suite's
+  // scaled-down working sets, the 8 KB evaluation baseline exposes the same
+  // per-class miss contrasts the trainer needs (a 32 KB cache absorbs most
+  // misses here, leaving too little signal to clear the r >= 1/20 rule).
+  sim::CacheConfig Cache = sim::CacheConfig::baseline();
+
+  // Phase 1: training observations (Section 6's "training phase").
+  std::printf("simulating the %zu training benchmarks under %s...\n",
+              workloads::trainingSetNames().size(),
+              Cache.describe().c_str());
+  classify::ClassTrainer Trainer;
+  for (const std::string &Name : workloads::trainingSetNames()) {
+    GroundTruth G = D.groundTruth(Name, InputSel::Input1, 0, Cache);
+    const Compiled &C = D.compiled(Name, InputSel::Input1, 0);
+
+    classify::BenchmarkObservation Obs;
+    Obs.Name = Name;
+    Obs.TotalMisses = G.TotalLoadMisses;
+    for (const auto &[Ref, Pats] : C.Analysis->loadPatterns()) {
+      std::set<std::string> Labels;
+      for (const ap::ApNode *P : Pats)
+        for (const std::string &L : classify::aggClassLabels(P))
+          Labels.insert(L);
+      auto It = G.Stats.find(Ref);
+      if (It == G.Stats.end())
+        continue;
+      for (const std::string &L : Labels) {
+        Obs.PerClass[L].Execs += It->second.Execs;
+        Obs.PerClass[L].Misses += It->second.Misses;
+      }
+    }
+    Trainer.addObservation(std::move(Obs));
+  }
+
+  classify::HeuristicWeights Trained = Trainer.deriveWeights();
+  classify::HeuristicWeights Paper;
+
+  TextTable WT({"class", "feature", "trained", "paper"});
+  for (unsigned K = 0; K != classify::NumAggClasses; ++K) {
+    AggClass C = static_cast<AggClass>(K);
+    WT.addRow({std::string(classify::aggClassName(C)),
+               std::string(classify::aggClassFeature(C)),
+               formatString("%+.2f", Trained.of(C)),
+               formatString("%+.2f", Paper.of(C))});
+  }
+  std::printf("\n--- derived weights ---\n%s\n", WT.render().c_str());
+
+  // Phase 2: evaluate both weight sets on the held-out benchmarks.
+  TextTable ET({"benchmark", "trained pi/rho", "paper pi/rho"});
+  double Tp = 0, Tr = 0, Pp = 0, Pr = 0;
+  unsigned N = 0;
+  for (const std::string &Name : workloads::testSetNames()) {
+    classify::HeuristicOptions TrainedOpts;
+    TrainedOpts.Weights = Trained;
+    classify::HeuristicOptions PaperOpts;
+
+    HeuristicEval TE =
+        D.evalHeuristic(Name, InputSel::Input1, 0, Cache, TrainedOpts);
+    HeuristicEval PE =
+        D.evalHeuristic(Name, InputSel::Input1, 0, Cache, PaperOpts);
+    ET.addRow({Name,
+               formatString("%s / %s", formatPercent(TE.E.pi()).c_str(),
+                            formatPercent(TE.E.rho(), 0).c_str()),
+               formatString("%s / %s", formatPercent(PE.E.pi()).c_str(),
+                            formatPercent(PE.E.rho(), 0).c_str())});
+    Tp += TE.E.pi();
+    Tr += TE.E.rho();
+    Pp += PE.E.pi();
+    Pr += PE.E.rho();
+    ++N;
+  }
+  ET.addRule();
+  ET.addRow({"AVERAGE",
+             formatString("%s / %s", formatPercent(Tp / N).c_str(),
+                          formatPercent(Tr / N, 0).c_str()),
+             formatString("%s / %s", formatPercent(Pp / N).c_str(),
+                          formatPercent(Pr / N, 0).c_str())});
+  std::printf("--- held-out evaluation ---\n%s\n", ET.render().c_str());
+  std::printf("both weight sets should perform similarly: the signal is in\n"
+              "the classes, not in the third decimal of the weights.\n");
+  return 0;
+}

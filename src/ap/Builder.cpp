@@ -1,0 +1,231 @@
+//===- ap/Builder.cpp ------------------------------------------------------==//
+
+#include "ap/Builder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+using namespace dlq;
+using namespace dlq::ap;
+using namespace dlq::masm;
+using dlq::dataflow::Def;
+using dlq::dataflow::DefKind;
+
+bool ap::patternsEqual(const ApNode *A, const ApNode *B) {
+  if (A == B)
+    return true;
+  if (!A || !B || A->Kind != B->Kind)
+    return false;
+  switch (A->Kind) {
+  case ApKind::Const:
+    return A->Value == B->Value;
+  case ApKind::Base:
+    return A->BaseReg == B->BaseReg;
+  case ApKind::GlobalAddr:
+    return A->Value == B->Value && std::strcmp(A->Sym, B->Sym) == 0;
+  case ApKind::Unknown:
+  case ApKind::Recur:
+    return true;
+  default:
+    return patternsEqual(A->Lhs, B->Lhs) && patternsEqual(A->Rhs, B->Rhs);
+  }
+}
+
+ApBuilder::ApBuilder(Arena &Arena_, const Function &Fn, const cfg::Cfg &G,
+                     const dataflow::ReachingDefs &Defs,
+                     ApBuilderOptions Options)
+    : A(Arena_), Factory(A), F(Fn), RD(Defs), Opts(Options) {
+  (void)G;
+}
+
+void ApBuilder::capAlts(AltList &Alts) const {
+  // Structural dedup, then truncate.
+  AltList Unique;
+  for (const ApNode *N : Alts) {
+    bool Seen = false;
+    for (const ApNode *U : Unique)
+      if (patternsEqual(N, U)) {
+        Seen = true;
+        break;
+      }
+    if (!Seen)
+      Unique.push_back(N);
+    if (Unique.size() >= Opts.MaxPatternsPerLoad)
+      break;
+  }
+  Alts = std::move(Unique);
+}
+
+ApBuilder::AltList ApBuilder::combine(ApKind Kind, const AltList &L,
+                                      const AltList &R) {
+  AltList Out;
+  for (const ApNode *Lhs : L) {
+    for (const ApNode *Rhs : R) {
+      Out.push_back(Factory.getBinary(Kind, Lhs, Rhs));
+      if (Out.size() >= Opts.MaxPatternsPerLoad)
+        return Out;
+    }
+  }
+  return Out;
+}
+
+ApBuilder::AltList ApBuilder::expandReg(Reg R, uint32_t UsePoint,
+                                        unsigned Depth,
+                                        std::vector<uint32_t> &Stack) {
+  if (R == Reg::Zero)
+    return {Factory.getConst(0)};
+  if (Depth >= Opts.MaxDepth)
+    return {Factory.getUnknown()};
+
+  std::vector<Def> Defs = RD.defsReaching(UsePoint, R);
+  if (Defs.empty())
+    return {Factory.getUnknown()};
+
+  AltList Out;
+  unsigned Alts = 0;
+  for (const Def &D : Defs) {
+    if (Alts++ >= Opts.MaxAltsPerUse)
+      break;
+    switch (D.Kind) {
+    case DefKind::Entry:
+      Out.push_back(isBasicReg(R) ? Factory.getBase(R)
+                                  : Factory.getUnknown());
+      break;
+    case DefKind::Call:
+      // A call's return value is a reg_ret basic register; other clobbered
+      // registers carry unknown values.
+      Out.push_back(isRetReg(R) ? Factory.getBase(R) : Factory.getUnknown());
+      break;
+    case DefKind::Normal: {
+      if (std::find(Stack.begin(), Stack.end(), D.InstrIdx) != Stack.end()) {
+        // The definition is being expanded already: loop-carried recurrence.
+        Out.push_back(Factory.getRecur());
+        break;
+      }
+      Stack.push_back(D.InstrIdx);
+      AltList Sub = expandDefInstr(D.InstrIdx, Depth + 1, Stack);
+      Stack.pop_back();
+      Out.insert(Out.end(), Sub.begin(), Sub.end());
+      break;
+    }
+    }
+    if (Out.size() >= Opts.MaxPatternsPerLoad)
+      break;
+  }
+  capAlts(Out);
+  if (Out.empty())
+    Out.push_back(Factory.getUnknown());
+  return Out;
+}
+
+ApBuilder::AltList ApBuilder::expandDefInstr(uint32_t DefIdx, unsigned Depth,
+                                             std::vector<uint32_t> &Stack) {
+  const Instr &I = F.instrs()[DefIdx];
+
+  auto expandSrc = [&](Reg R) { return expandReg(R, DefIdx, Depth, Stack); };
+  auto constList = [&](int32_t V) { return AltList{Factory.getConst(V)}; };
+
+  switch (I.Op) {
+  case Opcode::Add:
+    return combine(ApKind::Add, expandSrc(I.Rs), expandSrc(I.Rt));
+  case Opcode::Sub:
+    return combine(ApKind::Sub, expandSrc(I.Rs), expandSrc(I.Rt));
+  case Opcode::Mul:
+    return combine(ApKind::Mul, expandSrc(I.Rs), expandSrc(I.Rt));
+  case Opcode::Sllv:
+    return combine(ApKind::Shl, expandSrc(I.Rs), expandSrc(I.Rt));
+  case Opcode::Srlv:
+  case Opcode::Srav:
+    return combine(ApKind::Shr, expandSrc(I.Rs), expandSrc(I.Rt));
+  case Opcode::Addi:
+    return combine(ApKind::Add, expandSrc(I.Rs), constList(I.Imm));
+  case Opcode::Sll:
+    return combine(ApKind::Shl, expandSrc(I.Rs), constList(I.Imm));
+  case Opcode::Srl:
+  case Opcode::Sra:
+    return combine(ApKind::Shr, expandSrc(I.Rs), constList(I.Imm));
+  case Opcode::Li:
+    return constList(I.Imm);
+  case Opcode::Lui:
+    return constList(static_cast<int32_t>(static_cast<uint32_t>(I.Imm) << 16));
+  case Opcode::La:
+    return {Factory.getGlobal(I.Sym, I.Imm)};
+  case Opcode::Move:
+    return expandSrc(I.Rs);
+  case Opcode::Ori: {
+    // lui+ori constant materialization folds; anything else is Other.
+    AltList Srcs = expandSrc(I.Rs);
+    AltList Out;
+    for (const ApNode *S : Srcs) {
+      if (S->Kind == ApKind::Const)
+        Out.push_back(Factory.getConst(
+            static_cast<int32_t>(static_cast<uint32_t>(S->Value) |
+                                 static_cast<uint32_t>(I.Imm))));
+      else
+        Out.push_back(
+            Factory.getBinary(ApKind::Other, S, Factory.getConst(I.Imm)));
+    }
+    return Out;
+  }
+  case Opcode::Andi:
+  case Opcode::Xori:
+  case Opcode::Slti:
+  case Opcode::Sltiu:
+    return combine(ApKind::Other, expandSrc(I.Rs), constList(I.Imm));
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Nor:
+  case Opcode::Slt:
+  case Opcode::Sltu:
+  case Opcode::Div:
+  case Opcode::Rem:
+    return combine(ApKind::Other, expandSrc(I.Rs), expandSrc(I.Rt));
+  case Opcode::Lw:
+  case Opcode::Lh:
+  case Opcode::Lhu:
+  case Opcode::Lb:
+  case Opcode::Lbu: {
+    // The defining instruction is itself a load: the value came from memory,
+    // adding one dereference level around its own address pattern.
+    AltList Addrs = combine(ApKind::Add, expandSrc(I.Rs), constList(I.Imm));
+    AltList Out;
+    for (const ApNode *Addr : Addrs)
+      Out.push_back(Factory.getDeref(Addr));
+    return Out;
+  }
+  default:
+    return {Factory.getUnknown()};
+  }
+}
+
+std::vector<const ApNode *> ApBuilder::buildForAddressOperand(
+    uint32_t InstrIdx) {
+  const Instr &I = F.instrs()[InstrIdx];
+  assert((isLoad(I.Op) || isStore(I.Op)) && "not a memory instruction");
+  std::vector<uint32_t> Stack;
+  AltList Base = expandReg(I.Rs, InstrIdx, 0, Stack);
+  AltList Out = combine(ApKind::Add, Base, {Factory.getConst(I.Imm)});
+  capAlts(Out);
+  if (Out.empty())
+    Out.push_back(Factory.getUnknown());
+  return Out;
+}
+
+std::vector<const ApNode *> ApBuilder::buildForLoad(uint32_t InstrIdx) {
+  assert(isLoad(F.instrs()[InstrIdx].Op) && "not a load");
+  return buildForAddressOperand(InstrIdx);
+}
+
+std::map<uint32_t, std::vector<const ApNode *>>
+ap::buildAllLoadPatterns(Arena &A, const Function &F, const cfg::Cfg &G,
+                         const dataflow::ReachingDefs &RD,
+                         ApBuilderOptions Options) {
+  ApBuilder B(A, F, G, RD, Options);
+  std::map<uint32_t, std::vector<const ApNode *>> Result;
+  for (uint32_t Idx = 0; Idx != F.size(); ++Idx)
+    if (isLoad(F.instrs()[Idx].Op))
+      Result[Idx] = B.buildForLoad(Idx);
+  return Result;
+}

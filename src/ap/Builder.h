@@ -1,0 +1,92 @@
+//===- ap/Builder.h - Address-pattern construction --------------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the address patterns of every load in a function by
+/// back-substituting reaching definitions, eliminating the intermediate
+/// registers so patterns are expressed only over basic registers and
+/// constants (Section 5.1). A load reached by several control paths with
+/// different address computations yields several patterns. A definition
+/// encountered while it is already being expanded marks a loop-carried
+/// recurrence (criterion H4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_AP_BUILDER_H
+#define DLQ_AP_BUILDER_H
+
+#include "ap/Pattern.h"
+#include "cfg/Cfg.h"
+#include "dataflow/ReachingDefs.h"
+#include "masm/Module.h"
+#include "support/Arena.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace dlq {
+namespace ap {
+
+/// Expansion limits keeping the analysis linear in practice (the paper notes
+/// the analysis is "largely local in nature"; these caps are the guard rails
+/// that keep it so on adversarial control flow).
+struct ApBuilderOptions {
+  /// Most patterns kept per load (extra control paths are dropped).
+  unsigned MaxPatternsPerLoad = 16;
+  /// Most reaching definitions expanded per register use.
+  unsigned MaxAltsPerUse = 4;
+  /// Expansion depth bound; deeper operands become Unknown.
+  unsigned MaxDepth = 24;
+
+  ApBuilderOptions() {}
+};
+
+/// Address-pattern builder for one function.
+class ApBuilder {
+public:
+  ApBuilder(Arena &A, const masm::Function &F, const cfg::Cfg &G,
+            const dataflow::ReachingDefs &RD,
+            ApBuilderOptions Options = ApBuilderOptions());
+
+  /// Patterns for the load at \p InstrIdx (at least one, possibly Unknown).
+  std::vector<const ApNode *> buildForLoad(uint32_t InstrIdx);
+
+  /// Patterns of the address operand of any memory instruction (loads and
+  /// stores alike); used by the baselines.
+  std::vector<const ApNode *> buildForAddressOperand(uint32_t InstrIdx);
+
+private:
+  using AltList = std::vector<const ApNode *>;
+
+  AltList expandReg(masm::Reg R, uint32_t UsePoint, unsigned Depth,
+                    std::vector<uint32_t> &Stack);
+  AltList expandDefInstr(uint32_t DefIdx, unsigned Depth,
+                         std::vector<uint32_t> &Stack);
+  AltList combine(ApKind Kind, const AltList &L, const AltList &R);
+  void capAlts(AltList &Alts) const;
+
+  Arena &A;
+  ApFactory Factory;
+  const masm::Function &F;
+  const dataflow::ReachingDefs &RD;
+  ApBuilderOptions Opts;
+};
+
+/// Convenience: all loads of a function mapped to their patterns.
+std::map<uint32_t, std::vector<const ApNode *>>
+buildAllLoadPatterns(Arena &A, const masm::Function &F, const cfg::Cfg &G,
+                     const dataflow::ReachingDefs &RD,
+                     ApBuilderOptions Options = ApBuilderOptions());
+
+/// True if \p A and \p B are structurally identical patterns.
+bool patternsEqual(const ApNode *A, const ApNode *B);
+
+} // namespace ap
+} // namespace dlq
+
+#endif // DLQ_AP_BUILDER_H

@@ -1,0 +1,294 @@
+//===- ap/Pattern.cpp ------------------------------------------------------==//
+
+#include "ap/Pattern.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+using namespace dlq;
+using namespace dlq::ap;
+using namespace dlq::masm;
+
+const ApNode *ApFactory::node(ApNode Proto) {
+  return A.create<ApNode>(Proto);
+}
+
+const ApNode *ApFactory::getConst(int32_t Value) {
+  ApNode N;
+  N.Kind = ApKind::Const;
+  N.Value = Value;
+  return node(N);
+}
+
+const ApNode *ApFactory::getBase(Reg R) {
+  assert(isBasicReg(R) && "not a basic register");
+  ApNode N;
+  N.Kind = ApKind::Base;
+  N.BaseReg = R;
+  return node(N);
+}
+
+const ApNode *ApFactory::getGlobal(std::string_view Sym, int32_t Offset) {
+  char *Owned = static_cast<char *>(A.allocate(Sym.size() + 1, 1));
+  std::memcpy(Owned, Sym.data(), Sym.size());
+  Owned[Sym.size()] = '\0';
+  ApNode N;
+  N.Kind = ApKind::GlobalAddr;
+  N.Sym = Owned;
+  N.Value = Offset;
+  return node(N);
+}
+
+const ApNode *ApFactory::getUnknown() {
+  ApNode N;
+  N.Kind = ApKind::Unknown;
+  return node(N);
+}
+
+const ApNode *ApFactory::getRecur() {
+  ApNode N;
+  N.Kind = ApKind::Recur;
+  return node(N);
+}
+
+const ApNode *ApFactory::getBinary(ApKind Kind, const ApNode *L,
+                                   const ApNode *R) {
+  assert((Kind == ApKind::Add || Kind == ApKind::Sub || Kind == ApKind::Mul ||
+          Kind == ApKind::Shl || Kind == ApKind::Shr ||
+          Kind == ApKind::Other) &&
+         "not a binary kind");
+  // Constant folding keeps patterns in the compact form the paper shows
+  // (e.g. "45(sp)" instead of "(sp+40+5)").
+  if (L->Kind == ApKind::Const && R->Kind == ApKind::Const) {
+    switch (Kind) {
+    case ApKind::Add:
+      return getConst(L->Value + R->Value);
+    case ApKind::Sub:
+      return getConst(L->Value - R->Value);
+    case ApKind::Mul:
+      return getConst(L->Value * R->Value);
+    case ApKind::Shl:
+      return getConst(static_cast<int32_t>(
+          static_cast<uint32_t>(L->Value)
+          << (static_cast<uint32_t>(R->Value) & 31)));
+    case ApKind::Shr:
+      return getConst(static_cast<int32_t>(static_cast<uint32_t>(L->Value) >>
+                                           (static_cast<uint32_t>(R->Value) &
+                                            31)));
+    default:
+      break;
+    }
+  }
+  if (Kind == ApKind::Add) {
+    if (L->Kind == ApKind::Const && L->Value == 0)
+      return R;
+    if (R->Kind == ApKind::Const && R->Value == 0)
+      return L;
+    // Fold (global + const) into the GlobalAddr offset.
+    if (L->Kind == ApKind::GlobalAddr && R->Kind == ApKind::Const) {
+      ApNode N = *L;
+      N.Value += R->Value;
+      return node(N);
+    }
+    if (R->Kind == ApKind::GlobalAddr && L->Kind == ApKind::Const) {
+      ApNode N = *R;
+      N.Value += L->Value;
+      return node(N);
+    }
+    // Reassociate (x + c1) + c2 -> x + (c1+c2).
+    if (R->Kind == ApKind::Const && L->Kind == ApKind::Add &&
+        L->Rhs->Kind == ApKind::Const) {
+      ApNode N;
+      N.Kind = ApKind::Add;
+      N.Lhs = L->Lhs;
+      N.Rhs = getConst(L->Rhs->Value + R->Value);
+      return node(N);
+    }
+  }
+  if (Kind == ApKind::Sub && R->Kind == ApKind::Const)
+    return getBinary(ApKind::Add, L, getConst(-R->Value));
+
+  ApNode N;
+  N.Kind = Kind;
+  N.Lhs = L;
+  N.Rhs = R;
+  return node(N);
+}
+
+const ApNode *ApFactory::getDeref(const ApNode *Inner) {
+  ApNode N;
+  N.Kind = ApKind::Deref;
+  N.Lhs = Inner;
+  return node(N);
+}
+
+//===----------------------------------------------------------------------===//
+// Feature queries
+//===----------------------------------------------------------------------===//
+
+BaseRegCounts ap::countBaseRegs(const ApNode *N) {
+  BaseRegCounts C;
+  if (!N)
+    return C;
+  switch (N->Kind) {
+  case ApKind::Base:
+    if (N->BaseReg == Reg::SP)
+      ++C.Sp;
+    else if (N->BaseReg == Reg::GP)
+      ++C.Gp;
+    else if (isParamReg(N->BaseReg))
+      ++C.Param;
+    else if (isRetReg(N->BaseReg))
+      ++C.Ret;
+    return C;
+  case ApKind::GlobalAddr:
+    ++C.Gp;
+    return C;
+  default:
+    break;
+  }
+  for (const ApNode *Child : {N->Lhs, N->Rhs}) {
+    if (!Child)
+      continue;
+    BaseRegCounts Sub = countBaseRegs(Child);
+    C.Sp += Sub.Sp;
+    C.Gp += Sub.Gp;
+    C.Param += Sub.Param;
+    C.Ret += Sub.Ret;
+  }
+  return C;
+}
+
+bool ap::hasMulOrShift(const ApNode *N) {
+  if (!N)
+    return false;
+  if (N->Kind == ApKind::Mul || N->Kind == ApKind::Shl ||
+      N->Kind == ApKind::Shr)
+    return true;
+  return hasMulOrShift(N->Lhs) || hasMulOrShift(N->Rhs);
+}
+
+unsigned ap::derefDepth(const ApNode *N) {
+  if (!N)
+    return 0;
+  unsigned Below = std::max(derefDepth(N->Lhs), derefDepth(N->Rhs));
+  return N->Kind == ApKind::Deref ? Below + 1 : Below;
+}
+
+bool ap::hasRecurrence(const ApNode *N) {
+  if (!N)
+    return false;
+  if (N->Kind == ApKind::Recur)
+    return true;
+  return hasRecurrence(N->Lhs) || hasRecurrence(N->Rhs);
+}
+
+bool ap::hasUnknown(const ApNode *N) {
+  if (!N)
+    return false;
+  if (N->Kind == ApKind::Unknown)
+    return true;
+  return hasUnknown(N->Lhs) || hasUnknown(N->Rhs);
+}
+
+unsigned ap::patternSize(const ApNode *N) {
+  if (!N)
+    return 0;
+  return 1 + patternSize(N->Lhs) + patternSize(N->Rhs);
+}
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Operator precedence for printing: deref > mul > add/sub > shift.
+int precedence(ApKind K) {
+  switch (K) {
+  case ApKind::Deref:
+    return 4;
+  case ApKind::Mul:
+    return 3;
+  case ApKind::Add:
+  case ApKind::Sub:
+    return 2;
+  case ApKind::Shl:
+  case ApKind::Shr:
+  case ApKind::Other:
+    return 1;
+  default:
+    return 5; // Leaves never need parens.
+  }
+}
+
+std::string printRec(const ApNode *N, int ParentPrec) {
+  std::string Out;
+  int MyPrec = precedence(N->Kind);
+  switch (N->Kind) {
+  case ApKind::Const:
+    Out = formatString("%d", N->Value);
+    break;
+  case ApKind::Base: {
+    std::string_view Name = regName(N->BaseReg);
+    Name.remove_prefix(1); // The paper writes "sp", not "$sp".
+    Out = std::string(Name);
+    break;
+  }
+  case ApKind::GlobalAddr:
+    Out = N->Value != 0 ? formatString("&%s+%d", N->Sym, N->Value)
+                        : formatString("&%s", N->Sym);
+    break;
+  case ApKind::Unknown:
+    Out = "?";
+    break;
+  case ApKind::Recur:
+    Out = "@rec";
+    break;
+  case ApKind::Deref: {
+    // The paper's form "45(sp)": offset(inner) when the child is inner+const.
+    const ApNode *Inner = N->Lhs;
+    if (Inner->Kind == ApKind::Add && Inner->Rhs->Kind == ApKind::Const) {
+      Out = formatString("%d(%s)", Inner->Rhs->Value,
+                         printRec(Inner->Lhs, 0).c_str());
+    } else if (Inner->Kind == ApKind::Const) {
+      Out = formatString("%d()", Inner->Value);
+    } else {
+      Out = "(" + printRec(Inner, 0) + ")";
+    }
+    return Out; // Dereference binds tightest; never needs extra parens.
+  }
+  case ApKind::Add:
+    Out = printRec(N->Lhs, MyPrec) + "+" + printRec(N->Rhs, MyPrec + 1);
+    break;
+  case ApKind::Sub:
+    Out = printRec(N->Lhs, MyPrec) + "-" + printRec(N->Rhs, MyPrec + 1);
+    break;
+  case ApKind::Mul:
+    Out = printRec(N->Lhs, MyPrec) + "*" + printRec(N->Rhs, MyPrec + 1);
+    break;
+  case ApKind::Shl:
+    Out = printRec(N->Lhs, MyPrec) + "<<" + printRec(N->Rhs, MyPrec + 1);
+    break;
+  case ApKind::Shr:
+    Out = printRec(N->Lhs, MyPrec) + ">>" + printRec(N->Rhs, MyPrec + 1);
+    break;
+  case ApKind::Other:
+    Out = printRec(N->Lhs, MyPrec) + "#" + printRec(N->Rhs, MyPrec + 1);
+    break;
+  }
+  if (MyPrec < ParentPrec)
+    Out = "{" + Out + "}";
+  return Out;
+}
+
+} // namespace
+
+std::string ap::printPattern(const ApNode *N) {
+  if (!N)
+    return "<null>";
+  return printRec(N, 0);
+}

@@ -1,0 +1,124 @@
+//===- ap/Pattern.h - Address-pattern expression trees ----------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The address-pattern language of Section 5.1:
+///
+///   AP -> AP(AP) | AP*AP | AP+AP | AP-AP | AP<<AP | AP>>AP | const | BR
+///   BR -> gp | sp | reg_param | reg_ret
+///
+/// Parenthesis denotes dereference: "45(sp)+30" is *(sp+45) + 30. Patterns
+/// are immutable arena-allocated trees. Two node kinds extend the grammar
+/// for practical disassembly:
+///  - GlobalAddr: `la` of a data symbol. MIPS materializes global addresses
+///    through $gp, so this counts as a gp occurrence for criterion H1, and
+///    it preserves the symbol name for the BDH baseline's type analysis.
+///  - Other: an ALU operation outside the grammar (and/or/xor/...) whose
+///    operand structure is still worth keeping (so dereferences below it are
+///    not lost).
+///  - Recur: marks the point where the expansion found the value defined in
+///    terms of itself around a loop (criterion H4).
+///  - Unknown: an operand the static expansion cannot resolve.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_AP_PATTERN_H
+#define DLQ_AP_PATTERN_H
+
+#include "masm/Register.h"
+#include "support/Arena.h"
+
+#include <cstdint>
+#include <string>
+
+namespace dlq {
+namespace ap {
+
+/// Address-pattern node kinds.
+enum class ApKind : uint8_t {
+  Const,      ///< Integer literal.
+  Base,       ///< A basic register: gp, sp, reg_param, reg_ret.
+  GlobalAddr, ///< Address of a data symbol (gp-materialized).
+  Unknown,    ///< Unresolvable operand.
+  Recur,      ///< Loop-carried recurrence marker.
+  Add,
+  Sub,
+  Mul,
+  Shl,
+  Shr,
+  Other, ///< ALU op outside the grammar; children preserved.
+  Deref, ///< Memory dereference (one child).
+};
+
+/// One immutable pattern node.
+struct ApNode {
+  ApKind Kind;
+  int32_t Value = 0;                   ///< Const payload.
+  masm::Reg BaseReg = masm::Reg::Zero; ///< Base payload.
+  const char *Sym = nullptr;           ///< GlobalAddr payload (arena-owned).
+  const ApNode *Lhs = nullptr;
+  const ApNode *Rhs = nullptr;
+};
+
+/// Creates pattern nodes inside an arena, with light structural
+/// simplification (constant folding of add/sub, dropping +0).
+class ApFactory {
+public:
+  explicit ApFactory(Arena &A) : A(A) {}
+
+  const ApNode *getConst(int32_t Value);
+  const ApNode *getBase(masm::Reg R);
+  const ApNode *getGlobal(std::string_view Sym, int32_t Offset);
+  const ApNode *getUnknown();
+  const ApNode *getRecur();
+  const ApNode *getBinary(ApKind Kind, const ApNode *L, const ApNode *R);
+  const ApNode *getDeref(const ApNode *Inner);
+
+private:
+  Arena &A;
+  const ApNode *node(ApNode Proto);
+};
+
+//===----------------------------------------------------------------------===//
+// Structural feature queries (the inputs to criteria H1..H4)
+//===----------------------------------------------------------------------===//
+
+/// Counts of basic-register occurrences in a pattern (criterion H1).
+struct BaseRegCounts {
+  unsigned Sp = 0;
+  unsigned Gp = 0; ///< Includes GlobalAddr nodes.
+  unsigned Param = 0;
+  unsigned Ret = 0;
+
+  unsigned total() const { return Sp + Gp + Param + Ret; }
+};
+
+/// Computes H1 register-occurrence counts over the whole tree.
+BaseRegCounts countBaseRegs(const ApNode *N);
+
+/// True if the pattern contains a multiplication or shift (criterion H2).
+bool hasMulOrShift(const ApNode *N);
+
+/// Maximum dereference nesting depth (criterion H3).
+unsigned derefDepth(const ApNode *N);
+
+/// True if the pattern contains a recurrence marker (criterion H4).
+bool hasRecurrence(const ApNode *N);
+
+/// True if the pattern contains an Unknown leaf.
+bool hasUnknown(const ApNode *N);
+
+/// Number of nodes in the tree (shared subtrees counted per occurrence).
+unsigned patternSize(const ApNode *N);
+
+/// Renders the pattern in the paper's syntax, e.g. "45(sp)+30".
+std::string printPattern(const ApNode *N);
+
+} // namespace ap
+} // namespace dlq
+
+#endif // DLQ_AP_PATTERN_H

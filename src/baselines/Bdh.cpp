@@ -1,0 +1,254 @@
+//===- baselines/Bdh.cpp -------------------------------------------------------//
+
+#include "baselines/Bdh.h"
+
+#include <algorithm>
+
+using namespace dlq;
+using namespace dlq::baselines;
+using namespace dlq::ap;
+using namespace dlq::masm;
+
+const std::set<std::string> &baselines::bdhSelectedClasses() {
+  static const std::set<std::string> Selected = {"GAN", "HSN", "HFN",
+                                                 "HAN", "HFP", "HAP"};
+  return Selected;
+}
+
+namespace {
+
+/// What the address ultimately derives from.
+enum class BaseTermKind { GlobalSym, Sp, Gp, Deref, Param, Ret, Unknown };
+
+struct BaseTerm {
+  BaseTermKind Kind = BaseTermKind::Unknown;
+  const ApNode *Node = nullptr; ///< The GlobalAddr node when Kind==GlobalSym.
+};
+
+/// Priority for picking the dominant base of a compound address.
+int termPriority(BaseTermKind K) {
+  switch (K) {
+  case BaseTermKind::GlobalSym:
+    return 6;
+  case BaseTermKind::Sp:
+    return 5;
+  case BaseTermKind::Deref:
+    return 4;
+  case BaseTermKind::Param:
+    return 3;
+  case BaseTermKind::Ret:
+    return 2;
+  case BaseTermKind::Gp:
+    return 1;
+  case BaseTermKind::Unknown:
+    return 0;
+  }
+  return 0;
+}
+
+BaseTerm findBaseTerm(const ApNode *N) {
+  if (!N)
+    return BaseTerm();
+  switch (N->Kind) {
+  case ApKind::GlobalAddr:
+    return BaseTerm{BaseTermKind::GlobalSym, N};
+  case ApKind::Base:
+    if (N->BaseReg == Reg::SP)
+      return BaseTerm{BaseTermKind::Sp, N};
+    if (N->BaseReg == Reg::GP)
+      return BaseTerm{BaseTermKind::Gp, N};
+    if (isParamReg(N->BaseReg))
+      return BaseTerm{BaseTermKind::Param, N};
+    return BaseTerm{BaseTermKind::Ret, N};
+  case ApKind::Deref:
+    return BaseTerm{BaseTermKind::Deref, N};
+  case ApKind::Const:
+  case ApKind::Unknown:
+  case ApKind::Recur:
+    return BaseTerm();
+  default: {
+    BaseTerm L = findBaseTerm(N->Lhs);
+    BaseTerm R = findBaseTerm(N->Rhs);
+    return termPriority(L.Kind) >= termPriority(R.Kind) ? L : R;
+  }
+  }
+}
+
+/// Splits a normalized pattern into (base expression, constant displacement).
+void splitConstOff(const ApNode *N, const ApNode *&BaseOut, int32_t &OffOut) {
+  BaseOut = N;
+  OffOut = 0;
+  if (N->Kind == ApKind::Add && N->Rhs && N->Rhs->Kind == ApKind::Const) {
+    BaseOut = N->Lhs;
+    OffOut = N->Rhs->Value;
+  } else if (N->Kind == ApKind::Const) {
+    BaseOut = nullptr;
+    OffOut = N->Value;
+  }
+}
+
+/// The prologue's stack adjustment: address patterns are expressed relative
+/// to the *entry* $sp, while the symbol-table frame offsets are relative to
+/// the adjusted $sp, so frame lookups must add this back.
+int32_t prologueAdjust(const Function &F) {
+  for (uint32_t Idx = 0; Idx != F.size() && Idx != 4; ++Idx) {
+    const Instr &I = F.instrs()[Idx];
+    if (I.Op == Opcode::Addi && I.Rd == Reg::SP && I.Rs == Reg::SP &&
+        I.Imm < 0)
+      return -I.Imm;
+  }
+  return 0;
+}
+
+/// True if the value loaded by \p LoadIdx is later used as an address base
+/// (the paper's rule: "if a value loaded from memory is used as part of the
+/// address in a subsequent load, the first load is assumed to be a pointer
+/// reference"), or stored into a frame slot the symbol table declares as a
+/// pointer variable (the unoptimized store/reload idiom). Forward scan
+/// until the register is clobbered.
+bool valueUsedAsAddress(const Module &M, const Function &F,
+                        uint32_t LoadIdx) {
+  const FunctionTypeInfo *FTI = M.typeInfo().lookupFunction(F.name());
+  Reg Tracked = F.instrs()[LoadIdx].Rd;
+  uint32_t Limit = std::min<uint32_t>(static_cast<uint32_t>(F.size()),
+                                      LoadIdx + 64);
+  Reg Alias = Reg::Zero;
+  for (uint32_t Idx = LoadIdx + 1; Idx < Limit; ++Idx) {
+    const Instr &I = F.instrs()[Idx];
+    bool IsTrackedBase =
+        (isLoad(I.Op) || isStore(I.Op)) && (I.Rs == Tracked ||
+                                            (Alias != Reg::Zero &&
+                                             I.Rs == Alias));
+    if (IsTrackedBase)
+      return true;
+    // Stored into a declared pointer variable?
+    if (isStore(I.Op) && I.Rt == Tracked && I.Rs == Reg::SP && FTI) {
+      auto Slot = FTI->resolve(I.Imm);
+      if (Slot && Slot->IsPointer)
+        return true;
+    }
+    if (isStore(I.Op) && I.Rt == Tracked && I.Rs != Reg::SP) {
+      // Stored through a pointer into the heap: field type unknown; keep
+      // scanning.
+    }
+    // Track one level of move/addi aliasing.
+    if ((I.Op == Opcode::Move || I.Op == Opcode::Addi ||
+         I.Op == Opcode::Add) &&
+        (I.Rs == Tracked || I.Rt == Tracked) && Alias == Reg::Zero &&
+        I.Rd != Tracked) {
+      Alias = I.Rd;
+      continue;
+    }
+    if (I.def() == Tracked)
+      return false;
+    if (Alias != Reg::Zero && I.def() == Alias)
+      Alias = Reg::Zero;
+    if (isCall(I.Op)) {
+      if (isCallerSaved(Tracked))
+        return false;
+      if (Alias != Reg::Zero && isCallerSaved(Alias))
+        Alias = Reg::Zero;
+    }
+  }
+  return false;
+}
+
+BdhClass classifyLoad(const Module &M, const Function &F, uint32_t LoadIdx,
+                      const std::vector<const ApNode *> &Patterns) {
+  BdhClass C;
+  if (Patterns.empty())
+    return C;
+  const ApNode *P = Patterns.front();
+
+  const ApNode *Base = nullptr;
+  int32_t Off = 0;
+  splitConstOff(P, Base, Off);
+  BaseTerm Term = findBaseTerm(Base ? Base : P);
+
+  bool Scaled = hasMulOrShift(P);
+  std::optional<ResolvedAccess> Resolved;
+
+  switch (Term.Kind) {
+  case BaseTermKind::GlobalSym: {
+    C.Region = 'G';
+    uint32_t Within = static_cast<uint32_t>(Term.Node->Value + Off);
+    Resolved = M.typeInfo().resolveGlobal(Term.Node->Sym, Within);
+    break;
+  }
+  case BaseTermKind::Gp:
+    C.Region = 'G';
+    break;
+  case BaseTermKind::Sp: {
+    C.Region = 'S';
+    // Patterns measure offsets from the entry $sp; translate to the
+    // post-prologue frame the symbol table describes.
+    int32_t SlotOff = Off + prologueAdjust(F);
+    if (const FunctionTypeInfo *FTI = M.typeInfo().lookupFunction(F.name()))
+      Resolved = FTI->resolve(SlotOff);
+    break;
+  }
+  case BaseTermKind::Deref:
+  case BaseTermKind::Param:
+  case BaseTermKind::Ret:
+    // Pointer-derived addresses: statically assumed heap (malloc results
+    // arrive through $v0; loaded pointers overwhelmingly point into the
+    // heap; pointer parameters are treated as heap, as the paper notes
+    // these are exactly the hard cases for a static classifier).
+    C.Region = 'H';
+    break;
+  case BaseTermKind::Unknown:
+    C.Region = 'H';
+    break;
+  }
+
+  if (Resolved) {
+    switch (Resolved->Kind) {
+    case VarKind::Scalar:
+      C.Kind = 'S';
+      break;
+    case VarKind::Array:
+      C.Kind = 'A';
+      break;
+    case VarKind::StructObj:
+      C.Kind = 'F';
+      break;
+    }
+    C.Type = Resolved->IsPointer ? 'P' : 'N';
+    // A scaled access into a declared array stays A even if the type info
+    // said the resolved byte is a scalar field.
+    if (Scaled && C.Kind == 'S')
+      C.Kind = 'A';
+    return C;
+  }
+
+  // No symbol-table answer. Undeclared stack slots (spills, saved
+  // registers) are anonymous scalars; for heap addresses a scaled index
+  // means an array element and a displacement means a field.
+  if (Scaled)
+    C.Kind = 'A';
+  else if (Off != 0 && C.Region == 'H')
+    C.Kind = 'F';
+  else
+    C.Kind = 'S';
+  C.Type = valueUsedAsAddress(M, F, LoadIdx) ? 'P' : 'N';
+  return C;
+}
+
+} // namespace
+
+BdhAnalyzer::BdhAnalyzer(const classify::ModuleAnalysis &MA) {
+  const Module &M = MA.module();
+  for (const auto &[Ref, Patterns] : MA.loadPatterns()) {
+    const Function &F = M.functions()[Ref.FuncIdx];
+    Classes[Ref] = classifyLoad(M, F, Ref.InstrIdx, Patterns);
+  }
+}
+
+std::set<InstrRef>
+BdhAnalyzer::delinquentSet(const std::set<std::string> &Selected) const {
+  std::set<InstrRef> Delta;
+  for (const auto &[Ref, Class] : Classes)
+    if (Selected.count(Class.str()))
+      Delta.insert(Ref);
+  return Delta;
+}

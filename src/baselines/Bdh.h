@@ -1,0 +1,75 @@
+//===- baselines/Bdh.h - static Burtscher/Diwan/Hauswirth baseline -------------//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static BDH classification of Section 8.5. Every load gets a
+/// three-letter class:
+///
+///   region: G (global data), S (stack), H (heap)
+///   kind:   S (scalar), A (array element), F (struct field)
+///   type:   P (the loaded value is a pointer), N (non-pointer)
+///
+/// following the paper's static reconstruction: base register / address
+/// pattern decides the region ($sp => S, $gp / `la` of a data symbol => G,
+/// malloc-derived or loaded-pointer bases => H); the symbol table (our
+/// ModuleTypeInfo) decides kind and type for stack and global accesses; for
+/// heap accesses, scaled indices mean A, non-zero displacements mean F, and
+/// a loaded value that later serves as an address base is deemed a pointer.
+///
+/// The predicted-delinquent set is the union of the classes the BDH paper
+/// recommends: GAN, HSN, HFN, HAN, HFP, HAP.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_BASELINES_BDH_H
+#define DLQ_BASELINES_BDH_H
+
+#include "classify/Delinquency.h"
+#include "masm/Module.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace dlq {
+namespace baselines {
+
+/// One load's BDH class.
+struct BdhClass {
+  char Region = 'S';
+  char Kind = 'S';
+  char Type = 'N';
+
+  std::string str() const { return std::string{Region, Kind, Type}; }
+};
+
+/// The six classes the BDH heuristic selects.
+const std::set<std::string> &bdhSelectedClasses();
+
+/// Static BDH classifier over a whole module.
+class BdhAnalyzer {
+public:
+  /// \p MA supplies the address patterns; \p M supplies the symbol-table
+  /// type metadata (must be the analysis' module).
+  explicit BdhAnalyzer(const classify::ModuleAnalysis &MA);
+
+  /// Per-load classes.
+  const std::map<masm::InstrRef, BdhClass> &classes() const { return Classes; }
+
+  /// Loads in any of \p Selected (defaults to the paper's six classes).
+  std::set<masm::InstrRef>
+  delinquentSet(const std::set<std::string> &Selected = bdhSelectedClasses())
+      const;
+
+private:
+  std::map<masm::InstrRef, BdhClass> Classes;
+};
+
+} // namespace baselines
+} // namespace dlq
+
+#endif // DLQ_BASELINES_BDH_H

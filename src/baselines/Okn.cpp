@@ -1,0 +1,35 @@
+//===- baselines/Okn.cpp -------------------------------------------------------//
+
+#include "baselines/Okn.h"
+
+using namespace dlq;
+using namespace dlq::baselines;
+using namespace dlq::ap;
+
+OknClass baselines::oknClassOf(const std::vector<const ApNode *> &Patterns) {
+  bool AnyStride = false;
+  for (const ApNode *N : Patterns) {
+    if (derefDepth(N) >= 1)
+      return OknClass::PointerDeref;
+    if (hasRecurrence(N) || hasMulOrShift(N))
+      AnyStride = true;
+  }
+  return AnyStride ? OknClass::Strided : OknClass::Other;
+}
+
+std::map<masm::InstrRef, OknClass>
+baselines::oknClassify(const classify::ModuleAnalysis &MA) {
+  std::map<masm::InstrRef, OknClass> Result;
+  for (const auto &[Ref, Pats] : MA.loadPatterns())
+    Result[Ref] = oknClassOf(Pats);
+  return Result;
+}
+
+std::set<masm::InstrRef>
+baselines::oknDelinquentSet(const classify::ModuleAnalysis &MA) {
+  std::set<masm::InstrRef> Delta;
+  for (const auto &[Ref, Class] : oknClassify(MA))
+    if (Class != OknClass::Other)
+      Delta.insert(Ref);
+  return Delta;
+}

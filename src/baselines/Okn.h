@@ -1,0 +1,53 @@
+//===- baselines/Okn.h - Ozawa/Kimura/Nishizaki baseline -----------------------//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The OKN method (Section 2 / Table 12): three simple heuristics classify
+/// each load as a pointer-dereferencing reference, a strided reference, or
+/// neither; the first two categories are predicted delinquent. The paper
+/// reports the OKN method selecting 30-60% of all loads while covering
+/// roughly as many misses as the proposed heuristic — the comparison point
+/// that motivates the much more precise AG-class scheme.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_BASELINES_OKN_H
+#define DLQ_BASELINES_OKN_H
+
+#include "classify/Delinquency.h"
+#include "masm/Module.h"
+
+#include <map>
+#include <set>
+
+namespace dlq {
+namespace baselines {
+
+/// OKN load categories.
+enum class OknClass {
+  PointerDeref, ///< The address depends on a value loaded from memory.
+  Strided,      ///< The address advances by an induction (recurrence) or a
+                ///< scaled index (mul/shift).
+  Other,
+};
+
+/// Classifies one load from its address patterns (any pattern voting for a
+/// category is enough; pointer-dereference takes precedence).
+OknClass oknClassOf(const std::vector<const ap::ApNode *> &Patterns);
+
+/// All loads OKN predicts delinquent: PointerDeref and Strided classes.
+std::set<masm::InstrRef>
+oknDelinquentSet(const classify::ModuleAnalysis &MA);
+
+/// Per-load OKN classes for reporting.
+std::map<masm::InstrRef, OknClass>
+oknClassify(const classify::ModuleAnalysis &MA);
+
+} // namespace baselines
+} // namespace dlq
+
+#endif // DLQ_BASELINES_OKN_H

@@ -1,0 +1,222 @@
+//===- cfg/Cfg.cpp --------------------------------------------------------==//
+
+#include "cfg/Cfg.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace dlq;
+using namespace dlq::cfg;
+using namespace dlq::masm;
+
+//===----------------------------------------------------------------------===//
+// Cfg construction
+//===----------------------------------------------------------------------===//
+
+Cfg::Cfg(const masm::Function &Fn) : F(Fn) {
+  const std::vector<Instr> &Body = F.instrs();
+  uint32_t N = static_cast<uint32_t>(Body.size());
+  InstrToBlock.assign(N, 0);
+  if (N == 0)
+    return;
+
+  // Leaders: index 0, every branch target, every fall-through successor of a
+  // control transfer.
+  std::set<uint32_t> Leaders;
+  Leaders.insert(0);
+  for (uint32_t Idx = 0; Idx != N; ++Idx) {
+    const Instr &I = Body[Idx];
+    if (!I.endsBlock())
+      continue;
+    if ((isCondBranch(I.Op) || I.Op == Opcode::J) &&
+        I.TargetIndex != InvalidIndex)
+      Leaders.insert(I.TargetIndex);
+    if (Idx + 1 < N)
+      Leaders.insert(Idx + 1);
+  }
+
+  // Materialize blocks.
+  std::vector<uint32_t> LeaderList(Leaders.begin(), Leaders.end());
+  for (size_t BI = 0; BI != LeaderList.size(); ++BI) {
+    BasicBlock B;
+    B.Begin = LeaderList[BI];
+    B.End = (BI + 1 == LeaderList.size()) ? N : LeaderList[BI + 1];
+    Blocks.push_back(std::move(B));
+  }
+  for (uint32_t BId = 0; BId != Blocks.size(); ++BId)
+    for (uint32_t Idx = Blocks[BId].Begin; Idx != Blocks[BId].End; ++Idx)
+      InstrToBlock[Idx] = BId;
+
+  // Edges. A call (jal/jalr) falls through; jr ends the function path.
+  for (uint32_t BId = 0; BId != Blocks.size(); ++BId) {
+    BasicBlock &B = Blocks[BId];
+    const Instr &Last = Body[B.End - 1];
+    auto addEdge = [&](uint32_t ToInstr) {
+      uint32_t To = InstrToBlock[ToInstr];
+      B.Succs.push_back(To);
+      Blocks[To].Preds.push_back(BId);
+    };
+
+    if (isCondBranch(Last.Op)) {
+      assert(Last.TargetIndex != InvalidIndex && "unresolved branch");
+      addEdge(Last.TargetIndex);
+      if (B.End < N)
+        addEdge(B.End);
+    } else if (Last.Op == Opcode::J) {
+      assert(Last.TargetIndex != InvalidIndex && "unresolved jump");
+      addEdge(Last.TargetIndex);
+    } else if (Last.Op == Opcode::Jr || Last.Op == Opcode::Jalr) {
+      // jr exits the function. jalr is a call and falls through.
+      if (Last.Op == Opcode::Jalr && B.End < N)
+        addEdge(B.End);
+    } else {
+      // Plain instruction or jal (call): falls through if not at the end.
+      if (B.End < N)
+        addEdge(B.End);
+    }
+  }
+
+  // Deduplicate edges (a conditional branch to the fall-through block).
+  for (BasicBlock &B : Blocks) {
+    auto dedup = [](std::vector<uint32_t> &V) {
+      std::sort(V.begin(), V.end());
+      V.erase(std::unique(V.begin(), V.end()), V.end());
+    };
+    dedup(B.Succs);
+    dedup(B.Preds);
+  }
+}
+
+std::string Cfg::dump() const {
+  std::string Out;
+  for (uint32_t BId = 0; BId != Blocks.size(); ++BId) {
+    const BasicBlock &B = Blocks[BId];
+    Out += formatString("B%u [%u,%u) ->", BId, B.Begin, B.End);
+    for (uint32_t S : B.Succs)
+      Out += formatString(" B%u", S);
+    Out += "\n";
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// DominatorTree
+//===----------------------------------------------------------------------===//
+
+DominatorTree::DominatorTree(const Cfg &G) {
+  uint32_t N = static_cast<uint32_t>(G.numBlocks());
+  Idom.assign(N, InvalidIndex);
+  if (N == 0)
+    return;
+
+  // Reverse postorder over the CFG.
+  std::vector<uint32_t> Order;
+  std::vector<uint8_t> Seen(N, 0);
+  std::vector<std::pair<uint32_t, size_t>> Stack;
+  Stack.push_back({G.entry(), 0});
+  Seen[G.entry()] = 1;
+  while (!Stack.empty()) {
+    auto &[B, Next] = Stack.back();
+    const std::vector<uint32_t> &Succs = G.blocks()[B].Succs;
+    if (Next < Succs.size()) {
+      uint32_t S = Succs[Next++];
+      if (!Seen[S]) {
+        Seen[S] = 1;
+        Stack.push_back({S, 0});
+      }
+      continue;
+    }
+    Order.push_back(B);
+    Stack.pop_back();
+  }
+  std::reverse(Order.begin(), Order.end());
+
+  std::vector<uint32_t> RpoNum(N, InvalidIndex);
+  for (uint32_t I = 0; I != Order.size(); ++I)
+    RpoNum[Order[I]] = I;
+
+  // Cooper-Harvey-Kennedy iterative algorithm.
+  auto intersect = [&](uint32_t A, uint32_t B) {
+    while (A != B) {
+      while (RpoNum[A] > RpoNum[B])
+        A = Idom[A];
+      while (RpoNum[B] > RpoNum[A])
+        B = Idom[B];
+    }
+    return A;
+  };
+
+  Idom[G.entry()] = G.entry();
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t B : Order) {
+      if (B == G.entry())
+        continue;
+      uint32_t NewIdom = InvalidIndex;
+      for (uint32_t P : G.blocks()[B].Preds) {
+        if (Idom[P] == InvalidIndex || RpoNum[P] == InvalidIndex)
+          continue; // Unreachable or not yet processed.
+        NewIdom = (NewIdom == InvalidIndex) ? P : intersect(P, NewIdom);
+      }
+      if (NewIdom != InvalidIndex && Idom[B] != NewIdom) {
+        Idom[B] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool DominatorTree::dominates(uint32_t A, uint32_t B) const {
+  // Walk B's idom chain up to the entry.
+  while (true) {
+    if (A == B)
+      return true;
+    if (Idom[B] == InvalidIndex || Idom[B] == B)
+      return A == B;
+    B = Idom[B];
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// LoopInfo
+//===----------------------------------------------------------------------===//
+
+bool Loop::contains(uint32_t B) const {
+  return std::binary_search(Blocks.begin(), Blocks.end(), B);
+}
+
+LoopInfo::LoopInfo(const Cfg &G, const DominatorTree &DT) {
+  uint32_t N = static_cast<uint32_t>(G.numBlocks());
+  Depth.assign(N, 0);
+
+  for (uint32_t B = 0; B != N; ++B) {
+    for (uint32_t S : G.blocks()[B].Succs) {
+      if (!DT.dominates(S, B))
+        continue;
+      // Back edge B -> S: collect the natural loop body.
+      Loop L;
+      L.Header = S;
+      std::set<uint32_t> Body{S, B};
+      std::vector<uint32_t> Work{B};
+      while (!Work.empty()) {
+        uint32_t Cur = Work.back();
+        Work.pop_back();
+        if (Cur == S)
+          continue;
+        for (uint32_t P : G.blocks()[Cur].Preds)
+          if (Body.insert(P).second)
+            Work.push_back(P);
+      }
+      L.Blocks.assign(Body.begin(), Body.end());
+      Loops.push_back(std::move(L));
+    }
+  }
+
+  for (const Loop &L : Loops)
+    for (uint32_t B : L.Blocks)
+      ++Depth[B];
+}

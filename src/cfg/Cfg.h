@@ -1,0 +1,105 @@
+//===- cfg/Cfg.h - Control-flow graph reconstruction ----------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reconstructs the control-flow graph of a function from its linear
+/// instruction stream, exactly as the paper does after disassembling the
+/// binary: leaders are branch targets and fall-throughs of control transfers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_CFG_CFG_H
+#define DLQ_CFG_CFG_H
+
+#include "masm/Module.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dlq {
+namespace cfg {
+
+/// One basic block: the half-open instruction index range [Begin, End).
+struct BasicBlock {
+  uint32_t Begin = 0;
+  uint32_t End = 0;
+  std::vector<uint32_t> Succs; ///< Successor block ids.
+  std::vector<uint32_t> Preds; ///< Predecessor block ids.
+
+  uint32_t size() const { return End - Begin; }
+};
+
+/// The control-flow graph of one function.
+class Cfg {
+public:
+  /// Builds the CFG of \p F (branch targets must be resolved).
+  explicit Cfg(const masm::Function &F);
+
+  const masm::Function &function() const { return F; }
+  const std::vector<BasicBlock> &blocks() const { return Blocks; }
+  size_t numBlocks() const { return Blocks.size(); }
+
+  /// Block id containing instruction index \p InstrIdx.
+  uint32_t blockOf(uint32_t InstrIdx) const {
+    return InstrToBlock[InstrIdx];
+  }
+
+  /// Entry block id (always 0 for nonempty functions).
+  uint32_t entry() const { return 0; }
+
+  /// Renders "B0 [0,3) -> B1 B2" lines for debugging and tests.
+  std::string dump() const;
+
+private:
+  const masm::Function &F;
+  std::vector<BasicBlock> Blocks;
+  std::vector<uint32_t> InstrToBlock;
+};
+
+/// Dominator tree over a Cfg (iterative dataflow formulation).
+class DominatorTree {
+public:
+  explicit DominatorTree(const Cfg &G);
+
+  /// Immediate dominator of block \p B; the entry block's idom is itself.
+  uint32_t idom(uint32_t B) const { return Idom[B]; }
+
+  /// True if block \p A dominates block \p B.
+  bool dominates(uint32_t A, uint32_t B) const;
+
+private:
+  std::vector<uint32_t> Idom;
+};
+
+/// One natural loop discovered from a back edge.
+struct Loop {
+  uint32_t Header = 0;
+  std::vector<uint32_t> Blocks; ///< Sorted block ids, including the header.
+
+  bool contains(uint32_t B) const;
+};
+
+/// Natural loops of a Cfg, from back edges T->H where H dominates T.
+class LoopInfo {
+public:
+  LoopInfo(const Cfg &G, const DominatorTree &DT);
+
+  const std::vector<Loop> &loops() const { return Loops; }
+
+  /// Loop nesting depth of block \p B (0 = not in any loop).
+  unsigned depth(uint32_t B) const { return Depth[B]; }
+
+private:
+  std::vector<Loop> Loops;
+  std::vector<unsigned> Depth;
+};
+
+} // namespace cfg
+} // namespace dlq
+
+#endif // DLQ_CFG_CFG_H

@@ -1,0 +1,52 @@
+//===- classify/Delinquency.cpp ----------------------------------------------//
+
+#include "classify/Delinquency.h"
+
+#include "cfg/Cfg.h"
+#include "dataflow/ReachingDefs.h"
+
+using namespace dlq;
+using namespace dlq::classify;
+using namespace dlq::masm;
+
+ModuleAnalysis::ModuleAnalysis(const Module &Mod,
+                               ap::ApBuilderOptions Options)
+    : M(Mod) {
+  for (uint32_t FI = 0; FI != M.functions().size(); ++FI) {
+    const Function &F = M.functions()[FI];
+    if (F.empty())
+      continue;
+    cfg::Cfg G(F);
+    dataflow::ReachingDefs RD(G);
+    ap::ApBuilder Builder(A, F, G, RD, Options);
+    for (uint32_t Idx = 0; Idx != F.size(); ++Idx)
+      if (isLoad(F.instrs()[Idx].Op))
+        Patterns[InstrRef{FI, Idx}] = Builder.buildForLoad(Idx);
+  }
+}
+
+std::map<InstrRef, double>
+ModuleAnalysis::scores(const HeuristicOptions &Opts,
+                       const ExecCountMap *ExecCounts) const {
+  std::map<InstrRef, double> Result;
+  for (const auto &[Ref, Pats] : Patterns) {
+    FreqClass Freq = FreqClass::Fair;
+    if (Opts.UseFreqClasses && ExecCounts) {
+      auto It = ExecCounts->find(Ref);
+      uint64_t Execs = It == ExecCounts->end() ? 0 : It->second;
+      Freq = freqClassOf(Execs, Opts);
+    }
+    Result[Ref] = phi(Pats, Freq, Opts);
+  }
+  return Result;
+}
+
+std::set<InstrRef>
+ModuleAnalysis::delinquentSet(const HeuristicOptions &Opts,
+                              const ExecCountMap *ExecCounts) const {
+  std::set<InstrRef> Delta;
+  for (const auto &[Ref, Phi] : scores(Opts, ExecCounts))
+    if (isPossiblyDelinquent(Phi, Opts))
+      Delta.insert(Ref);
+  return Delta;
+}

@@ -1,0 +1,73 @@
+//===- classify/Delinquency.h - Whole-module heuristic driver ---------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs the full static pipeline over a module: CFG reconstruction, reaching
+/// definitions, address-pattern construction for every load, and the phi
+/// scoring that yields the possibly-delinquent set Delta_H. Execution counts
+/// (for the H5 frequency classes) are optional; without them the heuristic
+/// runs in its fully static AG1..AG7 form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_CLASSIFY_DELINQUENCY_H
+#define DLQ_CLASSIFY_DELINQUENCY_H
+
+#include "ap/Builder.h"
+#include "classify/Heuristic.h"
+#include "masm/Module.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace dlq {
+namespace classify {
+
+/// Per-load execution counts (from basic-block profiling); loads absent from
+/// the map are treated as never executed.
+using ExecCountMap = std::map<masm::InstrRef, uint64_t>;
+
+/// Static analysis results for a whole module. Construction performs all the
+/// static work once; scoring with different options is then cheap (this is
+/// how the delta/weight sweeps of Tables 11 and 13 reuse one analysis).
+class ModuleAnalysis {
+public:
+  explicit ModuleAnalysis(const masm::Module &M,
+                          ap::ApBuilderOptions Options = ap::ApBuilderOptions());
+
+  ModuleAnalysis(const ModuleAnalysis &) = delete;
+  ModuleAnalysis &operator=(const ModuleAnalysis &) = delete;
+
+  const masm::Module &module() const { return M; }
+
+  /// Address patterns of every load in the module.
+  const std::map<masm::InstrRef, std::vector<const ap::ApNode *>> &
+  loadPatterns() const {
+    return Patterns;
+  }
+
+  /// phi score of every load. \p ExecCounts may be null when
+  /// Opts.UseFreqClasses is false.
+  std::map<masm::InstrRef, double>
+  scores(const HeuristicOptions &Opts, const ExecCountMap *ExecCounts) const;
+
+  /// The possibly-delinquent set Delta_H = { i : phi(i) > delta }.
+  std::set<masm::InstrRef>
+  delinquentSet(const HeuristicOptions &Opts,
+                const ExecCountMap *ExecCounts) const;
+
+private:
+  const masm::Module &M;
+  Arena A;
+  std::map<masm::InstrRef, std::vector<const ap::ApNode *>> Patterns;
+};
+
+} // namespace classify
+} // namespace dlq
+
+#endif // DLQ_CLASSIFY_DELINQUENCY_H

@@ -1,0 +1,92 @@
+//===- classify/Heuristic.cpp -----------------------------------------------==//
+
+#include "classify/Heuristic.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dlq;
+using namespace dlq::classify;
+using namespace dlq::ap;
+
+std::string_view classify::aggClassName(AggClass K) {
+  static constexpr std::string_view Names[NumAggClasses] = {
+      "AG1", "AG2", "AG3", "AG4", "AG5", "AG6", "AG7", "AG8", "AG9"};
+  return Names[static_cast<unsigned>(K)];
+}
+
+std::string_view classify::aggClassFeature(AggClass K) {
+  static constexpr std::string_view Features[NumAggClasses] = {
+      "sp, gp",
+      "sp more than 2 times",
+      "multiplication/shifts",
+      "dereferenced once",
+      "dereferenced twice",
+      "dereferenced thrice",
+      "recurrent",
+      "seldom executed",
+      "rarely executed"};
+  return Features[static_cast<unsigned>(K)];
+}
+
+FreqClass classify::freqClassOf(uint64_t ExecCount,
+                                const HeuristicOptions &Opts) {
+  if (ExecCount < Opts.RareBelow)
+    return FreqClass::Rare;
+  if (ExecCount < Opts.SeldomBelow)
+    return FreqClass::Seldom;
+  return FreqClass::Fair;
+}
+
+bool classify::patternInClass(const ApNode *N, AggClass K) {
+  switch (K) {
+  case AggClass::AG1: {
+    BaseRegCounts C = countBaseRegs(N);
+    return C.Sp >= 1 && C.Gp >= 1;
+  }
+  case AggClass::AG2: {
+    BaseRegCounts C = countBaseRegs(N);
+    return C.Sp >= 2 && C.Gp == 0;
+  }
+  case AggClass::AG3:
+    return hasMulOrShift(N);
+  case AggClass::AG4:
+    return derefDepth(N) == 1;
+  case AggClass::AG5:
+    return derefDepth(N) == 2;
+  case AggClass::AG6:
+    return derefDepth(N) >= 3;
+  case AggClass::AG7:
+    return hasRecurrence(N);
+  case AggClass::AG8:
+  case AggClass::AG9:
+    return false; // Frequency classes are per-load, not per-pattern.
+  }
+  return false;
+}
+
+double classify::scorePattern(const ApNode *N, FreqClass Freq,
+                              const HeuristicOptions &Opts) {
+  double Score = 0;
+  for (unsigned K = 0; K != 7; ++K) {
+    AggClass C = static_cast<AggClass>(K);
+    if (patternInClass(N, C))
+      Score += Opts.Weights.of(C);
+  }
+  if (Opts.UseFreqClasses) {
+    if (Freq == FreqClass::Seldom)
+      Score += Opts.Weights.of(AggClass::AG8);
+    else if (Freq == FreqClass::Rare)
+      Score += Opts.Weights.of(AggClass::AG9);
+  }
+  return Score;
+}
+
+double classify::phi(const std::vector<const ApNode *> &Patterns,
+                     FreqClass Freq, const HeuristicOptions &Opts) {
+  // A load with no pattern (should not happen) scores below any threshold.
+  double Best = -1e9;
+  for (const ApNode *N : Patterns)
+    Best = std::max(Best, scorePattern(N, Freq, Opts));
+  return Patterns.empty() ? -1e9 : Best;
+}

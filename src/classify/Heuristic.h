@@ -1,0 +1,117 @@
+//===- classify/Heuristic.h - AG classes, weights, phi ----------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's heuristic (Section 7.3): nine aggregate classes AG1..AG9 with
+/// weights (Table 5), the per-pattern membership function d(j,k), the score
+///
+///   phi(i) = max over patterns j of sum_k W(k) * d(j,k)
+///
+/// and the delinquency threshold delta (default 0.10): a load is "possibly
+/// delinquent" when phi(i) > delta.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_CLASSIFY_HEURISTIC_H
+#define DLQ_CLASSIFY_HEURISTIC_H
+
+#include "ap/Pattern.h"
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace dlq {
+namespace classify {
+
+/// The aggregate classes of Section 7.3 / Table 5.
+enum class AggClass : uint8_t {
+  AG1, ///< sp and gp both used at least once (criterion H1).
+  AG2, ///< only sp used, two times or more (criterion H1).
+  AG3, ///< multiplication or shift present (criterion H2).
+  AG4, ///< one level of dereferencing (criterion H3).
+  AG5, ///< two levels of dereferencing (criterion H3).
+  AG6, ///< three or more levels of dereferencing (criterion H3).
+  AG7, ///< recurrence present (criterion H4).
+  AG8, ///< seldom executed: 100..999 executions (criterion H5).
+  AG9, ///< rarely executed: < 100 executions (criterion H5).
+};
+
+constexpr unsigned NumAggClasses = 9;
+
+/// Short name, e.g. "AG3".
+std::string_view aggClassName(AggClass K);
+
+/// Table 5 feature description, e.g. "multiplication/shifts".
+std::string_view aggClassFeature(AggClass K);
+
+/// Class weights. Defaults are the paper's Table 5 values; the trainer
+/// (Trainer.h) can derive a fresh set from simulation data.
+struct HeuristicWeights {
+  std::array<double, NumAggClasses> W = {
+      +0.28, // AG1: sp, gp
+      +0.33, // AG2: sp more than 2 times
+      +0.47, // AG3: multiplication / shifts
+      +0.16, // AG4: dereferenced once
+      +0.67, // AG5: dereferenced twice
+      +1.72, // AG6: dereferenced thrice
+      +0.10, // AG7: recurrent
+      -0.20, // AG8: seldom executed
+      -0.40, // AG9: rarely executed
+  };
+
+  double of(AggClass K) const { return W[static_cast<unsigned>(K)]; }
+  double &of(AggClass K) { return W[static_cast<unsigned>(K)]; }
+
+  static HeuristicWeights paperTable5() { return HeuristicWeights(); }
+};
+
+/// Execution-frequency class of a load (criterion H5).
+enum class FreqClass : uint8_t {
+  Rare,    ///< < RareBelow executions (AG9).
+  Seldom,  ///< [RareBelow, SeldomBelow) executions (AG8).
+  Fair,    ///< Everything else; carries no weight.
+  Hotspot, ///< Used only by the Section 9 profiling filter.
+};
+
+/// Heuristic knobs.
+struct HeuristicOptions {
+  double Delta = 0.10;
+  HeuristicWeights Weights;
+  /// When false, AG8/AG9 are not applied (the "without AG8 and AG9" columns
+  /// of Table 11; the heuristic then needs no profile at all).
+  bool UseFreqClasses = true;
+  uint64_t RareBelow = 100;
+  uint64_t SeldomBelow = 1000;
+
+  HeuristicOptions() {}
+};
+
+/// Maps an execution count to its H5 class.
+FreqClass freqClassOf(uint64_t ExecCount, const HeuristicOptions &Opts);
+
+/// d(j,k) for the structural classes AG1..AG7 of pattern \p N.
+bool patternInClass(const ap::ApNode *N, AggClass K);
+
+/// Weighted class-membership sum of one pattern, including the frequency
+/// classes when enabled.
+double scorePattern(const ap::ApNode *N, FreqClass Freq,
+                    const HeuristicOptions &Opts);
+
+/// phi(i): maximum pattern score over the load's pattern set.
+double phi(const std::vector<const ap::ApNode *> &Patterns, FreqClass Freq,
+           const HeuristicOptions &Opts);
+
+/// The classification decision: phi(i) > delta.
+inline bool isPossiblyDelinquent(double Phi, const HeuristicOptions &Opts) {
+  return Phi > Opts.Delta;
+}
+
+} // namespace classify
+} // namespace dlq
+
+#endif // DLQ_CLASSIFY_HEURISTIC_H

@@ -1,0 +1,192 @@
+//===- classify/Trainer.cpp --------------------------------------------------//
+
+#include "classify/Trainer.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace dlq;
+using namespace dlq::classify;
+
+void ClassTrainer::addObservation(BenchmarkObservation Obs) {
+  Observations.push_back(std::move(Obs));
+}
+
+const BenchmarkObservation *
+ClassTrainer::find(const std::string &Bench) const {
+  for (const BenchmarkObservation &Obs : Observations)
+    if (Obs.Name == Bench)
+      return &Obs;
+  return nullptr;
+}
+
+std::vector<std::string> ClassTrainer::allLabels() const {
+  std::set<std::string> Labels;
+  for (const BenchmarkObservation &Obs : Observations)
+    for (const auto &[Label, Stats] : Obs.PerClass)
+      Labels.insert(Label);
+  return std::vector<std::string>(Labels.begin(), Labels.end());
+}
+
+double ClassTrainer::missProb(const std::string &Label,
+                              const std::string &Bench) const {
+  const BenchmarkObservation *Obs = find(Bench);
+  if (!Obs)
+    return 0;
+  auto It = Obs->PerClass.find(Label);
+  if (It == Obs->PerClass.end() || It->second.Execs == 0)
+    return 0;
+  return static_cast<double>(It->second.Misses) /
+         static_cast<double>(It->second.Execs);
+}
+
+double ClassTrainer::missShare(const std::string &Label,
+                               const std::string &Bench) const {
+  const BenchmarkObservation *Obs = find(Bench);
+  if (!Obs || Obs->TotalMisses == 0)
+    return 0;
+  auto It = Obs->PerClass.find(Label);
+  if (It == Obs->PerClass.end())
+    return 0;
+  return static_cast<double>(It->second.Misses) /
+         static_cast<double>(Obs->TotalMisses);
+}
+
+bool ClassTrainer::isRelevant(const std::string &Label,
+                              const std::string &Bench) const {
+  const BenchmarkObservation *Obs = find(Bench);
+  if (!Obs)
+    return false;
+  auto It = Obs->PerClass.find(Label);
+  if (It == Obs->PerClass.end() || It->second.Execs == 0)
+    return false;
+  return missProb(Label, Bench) >= Thresholds.MinMissProb ||
+         missShare(Label, Bench) >= Thresholds.MinMissShare;
+}
+
+ClassNature ClassTrainer::natureOf(const std::string &Label) const {
+  constexpr double StrengthFloor = 1.0 / 20.0;
+  constexpr double NegativeShareCeiling = 0.005;
+
+  bool NegativeEverywhere = true;
+  bool AnyRelevant = false;
+  bool AllRelevantStrong = true;
+
+  for (const BenchmarkObservation &Obs : Observations) {
+    double Share = missShare(Label, Obs.Name);
+    if (Share >= NegativeShareCeiling)
+      NegativeEverywhere = false;
+    if (!isRelevant(Label, Obs.Name))
+      continue;
+    AnyRelevant = true;
+    double Prob = missProb(Label, Obs.Name);
+    double R = Share > 0 ? Prob / Share : 0;
+    if (R < StrengthFloor)
+      AllRelevantStrong = false;
+  }
+
+  if (NegativeEverywhere)
+    return ClassNature::Negative;
+  if (AnyRelevant && AllRelevantStrong)
+    return ClassNature::Positive;
+  return ClassNature::Neutral;
+}
+
+double ClassTrainer::positiveWeight(const std::string &Label) const {
+  double Sum = 0;
+  unsigned Count = 0;
+  for (const BenchmarkObservation &Obs : Observations) {
+    if (!isRelevant(Label, Obs.Name))
+      continue;
+    double Share = missShare(Label, Obs.Name);
+    if (Share <= 0)
+      continue;
+    Sum += missProb(Label, Obs.Name) / Share;
+    ++Count;
+  }
+  return Count == 0 ? 0 : Sum / Count;
+}
+
+std::vector<ClassReport> ClassTrainer::reportAll() const {
+  std::vector<ClassReport> Reports;
+  for (const std::string &Label : allLabels()) {
+    ClassReport Rep;
+    Rep.Label = Label;
+    for (const BenchmarkObservation &Obs : Observations) {
+      auto It = Obs.PerClass.find(Label);
+      if (It != Obs.PerClass.end() && It->second.Execs != 0)
+        ++Rep.FoundIn;
+      if (isRelevant(Label, Obs.Name))
+        ++Rep.RelevantIn;
+    }
+    Rep.Nature = natureOf(Label);
+    Rep.Weight =
+        Rep.Nature == ClassNature::Positive ? positiveWeight(Label) : 0;
+    Reports.push_back(std::move(Rep));
+  }
+  return Reports;
+}
+
+double ClassTrainer::negativeBaseWeight() const {
+  std::vector<double> Positives;
+  for (const ClassReport &Rep : reportAll())
+    if (Rep.Nature == ClassNature::Positive && Rep.Weight > 0)
+      Positives.push_back(Rep.Weight);
+  if (Positives.empty())
+    return -0.40; // Fall back to the paper's value.
+  std::sort(Positives.begin(), Positives.end());
+  double Sum = 0;
+  unsigned Count = 0;
+  // Drop the single lowest and highest weight, as the paper describes.
+  size_t Begin = Positives.size() > 2 ? 1 : 0;
+  size_t End = Positives.size() > 2 ? Positives.size() - 1 : Positives.size();
+  for (size_t I = Begin; I != End; ++I) {
+    Sum += Positives[I];
+    ++Count;
+  }
+  return Count == 0 ? -0.40 : -(Sum / Count);
+}
+
+HeuristicWeights ClassTrainer::deriveWeights() const {
+  HeuristicWeights W;
+  for (unsigned K = 0; K != 7; ++K) {
+    AggClass C = static_cast<AggClass>(K);
+    std::string Label(aggClassName(C));
+    double Weight = natureOf(Label) == ClassNature::Positive
+                        ? positiveWeight(Label)
+                        : 0;
+    W.of(C) = Weight;
+  }
+  double NegBase = negativeBaseWeight();
+  W.of(AggClass::AG9) = NegBase;
+  W.of(AggClass::AG8) = NegBase / 2;
+  return W;
+}
+
+std::string classify::h1ClassLabel(const ap::ApNode *N) {
+  ap::BaseRegCounts C = ap::countBaseRegs(N);
+  if (C.Sp == 0 && C.Gp == 0)
+    return "other";
+  std::string Label;
+  if (C.Sp != 0)
+    Label += formatString("sp=%u", C.Sp);
+  if (C.Gp != 0) {
+    if (!Label.empty())
+      Label += ",";
+    Label += formatString("gp=%u", C.Gp);
+  }
+  return Label;
+}
+
+std::vector<std::string> classify::aggClassLabels(const ap::ApNode *N) {
+  std::vector<std::string> Labels;
+  for (unsigned K = 0; K != 7; ++K) {
+    AggClass C = static_cast<AggClass>(K);
+    if (patternInClass(N, C))
+      Labels.emplace_back(aggClassName(C));
+  }
+  return Labels;
+}

@@ -1,0 +1,133 @@
+//===- classify/Trainer.h - Weight derivation from profiles -----------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The training machinery of Section 7: given, for every class F of a
+/// decision criterion and every training benchmark j, the dynamic execution
+/// and miss counts of the class members, compute
+///
+///   m_j(F,C) = M(F,C) / sum_{i in F} E(i)      (miss probability)
+///   n_j(F,C) = M(F,C) / M(P(I),C)              (share of all misses)
+///   r        = m_j / n_j                        (strength index)
+///
+/// and classify each class as positive (r >= 1/20 in every relevant
+/// benchmark), negative (n_j < 0.5% everywhere) or neutral. Positive-class
+/// weights are W(F) = mean over relevant benchmarks of m_j/n_j; negative
+/// classes get minus the mean of the positive weights with the extremes
+/// dropped (halved for the "seldom" class), as described in Section 7.3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_CLASSIFY_TRAINER_H
+#define DLQ_CLASSIFY_TRAINER_H
+
+#include "ap/Pattern.h"
+#include "classify/Heuristic.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dlq {
+namespace classify {
+
+/// Dynamic totals of one class in one benchmark.
+struct ClassDynStats {
+  uint64_t Execs = 0;  ///< sum of E(i) over member loads.
+  uint64_t Misses = 0; ///< M(F, C).
+};
+
+/// One training benchmark's observations.
+struct BenchmarkObservation {
+  std::string Name;
+  uint64_t TotalMisses = 0; ///< M(P(I), C).
+  std::map<std::string, ClassDynStats> PerClass;
+};
+
+/// Relevance thresholds: a benchmark is irrelevant w.r.t. a class when both
+/// m_j and n_j fall below these.
+struct RelevanceThresholds {
+  double MinMissProb = 0.01;  ///< 1% miss probability.
+  double MinMissShare = 0.01; ///< 1% of all misses.
+
+  RelevanceThresholds() {}
+};
+
+enum class ClassNature { Positive, Negative, Neutral };
+
+/// Summary the trainer produces per class.
+struct ClassReport {
+  std::string Label;
+  unsigned FoundIn = 0;    ///< Benchmarks containing members of the class.
+  unsigned RelevantIn = 0; ///< Benchmarks where the class is relevant.
+  ClassNature Nature = ClassNature::Neutral;
+  double Weight = 0;
+};
+
+/// Accumulates per-benchmark class statistics and derives natures/weights.
+class ClassTrainer {
+public:
+  explicit ClassTrainer(RelevanceThresholds Thresholds = RelevanceThresholds())
+      : Thresholds(Thresholds) {}
+
+  void addObservation(BenchmarkObservation Obs);
+
+  const std::vector<BenchmarkObservation> &observations() const {
+    return Observations;
+  }
+
+  /// m_j(F, C); 0 when the class has no executions in the benchmark.
+  double missProb(const std::string &Label, const std::string &Bench) const;
+
+  /// n_j(F, C).
+  double missShare(const std::string &Label, const std::string &Bench) const;
+
+  /// A benchmark is relevant to a class when m_j or n_j clears the
+  /// thresholds.
+  bool isRelevant(const std::string &Label, const std::string &Bench) const;
+
+  /// Section 7.1 nature rules (strength index r = m/n against 1/20; the
+  /// negative rule uses n_j < 0.5% in every benchmark).
+  ClassNature natureOf(const std::string &Label) const;
+
+  /// Positive-class weight W(F) = mean over relevant benchmarks of m/n.
+  /// Returns 0 for classes with no relevant benchmarks.
+  double positiveWeight(const std::string &Label) const;
+
+  /// Reports for every class label seen, sorted by label.
+  std::vector<ClassReport> reportAll() const;
+
+  /// The Section 7.3 negative base weight: the mean of all positive-class
+  /// weights with the single highest and lowest dropped, negated.
+  double negativeBaseWeight() const;
+
+  /// Derives a full heuristic weight set: AG1..AG7 from their class labels'
+  /// positive weights, AG9 = negativeBaseWeight(), AG8 = half of it.
+  /// Class labels must be the aggClassName() strings.
+  HeuristicWeights deriveWeights() const;
+
+private:
+  RelevanceThresholds Thresholds;
+  std::vector<BenchmarkObservation> Observations;
+
+  const BenchmarkObservation *find(const std::string &Bench) const;
+  std::vector<std::string> allLabels() const;
+};
+
+/// The enumerated H1 class label of one pattern, as used in Table 3: counts
+/// of sp/gp occurrences such as "sp=2,gp=1"; patterns without sp/gp map to
+/// "other".
+std::string h1ClassLabel(const ap::ApNode *N);
+
+/// The aggregate-class labels (AG1..AG7) a pattern belongs to.
+std::vector<std::string> aggClassLabels(const ap::ApNode *N);
+
+} // namespace classify
+} // namespace dlq
+
+#endif // DLQ_CLASSIFY_TRAINER_H

@@ -1,0 +1,104 @@
+//===- dataflow/BitVector.h - Dense bit vector -----------------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense fixed-size bit vector with the set operations the dataflow
+/// solvers need (union, subtract, copy, equality).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_DATAFLOW_BITVECTOR_H
+#define DLQ_DATAFLOW_BITVECTOR_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace dlq {
+namespace dataflow {
+
+/// Fixed-size dense bit vector.
+class BitVector {
+public:
+  BitVector() = default;
+  explicit BitVector(size_t NumBits)
+      : NumBits(NumBits), Words((NumBits + 63) / 64, 0) {}
+
+  size_t size() const { return NumBits; }
+
+  void set(size_t Bit) {
+    assert(Bit < NumBits && "bit out of range");
+    Words[Bit / 64] |= uint64_t(1) << (Bit % 64);
+  }
+
+  void reset(size_t Bit) {
+    assert(Bit < NumBits && "bit out of range");
+    Words[Bit / 64] &= ~(uint64_t(1) << (Bit % 64));
+  }
+
+  bool test(size_t Bit) const {
+    assert(Bit < NumBits && "bit out of range");
+    return (Words[Bit / 64] >> (Bit % 64)) & 1;
+  }
+
+  void clear() {
+    for (uint64_t &W : Words)
+      W = 0;
+  }
+
+  /// *this |= Other.
+  bool unionWith(const BitVector &Other) {
+    assert(NumBits == Other.NumBits && "size mismatch");
+    bool Changed = false;
+    for (size_t I = 0; I != Words.size(); ++I) {
+      uint64_t Old = Words[I];
+      Words[I] |= Other.Words[I];
+      Changed |= Words[I] != Old;
+    }
+    return Changed;
+  }
+
+  /// *this &= ~Other.
+  void subtract(const BitVector &Other) {
+    assert(NumBits == Other.NumBits && "size mismatch");
+    for (size_t I = 0; I != Words.size(); ++I)
+      Words[I] &= ~Other.Words[I];
+  }
+
+  friend bool operator==(const BitVector &A, const BitVector &B) {
+    return A.NumBits == B.NumBits && A.Words == B.Words;
+  }
+
+  /// Calls \p Fn(BitIndex) for every set bit in ascending order.
+  template <typename FnT> void forEachSetBit(FnT Fn) const {
+    for (size_t WI = 0; WI != Words.size(); ++WI) {
+      uint64_t W = Words[WI];
+      while (W) {
+        unsigned Bit = static_cast<unsigned>(__builtin_ctzll(W));
+        Fn(WI * 64 + Bit);
+        W &= W - 1;
+      }
+    }
+  }
+
+  /// Number of set bits.
+  size_t count() const {
+    size_t N = 0;
+    for (uint64_t W : Words)
+      N += static_cast<size_t>(__builtin_popcountll(W));
+    return N;
+  }
+
+private:
+  size_t NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace dataflow
+} // namespace dlq
+
+#endif // DLQ_DATAFLOW_BITVECTOR_H

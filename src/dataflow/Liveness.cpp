@@ -1,0 +1,71 @@
+//===- dataflow/Liveness.cpp -----------------------------------------------==//
+
+#include "dataflow/Liveness.h"
+
+using namespace dlq;
+using namespace dlq::dataflow;
+using namespace dlq::masm;
+
+uint32_t dataflow::usedRegsMask(const Instr &I) {
+  uint32_t Mask = 0;
+  if (readsRs(I.Op))
+    Mask |= uint32_t(1) << static_cast<unsigned>(I.Rs);
+  if (readsRt(I.Op))
+    Mask |= uint32_t(1) << static_cast<unsigned>(I.Rt);
+  // Calls read the argument registers; returns read $v0/$v1 conservatively.
+  if (isCall(I.Op))
+    Mask |= (uint32_t(1) << static_cast<unsigned>(Reg::A0)) |
+            (uint32_t(1) << static_cast<unsigned>(Reg::A1)) |
+            (uint32_t(1) << static_cast<unsigned>(Reg::A2)) |
+            (uint32_t(1) << static_cast<unsigned>(Reg::A3));
+  if (I.Op == Opcode::Jr)
+    Mask |= (uint32_t(1) << static_cast<unsigned>(Reg::V0)) |
+            (uint32_t(1) << static_cast<unsigned>(Reg::V1));
+  Mask &= ~uint32_t(1); // $zero is never meaningfully read.
+  return Mask;
+}
+
+uint32_t dataflow::definedRegsMask(const Instr &I) {
+  uint32_t Mask = 0;
+  if (Reg D = I.def(); D != Reg::Zero)
+    Mask |= uint32_t(1) << static_cast<unsigned>(D);
+  if (isCall(I.Op))
+    for (unsigned R = 1; R != NumRegs; ++R)
+      if (isCallerSaved(static_cast<Reg>(R)))
+        Mask |= uint32_t(1) << R;
+  return Mask;
+}
+
+Liveness::Liveness(const cfg::Cfg &G) {
+  size_t NumBlocks = G.numBlocks();
+  const std::vector<Instr> &Body = G.function().instrs();
+  In.assign(NumBlocks, 0);
+  Out.assign(NumBlocks, 0);
+
+  std::vector<uint32_t> Use(NumBlocks, 0), DefMask(NumBlocks, 0);
+  for (uint32_t B = 0; B != NumBlocks; ++B) {
+    const cfg::BasicBlock &Blk = G.blocks()[B];
+    for (uint32_t Idx = Blk.Begin; Idx != Blk.End; ++Idx) {
+      uint32_t U = usedRegsMask(Body[Idx]);
+      uint32_t D = definedRegsMask(Body[Idx]);
+      Use[B] |= U & ~DefMask[B];
+      DefMask[B] |= D;
+    }
+  }
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t B = static_cast<uint32_t>(NumBlocks); B-- != 0;) {
+      uint32_t NewOut = 0;
+      for (uint32_t S : G.blocks()[B].Succs)
+        NewOut |= In[S];
+      uint32_t NewIn = Use[B] | (NewOut & ~DefMask[B]);
+      if (NewOut != Out[B] || NewIn != In[B]) {
+        Out[B] = NewOut;
+        In[B] = NewIn;
+        Changed = true;
+      }
+    }
+  }
+}

@@ -1,0 +1,57 @@
+//===- dataflow/Liveness.h - Live register analysis ------------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backward live-register analysis over a function CFG. Used by tests as a
+/// second client of the dataflow machinery and available to code generators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_DATAFLOW_LIVENESS_H
+#define DLQ_DATAFLOW_LIVENESS_H
+
+#include "cfg/Cfg.h"
+#include "masm/Module.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dlq {
+namespace dataflow {
+
+/// Live registers at block boundaries.
+class Liveness {
+public:
+  explicit Liveness(const cfg::Cfg &G);
+
+  /// Registers live on entry to block \p B (bitmask indexed by register
+  /// number).
+  uint32_t liveIn(uint32_t B) const { return In[B]; }
+
+  /// Registers live on exit from block \p B.
+  uint32_t liveOut(uint32_t B) const { return Out[B]; }
+
+  /// True if \p R is live on entry to \p B.
+  bool isLiveIn(uint32_t B, masm::Reg R) const {
+    return (In[B] >> static_cast<unsigned>(R)) & 1;
+  }
+
+private:
+  std::vector<uint32_t> In;
+  std::vector<uint32_t> Out;
+};
+
+/// Registers read by \p I as a bitmask.
+uint32_t usedRegsMask(const masm::Instr &I);
+
+/// Registers written by \p I as a bitmask (calls clobber caller-saved).
+uint32_t definedRegsMask(const masm::Instr &I);
+
+} // namespace dataflow
+} // namespace dlq
+
+#endif // DLQ_DATAFLOW_LIVENESS_H

@@ -1,0 +1,138 @@
+//===- dataflow/ReachingDefs.cpp -------------------------------------------==//
+
+#include "dataflow/ReachingDefs.h"
+
+#include <cassert>
+
+using namespace dlq;
+using namespace dlq::dataflow;
+using namespace dlq::masm;
+
+ReachingDefs::ReachingDefs(const cfg::Cfg &Graph) : G(Graph) {
+  collectDefs();
+  solve();
+}
+
+void ReachingDefs::collectDefs() {
+  const std::vector<Instr> &Body = G.function().instrs();
+  DefsByReg.assign(NumRegs, {});
+  DefsByInstr.assign(Body.size(), {});
+
+  auto addDef = [&](DefKind Kind, uint32_t InstrIdx, Reg R) {
+    if (R == Reg::Zero)
+      return;
+    uint32_t Id = static_cast<uint32_t>(AllDefs.size());
+    AllDefs.push_back(Def{Kind, InstrIdx, R});
+    DefsByReg[static_cast<unsigned>(R)].push_back(Id);
+    if (InstrIdx != InvalidIndex)
+      DefsByInstr[InstrIdx].push_back(Id);
+  };
+
+  // Entry pseudo-definitions for every register except $zero.
+  for (unsigned R = 1; R != NumRegs; ++R)
+    addDef(DefKind::Entry, InvalidIndex, static_cast<Reg>(R));
+
+  for (uint32_t Idx = 0; Idx != Body.size(); ++Idx) {
+    const Instr &I = Body[Idx];
+    if (Reg D = I.def(); D != Reg::Zero)
+      addDef(DefKind::Normal, Idx, D);
+    if (isCall(I.Op)) {
+      for (unsigned R = 1; R != NumRegs; ++R)
+        if (isCallerSaved(static_cast<Reg>(R)))
+          addDef(DefKind::Call, Idx, static_cast<Reg>(R));
+    }
+  }
+}
+
+void ReachingDefs::solve() {
+  size_t NumDefs = AllDefs.size();
+  size_t NumBlocks = G.numBlocks();
+  const std::vector<Instr> &Body = G.function().instrs();
+
+  // Per-register "all defs of R" masks for KILL computation.
+  std::vector<BitVector> RegMask(NumRegs, BitVector(NumDefs));
+  for (uint32_t Id = 0; Id != NumDefs; ++Id)
+    RegMask[static_cast<unsigned>(AllDefs[Id].R)].set(Id);
+
+  std::vector<BitVector> Gen(NumBlocks, BitVector(NumDefs));
+  std::vector<BitVector> Kill(NumBlocks, BitVector(NumDefs));
+
+  for (uint32_t B = 0; B != NumBlocks; ++B) {
+    const cfg::BasicBlock &Blk = G.blocks()[B];
+    for (uint32_t Idx = Blk.Begin; Idx != Blk.End; ++Idx) {
+      (void)Body;
+      for (uint32_t Id : DefsByInstr[Idx]) {
+        Reg R = AllDefs[Id].R;
+        // This def kills all other defs of R and becomes the sole gen.
+        Gen[B].subtract(RegMask[static_cast<unsigned>(R)]);
+        Kill[B].unionWith(RegMask[static_cast<unsigned>(R)]);
+        Gen[B].set(Id);
+      }
+    }
+  }
+
+  In.assign(NumBlocks, BitVector(NumDefs));
+  std::vector<BitVector> Out(NumBlocks, BitVector(NumDefs));
+
+  // Entry block IN = entry pseudo-defs.
+  if (NumBlocks != 0)
+    for (uint32_t Id = 0; Id != NumDefs; ++Id)
+      if (AllDefs[Id].Kind == DefKind::Entry)
+        In[G.entry()].set(Id);
+
+  // Initialize OUT = GEN | (IN - KILL).
+  auto transfer = [&](uint32_t B, BitVector &OutSet) {
+    OutSet = In[B];
+    OutSet.subtract(Kill[B]);
+    OutSet.unionWith(Gen[B]);
+  };
+  for (uint32_t B = 0; B != NumBlocks; ++B)
+    transfer(B, Out[B]);
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t B = 0; B != NumBlocks; ++B) {
+      bool InChanged = false;
+      for (uint32_t P : G.blocks()[B].Preds)
+        InChanged |= In[B].unionWith(Out[P]);
+      if (!InChanged && B != G.entry())
+        continue;
+      BitVector NewOut(NumDefs);
+      transfer(B, NewOut);
+      if (!(NewOut == Out[B])) {
+        Out[B] = std::move(NewOut);
+        Changed = true;
+      }
+    }
+  }
+}
+
+std::vector<Def> ReachingDefs::defsReaching(uint32_t InstrIdx, Reg R) const {
+  std::vector<Def> Result;
+  if (R == Reg::Zero)
+    return Result;
+
+  uint32_t B = G.blockOf(InstrIdx);
+  const cfg::BasicBlock &Blk = G.blocks()[B];
+
+  // Scan backward within the block for the most recent def(s) of R. A single
+  // instruction can define R at most once, except calls, where the call def
+  // is the only one.
+  for (uint32_t Idx = InstrIdx; Idx != Blk.Begin;) {
+    --Idx;
+    for (uint32_t Id : DefsByInstr[Idx]) {
+      if (AllDefs[Id].R != R)
+        continue;
+      Result.push_back(AllDefs[Id]);
+      return Result;
+    }
+  }
+
+  // Nothing in-block: filter the block-in set by register.
+  const BitVector &InSet = In[B];
+  for (uint32_t Id : DefsByReg[static_cast<unsigned>(R)])
+    if (InSet.test(Id))
+      Result.push_back(AllDefs[Id]);
+  return Result;
+}

@@ -1,0 +1,85 @@
+//===- dataflow/ReachingDefs.h - Reaching definitions ----------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic reaching-definitions dataflow over a function's CFG. This is the
+/// analysis the paper performs after disassembly: "If a load's address
+/// computation is dependent on values computed outside the basic block it is
+/// in, we perform a data flow analysis to obtain all reaching definitions for
+/// the temporaries involved" (Section 6).
+///
+/// Definition sites:
+///  - every instruction writing a register (writes to $zero are ignored),
+///  - calls, which define every caller-saved register (the return-value
+///    registers carry the callee's result; the rest become unknown),
+///  - a pseudo-definition at function entry for every register, carrying the
+///    caller-provided value ($sp, $gp, $a0..$a3, ...).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_DATAFLOW_REACHINGDEFS_H
+#define DLQ_DATAFLOW_REACHINGDEFS_H
+
+#include "cfg/Cfg.h"
+#include "dataflow/BitVector.h"
+#include "masm/Module.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dlq {
+namespace dataflow {
+
+/// What produced a definition.
+enum class DefKind : uint8_t {
+  Normal, ///< A register-writing instruction.
+  Call,   ///< A call clobbering a caller-saved register.
+  Entry,  ///< The function-entry pseudo-definition.
+};
+
+/// One definition site.
+struct Def {
+  DefKind Kind = DefKind::Normal;
+  /// Defining instruction index; masm::InvalidIndex for Entry defs.
+  uint32_t InstrIdx = masm::InvalidIndex;
+  masm::Reg R = masm::Reg::Zero;
+};
+
+/// Reaching definitions for one function.
+class ReachingDefs {
+public:
+  /// Runs the analysis over \p G.
+  explicit ReachingDefs(const cfg::Cfg &G);
+
+  /// All definitions of register \p R reaching the *use* at instruction
+  /// \p InstrIdx (i.e. considering definitions strictly before it in its
+  /// block, plus block-in definitions).
+  std::vector<Def> defsReaching(uint32_t InstrIdx, masm::Reg R) const;
+
+  /// Definition table (index = def id).
+  const std::vector<Def> &defs() const { return AllDefs; }
+
+  /// Bits reaching the start of block \p B.
+  const BitVector &blockIn(uint32_t B) const { return In[B]; }
+
+private:
+  const cfg::Cfg &G;
+  std::vector<Def> AllDefs;
+  /// Def ids grouped by register for fast filtering.
+  std::vector<std::vector<uint32_t>> DefsByReg;
+  /// Def ids created by instruction index (Normal and Call defs).
+  std::vector<std::vector<uint32_t>> DefsByInstr;
+  std::vector<BitVector> In;
+
+  void collectDefs();
+  void solve();
+};
+
+} // namespace dataflow
+} // namespace dlq
+
+#endif // DLQ_DATAFLOW_REACHINGDEFS_H

@@ -1,0 +1,161 @@
+//===- freq/StaticFreq.cpp --------------------------------------------------===//
+
+#include "freq/StaticFreq.h"
+
+#include "cfg/Cfg.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace dlq;
+using namespace dlq::freq;
+using namespace dlq::masm;
+
+StaticFreqEstimate::StaticFreqEstimate(const Module &Mod,
+                                       StaticFreqOptions Options)
+    : M(Mod), Opts(Options) {
+  computeBlockFrequencies();
+  propagateCallGraph();
+}
+
+void StaticFreqEstimate::computeBlockFrequencies() {
+  BlockRelFreq.resize(M.functions().size());
+  InstrBlock.resize(M.functions().size());
+
+  for (uint32_t FI = 0; FI != M.functions().size(); ++FI) {
+    const Function &F = M.functions()[FI];
+    if (F.empty())
+      continue;
+    cfg::Cfg G(F);
+    cfg::DominatorTree DT(G);
+    cfg::LoopInfo LI(G, DT);
+
+    InstrBlock[FI].resize(F.size());
+    for (uint32_t Idx = 0; Idx != F.size(); ++Idx)
+      InstrBlock[FI][Idx] = G.blockOf(Idx);
+
+    uint32_t NumBlocks = static_cast<uint32_t>(G.numBlocks());
+    std::vector<double> Acyclic(NumBlocks, 0.0);
+    Acyclic[G.entry()] = 1.0;
+
+    // Forward (non-back-edge) flow in RPO: every conditional successor is
+    // assumed equally likely — Wu-Larus's uniform fallback.
+    auto isBackEdge = [&](uint32_t From, uint32_t To) {
+      return DT.dominates(To, From);
+    };
+
+    // Reverse postorder via iterative DFS.
+    std::vector<uint32_t> Order;
+    {
+      std::vector<uint8_t> Seen(NumBlocks, 0);
+      std::vector<std::pair<uint32_t, size_t>> Stack{{G.entry(), 0}};
+      Seen[G.entry()] = 1;
+      while (!Stack.empty()) {
+        auto &[B, Next] = Stack.back();
+        const auto &Succs = G.blocks()[B].Succs;
+        if (Next < Succs.size()) {
+          uint32_t S = Succs[Next++];
+          if (!Seen[S]) {
+            Seen[S] = 1;
+            Stack.push_back({S, 0});
+          }
+          continue;
+        }
+        Order.push_back(B);
+        Stack.pop_back();
+      }
+      std::reverse(Order.begin(), Order.end());
+    }
+
+    for (uint32_t B : Order) {
+      double Out = Acyclic[B];
+      if (Out == 0.0)
+        continue;
+      unsigned ForwardSuccs = 0;
+      for (uint32_t S : G.blocks()[B].Succs)
+        if (!isBackEdge(B, S))
+          ++ForwardSuccs;
+      if (ForwardSuccs == 0)
+        continue;
+      double Share = Out / ForwardSuccs;
+      for (uint32_t S : G.blocks()[B].Succs)
+        if (!isBackEdge(B, S))
+          Acyclic[S] += Share;
+    }
+
+    BlockRelFreq[FI].resize(NumBlocks, 0.0);
+    for (uint32_t B = 0; B != NumBlocks; ++B) {
+      double LoopBoost = std::pow(Opts.LoopBase, LI.depth(B));
+      BlockRelFreq[FI][B] =
+          std::min(Acyclic[B] * LoopBoost, Opts.MaxFreq);
+    }
+  }
+}
+
+void StaticFreqEstimate::propagateCallGraph() {
+  size_t NumFuncs = M.functions().size();
+  FuncFreq.assign(NumFuncs, 0.0);
+
+  // Per (caller, callee): expected calls per invocation of the caller.
+  std::vector<std::map<uint32_t, double>> CallWeight(NumFuncs);
+  for (uint32_t FI = 0; FI != NumFuncs; ++FI) {
+    const Function &F = M.functions()[FI];
+    for (uint32_t Idx = 0; Idx != F.size(); ++Idx) {
+      const Instr &I = F.instrs()[Idx];
+      if (I.Op != Opcode::Jal)
+        continue;
+      uint32_t Callee = M.functionIndex(I.Sym);
+      if (Callee == InvalidIndex)
+        continue; // Runtime call.
+      CallWeight[FI][Callee] += BlockRelFreq[FI][InstrBlock[FI][Idx]];
+    }
+  }
+
+  uint32_t MainIdx = M.functionIndex("main");
+  for (unsigned Round = 0; Round != Opts.Rounds; ++Round) {
+    std::vector<double> Next(NumFuncs, 0.0);
+    if (MainIdx != InvalidIndex)
+      Next[MainIdx] = Opts.EntryFreq;
+    for (uint32_t FI = 0; FI != NumFuncs; ++FI) {
+      if (FuncFreq[FI] == 0.0)
+        continue;
+      for (const auto &[Callee, Weight] : CallWeight[FI])
+        Next[Callee] = std::min(Next[Callee] + FuncFreq[FI] * Weight,
+                                Opts.MaxFreq);
+    }
+    if (MainIdx != InvalidIndex && Next[MainIdx] < Opts.EntryFreq)
+      Next[MainIdx] = Opts.EntryFreq;
+    if (Next == FuncFreq)
+      break;
+    FuncFreq = std::move(Next);
+  }
+  // First round starts from zero everywhere; seed main for the common case
+  // where Rounds rounds were not enough to notice.
+  if (MainIdx != InvalidIndex && FuncFreq[MainIdx] < Opts.EntryFreq)
+    FuncFreq[MainIdx] = Opts.EntryFreq;
+}
+
+double StaticFreqEstimate::instrFreq(InstrRef Ref) const {
+  if (Ref.FuncIdx >= FuncFreq.size())
+    return 0.0;
+  if (Ref.InstrIdx >= InstrBlock[Ref.FuncIdx].size())
+    return 0.0;
+  uint32_t B = InstrBlock[Ref.FuncIdx][Ref.InstrIdx];
+  return std::min(FuncFreq[Ref.FuncIdx] * BlockRelFreq[Ref.FuncIdx][B],
+                  Opts.MaxFreq);
+}
+
+classify::ExecCountMap StaticFreqEstimate::loadExecCounts() const {
+  classify::ExecCountMap Out;
+  for (uint32_t FI = 0; FI != M.functions().size(); ++FI) {
+    const Function &F = M.functions()[FI];
+    for (uint32_t Idx = 0; Idx != F.size(); ++Idx) {
+      if (!isLoad(F.instrs()[Idx].Op))
+        continue;
+      InstrRef Ref{FI, Idx};
+      double Freq = instrFreq(Ref);
+      Out[Ref] = Freq >= 1e18 ? ~0ull : static_cast<uint64_t>(Freq);
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,63 @@
+//===- masm/Instr.h - A single MIPS-like instruction ----------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instruction record. All analyses operate on these; the operand roles
+/// follow the disassembly syntax (loads/stores use `rd, imm(rs)`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_MASM_INSTR_H
+#define DLQ_MASM_INSTR_H
+
+#include "masm/Opcode.h"
+#include "masm/Register.h"
+
+#include <cstdint>
+#include <string>
+
+namespace dlq {
+namespace masm {
+
+/// Sentinel for an unresolved branch target index.
+constexpr uint32_t InvalidIndex = ~0u;
+
+/// One instruction. Operand roles by opcode family:
+///  - three-register ALU:   Rd <- Rs op Rt
+///  - immediate ALU:        Rd <- Rs op Imm
+///  - li:                   Rd <- Imm (full 32 bits)
+///  - la:                   Rd <- &Sym + Imm
+///  - move:                 Rd <- Rs
+///  - loads:                Rd <- mem[Rs + Imm]
+///  - stores:               mem[Rs + Imm] <- Rt
+///  - conditional branches: compare Rs, Rt; target label Sym
+///  - j:                    target label Sym
+///  - jal:                  call function Sym
+///  - jr / jalr:            jump/call through Rs
+struct Instr {
+  Opcode Op = Opcode::Nop;
+  Reg Rd = Reg::Zero;
+  Reg Rs = Reg::Zero;
+  Reg Rt = Reg::Zero;
+  int32_t Imm = 0;
+  /// Branch label, call target, or global symbol for `la`.
+  std::string Sym;
+  /// For branches and `j`: resolved instruction index within the function.
+  uint32_t TargetIndex = InvalidIndex;
+
+  /// True if this instruction transfers control (so it ends a basic block).
+  bool endsBlock() const { return isControlFlow(Op); }
+
+  /// The register written by this instruction, or $zero if none. A write to
+  /// $zero is discarded, matching hardware.
+  Reg def() const { return writesRd(Op) ? Rd : Reg::Zero; }
+};
+
+} // namespace masm
+} // namespace dlq
+
+#endif // DLQ_MASM_INSTR_H

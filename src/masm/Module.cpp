@@ -1,0 +1,182 @@
+//===- masm/Module.cpp ----------------------------------------------------==//
+
+#include "masm/Module.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dlq;
+using namespace dlq::masm;
+
+//===----------------------------------------------------------------------===//
+// Function
+//===----------------------------------------------------------------------===//
+
+uint32_t Function::append(Instr I) {
+  Body.push_back(std::move(I));
+  return static_cast<uint32_t>(Body.size() - 1);
+}
+
+void Function::defineLabel(const std::string &Label) {
+  assert(!Labels.count(Label) && "duplicate label");
+  Labels[Label] = static_cast<uint32_t>(Body.size());
+}
+
+uint32_t Function::lookupLabel(const std::string &Label) const {
+  auto It = Labels.find(Label);
+  return It == Labels.end() ? InvalidIndex : It->second;
+}
+
+bool Function::resolveBranchTargets() {
+  for (Instr &I : Body) {
+    if (!isCondBranch(I.Op) && I.Op != Opcode::J)
+      continue;
+    uint32_t Target = lookupLabel(I.Sym);
+    if (Target == InvalidIndex || Target >= Body.size())
+      return false;
+    I.TargetIndex = Target;
+  }
+  return true;
+}
+
+std::vector<std::string> Function::labelsAt(uint32_t Index) const {
+  std::vector<std::string> Result;
+  for (const auto &[Name, At] : Labels)
+    if (At == Index)
+      Result.push_back(Name);
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Module
+//===----------------------------------------------------------------------===//
+
+Function &Module::addFunction(const std::string &Name) {
+  assert(!FuncIndex.count(Name) && "duplicate function");
+  FuncIndex[Name] = static_cast<uint32_t>(Funcs.size());
+  Funcs.emplace_back(Name);
+  return Funcs.back();
+}
+
+Function *Module::lookupFunction(const std::string &Name) {
+  auto It = FuncIndex.find(Name);
+  return It == FuncIndex.end() ? nullptr : &Funcs[It->second];
+}
+
+const Function *Module::lookupFunction(const std::string &Name) const {
+  auto It = FuncIndex.find(Name);
+  return It == FuncIndex.end() ? nullptr : &Funcs[It->second];
+}
+
+uint32_t Module::functionIndex(const std::string &Name) const {
+  auto It = FuncIndex.find(Name);
+  return It == FuncIndex.end() ? InvalidIndex : It->second;
+}
+
+Global &Module::addGlobal(Global G) {
+  assert(!GlobalIndex.count(G.Name) && "duplicate global");
+  GlobalIndex[G.Name] = static_cast<uint32_t>(Globals.size());
+  Globals.push_back(std::move(G));
+  return Globals.back();
+}
+
+const Global *Module::lookupGlobal(const std::string &Name) const {
+  auto It = GlobalIndex.find(Name);
+  return It == GlobalIndex.end() ? nullptr : &Globals[It->second];
+}
+
+bool Module::finalize() {
+  for (Function &F : Funcs)
+    if (!F.resolveBranchTargets())
+      return false;
+  return true;
+}
+
+size_t Module::totalInstrs() const {
+  size_t N = 0;
+  for (const Function &F : Funcs)
+    N += F.size();
+  return N;
+}
+
+size_t Module::countLoads() const {
+  size_t N = 0;
+  for (const Function &F : Funcs)
+    for (const Instr &I : F.instrs())
+      if (isLoad(I.Op))
+        ++N;
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Layout
+//===----------------------------------------------------------------------===//
+
+Layout::Layout(const Module &Mod) : M(Mod) {
+  uint32_t Pc = LayoutConstants::TextBase;
+  for (const Function &F : M.functions()) {
+    FuncBasePc.push_back(Pc);
+    Pc += static_cast<uint32_t>(F.size()) * LayoutConstants::InstrBytes;
+  }
+  TextEnd = Pc;
+
+  auto alignUp = [](uint32_t Value, uint32_t To) {
+    return (Value + To - 1) & ~(To - 1);
+  };
+  uint32_t Addr = LayoutConstants::DataBase;
+  uint32_t Ordinal = 0;
+  for (const Global &G : M.globals()) {
+    Addr = alignUp(Addr, std::max<uint32_t>(G.Align, 1));
+    GlobalAddr[G.Name] = Addr;
+    GlobalsByAddr.emplace_back(Addr, Ordinal);
+    Addr += std::max<uint32_t>(G.Size, 1);
+    ++Ordinal;
+  }
+  DataEnd = Addr;
+  std::sort(GlobalsByAddr.begin(), GlobalsByAddr.end());
+}
+
+uint32_t Layout::pcOf(InstrRef Ref) const {
+  assert(Ref.FuncIdx < FuncBasePc.size() && "bad function ordinal");
+  return FuncBasePc[Ref.FuncIdx] + Ref.InstrIdx * LayoutConstants::InstrBytes;
+}
+
+bool Layout::refOf(uint32_t Pc, InstrRef &Out) const {
+  if (Pc < LayoutConstants::TextBase || Pc >= TextEnd)
+    return false;
+  // Binary search the owning function.
+  auto It = std::upper_bound(FuncBasePc.begin(), FuncBasePc.end(), Pc);
+  uint32_t FuncIdx = static_cast<uint32_t>(It - FuncBasePc.begin()) - 1;
+  uint32_t Offset = (Pc - FuncBasePc[FuncIdx]) / LayoutConstants::InstrBytes;
+  if (Offset >= M.functions()[FuncIdx].size())
+    return false;
+  Out = InstrRef{FuncIdx, Offset};
+  return true;
+}
+
+uint32_t Layout::functionEntry(uint32_t FuncIdx) const {
+  assert(FuncIdx < FuncBasePc.size() && "bad function ordinal");
+  return FuncBasePc[FuncIdx];
+}
+
+uint32_t Layout::globalAddress(const std::string &Name) const {
+  auto It = GlobalAddr.find(Name);
+  return It == GlobalAddr.end() ? InvalidAddress : It->second;
+}
+
+const Global *Layout::globalAt(uint32_t Addr, uint32_t &OffsetOut) const {
+  if (GlobalsByAddr.empty() || Addr < GlobalsByAddr.front().first)
+    return nullptr;
+  auto It = std::upper_bound(
+      GlobalsByAddr.begin(), GlobalsByAddr.end(), Addr,
+      [](uint32_t A, const std::pair<uint32_t, uint32_t> &Entry) {
+        return A < Entry.first;
+      });
+  --It;
+  const Global &G = M.globals()[It->second];
+  uint32_t Start = It->first;
+  if (Addr >= Start + std::max<uint32_t>(G.Size, 1))
+    return nullptr;
+  OffsetOut = Addr - Start;
+  return &G;
+}

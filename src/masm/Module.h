@@ -1,0 +1,184 @@
+//===- masm/Module.h - Functions, globals, modules, layout ----------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The program container: functions made of instructions with local labels,
+/// data globals with initializers, and the address layout that places text,
+/// data, heap and stack in a MIPS-like address space.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_MASM_MODULE_H
+#define DLQ_MASM_MODULE_H
+
+#include "masm/Instr.h"
+#include "masm/TypeInfo.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dlq {
+namespace masm {
+
+/// A data global: zero-filled space plus optional word initializers.
+struct Global {
+  std::string Name;
+  uint32_t Size = 0;
+  uint32_t Align = 4;
+  /// Initial bytes; shorter than Size means the rest is zero-filled.
+  std::vector<uint8_t> Init;
+};
+
+/// A function: a linear sequence of instructions and a label map.
+class Function {
+public:
+  explicit Function(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+
+  /// Appends \p I and returns its index.
+  uint32_t append(Instr I);
+
+  /// Binds \p Label to the index of the next appended instruction.
+  void defineLabel(const std::string &Label);
+
+  /// Returns the instruction index of \p Label, or InvalidIndex.
+  uint32_t lookupLabel(const std::string &Label) const;
+
+  /// Resolves the TargetIndex of every branch from its Sym. Must be called
+  /// once all instructions and labels are in place. Returns false (and
+  /// records nothing) if a target label is missing.
+  bool resolveBranchTargets();
+
+  std::vector<Instr> &instrs() { return Body; }
+  const std::vector<Instr> &instrs() const { return Body; }
+  size_t size() const { return Body.size(); }
+  bool empty() const { return Body.empty(); }
+
+  /// Labels bound at instruction index \p Index (for printing).
+  std::vector<std::string> labelsAt(uint32_t Index) const;
+
+private:
+  std::string Name;
+  std::vector<Instr> Body;
+  std::map<std::string, uint32_t> Labels;
+};
+
+/// Identifies one instruction globally: function ordinal + index within it.
+struct InstrRef {
+  uint32_t FuncIdx = 0;
+  uint32_t InstrIdx = 0;
+
+  friend bool operator==(const InstrRef &A, const InstrRef &B) {
+    return A.FuncIdx == B.FuncIdx && A.InstrIdx == B.InstrIdx;
+  }
+  friend bool operator<(const InstrRef &A, const InstrRef &B) {
+    return A.FuncIdx != B.FuncIdx ? A.FuncIdx < B.FuncIdx
+                                  : A.InstrIdx < B.InstrIdx;
+  }
+};
+
+/// Address-space layout constants (MIPS-like).
+struct LayoutConstants {
+  static constexpr uint32_t TextBase = 0x00400000;
+  static constexpr uint32_t DataBase = 0x10000000;
+  static constexpr uint32_t GpValue = 0x10008000; ///< $gp at program start.
+  static constexpr uint32_t HeapBase = 0x20000000;
+  static constexpr uint32_t StackTop = 0x7FFFF000; ///< $sp at program start.
+  static constexpr uint32_t InstrBytes = 4;
+};
+
+/// A whole program plus its symbol-table type metadata.
+class Module {
+public:
+  /// Adds an empty function and returns it. Function names must be unique.
+  Function &addFunction(const std::string &Name);
+
+  /// Returns the function named \p Name, or nullptr.
+  Function *lookupFunction(const std::string &Name);
+  const Function *lookupFunction(const std::string &Name) const;
+
+  /// Ordinal of the function named \p Name, or InvalidIndex.
+  uint32_t functionIndex(const std::string &Name) const;
+
+  std::vector<Function> &functions() { return Funcs; }
+  const std::vector<Function> &functions() const { return Funcs; }
+
+  /// Adds a global. Names must be unique.
+  Global &addGlobal(Global G);
+  const Global *lookupGlobal(const std::string &Name) const;
+  const std::vector<Global> &globals() const { return Globals; }
+
+  ModuleTypeInfo &typeInfo() { return Types; }
+  const ModuleTypeInfo &typeInfo() const { return Types; }
+
+  /// Resolves branch targets in every function. Returns false if any label
+  /// is unresolved.
+  bool finalize();
+
+  /// Total number of instructions across all functions.
+  size_t totalInstrs() const;
+
+  /// Total number of load instructions (the paper's Lambda set size).
+  size_t countLoads() const;
+
+  /// Retrieves the instruction for \p Ref.
+  const Instr &instrAt(InstrRef Ref) const {
+    return Funcs[Ref.FuncIdx].instrs()[Ref.InstrIdx];
+  }
+
+private:
+  std::vector<Function> Funcs;
+  std::map<std::string, uint32_t> FuncIndex;
+  std::vector<Global> Globals;
+  std::map<std::string, uint32_t> GlobalIndex;
+  ModuleTypeInfo Types;
+};
+
+/// Address assignment for a finalized module: every instruction gets a PC
+/// and every global a data address.
+class Layout {
+public:
+  explicit Layout(const Module &M);
+
+  /// PC of the instruction \p Ref.
+  uint32_t pcOf(InstrRef Ref) const;
+
+  /// Maps a PC back to an instruction reference; returns false if the PC is
+  /// not in text.
+  bool refOf(uint32_t Pc, InstrRef &Out) const;
+
+  /// Entry PC of function ordinal \p FuncIdx.
+  uint32_t functionEntry(uint32_t FuncIdx) const;
+
+  /// Address of global \p Name; InvalidAddress if unknown.
+  uint32_t globalAddress(const std::string &Name) const;
+
+  /// Finds the global containing \p Addr; returns nullptr if none. On
+  /// success \p OffsetOut receives the byte offset within the global.
+  const Global *globalAt(uint32_t Addr, uint32_t &OffsetOut) const;
+
+  uint32_t dataEnd() const { return DataEnd; }
+
+  static constexpr uint32_t InvalidAddress = ~0u;
+
+private:
+  const Module &M;
+  std::vector<uint32_t> FuncBasePc;
+  uint32_t TextEnd = LayoutConstants::TextBase;
+  std::map<std::string, uint32_t> GlobalAddr;
+  /// Sorted (start address, global ordinal) pairs for globalAt lookups.
+  std::vector<std::pair<uint32_t, uint32_t>> GlobalsByAddr;
+  uint32_t DataEnd = LayoutConstants::DataBase;
+};
+
+} // namespace masm
+} // namespace dlq
+
+#endif // DLQ_MASM_MODULE_H

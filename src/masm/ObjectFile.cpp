@@ -1,0 +1,373 @@
+//===- masm/ObjectFile.cpp --------------------------------------------------==//
+
+#include "masm/ObjectFile.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace dlq;
+using namespace dlq::masm;
+
+namespace {
+
+constexpr uint32_t NoSym = ~0u;
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+class Writer {
+public:
+  void u8(uint8_t V) { Bytes.push_back(V); }
+  void u32(uint32_t V) {
+    for (unsigned I = 0; I != 4; ++I)
+      Bytes.push_back(static_cast<uint8_t>((V >> (8 * I)) & 0xFF));
+  }
+  void i32(int32_t V) { u32(static_cast<uint32_t>(V)); }
+  void blob(const std::vector<uint8_t> &Data) {
+    u32(static_cast<uint32_t>(Data.size()));
+    Bytes.insert(Bytes.end(), Data.begin(), Data.end());
+  }
+
+  std::vector<uint8_t> take() { return std::move(Bytes); }
+
+private:
+  std::vector<uint8_t> Bytes;
+};
+
+/// Interns strings; index 0 is always the empty string.
+class StringTable {
+public:
+  StringTable() { Index[""] = 0; Strings.push_back(""); }
+
+  uint32_t intern(const std::string &S) {
+    auto [It, Inserted] = Index.emplace(S, Strings.size());
+    if (Inserted)
+      Strings.push_back(S);
+    return static_cast<uint32_t>(It->second);
+  }
+
+  void write(Writer &W) const {
+    W.u32(static_cast<uint32_t>(Strings.size()));
+    for (const std::string &S : Strings) {
+      W.u32(static_cast<uint32_t>(S.size()));
+      for (char C : S)
+        W.u8(static_cast<uint8_t>(C));
+    }
+  }
+
+private:
+  std::map<std::string, size_t> Index;
+  std::vector<std::string> Strings;
+};
+
+void writeVarType(Writer &W, const VarType &T) {
+  W.u8(static_cast<uint8_t>(T.Kind));
+  W.u8(T.IsPointer ? 1 : 0);
+  W.u32(T.Size);
+  W.u32(static_cast<uint32_t>(T.Fields.size()));
+  for (const FieldType &F : T.Fields) {
+    W.u32(F.Offset);
+    W.u32(F.Size);
+    W.u8(F.IsPointer ? 1 : 0);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Reader
+//===----------------------------------------------------------------------===//
+
+class Reader {
+public:
+  Reader(const std::vector<uint8_t> &Bytes) : Bytes(Bytes) {}
+
+  bool failed() const { return Failed; }
+  const std::string &error() const { return Error; }
+
+  void fail(const std::string &Message) {
+    if (!Failed)
+      Error = Message;
+    Failed = true;
+  }
+
+  uint8_t u8() {
+    if (Pos + 1 > Bytes.size()) {
+      fail("truncated object file");
+      return 0;
+    }
+    return Bytes[Pos++];
+  }
+  uint32_t u32() {
+    if (Pos + 4 > Bytes.size()) {
+      fail("truncated object file");
+      return 0;
+    }
+    uint32_t V = 0;
+    for (unsigned I = 0; I != 4; ++I)
+      V |= static_cast<uint32_t>(Bytes[Pos++]) << (8 * I);
+    return V;
+  }
+  int32_t i32() { return static_cast<int32_t>(u32()); }
+
+  std::vector<uint8_t> blob(uint32_t MaxLen) {
+    uint32_t Len = u32();
+    if (Len > MaxLen || Pos + Len > Bytes.size()) {
+      fail("oversized blob in object file");
+      return {};
+    }
+    std::vector<uint8_t> Out(Bytes.begin() + Pos, Bytes.begin() + Pos + Len);
+    Pos += Len;
+    return Out;
+  }
+
+private:
+  const std::vector<uint8_t> &Bytes;
+  size_t Pos = 0;
+  bool Failed = false;
+  std::string Error;
+};
+
+bool readVarType(Reader &R, VarType &T) {
+  uint8_t Kind = R.u8();
+  if (Kind > static_cast<uint8_t>(VarKind::StructObj)) {
+    R.fail("bad variable kind");
+    return false;
+  }
+  T.Kind = static_cast<VarKind>(Kind);
+  T.IsPointer = R.u8() != 0;
+  T.Size = R.u32();
+  uint32_t NumFields = R.u32();
+  if (NumFields > 4096) {
+    R.fail("oversized field list");
+    return false;
+  }
+  for (uint32_t I = 0; I != NumFields && !R.failed(); ++I) {
+    FieldType F;
+    F.Offset = R.u32();
+    F.Size = R.u32();
+    F.IsPointer = R.u8() != 0;
+    T.Fields.push_back(F);
+  }
+  return !R.failed();
+}
+
+} // namespace
+
+std::vector<uint8_t> masm::encodeModule(const Module &M) {
+  // Two passes: intern every string first so the table can be written up
+  // front (decoders want it before the sections that reference it).
+  StringTable Strings;
+  for (const Global &G : M.globals())
+    Strings.intern(G.Name);
+  for (const Function &F : M.functions()) {
+    Strings.intern(F.name());
+    for (const Instr &I : F.instrs())
+      if (!I.Sym.empty())
+        Strings.intern(I.Sym);
+  }
+
+  Writer W;
+  W.u32(ObjectMagic);
+  W.u32(ObjectVersion);
+  Strings.write(W);
+
+  // Data section.
+  W.u32(static_cast<uint32_t>(M.globals().size()));
+  for (const Global &G : M.globals()) {
+    W.u32(Strings.intern(G.Name));
+    W.u32(G.Size);
+    W.u32(G.Align);
+    W.blob(G.Init);
+    const VarType *T = M.typeInfo().lookupGlobal(G.Name);
+    W.u8(T ? 1 : 0);
+    if (T)
+      writeVarType(W, *T);
+  }
+
+  // Text section.
+  W.u32(static_cast<uint32_t>(M.functions().size()));
+  for (const Function &F : M.functions()) {
+    W.u32(Strings.intern(F.name()));
+    W.u32(static_cast<uint32_t>(F.size()));
+    for (const Instr &I : F.instrs()) {
+      W.u8(static_cast<uint8_t>(I.Op));
+      W.u8(static_cast<uint8_t>(I.Rd));
+      W.u8(static_cast<uint8_t>(I.Rs));
+      W.u8(static_cast<uint8_t>(I.Rt));
+      W.i32(I.Imm);
+      bool Extern = I.Op == Opcode::La || I.Op == Opcode::Jal;
+      W.u32(Extern ? Strings.intern(I.Sym) : NoSym);
+      W.u32(I.TargetIndex);
+    }
+    // Frame type metadata.
+    const FunctionTypeInfo *FTI = M.typeInfo().lookupFunction(F.name());
+    uint32_t NumVars =
+        FTI ? static_cast<uint32_t>(FTI->Vars.size()) : 0;
+    W.u32(NumVars);
+    if (FTI)
+      for (const FrameVar &V : FTI->Vars) {
+        W.i32(V.SpOffset);
+        writeVarType(W, V.Type);
+      }
+  }
+  return W.take();
+}
+
+DecodeResult masm::decodeModule(const std::vector<uint8_t> &Bytes) {
+  DecodeResult Result;
+  Reader R(Bytes);
+
+  auto bail = [&](const std::string &Message) {
+    Result.M.reset();
+    Result.Error = Message;
+    return std::move(Result);
+  };
+
+  if (R.u32() != ObjectMagic)
+    return bail("not a delinq object file (bad magic)");
+  if (R.u32() != ObjectVersion)
+    return bail("unsupported object file version");
+
+  // String table.
+  uint32_t NumStrings = R.u32();
+  if (NumStrings > 1'000'000)
+    return bail("oversized string table");
+  std::vector<std::string> Strings;
+  for (uint32_t I = 0; I != NumStrings && !R.failed(); ++I) {
+    uint32_t Len = R.u32();
+    if (Len > 4096) {
+      R.fail("oversized string");
+      break;
+    }
+    std::string S;
+    for (uint32_t B = 0; B != Len && !R.failed(); ++B)
+      S.push_back(static_cast<char>(R.u8()));
+    Strings.push_back(std::move(S));
+  }
+  auto str = [&](uint32_t Idx) -> const std::string & {
+    static const std::string Empty;
+    if (Idx >= Strings.size()) {
+      R.fail("string index out of range");
+      return Empty;
+    }
+    return Strings[Idx];
+  };
+
+  Result.M = std::make_unique<Module>();
+  Module &M = *Result.M;
+
+  // Data section.
+  uint32_t NumGlobals = R.u32();
+  if (NumGlobals > 1'000'000)
+    return bail("oversized global table");
+  for (uint32_t I = 0; I != NumGlobals && !R.failed(); ++I) {
+    Global G;
+    G.Name = str(R.u32());
+    G.Size = R.u32();
+    G.Align = R.u32();
+    G.Init = R.blob(64 * 1024 * 1024);
+    if (R.failed() || G.Name.empty())
+      return bail(R.failed() ? R.error() : "global with empty name");
+    if (M.lookupGlobal(G.Name))
+      return bail("duplicate global '" + G.Name + "'");
+    bool HasType = R.u8() != 0;
+    M.addGlobal(std::move(G));
+    if (HasType) {
+      VarType T;
+      if (!readVarType(R, T))
+        return bail(R.error());
+      M.typeInfo().setGlobalType(M.globals().back().Name, T);
+    }
+  }
+
+  // Text section.
+  uint32_t NumFuncs = R.u32();
+  if (NumFuncs > 1'000'000)
+    return bail("oversized function table");
+  for (uint32_t FI = 0; FI != NumFuncs && !R.failed(); ++FI) {
+    std::string Name = str(R.u32());
+    if (R.failed() || Name.empty())
+      return bail(R.failed() ? R.error() : "function with empty name");
+    if (M.lookupFunction(Name))
+      return bail("duplicate function '" + Name + "'");
+    Function &F = M.addFunction(Name);
+
+    uint32_t NumInstrs = R.u32();
+    if (NumInstrs > 16'000'000)
+      return bail("oversized function body");
+    std::vector<uint32_t> Targets;
+    for (uint32_t Idx = 0; Idx != NumInstrs && !R.failed(); ++Idx) {
+      Instr I;
+      uint8_t Op = R.u8();
+      if (Op >= NumOpcodes)
+        return bail(formatString("bad opcode %u at %s+%u", Op, Name.c_str(),
+                                 Idx));
+      I.Op = static_cast<Opcode>(Op);
+      uint8_t Rd = R.u8(), Rs = R.u8(), Rt = R.u8();
+      if (Rd >= NumRegs || Rs >= NumRegs || Rt >= NumRegs)
+        return bail("bad register number");
+      I.Rd = static_cast<Reg>(Rd);
+      I.Rs = static_cast<Reg>(Rs);
+      I.Rt = static_cast<Reg>(Rt);
+      I.Imm = R.i32();
+      uint32_t SymIdx = R.u32();
+      if (SymIdx != NoSym)
+        I.Sym = str(SymIdx);
+      I.TargetIndex = R.u32();
+      if ((isCondBranch(I.Op) || I.Op == Opcode::J)) {
+        if (I.TargetIndex >= NumInstrs)
+          return bail("branch target out of range");
+        Targets.push_back(I.TargetIndex);
+      }
+      F.append(std::move(I));
+    }
+
+    // Synthesize local labels at branch targets ("objdump style").
+    std::sort(Targets.begin(), Targets.end());
+    Targets.erase(std::unique(Targets.begin(), Targets.end()),
+                  Targets.end());
+    std::map<uint32_t, std::string> LabelAt;
+    for (uint32_t T : Targets)
+      LabelAt[T] = formatString("L%u", T);
+    // defineLabel binds at the next append position, so rebuild the body
+    // interleaving label definitions.
+    {
+      std::vector<Instr> Body = F.instrs();
+      // Clear and re-append with labels in place.
+      F.instrs().clear();
+      for (uint32_t Idx = 0; Idx != Body.size(); ++Idx) {
+        auto It = LabelAt.find(Idx);
+        if (It != LabelAt.end())
+          F.defineLabel(It->second);
+        Instr I = Body[Idx];
+        if ((isCondBranch(I.Op) || I.Op == Opcode::J))
+          I.Sym = LabelAt.at(I.TargetIndex);
+        F.append(std::move(I));
+      }
+    }
+
+    // Frame metadata.
+    uint32_t NumVars = R.u32();
+    if (NumVars > 1'000'000)
+      return bail("oversized frame metadata");
+    if (NumVars != 0) {
+      FunctionTypeInfo &FTI = M.typeInfo().functionInfo(Name);
+      for (uint32_t V = 0; V != NumVars && !R.failed(); ++V) {
+        FrameVar Var;
+        Var.SpOffset = R.i32();
+        if (!readVarType(R, Var.Type))
+          return bail(R.error());
+        FTI.Vars.push_back(std::move(Var));
+      }
+    }
+  }
+
+  if (R.failed())
+    return bail(R.error());
+  if (!M.finalize())
+    return bail("unresolved branch targets after decode");
+  return Result;
+}

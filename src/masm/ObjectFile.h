@@ -1,0 +1,58 @@
+//===- masm/ObjectFile.h - binary module encoding --------------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A binary "executable" format for masm modules and its decoder — the
+/// analog of the paper's MIPS executables and objdump: the analysis pipeline
+/// can run from a decoded binary with no access to the compiler. The format
+/// carries text (fixed-size instruction records), data (globals with
+/// initializers), a string table, and the symbol-table type metadata the
+/// BDH baseline consumes.
+///
+/// The decoder is defensive: malformed input yields an error message, never
+/// undefined behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_MASM_OBJECTFILE_H
+#define DLQ_MASM_OBJECTFILE_H
+
+#include "masm/Module.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dlq {
+namespace masm {
+
+/// Serializes \p M (functions, globals, type metadata). Branch targets must
+/// be resolved (Module::finalize).
+std::vector<uint8_t> encodeModule(const Module &M);
+
+/// Result of decoding.
+struct DecodeResult {
+  std::unique_ptr<Module> M;
+  std::string Error; ///< Nonempty on failure.
+
+  bool ok() const { return M != nullptr; }
+};
+
+/// Reconstructs a module from \p Bytes. Local labels are synthesized as
+/// "Ln" at every branch target, so printing a decoded module yields valid
+/// assembly.
+DecodeResult decodeModule(const std::vector<uint8_t> &Bytes);
+
+/// Format constants, exposed for tests.
+constexpr uint32_t ObjectMagic = 0x584C5144; // "DQLX" little-endian.
+constexpr uint32_t ObjectVersion = 1;
+
+} // namespace masm
+} // namespace dlq
+
+#endif // DLQ_MASM_OBJECTFILE_H

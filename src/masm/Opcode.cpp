@@ -1,0 +1,86 @@
+//===- masm/Opcode.cpp ----------------------------------------------------==//
+
+#include "masm/Opcode.h"
+
+#include <array>
+
+using namespace dlq;
+using namespace dlq::masm;
+
+static constexpr std::array<std::string_view, NumOpcodes> OpcodeNames = {
+    "add",  "sub", "mul",  "div",  "rem",  "and", "or",   "xor", "nor",
+    "slt",  "sltu", "sllv", "srlv", "srav", "addi", "andi", "ori", "xori",
+    "slti", "sltiu", "sll", "srl",  "sra",  "lui", "li",   "la",  "move",
+    "lw",   "lh",  "lhu",  "lb",   "lbu",  "sw",  "sh",   "sb",  "beq",
+    "bne",  "blt", "bge",  "ble",  "bgt",  "j",   "jal",  "jr",  "jalr",
+    "nop"};
+
+std::string_view masm::opcodeName(Opcode Op) {
+  return OpcodeNames[static_cast<unsigned>(Op)];
+}
+
+std::optional<Opcode> masm::parseOpcodeName(std::string_view Name) {
+  for (unsigned I = 0; I != NumOpcodes; ++I)
+    if (OpcodeNames[I] == Name)
+      return static_cast<Opcode>(I);
+  return std::nullopt;
+}
+
+unsigned masm::accessSize(Opcode Op) {
+  switch (Op) {
+  case Opcode::Lw:
+  case Opcode::Sw:
+    return 4;
+  case Opcode::Lh:
+  case Opcode::Lhu:
+  case Opcode::Sh:
+    return 2;
+  case Opcode::Lb:
+  case Opcode::Lbu:
+  case Opcode::Sb:
+    return 1;
+  default:
+    return 0;
+  }
+}
+
+bool masm::writesRd(Opcode Op) {
+  if (isRegAlu(Op) || isImmAlu(Op) || isLoad(Op))
+    return true;
+  switch (Op) {
+  case Opcode::Li:
+  case Opcode::La:
+  case Opcode::Move:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool masm::readsRs(Opcode Op) {
+  if (isRegAlu(Op) || isLoad(Op) || isStore(Op) || isCondBranch(Op))
+    return true;
+  switch (Op) {
+  case Opcode::Addi:
+  case Opcode::Andi:
+  case Opcode::Ori:
+  case Opcode::Xori:
+  case Opcode::Slti:
+  case Opcode::Sltiu:
+  case Opcode::Sll:
+  case Opcode::Srl:
+  case Opcode::Sra:
+  case Opcode::Move:
+  case Opcode::Jr:
+  case Opcode::Jalr:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool masm::readsRt(Opcode Op) {
+  if (isRegAlu(Op) || isCondBranch(Op) || isStore(Op))
+    return true;
+  return false;
+}

@@ -1,0 +1,144 @@
+//===- masm/Opcode.h - Instruction opcodes and traits ---------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Opcode enumeration for the MIPS-like ISA and opcode trait predicates
+/// (loads, stores, branches, register reads/writes) used by the CFG builder,
+/// dataflow analyses, address-pattern builder and the simulator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_MASM_OPCODE_H
+#define DLQ_MASM_OPCODE_H
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace dlq {
+namespace masm {
+
+/// Opcodes of the MIPS-like ISA. Pseudo-instructions (Li, La, Move) are
+/// first-class here, the way a disassembler would render them.
+enum class Opcode : uint8_t {
+  // Three-register ALU.
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  And,
+  Or,
+  Xor,
+  Nor,
+  Slt,
+  Sltu,
+  Sllv,
+  Srlv,
+  Srav,
+  // Register-immediate ALU.
+  Addi,
+  Andi,
+  Ori,
+  Xori,
+  Slti,
+  Sltiu,
+  Sll,
+  Srl,
+  Sra,
+  Lui,
+  // Pseudo data movement.
+  Li,   // rd <- imm32
+  La,   // rd <- address of symbol + imm
+  Move, // rd <- rs
+  // Loads: rd <- mem[rs + imm].
+  Lw,
+  Lh,
+  Lhu,
+  Lb,
+  Lbu,
+  // Stores: mem[rs + imm] <- rt.
+  Sw,
+  Sh,
+  Sb,
+  // Control flow. Conditional branches compare rs with rt.
+  Beq,
+  Bne,
+  Blt,
+  Bge,
+  Ble,
+  Bgt,
+  J,
+  Jal,  // call symbol
+  Jr,   // indirect jump (returns when rs == $ra)
+  Jalr, // indirect call
+  Nop,
+};
+
+constexpr unsigned NumOpcodes = static_cast<unsigned>(Opcode::Nop) + 1;
+
+/// Returns the mnemonic, e.g. "addi".
+std::string_view opcodeName(Opcode Op);
+
+/// Parses a mnemonic. Returns std::nullopt for unknown mnemonics.
+std::optional<Opcode> parseOpcodeName(std::string_view Name);
+
+/// True for lw/lh/lhu/lb/lbu.
+constexpr bool isLoad(Opcode Op) {
+  return Op >= Opcode::Lw && Op <= Opcode::Lbu;
+}
+
+/// True for sw/sh/sb.
+constexpr bool isStore(Opcode Op) {
+  return Op >= Opcode::Sw && Op <= Opcode::Sb;
+}
+
+/// True for conditional branches (beq..bgt).
+constexpr bool isCondBranch(Opcode Op) {
+  return Op >= Opcode::Beq && Op <= Opcode::Bgt;
+}
+
+/// True for any control-transfer instruction.
+constexpr bool isControlFlow(Opcode Op) {
+  return Op >= Opcode::Beq && Op <= Opcode::Jalr;
+}
+
+/// True for direct and indirect calls.
+constexpr bool isCall(Opcode Op) { return Op == Opcode::Jal || Op == Opcode::Jalr; }
+
+/// Memory access width in bytes for loads/stores; 0 otherwise.
+unsigned accessSize(Opcode Op);
+
+/// True if the access is sign-extending (lb/lh). Unused by the analyses but
+/// required for a faithful executor.
+constexpr bool isSignExtendingLoad(Opcode Op) {
+  return Op == Opcode::Lh || Op == Opcode::Lb;
+}
+
+/// True when the instruction writes its Rd operand.
+bool writesRd(Opcode Op);
+
+/// True when the instruction reads its Rs operand.
+bool readsRs(Opcode Op);
+
+/// True when the instruction reads its Rt operand.
+bool readsRt(Opcode Op);
+
+/// True for ALU opcodes taking an immediate (addi..sra, lui).
+constexpr bool isImmAlu(Opcode Op) {
+  return Op >= Opcode::Addi && Op <= Opcode::Lui;
+}
+
+/// True for three-register ALU opcodes.
+constexpr bool isRegAlu(Opcode Op) {
+  return Op >= Opcode::Add && Op <= Opcode::Srav;
+}
+
+} // namespace masm
+} // namespace dlq
+
+#endif // DLQ_MASM_OPCODE_H

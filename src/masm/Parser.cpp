@@ -1,0 +1,514 @@
+//===- masm/Parser.cpp ----------------------------------------------------==//
+
+#include "masm/Parser.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <cctype>
+#include <set>
+
+using namespace dlq;
+using namespace dlq::masm;
+
+std::string ParseResult::diagText() const {
+  std::string Out;
+  for (const ParseDiag &D : Diags)
+    Out += formatString("line %u: %s\n", D.Line, D.Message.c_str());
+  return Out;
+}
+
+namespace {
+
+/// Splits one line into trimmed comma-separated operand strings.
+class LineLexer {
+public:
+  explicit LineLexer(std::string_view Text) : Text(Text) {}
+
+  /// Strips comments (# to end of line) and surrounding whitespace.
+  static std::string_view stripComment(std::string_view Line) {
+    size_t Hash = Line.find('#');
+    if (Hash != std::string_view::npos)
+      Line = Line.substr(0, Hash);
+    while (!Line.empty() && std::isspace(static_cast<unsigned char>(Line.front())))
+      Line.remove_prefix(1);
+    while (!Line.empty() && std::isspace(static_cast<unsigned char>(Line.back())))
+      Line.remove_suffix(1);
+    return Line;
+  }
+
+  std::string_view text() const { return Text; }
+
+private:
+  std::string_view Text;
+};
+
+class AsmParser {
+public:
+  explicit AsmParser(std::string_view Source) : Source(Source) {
+    Result.M = std::make_unique<Module>();
+  }
+
+  ParseResult take() && { return std::move(Result); }
+
+  void run();
+
+private:
+  enum class SectionKind { None, Text, Data };
+
+  void error(const std::string &Message) {
+    Result.Diags.push_back(ParseDiag{LineNo, Message});
+  }
+
+  void parseLine(std::string_view Line);
+  void parseDirective(std::string_view Head, std::string_view Rest);
+  void parseInstr(std::string_view Head, std::string_view Rest);
+  void defineLabel(const std::string &Name);
+
+  static std::vector<std::string> splitOperands(std::string_view Rest);
+  bool parseReg(const std::string &Tok, Reg &Out);
+  bool parseImm(const std::string &Tok, int32_t &Out);
+  bool parseMem(const std::string &Tok, int32_t &ImmOut, Reg &BaseOut);
+  static bool isIdent(std::string_view Tok);
+
+  bool parseVarKind(const std::string &Tok, VarKind &Out);
+  bool parsePtrFlag(const std::string &Tok, bool &Out);
+
+  std::string_view Source;
+  ParseResult Result;
+  unsigned LineNo = 0;
+
+  SectionKind Section = SectionKind::None;
+  std::set<std::string> GloblNames;
+  Function *CurFunc = nullptr;
+  Global *CurGlobal = nullptr;
+  /// Pending data label awaiting its first .word/.space.
+  std::string PendingDataLabel;
+  /// Receives `.field` directives: frame var or global var being described.
+  VarType *CurVarType = nullptr;
+};
+
+} // namespace
+
+void AsmParser::run() {
+  size_t Pos = 0;
+  while (Pos <= Source.size()) {
+    size_t Eol = Source.find('\n', Pos);
+    if (Eol == std::string_view::npos)
+      Eol = Source.size();
+    ++LineNo;
+    std::string_view Line =
+        LineLexer::stripComment(Source.substr(Pos, Eol - Pos));
+    if (!Line.empty())
+      parseLine(Line);
+    Pos = Eol + 1;
+    if (Eol == Source.size())
+      break;
+  }
+  if (Result.M && Result.Diags.empty() && !Result.M->finalize())
+    error("unresolved branch target label");
+}
+
+void AsmParser::parseLine(std::string_view Line) {
+  // Labels: one or more `name:` prefixes.
+  while (true) {
+    size_t Colon = Line.find(':');
+    if (Colon == std::string_view::npos)
+      break;
+    std::string_view Head = Line.substr(0, Colon);
+    if (!isIdent(Head))
+      break;
+    defineLabel(std::string(Head));
+    Line = LineLexer::stripComment(Line.substr(Colon + 1));
+    if (Line.empty())
+      return;
+  }
+
+  size_t Space = Line.find_first_of(" \t");
+  std::string_view Head = Line.substr(0, Space);
+  std::string_view Rest =
+      Space == std::string_view::npos
+          ? std::string_view()
+          : LineLexer::stripComment(Line.substr(Space + 1));
+
+  if (!Head.empty() && Head.front() == '.') {
+    parseDirective(Head, Rest);
+    return;
+  }
+  parseInstr(Head, Rest);
+}
+
+void AsmParser::defineLabel(const std::string &Name) {
+  if (Section == SectionKind::Data) {
+    PendingDataLabel = Name;
+    CurGlobal = nullptr;
+    return;
+  }
+  if (Section != SectionKind::Text) {
+    error("label outside of a section: " + Name);
+    return;
+  }
+  if (GloblNames.count(Name)) {
+    CurFunc = &Result.M->addFunction(Name);
+    CurVarType = nullptr;
+    return;
+  }
+  if (!CurFunc) {
+    error("local label before any function: " + Name);
+    return;
+  }
+  if (CurFunc->lookupLabel(Name) != InvalidIndex) {
+    error("duplicate label: " + Name);
+    return;
+  }
+  CurFunc->defineLabel(Name);
+}
+
+std::vector<std::string> AsmParser::splitOperands(std::string_view Rest) {
+  std::vector<std::string> Ops;
+  size_t Pos = 0;
+  while (Pos < Rest.size()) {
+    size_t Comma = Rest.find(',', Pos);
+    std::string_view Piece = Rest.substr(
+        Pos, Comma == std::string_view::npos ? std::string_view::npos
+                                             : Comma - Pos);
+    Piece = LineLexer::stripComment(Piece);
+    if (!Piece.empty())
+      Ops.emplace_back(Piece);
+    if (Comma == std::string_view::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  // Also split space-separated operands for directives without commas.
+  if (Ops.size() == 1 && Ops[0].find(' ') != std::string::npos) {
+    std::vector<std::string> Split;
+    std::string Cur;
+    for (char C : Ops[0]) {
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        if (!Cur.empty())
+          Split.push_back(Cur);
+        Cur.clear();
+      } else {
+        Cur.push_back(C);
+      }
+    }
+    if (!Cur.empty())
+      Split.push_back(Cur);
+    if (Split.size() > 1)
+      return Split;
+  }
+  return Ops;
+}
+
+bool AsmParser::isIdent(std::string_view Tok) {
+  if (Tok.empty())
+    return false;
+  if (!std::isalpha(static_cast<unsigned char>(Tok.front())) &&
+      Tok.front() != '_')
+    return false;
+  for (char C : Tok)
+    if (!std::isalnum(static_cast<unsigned char>(C)) && C != '_' && C != '.')
+      return false;
+  return true;
+}
+
+bool AsmParser::parseReg(const std::string &Tok, Reg &Out) {
+  if (auto R = parseRegName(Tok)) {
+    Out = *R;
+    return true;
+  }
+  error("expected register, got '" + Tok + "'");
+  return false;
+}
+
+bool AsmParser::parseImm(const std::string &Tok, int32_t &Out) {
+  if (Tok.empty()) {
+    error("expected immediate");
+    return false;
+  }
+  errno = 0;
+  char *End = nullptr;
+  long long Value = std::strtoll(Tok.c_str(), &End, 0);
+  if (End != Tok.c_str() + Tok.size() || errno != 0 ||
+      Value < INT32_MIN || Value > static_cast<long long>(UINT32_MAX)) {
+    error("bad immediate '" + Tok + "'");
+    return false;
+  }
+  Out = static_cast<int32_t>(Value);
+  return true;
+}
+
+bool AsmParser::parseMem(const std::string &Tok, int32_t &ImmOut,
+                         Reg &BaseOut) {
+  size_t Open = Tok.find('(');
+  size_t Close = Tok.rfind(')');
+  if (Open == std::string::npos || Close == std::string::npos ||
+      Close < Open) {
+    error("expected memory operand 'imm($reg)', got '" + Tok + "'");
+    return false;
+  }
+  std::string ImmPart = Tok.substr(0, Open);
+  std::string RegPart = Tok.substr(Open + 1, Close - Open - 1);
+  ImmOut = 0;
+  if (!ImmPart.empty() && !parseImm(ImmPart, ImmOut))
+    return false;
+  return parseReg(RegPart, BaseOut);
+}
+
+bool AsmParser::parseVarKind(const std::string &Tok, VarKind &Out) {
+  if (Tok == "scalar")
+    Out = VarKind::Scalar;
+  else if (Tok == "array")
+    Out = VarKind::Array;
+  else if (Tok == "struct")
+    Out = VarKind::StructObj;
+  else {
+    error("bad variable kind '" + Tok + "'");
+    return false;
+  }
+  return true;
+}
+
+bool AsmParser::parsePtrFlag(const std::string &Tok, bool &Out) {
+  if (Tok == "ptr")
+    Out = true;
+  else if (Tok == "noptr")
+    Out = false;
+  else {
+    error("expected 'ptr' or 'noptr', got '" + Tok + "'");
+    return false;
+  }
+  return true;
+}
+
+void AsmParser::parseDirective(std::string_view Head, std::string_view Rest) {
+  std::vector<std::string> Ops = splitOperands(Rest);
+  Module &M = *Result.M;
+
+  auto ensureGlobal = [&]() -> Global * {
+    if (CurGlobal)
+      return CurGlobal;
+    if (PendingDataLabel.empty()) {
+      error("data directive without a label");
+      return nullptr;
+    }
+    CurGlobal = &M.addGlobal(Global{PendingDataLabel, 0, 4, {}});
+    PendingDataLabel.clear();
+    return CurGlobal;
+  };
+
+  if (Head == ".text") {
+    Section = SectionKind::Text;
+    return;
+  }
+  if (Head == ".data") {
+    Section = SectionKind::Data;
+    return;
+  }
+  if (Head == ".globl") {
+    if (Ops.size() != 1) {
+      error(".globl takes one name");
+      return;
+    }
+    GloblNames.insert(Ops[0]);
+    return;
+  }
+  if (Head == ".align") {
+    int32_t A = 4;
+    if (Ops.size() != 1 || !parseImm(Ops[0], A))
+      return;
+    if (Global *G = ensureGlobal())
+      G->Align = static_cast<uint32_t>(A);
+    return;
+  }
+  if (Head == ".space") {
+    int32_t N = 0;
+    if (Ops.size() != 1 || !parseImm(Ops[0], N))
+      return;
+    if (Global *G = ensureGlobal())
+      G->Size += static_cast<uint32_t>(N);
+    return;
+  }
+  if (Head == ".word") {
+    Global *G = ensureGlobal();
+    if (!G)
+      return;
+    for (const std::string &Op : Ops) {
+      int32_t Value = 0;
+      if (!parseImm(Op, Value))
+        return;
+      for (unsigned B = 0; B != 4; ++B)
+        G->Init.push_back(
+            static_cast<uint8_t>((static_cast<uint32_t>(Value) >> (8 * B)) &
+                                 0xFF));
+      G->Size += 4;
+    }
+    return;
+  }
+  if (Head == ".byte") {
+    Global *G = ensureGlobal();
+    if (!G)
+      return;
+    for (const std::string &Op : Ops) {
+      int32_t Value = 0;
+      if (!parseImm(Op, Value))
+        return;
+      G->Init.push_back(static_cast<uint8_t>(Value & 0xFF));
+      G->Size += 1;
+    }
+    return;
+  }
+  if (Head == ".var") {
+    // .var <sp-offset> <size> <kind> <ptr|noptr>
+    if (!CurFunc) {
+      error(".var outside a function");
+      return;
+    }
+    int32_t Offset = 0, Size = 0;
+    VarKind Kind;
+    bool IsPtr = false;
+    if (Ops.size() != 4 || !parseImm(Ops[0], Offset) ||
+        !parseImm(Ops[1], Size) || !parseVarKind(Ops[2], Kind) ||
+        !parsePtrFlag(Ops[3], IsPtr)) {
+      if (Ops.size() != 4)
+        error(".var takes <offset> <size> <kind> <ptr|noptr>");
+      return;
+    }
+    FunctionTypeInfo &FTI = M.typeInfo().functionInfo(CurFunc->name());
+    FTI.Vars.push_back(
+        FrameVar{Offset, VarType{Kind, static_cast<uint32_t>(Size), IsPtr, {}}});
+    CurVarType = &FTI.Vars.back().Type;
+    return;
+  }
+  if (Head == ".gvar") {
+    // .gvar <name> <size> <kind> <ptr|noptr>
+    int32_t Size = 0;
+    VarKind Kind;
+    bool IsPtr = false;
+    if (Ops.size() != 4 || !parseImm(Ops[1], Size) ||
+        !parseVarKind(Ops[2], Kind) || !parsePtrFlag(Ops[3], IsPtr)) {
+      if (Ops.size() != 4)
+        error(".gvar takes <name> <size> <kind> <ptr|noptr>");
+      return;
+    }
+    M.typeInfo().setGlobalType(
+        Ops[0], VarType{Kind, static_cast<uint32_t>(Size), IsPtr, {}});
+    // setGlobalType copies; re-fetch for .field continuation.
+    CurVarType = const_cast<VarType *>(M.typeInfo().lookupGlobal(Ops[0]));
+    return;
+  }
+  if (Head == ".field") {
+    // .field <offset> <size> <ptr|noptr>
+    if (!CurVarType) {
+      error(".field without a preceding .var/.gvar");
+      return;
+    }
+    int32_t Offset = 0, Size = 0;
+    bool IsPtr = false;
+    if (Ops.size() != 3 || !parseImm(Ops[0], Offset) ||
+        !parseImm(Ops[1], Size) || !parsePtrFlag(Ops[2], IsPtr)) {
+      if (Ops.size() != 3)
+        error(".field takes <offset> <size> <ptr|noptr>");
+      return;
+    }
+    CurVarType->Fields.push_back(FieldType{static_cast<uint32_t>(Offset),
+                                           static_cast<uint32_t>(Size), IsPtr});
+    return;
+  }
+  error("unknown directive '" + std::string(Head) + "'");
+}
+
+void AsmParser::parseInstr(std::string_view Head, std::string_view Rest) {
+  if (Section != SectionKind::Text || !CurFunc) {
+    error("instruction outside a function");
+    return;
+  }
+  auto OpOrNone = parseOpcodeName(Head);
+  if (!OpOrNone) {
+    error("unknown mnemonic '" + std::string(Head) + "'");
+    return;
+  }
+  Opcode Op = *OpOrNone;
+  std::vector<std::string> Ops = splitOperands(Rest);
+  Instr I;
+  I.Op = Op;
+
+  auto need = [&](size_t N) {
+    if (Ops.size() == N)
+      return true;
+    error(formatString("'%s' expects %zu operands, got %zu",
+                       std::string(opcodeName(Op)).c_str(), N, Ops.size()));
+    return false;
+  };
+
+  if (isRegAlu(Op)) {
+    if (!need(3) || !parseReg(Ops[0], I.Rd) || !parseReg(Ops[1], I.Rs) ||
+        !parseReg(Ops[2], I.Rt))
+      return;
+  } else if (Op == Opcode::Lui || Op == Opcode::Li) {
+    if (!need(2) || !parseReg(Ops[0], I.Rd) || !parseImm(Ops[1], I.Imm))
+      return;
+  } else if (isImmAlu(Op)) {
+    if (!need(3) || !parseReg(Ops[0], I.Rd) || !parseReg(Ops[1], I.Rs) ||
+        !parseImm(Ops[2], I.Imm))
+      return;
+  } else if (isLoad(Op)) {
+    if (!need(2) || !parseReg(Ops[0], I.Rd) ||
+        !parseMem(Ops[1], I.Imm, I.Rs))
+      return;
+  } else if (isStore(Op)) {
+    if (!need(2) || !parseReg(Ops[0], I.Rt) ||
+        !parseMem(Ops[1], I.Imm, I.Rs))
+      return;
+  } else if (isCondBranch(Op)) {
+    if (!need(3) || !parseReg(Ops[0], I.Rs) || !parseReg(Ops[1], I.Rt))
+      return;
+    if (!isIdent(Ops[2])) {
+      error("bad branch target '" + Ops[2] + "'");
+      return;
+    }
+    I.Sym = Ops[2];
+  } else if (Op == Opcode::La) {
+    if (!need(2) || !parseReg(Ops[0], I.Rd))
+      return;
+    // sym or sym+imm
+    std::string SymTok = Ops[1];
+    size_t Plus = SymTok.find('+');
+    if (Plus != std::string::npos) {
+      if (!parseImm(SymTok.substr(Plus + 1), I.Imm))
+        return;
+      SymTok = SymTok.substr(0, Plus);
+    }
+    if (!isIdent(SymTok)) {
+      error("bad symbol '" + SymTok + "'");
+      return;
+    }
+    I.Sym = SymTok;
+  } else if (Op == Opcode::Move) {
+    if (!need(2) || !parseReg(Ops[0], I.Rd) || !parseReg(Ops[1], I.Rs))
+      return;
+  } else if (Op == Opcode::J || Op == Opcode::Jal) {
+    if (!need(1))
+      return;
+    if (!isIdent(Ops[0])) {
+      error("bad jump target '" + Ops[0] + "'");
+      return;
+    }
+    I.Sym = Ops[0];
+  } else if (Op == Opcode::Jr || Op == Opcode::Jalr) {
+    if (!need(1) || !parseReg(Ops[0], I.Rs))
+      return;
+  } else {
+    assert(Op == Opcode::Nop && "unhandled opcode family");
+    if (!need(0))
+      return;
+  }
+
+  CurFunc->append(std::move(I));
+}
+
+ParseResult masm::parseAssembly(std::string_view Source) {
+  AsmParser P(Source);
+  P.run();
+  return std::move(P).take();
+}

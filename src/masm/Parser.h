@@ -1,0 +1,52 @@
+//===- masm/Parser.h - Assembly text parser -------------------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the assembly syntax produced by the printer and by the MinC
+/// compiler. Functions are introduced by `.globl name` followed by `name:`;
+/// other labels are local to the enclosing function. Type metadata for the
+/// BDH baseline is given with `.var`, `.field` and `.gvar` directives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_MASM_PARSER_H
+#define DLQ_MASM_PARSER_H
+
+#include "masm/Module.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dlq {
+namespace masm {
+
+/// One parse diagnostic.
+struct ParseDiag {
+  unsigned Line = 0;
+  std::string Message;
+};
+
+/// Result of parsing: the module (valid only when Diags is empty).
+struct ParseResult {
+  std::unique_ptr<Module> M;
+  std::vector<ParseDiag> Diags;
+
+  bool ok() const { return Diags.empty() && M != nullptr; }
+
+  /// All diagnostics joined as "line N: message" lines.
+  std::string diagText() const;
+};
+
+/// Parses \p Source into a module; branch targets are resolved.
+ParseResult parseAssembly(std::string_view Source);
+
+} // namespace masm
+} // namespace dlq
+
+#endif // DLQ_MASM_PARSER_H

@@ -1,0 +1,132 @@
+//===- masm/Printer.cpp ---------------------------------------------------==//
+
+#include "masm/Printer.h"
+
+#include "support/Format.h"
+
+using namespace dlq;
+using namespace dlq::masm;
+
+std::string masm::printInstr(const Instr &I) {
+  std::string Mn(opcodeName(I.Op));
+  auto R = [](Reg Rr) { return std::string(regName(Rr)); };
+
+  if (isRegAlu(I.Op))
+    return formatString("%-5s %s, %s, %s", Mn.c_str(), R(I.Rd).c_str(),
+                        R(I.Rs).c_str(), R(I.Rt).c_str());
+  if (I.Op == Opcode::Lui)
+    return formatString("%-5s %s, %d", Mn.c_str(), R(I.Rd).c_str(), I.Imm);
+  if (isImmAlu(I.Op))
+    return formatString("%-5s %s, %s, %d", Mn.c_str(), R(I.Rd).c_str(),
+                        R(I.Rs).c_str(), I.Imm);
+  if (isLoad(I.Op))
+    return formatString("%-5s %s, %d(%s)", Mn.c_str(), R(I.Rd).c_str(), I.Imm,
+                        R(I.Rs).c_str());
+  if (isStore(I.Op))
+    return formatString("%-5s %s, %d(%s)", Mn.c_str(), R(I.Rt).c_str(), I.Imm,
+                        R(I.Rs).c_str());
+  if (isCondBranch(I.Op))
+    return formatString("%-5s %s, %s, %s", Mn.c_str(), R(I.Rs).c_str(),
+                        R(I.Rt).c_str(), I.Sym.c_str());
+
+  switch (I.Op) {
+  case Opcode::Li:
+    return formatString("%-5s %s, %d", Mn.c_str(), R(I.Rd).c_str(), I.Imm);
+  case Opcode::La:
+    if (I.Imm != 0)
+      return formatString("%-5s %s, %s+%d", Mn.c_str(), R(I.Rd).c_str(),
+                          I.Sym.c_str(), I.Imm);
+    return formatString("%-5s %s, %s", Mn.c_str(), R(I.Rd).c_str(),
+                        I.Sym.c_str());
+  case Opcode::Move:
+    return formatString("%-5s %s, %s", Mn.c_str(), R(I.Rd).c_str(),
+                        R(I.Rs).c_str());
+  case Opcode::J:
+  case Opcode::Jal:
+    return formatString("%-5s %s", Mn.c_str(), I.Sym.c_str());
+  case Opcode::Jr:
+  case Opcode::Jalr:
+    return formatString("%-5s %s", Mn.c_str(), R(I.Rs).c_str());
+  case Opcode::Nop:
+    return Mn;
+  default:
+    return Mn;
+  }
+}
+
+static const char *varKindName(VarKind K) {
+  switch (K) {
+  case VarKind::Scalar:
+    return "scalar";
+  case VarKind::Array:
+    return "array";
+  case VarKind::StructObj:
+    return "struct";
+  }
+  return "scalar";
+}
+
+static void printVarType(std::string &Out, const VarType &T,
+                         const std::string &Prefix) {
+  Out += formatString("%s %u %s %s\n", Prefix.c_str(), T.Size,
+                      varKindName(T.Kind), T.IsPointer ? "ptr" : "noptr");
+  for (const FieldType &F : T.Fields)
+    Out += formatString("        .field %u %u %s\n", F.Offset, F.Size,
+                        F.IsPointer ? "ptr" : "noptr");
+}
+
+std::string masm::printFunction(const Function &F,
+                                const ModuleTypeInfo *Types) {
+  std::string Out;
+  Out += formatString("        .globl %s\n", F.name().c_str());
+  Out += formatString("%s:\n", F.name().c_str());
+  if (Types) {
+    if (const FunctionTypeInfo *FTI = Types->lookupFunction(F.name()))
+      for (const FrameVar &V : FTI->Vars)
+        printVarType(Out, V.Type,
+                     formatString("        .var %d", V.SpOffset));
+  }
+  for (uint32_t Idx = 0; Idx != F.size(); ++Idx) {
+    for (const std::string &Label : F.labelsAt(Idx))
+      Out += formatString("%s:\n", Label.c_str());
+    Out += "        " + printInstr(F.instrs()[Idx]) + "\n";
+  }
+  // Labels bound past the last instruction.
+  for (const std::string &Label : F.labelsAt(static_cast<uint32_t>(F.size())))
+    Out += formatString("%s:\n", Label.c_str());
+  return Out;
+}
+
+std::string masm::printModule(const Module &M) {
+  std::string Out;
+  if (!M.globals().empty()) {
+    Out += "        .data\n";
+    for (const Global &G : M.globals()) {
+      if (G.Align != 4)
+        Out += formatString("        .align %u\n", G.Align);
+      Out += formatString("%s:\n", G.Name.c_str());
+      if (G.Init.empty()) {
+        Out += formatString("        .space %u\n", G.Size);
+      } else {
+        // Emit initialized words, then trailing zero space if any.
+        uint32_t Words = static_cast<uint32_t>(G.Init.size()) / 4;
+        for (uint32_t W = 0; W != Words; ++W) {
+          uint32_t Value = 0;
+          for (unsigned B = 0; B != 4; ++B)
+            Value |= static_cast<uint32_t>(G.Init[W * 4 + B]) << (8 * B);
+          Out += formatString("        .word %d\n",
+                              static_cast<int32_t>(Value));
+        }
+        if (G.Size > Words * 4)
+          Out += formatString("        .space %u\n", G.Size - Words * 4);
+      }
+      if (const VarType *T = M.typeInfo().lookupGlobal(G.Name))
+        printVarType(Out, *T,
+                     formatString("        .gvar %s", G.Name.c_str()));
+    }
+  }
+  Out += "        .text\n";
+  for (const Function &F : M.functions())
+    Out += printFunction(F, &M.typeInfo());
+  return Out;
+}

@@ -1,0 +1,36 @@
+//===- masm/Printer.h - Assembly text output ------------------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders modules, functions and instructions as assembly text in the same
+/// syntax the parser accepts, so that print -> parse round-trips.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_MASM_PRINTER_H
+#define DLQ_MASM_PRINTER_H
+
+#include "masm/Module.h"
+
+#include <string>
+
+namespace dlq {
+namespace masm {
+
+/// Renders one instruction (no trailing newline), e.g. "lw $t2, 8($sp)".
+std::string printInstr(const Instr &I);
+
+/// Renders one function with labels and type directives.
+std::string printFunction(const Function &F, const ModuleTypeInfo *Types);
+
+/// Renders a whole module (data section, type directives, text section).
+std::string printModule(const Module &M);
+
+} // namespace masm
+} // namespace dlq
+
+#endif // DLQ_MASM_PRINTER_H

@@ -1,0 +1,47 @@
+//===- masm/Register.cpp --------------------------------------------------==//
+
+#include "masm/Register.h"
+
+#include <array>
+#include <cctype>
+
+using namespace dlq;
+using namespace dlq::masm;
+
+static constexpr std::array<std::string_view, NumRegs> RegNames = {
+    "$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3",
+    "$t0",   "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7",
+    "$s0",   "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+    "$t8",   "$t9", "$k0", "$k1", "$gp", "$sp", "$fp", "$ra"};
+
+std::string_view masm::regName(Reg R) {
+  return RegNames[static_cast<unsigned>(R)];
+}
+
+std::optional<Reg> masm::parseRegName(std::string_view Name) {
+  if (Name.empty())
+    return std::nullopt;
+  std::string_view Body = Name;
+  if (Body.front() == '$')
+    Body.remove_prefix(1);
+  if (Body.empty())
+    return std::nullopt;
+
+  // Numeric form: $0 .. $31.
+  if (std::isdigit(static_cast<unsigned char>(Body.front()))) {
+    unsigned Value = 0;
+    for (char C : Body) {
+      if (!std::isdigit(static_cast<unsigned char>(C)))
+        return std::nullopt;
+      Value = Value * 10 + static_cast<unsigned>(C - '0');
+      if (Value >= NumRegs)
+        return std::nullopt;
+    }
+    return static_cast<Reg>(Value);
+  }
+
+  for (unsigned I = 0; I != NumRegs; ++I)
+    if (RegNames[I].substr(1) == Body)
+      return static_cast<Reg>(I);
+  return std::nullopt;
+}

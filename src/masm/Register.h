@@ -1,0 +1,98 @@
+//===- masm/Register.h - MIPS-like register file --------------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 32-entry MIPS o32-style register file. The paper's "basic registers"
+/// (Section 5.1) are the global pointer, the stack pointer, the parameter
+/// registers and the return-value registers; predicates for those live here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_MASM_REGISTER_H
+#define DLQ_MASM_REGISTER_H
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace dlq {
+namespace masm {
+
+/// MIPS o32 register numbering.
+enum class Reg : uint8_t {
+  Zero = 0, // $zero: hardwired zero
+  At = 1,   // $at: assembler temporary
+  V0 = 2,   // $v0, $v1: return values
+  V1 = 3,
+  A0 = 4, // $a0..$a3: arguments
+  A1 = 5,
+  A2 = 6,
+  A3 = 7,
+  T0 = 8, // $t0..$t7: caller-saved temporaries
+  T1 = 9,
+  T2 = 10,
+  T3 = 11,
+  T4 = 12,
+  T5 = 13,
+  T6 = 14,
+  T7 = 15,
+  S0 = 16, // $s0..$s7: callee-saved
+  S1 = 17,
+  S2 = 18,
+  S3 = 19,
+  S4 = 20,
+  S5 = 21,
+  S6 = 22,
+  S7 = 23,
+  T8 = 24,
+  T9 = 25,
+  K0 = 26,
+  K1 = 27,
+  GP = 28, // $gp: global pointer
+  SP = 29, // $sp: stack pointer
+  FP = 30, // $fp: frame pointer
+  RA = 31, // $ra: return address
+};
+
+constexpr unsigned NumRegs = 32;
+
+/// Returns the canonical assembly name, e.g. "$sp".
+std::string_view regName(Reg R);
+
+/// Parses a register name with or without the leading '$'; also accepts
+/// numeric names like "$29". Returns std::nullopt on failure.
+std::optional<Reg> parseRegName(std::string_view Name);
+
+/// True for $a0..$a3 (the paper's reg_param basic registers).
+constexpr bool isParamReg(Reg R) {
+  return R >= Reg::A0 && R <= Reg::A3;
+}
+
+/// True for $v0/$v1 (the paper's reg_ret basic registers).
+constexpr bool isRetReg(Reg R) { return R == Reg::V0 || R == Reg::V1; }
+
+/// True for the four kinds of "basic register" leaves of an address pattern.
+constexpr bool isBasicReg(Reg R) {
+  return R == Reg::GP || R == Reg::SP || isParamReg(R) || isRetReg(R);
+}
+
+/// True for registers whose value does not survive a call.
+constexpr bool isCallerSaved(Reg R) {
+  return (R >= Reg::V0 && R <= Reg::T7) || R == Reg::T8 || R == Reg::T9 ||
+         R == Reg::At || R == Reg::RA;
+}
+
+/// True for $s0..$s7, $gp, $sp, $fp (preserved across calls).
+constexpr bool isCalleeSaved(Reg R) {
+  return (R >= Reg::S0 && R <= Reg::S7) || R == Reg::GP || R == Reg::SP ||
+         R == Reg::FP;
+}
+
+} // namespace masm
+} // namespace dlq
+
+#endif // DLQ_MASM_REGISTER_H

@@ -1,0 +1,64 @@
+//===- masm/TypeInfo.cpp --------------------------------------------------==//
+
+#include "masm/TypeInfo.h"
+
+using namespace dlq;
+using namespace dlq::masm;
+
+std::optional<ResolvedAccess> masm::resolveWithinVar(const VarType &Type,
+                                                     uint32_t Offset) {
+  if (Offset >= Type.Size && Type.Size != 0)
+    return std::nullopt;
+  switch (Type.Kind) {
+  case VarKind::Scalar:
+    return ResolvedAccess{VarKind::Scalar, Type.IsPointer};
+  case VarKind::Array:
+    return ResolvedAccess{VarKind::Array, Type.IsPointer};
+  case VarKind::StructObj:
+    for (const FieldType &F : Type.Fields)
+      if (Offset >= F.Offset && Offset < F.Offset + F.Size)
+        return ResolvedAccess{VarKind::StructObj, F.IsPointer};
+    // Inside the object but between declared fields (padding).
+    return ResolvedAccess{VarKind::StructObj, /*IsPointer=*/false};
+  }
+  return std::nullopt;
+}
+
+std::optional<ResolvedAccess> FunctionTypeInfo::resolve(int32_t SpOffset) const {
+  for (const FrameVar &V : Vars) {
+    if (SpOffset < V.SpOffset)
+      continue;
+    uint32_t Within = static_cast<uint32_t>(SpOffset - V.SpOffset);
+    if (Within >= V.Type.Size)
+      continue;
+    return resolveWithinVar(V.Type, Within);
+  }
+  return std::nullopt;
+}
+
+FunctionTypeInfo &ModuleTypeInfo::functionInfo(const std::string &FuncName) {
+  return Frames[FuncName];
+}
+
+const FunctionTypeInfo *
+ModuleTypeInfo::lookupFunction(const std::string &FuncName) const {
+  auto It = Frames.find(FuncName);
+  return It == Frames.end() ? nullptr : &It->second;
+}
+
+void ModuleTypeInfo::setGlobalType(const std::string &Name, VarType Type) {
+  Globals[Name] = std::move(Type);
+}
+
+std::optional<ResolvedAccess>
+ModuleTypeInfo::resolveGlobal(const std::string &Name, uint32_t Offset) const {
+  auto It = Globals.find(Name);
+  if (It == Globals.end())
+    return std::nullopt;
+  return resolveWithinVar(It->second, Offset);
+}
+
+const VarType *ModuleTypeInfo::lookupGlobal(const std::string &Name) const {
+  auto It = Globals.find(Name);
+  return It == Globals.end() ? nullptr : &It->second;
+}

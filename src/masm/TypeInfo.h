@@ -1,0 +1,108 @@
+//===- masm/TypeInfo.h - Symbol-table type metadata -----------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Debug/type metadata describing stack frame variables and globals. This is
+/// the "symbol table" information of Section 8.5, which the static BDH
+/// baseline consumes to classify the kind (scalar/array/field) and type
+/// (pointer/non-pointer) of each load. The MinC compiler emits it; the
+/// assembly parser accepts it via `.var` / `.gvar` / `.field` directives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_MASM_TYPEINFO_H
+#define DLQ_MASM_TYPEINFO_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dlq {
+namespace masm {
+
+/// What kind of object a variable is (BDH "kind of reference").
+enum class VarKind : uint8_t {
+  Scalar,
+  Array,
+  StructObj,
+};
+
+/// One field of a struct-typed variable.
+struct FieldType {
+  uint32_t Offset = 0; ///< Byte offset from the start of the object.
+  uint32_t Size = 0;
+  bool IsPointer = false;
+};
+
+/// Type description of one variable (frame slot or global).
+struct VarType {
+  VarKind Kind = VarKind::Scalar;
+  uint32_t Size = 0;
+  /// For scalars: whether the value is a pointer. For arrays: whether the
+  /// elements are pointers. Ignored for StructObj (see Fields).
+  bool IsPointer = false;
+  std::vector<FieldType> Fields; ///< Only for StructObj.
+};
+
+/// Result of resolving one byte address inside a typed object.
+struct ResolvedAccess {
+  VarKind Kind = VarKind::Scalar;
+  bool IsPointer = false;
+};
+
+/// Stack-frame variable: a VarType at an sp-relative byte offset.
+struct FrameVar {
+  int32_t SpOffset = 0;
+  VarType Type;
+};
+
+/// Type metadata of one function's stack frame.
+struct FunctionTypeInfo {
+  std::vector<FrameVar> Vars;
+
+  /// Resolves a frame access at \p SpOffset. Accesses within a struct
+  /// variable resolve to the matching field (BDH kind "F"). Returns
+  /// std::nullopt for offsets not covered by any declared variable
+  /// (spill/temporary slots).
+  std::optional<ResolvedAccess> resolve(int32_t SpOffset) const;
+};
+
+/// Type metadata for a whole module: frames by function name plus globals.
+class ModuleTypeInfo {
+public:
+  /// Adds (or fetches) the frame info record of \p FuncName.
+  FunctionTypeInfo &functionInfo(const std::string &FuncName);
+
+  /// Returns the frame info of \p FuncName, or nullptr.
+  const FunctionTypeInfo *lookupFunction(const std::string &FuncName) const;
+
+  /// Declares the type of global \p Name.
+  void setGlobalType(const std::string &Name, VarType Type);
+
+  /// Resolves an access at byte \p Offset into global \p Name.
+  std::optional<ResolvedAccess> resolveGlobal(const std::string &Name,
+                                              uint32_t Offset) const;
+
+  /// Returns the raw type record of a global, or nullptr.
+  const VarType *lookupGlobal(const std::string &Name) const;
+
+private:
+  std::map<std::string, FunctionTypeInfo> Frames;
+  std::map<std::string, VarType> Globals;
+};
+
+/// Shared helper: resolve \p Offset within \p Type (used for both frame
+/// variables and globals).
+std::optional<ResolvedAccess> resolveWithinVar(const VarType &Type,
+                                               uint32_t Offset);
+
+} // namespace masm
+} // namespace dlq
+
+#endif // DLQ_MASM_TYPEINFO_H

@@ -1,0 +1,112 @@
+//===- masm/Verifier.cpp ----------------------------------------------------==//
+
+#include "masm/Verifier.h"
+
+#include "support/Format.h"
+
+#include <set>
+
+using namespace dlq;
+using namespace dlq::masm;
+
+namespace {
+
+/// Runtime services the simulator provides to `jal`.
+const std::set<std::string> &runtimeServices() {
+  static const std::set<std::string> Services = {
+      "malloc", "calloc", "free",      "rand",
+      "srand",  "exit",   "print_int", "print_char",
+      "abort"};
+  return Services;
+}
+
+} // namespace
+
+std::string masm::verifyReport(const std::vector<VerifyIssue> &Issues) {
+  std::string Out;
+  for (const VerifyIssue &I : Issues)
+    Out += I.Location + ": " + I.Message + "\n";
+  return Out;
+}
+
+std::vector<VerifyIssue> masm::verifyModule(const Module &M) {
+  std::vector<VerifyIssue> Issues;
+  auto issue = [&](std::string Loc, std::string Msg) {
+    Issues.push_back(VerifyIssue{std::move(Loc), std::move(Msg)});
+  };
+
+  // Globals: unique sizes/alignments already enforced structurally; check
+  // initializers fit and alignments are powers of two.
+  for (const Global &G : M.globals()) {
+    if (G.Init.size() > G.Size && G.Size != 0)
+      issue("global " + G.Name, "initializer larger than the global");
+    if (G.Align == 0 || (G.Align & (G.Align - 1)) != 0)
+      issue("global " + G.Name,
+            formatString("alignment %u is not a power of two", G.Align));
+  }
+
+  for (const Function &F : M.functions()) {
+    auto loc = [&](uint32_t Idx) {
+      return formatString("%s+%u", F.name().c_str(), Idx);
+    };
+
+    if (F.empty()) {
+      issue(F.name(), "function has no instructions");
+      continue;
+    }
+
+    for (uint32_t Idx = 0; Idx != F.size(); ++Idx) {
+      const Instr &I = F.instrs()[Idx];
+
+      if (isCondBranch(I.Op) || I.Op == Opcode::J) {
+        if (I.TargetIndex == InvalidIndex)
+          issue(loc(Idx), "unresolved branch target '" + I.Sym + "'");
+        else if (I.TargetIndex >= F.size())
+          issue(loc(Idx),
+                formatString("branch target %u out of range", I.TargetIndex));
+      }
+
+      if (I.Op == Opcode::Jal && !M.lookupFunction(I.Sym) &&
+          !runtimeServices().count(I.Sym))
+        issue(loc(Idx),
+              "call to unknown function '" + I.Sym + "'");
+
+      if (I.Op == Opcode::La && !M.lookupGlobal(I.Sym) &&
+          !M.lookupFunction(I.Sym))
+        issue(loc(Idx), "la of unknown symbol '" + I.Sym + "'");
+
+      if ((isLoad(I.Op) || isStore(I.Op)) && I.Rs == Reg::Zero &&
+          I.Imm >= 0 && static_cast<uint32_t>(I.Imm) <
+                            LayoutConstants::TextBase)
+        issue(loc(Idx), "memory access through $zero below the text base");
+    }
+
+    // Control must not run off the end of the function: the last
+    // instruction has to be an unconditional transfer.
+    const Instr &Last = F.instrs().back();
+    bool Terminates = Last.Op == Opcode::Jr || Last.Op == Opcode::J;
+    if (!Terminates)
+      issue(loc(static_cast<uint32_t>(F.size()) - 1),
+            "control can fall off the end of the function");
+  }
+
+  // Frame metadata sanity: variables must not overlap.
+  for (const Function &F : M.functions()) {
+    const FunctionTypeInfo *FTI = M.typeInfo().lookupFunction(F.name());
+    if (!FTI)
+      continue;
+    for (size_t A = 0; A != FTI->Vars.size(); ++A)
+      for (size_t B = A + 1; B != FTI->Vars.size(); ++B) {
+        const FrameVar &VA = FTI->Vars[A];
+        const FrameVar &VB = FTI->Vars[B];
+        int64_t AEnd = VA.SpOffset + static_cast<int64_t>(VA.Type.Size);
+        int64_t BEnd = VB.SpOffset + static_cast<int64_t>(VB.Type.Size);
+        if (VA.SpOffset < BEnd && VB.SpOffset < AEnd)
+          issue(F.name(),
+                formatString("frame variables at offsets %d and %d overlap",
+                             VA.SpOffset, VB.SpOffset));
+      }
+  }
+
+  return Issues;
+}

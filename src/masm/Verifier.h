@@ -1,0 +1,43 @@
+//===- masm/Verifier.h - module well-formedness checks ----------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural validation of a module before analysis or execution: resolved
+/// branch targets in range, call targets that exist (as functions or
+/// runtime services), `la` symbols that resolve, functions that cannot fall
+/// off their end, and sane type metadata. The decoder and the CLI run this
+/// on untrusted inputs; analyses may assert on modules that fail it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_MASM_VERIFIER_H
+#define DLQ_MASM_VERIFIER_H
+
+#include "masm/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace dlq {
+namespace masm {
+
+/// One verifier finding.
+struct VerifyIssue {
+  std::string Location; ///< "func+idx" or "global name".
+  std::string Message;
+};
+
+/// Checks \p M; returns every issue found (empty = well formed).
+std::vector<VerifyIssue> verifyModule(const Module &M);
+
+/// All issues joined as "location: message" lines.
+std::string verifyReport(const std::vector<VerifyIssue> &Issues);
+
+} // namespace masm
+} // namespace dlq
+
+#endif // DLQ_MASM_VERIFIER_H

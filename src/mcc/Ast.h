@@ -1,0 +1,192 @@
+//===- mcc/Ast.h - MinC abstract syntax trees ---------------------------------//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Typed AST for MinC. The frontend resolves identifiers and computes the
+/// type of every expression while parsing, so the code generator consumes a
+/// fully typed tree. Nodes are owned by an AstContext and discriminated by a
+/// Kind tag (LLVM-style, no RTTI).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_MCC_AST_H
+#define DLQ_MCC_AST_H
+
+#include "mcc/Types.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dlq {
+namespace mcc {
+
+struct Expr;
+struct Stmt;
+
+/// A named variable (global, parameter or local).
+struct VarDecl {
+  std::string Name;
+  const Type *Ty = nullptr;
+  bool IsGlobal = false;
+  bool IsParam = false;
+  /// Optional scalar initializer for globals (constant) or locals (any
+  /// expression).
+  Expr *Init = nullptr;
+  /// True when the program takes the variable's address (&v); such locals
+  /// can never be promoted to a register.
+  bool AddressTaken = false;
+  /// Sequential id among the function's locals+params (codegen slot index);
+  /// globals use it as declaration order.
+  uint32_t Ordinal = 0;
+};
+
+/// Expression node kinds.
+enum class ExprKind : uint8_t {
+  IntLit,
+  VarRef,
+  Unary,   // - ! ~ * &
+  Binary,  // arithmetic / comparison / logical
+  Assign,
+  Cond,    // ?:
+  Call,
+  Index,   // a[i]
+  Member,  // s.f or p->f
+  Cast,
+};
+
+enum class UnaryOp : uint8_t { Neg, LogicalNot, BitNot, Deref, AddrOf };
+
+enum class BinaryOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  LogicalAnd,
+  LogicalOr,
+};
+
+/// Base expression. \c Ty is the value type after the usual conversions
+/// (arrays decay to pointers when used as values).
+struct Expr {
+  ExprKind Kind;
+  const Type *Ty = nullptr;
+  unsigned Line = 0;
+
+  // IntLit.
+  int32_t IntValue = 0;
+  // VarRef.
+  VarDecl *Var = nullptr;
+  // Unary / Cast operand, Assign target, Index base, Member base, Cond
+  // condition.
+  Expr *Sub = nullptr;
+  // Binary/Assign/Index second operand; Cond "then".
+  Expr *Sub2 = nullptr;
+  // Cond "else".
+  Expr *Sub3 = nullptr;
+  UnaryOp UOp = UnaryOp::Neg;
+  BinaryOp BOp = BinaryOp::Add;
+  // Call.
+  std::string Callee;
+  std::vector<Expr *> Args;
+  // Member.
+  std::string FieldName;
+  const StructField *Field = nullptr;
+  bool IsArrow = false;
+};
+
+/// Statement node kinds.
+enum class StmtKind : uint8_t {
+  Expr,
+  Decl,
+  Block,
+  If,
+  While,
+  For,
+  Return,
+  Break,
+  Continue,
+  Empty,
+};
+
+struct Stmt {
+  StmtKind Kind;
+  unsigned Line = 0;
+
+  Expr *E = nullptr;           ///< Expr stmt value / condition / return value.
+  VarDecl *Decl = nullptr;     ///< Decl stmt.
+  std::vector<Stmt *> Body;    ///< Block children.
+  Stmt *Then = nullptr;        ///< If then / loop body.
+  Stmt *Else = nullptr;        ///< If else.
+  Expr *ForInit = nullptr;     ///< For init expression (may be null).
+  Expr *ForStep = nullptr;     ///< For step expression (may be null).
+};
+
+/// A function definition.
+struct FuncDecl {
+  std::string Name;
+  const Type *RetTy = nullptr;
+  std::vector<VarDecl *> Params;
+  std::vector<VarDecl *> Locals; ///< All block-scoped locals (incl. params).
+  Stmt *Body = nullptr;          ///< Null for builtin declarations.
+  bool IsBuiltin = false;
+};
+
+/// Owns every AST node of one compilation.
+class AstContext {
+public:
+  Expr *newExpr(ExprKind Kind) {
+    Exprs.push_back(std::make_unique<Expr>());
+    Exprs.back()->Kind = Kind;
+    return Exprs.back().get();
+  }
+  Stmt *newStmt(StmtKind Kind) {
+    Stmts.push_back(std::make_unique<Stmt>());
+    Stmts.back()->Kind = Kind;
+    return Stmts.back().get();
+  }
+  VarDecl *newVar() {
+    Vars.push_back(std::make_unique<VarDecl>());
+    return Vars.back().get();
+  }
+  FuncDecl *newFunc() {
+    Funcs.push_back(std::make_unique<FuncDecl>());
+    return Funcs.back().get();
+  }
+
+private:
+  std::vector<std::unique_ptr<Expr>> Exprs;
+  std::vector<std::unique_ptr<Stmt>> Stmts;
+  std::vector<std::unique_ptr<VarDecl>> Vars;
+  std::vector<std::unique_ptr<FuncDecl>> Funcs;
+};
+
+/// A fully parsed and type-checked translation unit.
+struct TranslationUnit {
+  AstContext Nodes;
+  TypeContext Types;
+  std::vector<VarDecl *> Globals;
+  std::vector<FuncDecl *> Functions; ///< Definitions only, in order.
+};
+
+} // namespace mcc
+} // namespace dlq
+
+#endif // DLQ_MCC_AST_H

@@ -1,0 +1,1379 @@
+//===- mcc/CodeGen.cpp ---------------------------------------------------------//
+
+#include "mcc/CodeGen.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace dlq;
+using namespace dlq::mcc;
+using namespace dlq::masm;
+
+std::string CodeGenResult::diagText() const {
+  std::string Out;
+  for (const CodeGenDiag &D : Diags)
+    Out += formatString("line %u: %s\n", D.Line, D.Message.c_str());
+  return Out;
+}
+
+namespace {
+
+/// Expression-temporary pool: $t0..$t7.
+constexpr Reg TempPool[] = {Reg::T0, Reg::T1, Reg::T2, Reg::T3,
+                            Reg::T4, Reg::T5, Reg::T6, Reg::T7};
+constexpr unsigned PoolSize = 8;
+
+/// Callee-saved promotion targets at -O1.
+constexpr Reg PromoPool[] = {Reg::S0, Reg::S1, Reg::S2, Reg::S3,
+                             Reg::S4, Reg::S5, Reg::S6, Reg::S7};
+constexpr unsigned PromoPoolSize = 8;
+
+/// A handle to an in-flight expression value.
+struct Val {
+  unsigned Id = ~0u;
+  bool valid() const { return Id != ~0u; }
+};
+
+/// An lvalue address with a foldable constant displacement.
+struct AddrRef {
+  enum class BaseKind { FrameSp, GlobalSym, Register };
+  BaseKind Kind = BaseKind::FrameSp;
+  int32_t Off = 0;
+  std::string Sym; ///< GlobalSym base.
+  Val Base;        ///< Register base.
+};
+
+class FuncEmitter {
+public:
+  FuncEmitter(const TranslationUnit &U, const FuncDecl &FD, Module &M,
+              Function &F, const CodeGenOptions &Opts,
+              std::vector<CodeGenDiag> &Diags)
+      : U(U), FD(FD), M(M), F(F), Opts(Opts), Diags(Diags) {}
+
+  void emitFunction();
+
+private:
+  const TranslationUnit &U;
+  const FuncDecl &FD;
+  Module &M;
+  Function &F;
+  const CodeGenOptions &Opts;
+  std::vector<CodeGenDiag> &Diags;
+
+  //===--- frame ---------------------------------------------------------===//
+  std::map<const VarDecl *, int32_t> SlotOf;     ///< Stack locals.
+  std::map<const VarDecl *, Reg> PromotedTo;     ///< -O1 register locals.
+  uint32_t LocalBytes = 0;
+  uint32_t NumTempSlots = 0;
+  std::vector<int32_t> FreeTempSlots;
+  std::vector<Reg> UsedPromoRegs;
+  uint32_t FrameSize = 0; ///< Patched after body emission.
+  std::vector<uint32_t> FramePatchIdx; ///< Prologue instrs needing FrameSize.
+
+  //===--- labels ---------------------------------------------------------===//
+  unsigned NextLabel = 0;
+  std::vector<std::string> BreakLabels;
+  std::vector<std::string> ContinueLabels;
+  std::string RetLabel;
+
+  //===--- value allocator -------------------------------------------------===//
+  struct ValState {
+    bool InReg = false;
+    Reg R = Reg::Zero;
+    int32_t SpillSlot = 0;
+    unsigned Pins = 0;
+    bool Released = false;
+  };
+  std::vector<ValState> Vals;
+  std::vector<unsigned> ActiveOrder; ///< Acquisition order, oldest first.
+  bool PoolBusy[PoolSize] = {};
+
+  bool HadError = false;
+
+  void error(unsigned Line, const std::string &Message) {
+    if (!HadError)
+      Diags.push_back(CodeGenDiag{Line, Message});
+    HadError = true;
+  }
+
+  //===--- emission helpers ------------------------------------------------===//
+  uint32_t emit(Instr I) { return F.append(std::move(I)); }
+  void emitR(Opcode Op, Reg Rd, Reg Rs, Reg Rt) {
+    Instr I;
+    I.Op = Op;
+    I.Rd = Rd;
+    I.Rs = Rs;
+    I.Rt = Rt;
+    emit(std::move(I));
+  }
+  uint32_t emitI(Opcode Op, Reg Rd, Reg Rs, int32_t Imm) {
+    Instr I;
+    I.Op = Op;
+    I.Rd = Rd;
+    I.Rs = Rs;
+    I.Imm = Imm;
+    return emit(std::move(I));
+  }
+  void emitMem(Opcode Op, Reg Data, Reg Base, int32_t Off) {
+    Instr I;
+    I.Op = Op;
+    if (isLoad(Op))
+      I.Rd = Data;
+    else
+      I.Rt = Data;
+    I.Rs = Base;
+    I.Imm = Off;
+    emit(std::move(I));
+  }
+  void emitLi(Reg Rd, int32_t Imm) {
+    Instr I;
+    I.Op = Opcode::Li;
+    I.Rd = Rd;
+    I.Imm = Imm;
+    emit(std::move(I));
+  }
+  void emitLa(Reg Rd, const std::string &Sym, int32_t Off) {
+    Instr I;
+    I.Op = Opcode::La;
+    I.Rd = Rd;
+    I.Sym = Sym;
+    I.Imm = Off;
+    emit(std::move(I));
+  }
+  void emitMove(Reg Rd, Reg Rs) {
+    Instr I;
+    I.Op = Opcode::Move;
+    I.Rd = Rd;
+    I.Rs = Rs;
+    emit(std::move(I));
+  }
+  void emitBranch(Opcode Op, Reg Rs, Reg Rt, const std::string &Target) {
+    Instr I;
+    I.Op = Op;
+    I.Rs = Rs;
+    I.Rt = Rt;
+    I.Sym = Target;
+    emit(std::move(I));
+  }
+  void emitJump(const std::string &Target) {
+    Instr I;
+    I.Op = Opcode::J;
+    I.Sym = Target;
+    emit(std::move(I));
+  }
+  void emitCall(const std::string &Callee) {
+    Instr I;
+    I.Op = Opcode::Jal;
+    I.Sym = Callee;
+    emit(std::move(I));
+  }
+
+  std::string freshLabel() { return formatString("L%u", NextLabel++); }
+
+  //===--- temp slots -------------------------------------------------------//
+  int32_t allocTempSlot() {
+    if (!FreeTempSlots.empty()) {
+      int32_t Slot = FreeTempSlots.back();
+      FreeTempSlots.pop_back();
+      return Slot;
+    }
+    int32_t Slot = static_cast<int32_t>(LocalBytes + 4 * NumTempSlots);
+    ++NumTempSlots;
+    return Slot;
+  }
+  void freeTempSlot(int32_t Slot) { FreeTempSlots.push_back(Slot); }
+
+  //===--- value pool --------------------------------------------------------//
+  Reg takePoolReg();
+  Val pushValInReg(Reg R);
+  Val allocResultVal();
+  Reg useVal(Val V);   ///< Materializes and pins.
+  void unpin(Val V);
+  void releaseVal(Val V);
+  void spillActiveVals(); ///< Before calls: everything to stack.
+
+  //===--- codegen ---------------------------------------------------------===//
+  void layoutFrame();
+  void emitPrologue();
+  void emitEpilogue();
+
+  void genStmt(const Stmt *S);
+  Val genExpr(const Expr *E);
+  AddrRef genAddr(const Expr *E);
+  Val loadFrom(const AddrRef &A, const Type *Ty);
+  void storeTo(const AddrRef &A, const Type *Ty, Val V);
+  Val materializeAddr(const AddrRef &A);
+  void genCondBranch(const Expr *E, const std::string &FalseLabel);
+  Val genScaledIndex(Val Base, const Expr *IdxExpr, uint32_t ElemSize);
+  Val genCall(const Expr *E);
+  void genVarInit(const VarDecl *V);
+  void storeToVar(const VarDecl *V, Val Value);
+  Val loadVar(const VarDecl *V);
+
+  const Expr *foldExpr(const Expr *E, int32_t &Out) const;
+  bool isPromoted(const VarDecl *V) const { return PromotedTo.count(V) != 0; }
+
+  static Opcode loadOpFor(const Type *Ty) {
+    return Ty->isChar() ? Opcode::Lb : Opcode::Lw;
+  }
+  static Opcode storeOpFor(const Type *Ty) {
+    return Ty->isChar() ? Opcode::Sb : Opcode::Sw;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Value pool
+//===----------------------------------------------------------------------===//
+
+Reg FuncEmitter::takePoolReg() {
+  for (unsigned I = 0; I != PoolSize; ++I)
+    if (!PoolBusy[I]) {
+      PoolBusy[I] = true;
+      return TempPool[I];
+    }
+  // Spill the oldest unpinned in-register value.
+  for (unsigned Id : ActiveOrder) {
+    ValState &S = Vals[Id];
+    if (S.Released || !S.InReg || S.Pins != 0)
+      continue;
+    int32_t Slot = allocTempSlot();
+    emitMem(Opcode::Sw, S.R, Reg::SP, Slot);
+    Reg Freed = S.R;
+    S.InReg = false;
+    S.SpillSlot = Slot;
+    return Freed; // Still marked busy; ownership transfers.
+  }
+  error(0, "expression too complex: temporary register pool exhausted");
+  return Reg::T0;
+}
+
+Val FuncEmitter::pushValInReg(Reg R) {
+  ValState S;
+  S.InReg = true;
+  S.R = R;
+  Vals.push_back(S);
+  unsigned Id = static_cast<unsigned>(Vals.size() - 1);
+  ActiveOrder.push_back(Id);
+  return Val{Id};
+}
+
+Val FuncEmitter::allocResultVal() { return pushValInReg(takePoolReg()); }
+
+Reg FuncEmitter::useVal(Val V) {
+  if (!V.valid()) {
+    // Only reachable after a diagnostic; keep going to surface one error.
+    assert(HadError && "invalid value handle without a prior error");
+    return Reg::T0;
+  }
+  ValState &S = Vals[V.Id];
+  assert(!S.Released && "value used after release");
+  if (!S.InReg) {
+    Reg R = takePoolReg();
+    emitMem(Opcode::Lw, R, Reg::SP, S.SpillSlot);
+    freeTempSlot(S.SpillSlot);
+    S.InReg = true;
+    S.R = R;
+  }
+  ++S.Pins;
+  return S.R;
+}
+
+void FuncEmitter::unpin(Val V) {
+  if (!V.valid())
+    return;
+  ValState &S = Vals[V.Id];
+  if (S.Pins != 0)
+    --S.Pins;
+}
+
+void FuncEmitter::releaseVal(Val V) {
+  if (!V.valid())
+    return;
+  ValState &S = Vals[V.Id];
+  if (S.Released)
+    return; // Tolerated after a diagnostic.
+  S.Released = true;
+  S.Pins = 0;
+  if (S.InReg) {
+    for (unsigned I = 0; I != PoolSize; ++I)
+      if (TempPool[I] == S.R)
+        PoolBusy[I] = false;
+  } else {
+    freeTempSlot(S.SpillSlot);
+  }
+  auto It = std::find(ActiveOrder.begin(), ActiveOrder.end(), V.Id);
+  if (It != ActiveOrder.end())
+    ActiveOrder.erase(It);
+}
+
+void FuncEmitter::spillActiveVals() {
+  for (unsigned Id : ActiveOrder) {
+    ValState &S = Vals[Id];
+    if (S.Released || !S.InReg)
+      continue;
+    assert(S.Pins == 0 && "cannot spill a pinned value across a call");
+    int32_t Slot = allocTempSlot();
+    emitMem(Opcode::Sw, S.R, Reg::SP, Slot);
+    for (unsigned I = 0; I != PoolSize; ++I)
+      if (TempPool[I] == S.R)
+        PoolBusy[I] = false;
+    S.InReg = false;
+    S.SpillSlot = Slot;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Frame layout and prologue/epilogue
+//===----------------------------------------------------------------------===//
+
+void FuncEmitter::layoutFrame() {
+  // -O1: pick promotion candidates by static use count.
+  if (Opts.OptLevel >= 1) {
+    std::map<const VarDecl *, unsigned> UseCount;
+    // Count VarRef occurrences with a small walk.
+    struct Walker {
+      std::map<const VarDecl *, unsigned> &UseCount;
+      void visitExpr(const Expr *E) {
+        if (!E)
+          return;
+        if (E->Kind == ExprKind::VarRef)
+          ++UseCount[E->Var];
+        visitExpr(E->Sub);
+        visitExpr(E->Sub2);
+        visitExpr(E->Sub3);
+        for (const Expr *Arg : E->Args)
+          visitExpr(Arg);
+      }
+      void visitStmt(const Stmt *S) {
+        if (!S)
+          return;
+        visitExpr(S->E);
+        visitExpr(S->ForInit);
+        visitExpr(S->ForStep);
+        if (S->Decl)
+          visitExpr(S->Decl->Init);
+        for (const Stmt *Child : S->Body)
+          visitStmt(Child);
+        visitStmt(S->Then);
+        visitStmt(S->Else);
+      }
+    };
+    Walker W{UseCount};
+    W.visitStmt(FD.Body);
+
+    std::vector<const VarDecl *> Candidates;
+    for (const VarDecl *V : FD.Locals) {
+      if (V->AddressTaken || V->Ty->isArray() || V->Ty->isStruct())
+        continue;
+      Candidates.push_back(V);
+    }
+    std::sort(Candidates.begin(), Candidates.end(),
+              [&](const VarDecl *A, const VarDecl *B) {
+                unsigned UA = UseCount[A], UB = UseCount[B];
+                if (UA != UB)
+                  return UA > UB;
+                return A->Ordinal < B->Ordinal;
+              });
+    for (const VarDecl *V : Candidates) {
+      if (UsedPromoRegs.size() >= PromoPoolSize)
+        break;
+      Reg R = PromoPool[UsedPromoRegs.size()];
+      UsedPromoRegs.push_back(R);
+      PromotedTo[V] = R;
+    }
+  }
+
+  // Stack slots for everything not promoted.
+  uint32_t Offset = 0;
+  FunctionTypeInfo &FTI = M.typeInfo().functionInfo(F.name());
+  for (const VarDecl *V : FD.Locals) {
+    if (isPromoted(V))
+      continue;
+    uint32_t Align = std::max<uint32_t>(V->Ty->align(), 4);
+    Offset = (Offset + Align - 1) & ~(Align - 1);
+    SlotOf[V] = static_cast<int32_t>(Offset);
+
+    // Symbol-table metadata for the BDH baseline.
+    VarType VT;
+    if (V->Ty->isArray()) {
+      VT.Kind = VarKind::Array;
+      const Type *Elem = V->Ty;
+      while (Elem->isArray())
+        Elem = Elem->pointee();
+      VT.IsPointer = Elem->isPointer();
+    } else if (V->Ty->isStruct()) {
+      VT.Kind = VarKind::StructObj;
+      for (const StructField &Fld : V->Ty->structDecl()->Fields)
+        VT.Fields.push_back(FieldType{Fld.Offset, Fld.Ty->size(),
+                                      Fld.Ty->isPointer()});
+    } else {
+      VT.Kind = VarKind::Scalar;
+      VT.IsPointer = V->Ty->isPointer();
+    }
+    VT.Size = std::max<uint32_t>(V->Ty->size(), 1);
+    FTI.Vars.push_back(FrameVar{static_cast<int32_t>(Offset), VT});
+
+    Offset += std::max<uint32_t>(V->Ty->size(), 1);
+  }
+  LocalBytes = (Offset + 3) & ~3u;
+}
+
+void FuncEmitter::emitPrologue() {
+  // Real offsets are patched in emitEpilogue once NumTempSlots is known.
+  FramePatchIdx.push_back(emitI(Opcode::Addi, Reg::SP, Reg::SP, 0));
+  Instr SaveRa;
+  SaveRa.Op = Opcode::Sw;
+  SaveRa.Rt = Reg::RA;
+  SaveRa.Rs = Reg::SP;
+  FramePatchIdx.push_back(emit(std::move(SaveRa)));
+  for (size_t I = 0; I != UsedPromoRegs.size(); ++I) {
+    Instr Save;
+    Save.Op = Opcode::Sw;
+    Save.Rt = UsedPromoRegs[I];
+    Save.Rs = Reg::SP;
+    Save.Imm = static_cast<int32_t>(I); // Placeholder; patched later.
+    FramePatchIdx.push_back(emit(std::move(Save)));
+  }
+
+  // Home the parameters.
+  for (size_t I = 0; I != FD.Params.size(); ++I) {
+    const VarDecl *P = FD.Params[I];
+    Reg ArgReg = static_cast<Reg>(static_cast<unsigned>(Reg::A0) + I);
+    if (isPromoted(P))
+      emitMove(PromotedTo.at(P), ArgReg);
+    else
+      emitMem(storeOpFor(P->Ty), ArgReg, Reg::SP, SlotOf.at(P));
+  }
+}
+
+void FuncEmitter::emitEpilogue() {
+  F.defineLabel(RetLabel);
+  // Compute the final frame size: locals + temps + saved s-regs + ra.
+  uint32_t SaveBytes = 4 + static_cast<uint32_t>(UsedPromoRegs.size()) * 4;
+  FrameSize = LocalBytes + 4 * NumTempSlots + SaveBytes;
+  FrameSize = (FrameSize + 7) & ~7u;
+
+  // Patch the prologue.
+  std::vector<Instr> &Body = F.instrs();
+  Body[FramePatchIdx[0]].Imm = -static_cast<int32_t>(FrameSize);
+  Body[FramePatchIdx[1]].Imm = static_cast<int32_t>(FrameSize - 4);
+  for (size_t I = 0; I + 2 < FramePatchIdx.size(); ++I)
+    Body[FramePatchIdx[I + 2]].Imm =
+        static_cast<int32_t>(FrameSize - 8 - 4 * I);
+
+  // Restore and return.
+  for (size_t I = 0; I != UsedPromoRegs.size(); ++I)
+    emitMem(Opcode::Lw, UsedPromoRegs[I], Reg::SP,
+            static_cast<int32_t>(FrameSize - 8 - 4 * I));
+  emitMem(Opcode::Lw, Reg::RA, Reg::SP, static_cast<int32_t>(FrameSize - 4));
+  emitI(Opcode::Addi, Reg::SP, Reg::SP, static_cast<int32_t>(FrameSize));
+  Instr Ret;
+  Ret.Op = Opcode::Jr;
+  Ret.Rs = Reg::RA;
+  emit(std::move(Ret));
+}
+
+void FuncEmitter::emitFunction() {
+  RetLabel = "Lret";
+  layoutFrame();
+  emitPrologue();
+  genStmt(FD.Body);
+  // Implicit return for void functions / main falling off the end.
+  emitEpilogue();
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void FuncEmitter::genStmt(const Stmt *S) {
+  if (!S || HadError)
+    return;
+  switch (S->Kind) {
+  case StmtKind::Empty:
+    return;
+  case StmtKind::Block:
+    for (const Stmt *Child : S->Body)
+      genStmt(Child);
+    return;
+  case StmtKind::Expr: {
+    Val V = genExpr(S->E);
+    releaseVal(V);
+    return;
+  }
+  case StmtKind::Decl:
+    genVarInit(S->Decl);
+    return;
+  case StmtKind::If: {
+    std::string ElseL = freshLabel();
+    genCondBranch(S->E, ElseL);
+    genStmt(S->Then);
+    if (S->Else) {
+      std::string EndL = freshLabel();
+      emitJump(EndL);
+      F.defineLabel(ElseL);
+      genStmt(S->Else);
+      F.defineLabel(EndL);
+    } else {
+      F.defineLabel(ElseL);
+    }
+    return;
+  }
+  case StmtKind::While: {
+    std::string HeadL = freshLabel();
+    std::string EndL = freshLabel();
+    F.defineLabel(HeadL);
+    genCondBranch(S->E, EndL);
+    BreakLabels.push_back(EndL);
+    ContinueLabels.push_back(HeadL);
+    genStmt(S->Then);
+    BreakLabels.pop_back();
+    ContinueLabels.pop_back();
+    emitJump(HeadL);
+    F.defineLabel(EndL);
+    return;
+  }
+  case StmtKind::For: {
+    if (S->ForInit)
+      releaseVal(genExpr(S->ForInit));
+    std::string HeadL = freshLabel();
+    std::string StepL = freshLabel();
+    std::string EndL = freshLabel();
+    F.defineLabel(HeadL);
+    if (S->E)
+      genCondBranch(S->E, EndL);
+    BreakLabels.push_back(EndL);
+    ContinueLabels.push_back(StepL);
+    genStmt(S->Then);
+    BreakLabels.pop_back();
+    ContinueLabels.pop_back();
+    F.defineLabel(StepL);
+    if (S->ForStep)
+      releaseVal(genExpr(S->ForStep));
+    emitJump(HeadL);
+    F.defineLabel(EndL);
+    return;
+  }
+  case StmtKind::Return: {
+    if (S->E) {
+      Val V = genExpr(S->E);
+      Reg R = useVal(V);
+      emitMove(Reg::V0, R);
+      unpin(V);
+      releaseVal(V);
+    }
+    emitJump(RetLabel);
+    return;
+  }
+  case StmtKind::Break:
+    if (BreakLabels.empty()) {
+      error(S->Line, "'break' outside a loop");
+      return;
+    }
+    emitJump(BreakLabels.back());
+    return;
+  case StmtKind::Continue:
+    if (ContinueLabels.empty()) {
+      error(S->Line, "'continue' outside a loop");
+      return;
+    }
+    emitJump(ContinueLabels.back());
+    return;
+  }
+}
+
+void FuncEmitter::genVarInit(const VarDecl *V) {
+  if (!V->Init)
+    return;
+  if (V->Ty->isStruct() || V->Ty->isArray()) {
+    error(0, "aggregate initializers are not supported");
+    return;
+  }
+  Val Value = genExpr(V->Init);
+  storeToVar(V, Value);
+  releaseVal(Value);
+}
+
+//===----------------------------------------------------------------------===//
+// Variables
+//===----------------------------------------------------------------------===//
+
+void FuncEmitter::storeToVar(const VarDecl *V, Val Value) {
+  Reg R = useVal(Value);
+  if (isPromoted(V)) {
+    emitMove(PromotedTo.at(V), R);
+  } else if (V->IsGlobal) {
+    Reg Addr = takePoolReg();
+    emitLa(Addr, V->Name, 0);
+    emitMem(storeOpFor(V->Ty), R, Addr, 0);
+    for (unsigned I = 0; I != PoolSize; ++I)
+      if (TempPool[I] == Addr)
+        PoolBusy[I] = false;
+  } else {
+    emitMem(storeOpFor(V->Ty), R, Reg::SP, SlotOf.at(V));
+  }
+  unpin(Value);
+}
+
+Val FuncEmitter::loadVar(const VarDecl *V) {
+  // Arrays and structs evaluate to their address.
+  if (V->Ty->isArray() || V->Ty->isStruct()) {
+    Val A = allocResultVal();
+    Reg R = Vals[A.Id].R;
+    if (V->IsGlobal)
+      emitLa(R, V->Name, 0);
+    else
+      emitI(Opcode::Addi, R, Reg::SP, SlotOf.at(V));
+    return A;
+  }
+  if (isPromoted(V)) {
+    Val A = allocResultVal();
+    emitMove(Vals[A.Id].R, PromotedTo.at(V));
+    return A;
+  }
+  Val A = allocResultVal();
+  Reg R = Vals[A.Id].R;
+  if (V->IsGlobal) {
+    emitLa(R, V->Name, 0);
+    emitMem(loadOpFor(V->Ty), R, R, 0);
+  } else {
+    emitMem(loadOpFor(V->Ty), R, Reg::SP, SlotOf.at(V));
+  }
+  return A;
+}
+
+//===----------------------------------------------------------------------===//
+// Addresses
+//===----------------------------------------------------------------------===//
+
+AddrRef FuncEmitter::genAddr(const Expr *E) {
+  switch (E->Kind) {
+  case ExprKind::VarRef: {
+    const VarDecl *V = E->Var;
+    assert(!isPromoted(V) && "promoted variables have no address");
+    AddrRef A;
+    if (V->IsGlobal) {
+      A.Kind = AddrRef::BaseKind::GlobalSym;
+      A.Sym = V->Name;
+    } else {
+      A.Kind = AddrRef::BaseKind::FrameSp;
+      A.Off = SlotOf.at(V);
+    }
+    return A;
+  }
+  case ExprKind::Unary: {
+    assert(E->UOp == UnaryOp::Deref && "not an lvalue unary");
+    AddrRef A;
+    A.Kind = AddrRef::BaseKind::Register;
+    A.Base = genExpr(E->Sub);
+    return A;
+  }
+  case ExprKind::Index: {
+    uint32_t ElemSize = E->Ty->size();
+    // Constant index folds into the displacement.
+    int32_t ConstIdx = 0;
+    if (foldExpr(E->Sub2, ConstIdx)) {
+      // Base may itself be an array lvalue (multi-dim) or pointer value.
+      const Type *BaseTy = E->Sub->Ty;
+      if (BaseTy->isArray() &&
+          (E->Sub->Kind == ExprKind::VarRef ||
+           E->Sub->Kind == ExprKind::Index ||
+           E->Sub->Kind == ExprKind::Member) &&
+          !(E->Sub->Kind == ExprKind::VarRef && isPromoted(E->Sub->Var))) {
+        AddrRef A = genAddr(E->Sub);
+        A.Off += ConstIdx * static_cast<int32_t>(ElemSize);
+        return A;
+      }
+      AddrRef A;
+      A.Kind = AddrRef::BaseKind::Register;
+      A.Base = genExpr(E->Sub);
+      A.Off = ConstIdx * static_cast<int32_t>(ElemSize);
+      return A;
+    }
+    Val Base = genExpr(E->Sub); // Pointer value / decayed array address.
+    Val Addr = genScaledIndex(Base, E->Sub2, ElemSize);
+    AddrRef A;
+    A.Kind = AddrRef::BaseKind::Register;
+    A.Base = Addr;
+    return A;
+  }
+  case ExprKind::Member: {
+    if (E->IsArrow) {
+      AddrRef A;
+      A.Kind = AddrRef::BaseKind::Register;
+      A.Base = genExpr(E->Sub);
+      A.Off = static_cast<int32_t>(E->Field->Offset);
+      return A;
+    }
+    AddrRef A = genAddr(E->Sub);
+    A.Off += static_cast<int32_t>(E->Field->Offset);
+    return A;
+  }
+  default:
+    error(E->Line, "expression is not addressable");
+    return AddrRef();
+  }
+}
+
+Val FuncEmitter::materializeAddr(const AddrRef &A) {
+  switch (A.Kind) {
+  case AddrRef::BaseKind::FrameSp: {
+    Val V = allocResultVal();
+    emitI(Opcode::Addi, Vals[V.Id].R, Reg::SP, A.Off);
+    return V;
+  }
+  case AddrRef::BaseKind::GlobalSym: {
+    Val V = allocResultVal();
+    emitLa(Vals[V.Id].R, A.Sym, A.Off);
+    return V;
+  }
+  case AddrRef::BaseKind::Register: {
+    if (A.Off == 0)
+      return A.Base;
+    Reg R = useVal(A.Base);
+    emitI(Opcode::Addi, R, R, A.Off);
+    unpin(A.Base);
+    return A.Base;
+  }
+  }
+  return Val();
+}
+
+
+Val FuncEmitter::loadFrom(const AddrRef &A, const Type *Ty) {
+  Opcode Op = loadOpFor(Ty);
+  switch (A.Kind) {
+  case AddrRef::BaseKind::FrameSp: {
+    Val V = allocResultVal();
+    emitMem(Op, Vals[V.Id].R, Reg::SP, A.Off);
+    return V;
+  }
+  case AddrRef::BaseKind::GlobalSym: {
+    Val V = allocResultVal();
+    Reg R = Vals[V.Id].R;
+    emitLa(R, A.Sym, 0);
+    emitMem(Op, R, R, A.Off);
+    return V;
+  }
+  case AddrRef::BaseKind::Register: {
+    Reg Base = useVal(A.Base);
+    Val V = allocResultVal();
+    emitMem(Op, Vals[V.Id].R, Base, A.Off);
+    unpin(A.Base);
+    releaseVal(A.Base);
+    return V;
+  }
+  }
+  return Val();
+}
+
+void FuncEmitter::storeTo(const AddrRef &A, const Type *Ty, Val V) {
+  Opcode Op = storeOpFor(Ty);
+  Reg Value = useVal(V);
+  switch (A.Kind) {
+  case AddrRef::BaseKind::FrameSp:
+    emitMem(Op, Value, Reg::SP, A.Off);
+    break;
+  case AddrRef::BaseKind::GlobalSym: {
+    Reg Addr = takePoolReg();
+    emitLa(Addr, A.Sym, 0);
+    emitMem(Op, Value, Addr, A.Off);
+    for (unsigned I = 0; I != PoolSize; ++I)
+      if (TempPool[I] == Addr)
+        PoolBusy[I] = false;
+    break;
+  }
+  case AddrRef::BaseKind::Register: {
+    Reg Base = useVal(A.Base);
+    emitMem(Op, Value, Base, A.Off);
+    unpin(A.Base);
+    releaseVal(A.Base);
+    break;
+  }
+  }
+  unpin(V);
+}
+
+Val FuncEmitter::genScaledIndex(Val Base, const Expr *IdxExpr,
+                                uint32_t ElemSize) {
+  Val Idx = genExpr(IdxExpr);
+  Reg IdxR = useVal(Idx);
+  if (ElemSize > 1) {
+    if ((ElemSize & (ElemSize - 1)) == 0) {
+      unsigned Shift = 0;
+      for (uint32_t S = ElemSize; S > 1; S >>= 1)
+        ++Shift;
+      emitI(Opcode::Sll, IdxR, IdxR, static_cast<int32_t>(Shift));
+    } else {
+      Reg Scale = takePoolReg();
+      emitLi(Scale, static_cast<int32_t>(ElemSize));
+      emitR(Opcode::Mul, IdxR, IdxR, Scale);
+      for (unsigned I = 0; I != PoolSize; ++I)
+        if (TempPool[I] == Scale)
+          PoolBusy[I] = false;
+    }
+  }
+  Reg BaseR = useVal(Base);
+  emitR(Opcode::Add, BaseR, BaseR, IdxR);
+  unpin(Base);
+  unpin(Idx);
+  releaseVal(Idx);
+  return Base;
+}
+
+//===----------------------------------------------------------------------===//
+// Conditions
+//===----------------------------------------------------------------------===//
+
+static Opcode invertedBranch(BinaryOp Op) {
+  // Branch taken when the comparison is FALSE.
+  switch (Op) {
+  case BinaryOp::Eq:
+    return Opcode::Bne;
+  case BinaryOp::Ne:
+    return Opcode::Beq;
+  case BinaryOp::Lt:
+    return Opcode::Bge;
+  case BinaryOp::Le:
+    return Opcode::Bgt;
+  case BinaryOp::Gt:
+    return Opcode::Ble;
+  case BinaryOp::Ge:
+    return Opcode::Blt;
+  default:
+    return Opcode::Nop;
+  }
+}
+
+void FuncEmitter::genCondBranch(const Expr *E, const std::string &FalseLabel) {
+  if (HadError)
+    return;
+  if (E->Kind == ExprKind::Binary) {
+    Opcode Br = invertedBranch(E->BOp);
+    if (Br != Opcode::Nop) {
+      Val L = genExpr(E->Sub);
+      Val R = genExpr(E->Sub2);
+      Reg LR = useVal(L);
+      Reg RR = useVal(R);
+      emitBranch(Br, LR, RR, FalseLabel);
+      unpin(L);
+      unpin(R);
+      releaseVal(R);
+      releaseVal(L);
+      return;
+    }
+    if (E->BOp == BinaryOp::LogicalAnd) {
+      genCondBranch(E->Sub, FalseLabel);
+      genCondBranch(E->Sub2, FalseLabel);
+      return;
+    }
+    if (E->BOp == BinaryOp::LogicalOr) {
+      std::string TrueL = freshLabel();
+      std::string CheckR = freshLabel();
+      // if (L) goto True; if (!R) goto False; True:
+      (void)CheckR;
+      Val L = genExpr(E->Sub);
+      Reg LR = useVal(L);
+      emitBranch(Opcode::Bne, LR, Reg::Zero, TrueL);
+      unpin(L);
+      releaseVal(L);
+      genCondBranch(E->Sub2, FalseLabel);
+      F.defineLabel(TrueL);
+      return;
+    }
+  }
+  if (E->Kind == ExprKind::Unary && E->UOp == UnaryOp::LogicalNot) {
+    // !x false-branch == x true-branch: branch to FalseLabel when x != 0.
+    Val V = genExpr(E->Sub);
+    Reg R = useVal(V);
+    emitBranch(Opcode::Bne, R, Reg::Zero, FalseLabel);
+    unpin(V);
+    releaseVal(V);
+    return;
+  }
+  Val V = genExpr(E);
+  Reg R = useVal(V);
+  emitBranch(Opcode::Beq, R, Reg::Zero, FalseLabel);
+  unpin(V);
+  releaseVal(V);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+const Expr *FuncEmitter::foldExpr(const Expr *E, int32_t &Out) const {
+  if (Opts.OptLevel < 1) {
+    // At -O0 only literal constants fold (used for constant array indices,
+    // which even unoptimized compilers fold into the addressing mode).
+    if (E->Kind == ExprKind::IntLit) {
+      Out = E->IntValue;
+      return E;
+    }
+    return nullptr;
+  }
+  switch (E->Kind) {
+  case ExprKind::IntLit:
+    Out = E->IntValue;
+    return E;
+  case ExprKind::Unary: {
+    int32_t Sub;
+    if (E->UOp == UnaryOp::Neg && foldExpr(E->Sub, Sub)) {
+      Out = -Sub;
+      return E;
+    }
+    if (E->UOp == UnaryOp::BitNot && foldExpr(E->Sub, Sub)) {
+      Out = ~Sub;
+      return E;
+    }
+    return nullptr;
+  }
+  case ExprKind::Binary: {
+    int32_t L, R;
+    if (!foldExpr(E->Sub, L) || !foldExpr(E->Sub2, R))
+      return nullptr;
+    switch (E->BOp) {
+    case BinaryOp::Add:
+      Out = L + R;
+      return E;
+    case BinaryOp::Sub:
+      Out = L - R;
+      return E;
+    case BinaryOp::Mul:
+      Out = L * R;
+      return E;
+    case BinaryOp::Div:
+      if (R == 0)
+        return nullptr;
+      Out = L / R;
+      return E;
+    case BinaryOp::Rem:
+      if (R == 0)
+        return nullptr;
+      Out = L % R;
+      return E;
+    case BinaryOp::And:
+      Out = L & R;
+      return E;
+    case BinaryOp::Or:
+      Out = L | R;
+      return E;
+    case BinaryOp::Xor:
+      Out = L ^ R;
+      return E;
+    case BinaryOp::Shl:
+      Out = static_cast<int32_t>(static_cast<uint32_t>(L)
+                                 << (static_cast<uint32_t>(R) & 31));
+      return E;
+    case BinaryOp::Shr:
+      Out = static_cast<int32_t>(static_cast<uint32_t>(L) >>
+                                 (static_cast<uint32_t>(R) & 31));
+      return E;
+    default:
+      return nullptr;
+    }
+  }
+  default:
+    return nullptr;
+  }
+}
+
+Val FuncEmitter::genCall(const Expr *E) {
+  // Evaluate arguments left to right, then spill everything live and move
+  // the arguments into $a0..$a3.
+  std::vector<Val> Args;
+  for (const Expr *Arg : E->Args)
+    Args.push_back(genExpr(Arg));
+
+  for (size_t I = 0; I != Args.size(); ++I) {
+    Reg R = useVal(Args[I]);
+    emitMove(static_cast<Reg>(static_cast<unsigned>(Reg::A0) + I), R);
+    unpin(Args[I]);
+    releaseVal(Args[I]);
+  }
+  spillActiveVals();
+  emitCall(E->Callee);
+
+  Val Result = allocResultVal();
+  emitMove(Vals[Result.Id].R, Reg::V0);
+  return Result;
+}
+
+Val FuncEmitter::genExpr(const Expr *E) {
+  if (HadError)
+    return Val{};
+
+  int32_t Folded;
+  if (E->Kind != ExprKind::IntLit && foldExpr(E, Folded)) {
+    Val V = allocResultVal();
+    emitLi(Vals[V.Id].R, Folded);
+    return V;
+  }
+
+  switch (E->Kind) {
+  case ExprKind::IntLit: {
+    Val V = allocResultVal();
+    emitLi(Vals[V.Id].R, E->IntValue);
+    return V;
+  }
+  case ExprKind::VarRef:
+    return loadVar(E->Var);
+  case ExprKind::Cast:
+    return genExpr(E->Sub); // All casts are value-preserving (32-bit).
+  case ExprKind::Assign: {
+    // Evaluate RHS first, then the target address (GCC order varies; this
+    // one keeps the value live across address computation).
+    Val Value = genExpr(E->Sub2);
+    const Expr *Target = E->Sub;
+    if (Target->Kind == ExprKind::VarRef &&
+        (isPromoted(Target->Var) ||
+         (!Target->Var->IsGlobal && !Target->Var->Ty->isArray() &&
+          !Target->Var->Ty->isStruct()) ||
+         Target->Var->IsGlobal)) {
+      // Direct variable store (keeps sp-relative stores compact).
+      if (Target->Var->Ty->isArray() || Target->Var->Ty->isStruct()) {
+        error(E->Line, "cannot assign to an aggregate");
+        return Value;
+      }
+      storeToVar(Target->Var, Value);
+      return Value;
+    }
+    AddrRef A = genAddr(Target);
+    storeTo(A, Target->Ty, Value);
+    return Value;
+  }
+  case ExprKind::Unary: {
+    switch (E->UOp) {
+    case UnaryOp::AddrOf: {
+      AddrRef A = genAddr(E->Sub);
+      return materializeAddr(A);
+    }
+    case UnaryOp::Deref: {
+      if (E->Ty->isArray() || E->Ty->isStruct()) {
+        // *p where p points to an aggregate: the value is the address.
+        return genExpr(E->Sub);
+      }
+      AddrRef A = genAddr(E);
+      return loadFrom(A, E->Ty);
+    }
+    case UnaryOp::Neg: {
+      Val V = genExpr(E->Sub);
+      Reg R = useVal(V);
+      emitR(Opcode::Sub, R, Reg::Zero, R);
+      unpin(V);
+      return V;
+    }
+    case UnaryOp::BitNot: {
+      Val V = genExpr(E->Sub);
+      Reg R = useVal(V);
+      emitR(Opcode::Nor, R, R, Reg::Zero);
+      unpin(V);
+      return V;
+    }
+    case UnaryOp::LogicalNot: {
+      Val V = genExpr(E->Sub);
+      Reg R = useVal(V);
+      emitI(Opcode::Sltiu, R, R, 1);
+      unpin(V);
+      return V;
+    }
+    }
+    return Val{};
+  }
+  case ExprKind::Binary: {
+    BinaryOp Op = E->BOp;
+    if (Op == BinaryOp::LogicalAnd || Op == BinaryOp::LogicalOr) {
+      std::string FalseL = freshLabel();
+      std::string EndL = freshLabel();
+      genCondBranch(E, FalseL);
+      Val V = allocResultVal();
+      Reg R = Vals[V.Id].R;
+      emitLi(R, 1);
+      emitJump(EndL);
+      F.defineLabel(FalseL);
+      emitLi(R, 0);
+      F.defineLabel(EndL);
+      return V;
+    }
+
+    const Type *LT = E->Sub->Ty;
+    const Type *RT = E->Sub2->Ty;
+    bool PtrL = LT->isPointer() || LT->isArray();
+    bool PtrR = RT->isPointer() || RT->isArray();
+
+    // Pointer +/- integer scales by the element size.
+    if ((Op == BinaryOp::Add || Op == BinaryOp::Sub) && (PtrL || PtrR)) {
+      if (PtrL && PtrR && Op == BinaryOp::Sub) {
+        Val L = genExpr(E->Sub);
+        Val R = genExpr(E->Sub2);
+        Reg LR = useVal(L);
+        Reg RR = useVal(R);
+        emitR(Opcode::Sub, LR, LR, RR);
+        unpin(L);
+        unpin(R);
+        releaseVal(R);
+        uint32_t Size = LT->pointee() ? LT->pointee()->size() : 1;
+        if (Size > 1) {
+          if ((Size & (Size - 1)) == 0) {
+            unsigned Shift = 0;
+            for (uint32_t S = Size; S > 1; S >>= 1)
+              ++Shift;
+            Reg LR2 = useVal(L);
+            emitI(Opcode::Sra, LR2, LR2, static_cast<int32_t>(Shift));
+            unpin(L);
+          } else {
+            Reg LR2 = useVal(L);
+            Reg Scale = takePoolReg();
+            emitLi(Scale, static_cast<int32_t>(Size));
+            emitR(Opcode::Div, LR2, LR2, Scale);
+            for (unsigned I = 0; I != PoolSize; ++I)
+              if (TempPool[I] == Scale)
+                PoolBusy[I] = false;
+            unpin(L);
+          }
+        }
+        return L;
+      }
+      const Expr *PtrE = PtrL ? E->Sub : E->Sub2;
+      const Expr *IntE = PtrL ? E->Sub2 : E->Sub;
+      const Type *PT = PtrL ? LT : RT;
+      uint32_t Size = PT->pointee() ? PT->pointee()->size() : 1;
+      Val P = genExpr(PtrE);
+      Val I = genExpr(IntE);
+      Reg IR = useVal(I);
+      if (Size > 1) {
+        if ((Size & (Size - 1)) == 0) {
+          unsigned Shift = 0;
+          for (uint32_t S = Size; S > 1; S >>= 1)
+            ++Shift;
+          emitI(Opcode::Sll, IR, IR, static_cast<int32_t>(Shift));
+        } else {
+          Reg Scale = takePoolReg();
+          emitLi(Scale, static_cast<int32_t>(Size));
+          emitR(Opcode::Mul, IR, IR, Scale);
+          for (unsigned K = 0; K != PoolSize; ++K)
+            if (TempPool[K] == Scale)
+              PoolBusy[K] = false;
+        }
+      }
+      Reg PR = useVal(P);
+      emitR(Op == BinaryOp::Add ? Opcode::Add : Opcode::Sub, PR, PR, IR);
+      unpin(P);
+      unpin(I);
+      releaseVal(I);
+      return P;
+    }
+
+    Val L = genExpr(E->Sub);
+    Val R = genExpr(E->Sub2);
+    Reg LR = useVal(L);
+    Reg RR = useVal(R);
+    switch (Op) {
+    case BinaryOp::Add:
+      emitR(Opcode::Add, LR, LR, RR);
+      break;
+    case BinaryOp::Sub:
+      emitR(Opcode::Sub, LR, LR, RR);
+      break;
+    case BinaryOp::Mul:
+      emitR(Opcode::Mul, LR, LR, RR);
+      break;
+    case BinaryOp::Div:
+      emitR(Opcode::Div, LR, LR, RR);
+      break;
+    case BinaryOp::Rem:
+      emitR(Opcode::Rem, LR, LR, RR);
+      break;
+    case BinaryOp::And:
+      emitR(Opcode::And, LR, LR, RR);
+      break;
+    case BinaryOp::Or:
+      emitR(Opcode::Or, LR, LR, RR);
+      break;
+    case BinaryOp::Xor:
+      emitR(Opcode::Xor, LR, LR, RR);
+      break;
+    case BinaryOp::Shl:
+      emitR(Opcode::Sllv, LR, LR, RR);
+      break;
+    case BinaryOp::Shr:
+      emitR(Opcode::Srav, LR, LR, RR);
+      break;
+    case BinaryOp::Eq:
+      emitR(Opcode::Xor, LR, LR, RR);
+      emitI(Opcode::Sltiu, LR, LR, 1);
+      break;
+    case BinaryOp::Ne:
+      emitR(Opcode::Xor, LR, LR, RR);
+      emitR(Opcode::Sltu, LR, Reg::Zero, LR);
+      break;
+    case BinaryOp::Lt:
+      emitR(Opcode::Slt, LR, LR, RR);
+      break;
+    case BinaryOp::Gt:
+      emitR(Opcode::Slt, LR, RR, LR);
+      break;
+    case BinaryOp::Le:
+      emitR(Opcode::Slt, LR, RR, LR);
+      emitI(Opcode::Xori, LR, LR, 1);
+      break;
+    case BinaryOp::Ge:
+      emitR(Opcode::Slt, LR, LR, RR);
+      emitI(Opcode::Xori, LR, LR, 1);
+      break;
+    default:
+      error(E->Line, "unsupported binary operator");
+      break;
+    }
+    unpin(L);
+    unpin(R);
+    releaseVal(R);
+    return L;
+  }
+  case ExprKind::Cond: {
+    std::string ElseL = freshLabel();
+    std::string EndL = freshLabel();
+    int32_t Slot = allocTempSlot();
+    genCondBranch(E->Sub, ElseL);
+    {
+      Val T = genExpr(E->Sub2);
+      Reg R = useVal(T);
+      emitMem(Opcode::Sw, R, Reg::SP, Slot);
+      unpin(T);
+      releaseVal(T);
+    }
+    emitJump(EndL);
+    F.defineLabel(ElseL);
+    {
+      Val FV = genExpr(E->Sub3);
+      Reg R = useVal(FV);
+      emitMem(Opcode::Sw, R, Reg::SP, Slot);
+      unpin(FV);
+      releaseVal(FV);
+    }
+    F.defineLabel(EndL);
+    Val Result = allocResultVal();
+    emitMem(Opcode::Lw, Vals[Result.Id].R, Reg::SP, Slot);
+    freeTempSlot(Slot);
+    return Result;
+  }
+  case ExprKind::Call:
+    return genCall(E);
+  case ExprKind::Index:
+  case ExprKind::Member: {
+    if (E->Ty->isArray() || E->Ty->isStruct()) {
+      // Aggregate-valued access: the value is the address.
+      AddrRef A = genAddr(E);
+      return materializeAddr(A);
+    }
+    AddrRef A = genAddr(E);
+    return loadFrom(A, E->Ty);
+  }
+  }
+  return Val{};
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Module-level generation
+//===----------------------------------------------------------------------===//
+
+CodeGenResult mcc::generateCode(const TranslationUnit &Unit,
+                                const CodeGenOptions &Opts) {
+  CodeGenResult Result;
+  Result.M = std::make_unique<Module>();
+  Module &M = *Result.M;
+
+  // Globals first: data, initializers, and BDH type metadata.
+  for (const VarDecl *V : Unit.Globals) {
+    Global G;
+    G.Name = V->Name;
+    G.Size = std::max<uint32_t>(V->Ty->size(), 1);
+    G.Align = std::max<uint32_t>(V->Ty->align(), 4);
+    if (V->Init) {
+      // The frontend guarantees constant initializers; IntLit after folding.
+      // Evaluate the same way the parser's checker did.
+      struct ConstEval {
+        static int32_t eval(const Expr *E) {
+          switch (E->Kind) {
+          case ExprKind::IntLit:
+            return E->IntValue;
+          case ExprKind::Unary:
+            if (E->UOp == UnaryOp::Neg)
+              return -eval(E->Sub);
+            if (E->UOp == UnaryOp::BitNot)
+              return ~eval(E->Sub);
+            return 0;
+          case ExprKind::Binary: {
+            int32_t L = eval(E->Sub), R = eval(E->Sub2);
+            switch (E->BOp) {
+            case BinaryOp::Add:
+              return L + R;
+            case BinaryOp::Sub:
+              return L - R;
+            case BinaryOp::Mul:
+              return L * R;
+            case BinaryOp::Div:
+              return R ? L / R : 0;
+            case BinaryOp::Shl:
+              return static_cast<int32_t>(static_cast<uint32_t>(L)
+                                          << (static_cast<uint32_t>(R) & 31));
+            case BinaryOp::Shr:
+              return static_cast<int32_t>(static_cast<uint32_t>(L) >>
+                                          (static_cast<uint32_t>(R) & 31));
+            default:
+              return 0;
+            }
+          }
+          default:
+            return 0;
+          }
+        }
+      };
+      int32_t Value = ConstEval::eval(V->Init);
+      for (unsigned B = 0; B != 4; ++B)
+        G.Init.push_back(static_cast<uint8_t>(
+            (static_cast<uint32_t>(Value) >> (8 * B)) & 0xFF));
+    }
+    M.addGlobal(std::move(G));
+
+    VarType VT;
+    if (V->Ty->isArray()) {
+      VT.Kind = VarKind::Array;
+      const Type *Elem = V->Ty;
+      while (Elem->isArray())
+        Elem = Elem->pointee();
+      VT.IsPointer = Elem->isPointer();
+    } else if (V->Ty->isStruct()) {
+      VT.Kind = VarKind::StructObj;
+      for (const StructField &Fld : V->Ty->structDecl()->Fields)
+        VT.Fields.push_back(
+            FieldType{Fld.Offset, Fld.Ty->size(), Fld.Ty->isPointer()});
+    } else {
+      VT.Kind = VarKind::Scalar;
+      VT.IsPointer = V->Ty->isPointer();
+    }
+    VT.Size = std::max<uint32_t>(V->Ty->size(), 1);
+    M.typeInfo().setGlobalType(V->Name, VT);
+  }
+
+  for (const FuncDecl *FD : Unit.Functions) {
+    Function &F = M.addFunction(FD->Name);
+    FuncEmitter Emitter(Unit, *FD, M, F, Opts, Result.Diags);
+    Emitter.emitFunction();
+  }
+
+  if (!Result.Diags.empty()) {
+    Result.M.reset();
+    return Result;
+  }
+  if (!M.finalize()) {
+    Result.Diags.push_back(CodeGenDiag{0, "internal: unresolved label"});
+    Result.M.reset();
+  }
+  return Result;
+}

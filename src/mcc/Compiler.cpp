@@ -1,0 +1,34 @@
+//===- mcc/Compiler.cpp --------------------------------------------------------//
+
+#include "mcc/Compiler.h"
+
+#include "mcc/Frontend.h"
+
+using namespace dlq;
+using namespace dlq::mcc;
+
+CompileResult mcc::compile(std::string_view Source,
+                           const CompileOptions &Opts) {
+  CompileResult Result;
+
+  FrontendResult FE = parseMinC(Source);
+  if (!FE.ok()) {
+    Result.Errors = FE.diagText();
+    if (Result.Errors.empty())
+      Result.Errors = "unknown frontend failure\n";
+    return Result;
+  }
+
+  CodeGenOptions CGOpts;
+  CGOpts.OptLevel = Opts.OptLevel;
+  CodeGenResult CG = generateCode(*FE.Unit, CGOpts);
+  if (!CG.ok()) {
+    Result.Errors = CG.diagText();
+    if (Result.Errors.empty())
+      Result.Errors = "unknown codegen failure\n";
+    return Result;
+  }
+
+  Result.M = std::move(CG.M);
+  return Result;
+}

@@ -1,0 +1,49 @@
+//===- mcc/Compiler.h - One-call MinC compiler driver --------------------------//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// compile(): MinC source text -> finalized masm module (with symbol-table
+/// type metadata), the role GCC-for-MIPS plays in the paper's toolchain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_MCC_COMPILER_H
+#define DLQ_MCC_COMPILER_H
+
+#include "masm/Module.h"
+#include "mcc/CodeGen.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace dlq {
+namespace mcc {
+
+/// Compiler options.
+struct CompileOptions {
+  unsigned OptLevel = 0; ///< 0 (paper's unoptimized) or 1 (paper's '-O').
+
+  CompileOptions() {}
+};
+
+/// Compilation outcome.
+struct CompileResult {
+  std::unique_ptr<masm::Module> M;
+  std::string Errors; ///< "line N: message" lines; empty on success.
+
+  bool ok() const { return M != nullptr; }
+};
+
+/// Compiles MinC \p Source to a finalized module.
+CompileResult compile(std::string_view Source,
+                      const CompileOptions &Opts = CompileOptions());
+
+} // namespace mcc
+} // namespace dlq
+
+#endif // DLQ_MCC_COMPILER_H

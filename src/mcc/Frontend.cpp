@@ -1,0 +1,1023 @@
+//===- mcc/Frontend.cpp --------------------------------------------------------//
+
+#include "mcc/Frontend.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <map>
+
+using namespace dlq;
+using namespace dlq::mcc;
+
+std::string FrontendResult::diagText() const {
+  std::string Out;
+  for (const FrontendDiag &D : Diags)
+    Out += formatString("line %u: %s\n", D.Line, D.Message.c_str());
+  return Out;
+}
+
+namespace {
+
+/// Builtin runtime function signatures.
+struct BuiltinSig {
+  const char *Name;
+  const char *Ret;    // "void", "int", "voidptr"
+  unsigned NumArgs;
+};
+
+constexpr BuiltinSig Builtins[] = {
+    {"malloc", "voidptr", 1}, {"calloc", "voidptr", 2}, {"free", "void", 1},
+    {"rand", "int", 0},       {"srand", "void", 1},     {"print_int", "void", 1},
+    {"print_char", "void", 1}, {"exit", "void", 1},
+};
+
+class Parser {
+public:
+  explicit Parser(std::string_view Source) : Toks(tokenize(Source)) {
+    Result.Unit = std::make_unique<TranslationUnit>();
+    U = Result.Unit.get();
+  }
+
+  FrontendResult take() && { return std::move(Result); }
+
+  void run();
+
+private:
+  std::vector<Token> Toks;
+  size_t Pos = 0;
+  FrontendResult Result;
+  TranslationUnit *U = nullptr;
+  bool Failed = false;
+
+  // Scopes: innermost last.
+  std::vector<std::map<std::string, VarDecl *>> Scopes;
+  std::map<std::string, FuncDecl *> Functions;
+  FuncDecl *CurFunc = nullptr;
+  uint32_t NextLocalOrdinal = 0;
+
+  //===--- token helpers --------------------------------------------------===//
+  const Token &peek(unsigned Ahead = 0) const {
+    size_t P = Pos + Ahead;
+    return P < Toks.size() ? Toks[P] : Toks.back();
+  }
+  const Token &cur() const { return peek(0); }
+  Token advance() {
+    Token T = cur();
+    if (Pos + 1 < Toks.size())
+      ++Pos;
+    return T;
+  }
+  bool check(TokKind K) const { return cur().is(K); }
+  bool accept(TokKind K) {
+    if (!check(K))
+      return false;
+    advance();
+    return true;
+  }
+  bool expect(TokKind K, const char *Context) {
+    if (accept(K))
+      return true;
+    error(formatString("expected %s %s, got %s", tokKindName(K).c_str(),
+                       Context, tokKindName(cur().Kind).c_str()));
+    return false;
+  }
+
+  void error(const std::string &Message) {
+    if (!Failed)
+      Result.Diags.push_back(FrontendDiag{cur().Line, Message});
+    Failed = true;
+  }
+
+  //===--- scope helpers --------------------------------------------------===//
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+  VarDecl *lookupVar(const std::string &Name) {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return Found->second;
+    }
+    return nullptr;
+  }
+  bool declareVar(VarDecl *V) {
+    auto [It, Inserted] = Scopes.back().emplace(V->Name, V);
+    (void)It;
+    if (!Inserted)
+      error("redefinition of '" + V->Name + "'");
+    return Inserted;
+  }
+
+  //===--- types ----------------------------------------------------------===//
+  bool atTypeStart() const {
+    return check(TokKind::KwInt) || check(TokKind::KwChar) ||
+           check(TokKind::KwVoid) || check(TokKind::KwStruct);
+  }
+  const Type *parseTypeSpec();
+  const Type *parsePointerSuffix(const Type *Base);
+
+  //===--- declarations ---------------------------------------------------===//
+  void parseTopLevel();
+  void parseStructDecl();
+  void parseFunctionRest(const Type *RetTy, const std::string &Name);
+  VarDecl *parseDeclarator(const Type *Base, bool IsGlobal);
+
+  //===--- statements -----------------------------------------------------===//
+  Stmt *parseStmt();
+  Stmt *parseBlock();
+
+  //===--- expressions ----------------------------------------------------===//
+  Expr *parseExpr();       // assignment level
+  Expr *parseCond();
+  Expr *parseBinary(int MinPrec);
+  Expr *parseUnary();
+  Expr *parsePostfix();
+  Expr *parsePrimary();
+
+  //===--- semantic helpers -----------------------------------------------===//
+  const Type *decayed(const Type *T) {
+    if (T && T->isArray())
+      return U->Types.getPointer(T->pointee());
+    return T;
+  }
+  Expr *intLit(int32_t Value, unsigned Line);
+  bool isLvalue(const Expr *E) const;
+  bool typesAssignable(const Type *Dst, const Type *Src) const;
+  Expr *makeBinary(BinaryOp Op, Expr *L, Expr *R, unsigned Line);
+  int32_t evalConst(const Expr *E, bool &Ok) const;
+};
+
+//===----------------------------------------------------------------------===//
+// Types and declarators
+//===----------------------------------------------------------------------===//
+
+const Type *Parser::parseTypeSpec() {
+  if (accept(TokKind::KwInt))
+    return U->Types.intType();
+  if (accept(TokKind::KwChar))
+    return U->Types.charType();
+  if (accept(TokKind::KwVoid))
+    return U->Types.voidType();
+  if (accept(TokKind::KwStruct)) {
+    if (!check(TokKind::Ident)) {
+      error("expected struct name");
+      return U->Types.intType();
+    }
+    std::string Name = advance().Text;
+    StructDecl *S = U->Types.declareStruct(Name);
+    return U->Types.getStructType(S);
+  }
+  error("expected a type");
+  return U->Types.intType();
+}
+
+const Type *Parser::parsePointerSuffix(const Type *Base) {
+  const Type *T = Base;
+  while (accept(TokKind::Star))
+    T = U->Types.getPointer(T);
+  return T;
+}
+
+VarDecl *Parser::parseDeclarator(const Type *Base, bool IsGlobal) {
+  const Type *T = parsePointerSuffix(Base);
+  if (!check(TokKind::Ident)) {
+    error("expected variable name");
+    return nullptr;
+  }
+  std::string Name = advance().Text;
+
+  // Array suffixes, innermost last: int a[2][3] is array[2] of array[3].
+  // Sizes may be constant expressions (e.g. `int t[N * 4]` after parameter
+  // substitution).
+  std::vector<uint32_t> Dims;
+  while (accept(TokKind::LBracket)) {
+    Expr *SizeExpr = parseCond();
+    if (!SizeExpr)
+      return nullptr;
+    bool Ok = false;
+    int32_t Size = evalConst(SizeExpr, Ok);
+    if (!Ok || Size <= 0) {
+      error("array size must be a positive constant expression");
+      return nullptr;
+    }
+    Dims.push_back(static_cast<uint32_t>(Size));
+    if (!expect(TokKind::RBracket, "after array size"))
+      return nullptr;
+  }
+  for (auto It = Dims.rbegin(); It != Dims.rend(); ++It)
+    T = U->Types.getArray(T, *It);
+
+  if (T->isStruct() && !T->structDecl()->Complete)
+    error("variable of incomplete struct type '" + T->spelling() + "'");
+  if (T->isVoid())
+    error("variable '" + Name + "' has void type");
+
+  VarDecl *V = U->Nodes.newVar();
+  V->Name = Name;
+  V->Ty = T;
+  V->IsGlobal = IsGlobal;
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+void Parser::run() {
+  pushScope(); // Global scope.
+
+  // Predeclare builtins.
+  for (const BuiltinSig &B : Builtins) {
+    FuncDecl *F = U->Nodes.newFunc();
+    F->Name = B.Name;
+    F->IsBuiltin = true;
+    F->RetTy = std::string_view(B.Ret) == "int" ? U->Types.intType()
+               : std::string_view(B.Ret) == "voidptr"
+                   ? U->Types.getPointer(U->Types.voidType())
+                   : U->Types.voidType();
+    for (unsigned I = 0; I != B.NumArgs; ++I) {
+      VarDecl *P = U->Nodes.newVar();
+      P->Name = formatString("arg%u", I);
+      // free() takes void*; every other builtin argument is int.
+      P->Ty = std::string_view(B.Name) == "free"
+                  ? U->Types.getPointer(U->Types.voidType())
+                  : U->Types.intType();
+      P->IsParam = true;
+      F->Params.push_back(P);
+    }
+    Functions[F->Name] = F;
+  }
+
+  while (!check(TokKind::Eof) && !Failed)
+    parseTopLevel();
+
+  if (check(TokKind::Error))
+    error(cur().Text);
+}
+
+void Parser::parseTopLevel() {
+  if (check(TokKind::KwStruct) && peek(1).is(TokKind::Ident) &&
+      peek(2).is(TokKind::LBrace)) {
+    parseStructDecl();
+    return;
+  }
+
+  const Type *Base = parseTypeSpec();
+  if (Failed)
+    return;
+
+  // Look ahead past '*'s for the '(' that marks a function.
+  size_t Save = Pos;
+  const Type *Full = parsePointerSuffix(Base);
+  if (check(TokKind::Ident) && peek(1).is(TokKind::LParen)) {
+    std::string Name = advance().Text;
+    parseFunctionRest(Full, Name);
+    return;
+  }
+  Pos = Save;
+
+  // Global variable(s).
+  do {
+    VarDecl *V = parseDeclarator(Base, /*IsGlobal=*/true);
+    if (!V)
+      return;
+    V->Ordinal = static_cast<uint32_t>(U->Globals.size());
+    if (accept(TokKind::Assign)) {
+      Expr *Init = parseCond();
+      if (!Init)
+        return;
+      bool Ok = false;
+      (void)evalConst(Init, Ok);
+      if (!Ok) {
+        error("global initializer must be a constant expression");
+        return;
+      }
+      V->Init = Init;
+    }
+    if (!declareVar(V))
+      return;
+    U->Globals.push_back(V);
+  } while (accept(TokKind::Comma));
+  expect(TokKind::Semi, "after global declaration");
+}
+
+void Parser::parseStructDecl() {
+  advance(); // struct
+  std::string Name = advance().Text;
+  StructDecl *S = U->Types.declareStruct(Name);
+  if (S->Complete) {
+    error("redefinition of struct '" + Name + "'");
+    return;
+  }
+  expect(TokKind::LBrace, "to open struct body");
+  while (!check(TokKind::RBrace) && !check(TokKind::Eof) && !Failed) {
+    const Type *Base = parseTypeSpec();
+    do {
+      VarDecl *F = parseDeclarator(Base, /*IsGlobal=*/false);
+      if (!F)
+        return;
+      // Self-referential pointers are fine; embedded incomplete structs are
+      // rejected by parseDeclarator.
+      S->Fields.push_back(StructField{F->Name, F->Ty, 0});
+    } while (accept(TokKind::Comma));
+    expect(TokKind::Semi, "after struct field");
+  }
+  expect(TokKind::RBrace, "to close struct body");
+  expect(TokKind::Semi, "after struct definition");
+  U->Types.layoutStruct(*S);
+}
+
+void Parser::parseFunctionRest(const Type *RetTy, const std::string &Name) {
+  FuncDecl *F = U->Nodes.newFunc();
+  F->Name = Name;
+  F->RetTy = RetTy;
+
+  if (Functions.count(Name)) {
+    error("redefinition of function '" + Name + "'");
+    return;
+  }
+  Functions[Name] = F;
+  CurFunc = F;
+  NextLocalOrdinal = 0;
+
+  expect(TokKind::LParen, "after function name");
+  pushScope();
+  if (accept(TokKind::KwVoid) && check(TokKind::RParen)) {
+    // (void) parameter list.
+  } else if (!check(TokKind::RParen)) {
+    do {
+      const Type *Base = parseTypeSpec();
+      VarDecl *P = parseDeclarator(Base, /*IsGlobal=*/false);
+      if (!P)
+        return;
+      if (P->Ty->isArray() || P->Ty->isStruct()) {
+        error("parameter '" + P->Name +
+              "' must have scalar or pointer type");
+        return;
+      }
+      P->IsParam = true;
+      P->Ordinal = NextLocalOrdinal++;
+      if (!declareVar(P))
+        return;
+      F->Params.push_back(P);
+      F->Locals.push_back(P);
+    } while (accept(TokKind::Comma));
+  }
+  expect(TokKind::RParen, "after parameters");
+  if (F->Params.size() > 4)
+    error("at most 4 parameters are supported");
+
+  if (!check(TokKind::LBrace)) {
+    error("expected function body");
+    return;
+  }
+  F->Body = parseBlock();
+  popScope();
+  CurFunc = nullptr;
+  if (!Failed)
+    U->Functions.push_back(F);
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+Stmt *Parser::parseBlock() {
+  unsigned Line = cur().Line;
+  expect(TokKind::LBrace, "to open block");
+  Stmt *B = U->Nodes.newStmt(StmtKind::Block);
+  B->Line = Line;
+  pushScope();
+  while (!check(TokKind::RBrace) && !check(TokKind::Eof) && !Failed) {
+    Stmt *S = parseStmt();
+    if (!S)
+      break;
+    B->Body.push_back(S);
+  }
+  popScope();
+  expect(TokKind::RBrace, "to close block");
+  return Failed ? nullptr : B;
+}
+
+Stmt *Parser::parseStmt() {
+  unsigned Line = cur().Line;
+
+  if (check(TokKind::LBrace))
+    return parseBlock();
+
+  if (accept(TokKind::Semi)) {
+    Stmt *S = U->Nodes.newStmt(StmtKind::Empty);
+    S->Line = Line;
+    return S;
+  }
+
+  if (atTypeStart()) {
+    // Local declaration. `struct x { ... }` inside functions is not
+    // supported; struct definitions are file scope only.
+    const Type *Base = parseTypeSpec();
+    Stmt *Block = nullptr;
+    Stmt *Single = nullptr;
+    do {
+      VarDecl *V = parseDeclarator(Base, /*IsGlobal=*/false);
+      if (!V)
+        return nullptr;
+      V->Ordinal = NextLocalOrdinal++;
+      if (!declareVar(V))
+        return nullptr;
+      CurFunc->Locals.push_back(V);
+      if (accept(TokKind::Assign)) {
+        if (V->Ty->isStruct() || V->Ty->isArray()) {
+          error("aggregate initializers are not supported");
+          return nullptr;
+        }
+        V->Init = parseExpr();
+        if (!V->Init)
+          return nullptr;
+        if (!typesAssignable(decayed(V->Ty), decayed(V->Init->Ty))) {
+          error("cannot initialize '" + V->Ty->spelling() + "' from '" +
+                V->Init->Ty->spelling() + "'");
+          return nullptr;
+        }
+      }
+      Stmt *S = U->Nodes.newStmt(StmtKind::Decl);
+      S->Line = Line;
+      S->Decl = V;
+      if (!Single) {
+        Single = S;
+      } else {
+        if (!Block) {
+          Block = U->Nodes.newStmt(StmtKind::Block);
+          Block->Line = Line;
+          Block->Body.push_back(Single);
+        }
+        Block->Body.push_back(S);
+      }
+    } while (accept(TokKind::Comma));
+    expect(TokKind::Semi, "after declaration");
+    return Block ? Block : Single;
+  }
+
+  if (accept(TokKind::KwIf)) {
+    expect(TokKind::LParen, "after 'if'");
+    Stmt *S = U->Nodes.newStmt(StmtKind::If);
+    S->Line = Line;
+    S->E = parseExpr();
+    expect(TokKind::RParen, "after if condition");
+    S->Then = parseStmt();
+    if (accept(TokKind::KwElse))
+      S->Else = parseStmt();
+    return Failed ? nullptr : S;
+  }
+
+  if (accept(TokKind::KwWhile)) {
+    expect(TokKind::LParen, "after 'while'");
+    Stmt *S = U->Nodes.newStmt(StmtKind::While);
+    S->Line = Line;
+    S->E = parseExpr();
+    expect(TokKind::RParen, "after while condition");
+    S->Then = parseStmt();
+    return Failed ? nullptr : S;
+  }
+
+  if (accept(TokKind::KwFor)) {
+    expect(TokKind::LParen, "after 'for'");
+    Stmt *S = U->Nodes.newStmt(StmtKind::For);
+    S->Line = Line;
+    if (!check(TokKind::Semi))
+      S->ForInit = parseExpr();
+    expect(TokKind::Semi, "after for-init");
+    if (!check(TokKind::Semi))
+      S->E = parseExpr();
+    expect(TokKind::Semi, "after for-condition");
+    if (!check(TokKind::RParen))
+      S->ForStep = parseExpr();
+    expect(TokKind::RParen, "after for-step");
+    S->Then = parseStmt();
+    return Failed ? nullptr : S;
+  }
+
+  if (accept(TokKind::KwReturn)) {
+    Stmt *S = U->Nodes.newStmt(StmtKind::Return);
+    S->Line = Line;
+    if (!check(TokKind::Semi)) {
+      S->E = parseExpr();
+      if (S->E && CurFunc->RetTy->isVoid())
+        error("void function returns a value");
+    } else if (!CurFunc->RetTy->isVoid()) {
+      error("non-void function returns no value");
+    }
+    expect(TokKind::Semi, "after return");
+    return Failed ? nullptr : S;
+  }
+
+  if (accept(TokKind::KwBreak)) {
+    expect(TokKind::Semi, "after 'break'");
+    Stmt *S = U->Nodes.newStmt(StmtKind::Break);
+    S->Line = Line;
+    return S;
+  }
+  if (accept(TokKind::KwContinue)) {
+    expect(TokKind::Semi, "after 'continue'");
+    Stmt *S = U->Nodes.newStmt(StmtKind::Continue);
+    S->Line = Line;
+    return S;
+  }
+
+  Stmt *S = U->Nodes.newStmt(StmtKind::Expr);
+  S->Line = Line;
+  S->E = parseExpr();
+  expect(TokKind::Semi, "after expression");
+  return Failed ? nullptr : S;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Expr *Parser::intLit(int32_t Value, unsigned Line) {
+  Expr *E = U->Nodes.newExpr(ExprKind::IntLit);
+  E->IntValue = Value;
+  E->Ty = U->Types.intType();
+  E->Line = Line;
+  return E;
+}
+
+bool Parser::isLvalue(const Expr *E) const {
+  switch (E->Kind) {
+  case ExprKind::VarRef:
+    return true;
+  case ExprKind::Index:
+    return true;
+  case ExprKind::Member:
+    return true;
+  case ExprKind::Unary:
+    return E->UOp == UnaryOp::Deref;
+  default:
+    return false;
+  }
+}
+
+bool Parser::typesAssignable(const Type *Dst, const Type *Src) const {
+  if (!Dst || !Src)
+    return false;
+  if (Dst == Src)
+    return true;
+  if (Dst->isArithmetic() && Src->isArithmetic())
+    return true;
+  if (Dst->isPointer() && Src->isPointer())
+    return Dst->isVoidPointer() || Src->isVoidPointer() ||
+           Dst->pointee() == Src->pointee();
+  // Allow `p = 0` null pointer assignment.
+  if (Dst->isPointer() && Src->isArithmetic())
+    return true;
+  return false;
+}
+
+Expr *Parser::parseExpr() {
+  Expr *L = parseCond();
+  if (!L)
+    return nullptr;
+  if (!accept(TokKind::Assign))
+    return L;
+  if (!isLvalue(L)) {
+    error("left side of assignment is not assignable");
+    return nullptr;
+  }
+  if (L->Ty->isStruct() || L->Ty->isArray()) {
+    error("aggregate assignment is not supported");
+    return nullptr;
+  }
+  Expr *R = parseExpr(); // Right-associative.
+  if (!R)
+    return nullptr;
+  if (!typesAssignable(decayed(L->Ty), decayed(R->Ty))) {
+    error("cannot assign '" + R->Ty->spelling() + "' to '" +
+          L->Ty->spelling() + "'");
+    return nullptr;
+  }
+  Expr *E = U->Nodes.newExpr(ExprKind::Assign);
+  E->Line = L->Line;
+  E->Sub = L;
+  E->Sub2 = R;
+  E->Ty = decayed(L->Ty);
+  return E;
+}
+
+Expr *Parser::parseCond() {
+  Expr *C = parseBinary(0);
+  if (!C || !accept(TokKind::Question))
+    return C;
+  Expr *T = parseExpr();
+  if (!expect(TokKind::Colon, "in conditional expression"))
+    return nullptr;
+  Expr *F = parseCond();
+  if (!T || !F)
+    return nullptr;
+  Expr *E = U->Nodes.newExpr(ExprKind::Cond);
+  E->Line = C->Line;
+  E->Sub = C;
+  E->Sub2 = T;
+  E->Sub3 = F;
+  E->Ty = decayed(T->Ty);
+  return E;
+}
+
+namespace {
+struct BinOpInfo {
+  TokKind Tok;
+  BinaryOp Op;
+  int Prec;
+};
+constexpr BinOpInfo BinOps[] = {
+    {TokKind::PipePipe, BinaryOp::LogicalOr, 1},
+    {TokKind::AmpAmp, BinaryOp::LogicalAnd, 2},
+    {TokKind::Pipe, BinaryOp::Or, 3},
+    {TokKind::Caret, BinaryOp::Xor, 4},
+    {TokKind::Amp, BinaryOp::And, 5},
+    {TokKind::EqEq, BinaryOp::Eq, 6},
+    {TokKind::BangEq, BinaryOp::Ne, 6},
+    {TokKind::Less, BinaryOp::Lt, 7},
+    {TokKind::LessEq, BinaryOp::Le, 7},
+    {TokKind::Greater, BinaryOp::Gt, 7},
+    {TokKind::GreaterEq, BinaryOp::Ge, 7},
+    {TokKind::Shl, BinaryOp::Shl, 8},
+    {TokKind::Shr, BinaryOp::Shr, 8},
+    {TokKind::Plus, BinaryOp::Add, 9},
+    {TokKind::Minus, BinaryOp::Sub, 9},
+    {TokKind::Star, BinaryOp::Mul, 10},
+    {TokKind::Slash, BinaryOp::Div, 10},
+    {TokKind::Percent, BinaryOp::Rem, 10},
+};
+} // namespace
+
+Expr *Parser::makeBinary(BinaryOp Op, Expr *L, Expr *R, unsigned Line) {
+  const Type *LT = decayed(L->Ty);
+  const Type *RT = decayed(R->Ty);
+  const Type *ResultTy = U->Types.intType();
+
+  bool PtrL = LT->isPointer();
+  bool PtrR = RT->isPointer();
+
+  switch (Op) {
+  case BinaryOp::Add:
+    if (PtrL && RT->isArithmetic())
+      ResultTy = LT;
+    else if (PtrR && LT->isArithmetic())
+      ResultTy = RT;
+    else if (PtrL || PtrR) {
+      error("invalid pointer addition");
+      return nullptr;
+    }
+    break;
+  case BinaryOp::Sub:
+    if (PtrL && RT->isArithmetic())
+      ResultTy = LT;
+    else if (PtrL && PtrR)
+      ResultTy = U->Types.intType(); // Pointer difference, in elements.
+    else if (PtrR) {
+      error("invalid pointer subtraction");
+      return nullptr;
+    }
+    break;
+  case BinaryOp::Eq:
+  case BinaryOp::Ne:
+  case BinaryOp::Lt:
+  case BinaryOp::Le:
+  case BinaryOp::Gt:
+  case BinaryOp::Ge:
+  case BinaryOp::LogicalAnd:
+  case BinaryOp::LogicalOr:
+    break; // int result; pointers allowed.
+  default:
+    if (PtrL || PtrR) {
+      error("invalid operands to arithmetic operator");
+      return nullptr;
+    }
+    break;
+  }
+
+  Expr *E = U->Nodes.newExpr(ExprKind::Binary);
+  E->Line = Line;
+  E->BOp = Op;
+  E->Sub = L;
+  E->Sub2 = R;
+  E->Ty = ResultTy;
+  return E;
+}
+
+Expr *Parser::parseBinary(int MinPrec) {
+  Expr *L = parseUnary();
+  if (!L)
+    return nullptr;
+  while (true) {
+    const BinOpInfo *Info = nullptr;
+    for (const BinOpInfo &B : BinOps)
+      if (check(B.Tok)) {
+        Info = &B;
+        break;
+      }
+    if (!Info || Info->Prec < MinPrec)
+      return L;
+    unsigned Line = cur().Line;
+    advance();
+    Expr *R = parseBinary(Info->Prec + 1);
+    if (!R)
+      return nullptr;
+    L = makeBinary(Info->Op, L, R, Line);
+    if (!L)
+      return nullptr;
+  }
+}
+
+Expr *Parser::parseUnary() {
+  unsigned Line = cur().Line;
+
+  // Cast: '(' type ')' unary.
+  if (check(TokKind::LParen) &&
+      (peek(1).is(TokKind::KwInt) || peek(1).is(TokKind::KwChar) ||
+       peek(1).is(TokKind::KwVoid) || peek(1).is(TokKind::KwStruct))) {
+    advance(); // (
+    const Type *T = parsePointerSuffix(parseTypeSpec());
+    expect(TokKind::RParen, "after cast type");
+    Expr *Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    Expr *E = U->Nodes.newExpr(ExprKind::Cast);
+    E->Line = Line;
+    E->Sub = Sub;
+    E->Ty = T;
+    return E;
+  }
+
+  if (accept(TokKind::Minus)) {
+    Expr *Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    Expr *E = U->Nodes.newExpr(ExprKind::Unary);
+    E->Line = Line;
+    E->UOp = UnaryOp::Neg;
+    E->Sub = Sub;
+    E->Ty = U->Types.intType();
+    return E;
+  }
+  if (accept(TokKind::Bang)) {
+    Expr *Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    Expr *E = U->Nodes.newExpr(ExprKind::Unary);
+    E->Line = Line;
+    E->UOp = UnaryOp::LogicalNot;
+    E->Sub = Sub;
+    E->Ty = U->Types.intType();
+    return E;
+  }
+  if (accept(TokKind::Tilde)) {
+    Expr *Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    Expr *E = U->Nodes.newExpr(ExprKind::Unary);
+    E->Line = Line;
+    E->UOp = UnaryOp::BitNot;
+    E->Sub = Sub;
+    E->Ty = U->Types.intType();
+    return E;
+  }
+  if (accept(TokKind::Star)) {
+    Expr *Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    const Type *PT = decayed(Sub->Ty);
+    if (!PT->isPointer() || PT->pointee()->isVoid()) {
+      error("cannot dereference '" + Sub->Ty->spelling() + "'");
+      return nullptr;
+    }
+    Expr *E = U->Nodes.newExpr(ExprKind::Unary);
+    E->Line = Line;
+    E->UOp = UnaryOp::Deref;
+    E->Sub = Sub;
+    E->Ty = PT->pointee();
+    return E;
+  }
+  if (accept(TokKind::Amp)) {
+    Expr *Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    if (!isLvalue(Sub)) {
+      error("cannot take the address of this expression");
+      return nullptr;
+    }
+    if (Sub->Kind == ExprKind::VarRef)
+      Sub->Var->AddressTaken = true;
+    Expr *E = U->Nodes.newExpr(ExprKind::Unary);
+    E->Line = Line;
+    E->UOp = UnaryOp::AddrOf;
+    E->Sub = Sub;
+    E->Ty = U->Types.getPointer(Sub->Ty);
+    return E;
+  }
+  if (accept(TokKind::KwSizeof)) {
+    expect(TokKind::LParen, "after sizeof");
+    const Type *T = parsePointerSuffix(parseTypeSpec());
+    // Allow sizeof(struct x[n]) style? Keep it simple: optional [n].
+    expect(TokKind::RParen, "after sizeof type");
+    return intLit(static_cast<int32_t>(T->size()), Line);
+  }
+
+  return parsePostfix();
+}
+
+Expr *Parser::parsePostfix() {
+  Expr *E = parsePrimary();
+  if (!E)
+    return nullptr;
+  while (true) {
+    unsigned Line = cur().Line;
+    if (accept(TokKind::LBracket)) {
+      Expr *Idx = parseExpr();
+      if (!Idx || !expect(TokKind::RBracket, "after index"))
+        return nullptr;
+      const Type *BaseTy = decayed(E->Ty);
+      if (!BaseTy->isPointer()) {
+        error("subscripted value is not an array or pointer");
+        return nullptr;
+      }
+      if (!decayed(Idx->Ty)->isArithmetic()) {
+        error("array index must be an integer");
+        return nullptr;
+      }
+      Expr *IndexExpr = U->Nodes.newExpr(ExprKind::Index);
+      IndexExpr->Line = Line;
+      IndexExpr->Sub = E;
+      IndexExpr->Sub2 = Idx;
+      IndexExpr->Ty = BaseTy->pointee();
+      E = IndexExpr;
+      continue;
+    }
+    if (check(TokKind::Dot) || check(TokKind::Arrow)) {
+      bool IsArrow = advance().Kind == TokKind::Arrow;
+      if (!check(TokKind::Ident)) {
+        error("expected field name");
+        return nullptr;
+      }
+      std::string FieldName = advance().Text;
+      const Type *BaseTy = IsArrow ? decayed(E->Ty) : E->Ty;
+      const StructDecl *S = nullptr;
+      if (IsArrow) {
+        if (!BaseTy->isPointer() || !BaseTy->pointee()->isStruct()) {
+          error("'->' applied to non-struct-pointer");
+          return nullptr;
+        }
+        S = BaseTy->pointee()->structDecl();
+      } else {
+        if (!BaseTy->isStruct()) {
+          error("'.' applied to non-struct");
+          return nullptr;
+        }
+        S = BaseTy->structDecl();
+      }
+      const StructField *F = S->findField(FieldName);
+      if (!F) {
+        error("no field '" + FieldName + "' in struct '" + S->Name + "'");
+        return nullptr;
+      }
+      Expr *M = U->Nodes.newExpr(ExprKind::Member);
+      M->Line = Line;
+      M->Sub = E;
+      M->FieldName = FieldName;
+      M->Field = F;
+      M->IsArrow = IsArrow;
+      M->Ty = F->Ty;
+      E = M;
+      continue;
+    }
+    return E;
+  }
+}
+
+Expr *Parser::parsePrimary() {
+  unsigned Line = cur().Line;
+  if (check(TokKind::IntLit))
+    return intLit(static_cast<int32_t>(advance().IntValue), Line);
+
+  if (accept(TokKind::LParen)) {
+    Expr *E = parseExpr();
+    expect(TokKind::RParen, "after parenthesized expression");
+    return E;
+  }
+
+  if (check(TokKind::Ident)) {
+    std::string Name = advance().Text;
+
+    // Call.
+    if (accept(TokKind::LParen)) {
+      auto It = Functions.find(Name);
+      if (It == Functions.end()) {
+        error("call to undeclared function '" + Name + "'");
+        return nullptr;
+      }
+      FuncDecl *Callee = It->second;
+      Expr *E = U->Nodes.newExpr(ExprKind::Call);
+      E->Line = Line;
+      E->Callee = Name;
+      if (!check(TokKind::RParen)) {
+        do {
+          Expr *Arg = parseExpr();
+          if (!Arg)
+            return nullptr;
+          E->Args.push_back(Arg);
+        } while (accept(TokKind::Comma));
+      }
+      expect(TokKind::RParen, "after call arguments");
+      if (E->Args.size() != Callee->Params.size()) {
+        error(formatString("'%s' expects %zu arguments, got %zu",
+                           Name.c_str(), Callee->Params.size(),
+                           E->Args.size()));
+        return nullptr;
+      }
+      for (size_t I = 0; I != E->Args.size(); ++I)
+        if (!typesAssignable(decayed(Callee->Params[I]->Ty),
+                             decayed(E->Args[I]->Ty))) {
+          error(formatString("argument %zu of '%s': cannot pass '%s' as '%s'",
+                             I + 1, Name.c_str(),
+                             E->Args[I]->Ty->spelling().c_str(),
+                             Callee->Params[I]->Ty->spelling().c_str()));
+          return nullptr;
+        }
+      E->Ty = Callee->RetTy;
+      return E;
+    }
+
+    VarDecl *V = lookupVar(Name);
+    if (!V) {
+      error("use of undeclared identifier '" + Name + "'");
+      return nullptr;
+    }
+    Expr *E = U->Nodes.newExpr(ExprKind::VarRef);
+    E->Line = Line;
+    E->Var = V;
+    E->Ty = V->Ty;
+    return E;
+  }
+
+  error(formatString("expected an expression, got %s",
+                     tokKindName(cur().Kind).c_str()));
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Constant evaluation (global initializers)
+//===----------------------------------------------------------------------===//
+
+int32_t Parser::evalConst(const Expr *E, bool &Ok) const {
+  Ok = true;
+  switch (E->Kind) {
+  case ExprKind::IntLit:
+    return E->IntValue;
+  case ExprKind::Unary:
+    if (E->UOp == UnaryOp::Neg)
+      return -evalConst(E->Sub, Ok);
+    if (E->UOp == UnaryOp::BitNot)
+      return ~evalConst(E->Sub, Ok);
+    break;
+  case ExprKind::Binary: {
+    bool OkL = true, OkR = true;
+    int32_t L = evalConst(E->Sub, OkL);
+    int32_t R = evalConst(E->Sub2, OkR);
+    if (!OkL || !OkR)
+      break;
+    switch (E->BOp) {
+    case BinaryOp::Add:
+      return L + R;
+    case BinaryOp::Sub:
+      return L - R;
+    case BinaryOp::Mul:
+      return L * R;
+    case BinaryOp::Div:
+      if (R != 0)
+        return L / R;
+      break;
+    case BinaryOp::Shl:
+      return static_cast<int32_t>(static_cast<uint32_t>(L)
+                                  << (static_cast<uint32_t>(R) & 31));
+    case BinaryOp::Shr:
+      return static_cast<int32_t>(static_cast<uint32_t>(L) >>
+                                  (static_cast<uint32_t>(R) & 31));
+    default:
+      break;
+    }
+    break;
+  }
+  default:
+    break;
+  }
+  Ok = false;
+  return 0;
+}
+
+} // namespace
+
+FrontendResult mcc::parseMinC(std::string_view Source) {
+  Parser P(Source);
+  P.run();
+  return std::move(P).take();
+}

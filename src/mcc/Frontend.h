@@ -1,0 +1,55 @@
+//===- mcc/Frontend.h - MinC parser and semantic analysis ---------------------//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One-pass parser + type checker for MinC. Identifiers are resolved and
+/// every expression is typed while parsing; the result is a TranslationUnit
+/// ready for code generation.
+///
+/// The runtime functions malloc, calloc, free, rand, srand, print_int,
+/// print_char and exit are predeclared builtins.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_MCC_FRONTEND_H
+#define DLQ_MCC_FRONTEND_H
+
+#include "mcc/Ast.h"
+#include "mcc/Lexer.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dlq {
+namespace mcc {
+
+/// One frontend diagnostic.
+struct FrontendDiag {
+  unsigned Line = 0;
+  std::string Message;
+};
+
+/// Result of parsing and checking a MinC source file.
+struct FrontendResult {
+  std::unique_ptr<TranslationUnit> Unit;
+  std::vector<FrontendDiag> Diags;
+
+  bool ok() const { return Diags.empty() && Unit != nullptr; }
+
+  /// Diagnostics joined as "line N: message" lines.
+  std::string diagText() const;
+};
+
+/// Parses and type-checks \p Source.
+FrontendResult parseMinC(std::string_view Source);
+
+} // namespace mcc
+} // namespace dlq
+
+#endif // DLQ_MCC_FRONTEND_H

@@ -1,0 +1,437 @@
+//===- mcc/Lexer.cpp ----------------------------------------------------------//
+
+#include "mcc/Lexer.h"
+
+#include <cctype>
+#include <map>
+
+using namespace dlq;
+using namespace dlq::mcc;
+
+std::string mcc::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::Error:
+    return "invalid token";
+  case TokKind::Ident:
+    return "identifier";
+  case TokKind::IntLit:
+    return "integer literal";
+  case TokKind::KwInt:
+    return "'int'";
+  case TokKind::KwChar:
+    return "'char'";
+  case TokKind::KwVoid:
+    return "'void'";
+  case TokKind::KwStruct:
+    return "'struct'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwFor:
+    return "'for'";
+  case TokKind::KwReturn:
+    return "'return'";
+  case TokKind::KwBreak:
+    return "'break'";
+  case TokKind::KwContinue:
+    return "'continue'";
+  case TokKind::KwSizeof:
+    return "'sizeof'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Semi:
+    return "';'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Dot:
+    return "'.'";
+  case TokKind::Arrow:
+    return "'->'";
+  case TokKind::Amp:
+    return "'&'";
+  case TokKind::AmpAmp:
+    return "'&&'";
+  case TokKind::Pipe:
+    return "'|'";
+  case TokKind::PipePipe:
+    return "'||'";
+  case TokKind::Caret:
+    return "'^'";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Percent:
+    return "'%'";
+  case TokKind::Bang:
+    return "'!'";
+  case TokKind::Tilde:
+    return "'~'";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::BangEq:
+    return "'!='";
+  case TokKind::Less:
+    return "'<'";
+  case TokKind::LessEq:
+    return "'<='";
+  case TokKind::Greater:
+    return "'>'";
+  case TokKind::GreaterEq:
+    return "'>='";
+  case TokKind::Shl:
+    return "'<<'";
+  case TokKind::Shr:
+    return "'>>'";
+  case TokKind::Question:
+    return "'?'";
+  case TokKind::Colon:
+    return "':'";
+  }
+  return "?";
+}
+
+std::vector<Token> mcc::tokenize(std::string_view Src) {
+  static const std::map<std::string, TokKind, std::less<>> Keywords = {
+      {"int", TokKind::KwInt},         {"char", TokKind::KwChar},
+      {"void", TokKind::KwVoid},       {"struct", TokKind::KwStruct},
+      {"if", TokKind::KwIf},           {"else", TokKind::KwElse},
+      {"while", TokKind::KwWhile},     {"for", TokKind::KwFor},
+      {"return", TokKind::KwReturn},   {"break", TokKind::KwBreak},
+      {"continue", TokKind::KwContinue}, {"sizeof", TokKind::KwSizeof},
+  };
+
+  std::vector<Token> Out;
+  size_t Pos = 0;
+  unsigned Line = 1;
+
+  auto error = [&](const std::string &Message) {
+    Token T;
+    T.Kind = TokKind::Error;
+    T.Text = Message;
+    T.Line = Line;
+    Out.push_back(std::move(T));
+  };
+  auto push = [&](TokKind K) {
+    Token T;
+    T.Kind = K;
+    T.Line = Line;
+    Out.push_back(std::move(T));
+  };
+
+  while (Pos < Src.size()) {
+    char C = Src[Pos];
+    if (C == '\n') {
+      ++Line;
+      ++Pos;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++Pos;
+      continue;
+    }
+    // Comments.
+    if (C == '/' && Pos + 1 < Src.size() && Src[Pos + 1] == '/') {
+      while (Pos < Src.size() && Src[Pos] != '\n')
+        ++Pos;
+      continue;
+    }
+    if (C == '/' && Pos + 1 < Src.size() && Src[Pos + 1] == '*') {
+      Pos += 2;
+      while (Pos + 1 < Src.size() &&
+             !(Src[Pos] == '*' && Src[Pos + 1] == '/')) {
+        if (Src[Pos] == '\n')
+          ++Line;
+        ++Pos;
+      }
+      if (Pos + 1 >= Src.size()) {
+        error("unterminated block comment");
+        break;
+      }
+      Pos += 2;
+      continue;
+    }
+    // Identifiers and keywords.
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = Pos;
+      while (Pos < Src.size() &&
+             (std::isalnum(static_cast<unsigned char>(Src[Pos])) ||
+              Src[Pos] == '_'))
+        ++Pos;
+      std::string Text(Src.substr(Start, Pos - Start));
+      Token T;
+      T.Line = Line;
+      auto It = Keywords.find(Text);
+      if (It != Keywords.end()) {
+        T.Kind = It->second;
+      } else {
+        T.Kind = TokKind::Ident;
+        T.Text = std::move(Text);
+      }
+      Out.push_back(std::move(T));
+      continue;
+    }
+    // Integer literals.
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t Start = Pos;
+      int Base = 10;
+      if (C == '0' && Pos + 1 < Src.size() &&
+          (Src[Pos + 1] == 'x' || Src[Pos + 1] == 'X')) {
+        Base = 16;
+        Pos += 2;
+      }
+      int64_t Value = 0;
+      bool Any = false;
+      while (Pos < Src.size()) {
+        char D = Src[Pos];
+        int Digit;
+        if (std::isdigit(static_cast<unsigned char>(D)))
+          Digit = D - '0';
+        else if (Base == 16 && D >= 'a' && D <= 'f')
+          Digit = D - 'a' + 10;
+        else if (Base == 16 && D >= 'A' && D <= 'F')
+          Digit = D - 'A' + 10;
+        else
+          break;
+        Value = Value * Base + Digit;
+        Any = true;
+        ++Pos;
+      }
+      if (!Any && Base == 16) {
+        error("malformed hex literal");
+        break;
+      }
+      (void)Start;
+      Token T;
+      T.Kind = TokKind::IntLit;
+      T.IntValue = Value;
+      T.Line = Line;
+      Out.push_back(std::move(T));
+      continue;
+    }
+    // Character literals (value of the char).
+    if (C == '\'') {
+      ++Pos;
+      if (Pos >= Src.size()) {
+        error("unterminated character literal");
+        break;
+      }
+      int64_t Value;
+      if (Src[Pos] == '\\' && Pos + 1 < Src.size()) {
+        char E = Src[Pos + 1];
+        Pos += 2;
+        switch (E) {
+        case 'n':
+          Value = '\n';
+          break;
+        case 't':
+          Value = '\t';
+          break;
+        case '0':
+          Value = 0;
+          break;
+        case '\\':
+          Value = '\\';
+          break;
+        case '\'':
+          Value = '\'';
+          break;
+        default:
+          Value = E;
+          break;
+        }
+      } else {
+        Value = Src[Pos];
+        ++Pos;
+      }
+      if (Pos >= Src.size() || Src[Pos] != '\'') {
+        error("unterminated character literal");
+        break;
+      }
+      ++Pos;
+      Token T;
+      T.Kind = TokKind::IntLit;
+      T.IntValue = Value;
+      T.Line = Line;
+      Out.push_back(std::move(T));
+      continue;
+    }
+
+    // Operators / punctuation.
+    auto twoChar = [&](char Second) {
+      return Pos + 1 < Src.size() && Src[Pos + 1] == Second;
+    };
+    switch (C) {
+    case '(':
+      push(TokKind::LParen);
+      ++Pos;
+      break;
+    case ')':
+      push(TokKind::RParen);
+      ++Pos;
+      break;
+    case '{':
+      push(TokKind::LBrace);
+      ++Pos;
+      break;
+    case '}':
+      push(TokKind::RBrace);
+      ++Pos;
+      break;
+    case '[':
+      push(TokKind::LBracket);
+      ++Pos;
+      break;
+    case ']':
+      push(TokKind::RBracket);
+      ++Pos;
+      break;
+    case ';':
+      push(TokKind::Semi);
+      ++Pos;
+      break;
+    case ',':
+      push(TokKind::Comma);
+      ++Pos;
+      break;
+    case '.':
+      push(TokKind::Dot);
+      ++Pos;
+      break;
+    case '?':
+      push(TokKind::Question);
+      ++Pos;
+      break;
+    case ':':
+      push(TokKind::Colon);
+      ++Pos;
+      break;
+    case '~':
+      push(TokKind::Tilde);
+      ++Pos;
+      break;
+    case '^':
+      push(TokKind::Caret);
+      ++Pos;
+      break;
+    case '/':
+      push(TokKind::Slash);
+      ++Pos;
+      break;
+    case '%':
+      push(TokKind::Percent);
+      ++Pos;
+      break;
+    case '*':
+      push(TokKind::Star);
+      ++Pos;
+      break;
+    case '+':
+      push(TokKind::Plus);
+      ++Pos;
+      break;
+    case '-':
+      if (twoChar('>')) {
+        push(TokKind::Arrow);
+        Pos += 2;
+      } else {
+        push(TokKind::Minus);
+        ++Pos;
+      }
+      break;
+    case '&':
+      if (twoChar('&')) {
+        push(TokKind::AmpAmp);
+        Pos += 2;
+      } else {
+        push(TokKind::Amp);
+        ++Pos;
+      }
+      break;
+    case '|':
+      if (twoChar('|')) {
+        push(TokKind::PipePipe);
+        Pos += 2;
+      } else {
+        push(TokKind::Pipe);
+        ++Pos;
+      }
+      break;
+    case '!':
+      if (twoChar('=')) {
+        push(TokKind::BangEq);
+        Pos += 2;
+      } else {
+        push(TokKind::Bang);
+        ++Pos;
+      }
+      break;
+    case '=':
+      if (twoChar('=')) {
+        push(TokKind::EqEq);
+        Pos += 2;
+      } else {
+        push(TokKind::Assign);
+        ++Pos;
+      }
+      break;
+    case '<':
+      if (twoChar('=')) {
+        push(TokKind::LessEq);
+        Pos += 2;
+      } else if (twoChar('<')) {
+        push(TokKind::Shl);
+        Pos += 2;
+      } else {
+        push(TokKind::Less);
+        ++Pos;
+      }
+      break;
+    case '>':
+      if (twoChar('=')) {
+        push(TokKind::GreaterEq);
+        Pos += 2;
+      } else if (twoChar('>')) {
+        push(TokKind::Shr);
+        Pos += 2;
+      } else {
+        push(TokKind::Greater);
+        ++Pos;
+      }
+      break;
+    default:
+      error(std::string("unexpected character '") + C + "'");
+      Pos = Src.size();
+      break;
+    }
+    if (!Out.empty() && Out.back().Kind == TokKind::Error)
+      break;
+  }
+
+  Token Eof;
+  Eof.Kind = TokKind::Eof;
+  Eof.Line = Line;
+  Out.push_back(std::move(Eof));
+  return Out;
+}

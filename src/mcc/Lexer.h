@@ -1,0 +1,100 @@
+//===- mcc/Lexer.h - MinC tokenizer ------------------------------------------//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for MinC. Supports decimal/hex integer literals, character
+/// literals, identifiers, keywords, the C operator set used by the subset,
+/// and // and /* */ comments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_MCC_LEXER_H
+#define DLQ_MCC_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dlq {
+namespace mcc {
+
+enum class TokKind : uint8_t {
+  Eof,
+  Error,
+  Ident,
+  IntLit,
+  // Keywords.
+  KwInt,
+  KwChar,
+  KwVoid,
+  KwStruct,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwSizeof,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Dot,
+  Arrow,
+  Amp,
+  AmpAmp,
+  Pipe,
+  PipePipe,
+  Caret,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Bang,
+  Tilde,
+  Assign,
+  EqEq,
+  BangEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  Shl,
+  Shr,
+  Question,
+  Colon,
+};
+
+/// One token with location info.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;   ///< Identifier spelling.
+  int64_t IntValue = 0;
+  unsigned Line = 1;
+
+  bool is(TokKind K) const { return Kind == K; }
+};
+
+/// Token-kind spelling for diagnostics, e.g. "'('" or "identifier".
+std::string tokKindName(TokKind K);
+
+/// Tokenizes \p Source entirely. A malformed token produces a single Error
+/// token (with the message in Text) followed by Eof.
+std::vector<Token> tokenize(std::string_view Source);
+
+} // namespace mcc
+} // namespace dlq
+
+#endif // DLQ_MCC_LEXER_H

@@ -1,0 +1,148 @@
+//===- mcc/Types.cpp ---------------------------------------------------------//
+
+#include "mcc/Types.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dlq;
+using namespace dlq::mcc;
+
+const StructField *StructDecl::findField(const std::string &FieldName) const {
+  for (const StructField &F : Fields)
+    if (F.Name == FieldName)
+      return &F;
+  return nullptr;
+}
+
+uint32_t Type::size() const {
+  switch (K) {
+  case Kind::Void:
+    return 0;
+  case Kind::Int:
+    return 4;
+  case Kind::Char:
+    return 1;
+  case Kind::Pointer:
+    return 4;
+  case Kind::Array:
+    return Pointee->size() * ArraySize;
+  case Kind::Struct:
+    return Struct->Size;
+  }
+  return 0;
+}
+
+uint32_t Type::align() const {
+  switch (K) {
+  case Kind::Void:
+    return 1;
+  case Kind::Int:
+  case Kind::Pointer:
+    return 4;
+  case Kind::Char:
+    return 1;
+  case Kind::Array:
+    return Pointee->align();
+  case Kind::Struct:
+    return Struct->Align;
+  }
+  return 1;
+}
+
+std::string Type::spelling() const {
+  switch (K) {
+  case Kind::Void:
+    return "void";
+  case Kind::Int:
+    return "int";
+  case Kind::Char:
+    return "char";
+  case Kind::Pointer:
+    return Pointee->spelling() + "*";
+  case Kind::Array:
+    return Pointee->spelling() + "[" + std::to_string(ArraySize) + "]";
+  case Kind::Struct:
+    return "struct " + Struct->Name;
+  }
+  return "?";
+}
+
+TypeContext::TypeContext() {
+  Type *V = make();
+  V->K = Type::Kind::Void;
+  VoidTy = V;
+  Type *I = make();
+  I->K = Type::Kind::Int;
+  IntTy = I;
+  Type *C = make();
+  C->K = Type::Kind::Char;
+  CharTy = C;
+}
+
+Type *TypeContext::make() {
+  Types.push_back(std::make_unique<Type>());
+  return Types.back().get();
+}
+
+const Type *TypeContext::getPointer(const Type *Pointee) {
+  for (const auto &T : Types)
+    if (T->K == Type::Kind::Pointer && T->Pointee == Pointee)
+      return T.get();
+  Type *T = make();
+  T->K = Type::Kind::Pointer;
+  T->Pointee = Pointee;
+  return T;
+}
+
+const Type *TypeContext::getArray(const Type *Elem, uint32_t Count) {
+  for (const auto &T : Types)
+    if (T->K == Type::Kind::Array && T->Pointee == Elem &&
+        T->ArraySize == Count)
+      return T.get();
+  Type *T = make();
+  T->K = Type::Kind::Array;
+  T->Pointee = Elem;
+  T->ArraySize = Count;
+  return T;
+}
+
+StructDecl *TypeContext::declareStruct(const std::string &Name) {
+  if (StructDecl *S = lookupStruct(Name))
+    return S;
+  Structs.push_back(std::make_unique<StructDecl>());
+  StructDecl *S = Structs.back().get();
+  S->Name = Name;
+  StructByName[Name] = S;
+  return S;
+}
+
+StructDecl *TypeContext::lookupStruct(const std::string &Name) {
+  auto It = StructByName.find(Name);
+  return It == StructByName.end() ? nullptr : It->second;
+}
+
+const Type *TypeContext::getStructType(StructDecl *S) {
+  for (const auto &T : Types)
+    if (T->K == Type::Kind::Struct && T->Struct == S)
+      return T.get();
+  Type *T = make();
+  T->K = Type::Kind::Struct;
+  T->Struct = S;
+  return T;
+}
+
+void TypeContext::layoutStruct(StructDecl &S) {
+  uint32_t Offset = 0;
+  uint32_t Align = 1;
+  for (StructField &F : S.Fields) {
+    uint32_t FA = F.Ty->align();
+    Offset = (Offset + FA - 1) & ~(FA - 1);
+    F.Offset = Offset;
+    Offset += F.Ty->size();
+    Align = std::max(Align, FA);
+  }
+  S.Size = (Offset + Align - 1) & ~(Align - 1);
+  S.Align = Align;
+  S.Complete = true;
+}

@@ -1,0 +1,123 @@
+//===- mcc/Types.h - MinC type system ---------------------------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Types for MinC, the C subset the benchmark workloads are written in:
+/// void, int (32-bit), char, pointers, fixed-size arrays and structs.
+/// A TypeContext owns and uniquifies types; struct layout (field offsets,
+/// sizes, alignment) is computed here and later exported as the symbol-table
+/// metadata the BDH baseline consumes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_MCC_TYPES_H
+#define DLQ_MCC_TYPES_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dlq {
+namespace mcc {
+
+class Type;
+
+/// One struct field after layout.
+struct StructField {
+  std::string Name;
+  const Type *Ty = nullptr;
+  uint32_t Offset = 0;
+};
+
+/// A struct definition with computed layout.
+struct StructDecl {
+  std::string Name;
+  std::vector<StructField> Fields;
+  uint32_t Size = 0;
+  uint32_t Align = 1;
+  bool Complete = false;
+
+  const StructField *findField(const std::string &FieldName) const;
+};
+
+/// A MinC type.
+class Type {
+public:
+  enum class Kind : uint8_t { Void, Int, Char, Pointer, Array, Struct };
+
+  Kind kind() const { return K; }
+  bool isVoid() const { return K == Kind::Void; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isChar() const { return K == Kind::Char; }
+  bool isArithmetic() const { return K == Kind::Int || K == Kind::Char; }
+  bool isPointer() const { return K == Kind::Pointer; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isStruct() const { return K == Kind::Struct; }
+  /// True for `void*`, which converts to and from any pointer.
+  bool isVoidPointer() const {
+    return isPointer() && Pointee && Pointee->isVoid();
+  }
+
+  /// Pointee for pointers, element type for arrays.
+  const Type *pointee() const { return Pointee; }
+  uint32_t arraySize() const { return ArraySize; }
+  const StructDecl *structDecl() const { return Struct; }
+
+  /// Size in bytes (0 for void and incomplete structs).
+  uint32_t size() const;
+  /// Alignment in bytes.
+  uint32_t align() const;
+
+  /// Readable spelling, e.g. "struct node*".
+  std::string spelling() const;
+
+private:
+  friend class TypeContext;
+  Kind K = Kind::Void;
+  const Type *Pointee = nullptr;
+  uint32_t ArraySize = 0;
+  const StructDecl *Struct = nullptr;
+};
+
+/// Owns all types and struct declarations of one compilation.
+class TypeContext {
+public:
+  TypeContext();
+
+  const Type *voidType() const { return VoidTy; }
+  const Type *intType() const { return IntTy; }
+  const Type *charType() const { return CharTy; }
+
+  const Type *getPointer(const Type *Pointee);
+  const Type *getArray(const Type *Elem, uint32_t Count);
+
+  /// Declares (or retrieves) struct \p Name; the body may be completed
+  /// later with layoutStruct.
+  StructDecl *declareStruct(const std::string &Name);
+  StructDecl *lookupStruct(const std::string &Name);
+  const Type *getStructType(StructDecl *S);
+
+  /// Computes offsets/size/alignment once all fields are pushed.
+  void layoutStruct(StructDecl &S);
+
+private:
+  std::vector<std::unique_ptr<Type>> Types;
+  std::vector<std::unique_ptr<StructDecl>> Structs;
+  std::map<std::string, StructDecl *> StructByName;
+  const Type *VoidTy;
+  const Type *IntTy;
+  const Type *CharTy;
+
+  Type *make();
+};
+
+} // namespace mcc
+} // namespace dlq
+
+#endif // DLQ_MCC_TYPES_H

@@ -1,0 +1,113 @@
+//===- metrics/Metrics.cpp -----------------------------------------------------//
+
+#include "metrics/Metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace dlq;
+using namespace dlq::metrics;
+using namespace dlq::masm;
+
+EvalResult metrics::evaluate(size_t Lambda, const LoadSet &Delta,
+                             const LoadStatsMap &Stats) {
+  EvalResult R;
+  R.Lambda = Lambda;
+  R.DeltaSize = Delta.size();
+  for (const auto &[Ref, S] : Stats) {
+    R.TotalMisses += S.Misses;
+    if (Delta.count(Ref))
+      R.CoveredMisses += S.Misses;
+  }
+  return R;
+}
+
+LoadSet metrics::idealSetForCoverage(const LoadStatsMap &Stats,
+                                     double TargetRho) {
+  std::vector<std::pair<uint64_t, InstrRef>> Ranked;
+  uint64_t Total = 0;
+  for (const auto &[Ref, S] : Stats) {
+    Total += S.Misses;
+    if (S.Misses != 0)
+      Ranked.push_back({S.Misses, Ref});
+  }
+  std::sort(Ranked.begin(), Ranked.end(), [](const auto &A, const auto &B) {
+    if (A.first != B.first)
+      return A.first > B.first;
+    return A.second < B.second;
+  });
+
+  LoadSet Ideal;
+  uint64_t Needed = static_cast<uint64_t>(
+      std::ceil(static_cast<double>(Total) * TargetRho));
+  uint64_t Got = 0;
+  for (const auto &[Misses, Ref] : Ranked) {
+    if (Got >= Needed)
+      break;
+    Ideal.insert(Ref);
+    Got += Misses;
+  }
+  return Ideal;
+}
+
+double metrics::falsePositiveImpact(const LoadSet &Delta, const LoadSet &Ideal,
+                                    const LoadStatsMap &Stats) {
+  uint64_t TotalExecs = 0;
+  uint64_t FalseExecs = 0;
+  for (const auto &[Ref, S] : Stats) {
+    TotalExecs += S.Execs;
+    if (Delta.count(Ref) && !Ideal.count(Ref))
+      FalseExecs += S.Execs;
+  }
+  return TotalExecs == 0 ? 0
+                         : static_cast<double>(FalseExecs) / TotalExecs;
+}
+
+LoadSet metrics::combineWithProfiling(
+    const LoadSet &DeltaP, const LoadSet &DeltaH,
+    const std::map<InstrRef, double> &Scores, double Epsilon) {
+  LoadSet Result;
+  std::vector<InstrRef> DeltaD;
+  for (const InstrRef &Ref : DeltaH) {
+    if (DeltaP.count(Ref))
+      Result.insert(Ref); // The intersection.
+    else
+      DeltaD.push_back(Ref);
+  }
+  // Sort the heuristic-only remainder by descending score.
+  std::sort(DeltaD.begin(), DeltaD.end(),
+            [&](const InstrRef &A, const InstrRef &B) {
+              double SA = Scores.count(A) ? Scores.at(A) : 0;
+              double SB = Scores.count(B) ? Scores.at(B) : 0;
+              if (SA != SB)
+                return SA > SB;
+              return A < B;
+            });
+  size_t Take = static_cast<size_t>(Epsilon * static_cast<double>(DeltaD.size()));
+  for (size_t I = 0; I != Take && I != DeltaD.size(); ++I)
+    Result.insert(DeltaD[I]);
+  return Result;
+}
+
+double metrics::randomSampleCoverage(const LoadSet &Pool, size_t Count,
+                                     const LoadStatsMap &Stats, Rng &R,
+                                     unsigned Runs) {
+  if (Pool.empty() || Runs == 0)
+    return 0;
+  std::vector<InstrRef> PoolVec(Pool.begin(), Pool.end());
+  Count = std::min(Count, PoolVec.size());
+
+  double RhoSum = 0;
+  for (unsigned Run = 0; Run != Runs; ++Run) {
+    // Partial Fisher-Yates for the first Count entries.
+    std::vector<InstrRef> Shuffled = PoolVec;
+    for (size_t I = 0; I != Count; ++I) {
+      size_t J = I + static_cast<size_t>(R.nextBelow(Shuffled.size() - I));
+      std::swap(Shuffled[I], Shuffled[J]);
+    }
+    LoadSet Sample(Shuffled.begin(), Shuffled.begin() + Count);
+    EvalResult E = evaluate(/*Lambda=*/1, Sample, Stats);
+    RhoSum += E.rho();
+  }
+  return RhoSum / Runs;
+}

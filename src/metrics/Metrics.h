@@ -1,0 +1,90 @@
+//===- metrics/Metrics.h - pi, rho, xi, ideal sets, combination ----------------//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's evaluation measures (Section 8):
+///
+///   pi(H)  = |Delta| / |Lambda|          precision: fraction of static loads
+///                                        flagged as possibly delinquent
+///   rho(H) = M_Delta(P(I),C) / M(P(I),C) coverage: fraction of data-cache
+///                                        misses caused by flagged loads
+///   xi     = dynamic share of executions of flagged loads that are NOT in
+///            the ideal set (false-positive impact, Table 11)
+///
+/// plus the greedy "ideal" set of Table 1, the Section 9 combination of the
+/// heuristic with basic-block profiling (the epsilon factor), and the
+/// random-sampling control rho*.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_METRICS_METRICS_H
+#define DLQ_METRICS_METRICS_H
+
+#include "masm/Module.h"
+#include "sim/Machine.h"
+#include "support/Rng.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace dlq {
+namespace metrics {
+
+using LoadStatsMap = std::map<masm::InstrRef, sim::LoadStat>;
+using LoadSet = std::set<masm::InstrRef>;
+
+/// pi and rho of one predicted set against ground-truth load stats.
+struct EvalResult {
+  size_t Lambda = 0;         ///< Total static loads.
+  size_t DeltaSize = 0;      ///< Flagged loads.
+  uint64_t TotalMisses = 0;  ///< M(P(I), C) over loads.
+  uint64_t CoveredMisses = 0;
+
+  double pi() const {
+    return Lambda == 0 ? 0 : static_cast<double>(DeltaSize) / Lambda;
+  }
+  double rho() const {
+    return TotalMisses == 0
+               ? 0
+               : static_cast<double>(CoveredMisses) / TotalMisses;
+  }
+};
+
+/// Evaluates \p Delta against the per-load ground truth. \p Lambda is the
+/// static load count of the module.
+EvalResult evaluate(size_t Lambda, const LoadSet &Delta,
+                    const LoadStatsMap &Stats);
+
+/// The greedy ideal set (Table 1): loads sorted by descending miss count,
+/// taken until coverage reaches \p TargetRho.
+LoadSet idealSetForCoverage(const LoadStatsMap &Stats, double TargetRho);
+
+/// xi: the fraction of all dynamic load executions spent in loads of
+/// \p Delta that are not in \p Ideal (Table 11's strict false-positive
+/// measure).
+double falsePositiveImpact(const LoadSet &Delta, const LoadSet &Ideal,
+                           const LoadStatsMap &Stats);
+
+/// Section 9: combine profiling's hotspot loads Delta_P with the heuristic's
+/// Delta_H. The intersection is always kept; of the heuristic-only remainder
+/// Delta_d (sorted by descending phi score), the top Epsilon fraction is
+/// added.
+LoadSet combineWithProfiling(const LoadSet &DeltaP, const LoadSet &DeltaH,
+                             const std::map<masm::InstrRef, double> &Scores,
+                             double Epsilon);
+
+/// rho* control: the average coverage of \p Runs random samples of
+/// \p Count loads drawn from \p Pool (the hotspot loads), as in Table 14.
+double randomSampleCoverage(const LoadSet &Pool, size_t Count,
+                            const LoadStatsMap &Stats, Rng &R,
+                            unsigned Runs = 3);
+
+} // namespace metrics
+} // namespace dlq
+
+#endif // DLQ_METRICS_METRICS_H

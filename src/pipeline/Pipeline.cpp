@@ -1,0 +1,130 @@
+//===- pipeline/Pipeline.cpp ----------------------------------------------------//
+
+#include "pipeline/Pipeline.h"
+
+#include "mcc/Compiler.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace dlq;
+using namespace dlq::pipeline;
+using namespace dlq::masm;
+
+Driver::Driver(uint64_t MaxInstrsPerRun) : MaxInstrs(MaxInstrsPerRun) {}
+
+std::string Driver::compileKey(const std::string &Workload, InputSel In,
+                               unsigned OptLevel) {
+  return formatString("%s/%s/O%u", Workload.c_str(),
+                      In == InputSel::Input1 ? "input1" : "input2", OptLevel);
+}
+
+std::string Driver::runKey(const std::string &Workload, InputSel In,
+                           unsigned OptLevel, const sim::CacheConfig &Cache) {
+  return compileKey(Workload, In, OptLevel) + "/" + Cache.describe();
+}
+
+const Compiled &Driver::compiled(const std::string &Workload, InputSel In,
+                                 unsigned OptLevel) {
+  std::string Key = compileKey(Workload, In, OptLevel);
+  auto It = CompileCache.find(Key);
+  if (It != CompileCache.end())
+    return *It->second;
+
+  const workloads::Workload *W = workloads::findWorkload(Workload);
+  if (!W) {
+    std::fprintf(stderr, "error: unknown workload '%s'\n", Workload.c_str());
+    std::exit(1);
+  }
+  const workloads::WorkloadInput &Input = inputOf(*W, In);
+  std::string Source = workloads::instantiate(*W, Input);
+
+  mcc::CompileOptions Opts;
+  Opts.OptLevel = OptLevel;
+  mcc::CompileResult CR = mcc::compile(Source, Opts);
+  if (!CR.ok()) {
+    std::fprintf(stderr, "error: workload '%s' failed to compile:\n%s",
+                 Workload.c_str(), CR.Errors.c_str());
+    std::exit(1);
+  }
+
+  auto C = std::make_unique<Compiled>();
+  C->M = std::move(CR.M);
+  C->L = std::make_unique<Layout>(*C->M);
+  C->Cfgs = sim::buildAllCfgs(*C->M);
+  C->Analysis = std::make_unique<classify::ModuleAnalysis>(*C->M);
+
+  const Compiled &Ref = *C;
+  CompileCache[Key] = std::move(C);
+  return Ref;
+}
+
+const sim::RunResult &Driver::run(const std::string &Workload, InputSel In,
+                                  unsigned OptLevel,
+                                  const sim::CacheConfig &Cache) {
+  std::string Key = runKey(Workload, In, OptLevel, Cache);
+  auto It = RunCache.find(Key);
+  if (It != RunCache.end())
+    return *It->second;
+
+  const Compiled &C = compiled(Workload, In, OptLevel);
+  sim::MachineOptions Opts;
+  Opts.DCache = Cache;
+  Opts.MaxInstrs = MaxInstrs;
+  sim::Machine Mach(*C.M, *C.L, Opts);
+  auto R = std::make_unique<sim::RunResult>(Mach.run());
+  if (R->Halt != sim::HaltReason::Exited) {
+    std::fprintf(stderr, "error: workload '%s' did not exit cleanly: %s\n",
+                 Workload.c_str(),
+                 R->Halt == sim::HaltReason::FuelExhausted
+                     ? "fuel exhausted"
+                     : R->TrapMessage.c_str());
+    std::exit(1);
+  }
+
+  const sim::RunResult &Ref = *R;
+  RunCache[Key] = std::move(R);
+  return Ref;
+}
+
+GroundTruth Driver::groundTruth(const std::string &Workload, InputSel In,
+                                unsigned OptLevel,
+                                const sim::CacheConfig &Cache) {
+  const Compiled &C = compiled(Workload, In, OptLevel);
+  const sim::RunResult &R = run(Workload, In, OptLevel, Cache);
+  GroundTruth G;
+  G.R = &R;
+  G.Stats = R.loadStats(*C.M);
+  for (const auto &[Ref, S] : G.Stats) {
+    G.ExecCounts[Ref] = S.Execs;
+    G.TotalLoadMisses += S.Misses;
+  }
+  return G;
+}
+
+HeuristicEval Driver::evalHeuristic(const std::string &Workload, InputSel In,
+                                    unsigned OptLevel,
+                                    const sim::CacheConfig &Cache,
+                                    const classify::HeuristicOptions &Opts) {
+  const Compiled &C = compiled(Workload, In, OptLevel);
+  GroundTruth G = groundTruth(Workload, In, OptLevel, Cache);
+
+  HeuristicEval H;
+  H.Scores = C.Analysis->scores(Opts, &G.ExecCounts);
+  for (const auto &[Ref, Phi] : H.Scores)
+    if (classify::isPossiblyDelinquent(Phi, Opts))
+      H.Delta.insert(Ref);
+  H.E = metrics::evaluate(C.lambda(), H.Delta, G.Stats);
+  return H;
+}
+
+metrics::LoadSet Driver::hotspotLoads(const std::string &Workload, InputSel In,
+                                      unsigned OptLevel,
+                                      const sim::CacheConfig &Cache,
+                                      double CycleCoverage) {
+  const Compiled &C = compiled(Workload, In, OptLevel);
+  const sim::RunResult &R = run(Workload, In, OptLevel, Cache);
+  sim::BlockProfile P(*C.M, C.Cfgs, R);
+  return P.hotspotLoads(CycleCoverage);
+}

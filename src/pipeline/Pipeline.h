@@ -1,0 +1,115 @@
+//===- pipeline/Pipeline.h - compile/simulate/analyze driver -------------------//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The experiment driver shared by the bench binaries and examples: compiles
+/// a workload (MinC -> masm), simulates it under a cache configuration, runs
+/// the static analyses, and memoizes every stage so that parameter sweeps
+/// (delta, epsilon, associativity, size) re-use compilations and runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_PIPELINE_PIPELINE_H
+#define DLQ_PIPELINE_PIPELINE_H
+
+#include "classify/Delinquency.h"
+#include "masm/Module.h"
+#include "metrics/Metrics.h"
+#include "sim/Cache.h"
+#include "sim/Machine.h"
+#include "sim/Profile.h"
+#include "workloads/Workloads.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+namespace dlq {
+namespace pipeline {
+
+/// Which of a workload's two input sets to run.
+enum class InputSel { Input1, Input2 };
+
+/// A compiled workload with its static artifacts.
+struct Compiled {
+  std::unique_ptr<masm::Module> M;
+  std::unique_ptr<masm::Layout> L;
+  std::vector<cfg::Cfg> Cfgs;
+  std::unique_ptr<classify::ModuleAnalysis> Analysis;
+
+  size_t lambda() const { return M->countLoads(); }
+};
+
+/// One benchmark's dynamic ground truth under a cache configuration.
+struct GroundTruth {
+  const sim::RunResult *R = nullptr;
+  metrics::LoadStatsMap Stats;      ///< Per-load execs/misses.
+  classify::ExecCountMap ExecCounts; ///< Per-load execs (H5 input).
+  uint64_t TotalLoadMisses = 0;
+};
+
+/// Heuristic evaluation of one benchmark.
+struct HeuristicEval {
+  metrics::LoadSet Delta;
+  std::map<masm::InstrRef, double> Scores;
+  metrics::EvalResult E;
+};
+
+/// Memoizing experiment driver. Not thread-safe; bench binaries are
+/// single-threaded.
+class Driver {
+public:
+  explicit Driver(uint64_t MaxInstrsPerRun = 400'000'000);
+
+  /// Compiles (memoized). Aborts the process with a message on compile
+  /// errors — workload sources are part of this repository, so failure is a
+  /// build bug, not user input.
+  const Compiled &compiled(const std::string &Workload, InputSel In,
+                           unsigned OptLevel);
+
+  /// Simulates (memoized).
+  const sim::RunResult &run(const std::string &Workload, InputSel In,
+                            unsigned OptLevel, const sim::CacheConfig &Cache);
+
+  /// Run + per-load stats bundle.
+  GroundTruth groundTruth(const std::string &Workload, InputSel In,
+                          unsigned OptLevel, const sim::CacheConfig &Cache);
+
+  /// Full heuristic evaluation under \p Opts.
+  HeuristicEval evalHeuristic(const std::string &Workload, InputSel In,
+                              unsigned OptLevel,
+                              const sim::CacheConfig &Cache,
+                              const classify::HeuristicOptions &Opts);
+
+  /// The profiling set Delta_P: loads in basic blocks covering
+  /// \p CycleCoverage of all cycles (Section 4 uses 0.90).
+  metrics::LoadSet hotspotLoads(const std::string &Workload, InputSel In,
+                                unsigned OptLevel,
+                                const sim::CacheConfig &Cache,
+                                double CycleCoverage = 0.90);
+
+  /// Human-readable short name of an input selection.
+  static const workloads::WorkloadInput &inputOf(const workloads::Workload &W,
+                                                 InputSel In) {
+    return In == InputSel::Input1 ? W.Input1 : W.Input2;
+  }
+
+private:
+  uint64_t MaxInstrs;
+  std::map<std::string, std::unique_ptr<Compiled>> CompileCache;
+  std::map<std::string, std::unique_ptr<sim::RunResult>> RunCache;
+
+  static std::string compileKey(const std::string &Workload, InputSel In,
+                                unsigned OptLevel);
+  static std::string runKey(const std::string &Workload, InputSel In,
+                            unsigned OptLevel, const sim::CacheConfig &Cache);
+};
+
+} // namespace pipeline
+} // namespace dlq
+
+#endif // DLQ_PIPELINE_PIPELINE_H

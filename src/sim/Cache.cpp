@@ -1,0 +1,69 @@
+//===- sim/Cache.cpp -------------------------------------------------------==//
+
+#include "sim/Cache.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace dlq;
+using namespace dlq::sim;
+
+static bool isPowerOfTwo(uint32_t V) { return V != 0 && (V & (V - 1)) == 0; }
+
+bool CacheConfig::valid() const {
+  if (Assoc == 0 || BlockBytes == 0 || SizeBytes == 0)
+    return false;
+  if (!isPowerOfTwo(BlockBytes))
+    return false;
+  if (SizeBytes % (Assoc * BlockBytes) != 0)
+    return false;
+  return isPowerOfTwo(numSets());
+}
+
+std::string CacheConfig::describe() const {
+  return formatString("%ukB %u-way %uB-blocks", SizeBytes / 1024, Assoc,
+                      BlockBytes);
+}
+
+Cache::Cache(const CacheConfig &Config) : Cfg(Config) {
+  assert(Cfg.valid() && "invalid cache configuration");
+  SetMask = Cfg.numSets() - 1;
+  uint32_t Block = Cfg.BlockBytes;
+  BlockShift = 0;
+  while (Block > 1) {
+    Block >>= 1;
+    ++BlockShift;
+  }
+  Tags.assign(static_cast<size_t>(Cfg.numSets()) * Cfg.Assoc, 0);
+}
+
+bool Cache::access(uint32_t Addr) {
+  uint32_t BlockAddr = Addr >> BlockShift;
+  uint32_t Set = BlockAddr & SetMask;
+  uint32_t Tag = (BlockAddr >> 0) + 1; // +1 so that 0 means empty.
+  uint32_t *Ways = &Tags[static_cast<size_t>(Set) * Cfg.Assoc];
+
+  for (uint32_t W = 0; W != Cfg.Assoc; ++W) {
+    if (Ways[W] != Tag)
+      continue;
+    // Hit: move to MRU position.
+    for (uint32_t K = W; K != 0; --K)
+      Ways[K] = Ways[K - 1];
+    Ways[0] = Tag;
+    ++Hits;
+    return true;
+  }
+
+  // Miss: insert at MRU, evicting the LRU way.
+  for (uint32_t K = Cfg.Assoc - 1; K != 0; --K)
+    Ways[K] = Ways[K - 1];
+  Ways[0] = Tag;
+  ++Misses;
+  return false;
+}
+
+void Cache::flush() {
+  for (uint32_t &T : Tags)
+    T = 0;
+}

@@ -1,0 +1,432 @@
+//===- sim/Machine.cpp -----------------------------------------------------==//
+
+#include "sim/Machine.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace dlq;
+using namespace dlq::sim;
+using namespace dlq::masm;
+
+std::map<InstrRef, LoadStat> RunResult::loadStats(const Module &M) const {
+  std::map<InstrRef, LoadStat> Stats;
+  for (size_t Flat = 0; Flat != FlatMap.size(); ++Flat) {
+    InstrRef Ref = FlatMap[Flat];
+    if (!isLoad(M.instrAt(Ref).Op))
+      continue;
+    Stats[Ref] = LoadStat{ExecCounts[Flat], MissCounts[Flat]};
+  }
+  return Stats;
+}
+
+Machine::Machine(const Module &Mod, const Layout &Lay, MachineOptions Options)
+    : M(Mod), L(Lay), Opts(std::move(Options)), Rand(Opts.RandSeed) {
+  for (uint32_t FI = 0; FI != M.functions().size(); ++FI) {
+    FuncEntryFlat.push_back(static_cast<uint32_t>(Flat.size()));
+    const Function &F = M.functions()[FI];
+    for (uint32_t Idx = 0; Idx != F.size(); ++Idx) {
+      Flat.push_back(FlatInstr{&F.instrs()[Idx], FI});
+      FlatMap.push_back(InstrRef{FI, Idx});
+    }
+  }
+  PrefetchFlat.assign(Flat.size(), 0);
+  for (size_t FlatIdx = 0; FlatIdx != FlatMap.size(); ++FlatIdx)
+    if (Opts.PrefetchLoads.count(FlatMap[FlatIdx]))
+      PrefetchFlat[FlatIdx] = 1;
+}
+
+uint32_t Machine::runtimeMalloc(uint32_t Size) {
+  if (Size == 0)
+    Size = 1;
+  uint32_t Aligned = (Size + 7) & ~7u;
+  auto It = FreeLists.find(Aligned);
+  if (It != FreeLists.end() && !It->second.empty()) {
+    uint32_t Addr = It->second.back();
+    It->second.pop_back();
+    AllocSizes[Addr] = Aligned;
+    return Addr;
+  }
+  uint32_t Addr = HeapBreak;
+  HeapBreak += Aligned;
+  AllocSizes[Addr] = Aligned;
+  return Addr;
+}
+
+void Machine::runtimeFree(uint32_t Addr) {
+  if (Addr == 0)
+    return;
+  auto It = AllocSizes.find(Addr);
+  if (It == AllocSizes.end())
+    return; // Tolerate double/bad frees in workloads.
+  FreeLists[It->second].push_back(Addr);
+  AllocSizes.erase(It);
+}
+
+bool Machine::handleRuntimeCall(const std::string &Name, RunResult &R,
+                                bool &ShouldHalt) {
+  ShouldHalt = false;
+  if (Name == "malloc") {
+    writeReg(Reg::V0, runtimeMalloc(readReg(Reg::A0)));
+    return true;
+  }
+  if (Name == "calloc") {
+    uint32_t Bytes = readReg(Reg::A0) * readReg(Reg::A1);
+    uint32_t Addr = runtimeMalloc(Bytes);
+    for (uint32_t I = 0; I != Bytes; ++I)
+      Mem.writeByte(Addr + I, 0);
+    writeReg(Reg::V0, Addr);
+    return true;
+  }
+  if (Name == "free") {
+    runtimeFree(readReg(Reg::A0));
+    return true;
+  }
+  if (Name == "rand") {
+    writeReg(Reg::V0, static_cast<uint32_t>(Rand.next() & 0x7FFFFFFF));
+    return true;
+  }
+  if (Name == "srand") {
+    Rand = Rng(readReg(Reg::A0));
+    return true;
+  }
+  if (Name == "print_int") {
+    R.Output += formatString("%d", static_cast<int32_t>(readReg(Reg::A0)));
+    R.Output += "\n";
+    return true;
+  }
+  if (Name == "print_char") {
+    R.Output.push_back(static_cast<char>(readReg(Reg::A0) & 0xFF));
+    return true;
+  }
+  if (Name == "exit") {
+    R.ExitCode = static_cast<int32_t>(readReg(Reg::A0));
+    ShouldHalt = true;
+    return true;
+  }
+  if (Name == "abort") {
+    R.ExitCode = 134;
+    ShouldHalt = true;
+    return true;
+  }
+  return false;
+}
+
+RunResult Machine::run() {
+  RunResult R;
+  R.ExecCounts.assign(Flat.size(), 0);
+  R.MissCounts.assign(Flat.size(), 0);
+  R.FlatMap = FlatMap;
+
+  // Materialize global initializers.
+  for (const Global &G : M.globals()) {
+    uint32_t Addr = L.globalAddress(G.Name);
+    if (!G.Init.empty())
+      Mem.writeBlock(Addr, G.Init.data(), static_cast<uint32_t>(G.Init.size()));
+  }
+
+  Cache DCache(Opts.DCache);
+  Cache ICacheModel(Opts.ICache);
+
+  // Initial machine state.
+  constexpr uint32_t ExitPc = 0xFFFFFFFC;
+  for (uint32_t &RegSlot : Regs)
+    RegSlot = 0;
+  writeReg(Reg::SP, LayoutConstants::StackTop);
+  writeReg(Reg::FP, LayoutConstants::StackTop);
+  writeReg(Reg::GP, LayoutConstants::GpValue);
+  writeReg(Reg::RA, ExitPc);
+  for (size_t AI = 0; AI != Opts.Args.size() && AI != 4; ++AI)
+    writeReg(static_cast<Reg>(static_cast<unsigned>(Reg::A0) + AI),
+             static_cast<uint32_t>(Opts.Args[AI]));
+
+  uint32_t MainIdx = M.functionIndex("main");
+  if (MainIdx == InvalidIndex) {
+    R.Halt = HaltReason::Trapped;
+    R.TrapMessage = "no 'main' function";
+    return R;
+  }
+
+  auto trap = [&](std::string Message) {
+    R.Halt = HaltReason::Trapped;
+    R.TrapMessage = std::move(Message);
+  };
+
+  uint64_t FlatCount = Flat.size();
+  uint64_t FlatPc = FuncEntryFlat[MainIdx];
+
+  while (true) {
+    if (R.InstrsExecuted >= Opts.MaxInstrs) {
+      R.Halt = HaltReason::FuelExhausted;
+      return R;
+    }
+    if (FlatPc >= FlatCount) {
+      trap(formatString("pc out of text: flat index %llu",
+                        static_cast<unsigned long long>(FlatPc)));
+      return R;
+    }
+
+    const Instr &I = *Flat[FlatPc].I;
+    ++R.ExecCounts[FlatPc];
+    ++R.InstrsExecuted;
+    if (Opts.SimulateICache &&
+        !ICacheModel.access(LayoutConstants::TextBase +
+                            static_cast<uint32_t>(FlatPc) * 4))
+      ++R.ICacheMisses;
+
+    uint64_t NextPc = FlatPc + 1;
+
+    auto branchTo = [&](uint32_t LocalTarget) {
+      NextPc = FuncEntryFlat[Flat[FlatPc].FuncIdx] + LocalTarget;
+    };
+
+    uint32_t RsV = readReg(I.Rs);
+    uint32_t RtV = readReg(I.Rt);
+    int32_t RsS = static_cast<int32_t>(RsV);
+    int32_t RtS = static_cast<int32_t>(RtV);
+
+    switch (I.Op) {
+    case Opcode::Add:
+      writeReg(I.Rd, RsV + RtV);
+      break;
+    case Opcode::Sub:
+      writeReg(I.Rd, RsV - RtV);
+      break;
+    case Opcode::Mul:
+      writeReg(I.Rd, static_cast<uint32_t>(static_cast<int64_t>(RsS) * RtS));
+      break;
+    case Opcode::Div:
+      if (RtS == 0) {
+        trap("division by zero");
+        return R;
+      }
+      // INT_MIN / -1 overflows on the host; define it as INT_MIN.
+      if (RsS == INT32_MIN && RtS == -1)
+        writeReg(I.Rd, static_cast<uint32_t>(INT32_MIN));
+      else
+        writeReg(I.Rd, static_cast<uint32_t>(RsS / RtS));
+      break;
+    case Opcode::Rem:
+      if (RtS == 0) {
+        trap("remainder by zero");
+        return R;
+      }
+      if (RsS == INT32_MIN && RtS == -1)
+        writeReg(I.Rd, 0);
+      else
+        writeReg(I.Rd, static_cast<uint32_t>(RsS % RtS));
+      break;
+    case Opcode::And:
+      writeReg(I.Rd, RsV & RtV);
+      break;
+    case Opcode::Or:
+      writeReg(I.Rd, RsV | RtV);
+      break;
+    case Opcode::Xor:
+      writeReg(I.Rd, RsV ^ RtV);
+      break;
+    case Opcode::Nor:
+      writeReg(I.Rd, ~(RsV | RtV));
+      break;
+    case Opcode::Slt:
+      writeReg(I.Rd, RsS < RtS ? 1 : 0);
+      break;
+    case Opcode::Sltu:
+      writeReg(I.Rd, RsV < RtV ? 1 : 0);
+      break;
+    case Opcode::Sllv:
+      writeReg(I.Rd, RsV << (RtV & 31));
+      break;
+    case Opcode::Srlv:
+      writeReg(I.Rd, RsV >> (RtV & 31));
+      break;
+    case Opcode::Srav:
+      writeReg(I.Rd, static_cast<uint32_t>(RsS >> (RtV & 31)));
+      break;
+    case Opcode::Addi:
+      writeReg(I.Rd, RsV + static_cast<uint32_t>(I.Imm));
+      break;
+    case Opcode::Andi:
+      writeReg(I.Rd, RsV & static_cast<uint32_t>(I.Imm));
+      break;
+    case Opcode::Ori:
+      writeReg(I.Rd, RsV | static_cast<uint32_t>(I.Imm));
+      break;
+    case Opcode::Xori:
+      writeReg(I.Rd, RsV ^ static_cast<uint32_t>(I.Imm));
+      break;
+    case Opcode::Slti:
+      writeReg(I.Rd, RsS < I.Imm ? 1 : 0);
+      break;
+    case Opcode::Sltiu:
+      writeReg(I.Rd, RsV < static_cast<uint32_t>(I.Imm) ? 1 : 0);
+      break;
+    case Opcode::Sll:
+      writeReg(I.Rd, RsV << (static_cast<uint32_t>(I.Imm) & 31));
+      break;
+    case Opcode::Srl:
+      writeReg(I.Rd, RsV >> (static_cast<uint32_t>(I.Imm) & 31));
+      break;
+    case Opcode::Sra:
+      writeReg(I.Rd,
+               static_cast<uint32_t>(RsS >> (static_cast<uint32_t>(I.Imm) & 31)));
+      break;
+    case Opcode::Lui:
+      writeReg(I.Rd, static_cast<uint32_t>(I.Imm) << 16);
+      break;
+    case Opcode::Li:
+      writeReg(I.Rd, static_cast<uint32_t>(I.Imm));
+      break;
+    case Opcode::La: {
+      uint32_t Addr = L.globalAddress(I.Sym);
+      if (Addr == Layout::InvalidAddress) {
+        // Allow taking the address of a function (for completeness).
+        uint32_t FI = M.functionIndex(I.Sym);
+        if (FI == InvalidIndex) {
+          trap("la of unknown symbol '" + I.Sym + "'");
+          return R;
+        }
+        Addr = L.functionEntry(FI);
+      }
+      writeReg(I.Rd, Addr + static_cast<uint32_t>(I.Imm));
+      break;
+    }
+    case Opcode::Move:
+      writeReg(I.Rd, RsV);
+      break;
+    case Opcode::Lw:
+    case Opcode::Lh:
+    case Opcode::Lhu:
+    case Opcode::Lb:
+    case Opcode::Lbu: {
+      uint32_t Addr = RsV + static_cast<uint32_t>(I.Imm);
+      uint32_t Value = 0;
+      switch (I.Op) {
+      case Opcode::Lw:
+        Value = Mem.readWord(Addr);
+        break;
+      case Opcode::Lh:
+        Value = static_cast<uint32_t>(
+            static_cast<int32_t>(static_cast<int16_t>(Mem.readHalf(Addr))));
+        break;
+      case Opcode::Lhu:
+        Value = Mem.readHalf(Addr);
+        break;
+      case Opcode::Lb:
+        Value = static_cast<uint32_t>(
+            static_cast<int32_t>(static_cast<int8_t>(Mem.readByte(Addr))));
+        break;
+      default:
+        Value = Mem.readByte(Addr);
+        break;
+      }
+      writeReg(I.Rd, Value);
+      ++R.DataAccesses;
+      if (!DCache.access(Addr)) {
+        ++R.LoadMisses;
+        ++R.MissCounts[FlatPc];
+      }
+      if (PrefetchFlat[FlatPc]) {
+        // Next-line software prefetch on this (predicted-delinquent) load.
+        ++R.PrefetchesIssued;
+        if (!DCache.access(Addr + Opts.DCache.BlockBytes))
+          ++R.PrefetchFills;
+      }
+      break;
+    }
+    case Opcode::Sw:
+    case Opcode::Sh:
+    case Opcode::Sb: {
+      uint32_t Addr = RsV + static_cast<uint32_t>(I.Imm);
+      switch (I.Op) {
+      case Opcode::Sw:
+        Mem.writeWord(Addr, RtV);
+        break;
+      case Opcode::Sh:
+        Mem.writeHalf(Addr, static_cast<uint16_t>(RtV));
+        break;
+      default:
+        Mem.writeByte(Addr, static_cast<uint8_t>(RtV));
+        break;
+      }
+      ++R.DataAccesses;
+      if (!DCache.access(Addr))
+        ++R.StoreMisses;
+      break;
+    }
+    case Opcode::Beq:
+      if (RsV == RtV)
+        branchTo(I.TargetIndex);
+      break;
+    case Opcode::Bne:
+      if (RsV != RtV)
+        branchTo(I.TargetIndex);
+      break;
+    case Opcode::Blt:
+      if (RsS < RtS)
+        branchTo(I.TargetIndex);
+      break;
+    case Opcode::Bge:
+      if (RsS >= RtS)
+        branchTo(I.TargetIndex);
+      break;
+    case Opcode::Ble:
+      if (RsS <= RtS)
+        branchTo(I.TargetIndex);
+      break;
+    case Opcode::Bgt:
+      if (RsS > RtS)
+        branchTo(I.TargetIndex);
+      break;
+    case Opcode::J:
+      branchTo(I.TargetIndex);
+      break;
+    case Opcode::Jal: {
+      bool ShouldHalt = false;
+      if (handleRuntimeCall(I.Sym, R, ShouldHalt)) {
+        if (ShouldHalt)
+          return R;
+        break;
+      }
+      uint32_t FI = M.functionIndex(I.Sym);
+      if (FI == InvalidIndex) {
+        trap("call to unknown function '" + I.Sym + "'");
+        return R;
+      }
+      writeReg(Reg::RA, LayoutConstants::TextBase +
+                            static_cast<uint32_t>(FlatPc + 1) * 4);
+      NextPc = FuncEntryFlat[FI];
+      break;
+    }
+    case Opcode::Jr: {
+      uint32_t Target = RsV;
+      if (Target == ExitPc) {
+        R.ExitCode = static_cast<int32_t>(readReg(Reg::V0));
+        return R;
+      }
+      if (Target < LayoutConstants::TextBase || (Target & 3) != 0) {
+        trap(formatString("jr to bad address 0x%08x", Target));
+        return R;
+      }
+      NextPc = (Target - LayoutConstants::TextBase) / 4;
+      break;
+    }
+    case Opcode::Jalr: {
+      uint32_t Target = RsV;
+      if (Target < LayoutConstants::TextBase || (Target & 3) != 0) {
+        trap(formatString("jalr to bad address 0x%08x", Target));
+        return R;
+      }
+      writeReg(Reg::RA, LayoutConstants::TextBase +
+                            static_cast<uint32_t>(FlatPc + 1) * 4);
+      NextPc = (Target - LayoutConstants::TextBase) / 4;
+      break;
+    }
+    case Opcode::Nop:
+      break;
+    }
+
+    FlatPc = NextPc;
+  }
+}

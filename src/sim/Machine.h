@@ -1,0 +1,156 @@
+//===- sim/Machine.h - Functional simulator --------------------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a masm module instruction by instruction, feeding every data
+/// access through the cache model and recording per-PC execution and miss
+/// counts — the ground truth the heuristic is validated against, standing in
+/// for SimpleScalar's full memory profiling (Section 6). Basic-block entry
+/// profiles (Section 4) are derived from the per-PC execution counts.
+///
+/// The runtime environment provides `malloc`, `calloc`, `free`, `rand`,
+/// `srand`, `print_int`, `print_char` and `exit` as intercepted calls, the
+/// way a simulator intercepts syscalls.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_SIM_MACHINE_H
+#define DLQ_SIM_MACHINE_H
+
+#include "masm/Module.h"
+#include "sim/Cache.h"
+#include "sim/Memory.h"
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dlq {
+namespace sim {
+
+/// Why a run stopped.
+enum class HaltReason {
+  Exited,        ///< main returned or exit() was called.
+  FuelExhausted, ///< MaxInstrs reached.
+  Trapped,       ///< Bad instruction, bad call, division by zero, ...
+};
+
+/// Simulator options.
+struct MachineOptions {
+  CacheConfig DCache = CacheConfig::baseline();
+  /// When true, instruction fetches also go through an I-cache (the paper
+  /// uses a split L1; only D-cache numbers feed the analyses).
+  bool SimulateICache = false;
+  CacheConfig ICache = CacheConfig::baseline();
+  uint64_t MaxInstrs = 2'000'000'000;
+  uint64_t RandSeed = 1;
+  /// Command-line style integer arguments: main(argc-like) receives Args[0]
+  /// in $a0, Args[1] in $a1, ... (up to 4).
+  std::vector<int32_t> Args;
+  /// Loads that issue a next-line prefetch after each access — the paper's
+  /// motivating application: software prefetching precisely targeted at the
+  /// (predicted) delinquent loads. Empty set = no prefetching.
+  std::set<masm::InstrRef> PrefetchLoads;
+};
+
+/// Per-load dynamic statistics at one PC.
+struct LoadStat {
+  uint64_t Execs = 0;
+  uint64_t Misses = 0;
+};
+
+/// Everything a run produced.
+struct RunResult {
+  HaltReason Halt = HaltReason::Exited;
+  std::string TrapMessage;
+  int32_t ExitCode = 0;
+  std::string Output; ///< Captured print_* output.
+
+  uint64_t InstrsExecuted = 0;
+  uint64_t DataAccesses = 0; ///< Loads + stores reaching the D-cache.
+  uint64_t LoadMisses = 0;
+  uint64_t StoreMisses = 0;
+  uint64_t ICacheMisses = 0;
+  uint64_t PrefetchesIssued = 0;
+  uint64_t PrefetchFills = 0; ///< Prefetches that brought a new block in.
+
+  /// Execution count per instruction, indexed by flat instruction ordinal.
+  std::vector<uint64_t> ExecCounts;
+  /// D-cache misses per load PC, same indexing (zero for non-loads).
+  std::vector<uint64_t> MissCounts;
+  /// Flat ordinal -> (function, instruction) mapping.
+  std::vector<masm::InstrRef> FlatMap;
+
+  /// Total data-cache misses attributable to loads (the paper's
+  /// M(P(I), C)).
+  uint64_t totalLoadMisses() const { return LoadMisses; }
+
+  /// Per-load stats keyed by InstrRef, for the analyses.
+  std::map<masm::InstrRef, LoadStat> loadStats(const masm::Module &M) const;
+
+  bool ok() const { return Halt == HaltReason::Exited; }
+};
+
+/// The functional simulator.
+class Machine {
+public:
+  /// \p M must be finalized. The machine keeps references; the module and
+  /// layout must outlive it.
+  Machine(const masm::Module &M, const masm::Layout &L,
+          MachineOptions Options);
+
+  /// Runs from `main` to completion and returns the collected statistics.
+  RunResult run();
+
+private:
+  struct FlatInstr {
+    const masm::Instr *I;
+    uint32_t FuncIdx;
+  };
+
+  const masm::Module &M;
+  const masm::Layout &L;
+  MachineOptions Opts;
+
+  std::vector<FlatInstr> Flat;
+  std::vector<masm::InstrRef> FlatMap;
+  std::vector<uint32_t> FuncEntryFlat; ///< Flat index of each function.
+  std::vector<uint8_t> PrefetchFlat;   ///< 1 = issue next-line prefetch.
+
+  Memory Mem;
+  uint32_t Regs[masm::NumRegs] = {};
+  Rng Rand{1};
+
+  // Heap allocator state (first-fit free lists by exact size).
+  uint32_t HeapBreak = masm::LayoutConstants::HeapBase;
+  std::map<uint32_t, std::vector<uint32_t>> FreeLists;
+  std::map<uint32_t, uint32_t> AllocSizes;
+
+  uint32_t readReg(masm::Reg R) const {
+    return R == masm::Reg::Zero ? 0 : Regs[static_cast<unsigned>(R)];
+  }
+  void writeReg(masm::Reg R, uint32_t V) {
+    if (R != masm::Reg::Zero)
+      Regs[static_cast<unsigned>(R)] = V;
+  }
+
+  /// Handles a call to a runtime-provided function. Returns true if \p Name
+  /// is a runtime function (the effect has been applied).
+  bool handleRuntimeCall(const std::string &Name, RunResult &R,
+                         bool &ShouldHalt);
+
+  uint32_t runtimeMalloc(uint32_t Size);
+  void runtimeFree(uint32_t Addr);
+};
+
+} // namespace sim
+} // namespace dlq
+
+#endif // DLQ_SIM_MACHINE_H

@@ -1,0 +1,70 @@
+//===- sim/Memory.cpp ------------------------------------------------------==//
+
+#include "sim/Memory.h"
+
+using namespace dlq;
+using namespace dlq::sim;
+
+const Memory::Page *Memory::lookupPage(uint32_t Addr) const {
+  auto It = Pages.find(Addr / PageBytes);
+  return It == Pages.end() ? nullptr : It->second.get();
+}
+
+Memory::Page &Memory::touchPage(uint32_t Addr) {
+  std::unique_ptr<Page> &Slot = Pages[Addr / PageBytes];
+  if (!Slot)
+    Slot = std::make_unique<Page>();
+  return *Slot;
+}
+
+uint8_t Memory::readByte(uint32_t Addr) const {
+  const Page *P = lookupPage(Addr);
+  return P ? P->Bytes[Addr % PageBytes] : 0;
+}
+
+void Memory::writeByte(uint32_t Addr, uint8_t Value) {
+  touchPage(Addr).Bytes[Addr % PageBytes] = Value;
+}
+
+uint16_t Memory::readHalf(uint32_t Addr) const {
+  return static_cast<uint16_t>(readByte(Addr)) |
+         (static_cast<uint16_t>(readByte(Addr + 1)) << 8);
+}
+
+void Memory::writeHalf(uint32_t Addr, uint16_t Value) {
+  writeByte(Addr, static_cast<uint8_t>(Value));
+  writeByte(Addr + 1, static_cast<uint8_t>(Value >> 8));
+}
+
+uint32_t Memory::readWord(uint32_t Addr) const {
+  // Fast path for aligned words within one page.
+  if (Addr % 4 == 0) {
+    if (const Page *P = lookupPage(Addr)) {
+      const uint8_t *B = &P->Bytes[Addr % PageBytes];
+      return static_cast<uint32_t>(B[0]) | (static_cast<uint32_t>(B[1]) << 8) |
+             (static_cast<uint32_t>(B[2]) << 16) |
+             (static_cast<uint32_t>(B[3]) << 24);
+    }
+    return 0;
+  }
+  return static_cast<uint32_t>(readHalf(Addr)) |
+         (static_cast<uint32_t>(readHalf(Addr + 2)) << 16);
+}
+
+void Memory::writeWord(uint32_t Addr, uint32_t Value) {
+  if (Addr % 4 == 0) {
+    uint8_t *B = &touchPage(Addr).Bytes[Addr % PageBytes];
+    B[0] = static_cast<uint8_t>(Value);
+    B[1] = static_cast<uint8_t>(Value >> 8);
+    B[2] = static_cast<uint8_t>(Value >> 16);
+    B[3] = static_cast<uint8_t>(Value >> 24);
+    return;
+  }
+  writeHalf(Addr, static_cast<uint16_t>(Value));
+  writeHalf(Addr + 2, static_cast<uint16_t>(Value >> 16));
+}
+
+void Memory::writeBlock(uint32_t Addr, const uint8_t *Src, uint32_t Size) {
+  for (uint32_t I = 0; I != Size; ++I)
+    writeByte(Addr + I, Src[I]);
+}

@@ -1,0 +1,59 @@
+//===- sim/Memory.h - Sparse simulated memory ------------------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sparse, page-granular 32-bit byte-addressable memory for the functional
+/// simulator. Unmapped pages read as zero and are materialized on write.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_SIM_MEMORY_H
+#define DLQ_SIM_MEMORY_H
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+namespace dlq {
+namespace sim {
+
+/// Sparse paged memory. Little-endian, like MIPS in its common configuration
+/// (and like SimpleScalar's PISA).
+class Memory {
+public:
+  uint8_t readByte(uint32_t Addr) const;
+  void writeByte(uint32_t Addr, uint8_t Value);
+
+  uint16_t readHalf(uint32_t Addr) const;
+  void writeHalf(uint32_t Addr, uint16_t Value);
+
+  uint32_t readWord(uint32_t Addr) const;
+  void writeWord(uint32_t Addr, uint32_t Value);
+
+  /// Copies \p Size bytes from \p Src into memory at \p Addr.
+  void writeBlock(uint32_t Addr, const uint8_t *Src, uint32_t Size);
+
+  /// Number of materialized pages (for tests / footprint reporting).
+  size_t numPages() const { return Pages.size(); }
+
+  static constexpr uint32_t PageBytes = 4096;
+
+private:
+  struct Page {
+    uint8_t Bytes[PageBytes] = {};
+  };
+
+  const Page *lookupPage(uint32_t Addr) const;
+  Page &touchPage(uint32_t Addr);
+
+  std::unordered_map<uint32_t, std::unique_ptr<Page>> Pages;
+};
+
+} // namespace sim
+} // namespace dlq
+
+#endif // DLQ_SIM_MEMORY_H

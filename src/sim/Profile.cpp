@@ -1,0 +1,98 @@
+//===- sim/Profile.cpp -----------------------------------------------------==//
+
+#include "sim/Profile.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace dlq;
+using namespace dlq::sim;
+using namespace dlq::masm;
+
+std::vector<cfg::Cfg> sim::buildAllCfgs(const Module &M) {
+  std::vector<cfg::Cfg> Cfgs;
+  Cfgs.reserve(M.functions().size());
+  for (const Function &F : M.functions())
+    Cfgs.emplace_back(F);
+  return Cfgs;
+}
+
+BlockProfile::BlockProfile(const Module &Mod,
+                           const std::vector<cfg::Cfg> &AllCfgs,
+                           const RunResult &R)
+    : M(Mod), Cfgs(AllCfgs), ExecCounts(R.ExecCounts) {
+  assert(Cfgs.size() == M.functions().size() && "one CFG per function");
+
+  uint32_t Base = 0;
+  for (const Function &F : M.functions()) {
+    FuncBaseFlat.push_back(Base);
+    Base += static_cast<uint32_t>(F.size());
+  }
+  assert(ExecCounts.size() == Base && "exec counts match module size");
+
+  Cycles.resize(Cfgs.size());
+  for (uint32_t FI = 0; FI != Cfgs.size(); ++FI) {
+    const cfg::Cfg &G = Cfgs[FI];
+    Cycles[FI].assign(G.numBlocks(), 0);
+    for (uint32_t B = 0; B != G.numBlocks(); ++B) {
+      const cfg::BasicBlock &Blk = G.blocks()[B];
+      for (uint32_t Idx = Blk.Begin; Idx != Blk.End; ++Idx)
+        Cycles[FI][B] += ExecCounts[FuncBaseFlat[FI] + Idx];
+      Total += Cycles[FI][B];
+    }
+  }
+}
+
+uint64_t BlockProfile::blockCycles(BlockRef B) const {
+  return Cycles[B.FuncIdx][B.BlockId];
+}
+
+uint64_t BlockProfile::blockEntries(BlockRef B) const {
+  const cfg::BasicBlock &Blk = Cfgs[B.FuncIdx].blocks()[B.BlockId];
+  return ExecCounts[FuncBaseFlat[B.FuncIdx] + Blk.Begin];
+}
+
+uint64_t BlockProfile::execCount(InstrRef Ref) const {
+  return ExecCounts[FuncBaseFlat[Ref.FuncIdx] + Ref.InstrIdx];
+}
+
+std::set<BlockRef> BlockProfile::hotspotBlocks(double CoverageFrac) const {
+  std::vector<std::pair<uint64_t, BlockRef>> Ranked;
+  for (uint32_t FI = 0; FI != Cycles.size(); ++FI)
+    for (uint32_t B = 0; B != Cycles[FI].size(); ++B)
+      if (Cycles[FI][B] != 0)
+        Ranked.push_back({Cycles[FI][B], BlockRef{FI, B}});
+  // Sort by descending cycles; break ties by block identity so the result is
+  // deterministic.
+  std::sort(Ranked.begin(), Ranked.end(),
+            [](const auto &A, const auto &B) {
+              if (A.first != B.first)
+                return A.first > B.first;
+              return A.second < B.second;
+            });
+
+  std::set<BlockRef> Hot;
+  uint64_t Needed = static_cast<uint64_t>(
+      std::ceil(static_cast<double>(Total) * CoverageFrac));
+  uint64_t Got = 0;
+  for (const auto &[Cyc, Ref] : Ranked) {
+    if (Got >= Needed)
+      break;
+    Hot.insert(Ref);
+    Got += Cyc;
+  }
+  return Hot;
+}
+
+std::set<InstrRef> BlockProfile::hotspotLoads(double CoverageFrac) const {
+  std::set<InstrRef> Loads;
+  for (const BlockRef &B : hotspotBlocks(CoverageFrac)) {
+    const cfg::BasicBlock &Blk = Cfgs[B.FuncIdx].blocks()[B.BlockId];
+    const Function &F = M.functions()[B.FuncIdx];
+    for (uint32_t Idx = Blk.Begin; Idx != Blk.End; ++Idx)
+      if (isLoad(F.instrs()[Idx].Op))
+        Loads.insert(InstrRef{B.FuncIdx, Idx});
+  }
+  return Loads;
+}

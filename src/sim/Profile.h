@@ -1,0 +1,92 @@
+//===- sim/Profile.h - Basic-block execution profiling ----------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Derives a basic-block execution profile from a simulation run, in the
+/// style of pixie-like tools (Section 4). Block "cycles" are approximated by
+/// dynamic instruction counts, which is exactly what entry-count profiling
+/// multiplied by block length gives; the paper itself notes this is not the
+/// same as true stall cycles (its explanation for 124.m88ksim's poor
+/// profiling coverage).
+///
+/// The hotspot load set Delta_P consists of all loads in the blocks that
+/// cumulatively account for a fraction (default 90%) of total cycles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_SIM_PROFILE_H
+#define DLQ_SIM_PROFILE_H
+
+#include "cfg/Cfg.h"
+#include "masm/Module.h"
+#include "sim/Machine.h"
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace dlq {
+namespace sim {
+
+/// Identifies one basic block globally.
+struct BlockRef {
+  uint32_t FuncIdx = 0;
+  uint32_t BlockId = 0;
+
+  friend bool operator<(const BlockRef &A, const BlockRef &B) {
+    return A.FuncIdx != B.FuncIdx ? A.FuncIdx < B.FuncIdx
+                                  : A.BlockId < B.BlockId;
+  }
+  friend bool operator==(const BlockRef &A, const BlockRef &B) {
+    return A.FuncIdx == B.FuncIdx && A.BlockId == B.BlockId;
+  }
+};
+
+/// Basic-block profile of one run.
+class BlockProfile {
+public:
+  /// \p Cfgs must hold one CFG per module function, in order.
+  BlockProfile(const masm::Module &M, const std::vector<cfg::Cfg> &Cfgs,
+               const RunResult &R);
+
+  /// Dynamic instruction count attributed to \p B.
+  uint64_t blockCycles(BlockRef B) const;
+
+  /// Entry count of \p B (execution count of its first instruction).
+  uint64_t blockEntries(BlockRef B) const;
+
+  uint64_t totalCycles() const { return Total; }
+
+  /// Blocks whose cumulative cycle counts (descending) reach
+  /// \p CoverageFrac of the total.
+  std::set<BlockRef> hotspotBlocks(double CoverageFrac) const;
+
+  /// All load instructions inside hotspotBlocks(CoverageFrac): the paper's
+  /// profiling set Delta_P.
+  std::set<masm::InstrRef> hotspotLoads(double CoverageFrac) const;
+
+  /// Execution count of one instruction.
+  uint64_t execCount(masm::InstrRef Ref) const;
+
+private:
+  const masm::Module &M;
+  const std::vector<cfg::Cfg> &Cfgs;
+  /// Per function: flat base index into the run's ExecCounts.
+  std::vector<uint32_t> FuncBaseFlat;
+  std::vector<uint64_t> ExecCounts;
+  /// Cycles per (function, block).
+  std::vector<std::vector<uint64_t>> Cycles;
+  uint64_t Total = 0;
+};
+
+/// Builds one CFG per function of \p M (helper shared by analyses).
+std::vector<cfg::Cfg> buildAllCfgs(const masm::Module &M);
+
+} // namespace sim
+} // namespace dlq
+
+#endif // DLQ_SIM_PROFILE_H

@@ -1,0 +1,40 @@
+//===- support/Arena.cpp --------------------------------------------------==//
+
+#include "support/Arena.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dlq;
+
+void *Arena::allocate(size_t Size, size_t Align) {
+  assert(Align != 0 && (Align & (Align - 1)) == 0 && "bad alignment");
+  auto alignUp = [](size_t Value, size_t To) {
+    return (Value + To - 1) & ~(To - 1);
+  };
+
+  if (!Slabs.empty()) {
+    Slab &Last = Slabs.back();
+    size_t Offset = alignUp(Last.Used, Align);
+    if (Offset + Size <= Last.Capacity) {
+      Last.Used = Offset + Size;
+      BytesAllocated += Size;
+      return Last.Memory.get() + Offset;
+    }
+  }
+
+  size_t Capacity = std::max(SlabSize, Size + Align);
+  Slab NewSlab;
+  NewSlab.Memory = std::make_unique<char[]>(Capacity);
+  NewSlab.Capacity = Capacity;
+  Slabs.push_back(std::move(NewSlab));
+
+  Slab &Last = Slabs.back();
+  size_t Offset =
+      alignUp(reinterpret_cast<uintptr_t>(Last.Memory.get()), Align) -
+      reinterpret_cast<uintptr_t>(Last.Memory.get());
+  assert(Offset + Size <= Last.Capacity && "slab too small");
+  Last.Used = Offset + Size;
+  BytesAllocated += Size;
+  return Last.Memory.get() + Offset;
+}

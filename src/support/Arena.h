@@ -1,0 +1,63 @@
+//===- support/Arena.h - Bump-pointer allocation ---------------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bump-pointer arena used for address-pattern nodes and MinC AST nodes.
+/// Objects allocated here are never individually freed; trivially
+/// destructible types only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_SUPPORT_ARENA_H
+#define DLQ_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace dlq {
+
+/// Bump-pointer arena. Memory is released when the arena is destroyed.
+class Arena {
+public:
+  Arena() = default;
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  /// Allocates \p Size bytes with \p Align alignment.
+  void *allocate(size_t Size, size_t Align);
+
+  /// Constructs a T in the arena. T must be trivially destructible because
+  /// destructors are never run.
+  template <typename T, typename... ArgTs> T *create(ArgTs &&...Args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena objects are never destroyed");
+    void *Mem = allocate(sizeof(T), alignof(T));
+    return new (Mem) T(std::forward<ArgTs>(Args)...);
+  }
+
+  /// Total bytes handed out so far (for tests and statistics).
+  size_t bytesAllocated() const { return BytesAllocated; }
+
+private:
+  static constexpr size_t SlabSize = 64 * 1024;
+
+  struct Slab {
+    std::unique_ptr<char[]> Memory;
+    size_t Used = 0;
+    size_t Capacity = 0;
+  };
+
+  std::vector<Slab> Slabs;
+  size_t BytesAllocated = 0;
+};
+
+} // namespace dlq
+
+#endif // DLQ_SUPPORT_ARENA_H

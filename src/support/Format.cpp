@@ -1,0 +1,49 @@
+//===- support/Format.cpp -------------------------------------------------==//
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <cstdio>
+#include <vector>
+
+using namespace dlq;
+
+std::string dlq::formatStringV(const char *Fmt, va_list Ap) {
+  va_list Copy;
+  va_copy(Copy, Ap);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  assert(Needed >= 0 && "invalid format string");
+  std::vector<char> Buf(static_cast<size_t>(Needed) + 1);
+  std::vsnprintf(Buf.data(), Buf.size(), Fmt, Ap);
+  return std::string(Buf.data(), static_cast<size_t>(Needed));
+}
+
+std::string dlq::formatString(const char *Fmt, ...) {
+  va_list Ap;
+  va_start(Ap, Fmt);
+  std::string Result = formatStringV(Fmt, Ap);
+  va_end(Ap);
+  return Result;
+}
+
+std::string dlq::formatPercent(double Value, unsigned Decimals) {
+  return formatString("%.*f%%", static_cast<int>(Decimals), Value * 100.0);
+}
+
+std::string dlq::formatScientific(uint64_t Value) {
+  return formatString("%.2e", static_cast<double>(Value));
+}
+
+std::string dlq::formatWithCommas(uint64_t Value) {
+  std::string Digits = std::to_string(Value);
+  std::string Result;
+  unsigned Count = 0;
+  for (auto It = Digits.rbegin(); It != Digits.rend(); ++It) {
+    if (Count != 0 && Count % 3 == 0)
+      Result.push_back(',');
+    Result.push_back(*It);
+    ++Count;
+  }
+  return std::string(Result.rbegin(), Result.rend());
+}

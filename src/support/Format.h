@@ -1,0 +1,42 @@
+//===- support/Format.h - String formatting helpers ----------------------===//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style std::string formatting and the numeric renderings used by the
+/// paper's tables (percentages, scientific counts such as "7.29e+08").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_SUPPORT_FORMAT_H
+#define DLQ_SUPPORT_FORMAT_H
+
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+
+namespace dlq {
+
+/// Formats \p Fmt printf-style into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// va_list variant of formatString.
+std::string formatStringV(const char *Fmt, va_list Ap);
+
+/// Renders \p Value as a percentage with \p Decimals fraction digits,
+/// e.g. formatPercent(0.1015, 2) == "10.15%".
+std::string formatPercent(double Value, unsigned Decimals = 2);
+
+/// Renders a large count in the paper's Table 2 style, e.g. "7.29e+08".
+std::string formatScientific(uint64_t Value);
+
+/// Renders a count with thousands separators, e.g. "16354" -> "16,354".
+std::string formatWithCommas(uint64_t Value);
+
+} // namespace dlq
+
+#endif // DLQ_SUPPORT_FORMAT_H

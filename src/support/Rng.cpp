@@ -1,0 +1,31 @@
+//===- support/Rng.cpp ----------------------------------------------------==//
+
+#include "support/Rng.h"
+
+#include <cassert>
+
+using namespace dlq;
+
+Rng::Rng(uint64_t Seed) : State(Seed ? Seed : 0x9E3779B97F4A7C15ull) {}
+
+uint64_t Rng::next() {
+  State ^= State >> 12;
+  State ^= State << 25;
+  State ^= State >> 27;
+  return State * 0x2545F4914F6CDD1Dull;
+}
+
+uint64_t Rng::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "bound must be nonzero");
+  return next() % Bound;
+}
+
+int64_t Rng::nextInRange(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty range");
+  uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+  return Lo + static_cast<int64_t>(nextBelow(Span));
+}
+
+double Rng::nextDouble() {
+  return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}

@@ -1,0 +1,46 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers ----------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seedable xorshift64* generator. Used by workload input generators, the
+/// simulator's `rand` runtime call, and the random-sampling rho* baseline so
+/// that every experiment is reproducible bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_SUPPORT_RNG_H
+#define DLQ_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace dlq {
+
+/// Deterministic xorshift64* pseudo-random generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9E3779B97F4A7C15ull);
+
+  /// Returns the next 64 random bits.
+  uint64_t next();
+
+  /// Returns a uniformly distributed value in [0, Bound). \p Bound must be
+  /// nonzero.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a uniformly distributed value in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// Returns a double in [0, 1).
+  double nextDouble();
+
+private:
+  uint64_t State;
+};
+
+} // namespace dlq
+
+#endif // DLQ_SUPPORT_RNG_H

@@ -1,0 +1,75 @@
+//===- support/Table.cpp --------------------------------------------------==//
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dlq;
+
+TextTable::TextTable(std::vector<std::string> Hdrs) : Headers(std::move(Hdrs)) {
+  Aligns.assign(Headers.size(), AlignKind::Right);
+  if (!Aligns.empty())
+    Aligns[0] = AlignKind::Left;
+}
+
+void TextTable::setAlign(unsigned Col, AlignKind Align) {
+  assert(Col < Aligns.size() && "column out of range");
+  Aligns[Col] = Align;
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() <= Headers.size() && "too many cells in row");
+  Cells.resize(Headers.size());
+  Rows.push_back(Row{std::move(Cells), /*IsRule=*/false});
+}
+
+void TextTable::addRule() { Rows.push_back(Row{{}, /*IsRule=*/true}); }
+
+std::string TextTable::render() const {
+  std::vector<size_t> Widths(Headers.size());
+  for (size_t I = 0; I != Headers.size(); ++I)
+    Widths[I] = Headers[I].size();
+  for (const Row &R : Rows) {
+    if (R.IsRule)
+      continue;
+    for (size_t I = 0; I != R.Cells.size(); ++I)
+      Widths[I] = std::max(Widths[I], R.Cells[I].size());
+  }
+
+  auto renderCell = [&](const std::string &Text, size_t Col) {
+    size_t Pad = Widths[Col] - Text.size();
+    if (Aligns[Col] == AlignKind::Left)
+      return Text + std::string(Pad, ' ');
+    return std::string(Pad, ' ') + Text;
+  };
+
+  auto renderRule = [&] {
+    std::string Line;
+    for (size_t I = 0; I != Widths.size(); ++I) {
+      Line += std::string(Widths[I] + 2, '-');
+      Line += (I + 1 == Widths.size()) ? "\n" : "+";
+    }
+    return Line;
+  };
+
+  std::string Out;
+  for (size_t I = 0; I != Headers.size(); ++I) {
+    Out += ' ';
+    Out += renderCell(Headers[I], I);
+    Out += (I + 1 == Headers.size()) ? " \n" : " |";
+  }
+  Out += renderRule();
+  for (const Row &R : Rows) {
+    if (R.IsRule) {
+      Out += renderRule();
+      continue;
+    }
+    for (size_t I = 0; I != R.Cells.size(); ++I) {
+      Out += ' ';
+      Out += renderCell(R.Cells[I], I);
+      Out += (I + 1 == R.Cells.size()) ? " \n" : " |";
+    }
+  }
+  return Out;
+}

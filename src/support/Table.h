@@ -1,0 +1,60 @@
+//===- support/Table.h - ASCII table rendering ----------------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small column-aligned ASCII table renderer used by every bench binary to
+/// print the paper's tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_SUPPORT_TABLE_H
+#define DLQ_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace dlq {
+
+/// Column-aligned text table. Rows may be data rows or separator rules.
+class TextTable {
+public:
+  enum class AlignKind { Left, Right };
+
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> Headers);
+
+  /// Sets the alignment of column \p Col (default: first column left,
+  /// remaining columns right).
+  void setAlign(unsigned Col, AlignKind Align);
+
+  /// Appends a data row. Missing trailing cells render empty; extra cells
+  /// are a programming error.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal rule (drawn before the next data row).
+  void addRule();
+
+  /// Renders the table, including a rule under the header.
+  std::string render() const;
+
+  /// Number of data rows added so far.
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  struct Row {
+    std::vector<std::string> Cells;
+    bool IsRule = false;
+  };
+
+  std::vector<std::string> Headers;
+  std::vector<AlignKind> Aligns;
+  std::vector<Row> Rows;
+};
+
+} // namespace dlq
+
+#endif // DLQ_SUPPORT_TABLE_H

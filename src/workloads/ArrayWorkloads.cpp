@@ -1,0 +1,249 @@
+//===- workloads/ArrayWorkloads.cpp - strided numeric benchmarks ---------------//
+//
+// Part of the delinq project. MinC sources for the array-dominated
+// workloads: the SPEC analogs whose misses come from strided or gathered
+// array traffic (101.tomcatv, 179.art, 183.equake, 188.ammp, 132.ijpeg,
+// 008.espresso). Integer arithmetic stands in for floating point — cache
+// behaviour depends on the access pattern, not the ALU.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Sources.h"
+
+using namespace dlq::workloads;
+
+/// 101.tomcatv analog: a 2-D Jacobi-style stencil alternating between two
+/// meshes. Row-major sweeps with unit and $N strides.
+const char *sources::TomcatvLike = R"(
+int x[$N][$N];
+int y[$N][$N];
+
+int workload_main() {
+  int i; int j; int it; int checksum;
+  srand($SEED);
+  for (i = 0; i < $N; i = i + 1)
+    for (j = 0; j < $N; j = j + 1) {
+      x[i][j] = rand() % 1000;
+      y[i][j] = 0;
+    }
+  for (it = 0; it < $ITERS; it = it + 1) {
+    for (i = 1; i < $N - 1; i = i + 1)
+      for (j = 1; j < $N - 1; j = j + 1)
+        y[i][j] = (x[i - 1][j] + x[i + 1][j] + x[i][j - 1] + x[i][j + 1]
+                   + 2 * x[i][j]) / 6;
+    for (i = 1; i < $N - 1; i = i + 1)
+      for (j = 1; j < $N - 1; j = j + 1)
+        x[i][j] = (y[i - 1][j] + y[i + 1][j] + y[i][j - 1] + y[i][j + 1]
+                   + 2 * y[i][j]) / 6;
+  }
+  checksum = 0;
+  for (i = 0; i < $N; i = i + 1) checksum = checksum ^ x[i][i];
+  print_int(checksum);
+  return 0;
+}
+)";
+
+/// 179.art analog: adaptive-resonance-style recognition: each presentation
+/// scans every neuron's weight row (a long strided read), picks the best
+/// match, and updates the winner's weights.
+const char *sources::ArtLike = R"(
+int weights[$NEURONS * $FEATURES];
+int input[$FEATURES];
+
+int workload_main() {
+  int p; int n; int f; int best; int bestscore; int matched;
+  srand($SEED);
+  for (n = 0; n < $NEURONS * $FEATURES; n = n + 1)
+    weights[n] = rand() % 256;
+  matched = 0;
+  for (p = 0; p < $PRESENTATIONS; p = p + 1) {
+    for (f = 0; f < $FEATURES; f = f + 1) input[f] = rand() % 256;
+    best = 0;
+    bestscore = -1;
+    for (n = 0; n < $NEURONS; n = n + 1) {
+      int score; int base;
+      score = 0;
+      base = n * $FEATURES;
+      for (f = 0; f < $FEATURES; f = f + 1) {
+        int d;
+        d = weights[base + f] - input[f];
+        if (d < 0) d = -d;
+        score = score + 256 - d;
+      }
+      if (score > bestscore) { bestscore = score; best = n; }
+    }
+    /* Train the winner toward the input. */
+    for (f = 0; f < $FEATURES; f = f + 1) {
+      int base;
+      base = best * $FEATURES;
+      weights[base + f] = (weights[base + f] * 3 + input[f]) / 4;
+    }
+    matched = matched + best;
+  }
+  print_int(matched);
+  return 0;
+}
+)";
+
+/// 183.equake analog: CSR sparse matrix-vector products. The column gather
+/// x[colidx[k]] is the delinquent access.
+const char *sources::EquakeLike = R"(
+int rowptr[$N + 1];
+int colidx[$NNZ];
+int vals[$NNZ];
+int xvec[$N];
+int yvec[$N];
+
+int workload_main() {
+  int i; int k; int it; int perrow; int checksum;
+  srand($SEED);
+  perrow = $NNZ / $N;
+  for (i = 0; i < $N; i = i + 1) {
+    rowptr[i] = i * perrow;
+    xvec[i] = rand() % 100;
+  }
+  rowptr[$N] = $NNZ;
+  for (k = 0; k < $NNZ; k = k + 1) {
+    colidx[k] = rand() % $N;
+    vals[k] = rand() % 16;
+  }
+  for (it = 0; it < $ITERS; it = it + 1) {
+    for (i = 0; i < $N; i = i + 1) {
+      int acc; int end;
+      acc = 0;
+      end = rowptr[i + 1];
+      for (k = rowptr[i]; k < end; k = k + 1)
+        acc = acc + vals[k] * xvec[colidx[k]];
+      yvec[i] = acc;
+    }
+    /* Feed back so iterations are not dead. */
+    for (i = 0; i < $N; i = i + 1)
+      xvec[i] = (xvec[i] + yvec[i] / 16) & 1023;
+  }
+  checksum = 0;
+  for (i = 0; i < $N; i = i + 1) checksum = checksum ^ yvec[i];
+  print_int(checksum);
+  return 0;
+}
+)";
+
+/// 188.ammp analog: molecular-dynamics force accumulation over per-atom
+/// neighbor index lists: positions are gathered through the index array.
+const char *sources::AmmpLike = R"(
+int posx[$NATOMS];
+int posy[$NATOMS];
+int posz[$NATOMS];
+int fx[$NATOMS];
+int neigh[$NATOMS * $NNEIGH];
+
+int workload_main() {
+  int a; int k; int step; int checksum;
+  srand($SEED);
+  for (a = 0; a < $NATOMS; a = a + 1) {
+    posx[a] = rand() % 4096;
+    posy[a] = rand() % 4096;
+    posz[a] = rand() % 4096;
+    fx[a] = 0;
+  }
+  for (k = 0; k < $NATOMS * $NNEIGH; k = k + 1)
+    neigh[k] = rand() % $NATOMS;
+  for (step = 0; step < $STEPS; step = step + 1) {
+    for (a = 0; a < $NATOMS; a = a + 1) {
+      int acc; int base;
+      acc = 0;
+      base = a * $NNEIGH;
+      for (k = 0; k < $NNEIGH; k = k + 1) {
+        int b; int dx; int dy; int dz;
+        b = neigh[base + k];
+        dx = posx[a] - posx[b];
+        dy = posy[a] - posy[b];
+        dz = posz[a] - posz[b];
+        acc = acc + (dx * dx + dy * dy + dz * dz) / 1024;
+      }
+      fx[a] = fx[a] + acc;
+    }
+    /* Drift the positions a little. */
+    for (a = 0; a < $NATOMS; a = a + 1)
+      posx[a] = (posx[a] + fx[a] / 4096) & 4095;
+  }
+  checksum = 0;
+  for (a = 0; a < $NATOMS; a = a + 1) checksum = checksum ^ fx[a];
+  print_int(checksum);
+  return 0;
+}
+)";
+
+/// 132.ijpeg analog: a blocked 8x8 separable transform over an image, with
+/// a small coefficient table that stays cache-resident while the image
+/// streams through.
+const char *sources::IjpegLike = R"(
+int image[$H * $W];
+int outimg[$H * $W];
+int coef[8][8];
+
+int workload_main() {
+  int bi; int bj; int u; int v; int k; int checksum;
+  srand($SEED);
+  for (u = 0; u < 8; u = u + 1)
+    for (v = 0; v < 8; v = v + 1)
+      coef[u][v] = (rand() % 64) - 32;
+  for (k = 0; k < $H * $W; k = k + 1) image[k] = rand() % 256;
+
+  for (bi = 0; bi < $H; bi = bi + 8) {
+    for (bj = 0; bj < $W; bj = bj + 8) {
+      /* Row pass within the block. */
+      for (u = 0; u < 8; u = u + 1) {
+        for (v = 0; v < 8; v = v + 1) {
+          int acc;
+          acc = 0;
+          for (k = 0; k < 8; k = k + 1)
+            acc = acc + image[(bi + u) * $W + bj + k] * coef[k][v];
+          outimg[(bi + u) * $W + bj + v] = acc >> 6;
+        }
+      }
+    }
+  }
+  checksum = 0;
+  for (k = 0; k < $H * $W; k = k + 257) checksum = checksum ^ outimg[k];
+  print_int(checksum);
+  return 0;
+}
+)";
+
+/// 008.espresso analog: two-level logic minimization flavor: bitwise cube
+/// intersection/containment over an array of multi-word bitsets, with
+/// shift/mask arithmetic.
+const char *sources::EspressoLike = R"(
+int cubes[$NCUBES * $WORDS];
+int cover[$WORDS];
+
+int workload_main() {
+  int i; int j; int k; int contained; int checksum;
+  srand($SEED);
+  for (i = 0; i < $NCUBES * $WORDS; i = i + 1) cubes[i] = rand();
+  for (j = 0; j < $WORDS; j = j + 1) cover[j] = 0;
+  contained = 0;
+  for (k = 0; k < $OPS; k = k + 1) {
+    int a; int b; int isin;
+    a = (rand() % $NCUBES) * $WORDS;
+    b = (rand() % $NCUBES) * $WORDS;
+    isin = 1;
+    for (j = 0; j < $WORDS; j = j + 1) {
+      int x;
+      x = cubes[a + j] & cubes[b + j];
+      cover[j] = cover[j] ^ (x << (k & 7)) ^ (x >> 3);
+      if ((x | cubes[a + j]) != cubes[a + j]) isin = 0;
+    }
+    contained = contained + isin;
+    /* Occasionally rewrite a cube (keeps the data set live). */
+    if ((k & 63) == 0)
+      for (j = 0; j < $WORDS; j = j + 1)
+        cubes[a + j] = cubes[a + j] ^ cover[j];
+  }
+  checksum = 0;
+  for (j = 0; j < $WORDS; j = j + 1) checksum = checksum ^ cover[j];
+  print_int(contained);
+  print_int(checksum);
+  return 0;
+}
+)";

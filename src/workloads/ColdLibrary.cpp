@@ -1,0 +1,185 @@
+//===- workloads/ColdLibrary.cpp - rarely-executed code appendix ----------------//
+//
+// Part of the delinq project. Every workload is linked with this MinC "cold
+// library": validation, bookkeeping and dump routines that execute once (or
+// never) per run. Real programs — and especially the SPEC binaries the paper
+// measures — consist mostly of such cold code: the static load population
+// Lambda is dominated by loads that almost never execute, which is exactly
+// what the H5 frequency classes (AG8/AG9) exist to suppress and what purely
+// structural classifiers like OKN and BDH cannot tell apart from hot code.
+//
+// The library is pointer- and array-heavy on purpose: its loads look
+// delinquent to structure-only heuristics.
+//
+// Composition (see workloads::instantiate): ColdPrefix + <workload source
+// with `main` renamed to `workload_main`> + ColdSuffix.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Sources.h"
+
+using namespace dlq::workloads;
+
+const char *sources::ColdPrefix = R"(
+/* ------------------------------------------------------------------ */
+/* Cold diagnostic library: executed at most once per run.             */
+/* ------------------------------------------------------------------ */
+
+struct ColdNode { int key; int count; struct ColdNode *left;
+                  struct ColdNode *right; };
+struct ColdEvent { int tag; int value; struct ColdEvent *next; };
+
+int cold_hist[256];
+int cold_sorted[128];
+int cold_nsorted;
+int cold_matrix[32][32];
+char cold_text[512];
+struct ColdNode *cold_root;
+struct ColdEvent *cold_events;
+
+/* Binary search tree insert (heap pointer chasing, never hot). */
+void cold_insert(int key) {
+  struct ColdNode *n; struct ColdNode *cur;
+  n = (struct ColdNode*)malloc(sizeof(struct ColdNode));
+  n->key = key;
+  n->count = 1;
+  n->left = 0;
+  n->right = 0;
+  if (cold_root == 0) { cold_root = n; return; }
+  cur = cold_root;
+  while (1) {
+    if (key == cur->key) { cur->count = cur->count + 1; free((void*)n); return; }
+    if (key < cur->key) {
+      if (cur->left == 0) { cur->left = n; return; }
+      cur = cur->left;
+    } else {
+      if (cur->right == 0) { cur->right = n; return; }
+      cur = cur->right;
+    }
+  }
+}
+
+/* Recursive tree fold. */
+int cold_treesum(struct ColdNode *n) {
+  if (n == 0) return 0;
+  return n->key + n->count + cold_treesum(n->left) + cold_treesum(n->right);
+}
+
+/* Sorted-array insertion with shifting (array traffic). */
+void cold_record(int v) {
+  int i; int j;
+  if (cold_nsorted >= 128) return;
+  i = 0;
+  while (i < cold_nsorted && cold_sorted[i] < v) i = i + 1;
+  for (j = cold_nsorted; j > i; j = j - 1)
+    cold_sorted[j] = cold_sorted[j - 1];
+  cold_sorted[i] = v;
+  cold_nsorted = cold_nsorted + 1;
+}
+
+/* Event log: heap list push (pointer writes and reads). */
+void cold_log_event(int tag, int value) {
+  struct ColdEvent *e;
+  e = (struct ColdEvent*)malloc(sizeof(struct ColdEvent));
+  e->tag = tag;
+  e->value = value;
+  e->next = cold_events;
+  cold_events = e;
+}
+
+/* Histogram + text scramble (byte loads, shifts). */
+int cold_digest(int seed) {
+  int i; int h;
+  h = seed;
+  for (i = 0; i < 256; i = i + 1) {
+    cold_hist[i] = cold_hist[i] + ((h >> 3) & 7);
+    h = h * 31 + i;
+  }
+  for (i = 0; i < 512; i = i + 1) {
+    cold_text[i] = (h ^ i) & 63;
+    h = h + cold_text[i];
+  }
+  for (i = 0; i + 1 < 512; i = i + 2)
+    h = h ^ (cold_text[i] << 4) ^ cold_text[i + 1];
+  return h & 16777215;
+}
+
+/* Small matrix transpose-and-sum (2-D array indexing). */
+int cold_transpose(int seed) {
+  int i; int j; int acc;
+  for (i = 0; i < 32; i = i + 1)
+    for (j = 0; j < 32; j = j + 1)
+      cold_matrix[i][j] = (seed ^ (i * 37 + j * 11)) & 1023;
+  acc = 0;
+  for (i = 0; i < 32; i = i + 1)
+    for (j = 0; j < i; j = j + 1) {
+      int t;
+      t = cold_matrix[i][j];
+      cold_matrix[i][j] = cold_matrix[j][i];
+      cold_matrix[j][i] = t;
+      acc = acc + t;
+    }
+  return acc & 16777215;
+}
+
+/* Walks every cold structure; only reached from the never-taken dump
+   branch below. */
+int cold_dump_all(int verbose) {
+  int i; int acc; struct ColdEvent *e;
+  acc = cold_treesum(cold_root);
+  for (i = 0; i < cold_nsorted; i = i + 1) acc = acc + cold_sorted[i];
+  for (i = 0; i < 256; i = i + 1) acc = acc ^ cold_hist[i];
+  e = cold_events;
+  while (e != 0) {
+    acc = acc + e->tag * 3 + e->value;
+    if (verbose > 1) print_int(e->value);
+    e = e->next;
+  }
+  for (i = 0; i < 32; i = i + 1) acc = acc ^ cold_matrix[i][i];
+  if (verbose > 0) print_int(acc);
+  return acc;
+}
+
+/* Self-test entry point: runs once at program end. The returned value is
+   masked non-negative, so the dump guard below never fires at runtime even
+   though no static analysis of this program can prove it dead. */
+int cold_selftest(int seed) {
+  int i; int d; int t;
+  cold_root = 0;
+  cold_events = 0;
+  cold_nsorted = 0;
+  d = cold_digest(seed);
+  t = cold_transpose(d);
+  for (i = 0; i < 48; i = i + 1) {
+    cold_insert((d ^ (i * 97)) & 4095);
+    cold_record((t + i * 13) & 2047);
+    if ((i & 7) == 0) cold_log_event(i, d & 255);
+  }
+  return (d + t + cold_treesum(cold_root)) & 16777215;
+}
+
+void cold_report(int v) {
+  int t;
+  t = cold_selftest(v);
+  if (t < -2000000000) {
+    /* Unreached at runtime: cold_selftest is masked non-negative. */
+    cold_dump_all(2);
+  }
+}
+
+/* ------------------------------------------------------------------ */
+/* Workload proper.                                                    */
+/* ------------------------------------------------------------------ */
+)";
+
+const char *sources::ColdSuffix = R"(
+/* ------------------------------------------------------------------ */
+/* Driver: run the workload, then the cold diagnostics, once.          */
+/* ------------------------------------------------------------------ */
+int main() {
+  int result;
+  result = workload_main();
+  cold_report(result);
+  return result;
+}
+)";

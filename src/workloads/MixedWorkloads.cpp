@@ -1,0 +1,349 @@
+//===- workloads/MixedWorkloads.cpp - hash/grid/interpreter benchmarks ---------//
+//
+// Part of the delinq project. MinC sources for the table- and grid-driven
+// workloads (129.compress, 164.gzip, 175.vpr, 099.go, 124.m88ksim,
+// 300.twolf). 124.m88ksim deliberately keeps its working set near the cache
+// size — the paper singles it out as the benchmark where block profiling
+// mispredicts delinquency because its hot blocks miss rarely.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Sources.h"
+
+using namespace dlq::workloads;
+
+/// 129.compress analog: LZW-style compression: a large hash table probed
+/// with (prefix, symbol) pairs; collisions probe secondarily.
+const char *sources::CompressLike = R"(
+int htab[$HSIZE];
+int codetab[$HSIZE];
+
+int workload_main() {
+  int i; int prefix; int nextcode; int emitted;
+  srand($SEED);
+  for (i = 0; i < $HSIZE; i = i + 1) {
+    htab[i] = -1;
+    codetab[i] = 0;
+  }
+  prefix = 0;
+  nextcode = 256;
+  emitted = 0;
+  for (i = 0; i < $NSYMBOLS; i = i + 1) {
+    int sym; int key; int slot; int probes;
+    sym = rand() % 256;
+    key = (prefix << 8) ^ sym;
+    slot = ((key * 2654435) ^ (key >> 9)) % $HSIZE;
+    if (slot < 0) slot = -slot;
+    probes = 0;
+    while (htab[slot] != -1 && htab[slot] != key && probes < 8) {
+      slot = slot + 1;
+      if (slot >= $HSIZE) slot = 0;
+      probes = probes + 1;
+    }
+    if (htab[slot] == key) {
+      prefix = codetab[slot];
+    } else {
+      if (htab[slot] == -1 && nextcode < $HSIZE) {
+        htab[slot] = key;
+        codetab[slot] = nextcode;
+        nextcode = nextcode + 1;
+      }
+      emitted = emitted + 1;
+      prefix = sym;
+    }
+    /* Table reset when full, as compress does. */
+    if (nextcode >= $HSIZE) {
+      int k;
+      for (k = 0; k < $HSIZE; k = k + 1) htab[k] = -1;
+      nextcode = 256;
+    }
+  }
+  print_int(emitted);
+  return 0;
+}
+)";
+
+/// 164.gzip analog: deflate-style matching: a byte window, a head table
+/// hashed on 3-byte prefixes, and prev[] position chains walked to find
+/// matches.
+const char *sources::GzipLike = R"(
+char window[$WSIZE];
+int head[$HBITS_SIZE];
+int prev[$WSIZE];
+
+int workload_main() {
+  int pos; int matched; int chainwalks;
+  srand($SEED);
+  for (pos = 0; pos < $WSIZE; pos = pos + 1) {
+    window[pos] = rand() % 64;
+    prev[pos] = -1;
+  }
+  for (pos = 0; pos < $HBITS_SIZE; pos = pos + 1) head[pos] = -1;
+  matched = 0;
+  chainwalks = 0;
+  for (pos = 0; pos + 2 < $WSIZE * $PASSES; pos = pos + 1) {
+    int p; int h; int cand; int depth;
+    p = pos % ($WSIZE - 2);
+    h = (window[p] << 10) ^ (window[p + 1] << 5) ^ window[p + 2];
+    h = h % $HBITS_SIZE;
+    if (h < 0) h = -h;
+    cand = head[h];
+    depth = 0;
+    while (cand >= 0 && depth < $MAXCHAIN) {
+      if (window[cand] == window[p] && window[cand + 1] == window[p + 1])
+        matched = matched + 1;
+      cand = prev[cand];
+      depth = depth + 1;
+      chainwalks = chainwalks + 1;
+    }
+    prev[p] = head[h];
+    head[h] = p;
+  }
+  print_int(matched);
+  print_int(chainwalks);
+  return 0;
+}
+)";
+
+/// 175.vpr analog: simulated-annealing placement: cells on a grid; random
+/// pair swaps with a cost function that reads the net bounding neighbors.
+const char *sources::VprLike = R"(
+int gridocc[$GRID * $GRID];
+int cellx[$NCELLS];
+int celly[$NCELLS];
+int cellnet[$NCELLS];
+int netpins[$NNETS * 4];
+
+int cost(int c) {
+  int net; int acc; int k;
+  net = cellnet[c];
+  acc = 0;
+  for (k = 0; k < 4; k = k + 1) {
+    int other; int dx; int dy;
+    other = netpins[net * 4 + k];
+    dx = cellx[c] - cellx[other];
+    dy = celly[c] - celly[other];
+    if (dx < 0) dx = -dx;
+    if (dy < 0) dy = -dy;
+    acc = acc + dx + dy;
+  }
+  return acc;
+}
+
+int workload_main() {
+  int i; int moves; int accepted;
+  srand($SEED);
+  for (i = 0; i < $GRID * $GRID; i = i + 1) gridocc[i] = -1;
+  for (i = 0; i < $NCELLS; i = i + 1) {
+    cellx[i] = rand() % $GRID;
+    celly[i] = rand() % $GRID;
+    cellnet[i] = rand() % $NNETS;
+    gridocc[celly[i] * $GRID + cellx[i]] = i;
+  }
+  for (i = 0; i < $NNETS * 4; i = i + 1) netpins[i] = rand() % $NCELLS;
+  accepted = 0;
+  for (moves = 0; moves < $MOVES; moves = moves + 1) {
+    int a; int b; int before; int after; int tx; int ty;
+    a = rand() % $NCELLS;
+    b = rand() % $NCELLS;
+    before = cost(a) + cost(b);
+    tx = cellx[a]; ty = celly[a];
+    cellx[a] = cellx[b]; celly[a] = celly[b];
+    cellx[b] = tx; celly[b] = ty;
+    after = cost(a) + cost(b);
+    if (after > before + (moves & 15)) {
+      /* Reject: swap back. */
+      tx = cellx[a]; ty = celly[a];
+      cellx[a] = cellx[b]; celly[a] = celly[b];
+      cellx[b] = tx; celly[b] = ty;
+    } else {
+      gridocc[celly[a] * $GRID + cellx[a]] = a;
+      gridocc[celly[b] * $GRID + cellx[b]] = b;
+      accepted = accepted + 1;
+    }
+  }
+  print_int(accepted);
+  return 0;
+}
+)";
+
+/// 099.go analog: board-game reading: stones on a board, repeated neighbor
+/// scans and small flood fills with an explicit worklist.
+const char *sources::GoLike = R"(
+int board[$BSIZE * $BSIZE];
+int mark[$BSIZE * $BSIZE];
+int work[$BSIZE * $BSIZE];
+
+int workload_main() {
+  int i; int move; int libsum;
+  srand($SEED);
+  for (i = 0; i < $BSIZE * $BSIZE; i = i + 1) {
+    board[i] = 0;
+    mark[i] = 0;
+  }
+  libsum = 0;
+  for (move = 0; move < $MOVES; move = move + 1) {
+    int p; int color;
+    p = rand() % ($BSIZE * $BSIZE);
+    color = 1 + (move & 1);
+    board[p] = color;
+    /* Flood-fill the group at p and count liberties. */
+    {
+      int top; int libs; int stamp;
+      stamp = move + 1;
+      top = 0;
+      work[top] = p;
+      top = top + 1;
+      mark[p] = stamp;
+      libs = 0;
+      while (top > 0) {
+        int q; int r; int c;
+        top = top - 1;
+        q = work[top];
+        r = q / $BSIZE;
+        c = q % $BSIZE;
+        if (c > 0) {
+          int nb; nb = q - 1;
+          if (board[nb] == 0) libs = libs + 1;
+          else if (board[nb] == color && mark[nb] != stamp) {
+            mark[nb] = stamp; work[top] = nb; top = top + 1;
+          }
+        }
+        if (c < $BSIZE - 1) {
+          int nb; nb = q + 1;
+          if (board[nb] == 0) libs = libs + 1;
+          else if (board[nb] == color && mark[nb] != stamp) {
+            mark[nb] = stamp; work[top] = nb; top = top + 1;
+          }
+        }
+        if (r > 0) {
+          int nb; nb = q - $BSIZE;
+          if (board[nb] == 0) libs = libs + 1;
+          else if (board[nb] == color && mark[nb] != stamp) {
+            mark[nb] = stamp; work[top] = nb; top = top + 1;
+          }
+        }
+        if (r < $BSIZE - 1) {
+          int nb; nb = q + $BSIZE;
+          if (board[nb] == 0) libs = libs + 1;
+          else if (board[nb] == color && mark[nb] != stamp) {
+            mark[nb] = stamp; work[top] = nb; top = top + 1;
+          }
+        }
+      }
+      if (libs == 0) board[p] = 0;
+      libsum = libsum + libs;
+    }
+  }
+  print_int(libsum);
+  return 0;
+}
+)";
+
+/// 124.m88ksim analog: an interpreter for a toy ISA whose data memory is
+/// sized near the cache: hot code, few misses — the case where profiling
+/// alone misjudges delinquency (Section 4).
+const char *sources::M88ksimLike = R"(
+int imem[$PROGLEN];
+int regs[32];
+int dmem[$DWORDS];
+
+int workload_main() {
+  int pc; int steps; int halted;
+  srand($SEED);
+  /* Encode: op(0..5) | rd(5b) | rs(5b) | imm(12b). */
+  for (pc = 0; pc < $PROGLEN; pc = pc + 1) {
+    int op;
+    op = rand() % 6;
+    imem[pc] = (op << 24) | ((rand() % 32) << 17) | ((rand() % 32) << 12)
+               | (rand() % 4096);
+  }
+  for (pc = 0; pc < 32; pc = pc + 1) regs[pc] = rand() % 1024;
+  for (pc = 0; pc < $DWORDS; pc = pc + 1) dmem[pc] = 0;
+  pc = 0;
+  halted = 0;
+  for (steps = 0; steps < $STEPS; steps = steps + 1) {
+    int insn; int op; int rd; int rs; int imm;
+    insn = imem[pc];
+    op = (insn >> 24) & 63;
+    rd = (insn >> 17) & 31;
+    rs = (insn >> 12) & 31;
+    imm = insn & 4095;
+    if (op == 0) {
+      regs[rd] = regs[rs] + imm;
+    } else if (op == 1) {
+      regs[rd] = regs[rs] ^ (imm << 1);
+    } else if (op == 2) {
+      regs[rd] = dmem[(regs[rs] + imm) & ($DWORDS - 1)];
+    } else if (op == 3) {
+      dmem[(regs[rs] + imm) & ($DWORDS - 1)] = regs[rd];
+    } else if (op == 4) {
+      if (regs[rs] > regs[rd]) pc = (pc + imm) % $PROGLEN;
+    } else {
+      regs[rd] = regs[rs] * 3 + 1;
+    }
+    pc = pc + 1;
+    if (pc >= $PROGLEN) pc = 0;
+  }
+  print_int(regs[7] + halted);
+  return 0;
+}
+)";
+
+/// 300.twolf analog: standard-cell placement refinement: an array of cell
+/// structs plus per-net cell index lists; each move rescans the nets of the
+/// moved cell through the index indirection.
+const char *sources::TwolfLike = R"(
+struct Cell2 { int x; int y; int width; int netfirst; int netcount; };
+
+struct Cell2 cells[$NCELLS];
+int netof[$NCELLS * $MAXNETS];
+int netspan[$NNETS];
+int netmember[$NNETS * $FANOUT];
+
+int workload_main() {
+  int i; int move; int improved;
+  srand($SEED);
+  for (i = 0; i < $NCELLS; i = i + 1) {
+    cells[i].x = rand() % 1024;
+    cells[i].y = rand() % 64;
+    cells[i].width = 1 + rand() % 8;
+    cells[i].netfirst = i * $MAXNETS;
+    cells[i].netcount = 1 + rand() % $MAXNETS;
+    if (cells[i].netcount > $MAXNETS) cells[i].netcount = $MAXNETS;
+  }
+  for (i = 0; i < $NCELLS * $MAXNETS; i = i + 1)
+    netof[i] = rand() % $NNETS;
+  for (i = 0; i < $NNETS * $FANOUT; i = i + 1)
+    netmember[i] = rand() % $NCELLS;
+  for (i = 0; i < $NNETS; i = i + 1) netspan[i] = 0;
+  improved = 0;
+  for (move = 0; move < $MOVES; move = move + 1) {
+    int c; int k; int oldx; int delta;
+    c = rand() % $NCELLS;
+    oldx = cells[c].x;
+    cells[c].x = rand() % 1024;
+    delta = 0;
+    for (k = 0; k < cells[c].netcount; k = k + 1) {
+      int net; int m; int lo; int hi;
+      net = netof[cells[c].netfirst + k];
+      lo = 1024; hi = 0;
+      for (m = 0; m < $FANOUT; m = m + 1) {
+        int cx;
+        cx = cells[netmember[net * $FANOUT + m]].x;
+        if (cx < lo) lo = cx;
+        if (cx > hi) hi = cx;
+      }
+      delta = delta + (hi - lo) - netspan[net];
+      netspan[net] = hi - lo;
+    }
+    if (delta > 0) {
+      cells[c].x = oldx;
+    } else {
+      improved = improved + 1;
+    }
+  }
+  print_int(improved);
+  return 0;
+}
+)";

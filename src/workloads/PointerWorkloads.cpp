@@ -1,0 +1,342 @@
+//===- workloads/PointerWorkloads.cpp - linked-structure benchmarks ------------//
+//
+// Part of the delinq project. MinC sources for the pointer-chasing workloads:
+// the SPEC analogs whose misses come from dereferencing heap-allocated
+// linked structures (181.mcf, 022.li, 197.parser, 147.vortex, 126.gcc,
+// 072.sc). Allocation orders are deliberately interleaved so that logically
+// adjacent nodes are physically scattered, defeating spatial locality the
+// way long-running allocators do.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Sources.h"
+
+using namespace dlq::workloads;
+
+/// 022.li analog: cons-cell lists built round-robin (cells of one list are
+/// strewn across the heap), then repeatedly traversed.
+const char *sources::LiLike = R"(
+struct Cell { int car; struct Cell *cdr; };
+
+struct Cell *lists[$NLISTS];
+
+int workload_main() {
+  int i; int j; int sum; struct Cell *c;
+  srand($SEED);
+  for (i = 0; i < $NLISTS; i = i + 1) lists[i] = 0;
+  /* Round-robin allocation: consecutive cells of a list are ~$NLISTS
+     allocations apart. */
+  for (j = 0; j < $LEN; j = j + 1) {
+    for (i = 0; i < $NLISTS; i = i + 1) {
+      c = (struct Cell*)malloc(sizeof(struct Cell));
+      c->car = rand() % 1000;
+      c->cdr = lists[i];
+      lists[i] = c;
+    }
+  }
+  sum = 0;
+  for (i = 0; i < $ITERS; i = i + 1) {
+    c = lists[rand() % $NLISTS];
+    while (c != 0) {
+      sum = sum + c->car;
+      c = c->cdr;
+    }
+  }
+  print_int(sum);
+  return 0;
+}
+)";
+
+/// 181.mcf analog: a network of nodes and arcs; the hot loop walks per-node
+/// arc chains computing reduced costs, dereferencing head/tail node
+/// potentials through pointers.
+const char *sources::McfLike = R"(
+struct Node { int potential; int depth; struct Arc *firstout; };
+struct Arc { int cost; int flow; struct Node *tail; struct Node *head;
+             struct Arc *nextout; };
+
+struct Node *nodes[$NNODES];
+
+int workload_main() {
+  int i; int k; int negcount; int total;
+  struct Node *n; struct Arc *a;
+  srand($SEED);
+  for (i = 0; i < $NNODES; i = i + 1) {
+    n = (struct Node*)malloc(sizeof(struct Node));
+    n->potential = rand() % 10000;
+    n->depth = 0;
+    n->firstout = 0;
+    nodes[i] = n;
+  }
+  /* Arcs allocated in random tail order: chain neighbors are scattered. */
+  for (i = 0; i < $NARCS; i = i + 1) {
+    int t; int h;
+    t = rand() % $NNODES;
+    h = rand() % $NNODES;
+    a = (struct Arc*)malloc(sizeof(struct Arc));
+    a->cost = rand() % 1000;
+    a->flow = 0;
+    a->tail = nodes[t];
+    a->head = nodes[h];
+    a->nextout = nodes[t]->firstout;
+    nodes[t]->firstout = a;
+  }
+  negcount = 0;
+  total = 0;
+  for (k = 0; k < $PASSES; k = k + 1) {
+    for (i = 0; i < $NNODES; i = i + 1) {
+      n = nodes[i];
+      a = n->firstout;
+      while (a != 0) {
+        int red;
+        red = a->cost + a->tail->potential - a->head->potential;
+        if (red < 0) {
+          negcount = negcount + 1;
+          a->flow = a->flow + 1;
+          a->head->potential = a->head->potential + (red / 2);
+        }
+        total = total + red;
+        a = a->nextout;
+      }
+    }
+  }
+  print_int(negcount);
+  print_int(total);
+  return 0;
+}
+)";
+
+/// 197.parser analog: a hash dictionary of linked word entries; lookups walk
+/// bucket chains, and a periodic "parse" pass follows cross-links between
+/// entries.
+const char *sources::ParserLike = R"(
+struct WordEnt { int key; int count; struct WordEnt *next;
+                 struct WordEnt *link; };
+
+struct WordEnt *dict[$DBUCKETS];
+
+struct WordEnt *lookup(int key) {
+  int b; struct WordEnt *w;
+  b = key % $DBUCKETS;
+  w = dict[b];
+  while (w != 0) {
+    if (w->key == key) return w;
+    w = w->next;
+  }
+  return 0;
+}
+
+int workload_main() {
+  int i; int key; int hits; int chainlen;
+  struct WordEnt *w; struct WordEnt *prev;
+  srand($SEED);
+  for (i = 0; i < $DBUCKETS; i = i + 1) dict[i] = 0;
+  prev = 0;
+  for (i = 0; i < $NWORDS; i = i + 1) {
+    int b;
+    key = rand() % $KEYSPACE;
+    b = key % $DBUCKETS;
+    w = (struct WordEnt*)malloc(sizeof(struct WordEnt));
+    w->key = key;
+    w->count = 0;
+    w->next = dict[b];
+    w->link = prev;
+    dict[b] = w;
+    prev = w;
+  }
+  hits = 0;
+  for (i = 0; i < $LOOKUPS; i = i + 1) {
+    key = rand() % $KEYSPACE;
+    w = lookup(key);
+    if (w != 0) {
+      w->count = w->count + 1;
+      hits = hits + 1;
+    }
+  }
+  /* "Parse": walk the cross-link chain from the last inserted entry. */
+  chainlen = 0;
+  w = prev;
+  while (w != 0) {
+    chainlen = chainlen + (w->count > 0 ? 1 : 0);
+    w = w->link;
+  }
+  print_int(hits);
+  print_int(chainlen);
+  return 0;
+}
+)";
+
+/// 147.vortex analog: an object database of malloc'd records indexed by a
+/// hash table; transactions look up records and update several fields,
+/// following an owner pointer to a second record.
+const char *sources::VortexLike = R"(
+struct Rec { int key; int balance; int touched; int kind;
+             struct Rec *owner; struct Rec *next; };
+
+struct Rec *index[$IBUCKETS];
+
+struct Rec *find(int key) {
+  struct Rec *r;
+  r = index[key % $IBUCKETS];
+  while (r != 0) {
+    if (r->key == key) return r;
+    r = r->next;
+  }
+  return 0;
+}
+
+int workload_main() {
+  int i; int key; int updated;
+  struct Rec *r; struct Rec *firstrec;
+  srand($SEED);
+  for (i = 0; i < $IBUCKETS; i = i + 1) index[i] = 0;
+  firstrec = 0;
+  for (i = 0; i < $NRECS; i = i + 1) {
+    int b;
+    key = i;
+    b = key % $IBUCKETS;
+    r = (struct Rec*)malloc(sizeof(struct Rec));
+    r->key = key;
+    r->balance = rand() % 100000;
+    r->touched = 0;
+    r->kind = rand() % 4;
+    r->owner = firstrec;
+    r->next = index[b];
+    index[b] = r;
+    if (firstrec == 0) firstrec = r;
+    if (rand() % 16 == 0) firstrec = r;
+  }
+  updated = 0;
+  for (i = 0; i < $TXNS; i = i + 1) {
+    key = rand() % $NRECS;
+    r = find(key);
+    if (r != 0) {
+      r->balance = r->balance + (rand() % 200) - 100;
+      r->touched = r->touched + 1;
+      if (r->owner != 0) {
+        r->owner->balance = r->owner->balance - 1;
+      }
+      updated = updated + 1;
+    }
+  }
+  print_int(updated);
+  return 0;
+}
+)";
+
+/// 126.gcc analog: builds random expression trees node by node (interleaved
+/// with symbol-table inserts so trees are scattered), then repeatedly folds
+/// them with a recursive walk.
+const char *sources::GccLike = R"(
+struct Tree { int op; int value; struct Tree *left; struct Tree *right; };
+struct Sym { int name; int defs; struct Sym *next; };
+
+struct Sym *symtab[$SBUCKETS];
+struct Tree *roots[$NTREES];
+
+struct Tree *build(int depth) {
+  struct Tree *t;
+  t = (struct Tree*)malloc(sizeof(struct Tree));
+  if (depth <= 0) {
+    t->op = 0;
+    t->value = rand() % 512;
+    t->left = 0;
+    t->right = 0;
+    return t;
+  }
+  t->op = 1 + rand() % 4;
+  t->value = 0;
+  t->left = build(depth - 1 - rand() % 2);
+  t->right = build(depth - 1 - rand() % 2);
+  return t;
+}
+
+void intern(int name) {
+  int b; struct Sym *s;
+  b = name % $SBUCKETS;
+  s = symtab[b];
+  while (s != 0) {
+    if (s->name == name) { s->defs = s->defs + 1; return; }
+    s = s->next;
+  }
+  s = (struct Sym*)malloc(sizeof(struct Sym));
+  s->name = name;
+  s->defs = 1;
+  s->next = symtab[b];
+  symtab[b] = s;
+}
+
+int fold(struct Tree *t) {
+  int l; int r;
+  if (t->op == 0) return t->value;
+  l = fold(t->left);
+  r = fold(t->right);
+  if (t->op == 1) return l + r;
+  if (t->op == 2) return l - r;
+  if (t->op == 3) return (l & 65535) * (r & 255);
+  return l ^ r;
+}
+
+int workload_main() {
+  int i; int k; int sum;
+  srand($SEED);
+  for (i = 0; i < $SBUCKETS; i = i + 1) symtab[i] = 0;
+  for (i = 0; i < $NTREES; i = i + 1) {
+    roots[i] = build($DEPTH);
+    /* Interleave symbol interning to scatter tree nodes. */
+    for (k = 0; k < 3; k = k + 1) intern(rand() % $NSYMS);
+  }
+  sum = 0;
+  for (k = 0; k < $PASSES; k = k + 1)
+    for (i = 0; i < $NTREES; i = i + 1)
+      sum = sum + fold(roots[i]);
+  print_int(sum);
+  return 0;
+}
+)";
+
+/// 072.sc analog: a spreadsheet grid where each cell depends on another
+/// (randomly chosen) cell through an explicit dependency cell list;
+/// recalculation sweeps the grid following the dependency indirection.
+const char *sources::ScLike = R"(
+struct CellDep { int target; struct CellDep *next; };
+
+int grid[$CELLS];
+struct CellDep *deps[$CELLS];
+
+int workload_main() {
+  int i; int pass; int checksum; struct CellDep *d;
+  srand($SEED);
+  for (i = 0; i < $CELLS; i = i + 1) {
+    grid[i] = rand() % 1000;
+    deps[i] = 0;
+  }
+  /* Each cell gets 1..3 dependencies on random other cells. */
+  for (i = 0; i < $CELLS; i = i + 1) {
+    int nd; int k;
+    nd = 1 + rand() % 3;
+    for (k = 0; k < nd; k = k + 1) {
+      d = (struct CellDep*)malloc(sizeof(struct CellDep));
+      d->target = rand() % $CELLS;
+      d->next = deps[i];
+      deps[i] = d;
+    }
+  }
+  for (pass = 0; pass < $PASSES; pass = pass + 1) {
+    for (i = 0; i < $CELLS; i = i + 1) {
+      int acc;
+      acc = grid[i];
+      d = deps[i];
+      while (d != 0) {
+        acc = acc + grid[d->target];
+        d = d->next;
+      }
+      grid[i] = acc / 2;
+    }
+  }
+  checksum = 0;
+  for (i = 0; i < $CELLS; i = i + 1) checksum = checksum ^ grid[i];
+  print_int(checksum);
+  return 0;
+}
+)";

@@ -1,0 +1,181 @@
+//===- workloads/Registry.cpp - workload table and instantiation ---------------//
+
+#include "workloads/Workloads.h"
+
+#include "workloads/Sources.h"
+
+#include <algorithm>
+
+using namespace dlq;
+using namespace dlq::workloads;
+
+namespace {
+
+std::vector<Workload> buildRegistry() {
+  using P = std::map<std::string, long>;
+  std::vector<Workload> W;
+
+  W.push_back(Workload{
+      "espresso_like", "008.espresso", "bitset-cubes", sources::EspressoLike,
+      {"input1", P{{"NCUBES", 1500}, {"WORDS", 16}, {"OPS", 12000},
+                   {"SEED", 11}}},
+      {"input2", P{{"NCUBES", 2500}, {"WORDS", 16}, {"OPS", 9000},
+                   {"SEED", 12}}}});
+
+  W.push_back(Workload{
+      "li_like", "022.li", "pointer-chasing", sources::LiLike,
+      {"input1", P{{"NLISTS", 512}, {"LEN", 64}, {"ITERS", 1500},
+                   {"SEED", 21}}},
+      {"input2", P{{"NLISTS", 768}, {"LEN", 48}, {"ITERS", 1400},
+                   {"SEED", 22}}}});
+
+  W.push_back(Workload{
+      "sc_like", "072.sc", "grid+dependency-lists", sources::ScLike,
+      {"input1", P{{"CELLS", 24576}, {"PASSES", 10}, {"SEED", 31}}},
+      {"input2", P{{"CELLS", 32768}, {"PASSES", 7}, {"SEED", 32}}}});
+
+  W.push_back(Workload{
+      "go_like", "099.go", "board-scans", sources::GoLike,
+      {"input1", P{{"BSIZE", 64}, {"MOVES", 9000}, {"SEED", 41}}},
+      {"input2", P{{"BSIZE", 96}, {"MOVES", 7000}, {"SEED", 42}}}});
+
+  W.push_back(Workload{
+      "tomcatv_like", "101.tomcatv", "stencil", sources::TomcatvLike,
+      {"input1", P{{"N", 192}, {"ITERS", 4}, {"SEED", 51}}},
+      {"input2", P{{"N", 256}, {"ITERS", 3}, {"SEED", 52}}}});
+
+  W.push_back(Workload{
+      "m88ksim_like", "124.m88ksim", "interpreter", sources::M88ksimLike,
+      {"input1", P{{"PROGLEN", 2048}, {"DWORDS", 1024}, {"STEPS", 300000},
+                   {"SEED", 61}}},
+      {"input2", P{{"PROGLEN", 4096}, {"DWORDS", 1024}, {"STEPS", 250000},
+                   {"SEED", 62}}}});
+
+  W.push_back(Workload{
+      "gcc_like", "126.gcc", "trees+symbol-table", sources::GccLike,
+      {"input1", P{{"NTREES", 400}, {"DEPTH", 7}, {"PASSES", 8},
+                   {"SBUCKETS", 2048}, {"NSYMS", 6000}, {"SEED", 71}}},
+      {"input2", P{{"NTREES", 500}, {"DEPTH", 7}, {"PASSES", 6},
+                   {"SBUCKETS", 2048}, {"NSYMS", 8000}, {"SEED", 72}}}});
+
+  W.push_back(Workload{
+      "compress_like", "129.compress", "hash-table", sources::CompressLike,
+      {"input1", P{{"HSIZE", 32768}, {"NSYMBOLS", 150000}, {"SEED", 81}}},
+      {"input2", P{{"HSIZE", 16384}, {"NSYMBOLS", 120000}, {"SEED", 82}}}});
+
+  W.push_back(Workload{
+      "ijpeg_like", "132.ijpeg", "blocked-transform", sources::IjpegLike,
+      {"input1", P{{"H", 256}, {"W", 256}, {"SEED", 91}}},
+      {"input2", P{{"H", 320}, {"W", 256}, {"SEED", 92}}}});
+
+  W.push_back(Workload{
+      "vortex_like", "147.vortex", "object-database", sources::VortexLike,
+      {"input1", P{{"NRECS", 20000}, {"IBUCKETS", 4096}, {"TXNS", 60000},
+                   {"SEED", 101}}},
+      {"input2", P{{"NRECS", 30000}, {"IBUCKETS", 4096}, {"TXNS", 45000},
+                   {"SEED", 102}}}});
+
+  W.push_back(Workload{
+      "gzip_like", "164.gzip", "window-hash-chains", sources::GzipLike,
+      {"input1", P{{"WSIZE", 32768}, {"HBITS_SIZE", 16384}, {"PASSES", 3},
+                   {"MAXCHAIN", 6}, {"SEED", 111}}},
+      {"input2", P{{"WSIZE", 65536}, {"HBITS_SIZE", 16384}, {"PASSES", 2},
+                   {"MAXCHAIN", 5}, {"SEED", 112}}}});
+
+  W.push_back(Workload{
+      "vpr_like", "175.vpr", "placement-grid", sources::VprLike,
+      {"input1", P{{"GRID", 128}, {"NCELLS", 8192}, {"NNETS", 4096},
+                   {"MOVES", 20000}, {"SEED", 121}}},
+      {"input2", P{{"GRID", 160}, {"NCELLS", 8192}, {"NNETS", 4096},
+                   {"MOVES", 15000}, {"SEED", 122}}}});
+
+  W.push_back(Workload{
+      "art_like", "179.art", "strided-scans", sources::ArtLike,
+      {"input1", P{{"NEURONS", 512}, {"FEATURES", 64},
+                   {"PRESENTATIONS", 30}, {"SEED", 131}}},
+      {"input2", P{{"NEURONS", 640}, {"FEATURES", 64},
+                   {"PRESENTATIONS", 24}, {"SEED", 132}}}});
+
+  W.push_back(Workload{
+      "mcf_like", "181.mcf", "pointer-chasing", sources::McfLike,
+      {"input1", P{{"NNODES", 8192}, {"NARCS", 65536}, {"PASSES", 4},
+                   {"SEED", 141}}},
+      {"input2", P{{"NNODES", 12288}, {"NARCS", 49152}, {"PASSES", 4},
+                   {"SEED", 142}}}});
+
+  W.push_back(Workload{
+      "equake_like", "183.equake", "sparse-matvec", sources::EquakeLike,
+      {"input1", P{{"N", 8192}, {"NNZ", 65536}, {"ITERS", 10}, {"SEED", 151}}},
+      {"input2", P{{"N", 16384}, {"NNZ", 98304}, {"ITERS", 6}, {"SEED", 152}}}});
+
+  W.push_back(Workload{
+      "ammp_like", "188.ammp", "neighbor-lists", sources::AmmpLike,
+      {"input1", P{{"NATOMS", 4096}, {"NNEIGH", 16}, {"STEPS", 6},
+                   {"SEED", 161}}},
+      {"input2", P{{"NATOMS", 6144}, {"NNEIGH", 16}, {"STEPS", 5},
+                   {"SEED", 162}}}});
+
+  W.push_back(Workload{
+      "parser_like", "197.parser", "dictionary-chains", sources::ParserLike,
+      {"input1", P{{"DBUCKETS", 8192}, {"NWORDS", 30000},
+                   {"KEYSPACE", 60000}, {"LOOKUPS", 80000}, {"SEED", 171}}},
+      {"input2", P{{"DBUCKETS", 8192}, {"NWORDS", 40000},
+                   {"KEYSPACE", 80000}, {"LOOKUPS", 60000}, {"SEED", 172}}}});
+
+  W.push_back(Workload{
+      "twolf_like", "300.twolf", "cells-and-nets", sources::TwolfLike,
+      {"input1", P{{"NCELLS", 4096}, {"MAXNETS", 4}, {"NNETS", 2048},
+                   {"FANOUT", 8}, {"MOVES", 15000}, {"SEED", 181}}},
+      {"input2", P{{"NCELLS", 6144}, {"MAXNETS", 4}, {"NNETS", 3072},
+                   {"FANOUT", 8}, {"MOVES", 12000}, {"SEED", 182}}}});
+
+  return W;
+}
+
+} // namespace
+
+const std::vector<Workload> &workloads::allWorkloads() {
+  static const std::vector<Workload> Registry = buildRegistry();
+  return Registry;
+}
+
+const Workload *workloads::findWorkload(const std::string &Name) {
+  for (const Workload &W : allWorkloads())
+    if (W.Name == Name)
+      return &W;
+  return nullptr;
+}
+
+std::vector<std::string> workloads::trainingSetNames() {
+  return {"espresso_like", "go_like",     "compress_like", "vortex_like",
+          "gzip_like",     "vpr_like",    "art_like",      "mcf_like",
+          "equake_like",   "ammp_like",   "parser_like"};
+}
+
+std::vector<std::string> workloads::testSetNames() {
+  return {"li_like",   "sc_like",    "tomcatv_like", "m88ksim_like",
+          "gcc_like",  "ijpeg_like", "twolf_like"};
+}
+
+std::string workloads::instantiate(const Workload &W,
+                                   const WorkloadInput &Input) {
+  // Longest parameter names substitute first so $NNZ is safe alongside $N.
+  std::vector<std::pair<std::string, long>> Params(Input.Params.begin(),
+                                                   Input.Params.end());
+  std::sort(Params.begin(), Params.end(), [](const auto &A, const auto &B) {
+    return A.first.size() > B.first.size();
+  });
+
+  std::string Out = std::string(sources::ColdPrefix) + W.Source +
+                    sources::ColdSuffix;
+  for (const auto &[Name, Value] : Params) {
+    std::string Token = "$" + Name;
+    std::string Replacement = std::to_string(Value);
+    size_t Pos = 0;
+    while ((Pos = Out.find(Token, Pos)) != std::string::npos) {
+      Out.replace(Pos, Token.size(), Replacement);
+      Pos += Replacement.size();
+    }
+  }
+  return Out;
+}

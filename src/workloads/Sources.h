@@ -1,0 +1,50 @@
+//===- workloads/Sources.h - MinC source constants (internal) ------------------//
+//
+// Part of the delinq project. Internal header: declares the MinC source text
+// of each workload; definitions are grouped by memory-behaviour category.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_WORKLOADS_SOURCES_H
+#define DLQ_WORKLOADS_SOURCES_H
+
+namespace dlq {
+namespace workloads {
+namespace sources {
+
+// Pointer-chasing / linked-structure programs (PointerWorkloads.cpp).
+extern const char *LiLike;      // 022.li: cons-cell lists.
+extern const char *McfLike;     // 181.mcf: network arcs.
+extern const char *ParserLike;  // 197.parser: dictionary chains.
+extern const char *VortexLike;  // 147.vortex: object database.
+extern const char *GccLike;     // 126.gcc: expression trees + symbol table.
+extern const char *ScLike;      // 072.sc: spreadsheet dependencies.
+
+// Strided / numeric array programs (ArrayWorkloads.cpp).
+extern const char *TomcatvLike; // 101.tomcatv: 2-D stencil.
+extern const char *ArtLike;     // 179.art: neural-network layers.
+extern const char *EquakeLike;  // 183.equake: sparse mat-vec.
+extern const char *AmmpLike;    // 188.ammp: neighbor-list MD.
+extern const char *IjpegLike;   // 132.ijpeg: blocked transform.
+extern const char *EspressoLike; // 008.espresso: bitset cubes.
+
+// Table/hash/grid programs (MixedWorkloads.cpp).
+extern const char *CompressLike; // 129.compress: LZW hash table.
+extern const char *GzipLike;     // 164.gzip: window hash chains.
+extern const char *VprLike;      // 175.vpr: placement grid.
+extern const char *GoLike;       // 099.go: board scans.
+extern const char *M88ksimLike;  // 124.m88ksim: ISA interpreter.
+extern const char *TwolfLike;    // 300.twolf: cells and nets.
+
+// Cold diagnostic library linked into every workload (ColdLibrary.cpp):
+// ColdPrefix is prepended (helpers + cold_report), ColdSuffix appended (the
+// real `main`, which calls the workload's `workload_main` then the cold
+// diagnostics exactly once).
+extern const char *ColdPrefix;
+extern const char *ColdSuffix;
+
+} // namespace sources
+} // namespace workloads
+} // namespace dlq
+
+#endif // DLQ_WORKLOADS_SOURCES_H

@@ -1,0 +1,69 @@
+//===- workloads/Workloads.h - The 18-benchmark suite --------------------------//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark suite standing in for the paper's eighteen SPEC programs
+/// (Table 2). Each workload is a MinC program whose dominant memory
+/// behaviour mirrors its SPEC analog: pointer chasing for 181.mcf/022.li,
+/// strided numeric kernels for 101.tomcatv/179.art, hash tables for
+/// 129.compress/164.gzip, struct databases for 147.vortex, and so on.
+///
+/// Sources are parameterized with `$NAME` placeholders; each workload ships
+/// two input configurations ("input1" used for training, "input2" for the
+/// Table 7 input-stability experiment). The training set is the paper's
+/// eleven benchmarks; the remaining seven form the held-out test set of
+/// Table 10.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_WORKLOADS_WORKLOADS_H
+#define DLQ_WORKLOADS_WORKLOADS_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dlq {
+namespace workloads {
+
+/// One parameterized input set.
+struct WorkloadInput {
+  std::string Name; ///< "input1" or "input2".
+  std::map<std::string, long> Params;
+};
+
+/// One benchmark program.
+struct Workload {
+  std::string Name;        ///< e.g. "mcf_like".
+  std::string PaperAnalog; ///< e.g. "181.mcf".
+  std::string Category;    ///< e.g. "pointer-chasing".
+  const char *Source = nullptr; ///< MinC text with $PARAM placeholders.
+  WorkloadInput Input1;
+  WorkloadInput Input2;
+};
+
+/// All eighteen workloads, in the paper's Table 2 order.
+const std::vector<Workload> &allWorkloads();
+
+/// Lookup by name; nullptr if unknown.
+const Workload *findWorkload(const std::string &Name);
+
+/// The eleven training benchmarks (Tables 1, 7, 8, 9, 13).
+std::vector<std::string> trainingSetNames();
+
+/// The seven held-out benchmarks (Table 10).
+std::vector<std::string> testSetNames();
+
+/// Substitutes an input's parameters into the workload source. Placeholders
+/// are `$NAME` tokens; longer names substitute first so `$NNZ` is safe
+/// alongside `$N`.
+std::string instantiate(const Workload &W, const WorkloadInput &Input);
+
+} // namespace workloads
+} // namespace dlq
+
+#endif // DLQ_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,337 @@
+//===- tests/ApTest.cpp - address-pattern construction tests -------------------//
+
+#include "ap/Builder.h"
+#include "ap/Pattern.h"
+#include "cfg/Cfg.h"
+#include "dataflow/ReachingDefs.h"
+#include "support/Format.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace dlq;
+using namespace dlq::ap;
+using namespace dlq::masm;
+
+namespace {
+
+/// Builds patterns for every load in the first function of \p Asm.
+struct PatternFixture {
+  std::unique_ptr<Module> M;
+  Arena A;
+  std::map<uint32_t, std::vector<const ApNode *>> Patterns;
+
+  explicit PatternFixture(const char *Asm) {
+    M = test::parseAsmOrDie(Asm);
+    if (!M)
+      return;
+    const Function &F = M->functions()[0];
+    cfg::Cfg G(F);
+    dataflow::ReachingDefs RD(G);
+    Patterns = buildAllLoadPatterns(A, F, G, RD);
+  }
+
+  /// Pattern strings of the load at instruction \p Idx.
+  std::vector<std::string> of(uint32_t Idx) {
+    std::vector<std::string> Out;
+    for (const ApNode *N : Patterns[Idx])
+      Out.push_back(printPattern(N));
+    return Out;
+  }
+};
+
+} // namespace
+
+TEST(ApBuilder, PlainStackLoad) {
+  PatternFixture F(R"(
+        .text
+        .globl f
+f:
+        lw $t0, 8($sp)
+        jr $ra
+)");
+  auto P = F.of(0);
+  ASSERT_EQ(P.size(), 1u);
+  EXPECT_EQ(P[0], "sp+8");
+  EXPECT_EQ(derefDepth(F.Patterns[0][0]), 0u);
+  BaseRegCounts C = countBaseRegs(F.Patterns[0][0]);
+  EXPECT_EQ(C.Sp, 1u);
+  EXPECT_EQ(C.Gp, 0u);
+}
+
+TEST(ApBuilder, PointerChaseHasDeref) {
+  PatternFixture F(R"(
+        .text
+        .globl f
+f:
+        lw $t0, 8($sp)
+        lw $t1, 4($t0)
+        jr $ra
+)");
+  auto P = F.of(1);
+  ASSERT_EQ(P.size(), 1u);
+  EXPECT_EQ(P[0], "8(sp)+4");
+  EXPECT_EQ(derefDepth(F.Patterns[1][0]), 1u);
+}
+
+TEST(ApBuilder, TwoLevelDeref) {
+  PatternFixture F(R"(
+        .text
+        .globl f
+f:
+        lw $t0, 8($sp)
+        lw $t1, 4($t0)
+        lw $t2, 12($t1)
+        jr $ra
+)");
+  ASSERT_EQ(F.of(2).size(), 1u);
+  EXPECT_EQ(derefDepth(F.Patterns[2][0]), 2u);
+}
+
+TEST(ApBuilder, GlobalCountsAsGp) {
+  PatternFixture F(R"(
+        .data
+tbl:    .space 400
+        .text
+        .globl f
+f:
+        la $t0, tbl
+        lw $t1, 20($t0)
+        jr $ra
+)");
+  auto P = F.of(1);
+  ASSERT_EQ(P.size(), 1u);
+  EXPECT_EQ(P[0], "&tbl+20");
+  BaseRegCounts C = countBaseRegs(F.Patterns[1][0]);
+  EXPECT_EQ(C.Gp, 1u);
+  EXPECT_EQ(C.Sp, 0u);
+}
+
+TEST(ApBuilder, ArrayIndexShowsShift) {
+  PatternFixture F(R"(
+        .data
+arr:    .space 400
+        .text
+        .globl f
+f:
+        lw  $t0, 0($sp)
+        sll $t0, $t0, 2
+        la  $t1, arr
+        add $t1, $t1, $t0
+        lw  $t2, 0($t1)
+        jr  $ra
+)");
+  auto P = F.of(4);
+  ASSERT_EQ(P.size(), 1u);
+  EXPECT_EQ(P[0], "&arr+{(sp)<<2}") << "0($sp) folds to a bare (sp) deref";
+  EXPECT_TRUE(hasMulOrShift(F.Patterns[4][0]));
+  EXPECT_EQ(derefDepth(F.Patterns[4][0]), 1u);
+  BaseRegCounts C = countBaseRegs(F.Patterns[4][0]);
+  EXPECT_EQ(C.Gp, 1u);
+  EXPECT_EQ(C.Sp, 1u);
+}
+
+TEST(ApBuilder, ParamAndRetLeaves) {
+  PatternFixture F(R"(
+        .text
+        .globl g
+g:
+        jr $ra
+        .globl f
+f:
+        lw  $t0, 4($a0)
+        jal g
+        lw  $t1, 8($v0)
+        jr  $ra
+)");
+  // The fixture builds the FIRST function; rebuild for f explicitly.
+  const Function &Fn = F.M->functions()[1];
+  cfg::Cfg G(Fn);
+  dataflow::ReachingDefs RD(G);
+  Arena A;
+  auto Pats = buildAllLoadPatterns(A, Fn, G, RD);
+  ASSERT_EQ(Pats.size(), 2u);
+  EXPECT_EQ(printPattern(Pats[0][0]), "a0+4");
+  EXPECT_EQ(printPattern(Pats[2][0]), "v0+8");
+  BaseRegCounts C0 = countBaseRegs(Pats[0][0]);
+  EXPECT_EQ(C0.Param, 1u);
+  BaseRegCounts C2 = countBaseRegs(Pats[2][0]);
+  EXPECT_EQ(C2.Ret, 1u);
+}
+
+TEST(ApBuilder, RecurrenceDetected) {
+  PatternFixture F(R"(
+        .text
+        .globl f
+f:
+        li   $t0, 0
+        la   $t1, buf
+Lhead:
+        lw   $t2, 0($t1)
+        addi $t1, $t1, 4
+        blt  $t2, $a0, Lhead
+        jr   $ra
+        .data
+buf:    .space 40
+)");
+  auto &Pats = F.Patterns[2];
+  ASSERT_FALSE(Pats.empty());
+  bool AnyRecur = false;
+  for (const ApNode *N : Pats)
+    AnyRecur |= hasRecurrence(N);
+  EXPECT_TRUE(AnyRecur) << "pointer walks around a loop must mark AG7";
+}
+
+TEST(ApBuilder, MultiplePathsGiveMultiplePatterns) {
+  PatternFixture F(R"(
+        .text
+        .globl f
+f:
+        beq  $a0, $zero, Lelse
+        addi $t0, $sp, 16
+        j    Ljoin
+Lelse:
+        la   $t0, gdata
+Ljoin:
+        lw   $t1, 0($t0)
+        jr   $ra
+        .data
+gdata:  .space 16
+)");
+  auto P = F.of(4);
+  ASSERT_EQ(P.size(), 2u);
+  // One sp-based and one global pattern, in reaching-definition order.
+  bool SawSp = false, SawGlobal = false;
+  for (const std::string &S : P) {
+    SawSp |= S.find("sp") != std::string::npos;
+    SawGlobal |= S.find("&gdata") != std::string::npos;
+  }
+  EXPECT_TRUE(SawSp);
+  EXPECT_TRUE(SawGlobal);
+}
+
+TEST(ApBuilder, CallClobberGivesUnknown) {
+  PatternFixture F(R"(
+        .text
+        .globl g
+g:
+        jr $ra
+)");
+  // $t5 has no definition: entry def of a non-basic register -> Unknown.
+  PatternFixture F2(R"(
+        .text
+        .globl f
+f:
+        lw $t0, 0($t5)
+        jr $ra
+)");
+  auto P = F2.of(0);
+  ASSERT_EQ(P.size(), 1u);
+  EXPECT_TRUE(hasUnknown(F2.Patterns[0][0]));
+}
+
+TEST(ApBuilder, ConstantFoldingCompactsOffsets) {
+  PatternFixture F(R"(
+        .text
+        .globl f
+f:
+        addi $t0, $sp, 16
+        addi $t0, $t0, 8
+        lw   $t1, 4($t0)
+        jr   $ra
+)");
+  auto P = F.of(2);
+  ASSERT_EQ(P.size(), 1u);
+  EXPECT_EQ(P[0], "sp+28");
+}
+
+TEST(ApBuilder, LuiOriMaterialization) {
+  PatternFixture F(R"(
+        .text
+        .globl f
+f:
+        lui $t0, 4096
+        ori $t0, $t0, 16
+        lw  $t1, 0($t0)
+        jr  $ra
+)");
+  auto P = F.of(2);
+  ASSERT_EQ(P.size(), 1u);
+  EXPECT_EQ(P[0], "268435472"); // 4096<<16 | 16.
+}
+
+TEST(ApBuilder, DepthCapYieldsUnknown) {
+  // A chain of 40 addi's exceeds MaxDepth and must not blow up.
+  std::string Asm = ".text\n.globl f\nf:\n        move $t0, $sp\n";
+  for (int I = 0; I != 40; ++I)
+    Asm += "        addi $t0, $t0, 4\n";
+  Asm += "        lw $t1, 0($t0)\n        jr $ra\n";
+  PatternFixture F(Asm.c_str());
+  auto &Pats = F.Patterns[41];
+  ASSERT_FALSE(Pats.empty());
+  EXPECT_TRUE(hasUnknown(Pats[0]));
+}
+
+TEST(ApBuilder, PatternCountCapHolds) {
+  // 6 paths x 6 paths through two merges would give 36 patterns uncapped.
+  std::string Asm = ".text\n.globl f\nf:\n";
+  auto branchy = [&](const char *RegName, int Tag) {
+    for (int I = 0; I != 5; ++I)
+      Asm += formatString("        beq $a0, $zero, L%d_%d\n", Tag, I);
+    Asm += formatString("        li %s, %d\n", RegName, 100 + Tag);
+    Asm += formatString("        j L%d_end\n", Tag);
+    for (int I = 0; I != 5; ++I) {
+      Asm += formatString("L%d_%d:\n", Tag, I);
+      Asm += formatString("        li %s, %d\n", RegName, Tag * 10 + I);
+      if (I != 4)
+        Asm += formatString("        j L%d_end\n", Tag);
+    }
+    Asm += formatString("L%d_end:\n", Tag);
+  };
+  branchy("$t0", 1);
+  branchy("$t1", 2);
+  Asm += "        add $t2, $t0, $t1\n";
+  Asm += "        lw  $t3, 0($t2)\n";
+  Asm += "        jr  $ra\n";
+
+  PatternFixture F(Asm.c_str());
+  ApBuilderOptions Opts;
+  for (auto &[Idx, Pats] : F.Patterns)
+    EXPECT_LE(Pats.size(), Opts.MaxPatternsPerLoad);
+}
+
+TEST(ApPattern, PrintPrecedence) {
+  Arena A;
+  ApFactory F(A);
+  const ApNode *Sp = F.getBase(Reg::SP);
+  const ApNode *Sum = F.getBinary(ApKind::Add, Sp, F.getConst(8));
+  const ApNode *Prod = F.getBinary(ApKind::Mul, Sum, F.getConst(4));
+  // (sp+8)*4 needs braces around the addition.
+  EXPECT_EQ(printPattern(Prod), "{sp+8}*4");
+  const ApNode *D = F.getDeref(Sum);
+  EXPECT_EQ(printPattern(D), "8(sp)");
+}
+
+TEST(ApPattern, EqualityIsStructural) {
+  Arena A;
+  ApFactory F(A);
+  const ApNode *P1 =
+      F.getDeref(F.getBinary(ApKind::Add, F.getBase(Reg::SP), F.getConst(8)));
+  const ApNode *P2 =
+      F.getDeref(F.getBinary(ApKind::Add, F.getBase(Reg::SP), F.getConst(8)));
+  const ApNode *P3 =
+      F.getDeref(F.getBinary(ApKind::Add, F.getBase(Reg::SP), F.getConst(12)));
+  EXPECT_TRUE(patternsEqual(P1, P2));
+  EXPECT_FALSE(patternsEqual(P1, P3));
+}
+
+TEST(ApPattern, SubFoldsToNegativeAdd) {
+  Arena A;
+  ApFactory F(A);
+  const ApNode *N =
+      F.getBinary(ApKind::Sub, F.getBase(Reg::SP), F.getConst(16));
+  EXPECT_EQ(printPattern(N), "sp+-16");
+  BaseRegCounts C = countBaseRegs(N);
+  EXPECT_EQ(C.Sp, 1u);
+}

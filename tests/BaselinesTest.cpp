@@ -1,0 +1,185 @@
+//===- tests/BaselinesTest.cpp - OKN and BDH baseline tests --------------------//
+
+#include "baselines/Bdh.h"
+#include "baselines/Okn.h"
+#include "classify/Delinquency.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace dlq;
+using namespace dlq::baselines;
+using namespace dlq::ap;
+using namespace dlq::masm;
+
+//===----------------------------------------------------------------------===//
+// OKN
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct OknLab {
+  Arena A;
+  ApFactory F{A};
+};
+
+} // namespace
+
+TEST(Okn, PointerDerefWins) {
+  OknLab L;
+  const ApNode *Deref = L.F.getDeref(
+      L.F.getBinary(ApKind::Add, L.F.getBase(Reg::SP), L.F.getConst(8)));
+  EXPECT_EQ(oknClassOf({Deref}), OknClass::PointerDeref);
+}
+
+TEST(Okn, StridedFromShiftOrRecurrence) {
+  OknLab L;
+  const ApNode *Shifted = L.F.getBinary(
+      ApKind::Add, L.F.getGlobal("a", 0),
+      L.F.getBinary(ApKind::Shl, L.F.getBase(Reg::A0), L.F.getConst(2)));
+  EXPECT_EQ(oknClassOf({Shifted}), OknClass::Strided);
+
+  const ApNode *Recur =
+      L.F.getBinary(ApKind::Add, L.F.getRecur(), L.F.getConst(4));
+  EXPECT_EQ(oknClassOf({Recur}), OknClass::Strided);
+}
+
+TEST(Okn, PlainScalarIsOther) {
+  OknLab L;
+  const ApNode *Scalar =
+      L.F.getBinary(ApKind::Add, L.F.getBase(Reg::SP), L.F.getConst(16));
+  EXPECT_EQ(oknClassOf({Scalar}), OknClass::Other);
+  EXPECT_EQ(oknClassOf({L.F.getGlobal("g", 0)}), OknClass::Other);
+}
+
+TEST(Okn, AnyPatternVotes) {
+  OknLab L;
+  const ApNode *Scalar =
+      L.F.getBinary(ApKind::Add, L.F.getBase(Reg::SP), L.F.getConst(16));
+  const ApNode *Deref = L.F.getDeref(Scalar);
+  EXPECT_EQ(oknClassOf({Scalar, Deref}), OknClass::PointerDeref);
+}
+
+TEST(Okn, ModuleLevelSet) {
+  auto M = test::compileOrDie(
+      "int a[100];"
+      "int main() {"
+      "  int i; int s; int t; s = 0; t = 0;"
+      "  for (i = 0; i < 100; i = i + 1) s = s + a[i];"
+      "  t = s;"
+      "  return t; }",
+      0);
+  ASSERT_TRUE(M);
+  classify::ModuleAnalysis MA(*M);
+  auto Delta = oknDelinquentSet(MA);
+  EXPECT_FALSE(Delta.empty());
+  EXPECT_LT(Delta.size(), MA.loadPatterns().size())
+      << "plain scalar reloads must not be flagged";
+  // Every flagged load must be PointerDeref or Strided.
+  auto Classes = oknClassify(MA);
+  for (const auto &Ref : Delta)
+    EXPECT_NE(Classes.at(Ref), OknClass::Other);
+}
+
+//===----------------------------------------------------------------------===//
+// BDH
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds a module, returns its BDH classes as strings keyed by the order
+/// of load appearance.
+std::vector<std::string> bdhClassesOf(const char *Source) {
+  auto M = test::compileOrDie(Source, 0);
+  if (!M)
+    return {};
+  classify::ModuleAnalysis MA(*M);
+  BdhAnalyzer B(MA);
+  std::vector<std::string> Out;
+  for (const auto &[Ref, Class] : B.classes())
+    Out.push_back(Class.str());
+  return Out;
+}
+
+} // namespace
+
+TEST(Bdh, SelectedClassesAreThePaperSix) {
+  const std::set<std::string> &S = bdhSelectedClasses();
+  EXPECT_EQ(S.size(), 6u);
+  for (const char *C : {"GAN", "HSN", "HFN", "HAN", "HFP", "HAP"})
+    EXPECT_TRUE(S.count(C)) << C;
+  EXPECT_FALSE(S.count("SSN")) << "stack scalars are not selected";
+}
+
+TEST(Bdh, StackScalarIsSSN) {
+  auto Classes = bdhClassesOf("int main() { int x; x = 1; return x; }");
+  ASSERT_FALSE(Classes.empty());
+  // The reload of x: stack scalar non-pointer.
+  bool SawSSN = false;
+  for (const std::string &C : Classes)
+    SawSSN |= C == "SSN";
+  EXPECT_TRUE(SawSSN) << "classes seen: " << ::testing::PrintToString(Classes);
+}
+
+TEST(Bdh, GlobalArrayIsGA) {
+  auto Classes = bdhClassesOf(
+      "int a[64];"
+      "int main() { int i; int s; s = 0;"
+      "  for (i = 0; i < 64; i = i + 1) s = s + a[i];"
+      "  return s; }");
+  bool SawGAN = false;
+  for (const std::string &C : Classes)
+    SawGAN |= C == "GAN";
+  EXPECT_TRUE(SawGAN) << ::testing::PrintToString(Classes);
+}
+
+TEST(Bdh, HeapFieldPointerIsHFP) {
+  auto Classes = bdhClassesOf(
+      "struct Node { int v; struct Node *next; };"
+      "struct Node *head;"
+      "int main() {"
+      "  struct Node *n; int s; s = 0;"
+      "  for (n = head; n != 0; n = n->next) s = s + n->v;"
+      "  return s; }");
+  // The n->next load yields a pointer used as an address: HFP. The n->v
+  // load is a non-pointer field: HFN (or HSN at offset 0).
+  bool SawHFP = false, SawHeapN = false;
+  for (const std::string &C : Classes) {
+    SawHFP |= C == "HFP";
+    SawHeapN |= C == "HSN" || C == "HFN";
+  }
+  EXPECT_TRUE(SawHFP) << ::testing::PrintToString(Classes);
+  EXPECT_TRUE(SawHeapN) << ::testing::PrintToString(Classes);
+}
+
+TEST(Bdh, GlobalScalarPointerIsGSP) {
+  auto Classes = bdhClassesOf(
+      "struct Node { int v; struct Node *next; };"
+      "struct Node *head;"
+      "int main() { return head == 0 ? 1 : 0; }");
+  bool SawGSP = false;
+  for (const std::string &C : Classes)
+    SawGSP |= C == "GSP";
+  EXPECT_TRUE(SawGSP) << ::testing::PrintToString(Classes);
+}
+
+TEST(Bdh, DelinquentSetExcludesStackScalars) {
+  auto M = test::compileOrDie(
+      "struct Node { int v; struct Node *next; };"
+      "struct Node *head;"
+      "int main() {"
+      "  struct Node *n; int s; s = 0;"
+      "  for (n = head; n != 0; n = n->next) s = s + n->v;"
+      "  return s; }",
+      0);
+  ASSERT_TRUE(M);
+  classify::ModuleAnalysis MA(*M);
+  BdhAnalyzer B(MA);
+  auto Delta = B.delinquentSet();
+  EXPECT_FALSE(Delta.empty());
+  for (const auto &Ref : Delta) {
+    const std::string C = B.classes().at(Ref).str();
+    EXPECT_TRUE(bdhSelectedClasses().count(C)) << C;
+  }
+}

@@ -1,0 +1,152 @@
+//===- tests/CfgTest.cpp - CFG, dominators, loops ------------------------------//
+
+#include "cfg/Cfg.h"
+#include "masm/Parser.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace dlq;
+using namespace dlq::cfg;
+using namespace dlq::masm;
+
+namespace {
+
+/// A diamond: entry -> (then | else) -> join.
+const char *DiamondAsm = R"(
+        .text
+        .globl f
+f:
+        li   $t0, 1
+        beq  $t0, $zero, Lelse
+        li   $t1, 2
+        j    Ljoin
+Lelse:
+        li   $t1, 3
+Ljoin:
+        li   $t2, 4
+        jr   $ra
+)";
+
+/// A simple counted loop.
+const char *LoopAsm = R"(
+        .text
+        .globl f
+f:
+        li   $t0, 0
+        li   $t1, 10
+Lhead:
+        bge  $t0, $t1, Ldone
+        addi $t0, $t0, 1
+        j    Lhead
+Ldone:
+        jr   $ra
+)";
+
+} // namespace
+
+TEST(Cfg, DiamondBlocks) {
+  auto M = test::parseAsmOrDie(DiamondAsm);
+  ASSERT_TRUE(M);
+  Cfg G(M->functions()[0]);
+
+  // Blocks: [0,2) entry, [2,4) then, [4,5) else, [5,7) join.
+  ASSERT_EQ(G.numBlocks(), 4u);
+  EXPECT_EQ(G.blocks()[0].Begin, 0u);
+  EXPECT_EQ(G.blocks()[0].End, 2u);
+  ASSERT_EQ(G.blocks()[0].Succs.size(), 2u);
+
+  // Join has two predecessors.
+  uint32_t Join = G.blockOf(5);
+  EXPECT_EQ(G.blocks()[Join].Preds.size(), 2u);
+  // jr ends the function: no successors.
+  EXPECT_TRUE(G.blocks()[Join].Succs.empty());
+}
+
+TEST(Cfg, BlockOfMapsEveryInstr) {
+  auto M = test::parseAsmOrDie(DiamondAsm);
+  ASSERT_TRUE(M);
+  Cfg G(M->functions()[0]);
+  for (uint32_t I = 0; I != M->functions()[0].size(); ++I) {
+    uint32_t B = G.blockOf(I);
+    EXPECT_GE(I, G.blocks()[B].Begin);
+    EXPECT_LT(I, G.blocks()[B].End);
+  }
+}
+
+TEST(Dominators, Diamond) {
+  auto M = test::parseAsmOrDie(DiamondAsm);
+  ASSERT_TRUE(M);
+  Cfg G(M->functions()[0]);
+  DominatorTree DT(G);
+
+  uint32_t Entry = G.entry();
+  uint32_t Then = G.blockOf(2);
+  uint32_t Else = G.blockOf(4);
+  uint32_t Join = G.blockOf(5);
+
+  EXPECT_TRUE(DT.dominates(Entry, Then));
+  EXPECT_TRUE(DT.dominates(Entry, Else));
+  EXPECT_TRUE(DT.dominates(Entry, Join));
+  EXPECT_FALSE(DT.dominates(Then, Join));
+  EXPECT_FALSE(DT.dominates(Else, Join));
+  EXPECT_EQ(DT.idom(Join), Entry);
+}
+
+TEST(Loops, SimpleLoopDetected) {
+  auto M = test::parseAsmOrDie(LoopAsm);
+  ASSERT_TRUE(M);
+  Cfg G(M->functions()[0]);
+  DominatorTree DT(G);
+  LoopInfo LI(G, DT);
+
+  ASSERT_EQ(LI.loops().size(), 1u);
+  const Loop &L = LI.loops()[0];
+  uint32_t Head = G.blockOf(2);
+  uint32_t Body = G.blockOf(3);
+  EXPECT_EQ(L.Header, Head);
+  EXPECT_TRUE(L.contains(Head));
+  EXPECT_TRUE(L.contains(Body));
+  EXPECT_EQ(LI.depth(Head), 1u);
+  EXPECT_EQ(LI.depth(G.entry()), 0u);
+  uint32_t Exit = G.blockOf(5);
+  EXPECT_EQ(LI.depth(Exit), 0u);
+}
+
+TEST(Loops, StraightLineHasNone) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl f
+f:
+        li $t0, 1
+        li $t1, 2
+        jr $ra
+)");
+  ASSERT_TRUE(M);
+  Cfg G(M->functions()[0]);
+  DominatorTree DT(G);
+  LoopInfo LI(G, DT);
+  EXPECT_EQ(G.numBlocks(), 1u);
+  EXPECT_TRUE(LI.loops().empty());
+}
+
+TEST(Cfg, CallFallsThrough) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl g
+g:
+        jr $ra
+        .globl f
+f:
+        jal g
+        li $t0, 1
+        jr $ra
+)");
+  ASSERT_TRUE(M);
+  Cfg G(M->functions()[1]);
+  // jal ends its block but falls through to the next.
+  ASSERT_EQ(G.numBlocks(), 2u);
+  ASSERT_EQ(G.blocks()[0].Succs.size(), 1u);
+  EXPECT_EQ(G.blocks()[0].Succs[0], 1u);
+}

@@ -1,0 +1,346 @@
+//===- tests/ClassifyTest.cpp - heuristic, classes, trainer --------------------//
+
+#include "classify/Delinquency.h"
+#include "classify/Heuristic.h"
+#include "classify/Trainer.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace dlq;
+using namespace dlq::classify;
+using namespace dlq::ap;
+using namespace dlq::masm;
+
+namespace {
+
+/// Builds small patterns directly for membership tests.
+struct PatternLab {
+  Arena A;
+  ApFactory F{A};
+
+  const ApNode *spPlus(int32_t Off) {
+    return F.getBinary(ApKind::Add, F.getBase(Reg::SP), F.getConst(Off));
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Class membership
+//===----------------------------------------------------------------------===//
+
+TEST(AggClasses, AG1SpAndGp) {
+  PatternLab L;
+  const ApNode *SpGp = L.F.getBinary(
+      ApKind::Add, L.F.getDeref(L.spPlus(8)), L.F.getGlobal("tbl", 0));
+  EXPECT_TRUE(patternInClass(SpGp, AggClass::AG1));
+  EXPECT_FALSE(patternInClass(L.spPlus(8), AggClass::AG1));
+}
+
+TEST(AggClasses, AG2SpTwiceNoGp) {
+  PatternLab L;
+  const ApNode *TwoSp = L.F.getBinary(ApKind::Add, L.F.getDeref(L.spPlus(8)),
+                                      L.F.getDeref(L.spPlus(12)));
+  EXPECT_TRUE(patternInClass(TwoSp, AggClass::AG2));
+  // With a gp leaf present it belongs to AG1, not AG2.
+  const ApNode *WithGp =
+      L.F.getBinary(ApKind::Add, TwoSp, L.F.getGlobal("g", 0));
+  EXPECT_FALSE(patternInClass(WithGp, AggClass::AG2));
+  EXPECT_TRUE(patternInClass(WithGp, AggClass::AG1));
+}
+
+TEST(AggClasses, AG3MulShift) {
+  PatternLab L;
+  const ApNode *Shifted = L.F.getBinary(
+      ApKind::Add, L.F.getGlobal("a", 0),
+      L.F.getBinary(ApKind::Shl, L.F.getDeref(L.spPlus(0)), L.F.getConst(2)));
+  EXPECT_TRUE(patternInClass(Shifted, AggClass::AG3));
+  EXPECT_FALSE(patternInClass(L.spPlus(4), AggClass::AG3));
+}
+
+TEST(AggClasses, DerefDepthClasses) {
+  PatternLab L;
+  const ApNode *D1 = L.F.getDeref(L.spPlus(8));
+  const ApNode *D2 = L.F.getDeref(L.F.getBinary(ApKind::Add, D1, L.F.getConst(4)));
+  const ApNode *D3 = L.F.getDeref(L.F.getBinary(ApKind::Add, D2, L.F.getConst(4)));
+  const ApNode *D4 = L.F.getDeref(D3);
+  EXPECT_TRUE(patternInClass(D1, AggClass::AG4));
+  EXPECT_FALSE(patternInClass(D1, AggClass::AG5));
+  EXPECT_TRUE(patternInClass(D2, AggClass::AG5));
+  EXPECT_TRUE(patternInClass(D3, AggClass::AG6));
+  EXPECT_TRUE(patternInClass(D4, AggClass::AG6)) << "AG6 is three or more";
+  EXPECT_FALSE(patternInClass(L.spPlus(8), AggClass::AG4));
+}
+
+TEST(AggClasses, AG7Recurrence) {
+  PatternLab L;
+  const ApNode *R = L.F.getBinary(ApKind::Add, L.F.getRecur(), L.F.getConst(4));
+  EXPECT_TRUE(patternInClass(R, AggClass::AG7));
+}
+
+TEST(FreqClasses, Thresholds) {
+  HeuristicOptions Opts;
+  EXPECT_EQ(freqClassOf(0, Opts), FreqClass::Rare);
+  EXPECT_EQ(freqClassOf(99, Opts), FreqClass::Rare);
+  EXPECT_EQ(freqClassOf(100, Opts), FreqClass::Seldom);
+  EXPECT_EQ(freqClassOf(999, Opts), FreqClass::Seldom);
+  EXPECT_EQ(freqClassOf(1000, Opts), FreqClass::Fair);
+  EXPECT_EQ(freqClassOf(1'000'000, Opts), FreqClass::Fair);
+}
+
+//===----------------------------------------------------------------------===//
+// phi and the threshold
+//===----------------------------------------------------------------------===//
+
+TEST(Phi, SumsClassWeights) {
+  PatternLab L;
+  HeuristicOptions Opts;
+  // Deref-once with a shift: AG3 + AG4 = 0.47 + 0.16.
+  const ApNode *N = L.F.getDeref(L.F.getBinary(
+      ApKind::Add, L.F.getGlobal("a", 0),
+      L.F.getBinary(ApKind::Shl, L.F.getBase(Reg::A0), L.F.getConst(2))));
+  double Score = scorePattern(N, FreqClass::Fair, Opts);
+  EXPECT_NEAR(Score, 0.47 + 0.16, 1e-9);
+  EXPECT_TRUE(isPossiblyDelinquent(Score, Opts));
+}
+
+TEST(Phi, MaxOverPatterns) {
+  PatternLab L;
+  HeuristicOptions Opts;
+  std::vector<const ApNode *> Pats = {L.spPlus(4), L.F.getDeref(L.spPlus(4))};
+  // Max of {0, 0.16}.
+  EXPECT_NEAR(phi(Pats, FreqClass::Fair, Opts), 0.16, 1e-9);
+}
+
+TEST(Phi, FrequencyPenalties) {
+  PatternLab L;
+  HeuristicOptions Opts;
+  const ApNode *D1 = L.F.getDeref(L.spPlus(8)); // 0.16.
+  EXPECT_NEAR(scorePattern(D1, FreqClass::Seldom, Opts), 0.16 - 0.20, 1e-9);
+  EXPECT_NEAR(scorePattern(D1, FreqClass::Rare, Opts), 0.16 - 0.40, 1e-9);
+  // AG8/AG9 disabled: penalties vanish.
+  Opts.UseFreqClasses = false;
+  EXPECT_NEAR(scorePattern(D1, FreqClass::Rare, Opts), 0.16, 1e-9);
+}
+
+TEST(Phi, ThresholdBoundaryIsStrict) {
+  HeuristicOptions Opts;
+  EXPECT_FALSE(isPossiblyDelinquent(0.10, Opts)) << "phi must exceed delta";
+  EXPECT_TRUE(isPossiblyDelinquent(0.1001, Opts));
+}
+
+//===----------------------------------------------------------------------===//
+// Module-level analysis
+//===----------------------------------------------------------------------===//
+
+TEST(ModuleAnalysis, PointerChasingIsDelinquent) {
+  auto M = test::compileOrDie(
+      "struct Node { int val; struct Node *next; };"
+      "struct Node *head;"
+      "int main() {"
+      "  struct Node *n; int sum; sum = 0;"
+      "  for (n = head; n != 0; n = n->next) sum = sum + n->val;"
+      "  return sum; }",
+      0);
+  ASSERT_TRUE(M);
+  ModuleAnalysis MA(*M);
+  HeuristicOptions Opts;
+  Opts.UseFreqClasses = false;
+
+  auto Scores = MA.scores(Opts, nullptr);
+  // Find the load of n->val: it dereferences the stack slot of n, then the
+  // heap node: two deref levels -> must be flagged.
+  double BestScore = -1;
+  for (const auto &[Ref, Phi] : Scores)
+    BestScore = std::max(BestScore, Phi);
+  EXPECT_GT(BestScore, Opts.Delta);
+
+  auto Delta = MA.delinquentSet(Opts, nullptr);
+  EXPECT_FALSE(Delta.empty());
+  EXPECT_LT(Delta.size(), MA.loadPatterns().size())
+      << "plain stack reloads must not all be flagged";
+}
+
+TEST(ModuleAnalysis, StraightScalarCodeHasNoDelinquents) {
+  auto M = test::compileOrDie("int main() {"
+                              "  int a; int b; a = 1; b = 2;"
+                              "  return a + b; }",
+                              0);
+  ASSERT_TRUE(M);
+  ModuleAnalysis MA(*M);
+  HeuristicOptions Opts;
+  Opts.UseFreqClasses = false;
+  EXPECT_TRUE(MA.delinquentSet(Opts, nullptr).empty());
+}
+
+TEST(ModuleAnalysis, FreqClassesSuppressColdLoads) {
+  auto M = test::compileOrDie(
+      "struct Node { int val; struct Node *next; };"
+      "struct Node *head;"
+      "int main() {"
+      "  struct Node *n; n = head;"
+      "  if (n != 0) return n->val;"
+      "  return 0; }",
+      0);
+  ASSERT_TRUE(M);
+  ModuleAnalysis MA(*M);
+  HeuristicOptions Opts; // UseFreqClasses = true.
+
+  // Every load executed fewer than 100 times: AG9 pushes scores down.
+  ExecCountMap Cold;
+  for (const auto &[Ref, Pats] : MA.loadPatterns())
+    Cold[Ref] = 1;
+  auto DeltaCold = MA.delinquentSet(Opts, &Cold);
+  EXPECT_TRUE(DeltaCold.empty());
+
+  ExecCountMap Hot;
+  for (const auto &[Ref, Pats] : MA.loadPatterns())
+    Hot[Ref] = 1'000'000;
+  auto DeltaHot = MA.delinquentSet(Opts, &Hot);
+  EXPECT_FALSE(DeltaHot.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Trainer (Section 7)
+//===----------------------------------------------------------------------===//
+
+TEST(Trainer, PaperWeightExample) {
+  // Table 4: the m/n values of class 5 ("sp=1,gp=1") on the five relevant
+  // benchmarks give W(F5) = (4/48 + 6/25 + 30/67 + 6/6 + 8/13) / 5 ~ 0.47.
+  ClassTrainer T;
+  struct Row {
+    const char *Bench;
+    double M, N; // Percentages.
+  };
+  Row Rows[] = {{"147.vortex", 4.34, 48.19}, {"175.vpr", 6.27, 25.14},
+                {"179.art", 30.44, 67.17},   {"183.equake", 6.83, 6.72},
+                {"197.parser", 8.07, 13.17}};
+  for (const Row &R : Rows) {
+    BenchmarkObservation Obs;
+    Obs.Name = R.Bench;
+    Obs.TotalMisses = 1'000'000;
+    ClassDynStats S;
+    S.Misses = static_cast<uint64_t>(R.N / 100.0 * 1'000'000);
+    S.Execs = static_cast<uint64_t>(S.Misses / (R.M / 100.0));
+    Obs.PerClass["F5"] = S;
+    T.addObservation(Obs);
+  }
+  EXPECT_EQ(T.natureOf("F5"), ClassNature::Positive);
+  // The paper rounds to 0.47; exact mean of the printed fractions is ~0.474.
+  EXPECT_NEAR(T.positiveWeight("F5"), 0.47, 0.02);
+}
+
+TEST(Trainer, IrrelevantBenchmarksExcluded) {
+  ClassTrainer T;
+  // Relevant benchmark: strong class.
+  {
+    BenchmarkObservation Obs;
+    Obs.Name = "hot";
+    Obs.TotalMisses = 1000;
+    Obs.PerClass["F"] = ClassDynStats{10'000, 500}; // m=5%, n=50%.
+    T.addObservation(Obs);
+  }
+  // Irrelevant: tiny m and n.
+  {
+    BenchmarkObservation Obs;
+    Obs.Name = "coldish";
+    Obs.TotalMisses = 1'000'000;
+    Obs.PerClass["F"] = ClassDynStats{1'000'000, 10}; // m=0.001%, n=0.001%.
+    T.addObservation(Obs);
+  }
+  EXPECT_TRUE(T.isRelevant("F", "hot"));
+  EXPECT_FALSE(T.isRelevant("F", "coldish"));
+  EXPECT_EQ(T.natureOf("F"), ClassNature::Positive);
+  EXPECT_NEAR(T.positiveWeight("F"), 0.05 / 0.5, 1e-9);
+}
+
+TEST(Trainer, NegativeClassRule) {
+  ClassTrainer T;
+  for (int B = 0; B != 3; ++B) {
+    BenchmarkObservation Obs;
+    Obs.Name = "bench" + std::to_string(B);
+    Obs.TotalMisses = 1'000'000;
+    Obs.PerClass["tiny"] = ClassDynStats{1000, 100}; // n = 0.01% < 0.5%.
+    T.addObservation(Obs);
+  }
+  EXPECT_EQ(T.natureOf("tiny"), ClassNature::Negative);
+}
+
+TEST(Trainer, NeutralClassRule) {
+  ClassTrainer T;
+  // Relevant via n (share 60%), but weak: m/n = 0.008/0.6 < 1/20.
+  BenchmarkObservation Obs;
+  Obs.Name = "bench";
+  Obs.TotalMisses = 1'000'000;
+  Obs.PerClass["weak"] = ClassDynStats{75'000'000, 600'000};
+  T.addObservation(Obs);
+  EXPECT_EQ(T.natureOf("weak"), ClassNature::Neutral);
+}
+
+TEST(Trainer, NegativeBaseDropsExtremes) {
+  ClassTrainer T;
+  // Three positive classes with weights 0.1, 0.5, 0.9; the base weight is
+  // -(mean of {0.5}) = -0.5.
+  double Weights[] = {0.1, 0.5, 0.9};
+  int Idx = 0;
+  for (double W : Weights) {
+    BenchmarkObservation Obs;
+    Obs.Name = "b" + std::to_string(Idx);
+    Obs.TotalMisses = 1'000'000;
+    // n = 40%, m = W * 0.4 -> m/n = W.
+    uint64_t Misses = 400'000;
+    ClassDynStats S;
+    S.Misses = Misses;
+    S.Execs = static_cast<uint64_t>(Misses / (W * 0.4));
+    Obs.PerClass["c" + std::to_string(Idx)] = S;
+    T.addObservation(Obs);
+    ++Idx;
+  }
+  EXPECT_NEAR(T.negativeBaseWeight(), -0.5, 0.01);
+}
+
+TEST(Trainer, ReportCountsFoundAndRelevant) {
+  ClassTrainer T;
+  {
+    BenchmarkObservation Obs;
+    Obs.Name = "a";
+    Obs.TotalMisses = 1000;
+    Obs.PerClass["F"] = ClassDynStats{100, 50};
+    T.addObservation(Obs);
+  }
+  {
+    BenchmarkObservation Obs;
+    Obs.Name = "b";
+    Obs.TotalMisses = 1000;
+    Obs.PerClass["F"] = ClassDynStats{1'000'000, 1};
+    T.addObservation(Obs);
+  }
+  auto Reports = T.reportAll();
+  ASSERT_EQ(Reports.size(), 1u);
+  EXPECT_EQ(Reports[0].FoundIn, 2u);
+  EXPECT_EQ(Reports[0].RelevantIn, 1u);
+}
+
+TEST(Trainer, H1Labels) {
+  PatternLab L;
+  EXPECT_EQ(h1ClassLabel(L.spPlus(8)), "sp=1");
+  const ApNode *SpGp =
+      L.F.getBinary(ApKind::Add, L.spPlus(8), L.F.getGlobal("g", 0));
+  EXPECT_EQ(h1ClassLabel(SpGp), "sp=1,gp=1");
+  EXPECT_EQ(h1ClassLabel(L.F.getBase(Reg::A0)), "other");
+  const ApNode *TwoSp = L.F.getBinary(ApKind::Add, L.F.getDeref(L.spPlus(0)),
+                                      L.F.getDeref(L.spPlus(4)));
+  EXPECT_EQ(h1ClassLabel(TwoSp), "sp=2");
+}
+
+TEST(Trainer, AggLabels) {
+  PatternLab L;
+  const ApNode *N = L.F.getDeref(L.F.getBinary(
+      ApKind::Add, L.F.getGlobal("a", 0),
+      L.F.getBinary(ApKind::Shl, L.F.getDeref(L.spPlus(0)), L.F.getConst(2))));
+  auto Labels = aggClassLabels(N);
+  // sp inside, gp outside -> AG1; shift -> AG3; two derefs -> AG5.
+  EXPECT_EQ(Labels, (std::vector<std::string>{"AG1", "AG3", "AG5"}));
+}

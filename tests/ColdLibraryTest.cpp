@@ -1,0 +1,137 @@
+//===- tests/ColdLibraryTest.cpp - the rarely-executed code appendix ------------//
+//
+// The cold library linked into every workload models the dominant property
+// of real binaries: most static loads almost never execute. These tests pin
+// the mechanism: the cold code runs exactly once (or never), its loads land
+// in the Rare/Seldom frequency classes, and the hotspot set excludes it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "classify/Heuristic.h"
+#include "pipeline/Pipeline.h"
+#include "sim/Profile.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace dlq;
+using namespace dlq::pipeline;
+
+namespace {
+
+Driver &driver() {
+  static Driver D;
+  return D;
+}
+
+/// Function ordinal by name, or ~0u.
+uint32_t funcIdx(const masm::Module &M, const char *Name) {
+  return M.functionIndex(Name);
+}
+
+} // namespace
+
+TEST(ColdLibrary, PresentInEveryWorkload) {
+  Driver &D = driver();
+  const Compiled &C = D.compiled("li_like", InputSel::Input1, 0);
+  for (const char *Fn : {"cold_insert", "cold_treesum", "cold_record",
+                         "cold_digest", "cold_transpose", "cold_dump_all",
+                         "cold_selftest", "cold_report", "workload_main",
+                         "main"})
+    EXPECT_NE(funcIdx(*C.M, Fn), masm::InvalidIndex) << Fn;
+}
+
+TEST(ColdLibrary, SelfTestRunsExactlyOnce) {
+  Driver &D = driver();
+  const Compiled &C = D.compiled("li_like", InputSel::Input1, 0);
+  const sim::RunResult &R =
+      D.run("li_like", InputSel::Input1, 0, sim::CacheConfig::baseline());
+  sim::BlockProfile P(*C.M, C.Cfgs, R);
+
+  uint32_t SelfTest = funcIdx(*C.M, "cold_selftest");
+  ASSERT_NE(SelfTest, masm::InvalidIndex);
+  EXPECT_EQ(P.execCount(masm::InstrRef{SelfTest, 0}), 1u);
+}
+
+TEST(ColdLibrary, DumpPathNeverExecutes) {
+  Driver &D = driver();
+  const Compiled &C = D.compiled("li_like", InputSel::Input1, 0);
+  const sim::RunResult &R =
+      D.run("li_like", InputSel::Input1, 0, sim::CacheConfig::baseline());
+  sim::BlockProfile P(*C.M, C.Cfgs, R);
+
+  uint32_t Dump = funcIdx(*C.M, "cold_dump_all");
+  ASSERT_NE(Dump, masm::InvalidIndex);
+  EXPECT_EQ(P.execCount(masm::InstrRef{Dump, 0}), 0u)
+      << "the guard is never true at runtime";
+}
+
+TEST(ColdLibrary, ColdLoadsFallIntoNegativeFreqClasses) {
+  Driver &D = driver();
+  GroundTruth G = D.groundTruth("li_like", InputSel::Input1, 0,
+                                sim::CacheConfig::baseline());
+  const Compiled &C = D.compiled("li_like", InputSel::Input1, 0);
+
+  uint32_t Digest = funcIdx(*C.M, "cold_digest");
+  ASSERT_NE(Digest, masm::InvalidIndex);
+
+  classify::HeuristicOptions Opts;
+  unsigned ColdLoads = 0, NonFair = 0;
+  for (const auto &[Ref, S] : G.Stats) {
+    if (Ref.FuncIdx != Digest)
+      continue;
+    ++ColdLoads;
+    classify::FreqClass F = classify::freqClassOf(S.Execs, Opts);
+    NonFair += F == classify::FreqClass::Rare ||
+               F == classify::FreqClass::Seldom;
+  }
+  ASSERT_GT(ColdLoads, 0u);
+  EXPECT_EQ(NonFair, ColdLoads)
+      << "every cold_digest load must be Rare or Seldom";
+}
+
+TEST(ColdLibrary, HotspotSetExcludesColdFunctions) {
+  Driver &D = driver();
+  const Compiled &C = D.compiled("li_like", InputSel::Input1, 0);
+  auto Hot = D.hotspotLoads("li_like", InputSel::Input1, 0,
+                            sim::CacheConfig::baseline(), 0.90);
+
+  for (const auto &Ref : Hot) {
+    const std::string &Fn = C.M->functions()[Ref.FuncIdx].name();
+    EXPECT_EQ(Fn.rfind("cold_", 0), std::string::npos)
+        << "hotspot load in cold function " << Fn;
+  }
+}
+
+TEST(ColdLibrary, ColdMissesAreNegligible) {
+  Driver &D = driver();
+  GroundTruth G = D.groundTruth("li_like", InputSel::Input1, 0,
+                                sim::CacheConfig::baseline());
+  const Compiled &C = D.compiled("li_like", InputSel::Input1, 0);
+
+  uint64_t ColdMisses = 0;
+  for (const auto &[Ref, S] : G.Stats) {
+    const std::string &Fn = C.M->functions()[Ref.FuncIdx].name();
+    if (Fn.rfind("cold_", 0) == 0)
+      ColdMisses += S.Misses;
+  }
+  EXPECT_LT(static_cast<double>(ColdMisses),
+            0.02 * static_cast<double>(G.TotalLoadMisses))
+      << "the appendix must inflate Lambda, not the miss profile";
+}
+
+TEST(ColdLibrary, InflatesLambdaSubstantially) {
+  Driver &D = driver();
+  const Compiled &C = D.compiled("li_like", InputSel::Input1, 0);
+  size_t ColdLoads = 0;
+  for (uint32_t FI = 0; FI != C.M->functions().size(); ++FI) {
+    const masm::Function &F = C.M->functions()[FI];
+    if (F.name().rfind("cold_", 0) != 0)
+      continue;
+    for (const auto &I : F.instrs())
+      ColdLoads += masm::isLoad(I.Op);
+  }
+  EXPECT_GT(ColdLoads, C.lambda() / 3)
+      << "most real binaries are mostly-cold code; the appendix models that";
+}

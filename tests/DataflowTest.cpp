@@ -1,0 +1,187 @@
+//===- tests/DataflowTest.cpp - reaching defs and liveness ---------------------//
+
+#include "dataflow/Liveness.h"
+#include "dataflow/ReachingDefs.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace dlq;
+using namespace dlq::dataflow;
+using namespace dlq::masm;
+
+TEST(ReachingDefs, InBlockDefWins) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl f
+f:
+        li   $t0, 1
+        li   $t0, 2
+        add  $t1, $t0, $t0
+        jr   $ra
+)");
+  ASSERT_TRUE(M);
+  cfg::Cfg G(M->functions()[0]);
+  ReachingDefs RD(G);
+
+  std::vector<Def> Defs = RD.defsReaching(2, Reg::T0);
+  ASSERT_EQ(Defs.size(), 1u);
+  EXPECT_EQ(Defs[0].Kind, DefKind::Normal);
+  EXPECT_EQ(Defs[0].InstrIdx, 1u);
+}
+
+TEST(ReachingDefs, EntryDefForLiveIn) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl f
+f:
+        lw $t0, 0($sp)
+        jr $ra
+)");
+  ASSERT_TRUE(M);
+  cfg::Cfg G(M->functions()[0]);
+  ReachingDefs RD(G);
+
+  std::vector<Def> Defs = RD.defsReaching(0, Reg::SP);
+  ASSERT_EQ(Defs.size(), 1u);
+  EXPECT_EQ(Defs[0].Kind, DefKind::Entry);
+}
+
+TEST(ReachingDefs, TwoPathsMerge) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl f
+f:
+        beq  $a0, $zero, Lelse
+        li   $t0, 1
+        j    Ljoin
+Lelse:
+        li   $t0, 2
+Ljoin:
+        add  $t1, $t0, $zero
+        jr   $ra
+)");
+  ASSERT_TRUE(M);
+  cfg::Cfg G(M->functions()[0]);
+  ReachingDefs RD(G);
+
+  std::vector<Def> Defs = RD.defsReaching(4, Reg::T0);
+  ASSERT_EQ(Defs.size(), 2u);
+  EXPECT_EQ(Defs[0].Kind, DefKind::Normal);
+  EXPECT_EQ(Defs[1].Kind, DefKind::Normal);
+}
+
+TEST(ReachingDefs, CallClobbersCallerSaved) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl g
+g:
+        jr $ra
+        .globl f
+f:
+        li   $t0, 1
+        li   $s0, 2
+        jal  g
+        add  $t1, $t0, $s0
+        jr   $ra
+)");
+  ASSERT_TRUE(M);
+  cfg::Cfg G(M->functions()[1]);
+  ReachingDefs RD(G);
+
+  // $t0 at instr 3 reaches only the call clobber.
+  std::vector<Def> T0Defs = RD.defsReaching(3, Reg::T0);
+  ASSERT_EQ(T0Defs.size(), 1u);
+  EXPECT_EQ(T0Defs[0].Kind, DefKind::Call);
+
+  // $s0 is callee-saved: the li still reaches.
+  std::vector<Def> S0Defs = RD.defsReaching(3, Reg::S0);
+  ASSERT_EQ(S0Defs.size(), 1u);
+  EXPECT_EQ(S0Defs[0].Kind, DefKind::Normal);
+  EXPECT_EQ(S0Defs[0].InstrIdx, 1u);
+}
+
+TEST(ReachingDefs, LoopCarriedDef) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl f
+f:
+        li   $t0, 0
+Lhead:
+        addi $t0, $t0, 1
+        blt  $t0, $a0, Lhead
+        jr   $ra
+)");
+  ASSERT_TRUE(M);
+  cfg::Cfg G(M->functions()[0]);
+  ReachingDefs RD(G);
+
+  // At the addi (instr 1), $t0 is reached by both the li and the addi
+  // itself around the back edge.
+  std::vector<Def> Defs = RD.defsReaching(1, Reg::T0);
+  ASSERT_EQ(Defs.size(), 2u);
+  bool SawInit = false, SawLoop = false;
+  for (const Def &D : Defs) {
+    SawInit |= D.InstrIdx == 0;
+    SawLoop |= D.InstrIdx == 1;
+  }
+  EXPECT_TRUE(SawInit);
+  EXPECT_TRUE(SawLoop);
+}
+
+TEST(Liveness, SimpleUse) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl f
+f:
+        add $t1, $a0, $a1
+        jr  $ra
+)");
+  ASSERT_TRUE(M);
+  cfg::Cfg G(M->functions()[0]);
+  Liveness LV(G);
+  EXPECT_TRUE(LV.isLiveIn(0, Reg::A0));
+  EXPECT_TRUE(LV.isLiveIn(0, Reg::A1));
+  EXPECT_FALSE(LV.isLiveIn(0, Reg::T1));
+}
+
+TEST(Liveness, LoopKeepsCounterLive) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl f
+f:
+        li   $t0, 0
+Lhead:
+        addi $t0, $t0, 1
+        blt  $t0, $a0, Lhead
+        jr   $ra
+)");
+  ASSERT_TRUE(M);
+  cfg::Cfg G(M->functions()[0]);
+  Liveness LV(G);
+  uint32_t Head = G.blockOf(1);
+  EXPECT_TRUE(LV.isLiveIn(Head, Reg::T0));
+  EXPECT_TRUE(LV.isLiveIn(Head, Reg::A0));
+}
+
+TEST(BitVector, Ops) {
+  BitVector A(130), B(130);
+  A.set(0);
+  A.set(64);
+  A.set(129);
+  B.set(64);
+  EXPECT_TRUE(A.test(129));
+  EXPECT_FALSE(A.test(1));
+  EXPECT_EQ(A.count(), 3u);
+
+  BitVector C = A;
+  EXPECT_FALSE(C.unionWith(B)) << "B is a subset; no change expected";
+  C.subtract(B);
+  EXPECT_FALSE(C.test(64));
+  EXPECT_TRUE(C.test(0));
+
+  size_t Sum = 0;
+  A.forEachSetBit([&](size_t Bit) { Sum += Bit; });
+  EXPECT_EQ(Sum, 0u + 64u + 129u);
+}

@@ -1,0 +1,158 @@
+//===- tests/FreqTest.cpp - static frequency estimation tests -------------------//
+
+#include "freq/StaticFreq.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace dlq;
+using namespace dlq::freq;
+using namespace dlq::masm;
+
+TEST(StaticFreq, MainRunsOnce) {
+  auto M = test::compileOrDie("int main() { return 0; }", 0);
+  ASSERT_TRUE(M);
+  StaticFreqEstimate E(*M);
+  EXPECT_DOUBLE_EQ(E.functionFreq(M->functionIndex("main")), 1.0);
+}
+
+TEST(StaticFreq, LoopsBoostFrequency) {
+  auto M = test::compileOrDie("int a[8];"
+                              "int main() {"
+                              "  int i; int s; s = 0;"
+                              "  for (i = 0; i < 8; i = i + 1) s = s + a[i];"
+                              "  return s; }",
+                              0);
+  ASSERT_TRUE(M);
+  StaticFreqEstimate E(*M);
+
+  // The array load sits in the loop; the epilogue's ra reload does not.
+  double LoopLoad = 0, StraightLoad = 0;
+  const Function &F = *M->lookupFunction("main");
+  for (uint32_t Idx = 0; Idx != F.size(); ++Idx) {
+    if (!isLoad(F.instrs()[Idx].Op))
+      continue;
+    double Freq = E.instrFreq(InstrRef{M->functionIndex("main"), Idx});
+    if (F.instrs()[Idx].Rd == Reg::RA)
+      StraightLoad = Freq;
+    else
+      LoopLoad = std::max(LoopLoad, Freq);
+  }
+  EXPECT_GT(LoopLoad, 100.0);
+  EXPECT_LE(StraightLoad, 1.0);
+}
+
+TEST(StaticFreq, NestedLoopsMultiply) {
+  auto M = test::compileOrDie("int a[4];"
+                              "int main() {"
+                              "  int i; int j; int s; s = 0;"
+                              "  for (i = 0; i < 4; i = i + 1)"
+                              "    for (j = 0; j < 4; j = j + 1)"
+                              "      s = s + a[j];"
+                              "  return s; }",
+                              0);
+  ASSERT_TRUE(M);
+  StaticFreqEstimate E(*M);
+  uint32_t MainIdx = M->functionIndex("main");
+  const Function &F = *M->lookupFunction("main");
+
+  double Best = 0;
+  for (uint32_t Idx = 0; Idx != F.size(); ++Idx)
+    if (isLoad(F.instrs()[Idx].Op))
+      Best = std::max(Best, E.instrFreq(InstrRef{MainIdx, Idx}));
+  StaticFreqOptions Opts;
+  // Loop-header branch splits halve the acyclic flow; allow that
+  // attenuation on top of the squared loop weight.
+  EXPECT_GE(Best, Opts.LoopBase * Opts.LoopBase / 4)
+      << "depth-2 loads must carry the squared loop weight";
+}
+
+TEST(StaticFreq, UncalledFunctionIsCold) {
+  auto M = test::compileOrDie("int a[4];"
+                              "int unused() { return a[1]; }"
+                              "int main() { return 0; }",
+                              0);
+  ASSERT_TRUE(M);
+  StaticFreqEstimate E(*M);
+  EXPECT_DOUBLE_EQ(E.functionFreq(M->functionIndex("unused")), 0.0);
+}
+
+TEST(StaticFreq, CallGraphPropagates) {
+  auto M = test::compileOrDie(
+      "int leaf() { return 1; }"
+      "int mid() { int i; int s; s = 0;"
+      "  for (i = 0; i < 4; i = i + 1) s = s + leaf();"
+      "  return s; }"
+      "int main() { return mid(); }",
+      0);
+  ASSERT_TRUE(M);
+  StaticFreqEstimate E(*M);
+  double MidFreq = E.functionFreq(M->functionIndex("mid"));
+  double LeafFreq = E.functionFreq(M->functionIndex("leaf"));
+  EXPECT_NEAR(MidFreq, 1.0, 0.01);
+  EXPECT_GT(LeafFreq, MidFreq) << "leaf is called from inside mid's loop";
+}
+
+TEST(StaticFreq, ConditionalCodeAttenuates) {
+  auto M = test::compileOrDie("int g;"
+                              "int main() {"
+                              "  if (g > 0) { if (g > 1) { g = g + 1; } }"
+                              "  return g; }",
+                              0);
+  ASSERT_TRUE(M);
+  StaticFreqEstimate E(*M);
+  uint32_t MainIdx = M->functionIndex("main");
+  const Function &F = *M->lookupFunction("main");
+
+  // The innermost global store's block should carry ~1/4 of entry weight.
+  double MinFreq = 1e9;
+  for (uint32_t Idx = 0; Idx != F.size(); ++Idx) {
+    double Freq = E.instrFreq(InstrRef{MainIdx, Idx});
+    if (Freq > 0)
+      MinFreq = std::min(MinFreq, Freq);
+  }
+  EXPECT_LT(MinFreq, 0.5);
+  EXPECT_GT(MinFreq, 0.1);
+}
+
+TEST(StaticFreq, RecursionIsBoundedNotInfinite) {
+  auto M = test::compileOrDie("int f(int n) {"
+                              "  if (n <= 0) return 1;"
+                              "  return f(n - 1) + 1; }"
+                              "int main() { return f(10); }",
+                              0);
+  ASSERT_TRUE(M);
+  StaticFreqEstimate E(*M);
+  double Freq = E.functionFreq(M->functionIndex("f"));
+  EXPECT_GT(Freq, 0.0);
+  StaticFreqOptions Opts;
+  EXPECT_LE(Freq, Opts.MaxFreq);
+}
+
+TEST(StaticFreq, LoadExecCountsPlugIntoHeuristic) {
+  auto M = test::compileOrDie(
+      "struct Node { int v; struct Node *next; };"
+      "struct Node *head;"
+      "int hot() { int s; struct Node *n; s = 0;"
+      "  for (n = head; n != 0; n = n->next) s = s + n->v;"
+      "  return s; }"
+      "int cold_path() { return head == 0 ? 1 : head->v; }"
+      "int main() {"
+      "  if (head != 0) return cold_path();"
+      "  return hot(); }",
+      0);
+  ASSERT_TRUE(M);
+  classify::ModuleAnalysis MA(*M);
+  StaticFreqEstimate E(*M);
+  classify::ExecCountMap Est = E.loadExecCounts();
+  EXPECT_EQ(Est.size(), MA.loadPatterns().size());
+
+  classify::HeuristicOptions WithH5;
+  classify::HeuristicOptions NoH5;
+  NoH5.UseFreqClasses = false;
+  auto DeltaStatic = MA.delinquentSet(WithH5, &Est);
+  auto DeltaNone = MA.delinquentSet(NoH5, nullptr);
+  EXPECT_LE(DeltaStatic.size(), DeltaNone.size())
+      << "static frequency classes can only suppress";
+}

@@ -1,0 +1,126 @@
+//===- tests/FuzzTest.cpp - robustness of the text front ends -------------------//
+//
+// Randomized robustness suites: the assembly parser and the MinC frontend
+// must reject arbitrary garbage with diagnostics — never crash, hang or
+// produce a half-built module. Seeds are fixed; failures reproduce.
+//
+//===----------------------------------------------------------------------===//
+
+#include "masm/Parser.h"
+#include "masm/Printer.h"
+#include "mcc/Compiler.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace dlq;
+
+namespace {
+
+/// Random printable text with assembly-ish tokens mixed in.
+std::string randomAsmSoup(Rng &R, size_t Lines) {
+  static const char *Tokens[] = {
+      "add",  "$t0",   "$sp",  ",",     "lw",    "(",     ")",
+      "8",    "-4",    ".data", ".text", ".globl", ".word", ".var",
+      "main", "Lloop:", "jr",  "$ra",   "beq",   "#x",    "0x1F",
+      "sw",   "la",    "sym",  ":",     "jal",   "\t",    "li"};
+  std::string Out;
+  for (size_t L = 0; L != Lines; ++L) {
+    size_t N = R.nextBelow(8);
+    for (size_t T = 0; T != N; ++T) {
+      Out += Tokens[R.nextBelow(sizeof(Tokens) / sizeof(Tokens[0]))];
+      Out += ' ';
+    }
+    Out += '\n';
+  }
+  return Out;
+}
+
+/// Random C-ish text.
+std::string randomMinCSoup(Rng &R, size_t Tokens) {
+  static const char *Toks[] = {
+      "int",  "char",  "void",  "struct", "if",    "else", "while",
+      "for",  "return", "break", "{",     "}",     "(",    ")",
+      "[",    "]",     ";",     ",",      "*",     "&",    "=",
+      "==",   "+",     "-",     "x",      "y",     "main", "42",
+      "->",   ".",     "foo",   "sizeof", "malloc", "?",   ":"};
+  std::string Out;
+  for (size_t T = 0; T != Tokens; ++T) {
+    Out += Toks[R.nextBelow(sizeof(Toks) / sizeof(Toks[0]))];
+    Out += R.nextBelow(6) == 0 ? "\n" : " ";
+  }
+  return Out;
+}
+
+} // namespace
+
+class ParserFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
+                         ::testing::Range<uint64_t>(1, 16),
+                         [](const auto &Info) {
+                           return "seed" + std::to_string(Info.param);
+                         });
+
+TEST_P(ParserFuzz, AsmSoupNeverCrashes) {
+  Rng R(GetParam());
+  for (int Trial = 0; Trial != 50; ++Trial) {
+    std::string Soup = randomAsmSoup(R, 1 + R.nextBelow(20));
+    masm::ParseResult Result = masm::parseAssembly(Soup);
+    if (Result.ok()) {
+      // Whatever parsed must survive printing and re-parsing.
+      std::string Printed = masm::printModule(*Result.M);
+      EXPECT_TRUE(masm::parseAssembly(Printed).ok()) << Printed;
+    } else {
+      EXPECT_FALSE(Result.Diags.empty());
+    }
+  }
+}
+
+TEST_P(ParserFuzz, MinCSoupNeverCrashes) {
+  Rng R(GetParam() * 7919);
+  for (int Trial = 0; Trial != 50; ++Trial) {
+    std::string Soup = randomMinCSoup(R, 5 + R.nextBelow(80));
+    mcc::CompileResult Result = mcc::compile(Soup);
+    if (!Result.ok())
+      EXPECT_FALSE(Result.Errors.empty());
+  }
+}
+
+TEST_P(ParserFuzz, RandomBytesNeverCrashEitherFrontend) {
+  Rng R(GetParam() * 104729);
+  for (int Trial = 0; Trial != 20; ++Trial) {
+    std::string Bytes;
+    size_t Len = R.nextBelow(300);
+    for (size_t I = 0; I != Len; ++I)
+      Bytes.push_back(static_cast<char>(R.nextBelow(127 - 9) + 9));
+    (void)masm::parseAssembly(Bytes);
+    (void)mcc::compile(Bytes);
+  }
+  SUCCEED();
+}
+
+TEST(ParserFuzz2, DeeplyNestedExpressionsAreBounded) {
+  // 400 nested parens: must parse (or diagnose) without stack overflow.
+  std::string Deep = "int main() { return ";
+  for (int I = 0; I != 400; ++I)
+    Deep += "(1 + ";
+  Deep += "0";
+  for (int I = 0; I != 400; ++I)
+    Deep += ")";
+  Deep += "; }";
+  mcc::CompileResult R = mcc::compile(Deep);
+  // Either outcome is fine; the process surviving is the test.
+  if (!R.ok())
+    EXPECT_FALSE(R.Errors.empty());
+}
+
+TEST(ParserFuzz2, LongChainsOfStatements) {
+  std::string Src = "int main() { int x; x = 0;";
+  for (int I = 0; I != 2000; ++I)
+    Src += " x = x + 1;";
+  Src += " return x; }";
+  mcc::CompileResult R = mcc::compile(Src);
+  ASSERT_TRUE(R.ok()) << R.Errors;
+  EXPECT_GT(R.M->totalInstrs(), 4000u);
+}

@@ -1,0 +1,237 @@
+//===- tests/MasmTest.cpp - assembly IR, parser, printer tests ----------------//
+
+#include "masm/Module.h"
+#include "masm/Opcode.h"
+#include "masm/Parser.h"
+#include "masm/Printer.h"
+#include "masm/Register.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace dlq;
+using namespace dlq::masm;
+
+TEST(Register, Names) {
+  EXPECT_EQ(regName(Reg::SP), "$sp");
+  EXPECT_EQ(regName(Reg::Zero), "$zero");
+  EXPECT_EQ(regName(Reg::T7), "$t7");
+}
+
+TEST(Register, ParseNames) {
+  EXPECT_EQ(parseRegName("$sp"), Reg::SP);
+  EXPECT_EQ(parseRegName("sp"), Reg::SP);
+  EXPECT_EQ(parseRegName("$29"), Reg::SP);
+  EXPECT_EQ(parseRegName("$v0"), Reg::V0);
+  EXPECT_FALSE(parseRegName("$bogus").has_value());
+  EXPECT_FALSE(parseRegName("$32").has_value());
+  EXPECT_FALSE(parseRegName("").has_value());
+}
+
+TEST(Register, BasicRegPredicates) {
+  EXPECT_TRUE(isBasicReg(Reg::SP));
+  EXPECT_TRUE(isBasicReg(Reg::GP));
+  EXPECT_TRUE(isBasicReg(Reg::A0));
+  EXPECT_TRUE(isBasicReg(Reg::A3));
+  EXPECT_TRUE(isBasicReg(Reg::V0));
+  EXPECT_FALSE(isBasicReg(Reg::T0));
+  EXPECT_FALSE(isBasicReg(Reg::S5));
+  EXPECT_FALSE(isBasicReg(Reg::RA));
+}
+
+TEST(Register, SavedPredicates) {
+  EXPECT_TRUE(isCallerSaved(Reg::T0));
+  EXPECT_TRUE(isCallerSaved(Reg::V0));
+  EXPECT_TRUE(isCallerSaved(Reg::A2));
+  EXPECT_TRUE(isCallerSaved(Reg::RA));
+  EXPECT_FALSE(isCallerSaved(Reg::S0));
+  EXPECT_TRUE(isCalleeSaved(Reg::SP));
+  EXPECT_TRUE(isCalleeSaved(Reg::GP));
+  EXPECT_FALSE(isCalleeSaved(Reg::T9));
+}
+
+TEST(Opcode, NamesRoundTrip) {
+  for (unsigned I = 0; I != NumOpcodes; ++I) {
+    Opcode Op = static_cast<Opcode>(I);
+    EXPECT_EQ(parseOpcodeName(opcodeName(Op)), Op);
+  }
+}
+
+TEST(Opcode, Traits) {
+  EXPECT_TRUE(isLoad(Opcode::Lw));
+  EXPECT_TRUE(isLoad(Opcode::Lbu));
+  EXPECT_FALSE(isLoad(Opcode::Sw));
+  EXPECT_TRUE(isStore(Opcode::Sb));
+  EXPECT_TRUE(isCondBranch(Opcode::Bgt));
+  EXPECT_FALSE(isCondBranch(Opcode::J));
+  EXPECT_TRUE(isCall(Opcode::Jal));
+  EXPECT_TRUE(isCall(Opcode::Jalr));
+  EXPECT_EQ(accessSize(Opcode::Lw), 4u);
+  EXPECT_EQ(accessSize(Opcode::Lh), 2u);
+  EXPECT_EQ(accessSize(Opcode::Sb), 1u);
+  EXPECT_EQ(accessSize(Opcode::Add), 0u);
+  EXPECT_TRUE(writesRd(Opcode::La));
+  EXPECT_FALSE(writesRd(Opcode::Sw));
+  EXPECT_TRUE(readsRt(Opcode::Sw));
+  EXPECT_FALSE(readsRt(Opcode::Lw));
+}
+
+static const char *TinyProgram = R"(
+        .data
+buf:    .space 64
+        .gvar buf 64 array noptr
+vals:   .word 7, -3
+        .gvar vals 8 array noptr
+        .text
+        .globl main
+main:
+        addi $sp, $sp, -16
+        sw   $ra, 12($sp)
+        .var 0 4 scalar noptr
+        li   $t0, 5
+        sw   $t0, 0($sp)
+        la   $t1, vals
+        lw   $t2, 4($t1)
+        beq  $t2, $zero, Ldone
+        lw   $t3, 0($sp)
+Ldone:
+        lw   $ra, 12($sp)
+        addi $sp, $sp, 16
+        jr   $ra
+)";
+
+TEST(Parser, ParsesTinyProgram) {
+  auto M = test::parseAsmOrDie(TinyProgram);
+  ASSERT_TRUE(M);
+  EXPECT_EQ(M->functions().size(), 1u);
+  EXPECT_EQ(M->globals().size(), 2u);
+  const Function *Main = M->lookupFunction("main");
+  ASSERT_TRUE(Main);
+  EXPECT_EQ(Main->size(), 11u);
+  EXPECT_EQ(M->countLoads(), 3u);
+
+  const Global *Vals = M->lookupGlobal("vals");
+  ASSERT_TRUE(Vals);
+  EXPECT_EQ(Vals->Size, 8u);
+  ASSERT_EQ(Vals->Init.size(), 8u);
+  EXPECT_EQ(Vals->Init[0], 7u);
+
+  // Branch target resolved.
+  const Instr &Branch = Main->instrs()[6];
+  EXPECT_EQ(Branch.Op, Opcode::Beq);
+  EXPECT_EQ(Branch.TargetIndex, 8u);
+}
+
+TEST(Parser, TypeDirectives) {
+  auto M = test::parseAsmOrDie(TinyProgram);
+  ASSERT_TRUE(M);
+  const VarType *BufTy = M->typeInfo().lookupGlobal("buf");
+  ASSERT_TRUE(BufTy);
+  EXPECT_EQ(BufTy->Kind, VarKind::Array);
+  EXPECT_FALSE(BufTy->IsPointer);
+
+  const FunctionTypeInfo *FTI = M->typeInfo().lookupFunction("main");
+  ASSERT_TRUE(FTI);
+  ASSERT_EQ(FTI->Vars.size(), 1u);
+  auto Resolved = FTI->resolve(0);
+  ASSERT_TRUE(Resolved.has_value());
+  EXPECT_EQ(Resolved->Kind, VarKind::Scalar);
+}
+
+TEST(Parser, ReportsUnknownMnemonic) {
+  auto R = parseAssembly(".text\n.globl f\nf:\n  frobnicate $t0\n");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.diagText().find("unknown mnemonic"), std::string::npos);
+}
+
+TEST(Parser, ReportsUnresolvedLabel) {
+  auto R = parseAssembly(".text\n.globl f\nf:\n  j nowhere\n");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(Parser, ReportsBadRegister) {
+  auto R = parseAssembly(".text\n.globl f\nf:\n  add $t0, $qq, $t1\n");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.diagText().find("expected register"), std::string::npos);
+}
+
+TEST(Parser, ReportsInstructionOutsideFunction) {
+  auto R = parseAssembly(".text\n  add $t0, $t1, $t2\n");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(Printer, RoundTrip) {
+  auto M1 = test::parseAsmOrDie(TinyProgram);
+  ASSERT_TRUE(M1);
+  std::string Text1 = printModule(*M1);
+  auto R2 = parseAssembly(Text1);
+  ASSERT_TRUE(R2.ok()) << R2.diagText() << "\nprinted:\n" << Text1;
+  std::string Text2 = printModule(*R2.M);
+  EXPECT_EQ(Text1, Text2) << "printer output is not a fixed point";
+}
+
+TEST(Printer, InstrForms) {
+  Instr I;
+  I.Op = Opcode::Lw;
+  I.Rd = Reg::T2;
+  I.Rs = Reg::SP;
+  I.Imm = 8;
+  EXPECT_EQ(printInstr(I), "lw    $t2, 8($sp)");
+
+  Instr S;
+  S.Op = Opcode::Sw;
+  S.Rt = Reg::T1;
+  S.Rs = Reg::GP;
+  S.Imm = -4;
+  EXPECT_EQ(printInstr(S), "sw    $t1, -4($gp)");
+
+  Instr B;
+  B.Op = Opcode::Bne;
+  B.Rs = Reg::A0;
+  B.Rt = Reg::Zero;
+  B.Sym = "L1";
+  EXPECT_EQ(printInstr(B), "bne   $a0, $zero, L1");
+}
+
+TEST(Layout, AssignsAddresses) {
+  auto M = test::parseAsmOrDie(TinyProgram);
+  ASSERT_TRUE(M);
+  Layout L(*M);
+
+  EXPECT_EQ(L.functionEntry(0), LayoutConstants::TextBase);
+  EXPECT_EQ(L.pcOf(InstrRef{0, 3}), LayoutConstants::TextBase + 12);
+
+  InstrRef Ref;
+  ASSERT_TRUE(L.refOf(LayoutConstants::TextBase + 12, Ref));
+  EXPECT_EQ(Ref.FuncIdx, 0u);
+  EXPECT_EQ(Ref.InstrIdx, 3u);
+  EXPECT_FALSE(L.refOf(LayoutConstants::TextBase - 4, Ref));
+
+  uint32_t BufAddr = L.globalAddress("buf");
+  uint32_t ValsAddr = L.globalAddress("vals");
+  EXPECT_EQ(BufAddr, LayoutConstants::DataBase);
+  EXPECT_EQ(ValsAddr, BufAddr + 64);
+
+  uint32_t Off = 0;
+  const Global *G = L.globalAt(ValsAddr + 5, Off);
+  ASSERT_TRUE(G);
+  EXPECT_EQ(G->Name, "vals");
+  EXPECT_EQ(Off, 5u);
+  EXPECT_EQ(L.globalAt(L.dataEnd() + 100, Off), nullptr);
+}
+
+TEST(Module, CountsAndLookups) {
+  Module M;
+  Function &F = M.addFunction("f");
+  Instr I;
+  I.Op = Opcode::Lw;
+  F.append(I);
+  F.append(I);
+  I.Op = Opcode::Sw;
+  F.append(I);
+  EXPECT_EQ(M.totalInstrs(), 3u);
+  EXPECT_EQ(M.countLoads(), 2u);
+  EXPECT_EQ(M.functionIndex("f"), 0u);
+  EXPECT_EQ(M.functionIndex("g"), InvalidIndex);
+}

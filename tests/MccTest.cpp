@@ -1,0 +1,518 @@
+//===- tests/MccTest.cpp - MinC compiler end-to-end tests ----------------------//
+//
+// Most tests compile a program and execute it on the simulator, checking the
+// observable result — the strongest statement that lexer, parser, sema and
+// codegen agree. Each runs at both -O0 and -O1 (parameterized), which pins
+// down that register promotion preserves semantics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "masm/Printer.h"
+#include "mcc/Compiler.h"
+#include "mcc/Frontend.h"
+#include "mcc/Lexer.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace dlq;
+using namespace dlq::mcc;
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(Lexer, BasicTokens) {
+  auto Toks = tokenize("int x = 0x1F + 'a';");
+  ASSERT_GE(Toks.size(), 8u);
+  EXPECT_EQ(Toks[0].Kind, TokKind::KwInt);
+  EXPECT_EQ(Toks[1].Kind, TokKind::Ident);
+  EXPECT_EQ(Toks[1].Text, "x");
+  EXPECT_EQ(Toks[2].Kind, TokKind::Assign);
+  EXPECT_EQ(Toks[3].Kind, TokKind::IntLit);
+  EXPECT_EQ(Toks[3].IntValue, 31);
+  EXPECT_EQ(Toks[4].Kind, TokKind::Plus);
+  EXPECT_EQ(Toks[5].IntValue, 'a');
+}
+
+TEST(Lexer, CommentsSkipped) {
+  auto Toks = tokenize("a // line\n /* block\n */ b");
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_EQ(Toks[0].Text, "a");
+  EXPECT_EQ(Toks[1].Text, "b");
+  EXPECT_EQ(Toks[1].Line, 3u);
+}
+
+TEST(Lexer, TwoCharOperators) {
+  auto Toks = tokenize("-> == != <= >= << >> && ||");
+  TokKind Expected[] = {TokKind::Arrow,     TokKind::EqEq,  TokKind::BangEq,
+                        TokKind::LessEq,    TokKind::GreaterEq, TokKind::Shl,
+                        TokKind::Shr,       TokKind::AmpAmp, TokKind::PipePipe,
+                        TokKind::Eof};
+  ASSERT_EQ(Toks.size(), 10u);
+  for (size_t I = 0; I != 10; ++I)
+    EXPECT_EQ(Toks[I].Kind, Expected[I]) << "token " << I;
+}
+
+TEST(Lexer, ReportsBadChar) {
+  auto Toks = tokenize("int $x;");
+  bool SawError = false;
+  for (const Token &T : Toks)
+    SawError |= T.Kind == TokKind::Error;
+  EXPECT_TRUE(SawError);
+}
+
+//===----------------------------------------------------------------------===//
+// Frontend diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST(Frontend, UndeclaredIdentifier) {
+  auto R = parseMinC("int main() { return nope; }");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.diagText().find("undeclared"), std::string::npos);
+}
+
+TEST(Frontend, ArgCountMismatch) {
+  auto R = parseMinC("int f(int a) { return a; } int main() { return f(); }");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(Frontend, BadFieldName) {
+  auto R = parseMinC(
+      "struct P { int x; }; int main() { struct P p; return p.y; }");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.diagText().find("no field 'y'"), std::string::npos);
+}
+
+TEST(Frontend, DerefNonPointer) {
+  auto R = parseMinC("int main() { int x; return *x; }");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(Frontend, StructLayout) {
+  auto R = parseMinC(
+      "struct N { char c; int v; struct N *next; };"
+      "int main() { return sizeof(struct N); }");
+  ASSERT_TRUE(R.ok()) << R.diagText();
+  StructDecl *S = R.Unit->Types.lookupStruct("N");
+  ASSERT_TRUE(S);
+  EXPECT_EQ(S->Fields[0].Offset, 0u);
+  EXPECT_EQ(S->Fields[1].Offset, 4u) << "int field aligned to 4";
+  EXPECT_EQ(S->Fields[2].Offset, 8u);
+  EXPECT_EQ(S->Size, 12u);
+}
+
+//===----------------------------------------------------------------------===//
+// Execution semantics at -O0 and -O1
+//===----------------------------------------------------------------------===//
+
+class MccExec : public ::testing::TestWithParam<unsigned> {
+protected:
+  int32_t runProgram(const std::string &Source) {
+    sim::RunResult R = test::compileAndRun(Source, GetParam());
+    return R.ExitCode;
+  }
+  std::string runOutput(const std::string &Source) {
+    sim::RunResult R = test::compileAndRun(Source, GetParam());
+    return R.Output;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(OptLevels, MccExec, ::testing::Values(0u, 1u),
+                         [](const auto &Info) {
+                           return "O" + std::to_string(Info.param);
+                         });
+
+TEST_P(MccExec, ReturnConstant) {
+  EXPECT_EQ(runProgram("int main() { return 42; }"), 42);
+}
+
+TEST_P(MccExec, Arithmetic) {
+  EXPECT_EQ(runProgram("int main() { return (3 + 4) * 5 - 36 / 6 % 4; }"),
+            (3 + 4) * 5 - 36 / 6 % 4);
+}
+
+TEST_P(MccExec, BitwiseAndShifts) {
+  EXPECT_EQ(runProgram("int main() { int a; int b; a = 0xF0; b = 0x1F;"
+                       "  return ((a & b) | (a ^ 3)) + (1 << 6) + (256 >> 2); }"),
+            ((0xF0 & 0x1F) | (0xF0 ^ 3)) + (1 << 6) + (256 >> 2));
+}
+
+TEST_P(MccExec, Comparisons) {
+  EXPECT_EQ(runProgram("int main() {"
+                       "  int r; r = 0;"
+                       "  if (1 < 2) r = r + 1;"
+                       "  if (2 <= 2) r = r + 10;"
+                       "  if (3 > 2) r = r + 100;"
+                       "  if (2 >= 3) r = r + 1000;"
+                       "  if (5 == 5) r = r + 10000;"
+                       "  if (5 != 5) r = r + 100000;"
+                       "  return r; }"),
+            10111);
+}
+
+TEST_P(MccExec, NegativeNumbers) {
+  EXPECT_EQ(runProgram("int main() { int x; x = -7; return -x * 3 + (-2); }"),
+            19);
+}
+
+TEST_P(MccExec, LogicalOperators) {
+  EXPECT_EQ(runProgram("int main() {"
+                       "  int a; int r; a = 5; r = 0;"
+                       "  if (a > 0 && a < 10) r = r + 1;"
+                       "  if (a < 0 || a > 4) r = r + 10;"
+                       "  if (!(a == 5)) r = r + 100;"
+                       "  return r + (a && 0) + (0 || 7 != 0); }"),
+            12);
+}
+
+TEST_P(MccExec, ShortCircuitSideEffects) {
+  // The right operand must not evaluate when the left decides.
+  EXPECT_EQ(runProgram("int g;"
+                       "int bump() { g = g + 1; return 1; }"
+                       "int main() {"
+                       "  g = 0;"
+                       "  if (0 && bump()) { }"
+                       "  if (1 || bump()) { }"
+                       "  return g; }"),
+            0);
+}
+
+TEST_P(MccExec, TernaryOperator) {
+  EXPECT_EQ(runProgram("int main() { int x; x = 3;"
+                       "  return (x > 2 ? 10 : 20) + (x > 5 ? 1 : 2); }"),
+            12);
+}
+
+TEST_P(MccExec, WhileLoopSum) {
+  EXPECT_EQ(runProgram("int main() {"
+                       "  int i; int sum; i = 1; sum = 0;"
+                       "  while (i <= 100) { sum = sum + i; i = i + 1; }"
+                       "  return sum; }"),
+            5050);
+}
+
+TEST_P(MccExec, ForLoopWithBreakContinue) {
+  EXPECT_EQ(runProgram("int main() {"
+                       "  int i; int sum; sum = 0;"
+                       "  for (i = 0; i < 100; i = i + 1) {"
+                       "    if (i % 2 == 0) continue;"
+                       "    if (i > 10) break;"
+                       "    sum = sum + i;"
+                       "  }"
+                       "  return sum; }"),
+            1 + 3 + 5 + 7 + 9);
+}
+
+TEST_P(MccExec, NestedLoops) {
+  EXPECT_EQ(runProgram("int main() {"
+                       "  int i; int j; int c; c = 0;"
+                       "  for (i = 0; i < 10; i = i + 1)"
+                       "    for (j = 0; j < i; j = j + 1)"
+                       "      c = c + 1;"
+                       "  return c; }"),
+            45);
+}
+
+TEST_P(MccExec, FunctionCalls) {
+  EXPECT_EQ(runProgram("int add3(int a, int b, int c) { return a + b + c; }"
+                       "int main() { return add3(1, add3(2, 3, 4), 5); }"),
+            15);
+}
+
+TEST_P(MccExec, Recursion) {
+  EXPECT_EQ(runProgram("int fib(int n) {"
+                       "  if (n < 2) return n;"
+                       "  return fib(n - 1) + fib(n - 2); }"
+                       "int main() { return fib(12); }"),
+            144);
+}
+
+TEST_P(MccExec, GlobalVariables) {
+  EXPECT_EQ(runProgram("int g = 7;"
+                       "int counter;"
+                       "void bump() { counter = counter + g; }"
+                       "int main() { bump(); bump(); return counter; }"),
+            14);
+}
+
+TEST_P(MccExec, GlobalArray) {
+  EXPECT_EQ(runProgram("int a[10];"
+                       "int main() {"
+                       "  int i;"
+                       "  for (i = 0; i < 10; i = i + 1) a[i] = i * i;"
+                       "  return a[3] + a[7]; }"),
+            9 + 49);
+}
+
+TEST_P(MccExec, LocalArray) {
+  EXPECT_EQ(runProgram("int main() {"
+                       "  int a[8]; int i; int s; s = 0;"
+                       "  for (i = 0; i < 8; i = i + 1) a[i] = i + 1;"
+                       "  for (i = 0; i < 8; i = i + 1) s = s + a[i];"
+                       "  return s; }"),
+            36);
+}
+
+TEST_P(MccExec, TwoDimensionalArray) {
+  EXPECT_EQ(runProgram("int m[4][5];"
+                       "int main() {"
+                       "  int i; int j;"
+                       "  for (i = 0; i < 4; i = i + 1)"
+                       "    for (j = 0; j < 5; j = j + 1)"
+                       "      m[i][j] = i * 10 + j;"
+                       "  return m[2][3] + m[3][4]; }"),
+            23 + 34);
+}
+
+TEST_P(MccExec, CharArraysUseByteAccess) {
+  EXPECT_EQ(runProgram("char buf[16];"
+                       "int main() {"
+                       "  int i;"
+                       "  for (i = 0; i < 16; i = i + 1) buf[i] = i * 2;"
+                       "  return buf[5] + buf[10]; }"),
+            10 + 20);
+}
+
+TEST_P(MccExec, PointerBasics) {
+  EXPECT_EQ(runProgram("int main() {"
+                       "  int x; int *p; x = 5; p = &x;"
+                       "  *p = *p + 37;"
+                       "  return x; }"),
+            42);
+}
+
+TEST_P(MccExec, PointerArithmetic) {
+  EXPECT_EQ(runProgram("int a[10];"
+                       "int main() {"
+                       "  int *p; int i;"
+                       "  for (i = 0; i < 10; i = i + 1) a[i] = i;"
+                       "  p = a; p = p + 4;"
+                       "  return *p + p[2] + *(p + 3); }"),
+            4 + 6 + 7);
+}
+
+TEST_P(MccExec, PointerDifference) {
+  EXPECT_EQ(runProgram("int a[10];"
+                       "int main() {"
+                       "  int *p; int *q; p = &a[2]; q = &a[9];"
+                       "  return q - p; }"),
+            7);
+}
+
+TEST_P(MccExec, StructsOnStack) {
+  EXPECT_EQ(runProgram("struct Point { int x; int y; };"
+                       "int main() {"
+                       "  struct Point p;"
+                       "  p.x = 11; p.y = 31;"
+                       "  return p.x + p.y; }"),
+            42);
+}
+
+TEST_P(MccExec, StructPointersAndArrow) {
+  EXPECT_EQ(runProgram("struct Point { int x; int y; };"
+                       "int get(struct Point *p) { return p->x * p->y; }"
+                       "int main() {"
+                       "  struct Point p;"
+                       "  p.x = 6; p.y = 7;"
+                       "  return get(&p); }"),
+            42);
+}
+
+TEST_P(MccExec, MallocLinkedList) {
+  EXPECT_EQ(runProgram(
+                "struct Node { int val; struct Node *next; };"
+                "int main() {"
+                "  struct Node *head; struct Node *n; int i; int sum;"
+                "  head = 0;"
+                "  for (i = 1; i <= 10; i = i + 1) {"
+                "    n = (struct Node*)malloc(sizeof(struct Node));"
+                "    n->val = i; n->next = head; head = n;"
+                "  }"
+                "  sum = 0;"
+                "  for (n = head; n != 0; n = n->next) sum = sum + n->val;"
+                "  return sum; }"),
+            55);
+}
+
+TEST_P(MccExec, StructWithArrayField) {
+  EXPECT_EQ(runProgram("struct Rec { int tag; int vals[4]; };"
+                       "int main() {"
+                       "  struct Rec r; int i;"
+                       "  r.tag = 2;"
+                       "  for (i = 0; i < 4; i = i + 1) r.vals[i] = i * 3;"
+                       "  return r.vals[r.tag]; }"),
+            6);
+}
+
+TEST_P(MccExec, ArrayOfStructs) {
+  EXPECT_EQ(runProgram("struct P { int x; int y; };"
+                       "struct P pts[5];"
+                       "int main() {"
+                       "  int i;"
+                       "  for (i = 0; i < 5; i = i + 1) {"
+                       "    pts[i].x = i; pts[i].y = i * i;"
+                       "  }"
+                       "  return pts[3].x + pts[4].y; }"),
+            3 + 16);
+}
+
+TEST_P(MccExec, RandIsDeterministic) {
+  // Two calls to the program give identical streams (seeded simulator RNG).
+  std::string Src = "int main() { srand(7); return rand() % 1000; }";
+  EXPECT_EQ(runProgram(Src), runProgram(Src));
+}
+
+TEST_P(MccExec, PrintOutput) {
+  EXPECT_EQ(runOutput("int main() {"
+                      "  int i;"
+                      "  for (i = 0; i < 3; i = i + 1) print_int(i * 5);"
+                      "  return 0; }"),
+            "0\n5\n10\n");
+}
+
+TEST_P(MccExec, SizeofValues) {
+  EXPECT_EQ(runProgram("struct S { int a; char c; };"
+                       "int main() {"
+                       "  return sizeof(int) + sizeof(char) * 10 +"
+                       "         sizeof(int*) * 100 + sizeof(struct S) * 1000; }"),
+            4 + 10 + 400 + 8000);
+}
+
+TEST_P(MccExec, DeepExpressionSpills) {
+  // Deep enough to exhaust the 8-register pool and force stack spills.
+  EXPECT_EQ(runProgram("int main() {"
+                       "  return 1 + (2 + (3 + (4 + (5 + (6 + (7 + (8 +"
+                       "         (9 + (10 + (11 + 12)))))))))); }"),
+            78);
+}
+
+TEST_P(MccExec, CallInsideExpression) {
+  EXPECT_EQ(runProgram("int sq(int x) { return x * x; }"
+                       "int main() { int a; a = 3; return a + sq(a) + a * 2; }"),
+            3 + 9 + 6);
+}
+
+TEST_P(MccExec, AssignmentChains) {
+  EXPECT_EQ(runProgram("int main() { int a; int b; int c;"
+                       "  a = b = c = 14; return a + b + c; }"),
+            42);
+}
+
+TEST_P(MccExec, VoidFunction) {
+  EXPECT_EQ(runProgram("int g;"
+                       "void setg(int v) { g = v; if (v > 100) return; g = g + 1; }"
+                       "int main() { setg(5); return g; }"),
+            6);
+}
+
+TEST_P(MccExec, HashLoopMatchesHost) {
+  // A xorshift-style hash evaluated both here and by the compiled program.
+  int32_t H = 1;
+  for (int I = 0; I != 50; ++I) {
+    H = static_cast<int32_t>(static_cast<int64_t>(H) * 31 + I);
+    H = H ^ ((H >> 7) != 0 ? (H >> 3) & 1023 : 7);
+  }
+  EXPECT_EQ(runProgram("int main() {"
+                       "  int h; int i; h = 1;"
+                       "  for (i = 0; i < 50; i = i + 1) {"
+                       "    h = h * 31 + i;"
+                       "    h = h ^ (h >> 7 ? (h >> 3) & 1023 : 7);"
+                       "  }"
+                       "  return h; }"),
+            H);
+}
+
+//===----------------------------------------------------------------------===//
+// Code shape properties
+//===----------------------------------------------------------------------===//
+
+TEST(MccCodeShape, UnoptimizedKeepsLocalsOnStack) {
+  auto M = test::compileOrDie("int main() { int i; int s; s = 0;"
+                              "  for (i = 0; i < 10; i = i + 1) s = s + i;"
+                              "  return s; }",
+                              /*OptLevel=*/0);
+  ASSERT_TRUE(M);
+  // Loads from $sp must appear (reloading i and s each iteration).
+  unsigned SpLoads = 0;
+  for (const auto &I : M->lookupFunction("main")->instrs())
+    if (masm::isLoad(I.Op) && I.Rs == masm::Reg::SP)
+      ++SpLoads;
+  EXPECT_GE(SpLoads, 3u) << printModule(*M);
+}
+
+TEST(MccCodeShape, OptimizedPromotesLocals) {
+  auto M = test::compileOrDie("int main() { int i; int s; s = 0;"
+                              "  for (i = 0; i < 10; i = i + 1) s = s + i;"
+                              "  return s; }",
+                              /*OptLevel=*/1);
+  ASSERT_TRUE(M);
+  // i and s live in $s-registers: no loop-carried sp loads besides the
+  // epilogue restores.
+  unsigned SpLoads = 0;
+  for (const auto &I : M->lookupFunction("main")->instrs())
+    if (masm::isLoad(I.Op) && I.Rs == masm::Reg::SP)
+      ++SpLoads;
+  // Epilogue restores: ra + 2 promoted regs.
+  EXPECT_LE(SpLoads, 3u) << printModule(*M);
+}
+
+TEST(MccCodeShape, GlobalsAddressedViaLa) {
+  auto M = test::compileOrDie("int g; int main() { g = 1; return g; }", 0);
+  ASSERT_TRUE(M);
+  bool SawLa = false;
+  for (const auto &I : M->lookupFunction("main")->instrs())
+    SawLa |= I.Op == masm::Opcode::La && I.Sym == "g";
+  EXPECT_TRUE(SawLa);
+}
+
+TEST(MccCodeShape, EmitsTypeMetadata) {
+  auto M = test::compileOrDie(
+      "struct N { int v; struct N *next; };"
+      "struct N *head;"
+      "int table[64];"
+      "int main() { struct N n; int x; x = 0; n.v = x; return n.v; }",
+      0);
+  ASSERT_TRUE(M);
+  const masm::VarType *HeadTy = M->typeInfo().lookupGlobal("head");
+  ASSERT_TRUE(HeadTy);
+  EXPECT_EQ(HeadTy->Kind, masm::VarKind::Scalar);
+  EXPECT_TRUE(HeadTy->IsPointer);
+
+  const masm::VarType *TableTy = M->typeInfo().lookupGlobal("table");
+  ASSERT_TRUE(TableTy);
+  EXPECT_EQ(TableTy->Kind, masm::VarKind::Array);
+
+  const masm::FunctionTypeInfo *FTI = M->typeInfo().lookupFunction("main");
+  ASSERT_TRUE(FTI);
+  // n (struct with a pointer field) and x (scalar).
+  bool SawStruct = false;
+  for (const auto &V : FTI->Vars)
+    if (V.Type.Kind == masm::VarKind::StructObj) {
+      SawStruct = true;
+      ASSERT_EQ(V.Type.Fields.size(), 2u);
+      EXPECT_FALSE(V.Type.Fields[0].IsPointer);
+      EXPECT_TRUE(V.Type.Fields[1].IsPointer);
+    }
+  EXPECT_TRUE(SawStruct);
+}
+
+TEST(MccCodeShape, CompiledModuleParsesBack) {
+  auto M = test::compileOrDie(
+      "int a[100];"
+      "int main() { int i; for (i = 0; i < 100; i = i + 1) a[i] = i;"
+      "  return a[50]; }",
+      0);
+  ASSERT_TRUE(M);
+  std::string Text = printModule(*M);
+  auto M2 = test::parseAsmOrDie(Text);
+  ASSERT_TRUE(M2);
+  EXPECT_EQ(M2->totalInstrs(), M->totalInstrs());
+  // And the re-parsed module still runs.
+  masm::Layout L(*M2);
+  sim::Machine Mach(*M2, L, sim::MachineOptions());
+  sim::RunResult R = Mach.run();
+  ASSERT_EQ(R.Halt, sim::HaltReason::Exited);
+  EXPECT_EQ(R.ExitCode, 50);
+}

@@ -1,0 +1,118 @@
+//===- tests/MetricsTest.cpp - pi/rho/xi/ideal/combination tests ---------------//
+
+#include "metrics/Metrics.h"
+
+#include <gtest/gtest.h>
+
+using namespace dlq;
+using namespace dlq::metrics;
+using namespace dlq::masm;
+
+namespace {
+
+InstrRef ref(uint32_t Idx) { return InstrRef{0, Idx}; }
+
+/// Stats with loads 0..4: misses 100, 50, 30, 10, 0; execs 1000 each.
+LoadStatsMap sampleStats() {
+  LoadStatsMap S;
+  uint64_t Misses[] = {100, 50, 30, 10, 0};
+  for (uint32_t I = 0; I != 5; ++I)
+    S[ref(I)] = sim::LoadStat{1000, Misses[I]};
+  return S;
+}
+
+} // namespace
+
+TEST(Metrics, EvaluateBasic) {
+  LoadStatsMap S = sampleStats();
+  LoadSet Delta = {ref(0), ref(1)};
+  EvalResult E = evaluate(/*Lambda=*/10, Delta, S);
+  EXPECT_EQ(E.Lambda, 10u);
+  EXPECT_EQ(E.DeltaSize, 2u);
+  EXPECT_EQ(E.TotalMisses, 190u);
+  EXPECT_EQ(E.CoveredMisses, 150u);
+  EXPECT_DOUBLE_EQ(E.pi(), 0.2);
+  EXPECT_NEAR(E.rho(), 150.0 / 190.0, 1e-12);
+}
+
+TEST(Metrics, EvaluateEmptyDelta) {
+  EvalResult E = evaluate(10, {}, sampleStats());
+  EXPECT_DOUBLE_EQ(E.pi(), 0.0);
+  EXPECT_DOUBLE_EQ(E.rho(), 0.0);
+}
+
+TEST(Metrics, IdealGreedyTakesBiggestFirst) {
+  LoadStatsMap S = sampleStats();
+  // 79% of 190 = 150.1 misses: needs loads 0 and 1 and 2 (100+50=150 < 150.1).
+  LoadSet Ideal = idealSetForCoverage(S, 0.79);
+  EXPECT_EQ(Ideal.size(), 3u);
+  EXPECT_TRUE(Ideal.count(ref(0)));
+  EXPECT_TRUE(Ideal.count(ref(1)));
+  EXPECT_TRUE(Ideal.count(ref(2)));
+
+  // 50% of 190 = 95: the single biggest load suffices.
+  LoadSet Ideal50 = idealSetForCoverage(S, 0.50);
+  EXPECT_EQ(Ideal50.size(), 1u);
+  EXPECT_TRUE(Ideal50.count(ref(0)));
+}
+
+TEST(Metrics, IdealIgnoresZeroMissLoads) {
+  LoadSet Ideal = idealSetForCoverage(sampleStats(), 1.0);
+  EXPECT_EQ(Ideal.size(), 4u) << "the zero-miss load is never needed";
+}
+
+TEST(Metrics, FalsePositiveImpact) {
+  LoadStatsMap S = sampleStats();
+  LoadSet Delta = {ref(0), ref(3), ref(4)};
+  LoadSet Ideal = {ref(0), ref(1)};
+  // False positives: loads 3 and 4 -> 2000 execs of 5000 total.
+  EXPECT_NEAR(falsePositiveImpact(Delta, Ideal, S), 0.4, 1e-12);
+  EXPECT_DOUBLE_EQ(falsePositiveImpact(Ideal, Ideal, S), 0.0);
+}
+
+TEST(Metrics, CombineEpsilonZeroIsIntersection) {
+  LoadSet DeltaP = {ref(0), ref(1), ref(2)};
+  LoadSet DeltaH = {ref(1), ref(2), ref(3), ref(4)};
+  std::map<InstrRef, double> Scores = {
+      {ref(3), 0.9}, {ref(4), 0.5}, {ref(1), 0.3}, {ref(2), 0.2}};
+  LoadSet C0 = combineWithProfiling(DeltaP, DeltaH, Scores, 0.0);
+  EXPECT_EQ(C0, (LoadSet{ref(1), ref(2)}));
+}
+
+TEST(Metrics, CombineEpsilonAddsHighestScoring) {
+  LoadSet DeltaP = {ref(0), ref(1)};
+  LoadSet DeltaH = {ref(1), ref(2), ref(3), ref(4), ref(5)};
+  std::map<InstrRef, double> Scores = {
+      {ref(2), 0.1}, {ref(3), 0.9}, {ref(4), 0.5}, {ref(5), 0.2}};
+  // Delta_d = {2,3,4,5}; epsilon=0.5 takes the top 2 by score: 3 and 4.
+  LoadSet C = combineWithProfiling(DeltaP, DeltaH, Scores, 0.5);
+  EXPECT_EQ(C, (LoadSet{ref(1), ref(3), ref(4)}));
+}
+
+TEST(Metrics, CombineEpsilonOneTakesAll) {
+  LoadSet DeltaP = {ref(0)};
+  LoadSet DeltaH = {ref(1), ref(2)};
+  std::map<InstrRef, double> Scores;
+  LoadSet C = combineWithProfiling(DeltaP, DeltaH, Scores, 1.0);
+  EXPECT_EQ(C, DeltaH);
+}
+
+TEST(Metrics, RandomSampleCoverageBounds) {
+  LoadStatsMap S = sampleStats();
+  LoadSet Pool = {ref(0), ref(1), ref(2), ref(3), ref(4)};
+  Rng R(7);
+  double Rho = randomSampleCoverage(Pool, 2, S, R, 10);
+  EXPECT_GE(Rho, 0.0);
+  EXPECT_LE(Rho, 1.0);
+  // Sampling everything covers everything.
+  Rng R2(7);
+  EXPECT_DOUBLE_EQ(randomSampleCoverage(Pool, 5, S, R2, 2), 1.0);
+}
+
+TEST(Metrics, RandomSampleDeterministicUnderSeed) {
+  LoadStatsMap S = sampleStats();
+  LoadSet Pool = {ref(0), ref(1), ref(2), ref(3), ref(4)};
+  Rng A(42), B(42);
+  EXPECT_DOUBLE_EQ(randomSampleCoverage(Pool, 2, S, A, 3),
+                   randomSampleCoverage(Pool, 2, S, B, 3));
+}

@@ -1,0 +1,161 @@
+//===- tests/ObjectFileTest.cpp - binary encode/decode tests --------------------//
+
+#include "masm/ObjectFile.h"
+#include "masm/Parser.h"
+#include "masm/Printer.h"
+#include "sim/Machine.h"
+#include "support/Rng.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace dlq;
+using namespace dlq::masm;
+
+namespace {
+
+std::unique_ptr<Module> sampleModule() {
+  return test::compileOrDie(
+      "struct Node { int v; struct Node *next; };"
+      "struct Node *head;"
+      "int table[256];"
+      "int walk() {"
+      "  struct Node *n; int s; s = 0;"
+      "  for (n = head; n != 0; n = n->next)"
+      "    s = s + n->v + table[n->v & 255];"
+      "  return s; }"
+      "int main() { return walk(); }",
+      0);
+}
+
+} // namespace
+
+TEST(ObjectFile, RoundTripStructure) {
+  auto M = sampleModule();
+  ASSERT_TRUE(M);
+  std::vector<uint8_t> Bytes = encodeModule(*M);
+  ASSERT_FALSE(Bytes.empty());
+
+  DecodeResult D = decodeModule(Bytes);
+  ASSERT_TRUE(D.ok()) << D.Error;
+  EXPECT_EQ(D.M->functions().size(), M->functions().size());
+  EXPECT_EQ(D.M->globals().size(), M->globals().size());
+  EXPECT_EQ(D.M->totalInstrs(), M->totalInstrs());
+  EXPECT_EQ(D.M->countLoads(), M->countLoads());
+}
+
+TEST(ObjectFile, RoundTripPreservesTypeInfo) {
+  auto M = sampleModule();
+  ASSERT_TRUE(M);
+  DecodeResult D = decodeModule(encodeModule(*M));
+  ASSERT_TRUE(D.ok()) << D.Error;
+
+  const VarType *Head = D.M->typeInfo().lookupGlobal("head");
+  ASSERT_TRUE(Head);
+  EXPECT_TRUE(Head->IsPointer);
+  const VarType *Table = D.M->typeInfo().lookupGlobal("table");
+  ASSERT_TRUE(Table);
+  EXPECT_EQ(Table->Kind, VarKind::Array);
+
+  const FunctionTypeInfo *FTI = D.M->typeInfo().lookupFunction("walk");
+  ASSERT_TRUE(FTI);
+  EXPECT_FALSE(FTI->Vars.empty());
+}
+
+TEST(ObjectFile, DecodedModuleRunsIdentically) {
+  auto M = sampleModule();
+  ASSERT_TRUE(M);
+  DecodeResult D = decodeModule(encodeModule(*M));
+  ASSERT_TRUE(D.ok()) << D.Error;
+
+  auto runIt = [](const Module &Mod) {
+    Layout L(Mod);
+    sim::Machine Mach(Mod, L, sim::MachineOptions());
+    return Mach.run();
+  };
+  sim::RunResult A = runIt(*M);
+  sim::RunResult B = runIt(*D.M);
+  ASSERT_EQ(A.Halt, sim::HaltReason::Exited);
+  ASSERT_EQ(B.Halt, sim::HaltReason::Exited);
+  EXPECT_EQ(A.ExitCode, B.ExitCode);
+  EXPECT_EQ(A.InstrsExecuted, B.InstrsExecuted);
+  EXPECT_EQ(A.LoadMisses, B.LoadMisses);
+}
+
+TEST(ObjectFile, DecodedModulePrintsAsValidAssembly) {
+  auto M = sampleModule();
+  ASSERT_TRUE(M);
+  DecodeResult D = decodeModule(encodeModule(*M));
+  ASSERT_TRUE(D.ok()) << D.Error;
+  std::string Text = printModule(*D.M);
+  auto Reparsed = parseAssembly(Text);
+  EXPECT_TRUE(Reparsed.ok()) << Reparsed.diagText();
+}
+
+TEST(ObjectFile, DoubleRoundTripIsStable) {
+  auto M = sampleModule();
+  ASSERT_TRUE(M);
+  std::vector<uint8_t> Once = encodeModule(*M);
+  DecodeResult D1 = decodeModule(Once);
+  ASSERT_TRUE(D1.ok()) << D1.Error;
+  std::vector<uint8_t> Twice = encodeModule(*D1.M);
+  DecodeResult D2 = decodeModule(Twice);
+  ASSERT_TRUE(D2.ok()) << D2.Error;
+  // Second-generation encodings are byte-identical.
+  EXPECT_EQ(Twice, encodeModule(*D2.M));
+}
+
+TEST(ObjectFile, RejectsBadMagic) {
+  std::vector<uint8_t> Bytes = {1, 2, 3, 4, 5, 6, 7, 8};
+  DecodeResult D = decodeModule(Bytes);
+  EXPECT_FALSE(D.ok());
+  EXPECT_NE(D.Error.find("magic"), std::string::npos);
+}
+
+TEST(ObjectFile, RejectsEmptyInput) {
+  DecodeResult D = decodeModule({});
+  EXPECT_FALSE(D.ok());
+}
+
+TEST(ObjectFile, RejectsTruncation) {
+  auto M = sampleModule();
+  ASSERT_TRUE(M);
+  std::vector<uint8_t> Bytes = encodeModule(*M);
+  // Every strict prefix must fail cleanly (never crash).
+  for (size_t Len : {size_t(4), size_t(9), Bytes.size() / 2,
+                     Bytes.size() - 1}) {
+    std::vector<uint8_t> Cut(Bytes.begin(), Bytes.begin() + Len);
+    DecodeResult D = decodeModule(Cut);
+    EXPECT_FALSE(D.ok()) << "prefix of " << Len << " bytes decoded";
+  }
+}
+
+TEST(ObjectFile, RejectsCorruptedOpcodes) {
+  auto M = sampleModule();
+  ASSERT_TRUE(M);
+  std::vector<uint8_t> Bytes = encodeModule(*M);
+  // Flip bytes across the file; decoding must either fail cleanly or
+  // produce a structurally valid module — never crash.
+  Rng R(99);
+  for (int Trial = 0; Trial != 200; ++Trial) {
+    std::vector<uint8_t> Fuzzed = Bytes;
+    size_t At = static_cast<size_t>(R.nextBelow(Fuzzed.size()));
+    Fuzzed[At] ^= static_cast<uint8_t>(1 + R.nextBelow(255));
+    DecodeResult D = decodeModule(Fuzzed);
+    if (D.ok()) {
+      EXPECT_TRUE(D.M->finalize());
+    } else {
+      EXPECT_FALSE(D.Error.empty());
+    }
+  }
+}
+
+TEST(ObjectFile, EncodesEmptyModule) {
+  Module M;
+  std::vector<uint8_t> Bytes = encodeModule(M);
+  DecodeResult D = decodeModule(Bytes);
+  ASSERT_TRUE(D.ok()) << D.Error;
+  EXPECT_TRUE(D.M->functions().empty());
+  EXPECT_TRUE(D.M->globals().empty());
+}

@@ -1,0 +1,195 @@
+//===- tests/PipelineTest.cpp - end-to-end integration tests --------------------//
+//
+// Integration tests across the whole stack: MinC compilation, simulation,
+// address patterns, heuristic, baselines, profiling and metrics — the same
+// path the bench binaries take, verified on a few workloads with invariant
+// checks rather than golden numbers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Bdh.h"
+#include "baselines/Okn.h"
+#include "pipeline/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace dlq;
+using namespace dlq::pipeline;
+
+namespace {
+
+/// One shared driver: workload runs memoize across tests in this file.
+Driver &driver() {
+  static Driver D;
+  return D;
+}
+
+constexpr const char *FastBench = "li_like";
+
+} // namespace
+
+TEST(Pipeline, CompileIsMemoized) {
+  Driver &D = driver();
+  const Compiled &A = D.compiled(FastBench, InputSel::Input1, 0);
+  const Compiled &B = D.compiled(FastBench, InputSel::Input1, 0);
+  EXPECT_EQ(&A, &B);
+  const Compiled &C = D.compiled(FastBench, InputSel::Input2, 0);
+  EXPECT_NE(&A, &C);
+}
+
+TEST(Pipeline, RunIsMemoizedPerCache) {
+  Driver &D = driver();
+  sim::CacheConfig C8 = sim::CacheConfig::baseline();
+  sim::CacheConfig C16{16 * 1024, 4, 32};
+  const sim::RunResult &A = D.run(FastBench, InputSel::Input1, 0, C8);
+  const sim::RunResult &B = D.run(FastBench, InputSel::Input1, 0, C8);
+  EXPECT_EQ(&A, &B);
+  const sim::RunResult &C = D.run(FastBench, InputSel::Input1, 0, C16);
+  EXPECT_NE(&A, &C);
+  EXPECT_LE(C.LoadMisses, A.LoadMisses)
+      << "a larger cache must not miss more on the same trace";
+}
+
+TEST(Pipeline, GroundTruthConsistency) {
+  Driver &D = driver();
+  GroundTruth G =
+      D.groundTruth(FastBench, InputSel::Input1, 0, sim::CacheConfig::baseline());
+  const Compiled &C = D.compiled(FastBench, InputSel::Input1, 0);
+
+  // Per-load stats must sum to the run totals.
+  uint64_t SumMisses = 0, SumExecs = 0;
+  for (const auto &[Ref, S] : G.Stats) {
+    SumMisses += S.Misses;
+    SumExecs += S.Execs;
+  }
+  EXPECT_EQ(SumMisses, G.R->LoadMisses);
+  EXPECT_EQ(G.TotalLoadMisses, G.R->LoadMisses);
+  EXPECT_EQ(G.Stats.size(), C.lambda());
+  EXPECT_GT(SumExecs, 0u);
+}
+
+TEST(Pipeline, HeuristicBeatsBaselinesOnPrecision) {
+  Driver &D = driver();
+  sim::CacheConfig Cache = sim::CacheConfig::baseline();
+  classify::HeuristicOptions Opts;
+
+  double HeurPi = 0, OknPi = 0, BdhPi = 0;
+  double HeurRho = 0;
+  const char *Benchmarks[] = {"li_like", "mcf_like", "compress_like"};
+  for (const char *Name : Benchmarks) {
+    GroundTruth G = D.groundTruth(Name, InputSel::Input1, 0, Cache);
+    const Compiled &C = D.compiled(Name, InputSel::Input1, 0);
+    HeuristicEval H = D.evalHeuristic(Name, InputSel::Input1, 0, Cache, Opts);
+
+    auto OknE = metrics::evaluate(
+        C.lambda(), baselines::oknDelinquentSet(*C.Analysis), G.Stats);
+    baselines::BdhAnalyzer Bdh(*C.Analysis);
+    auto BdhE = metrics::evaluate(C.lambda(), Bdh.delinquentSet(), G.Stats);
+
+    HeurPi += H.E.pi();
+    HeurRho += H.E.rho();
+    OknPi += OknE.pi();
+    BdhPi += BdhE.pi();
+  }
+  HeurPi /= 3;
+  HeurRho /= 3;
+  OknPi /= 3;
+  BdhPi /= 3;
+
+  // The paper's headline: comparable coverage at a fraction of the loads.
+  EXPECT_GT(HeurRho, 0.85);
+  EXPECT_LT(HeurPi, OknPi);
+  EXPECT_LT(HeurPi, BdhPi);
+  EXPECT_LT(HeurPi, 0.20);
+}
+
+TEST(Pipeline, HotspotLoadsAreASmallSubset) {
+  Driver &D = driver();
+  sim::CacheConfig Cache = sim::CacheConfig::baseline();
+  metrics::LoadSet Hot =
+      D.hotspotLoads(FastBench, InputSel::Input1, 0, Cache, 0.90);
+  const Compiled &C = D.compiled(FastBench, InputSel::Input1, 0);
+  EXPECT_FALSE(Hot.empty());
+  EXPECT_LT(Hot.size(), C.lambda() / 2)
+      << "cold-library loads must fall outside the hotspot set";
+}
+
+TEST(Pipeline, HotspotCoverageGrowsWithFraction) {
+  Driver &D = driver();
+  sim::CacheConfig Cache = sim::CacheConfig::baseline();
+  GroundTruth G = D.groundTruth(FastBench, InputSel::Input1, 0, Cache);
+  const Compiled &C = D.compiled(FastBench, InputSel::Input1, 0);
+  auto Rho = [&](double Frac) {
+    metrics::LoadSet Hot =
+        D.hotspotLoads(FastBench, InputSel::Input1, 0, Cache, Frac);
+    return metrics::evaluate(C.lambda(), Hot, G.Stats).rho();
+  };
+  EXPECT_LE(Rho(0.50), Rho(0.90) + 1e-12);
+  EXPECT_LE(Rho(0.90), Rho(0.99) + 1e-12);
+}
+
+TEST(Pipeline, DeltaShrinksAsThresholdRises) {
+  Driver &D = driver();
+  sim::CacheConfig Cache = sim::CacheConfig::baseline();
+  size_t PrevSize = SIZE_MAX;
+  for (double Delta : {0.10, 0.20, 0.30, 0.40}) {
+    classify::HeuristicOptions Opts;
+    Opts.Delta = Delta;
+    HeuristicEval E =
+        D.evalHeuristic(FastBench, InputSel::Input1, 0, Cache, Opts);
+    EXPECT_LE(E.Delta.size(), PrevSize);
+    PrevSize = E.Delta.size();
+  }
+}
+
+TEST(Pipeline, NoFreqClassesGrowDelta) {
+  Driver &D = driver();
+  sim::CacheConfig Cache = sim::CacheConfig::baseline();
+  classify::HeuristicOptions Full;
+  classify::HeuristicOptions NoFreq;
+  NoFreq.UseFreqClasses = false;
+  HeuristicEval F = D.evalHeuristic(FastBench, InputSel::Input1, 0, Cache, Full);
+  HeuristicEval N =
+      D.evalHeuristic(FastBench, InputSel::Input1, 0, Cache, NoFreq);
+  EXPECT_GE(N.Delta.size(), F.Delta.size())
+      << "AG8/AG9 can only remove loads";
+  // And the full Delta must be a subset of the static one.
+  for (const auto &Ref : F.Delta)
+    EXPECT_TRUE(N.Delta.count(Ref));
+}
+
+TEST(Pipeline, CoverageStableAcrossAssociativity) {
+  Driver &D = driver();
+  classify::HeuristicOptions Opts;
+  double Prev = -1;
+  for (uint32_t Assoc : {2u, 4u, 8u}) {
+    sim::CacheConfig Cache{8 * 1024, Assoc, 32};
+    HeuristicEval E =
+        D.evalHeuristic(FastBench, InputSel::Input1, 0, Cache, Opts);
+    EXPECT_GT(E.E.rho(), 0.85) << "assoc " << Assoc;
+    if (Prev >= 0) {
+      EXPECT_NEAR(E.E.rho(), Prev, 0.15);
+    }
+    Prev = E.E.rho();
+  }
+}
+
+TEST(Pipeline, EpsilonCombinationSharpensProfiling) {
+  Driver &D = driver();
+  sim::CacheConfig Cache = sim::CacheConfig::baseline();
+  classify::HeuristicOptions Opts;
+  GroundTruth G = D.groundTruth(FastBench, InputSel::Input1, 0, Cache);
+  const Compiled &C = D.compiled(FastBench, InputSel::Input1, 0);
+  HeuristicEval H = D.evalHeuristic(FastBench, InputSel::Input1, 0, Cache, Opts);
+  metrics::LoadSet DeltaP =
+      D.hotspotLoads(FastBench, InputSel::Input1, 0, Cache, 0.90);
+
+  metrics::LoadSet Combined =
+      metrics::combineWithProfiling(DeltaP, H.Delta, H.Scores, 0.0);
+  auto CombE = metrics::evaluate(C.lambda(), Combined, G.Stats);
+  auto ProfE = metrics::evaluate(C.lambda(), DeltaP, G.Stats);
+
+  EXPECT_LE(CombE.DeltaSize, ProfE.DeltaSize)
+      << "the combination must be at least as precise as profiling";
+  EXPECT_GT(CombE.rho(), 0.75) << "while keeping most of the coverage";
+}

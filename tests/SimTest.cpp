@@ -1,0 +1,372 @@
+//===- tests/SimTest.cpp - memory, cache, machine, profile ---------------------//
+
+#include "sim/Cache.h"
+#include "sim/Machine.h"
+#include "sim/Memory.h"
+#include "sim/Profile.h"
+#include "support/Rng.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace dlq;
+using namespace dlq::sim;
+using namespace dlq::masm;
+
+//===----------------------------------------------------------------------===//
+// Memory
+//===----------------------------------------------------------------------===//
+
+TEST(Memory, ZeroInitialized) {
+  Memory M;
+  EXPECT_EQ(M.readWord(0x10000000), 0u);
+  EXPECT_EQ(M.readByte(0x7FFFFFFF), 0u);
+  EXPECT_EQ(M.numPages(), 0u) << "reads must not materialize pages";
+}
+
+TEST(Memory, ReadWriteRoundTrip) {
+  Memory M;
+  M.writeWord(0x10000000, 0xDEADBEEF);
+  EXPECT_EQ(M.readWord(0x10000000), 0xDEADBEEFu);
+  EXPECT_EQ(M.readByte(0x10000000), 0xEFu) << "little-endian layout";
+  EXPECT_EQ(M.readByte(0x10000003), 0xDEu);
+  M.writeHalf(0x10000010, 0x1234);
+  EXPECT_EQ(M.readHalf(0x10000010), 0x1234u);
+  M.writeByte(0x10000020, 0x7F);
+  EXPECT_EQ(M.readByte(0x10000020), 0x7Fu);
+}
+
+TEST(Memory, CrossPageAccess) {
+  Memory M;
+  uint32_t Addr = 2 * Memory::PageBytes - 2;
+  M.writeWord(Addr, 0x11223344);
+  EXPECT_EQ(M.readWord(Addr), 0x11223344u);
+  EXPECT_EQ(M.numPages(), 2u);
+}
+
+TEST(Memory, WriteBlock) {
+  Memory M;
+  uint8_t Data[5] = {1, 2, 3, 4, 5};
+  M.writeBlock(0x20000000, Data, 5);
+  for (uint32_t I = 0; I != 5; ++I)
+    EXPECT_EQ(M.readByte(0x20000000 + I), Data[I]);
+}
+
+//===----------------------------------------------------------------------===//
+// Cache
+//===----------------------------------------------------------------------===//
+
+TEST(Cache, ConfigValidation) {
+  EXPECT_TRUE((CacheConfig{8192, 4, 32}.valid()));
+  EXPECT_TRUE(CacheConfig::training().valid());
+  EXPECT_FALSE((CacheConfig{8192, 3, 32}.valid())) << "3 ways, 85.3 sets";
+  EXPECT_FALSE((CacheConfig{100, 4, 32}.valid()));
+  EXPECT_EQ(CacheConfig::training().numSets(), 256u);
+  EXPECT_EQ(CacheConfig::baseline().numSets(), 64u);
+}
+
+TEST(Cache, ColdMissThenHit) {
+  Cache C(CacheConfig{1024, 2, 32});
+  EXPECT_FALSE(C.access(0x1000));
+  EXPECT_TRUE(C.access(0x1000));
+  EXPECT_TRUE(C.access(0x101F)) << "same 32-byte block";
+  EXPECT_FALSE(C.access(0x1020)) << "next block";
+  EXPECT_EQ(C.misses(), 2u);
+  EXPECT_EQ(C.hits(), 2u);
+}
+
+TEST(Cache, LruEviction) {
+  // Direct construction of conflicting addresses: 2-way, 16 sets of 32B;
+  // stride of 16*32 = 512 maps to the same set.
+  Cache C(CacheConfig{1024, 2, 32});
+  EXPECT_FALSE(C.access(0));
+  EXPECT_FALSE(C.access(512));
+  EXPECT_TRUE(C.access(0));
+  EXPECT_TRUE(C.access(512));
+  // Third conflicting block evicts the LRU (block 0).
+  EXPECT_FALSE(C.access(1024));
+  EXPECT_FALSE(C.access(0)) << "0 was evicted as LRU";
+  EXPECT_TRUE(C.access(1024)) << "1024 must have survived";
+}
+
+TEST(Cache, FlushDropsContents) {
+  Cache C(CacheConfig{1024, 2, 32});
+  C.access(0);
+  C.flush();
+  EXPECT_FALSE(C.access(0));
+  EXPECT_EQ(C.misses(), 2u) << "stats survive flush";
+}
+
+/// LRU stack property: with the same number of sets and block size, a cache
+/// with higher associativity hits on a superset of the accesses. Sweep a
+/// pseudo-random trace.
+TEST(Cache, InclusionPropertyAcrossAssociativity) {
+  Rng R(123);
+  std::vector<uint32_t> Trace;
+  for (int I = 0; I != 20000; ++I)
+    Trace.push_back(static_cast<uint32_t>(R.nextBelow(1 << 16)));
+
+  // 64 sets x 32B; assoc 2/4/8 => 4KB/8KB/16KB.
+  Cache C2(CacheConfig{2 * 64 * 32, 2, 32});
+  Cache C4(CacheConfig{4 * 64 * 32, 4, 32});
+  Cache C8(CacheConfig{8 * 64 * 32, 8, 32});
+  for (uint32_t A : Trace) {
+    bool H2 = C2.access(A);
+    bool H4 = C4.access(A);
+    bool H8 = C8.access(A);
+    EXPECT_LE(H2, H4) << "a 2-way hit must also hit 4-way";
+    EXPECT_LE(H4, H8) << "a 4-way hit must also hit 8-way";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Machine
+//===----------------------------------------------------------------------===//
+
+TEST(Machine, RunsArithmetic) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl main
+main:
+        li  $t0, 6
+        li  $t1, 7
+        mul $v0, $t0, $t1
+        jr  $ra
+)");
+  ASSERT_TRUE(M);
+  Layout L(*M);
+  Machine Mach(*M, L, MachineOptions());
+  RunResult R = Mach.run();
+  ASSERT_EQ(R.Halt, HaltReason::Exited);
+  EXPECT_EQ(R.ExitCode, 42);
+  EXPECT_EQ(R.InstrsExecuted, 4u);
+}
+
+TEST(Machine, LoadsAndStores) {
+  auto M = test::parseAsmOrDie(R"(
+        .data
+g:      .word 10
+        .text
+        .globl main
+main:
+        la  $t0, g
+        lw  $t1, 0($t0)
+        addi $t1, $t1, 5
+        sw  $t1, 0($t0)
+        lw  $v0, 0($t0)
+        jr  $ra
+)");
+  ASSERT_TRUE(M);
+  Layout L(*M);
+  Machine Mach(*M, L, MachineOptions());
+  RunResult R = Mach.run();
+  ASSERT_EQ(R.Halt, HaltReason::Exited);
+  EXPECT_EQ(R.ExitCode, 15);
+  EXPECT_EQ(R.DataAccesses, 3u);
+  // First load misses (cold), second load hits.
+  EXPECT_EQ(R.LoadMisses, 1u);
+  EXPECT_EQ(R.StoreMisses, 0u);
+}
+
+TEST(Machine, CallAndReturn) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl double_it
+double_it:
+        add $v0, $a0, $a0
+        jr  $ra
+        .globl main
+main:
+        addi $sp, $sp, -8
+        sw   $ra, 4($sp)
+        li   $a0, 21
+        jal  double_it
+        lw   $ra, 4($sp)
+        addi $sp, $sp, 8
+        jr   $ra
+)");
+  ASSERT_TRUE(M);
+  Layout L(*M);
+  Machine Mach(*M, L, MachineOptions());
+  RunResult R = Mach.run();
+  ASSERT_EQ(R.Halt, HaltReason::Exited);
+  EXPECT_EQ(R.ExitCode, 42);
+}
+
+TEST(Machine, RuntimeMallocFreeReuse) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl main
+main:
+        addi $sp, $sp, -8
+        sw   $ra, 4($sp)
+        li   $a0, 16
+        jal  malloc
+        move $s0, $v0
+        move $a0, $s0
+        jal  free
+        li   $a0, 16
+        jal  malloc
+        xor  $v0, $v0, $s0
+        lw   $ra, 4($sp)
+        addi $sp, $sp, 8
+        jr   $ra
+)");
+  ASSERT_TRUE(M);
+  Layout L(*M);
+  Machine Mach(*M, L, MachineOptions());
+  RunResult R = Mach.run();
+  ASSERT_EQ(R.Halt, HaltReason::Exited);
+  EXPECT_EQ(R.ExitCode, 0) << "freed block should be reused for same size";
+}
+
+TEST(Machine, PrintAndExit) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl main
+main:
+        li  $a0, 123
+        jal print_int
+        li  $a0, 7
+        jal exit
+        li  $v0, 99
+        jr  $ra
+)");
+  ASSERT_TRUE(M);
+  Layout L(*M);
+  Machine Mach(*M, L, MachineOptions());
+  RunResult R = Mach.run();
+  ASSERT_EQ(R.Halt, HaltReason::Exited);
+  EXPECT_EQ(R.ExitCode, 7);
+  EXPECT_EQ(R.Output, "123\n");
+}
+
+TEST(Machine, FuelLimit) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl main
+main:
+Lspin:
+        j Lspin
+)");
+  ASSERT_TRUE(M);
+  Layout L(*M);
+  MachineOptions Opts;
+  Opts.MaxInstrs = 1000;
+  Machine Mach(*M, L, Opts);
+  RunResult R = Mach.run();
+  EXPECT_EQ(R.Halt, HaltReason::FuelExhausted);
+  EXPECT_EQ(R.InstrsExecuted, 1000u);
+}
+
+TEST(Machine, DivideByZeroTraps) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl main
+main:
+        li  $t0, 1
+        div $v0, $t0, $zero
+        jr  $ra
+)");
+  ASSERT_TRUE(M);
+  Layout L(*M);
+  Machine Mach(*M, L, MachineOptions());
+  RunResult R = Mach.run();
+  EXPECT_EQ(R.Halt, HaltReason::Trapped);
+}
+
+TEST(Machine, UnknownCallTraps) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl main
+main:
+        jal nosuchfn
+        jr  $ra
+)");
+  ASSERT_TRUE(M);
+  Layout L(*M);
+  Machine Mach(*M, L, MachineOptions());
+  RunResult R = Mach.run();
+  EXPECT_EQ(R.Halt, HaltReason::Trapped);
+  EXPECT_NE(R.TrapMessage.find("nosuchfn"), std::string::npos);
+}
+
+TEST(Machine, PerPcLoadStats) {
+  auto M = test::parseAsmOrDie(R"(
+        .data
+arr:    .space 65536
+        .text
+        .globl main
+main:
+        li   $t0, 0
+        li   $t1, 65536
+        la   $t2, arr
+Lhead:
+        add  $t3, $t2, $t0
+        lw   $t4, 0($t3)
+        addi $t0, $t0, 4
+        blt  $t0, $t1, Lhead
+        li   $v0, 0
+        jr   $ra
+)");
+  ASSERT_TRUE(M);
+  Layout L(*M);
+  MachineOptions Opts;
+  Opts.DCache = CacheConfig{8192, 4, 32};
+  Machine Mach(*M, L, Opts);
+  RunResult R = Mach.run();
+  ASSERT_EQ(R.Halt, HaltReason::Exited);
+
+  auto Stats = R.loadStats(*M);
+  ASSERT_EQ(Stats.size(), 1u);
+  const LoadStat &S = Stats.begin()->second;
+  EXPECT_EQ(S.Execs, 16384u);
+  // Sequential scan of 64KB with 32B blocks: one miss per block.
+  EXPECT_EQ(S.Misses, 65536u / 32u);
+}
+
+//===----------------------------------------------------------------------===//
+// BlockProfile
+//===----------------------------------------------------------------------===//
+
+TEST(BlockProfile, CyclesAndHotspots) {
+  auto M = test::parseAsmOrDie(R"(
+        .data
+arr:    .space 4096
+        .text
+        .globl main
+main:
+        li   $t0, 0
+        li   $t1, 1000
+        la   $t2, arr
+Lhead:
+        andi $t3, $t0, 1023
+        add  $t3, $t2, $t3
+        lw   $t4, 0($t3)
+        addi $t0, $t0, 1
+        blt  $t0, $t1, Lhead
+        li   $v0, 0
+        jr   $ra
+)");
+  ASSERT_TRUE(M);
+  Layout L(*M);
+  Machine Mach(*M, L, MachineOptions());
+  RunResult R = Mach.run();
+  ASSERT_EQ(R.Halt, HaltReason::Exited);
+
+  std::vector<cfg::Cfg> Cfgs = buildAllCfgs(*M);
+  BlockProfile P(*M, Cfgs, R);
+  EXPECT_EQ(P.totalCycles(), R.InstrsExecuted);
+
+  // The loop body block dominates the cycle count; the hotspot set at 90%
+  // must contain its load.
+  auto Hot = P.hotspotLoads(0.90);
+  ASSERT_EQ(Hot.size(), 1u);
+  EXPECT_EQ(M->instrAt(*Hot.begin()).Op, Opcode::Lw);
+
+  // Entry block runs once.
+  EXPECT_EQ(P.blockEntries(BlockRef{0, 0}), 1u);
+  EXPECT_EQ(P.execCount(InstrRef{0, 0}), 1u);
+  EXPECT_EQ(P.execCount(InstrRef{0, 5}), 1000u);
+}

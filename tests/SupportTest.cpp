@@ -1,0 +1,133 @@
+//===- tests/SupportTest.cpp - support library tests --------------------------//
+
+#include "support/Arena.h"
+#include "support/Format.h"
+#include "support/Rng.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace dlq;
+
+TEST(Format, Basic) {
+  EXPECT_EQ(formatString("x=%d y=%s", 42, "hi"), "x=42 y=hi");
+  EXPECT_EQ(formatString("%s", ""), "");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(formatPercent(0.1015), "10.15%");
+  EXPECT_EQ(formatPercent(0.9, 0), "90%");
+  EXPECT_EQ(formatPercent(1.0, 1), "100.0%");
+}
+
+TEST(Format, Scientific) {
+  EXPECT_EQ(formatScientific(729000000ull), "7.29e+08");
+  EXPECT_EQ(formatScientific(0), "0.00e+00");
+}
+
+TEST(Format, Commas) {
+  EXPECT_EQ(formatWithCommas(0), "0");
+  EXPECT_EQ(formatWithCommas(999), "999");
+  EXPECT_EQ(formatWithCommas(1000), "1,000");
+  EXPECT_EQ(formatWithCommas(16354), "16,354");
+  EXPECT_EQ(formatWithCommas(121112345), "121,112,345");
+}
+
+TEST(Rng, Deterministic) {
+  Rng A(42), B(42);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  bool AnyDiff = false;
+  for (int I = 0; I != 10; ++I)
+    AnyDiff |= A.next() != B.next();
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST(Rng, RangeBounds) {
+  Rng R(7);
+  for (int I = 0; I != 1000; ++I) {
+    int64_t V = R.nextInRange(-5, 5);
+    EXPECT_GE(V, -5);
+    EXPECT_LE(V, 5);
+  }
+}
+
+TEST(Rng, BelowBounds) {
+  Rng R(9);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I != 1000; ++I) {
+    uint64_t V = R.nextBelow(7);
+    EXPECT_LT(V, 7u);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 7u) << "all residues should appear in 1000 draws";
+}
+
+TEST(Rng, DoubleUnit) {
+  Rng R(11);
+  for (int I = 0; I != 1000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Arena, AllocatesAligned) {
+  Arena A;
+  void *P1 = A.allocate(3, 1);
+  void *P2 = A.allocate(8, 8);
+  EXPECT_NE(P1, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P2) % 8, 0u);
+  EXPECT_EQ(A.bytesAllocated(), 11u);
+}
+
+TEST(Arena, LargeAllocationsGetOwnSlab) {
+  Arena A;
+  void *P = A.allocate(1024 * 1024, 8);
+  EXPECT_NE(P, nullptr);
+  // Must still be able to allocate small things.
+  EXPECT_NE(A.allocate(16, 4), nullptr);
+}
+
+TEST(Arena, CreateObjects) {
+  Arena A;
+  struct Point {
+    int X, Y;
+  };
+  Point *P = A.create<Point>(Point{1, 2});
+  EXPECT_EQ(P->X, 1);
+  EXPECT_EQ(P->Y, 2);
+}
+
+TEST(Table, RendersAligned) {
+  TextTable T({"name", "value"});
+  T.addRow({"a", "1"});
+  T.addRow({"bbb", "22"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("name"), std::string::npos);
+  EXPECT_NE(Out.find("bbb"), std::string::npos);
+  // Each line has the same length.
+  size_t FirstNl = Out.find('\n');
+  ASSERT_NE(FirstNl, std::string::npos);
+  size_t LineLen = FirstNl;
+  size_t Pos = 0;
+  while (Pos < Out.size()) {
+    size_t Nl = Out.find('\n', Pos);
+    ASSERT_NE(Nl, std::string::npos);
+    EXPECT_EQ(Nl - Pos, LineLen);
+    Pos = Nl + 1;
+  }
+}
+
+TEST(Table, ShortRowsPad) {
+  TextTable T({"a", "b", "c"});
+  T.addRow({"x"});
+  EXPECT_EQ(T.numRows(), 1u);
+  EXPECT_NE(T.render().find('x'), std::string::npos);
+}

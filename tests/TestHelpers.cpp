@@ -1,0 +1,37 @@
+//===- tests/TestHelpers.cpp --------------------------------------------------//
+
+#include "TestHelpers.h"
+
+#include "masm/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace dlq;
+using namespace dlq::test;
+
+std::unique_ptr<masm::Module> test::compileOrDie(std::string_view Source,
+                                                 unsigned OptLevel) {
+  mcc::CompileOptions Opts;
+  Opts.OptLevel = OptLevel;
+  mcc::CompileResult R = mcc::compile(Source, Opts);
+  EXPECT_TRUE(R.ok()) << "compile failed:\n" << R.Errors;
+  return std::move(R.M);
+}
+
+sim::RunResult test::compileAndRun(std::string_view Source, unsigned OptLevel,
+                                   sim::MachineOptions Opts) {
+  std::unique_ptr<masm::Module> M = compileOrDie(Source, OptLevel);
+  if (!M)
+    return sim::RunResult();
+  masm::Layout L(*M);
+  sim::Machine Machine(*M, L, Opts);
+  sim::RunResult R = Machine.run();
+  EXPECT_EQ(R.Halt, sim::HaltReason::Exited) << "trap: " << R.TrapMessage;
+  return R;
+}
+
+std::unique_ptr<masm::Module> test::parseAsmOrDie(std::string_view Source) {
+  masm::ParseResult R = masm::parseAssembly(Source);
+  EXPECT_TRUE(R.ok()) << "assembly parse failed:\n" << R.diagText();
+  return std::move(R.M);
+}

@@ -1,0 +1,36 @@
+//===- tests/TestHelpers.h - Shared test utilities ---------------------------//
+//
+// Part of the delinq project test suite.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_TESTS_TESTHELPERS_H
+#define DLQ_TESTS_TESTHELPERS_H
+
+#include "masm/Module.h"
+#include "mcc/Compiler.h"
+#include "sim/Machine.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace dlq {
+namespace test {
+
+/// Compiles MinC source, failing the test on diagnostics.
+std::unique_ptr<masm::Module> compileOrDie(std::string_view Source,
+                                           unsigned OptLevel = 0);
+
+/// Compiles and runs a MinC program; returns the run result. Fails the test
+/// if compilation fails or the program traps.
+sim::RunResult compileAndRun(std::string_view Source, unsigned OptLevel = 0,
+                             sim::MachineOptions Opts = sim::MachineOptions());
+
+/// Parses assembly text, failing the test on diagnostics.
+std::unique_ptr<masm::Module> parseAsmOrDie(std::string_view Source);
+
+} // namespace test
+} // namespace dlq
+
+#endif // DLQ_TESTS_TESTHELPERS_H

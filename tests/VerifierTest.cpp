@@ -1,0 +1,146 @@
+//===- tests/VerifierTest.cpp - module verifier tests ---------------------------//
+
+#include "masm/Verifier.h"
+
+#include "masm/ObjectFile.h"
+#include "workloads/Workloads.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace dlq;
+using namespace dlq::masm;
+
+TEST(Verifier, CompiledModulesAreClean) {
+  auto M = test::compileOrDie(
+      "struct Node { int v; struct Node *next; };"
+      "struct Node *head;"
+      "int table[64];"
+      "int walk(struct Node *n) {"
+      "  int s; s = 0;"
+      "  while (n != 0) { s = s + n->v + table[n->v & 63]; n = n->next; }"
+      "  return s; }"
+      "int main() { return walk(head); }",
+      0);
+  ASSERT_TRUE(M);
+  auto Issues = verifyModule(*M);
+  EXPECT_TRUE(Issues.empty()) << verifyReport(Issues);
+}
+
+TEST(Verifier, AllWorkloadsAreCleanAtBothOptLevels) {
+  for (const auto &W : workloads::allWorkloads()) {
+    std::string Source = workloads::instantiate(W, W.Input1);
+    for (unsigned Opt : {0u, 1u}) {
+      auto M = test::compileOrDie(Source, Opt);
+      ASSERT_TRUE(M);
+      auto Issues = verifyModule(*M);
+      EXPECT_TRUE(Issues.empty())
+          << W.Name << " O" << Opt << ":\n" << verifyReport(Issues);
+    }
+  }
+}
+
+TEST(Verifier, FlagsUnknownCallTarget) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl main
+main:
+        jal nosuch
+        jr  $ra
+)");
+  ASSERT_TRUE(M);
+  auto Issues = verifyModule(*M);
+  ASSERT_EQ(Issues.size(), 1u);
+  EXPECT_NE(Issues[0].Message.find("nosuch"), std::string::npos);
+  EXPECT_EQ(Issues[0].Location, "main+0");
+}
+
+TEST(Verifier, AcceptsRuntimeServices) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl main
+main:
+        li  $a0, 8
+        jal malloc
+        jal rand
+        jr  $ra
+)");
+  ASSERT_TRUE(M);
+  EXPECT_TRUE(verifyModule(*M).empty());
+}
+
+TEST(Verifier, FlagsUnknownLaSymbol) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl main
+main:
+        la $t0, ghost
+        jr $ra
+)");
+  ASSERT_TRUE(M);
+  auto Issues = verifyModule(*M);
+  ASSERT_EQ(Issues.size(), 1u);
+  EXPECT_NE(Issues[0].Message.find("ghost"), std::string::npos);
+}
+
+TEST(Verifier, FlagsFallOffEnd) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl main
+main:
+        li $v0, 1
+)");
+  ASSERT_TRUE(M);
+  auto Issues = verifyModule(*M);
+  ASSERT_EQ(Issues.size(), 1u);
+  EXPECT_NE(Issues[0].Message.find("fall off"), std::string::npos);
+}
+
+TEST(Verifier, FlagsEmptyFunction) {
+  Module M;
+  M.addFunction("empty");
+  auto Issues = verifyModule(M);
+  ASSERT_EQ(Issues.size(), 1u);
+  EXPECT_NE(Issues[0].Message.find("no instructions"), std::string::npos);
+}
+
+TEST(Verifier, FlagsOversizedInitializer) {
+  Module M;
+  Global G;
+  G.Name = "g";
+  G.Size = 4;
+  G.Init.assign(8, 0);
+  M.addGlobal(std::move(G));
+  auto Issues = verifyModule(M);
+  ASSERT_EQ(Issues.size(), 1u);
+  EXPECT_NE(Issues[0].Message.find("initializer"), std::string::npos);
+}
+
+TEST(Verifier, FlagsOverlappingFrameVars) {
+  Module M;
+  Function &F = M.addFunction("f");
+  Instr Ret;
+  Ret.Op = Opcode::Jr;
+  Ret.Rs = Reg::RA;
+  F.append(Ret);
+  FunctionTypeInfo &FTI = M.typeInfo().functionInfo("f");
+  FTI.Vars.push_back(FrameVar{0, VarType{VarKind::Scalar, 8, false, {}}});
+  FTI.Vars.push_back(FrameVar{4, VarType{VarKind::Scalar, 4, false, {}}});
+  auto Issues = verifyModule(M);
+  ASSERT_EQ(Issues.size(), 1u);
+  EXPECT_NE(Issues[0].Message.find("overlap"), std::string::npos);
+}
+
+TEST(Verifier, DecodedObjectFilesAreClean) {
+  auto M = test::compileOrDie("int a[32];"
+                              "int main() { int i;"
+                              "  for (i = 0; i < 32; i = i + 1) a[i] = i;"
+                              "  return a[7]; }",
+                              0);
+  ASSERT_TRUE(M);
+  DecodeResult D = decodeModule(encodeModule(*M));
+  ASSERT_TRUE(D.ok()) << D.Error;
+  auto Issues = verifyModule(*D.M);
+  EXPECT_TRUE(Issues.empty()) << verifyReport(Issues);
+}

@@ -1,0 +1,139 @@
+//===- tests/WorkloadsTest.cpp - benchmark suite tests --------------------------//
+//
+// Each workload is compiled and executed at a reduced scale; the full-scale
+// parameters are exercised by the bench binaries. Parameterized over all
+// eighteen workloads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace dlq;
+using namespace dlq::workloads;
+
+TEST(Workloads, RegistryShape) {
+  EXPECT_EQ(allWorkloads().size(), 18u);
+  EXPECT_EQ(trainingSetNames().size(), 11u);
+  EXPECT_EQ(testSetNames().size(), 7u);
+
+  // Training and test sets partition the registry.
+  std::set<std::string> All;
+  for (const Workload &W : allWorkloads())
+    All.insert(W.Name);
+  std::set<std::string> Union;
+  for (const std::string &N : trainingSetNames()) {
+    EXPECT_TRUE(All.count(N)) << N;
+    EXPECT_TRUE(Union.insert(N).second) << "duplicate: " << N;
+  }
+  for (const std::string &N : testSetNames()) {
+    EXPECT_TRUE(All.count(N)) << N;
+    EXPECT_TRUE(Union.insert(N).second) << "duplicate: " << N;
+  }
+  EXPECT_EQ(Union.size(), 18u);
+}
+
+TEST(Workloads, FindByName) {
+  EXPECT_NE(findWorkload("mcf_like"), nullptr);
+  EXPECT_EQ(findWorkload("mcf_like")->PaperAnalog, "181.mcf");
+  EXPECT_EQ(findWorkload("no_such"), nullptr);
+}
+
+TEST(Workloads, InstantiateSubstitutesAllParams) {
+  for (const Workload &W : allWorkloads()) {
+    std::string Source = instantiate(W, W.Input1);
+    EXPECT_EQ(Source.find('$'), std::string::npos)
+        << W.Name << " left an unsubstituted parameter";
+    EXPECT_NE(Source.find("workload_main"), std::string::npos) << W.Name;
+    EXPECT_NE(Source.find("cold_report"), std::string::npos)
+        << W.Name << " must link the cold library";
+  }
+}
+
+TEST(Workloads, LongestNameSubstitutesFirst) {
+  Workload W;
+  W.Name = "t";
+  static const char *Src = "int a[$N]; int b[$NN];";
+  W.Source = Src;
+  W.Input1 = WorkloadInput{"input1", {{"N", 3}, {"NN", 7}}};
+  // Without longest-first ordering, $NN would become "3N".
+  std::string Out = instantiate(W, W.Input1);
+  EXPECT_NE(Out.find("int a[3]"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("int b[7]"), std::string::npos) << Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Every workload compiles and runs (reduced-size inputs)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Shrinks a workload's input so tests stay fast: iteration-ish parameters
+/// are divided by 10 (sizes are kept so the code paths stay identical).
+WorkloadInput shrunk(const Workload &W) {
+  WorkloadInput In = W.Input1;
+  for (auto &[Name, Value] : In.Params) {
+    bool IsIterations =
+        Name == "ITERS" || Name == "OPS" || Name == "MOVES" ||
+        Name == "PASSES" || Name == "STEPS" || Name == "TXNS" ||
+        Name == "LOOKUPS" || Name == "NSYMBOLS" || Name == "PRESENTATIONS";
+    if (IsIterations)
+      Value = std::max(1L, Value / 10);
+  }
+  return In;
+}
+
+} // namespace
+
+class WorkloadExec : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadExec,
+    ::testing::ValuesIn([] {
+      std::vector<std::string> Names;
+      for (const Workload &W : allWorkloads())
+        Names.push_back(W.Name);
+      return Names;
+    }()),
+    [](const auto &Info) { return Info.param; });
+
+TEST_P(WorkloadExec, CompilesAndRunsAtBothOptLevels) {
+  const Workload &W = *findWorkload(GetParam());
+  WorkloadInput In = shrunk(W);
+  std::string Source = instantiate(W, In);
+
+  sim::MachineOptions Opts;
+  Opts.MaxInstrs = 100'000'000;
+  sim::RunResult R0 = test::compileAndRun(Source, 0, Opts);
+  sim::RunResult R1 = test::compileAndRun(Source, 1, Opts);
+
+  EXPECT_EQ(R0.Halt, sim::HaltReason::Exited);
+  EXPECT_FALSE(R0.Output.empty()) << "workloads must print a checksum";
+  EXPECT_EQ(R0.Output, R1.Output)
+      << "-O1 must preserve the program's observable behaviour";
+  EXPECT_GT(R0.DataAccesses, 0u);
+}
+
+TEST_P(WorkloadExec, DeterministicAcrossRuns) {
+  const Workload &W = *findWorkload(GetParam());
+  WorkloadInput In = shrunk(W);
+  std::string Source = instantiate(W, In);
+  sim::MachineOptions Opts;
+  Opts.MaxInstrs = 100'000'000;
+  sim::RunResult A = test::compileAndRun(Source, 0, Opts);
+  sim::RunResult B = test::compileAndRun(Source, 0, Opts);
+  EXPECT_EQ(A.Output, B.Output);
+  EXPECT_EQ(A.InstrsExecuted, B.InstrsExecuted);
+  EXPECT_EQ(A.LoadMisses, B.LoadMisses);
+}
+
+TEST_P(WorkloadExec, InputsDiffer) {
+  const Workload &W = *findWorkload(GetParam());
+  EXPECT_NE(W.Input1.Params, W.Input2.Params)
+      << "Table 7 needs two genuinely different input sets";
+}

@@ -1,0 +1,272 @@
+//===- tools/delinq.cpp - the command-line front door ----------------------------//
+//
+// A single CLI over the whole toolchain:
+//
+//   delinq compile  prog.mc [-O1]          MinC -> assembly on stdout
+//   delinq run      prog.mc|prog.s [-O1]   compile/assemble, simulate, report
+//   delinq analyze  prog.mc|prog.s [-O1]   loads, patterns, phi, Delta_H
+//   delinq encode   prog.mc out.dqx [-O1]  compile to a binary object file
+//   delinq disasm   prog.dqx               decode a binary back to assembly
+//
+// .mc files are MinC source; .s files are MIPS-like assembly; .dqx files are
+// the binary object format. This is the paper's toolchain condensed: GCC ->
+// `compile`, SimpleScalar -> `run`, the post-compilation pass -> `analyze`,
+// objdump -> `disasm`.
+//
+//===----------------------------------------------------------------------===//
+
+#include "classify/Delinquency.h"
+#include "masm/ObjectFile.h"
+#include "masm/Verifier.h"
+#include "masm/Parser.h"
+#include "masm/Printer.h"
+#include "mcc/Compiler.h"
+#include "sim/Machine.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace dlq;
+
+namespace {
+
+int usage() {
+  std::fputs(
+      "usage: delinq <command> <file> [options]\n"
+      "commands:\n"
+      "  compile prog.mc [-O1]        compile MinC to assembly (stdout)\n"
+      "  run     prog.mc|.s [-O1]     simulate and report cache behaviour\n"
+      "  analyze prog.mc|.s [-O1]     static delinquent-load identification\n"
+      "  encode  prog.mc out.dqx [-O1] compile to a binary object file\n"
+      "  disasm  prog.dqx             decode a binary object to assembly\n"
+      "options:\n"
+      "  -O1                          optimized code generation\n"
+      "  --cache=<kb>,<assoc>,<block> cache geometry for `run` (default "
+      "8,4,32)\n"
+      "  --delta=<v>                  delinquency threshold (default 0.10)\n",
+      stderr);
+  return 2;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  Out = Buf.str();
+  return true;
+}
+
+bool hasSuffix(const std::string &S, const char *Suffix) {
+  size_t N = std::strlen(Suffix);
+  return S.size() >= N && S.compare(S.size() - N, N, Suffix) == 0;
+}
+
+/// Loads a module from .mc (compile), .s (parse) or .dqx (decode).
+std::unique_ptr<masm::Module> loadModule(const std::string &Path,
+                                         unsigned OptLevel) {
+  if (hasSuffix(Path, ".dqx")) {
+    std::string Raw;
+    if (!readFile(Path, Raw)) {
+      std::fprintf(stderr, "error: cannot read '%s'\n", Path.c_str());
+      return nullptr;
+    }
+    std::vector<uint8_t> Bytes(Raw.begin(), Raw.end());
+    masm::DecodeResult D = masm::decodeModule(Bytes);
+    if (!D.ok()) {
+      std::fprintf(stderr, "error: %s\n", D.Error.c_str());
+      return nullptr;
+    }
+    auto Issues = masm::verifyModule(*D.M);
+    if (!Issues.empty()) {
+      std::fprintf(stderr, "%s: malformed module:\n%s", Path.c_str(),
+                   masm::verifyReport(Issues).c_str());
+      return nullptr;
+    }
+    return std::move(D.M);
+  }
+
+  std::string Source;
+  if (!readFile(Path, Source)) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", Path.c_str());
+    return nullptr;
+  }
+  if (hasSuffix(Path, ".s")) {
+    masm::ParseResult P = masm::parseAssembly(Source);
+    if (!P.ok()) {
+      std::fprintf(stderr, "%s: parse errors:\n%s", Path.c_str(),
+                   P.diagText().c_str());
+      return nullptr;
+    }
+    auto Issues = masm::verifyModule(*P.M);
+    if (!Issues.empty()) {
+      std::fprintf(stderr, "%s: malformed module:\n%s", Path.c_str(),
+                   masm::verifyReport(Issues).c_str());
+      return nullptr;
+    }
+    return std::move(P.M);
+  }
+  mcc::CompileOptions Opts;
+  Opts.OptLevel = OptLevel;
+  mcc::CompileResult C = mcc::compile(Source, Opts);
+  if (!C.ok()) {
+    std::fprintf(stderr, "%s: compile errors:\n%s", Path.c_str(),
+                 C.Errors.c_str());
+    return nullptr;
+  }
+  return std::move(C.M);
+}
+
+struct CliOptions {
+  unsigned OptLevel = 0;
+  sim::CacheConfig Cache = sim::CacheConfig::baseline();
+  double Delta = 0.10;
+};
+
+bool parseFlags(int Argc, char **Argv, int First, CliOptions &Out) {
+  for (int I = First; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "-O1") {
+      Out.OptLevel = 1;
+    } else if (Arg == "-O0") {
+      Out.OptLevel = 0;
+    } else if (Arg.rfind("--cache=", 0) == 0) {
+      unsigned Kb, Assoc, Block;
+      if (std::sscanf(Arg.c_str() + 8, "%u,%u,%u", &Kb, &Assoc, &Block) != 3) {
+        std::fprintf(stderr, "error: bad --cache spec '%s'\n", Arg.c_str());
+        return false;
+      }
+      Out.Cache = sim::CacheConfig{Kb * 1024, Assoc, Block};
+      if (!Out.Cache.valid()) {
+        std::fprintf(stderr, "error: invalid cache geometry\n");
+        return false;
+      }
+    } else if (Arg.rfind("--delta=", 0) == 0) {
+      Out.Delta = std::atof(Arg.c_str() + 8);
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int cmdCompile(const std::string &Path, const CliOptions &Opts) {
+  std::unique_ptr<masm::Module> M = loadModule(Path, Opts.OptLevel);
+  if (!M)
+    return 1;
+  std::fputs(masm::printModule(*M).c_str(), stdout);
+  return 0;
+}
+
+int cmdRun(const std::string &Path, const CliOptions &Opts) {
+  std::unique_ptr<masm::Module> M = loadModule(Path, Opts.OptLevel);
+  if (!M)
+    return 1;
+  masm::Layout L(*M);
+  sim::MachineOptions MOpts;
+  MOpts.DCache = Opts.Cache;
+  sim::Machine Mach(*M, L, MOpts);
+  sim::RunResult R = Mach.run();
+
+  if (!R.Output.empty())
+    std::fputs(R.Output.c_str(), stdout);
+  if (R.Halt == sim::HaltReason::Trapped) {
+    std::fprintf(stderr, "trap: %s\n", R.TrapMessage.c_str());
+    return 1;
+  }
+  if (R.Halt == sim::HaltReason::FuelExhausted) {
+    std::fprintf(stderr, "error: instruction budget exhausted\n");
+    return 1;
+  }
+  std::fprintf(stderr,
+               "exit %d | %llu instructions | %llu data accesses | "
+               "%llu load misses, %llu store misses (%s)\n",
+               R.ExitCode,
+               static_cast<unsigned long long>(R.InstrsExecuted),
+               static_cast<unsigned long long>(R.DataAccesses),
+               static_cast<unsigned long long>(R.LoadMisses),
+               static_cast<unsigned long long>(R.StoreMisses),
+               Opts.Cache.describe().c_str());
+  return 0;
+}
+
+int cmdAnalyze(const std::string &Path, const CliOptions &Opts) {
+  std::unique_ptr<masm::Module> M = loadModule(Path, Opts.OptLevel);
+  if (!M)
+    return 1;
+  classify::ModuleAnalysis Analysis(*M);
+  classify::HeuristicOptions HOpts;
+  HOpts.Delta = Opts.Delta;
+  HOpts.UseFreqClasses = false; // Static-only: no profile input here.
+  auto Scores = Analysis.scores(HOpts, nullptr);
+
+  size_t Flagged = 0;
+  for (const auto &[Ref, Patterns] : Analysis.loadPatterns()) {
+    const masm::Function &F = M->functions()[Ref.FuncIdx];
+    double Phi = Scores.at(Ref);
+    bool Delinquent = classify::isPossiblyDelinquent(Phi, HOpts);
+    Flagged += Delinquent;
+    std::printf("%c %s+%-4u %-26s phi=%+.2f\n", Delinquent ? '*' : ' ',
+                F.name().c_str(), Ref.InstrIdx,
+                masm::printInstr(F.instrs()[Ref.InstrIdx]).c_str(), Phi);
+    for (const ap::ApNode *P : Patterns)
+      std::printf("      %s\n", ap::printPattern(P).c_str());
+  }
+  std::printf("\n%zu of %zu loads possibly delinquent (delta=%.2f, "
+              "static AG1..AG7)\n",
+              Flagged, Analysis.loadPatterns().size(), HOpts.Delta);
+  return 0;
+}
+
+int cmdEncode(const std::string &Path, const std::string &OutPath,
+              const CliOptions &Opts) {
+  std::unique_ptr<masm::Module> M = loadModule(Path, Opts.OptLevel);
+  if (!M)
+    return 1;
+  std::vector<uint8_t> Bytes = masm::encodeModule(*M);
+  std::ofstream Out(OutPath, std::ios::binary);
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", OutPath.c_str());
+    return 1;
+  }
+  Out.write(reinterpret_cast<const char *>(Bytes.data()),
+            static_cast<std::streamsize>(Bytes.size()));
+  std::fprintf(stderr, "wrote %zu bytes to %s\n", Bytes.size(),
+               OutPath.c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 3)
+    return usage();
+  std::string Cmd = Argv[1];
+  std::string Path = Argv[2];
+
+  CliOptions Opts;
+  int FlagStart = Cmd == "encode" ? 4 : 3;
+  if (Argc >= FlagStart && !parseFlags(Argc, Argv, FlagStart, Opts))
+    return 2;
+
+  if (Cmd == "compile")
+    return cmdCompile(Path, Opts);
+  if (Cmd == "run")
+    return cmdRun(Path, Opts);
+  if (Cmd == "analyze")
+    return cmdAnalyze(Path, Opts);
+  if (Cmd == "encode") {
+    if (Argc < 4)
+      return usage();
+    return cmdEncode(Path, Argv[3], Opts);
+  }
+  if (Cmd == "disasm")
+    return cmdCompile(Path, Opts); // loadModule handles .dqx; print as asm.
+  return usage();
+}
