@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_h5.dir/static_h5.cpp.o"
+  "CMakeFiles/static_h5.dir/static_h5.cpp.o.d"
+  "static_h5"
+  "static_h5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_h5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for static_h5.
+# This may be replaced when dependencies are built.

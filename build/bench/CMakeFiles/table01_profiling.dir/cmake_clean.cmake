@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_profiling.dir/table01_profiling.cpp.o"
+  "CMakeFiles/table01_profiling.dir/table01_profiling.cpp.o.d"
+  "table01_profiling"
+  "table01_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table02_runtime.dir/table02_runtime.cpp.o"
+  "CMakeFiles/table02_runtime.dir/table02_runtime.cpp.o.d"
+  "table02_runtime"
+  "table02_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table02_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

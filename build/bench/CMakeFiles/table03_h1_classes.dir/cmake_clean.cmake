@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_h1_classes.dir/table03_h1_classes.cpp.o"
+  "CMakeFiles/table03_h1_classes.dir/table03_h1_classes.cpp.o.d"
+  "table03_h1_classes"
+  "table03_h1_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_h1_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

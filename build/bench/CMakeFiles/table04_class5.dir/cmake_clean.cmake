@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_class5.dir/table04_class5.cpp.o"
+  "CMakeFiles/table04_class5.dir/table04_class5.cpp.o.d"
+  "table04_class5"
+  "table04_class5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_class5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table05_weights.dir/table05_weights.cpp.o"
+  "CMakeFiles/table05_weights.dir/table05_weights.cpp.o.d"
+  "table05_weights"
+  "table05_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

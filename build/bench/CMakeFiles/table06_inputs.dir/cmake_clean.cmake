@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table06_inputs.dir/table06_inputs.cpp.o"
+  "CMakeFiles/table06_inputs.dir/table06_inputs.cpp.o.d"
+  "table06_inputs"
+  "table06_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table07_inputs.dir/table07_inputs.cpp.o"
+  "CMakeFiles/table07_inputs.dir/table07_inputs.cpp.o.d"
+  "table07_inputs"
+  "table07_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table07_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

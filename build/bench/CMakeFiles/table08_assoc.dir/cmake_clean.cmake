@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table08_assoc.dir/table08_assoc.cpp.o"
+  "CMakeFiles/table08_assoc.dir/table08_assoc.cpp.o.d"
+  "table08_assoc"
+  "table08_assoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table08_assoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

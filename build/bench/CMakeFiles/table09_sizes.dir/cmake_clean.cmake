@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table09_sizes.dir/table09_sizes.cpp.o"
+  "CMakeFiles/table09_sizes.dir/table09_sizes.cpp.o.d"
+  "table09_sizes"
+  "table09_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table09_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

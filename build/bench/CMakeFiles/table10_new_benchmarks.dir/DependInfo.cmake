@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table10_new_benchmarks.cpp" "bench/CMakeFiles/table10_new_benchmarks.dir/table10_new_benchmarks.cpp.o" "gcc" "bench/CMakeFiles/table10_new_benchmarks.dir/table10_new_benchmarks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/freq/CMakeFiles/dlq_freq.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/dlq_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dlq_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcc/CMakeFiles/dlq_mcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dlq_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dlq_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/dlq_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ap/CMakeFiles/dlq_ap.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/dlq_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/dlq_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/masm/CMakeFiles/dlq_masm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dlq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

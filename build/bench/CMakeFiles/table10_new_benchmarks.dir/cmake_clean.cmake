@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_new_benchmarks.dir/table10_new_benchmarks.cpp.o"
+  "CMakeFiles/table10_new_benchmarks.dir/table10_new_benchmarks.cpp.o.d"
+  "table10_new_benchmarks"
+  "table10_new_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_new_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table10_new_benchmarks.
+# This may be replaced when dependencies are built.

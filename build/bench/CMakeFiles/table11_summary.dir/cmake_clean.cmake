@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table11_summary.dir/table11_summary.cpp.o"
+  "CMakeFiles/table11_summary.dir/table11_summary.cpp.o.d"
+  "table11_summary"
+  "table11_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table11_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

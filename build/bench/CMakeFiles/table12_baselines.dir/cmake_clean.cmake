@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table12_baselines.dir/table12_baselines.cpp.o"
+  "CMakeFiles/table12_baselines.dir/table12_baselines.cpp.o.d"
+  "table12_baselines"
+  "table12_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table12_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

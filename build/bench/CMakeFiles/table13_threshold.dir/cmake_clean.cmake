@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table13_threshold.dir/table13_threshold.cpp.o"
+  "CMakeFiles/table13_threshold.dir/table13_threshold.cpp.o.d"
+  "table13_threshold"
+  "table13_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table13_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table14_epsilon.dir/table14_epsilon.cpp.o"
+  "CMakeFiles/table14_epsilon.dir/table14_epsilon.cpp.o.d"
+  "table14_epsilon"
+  "table14_epsilon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table14_epsilon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asm_analyze.dir/asm_analyze.cpp.o"
+  "CMakeFiles/asm_analyze.dir/asm_analyze.cpp.o.d"
+  "asm_analyze"
+  "asm_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asm_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

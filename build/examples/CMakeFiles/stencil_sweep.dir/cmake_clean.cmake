@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_sweep.dir/stencil_sweep.cpp.o"
+  "CMakeFiles/stencil_sweep.dir/stencil_sweep.cpp.o.d"
+  "stencil_sweep"
+  "stencil_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_weights.dir/train_weights.cpp.o"
+  "CMakeFiles/train_weights.dir/train_weights.cpp.o.d"
+  "train_weights"
+  "train_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

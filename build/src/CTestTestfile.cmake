@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("masm")
+subdirs("cfg")
+subdirs("dataflow")
+subdirs("sim")
+subdirs("ap")
+subdirs("classify")
+subdirs("freq")
+subdirs("baselines")
+subdirs("metrics")
+subdirs("mcc")
+subdirs("workloads")
+subdirs("pipeline")

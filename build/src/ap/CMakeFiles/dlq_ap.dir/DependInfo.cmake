@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ap/Builder.cpp" "src/ap/CMakeFiles/dlq_ap.dir/Builder.cpp.o" "gcc" "src/ap/CMakeFiles/dlq_ap.dir/Builder.cpp.o.d"
+  "/root/repo/src/ap/Pattern.cpp" "src/ap/CMakeFiles/dlq_ap.dir/Pattern.cpp.o" "gcc" "src/ap/CMakeFiles/dlq_ap.dir/Pattern.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataflow/CMakeFiles/dlq_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/dlq_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/masm/CMakeFiles/dlq_masm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dlq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

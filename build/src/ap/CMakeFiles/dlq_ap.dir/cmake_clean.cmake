@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlq_ap.dir/Builder.cpp.o"
+  "CMakeFiles/dlq_ap.dir/Builder.cpp.o.d"
+  "CMakeFiles/dlq_ap.dir/Pattern.cpp.o"
+  "CMakeFiles/dlq_ap.dir/Pattern.cpp.o.d"
+  "libdlq_ap.a"
+  "libdlq_ap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlq_ap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/Bdh.cpp" "src/baselines/CMakeFiles/dlq_baselines.dir/Bdh.cpp.o" "gcc" "src/baselines/CMakeFiles/dlq_baselines.dir/Bdh.cpp.o.d"
+  "/root/repo/src/baselines/Okn.cpp" "src/baselines/CMakeFiles/dlq_baselines.dir/Okn.cpp.o" "gcc" "src/baselines/CMakeFiles/dlq_baselines.dir/Okn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/classify/CMakeFiles/dlq_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/ap/CMakeFiles/dlq_ap.dir/DependInfo.cmake"
+  "/root/repo/build/src/masm/CMakeFiles/dlq_masm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dlq_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/dlq_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/dlq_cfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

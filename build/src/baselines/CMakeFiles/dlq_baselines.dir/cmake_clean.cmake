@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlq_baselines.dir/Bdh.cpp.o"
+  "CMakeFiles/dlq_baselines.dir/Bdh.cpp.o.d"
+  "CMakeFiles/dlq_baselines.dir/Okn.cpp.o"
+  "CMakeFiles/dlq_baselines.dir/Okn.cpp.o.d"
+  "libdlq_baselines.a"
+  "libdlq_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlq_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlq_cfg.dir/Cfg.cpp.o"
+  "CMakeFiles/dlq_cfg.dir/Cfg.cpp.o.d"
+  "libdlq_cfg.a"
+  "libdlq_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlq_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

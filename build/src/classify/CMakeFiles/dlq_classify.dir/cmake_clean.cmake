@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlq_classify.dir/Delinquency.cpp.o"
+  "CMakeFiles/dlq_classify.dir/Delinquency.cpp.o.d"
+  "CMakeFiles/dlq_classify.dir/Heuristic.cpp.o"
+  "CMakeFiles/dlq_classify.dir/Heuristic.cpp.o.d"
+  "CMakeFiles/dlq_classify.dir/Trainer.cpp.o"
+  "CMakeFiles/dlq_classify.dir/Trainer.cpp.o.d"
+  "libdlq_classify.a"
+  "libdlq_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlq_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlq_dataflow.dir/Liveness.cpp.o"
+  "CMakeFiles/dlq_dataflow.dir/Liveness.cpp.o.d"
+  "CMakeFiles/dlq_dataflow.dir/ReachingDefs.cpp.o"
+  "CMakeFiles/dlq_dataflow.dir/ReachingDefs.cpp.o.d"
+  "libdlq_dataflow.a"
+  "libdlq_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlq_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

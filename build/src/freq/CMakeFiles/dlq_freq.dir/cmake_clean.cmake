@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlq_freq.dir/StaticFreq.cpp.o"
+  "CMakeFiles/dlq_freq.dir/StaticFreq.cpp.o.d"
+  "libdlq_freq.a"
+  "libdlq_freq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlq_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/masm/Module.cpp" "src/masm/CMakeFiles/dlq_masm.dir/Module.cpp.o" "gcc" "src/masm/CMakeFiles/dlq_masm.dir/Module.cpp.o.d"
+  "/root/repo/src/masm/ObjectFile.cpp" "src/masm/CMakeFiles/dlq_masm.dir/ObjectFile.cpp.o" "gcc" "src/masm/CMakeFiles/dlq_masm.dir/ObjectFile.cpp.o.d"
+  "/root/repo/src/masm/Opcode.cpp" "src/masm/CMakeFiles/dlq_masm.dir/Opcode.cpp.o" "gcc" "src/masm/CMakeFiles/dlq_masm.dir/Opcode.cpp.o.d"
+  "/root/repo/src/masm/Parser.cpp" "src/masm/CMakeFiles/dlq_masm.dir/Parser.cpp.o" "gcc" "src/masm/CMakeFiles/dlq_masm.dir/Parser.cpp.o.d"
+  "/root/repo/src/masm/Printer.cpp" "src/masm/CMakeFiles/dlq_masm.dir/Printer.cpp.o" "gcc" "src/masm/CMakeFiles/dlq_masm.dir/Printer.cpp.o.d"
+  "/root/repo/src/masm/Register.cpp" "src/masm/CMakeFiles/dlq_masm.dir/Register.cpp.o" "gcc" "src/masm/CMakeFiles/dlq_masm.dir/Register.cpp.o.d"
+  "/root/repo/src/masm/TypeInfo.cpp" "src/masm/CMakeFiles/dlq_masm.dir/TypeInfo.cpp.o" "gcc" "src/masm/CMakeFiles/dlq_masm.dir/TypeInfo.cpp.o.d"
+  "/root/repo/src/masm/Verifier.cpp" "src/masm/CMakeFiles/dlq_masm.dir/Verifier.cpp.o" "gcc" "src/masm/CMakeFiles/dlq_masm.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dlq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

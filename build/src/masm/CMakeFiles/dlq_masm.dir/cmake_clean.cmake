@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlq_masm.dir/Module.cpp.o"
+  "CMakeFiles/dlq_masm.dir/Module.cpp.o.d"
+  "CMakeFiles/dlq_masm.dir/ObjectFile.cpp.o"
+  "CMakeFiles/dlq_masm.dir/ObjectFile.cpp.o.d"
+  "CMakeFiles/dlq_masm.dir/Opcode.cpp.o"
+  "CMakeFiles/dlq_masm.dir/Opcode.cpp.o.d"
+  "CMakeFiles/dlq_masm.dir/Parser.cpp.o"
+  "CMakeFiles/dlq_masm.dir/Parser.cpp.o.d"
+  "CMakeFiles/dlq_masm.dir/Printer.cpp.o"
+  "CMakeFiles/dlq_masm.dir/Printer.cpp.o.d"
+  "CMakeFiles/dlq_masm.dir/Register.cpp.o"
+  "CMakeFiles/dlq_masm.dir/Register.cpp.o.d"
+  "CMakeFiles/dlq_masm.dir/TypeInfo.cpp.o"
+  "CMakeFiles/dlq_masm.dir/TypeInfo.cpp.o.d"
+  "CMakeFiles/dlq_masm.dir/Verifier.cpp.o"
+  "CMakeFiles/dlq_masm.dir/Verifier.cpp.o.d"
+  "libdlq_masm.a"
+  "libdlq_masm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlq_masm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

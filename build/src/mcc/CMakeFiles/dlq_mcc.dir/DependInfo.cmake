@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcc/CodeGen.cpp" "src/mcc/CMakeFiles/dlq_mcc.dir/CodeGen.cpp.o" "gcc" "src/mcc/CMakeFiles/dlq_mcc.dir/CodeGen.cpp.o.d"
+  "/root/repo/src/mcc/Compiler.cpp" "src/mcc/CMakeFiles/dlq_mcc.dir/Compiler.cpp.o" "gcc" "src/mcc/CMakeFiles/dlq_mcc.dir/Compiler.cpp.o.d"
+  "/root/repo/src/mcc/Frontend.cpp" "src/mcc/CMakeFiles/dlq_mcc.dir/Frontend.cpp.o" "gcc" "src/mcc/CMakeFiles/dlq_mcc.dir/Frontend.cpp.o.d"
+  "/root/repo/src/mcc/Lexer.cpp" "src/mcc/CMakeFiles/dlq_mcc.dir/Lexer.cpp.o" "gcc" "src/mcc/CMakeFiles/dlq_mcc.dir/Lexer.cpp.o.d"
+  "/root/repo/src/mcc/Types.cpp" "src/mcc/CMakeFiles/dlq_mcc.dir/Types.cpp.o" "gcc" "src/mcc/CMakeFiles/dlq_mcc.dir/Types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/masm/CMakeFiles/dlq_masm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dlq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

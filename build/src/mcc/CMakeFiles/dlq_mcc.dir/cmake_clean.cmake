@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlq_mcc.dir/CodeGen.cpp.o"
+  "CMakeFiles/dlq_mcc.dir/CodeGen.cpp.o.d"
+  "CMakeFiles/dlq_mcc.dir/Compiler.cpp.o"
+  "CMakeFiles/dlq_mcc.dir/Compiler.cpp.o.d"
+  "CMakeFiles/dlq_mcc.dir/Frontend.cpp.o"
+  "CMakeFiles/dlq_mcc.dir/Frontend.cpp.o.d"
+  "CMakeFiles/dlq_mcc.dir/Lexer.cpp.o"
+  "CMakeFiles/dlq_mcc.dir/Lexer.cpp.o.d"
+  "CMakeFiles/dlq_mcc.dir/Types.cpp.o"
+  "CMakeFiles/dlq_mcc.dir/Types.cpp.o.d"
+  "libdlq_mcc.a"
+  "libdlq_mcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlq_mcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

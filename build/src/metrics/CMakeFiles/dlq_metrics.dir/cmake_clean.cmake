@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlq_metrics.dir/Metrics.cpp.o"
+  "CMakeFiles/dlq_metrics.dir/Metrics.cpp.o.d"
+  "libdlq_metrics.a"
+  "libdlq_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlq_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlq_pipeline.dir/Pipeline.cpp.o"
+  "CMakeFiles/dlq_pipeline.dir/Pipeline.cpp.o.d"
+  "libdlq_pipeline.a"
+  "libdlq_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlq_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

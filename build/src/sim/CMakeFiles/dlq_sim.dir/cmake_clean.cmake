@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlq_sim.dir/Cache.cpp.o"
+  "CMakeFiles/dlq_sim.dir/Cache.cpp.o.d"
+  "CMakeFiles/dlq_sim.dir/Machine.cpp.o"
+  "CMakeFiles/dlq_sim.dir/Machine.cpp.o.d"
+  "CMakeFiles/dlq_sim.dir/Memory.cpp.o"
+  "CMakeFiles/dlq_sim.dir/Memory.cpp.o.d"
+  "CMakeFiles/dlq_sim.dir/Profile.cpp.o"
+  "CMakeFiles/dlq_sim.dir/Profile.cpp.o.d"
+  "libdlq_sim.a"
+  "libdlq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdlq_sim.a"
+)

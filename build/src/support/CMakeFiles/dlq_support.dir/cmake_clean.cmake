@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlq_support.dir/Arena.cpp.o"
+  "CMakeFiles/dlq_support.dir/Arena.cpp.o.d"
+  "CMakeFiles/dlq_support.dir/Format.cpp.o"
+  "CMakeFiles/dlq_support.dir/Format.cpp.o.d"
+  "CMakeFiles/dlq_support.dir/Rng.cpp.o"
+  "CMakeFiles/dlq_support.dir/Rng.cpp.o.d"
+  "CMakeFiles/dlq_support.dir/Table.cpp.o"
+  "CMakeFiles/dlq_support.dir/Table.cpp.o.d"
+  "libdlq_support.a"
+  "libdlq_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlq_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/workloads/CMakeFiles/dlq_workloads.dir/ArrayWorkloads.cpp.o: \
+ /root/repo/src/workloads/ArrayWorkloads.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/workloads/Sources.h

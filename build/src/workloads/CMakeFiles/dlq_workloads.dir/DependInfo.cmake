@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/ArrayWorkloads.cpp" "src/workloads/CMakeFiles/dlq_workloads.dir/ArrayWorkloads.cpp.o" "gcc" "src/workloads/CMakeFiles/dlq_workloads.dir/ArrayWorkloads.cpp.o.d"
+  "/root/repo/src/workloads/ColdLibrary.cpp" "src/workloads/CMakeFiles/dlq_workloads.dir/ColdLibrary.cpp.o" "gcc" "src/workloads/CMakeFiles/dlq_workloads.dir/ColdLibrary.cpp.o.d"
+  "/root/repo/src/workloads/MixedWorkloads.cpp" "src/workloads/CMakeFiles/dlq_workloads.dir/MixedWorkloads.cpp.o" "gcc" "src/workloads/CMakeFiles/dlq_workloads.dir/MixedWorkloads.cpp.o.d"
+  "/root/repo/src/workloads/PointerWorkloads.cpp" "src/workloads/CMakeFiles/dlq_workloads.dir/PointerWorkloads.cpp.o" "gcc" "src/workloads/CMakeFiles/dlq_workloads.dir/PointerWorkloads.cpp.o.d"
+  "/root/repo/src/workloads/Registry.cpp" "src/workloads/CMakeFiles/dlq_workloads.dir/Registry.cpp.o" "gcc" "src/workloads/CMakeFiles/dlq_workloads.dir/Registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dlq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+src/workloads/CMakeFiles/dlq_workloads.dir/MixedWorkloads.cpp.o: \
+ /root/repo/src/workloads/MixedWorkloads.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/workloads/Sources.h

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlq_workloads.dir/ArrayWorkloads.cpp.o"
+  "CMakeFiles/dlq_workloads.dir/ArrayWorkloads.cpp.o.d"
+  "CMakeFiles/dlq_workloads.dir/ColdLibrary.cpp.o"
+  "CMakeFiles/dlq_workloads.dir/ColdLibrary.cpp.o.d"
+  "CMakeFiles/dlq_workloads.dir/MixedWorkloads.cpp.o"
+  "CMakeFiles/dlq_workloads.dir/MixedWorkloads.cpp.o.d"
+  "CMakeFiles/dlq_workloads.dir/PointerWorkloads.cpp.o"
+  "CMakeFiles/dlq_workloads.dir/PointerWorkloads.cpp.o.d"
+  "CMakeFiles/dlq_workloads.dir/Registry.cpp.o"
+  "CMakeFiles/dlq_workloads.dir/Registry.cpp.o.d"
+  "libdlq_workloads.a"
+  "libdlq_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlq_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

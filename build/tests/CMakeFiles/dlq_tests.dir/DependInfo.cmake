@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ApTest.cpp" "tests/CMakeFiles/dlq_tests.dir/ApTest.cpp.o" "gcc" "tests/CMakeFiles/dlq_tests.dir/ApTest.cpp.o.d"
+  "/root/repo/tests/BaselinesTest.cpp" "tests/CMakeFiles/dlq_tests.dir/BaselinesTest.cpp.o" "gcc" "tests/CMakeFiles/dlq_tests.dir/BaselinesTest.cpp.o.d"
+  "/root/repo/tests/CfgTest.cpp" "tests/CMakeFiles/dlq_tests.dir/CfgTest.cpp.o" "gcc" "tests/CMakeFiles/dlq_tests.dir/CfgTest.cpp.o.d"
+  "/root/repo/tests/ClassifyTest.cpp" "tests/CMakeFiles/dlq_tests.dir/ClassifyTest.cpp.o" "gcc" "tests/CMakeFiles/dlq_tests.dir/ClassifyTest.cpp.o.d"
+  "/root/repo/tests/ColdLibraryTest.cpp" "tests/CMakeFiles/dlq_tests.dir/ColdLibraryTest.cpp.o" "gcc" "tests/CMakeFiles/dlq_tests.dir/ColdLibraryTest.cpp.o.d"
+  "/root/repo/tests/DataflowTest.cpp" "tests/CMakeFiles/dlq_tests.dir/DataflowTest.cpp.o" "gcc" "tests/CMakeFiles/dlq_tests.dir/DataflowTest.cpp.o.d"
+  "/root/repo/tests/FreqTest.cpp" "tests/CMakeFiles/dlq_tests.dir/FreqTest.cpp.o" "gcc" "tests/CMakeFiles/dlq_tests.dir/FreqTest.cpp.o.d"
+  "/root/repo/tests/FuzzTest.cpp" "tests/CMakeFiles/dlq_tests.dir/FuzzTest.cpp.o" "gcc" "tests/CMakeFiles/dlq_tests.dir/FuzzTest.cpp.o.d"
+  "/root/repo/tests/MachineIsaTest.cpp" "tests/CMakeFiles/dlq_tests.dir/MachineIsaTest.cpp.o" "gcc" "tests/CMakeFiles/dlq_tests.dir/MachineIsaTest.cpp.o.d"
+  "/root/repo/tests/MasmTest.cpp" "tests/CMakeFiles/dlq_tests.dir/MasmTest.cpp.o" "gcc" "tests/CMakeFiles/dlq_tests.dir/MasmTest.cpp.o.d"
+  "/root/repo/tests/MccSemanticsTest.cpp" "tests/CMakeFiles/dlq_tests.dir/MccSemanticsTest.cpp.o" "gcc" "tests/CMakeFiles/dlq_tests.dir/MccSemanticsTest.cpp.o.d"
+  "/root/repo/tests/MccTest.cpp" "tests/CMakeFiles/dlq_tests.dir/MccTest.cpp.o" "gcc" "tests/CMakeFiles/dlq_tests.dir/MccTest.cpp.o.d"
+  "/root/repo/tests/MetricsTest.cpp" "tests/CMakeFiles/dlq_tests.dir/MetricsTest.cpp.o" "gcc" "tests/CMakeFiles/dlq_tests.dir/MetricsTest.cpp.o.d"
+  "/root/repo/tests/ObjectFileTest.cpp" "tests/CMakeFiles/dlq_tests.dir/ObjectFileTest.cpp.o" "gcc" "tests/CMakeFiles/dlq_tests.dir/ObjectFileTest.cpp.o.d"
+  "/root/repo/tests/OptimizedCodeTest.cpp" "tests/CMakeFiles/dlq_tests.dir/OptimizedCodeTest.cpp.o" "gcc" "tests/CMakeFiles/dlq_tests.dir/OptimizedCodeTest.cpp.o.d"
+  "/root/repo/tests/PipelineTest.cpp" "tests/CMakeFiles/dlq_tests.dir/PipelineTest.cpp.o" "gcc" "tests/CMakeFiles/dlq_tests.dir/PipelineTest.cpp.o.d"
+  "/root/repo/tests/PropertyTest.cpp" "tests/CMakeFiles/dlq_tests.dir/PropertyTest.cpp.o" "gcc" "tests/CMakeFiles/dlq_tests.dir/PropertyTest.cpp.o.d"
+  "/root/repo/tests/SimTest.cpp" "tests/CMakeFiles/dlq_tests.dir/SimTest.cpp.o" "gcc" "tests/CMakeFiles/dlq_tests.dir/SimTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/dlq_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/dlq_tests.dir/SupportTest.cpp.o.d"
+  "/root/repo/tests/TestHelpers.cpp" "tests/CMakeFiles/dlq_tests.dir/TestHelpers.cpp.o" "gcc" "tests/CMakeFiles/dlq_tests.dir/TestHelpers.cpp.o.d"
+  "/root/repo/tests/VerifierTest.cpp" "tests/CMakeFiles/dlq_tests.dir/VerifierTest.cpp.o" "gcc" "tests/CMakeFiles/dlq_tests.dir/VerifierTest.cpp.o.d"
+  "/root/repo/tests/WorkloadsTest.cpp" "tests/CMakeFiles/dlq_tests.dir/WorkloadsTest.cpp.o" "gcc" "tests/CMakeFiles/dlq_tests.dir/WorkloadsTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/freq/CMakeFiles/dlq_freq.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/dlq_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dlq_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcc/CMakeFiles/dlq_mcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dlq_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dlq_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/dlq_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/ap/CMakeFiles/dlq_ap.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dlq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/dlq_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/dlq_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/masm/CMakeFiles/dlq_masm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dlq_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delinq.dir/delinq.cpp.o"
+  "CMakeFiles/delinq.dir/delinq.cpp.o.d"
+  "delinq"
+  "delinq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delinq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
