@@ -3,18 +3,31 @@
 // Part of the delinq project. Each bench binary regenerates one table of the
 // paper's evaluation; these helpers keep the binaries declarative.
 //
+// Every bench accepts the shared execution flags (--jobs, --cache-dir,
+// --no-cache) plus --json <path>, fans its per-benchmark rows out through
+// the driver's JobPool as a dependency-aware TaskSet (a warm-up task per
+// workload feeding the row task), and prints an execution report to stderr.
+// Tables and averages go to stdout in registry order, so stdout is
+// byte-identical for any worker count and any cache state.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef DLQ_BENCH_BENCHCOMMON_H
 #define DLQ_BENCH_BENCHCOMMON_H
 
+#include "exec/Hash.h"
+#include "exec/JobPool.h"
+#include "exec/Options.h"
 #include "pipeline/Pipeline.h"
 #include "support/Format.h"
 #include "support/Table.h"
 #include "workloads/Workloads.h"
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace dlq {
 namespace bench {
@@ -50,6 +63,117 @@ inline std::string pct(double Frac, unsigned Decimals = 0) {
 /// The paper analog name for a workload ("181.mcf (mcf_like)").
 inline std::string benchLabel(const workloads::Workload &W) {
   return W.PaperAnalog + " (" + W.Name + ")";
+}
+
+/// A deterministic per-workload RNG seed: independent of the order in which
+/// worker threads reach the workload, so parallel runs reproduce serial ones.
+inline uint64_t workloadSeed(uint64_t Base, const std::string &Name) {
+  return Base ^ exec::fnv1a(Name.data(), Name.size());
+}
+
+/// The shared bench command line.
+struct BenchConfig {
+  exec::ExecOptions Exec = exec::ExecOptions::fromEnv();
+  std::string JsonPath;
+  bool Ok = true;
+};
+
+inline BenchConfig parseArgs(int Argc, char **Argv) {
+  BenchConfig C;
+  for (int I = 1; I < Argc; ++I) {
+    if (C.Exec.consumeArg(Argc, Argv, I)) {
+      if (!C.Exec.Error.empty()) {
+        std::fprintf(stderr, "error: %s\n", C.Exec.Error.c_str());
+        C.Ok = false;
+        break;
+      }
+      continue;
+    }
+    std::string Arg = Argv[I];
+    if ((Arg == "--json" && I + 1 < Argc) || Arg.rfind("--json=", 0) == 0) {
+      C.JsonPath = Arg[6] == '=' ? Arg.substr(7) : Argv[++I];
+      continue;
+    }
+    std::fprintf(stderr,
+                 "usage: %s [options]\noptions:\n%s"
+                 "  --json <path>        write machine-readable results\n",
+                 Argv[0], exec::ExecOptions::usageText());
+    C.Ok = false;
+    break;
+  }
+  return C;
+}
+
+/// Accumulates one numeric metric row per benchmark and renders the
+/// machine-readable report: {"table", "rows": [...], "exec": {...}}.
+class JsonReport {
+public:
+  explicit JsonReport(std::string Table) : Table(std::move(Table)) {}
+
+  void addRow(const std::string &Bench,
+              std::vector<std::pair<std::string, double>> Metrics) {
+    Rows.push_back({Bench, std::move(Metrics)});
+  }
+
+  bool write(const std::string &Path, pipeline::Driver &D) const {
+    std::ofstream Out(Path, std::ios::trunc);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+      return false;
+    }
+    Out << "{\"table\": \"" << Table << "\", \"rows\": [";
+    for (size_t I = 0; I != Rows.size(); ++I) {
+      Out << (I ? ", " : "") << "{\"bench\": \"" << Rows[I].first << "\"";
+      for (const auto &[Name, Value] : Rows[I].second)
+        Out << formatString(", \"%s\": %.6f", Name.c_str(), Value);
+      Out << "}";
+    }
+    Out << "], \"exec\": "
+        << D.stats().json(D.store().stats(), D.workers()) << "}\n";
+    return Out.good();
+  }
+
+private:
+  std::string Table;
+  std::vector<std::pair<std::string, std::vector<std::pair<std::string,
+                                                           double>>>> Rows;
+};
+
+/// Bench epilogue: the exec report on stderr, the JSON report when asked.
+inline void finish(pipeline::Driver &D, const BenchConfig &Cfg,
+                   const JsonReport *Json = nullptr) {
+  std::fprintf(stderr, "%s\n",
+               D.stats().render(D.store().stats(), D.workers()).c_str());
+  if (Json && !Cfg.JsonPath.empty())
+    Json->write(Cfg.JsonPath, D);
+}
+
+/// Registry names, preserving table order.
+inline std::vector<std::string>
+workloadNames(const std::vector<workloads::Workload> &Ws) {
+  std::vector<std::string> Names;
+  Names.reserve(Ws.size());
+  for (const workloads::Workload &W : Ws)
+    Names.push_back(W.Name);
+  return Names;
+}
+
+/// Computes one row per workload in parallel and returns them in \p Names
+/// order. Each row is a two-stage task chain — Warm(Name) (typically the
+/// simulation) runs first, F(Name) only after it — scheduled as a
+/// dependency-aware set on the driver's pool.
+template <typename Row, typename WarmFn, typename RowFn>
+std::vector<Row> tableRows(pipeline::Driver &D,
+                           const std::vector<std::string> &Names,
+                           WarmFn Warm, RowFn F) {
+  std::vector<Row> Rows(Names.size());
+  exec::TaskSet Tasks(D.pool());
+  for (size_t I = 0; I != Names.size(); ++I) {
+    size_t WarmId = Tasks.add([&Warm, &Names, I] { Warm(Names[I]); });
+    Tasks.add([&F, &Rows, &Names, I] { Rows[I] = F(Names[I]); }, {WarmId});
+  }
+  Tasks.run();
+  return Rows;
 }
 
 } // namespace bench

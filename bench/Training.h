@@ -54,13 +54,22 @@ observeBenchmark(pipeline::Driver &D, const std::string &Name,
   return Obs;
 }
 
-/// Trains over the eleven training benchmarks under \p Labeler.
+/// Trains over the eleven training benchmarks under \p Labeler. The
+/// per-benchmark observations (simulation + pattern labeling) fan out
+/// through the driver's pool; the trainer itself consumes them serially
+/// in training-set order, so the result is worker-count independent.
 inline classify::ClassTrainer
 trainOverTrainingSet(pipeline::Driver &D, const PatternLabeler &Labeler,
                      const sim::CacheConfig &Cache) {
+  std::vector<std::string> Names = workloads::trainingSetNames();
+  std::vector<classify::BenchmarkObservation> Obs =
+      D.pool().map<classify::BenchmarkObservation>(
+          Names.size(), [&](size_t I) {
+            return observeBenchmark(D, Names[I], Labeler, Cache);
+          });
   classify::ClassTrainer Trainer;
-  for (const std::string &Name : workloads::trainingSetNames())
-    Trainer.addObservation(observeBenchmark(D, Name, Labeler, Cache));
+  for (classify::BenchmarkObservation &O : Obs)
+    Trainer.addObservation(std::move(O));
   return Trainer;
 }
 

@@ -26,7 +26,7 @@ namespace {
 
 const char *Benchmarks[] = {"mcf_like", "equake_like", "compress_like"};
 
-void ablateExpansionCaps(Driver &D) {
+void ablateExpansionCaps(Driver &D, JsonReport &Json) {
   std::printf("--- ablation 1: pattern-expansion caps ---\n");
   sim::CacheConfig Cache = sim::CacheConfig::baseline();
   TextTable T({"benchmark", "alts/use", "patterns/load", "avg patterns",
@@ -58,6 +58,10 @@ void ablateExpansionCaps(Driver &D) {
       T.addRow({Name, std::to_string(Alts), std::to_string(Pats),
                 formatString("%.2f", AvgPatterns), formatPercent(E.pi()),
                 pct(E.rho())});
+      Json.addRow(formatString("%s/alts=%u,pats=%u", Name, Alts, Pats),
+                  {{"avg_patterns", AvgPatterns},
+                   {"pi", E.pi()},
+                   {"rho", E.rho()}});
     }
     T.addRule();
   }
@@ -67,7 +71,7 @@ void ablateExpansionCaps(Driver &D) {
               "for quality.\n\n");
 }
 
-void ablateFreqThresholds(Driver &D) {
+void ablateFreqThresholds(Driver &D, JsonReport &Json) {
   std::printf("--- ablation 2: H5 frequency thresholds ---\n");
   sim::CacheConfig Cache = sim::CacheConfig::baseline();
   TextTable T({"benchmark", "rare< / seldom<", "pi", "rho"});
@@ -80,12 +84,16 @@ void ablateFreqThresholds(Driver &D) {
       classify::HeuristicOptions Opts;
       Opts.RareBelow = Rare;
       Opts.SeldomBelow = Seldom;
-      HeuristicEval E =
+      const HeuristicEval &E =
           D.evalHeuristic(Name, InputSel::Input1, 0, Cache, Opts);
       T.addRow({Name, formatString("%llu / %llu",
                                    (unsigned long long)Rare,
                                    (unsigned long long)Seldom),
                 formatPercent(E.E.pi()), pct(E.E.rho())});
+      Json.addRow(formatString("%s/rare=%llu,seldom=%llu", Name,
+                               (unsigned long long)Rare,
+                               (unsigned long long)Seldom),
+                  {{"pi", E.E.pi()}, {"rho", E.E.rho()}});
     }
     T.addRule();
   }
@@ -94,7 +102,7 @@ void ablateFreqThresholds(Driver &D) {
               "until the\nthresholds reach hot-loop execution counts.\n\n");
 }
 
-void ablateProfilingCoverage(Driver &D) {
+void ablateProfilingCoverage(Driver &D, JsonReport &Json) {
   std::printf("--- ablation 3: profiling hotspot coverage fraction ---\n");
   sim::CacheConfig Cache = sim::CacheConfig::baseline();
   TextTable T({"benchmark", "cycle coverage", "Delta_P pi", "Delta_P rho"});
@@ -106,6 +114,8 @@ void ablateProfilingCoverage(Driver &D) {
       auto E = metrics::evaluate(C.lambda(), DeltaP, G.Stats);
       T.addRow({Name, formatPercent(Frac, 0), formatPercent(E.pi()),
                 pct(E.rho())});
+      Json.addRow(formatString("%s/cov=%.2f", Name, Frac),
+                  {{"pi", E.pi()}, {"rho", E.rho()}});
     }
     T.addRule();
   }
@@ -116,11 +126,25 @@ void ablateProfilingCoverage(Driver &D) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchConfig Cfg = parseArgs(Argc, Argv);
+  if (!Cfg.Ok)
+    return 2;
   banner("Ablations", "expansion caps, H5 thresholds, hotspot fraction");
-  Driver D;
-  ablateExpansionCaps(D);
-  ablateFreqThresholds(D);
-  ablateProfilingCoverage(D);
+  Driver D(Cfg.Exec);
+  sim::CacheConfig Cache = sim::CacheConfig::baseline();
+
+  // Warm the three simulations in parallel; the ablations themselves are
+  // cheap analysis passes and render serially.
+  D.pool().map<int>(std::size(Benchmarks), [&](size_t I) {
+    D.run(Benchmarks[I], InputSel::Input1, 0, Cache);
+    return 0;
+  });
+
+  JsonReport Json("ablation_knobs");
+  ablateExpansionCaps(D, Json);
+  ablateFreqThresholds(D, Json);
+  ablateProfilingCoverage(D, Json);
+  finish(D, Cfg, &Json);
   return 0;
 }

@@ -26,76 +26,97 @@ using namespace dlq::pipeline;
 
 namespace {
 
-struct PolicyResult {
-  uint64_t Misses = 0;
-  uint64_t Issued = 0;
+struct Row {
+  uint64_t BaseMisses = 0;
+  double ReduxH = 0, ReduxR = 0, ReduxA = 0;
+  double Per1kH = 0, Per1kA = 0;
 };
-
-PolicyResult runWithPrefetch(const Compiled &C,
-                             const std::set<masm::InstrRef> &Targets,
-                             const sim::CacheConfig &Cache) {
-  sim::MachineOptions Opts;
-  Opts.DCache = Cache;
-  Opts.PrefetchLoads = Targets;
-  sim::Machine Mach(*C.M, *C.L, Opts);
-  sim::RunResult R = Mach.run();
-  return PolicyResult{R.LoadMisses, R.PrefetchesIssued};
-}
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchConfig Cfg = parseArgs(Argc, Argv);
+  if (!Cfg.Ok)
+    return 2;
   banner("Prefetch what-if", "targeting policies for next-line prefetching");
 
-  Driver D;
+  Driver D(Cfg.Exec);
   sim::CacheConfig Cache = sim::CacheConfig::baseline();
   classify::HeuristicOptions HOpts;
-  Rng PickRng(777);
+
+  std::vector<std::string> Names = workloadNames(workloads::allWorkloads());
+  std::vector<Row> Rows = tableRows<Row>(
+      D, Names,
+      [&](const std::string &Name) {
+        D.run(Name, InputSel::Input1, 0, Cache);
+      },
+      [&](const std::string &Name) {
+        const Compiled &C = D.compiled(Name, InputSel::Input1, 0);
+        const sim::RunResult &Base = D.run(Name, InputSel::Input1, 0, Cache);
+        const HeuristicEval &H =
+            D.evalHeuristic(Name, InputSel::Input1, 0, Cache, HOpts);
+
+        // Random control: |Delta_H| loads drawn uniformly from Lambda,
+        // seeded per workload so the draw is order-independent.
+        Rng PickRng(workloadSeed(777, Name));
+        std::vector<masm::InstrRef> AllLoads;
+        for (const auto &[Ref, Pats] : C.Analysis->loadPatterns())
+          AllLoads.push_back(Ref);
+        std::set<masm::InstrRef> RandomSet;
+        while (RandomSet.size() < H.Delta.size() &&
+               RandomSet.size() < AllLoads.size())
+          RandomSet.insert(AllLoads[PickRng.nextBelow(AllLoads.size())]);
+        std::set<masm::InstrRef> AllSet(AllLoads.begin(), AllLoads.end());
+
+        const sim::RunResult &PH =
+            D.runWithPrefetch(Name, InputSel::Input1, 0, Cache, H.Delta);
+        const sim::RunResult &PR =
+            D.runWithPrefetch(Name, InputSel::Input1, 0, Cache, RandomSet);
+        const sim::RunResult &PA =
+            D.runWithPrefetch(Name, InputSel::Input1, 0, Cache, AllSet);
+
+        auto redux = [&](const sim::RunResult &P) {
+          return Base.LoadMisses == 0
+                     ? 0.0
+                     : 1.0 - static_cast<double>(P.LoadMisses) /
+                                 Base.LoadMisses;
+        };
+        auto per1k = [&](const sim::RunResult &P) {
+          return 1000.0 * static_cast<double>(P.PrefetchesIssued) /
+                 static_cast<double>(Base.InstrsExecuted);
+        };
+
+        Row R;
+        R.BaseMisses = Base.LoadMisses;
+        R.ReduxH = redux(PH);
+        R.ReduxR = redux(PR);
+        R.ReduxA = redux(PA);
+        R.Per1kH = per1k(PH);
+        R.Per1kA = per1k(PA);
+        return R;
+      });
 
   TextTable T({"Benchmark", "baseline misses", "Delta_H miss redux",
                "random miss redux", "all-loads miss redux",
                "Delta_H pf/1k instr", "all pf/1k instr"});
+  JsonReport Json("prefetch_whatif");
   double SumH = 0, SumR = 0, SumA = 0;
   unsigned N = 0;
-
-  for (const workloads::Workload &W : workloads::allWorkloads()) {
-    const Compiled &C = D.compiled(W.Name, InputSel::Input1, 0);
-    const sim::RunResult &Base = D.run(W.Name, InputSel::Input1, 0, Cache);
-    HeuristicEval H = D.evalHeuristic(W.Name, InputSel::Input1, 0, Cache,
-                                      HOpts);
-
-    // Random control: |Delta_H| loads drawn uniformly from Lambda.
-    std::vector<masm::InstrRef> AllLoads;
-    for (const auto &[Ref, Pats] : C.Analysis->loadPatterns())
-      AllLoads.push_back(Ref);
-    std::set<masm::InstrRef> RandomSet;
-    while (RandomSet.size() < H.Delta.size() &&
-           RandomSet.size() < AllLoads.size())
-      RandomSet.insert(
-          AllLoads[PickRng.nextBelow(AllLoads.size())]);
-    std::set<masm::InstrRef> AllSet(AllLoads.begin(), AllLoads.end());
-
-    PolicyResult PH = runWithPrefetch(C, H.Delta, Cache);
-    PolicyResult PR = runWithPrefetch(C, RandomSet, Cache);
-    PolicyResult PA = runWithPrefetch(C, AllSet, Cache);
-
-    auto redux = [&](const PolicyResult &P) {
-      return Base.LoadMisses == 0
-                 ? 0.0
-                 : 1.0 - static_cast<double>(P.Misses) / Base.LoadMisses;
-    };
-    auto per1k = [&](const PolicyResult &P) {
-      return 1000.0 * static_cast<double>(P.Issued) /
-             static_cast<double>(Base.InstrsExecuted);
-    };
-
-    T.addRow({benchLabel(W), formatWithCommas(Base.LoadMisses),
-              pct(redux(PH)), pct(redux(PR)), pct(redux(PA)),
-              formatString("%.1f", per1k(PH)),
-              formatString("%.1f", per1k(PA))});
-    SumH += redux(PH);
-    SumR += redux(PR);
-    SumA += redux(PA);
+  for (size_t I = 0; I != Names.size(); ++I) {
+    const workloads::Workload &W = *workloads::findWorkload(Names[I]);
+    const Row &R = Rows[I];
+    T.addRow({benchLabel(W), formatWithCommas(R.BaseMisses), pct(R.ReduxH),
+              pct(R.ReduxR), pct(R.ReduxA), formatString("%.1f", R.Per1kH),
+              formatString("%.1f", R.Per1kA)});
+    Json.addRow(W.Name, {{"baseline_misses", static_cast<double>(R.BaseMisses)},
+                         {"delta_h_redux", R.ReduxH},
+                         {"random_redux", R.ReduxR},
+                         {"all_redux", R.ReduxA},
+                         {"delta_h_pf_per_1k", R.Per1kH},
+                         {"all_pf_per_1k", R.Per1kA}});
+    SumH += R.ReduxH;
+    SumR += R.ReduxR;
+    SumA += R.ReduxA;
     ++N;
   }
   T.addRule();
@@ -105,5 +126,6 @@ int main() {
   footnote("the point of the paper: Delta_H captures nearly all of the "
            "all-loads miss reduction at a small fraction of the issued "
            "prefetches; random same-size targeting captures almost none");
+  finish(D, Cfg, &Json);
   return 0;
 }

@@ -20,57 +20,89 @@ using namespace dlq;
 using namespace dlq::bench;
 using namespace dlq::pipeline;
 
-int main() {
+namespace {
+
+struct Row {
+  double NonePi = 0, NoneRho = 0;
+  double StaticPi = 0, StaticRho = 0;
+  double ProfPi = 0, ProfRho = 0;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchConfig Cfg = parseArgs(Argc, Argv);
+  if (!Cfg.Ok)
+    return 2;
   banner("Static H5", "frequency classes without profiling (Section 5.2)");
 
-  Driver D;
+  Driver D(Cfg.Exec);
   sim::CacheConfig Cache = sim::CacheConfig::baseline();
+
+  std::vector<std::string> Names = workloadNames(workloads::allWorkloads());
+  std::vector<Row> Rows = tableRows<Row>(
+      D, Names,
+      [&](const std::string &Name) {
+        D.run(Name, InputSel::Input1, 0, Cache);
+      },
+      [&](const std::string &Name) {
+        GroundTruth G = D.groundTruth(Name, InputSel::Input1, 0, Cache);
+        const Compiled &C = D.compiled(Name, InputSel::Input1, 0);
+
+        classify::HeuristicOptions NoH5;
+        NoH5.UseFreqClasses = false;
+        auto DeltaNone = C.Analysis->delinquentSet(NoH5, nullptr);
+        auto ENone = metrics::evaluate(C.lambda(), DeltaNone, G.Stats);
+
+        freq::StaticFreqEstimate Est(*C.M);
+        classify::ExecCountMap StaticCounts = Est.loadExecCounts();
+        classify::HeuristicOptions WithH5;
+        auto DeltaStatic = C.Analysis->delinquentSet(WithH5, &StaticCounts);
+        auto EStatic = metrics::evaluate(C.lambda(), DeltaStatic, G.Stats);
+
+        auto DeltaProf = C.Analysis->delinquentSet(WithH5, &G.ExecCounts);
+        auto EProf = metrics::evaluate(C.lambda(), DeltaProf, G.Stats);
+
+        return Row{ENone.pi(),   ENone.rho(),  EStatic.pi(),
+                   EStatic.rho(), EProf.pi(),  EProf.rho()};
+      });
 
   TextTable T({"Benchmark", "no-H5 pi/rho", "static-H5 pi/rho",
                "profiled-H5 pi/rho"});
+  JsonReport Json("static_h5");
   double Sn[2] = {}, Ss[2] = {}, Sp[2] = {};
   unsigned N = 0;
-  for (const workloads::Workload &W : workloads::allWorkloads()) {
-    GroundTruth G = D.groundTruth(W.Name, InputSel::Input1, 0, Cache);
-    const Compiled &C = D.compiled(W.Name, InputSel::Input1, 0);
-
-    classify::HeuristicOptions NoH5;
-    NoH5.UseFreqClasses = false;
-    auto DeltaNone = C.Analysis->delinquentSet(NoH5, nullptr);
-    auto ENone = metrics::evaluate(C.lambda(), DeltaNone, G.Stats);
-
-    freq::StaticFreqEstimate Est(*C.M);
-    classify::ExecCountMap StaticCounts = Est.loadExecCounts();
-    classify::HeuristicOptions WithH5;
-    auto DeltaStatic = C.Analysis->delinquentSet(WithH5, &StaticCounts);
-    auto EStatic = metrics::evaluate(C.lambda(), DeltaStatic, G.Stats);
-
-    auto DeltaProf = C.Analysis->delinquentSet(WithH5, &G.ExecCounts);
-    auto EProf = metrics::evaluate(C.lambda(), DeltaProf, G.Stats);
-
-    auto cell = [](const metrics::EvalResult &E) {
-      return formatString("%s / %s", formatPercent(E.pi()).c_str(),
-                          formatPercent(E.rho(), 0).c_str());
-    };
-    T.addRow({benchLabel(W), cell(ENone), cell(EStatic), cell(EProf)});
-    Sn[0] += ENone.pi();
-    Sn[1] += ENone.rho();
-    Ss[0] += EStatic.pi();
-    Ss[1] += EStatic.rho();
-    Sp[0] += EProf.pi();
-    Sp[1] += EProf.rho();
+  auto cell = [](double Pi, double Rho) {
+    return formatString("%s / %s", formatPercent(Pi).c_str(),
+                        formatPercent(Rho, 0).c_str());
+  };
+  for (size_t I = 0; I != Names.size(); ++I) {
+    const workloads::Workload &W = *workloads::findWorkload(Names[I]);
+    const Row &R = Rows[I];
+    T.addRow({benchLabel(W), cell(R.NonePi, R.NoneRho),
+              cell(R.StaticPi, R.StaticRho), cell(R.ProfPi, R.ProfRho)});
+    Json.addRow(W.Name, {{"none_pi", R.NonePi},
+                         {"none_rho", R.NoneRho},
+                         {"static_pi", R.StaticPi},
+                         {"static_rho", R.StaticRho},
+                         {"prof_pi", R.ProfPi},
+                         {"prof_rho", R.ProfRho}});
+    Sn[0] += R.NonePi;
+    Sn[1] += R.NoneRho;
+    Ss[0] += R.StaticPi;
+    Ss[1] += R.StaticRho;
+    Sp[0] += R.ProfPi;
+    Sp[1] += R.ProfRho;
     ++N;
   }
   T.addRule();
-  auto avg = [&](double *S) {
-    return formatString("%s / %s", formatPercent(S[0] / N).c_str(),
-                        formatPercent(S[1] / N, 0).c_str());
-  };
+  auto avg = [&](double *S) { return cell(S[0] / N, S[1] / N); };
   T.addRow({"AVERAGE", avg(Sn), avg(Ss), avg(Sp)});
   emit(T);
   footnote("the static estimator recovers part of the AG8/AG9 precision "
            "gain without any profile: it can tell never-executed and "
            "straight-line-cold code apart from loops, but cannot tell a "
            "cold loop from a hot one");
+  finish(D, Cfg, &Json);
   return 0;
 }

@@ -16,40 +16,77 @@ using namespace dlq;
 using namespace dlq::bench;
 using namespace dlq::pipeline;
 
-int main() {
+namespace {
+
+struct Row {
+  size_t Lambda = 0;
+  size_t IdealSize = 0;
+  double IdealPi = 0;
+  size_t ProfSize = 0;
+  double ProfPi = 0;
+  double ProfRho = 0;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchConfig Cfg = parseArgs(Argc, Argv);
+  if (!Cfg.Ok)
+    return 2;
   banner("Table 1", "profiling-only identification vs the greedy ideal");
 
-  Driver D;
+  Driver D(Cfg.Exec);
   sim::CacheConfig Cache = sim::CacheConfig::baseline();
+
+  std::vector<std::string> Names = workloadNames(workloads::allWorkloads());
+  std::vector<Row> Rows = tableRows<Row>(
+      D, Names,
+      [&](const std::string &Name) {
+        D.run(Name, InputSel::Input1, 0, Cache);
+      },
+      [&](const std::string &Name) {
+        GroundTruth G = D.groundTruth(Name, InputSel::Input1, 0, Cache);
+        const Compiled &C = D.compiled(Name, InputSel::Input1, 0);
+
+        Row R;
+        R.Lambda = C.lambda();
+        metrics::LoadSet DeltaP =
+            D.hotspotLoads(Name, InputSel::Input1, 0, Cache, 0.90);
+        metrics::EvalResult ProfE =
+            metrics::evaluate(R.Lambda, DeltaP, G.Stats);
+
+        // The ideal set matching the profiling coverage (the paper's greedy
+        // construction).
+        metrics::LoadSet Ideal =
+            metrics::idealSetForCoverage(G.Stats, ProfE.rho());
+        R.IdealSize = Ideal.size();
+        R.IdealPi =
+            R.Lambda == 0 ? 0 : static_cast<double>(R.IdealSize) / R.Lambda;
+        R.ProfSize = DeltaP.size();
+        R.ProfPi = ProfE.pi();
+        R.ProfRho = ProfE.rho();
+        return R;
+      });
 
   TextTable T({"Benchmark", "Lambda", "Ideal |D| (pi)", "Profiling |D| (pi)",
                "rho"});
+  JsonReport Json("table01_profiling");
   double SumIdealPi = 0, SumProfPi = 0, SumRho = 0;
   unsigned N = 0;
-
-  for (const workloads::Workload &W : workloads::allWorkloads()) {
-    GroundTruth G = D.groundTruth(W.Name, InputSel::Input1, 0, Cache);
-    const Compiled &C = D.compiled(W.Name, InputSel::Input1, 0);
-    size_t Lambda = C.lambda();
-
-    metrics::LoadSet DeltaP = D.hotspotLoads(W.Name, InputSel::Input1, 0,
-                                             Cache, 0.90);
-    metrics::EvalResult ProfE = metrics::evaluate(Lambda, DeltaP, G.Stats);
-
-    // The ideal set matching the profiling coverage (the paper's greedy
-    // construction).
-    metrics::LoadSet Ideal = metrics::idealSetForCoverage(G.Stats,
-                                                          ProfE.rho());
-    double IdealPi = Lambda == 0 ? 0
-                                 : static_cast<double>(Ideal.size()) / Lambda;
-
-    T.addRow({benchLabel(W), std::to_string(Lambda),
-              formatString("%zu (%s)", Ideal.size(),
-                           formatPercent(IdealPi).c_str()),
-              ratioCell(DeltaP.size(), Lambda), pct(ProfE.rho())});
-    SumIdealPi += IdealPi;
-    SumProfPi += ProfE.pi();
-    SumRho += ProfE.rho();
+  for (size_t I = 0; I != Names.size(); ++I) {
+    const workloads::Workload &W = *workloads::findWorkload(Names[I]);
+    const Row &R = Rows[I];
+    T.addRow({benchLabel(W), std::to_string(R.Lambda),
+              formatString("%zu (%s)", R.IdealSize,
+                           formatPercent(R.IdealPi).c_str()),
+              ratioCell(R.ProfSize, R.Lambda), pct(R.ProfRho)});
+    Json.addRow(W.Name, {{"lambda", static_cast<double>(R.Lambda)},
+                         {"ideal_pi", R.IdealPi},
+                         {"profiling_pi", R.ProfPi},
+                         {"rho", R.ProfRho}});
+    SumIdealPi += R.IdealPi;
+    SumProfPi += R.ProfPi;
+    SumRho += R.ProfRho;
     ++N;
   }
   T.addRule();
@@ -58,5 +95,6 @@ int main() {
   emit(T);
   footnote("ideal 0.73%, profiling 4.73% of loads covering 87.5% of misses "
            "on average; profiling coverage collapses for 124.m88ksim");
+  finish(D, Cfg, &Json);
   return 0;
 }

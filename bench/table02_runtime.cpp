@@ -12,27 +12,62 @@ using namespace dlq;
 using namespace dlq::bench;
 using namespace dlq::pipeline;
 
-int main() {
+namespace {
+
+struct Row {
+  uint64_t Instrs = 0;
+  uint64_t Accesses = 0;
+  uint64_t Misses = 0;
+  double MissRate = 0;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchConfig Cfg = parseArgs(Argc, Argv);
+  if (!Cfg.Ok)
+    return 2;
   banner("Table 2", "runtime characteristics of the benchmark suite");
 
-  Driver D;
+  Driver D(Cfg.Exec);
   sim::CacheConfig Cache = sim::CacheConfig::baseline();
+
+  std::vector<std::string> Names = workloadNames(workloads::allWorkloads());
+  std::vector<Row> Rows = tableRows<Row>(
+      D, Names,
+      [&](const std::string &Name) {
+        D.run(Name, InputSel::Input1, 0, Cache);
+      },
+      [&](const std::string &Name) {
+        GroundTruth G = D.groundTruth(Name, InputSel::Input1, 0, Cache);
+        Row R;
+        R.Instrs = G.R->InstrsExecuted;
+        R.Accesses = G.R->DataAccesses;
+        R.Misses = G.R->LoadMisses + G.R->StoreMisses;
+        R.MissRate = R.Accesses == 0
+                         ? 0
+                         : static_cast<double>(R.Misses) / R.Accesses;
+        return R;
+      });
 
   TextTable T({"Benchmark", "Instr executed", "L1 D accesses",
                "L1 D misses", "Miss rate"});
-  for (const workloads::Workload &W : workloads::allWorkloads()) {
-    GroundTruth G = D.groundTruth(W.Name, InputSel::Input1, 0, Cache);
-    uint64_t Misses = G.R->LoadMisses + G.R->StoreMisses;
-    double MissRate = G.R->DataAccesses == 0
-                          ? 0
-                          : static_cast<double>(Misses) / G.R->DataAccesses;
-    T.addRow({benchLabel(W), formatScientific(G.R->InstrsExecuted),
-              formatScientific(G.R->DataAccesses), formatScientific(Misses),
-              pct(MissRate, 2)});
+  JsonReport Json("table02_runtime");
+  for (size_t I = 0; I != Names.size(); ++I) {
+    const workloads::Workload &W = *workloads::findWorkload(Names[I]);
+    const Row &R = Rows[I];
+    T.addRow({benchLabel(W), formatScientific(R.Instrs),
+              formatScientific(R.Accesses), formatScientific(R.Misses),
+              pct(R.MissRate, 2)});
+    Json.addRow(W.Name, {{"instrs", static_cast<double>(R.Instrs)},
+                         {"accesses", static_cast<double>(R.Accesses)},
+                         {"misses", static_cast<double>(R.Misses)},
+                         {"miss_rate", R.MissRate}});
   }
   emit(T);
   footnote("SPEC runs are 1e8..1e12 instructions; the suite here is scaled "
            "to simulator-friendly sizes while preserving the cache-behaviour "
            "mix (pointer chasers miss at ~8-11%, 124.m88ksim at ~0%)");
+  finish(D, Cfg, &Json);
   return 0;
 }

@@ -13,10 +13,13 @@
 using namespace dlq;
 using namespace dlq::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchConfig Cfg = parseArgs(Argc, Argv);
+  if (!Cfg.Ok)
+    return 2;
   banner("Table 3", "H1 register-usage classes over the training set");
 
-  pipeline::Driver D;
+  pipeline::Driver D(Cfg.Exec);
   sim::CacheConfig Cache = sim::CacheConfig::baseline();
 
   PatternLabeler H1 = [](const ap::ApNode *P) {
@@ -25,6 +28,7 @@ int main() {
   classify::ClassTrainer Trainer = trainOverTrainingSet(D, H1, Cache);
 
   TextTable T({"Class (feature)", "Found in", "Relevant in", "Nature"});
+  JsonReport Json("table03_h1_classes");
   for (const classify::ClassReport &Rep : Trainer.reportAll()) {
     const char *Nature =
         Rep.Nature == classify::ClassNature::Positive   ? "positive"
@@ -32,9 +36,13 @@ int main() {
                                                         : "neutral";
     T.addRow({Rep.Label, formatString("%u benchmarks", Rep.FoundIn),
               formatString("%u benchmarks", Rep.RelevantIn), Nature});
+    Json.addRow(Rep.Label,
+                {{"found_in", static_cast<double>(Rep.FoundIn)},
+                 {"relevant_in", static_cast<double>(Rep.RelevantIn)}});
   }
   emit(T);
   footnote("classes beyond sp/gp usage showed low relevance and were merged "
            "into 'other'; sp=2 was relevant in 10 of 11 SPEC benchmarks");
+  finish(D, Cfg, &Json);
   return 0;
 }

@@ -12,10 +12,13 @@
 using namespace dlq;
 using namespace dlq::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchConfig Cfg = parseArgs(Argc, Argv);
+  if (!Cfg.Ok)
+    return 2;
   banner("Table 4", "m_j / n_j of H1 class 'sp=1,gp=1'");
 
-  pipeline::Driver D;
+  pipeline::Driver D(Cfg.Exec);
   sim::CacheConfig Cache = sim::CacheConfig::baseline();
   const std::string Class = "sp=1,gp=1";
 
@@ -25,6 +28,7 @@ int main() {
   classify::ClassTrainer Trainer = trainOverTrainingSet(D, H1, Cache);
 
   TextTable T({"Benchmark", "m_j(F5,C)", "n_j(F5,C)", "relevant"});
+  JsonReport Json("table04_class5");
   for (const classify::BenchmarkObservation &Obs : Trainer.observations()) {
     auto It = Obs.PerClass.find(Class);
     if (It == Obs.PerClass.end() || It->second.Execs == 0)
@@ -32,11 +36,16 @@ int main() {
     T.addRow({Obs.Name, pct(Trainer.missProb(Class, Obs.Name), 2),
               pct(Trainer.missShare(Class, Obs.Name), 2),
               Trainer.isRelevant(Class, Obs.Name) ? "yes" : "no"});
+    Json.addRow(Obs.Name,
+                {{"miss_prob", Trainer.missProb(Class, Obs.Name)},
+                 {"miss_share", Trainer.missShare(Class, Obs.Name)},
+                 {"relevant", Trainer.isRelevant(Class, Obs.Name) ? 1.0 : 0.0}});
   }
   emit(T);
 
   std::printf("derived W(F5) = %.3f (mean of m/n over relevant benchmarks)\n",
               Trainer.positiveWeight(Class));
   footnote("the paper's class-5 weight is W(F5) = 2.37 / 5 = 0.47");
+  finish(D, Cfg, &Json);
   return 0;
 }

@@ -14,10 +14,13 @@ using namespace dlq;
 using namespace dlq::bench;
 using classify::AggClass;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchConfig Cfg = parseArgs(Argc, Argv);
+  if (!Cfg.Ok)
+    return 2;
   banner("Table 5", "aggregate-class weights: trained here vs paper");
 
-  pipeline::Driver D;
+  pipeline::Driver D(Cfg.Exec);
   sim::CacheConfig Cache = sim::CacheConfig::baseline();
 
   PatternLabeler AgLabels = [](const ap::ApNode *P) {
@@ -28,17 +31,21 @@ int main() {
   classify::HeuristicWeights Paper = classify::HeuristicWeights::paperTable5();
 
   TextTable T({"Class", "Feature", "Trained weight", "Paper weight"});
+  JsonReport Json("table05_weights");
   for (unsigned K = 0; K != classify::NumAggClasses; ++K) {
     AggClass C = static_cast<AggClass>(K);
     T.addRow({std::string(classify::aggClassName(C)),
               std::string(classify::aggClassFeature(C)),
               formatString("%+.2f", Trained.of(C)),
               formatString("%+.2f", Paper.of(C))});
+    Json.addRow(std::string(classify::aggClassName(C)),
+                {{"trained", Trained.of(C)}, {"paper", Paper.of(C)}});
   }
   emit(T);
   footnote("positive weights are mean m/n over relevant benchmarks; AG9 is "
            "minus the trimmed mean of the positive weights, AG8 half that. "
            "Signs and ordering should match; exact magnitudes depend on the "
            "benchmark suite");
+  finish(D, Cfg, &Json);
   return 0;
 }

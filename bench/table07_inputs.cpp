@@ -12,27 +12,57 @@ using namespace dlq;
 using namespace dlq::bench;
 using namespace dlq::pipeline;
 
-int main() {
+namespace {
+
+struct Row {
+  double Pi1 = 0, Rho1 = 0, Pi2 = 0, Rho2 = 0;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchConfig Cfg = parseArgs(Argc, Argv);
+  if (!Cfg.Ok)
+    return 2;
   banner("Table 7", "heuristic stability across input sets");
 
-  Driver D;
+  Driver D(Cfg.Exec);
   sim::CacheConfig Cache = sim::CacheConfig::baseline();
   classify::HeuristicOptions Opts;
 
+  std::vector<std::string> Names = workloads::trainingSetNames();
+  std::vector<Row> Rows = tableRows<Row>(
+      D, Names,
+      [&](const std::string &Name) {
+        D.run(Name, InputSel::Input1, 0, Cache);
+        D.run(Name, InputSel::Input2, 0, Cache);
+      },
+      [&](const std::string &Name) {
+        const HeuristicEval &E1 =
+            D.evalHeuristic(Name, InputSel::Input1, 0, Cache, Opts);
+        const HeuristicEval &E2 =
+            D.evalHeuristic(Name, InputSel::Input2, 0, Cache, Opts);
+        return Row{E1.E.pi(), E1.E.rho(), E2.E.pi(), E2.E.rho()};
+      });
+
   TextTable T({"Benchmark", "Input1 pi", "Input1 rho", "Input2 pi",
                "Input2 rho"});
+  JsonReport Json("table07_inputs");
   double S1p = 0, S1r = 0, S2p = 0, S2r = 0;
   unsigned N = 0;
-  for (const std::string &Name : workloads::trainingSetNames()) {
-    const workloads::Workload &W = *workloads::findWorkload(Name);
-    HeuristicEval E1 = D.evalHeuristic(Name, InputSel::Input1, 0, Cache, Opts);
-    HeuristicEval E2 = D.evalHeuristic(Name, InputSel::Input2, 0, Cache, Opts);
-    T.addRow({benchLabel(W), pct(E1.E.pi()), pct(E1.E.rho()),
-              pct(E2.E.pi()), pct(E2.E.rho())});
-    S1p += E1.E.pi();
-    S1r += E1.E.rho();
-    S2p += E2.E.pi();
-    S2r += E2.E.rho();
+  for (size_t I = 0; I != Names.size(); ++I) {
+    const workloads::Workload &W = *workloads::findWorkload(Names[I]);
+    const Row &R = Rows[I];
+    T.addRow({benchLabel(W), pct(R.Pi1), pct(R.Rho1), pct(R.Pi2),
+              pct(R.Rho2)});
+    Json.addRow(W.Name, {{"input1_pi", R.Pi1},
+                         {"input1_rho", R.Rho1},
+                         {"input2_pi", R.Pi2},
+                         {"input2_rho", R.Rho2}});
+    S1p += R.Pi1;
+    S1r += R.Rho1;
+    S2p += R.Pi2;
+    S2r += R.Rho2;
     ++N;
   }
   T.addRule();
@@ -41,5 +71,6 @@ int main() {
   emit(T);
   footnote("paper averages 10%/95% on input 1 and 11%/96% on input 2 — the "
            "heuristic is insensitive to inputs");
+  finish(D, Cfg, &Json);
   return 0;
 }

@@ -12,35 +12,64 @@ using namespace dlq;
 using namespace dlq::bench;
 using namespace dlq::pipeline;
 
-int main() {
+namespace {
+
+struct Row {
+  double Pi = 0;
+  double Rho[3] = {0, 0, 0};
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchConfig Cfg = parseArgs(Argc, Argv);
+  if (!Cfg.Ok)
+    return 2;
   banner("Table 8", "rho stability across cache associativity (-O code)");
 
-  Driver D;
+  Driver D(Cfg.Exec);
   classify::HeuristicOptions Opts;
   const unsigned OptLevel = 1;
   const uint32_t Assocs[3] = {2, 4, 8};
 
+  std::vector<std::string> Names = workloads::trainingSetNames();
+  std::vector<Row> Rows = tableRows<Row>(
+      D, Names,
+      [&](const std::string &Name) {
+        for (uint32_t A : Assocs)
+          D.run(Name, InputSel::Input1, OptLevel,
+                sim::CacheConfig{8 * 1024, A, 32});
+      },
+      [&](const std::string &Name) {
+        Row R;
+        for (unsigned AI = 0; AI != 3; ++AI) {
+          sim::CacheConfig Cache{8 * 1024, Assocs[AI], 32};
+          const HeuristicEval &E =
+              D.evalHeuristic(Name, InputSel::Input1, OptLevel, Cache, Opts);
+          if (AI == 0)
+            R.Pi = E.E.pi();
+          R.Rho[AI] = E.E.rho();
+        }
+        return R;
+      });
+
   TextTable T({"Benchmark", "pi", "Assoc 2 rho", "Assoc 4 rho",
                "Assoc 8 rho"});
+  JsonReport Json("table08_assoc");
   double SumPi = 0, SumRho[3] = {0, 0, 0};
   unsigned N = 0;
-  for (const std::string &Name : workloads::trainingSetNames()) {
-    const workloads::Workload &W = *workloads::findWorkload(Name);
-    std::vector<std::string> Cells = {benchLabel(W)};
-    double Pi = 0;
-    for (unsigned AI = 0; AI != 3; ++AI) {
-      sim::CacheConfig Cache{8 * 1024, Assocs[AI], 32};
-      HeuristicEval E =
-          D.evalHeuristic(Name, InputSel::Input1, OptLevel, Cache, Opts);
-      if (AI == 0) {
-        Pi = E.E.pi();
-        Cells.push_back(pct(Pi));
-      }
-      Cells.push_back(pct(E.E.rho()));
-      SumRho[AI] += E.E.rho();
-    }
-    T.addRow(Cells);
-    SumPi += Pi;
+  for (size_t I = 0; I != Names.size(); ++I) {
+    const workloads::Workload &W = *workloads::findWorkload(Names[I]);
+    const Row &R = Rows[I];
+    T.addRow({benchLabel(W), pct(R.Pi), pct(R.Rho[0]), pct(R.Rho[1]),
+              pct(R.Rho[2])});
+    Json.addRow(W.Name, {{"pi", R.Pi},
+                         {"rho_assoc2", R.Rho[0]},
+                         {"rho_assoc4", R.Rho[1]},
+                         {"rho_assoc8", R.Rho[2]}});
+    SumPi += R.Pi;
+    for (unsigned AI = 0; AI != 3; ++AI)
+      SumRho[AI] += R.Rho[AI];
     ++N;
   }
   T.addRule();
@@ -50,5 +79,6 @@ int main() {
   footnote("paper: rho averages 91/92/90% across 2/4/8-way — coverage is "
            "insensitive to associativity. (pi differs across benchmarks "
            "because execution-frequency classes see each run's profile.)");
+  finish(D, Cfg, &Json);
   return 0;
 }

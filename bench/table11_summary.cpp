@@ -15,44 +15,78 @@ using namespace dlq;
 using namespace dlq::bench;
 using namespace dlq::pipeline;
 
-int main() {
+namespace {
+
+struct Row {
+  double Pi = 0, Rho = 0, Xi = 0, NoFreqPi = 0, NoFreqRho = 0;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchConfig Cfg = parseArgs(Argc, Argv);
+  if (!Cfg.Ok)
+    return 2;
   banner("Table 11", "full summary: with and without AG8/AG9, plus xi");
 
-  Driver D;
+  Driver D(Cfg.Exec);
   sim::CacheConfig Cache = sim::CacheConfig::baseline();
 
   classify::HeuristicOptions Full;
   classify::HeuristicOptions NoFreq;
   NoFreq.UseFreqClasses = false;
 
+  std::vector<std::string> Names = workloadNames(workloads::allWorkloads());
+  std::vector<Row> Rows = tableRows<Row>(
+      D, Names,
+      [&](const std::string &Name) {
+        D.run(Name, InputSel::Input1, 0, Cache);
+      },
+      [&](const std::string &Name) {
+        GroundTruth G = D.groundTruth(Name, InputSel::Input1, 0, Cache);
+        const HeuristicEval &EF =
+            D.evalHeuristic(Name, InputSel::Input1, 0, Cache, Full);
+        const HeuristicEval &EN =
+            D.evalHeuristic(Name, InputSel::Input1, 0, Cache, NoFreq);
+
+        // The strict false-positive measure: the ideal set is the Table 1
+        // greedy set matching the profiling coverage.
+        metrics::LoadSet DeltaP =
+            D.hotspotLoads(Name, InputSel::Input1, 0, Cache, 0.90);
+        metrics::EvalResult ProfE =
+            metrics::evaluate(EF.E.Lambda, DeltaP, G.Stats);
+        metrics::LoadSet Ideal =
+            metrics::idealSetForCoverage(G.Stats, ProfE.rho());
+
+        Row R;
+        R.Pi = EF.E.pi();
+        R.Rho = EF.E.rho();
+        R.Xi = metrics::falsePositiveImpact(EF.Delta, Ideal, G.Stats);
+        R.NoFreqPi = EN.E.pi();
+        R.NoFreqRho = EN.E.rho();
+        return R;
+      });
+
   TextTable T({"Benchmark", "pi", "rho", "xi", "pi (no AG8/9)",
                "rho (no AG8/9)"});
+  JsonReport Json("table11_summary");
   double Sp = 0, Sr = 0, Sx = 0, Snp = 0, Snr = 0;
   unsigned N = 0;
-  for (const workloads::Workload &W : workloads::allWorkloads()) {
-    GroundTruth G = D.groundTruth(W.Name, InputSel::Input1, 0, Cache);
-    HeuristicEval EF = D.evalHeuristic(W.Name, InputSel::Input1, 0, Cache,
-                                       Full);
-    HeuristicEval EN = D.evalHeuristic(W.Name, InputSel::Input1, 0, Cache,
-                                       NoFreq);
-
-    // The strict false-positive measure: the ideal set is the Table 1 greedy
-    // set matching the profiling coverage.
-    metrics::LoadSet DeltaP =
-        D.hotspotLoads(W.Name, InputSel::Input1, 0, Cache, 0.90);
-    metrics::EvalResult ProfE =
-        metrics::evaluate(EF.E.Lambda, DeltaP, G.Stats);
-    metrics::LoadSet Ideal =
-        metrics::idealSetForCoverage(G.Stats, ProfE.rho());
-    double Xi = metrics::falsePositiveImpact(EF.Delta, Ideal, G.Stats);
-
-    T.addRow({benchLabel(W), formatPercent(EF.E.pi()), pct(EF.E.rho()),
-              pct(Xi), formatPercent(EN.E.pi()), pct(EN.E.rho())});
-    Sp += EF.E.pi();
-    Sr += EF.E.rho();
-    Sx += Xi;
-    Snp += EN.E.pi();
-    Snr += EN.E.rho();
+  for (size_t I = 0; I != Names.size(); ++I) {
+    const workloads::Workload &W = *workloads::findWorkload(Names[I]);
+    const Row &R = Rows[I];
+    T.addRow({benchLabel(W), formatPercent(R.Pi), pct(R.Rho), pct(R.Xi),
+              formatPercent(R.NoFreqPi), pct(R.NoFreqRho)});
+    Json.addRow(W.Name, {{"pi", R.Pi},
+                         {"rho", R.Rho},
+                         {"xi", R.Xi},
+                         {"nofreq_pi", R.NoFreqPi},
+                         {"nofreq_rho", R.NoFreqRho}});
+    Sp += R.Pi;
+    Sr += R.Rho;
+    Sx += R.Xi;
+    Snp += R.NoFreqPi;
+    Snr += R.NoFreqRho;
     ++N;
   }
   T.addRule();
@@ -62,5 +96,6 @@ int main() {
   footnote("paper averages: 10.15%/92.61% with AG8+AG9, xi 14.04%, and "
            "20.82%/92.89% without them — dropping the frequency classes "
            "roughly doubles pi at unchanged coverage");
+  finish(D, Cfg, &Json);
   return 0;
 }

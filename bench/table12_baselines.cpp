@@ -17,41 +17,73 @@ using namespace dlq;
 using namespace dlq::bench;
 using namespace dlq::pipeline;
 
-int main() {
+namespace {
+
+struct Row {
+  double OknPi = 0, OknRho = 0, BdhPi = 0, BdhRho = 0, OursPi = 0,
+         OursRho = 0;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchConfig Cfg = parseArgs(Argc, Argv);
+  if (!Cfg.Ok)
+    return 2;
   banner("Table 12", "OKN and BDH baselines vs our heuristic");
 
-  Driver D;
+  Driver D(Cfg.Exec);
   sim::CacheConfig Cache = sim::CacheConfig::baseline();
   classify::HeuristicOptions Opts;
 
+  std::vector<std::string> Names = workloadNames(workloads::allWorkloads());
+  std::vector<Row> Rows = tableRows<Row>(
+      D, Names,
+      [&](const std::string &Name) {
+        D.run(Name, InputSel::Input1, 0, Cache);
+      },
+      [&](const std::string &Name) {
+        GroundTruth G = D.groundTruth(Name, InputSel::Input1, 0, Cache);
+        const Compiled &C = D.compiled(Name, InputSel::Input1, 0);
+        size_t Lambda = C.lambda();
+
+        metrics::LoadSet OknD = baselines::oknDelinquentSet(*C.Analysis);
+        metrics::EvalResult OknE = metrics::evaluate(Lambda, OknD, G.Stats);
+
+        baselines::BdhAnalyzer Bdh(*C.Analysis);
+        metrics::LoadSet BdhD = Bdh.delinquentSet();
+        metrics::EvalResult BdhE = metrics::evaluate(Lambda, BdhD, G.Stats);
+
+        const HeuristicEval &Ours =
+            D.evalHeuristic(Name, InputSel::Input1, 0, Cache, Opts);
+
+        return Row{OknE.pi(),  OknE.rho(),    BdhE.pi(),
+                   BdhE.rho(), Ours.E.pi(),   Ours.E.rho()};
+      });
+
   TextTable T({"Benchmark", "OKN pi", "OKN rho", "BDH pi", "BDH rho",
                "Ours pi", "Ours rho"});
+  JsonReport Json("table12_baselines");
   double Sop = 0, Sor = 0, Sbp = 0, Sbr = 0, Shp = 0, Shr = 0;
   unsigned N = 0;
-  for (const workloads::Workload &W : workloads::allWorkloads()) {
-    GroundTruth G = D.groundTruth(W.Name, InputSel::Input1, 0, Cache);
-    const Compiled &C = D.compiled(W.Name, InputSel::Input1, 0);
-    size_t Lambda = C.lambda();
-
-    metrics::LoadSet OknD = baselines::oknDelinquentSet(*C.Analysis);
-    metrics::EvalResult OknE = metrics::evaluate(Lambda, OknD, G.Stats);
-
-    baselines::BdhAnalyzer Bdh(*C.Analysis);
-    metrics::LoadSet BdhD = Bdh.delinquentSet();
-    metrics::EvalResult BdhE = metrics::evaluate(Lambda, BdhD, G.Stats);
-
-    HeuristicEval Ours = D.evalHeuristic(W.Name, InputSel::Input1, 0, Cache,
-                                         Opts);
-
-    T.addRow({benchLabel(W), formatPercent(OknE.pi()), pct(OknE.rho()),
-              formatPercent(BdhE.pi()), pct(BdhE.rho()),
-              formatPercent(Ours.E.pi()), pct(Ours.E.rho())});
-    Sop += OknE.pi();
-    Sor += OknE.rho();
-    Sbp += BdhE.pi();
-    Sbr += BdhE.rho();
-    Shp += Ours.E.pi();
-    Shr += Ours.E.rho();
+  for (size_t I = 0; I != Names.size(); ++I) {
+    const workloads::Workload &W = *workloads::findWorkload(Names[I]);
+    const Row &R = Rows[I];
+    T.addRow({benchLabel(W), formatPercent(R.OknPi), pct(R.OknRho),
+              formatPercent(R.BdhPi), pct(R.BdhRho),
+              formatPercent(R.OursPi), pct(R.OursRho)});
+    Json.addRow(W.Name, {{"okn_pi", R.OknPi},
+                         {"okn_rho", R.OknRho},
+                         {"bdh_pi", R.BdhPi},
+                         {"bdh_rho", R.BdhRho},
+                         {"ours_pi", R.OursPi},
+                         {"ours_rho", R.OursRho}});
+    Sop += R.OknPi;
+    Sor += R.OknRho;
+    Sbp += R.BdhPi;
+    Sbr += R.BdhRho;
+    Shp += R.OursPi;
+    Shr += R.OursRho;
     ++N;
   }
   T.addRule();
@@ -64,5 +96,6 @@ int main() {
            "baseline pi here is lower than SPEC's because unoptimized MinC "
            "binaries carry a larger share of plain stack-slot reloads that "
            "no structural method flags.)");
+  finish(D, Cfg, &Json);
   return 0;
 }

@@ -18,50 +18,90 @@ using namespace dlq;
 using namespace dlq::bench;
 using namespace dlq::pipeline;
 
-int main() {
+namespace {
+
+struct Row {
+  double Pi[4] = {}, Rho[4] = {};
+  double RhoStar = 0;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchConfig Cfg = parseArgs(Argc, Argv);
+  if (!Cfg.Ok)
+    return 2;
   banner("Table 14", "combining the heuristic with basic-block profiling");
 
-  Driver D;
+  Driver D(Cfg.Exec);
   sim::CacheConfig Cache = sim::CacheConfig::baseline();
   classify::HeuristicOptions Opts;
   const double Epsilons[4] = {0.0, 0.10, 0.20, 0.30};
-  Rng SampleRng(20040321);
+
+  std::vector<std::string> Names = workloadNames(workloads::allWorkloads());
+  std::vector<Row> Rows = tableRows<Row>(
+      D, Names,
+      [&](const std::string &Name) {
+        D.run(Name, InputSel::Input1, 0, Cache);
+      },
+      [&](const std::string &Name) {
+        GroundTruth G = D.groundTruth(Name, InputSel::Input1, 0, Cache);
+        const Compiled &C = D.compiled(Name, InputSel::Input1, 0);
+        size_t Lambda = C.lambda();
+        const HeuristicEval &H =
+            D.evalHeuristic(Name, InputSel::Input1, 0, Cache, Opts);
+        metrics::LoadSet DeltaP =
+            D.hotspotLoads(Name, InputSel::Input1, 0, Cache, 0.90);
+        // Seeded per workload, not from a shared sequence: the draw is the
+        // same no matter which worker gets here first.
+        Rng SampleRng(workloadSeed(20040321, Name));
+
+        Row R;
+        for (unsigned EI = 0; EI != 4; ++EI) {
+          metrics::LoadSet Combined = metrics::combineWithProfiling(
+              DeltaP, H.Delta, H.Scores, Epsilons[EI]);
+          metrics::EvalResult E = metrics::evaluate(Lambda, Combined, G.Stats);
+          if (EI == 0)
+            R.RhoStar = metrics::randomSampleCoverage(
+                DeltaP, Combined.size(), G.Stats, SampleRng, 3);
+          R.Pi[EI] = E.pi();
+          R.Rho[EI] = E.rho();
+        }
+        return R;
+      });
 
   TextTable T({"Benchmark", "e=0 pi/rho/rho*", "e=0.1 pi/rho",
                "e=0.2 pi/rho", "e=0.3 pi/rho"});
+  JsonReport Json("table14_epsilon");
   double Sp[4] = {}, Sr[4] = {}, SrStar = 0;
   unsigned N = 0;
-  for (const workloads::Workload &W : workloads::allWorkloads()) {
-    GroundTruth G = D.groundTruth(W.Name, InputSel::Input1, 0, Cache);
-    const Compiled &C = D.compiled(W.Name, InputSel::Input1, 0);
-    size_t Lambda = C.lambda();
-    HeuristicEval H = D.evalHeuristic(W.Name, InputSel::Input1, 0, Cache,
-                                      Opts);
-    metrics::LoadSet DeltaP =
-        D.hotspotLoads(W.Name, InputSel::Input1, 0, Cache, 0.90);
-
+  for (size_t I = 0; I != Names.size(); ++I) {
+    const workloads::Workload &W = *workloads::findWorkload(Names[I]);
+    const Row &R = Rows[I];
     std::vector<std::string> Cells = {benchLabel(W)};
-    for (unsigned EI = 0; EI != 4; ++EI) {
-      metrics::LoadSet Combined = metrics::combineWithProfiling(
-          DeltaP, H.Delta, H.Scores, Epsilons[EI]);
-      metrics::EvalResult E = metrics::evaluate(Lambda, Combined, G.Stats);
-      if (EI == 0) {
-        double RhoStar = metrics::randomSampleCoverage(
-            DeltaP, Combined.size(), G.Stats, SampleRng, 3);
-        Cells.push_back(formatString("%s / %s / %s",
-                                     formatPercent(E.pi()).c_str(),
-                                     pct(E.rho()).c_str(),
-                                     pct(RhoStar).c_str()));
-        SrStar += RhoStar;
-      } else {
-        Cells.push_back(formatString("%s / %s",
-                                     formatPercent(E.pi()).c_str(),
-                                     pct(E.rho()).c_str()));
-      }
-      Sp[EI] += E.pi();
-      Sr[EI] += E.rho();
-    }
+    Cells.push_back(formatString("%s / %s / %s",
+                                 formatPercent(R.Pi[0]).c_str(),
+                                 pct(R.Rho[0]).c_str(),
+                                 pct(R.RhoStar).c_str()));
+    for (unsigned EI = 1; EI != 4; ++EI)
+      Cells.push_back(formatString("%s / %s",
+                                   formatPercent(R.Pi[EI]).c_str(),
+                                   pct(R.Rho[EI]).c_str()));
     T.addRow(Cells);
+    Json.addRow(W.Name, {{"e0_pi", R.Pi[0]},
+                         {"e0_rho", R.Rho[0]},
+                         {"e0_rho_star", R.RhoStar},
+                         {"e01_pi", R.Pi[1]},
+                         {"e01_rho", R.Rho[1]},
+                         {"e02_pi", R.Pi[2]},
+                         {"e02_rho", R.Rho[2]},
+                         {"e03_pi", R.Pi[3]},
+                         {"e03_rho", R.Rho[3]}});
+    for (unsigned EI = 0; EI != 4; ++EI) {
+      Sp[EI] += R.Pi[EI];
+      Sr[EI] += R.Rho[EI];
+    }
+    SrStar += R.RhoStar;
     ++N;
   }
   T.addRule();
@@ -78,5 +118,6 @@ int main() {
   footnote("paper: epsilon=0 pins 1.30% of loads covering 82% of misses "
            "while random same-size hotspot samples cover only 23% (rho*); "
            "epsilon=0.3 reaches 3.95%/88%");
+  finish(D, Cfg, &Json);
   return 0;
 }

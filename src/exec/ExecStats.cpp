@@ -1,0 +1,50 @@
+//===- exec/ExecStats.cpp -------------------------------------------------------//
+
+#include "exec/ExecStats.h"
+
+#include "support/Format.h"
+
+using namespace dlq;
+using namespace dlq::exec;
+
+std::string ExecStats::render(const StoreStats &Store,
+                              unsigned Workers) const {
+  uint64_t Run = Jobs.JobsRun.load(std::memory_order_relaxed);
+  uint64_t Failed = Jobs.JobsFailed.load(std::memory_order_relaxed);
+  return formatString(
+      "exec: %llu jobs on %u workers (%llu failed) | cache %llu hit / "
+      "%llu miss (%.0f%%), %llu written%s | compile %.2fs, simulate %.2fs, "
+      "analyze %.2fs, wall %.2fs",
+      static_cast<unsigned long long>(Run), Workers,
+      static_cast<unsigned long long>(Failed),
+      static_cast<unsigned long long>(Store.Hits),
+      static_cast<unsigned long long>(Store.Misses), 100 * hitRate(Store),
+      static_cast<unsigned long long>(Store.Writes),
+      Store.Invalid ? formatString(", %llu invalid dropped",
+                                   static_cast<unsigned long long>(
+                                       Store.Invalid))
+                          .c_str()
+                    : "",
+      phaseSeconds(Phase::Compile), phaseSeconds(Phase::Simulate),
+      phaseSeconds(Phase::Analyze), wallSeconds());
+}
+
+std::string ExecStats::json(const StoreStats &Store, unsigned Workers) const {
+  return formatString(
+      "{\"workers\": %u, \"jobs_run\": %llu, \"jobs_failed\": %llu, "
+      "\"cache_hits\": %llu, \"cache_misses\": %llu, \"cache_writes\": %llu, "
+      "\"cache_invalid\": %llu, \"cache_hit_rate\": %.4f, "
+      "\"compile_sec\": %.4f, \"simulate_sec\": %.4f, \"analyze_sec\": %.4f, "
+      "\"wall_sec\": %.4f}",
+      Workers,
+      static_cast<unsigned long long>(
+          Jobs.JobsRun.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          Jobs.JobsFailed.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(Store.Hits),
+      static_cast<unsigned long long>(Store.Misses),
+      static_cast<unsigned long long>(Store.Writes),
+      static_cast<unsigned long long>(Store.Invalid), hitRate(Store),
+      phaseSeconds(Phase::Compile), phaseSeconds(Phase::Simulate),
+      phaseSeconds(Phase::Analyze), wallSeconds());
+}

@@ -1,0 +1,103 @@
+//===- exec/ExecStats.h - execution report for benches and tools ------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counters the execution layer accumulates while a bench or tool runs: jobs
+/// executed and failed, result-cache traffic, and wall time spent per
+/// pipeline phase (compile, simulate, analyze). Benches print the rendered
+/// report to stderr — stdout stays byte-identical across worker counts and
+/// cache states — and embed the JSON form in their `--json` output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_EXEC_EXECSTATS_H
+#define DLQ_EXEC_EXECSTATS_H
+
+#include "exec/JobPool.h"
+#include "exec/ResultStore.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace dlq {
+namespace exec {
+
+/// Phases the execution layer attributes time to.
+enum class Phase { Compile, Simulate, Analyze };
+
+/// Aggregated execution counters. One instance lives in each pipeline
+/// Driver; all members are safe to update from worker threads.
+class ExecStats {
+public:
+  ExecStats() : Start(std::chrono::steady_clock::now()) {}
+
+  JobCounters Jobs;
+
+  void addPhase(Phase P, std::chrono::steady_clock::duration D) {
+    phaseNs(P).fetch_add(
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(D).count()),
+        std::memory_order_relaxed);
+  }
+
+  double phaseSeconds(Phase P) const {
+    return static_cast<double>(phaseNs(P).load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+
+  /// Wall time since the stats (i.e. the Driver) were created.
+  double wallSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         Start)
+        .count();
+  }
+
+  /// Human-readable one-paragraph report, e.g. for stderr after a bench.
+  std::string render(const StoreStats &Store, unsigned Workers) const;
+
+  /// The `"exec": {...}` JSON object embedded in bench --json reports.
+  std::string json(const StoreStats &Store, unsigned Workers) const;
+
+  static double hitRate(const StoreStats &Store) {
+    uint64_t Total = Store.Hits + Store.Misses;
+    return Total == 0 ? 0.0 : static_cast<double>(Store.Hits) / Total;
+  }
+
+private:
+  std::atomic<uint64_t> &phaseNs(Phase P) {
+    return Ns[static_cast<unsigned>(P)];
+  }
+  const std::atomic<uint64_t> &phaseNs(Phase P) const {
+    return Ns[static_cast<unsigned>(P)];
+  }
+
+  std::atomic<uint64_t> Ns[3] = {};
+  std::chrono::steady_clock::time_point Start;
+};
+
+/// RAII phase timer: adds the scope's elapsed time to one phase counter.
+class PhaseTimer {
+public:
+  PhaseTimer(ExecStats &Stats, Phase P)
+      : Stats(Stats), P(P), T0(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() { Stats.addPhase(P, std::chrono::steady_clock::now() - T0); }
+
+  PhaseTimer(const PhaseTimer &) = delete;
+  PhaseTimer &operator=(const PhaseTimer &) = delete;
+
+private:
+  ExecStats &Stats;
+  Phase P;
+  std::chrono::steady_clock::time_point T0;
+};
+
+} // namespace exec
+} // namespace dlq
+
+#endif // DLQ_EXEC_EXECSTATS_H

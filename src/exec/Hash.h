@@ -1,0 +1,97 @@
+//===- exec/Hash.h - FNV-1a content hashing for cache keys ------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A 64-bit FNV-1a hasher used to content-address experiment results: every
+/// input that can change a result (workload source text, input id, opt level,
+/// cache geometry, analysis knobs) is folded into one key. Each typed fold
+/// prefixes the payload length where it is variable, so concatenation
+/// ambiguities ("ab"+"c" vs "a"+"bc") cannot alias.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_EXEC_HASH_H
+#define DLQ_EXEC_HASH_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace dlq {
+namespace exec {
+
+/// Incremental 64-bit FNV-1a.
+class Fnv1a {
+public:
+  static constexpr uint64_t OffsetBasis = 14695981039346656037ull;
+  static constexpr uint64_t Prime = 1099511628211ull;
+
+  Fnv1a &bytes(const void *Data, size_t Size) {
+    const uint8_t *P = static_cast<const uint8_t *>(Data);
+    for (size_t I = 0; I != Size; ++I) {
+      H ^= P[I];
+      H *= Prime;
+    }
+    return *this;
+  }
+
+  Fnv1a &u8(uint8_t V) { return bytes(&V, 1); }
+  Fnv1a &b(bool V) { return u8(V ? 1 : 0); }
+
+  Fnv1a &u32(uint32_t V) {
+    uint8_t Buf[4] = {static_cast<uint8_t>(V), static_cast<uint8_t>(V >> 8),
+                      static_cast<uint8_t>(V >> 16),
+                      static_cast<uint8_t>(V >> 24)};
+    return bytes(Buf, 4);
+  }
+
+  Fnv1a &u64(uint64_t V) {
+    u32(static_cast<uint32_t>(V));
+    return u32(static_cast<uint32_t>(V >> 32));
+  }
+
+  /// Doubles are folded by bit pattern: two knob values hash alike only when
+  /// they are the same double.
+  Fnv1a &f64(double V) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    return u64(Bits);
+  }
+
+  /// Length-prefixed, so adjacent strings cannot alias.
+  Fnv1a &str(std::string_view S) {
+    u64(S.size());
+    return bytes(S.data(), S.size());
+  }
+
+  uint64_t value() const { return H; }
+
+private:
+  uint64_t H = OffsetBasis;
+};
+
+/// One-shot hash of a byte buffer (used as the ResultStore payload checksum).
+inline uint64_t fnv1a(const void *Data, size_t Size) {
+  return Fnv1a().bytes(Data, Size).value();
+}
+
+/// 16-digit lowercase hex rendering of a key, used for store file names.
+inline std::string hexKey(uint64_t Key) {
+  static const char Digits[] = "0123456789abcdef";
+  std::string S(16, '0');
+  for (int I = 15; I >= 0; --I) {
+    S[static_cast<size_t>(I)] = Digits[Key & 0xF];
+    Key >>= 4;
+  }
+  return S;
+}
+
+} // namespace exec
+} // namespace dlq
+
+#endif // DLQ_EXEC_HASH_H

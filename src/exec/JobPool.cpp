@@ -1,0 +1,158 @@
+//===- exec/JobPool.cpp ---------------------------------------------------------//
+
+#include "exec/JobPool.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+using namespace dlq;
+using namespace dlq::exec;
+
+unsigned exec::defaultJobCount() {
+  if (const char *Env = std::getenv("DLQ_JOBS")) {
+    long N = std::strtol(Env, nullptr, 10);
+    if (N > 0)
+      return static_cast<unsigned>(N);
+  }
+  unsigned Hw = std::thread::hardware_concurrency();
+  return Hw == 0 ? 1 : Hw;
+}
+
+JobPool::JobPool(unsigned Workers, JobCounters *Counters)
+    : Counters(Counters) {
+  if (Workers == 0)
+    Workers = defaultJobCount();
+  Threads.reserve(Workers);
+  for (unsigned I = 0; I != Workers; ++I)
+    Threads.emplace_back([this] { workerLoop(); });
+}
+
+JobPool::~JobPool() {
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    Stopping = true;
+  }
+  WorkReady.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void JobPool::submit(std::function<void()> Fn) {
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    Queue.push_back(std::move(Fn));
+    ++InFlight;
+  }
+  WorkReady.notify_one();
+}
+
+void JobPool::waitIdle() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  Idle.wait(Lock, [this] { return InFlight == 0; });
+}
+
+void JobPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Job;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      WorkReady.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping, and no work left to drain.
+      Job = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    try {
+      Job();
+      if (Counters)
+        Counters->JobsRun.fetch_add(1, std::memory_order_relaxed);
+    } catch (...) {
+      // Job-level exceptions are the caller's business (map/TaskSet capture
+      // them inside the closure); anything reaching here is fire-and-forget.
+      if (Counters) {
+        Counters->JobsRun.fetch_add(1, std::memory_order_relaxed);
+        Counters->JobsFailed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      if (--InFlight == 0)
+        Idle.notify_all();
+    }
+  }
+}
+
+size_t TaskSet::add(std::function<void()> Fn,
+                    const std::vector<size_t> &Deps) {
+  size_t Id = Tasks.size();
+  Tasks.push_back(Task{std::move(Fn), {}, Deps.size(), false});
+  Errors.emplace_back();
+  for (size_t Dep : Deps)
+    Tasks[Dep].Dependents.push_back(Id);
+  return Id;
+}
+
+void TaskSet::schedule(size_t Id) {
+  Pool.submit([this, Id] {
+    bool Failed = false;
+    try {
+      Tasks[Id].Fn();
+    } catch (...) {
+      Errors[Id] = std::current_exception();
+      Failed = true;
+      Pool.noteFailure();
+    }
+    finish(Id, Failed);
+  });
+}
+
+void TaskSet::finish(size_t Id, bool Failed) {
+  std::vector<size_t> Ready;
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    // Resolve this task and every dependent that becomes decided without
+    // running (skipped because an ancestor failed), without recursion.
+    std::vector<std::pair<size_t, bool>> Work = {{Id, Failed}};
+    while (!Work.empty()) {
+      auto [Cur, CurFailed] = Work.back();
+      Work.pop_back();
+      ++Finished;
+      for (size_t Dep : Tasks[Cur].Dependents) {
+        Task &D = Tasks[Dep];
+        D.Skipped = D.Skipped || CurFailed;
+        if (--D.PendingDeps != 0)
+          continue;
+        if (D.Skipped)
+          Work.push_back({Dep, true}); // Skipping counts as a failed parent.
+        else
+          Ready.push_back(Dep);
+      }
+    }
+    if (Finished == Tasks.size())
+      Done.notify_all();
+  }
+  for (size_t Dep : Ready)
+    schedule(Dep);
+}
+
+void TaskSet::run() {
+  std::vector<size_t> Roots;
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    if (Running)
+      throw std::logic_error("TaskSet::run called twice");
+    Running = true;
+    for (size_t Id = 0; Id != Tasks.size(); ++Id)
+      if (Tasks[Id].PendingDeps == 0)
+        Roots.push_back(Id);
+  }
+  for (size_t Id : Roots)
+    schedule(Id);
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    Done.wait(Lock, [this] { return Finished == Tasks.size(); });
+  }
+  for (const std::exception_ptr &E : Errors)
+    if (E)
+      std::rethrow_exception(E);
+}

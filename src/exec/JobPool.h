@@ -1,0 +1,156 @@
+//===- exec/JobPool.h - worker pool and dependency-aware task sets ----------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution layer's scheduler. A JobPool owns N worker threads
+/// (N = DLQ_JOBS or hardware_concurrency by default) and runs submitted
+/// closures; `map` fans a function out over an index range and returns the
+/// results in submission order, so callers are deterministic regardless of
+/// worker count. A TaskSet adds explicit dependencies on top: tasks become
+/// runnable only when every predecessor finished, which is how the pipeline
+/// expresses compile -> simulate -> analyze stages without barriers.
+///
+/// Exceptions thrown by jobs are captured and rethrown on the waiting
+/// thread (first failing index wins in `map`; first failing task id in
+/// TaskSet); a throwing job never deadlocks or poisons the pool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_EXEC_JOBPOOL_H
+#define DLQ_EXEC_JOBPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+namespace dlq {
+namespace exec {
+
+/// Counters a pool reports into (shared with ExecStats).
+struct JobCounters {
+  std::atomic<uint64_t> JobsRun{0};
+  std::atomic<uint64_t> JobsFailed{0};
+};
+
+/// The default worker count: the DLQ_JOBS environment variable when set to a
+/// positive integer, otherwise std::thread::hardware_concurrency (minimum 1).
+unsigned defaultJobCount();
+
+/// A fixed-size worker pool.
+class JobPool {
+public:
+  /// \p Workers = 0 selects defaultJobCount().
+  explicit JobPool(unsigned Workers = 0, JobCounters *Counters = nullptr);
+  ~JobPool();
+
+  JobPool(const JobPool &) = delete;
+  JobPool &operator=(const JobPool &) = delete;
+
+  unsigned workers() const { return static_cast<unsigned>(Threads.size()); }
+
+  /// Enqueues \p Fn. Exceptions it throws are counted as failed jobs and
+  /// dropped; use `map` or TaskSet when failures must propagate.
+  void submit(std::function<void()> Fn);
+
+  /// Blocks until every submitted job has finished.
+  void waitIdle();
+
+  /// Records a failed job in the pool's counters. Used by `map` and TaskSet,
+  /// which capture job exceptions for rethrow instead of letting them reach
+  /// the worker loop.
+  void noteFailure() {
+    if (Counters)
+      Counters->JobsFailed.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Runs Fn(0..N-1) across the workers and returns the results indexed by
+  /// input position — byte-identical output whether the pool has 1 worker or
+  /// 64. If any call throws, the exception of the smallest failing index is
+  /// rethrown after all jobs finished.
+  template <typename T>
+  std::vector<T> map(size_t N, const std::function<T(size_t)> &Fn) {
+    std::vector<std::optional<T>> Slots(N);
+    std::vector<std::exception_ptr> Errors(N);
+    for (size_t I = 0; I != N; ++I)
+      submit([&, I] {
+        try {
+          Slots[I].emplace(Fn(I));
+        } catch (...) {
+          Errors[I] = std::current_exception();
+          noteFailure();
+        }
+      });
+    waitIdle();
+    for (size_t I = 0; I != N; ++I)
+      if (Errors[I])
+        std::rethrow_exception(Errors[I]);
+    std::vector<T> Out;
+    Out.reserve(N);
+    for (std::optional<T> &S : Slots)
+      Out.push_back(std::move(*S));
+    return Out;
+  }
+
+private:
+  void workerLoop();
+
+  std::mutex Mu;
+  std::condition_variable WorkReady;
+  std::condition_variable Idle;
+  std::deque<std::function<void()>> Queue;
+  std::vector<std::thread> Threads;
+  size_t InFlight = 0; ///< Queued + currently executing.
+  bool Stopping = false;
+  JobCounters *Counters = nullptr;
+};
+
+/// A dependency-aware task set scheduled onto a JobPool. Tasks are added
+/// with edges to earlier tasks; `run` executes every task whose dependencies
+/// succeeded, in parallel where the graph allows. When a task throws, its
+/// transitive dependents are skipped and the exception of the lowest failing
+/// task id is rethrown after the set drains.
+class TaskSet {
+public:
+  explicit TaskSet(JobPool &Pool) : Pool(Pool) {}
+
+  /// Adds a task depending on the given earlier task ids; returns its id.
+  size_t add(std::function<void()> Fn, const std::vector<size_t> &Deps = {});
+
+  /// Runs the set to completion. Callable once.
+  void run();
+
+private:
+  struct Task {
+    std::function<void()> Fn;
+    std::vector<size_t> Dependents;
+    size_t PendingDeps = 0;
+    bool Skipped = false;
+  };
+
+  void schedule(size_t Id);
+  void finish(size_t Id, bool Failed);
+
+  JobPool &Pool;
+  std::mutex Mu;
+  std::condition_variable Done;
+  std::vector<Task> Tasks;
+  std::vector<std::exception_ptr> Errors;
+  size_t Finished = 0;
+  bool Running = false;
+};
+
+} // namespace exec
+} // namespace dlq
+
+#endif // DLQ_EXEC_JOBPOOL_H

@@ -1,0 +1,73 @@
+//===- exec/Options.cpp ---------------------------------------------------------//
+
+#include "exec/Options.h"
+
+#include <cstdlib>
+#include <cstring>
+
+using namespace dlq;
+using namespace dlq::exec;
+
+ExecOptions ExecOptions::fromEnv() {
+  ExecOptions O;
+  if (const char *Dir = std::getenv("DLQ_CACHE_DIR"))
+    if (*Dir)
+      O.CacheDir = Dir;
+  if (const char *No = std::getenv("DLQ_NO_CACHE"))
+    if (*No && std::strcmp(No, "0") != 0)
+      O.UseDiskCache = false;
+  return O;
+}
+
+namespace {
+
+/// Matches `--flag value` and `--flag=value`; on a match \p Value points at
+/// the value and \p I has been advanced past it.
+bool valueArg(const char *Flag, int Argc, char **Argv, int &I,
+              const char *&Value) {
+  const char *Arg = Argv[I];
+  size_t N = std::strlen(Flag);
+  if (std::strncmp(Arg, Flag, N) != 0)
+    return false;
+  if (Arg[N] == '=') {
+    Value = Arg + N + 1;
+    return true;
+  }
+  if (Arg[N] == '\0' && I + 1 < Argc) {
+    Value = Argv[++I];
+    return true;
+  }
+  return false;
+}
+
+} // namespace
+
+bool ExecOptions::consumeArg(int Argc, char **Argv, int &I) {
+  if (std::strcmp(Argv[I], "--no-cache") == 0) {
+    UseDiskCache = false;
+    return true;
+  }
+  const char *Value = nullptr;
+  if (valueArg("--jobs", Argc, Argv, I, Value)) {
+    char *End = nullptr;
+    long N = std::strtol(Value, &End, 10);
+    if (N > 0 && End != Value && *End == '\0')
+      Jobs = static_cast<unsigned>(N);
+    else
+      Error = std::string("invalid --jobs value '") + Value + "'";
+    return true;
+  }
+  if (valueArg("--cache-dir", Argc, Argv, I, Value)) {
+    CacheDir = Value;
+    return true;
+  }
+  return false;
+}
+
+const char *ExecOptions::usageText() {
+  return "  --jobs <n>           worker threads (default: DLQ_JOBS or all "
+         "hardware threads)\n"
+         "  --cache-dir <dir>    persistent result cache directory (default "
+         ".dlq-cache)\n"
+         "  --no-cache           bypass the persistent result cache\n";
+}

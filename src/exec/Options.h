@@ -1,0 +1,48 @@
+//===- exec/Options.h - execution-layer configuration -----------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The knobs every bench and tool exposes identically: worker count
+/// (`--jobs N`, env DLQ_JOBS), store directory (`--cache-dir D`, env
+/// DLQ_CACHE_DIR) and cache bypass (`--no-cache`, env DLQ_NO_CACHE). The
+/// environment seeds the defaults; command-line flags override it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_EXEC_OPTIONS_H
+#define DLQ_EXEC_OPTIONS_H
+
+#include <string>
+
+namespace dlq {
+namespace exec {
+
+struct ExecOptions {
+  unsigned Jobs = 0; ///< 0 = defaultJobCount() (DLQ_JOBS or hw threads).
+  bool UseDiskCache = true;
+  std::string CacheDir = ".dlq-cache";
+  std::string Error; ///< Set by consumeArg on a malformed value.
+
+  /// Defaults with DLQ_CACHE_DIR / DLQ_NO_CACHE applied (DLQ_JOBS is read
+  /// by defaultJobCount() at pool construction, so Jobs stays 0 here).
+  static ExecOptions fromEnv();
+
+  /// Consumes `--jobs N|--jobs=N`, `--cache-dir D|--cache-dir=D` or
+  /// `--no-cache` at Argv[I], advancing I past any value argument. Returns
+  /// true if the argument was one of ours; leaves I untouched otherwise.
+  /// A recognized flag with a malformed value still returns true but sets
+  /// Error — callers must check it after the parse loop.
+  bool consumeArg(int Argc, char **Argv, int &I);
+
+  /// The usage text block describing the shared flags.
+  static const char *usageText();
+};
+
+} // namespace exec
+} // namespace dlq
+
+#endif // DLQ_EXEC_OPTIONS_H

@@ -1,0 +1,126 @@
+//===- exec/ResultStore.cpp -----------------------------------------------------//
+
+#include "exec/ResultStore.h"
+
+#include "exec/Hash.h"
+#include "exec/Serialize.h"
+
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <thread>
+
+using namespace dlq;
+using namespace dlq::exec;
+
+namespace {
+
+constexpr char Magic[4] = {'D', 'L', 'Q', 'R'};
+
+} // namespace
+
+std::string ResultStore::pathFor(uint64_t Key) const {
+  return Dir + "/" + hexKey(Key) + ".dlqr";
+}
+
+bool ResultStore::lookup(uint64_t Key, std::vector<uint8_t> &Payload) {
+  if (!Enabled)
+    return false;
+
+  std::ifstream In(pathFor(Key), std::ios::binary);
+  if (!In) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++S.Misses;
+    return false;
+  }
+  std::vector<uint8_t> Raw((std::istreambuf_iterator<char>(In)),
+                           std::istreambuf_iterator<char>());
+
+  auto invalid = [&] {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++S.Misses;
+    ++S.Invalid;
+    return false;
+  };
+
+  ByteReader R(Raw);
+  char M[4];
+  if (R.remaining() < 4)
+    return invalid();
+  for (char &C : M) {
+    uint8_t B;
+    R.u8(B);
+    C = static_cast<char>(B);
+  }
+  uint32_t Version;
+  uint64_t StoredKey, Size, Checksum;
+  if (M[0] != Magic[0] || M[1] != Magic[1] || M[2] != Magic[2] ||
+      M[3] != Magic[3] || !R.u32(Version) || Version != FormatVersion ||
+      !R.u64(StoredKey) || StoredKey != Key || !R.u64(Size) ||
+      Size != R.remaining() - 8 || Size > R.remaining())
+    return invalid();
+
+  Payload.assign(Raw.end() - static_cast<ptrdiff_t>(Size) - 8,
+                 Raw.end() - 8);
+  ByteReader Tail(Raw.data() + Raw.size() - 8, 8);
+  Tail.u64(Checksum);
+  if (Checksum != fnv1a(Payload.data(), Payload.size()))
+    return invalid();
+
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++S.Hits;
+  return true;
+}
+
+bool ResultStore::store(uint64_t Key, const std::vector<uint8_t> &Payload) {
+  if (!Enabled)
+    return false;
+
+  std::error_code Ec;
+  std::filesystem::create_directories(Dir, Ec);
+
+  ByteWriter W;
+  for (char C : Magic)
+    W.u8(static_cast<uint8_t>(C));
+  W.u32(FormatVersion);
+  W.u64(Key);
+  W.u64(Payload.size());
+  // Header then payload then checksum, so a truncated write always fails
+  // either the size or the checksum test.
+  std::vector<uint8_t> Entry = W.take();
+  Entry.insert(Entry.end(), Payload.begin(), Payload.end());
+  ByteWriter Tail;
+  Tail.u64(fnv1a(Payload.data(), Payload.size()));
+  const std::vector<uint8_t> &TailBuf = Tail.buffer();
+  Entry.insert(Entry.end(), TailBuf.begin(), TailBuf.end());
+
+  // Unique temp name per thread + key; rename is atomic on POSIX, so
+  // concurrent writers of the same key both succeed and one wins whole.
+  std::string Path = pathFor(Key);
+  std::string Tmp = Path + ".tmp" +
+                    std::to_string(std::hash<std::thread::id>()(
+                        std::this_thread::get_id()) %
+                                   0xFFFF);
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return false;
+    Out.write(reinterpret_cast<const char *>(Entry.data()),
+              static_cast<std::streamsize>(Entry.size()));
+    if (!Out)
+      return false;
+  }
+  std::filesystem::rename(Tmp, Path, Ec);
+  if (Ec) {
+    std::filesystem::remove(Tmp, Ec);
+    return false;
+  }
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++S.Writes;
+  return true;
+}
+
+StoreStats ResultStore::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return S;
+}

@@ -1,0 +1,101 @@
+//===- exec/Serialize.h - binary result (de)serialization -------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Little-endian byte writer/reader used by the ResultStore payloads, plus
+/// the codec for sim::RunResult — the expensive artifact the execution layer
+/// persists so a warm bench run never re-simulates. Readers are tolerant:
+/// every accessor reports truncation instead of reading past the end, so a
+/// corrupt store entry degrades to a cache miss, never to undefined
+/// behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_EXEC_SERIALIZE_H
+#define DLQ_EXEC_SERIALIZE_H
+
+#include "masm/Module.h"
+#include "sim/Machine.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dlq {
+namespace exec {
+
+/// Appends little-endian scalars and length-prefixed containers to a buffer.
+class ByteWriter {
+public:
+  void u8(uint8_t V) { Buf.push_back(V); }
+
+  void u32(uint32_t V) {
+    for (int I = 0; I != 4; ++I)
+      Buf.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+
+  void u64(uint64_t V) {
+    u32(static_cast<uint32_t>(V));
+    u32(static_cast<uint32_t>(V >> 32));
+  }
+
+  void i32(int32_t V) { u32(static_cast<uint32_t>(V)); }
+  void f64(double V);
+
+  void str(const std::string &S) {
+    u64(S.size());
+    Buf.insert(Buf.end(), S.begin(), S.end());
+  }
+
+  void vecU64(const std::vector<uint64_t> &V) {
+    u64(V.size());
+    for (uint64_t X : V)
+      u64(X);
+  }
+
+  const std::vector<uint8_t> &buffer() const { return Buf; }
+  std::vector<uint8_t> take() { return std::move(Buf); }
+
+private:
+  std::vector<uint8_t> Buf;
+};
+
+/// Reads what ByteWriter wrote. Every accessor returns false once the buffer
+/// is exhausted or a length prefix is implausible.
+class ByteReader {
+public:
+  ByteReader(const uint8_t *Data, size_t Size) : P(Data), End(Data + Size) {}
+  explicit ByteReader(const std::vector<uint8_t> &Buf)
+      : ByteReader(Buf.data(), Buf.size()) {}
+
+  bool u8(uint8_t &V);
+  bool u32(uint32_t &V);
+  bool u64(uint64_t &V);
+  bool i32(int32_t &V);
+  bool f64(double &V);
+  bool str(std::string &S);
+  bool vecU64(std::vector<uint64_t> &V);
+
+  size_t remaining() const { return static_cast<size_t>(End - P); }
+  bool atEnd() const { return P == End; }
+
+private:
+  const uint8_t *P;
+  const uint8_t *End;
+};
+
+/// Serializes a finished run. Only exited runs should be stored; the codec
+/// round-trips every statistic the pipeline and benches consume.
+void writeRunResult(ByteWriter &W, const sim::RunResult &R);
+
+/// Decodes a run payload; false on any truncation or implausible size.
+bool readRunResult(ByteReader &R, sim::RunResult &Out);
+
+} // namespace exec
+} // namespace dlq
+
+#endif // DLQ_EXEC_SERIALIZE_H

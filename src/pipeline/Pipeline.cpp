@@ -2,6 +2,8 @@
 
 #include "pipeline/Pipeline.h"
 
+#include "exec/Hash.h"
+#include "exec/Serialize.h"
 #include "mcc/Compiler.h"
 #include "support/Format.h"
 
@@ -12,80 +14,193 @@ using namespace dlq;
 using namespace dlq::pipeline;
 using namespace dlq::masm;
 
-Driver::Driver(uint64_t MaxInstrsPerRun) : MaxInstrs(MaxInstrsPerRun) {}
+namespace {
 
-std::string Driver::compileKey(const std::string &Workload, InputSel In,
-                               unsigned OptLevel) {
-  return formatString("%s/%s/O%u", Workload.c_str(),
-                      In == InputSel::Input1 ? "input1" : "input2", OptLevel);
+const char *inputName(InputSel In) {
+  return In == InputSel::Input1 ? "input1" : "input2";
 }
 
-std::string Driver::runKey(const std::string &Workload, InputSel In,
-                           unsigned OptLevel, const sim::CacheConfig &Cache) {
-  return compileKey(Workload, In, OptLevel) + "/" + Cache.describe();
+std::string stageKey(const std::string &Workload, InputSel In,
+                     unsigned OptLevel) {
+  return formatString("%s/%s/O%u", Workload.c_str(), inputName(In), OptLevel);
 }
 
-const Compiled &Driver::compiled(const std::string &Workload, InputSel In,
-                                 unsigned OptLevel) {
-  std::string Key = compileKey(Workload, In, OptLevel);
-  auto It = CompileCache.find(Key);
-  if (It != CompileCache.end())
-    return *It->second;
+/// HeuristicEval <-> bytes, for the persistent eval cache.
+void writeEval(exec::ByteWriter &W, const HeuristicEval &H) {
+  W.u64(H.Delta.size());
+  for (const InstrRef &Ref : H.Delta) {
+    W.u32(Ref.FuncIdx);
+    W.u32(Ref.InstrIdx);
+  }
+  W.u64(H.Scores.size());
+  for (const auto &[Ref, Phi] : H.Scores) {
+    W.u32(Ref.FuncIdx);
+    W.u32(Ref.InstrIdx);
+    W.f64(Phi);
+  }
+  W.u64(H.E.Lambda);
+  W.u64(H.E.DeltaSize);
+  W.u64(H.E.TotalMisses);
+  W.u64(H.E.CoveredMisses);
+}
 
+bool readEval(exec::ByteReader &R, HeuristicEval &H) {
+  uint64_t N;
+  if (!R.u64(N) || N > R.remaining() / 8)
+    return false;
+  for (uint64_t I = 0; I != N; ++I) {
+    InstrRef Ref;
+    if (!R.u32(Ref.FuncIdx) || !R.u32(Ref.InstrIdx))
+      return false;
+    H.Delta.insert(Ref);
+  }
+  if (!R.u64(N) || N > R.remaining() / 16)
+    return false;
+  for (uint64_t I = 0; I != N; ++I) {
+    InstrRef Ref;
+    double Phi;
+    if (!R.u32(Ref.FuncIdx) || !R.u32(Ref.InstrIdx) || !R.f64(Phi))
+      return false;
+    H.Scores[Ref] = Phi;
+  }
+  uint64_t Lambda, DeltaSize;
+  if (!R.u64(Lambda) || !R.u64(DeltaSize) || !R.u64(H.E.TotalMisses) ||
+      !R.u64(H.E.CoveredMisses))
+    return false;
+  H.E.Lambda = static_cast<size_t>(Lambda);
+  H.E.DeltaSize = static_cast<size_t>(DeltaSize);
+  return true;
+}
+
+} // namespace
+
+Driver::Driver(uint64_t MaxInstrsPerRun)
+    : Driver(exec::ExecOptions::fromEnv(), MaxInstrsPerRun) {}
+
+Driver::Driver(const exec::ExecOptions &Options, uint64_t MaxInstrsPerRun)
+    : Opts(Options), MaxInstrs(MaxInstrsPerRun),
+      Pool(Options.Jobs, &Stats.Jobs),
+      Store(Options.CacheDir, Options.UseDiskCache) {}
+
+uint64_t Driver::runKeyOf(const std::string &SourceText,
+                          const std::string &InputName, unsigned OptLevel,
+                          const sim::CacheConfig &Cache, uint64_t MaxInstrs,
+                          const metrics::LoadSet &PrefetchLoads) {
+  exec::Fnv1a H;
+  H.str("dlq-run").str(SourceText).str(InputName).u32(OptLevel);
+  H.u32(Cache.SizeBytes).u32(Cache.Assoc).u32(Cache.BlockBytes);
+  H.u64(MaxInstrs);
+  H.u64(PrefetchLoads.size());
+  for (const InstrRef &Ref : PrefetchLoads)
+    H.u32(Ref.FuncIdx).u32(Ref.InstrIdx);
+  return H.value();
+}
+
+uint64_t Driver::evalKeyOf(uint64_t RunKey,
+                           const classify::HeuristicOptions &Opts,
+                           const ap::ApBuilderOptions &ApOpts) {
+  exec::Fnv1a H;
+  H.str("dlq-eval").u64(RunKey);
+  H.f64(Opts.Delta);
+  for (double W : Opts.Weights.W)
+    H.f64(W);
+  H.b(Opts.UseFreqClasses).u64(Opts.RareBelow).u64(Opts.SeldomBelow);
+  H.u32(ApOpts.MaxPatternsPerLoad).u32(ApOpts.MaxAltsPerUse)
+      .u32(ApOpts.MaxDepth);
+  return H.value();
+}
+
+const workloads::Workload &Driver::findOrDie(const std::string &Workload) {
   const workloads::Workload *W = workloads::findWorkload(Workload);
   if (!W) {
     std::fprintf(stderr, "error: unknown workload '%s'\n", Workload.c_str());
     std::exit(1);
   }
-  const workloads::WorkloadInput &Input = inputOf(*W, In);
-  std::string Source = workloads::instantiate(*W, Input);
+  return *W;
+}
 
-  mcc::CompileOptions Opts;
-  Opts.OptLevel = OptLevel;
-  mcc::CompileResult CR = mcc::compile(Source, Opts);
-  if (!CR.ok()) {
-    std::fprintf(stderr, "error: workload '%s' failed to compile:\n%s",
-                 Workload.c_str(), CR.Errors.c_str());
-    std::exit(1);
-  }
+const std::string &Driver::sourceText(const std::string &Workload,
+                                      InputSel In) {
+  return latched(SourceCache, Workload + "/" + inputName(In), [&] {
+    const workloads::Workload &W = findOrDie(Workload);
+    return workloads::instantiate(W, inputOf(W, In));
+  });
+}
 
-  auto C = std::make_unique<Compiled>();
-  C->M = std::move(CR.M);
-  C->L = std::make_unique<Layout>(*C->M);
-  C->Cfgs = sim::buildAllCfgs(*C->M);
-  C->Analysis = std::make_unique<classify::ModuleAnalysis>(*C->M);
-
-  const Compiled &Ref = *C;
-  CompileCache[Key] = std::move(C);
-  return Ref;
+const Compiled &Driver::compiled(const std::string &Workload, InputSel In,
+                                 unsigned OptLevel) {
+  return latched(CompileCache, stageKey(Workload, In, OptLevel), [&] {
+    exec::PhaseTimer Timer(Stats, exec::Phase::Compile);
+    mcc::CompileOptions MOpts;
+    MOpts.OptLevel = OptLevel;
+    mcc::CompileResult CR = mcc::compile(sourceText(Workload, In), MOpts);
+    if (!CR.ok()) {
+      std::fprintf(stderr, "error: workload '%s' failed to compile:\n%s",
+                   Workload.c_str(), CR.Errors.c_str());
+      std::exit(1);
+    }
+    Compiled C;
+    C.M = std::move(CR.M);
+    C.L = std::make_unique<Layout>(*C.M);
+    C.Cfgs = sim::buildAllCfgs(*C.M);
+    C.Analysis = std::make_unique<classify::ModuleAnalysis>(*C.M);
+    return C;
+  });
 }
 
 const sim::RunResult &Driver::run(const std::string &Workload, InputSel In,
                                   unsigned OptLevel,
                                   const sim::CacheConfig &Cache) {
-  std::string Key = runKey(Workload, In, OptLevel, Cache);
-  auto It = RunCache.find(Key);
-  if (It != RunCache.end())
-    return *It->second;
+  return runImpl(Workload, In, OptLevel, Cache, metrics::LoadSet());
+}
 
-  const Compiled &C = compiled(Workload, In, OptLevel);
-  sim::MachineOptions Opts;
-  Opts.DCache = Cache;
-  Opts.MaxInstrs = MaxInstrs;
-  sim::Machine Mach(*C.M, *C.L, Opts);
-  auto R = std::make_unique<sim::RunResult>(Mach.run());
-  if (R->Halt != sim::HaltReason::Exited) {
-    std::fprintf(stderr, "error: workload '%s' did not exit cleanly: %s\n",
-                 Workload.c_str(),
-                 R->Halt == sim::HaltReason::FuelExhausted
-                     ? "fuel exhausted"
-                     : R->TrapMessage.c_str());
-    std::exit(1);
-  }
+const sim::RunResult &
+Driver::runWithPrefetch(const std::string &Workload, InputSel In,
+                        unsigned OptLevel, const sim::CacheConfig &Cache,
+                        const metrics::LoadSet &PrefetchLoads) {
+  return runImpl(Workload, In, OptLevel, Cache, PrefetchLoads);
+}
 
-  const sim::RunResult &Ref = *R;
-  RunCache[Key] = std::move(R);
-  return Ref;
+const sim::RunResult &Driver::runImpl(const std::string &Workload, InputSel In,
+                                      unsigned OptLevel,
+                                      const sim::CacheConfig &Cache,
+                                      const metrics::LoadSet &PrefetchLoads) {
+  uint64_t Key = runKeyOf(sourceText(Workload, In), inputName(In), OptLevel,
+                          Cache, MaxInstrs, PrefetchLoads);
+  return latched(RunCache, exec::hexKey(Key), [&]() -> sim::RunResult {
+    std::vector<uint8_t> Payload;
+    if (Store.lookup(Key, Payload)) {
+      sim::RunResult R;
+      exec::ByteReader Reader(Payload);
+      if (exec::readRunResult(Reader, R) && Reader.atEnd() && R.ok())
+        return R;
+    }
+
+    const Compiled &C = compiled(Workload, In, OptLevel);
+    sim::RunResult R;
+    {
+      exec::PhaseTimer Timer(Stats, exec::Phase::Simulate);
+      sim::MachineOptions MOpts;
+      MOpts.DCache = Cache;
+      MOpts.MaxInstrs = MaxInstrs;
+      MOpts.PrefetchLoads = PrefetchLoads;
+      sim::Machine Mach(*C.M, *C.L, MOpts);
+      R = Mach.run();
+    }
+    if (R.Halt != sim::HaltReason::Exited) {
+      std::fprintf(stderr, "error: workload '%s' did not exit cleanly: %s\n",
+                   Workload.c_str(),
+                   R.Halt == sim::HaltReason::FuelExhausted
+                       ? "fuel exhausted"
+                       : R.TrapMessage.c_str());
+      std::exit(1);
+    }
+
+    exec::ByteWriter Writer;
+    exec::writeRunResult(Writer, R);
+    Store.store(Key, Writer.buffer());
+    return R;
+  });
 }
 
 GroundTruth Driver::groundTruth(const std::string &Workload, InputSel In,
@@ -103,28 +218,53 @@ GroundTruth Driver::groundTruth(const std::string &Workload, InputSel In,
   return G;
 }
 
-HeuristicEval Driver::evalHeuristic(const std::string &Workload, InputSel In,
-                                    unsigned OptLevel,
-                                    const sim::CacheConfig &Cache,
-                                    const classify::HeuristicOptions &Opts) {
-  const Compiled &C = compiled(Workload, In, OptLevel);
-  GroundTruth G = groundTruth(Workload, In, OptLevel, Cache);
+const HeuristicEval &
+Driver::evalHeuristic(const std::string &Workload, InputSel In,
+                      unsigned OptLevel, const sim::CacheConfig &Cache,
+                      const classify::HeuristicOptions &Opts) {
+  uint64_t RunKey = runKeyOf(sourceText(Workload, In), inputName(In),
+                             OptLevel, Cache, MaxInstrs, metrics::LoadSet());
+  uint64_t Key = evalKeyOf(RunKey, Opts, ap::ApBuilderOptions());
+  return latched(EvalCache, exec::hexKey(Key), [&]() -> HeuristicEval {
+    std::vector<uint8_t> Payload;
+    if (Store.lookup(Key, Payload)) {
+      HeuristicEval H;
+      exec::ByteReader Reader(Payload);
+      if (readEval(Reader, H) && Reader.atEnd())
+        return H;
+    }
 
-  HeuristicEval H;
-  H.Scores = C.Analysis->scores(Opts, &G.ExecCounts);
-  for (const auto &[Ref, Phi] : H.Scores)
-    if (classify::isPossiblyDelinquent(Phi, Opts))
-      H.Delta.insert(Ref);
-  H.E = metrics::evaluate(C.lambda(), H.Delta, G.Stats);
-  return H;
+    const Compiled &C = compiled(Workload, In, OptLevel);
+    GroundTruth G = groundTruth(Workload, In, OptLevel, Cache);
+
+    exec::PhaseTimer Timer(Stats, exec::Phase::Analyze);
+    HeuristicEval H;
+    H.Scores = C.Analysis->scores(Opts, &G.ExecCounts);
+    for (const auto &[Ref, Phi] : H.Scores)
+      if (classify::isPossiblyDelinquent(Phi, Opts))
+        H.Delta.insert(Ref);
+    H.E = metrics::evaluate(C.lambda(), H.Delta, G.Stats);
+
+    exec::ByteWriter Writer;
+    writeEval(Writer, H);
+    Store.store(Key, Writer.buffer());
+    return H;
+  });
 }
 
 metrics::LoadSet Driver::hotspotLoads(const std::string &Workload, InputSel In,
                                       unsigned OptLevel,
                                       const sim::CacheConfig &Cache,
                                       double CycleCoverage) {
-  const Compiled &C = compiled(Workload, In, OptLevel);
-  const sim::RunResult &R = run(Workload, In, OptLevel, Cache);
-  sim::BlockProfile P(*C.M, C.Cfgs, R);
-  return P.hotspotLoads(CycleCoverage);
+  uint64_t RunKey = runKeyOf(sourceText(Workload, In), inputName(In),
+                             OptLevel, Cache, MaxInstrs, metrics::LoadSet());
+  std::string Key =
+      formatString("%s/cov=%.6f", exec::hexKey(RunKey).c_str(), CycleCoverage);
+  return latched(HotspotCache, Key, [&] {
+    const Compiled &C = compiled(Workload, In, OptLevel);
+    const sim::RunResult &R = run(Workload, In, OptLevel, Cache);
+    exec::PhaseTimer Timer(Stats, exec::Phase::Analyze);
+    sim::BlockProfile P(*C.M, C.Cfgs, R);
+    return P.hotspotLoads(CycleCoverage);
+  });
 }

@@ -11,12 +11,23 @@
 /// the static analyses, and memoizes every stage so that parameter sweeps
 /// (delta, epsilon, associativity, size) re-use compilations and runs.
 ///
+/// The driver sits on the src/exec execution layer: all public methods are
+/// thread-safe (bench binaries fan out one job per workload through the
+/// driver's JobPool), and the two expensive artifacts — simulation runs and
+/// heuristic evaluations — are persisted in a content-addressed ResultStore
+/// keyed by the workload source text, input id, opt level, cache geometry
+/// and every analysis knob, so a warm bench run never re-simulates.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DLQ_PIPELINE_PIPELINE_H
 #define DLQ_PIPELINE_PIPELINE_H
 
 #include "classify/Delinquency.h"
+#include "exec/ExecStats.h"
+#include "exec/JobPool.h"
+#include "exec/Options.h"
+#include "exec/ResultStore.h"
 #include "masm/Module.h"
 #include "metrics/Metrics.h"
 #include "sim/Cache.h"
@@ -26,6 +37,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 namespace dlq {
@@ -59,31 +71,41 @@ struct HeuristicEval {
   metrics::EvalResult E;
 };
 
-/// Memoizing experiment driver. Not thread-safe; bench binaries are
-/// single-threaded.
+/// Memoizing, thread-safe experiment driver backed by the src/exec layer.
 class Driver {
 public:
   explicit Driver(uint64_t MaxInstrsPerRun = 400'000'000);
+  explicit Driver(const exec::ExecOptions &Options,
+                  uint64_t MaxInstrsPerRun = 400'000'000);
 
-  /// Compiles (memoized). Aborts the process with a message on compile
-  /// errors — workload sources are part of this repository, so failure is a
-  /// build bug, not user input.
+  /// Compiles (memoized in memory). Aborts the process with a message on
+  /// compile errors — workload sources are part of this repository, so
+  /// failure is a build bug, not user input.
   const Compiled &compiled(const std::string &Workload, InputSel In,
                            unsigned OptLevel);
 
-  /// Simulates (memoized).
+  /// Simulates (memoized in memory and in the persistent ResultStore).
   const sim::RunResult &run(const std::string &Workload, InputSel In,
                             unsigned OptLevel, const sim::CacheConfig &Cache);
+
+  /// Simulates with next-line prefetching armed on \p PrefetchLoads (the
+  /// Section 1 motivating application); cached like `run`, keyed by the
+  /// prefetch set as well.
+  const sim::RunResult &runWithPrefetch(const std::string &Workload,
+                                        InputSel In, unsigned OptLevel,
+                                        const sim::CacheConfig &Cache,
+                                        const metrics::LoadSet &PrefetchLoads);
 
   /// Run + per-load stats bundle.
   GroundTruth groundTruth(const std::string &Workload, InputSel In,
                           unsigned OptLevel, const sim::CacheConfig &Cache);
 
-  /// Full heuristic evaluation under \p Opts.
-  HeuristicEval evalHeuristic(const std::string &Workload, InputSel In,
-                              unsigned OptLevel,
-                              const sim::CacheConfig &Cache,
-                              const classify::HeuristicOptions &Opts);
+  /// Full heuristic evaluation under \p Opts (memoized and persisted; the
+  /// cache key covers every knob in \p Opts, so sweeps can never alias).
+  const HeuristicEval &evalHeuristic(const std::string &Workload, InputSel In,
+                                     unsigned OptLevel,
+                                     const sim::CacheConfig &Cache,
+                                     const classify::HeuristicOptions &Opts);
 
   /// The profiling set Delta_P: loads in basic blocks covering
   /// \p CycleCoverage of all cycles (Section 4 uses 0.90).
@@ -92,6 +114,28 @@ public:
                                 const sim::CacheConfig &Cache,
                                 double CycleCoverage = 0.90);
 
+  /// The scheduler benches fan their per-workload jobs through.
+  exec::JobPool &pool() { return Pool; }
+  unsigned workers() const { return Pool.workers(); }
+
+  exec::ExecStats &stats() { return Stats; }
+  const exec::ResultStore &store() const { return Store; }
+  const exec::ExecOptions &options() const { return Opts; }
+
+  /// Content key of a simulation run. Exposed (with evalKeyOf) so tests can
+  /// assert that every result-changing knob feeds the key.
+  static uint64_t runKeyOf(const std::string &SourceText,
+                           const std::string &InputName, unsigned OptLevel,
+                           const sim::CacheConfig &Cache, uint64_t MaxInstrs,
+                           const metrics::LoadSet &PrefetchLoads);
+
+  /// Content key of a heuristic evaluation: the run key plus *all* analysis
+  /// knobs — delta, the nine class weights, the AG8/AG9 toggle, the H5
+  /// frequency thresholds, and the pattern-expansion caps.
+  static uint64_t evalKeyOf(uint64_t RunKey,
+                            const classify::HeuristicOptions &Opts,
+                            const ap::ApBuilderOptions &ApOpts);
+
   /// Human-readable short name of an input selection.
   static const workloads::WorkloadInput &inputOf(const workloads::Workload &W,
                                                  InputSel In) {
@@ -99,14 +143,58 @@ public:
   }
 
 private:
-  uint64_t MaxInstrs;
-  std::map<std::string, std::unique_ptr<Compiled>> CompileCache;
-  std::map<std::string, std::unique_ptr<sim::RunResult>> RunCache;
+  /// One memoized value: the slot mutex latches concurrent requests for the
+  /// same key onto a single computation.
+  template <typename T> struct Slot {
+    std::mutex M;
+    bool Ready = false;
+    T Value;
+  };
 
-  static std::string compileKey(const std::string &Workload, InputSel In,
-                                unsigned OptLevel);
-  static std::string runKey(const std::string &Workload, InputSel In,
-                            unsigned OptLevel, const sim::CacheConfig &Cache);
+  /// Find-or-compute over a latched slot map. Values live behind shared_ptr,
+  /// so returned references stay stable while the map grows.
+  template <typename T, typename ComputeFn>
+  T &latched(std::map<std::string, std::shared_ptr<Slot<T>>> &Map,
+             const std::string &Key, ComputeFn Compute) {
+    std::shared_ptr<Slot<T>> S;
+    {
+      std::lock_guard<std::mutex> Lock(MapMu);
+      std::shared_ptr<Slot<T>> &Ref = Map[Key];
+      if (!Ref)
+        Ref = std::make_shared<Slot<T>>();
+      S = Ref;
+    }
+    std::lock_guard<std::mutex> Lock(S->M);
+    if (!S->Ready) {
+      S->Value = Compute();
+      S->Ready = true;
+    }
+    return S->Value;
+  }
+
+  const sim::RunResult &runImpl(const std::string &Workload, InputSel In,
+                                unsigned OptLevel,
+                                const sim::CacheConfig &Cache,
+                                const metrics::LoadSet &PrefetchLoads);
+
+  /// The instantiated MinC source of one workload input (memoized — it is
+  /// part of every content key).
+  const std::string &sourceText(const std::string &Workload, InputSel In);
+
+  static const workloads::Workload &findOrDie(const std::string &Workload);
+
+  exec::ExecOptions Opts;
+  uint64_t MaxInstrs;
+  exec::ExecStats Stats;
+  exec::JobPool Pool;
+  exec::ResultStore Store;
+
+  std::mutex MapMu;
+  std::map<std::string, std::shared_ptr<Slot<std::string>>> SourceCache;
+  std::map<std::string, std::shared_ptr<Slot<Compiled>>> CompileCache;
+  std::map<std::string, std::shared_ptr<Slot<sim::RunResult>>> RunCache;
+  std::map<std::string, std::shared_ptr<Slot<HeuristicEval>>> EvalCache;
+  std::map<std::string, std::shared_ptr<Slot<metrics::LoadSet>>> HotspotCache;
 };
 
 } // namespace pipeline

@@ -1,0 +1,447 @@
+//===- tests/ExecTest.cpp - execution layer tests --------------------------------//
+//
+// The src/exec subsystem: worker pool and task-set scheduling, the binary
+// result codec, the persistent content-addressed store (including corruption
+// and version-mismatch recovery), and the pipeline-level guarantee the whole
+// layer exists for — parallel execution is byte-identical to serial.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Hash.h"
+#include "exec/JobPool.h"
+#include "exec/Options.h"
+#include "exec/ResultStore.h"
+#include "exec/Serialize.h"
+#include "pipeline/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <stdexcept>
+
+using namespace dlq;
+using namespace dlq::exec;
+
+namespace {
+
+/// A store directory unique to one test, removed on destruction.
+struct TempStoreDir {
+  explicit TempStoreDir(const char *Name)
+      : Path(std::filesystem::temp_directory_path() /
+             (std::string("dlq-exec-test-") + Name)) {
+    std::filesystem::remove_all(Path);
+  }
+  ~TempStoreDir() { std::filesystem::remove_all(Path); }
+  std::string str() const { return Path.string(); }
+  std::filesystem::path Path;
+};
+
+std::vector<uint8_t> readAll(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(In)),
+                              std::istreambuf_iterator<char>());
+}
+
+void writeAll(const std::string &Path, const std::vector<uint8_t> &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(reinterpret_cast<const char *>(Bytes.data()),
+            static_cast<std::streamsize>(Bytes.size()));
+}
+
+ExecOptions execOpts(unsigned Jobs, bool UseDiskCache,
+                     const std::string &CacheDir) {
+  ExecOptions O;
+  O.Jobs = Jobs;
+  O.UseDiskCache = UseDiskCache;
+  O.CacheDir = CacheDir;
+  return O;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Hashing
+//===----------------------------------------------------------------------===//
+
+TEST(Hash, KnownFnv1aValues) {
+  // Reference values of 64-bit FNV-1a.
+  EXPECT_EQ(fnv1a("", 0), 14695981039346656037ull);
+  EXPECT_EQ(fnv1a("a", 1), 12638187200555641996ull);
+}
+
+TEST(Hash, LengthPrefixPreventsConcatenationAliasing) {
+  Fnv1a A, B;
+  A.str("ab").str("c");
+  B.str("a").str("bc");
+  EXPECT_NE(A.value(), B.value());
+}
+
+TEST(Hash, HexKeyIsStable) {
+  EXPECT_EQ(hexKey(0), "0000000000000000");
+  EXPECT_EQ(hexKey(0xdeadbeefull), "00000000deadbeef");
+}
+
+//===----------------------------------------------------------------------===//
+// JobPool
+//===----------------------------------------------------------------------===//
+
+TEST(JobPool, MapReturnsResultsInIndexOrder) {
+  for (unsigned Workers : {1u, 4u, 8u}) {
+    JobPool Pool(Workers);
+    std::vector<int> Out =
+        Pool.map<int>(64, [](size_t I) { return static_cast<int>(I * I); });
+    ASSERT_EQ(Out.size(), 64u);
+    for (size_t I = 0; I != Out.size(); ++I)
+      EXPECT_EQ(Out[I], static_cast<int>(I * I));
+  }
+}
+
+TEST(JobPool, ThrowingJobDoesNotDeadlockAndPoolSurvives) {
+  JobCounters Counters;
+  JobPool Pool(4, &Counters);
+  EXPECT_THROW(Pool.map<int>(8,
+                             [](size_t I) -> int {
+                               if (I == 3)
+                                 throw std::runtime_error("job 3 failed");
+                               return 0;
+                             }),
+               std::runtime_error);
+  // The pool must stay usable after a failure.
+  std::vector<int> Out = Pool.map<int>(4, [](size_t I) {
+    return static_cast<int>(I) + 1;
+  });
+  EXPECT_EQ(Out, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(Counters.JobsFailed.load(), 1u);
+  EXPECT_EQ(Counters.JobsRun.load(), 12u);
+}
+
+TEST(JobPool, SmallestFailingIndexWins) {
+  JobPool Pool(4);
+  try {
+    Pool.map<int>(16, [](size_t I) -> int {
+      if (I % 5 == 2) // 2, 7, 12 fail.
+        throw std::runtime_error("fail at " + std::to_string(I));
+      return 0;
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error &E) {
+    EXPECT_STREQ(E.what(), "fail at 2");
+  }
+}
+
+TEST(TaskSet, DependenciesRunBeforeDependents) {
+  JobPool Pool(8);
+  TaskSet Tasks(Pool);
+  std::atomic<int> Order{0};
+  std::vector<int> WarmAt(8, -1), RowAt(8, -1);
+  std::vector<size_t> WarmIds;
+  for (size_t I = 0; I != 8; ++I) {
+    size_t W = Tasks.add([&, I] { WarmAt[I] = Order++; });
+    Tasks.add([&, I] { RowAt[I] = Order++; }, {W});
+  }
+  Tasks.run();
+  for (size_t I = 0; I != 8; ++I) {
+    EXPECT_GE(WarmAt[I], 0);
+    EXPECT_GT(RowAt[I], WarmAt[I]) << "dependent ran before its dependency";
+  }
+}
+
+TEST(TaskSet, FailedDependencySkipsDependentsAndRethrows) {
+  JobPool Pool(4);
+  TaskSet Tasks(Pool);
+  std::atomic<bool> DependentRan{false};
+  size_t Bad = Tasks.add([] { throw std::runtime_error("dependency died"); });
+  Tasks.add([&] { DependentRan = true; }, {Bad});
+  size_t Good = Tasks.add([] {});
+  std::atomic<bool> GoodDependentRan{false};
+  Tasks.add([&] { GoodDependentRan = true; }, {Good});
+  EXPECT_THROW(Tasks.run(), std::runtime_error);
+  EXPECT_FALSE(DependentRan) << "dependent of a failed task must be skipped";
+  EXPECT_TRUE(GoodDependentRan) << "unrelated chains must still run";
+}
+
+TEST(TaskSet, RunIsCallableOnce) {
+  JobPool Pool(2);
+  TaskSet Tasks(Pool);
+  Tasks.add([] {});
+  Tasks.run();
+  EXPECT_THROW(Tasks.run(), std::logic_error);
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+TEST(Serialize, ScalarsAndContainersRoundTrip) {
+  ByteWriter W;
+  W.u8(0xab);
+  W.u32(0xdeadbeef);
+  W.u64(0x0123456789abcdefull);
+  W.i32(-42);
+  W.f64(3.14159);
+  W.str("payload");
+  W.vecU64({1, 2, 3});
+
+  ByteReader R(W.buffer());
+  uint8_t U8;
+  uint32_t U32;
+  uint64_t U64;
+  int32_t I32;
+  double F64;
+  std::string S;
+  std::vector<uint64_t> V;
+  ASSERT_TRUE(R.u8(U8));
+  ASSERT_TRUE(R.u32(U32));
+  ASSERT_TRUE(R.u64(U64));
+  ASSERT_TRUE(R.i32(I32));
+  ASSERT_TRUE(R.f64(F64));
+  ASSERT_TRUE(R.str(S));
+  ASSERT_TRUE(R.vecU64(V));
+  EXPECT_TRUE(R.atEnd());
+  EXPECT_EQ(U8, 0xab);
+  EXPECT_EQ(U32, 0xdeadbeefu);
+  EXPECT_EQ(U64, 0x0123456789abcdefull);
+  EXPECT_EQ(I32, -42);
+  EXPECT_EQ(F64, 3.14159);
+  EXPECT_EQ(S, "payload");
+  EXPECT_EQ(V, (std::vector<uint64_t>{1, 2, 3}));
+}
+
+TEST(Serialize, ReaderReportsTruncationInsteadOfOverrunning) {
+  ByteWriter W;
+  W.u64(123);
+  std::vector<uint8_t> Buf = W.take();
+  Buf.resize(Buf.size() - 1);
+  ByteReader R(Buf);
+  uint64_t V;
+  EXPECT_FALSE(R.u64(V));
+}
+
+TEST(Serialize, RunResultRoundTripsByteExactly) {
+  pipeline::Driver D(execOpts(1, false, ""));
+  const sim::RunResult &R =
+      D.run("li_like", pipeline::InputSel::Input1, 0,
+            sim::CacheConfig::baseline());
+
+  ByteWriter W;
+  writeRunResult(W, R);
+  ByteReader Reader(W.buffer());
+  sim::RunResult Back;
+  ASSERT_TRUE(readRunResult(Reader, Back));
+  EXPECT_TRUE(Reader.atEnd());
+
+  // Re-encoding the decoded result must reproduce the same bytes.
+  ByteWriter W2;
+  writeRunResult(W2, Back);
+  EXPECT_EQ(W.buffer(), W2.buffer());
+  EXPECT_EQ(Back.InstrsExecuted, R.InstrsExecuted);
+  EXPECT_EQ(Back.LoadMisses, R.LoadMisses);
+  EXPECT_EQ(Back.Output, R.Output);
+}
+
+//===----------------------------------------------------------------------===//
+// ResultStore
+//===----------------------------------------------------------------------===//
+
+TEST(ResultStore, WriteThenReload) {
+  TempStoreDir Dir("roundtrip");
+  std::vector<uint8_t> Payload = {1, 2, 3, 4, 5};
+  {
+    ResultStore Store(Dir.str());
+    EXPECT_TRUE(Store.store(42, Payload));
+  }
+  // A fresh store instance (fresh process, morally) sees the entry.
+  ResultStore Store(Dir.str());
+  std::vector<uint8_t> Back;
+  ASSERT_TRUE(Store.lookup(42, Back));
+  EXPECT_EQ(Back, Payload);
+  EXPECT_EQ(Store.stats().Hits, 1u);
+}
+
+TEST(ResultStore, DisabledStoreNeverHitsOrWrites) {
+  ResultStore Store;
+  EXPECT_FALSE(Store.enabled());
+  EXPECT_FALSE(Store.store(1, {9}));
+  std::vector<uint8_t> Out;
+  EXPECT_FALSE(Store.lookup(1, Out));
+}
+
+TEST(ResultStore, MissOnAbsentKey) {
+  TempStoreDir Dir("miss");
+  ResultStore Store(Dir.str());
+  std::vector<uint8_t> Out;
+  EXPECT_FALSE(Store.lookup(7, Out));
+  EXPECT_EQ(Store.stats().Misses, 1u);
+  EXPECT_EQ(Store.stats().Invalid, 0u);
+}
+
+TEST(ResultStore, CorruptPayloadReadsAsMissAndIsRewritten) {
+  TempStoreDir Dir("corrupt");
+  ResultStore Store(Dir.str());
+  std::vector<uint8_t> Payload(64, 0x5a);
+  ASSERT_TRUE(Store.store(99, Payload));
+
+  // Flip one payload byte on disk.
+  std::string Path = Store.pathFor(99);
+  std::vector<uint8_t> Raw = readAll(Path);
+  ASSERT_GT(Raw.size(), 30u);
+  Raw[30] ^= 0xff;
+  writeAll(Path, Raw);
+
+  std::vector<uint8_t> Out;
+  EXPECT_FALSE(Store.lookup(99, Out)) << "corrupt entry must read as a miss";
+  EXPECT_EQ(Store.stats().Invalid, 1u);
+
+  // The caller's recompute-and-rewrite path restores the entry.
+  ASSERT_TRUE(Store.store(99, Payload));
+  EXPECT_TRUE(Store.lookup(99, Out));
+  EXPECT_EQ(Out, Payload);
+}
+
+TEST(ResultStore, VersionMismatchInvalidatesEntry) {
+  TempStoreDir Dir("version");
+  ResultStore Store(Dir.str());
+  ASSERT_TRUE(Store.store(5, {1, 2, 3}));
+
+  // Bump the format version field (bytes 4..7, after the 4-byte magic).
+  std::string Path = Store.pathFor(5);
+  std::vector<uint8_t> Raw = readAll(Path);
+  ASSERT_GT(Raw.size(), 8u);
+  Raw[4] = static_cast<uint8_t>(ResultStore::FormatVersion + 1);
+  writeAll(Path, Raw);
+
+  std::vector<uint8_t> Out;
+  EXPECT_FALSE(Store.lookup(5, Out));
+  EXPECT_EQ(Store.stats().Invalid, 1u);
+}
+
+TEST(ResultStore, TruncatedEntryReadsAsMiss) {
+  TempStoreDir Dir("truncated");
+  ResultStore Store(Dir.str());
+  ASSERT_TRUE(Store.store(6, std::vector<uint8_t>(128, 7)));
+  std::string Path = Store.pathFor(6);
+  std::vector<uint8_t> Raw = readAll(Path);
+  Raw.resize(Raw.size() / 2);
+  writeAll(Path, Raw);
+
+  std::vector<uint8_t> Out;
+  EXPECT_FALSE(Store.lookup(6, Out));
+  EXPECT_EQ(Store.stats().Invalid, 1u);
+}
+
+TEST(ResultStore, KeyMismatchIsInvalid) {
+  TempStoreDir Dir("keymismatch");
+  ResultStore Store(Dir.str());
+  ASSERT_TRUE(Store.store(1111, {4, 4, 4}));
+  // Copy the entry under a different key's filename.
+  std::filesystem::copy_file(Store.pathFor(1111), Store.pathFor(2222));
+  std::vector<uint8_t> Out;
+  EXPECT_FALSE(Store.lookup(2222, Out))
+      << "an entry must only decode under the key it was written for";
+}
+
+//===----------------------------------------------------------------------===//
+// Options
+//===----------------------------------------------------------------------===//
+
+TEST(ExecOptions, ConsumesSharedFlags) {
+  ExecOptions Opts;
+  const char *Args[] = {"prog",        "--jobs", "3", "--cache-dir",
+                        "/tmp/zzz",    "--no-cache"};
+  char **Argv = const_cast<char **>(Args);
+  int Argc = 6;
+  for (int I = 1; I < Argc; ++I)
+    EXPECT_TRUE(Opts.consumeArg(Argc, Argv, I)) << Args[I];
+  EXPECT_EQ(Opts.Jobs, 3u);
+  EXPECT_EQ(Opts.CacheDir, "/tmp/zzz");
+  EXPECT_FALSE(Opts.UseDiskCache);
+
+  ExecOptions Eq;
+  const char *Args2[] = {"prog", "--jobs=5", "--cache-dir=/tmp/q"};
+  char **Argv2 = const_cast<char **>(Args2);
+  for (int I = 1; I < 3; ++I)
+    EXPECT_TRUE(Eq.consumeArg(3, Argv2, I));
+  EXPECT_EQ(Eq.Jobs, 5u);
+  EXPECT_EQ(Eq.CacheDir, "/tmp/q");
+
+  int I = 1;
+  const char *Args3[] = {"prog", "--unrelated"};
+  char **Argv3 = const_cast<char **>(Args3);
+  EXPECT_FALSE(Opts.consumeArg(2, Argv3, I));
+  EXPECT_EQ(I, 1);
+}
+
+TEST(ExecOptions, MalformedJobsValueSetsError) {
+  for (const char *Bad : {"--jobs=abc", "--jobs=0", "--jobs=-2", "--jobs=3x"}) {
+    ExecOptions Opts;
+    const char *Args[] = {"prog", Bad};
+    char **Argv = const_cast<char **>(Args);
+    int I = 1;
+    EXPECT_TRUE(Opts.consumeArg(2, Argv, I)) << Bad;
+    EXPECT_FALSE(Opts.Error.empty()) << Bad;
+    EXPECT_EQ(Opts.Jobs, 0u) << Bad;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The end-to-end guarantee: parallel == serial, byte for byte
+//===----------------------------------------------------------------------===//
+
+TEST(ExecPipeline, ParallelResultsAreByteIdenticalToSerial) {
+  sim::CacheConfig Cache = sim::CacheConfig::baseline();
+  std::vector<std::string> Names;
+  for (const workloads::Workload &W : workloads::allWorkloads())
+    Names.push_back(W.Name);
+
+  // Serial reference: one worker, no disk cache.
+  pipeline::Driver Serial(execOpts(1, false, ""));
+  std::vector<std::vector<uint8_t>> Expected;
+  for (const std::string &Name : Names) {
+    ByteWriter W;
+    writeRunResult(
+        W, Serial.run(Name, pipeline::InputSel::Input1, 0, Cache));
+    Expected.push_back(W.take());
+  }
+
+  // Parallel: eight workers hammering the same driver concurrently.
+  pipeline::Driver Parallel(execOpts(8, false, ""));
+  std::vector<std::vector<uint8_t>> Actual =
+      Parallel.pool().map<std::vector<uint8_t>>(Names.size(), [&](size_t I) {
+        ByteWriter W;
+        writeRunResult(
+            W, Parallel.run(Names[I], pipeline::InputSel::Input1, 0, Cache));
+        return W.take();
+      });
+
+  ASSERT_EQ(Actual.size(), Expected.size());
+  for (size_t I = 0; I != Names.size(); ++I)
+    EXPECT_EQ(Actual[I], Expected[I]) << Names[I];
+}
+
+TEST(ExecPipeline, DiskCacheReplayMatchesFreshSimulation) {
+  TempStoreDir Dir("pipeline-replay");
+  sim::CacheConfig Cache = sim::CacheConfig::baseline();
+  const char *Name = "li_like";
+
+  std::vector<uint8_t> Fresh, Replayed;
+  {
+    pipeline::Driver D(execOpts(1, true, Dir.str()));
+    ByteWriter W;
+    writeRunResult(W, D.run(Name, pipeline::InputSel::Input1, 0, Cache));
+    Fresh = W.take();
+    EXPECT_EQ(D.store().stats().Writes, 1u);
+  }
+  {
+    pipeline::Driver D(execOpts(1, true, Dir.str()));
+    ByteWriter W;
+    writeRunResult(W, D.run(Name, pipeline::InputSel::Input1, 0, Cache));
+    Replayed = W.take();
+    EXPECT_EQ(D.store().stats().Hits, 1u);
+    EXPECT_EQ(D.store().stats().Writes, 0u);
+  }
+  EXPECT_EQ(Fresh, Replayed);
+}

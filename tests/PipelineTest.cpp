@@ -174,6 +174,82 @@ TEST(Pipeline, CoverageStableAcrossAssociativity) {
   }
 }
 
+TEST(Pipeline, EvalKeyCoversEveryAnalysisKnob) {
+  // Regression: the result-cache key of a heuristic evaluation must change
+  // whenever any knob that affects the outcome changes — otherwise two
+  // different configurations alias to one cached result.
+  const uint64_t RunKey = 0x1234abcdu;
+  classify::HeuristicOptions Base;
+  ap::ApBuilderOptions ApBase;
+  std::vector<uint64_t> Keys;
+  Keys.push_back(Driver::evalKeyOf(RunKey, Base, ApBase));
+
+  {
+    classify::HeuristicOptions O = Base;
+    O.Delta = 0.4;
+    Keys.push_back(Driver::evalKeyOf(RunKey, O, ApBase));
+  }
+  {
+    classify::HeuristicOptions O = Base;
+    O.UseFreqClasses = !O.UseFreqClasses;
+    Keys.push_back(Driver::evalKeyOf(RunKey, O, ApBase));
+  }
+  {
+    classify::HeuristicOptions O = Base;
+    O.RareBelow += 1;
+    Keys.push_back(Driver::evalKeyOf(RunKey, O, ApBase));
+  }
+  {
+    classify::HeuristicOptions O = Base;
+    O.SeldomBelow += 1;
+    Keys.push_back(Driver::evalKeyOf(RunKey, O, ApBase));
+  }
+  for (unsigned K = 0; K != 9; ++K) {
+    classify::HeuristicOptions O = Base;
+    O.Weights.W[K] += 0.125;
+    Keys.push_back(Driver::evalKeyOf(RunKey, O, ApBase));
+  }
+  {
+    ap::ApBuilderOptions A = ApBase;
+    A.MaxPatternsPerLoad += 1;
+    Keys.push_back(Driver::evalKeyOf(RunKey, Base, A));
+  }
+  {
+    ap::ApBuilderOptions A = ApBase;
+    A.MaxAltsPerUse += 1;
+    Keys.push_back(Driver::evalKeyOf(RunKey, Base, A));
+  }
+  {
+    ap::ApBuilderOptions A = ApBase;
+    A.MaxDepth += 1;
+    Keys.push_back(Driver::evalKeyOf(RunKey, Base, A));
+  }
+  Keys.push_back(Driver::evalKeyOf(RunKey + 1, Base, ApBase));
+
+  for (size_t I = 0; I != Keys.size(); ++I)
+    for (size_t J = I + 1; J != Keys.size(); ++J)
+      EXPECT_NE(Keys[I], Keys[J])
+          << "knob variants " << I << " and " << J << " alias to one key";
+}
+
+TEST(Pipeline, DistinctKnobsYieldDistinctCachedEvals) {
+  // The end-to-end shape of the aliasing bug: two thresholds evaluated
+  // back-to-back on one driver must not return the same Delta.
+  Driver &D = driver();
+  sim::CacheConfig Cache = sim::CacheConfig::baseline();
+  classify::HeuristicOptions Loose;
+  Loose.Delta = 0.10;
+  classify::HeuristicOptions Tight;
+  Tight.Delta = 0.40;
+  const HeuristicEval &A =
+      D.evalHeuristic("mcf_like", InputSel::Input1, 0, Cache, Loose);
+  const HeuristicEval &B =
+      D.evalHeuristic("mcf_like", InputSel::Input1, 0, Cache, Tight);
+  EXPECT_NE(&A, &B) << "different knobs must occupy different cache slots";
+  EXPECT_GE(A.Delta.size(), B.Delta.size())
+      << "a looser threshold can never flag fewer loads";
+}
+
 TEST(Pipeline, EpsilonCombinationSharpensProfiling) {
   Driver &D = driver();
   sim::CacheConfig Cache = sim::CacheConfig::baseline();

@@ -3,8 +3,8 @@
 // A single CLI over the whole toolchain:
 //
 //   delinq compile  prog.mc [-O1]          MinC -> assembly on stdout
-//   delinq run      prog.mc|prog.s [-O1]   compile/assemble, simulate, report
-//   delinq analyze  prog.mc|prog.s [-O1]   loads, patterns, phi, Delta_H
+//   delinq run      prog.mc... [-O1]       compile/assemble, simulate, report
+//   delinq analyze  prog.mc... [-O1]       loads, patterns, phi, Delta_H
 //   delinq encode   prog.mc out.dqx [-O1]  compile to a binary object file
 //   delinq disasm   prog.dqx               decode a binary back to assembly
 //
@@ -13,9 +13,21 @@
 // `compile`, SimpleScalar -> `run`, the post-compilation pass -> `analyze`,
 // objdump -> `disasm`.
 //
+// `run` and `analyze` accept several files at once; the simulations fan out
+// over the worker pool (--jobs / DLQ_JOBS) and simulation results persist in
+// the content-addressed store (--cache-dir / --no-cache), so repeating a run
+// with unchanged sources replays from disk. Reports print in argument order
+// regardless of worker count.
+//
 //===----------------------------------------------------------------------===//
 
 #include "classify/Delinquency.h"
+#include "exec/ExecStats.h"
+#include "exec/Hash.h"
+#include "exec/JobPool.h"
+#include "exec/Options.h"
+#include "exec/ResultStore.h"
+#include "exec/Serialize.h"
 #include "masm/ObjectFile.h"
 #include "masm/Verifier.h"
 #include "masm/Parser.h"
@@ -29,26 +41,30 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace dlq;
 
 namespace {
 
 int usage() {
-  std::fputs(
-      "usage: delinq <command> <file> [options]\n"
+  std::fprintf(
+      stderr,
+      "usage: delinq <command> <file>... [options]\n"
       "commands:\n"
       "  compile prog.mc [-O1]        compile MinC to assembly (stdout)\n"
-      "  run     prog.mc|.s [-O1]     simulate and report cache behaviour\n"
-      "  analyze prog.mc|.s [-O1]     static delinquent-load identification\n"
+      "  run     prog.mc... [-O1]     simulate and report cache behaviour\n"
+      "  analyze prog.mc... [-O1]     static delinquent-load identification\n"
       "  encode  prog.mc out.dqx [-O1] compile to a binary object file\n"
       "  disasm  prog.dqx             decode a binary object to assembly\n"
       "options:\n"
       "  -O1                          optimized code generation\n"
       "  --cache=<kb>,<assoc>,<block> cache geometry for `run` (default "
       "8,4,32)\n"
-      "  --delta=<v>                  delinquency threshold (default 0.10)\n",
-      stderr);
+      "  --delta=<v>                  delinquency threshold (default 0.10)\n"
+      "%s"
+      "  --stats                      print the execution report to stderr\n",
+      exec::ExecOptions::usageText());
   return 2;
 }
 
@@ -67,25 +83,26 @@ bool hasSuffix(const std::string &S, const char *Suffix) {
   return S.size() >= N && S.compare(S.size() - N, N, Suffix) == 0;
 }
 
-/// Loads a module from .mc (compile), .s (parse) or .dqx (decode).
+/// Loads a module from .mc (compile), .s (parse) or .dqx (decode). Errors
+/// go to \p Err so parallel loads don't interleave on stderr.
 std::unique_ptr<masm::Module> loadModule(const std::string &Path,
-                                         unsigned OptLevel) {
+                                         unsigned OptLevel, std::string &Err) {
   if (hasSuffix(Path, ".dqx")) {
     std::string Raw;
     if (!readFile(Path, Raw)) {
-      std::fprintf(stderr, "error: cannot read '%s'\n", Path.c_str());
+      Err = formatString("error: cannot read '%s'\n", Path.c_str());
       return nullptr;
     }
     std::vector<uint8_t> Bytes(Raw.begin(), Raw.end());
     masm::DecodeResult D = masm::decodeModule(Bytes);
     if (!D.ok()) {
-      std::fprintf(stderr, "error: %s\n", D.Error.c_str());
+      Err = formatString("error: %s\n", D.Error.c_str());
       return nullptr;
     }
     auto Issues = masm::verifyModule(*D.M);
     if (!Issues.empty()) {
-      std::fprintf(stderr, "%s: malformed module:\n%s", Path.c_str(),
-                   masm::verifyReport(Issues).c_str());
+      Err = formatString("%s: malformed module:\n%s", Path.c_str(),
+                         masm::verifyReport(Issues).c_str());
       return nullptr;
     }
     return std::move(D.M);
@@ -93,20 +110,20 @@ std::unique_ptr<masm::Module> loadModule(const std::string &Path,
 
   std::string Source;
   if (!readFile(Path, Source)) {
-    std::fprintf(stderr, "error: cannot read '%s'\n", Path.c_str());
+    Err = formatString("error: cannot read '%s'\n", Path.c_str());
     return nullptr;
   }
   if (hasSuffix(Path, ".s")) {
     masm::ParseResult P = masm::parseAssembly(Source);
     if (!P.ok()) {
-      std::fprintf(stderr, "%s: parse errors:\n%s", Path.c_str(),
-                   P.diagText().c_str());
+      Err = formatString("%s: parse errors:\n%s", Path.c_str(),
+                         P.diagText().c_str());
       return nullptr;
     }
     auto Issues = masm::verifyModule(*P.M);
     if (!Issues.empty()) {
-      std::fprintf(stderr, "%s: malformed module:\n%s", Path.c_str(),
-                   masm::verifyReport(Issues).c_str());
+      Err = formatString("%s: malformed module:\n%s", Path.c_str(),
+                         masm::verifyReport(Issues).c_str());
       return nullptr;
     }
     return std::move(P.M);
@@ -115,8 +132,8 @@ std::unique_ptr<masm::Module> loadModule(const std::string &Path,
   Opts.OptLevel = OptLevel;
   mcc::CompileResult C = mcc::compile(Source, Opts);
   if (!C.ok()) {
-    std::fprintf(stderr, "%s: compile errors:\n%s", Path.c_str(),
-                 C.Errors.c_str());
+    Err = formatString("%s: compile errors:\n%s", Path.c_str(),
+                       C.Errors.c_str());
     return nullptr;
   }
   return std::move(C.M);
@@ -126,10 +143,19 @@ struct CliOptions {
   unsigned OptLevel = 0;
   sim::CacheConfig Cache = sim::CacheConfig::baseline();
   double Delta = 0.10;
+  exec::ExecOptions Exec = exec::ExecOptions::fromEnv();
+  bool ShowStats = false;
 };
 
 bool parseFlags(int Argc, char **Argv, int First, CliOptions &Out) {
   for (int I = First; I < Argc; ++I) {
+    if (Out.Exec.consumeArg(Argc, Argv, I)) {
+      if (!Out.Exec.Error.empty()) {
+        std::fprintf(stderr, "error: %s\n", Out.Exec.Error.c_str());
+        return false;
+      }
+      continue;
+    }
     std::string Arg = Argv[I];
     if (Arg == "-O1") {
       Out.OptLevel = 1;
@@ -148,6 +174,8 @@ bool parseFlags(int Argc, char **Argv, int First, CliOptions &Out) {
       }
     } else if (Arg.rfind("--delta=", 0) == 0) {
       Out.Delta = std::atof(Arg.c_str() + 8);
+    } else if (Arg == "--stats") {
+      Out.ShowStats = true;
     } else {
       std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
       return false;
@@ -156,50 +184,157 @@ bool parseFlags(int Argc, char **Argv, int First, CliOptions &Out) {
   return true;
 }
 
+/// One file's finished report: stdout text, stderr text, exit code.
+struct FileReport {
+  std::string Out;
+  std::string Err;
+  int Code = 0;
+};
+
+/// Emits per-file reports in argument order, with a header line per file
+/// when more than one was given. Returns the worst exit code.
+int emitReports(const std::vector<std::string> &Paths,
+                const std::vector<FileReport> &Reports) {
+  int Code = 0;
+  for (size_t I = 0; I != Paths.size(); ++I) {
+    if (Paths.size() > 1)
+      std::printf("== %s ==\n", Paths[I].c_str());
+    std::fputs(Reports[I].Out.c_str(), stdout);
+    std::fputs(Reports[I].Err.c_str(), stderr);
+    if (Reports[I].Code > Code)
+      Code = Reports[I].Code;
+  }
+  return Code;
+}
+
+void emitStats(const CliOptions &Opts, const exec::ExecStats &Stats,
+               const exec::ResultStore &Store, unsigned Workers) {
+  if (Opts.ShowStats)
+    std::fprintf(stderr, "%s\n",
+                 Stats.render(Store.stats(), Workers).c_str());
+}
+
 int cmdCompile(const std::string &Path, const CliOptions &Opts) {
-  std::unique_ptr<masm::Module> M = loadModule(Path, Opts.OptLevel);
-  if (!M)
+  std::string Err;
+  std::unique_ptr<masm::Module> M = loadModule(Path, Opts.OptLevel, Err);
+  if (!M) {
+    std::fputs(Err.c_str(), stderr);
     return 1;
+  }
   std::fputs(masm::printModule(*M).c_str(), stdout);
   return 0;
 }
 
-int cmdRun(const std::string &Path, const CliOptions &Opts) {
-  std::unique_ptr<masm::Module> M = loadModule(Path, Opts.OptLevel);
-  if (!M)
-    return 1;
-  masm::Layout L(*M);
-  sim::MachineOptions MOpts;
-  MOpts.DCache = Opts.Cache;
-  sim::Machine Mach(*M, L, MOpts);
-  sim::RunResult R = Mach.run();
-
-  if (!R.Output.empty())
-    std::fputs(R.Output.c_str(), stdout);
-  if (R.Halt == sim::HaltReason::Trapped) {
-    std::fprintf(stderr, "trap: %s\n", R.TrapMessage.c_str());
-    return 1;
-  }
-  if (R.Halt == sim::HaltReason::FuelExhausted) {
-    std::fprintf(stderr, "error: instruction budget exhausted\n");
-    return 1;
-  }
-  std::fprintf(stderr,
-               "exit %d | %llu instructions | %llu data accesses | "
-               "%llu load misses, %llu store misses (%s)\n",
-               R.ExitCode,
-               static_cast<unsigned long long>(R.InstrsExecuted),
-               static_cast<unsigned long long>(R.DataAccesses),
-               static_cast<unsigned long long>(R.LoadMisses),
-               static_cast<unsigned long long>(R.StoreMisses),
-               Opts.Cache.describe().c_str());
-  return 0;
+/// The cache key of one `delinq run`: the file bytes (not the path), how
+/// they become a module, and the simulated machine.
+uint64_t runKeyOf(const std::string &Path, const std::string &Contents,
+                  const CliOptions &Opts) {
+  exec::Fnv1a H;
+  H.str("delinq-run").str(Contents);
+  H.str(hasSuffix(Path, ".dqx") ? "dqx" : hasSuffix(Path, ".s") ? "s" : "mc");
+  H.u32(Opts.OptLevel);
+  H.u32(Opts.Cache.SizeBytes).u32(Opts.Cache.Assoc).u32(Opts.Cache.BlockBytes);
+  return H.value();
 }
 
-int cmdAnalyze(const std::string &Path, const CliOptions &Opts) {
-  std::unique_ptr<masm::Module> M = loadModule(Path, Opts.OptLevel);
-  if (!M)
-    return 1;
+FileReport runOne(const std::string &Path, const CliOptions &Opts,
+                  exec::ExecStats &Stats, exec::ResultStore &Store) {
+  FileReport Rep;
+  std::string Contents;
+  if (!readFile(Path, Contents)) {
+    Rep.Err = formatString("error: cannot read '%s'\n", Path.c_str());
+    Rep.Code = 1;
+    return Rep;
+  }
+
+  uint64_t Key = runKeyOf(Path, Contents, Opts);
+  sim::RunResult R;
+  bool FromCache = false;
+  std::vector<uint8_t> Payload;
+  if (Store.lookup(Key, Payload)) {
+    exec::ByteReader Reader(Payload);
+    sim::RunResult Cached;
+    if (exec::readRunResult(Reader, Cached) && Reader.atEnd()) {
+      R = std::move(Cached);
+      FromCache = true;
+    }
+  }
+
+  if (!FromCache) {
+    std::string Err;
+    std::unique_ptr<masm::Module> M;
+    {
+      exec::PhaseTimer Timer(Stats, exec::Phase::Compile);
+      M = loadModule(Path, Opts.OptLevel, Err);
+    }
+    if (!M) {
+      Rep.Err = Err;
+      Rep.Code = 1;
+      return Rep;
+    }
+    masm::Layout L(*M);
+    sim::MachineOptions MOpts;
+    MOpts.DCache = Opts.Cache;
+    exec::PhaseTimer Timer(Stats, exec::Phase::Simulate);
+    sim::Machine Mach(*M, L, MOpts);
+    R = Mach.run();
+  }
+
+  Rep.Out = R.Output;
+  if (R.Halt == sim::HaltReason::Trapped) {
+    Rep.Err = formatString("trap: %s\n", R.TrapMessage.c_str());
+    Rep.Code = 1;
+    return Rep;
+  }
+  if (R.Halt == sim::HaltReason::FuelExhausted) {
+    Rep.Err = "error: instruction budget exhausted\n";
+    Rep.Code = 1;
+    return Rep;
+  }
+  if (!FromCache) {
+    exec::ByteWriter Writer;
+    exec::writeRunResult(Writer, R);
+    Store.store(Key, Writer.buffer());
+  }
+  Rep.Err = formatString(
+      "exit %d | %llu instructions | %llu data accesses | "
+      "%llu load misses, %llu store misses (%s)\n",
+      R.ExitCode, static_cast<unsigned long long>(R.InstrsExecuted),
+      static_cast<unsigned long long>(R.DataAccesses),
+      static_cast<unsigned long long>(R.LoadMisses),
+      static_cast<unsigned long long>(R.StoreMisses),
+      Opts.Cache.describe().c_str());
+  return Rep;
+}
+
+int cmdRun(const std::vector<std::string> &Paths, const CliOptions &Opts) {
+  exec::ExecStats Stats;
+  exec::JobPool Pool(Opts.Exec.Jobs, &Stats.Jobs);
+  exec::ResultStore Store(Opts.Exec.CacheDir, Opts.Exec.UseDiskCache);
+  std::vector<FileReport> Reports =
+      Pool.map<FileReport>(Paths.size(), [&](size_t I) {
+        return runOne(Paths[I], Opts, Stats, Store);
+      });
+  int Code = emitReports(Paths, Reports);
+  emitStats(Opts, Stats, Store, Pool.workers());
+  return Code;
+}
+
+FileReport analyzeOne(const std::string &Path, const CliOptions &Opts,
+                      exec::ExecStats &Stats) {
+  FileReport Rep;
+  std::string Err;
+  std::unique_ptr<masm::Module> M;
+  {
+    exec::PhaseTimer Timer(Stats, exec::Phase::Compile);
+    M = loadModule(Path, Opts.OptLevel, Err);
+  }
+  if (!M) {
+    Rep.Err = Err;
+    Rep.Code = 1;
+    return Rep;
+  }
+  exec::PhaseTimer Timer(Stats, exec::Phase::Analyze);
   classify::ModuleAnalysis Analysis(*M);
   classify::HeuristicOptions HOpts;
   HOpts.Delta = Opts.Delta;
@@ -212,23 +347,43 @@ int cmdAnalyze(const std::string &Path, const CliOptions &Opts) {
     double Phi = Scores.at(Ref);
     bool Delinquent = classify::isPossiblyDelinquent(Phi, HOpts);
     Flagged += Delinquent;
-    std::printf("%c %s+%-4u %-26s phi=%+.2f\n", Delinquent ? '*' : ' ',
-                F.name().c_str(), Ref.InstrIdx,
-                masm::printInstr(F.instrs()[Ref.InstrIdx]).c_str(), Phi);
+    Rep.Out += formatString("%c %s+%-4u %-26s phi=%+.2f\n",
+                            Delinquent ? '*' : ' ', F.name().c_str(),
+                            Ref.InstrIdx,
+                            masm::printInstr(F.instrs()[Ref.InstrIdx]).c_str(),
+                            Phi);
     for (const ap::ApNode *P : Patterns)
-      std::printf("      %s\n", ap::printPattern(P).c_str());
+      Rep.Out += formatString("      %s\n", ap::printPattern(P).c_str());
   }
-  std::printf("\n%zu of %zu loads possibly delinquent (delta=%.2f, "
-              "static AG1..AG7)\n",
-              Flagged, Analysis.loadPatterns().size(), HOpts.Delta);
-  return 0;
+  Rep.Out += formatString("\n%zu of %zu loads possibly delinquent "
+                          "(delta=%.2f, static AG1..AG7)\n",
+                          Flagged, Analysis.loadPatterns().size(),
+                          HOpts.Delta);
+  return Rep;
+}
+
+int cmdAnalyze(const std::vector<std::string> &Paths,
+               const CliOptions &Opts) {
+  exec::ExecStats Stats;
+  exec::JobPool Pool(Opts.Exec.Jobs, &Stats.Jobs);
+  exec::ResultStore Store; // Analysis is cheap; nothing persists.
+  std::vector<FileReport> Reports =
+      Pool.map<FileReport>(Paths.size(), [&](size_t I) {
+        return analyzeOne(Paths[I], Opts, Stats);
+      });
+  int Code = emitReports(Paths, Reports);
+  emitStats(Opts, Stats, Store, Pool.workers());
+  return Code;
 }
 
 int cmdEncode(const std::string &Path, const std::string &OutPath,
               const CliOptions &Opts) {
-  std::unique_ptr<masm::Module> M = loadModule(Path, Opts.OptLevel);
-  if (!M)
+  std::string Err;
+  std::unique_ptr<masm::Module> M = loadModule(Path, Opts.OptLevel, Err);
+  if (!M) {
+    std::fputs(Err.c_str(), stderr);
     return 1;
+  }
   std::vector<uint8_t> Bytes = masm::encodeModule(*M);
   std::ofstream Out(OutPath, std::ios::binary);
   if (!Out) {
@@ -248,25 +403,38 @@ int main(int Argc, char **Argv) {
   if (Argc < 3)
     return usage();
   std::string Cmd = Argv[1];
-  std::string Path = Argv[2];
+
+  // Everything after the command that is not a flag is an input file;
+  // `run` and `analyze` accept several.
+  std::vector<std::string> Paths;
+  int FlagStart = 2;
+  while (FlagStart < Argc && Argv[FlagStart][0] != '-') {
+    Paths.push_back(Argv[FlagStart]);
+    ++FlagStart;
+  }
+  if (Paths.empty())
+    return usage();
 
   CliOptions Opts;
-  int FlagStart = Cmd == "encode" ? 4 : 3;
-  if (Argc >= FlagStart && !parseFlags(Argc, Argv, FlagStart, Opts))
+  if (!parseFlags(Argc, Argv, FlagStart, Opts))
     return 2;
 
-  if (Cmd == "compile")
-    return cmdCompile(Path, Opts);
   if (Cmd == "run")
-    return cmdRun(Path, Opts);
+    return cmdRun(Paths, Opts);
   if (Cmd == "analyze")
-    return cmdAnalyze(Path, Opts);
+    return cmdAnalyze(Paths, Opts);
+  if (Paths.size() > 1 && Cmd != "encode") {
+    std::fprintf(stderr, "error: `%s` takes a single file\n", Cmd.c_str());
+    return 2;
+  }
+  if (Cmd == "compile")
+    return cmdCompile(Paths[0], Opts);
   if (Cmd == "encode") {
-    if (Argc < 4)
+    if (Paths.size() != 2)
       return usage();
-    return cmdEncode(Path, Argv[3], Opts);
+    return cmdEncode(Paths[0], Paths[1], Opts);
   }
   if (Cmd == "disasm")
-    return cmdCompile(Path, Opts); // loadModule handles .dqx; print as asm.
+    return cmdCompile(Paths[0], Opts); // loadModule handles .dqx; print as asm.
   return usage();
 }
