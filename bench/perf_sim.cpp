@@ -1,0 +1,155 @@
+//===- bench/perf_sim.cpp - interpreter throughput harness ---------------------//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+// Measures raw interpreter throughput (guest instructions and data accesses
+// retired per second of host time) for every workload in the registry at
+// -O0 and -O1. This is the perf-regression companion to
+// tests/SimGoldenTest.cpp: the golden test pins *what* the simulator
+// computes, this harness tracks *how fast*, so an accidental slowdown of the
+// predecoded core shows up as a number, not a feeling.
+//
+// Output contract:
+//  - stdout carries only deterministic simulation results (workload,
+//    category, halt, exit code, instruction/access counts). It is
+//    byte-identical across hosts, build types and repetition counts, so CI
+//    can diff a Debug run against a Release run to catch build-type-
+//    dependent behaviour.
+//  - All timing goes to stderr, and to the --json report.
+//
+// Usage: perf_sim [--json <path>] [--reps <n>] [--max-instrs <n>]
+//
+//===----------------------------------------------------------------------===//
+
+#include "masm/Module.h"
+#include "mcc/Compiler.h"
+#include "sim/Machine.h"
+#include "workloads/Workloads.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace dlq;
+
+namespace {
+
+struct Row {
+  std::string Workload;
+  std::string Category;
+  unsigned OptLevel = 0;
+  uint64_t Instrs = 0;
+  uint64_t DataAccesses = 0;
+  double Seconds = 0; ///< Best (minimum) over the repetitions.
+};
+
+double runOnce(sim::Machine &Mach, sim::RunResult &R) {
+  auto T0 = std::chrono::steady_clock::now();
+  R = Mach.run();
+  auto T1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(T1 - T0).count();
+}
+
+void writeJson(const char *Path, const std::vector<Row> &Rows) {
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F) {
+    std::fprintf(stderr, "perf_sim: cannot write %s\n", Path);
+    std::exit(1);
+  }
+  std::fprintf(F, "{\n  \"bench\": \"perf_sim\",\n  \"rows\": [\n");
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const Row &R = Rows[I];
+    double InstrRate = R.Seconds > 0 ? R.Instrs / R.Seconds : 0;
+    double AccessRate = R.Seconds > 0 ? R.DataAccesses / R.Seconds : 0;
+    std::fprintf(F,
+                 "    {\"workload\": \"%s\", \"category\": \"%s\", "
+                 "\"opt_level\": %u, \"instrs\": %llu, "
+                 "\"data_accesses\": %llu, \"seconds\": %.6f, "
+                 "\"instrs_per_sec\": %.0f, \"accesses_per_sec\": %.0f}%s\n",
+                 R.Workload.c_str(), R.Category.c_str(), R.OptLevel,
+                 static_cast<unsigned long long>(R.Instrs),
+                 static_cast<unsigned long long>(R.DataAccesses), R.Seconds,
+                 InstrRate, AccessRate, I + 1 == Rows.size() ? "" : ",");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *JsonPath = nullptr;
+  unsigned Reps = 3;
+  uint64_t MaxInstrs = 20000000ull;
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--json") && I + 1 < argc) {
+      JsonPath = argv[++I];
+    } else if (!std::strcmp(argv[I], "--reps") && I + 1 < argc) {
+      Reps = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    } else if (!std::strcmp(argv[I], "--max-instrs") && I + 1 < argc) {
+      MaxInstrs = std::strtoull(argv[++I], nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: perf_sim [--json <path>] [--reps <n>] "
+                   "[--max-instrs <n>]\n");
+      return 2;
+    }
+  }
+  if (Reps == 0)
+    Reps = 1;
+
+  std::vector<Row> Rows;
+  std::printf("workload opt category halt exit instrs accesses\n");
+  for (const workloads::Workload &W : workloads::allWorkloads()) {
+    for (unsigned Opt : {0u, 1u}) {
+      std::string Src = workloads::instantiate(W, W.Input1);
+      mcc::CompileOptions MO;
+      MO.OptLevel = Opt;
+      mcc::CompileResult CR = mcc::compile(Src, MO);
+      if (!CR.ok()) {
+        std::fprintf(stderr, "perf_sim: %s -O%u failed to compile\n",
+                     W.Name.c_str(), Opt);
+        return 1;
+      }
+      masm::Layout L(*CR.M);
+      sim::MachineOptions SO;
+      SO.MaxInstrs = MaxInstrs;
+
+      Row R;
+      R.Workload = W.Name;
+      R.Category = W.Category;
+      R.OptLevel = Opt;
+      R.Seconds = 1e99;
+      sim::RunResult Result;
+      for (unsigned Rep = 0; Rep != Reps; ++Rep) {
+        // A fresh Machine per repetition: every rep starts from a cold
+        // simulated cache and memory, so the reps are identical work and
+        // the minimum is a valid noise filter.
+        sim::Machine Mach(*CR.M, L, SO);
+        double Sec = runOnce(Mach, Result);
+        if (Sec < R.Seconds)
+          R.Seconds = Sec;
+      }
+      R.Instrs = Result.InstrsExecuted;
+      R.DataAccesses = Result.DataAccesses;
+      Rows.push_back(R);
+
+      std::printf("%s %u %s %d %d %llu %llu\n", W.Name.c_str(), Opt,
+                  W.Category.c_str(), static_cast<int>(Result.Halt),
+                  Result.ExitCode,
+                  static_cast<unsigned long long>(Result.InstrsExecuted),
+                  static_cast<unsigned long long>(Result.DataAccesses));
+      std::fprintf(stderr, "%-16s -O%u  %7.1f Minstr/s  %6.1f Macc/s  %.3fs\n",
+                   W.Name.c_str(), Opt, R.Instrs / R.Seconds / 1e6,
+                   R.DataAccesses / R.Seconds / 1e6, R.Seconds);
+    }
+  }
+
+  if (JsonPath)
+    writeJson(JsonPath, Rows);
+  return 0;
+}

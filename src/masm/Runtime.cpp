@@ -1,0 +1,39 @@
+//===- masm/Runtime.cpp ----------------------------------------------------==//
+
+#include "masm/Runtime.h"
+
+using namespace dlq;
+using namespace dlq::masm;
+
+std::string_view masm::runtimeFnName(RuntimeFn F) {
+  switch (F) {
+  case RuntimeFn::Malloc:
+    return "malloc";
+  case RuntimeFn::Calloc:
+    return "calloc";
+  case RuntimeFn::Free:
+    return "free";
+  case RuntimeFn::Rand:
+    return "rand";
+  case RuntimeFn::Srand:
+    return "srand";
+  case RuntimeFn::PrintInt:
+    return "print_int";
+  case RuntimeFn::PrintChar:
+    return "print_char";
+  case RuntimeFn::Exit:
+    return "exit";
+  case RuntimeFn::Abort:
+    return "abort";
+  }
+  return "";
+}
+
+std::optional<RuntimeFn> masm::runtimeFnByName(std::string_view Name) {
+  for (unsigned I = 0; I != NumRuntimeFns; ++I) {
+    RuntimeFn F = static_cast<RuntimeFn>(I);
+    if (Name == runtimeFnName(F))
+      return F;
+  }
+  return std::nullopt;
+}

@@ -1,0 +1,54 @@
+//===- masm/Runtime.h - Runtime-service call identifiers ------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime services a `jal` may target without a module-local definition:
+/// the allocator, the RNG, the output routines and process exit. This is the
+/// single source of truth for the simulator ABI — the verifier accepts these
+/// names, mcc's codegen emits calls to them, and the simulator's predecoder
+/// lowers them to a `RuntimeFn` ordinal so the interpreter never compares
+/// strings on the call path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_MASM_RUNTIME_H
+#define DLQ_MASM_RUNTIME_H
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace dlq {
+namespace masm {
+
+/// One intercepted runtime service. Ordinals are dense so decoded call sites
+/// can carry them in place of the symbol name.
+enum class RuntimeFn : uint8_t {
+  Malloc,
+  Calloc,
+  Free,
+  Rand,
+  Srand,
+  PrintInt,
+  PrintChar,
+  Exit,
+  Abort,
+};
+
+constexpr unsigned NumRuntimeFns = static_cast<unsigned>(RuntimeFn::Abort) + 1;
+
+/// The assembly-level name, e.g. "print_int".
+std::string_view runtimeFnName(RuntimeFn F);
+
+/// Maps a `jal` symbol to its runtime service, if it is one. Runtime names
+/// shadow module functions of the same name, matching the simulator.
+std::optional<RuntimeFn> runtimeFnByName(std::string_view Name);
+
+} // namespace masm
+} // namespace dlq
+
+#endif // DLQ_MASM_RUNTIME_H

@@ -2,25 +2,11 @@
 
 #include "masm/Verifier.h"
 
+#include "masm/Runtime.h"
 #include "support/Format.h"
-
-#include <set>
 
 using namespace dlq;
 using namespace dlq::masm;
-
-namespace {
-
-/// Runtime services the simulator provides to `jal`.
-const std::set<std::string> &runtimeServices() {
-  static const std::set<std::string> Services = {
-      "malloc", "calloc", "free",      "rand",
-      "srand",  "exit",   "print_int", "print_char",
-      "abort"};
-  return Services;
-}
-
-} // namespace
 
 std::string masm::verifyReport(const std::vector<VerifyIssue> &Issues) {
   std::string Out;
@@ -67,7 +53,7 @@ std::vector<VerifyIssue> masm::verifyModule(const Module &M) {
       }
 
       if (I.Op == Opcode::Jal && !M.lookupFunction(I.Sym) &&
-          !runtimeServices().count(I.Sym))
+          !runtimeFnByName(I.Sym))
         issue(loc(Idx),
               "call to unknown function '" + I.Sym + "'");
 

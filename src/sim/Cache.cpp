@@ -38,13 +38,9 @@ Cache::Cache(const CacheConfig &Config) : Cfg(Config) {
   Tags.assign(static_cast<size_t>(Cfg.numSets()) * Cfg.Assoc, 0);
 }
 
-bool Cache::access(uint32_t Addr) {
-  uint32_t BlockAddr = Addr >> BlockShift;
-  uint32_t Set = BlockAddr & SetMask;
-  uint32_t Tag = (BlockAddr >> 0) + 1; // +1 so that 0 means empty.
-  uint32_t *Ways = &Tags[static_cast<size_t>(Set) * Cfg.Assoc];
-
-  for (uint32_t W = 0; W != Cfg.Assoc; ++W) {
+/// Non-MRU hit or miss: find the way, shift the stack, install at MRU.
+bool Cache::accessSlow(uint64_t *Ways, uint64_t Tag) {
+  for (uint32_t W = 1; W != Cfg.Assoc; ++W) {
     if (Ways[W] != Tag)
       continue;
     // Hit: move to MRU position.
@@ -64,6 +60,6 @@ bool Cache::access(uint32_t Addr) {
 }
 
 void Cache::flush() {
-  for (uint32_t &T : Tags)
+  for (uint64_t &T : Tags)
     T = 0;
 }

@@ -48,8 +48,22 @@ public:
 
   /// Performs one access; returns true on hit. Loads and stores are treated
   /// alike (allocate-on-miss, which is what sim-cache does for its default
-  /// write-allocate configuration).
-  bool access(uint32_t Addr);
+  /// write-allocate configuration). An MRU (way 0) hit — the common case on
+  /// cache-friendly traces — returns before any LRU reshuffling.
+  bool access(uint32_t Addr) {
+    uint32_t BlockAddr = Addr >> BlockShift;
+    uint32_t Set = BlockAddr & SetMask;
+    // Tags are block addresses +1 so that 0 means an empty way; 64-bit so
+    // the +1 cannot wrap back to "empty" for blocks at the top of the
+    // address space.
+    uint64_t Tag = static_cast<uint64_t>(BlockAddr) + 1;
+    uint64_t *Ways = &Tags[static_cast<size_t>(Set) * Cfg.Assoc];
+    if (Ways[0] == Tag) {
+      ++Hits;
+      return true;
+    }
+    return accessSlow(Ways, Tag);
+  }
 
   /// Drops all contents but keeps the statistics.
   void flush();
@@ -60,12 +74,13 @@ public:
   uint64_t accesses() const { return Hits + Misses; }
 
 private:
+  bool accessSlow(uint64_t *Ways, uint64_t Tag);
+
   CacheConfig Cfg;
   uint32_t SetMask = 0;
   uint32_t BlockShift = 0;
-  /// Ways stored MRU-first per set; value 0 means an empty way, so tags are
-  /// stored +1.
-  std::vector<uint32_t> Tags;
+  /// Ways stored MRU-first per set.
+  std::vector<uint64_t> Tags;
   uint64_t Hits = 0;
   uint64_t Misses = 0;
 };

@@ -1,0 +1,252 @@
+//===- sim/Decode.cpp ------------------------------------------------------==//
+
+#include "sim/Decode.h"
+
+using namespace dlq;
+using namespace dlq::sim;
+using namespace dlq::masm;
+
+/// masm opcodes map 1:1 onto the leading XOp entries.
+static XOp baseXOp(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+    return XOp::Add;
+  case Opcode::Sub:
+    return XOp::Sub;
+  case Opcode::Mul:
+    return XOp::Mul;
+  case Opcode::Div:
+    return XOp::Div;
+  case Opcode::Rem:
+    return XOp::Rem;
+  case Opcode::And:
+    return XOp::And;
+  case Opcode::Or:
+    return XOp::Or;
+  case Opcode::Xor:
+    return XOp::Xor;
+  case Opcode::Nor:
+    return XOp::Nor;
+  case Opcode::Slt:
+    return XOp::Slt;
+  case Opcode::Sltu:
+    return XOp::Sltu;
+  case Opcode::Sllv:
+    return XOp::Sllv;
+  case Opcode::Srlv:
+    return XOp::Srlv;
+  case Opcode::Srav:
+    return XOp::Srav;
+  case Opcode::Addi:
+    return XOp::Addi;
+  case Opcode::Andi:
+    return XOp::Andi;
+  case Opcode::Ori:
+    return XOp::Ori;
+  case Opcode::Xori:
+    return XOp::Xori;
+  case Opcode::Slti:
+    return XOp::Slti;
+  case Opcode::Sltiu:
+    return XOp::Sltiu;
+  case Opcode::Sll:
+    return XOp::Sll;
+  case Opcode::Srl:
+    return XOp::Srl;
+  case Opcode::Sra:
+    return XOp::Sra;
+  case Opcode::Lui:
+    return XOp::Lui;
+  case Opcode::Li:
+    return XOp::Li;
+  case Opcode::La:
+    return XOp::Li; // Rewritten below; unresolved -> LaUnresolved.
+  case Opcode::Move:
+    return XOp::Move;
+  case Opcode::Lw:
+    return XOp::Lw;
+  case Opcode::Lh:
+    return XOp::Lh;
+  case Opcode::Lhu:
+    return XOp::Lhu;
+  case Opcode::Lb:
+    return XOp::Lb;
+  case Opcode::Lbu:
+    return XOp::Lbu;
+  case Opcode::Sw:
+    return XOp::Sw;
+  case Opcode::Sh:
+    return XOp::Sh;
+  case Opcode::Sb:
+    return XOp::Sb;
+  case Opcode::Beq:
+    return XOp::Beq;
+  case Opcode::Bne:
+    return XOp::Bne;
+  case Opcode::Blt:
+    return XOp::Blt;
+  case Opcode::Bge:
+    return XOp::Bge;
+  case Opcode::Ble:
+    return XOp::Ble;
+  case Opcode::Bgt:
+    return XOp::Bgt;
+  case Opcode::J:
+    return XOp::J;
+  case Opcode::Jal:
+    return XOp::CallUnresolved; // Rewritten below.
+  case Opcode::Jr:
+    return XOp::Jr;
+  case Opcode::Jalr:
+    return XOp::Jalr;
+  case Opcode::Nop:
+    return XOp::Nop;
+  }
+  return XOp::Nop;
+}
+
+DecodedProgram sim::predecode(const Module &M, const Layout &L,
+                              const std::set<InstrRef> &PrefetchLoads) {
+  DecodedProgram P;
+  P.Instrs.reserve(M.totalInstrs());
+  P.FlatMap.reserve(M.totalInstrs());
+  for (uint32_t FI = 0; FI != M.functions().size(); ++FI) {
+    P.FuncEntryFlat.push_back(static_cast<uint32_t>(P.FlatMap.size()));
+    for (uint32_t Idx = 0; Idx != M.functions()[FI].size(); ++Idx)
+      P.FlatMap.push_back(InstrRef{FI, Idx});
+  }
+  P.FuncEntryFlat.push_back(static_cast<uint32_t>(P.FlatMap.size()));
+
+  for (uint32_t FI = 0; FI != M.functions().size(); ++FI) {
+    uint32_t EntryFlat = P.FuncEntryFlat[FI];
+    for (const Instr &I : M.functions()[FI].instrs()) {
+      DecodedInstr D;
+      D.Op = baseXOp(I.Op);
+      // Writes to $zero are architecturally discarded; retarget them to the
+      // discard slot so result writes need no $zero test at run time.
+      D.Rd = I.Rd == Reg::Zero ? DiscardReg : static_cast<uint8_t>(I.Rd);
+      D.Rs = static_cast<uint8_t>(I.Rs);
+      D.Rt = static_cast<uint8_t>(I.Rt);
+      D.Imm = I.Imm;
+
+      if (isCondBranch(I.Op) || I.Op == Opcode::J) {
+        // Local index -> absolute flat index.
+        D.Target = EntryFlat + I.TargetIndex;
+      } else if (I.Op == Opcode::Jal) {
+        if (std::optional<RuntimeFn> F = runtimeFnByName(I.Sym)) {
+          D.Op = XOp::CallRuntime;
+          D.Target = static_cast<uint32_t>(*F);
+        } else {
+          uint32_t Callee = M.functionIndex(I.Sym);
+          if (Callee != InvalidIndex) {
+            D.Op = XOp::CallFunc;
+            D.Target = P.FuncEntryFlat[Callee];
+          }
+          // else: CallUnresolved, traps if executed.
+        }
+      } else if (I.Op == Opcode::La) {
+        uint32_t Addr = L.globalAddress(I.Sym);
+        if (Addr == Layout::InvalidAddress) {
+          // Allow taking the address of a function (for completeness).
+          uint32_t Callee = M.functionIndex(I.Sym);
+          Addr = Callee == InvalidIndex ? Layout::InvalidAddress
+                                        : L.functionEntry(Callee);
+        }
+        if (Addr == Layout::InvalidAddress)
+          D.Op = XOp::LaUnresolved; // Traps if executed.
+        else
+          D.Imm = static_cast<int32_t>(Addr + static_cast<uint32_t>(I.Imm));
+      } else if (isLoad(I.Op)) {
+        size_t Flat = P.Instrs.size();
+        if (PrefetchLoads.count(P.FlatMap[Flat]))
+          D.Prefetch = 1;
+      }
+
+      P.Instrs.push_back(D);
+    }
+  }
+
+  // Fusion pass: rewrite the head of frequent two-instruction sequences to a
+  // superinstruction. Safe without any jump-target analysis because the
+  // non-head components' records are untouched — control transfers into
+  // them execute them stand-alone — and because every component is
+  // non-trapping and only the final component may be a branch/jump, so a
+  // fused handler always completes all components.
+  struct FuseTriple {
+    XOp First, Second, Third, Fused;
+  };
+  static const FuseTriple Fuse3Table[] = {
+      {XOp::Lw, XOp::Lw, XOp::Lw, XOp::FuseLwLwLw},
+      {XOp::Lw, XOp::Lw, XOp::Sw, XOp::FuseLwLwSw},
+      {XOp::Lw, XOp::Lw, XOp::Add, XOp::FuseLwLwAdd},
+      {XOp::Sw, XOp::Lw, XOp::Lw, XOp::FuseSwLwLw},
+      {XOp::Add, XOp::Lw, XOp::Lw, XOp::FuseAddLwLw},
+      {XOp::Add, XOp::Sw, XOp::Lw, XOp::FuseAddSwLw},
+      {XOp::Lw, XOp::Add, XOp::Sw, XOp::FuseLwAddSw},
+      {XOp::Lw, XOp::Sw, XOp::Lw, XOp::FuseLwSwLw},
+      {XOp::Sw, XOp::Lw, XOp::Li, XOp::FuseSwLwLi},
+      {XOp::Lw, XOp::Sll, XOp::Add, XOp::FuseLwSllAdd},
+      {XOp::Lw, XOp::Li, XOp::Bge, XOp::FuseLwLiBge},
+      {XOp::Lw, XOp::Li, XOp::Beq, XOp::FuseLwLiBeq},
+      {XOp::Lw, XOp::Sw, XOp::J, XOp::FuseLwSwJ},
+  };
+  struct FusePair {
+    XOp First, Second, Fused;
+  };
+  static const FusePair FuseTable[] = {
+      {XOp::Lw, XOp::Lw, XOp::FuseLwLw},
+      {XOp::Sw, XOp::Lw, XOp::FuseSwLw},
+      {XOp::Lw, XOp::Sw, XOp::FuseLwSw},
+      {XOp::Add, XOp::Lw, XOp::FuseAddLw},
+      {XOp::Lw, XOp::Add, XOp::FuseLwAdd},
+      {XOp::Add, XOp::Sw, XOp::FuseAddSw},
+      {XOp::Move, XOp::Lw, XOp::FuseMoveLw},
+      {XOp::Move, XOp::Li, XOp::FuseMoveLi},
+      {XOp::Move, XOp::Move, XOp::FuseMoveMove},
+      {XOp::Lw, XOp::Move, XOp::FuseLwMove},
+      {XOp::Add, XOp::Move, XOp::FuseAddMove},
+      {XOp::Move, XOp::Sw, XOp::FuseMoveSw},
+      {XOp::Sll, XOp::Add, XOp::FuseSllAdd},
+      {XOp::Lw, XOp::Sll, XOp::FuseLwSll},
+      {XOp::Li, XOp::Lw, XOp::FuseLiLw},
+      {XOp::Sw, XOp::Move, XOp::FuseSwMove},
+      {XOp::Li, XOp::Move, XOp::FuseLiMove},
+      {XOp::Move, XOp::Sll, XOp::FuseMoveSll},
+      {XOp::Sw, XOp::J, XOp::FuseSwJ},
+      {XOp::Move, XOp::J, XOp::FuseMoveJ},
+      {XOp::Li, XOp::Bge, XOp::FuseLiBge},
+      {XOp::Li, XOp::Beq, XOp::FuseLiBeq},
+  };
+  for (size_t Idx = 0; Idx + 1 < P.Instrs.size(); ++Idx) {
+    // Reading Instrs[Idx].Op before rewriting it and Instrs[Idx + 1].Op
+    // before Idx reaches it means both reads see original (unfused) ops, so
+    // heads may overlap: in `lw lw lw`, both the first and second lw become
+    // FuseLwLw heads, and whichever one execution reaches is correct.
+    XOp A = P.Instrs[Idx].Op;
+    XOp B = P.Instrs[Idx + 1].Op;
+    bool Fused3 = false;
+    if (Idx + 2 < P.Instrs.size()) {
+      XOp C = P.Instrs[Idx + 2].Op;
+      for (const FuseTriple &F : Fuse3Table)
+        if (A == F.First && B == F.Second && C == F.Third) {
+          P.Instrs[Idx].Op = F.Fused;
+          Fused3 = true;
+          break;
+        }
+    }
+    if (Fused3)
+      continue;
+    for (const FusePair &F : FuseTable)
+      if (A == F.First && B == F.Second) {
+        P.Instrs[Idx].Op = F.Fused;
+        break;
+      }
+  }
+
+  // Falling off the end of the text dispatches to this sentinel instead of
+  // needing a bounds check before every instruction.
+  DecodedInstr Sentinel;
+  Sentinel.Op = XOp::OutOfText;
+  P.Instrs.push_back(Sentinel);
+  return P;
+}

@@ -1,0 +1,198 @@
+//===- sim/Decode.h - Predecoded instruction form --------------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The resolve-once lowering the interpreter executes. A `masm::Instr` is a
+/// ~64-byte record carrying a `std::string` symbol that the seed interpreter
+/// re-resolved on every execution (map lookups for `jal`/`la`, a string
+/// compare chain for runtime calls, per-iteration function-base arithmetic
+/// for branches). `predecode` performs all of that resolution exactly once in
+/// the `Machine` constructor and packs each instruction into a 16-byte
+/// `DecodedInstr`:
+///
+///  - branch/jump targets become absolute flat instruction indices;
+///  - `jal` becomes either a function-entry flat index or a
+///    `masm::RuntimeFn` ordinal (runtime names shadow module functions,
+///    exactly as the seed's string dispatch did);
+///  - `la` of a known symbol becomes `Li` of the materialized address;
+///  - the per-load prefetch-arming set becomes a flag bit.
+///
+/// What may NOT be resolved early: anything whose failure the seed reported
+/// at execution time. `jal`/`la` naming unknown symbols must still trap with
+/// the same message, and only if actually executed — so they lower to
+/// `CallUnresolved`/`LaUnresolved` markers that trap on execution, looking
+/// up the symbol name through `FlatMap` on that cold path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_SIM_DECODE_H
+#define DLQ_SIM_DECODE_H
+
+#include "masm/Module.h"
+#include "masm/Runtime.h"
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace dlq {
+namespace sim {
+
+/// Execution opcode of the decoded form. ALU, memory and indirect-jump
+/// entries keep `masm::Opcode` semantics; the entries after `Nop` exist only
+/// in decoded form.
+enum class XOp : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  And,
+  Or,
+  Xor,
+  Nor,
+  Slt,
+  Sltu,
+  Sllv,
+  Srlv,
+  Srav,
+  Addi,
+  Andi,
+  Ori,
+  Xori,
+  Slti,
+  Sltiu,
+  Sll,
+  Srl,
+  Sra,
+  Lui,
+  Li, ///< Also carries resolved `la`: Rd <- Imm as a full 32-bit value.
+  Move,
+  Lw,
+  Lh,
+  Lhu,
+  Lb,
+  Lbu,
+  Sw,
+  Sh,
+  Sb,
+  Beq, ///< Conditional branches and J: Target is an absolute flat index.
+  Bne,
+  Blt,
+  Bge,
+  Ble,
+  Bgt,
+  J,
+  Jr,
+  Jalr,
+  Nop,
+  // Decoded-only forms.
+  CallFunc,       ///< jal to a module function: Target = its flat entry.
+  CallRuntime,    ///< jal to a runtime service: Target = RuntimeFn ordinal.
+  CallUnresolved, ///< jal to an unknown symbol: traps when executed.
+  LaUnresolved,   ///< la of an unknown symbol: traps when executed.
+  OutOfText,      ///< Sentinel appended after the last instruction: the pc
+                  ///< ran off the end of the text. Lets the interpreter skip
+                  ///< a per-instruction bounds check; only indirect jumps
+                  ///< (jr/jalr), whose targets are data, re-check explicitly.
+  // Fused pairs (superinstructions). The decoder rewrites the FIRST
+  // instruction of a frequent two-instruction sequence to one of these; the
+  // second instruction's record is left fully intact, so a jump landing on
+  // it still executes it stand-alone, and per-instruction counters are
+  // updated for both components exactly as unfused execution would. Only
+  // sequences of non-trapping, non-control ops are fused, so a fused handler
+  // has no exit but fall-through. Chosen from dynamic pair histograms of the
+  // workload registry: compiled MinC leans on `lw lw` / `sw lw` stack
+  // traffic at -O0 and `move`-heavy sequences at -O1.
+  FuseLwLw,
+  FuseSwLw,
+  FuseLwSw,
+  FuseAddLw,
+  FuseLwAdd,
+  FuseAddSw,
+  FuseMoveLw,
+  FuseMoveLi,
+  FuseMoveMove,
+  FuseLwMove,
+  FuseAddMove,
+  FuseMoveSw,
+  // Fused triples, same rules (head rewritten, components 2 and 3 intact,
+  // overlap-safe). The decoder prefers a triple over a pair at the same head.
+  FuseLwLwLw,
+  FuseLwLwSw,
+  FuseLwLwAdd,
+  FuseSwLwLw,
+  FuseAddLwLw,
+  FuseAddSwLw,
+  FuseLwAddSw,
+  FuseLwSwLw,
+  // Second fusion wave. A conditional branch or `j` may appear as the FINAL
+  // component of a fused sequence: it cannot trap, and every earlier
+  // component is non-control, so "the handler completes all components"
+  // still holds — the branch merely picks the successor at the end.
+  FuseSllAdd,
+  FuseLwSll,
+  FuseLiLw, ///< Also covers resolved `la` followed by a load.
+  FuseSwMove,
+  FuseLiMove,
+  FuseMoveSll,
+  FuseSwJ,
+  FuseMoveJ,
+  FuseLiBge,
+  FuseLiBeq,
+  FuseSwLwLi,
+  FuseLwSllAdd,
+  FuseLwLiBge,
+  FuseLwLiBeq,
+  FuseLwSwJ,
+};
+
+/// Number of XOp values (dispatch-table size).
+constexpr unsigned NumXOps = static_cast<unsigned>(XOp::FuseLwSwJ) + 1;
+
+/// Destination-register slot that absorbs writes to $zero. The decoder
+/// rewrites `Rd == $zero` to this index, so the interpreter writes every
+/// result unconditionally — the architectural `Regs[0]` is never written and
+/// stays 0 — instead of testing for $zero on every ALU op.
+constexpr uint8_t DiscardReg = masm::NumRegs;
+
+/// One predecoded instruction. 16 bytes, symbol-free: the interpreter's
+/// working set is Instrs + the register file + the touched memory pages.
+struct DecodedInstr {
+  XOp Op = XOp::Nop;
+  uint8_t Rd = 0; ///< Destination; DiscardReg when the source wrote $zero.
+  uint8_t Rs = 0;
+  uint8_t Rt = 0;
+  uint8_t Prefetch = 0; ///< 1 = issue a next-line prefetch after this load.
+  int32_t Imm = 0;      ///< Immediate; materialized address for resolved la.
+  uint32_t Target = 0;  ///< Absolute flat index, or RuntimeFn ordinal.
+};
+
+static_assert(sizeof(DecodedInstr) == 16, "decoded form must stay packed");
+
+/// A module lowered for execution. `Instrs` holds one entry per module
+/// instruction plus a trailing `OutOfText` sentinel, so
+/// `Instrs.size() == FlatMap.size() + 1`; the logical instruction count is
+/// `FlatMap.size()`.
+struct DecodedProgram {
+  std::vector<DecodedInstr> Instrs;
+  /// Flat ordinal -> (function, instruction); also the trap-path route back
+  /// to symbol names.
+  std::vector<masm::InstrRef> FlatMap;
+  /// Flat index of each function's entry, one past the end as a sentinel.
+  std::vector<uint32_t> FuncEntryFlat;
+};
+
+/// Lowers \p M (which must be finalized, with \p L its layout). Loads in
+/// \p PrefetchLoads get their Prefetch flag set.
+DecodedProgram predecode(const masm::Module &M, const masm::Layout &L,
+                         const std::set<masm::InstrRef> &PrefetchLoads);
+
+} // namespace sim
+} // namespace dlq
+
+#endif // DLQ_SIM_DECODE_H

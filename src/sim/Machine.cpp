@@ -2,6 +2,7 @@
 
 #include "sim/Machine.h"
 
+#include "sim/Cache.h"
 #include "support/Format.h"
 
 #include <cassert>
@@ -23,18 +24,7 @@ std::map<InstrRef, LoadStat> RunResult::loadStats(const Module &M) const {
 
 Machine::Machine(const Module &Mod, const Layout &Lay, MachineOptions Options)
     : M(Mod), L(Lay), Opts(std::move(Options)), Rand(Opts.RandSeed) {
-  for (uint32_t FI = 0; FI != M.functions().size(); ++FI) {
-    FuncEntryFlat.push_back(static_cast<uint32_t>(Flat.size()));
-    const Function &F = M.functions()[FI];
-    for (uint32_t Idx = 0; Idx != F.size(); ++Idx) {
-      Flat.push_back(FlatInstr{&F.instrs()[Idx], FI});
-      FlatMap.push_back(InstrRef{FI, Idx});
-    }
-  }
-  PrefetchFlat.assign(Flat.size(), 0);
-  for (size_t FlatIdx = 0; FlatIdx != FlatMap.size(); ++FlatIdx)
-    if (Opts.PrefetchLoads.count(FlatMap[FlatIdx]))
-      PrefetchFlat[FlatIdx] = 1;
+  Prog = predecode(M, L, Opts.PrefetchLoads);
 }
 
 uint32_t Machine::runtimeMalloc(uint32_t Size) {
@@ -64,60 +54,66 @@ void Machine::runtimeFree(uint32_t Addr) {
   AllocSizes.erase(It);
 }
 
-bool Machine::handleRuntimeCall(const std::string &Name, RunResult &R,
-                                bool &ShouldHalt) {
+void Machine::handleRuntimeCall(RuntimeFn F, RunResult &R, bool &ShouldHalt) {
   ShouldHalt = false;
-  if (Name == "malloc") {
+  switch (F) {
+  case RuntimeFn::Malloc:
     writeReg(Reg::V0, runtimeMalloc(readReg(Reg::A0)));
-    return true;
-  }
-  if (Name == "calloc") {
+    break;
+  case RuntimeFn::Calloc: {
     uint32_t Bytes = readReg(Reg::A0) * readReg(Reg::A1);
     uint32_t Addr = runtimeMalloc(Bytes);
-    for (uint32_t I = 0; I != Bytes; ++I)
-      Mem.writeByte(Addr + I, 0);
+    Mem.zeroFill(Addr, Bytes);
     writeReg(Reg::V0, Addr);
-    return true;
+    break;
   }
-  if (Name == "free") {
+  case RuntimeFn::Free:
     runtimeFree(readReg(Reg::A0));
-    return true;
-  }
-  if (Name == "rand") {
+    break;
+  case RuntimeFn::Rand:
     writeReg(Reg::V0, static_cast<uint32_t>(Rand.next() & 0x7FFFFFFF));
-    return true;
-  }
-  if (Name == "srand") {
+    break;
+  case RuntimeFn::Srand:
     Rand = Rng(readReg(Reg::A0));
-    return true;
-  }
-  if (Name == "print_int") {
+    break;
+  case RuntimeFn::PrintInt:
     R.Output += formatString("%d", static_cast<int32_t>(readReg(Reg::A0)));
     R.Output += "\n";
-    return true;
-  }
-  if (Name == "print_char") {
+    break;
+  case RuntimeFn::PrintChar:
     R.Output.push_back(static_cast<char>(readReg(Reg::A0) & 0xFF));
-    return true;
-  }
-  if (Name == "exit") {
+    break;
+  case RuntimeFn::Exit:
     R.ExitCode = static_cast<int32_t>(readReg(Reg::A0));
     ShouldHalt = true;
-    return true;
-  }
-  if (Name == "abort") {
+    break;
+  case RuntimeFn::Abort:
     R.ExitCode = 134;
     ShouldHalt = true;
-    return true;
+    break;
   }
-  return false;
 }
 
 RunResult Machine::run() {
+  return Opts.SimulateICache ? runLoop<true>() : runLoop<false>();
+}
+
+/// The interpreter proper. Token-threaded dispatch: every handler begins
+/// with its own copy of the per-instruction accounting (fuel check, counter
+/// updates, optional I-cache access) and ends with its own tiny indirect
+/// jump through a label table indexed by the next instruction's XOp. Keeping
+/// the jump at the end of every handler (rather than one shared loop head)
+/// gives each opcode an independently predicted indirect branch. The
+/// accounting order — fuel, bounds, counters, I-cache, execute — matches the
+/// seed interpreter exactly, as do all trap messages; the bounds check rides
+/// on the decoder's OutOfText sentinel, with explicit re-checks only where a
+/// target is data-dependent (jr/jalr) or decoder-provided (branches).
+template <bool WithICache> RunResult Machine::runLoop() {
   RunResult R;
-  R.ExecCounts.assign(Flat.size(), 0);
-  R.MissCounts.assign(Flat.size(), 0);
-  R.FlatMap = FlatMap;
+  const uint64_t FlatCount = Prog.FlatMap.size();
+  R.ExecCounts.assign(FlatCount, 0);
+  R.MissCounts.assign(FlatCount, 0);
+  R.FlatMap = Prog.FlatMap;
 
   // Materialize global initializers.
   for (const Global &G : M.globals()) {
@@ -148,285 +144,644 @@ RunResult Machine::run() {
     return R;
   }
 
+  // Hot counters live in locals; flushed into R at every exit.
+  const DecodedInstr *Code = Prog.Instrs.data();
+  uint64_t *ExecCounts = R.ExecCounts.data();
+  uint64_t *MissCounts = R.MissCounts.data();
+  const uint64_t MaxInstrs = Opts.MaxInstrs;
+  const uint32_t PrefetchStride = Opts.DCache.BlockBytes;
+
+  uint64_t Executed = 0;
+  uint64_t DataAccesses = 0;
+  uint64_t LoadMisses = 0;
+  uint64_t StoreMisses = 0;
+  uint64_t ICacheMisses = 0;
+  uint64_t PrefetchesIssued = 0;
+  uint64_t PrefetchFills = 0;
+
+  auto flushCounters = [&] {
+    R.InstrsExecuted = Executed;
+    R.DataAccesses = DataAccesses;
+    R.LoadMisses = LoadMisses;
+    R.StoreMisses = StoreMisses;
+    R.ICacheMisses = ICacheMisses;
+    R.PrefetchesIssued = PrefetchesIssued;
+    R.PrefetchFills = PrefetchFills;
+  };
   auto trap = [&](std::string Message) {
     R.Halt = HaltReason::Trapped;
     R.TrapMessage = std::move(Message);
+    flushCounters();
+  };
+  /// Original symbol of the instruction at \p Pc — trap-path only.
+  auto symAt = [&](uint64_t Pc) -> const std::string & {
+    return M.instrAt(Prog.FlatMap[Pc]).Sym;
   };
 
-  uint64_t FlatCount = Flat.size();
-  uint64_t FlatPc = FuncEntryFlat[MainIdx];
+  // Label table, indexed by XOp. Must list every XOp in declaration order.
+  static const void *Table[NumXOps] = {
+      &&L_Add,  &&L_Sub,   &&L_Mul,  &&L_Div,  &&L_Rem,  &&L_And,
+      &&L_Or,   &&L_Xor,   &&L_Nor,  &&L_Slt,  &&L_Sltu, &&L_Sllv,
+      &&L_Srlv, &&L_Srav,  &&L_Addi, &&L_Andi, &&L_Ori,  &&L_Xori,
+      &&L_Slti, &&L_Sltiu, &&L_Sll,  &&L_Srl,  &&L_Sra,  &&L_Lui,
+      &&L_Li,   &&L_Move,  &&L_Lw,   &&L_Lh,   &&L_Lhu,  &&L_Lb,
+      &&L_Lbu,  &&L_Sw,    &&L_Sh,   &&L_Sb,   &&L_Beq,  &&L_Bne,
+      &&L_Blt,  &&L_Bge,   &&L_Ble,  &&L_Bgt,  &&L_J,    &&L_Jr,
+      &&L_Jalr, &&L_Nop,   &&L_CallFunc,       &&L_CallRuntime,
+      &&L_CallUnresolved,  &&L_LaUnresolved,   &&L_PcOutOfText,
+      &&L_FuseLwLw,   &&L_FuseSwLw,   &&L_FuseLwSw,   &&L_FuseAddLw,
+      &&L_FuseLwAdd,  &&L_FuseAddSw,  &&L_FuseMoveLw, &&L_FuseMoveLi,
+      &&L_FuseMoveMove, &&L_FuseLwMove, &&L_FuseAddMove, &&L_FuseMoveSw,
+      &&L_FuseLwLwLw, &&L_FuseLwLwSw, &&L_FuseLwLwAdd, &&L_FuseSwLwLw,
+      &&L_FuseAddLwLw, &&L_FuseAddSwLw, &&L_FuseLwAddSw, &&L_FuseLwSwLw,
+      &&L_FuseSllAdd, &&L_FuseLwSll, &&L_FuseLiLw, &&L_FuseSwMove,
+      &&L_FuseLiMove, &&L_FuseMoveSll, &&L_FuseSwJ, &&L_FuseMoveJ,
+      &&L_FuseLiBge, &&L_FuseLiBeq, &&L_FuseSwLwLi, &&L_FuseLwSllAdd,
+      &&L_FuseLwLiBge, &&L_FuseLwLiBeq, &&L_FuseLwSwJ,
+  };
+  static_assert(NumXOps == 84, "update the dispatch table with the new XOp");
 
-  while (true) {
-    if (R.InstrsExecuted >= Opts.MaxInstrs) {
-      R.Halt = HaltReason::FuelExhausted;
-      return R;
-    }
-    if (FlatPc >= FlatCount) {
-      trap(formatString("pc out of text: flat index %llu",
-                        static_cast<unsigned long long>(FlatPc)));
-      return R;
-    }
+  uint64_t FlatPc = Prog.FuncEntryFlat[MainIdx];
+  const DecodedInstr *I = nullptr;
 
-    const Instr &I = *Flat[FlatPc].I;
-    ++R.ExecCounts[FlatPc];
-    ++R.InstrsExecuted;
-    if (Opts.SimulateICache &&
-        !ICacheModel.access(LayoutConstants::TextBase +
-                            static_cast<uint32_t>(FlatPc) * 4))
-      ++R.ICacheMisses;
+// Per-instruction accounting, at the head of every handler. The seed checked
+// fuel before the pc bounds check; L_PcOutOfText re-checks fuel first to
+// keep that order.
+#define ENTER()                                                                \
+  do {                                                                         \
+    if (__builtin_expect(Executed >= MaxInstrs, 0))                            \
+      goto L_FuelExhausted;                                                    \
+    I = Code + FlatPc;                                                         \
+    ++ExecCounts[FlatPc];                                                      \
+    ++Executed;                                                                \
+    if constexpr (WithICache) {                                                \
+      if (!ICacheModel.access(LayoutConstants::TextBase +                      \
+                              static_cast<uint32_t>(FlatPc) * 4))              \
+        ++ICacheMisses;                                                        \
+    }                                                                          \
+  } while (0)
 
-    uint64_t NextPc = FlatPc + 1;
+// Dispatch on the instruction at FlatPc. Small on purpose: GCC re-duplicates
+// the factored computed goto only below a size limit, and one indirect jump
+// per handler is the whole point.
+#define NEXT() goto *Table[static_cast<size_t>(Code[FlatPc].Op)]
 
-    auto branchTo = [&](uint32_t LocalTarget) {
-      NextPc = FuncEntryFlat[Flat[FlatPc].FuncIdx] + LocalTarget;
-    };
+// Transfer to a decoder-provided target. Finalized modules only contain
+// in-range targets, but a stale/unverified TargetIndex must still produce
+// the seed's "pc out of text" trap rather than read past the sentinel.
+#define BRANCH_TO(T)                                                           \
+  do {                                                                         \
+    FlatPc = (T);                                                              \
+    if (__builtin_expect(FlatPc > FlatCount, 0))                               \
+      goto L_PcOutOfText;                                                      \
+    NEXT();                                                                    \
+  } while (0)
 
-    uint32_t RsV = readReg(I.Rs);
-    uint32_t RtV = readReg(I.Rt);
-    int32_t RsS = static_cast<int32_t>(RsV);
-    int32_t RtS = static_cast<int32_t>(RtV);
+// Shared tail of the five load handlers: cache accounting plus the optional
+// next-line software prefetch on predicted-delinquent loads.
+#define LOAD_EPILOGUE(Addr)                                                    \
+  do {                                                                         \
+    ++DataAccesses;                                                            \
+    if (!DCache.access(Addr)) {                                                \
+      ++LoadMisses;                                                            \
+      ++MissCounts[FlatPc];                                                    \
+    }                                                                          \
+    if (I->Prefetch) {                                                         \
+      ++PrefetchesIssued;                                                      \
+      if (!DCache.access((Addr) + PrefetchStride))                             \
+        ++PrefetchFills;                                                       \
+    }                                                                          \
+    ++FlatPc;                                                                  \
+    NEXT();                                                                    \
+  } while (0)
 
-    switch (I.Op) {
-    case Opcode::Add:
-      writeReg(I.Rd, RsV + RtV);
-      break;
-    case Opcode::Sub:
-      writeReg(I.Rd, RsV - RtV);
-      break;
-    case Opcode::Mul:
-      writeReg(I.Rd, static_cast<uint32_t>(static_cast<int64_t>(RsS) * RtS));
-      break;
-    case Opcode::Div:
-      if (RtS == 0) {
-        trap("division by zero");
-        return R;
-      }
-      // INT_MIN / -1 overflows on the host; define it as INT_MIN.
-      if (RsS == INT32_MIN && RtS == -1)
-        writeReg(I.Rd, static_cast<uint32_t>(INT32_MIN));
-      else
-        writeReg(I.Rd, static_cast<uint32_t>(RsS / RtS));
-      break;
-    case Opcode::Rem:
-      if (RtS == 0) {
-        trap("remainder by zero");
-        return R;
-      }
-      if (RsS == INT32_MIN && RtS == -1)
-        writeReg(I.Rd, 0);
-      else
-        writeReg(I.Rd, static_cast<uint32_t>(RsS % RtS));
-      break;
-    case Opcode::And:
-      writeReg(I.Rd, RsV & RtV);
-      break;
-    case Opcode::Or:
-      writeReg(I.Rd, RsV | RtV);
-      break;
-    case Opcode::Xor:
-      writeReg(I.Rd, RsV ^ RtV);
-      break;
-    case Opcode::Nor:
-      writeReg(I.Rd, ~(RsV | RtV));
-      break;
-    case Opcode::Slt:
-      writeReg(I.Rd, RsS < RtS ? 1 : 0);
-      break;
-    case Opcode::Sltu:
-      writeReg(I.Rd, RsV < RtV ? 1 : 0);
-      break;
-    case Opcode::Sllv:
-      writeReg(I.Rd, RsV << (RtV & 31));
-      break;
-    case Opcode::Srlv:
-      writeReg(I.Rd, RsV >> (RtV & 31));
-      break;
-    case Opcode::Srav:
-      writeReg(I.Rd, static_cast<uint32_t>(RsS >> (RtV & 31)));
-      break;
-    case Opcode::Addi:
-      writeReg(I.Rd, RsV + static_cast<uint32_t>(I.Imm));
-      break;
-    case Opcode::Andi:
-      writeReg(I.Rd, RsV & static_cast<uint32_t>(I.Imm));
-      break;
-    case Opcode::Ori:
-      writeReg(I.Rd, RsV | static_cast<uint32_t>(I.Imm));
-      break;
-    case Opcode::Xori:
-      writeReg(I.Rd, RsV ^ static_cast<uint32_t>(I.Imm));
-      break;
-    case Opcode::Slti:
-      writeReg(I.Rd, RsS < I.Imm ? 1 : 0);
-      break;
-    case Opcode::Sltiu:
-      writeReg(I.Rd, RsV < static_cast<uint32_t>(I.Imm) ? 1 : 0);
-      break;
-    case Opcode::Sll:
-      writeReg(I.Rd, RsV << (static_cast<uint32_t>(I.Imm) & 31));
-      break;
-    case Opcode::Srl:
-      writeReg(I.Rd, RsV >> (static_cast<uint32_t>(I.Imm) & 31));
-      break;
-    case Opcode::Sra:
-      writeReg(I.Rd,
-               static_cast<uint32_t>(RsS >> (static_cast<uint32_t>(I.Imm) & 31)));
-      break;
-    case Opcode::Lui:
-      writeReg(I.Rd, static_cast<uint32_t>(I.Imm) << 16);
-      break;
-    case Opcode::Li:
-      writeReg(I.Rd, static_cast<uint32_t>(I.Imm));
-      break;
-    case Opcode::La: {
-      uint32_t Addr = L.globalAddress(I.Sym);
-      if (Addr == Layout::InvalidAddress) {
-        // Allow taking the address of a function (for completeness).
-        uint32_t FI = M.functionIndex(I.Sym);
-        if (FI == InvalidIndex) {
-          trap("la of unknown symbol '" + I.Sym + "'");
-          return R;
-        }
-        Addr = L.functionEntry(FI);
-      }
-      writeReg(I.Rd, Addr + static_cast<uint32_t>(I.Imm));
-      break;
-    }
-    case Opcode::Move:
-      writeReg(I.Rd, RsV);
-      break;
-    case Opcode::Lw:
-    case Opcode::Lh:
-    case Opcode::Lhu:
-    case Opcode::Lb:
-    case Opcode::Lbu: {
-      uint32_t Addr = RsV + static_cast<uint32_t>(I.Imm);
-      uint32_t Value = 0;
-      switch (I.Op) {
-      case Opcode::Lw:
-        Value = Mem.readWord(Addr);
-        break;
-      case Opcode::Lh:
-        Value = static_cast<uint32_t>(
-            static_cast<int32_t>(static_cast<int16_t>(Mem.readHalf(Addr))));
-        break;
-      case Opcode::Lhu:
-        Value = Mem.readHalf(Addr);
-        break;
-      case Opcode::Lb:
-        Value = static_cast<uint32_t>(
-            static_cast<int32_t>(static_cast<int8_t>(Mem.readByte(Addr))));
-        break;
-      default:
-        Value = Mem.readByte(Addr);
-        break;
-      }
-      writeReg(I.Rd, Value);
-      ++R.DataAccesses;
-      if (!DCache.access(Addr)) {
-        ++R.LoadMisses;
-        ++R.MissCounts[FlatPc];
-      }
-      if (PrefetchFlat[FlatPc]) {
-        // Next-line software prefetch on this (predicted-delinquent) load.
-        ++R.PrefetchesIssued;
-        if (!DCache.access(Addr + Opts.DCache.BlockBytes))
-          ++R.PrefetchFills;
-      }
-      break;
-    }
-    case Opcode::Sw:
-    case Opcode::Sh:
-    case Opcode::Sb: {
-      uint32_t Addr = RsV + static_cast<uint32_t>(I.Imm);
-      switch (I.Op) {
-      case Opcode::Sw:
-        Mem.writeWord(Addr, RtV);
-        break;
-      case Opcode::Sh:
-        Mem.writeHalf(Addr, static_cast<uint16_t>(RtV));
-        break;
-      default:
-        Mem.writeByte(Addr, static_cast<uint8_t>(RtV));
-        break;
-      }
-      ++R.DataAccesses;
-      if (!DCache.access(Addr))
-        ++R.StoreMisses;
-      break;
-    }
-    case Opcode::Beq:
-      if (RsV == RtV)
-        branchTo(I.TargetIndex);
-      break;
-    case Opcode::Bne:
-      if (RsV != RtV)
-        branchTo(I.TargetIndex);
-      break;
-    case Opcode::Blt:
-      if (RsS < RtS)
-        branchTo(I.TargetIndex);
-      break;
-    case Opcode::Bge:
-      if (RsS >= RtS)
-        branchTo(I.TargetIndex);
-      break;
-    case Opcode::Ble:
-      if (RsS <= RtS)
-        branchTo(I.TargetIndex);
-      break;
-    case Opcode::Bgt:
-      if (RsS > RtS)
-        branchTo(I.TargetIndex);
-      break;
-    case Opcode::J:
-      branchTo(I.TargetIndex);
-      break;
-    case Opcode::Jal: {
-      bool ShouldHalt = false;
-      if (handleRuntimeCall(I.Sym, R, ShouldHalt)) {
-        if (ShouldHalt)
-          return R;
-        break;
-      }
-      uint32_t FI = M.functionIndex(I.Sym);
-      if (FI == InvalidIndex) {
-        trap("call to unknown function '" + I.Sym + "'");
-        return R;
-      }
-      writeReg(Reg::RA, LayoutConstants::TextBase +
-                            static_cast<uint32_t>(FlatPc + 1) * 4);
-      NextPc = FuncEntryFlat[FI];
-      break;
-    }
-    case Opcode::Jr: {
-      uint32_t Target = RsV;
-      if (Target == ExitPc) {
-        R.ExitCode = static_cast<int32_t>(readReg(Reg::V0));
-        return R;
-      }
-      if (Target < LayoutConstants::TextBase || (Target & 3) != 0) {
-        trap(formatString("jr to bad address 0x%08x", Target));
-        return R;
-      }
-      NextPc = (Target - LayoutConstants::TextBase) / 4;
-      break;
-    }
-    case Opcode::Jalr: {
-      uint32_t Target = RsV;
-      if (Target < LayoutConstants::TextBase || (Target & 3) != 0) {
-        trap(formatString("jalr to bad address 0x%08x", Target));
-        return R;
-      }
-      writeReg(Reg::RA, LayoutConstants::TextBase +
-                            static_cast<uint32_t>(FlatPc + 1) * 4);
-      NextPc = (Target - LayoutConstants::TextBase) / 4;
-      break;
-    }
-    case Opcode::Nop:
-      break;
-    }
+#define STORE_EPILOGUE(Addr)                                                   \
+  do {                                                                         \
+    ++DataAccesses;                                                            \
+    if (!DCache.access(Addr))                                                  \
+      ++StoreMisses;                                                           \
+    ++FlatPc;                                                                  \
+    NEXT();                                                                    \
+  } while (0)
 
-    FlatPc = NextPc;
+  NEXT();
+
+L_Add:
+  ENTER();
+  Regs[I->Rd] = Regs[I->Rs] + Regs[I->Rt];
+  ++FlatPc;
+  NEXT();
+L_Sub:
+  ENTER();
+  Regs[I->Rd] = Regs[I->Rs] - Regs[I->Rt];
+  ++FlatPc;
+  NEXT();
+L_Mul:
+  ENTER();
+  Regs[I->Rd] = static_cast<uint32_t>(
+      static_cast<int64_t>(static_cast<int32_t>(Regs[I->Rs])) *
+      static_cast<int32_t>(Regs[I->Rt]));
+  ++FlatPc;
+  NEXT();
+L_Div: {
+  ENTER();
+  int32_t RsS = static_cast<int32_t>(Regs[I->Rs]);
+  int32_t RtS = static_cast<int32_t>(Regs[I->Rt]);
+  if (RtS == 0) {
+    trap("division by zero");
+    return R;
   }
+  // INT_MIN / -1 overflows on the host; define it as INT_MIN.
+  if (RsS == INT32_MIN && RtS == -1)
+    Regs[I->Rd] = static_cast<uint32_t>(INT32_MIN);
+  else
+    Regs[I->Rd] = static_cast<uint32_t>(RsS / RtS);
+  ++FlatPc;
+  NEXT();
+}
+L_Rem: {
+  ENTER();
+  int32_t RsS = static_cast<int32_t>(Regs[I->Rs]);
+  int32_t RtS = static_cast<int32_t>(Regs[I->Rt]);
+  if (RtS == 0) {
+    trap("remainder by zero");
+    return R;
+  }
+  if (RsS == INT32_MIN && RtS == -1)
+    Regs[I->Rd] = 0;
+  else
+    Regs[I->Rd] = static_cast<uint32_t>(RsS % RtS);
+  ++FlatPc;
+  NEXT();
+}
+L_And:
+  ENTER();
+  Regs[I->Rd] = Regs[I->Rs] & Regs[I->Rt];
+  ++FlatPc;
+  NEXT();
+L_Or:
+  ENTER();
+  Regs[I->Rd] = Regs[I->Rs] | Regs[I->Rt];
+  ++FlatPc;
+  NEXT();
+L_Xor:
+  ENTER();
+  Regs[I->Rd] = Regs[I->Rs] ^ Regs[I->Rt];
+  ++FlatPc;
+  NEXT();
+L_Nor:
+  ENTER();
+  Regs[I->Rd] = ~(Regs[I->Rs] | Regs[I->Rt]);
+  ++FlatPc;
+  NEXT();
+L_Slt:
+  ENTER();
+  Regs[I->Rd] = static_cast<int32_t>(Regs[I->Rs]) <
+                        static_cast<int32_t>(Regs[I->Rt])
+                    ? 1
+                    : 0;
+  ++FlatPc;
+  NEXT();
+L_Sltu:
+  ENTER();
+  Regs[I->Rd] = Regs[I->Rs] < Regs[I->Rt] ? 1 : 0;
+  ++FlatPc;
+  NEXT();
+L_Sllv:
+  ENTER();
+  Regs[I->Rd] = Regs[I->Rs] << (Regs[I->Rt] & 31);
+  ++FlatPc;
+  NEXT();
+L_Srlv:
+  ENTER();
+  Regs[I->Rd] = Regs[I->Rs] >> (Regs[I->Rt] & 31);
+  ++FlatPc;
+  NEXT();
+L_Srav:
+  ENTER();
+  Regs[I->Rd] = static_cast<uint32_t>(static_cast<int32_t>(Regs[I->Rs]) >>
+                                      (Regs[I->Rt] & 31));
+  ++FlatPc;
+  NEXT();
+L_Addi:
+  ENTER();
+  Regs[I->Rd] = Regs[I->Rs] + static_cast<uint32_t>(I->Imm);
+  ++FlatPc;
+  NEXT();
+L_Andi:
+  ENTER();
+  Regs[I->Rd] = Regs[I->Rs] & static_cast<uint32_t>(I->Imm);
+  ++FlatPc;
+  NEXT();
+L_Ori:
+  ENTER();
+  Regs[I->Rd] = Regs[I->Rs] | static_cast<uint32_t>(I->Imm);
+  ++FlatPc;
+  NEXT();
+L_Xori:
+  ENTER();
+  Regs[I->Rd] = Regs[I->Rs] ^ static_cast<uint32_t>(I->Imm);
+  ++FlatPc;
+  NEXT();
+L_Slti:
+  ENTER();
+  Regs[I->Rd] = static_cast<int32_t>(Regs[I->Rs]) < I->Imm ? 1 : 0;
+  ++FlatPc;
+  NEXT();
+L_Sltiu:
+  ENTER();
+  Regs[I->Rd] = Regs[I->Rs] < static_cast<uint32_t>(I->Imm) ? 1 : 0;
+  ++FlatPc;
+  NEXT();
+L_Sll:
+  ENTER();
+  Regs[I->Rd] = Regs[I->Rs] << (static_cast<uint32_t>(I->Imm) & 31);
+  ++FlatPc;
+  NEXT();
+L_Srl:
+  ENTER();
+  Regs[I->Rd] = Regs[I->Rs] >> (static_cast<uint32_t>(I->Imm) & 31);
+  ++FlatPc;
+  NEXT();
+L_Sra:
+  ENTER();
+  Regs[I->Rd] = static_cast<uint32_t>(static_cast<int32_t>(Regs[I->Rs]) >>
+                                      (static_cast<uint32_t>(I->Imm) & 31));
+  ++FlatPc;
+  NEXT();
+L_Lui:
+  ENTER();
+  Regs[I->Rd] = static_cast<uint32_t>(I->Imm) << 16;
+  ++FlatPc;
+  NEXT();
+L_Li: // Also carries `la` with the address materialized.
+  ENTER();
+  Regs[I->Rd] = static_cast<uint32_t>(I->Imm);
+  ++FlatPc;
+  NEXT();
+L_Move:
+  ENTER();
+  Regs[I->Rd] = Regs[I->Rs];
+  ++FlatPc;
+  NEXT();
+L_Lw: {
+  ENTER();
+  uint32_t Addr = Regs[I->Rs] + static_cast<uint32_t>(I->Imm);
+  Regs[I->Rd] = Mem.readWord(Addr);
+  LOAD_EPILOGUE(Addr);
+}
+L_Lh: {
+  ENTER();
+  uint32_t Addr = Regs[I->Rs] + static_cast<uint32_t>(I->Imm);
+  Regs[I->Rd] = static_cast<uint32_t>(
+      static_cast<int32_t>(static_cast<int16_t>(Mem.readHalf(Addr))));
+  LOAD_EPILOGUE(Addr);
+}
+L_Lhu: {
+  ENTER();
+  uint32_t Addr = Regs[I->Rs] + static_cast<uint32_t>(I->Imm);
+  Regs[I->Rd] = Mem.readHalf(Addr);
+  LOAD_EPILOGUE(Addr);
+}
+L_Lb: {
+  ENTER();
+  uint32_t Addr = Regs[I->Rs] + static_cast<uint32_t>(I->Imm);
+  Regs[I->Rd] = static_cast<uint32_t>(
+      static_cast<int32_t>(static_cast<int8_t>(Mem.readByte(Addr))));
+  LOAD_EPILOGUE(Addr);
+}
+L_Lbu: {
+  ENTER();
+  uint32_t Addr = Regs[I->Rs] + static_cast<uint32_t>(I->Imm);
+  Regs[I->Rd] = Mem.readByte(Addr);
+  LOAD_EPILOGUE(Addr);
+}
+L_Sw: {
+  ENTER();
+  uint32_t Addr = Regs[I->Rs] + static_cast<uint32_t>(I->Imm);
+  Mem.writeWord(Addr, Regs[I->Rt]);
+  STORE_EPILOGUE(Addr);
+}
+L_Sh: {
+  ENTER();
+  uint32_t Addr = Regs[I->Rs] + static_cast<uint32_t>(I->Imm);
+  Mem.writeHalf(Addr, static_cast<uint16_t>(Regs[I->Rt]));
+  STORE_EPILOGUE(Addr);
+}
+L_Sb: {
+  ENTER();
+  uint32_t Addr = Regs[I->Rs] + static_cast<uint32_t>(I->Imm);
+  Mem.writeByte(Addr, static_cast<uint8_t>(Regs[I->Rt]));
+  STORE_EPILOGUE(Addr);
+}
+L_Beq:
+  ENTER();
+  if (Regs[I->Rs] == Regs[I->Rt])
+    BRANCH_TO(I->Target);
+  ++FlatPc;
+  NEXT();
+L_Bne:
+  ENTER();
+  if (Regs[I->Rs] != Regs[I->Rt])
+    BRANCH_TO(I->Target);
+  ++FlatPc;
+  NEXT();
+L_Blt:
+  ENTER();
+  if (static_cast<int32_t>(Regs[I->Rs]) < static_cast<int32_t>(Regs[I->Rt]))
+    BRANCH_TO(I->Target);
+  ++FlatPc;
+  NEXT();
+L_Bge:
+  ENTER();
+  if (static_cast<int32_t>(Regs[I->Rs]) >= static_cast<int32_t>(Regs[I->Rt]))
+    BRANCH_TO(I->Target);
+  ++FlatPc;
+  NEXT();
+L_Ble:
+  ENTER();
+  if (static_cast<int32_t>(Regs[I->Rs]) <= static_cast<int32_t>(Regs[I->Rt]))
+    BRANCH_TO(I->Target);
+  ++FlatPc;
+  NEXT();
+L_Bgt:
+  ENTER();
+  if (static_cast<int32_t>(Regs[I->Rs]) > static_cast<int32_t>(Regs[I->Rt]))
+    BRANCH_TO(I->Target);
+  ++FlatPc;
+  NEXT();
+L_J:
+  ENTER();
+  BRANCH_TO(I->Target);
+L_Jr: {
+  ENTER();
+  uint32_t Target = Regs[I->Rs];
+  if (Target == ExitPc) {
+    R.ExitCode = static_cast<int32_t>(readReg(Reg::V0));
+    flushCounters();
+    return R;
+  }
+  if (Target < LayoutConstants::TextBase || (Target & 3) != 0) {
+    trap(formatString("jr to bad address 0x%08x", Target));
+    return R;
+  }
+  BRANCH_TO((Target - LayoutConstants::TextBase) / 4);
+}
+L_Jalr: {
+  ENTER();
+  uint32_t Target = Regs[I->Rs];
+  if (Target < LayoutConstants::TextBase || (Target & 3) != 0) {
+    trap(formatString("jalr to bad address 0x%08x", Target));
+    return R;
+  }
+  writeReg(Reg::RA,
+           LayoutConstants::TextBase + static_cast<uint32_t>(FlatPc + 1) * 4);
+  BRANCH_TO((Target - LayoutConstants::TextBase) / 4);
+}
+L_Nop:
+  ENTER();
+  ++FlatPc;
+  NEXT();
+L_CallFunc:
+  ENTER();
+  writeReg(Reg::RA,
+           LayoutConstants::TextBase + static_cast<uint32_t>(FlatPc + 1) * 4);
+  BRANCH_TO(I->Target);
+L_CallRuntime: {
+  ENTER();
+  bool ShouldHalt = false;
+  handleRuntimeCall(static_cast<RuntimeFn>(I->Target), R, ShouldHalt);
+  if (ShouldHalt) {
+    flushCounters();
+    return R;
+  }
+  ++FlatPc;
+  NEXT();
+}
+L_CallUnresolved:
+  ENTER();
+  trap("call to unknown function '" + symAt(FlatPc) + "'");
+  return R;
+L_LaUnresolved:
+  ENTER();
+  trap("la of unknown symbol '" + symAt(FlatPc) + "'");
+  return R;
+
+// Component bodies for the fused-pair handlers, mirroring the stand-alone
+// handlers exactly. \p IP is the component's DecodedInstr, \p PcOff its
+// offset from FlatPc (for the per-pc miss counters).
+#define DO_LW(IP, PcOff)                                                       \
+  do {                                                                         \
+    uint32_t Addr = Regs[(IP)->Rs] + static_cast<uint32_t>((IP)->Imm);         \
+    Regs[(IP)->Rd] = Mem.readWord(Addr);                                       \
+    ++DataAccesses;                                                            \
+    if (!DCache.access(Addr)) {                                                \
+      ++LoadMisses;                                                            \
+      ++MissCounts[FlatPc + (PcOff)];                                          \
+    }                                                                          \
+    if ((IP)->Prefetch) {                                                      \
+      ++PrefetchesIssued;                                                      \
+      if (!DCache.access(Addr + PrefetchStride))                               \
+        ++PrefetchFills;                                                       \
+    }                                                                          \
+  } while (0)
+
+#define DO_SW(IP)                                                              \
+  do {                                                                         \
+    uint32_t Addr = Regs[(IP)->Rs] + static_cast<uint32_t>((IP)->Imm);         \
+    Mem.writeWord(Addr, Regs[(IP)->Rt]);                                       \
+    ++DataAccesses;                                                            \
+    if (!DCache.access(Addr))                                                  \
+      ++StoreMisses;                                                           \
+  } while (0)
+
+#define DO_ADD(IP) Regs[(IP)->Rd] = Regs[(IP)->Rs] + Regs[(IP)->Rt]
+#define DO_MOVE(IP) Regs[(IP)->Rd] = Regs[(IP)->Rs]
+#define DO_LI(IP) Regs[(IP)->Rd] = static_cast<uint32_t>((IP)->Imm)
+
+// A fused pair: account for both components up front, run both bodies, fall
+// through. When fewer than two instructions of fuel remain, fall back to the
+// first component's stand-alone handler (whose ENTER re-checks fuel), so
+// fuel exhaustion halts between the components exactly as unfused execution
+// would.
+#define FUSED2(Name, Fallback, Comp1, Comp2)                                   \
+  L_##Name : {                                                                 \
+    if (__builtin_expect(Executed + 2 > MaxInstrs, 0))                         \
+      goto Fallback;                                                           \
+    I = Code + FlatPc;                                                         \
+    ++ExecCounts[FlatPc];                                                      \
+    ++ExecCounts[FlatPc + 1];                                                  \
+    Executed += 2;                                                             \
+    if constexpr (WithICache) {                                                \
+      if (!ICacheModel.access(LayoutConstants::TextBase +                      \
+                              static_cast<uint32_t>(FlatPc) * 4))              \
+        ++ICacheMisses;                                                        \
+      if (!ICacheModel.access(LayoutConstants::TextBase +                      \
+                              static_cast<uint32_t>(FlatPc + 1) * 4))          \
+        ++ICacheMisses;                                                        \
+    }                                                                          \
+    Comp1;                                                                     \
+    Comp2;                                                                     \
+    FlatPc += 2;                                                               \
+    NEXT();                                                                    \
+  }
+
+  FUSED2(FuseLwLw, L_Lw, DO_LW(I, 0), DO_LW(I + 1, 1))
+  FUSED2(FuseSwLw, L_Sw, DO_SW(I), DO_LW(I + 1, 1))
+  FUSED2(FuseLwSw, L_Lw, DO_LW(I, 0), DO_SW(I + 1))
+  FUSED2(FuseAddLw, L_Add, DO_ADD(I), DO_LW(I + 1, 1))
+  FUSED2(FuseLwAdd, L_Lw, DO_LW(I, 0), DO_ADD(I + 1))
+  FUSED2(FuseAddSw, L_Add, DO_ADD(I), DO_SW(I + 1))
+  FUSED2(FuseMoveLw, L_Move, DO_MOVE(I), DO_LW(I + 1, 1))
+  FUSED2(FuseMoveLi, L_Move, DO_MOVE(I), DO_LI(I + 1))
+  FUSED2(FuseMoveMove, L_Move, DO_MOVE(I), DO_MOVE(I + 1))
+  FUSED2(FuseLwMove, L_Lw, DO_LW(I, 0), DO_MOVE(I + 1))
+  FUSED2(FuseAddMove, L_Add, DO_ADD(I), DO_MOVE(I + 1))
+  FUSED2(FuseMoveSw, L_Move, DO_MOVE(I), DO_SW(I + 1))
+
+// A fused triple; identical contract to FUSED2 with three components.
+#define FUSED3(Name, Fallback, Comp1, Comp2, Comp3)                            \
+  L_##Name : {                                                                 \
+    if (__builtin_expect(Executed + 3 > MaxInstrs, 0))                         \
+      goto Fallback;                                                           \
+    I = Code + FlatPc;                                                         \
+    ++ExecCounts[FlatPc];                                                      \
+    ++ExecCounts[FlatPc + 1];                                                  \
+    ++ExecCounts[FlatPc + 2];                                                  \
+    Executed += 3;                                                             \
+    if constexpr (WithICache) {                                                \
+      for (uint64_t Off = 0; Off != 3; ++Off)                                  \
+        if (!ICacheModel.access(LayoutConstants::TextBase +                    \
+                                static_cast<uint32_t>(FlatPc + Off) * 4))      \
+          ++ICacheMisses;                                                      \
+    }                                                                          \
+    Comp1;                                                                     \
+    Comp2;                                                                     \
+    Comp3;                                                                     \
+    FlatPc += 3;                                                               \
+    NEXT();                                                                    \
+  }
+
+  FUSED3(FuseLwLwLw, L_Lw, DO_LW(I, 0), DO_LW(I + 1, 1), DO_LW(I + 2, 2))
+  FUSED3(FuseLwLwSw, L_Lw, DO_LW(I, 0), DO_LW(I + 1, 1), DO_SW(I + 2))
+  FUSED3(FuseLwLwAdd, L_Lw, DO_LW(I, 0), DO_LW(I + 1, 1), DO_ADD(I + 2))
+  FUSED3(FuseSwLwLw, L_Sw, DO_SW(I), DO_LW(I + 1, 1), DO_LW(I + 2, 2))
+  FUSED3(FuseAddLwLw, L_Add, DO_ADD(I), DO_LW(I + 1, 1), DO_LW(I + 2, 2))
+  FUSED3(FuseAddSwLw, L_Add, DO_ADD(I), DO_SW(I + 1), DO_LW(I + 2, 2))
+  FUSED3(FuseLwAddSw, L_Lw, DO_LW(I, 0), DO_ADD(I + 1), DO_SW(I + 2))
+  FUSED3(FuseLwSwLw, L_Lw, DO_LW(I, 0), DO_SW(I + 1), DO_LW(I + 2, 2))
+
+#define DO_SLL(IP)                                                             \
+  Regs[(IP)->Rd] = Regs[(IP)->Rs] << (static_cast<uint32_t>((IP)->Imm) & 31)
+
+  FUSED2(FuseSllAdd, L_Sll, DO_SLL(I), DO_ADD(I + 1))
+  FUSED2(FuseLwSll, L_Lw, DO_LW(I, 0), DO_SLL(I + 1))
+  FUSED2(FuseLiLw, L_Li, DO_LI(I), DO_LW(I + 1, 1))
+  FUSED2(FuseSwMove, L_Sw, DO_SW(I), DO_MOVE(I + 1))
+  FUSED2(FuseLiMove, L_Li, DO_LI(I), DO_MOVE(I + 1))
+  FUSED2(FuseMoveSll, L_Move, DO_MOVE(I), DO_SLL(I + 1))
+  FUSED3(FuseSwLwLi, L_Sw, DO_SW(I), DO_LW(I + 1, 1), DO_LI(I + 2))
+  FUSED3(FuseLwSllAdd, L_Lw, DO_LW(I, 0), DO_SLL(I + 1), DO_ADD(I + 2))
+
+// A fused sequence ending in a branch or `j`. Identical accounting to
+// FUSED2/FUSED3; \p Tail runs last with IB bound to the branch record and
+// either BRANCH_TOs away or falls through to the next sequential pc.
+#define FUSED2_BR(Name, Fallback, Comp1, Tail)                                 \
+  L_##Name : {                                                                 \
+    if (__builtin_expect(Executed + 2 > MaxInstrs, 0))                         \
+      goto Fallback;                                                           \
+    I = Code + FlatPc;                                                         \
+    ++ExecCounts[FlatPc];                                                      \
+    ++ExecCounts[FlatPc + 1];                                                  \
+    Executed += 2;                                                             \
+    if constexpr (WithICache) {                                                \
+      for (uint64_t Off = 0; Off != 2; ++Off)                                  \
+        if (!ICacheModel.access(LayoutConstants::TextBase +                    \
+                                static_cast<uint32_t>(FlatPc + Off) * 4))      \
+          ++ICacheMisses;                                                      \
+    }                                                                          \
+    Comp1;                                                                     \
+    {                                                                          \
+      const DecodedInstr *IB = I + 1;                                          \
+      (void)IB;                                                                \
+      Tail;                                                                    \
+    }                                                                          \
+    FlatPc += 2;                                                               \
+    NEXT();                                                                    \
+  }
+
+#define FUSED3_BR(Name, Fallback, Comp1, Comp2, Tail)                          \
+  L_##Name : {                                                                 \
+    if (__builtin_expect(Executed + 3 > MaxInstrs, 0))                         \
+      goto Fallback;                                                           \
+    I = Code + FlatPc;                                                         \
+    ++ExecCounts[FlatPc];                                                      \
+    ++ExecCounts[FlatPc + 1];                                                  \
+    ++ExecCounts[FlatPc + 2];                                                  \
+    Executed += 3;                                                             \
+    if constexpr (WithICache) {                                                \
+      for (uint64_t Off = 0; Off != 3; ++Off)                                  \
+        if (!ICacheModel.access(LayoutConstants::TextBase +                    \
+                                static_cast<uint32_t>(FlatPc + Off) * 4))      \
+          ++ICacheMisses;                                                      \
+    }                                                                          \
+    Comp1;                                                                     \
+    Comp2;                                                                     \
+    {                                                                          \
+      const DecodedInstr *IB = I + 2;                                          \
+      (void)IB;                                                                \
+      Tail;                                                                    \
+    }                                                                          \
+    FlatPc += 3;                                                               \
+    NEXT();                                                                    \
+  }
+
+#define TAKE_IF(Cond)                                                          \
+  do {                                                                         \
+    if (Cond)                                                                  \
+      BRANCH_TO(IB->Target);                                                   \
+  } while (0)
+
+  FUSED2_BR(FuseSwJ, L_Sw, DO_SW(I), BRANCH_TO(IB->Target))
+  FUSED2_BR(FuseMoveJ, L_Move, DO_MOVE(I), BRANCH_TO(IB->Target))
+  FUSED2_BR(FuseLiBge, L_Li, DO_LI(I),
+            TAKE_IF(static_cast<int32_t>(Regs[IB->Rs]) >=
+                    static_cast<int32_t>(Regs[IB->Rt])))
+  FUSED2_BR(FuseLiBeq, L_Li, DO_LI(I), TAKE_IF(Regs[IB->Rs] == Regs[IB->Rt]))
+  FUSED3_BR(FuseLwLiBge, L_Lw, DO_LW(I, 0), DO_LI(I + 1),
+            TAKE_IF(static_cast<int32_t>(Regs[IB->Rs]) >=
+                    static_cast<int32_t>(Regs[IB->Rt])))
+  FUSED3_BR(FuseLwLiBeq, L_Lw, DO_LW(I, 0), DO_LI(I + 1),
+            TAKE_IF(Regs[IB->Rs] == Regs[IB->Rt]))
+  FUSED3_BR(FuseLwSwJ, L_Lw, DO_LW(I, 0), DO_SW(I + 1), BRANCH_TO(IB->Target))
+
+L_PcOutOfText:
+  // The seed's loop head checked fuel before the pc bounds check; preserve
+  // that order for runs that exhaust fuel exactly when the pc goes bad.
+  if (Executed >= MaxInstrs)
+    goto L_FuelExhausted;
+  trap(formatString("pc out of text: flat index %llu",
+                    static_cast<unsigned long long>(FlatPc)));
+  return R;
+L_FuelExhausted:
+  R.Halt = HaltReason::FuelExhausted;
+  flushCounters();
+  return R;
+
+#undef ENTER
+#undef NEXT
+#undef BRANCH_TO
+#undef LOAD_EPILOGUE
+#undef STORE_EPILOGUE
+#undef DO_LW
+#undef DO_SW
+#undef DO_ADD
+#undef DO_MOVE
+#undef DO_LI
+#undef FUSED2
+#undef FUSED3
+#undef FUSED2_BR
+#undef FUSED3_BR
+#undef TAKE_IF
+#undef DO_SLL
 }

@@ -12,6 +12,10 @@
 /// for SimpleScalar's full memory profiling (Section 6). Basic-block entry
 /// profiles (Section 4) are derived from the per-PC execution counts.
 ///
+/// The constructor predecodes the module (see sim/Decode.h): symbols are
+/// resolved once, so the interpreter loop runs over packed 16-byte records
+/// with no string handling on any executed path.
+///
 /// The runtime environment provides `malloc`, `calloc`, `free`, `rand`,
 /// `srand`, `print_int`, `print_char` and `exit` as intercepted calls, the
 /// way a simulator intercepts syscalls.
@@ -22,7 +26,9 @@
 #define DLQ_SIM_MACHINE_H
 
 #include "masm/Module.h"
+#include "masm/Runtime.h"
 #include "sim/Cache.h"
+#include "sim/Decode.h"
 #include "sim/Memory.h"
 #include "support/Rng.h"
 
@@ -110,22 +116,22 @@ public:
   RunResult run();
 
 private:
-  struct FlatInstr {
-    const masm::Instr *I;
-    uint32_t FuncIdx;
-  };
+  /// The interpreter loop, specialized at compile time on whether an I-cache
+  /// is simulated so the common no-I-cache configuration pays nothing for it.
+  template <bool WithICache> RunResult runLoop();
 
+private:
   const masm::Module &M;
   const masm::Layout &L;
   MachineOptions Opts;
 
-  std::vector<FlatInstr> Flat;
-  std::vector<masm::InstrRef> FlatMap;
-  std::vector<uint32_t> FuncEntryFlat; ///< Flat index of each function.
-  std::vector<uint8_t> PrefetchFlat;   ///< 1 = issue next-line prefetch.
+  DecodedProgram Prog;
 
   Memory Mem;
-  uint32_t Regs[masm::NumRegs] = {};
+  /// Register file plus one extra slot: Regs[DiscardReg] absorbs writes the
+  /// decoder retargeted from $zero (see sim/Decode.h). Regs[0] is never
+  /// written after reset and stays 0.
+  uint32_t Regs[masm::NumRegs + 1] = {};
   Rng Rand{1};
 
   // Heap allocator state (first-fit free lists by exact size).
@@ -134,17 +140,15 @@ private:
   std::map<uint32_t, uint32_t> AllocSizes;
 
   uint32_t readReg(masm::Reg R) const {
-    return R == masm::Reg::Zero ? 0 : Regs[static_cast<unsigned>(R)];
+    return Regs[static_cast<unsigned>(R)];
   }
   void writeReg(masm::Reg R, uint32_t V) {
     if (R != masm::Reg::Zero)
       Regs[static_cast<unsigned>(R)] = V;
   }
 
-  /// Handles a call to a runtime-provided function. Returns true if \p Name
-  /// is a runtime function (the effect has been applied).
-  bool handleRuntimeCall(const std::string &Name, RunResult &R,
-                         bool &ShouldHalt);
+  /// Applies a call to a runtime-provided function.
+  void handleRuntimeCall(masm::RuntimeFn F, RunResult &R, bool &ShouldHalt);
 
   uint32_t runtimeMalloc(uint32_t Size);
   void runtimeFree(uint32_t Addr);

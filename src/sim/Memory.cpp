@@ -2,69 +2,85 @@
 
 #include "sim/Memory.h"
 
+#include <algorithm>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#define DLQ_SIM_HAVE_MMAP 1
+#endif
+
 using namespace dlq;
 using namespace dlq::sim;
 
-const Memory::Page *Memory::lookupPage(uint32_t Addr) const {
-  auto It = Pages.find(Addr / PageBytes);
-  return It == Pages.end() ? nullptr : It->second.get();
-}
+/// The whole 32-bit guest address space.
+static constexpr uint64_t FlatBytes = uint64_t(1) << 32;
 
-Memory::Page &Memory::touchPage(uint32_t Addr) {
-  std::unique_ptr<Page> &Slot = Pages[Addr / PageBytes];
-  if (!Slot)
-    Slot = std::make_unique<Page>();
-  return *Slot;
-}
-
-uint8_t Memory::readByte(uint32_t Addr) const {
-  const Page *P = lookupPage(Addr);
-  return P ? P->Bytes[Addr % PageBytes] : 0;
-}
-
-void Memory::writeByte(uint32_t Addr, uint8_t Value) {
-  touchPage(Addr).Bytes[Addr % PageBytes] = Value;
-}
-
-uint16_t Memory::readHalf(uint32_t Addr) const {
-  return static_cast<uint16_t>(readByte(Addr)) |
-         (static_cast<uint16_t>(readByte(Addr + 1)) << 8);
-}
-
-void Memory::writeHalf(uint32_t Addr, uint16_t Value) {
-  writeByte(Addr, static_cast<uint8_t>(Value));
-  writeByte(Addr + 1, static_cast<uint8_t>(Value >> 8));
-}
-
-uint32_t Memory::readWord(uint32_t Addr) const {
-  // Fast path for aligned words within one page.
-  if (Addr % 4 == 0) {
-    if (const Page *P = lookupPage(Addr)) {
-      const uint8_t *B = &P->Bytes[Addr % PageBytes];
-      return static_cast<uint32_t>(B[0]) | (static_cast<uint32_t>(B[1]) << 8) |
-             (static_cast<uint32_t>(B[2]) << 16) |
-             (static_cast<uint32_t>(B[3]) << 24);
+Memory::Memory(Backing B) {
+  for (TlbEntry &E : Tlb)
+    E.PageNum = NoPage;
+#if DLQ_SIM_HAVE_MMAP
+  if (B == Backing::Auto) {
+    // A reservation, not a commitment: MAP_NORESERVE + demand paging means
+    // only touched host pages ever consume memory, exactly like the page
+    // table would, and untouched bytes read as zero.
+    void *P = mmap(nullptr, FlatBytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    if (P != MAP_FAILED) {
+      Flat = static_cast<uint8_t *>(P);
+#ifdef MADV_HUGEPAGE
+      // Let the kernel back touched runs with huge pages; a pointer-chasing
+      // guest otherwise pays a host dTLB walk per guest page.
+      madvise(Flat, FlatBytes, MADV_HUGEPAGE);
+#endif
     }
-    return 0;
+    // else: fall back to the paged backing.
   }
-  return static_cast<uint32_t>(readHalf(Addr)) |
-         (static_cast<uint32_t>(readHalf(Addr + 2)) << 16);
+#else
+  (void)B;
+#endif
 }
 
-void Memory::writeWord(uint32_t Addr, uint32_t Value) {
-  if (Addr % 4 == 0) {
-    uint8_t *B = &touchPage(Addr).Bytes[Addr % PageBytes];
-    B[0] = static_cast<uint8_t>(Value);
-    B[1] = static_cast<uint8_t>(Value >> 8);
-    B[2] = static_cast<uint8_t>(Value >> 16);
-    B[3] = static_cast<uint8_t>(Value >> 24);
-    return;
-  }
-  writeHalf(Addr, static_cast<uint16_t>(Value));
-  writeHalf(Addr + 2, static_cast<uint16_t>(Value >> 16));
+Memory::~Memory() {
+#if DLQ_SIM_HAVE_MMAP
+  if (Flat)
+    munmap(Flat, FlatBytes);
+#endif
 }
 
 void Memory::writeBlock(uint32_t Addr, const uint8_t *Src, uint32_t Size) {
-  for (uint32_t I = 0; I != Size; ++I)
-    writeByte(Addr + I, Src[I]);
+  if (Flat) {
+    // At most one wrap at the top of the address space.
+    uint64_t ToEnd = FlatBytes - Addr;
+    uint32_t First = static_cast<uint32_t>(std::min<uint64_t>(Size, ToEnd));
+    std::memcpy(Flat + Addr, Src, First);
+    if (Size != First)
+      std::memcpy(Flat, Src + First, Size - First);
+    return;
+  }
+  while (Size != 0) {
+    uint32_t Offset = Addr % PageBytes;
+    uint32_t Chunk = std::min(PageBytes - Offset, Size);
+    std::memcpy(&materializePage(Addr / PageBytes).Bytes[Offset], Src, Chunk);
+    Addr += Chunk; // May wrap, like the byte-wise loop it replaces.
+    Src += Chunk;
+    Size -= Chunk;
+  }
+}
+
+void Memory::zeroFill(uint32_t Addr, uint32_t Size) {
+  if (Flat) {
+    uint64_t ToEnd = FlatBytes - Addr;
+    uint32_t First = static_cast<uint32_t>(std::min<uint64_t>(Size, ToEnd));
+    std::memset(Flat + Addr, 0, First);
+    if (Size != First)
+      std::memset(Flat, 0, Size - First);
+    return;
+  }
+  while (Size != 0) {
+    uint32_t Offset = Addr % PageBytes;
+    uint32_t Chunk = std::min(PageBytes - Offset, Size);
+    std::memset(&materializePage(Addr / PageBytes).Bytes[Offset], 0, Chunk);
+    Addr += Chunk;
+    Size -= Chunk;
+  }
 }

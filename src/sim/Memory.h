@@ -6,8 +6,31 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A sparse, page-granular 32-bit byte-addressable memory for the functional
-/// simulator. Unmapped pages read as zero and are materialized on write.
+/// A sparse 32-bit byte-addressable memory for the functional simulator.
+/// Unmapped bytes read as zero and are materialized on write.
+///
+/// Two backings implement that contract:
+///
+///  - **Flat** (the default where the host allows it): one 4 GiB anonymous
+///    `mmap` reservation covering the whole guest address space, so a guest
+///    access is a single host load/store at `Flat + Addr`. The host kernel's
+///    demand paging provides the sparse zero-fill semantics; `MAP_NORESERVE`
+///    keeps the reservation free until touched. This is the user-mode
+///    simulator's standard trick: it removes the translation lookup from the
+///    critical path, which matters most for pointer-chasing guests whose next
+///    address depends on the previous load's value.
+///
+///  - **Paged** (fallback, and always available for tests): a page table of
+///    4 KiB pages behind a small direct-mapped translation cache — the
+///    simulator analog of a TLB — so the hash lookup is paid only on the
+///    first touch of a page per TLB slot. Pages never move or die (the table
+///    holds them by `unique_ptr`), so cached pointers stay valid for the
+///    lifetime of the `Memory`.
+///
+/// Both backings give bit-identical guest semantics, including byte-wise
+/// address wrap-around at the top of the 32-bit space for unaligned
+/// accesses. Aligned word/half accesses move whole values with `memcpy`
+/// instead of assembling bytes.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -15,6 +38,7 @@
 #define DLQ_SIM_MEMORY_H
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <unordered_map>
 
@@ -25,19 +49,97 @@ namespace sim {
 /// (and like SimpleScalar's PISA).
 class Memory {
 public:
-  uint8_t readByte(uint32_t Addr) const;
-  void writeByte(uint32_t Addr, uint8_t Value);
+  /// Backing selection. `Auto` reserves the flat 4 GiB mapping and falls
+  /// back to the page table if the reservation fails; `Paged` forces the
+  /// page-table backing (used by tests to cover the fallback, and the only
+  /// behavior on hosts without `mmap`).
+  enum class Backing { Auto, Paged };
 
-  uint16_t readHalf(uint32_t Addr) const;
-  void writeHalf(uint32_t Addr, uint16_t Value);
+  explicit Memory(Backing B = Backing::Auto);
+  ~Memory();
+  Memory(const Memory &) = delete;
+  Memory &operator=(const Memory &) = delete;
 
-  uint32_t readWord(uint32_t Addr) const;
-  void writeWord(uint32_t Addr, uint32_t Value);
+  uint8_t readByte(uint32_t Addr) const {
+    if (Flat)
+      return Flat[Addr];
+    const Page *P = findPage(Addr / PageBytes);
+    return P ? P->Bytes[Addr % PageBytes] : 0;
+  }
 
-  /// Copies \p Size bytes from \p Src into memory at \p Addr.
+  void writeByte(uint32_t Addr, uint8_t Value) {
+    if (Flat) {
+      Flat[Addr] = Value;
+      return;
+    }
+    materializePage(Addr / PageBytes).Bytes[Addr % PageBytes] = Value;
+  }
+
+  uint16_t readHalf(uint32_t Addr) const {
+    if (Addr % 2 == 0) {
+      // An aligned half never crosses the top of the address space.
+      if (Flat)
+        return loadLe16(Flat + Addr);
+      const Page *P = findPage(Addr / PageBytes);
+      return P ? loadLe16(&P->Bytes[Addr % PageBytes]) : 0;
+    }
+    return static_cast<uint16_t>(readByte(Addr) |
+                                 (readByte(Addr + 1) << 8));
+  }
+
+  void writeHalf(uint32_t Addr, uint16_t Value) {
+    if (Addr % 2 == 0) {
+      if (Flat) {
+        storeLe16(Flat + Addr, Value);
+        return;
+      }
+      storeLe16(&materializePage(Addr / PageBytes).Bytes[Addr % PageBytes],
+                Value);
+      return;
+    }
+    writeByte(Addr, static_cast<uint8_t>(Value));
+    writeByte(Addr + 1, static_cast<uint8_t>(Value >> 8));
+  }
+
+  uint32_t readWord(uint32_t Addr) const {
+    if (Addr % 4 == 0) {
+      if (Flat)
+        return loadLe32(Flat + Addr);
+      const Page *P = findPage(Addr / PageBytes);
+      return P ? loadLe32(&P->Bytes[Addr % PageBytes]) : 0;
+    }
+    return static_cast<uint32_t>(readHalf(Addr)) |
+           (static_cast<uint32_t>(readHalf(Addr + 2)) << 16);
+  }
+
+  void writeWord(uint32_t Addr, uint32_t Value) {
+    if (Addr % 4 == 0) {
+      if (Flat) {
+        storeLe32(Flat + Addr, Value);
+        return;
+      }
+      storeLe32(&materializePage(Addr / PageBytes).Bytes[Addr % PageBytes],
+                Value);
+      return;
+    }
+    writeHalf(Addr, static_cast<uint16_t>(Value));
+    writeHalf(Addr + 2, static_cast<uint16_t>(Value >> 16));
+  }
+
+  /// Copies \p Size bytes from \p Src into memory at \p Addr, wrapping at
+  /// the top of the address space like the byte-wise loop it replaces.
   void writeBlock(uint32_t Addr, const uint8_t *Src, uint32_t Size);
 
-  /// Number of materialized pages (for tests / footprint reporting).
+  /// Zero-fills \p Size bytes at \p Addr (the calloc path), one memset per
+  /// contiguous run. Pages are materialized like a byte-wise write would.
+  void zeroFill(uint32_t Addr, uint32_t Size);
+
+  /// Whether the flat 4 GiB backing is active.
+  bool isFlat() const { return Flat != nullptr; }
+
+  /// Number of materialized pages. Only meaningful for the paged backing
+  /// (the flat backing leaves materialization to the host kernel and
+  /// reports 0).
   size_t numPages() const { return Pages.size(); }
 
   static constexpr uint32_t PageBytes = 4096;
@@ -47,10 +149,87 @@ private:
     uint8_t Bytes[PageBytes] = {};
   };
 
-  const Page *lookupPage(uint32_t Addr) const;
-  Page &touchPage(uint32_t Addr);
+  /// Direct-mapped TLB size. 32-bit addresses have at most 2^20 pages, so
+  /// NoPage can never collide with a real page number. Page number and page
+  /// pointer share one entry so a translation touches a single cache line.
+  static constexpr uint32_t TlbEntries = 4096;
+  static constexpr uint32_t NoPage = ~0u;
+  struct TlbEntry {
+    uint32_t PageNum;
+    Page *P;
+  };
 
+  static uint16_t loadLe16(const uint8_t *B) {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    uint16_t V;
+    std::memcpy(&V, B, sizeof(V));
+    return V;
+#else
+    return static_cast<uint16_t>(B[0] | (B[1] << 8));
+#endif
+  }
+  static void storeLe16(uint8_t *B, uint16_t V) {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    std::memcpy(B, &V, sizeof(V));
+#else
+    B[0] = static_cast<uint8_t>(V);
+    B[1] = static_cast<uint8_t>(V >> 8);
+#endif
+  }
+  static uint32_t loadLe32(const uint8_t *B) {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    uint32_t V;
+    std::memcpy(&V, B, sizeof(V));
+    return V;
+#else
+    return static_cast<uint32_t>(B[0]) | (static_cast<uint32_t>(B[1]) << 8) |
+           (static_cast<uint32_t>(B[2]) << 16) |
+           (static_cast<uint32_t>(B[3]) << 24);
+#endif
+  }
+  static void storeLe32(uint8_t *B, uint32_t V) {
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    std::memcpy(B, &V, sizeof(V));
+#else
+    B[0] = static_cast<uint8_t>(V);
+    B[1] = static_cast<uint8_t>(V >> 8);
+    B[2] = static_cast<uint8_t>(V >> 16);
+    B[3] = static_cast<uint8_t>(V >> 24);
+#endif
+  }
+
+  /// Page for reading: nullptr when unmapped (reads as zero, must not
+  /// materialize). Only materialized pages enter the TLB.
+  const Page *findPage(uint32_t PageNum) const {
+    TlbEntry &E = Tlb[PageNum & (TlbEntries - 1)];
+    if (E.PageNum == PageNum)
+      return E.P;
+    auto It = Pages.find(PageNum);
+    if (It == Pages.end())
+      return nullptr;
+    E.PageNum = PageNum;
+    E.P = It->second.get();
+    return E.P;
+  }
+
+  /// Page for writing: materializes on first touch.
+  Page &materializePage(uint32_t PageNum) {
+    TlbEntry &E = Tlb[PageNum & (TlbEntries - 1)];
+    if (E.PageNum == PageNum)
+      return *E.P;
+    std::unique_ptr<Page> &Slot = Pages[PageNum];
+    if (!Slot)
+      Slot = std::make_unique<Page>();
+    E.PageNum = PageNum;
+    E.P = Slot.get();
+    return *Slot;
+  }
+
+  /// Base of the flat 4 GiB reservation, or nullptr when the paged backing
+  /// is in use.
+  uint8_t *Flat = nullptr;
   std::unordered_map<uint32_t, std::unique_ptr<Page>> Pages;
+  mutable TlbEntry Tlb[TlbEntries];
 };
 
 } // namespace sim

@@ -49,7 +49,8 @@ struct BlockRef {
 /// Basic-block profile of one run.
 class BlockProfile {
 public:
-  /// \p Cfgs must hold one CFG per module function, in order.
+  /// \p Cfgs must hold one CFG per module function, in order. The profile
+  /// reads \p R's ExecCounts in place (no copy); \p R must outlive it.
   BlockProfile(const masm::Module &M, const std::vector<cfg::Cfg> &Cfgs,
                const RunResult &R);
 
@@ -77,7 +78,7 @@ private:
   const std::vector<cfg::Cfg> &Cfgs;
   /// Per function: flat base index into the run's ExecCounts.
   std::vector<uint32_t> FuncBaseFlat;
-  std::vector<uint64_t> ExecCounts;
+  const std::vector<uint64_t> &ExecCounts;
   /// Cycles per (function, block).
   std::vector<std::vector<uint64_t>> Cycles;
   uint64_t Total = 0;

@@ -19,7 +19,7 @@ using namespace dlq::masm;
 //===----------------------------------------------------------------------===//
 
 TEST(Memory, ZeroInitialized) {
-  Memory M;
+  Memory M(Memory::Backing::Paged);
   EXPECT_EQ(M.readWord(0x10000000), 0u);
   EXPECT_EQ(M.readByte(0x7FFFFFFF), 0u);
   EXPECT_EQ(M.numPages(), 0u) << "reads must not materialize pages";
@@ -38,11 +38,67 @@ TEST(Memory, ReadWriteRoundTrip) {
 }
 
 TEST(Memory, CrossPageAccess) {
-  Memory M;
+  Memory M(Memory::Backing::Paged);
   uint32_t Addr = 2 * Memory::PageBytes - 2;
   M.writeWord(Addr, 0x11223344);
   EXPECT_EQ(M.readWord(Addr), 0x11223344u);
   EXPECT_EQ(M.numPages(), 2u);
+}
+
+/// Both backings must implement the identical guest-memory contract; run the
+/// same probe against each. Covers the unaligned wrap-around at the top of
+/// the 32-bit space, where the flat backing must not run off the end of its
+/// host mapping.
+static void checkMemoryContract(Memory &M) {
+  M.writeWord(0x10000000, 0xDEADBEEF);
+  EXPECT_EQ(M.readWord(0x10000000), 0xDEADBEEFu);
+  EXPECT_EQ(M.readByte(0x10000000), 0xEFu);
+  EXPECT_EQ(M.readWord(0x0FFFFFFE), 0xBEEF0000u) << "unaligned straddle";
+
+  // Unaligned accesses at 0xFFFFFFFF wrap byte-wise to address 0.
+  M.writeWord(0xFFFFFFFF, 0x04030201);
+  EXPECT_EQ(M.readByte(0xFFFFFFFF), 0x01u);
+  EXPECT_EQ(M.readByte(0x00000000), 0x02u);
+  EXPECT_EQ(M.readByte(0x00000002), 0x04u);
+  EXPECT_EQ(M.readWord(0xFFFFFFFF), 0x04030201u);
+  EXPECT_EQ(M.readHalf(0xFFFFFFFF), 0x0201u);
+
+  // writeBlock/zeroFill wrap the same way as byte-wise writes.
+  const uint8_t Blk[4] = {0xAA, 0xBB, 0xCC, 0xDD};
+  M.writeBlock(0xFFFFFFFE, Blk, 4);
+  EXPECT_EQ(M.readByte(0xFFFFFFFE), 0xAAu);
+  EXPECT_EQ(M.readByte(0xFFFFFFFF), 0xBBu);
+  EXPECT_EQ(M.readByte(0x00000000), 0xCCu);
+  EXPECT_EQ(M.readByte(0x00000001), 0xDDu);
+  M.zeroFill(0xFFFFFFFE, 4);
+  EXPECT_EQ(M.readWord(0xFFFFFFFE), 0u);
+}
+
+TEST(Memory, ContractPagedBacking) {
+  Memory M(Memory::Backing::Paged);
+  ASSERT_FALSE(M.isFlat());
+  checkMemoryContract(M);
+}
+
+TEST(Memory, ContractAutoBacking) {
+  Memory M;
+  checkMemoryContract(M);
+}
+
+TEST(Memory, ZeroFillBulk) {
+  // The calloc path: dirty a span, zeroFill it, and check the edges stay
+  // intact. Sized to cross several pages.
+  Memory M(Memory::Backing::Paged);
+  uint32_t Base = 0x20000000;
+  uint32_t Size = 3 * Memory::PageBytes + 123;
+  for (uint32_t I = 0; I < Size + 8; I += 4)
+    M.writeWord(Base - 4 + I, 0xFFFFFFFF);
+  M.zeroFill(Base, Size);
+  EXPECT_EQ(M.readWord(Base - 4), 0xFFFFFFFFu) << "byte before span intact";
+  EXPECT_EQ(M.readByte(Base), 0u);
+  EXPECT_EQ(M.readByte(Base + Size / 2), 0u);
+  EXPECT_EQ(M.readByte(Base + Size - 1), 0u);
+  EXPECT_EQ(M.readWord(Base + Size), 0xFFFFFFFFu) << "word after span intact";
 }
 
 TEST(Memory, WriteBlock) {
@@ -118,6 +174,30 @@ TEST(Cache, InclusionPropertyAcrossAssociativity) {
     EXPECT_LE(H2, H4) << "a 2-way hit must also hit 4-way";
     EXPECT_LE(H4, H8) << "a 4-way hit must also hit 8-way";
   }
+}
+
+/// Regression test for the empty-way sentinel at the very top of the address
+/// space: tags are block addresses +1 with 0 meaning "empty way", so the +1
+/// must not be able to wrap back to 0. With 32-bit tags, the last block
+/// (byte 0xFFFFFFFF) would compute tag 0 and could never hit.
+TEST(Cache, TopOfAddressSpaceBlockHits) {
+  Cache C(CacheConfig{1024, 4, 32});
+  for (uint32_t Off = 0; Off != 32; Off += 4)
+    C.access(0xFFFFFFE0u + Off);
+  EXPECT_EQ(C.misses(), 1u) << "one cold miss for the last 32-byte block";
+  for (uint32_t Off = 0; Off != 32; Off += 4)
+    EXPECT_TRUE(C.access(0xFFFFFFE0u + Off)) << "revisit must hit";
+}
+
+/// The tightest version of the same hazard: 1-byte blocks make the block
+/// address equal the byte address, so block 0xFFFFFFFF is the one whose
+/// 32-bit tag would wrap to the empty marker.
+TEST(Cache, LastByteBlockIsCacheable) {
+  Cache C(CacheConfig{1024, 4, 1});
+  EXPECT_FALSE(C.access(0xFFFFFFFF));
+  EXPECT_TRUE(C.access(0xFFFFFFFF)) << "tag +1 must not wrap to empty";
+  EXPECT_EQ(C.misses(), 1u);
+  EXPECT_EQ(C.hits(), 1u);
 }
 
 //===----------------------------------------------------------------------===//
