@@ -59,10 +59,23 @@ void ApBuilder::capAlts(AltList &Alts) const {
 
 ApBuilder::AltList ApBuilder::combine(ApKind Kind, const AltList &L,
                                       const AltList &R) {
+  // Dedup during the cross product, not after: truncating first and letting
+  // capAlts() dedup later can discard distinct combinations while duplicate
+  // ones occupy the cap (the factory's structural simplification routinely
+  // collapses different operand pairs into equal trees).
   AltList Out;
   for (const ApNode *Lhs : L) {
     for (const ApNode *Rhs : R) {
-      Out.push_back(Factory.getBinary(Kind, Lhs, Rhs));
+      const ApNode *N = Factory.getBinary(Kind, Lhs, Rhs);
+      bool Seen = false;
+      for (const ApNode *U : Out)
+        if (patternsEqual(N, U)) {
+          Seen = true;
+          break;
+        }
+      if (Seen)
+        continue;
+      Out.push_back(N);
       if (Out.size() >= Opts.MaxPatternsPerLoad)
         return Out;
     }

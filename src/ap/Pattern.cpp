@@ -54,6 +54,26 @@ const ApNode *ApFactory::getRecur() {
   return node(N);
 }
 
+namespace {
+
+/// Two's-complement wrap, matching the simulator's Add/Sub/Mul. Offsets fed
+/// through pattern folding come from arbitrary constant arithmetic in the
+/// analyzed program, so signed host overflow here would be UB on valid input.
+int32_t wrapAdd(int32_t A, int32_t B) {
+  return static_cast<int32_t>(static_cast<uint32_t>(A) +
+                              static_cast<uint32_t>(B));
+}
+int32_t wrapSub(int32_t A, int32_t B) {
+  return static_cast<int32_t>(static_cast<uint32_t>(A) -
+                              static_cast<uint32_t>(B));
+}
+int32_t wrapMul(int32_t A, int32_t B) {
+  return static_cast<int32_t>(static_cast<uint32_t>(A) *
+                              static_cast<uint32_t>(B));
+}
+
+} // namespace
+
 const ApNode *ApFactory::getBinary(ApKind Kind, const ApNode *L,
                                    const ApNode *R) {
   assert((Kind == ApKind::Add || Kind == ApKind::Sub || Kind == ApKind::Mul ||
@@ -65,11 +85,11 @@ const ApNode *ApFactory::getBinary(ApKind Kind, const ApNode *L,
   if (L->Kind == ApKind::Const && R->Kind == ApKind::Const) {
     switch (Kind) {
     case ApKind::Add:
-      return getConst(L->Value + R->Value);
+      return getConst(wrapAdd(L->Value, R->Value));
     case ApKind::Sub:
-      return getConst(L->Value - R->Value);
+      return getConst(wrapSub(L->Value, R->Value));
     case ApKind::Mul:
-      return getConst(L->Value * R->Value);
+      return getConst(wrapMul(L->Value, R->Value));
     case ApKind::Shl:
       return getConst(static_cast<int32_t>(
           static_cast<uint32_t>(L->Value)
@@ -90,12 +110,12 @@ const ApNode *ApFactory::getBinary(ApKind Kind, const ApNode *L,
     // Fold (global + const) into the GlobalAddr offset.
     if (L->Kind == ApKind::GlobalAddr && R->Kind == ApKind::Const) {
       ApNode N = *L;
-      N.Value += R->Value;
+      N.Value = wrapAdd(N.Value, R->Value);
       return node(N);
     }
     if (R->Kind == ApKind::GlobalAddr && L->Kind == ApKind::Const) {
       ApNode N = *R;
-      N.Value += L->Value;
+      N.Value = wrapAdd(N.Value, L->Value);
       return node(N);
     }
     // Reassociate (x + c1) + c2 -> x + (c1+c2).
@@ -104,12 +124,12 @@ const ApNode *ApFactory::getBinary(ApKind Kind, const ApNode *L,
       ApNode N;
       N.Kind = ApKind::Add;
       N.Lhs = L->Lhs;
-      N.Rhs = getConst(L->Rhs->Value + R->Value);
+      N.Rhs = getConst(wrapAdd(L->Rhs->Value, R->Value));
       return node(N);
     }
   }
   if (Kind == ApKind::Sub && R->Kind == ApKind::Const)
-    return getBinary(ApKind::Add, L, getConst(-R->Value));
+    return getBinary(ApKind::Add, L, getConst(wrapSub(0, R->Value)));
 
   ApNode N;
   N.Kind = Kind;

@@ -111,7 +111,13 @@ void StaticFreqEstimate::propagateCallGraph() {
     }
   }
 
+  // Seed main before the first round: every propagated weight derives from
+  // it, so starting from all-zero just wasted a round (and used to be
+  // patched up after the loop instead).
   uint32_t MainIdx = M.functionIndex("main");
+  if (MainIdx != InvalidIndex)
+    FuncFreq[MainIdx] = Opts.EntryFreq;
+
   for (unsigned Round = 0; Round != Opts.Rounds; ++Round) {
     std::vector<double> Next(NumFuncs, 0.0);
     if (MainIdx != InvalidIndex)
@@ -125,14 +131,21 @@ void StaticFreqEstimate::propagateCallGraph() {
     }
     if (MainIdx != InvalidIndex && Next[MainIdx] < Opts.EntryFreq)
       Next[MainIdx] = Opts.EntryFreq;
-    if (Next == FuncFreq)
-      break;
+    // Tolerant convergence test: exact vector equality can oscillate forever
+    // in the low bits on recursive call graphs, which makes the result
+    // depend on the Rounds cap instead of on the fixpoint.
+    bool Converged = true;
+    for (size_t FI = 0; FI != NumFuncs; ++FI) {
+      double Scale = std::max(std::abs(FuncFreq[FI]), std::abs(Next[FI]));
+      if (std::abs(Next[FI] - FuncFreq[FI]) > Opts.ConvergeEps * Scale) {
+        Converged = false;
+        break;
+      }
+    }
     FuncFreq = std::move(Next);
+    if (Converged)
+      break;
   }
-  // First round starts from zero everywhere; seed main for the common case
-  // where Rounds rounds were not enough to notice.
-  if (MainIdx != InvalidIndex && FuncFreq[MainIdx] < Opts.EntryFreq)
-    FuncFreq[MainIdx] = Opts.EntryFreq;
 }
 
 double StaticFreqEstimate::instrFreq(InstrRef Ref) const {

@@ -51,6 +51,10 @@ struct StaticFreqOptions {
   unsigned Rounds = 8;
   /// Ceiling preventing overflow on recursive/deep graphs.
   double MaxFreq = 1e15;
+  /// Relative tolerance for the propagation fixpoint test. Exact equality
+  /// oscillates in the low mantissa bits on recursive graphs; anything
+  /// within this relative distance counts as converged.
+  double ConvergeEps = 1e-9;
 
   StaticFreqOptions() {}
 };

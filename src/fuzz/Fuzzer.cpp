@@ -1,0 +1,122 @@
+//===- fuzz/Fuzzer.cpp -----------------------------------------------------==//
+
+#include "fuzz/Fuzzer.h"
+
+#include "exec/Hash.h"
+#include "exec/JobPool.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+using namespace dlq;
+using namespace dlq::fuzz;
+
+uint64_t fuzz::programSeed(uint64_t CampaignSeed, uint64_t Index) {
+  return exec::Fnv1a().u64(CampaignSeed).u64(Index).value();
+}
+
+namespace {
+
+size_t countLines(const std::string &S) {
+  return static_cast<size_t>(std::count(S.begin(), S.end(), '\n'));
+}
+
+/// What one worker reports back for one program.
+struct ProgramOutcome {
+  bool Clean = true;
+  bool FuelExhausted = false;
+  uint64_t Instrs = 0;
+  OracleId Id = OracleId::Compile;
+  std::string Detail;
+  std::string Program; ///< Minimized failing source; empty when clean.
+  size_t OriginalLines = 0;
+  size_t MinimizedLines = 0;
+};
+
+ProgramOutcome checkOne(uint64_t Seed, const FuzzOptions &Opts) {
+  ProgramOutcome Out;
+  std::string Source = generateProgram(Seed, Opts.Gen);
+  OracleReport Rep = runOracles(Source, Opts.Oracle);
+  Out.FuelExhausted = Rep.FuelExhausted;
+  Out.Instrs = Rep.InstrsExecuted;
+  if (Rep.clean())
+    return Out;
+
+  Out.Clean = false;
+  Out.Id = Rep.Findings.front().Id;
+  Out.Detail = Rep.Findings.front().Detail;
+  Out.OriginalLines = countLines(Source);
+  if (Opts.Minimize) {
+    MinimizeOptions MO = Opts.Min;
+    MO.Oracle = Opts.Oracle;
+    Out.Program = minimizeProgram(Source, Out.Id, MO).Program;
+  } else {
+    Out.Program = Source;
+  }
+  Out.MinimizedLines = countLines(Out.Program);
+  return Out;
+}
+
+void writeRepro(FuzzFinding &F, const std::string &OutDir) {
+  if (OutDir.empty())
+    return;
+  std::error_code Ec;
+  std::filesystem::create_directories(OutDir, Ec);
+  std::string Path =
+      OutDir + "/" + formatString("repro-%016llx-%s.mc",
+                                  static_cast<unsigned long long>(F.Seed),
+                                  std::string(oracleName(F.Oracle)).c_str());
+  std::ofstream Os(Path);
+  if (!Os)
+    return;
+  Os << "// fuzz reproducer: seed=" << F.Seed << " index=" << F.Index
+     << " oracle=" << oracleName(F.Oracle) << "\n"
+     << "// " << F.Detail << "\n"
+     << F.Program;
+  F.ReproPath = Path;
+}
+
+} // namespace
+
+FuzzResult fuzz::runCampaign(const FuzzOptions &Opts) {
+  FuzzResult Res;
+  exec::JobPool Pool(Opts.Jobs);
+
+  // Batches keep peak memory flat and give the progress callback a natural
+  // cadence; results stay in campaign-index order because JobPool::map is
+  // order-preserving and batches run in order.
+  const uint64_t Batch = std::max<uint64_t>(1, std::min<uint64_t>(
+                                                   256, Opts.Programs / 4 + 1));
+  for (uint64_t Base = 0; Base < Opts.Programs; Base += Batch) {
+    uint64_t N = std::min(Batch, Opts.Programs - Base);
+    std::vector<ProgramOutcome> Outcomes =
+        Pool.map<ProgramOutcome>(static_cast<size_t>(N), [&](size_t I) {
+          return checkOne(programSeed(Opts.Seed, Base + I), Opts);
+        });
+    for (uint64_t I = 0; I != N; ++I) {
+      ProgramOutcome &O = Outcomes[static_cast<size_t>(I)];
+      ++Res.Stats.Programs;
+      Res.Stats.Clean += O.Clean;
+      Res.Stats.FuelExhausted += O.FuelExhausted;
+      Res.Stats.InstrsExecuted += O.Instrs;
+      if (O.Clean)
+        continue;
+      FuzzFinding F;
+      F.Seed = programSeed(Opts.Seed, Base + I);
+      F.Index = Base + I;
+      F.Oracle = O.Id;
+      F.Detail = std::move(O.Detail);
+      F.Program = std::move(O.Program);
+      F.OriginalLines = O.OriginalLines;
+      F.MinimizedLines = O.MinimizedLines;
+      writeRepro(F, Opts.OutDir);
+      Res.Findings.push_back(std::move(F));
+    }
+    if (Opts.OnProgress)
+      Opts.OnProgress(Base + N, Opts.Programs,
+                      static_cast<uint64_t>(Res.Findings.size()));
+  }
+  return Res;
+}

@@ -1,0 +1,87 @@
+//===- fuzz/Fuzzer.h - Differential fuzzing campaigns -----------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The campaign driver: generates `Programs` MinC programs from per-index
+/// seeds derived as FNV-1a(CampaignSeed, Index) — so campaigns are
+/// reproducible, any single program is re-derivable from its index, and
+/// neighbouring indices are uncorrelated — runs the oracle battery over the
+/// PR-1 JobPool, auto-minimizes each failure, and dumps reproducers as
+/// `repro-<seed>-<oracle>.mc` files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_FUZZ_FUZZER_H
+#define DLQ_FUZZ_FUZZER_H
+
+#include "fuzz/Generator.h"
+#include "fuzz/Minimizer.h"
+#include "fuzz/Oracles.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dlq {
+namespace fuzz {
+
+/// Campaign configuration.
+struct FuzzOptions {
+  uint64_t Programs = 1000;
+  uint64_t Seed = 1;      ///< Campaign seed; per-program seeds derive from it.
+  unsigned Jobs = 0;      ///< JobPool workers; 0 = hardware concurrency.
+  std::string OutDir;     ///< Reproducer dump directory; empty = no dump.
+  bool Minimize = true;   ///< Delta-reduce failures before reporting.
+  GeneratorOptions Gen;
+  OracleOptions Oracle;
+  MinimizeOptions Min;
+  /// Progress callback, invoked from the driver thread after each batch.
+  std::function<void(uint64_t Done, uint64_t Total, uint64_t Findings)>
+      OnProgress;
+
+  FuzzOptions() {}
+};
+
+/// One failing program, minimized and (optionally) dumped to disk.
+struct FuzzFinding {
+  uint64_t Seed = 0;       ///< The per-program seed (not the campaign seed).
+  uint64_t Index = 0;      ///< Campaign index the seed derives from.
+  OracleId Oracle = OracleId::Compile;
+  std::string Detail;      ///< First divergence description.
+  std::string Program;     ///< Minimized source (original if !Minimize).
+  size_t OriginalLines = 0;
+  size_t MinimizedLines = 0;
+  std::string ReproPath;   ///< Where the reproducer was written, if anywhere.
+};
+
+/// Campaign totals.
+struct FuzzStats {
+  uint64_t Programs = 0;
+  uint64_t Clean = 0;
+  uint64_t FuelExhausted = 0; ///< Programs whose oracle-1 compare was relaxed.
+  uint64_t InstrsExecuted = 0; ///< Sum over -O0 reference runs.
+};
+
+/// Campaign outcome.
+struct FuzzResult {
+  FuzzStats Stats;
+  std::vector<FuzzFinding> Findings; ///< In campaign-index order.
+
+  bool clean() const { return Findings.empty(); }
+};
+
+/// Derives the per-program seed for campaign index \p Index.
+uint64_t programSeed(uint64_t CampaignSeed, uint64_t Index);
+
+/// Runs a campaign.
+FuzzResult runCampaign(const FuzzOptions &Opts);
+
+} // namespace fuzz
+} // namespace dlq
+
+#endif // DLQ_FUZZ_FUZZER_H

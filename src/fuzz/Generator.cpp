@@ -1,0 +1,796 @@
+//===- fuzz/Generator.cpp --------------------------------------------------==//
+
+#include "fuzz/Generator.h"
+
+#include "support/Format.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace dlq;
+using namespace dlq::fuzz;
+
+namespace {
+
+/// One struct type: every struct carries `val` (int) and `next`
+/// (self-pointer, chain spine); extras are randomized. `link` (pointer to
+/// another struct, possibly null at run time) appears on some structs and is
+/// always null-guarded at dereference sites.
+struct StructInfo {
+  bool HasLink = false;
+  unsigned LinkTo = 0;   ///< Struct index `link` points at.
+  unsigned ArrLen = 0;   ///< >0: an `int tab[ArrLen]` field.
+  bool HasChar = false;  ///< A `char tag` field.
+};
+
+/// A global variable the expression generator may read.
+struct GlobalInfo {
+  enum class Kind { Int, Char, IntArray, StructPtr, StructPtrArray, Struct };
+  Kind K;
+  unsigned Idx;      ///< Name ordinal within its kind.
+  unsigned Len = 0;  ///< Array length.
+  unsigned SI = 0;   ///< Struct index for pointer/struct kinds.
+};
+
+class ProgramBuilder {
+public:
+  ProgramBuilder(uint64_t Seed, const GeneratorOptions &Opts)
+      : R(Seed ^ 0xD1F5A2C96B7E4830ull), Opts(Opts) {}
+
+  std::string build();
+
+private:
+  Rng R;
+  GeneratorOptions Opts;
+  std::string Out;
+  unsigned Indent = 0;
+
+  std::vector<StructInfo> Structs;
+  std::vector<GlobalInfo> Globals;
+
+  /// Per-function scope.
+  std::vector<std::string> IntVars;    ///< Initialized int locals/params.
+  std::vector<std::string> NonNeg;     ///< Provably non-negative int vars.
+  std::vector<std::string> Protected_; ///< Loop counters: not assignable.
+  struct LocalArray {
+    std::string Name;
+    unsigned Len;
+  };
+  std::vector<LocalArray> LocalArrays;
+  unsigned NextCounter = 0;
+  unsigned LoopDepth = 0;
+  bool InMain = false;
+
+  //===--- emission -------------------------------------------------------===//
+  void line(const std::string &S) {
+    Out.append(Indent * 2, ' ');
+    Out += S;
+    Out += '\n';
+  }
+  unsigned pick(unsigned Bound) { return static_cast<unsigned>(R.nextBelow(Bound)); }
+  bool chance(unsigned Pct) { return R.nextBelow(100) < Pct; }
+
+  //===--- expressions ----------------------------------------------------===//
+  std::string intLit();
+  std::string indexExpr(unsigned Len);
+  std::string intAtom();
+  std::string intExpr(unsigned Depth);
+  std::string condExpr(unsigned Depth);
+
+  //===--- statements -----------------------------------------------------===//
+  void genStmt(unsigned BlockDepth);
+  void genBlock(unsigned BlockDepth, unsigned Stmts);
+  void genForLoop(unsigned BlockDepth);
+  void genWhileLoop(unsigned BlockDepth);
+  void genIf(unsigned BlockDepth);
+  void genChainBuild(unsigned SI, const std::string &Head);
+  void genChainWalk(unsigned SI, const std::string &Head);
+  void genAssign();
+
+  //===--- program sections -----------------------------------------------===//
+  void emitStructs();
+  void emitGlobals();
+  void emitHelpers();
+  void emitMain();
+  void beginFunctionScope();
+
+  std::string structName(unsigned SI) {
+    return formatString("S%u", SI);
+  }
+  const GlobalInfo *findGlobal(GlobalInfo::Kind K, unsigned Nth = 0) const {
+    unsigned Seen = 0;
+    for (const GlobalInfo &G : Globals)
+      if (G.K == K && Seen++ == Nth)
+        return &G;
+    return nullptr;
+  }
+  unsigned countGlobals(GlobalInfo::Kind K) const {
+    unsigned N = 0;
+    for (const GlobalInfo &G : Globals)
+      N += G.K == K;
+    return N;
+  }
+  std::string globalName(const GlobalInfo &G) const {
+    switch (G.K) {
+    case GlobalInfo::Kind::Int:
+      return formatString("g%u", G.Idx);
+    case GlobalInfo::Kind::Char:
+      return formatString("gc%u", G.Idx);
+    case GlobalInfo::Kind::IntArray:
+      return formatString("ga%u", G.Idx);
+    case GlobalInfo::Kind::StructPtr:
+      return formatString("gp%u", G.Idx);
+    case GlobalInfo::Kind::StructPtrArray:
+      return formatString("gpa%u", G.Idx);
+    case GlobalInfo::Kind::Struct:
+      return formatString("gs%u", G.Idx);
+    }
+    return "g0";
+  }
+
+  /// Names of helpers already emitted, with their parameter counts; callable
+  /// from later functions. Cost class limits call sites inside deep loops.
+  struct HelperInfo {
+    std::string Name;
+    unsigned Params;
+    bool Heavy; ///< Contains loops: call only at shallow loop depth.
+  };
+  std::vector<HelperInfo> Helpers;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+std::string ProgramBuilder::intLit() {
+  switch (pick(8)) {
+  case 0:
+    return formatString("%d", -static_cast<int>(pick(100)) - 1);
+  case 1: // Large magnitudes probe constant-folder overflow handling.
+    return "2147483647";
+  case 2:
+    return formatString("%u", 100000 + pick(4000000));
+  default:
+    return formatString("%u", pick(64));
+  }
+}
+
+/// An expression provably in [0, Len).
+std::string ProgramBuilder::indexExpr(unsigned Len) {
+  // Non-negative % positive is in range; loop counters bounded below Len
+  // may be used raw.
+  for (const std::string &V : NonNeg)
+    if (chance(25))
+      return formatString("(%s %% %u)", V.c_str(), Len);
+  if (chance(35))
+    return formatString("(rand() %% %u)", Len);
+  if (!NonNeg.empty() && chance(50)) {
+    const std::string &V = NonNeg[pick(static_cast<unsigned>(NonNeg.size()))];
+    return formatString("((%s + %u) %% %u)", V.c_str(), pick(16), Len);
+  }
+  return formatString("%u", pick(Len));
+}
+
+/// A leaf (or near-leaf) int-valued expression.
+std::string ProgramBuilder::intAtom() {
+  for (int Tries = 0; Tries != 4; ++Tries) {
+    switch (pick(7)) {
+    case 0:
+      return intLit();
+    case 1:
+      if (!IntVars.empty())
+        return IntVars[pick(static_cast<unsigned>(IntVars.size()))];
+      break;
+    case 2: {
+      if (const GlobalInfo *G = findGlobal(GlobalInfo::Kind::Int,
+                                           pick(std::max(1u, countGlobals(
+                                                     GlobalInfo::Kind::Int)))))
+        return globalName(*G);
+      break;
+    }
+    case 3: {
+      unsigned N = countGlobals(GlobalInfo::Kind::IntArray);
+      if (N != 0) {
+        const GlobalInfo *G = findGlobal(GlobalInfo::Kind::IntArray, pick(N));
+        return formatString("%s[%s]", globalName(*G).c_str(),
+                            indexExpr(G->Len).c_str());
+      }
+      break;
+    }
+    case 4:
+      if (!LocalArrays.empty()) {
+        const LocalArray &A =
+            LocalArrays[pick(static_cast<unsigned>(LocalArrays.size()))];
+        return formatString("%s[%s]", A.Name.c_str(),
+                            indexExpr(A.Len).c_str());
+      }
+      break;
+    case 5: {
+      unsigned N = countGlobals(GlobalInfo::Kind::Struct);
+      if (N != 0) {
+        const GlobalInfo *G = findGlobal(GlobalInfo::Kind::Struct, pick(N));
+        const StructInfo &S = Structs[G->SI];
+        if (S.ArrLen && chance(40))
+          return formatString("%s.tab[%s]", globalName(*G).c_str(),
+                              indexExpr(S.ArrLen).c_str());
+        return formatString("%s.val", globalName(*G).c_str());
+      }
+      break;
+    }
+    case 6:
+      if (const GlobalInfo *G = findGlobal(GlobalInfo::Kind::Char))
+        return globalName(*G);
+      break;
+    }
+  }
+  return intLit();
+}
+
+std::string ProgramBuilder::intExpr(unsigned Depth) {
+  if (Depth == 0 || chance(30))
+    return intAtom();
+  switch (pick(12)) {
+  case 0: // Safe division: nonzero literal denominator (negative allowed).
+    return formatString("(%s / %d)", intExpr(Depth - 1).c_str(),
+                        chance(15) ? -(1 + static_cast<int>(pick(7)))
+                                   : 1 + static_cast<int>(pick(15)));
+  case 1: // Safe remainder through a masked, offset denominator.
+    return formatString("(%s %% ((%s & 15) + 1))", intExpr(Depth - 1).c_str(),
+                        intExpr(Depth - 1).c_str());
+  case 2:
+    return formatString("(%s << %u)", intExpr(Depth - 1).c_str(), pick(8));
+  case 3:
+    return formatString("(%s >> %u)", intExpr(Depth - 1).c_str(), pick(8));
+  case 4:
+    return formatString("(-%s)", intAtom().c_str());
+  case 5:
+    return formatString("(~%s)", intAtom().c_str());
+  case 6:
+    return formatString("(%s ? %s : %s)", condExpr(Depth - 1).c_str(),
+                        intExpr(Depth - 1).c_str(),
+                        intExpr(Depth - 1).c_str());
+  case 7: {
+    if (!Helpers.empty() && LoopDepth <= 1) {
+      const HelperInfo &H = Helpers[pick(static_cast<unsigned>(Helpers.size()))];
+      if (!H.Heavy || LoopDepth == 0) {
+        std::string Call = H.Name + "(";
+        for (unsigned I = 0; I != H.Params; ++I) {
+          if (I)
+            Call += ", ";
+          Call += intExpr(std::min(Depth - 1, 1u));
+        }
+        Call += ")";
+        return Call;
+      }
+    }
+    return intAtom();
+  }
+  case 8:
+    return formatString("(%s)", condExpr(Depth - 1).c_str());
+  default: {
+    static const char *Ops[] = {"+", "-", "*", "&", "|", "^"};
+    return formatString("(%s %s %s)", intExpr(Depth - 1).c_str(),
+                        Ops[pick(6)], intExpr(Depth - 1).c_str());
+  }
+  }
+}
+
+/// A boolean-ish expression for conditions.
+std::string ProgramBuilder::condExpr(unsigned Depth) {
+  static const char *Cmp[] = {"==", "!=", "<", "<=", ">", ">="};
+  std::string Base = formatString("%s %s %s", intExpr(Depth).c_str(),
+                                  Cmp[pick(6)], intExpr(Depth).c_str());
+  if (Depth != 0 && chance(25))
+    return formatString("(%s) %s (%s)", Base.c_str(),
+                        chance(50) ? "&&" : "||", condExpr(Depth - 1).c_str());
+  if (chance(10))
+    return formatString("!(%s)", Base.c_str());
+  return Base;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void ProgramBuilder::genAssign() {
+  // Pick a writable target: int local, int global, array slot, struct field.
+  for (int Tries = 0; Tries != 4; ++Tries) {
+    switch (pick(6)) {
+    case 0: {
+      std::vector<std::string> Writable;
+      for (const std::string &V : IntVars)
+        if (std::find(Protected_.begin(), Protected_.end(), V) ==
+            Protected_.end())
+          Writable.push_back(V);
+      if (!Writable.empty()) {
+        const std::string &V =
+            Writable[pick(static_cast<unsigned>(Writable.size()))];
+        line(formatString("%s = %s;", V.c_str(),
+                          intExpr(Opts.MaxExprDepth).c_str()));
+        return;
+      }
+      break;
+    }
+    case 1: {
+      unsigned N = countGlobals(GlobalInfo::Kind::Int);
+      if (N != 0) {
+        const GlobalInfo *G = findGlobal(GlobalInfo::Kind::Int, pick(N));
+        line(formatString("%s = %s;", globalName(*G).c_str(),
+                          intExpr(Opts.MaxExprDepth).c_str()));
+        return;
+      }
+      break;
+    }
+    case 2: {
+      unsigned N = countGlobals(GlobalInfo::Kind::IntArray);
+      if (N != 0) {
+        const GlobalInfo *G = findGlobal(GlobalInfo::Kind::IntArray, pick(N));
+        line(formatString("%s[%s] = %s;", globalName(*G).c_str(),
+                          indexExpr(G->Len).c_str(),
+                          intExpr(Opts.MaxExprDepth - 1).c_str()));
+        return;
+      }
+      break;
+    }
+    case 3:
+      if (!LocalArrays.empty()) {
+        const LocalArray &A =
+            LocalArrays[pick(static_cast<unsigned>(LocalArrays.size()))];
+        line(formatString("%s[%s] = %s;", A.Name.c_str(),
+                          indexExpr(A.Len).c_str(),
+                          intExpr(Opts.MaxExprDepth - 1).c_str()));
+        return;
+      }
+      break;
+    case 4: {
+      unsigned N = countGlobals(GlobalInfo::Kind::Struct);
+      if (N != 0) {
+        const GlobalInfo *G = findGlobal(GlobalInfo::Kind::Struct, pick(N));
+        const StructInfo &S = Structs[G->SI];
+        if (S.ArrLen && chance(40)) {
+          line(formatString("%s.tab[%s] = %s;", globalName(*G).c_str(),
+                            indexExpr(S.ArrLen).c_str(),
+                            intExpr(2).c_str()));
+        } else if (S.HasChar && chance(30)) {
+          line(formatString("%s.tag = %s;", globalName(*G).c_str(),
+                            intExpr(1).c_str()));
+        } else {
+          line(formatString("%s.val = %s;", globalName(*G).c_str(),
+                            intExpr(2).c_str()));
+        }
+        return;
+      }
+      break;
+    }
+    case 5: {
+      if (const GlobalInfo *G = findGlobal(GlobalInfo::Kind::Char)) {
+        line(formatString("%s = %s;", globalName(*G).c_str(),
+                          intExpr(1).c_str()));
+        return;
+      }
+      break;
+    }
+    }
+  }
+  line(formatString("sum = sum + %s;", intAtom().c_str()));
+}
+
+void ProgramBuilder::genForLoop(unsigned BlockDepth) {
+  std::string C = formatString("i%u", NextCounter++);
+  unsigned Bound = 2 + pick(Opts.MaxLoopBound - 1);
+  line(formatString("for (%s = 0; %s < %u; %s = %s + 1) {", C.c_str(),
+                    C.c_str(), Bound, C.c_str(), C.c_str()));
+  ++Indent;
+  ++LoopDepth;
+  IntVars.push_back(C);
+  NonNeg.push_back(C);
+  Protected_.push_back(C);
+  genBlock(BlockDepth, 1 + pick(Opts.MaxStmtsPerBlock - 1));
+  Protected_.pop_back();
+  NonNeg.pop_back();
+  IntVars.pop_back();
+  --LoopDepth;
+  --NextCounter; // Sibling loops reuse the counter slot.
+  --Indent;
+  line("}");
+}
+
+void ProgramBuilder::genWhileLoop(unsigned BlockDepth) {
+  std::string C = formatString("i%u", NextCounter++);
+  unsigned Bound = 2 + pick(Opts.MaxLoopBound - 1);
+  line(formatString("%s = %u;", C.c_str(), Bound));
+  line(formatString("while (%s > 0) {", C.c_str()));
+  ++Indent;
+  ++LoopDepth;
+  IntVars.push_back(C);
+  NonNeg.push_back(C);
+  Protected_.push_back(C);
+  // Decrement first so a generated `continue` in the body cannot skip it and
+  // spin the loop forever.
+  line(formatString("%s = %s - 1;", C.c_str(), C.c_str()));
+  genBlock(BlockDepth, 1 + pick(Opts.MaxStmtsPerBlock - 1));
+  Protected_.pop_back();
+  NonNeg.pop_back();
+  IntVars.pop_back();
+  --LoopDepth;
+  --NextCounter;
+  --Indent;
+  line("}");
+}
+
+void ProgramBuilder::genIf(unsigned BlockDepth) {
+  line(formatString("if (%s) {", condExpr(2).c_str()));
+  ++Indent;
+  genBlock(BlockDepth, 1 + pick(3));
+  --Indent;
+  if (chance(40)) {
+    line("} else {");
+    ++Indent;
+    genBlock(BlockDepth, 1 + pick(3));
+    --Indent;
+  }
+  line("}");
+}
+
+/// Builds a chain of SI nodes into global pointer \p Head — the LiLike /
+/// McfLike allocation idiom (interleaved heap order, H3/H4 fodder).
+void ProgramBuilder::genChainBuild(unsigned SI, const std::string &Head) {
+  const StructInfo &S = Structs[SI];
+  std::string C = formatString("i%u", NextCounter++);
+  unsigned Len = 2 + pick(Opts.MaxListLen - 1);
+  std::string SN = structName(SI);
+  line(formatString("%s = 0;", Head.c_str()));
+  line(formatString("for (%s = 0; %s < %u; %s = %s + 1) {", C.c_str(),
+                    C.c_str(), Len, C.c_str(), C.c_str()));
+  ++Indent;
+  IntVars.push_back(C);
+  NonNeg.push_back(C);
+  Protected_.push_back(C);
+  line(formatString("tmp%u = (struct %s*)malloc(sizeof(struct %s));", SI,
+                    SN.c_str(), SN.c_str()));
+  line(formatString("tmp%u->val = %s;", SI, intExpr(2).c_str()));
+  if (S.ArrLen)
+    line(formatString("tmp%u->tab[%s] = %s;", SI,
+                      indexExpr(S.ArrLen).c_str(), intExpr(1).c_str()));
+  if (S.HasChar)
+    line(formatString("tmp%u->tag = %s;", SI, intExpr(1).c_str()));
+  if (S.HasLink) {
+    // Cross-link into another chain head; may be null, walkers guard it.
+    unsigned N = countGlobals(GlobalInfo::Kind::StructPtr);
+    const GlobalInfo *G = nullptr;
+    for (unsigned I = 0; I != N; ++I) {
+      const GlobalInfo *Cand = findGlobal(GlobalInfo::Kind::StructPtr, I);
+      if (Cand->SI == S.LinkTo) {
+        G = Cand;
+        break;
+      }
+    }
+    line(formatString("tmp%u->link = %s;", SI,
+                      G ? globalName(*G).c_str() : "0"));
+  }
+  line(formatString("tmp%u->next = %s;", SI, Head.c_str()));
+  line(formatString("%s = tmp%u;", Head.c_str(), SI));
+  Protected_.pop_back();
+  NonNeg.pop_back();
+  IntVars.pop_back();
+  --NextCounter;
+  --Indent;
+  line("}");
+}
+
+/// Walks the chain at \p Head accumulating into `sum` — the paper's
+/// pointer-chasing load pattern (recurrence + deref depth).
+void ProgramBuilder::genChainWalk(unsigned SI, const std::string &Head) {
+  const StructInfo &S = Structs[SI];
+  std::string SN = structName(SI);
+  line(formatString("cur%u = %s;", SI, Head.c_str()));
+  line(formatString("while (cur%u != 0) {", SI));
+  ++Indent;
+  line(formatString("sum = sum + cur%u->val;", SI));
+  if (S.ArrLen && chance(60))
+    line(formatString("sum = sum + cur%u->tab[%s];", SI,
+                      indexExpr(S.ArrLen).c_str()));
+  if (S.HasChar && chance(40))
+    line(formatString("sum = sum + cur%u->tag;", SI));
+  if (S.HasLink && chance(70))
+    line(formatString("if (cur%u->link != 0) { sum = sum + cur%u->link->val; }",
+                      SI, SI));
+  if (chance(25))
+    line(formatString("if (%s) { sum = sum + 1; }", condExpr(1).c_str()));
+  line(formatString("cur%u = cur%u->next;", SI, SI));
+  --Indent;
+  line("}");
+}
+
+void ProgramBuilder::genStmt(unsigned BlockDepth) {
+  unsigned Roll = pick(100);
+  if (Roll < 8 && BlockDepth < Opts.MaxBlockDepth) {
+    genForLoop(BlockDepth + 1);
+    return;
+  }
+  if (Roll < 12 && BlockDepth < Opts.MaxBlockDepth) {
+    genWhileLoop(BlockDepth + 1);
+    return;
+  }
+  if (Roll < 28 && BlockDepth < Opts.MaxBlockDepth) {
+    genIf(BlockDepth + 1);
+    return;
+  }
+  if (Roll < 33) {
+    line(formatString("print_int(%s);", intExpr(2).c_str()));
+    return;
+  }
+  if (Roll < 35) {
+    line(formatString("print_char(65 + (%s & 25));", intAtom().c_str()));
+    return;
+  }
+  if (Roll < 38 && LoopDepth != 0 && chance(50)) {
+    line(chance(50) ? "break;" : "continue;");
+    return;
+  }
+  genAssign();
+}
+
+void ProgramBuilder::genBlock(unsigned BlockDepth, unsigned Stmts) {
+  for (unsigned I = 0; I != Stmts; ++I)
+    genStmt(BlockDepth);
+}
+
+//===----------------------------------------------------------------------===//
+// Program sections
+//===----------------------------------------------------------------------===//
+
+void ProgramBuilder::emitStructs() {
+  unsigned N = 1 + pick(Opts.MaxStructs);
+  for (unsigned I = 0; I != N; ++I) {
+    StructInfo S;
+    S.HasLink = N > 1 && chance(50);
+    if (S.HasLink)
+      S.LinkTo = pick(N);
+    if (chance(40))
+      S.ArrLen = 2 + pick(6);
+    S.HasChar = chance(30);
+    Structs.push_back(S);
+  }
+  for (unsigned I = 0; I != N; ++I) {
+    const StructInfo &S = Structs[I];
+    std::string Def = formatString("struct S%u { int val;", I);
+    if (S.ArrLen)
+      Def += formatString(" int tab[%u];", S.ArrLen);
+    if (S.HasChar)
+      Def += " char tag;";
+    if (S.HasLink)
+      Def += formatString(" struct S%u *link;", S.LinkTo);
+    Def += formatString(" struct S%u *next; };", I);
+    line(Def);
+  }
+  line("");
+}
+
+void ProgramBuilder::emitGlobals() {
+  unsigned Ints = 1 + pick(Opts.MaxGlobals);
+  for (unsigned I = 0; I != Ints; ++I) {
+    GlobalInfo G{GlobalInfo::Kind::Int, I, 0, 0};
+    Globals.push_back(G);
+    if (chance(40)) // Constant-expression initializers exercise evalConst.
+      line(formatString("int g%u = %s;", I,
+                        chance(50)
+                            ? formatString("(%d %s %u)",
+                                           static_cast<int>(pick(200)) - 100,
+                                           chance(50) ? "<<" : ">>", pick(6))
+                                  .c_str()
+                            : formatString("%d",
+                                           static_cast<int>(pick(2000)) - 1000)
+                                  .c_str()));
+    else
+      line(formatString("int g%u;", I));
+  }
+  if (chance(50)) {
+    Globals.push_back(GlobalInfo{GlobalInfo::Kind::Char, 0, 0, 0});
+    line("char gc0;");
+  }
+  unsigned Arrays = 1 + pick(3);
+  for (unsigned I = 0; I != Arrays; ++I) {
+    unsigned Len = 2 + pick(Opts.MaxArrayLen - 1);
+    Globals.push_back(GlobalInfo{GlobalInfo::Kind::IntArray, I, Len, 0});
+    line(formatString("int ga%u[%u];", I, Len));
+  }
+  // One chain head per struct; occasionally a head table too.
+  for (unsigned SI = 0; SI != Structs.size(); ++SI) {
+    Globals.push_back(GlobalInfo{GlobalInfo::Kind::StructPtr,
+                                 static_cast<unsigned>(SI), 0, SI});
+    line(formatString("struct S%u *gp%u;", SI, SI));
+  }
+  if (chance(40)) {
+    unsigned SI = pick(static_cast<unsigned>(Structs.size()));
+    unsigned Len = 2 + pick(6);
+    Globals.push_back(GlobalInfo{GlobalInfo::Kind::StructPtrArray, 0, Len, SI});
+    line(formatString("struct S%u *gpa0[%u];", SI, Len));
+  }
+  if (chance(50)) {
+    unsigned SI = pick(static_cast<unsigned>(Structs.size()));
+    Globals.push_back(GlobalInfo{GlobalInfo::Kind::Struct, 0, 0, SI});
+    line(formatString("struct S%u gs0;", SI));
+  }
+  line("");
+}
+
+void ProgramBuilder::beginFunctionScope() {
+  IntVars.clear();
+  NonNeg.clear();
+  Protected_.clear();
+  LocalArrays.clear();
+  NextCounter = 0;
+  LoopDepth = 0;
+}
+
+void ProgramBuilder::emitHelpers() {
+  unsigned N = pick(Opts.MaxHelpers + 1);
+  for (unsigned H = 0; H != N; ++H) {
+    beginFunctionScope();
+    unsigned Kind = pick(3);
+    std::string Name = formatString("helper%u", H);
+    if (Kind == 0) {
+      // Self-recursive with a structural depth guard; the clamp bounds the
+      // recursion depth whatever argument a call site manufactures.
+      line(formatString("int %s(int n, int acc) {", Name.c_str()));
+      ++Indent;
+      line(formatString("if (n > %u) { n = %u; }", 8 + pick(24), 8 + pick(24)));
+      line(formatString("if (n <= 0) { return acc + %u; }", pick(16)));
+      IntVars.push_back("n");
+      IntVars.push_back("acc");
+      line(formatString("return %s(n - 1, acc + %s);", Name.c_str(),
+                        intExpr(2).c_str()));
+      --Indent;
+      line("}");
+      Helpers.push_back(HelperInfo{Name, 2, false});
+    } else if (Kind == 1) {
+      // Pure-ish arithmetic over params and globals.
+      unsigned Params = 1 + pick(3);
+      std::string Sig = formatString("int %s(", Name.c_str());
+      for (unsigned P = 0; P != Params; ++P) {
+        if (P)
+          Sig += ", ";
+        Sig += formatString("int a%u", P);
+        IntVars.push_back(formatString("a%u", P));
+      }
+      Sig += ") {";
+      line(Sig);
+      ++Indent;
+      line("int sum; int v0; int i0; int i1; int i2; int i3;");
+      line(formatString("sum = %s;", intExpr(2).c_str()));
+      line(formatString("v0 = %s;", intExpr(2).c_str()));
+      IntVars.push_back("sum");
+      IntVars.push_back("v0");
+      NextCounter = 0;
+      genBlock(1, 1 + pick(4));
+      line(formatString("return sum + %s;", intExpr(2).c_str()));
+      --Indent;
+      line("}");
+      Helpers.push_back(HelperInfo{Name, Params, false});
+    } else {
+      // Loop-heavy array worker.
+      line(formatString("int %s(int a0) {", Name.c_str()));
+      ++Indent;
+      line("int sum; int i0; int i1; int i2; int i3;");
+      unsigned LLen = 4 + pick(12);
+      line(formatString("int la[%u];", LLen));
+      IntVars.push_back("a0");
+      line("sum = a0;");
+      IntVars.push_back("sum");
+      LocalArrays.push_back(LocalArray{"la", LLen});
+      line(formatString("for (i0 = 0; i0 < %u; i0 = i0 + 1) { la[i0] = i0 * %u; }",
+                        LLen, 1 + pick(8)));
+      IntVars.push_back("i0");
+      NonNeg.push_back("i0");
+      // A NonNeg var must also be Protected_: a generated `i0 = <expr>;`
+      // could make it negative, and indexExpr's `% Len` on a negative value
+      // yields a negative remainder — an out-of-bounds access whose result
+      // depends on the frame layout, which the opt-level oracle then
+      // misreports as a miscompile.
+      Protected_.push_back("i0");
+      // Counters i0..i3 are pre-declared; i0 is live as the init counter's
+      // last value, so nested loops draw from i1 up.
+      NextCounter = 1;
+      genBlock(2, 1 + pick(3));
+      line(formatString("return sum + la[%s];", indexExpr(LLen).c_str()));
+      --Indent;
+      line("}");
+      Helpers.push_back(HelperInfo{Name, 1, true});
+    }
+    line("");
+  }
+}
+
+void ProgramBuilder::emitMain() {
+  beginFunctionScope();
+  InMain = true;
+  line("int main() {");
+  ++Indent;
+  // Declarations first (workload style), all initialized before the body.
+  std::string Decl = "int sum;";
+  unsigned Locals = 1 + pick(3);
+  for (unsigned I = 0; I != Locals; ++I)
+    Decl += formatString(" int v%u;", I);
+  for (unsigned I = 0; I != 8; ++I)
+    Decl += formatString(" int i%u;", I);
+  line(Decl);
+  unsigned LLen = 0;
+  if (chance(60)) {
+    LLen = 4 + pick(12);
+    line(formatString("int la0[%u];", LLen));
+  }
+  for (unsigned SI = 0; SI != Structs.size(); ++SI)
+    line(formatString("struct S%u *tmp%u; struct S%u *cur%u;", SI, SI, SI, SI));
+  line(formatString("srand(%u);", 1 + pick(100000)));
+  line("sum = 0;");
+  IntVars.push_back("sum");
+  for (unsigned I = 0; I != Locals; ++I) {
+    line(formatString("v%u = %s;", I, intExpr(2).c_str()));
+    IntVars.push_back(formatString("v%u", I));
+  }
+  if (LLen) {
+    line(formatString("for (i0 = 0; i0 < %u; i0 = i0 + 1) { la0[i0] = i0 + %u; }",
+                      LLen, pick(32)));
+    LocalArrays.push_back(LocalArray{"la0", LLen});
+  }
+  // Counters i0..i7 are pre-declared; the statement generators allocate from
+  // this pool (NextCounter tracks usage; 8 is deeper than MaxBlockDepth+
+  // chain templates ever need).
+  NextCounter = 1;
+
+  // Build chains for a random subset of structs, then interleave general
+  // statements with chain walks.
+  std::vector<unsigned> Built;
+  for (unsigned SI = 0; SI != Structs.size(); ++SI)
+    if (chance(75)) {
+      genChainBuild(SI, formatString("gp%u", SI));
+      Built.push_back(SI);
+    }
+  if (const GlobalInfo *G = findGlobal(GlobalInfo::Kind::StructPtrArray)) {
+    // Round-robin head table: scatter chain neighbors across the heap.
+    std::string C = formatString("i%u", NextCounter++);
+    std::string SN = structName(G->SI);
+    line(formatString("for (%s = 0; %s < %u; %s = %s + 1) {", C.c_str(),
+                      C.c_str(), G->Len, C.c_str(), C.c_str()));
+    ++Indent;
+    line(formatString("tmp%u = (struct %s*)malloc(sizeof(struct %s));", G->SI,
+                      SN.c_str(), SN.c_str()));
+    line(formatString("tmp%u->val = rand() %% 1000;", G->SI));
+    line(formatString("tmp%u->next = 0;", G->SI));
+    line(formatString("%s[%s] = tmp%u;", globalName(*G).c_str(), C.c_str(),
+                      G->SI));
+    --Indent;
+    line("}");
+    line(formatString("sum = sum + %s[rand() %% %u]->val;",
+                      globalName(*G).c_str(), G->Len));
+  }
+
+  genBlock(0, 2 + pick(Opts.MaxStmtsPerBlock));
+  for (unsigned SI : Built)
+    if (chance(80))
+      genChainWalk(SI, formatString("gp%u", SI));
+  genBlock(0, 1 + pick(3));
+
+  line("print_int(sum);");
+  line(formatString("return sum & %u;", 63 + pick(192)));
+  --Indent;
+  line("}");
+}
+
+std::string ProgramBuilder::build() {
+  line(formatString("/* generated: seed-derived program */"));
+  emitStructs();
+  emitGlobals();
+  emitHelpers();
+  emitMain();
+  return std::move(Out);
+}
+
+} // namespace
+
+std::string fuzz::generateProgram(uint64_t Seed, const GeneratorOptions &Opts) {
+  ProgramBuilder B(Seed, Opts);
+  return B.build();
+}

@@ -1,0 +1,85 @@
+//===- fuzz/Minimizer.cpp --------------------------------------------------==//
+
+#include "fuzz/Minimizer.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+using namespace dlq;
+using namespace dlq::fuzz;
+
+namespace {
+
+std::vector<std::string> splitLines(const std::string &S) {
+  std::vector<std::string> Lines;
+  size_t Pos = 0;
+  while (Pos < S.size()) {
+    size_t Nl = S.find('\n', Pos);
+    if (Nl == std::string::npos) {
+      Lines.push_back(S.substr(Pos));
+      break;
+    }
+    Lines.push_back(S.substr(Pos, Nl - Pos));
+    Pos = Nl + 1;
+  }
+  return Lines;
+}
+
+std::string joinLines(const std::vector<std::string> &Lines) {
+  std::string Out;
+  for (const std::string &L : Lines) {
+    Out += L;
+    Out += '\n';
+  }
+  return Out;
+}
+
+} // namespace
+
+MinimizeResult fuzz::minimizeProgram(const std::string &Source, OracleId Target,
+                                     const MinimizeOptions &Opts) {
+  MinimizeResult Res;
+  std::vector<std::string> Lines = splitLines(Source);
+
+  auto stillFails = [&](const std::vector<std::string> &Cand) {
+    if (Res.Probes >= Opts.MaxProbes)
+      return false;
+    ++Res.Probes;
+    return runOracles(joinLines(Cand), Opts.Oracle).has(Target);
+  };
+
+  // Chunked greedy deletion: at each granularity try deleting every chunk;
+  // restart the granularity after any success (the classic ddmin schedule,
+  // without the complement phase — chunks here are already complements).
+  size_t Chunk = Lines.size() / 2;
+  if (Chunk == 0)
+    Chunk = 1;
+  while (Res.Probes < Opts.MaxProbes) {
+    bool AnyRemoved = false;
+    for (size_t Begin = 0; Begin < Lines.size() && Res.Probes < Opts.MaxProbes;) {
+      size_t Len = std::min(Chunk, Lines.size() - Begin);
+      std::vector<std::string> Cand;
+      Cand.reserve(Lines.size() - Len);
+      Cand.insert(Cand.end(), Lines.begin(),
+                  Lines.begin() + static_cast<ptrdiff_t>(Begin));
+      Cand.insert(Cand.end(),
+                  Lines.begin() + static_cast<ptrdiff_t>(Begin + Len),
+                  Lines.end());
+      if (!Cand.empty() && stillFails(Cand)) {
+        Lines = std::move(Cand);
+        AnyRemoved = true;
+        // Retry the same Begin: the next chunk slid into place.
+      } else {
+        Begin += Len;
+      }
+    }
+    if (Chunk == 1 && !AnyRemoved)
+      break;
+    if (!AnyRemoved)
+      Chunk = std::max<size_t>(1, Chunk / 2);
+  }
+
+  Res.Program = joinLines(Lines);
+  return Res;
+}

@@ -1,0 +1,49 @@
+//===- fuzz/Minimizer.h - Line-level delta reduction ------------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ddmin-style reduction of a failing MinC program: repeatedly deletes line
+/// chunks of shrinking size, keeping a candidate whenever the oracles still
+/// report a finding from the same oracle as the original failure. Candidates
+/// that stop compiling simply fail the predicate (their finding is
+/// OracleId::Compile), so the reducer needs no language awareness beyond the
+/// line split.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_FUZZ_MINIMIZER_H
+#define DLQ_FUZZ_MINIMIZER_H
+
+#include "fuzz/Oracles.h"
+
+#include <string>
+
+namespace dlq {
+namespace fuzz {
+
+struct MinimizeOptions {
+  /// Predicate-evaluation budget: each probe recompiles and re-runs the
+  /// whole oracle battery, so the budget bounds minimization latency.
+  unsigned MaxProbes = 400;
+  OracleOptions Oracle;
+};
+
+/// Result of a reduction.
+struct MinimizeResult {
+  std::string Program;  ///< Smallest failing variant found.
+  unsigned Probes = 0;  ///< Oracle evaluations spent.
+};
+
+/// Shrinks \p Source while runOracles(candidate).has(\p Target) holds. The
+/// input itself must satisfy the predicate.
+MinimizeResult minimizeProgram(const std::string &Source, OracleId Target,
+                               const MinimizeOptions &Opts = MinimizeOptions());
+
+} // namespace fuzz
+} // namespace dlq
+
+#endif // DLQ_FUZZ_MINIMIZER_H

@@ -1,0 +1,307 @@
+//===- fuzz/Oracles.cpp ----------------------------------------------------==//
+
+#include "fuzz/Oracles.h"
+
+#include "classify/Delinquency.h"
+#include "classify/Heuristic.h"
+#include "freq/StaticFreq.h"
+#include "masm/Module.h"
+#include "mcc/Compiler.h"
+#include "sim/Machine.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace dlq;
+using namespace dlq::fuzz;
+
+std::string_view fuzz::oracleName(OracleId Id) {
+  switch (Id) {
+  case OracleId::Compile:
+    return "compile";
+  case OracleId::OptLevels:
+    return "opt-levels";
+  case OracleId::MemBacking:
+    return "mem-backing";
+  case OracleId::Fusion:
+    return "fusion";
+  case OracleId::Analysis:
+    return "analysis";
+  case OracleId::Trap:
+    return "trap";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string haltName(sim::HaltReason H) {
+  switch (H) {
+  case sim::HaltReason::Exited:
+    return "exited";
+  case sim::HaltReason::FuelExhausted:
+    return "fuel-exhausted";
+  case sim::HaltReason::Trapped:
+    return "trapped";
+  }
+  return "?";
+}
+
+/// First difference between two counter vectors, or empty.
+std::string diffCounts(const char *What, const std::vector<uint64_t> &A,
+                       const std::vector<uint64_t> &B) {
+  if (A.size() != B.size())
+    return formatString("%s length %zu vs %zu", What, A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I)
+    if (A[I] != B[I])
+      return formatString("%s[%zu] %llu vs %llu", What, I,
+                          static_cast<unsigned long long>(A[I]),
+                          static_cast<unsigned long long>(B[I]));
+  return std::string();
+}
+
+/// First difference between two RunResults (full bit-identical contract),
+/// or empty when equal.
+std::string diffRuns(const sim::RunResult &A, const sim::RunResult &B) {
+  if (A.Halt != B.Halt)
+    return "halt " + haltName(A.Halt) + " vs " + haltName(B.Halt);
+  if (A.ExitCode != B.ExitCode)
+    return formatString("exit code %d vs %d", A.ExitCode, B.ExitCode);
+  if (A.Output != B.Output)
+    return formatString("output differs at byte %zu (lengths %zu vs %zu)",
+                        std::distance(A.Output.begin(),
+                                      std::mismatch(A.Output.begin(),
+                                                    A.Output.end(),
+                                                    B.Output.begin(),
+                                                    B.Output.end())
+                                          .first),
+                        A.Output.size(), B.Output.size());
+  if (A.InstrsExecuted != B.InstrsExecuted)
+    return formatString("instrs %llu vs %llu",
+                        static_cast<unsigned long long>(A.InstrsExecuted),
+                        static_cast<unsigned long long>(B.InstrsExecuted));
+  if (A.DataAccesses != B.DataAccesses)
+    return formatString("data accesses %llu vs %llu",
+                        static_cast<unsigned long long>(A.DataAccesses),
+                        static_cast<unsigned long long>(B.DataAccesses));
+  if (A.LoadMisses != B.LoadMisses)
+    return formatString("load misses %llu vs %llu",
+                        static_cast<unsigned long long>(A.LoadMisses),
+                        static_cast<unsigned long long>(B.LoadMisses));
+  if (A.StoreMisses != B.StoreMisses)
+    return formatString("store misses %llu vs %llu",
+                        static_cast<unsigned long long>(A.StoreMisses),
+                        static_cast<unsigned long long>(B.StoreMisses));
+  if (std::string D = diffCounts("ExecCounts", A.ExecCounts, B.ExecCounts);
+      !D.empty())
+    return D;
+  if (std::string D = diffCounts("MissCounts", A.MissCounts, B.MissCounts);
+      !D.empty())
+    return D;
+  return std::string();
+}
+
+sim::RunResult runModule(const masm::Module &M, const masm::Layout &L,
+                         uint64_t MaxInstrs, sim::Memory::Backing Backing,
+                         bool NoFusion) {
+  sim::MachineOptions MO;
+  MO.MaxInstrs = MaxInstrs;
+  MO.MemBacking = Backing;
+  MO.NoFusion = NoFusion;
+  sim::Machine Mach(M, L, MO);
+  return Mach.run();
+}
+
+/// Deterministic text rendering of one analysis, for the rebuild check.
+std::string renderAnalysis(const classify::ModuleAnalysis &MA,
+                           const classify::ExecCountMap &Execs) {
+  classify::HeuristicOptions HO;
+  std::string Out;
+  for (const auto &[Ref, Pats] : MA.loadPatterns()) {
+    Out += formatString("f%u.i%u:", Ref.FuncIdx, Ref.InstrIdx);
+    for (const ap::ApNode *P : Pats) {
+      Out += ' ';
+      Out += ap::printPattern(P);
+    }
+    auto It = Execs.find(Ref);
+    classify::FreqClass FC =
+        classify::freqClassOf(It == Execs.end() ? 0 : It->second, HO);
+    Out += formatString(" phi=%.17g\n", classify::phi(Pats, FC, HO));
+  }
+  return Out;
+}
+
+/// Oracle 4 on one module. \p Execs comes from a real simulation so the
+/// frequency-class path is exercised with live counts.
+void checkAnalysis(const masm::Module &M, const classify::ExecCountMap &Execs,
+                   const char *Level, std::vector<OracleFinding> &Findings) {
+  ap::ApBuilderOptions BO;
+  classify::HeuristicOptions HO;
+  classify::ModuleAnalysis MA(M, BO);
+
+  for (const auto &[Ref, Pats] : MA.loadPatterns()) {
+    if (Pats.empty()) {
+      Findings.push_back(
+          {OracleId::Analysis,
+           formatString("%s f%u.i%u: load has no patterns", Level,
+                        Ref.FuncIdx, Ref.InstrIdx)});
+      continue;
+    }
+    if (Pats.size() > BO.MaxPatternsPerLoad) {
+      Findings.push_back(
+          {OracleId::Analysis,
+           formatString("%s f%u.i%u: %zu patterns exceeds cap %u", Level,
+                        Ref.FuncIdx, Ref.InstrIdx, Pats.size(),
+                        BO.MaxPatternsPerLoad)});
+    }
+    for (const ap::ApNode *P : Pats) {
+      // Structural size must stay within what the depth/alt caps permit; a
+      // blow-up here means a cap stopped binding.
+      if (ap::patternSize(P) > 1u << 16) {
+        Findings.push_back(
+            {OracleId::Analysis,
+             formatString("%s f%u.i%u: pattern of %u nodes", Level,
+                          Ref.FuncIdx, Ref.InstrIdx, ap::patternSize(P))});
+        break;
+      }
+    }
+    auto It = Execs.find(Ref);
+    classify::FreqClass FC =
+        classify::freqClassOf(It == Execs.end() ? 0 : It->second, HO);
+    double Phi = classify::phi(Pats, FC, HO);
+    if (!std::isfinite(Phi)) {
+      Findings.push_back({OracleId::Analysis,
+                          formatString("%s f%u.i%u: phi not finite", Level,
+                                       Ref.FuncIdx, Ref.InstrIdx)});
+      continue;
+    }
+    // phi = max over patterns: must not depend on pattern order.
+    std::vector<const ap::ApNode *> Rev(Pats.rbegin(), Pats.rend());
+    double PhiRev = classify::phi(Rev, FC, HO);
+    if (Phi != PhiRev)
+      Findings.push_back(
+          {OracleId::Analysis,
+           formatString("%s f%u.i%u: phi order-dependent (%.17g vs %.17g)",
+                        Level, Ref.FuncIdx, Ref.InstrIdx, Phi, PhiRev)});
+  }
+
+  // The analysis must be deterministic: an identical rebuild renders
+  // identically.
+  classify::ModuleAnalysis MA2(M, BO);
+  std::string R1 = renderAnalysis(MA, Execs);
+  std::string R2 = renderAnalysis(MA2, Execs);
+  if (R1 != R2)
+    Findings.push_back(
+        {OracleId::Analysis,
+         formatString("%s: rebuild of the analysis differs", Level)});
+
+  // The static frequency estimate must stay finite and non-negative.
+  freq::StaticFreqEstimate SF(M);
+  for (uint32_t FI = 0; FI != M.functions().size(); ++FI) {
+    double F = SF.functionFreq(FI);
+    if (!std::isfinite(F) || F < 0.0) {
+      Findings.push_back(
+          {OracleId::Analysis,
+           formatString("%s: function %u static freq %g", Level, FI, F)});
+      break;
+    }
+  }
+}
+
+} // namespace
+
+OracleReport fuzz::runOracles(std::string_view Source,
+                              const OracleOptions &Opts) {
+  OracleReport Rep;
+
+  mcc::CompileOptions O0, O1;
+  O0.OptLevel = 0;
+  O1.OptLevel = 1;
+  mcc::CompileResult C0 = mcc::compile(Source, O0);
+  mcc::CompileResult C1 = mcc::compile(Source, O1);
+  if (!C0.ok() || !C1.ok()) {
+    // Generated programs are valid by construction; any rejection — let
+    // alone one opt level rejecting what the other accepts — is a bug.
+    if (!C0.ok())
+      Rep.Findings.push_back({OracleId::Compile, "-O0: " + C0.Errors});
+    if (!C1.ok())
+      Rep.Findings.push_back({OracleId::Compile, "-O1: " + C1.Errors});
+    return Rep;
+  }
+
+  masm::Layout L0(*C0.M);
+  masm::Layout L1(*C1.M);
+
+  // Reference run: -O0, flat backing, fusion on.
+  sim::RunResult R0 = runModule(*C0.M, L0, Opts.MaxInstrs,
+                                sim::Memory::Backing::Auto, false);
+  sim::RunResult R1 = runModule(*C1.M, L1, Opts.MaxInstrs,
+                                sim::Memory::Backing::Auto, false);
+  Rep.InstrsExecuted = R0.InstrsExecuted;
+  Rep.FuelExhausted = R0.Halt == sim::HaltReason::FuelExhausted ||
+                      R1.Halt == sim::HaltReason::FuelExhausted;
+
+  if (R0.Halt == sim::HaltReason::Trapped)
+    Rep.Findings.push_back(
+        {OracleId::Trap, "-O0 trapped: " + R0.TrapMessage});
+  if (R1.Halt == sim::HaltReason::Trapped)
+    Rep.Findings.push_back(
+        {OracleId::Trap, "-O1 trapped: " + R1.TrapMessage});
+
+  // Oracle 1: observable behavior across opt levels. Fuel exhaustion cuts
+  // the two executions off at different program points, so only the halt
+  // kind is comparable then.
+  if (!Rep.FuelExhausted && !Rep.has(OracleId::Trap)) {
+    if (R0.ExitCode != R1.ExitCode)
+      Rep.Findings.push_back(
+          {OracleId::OptLevels,
+           formatString("exit code %d (-O0) vs %d (-O1)", R0.ExitCode,
+                        R1.ExitCode)});
+    if (R0.Output != R1.Output)
+      Rep.Findings.push_back(
+          {OracleId::OptLevels,
+           formatString("output differs (%zu vs %zu bytes)", R0.Output.size(),
+                        R1.Output.size())});
+  }
+
+  // Oracles 2 and 3 compare identical instruction streams, so the full
+  // RunResult contract applies whatever the halt reason was.
+  struct Cfg {
+    const masm::Module *M;
+    const masm::Layout *L;
+    const sim::RunResult *Ref;
+    const char *Level;
+  };
+  for (const Cfg &C : {Cfg{C0.M.get(), &L0, &R0, "-O0"},
+                       Cfg{C1.M.get(), &L1, &R1, "-O1"}}) {
+    sim::RunResult Paged = runModule(*C.M, *C.L, Opts.MaxInstrs,
+                                     sim::Memory::Backing::Paged, false);
+    if (std::string D = diffRuns(*C.Ref, Paged); !D.empty())
+      Rep.Findings.push_back(
+          {OracleId::MemBacking,
+           formatString("%s flat vs paged: %s", C.Level, D.c_str())});
+
+    sim::RunResult NoFuse = runModule(*C.M, *C.L, Opts.MaxInstrs,
+                                      sim::Memory::Backing::Auto, true);
+    if (std::string D = diffRuns(*C.Ref, NoFuse); !D.empty())
+      Rep.Findings.push_back(
+          {OracleId::Fusion,
+           formatString("%s fused vs unfused: %s", C.Level, D.c_str())});
+  }
+
+  // Oracle 4: analysis invariants per module, frequency classes fed from
+  // the real profile of this very run.
+  if (Opts.CheckAnalysis) {
+    auto toExecMap = [](const sim::RunResult &R, const masm::Module &M) {
+      classify::ExecCountMap Map;
+      for (const auto &[Ref, Stat] : R.loadStats(M))
+        Map[Ref] = Stat.Execs;
+      return Map;
+    };
+    checkAnalysis(*C0.M, toExecMap(R0, *C0.M), "-O0", Rep.Findings);
+    checkAnalysis(*C1.M, toExecMap(R1, *C1.M), "-O1", Rep.Findings);
+  }
+
+  return Rep;
+}

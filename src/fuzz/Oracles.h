@@ -1,0 +1,101 @@
+//===- fuzz/Oracles.h - Differential oracles over the pipeline --------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The four differential oracles of the fuzzing harness. Each takes one
+/// generated MinC program (see fuzz/Generator.h) through the full
+/// compile -> simulate -> classify pipeline several times under
+/// configurations that must be observably equivalent, and reports any
+/// difference:
+///
+///  1. OptLevels  — the -O0 and -O1 compiles of the same source must print
+///     the same output and exit with the same status. (Skipped when either
+///     run exhausts its fuel: -O0 legitimately executes more instructions,
+///     so the truncation points differ.)
+///  2. MemBacking — the simulator's flat 4 GiB mmap backing and its
+///     page-table+TLB backing must produce bit-identical RunResults:
+///     counters, per-PC profiles, output, everything.
+///  3. Fusion     — a run with superinstruction fusion must agree with a
+///     no-fusion run on the complete RunResult, in particular per-PC
+///     ExecCounts/MissCounts (fused handlers maintain component counters).
+///  4. Analysis   — the AP builder and classifier must terminate within
+///     their structural caps and satisfy invariants on every load of both
+///     modules: ≤ MaxPatternsPerLoad patterns, phi finite and stable under
+///     pattern reordering, a rebuild of the analysis bit-identical, and the
+///     static frequency estimate finite and non-negative. (The issue's
+///     cross-opt-level derefDepth/recurrence comparison is relaxed to
+///     per-module invariants because masm carries no source positions to
+///     match loads across opt levels; see DESIGN.md.)
+///
+/// Compile failures and simulator traps are also findings: the generator
+/// only emits programs that must compile and run cleanly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_FUZZ_ORACLES_H
+#define DLQ_FUZZ_ORACLES_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dlq {
+namespace fuzz {
+
+/// Which oracle produced a finding.
+enum class OracleId : uint8_t {
+  Compile,    ///< A compile failed (or opt levels disagree about failing).
+  OptLevels,  ///< -O0 vs -O1 observable behavior.
+  MemBacking, ///< Flat vs paged guest memory.
+  Fusion,     ///< Fused vs no-fusion execution.
+  Analysis,   ///< AP/classifier invariant violation.
+  Trap,       ///< A run trapped on a generator-guaranteed-clean program.
+};
+
+std::string_view oracleName(OracleId Id);
+
+/// One divergence.
+struct OracleFinding {
+  OracleId Id;
+  std::string Detail; ///< Human-readable description of the difference.
+};
+
+/// Per-program oracle knobs.
+struct OracleOptions {
+  /// Fuel per simulation. Generated programs execute well under this;
+  /// reaching it downgrades oracle 1 to a halt-reason comparison.
+  uint64_t MaxInstrs = 50'000'000;
+  /// Oracle 4 is the most expensive; campaigns can disable it to focus on
+  /// execution differentials.
+  bool CheckAnalysis = true;
+};
+
+/// Everything the oracles observed about one program.
+struct OracleReport {
+  std::vector<OracleFinding> Findings; ///< Empty = clean.
+  bool FuelExhausted = false; ///< Some run hit MaxInstrs (oracle 1 relaxed).
+  uint64_t InstrsExecuted = 0; ///< Of the -O0 reference run.
+
+  bool clean() const { return Findings.empty(); }
+  /// True if some finding came from \p Id (the minimizer's predicate).
+  bool has(OracleId Id) const {
+    for (const OracleFinding &F : Findings)
+      if (F.Id == Id)
+        return true;
+    return false;
+  }
+};
+
+/// Runs all oracles over \p Source.
+OracleReport runOracles(std::string_view Source,
+                        const OracleOptions &Opts = OracleOptions());
+
+} // namespace fuzz
+} // namespace dlq
+
+#endif // DLQ_FUZZ_ORACLES_H

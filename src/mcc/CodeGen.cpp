@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <map>
 
 using namespace dlq;
@@ -851,6 +852,13 @@ static Opcode invertedBranch(BinaryOp Op) {
 void FuncEmitter::genCondBranch(const Expr *E, const std::string &FalseLabel) {
   if (HadError)
     return;
+  // Every piece of intra-expression control flow funnels through here. Any
+  // value still live from an enclosing expression must be forced to its
+  // stack slot NOW, on the unconditionally-executed path: a spill triggered
+  // later (a call's spillActiveVals, or pool pressure) would emit the store
+  // inside just one arm of the branch, and the post-join reload would read
+  // a slot the other arm never wrote.
+  spillActiveVals();
   if (E->Kind == ExprKind::Binary) {
     Opcode Br = invertedBranch(E->BOp);
     if (Br != Opcode::Nop) {
@@ -920,9 +928,14 @@ const Expr *FuncEmitter::foldExpr(const Expr *E, int32_t &Out) const {
     Out = E->IntValue;
     return E;
   case ExprKind::Unary: {
+    // Folds must mirror the simulator's two's-complement semantics exactly
+    // (and avoid host UB on the edge cases): wraparound add/sub/mul/neg,
+    // INT_MIN/-1 == INT_MIN and INT_MIN%-1 == 0 like the Div/Rem handlers,
+    // and *arithmetic* right shift to match Srav — folding >> logically is
+    // an observable -O0 vs -O1 divergence on negative operands.
     int32_t Sub;
     if (E->UOp == UnaryOp::Neg && foldExpr(E->Sub, Sub)) {
-      Out = -Sub;
+      Out = static_cast<int32_t>(0u - static_cast<uint32_t>(Sub));
       return E;
     }
     if (E->UOp == UnaryOp::BitNot && foldExpr(E->Sub, Sub)) {
@@ -937,23 +950,26 @@ const Expr *FuncEmitter::foldExpr(const Expr *E, int32_t &Out) const {
       return nullptr;
     switch (E->BOp) {
     case BinaryOp::Add:
-      Out = L + R;
+      Out = static_cast<int32_t>(static_cast<uint32_t>(L) +
+                                 static_cast<uint32_t>(R));
       return E;
     case BinaryOp::Sub:
-      Out = L - R;
+      Out = static_cast<int32_t>(static_cast<uint32_t>(L) -
+                                 static_cast<uint32_t>(R));
       return E;
     case BinaryOp::Mul:
-      Out = L * R;
+      Out = static_cast<int32_t>(static_cast<uint32_t>(L) *
+                                 static_cast<uint32_t>(R));
       return E;
     case BinaryOp::Div:
       if (R == 0)
         return nullptr;
-      Out = L / R;
+      Out = (L == INT32_MIN && R == -1) ? INT32_MIN : L / R;
       return E;
     case BinaryOp::Rem:
       if (R == 0)
         return nullptr;
-      Out = L % R;
+      Out = (L == INT32_MIN && R == -1) ? 0 : L % R;
       return E;
     case BinaryOp::And:
       Out = L & R;
@@ -969,7 +985,7 @@ const Expr *FuncEmitter::foldExpr(const Expr *E, int32_t &Out) const {
                                  << (static_cast<uint32_t>(R) & 31));
       return E;
     case BinaryOp::Shr:
-      Out = static_cast<int32_t>(static_cast<uint32_t>(L) >>
+      Out = static_cast<int32_t>(static_cast<int64_t>(L) >>
                                  (static_cast<uint32_t>(R) & 31));
       return E;
     default:
@@ -1304,26 +1320,39 @@ CodeGenResult mcc::generateCode(const TranslationUnit &Unit,
             return E->IntValue;
           case ExprKind::Unary:
             if (E->UOp == UnaryOp::Neg)
-              return -eval(E->Sub);
+              return static_cast<int32_t>(0u -
+                                          static_cast<uint32_t>(eval(E->Sub)));
             if (E->UOp == UnaryOp::BitNot)
               return ~eval(E->Sub);
             return 0;
           case ExprKind::Binary: {
+            // Must agree operator-for-operator with Parser::evalConst (which
+            // validated this very expression) and with the simulator's
+            // two's-complement semantics.
             int32_t L = eval(E->Sub), R = eval(E->Sub2);
             switch (E->BOp) {
             case BinaryOp::Add:
-              return L + R;
+              return static_cast<int32_t>(static_cast<uint32_t>(L) +
+                                          static_cast<uint32_t>(R));
             case BinaryOp::Sub:
-              return L - R;
+              return static_cast<int32_t>(static_cast<uint32_t>(L) -
+                                          static_cast<uint32_t>(R));
             case BinaryOp::Mul:
-              return L * R;
+              return static_cast<int32_t>(static_cast<uint32_t>(L) *
+                                          static_cast<uint32_t>(R));
             case BinaryOp::Div:
-              return R ? L / R : 0;
+              if (R == 0)
+                return 0;
+              return (L == INT32_MIN && R == -1) ? INT32_MIN : L / R;
+            case BinaryOp::Rem:
+              if (R == 0)
+                return 0;
+              return (L == INT32_MIN && R == -1) ? 0 : L % R;
             case BinaryOp::Shl:
               return static_cast<int32_t>(static_cast<uint32_t>(L)
                                           << (static_cast<uint32_t>(R) & 31));
             case BinaryOp::Shr:
-              return static_cast<int32_t>(static_cast<uint32_t>(L) >>
+              return static_cast<int32_t>(static_cast<int64_t>(L) >>
                                           (static_cast<uint32_t>(R) & 31));
             default:
               return 0;

@@ -5,6 +5,7 @@
 #include "support/Format.h"
 
 #include <cassert>
+#include <cstdint>
 #include <map>
 
 using namespace dlq;
@@ -973,9 +974,14 @@ int32_t Parser::evalConst(const Expr *E, bool &Ok) const {
   switch (E->Kind) {
   case ExprKind::IntLit:
     return E->IntValue;
+  // Arithmetic follows the simulator's two's-complement semantics (wraparound
+  // add/sub/mul/neg, INT_MIN edge cases defined, arithmetic right shift), so
+  // a constant-folded expression means the same thing wherever it is
+  // evaluated — here, in the -O1 folder, and at run time.
   case ExprKind::Unary:
     if (E->UOp == UnaryOp::Neg)
-      return -evalConst(E->Sub, Ok);
+      return static_cast<int32_t>(
+          0u - static_cast<uint32_t>(evalConst(E->Sub, Ok)));
     if (E->UOp == UnaryOp::BitNot)
       return ~evalConst(E->Sub, Ok);
     break;
@@ -987,20 +993,27 @@ int32_t Parser::evalConst(const Expr *E, bool &Ok) const {
       break;
     switch (E->BOp) {
     case BinaryOp::Add:
-      return L + R;
+      return static_cast<int32_t>(static_cast<uint32_t>(L) +
+                                  static_cast<uint32_t>(R));
     case BinaryOp::Sub:
-      return L - R;
+      return static_cast<int32_t>(static_cast<uint32_t>(L) -
+                                  static_cast<uint32_t>(R));
     case BinaryOp::Mul:
-      return L * R;
+      return static_cast<int32_t>(static_cast<uint32_t>(L) *
+                                  static_cast<uint32_t>(R));
     case BinaryOp::Div:
       if (R != 0)
-        return L / R;
+        return (L == INT32_MIN && R == -1) ? INT32_MIN : L / R;
+      break;
+    case BinaryOp::Rem:
+      if (R != 0)
+        return (L == INT32_MIN && R == -1) ? 0 : L % R;
       break;
     case BinaryOp::Shl:
       return static_cast<int32_t>(static_cast<uint32_t>(L)
                                   << (static_cast<uint32_t>(R) & 31));
     case BinaryOp::Shr:
-      return static_cast<int32_t>(static_cast<uint32_t>(L) >>
+      return static_cast<int32_t>(static_cast<int64_t>(L) >>
                                   (static_cast<uint32_t>(R) & 31));
     default:
       break;

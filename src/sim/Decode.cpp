@@ -106,7 +106,8 @@ static XOp baseXOp(Opcode Op) {
 }
 
 DecodedProgram sim::predecode(const Module &M, const Layout &L,
-                              const std::set<InstrRef> &PrefetchLoads) {
+                              const std::set<InstrRef> &PrefetchLoads,
+                              bool Fuse) {
   DecodedProgram P;
   P.Instrs.reserve(M.totalInstrs());
   P.FlatMap.reserve(M.totalInstrs());
@@ -217,7 +218,7 @@ DecodedProgram sim::predecode(const Module &M, const Layout &L,
       {XOp::Li, XOp::Bge, XOp::FuseLiBge},
       {XOp::Li, XOp::Beq, XOp::FuseLiBeq},
   };
-  for (size_t Idx = 0; Idx + 1 < P.Instrs.size(); ++Idx) {
+  for (size_t Idx = 0; Fuse && Idx + 1 < P.Instrs.size(); ++Idx) {
     // Reading Instrs[Idx].Op before rewriting it and Instrs[Idx + 1].Op
     // before Idx reaches it means both reads see original (unfused) ops, so
     // heads may overlap: in `lw lw lw`, both the first and second lw become

@@ -188,9 +188,12 @@ struct DecodedProgram {
 };
 
 /// Lowers \p M (which must be finalized, with \p L its layout). Loads in
-/// \p PrefetchLoads get their Prefetch flag set.
+/// \p PrefetchLoads get their Prefetch flag set. \p Fuse controls the
+/// superinstruction pass; disabling it keeps every instruction stand-alone,
+/// which the differential fuzzer uses as the per-PC accounting reference.
 DecodedProgram predecode(const masm::Module &M, const masm::Layout &L,
-                         const std::set<masm::InstrRef> &PrefetchLoads);
+                         const std::set<masm::InstrRef> &PrefetchLoads,
+                         bool Fuse = true);
 
 } // namespace sim
 } // namespace dlq

@@ -23,8 +23,9 @@ std::map<InstrRef, LoadStat> RunResult::loadStats(const Module &M) const {
 }
 
 Machine::Machine(const Module &Mod, const Layout &Lay, MachineOptions Options)
-    : M(Mod), L(Lay), Opts(std::move(Options)), Rand(Opts.RandSeed) {
-  Prog = predecode(M, L, Opts.PrefetchLoads);
+    : M(Mod), L(Lay), Opts(std::move(Options)), Mem(Opts.MemBacking),
+      Rand(Opts.RandSeed) {
+  Prog = predecode(M, L, Opts.PrefetchLoads, !Opts.NoFusion);
 }
 
 uint32_t Machine::runtimeMalloc(uint32_t Size) {

@@ -57,6 +57,14 @@ struct MachineOptions {
   CacheConfig ICache = CacheConfig::baseline();
   uint64_t MaxInstrs = 2'000'000'000;
   uint64_t RandSeed = 1;
+  /// Guest-memory backing. Auto = flat 4 GiB mmap when the host allows it;
+  /// Paged forces the page-table+TLB fallback. The two must be
+  /// bit-identical; the differential fuzzer runs both and compares.
+  Memory::Backing MemBacking = Memory::Backing::Auto;
+  /// Disables superinstruction fusion in the predecoder, so every
+  /// instruction executes through its stand-alone handler. Per-PC counters
+  /// must not depend on this; the differential fuzzer checks that too.
+  bool NoFusion = false;
   /// Command-line style integer arguments: main(argc-like) receives Args[0]
   /// in $a0, Args[1] in $a1, ... (up to 4).
   std::vector<int32_t> Args;

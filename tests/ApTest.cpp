@@ -10,6 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 using namespace dlq;
 using namespace dlq::ap;
 using namespace dlq::masm;
@@ -301,6 +304,49 @@ TEST(ApBuilder, PatternCountCapHolds) {
     EXPECT_LE(Pats.size(), Opts.MaxPatternsPerLoad);
 }
 
+TEST(ApBuilder, CombineDedupsBeforeCapping) {
+  // Three registers with the const defs {0,1,2,3} each, summed pairwise:
+  // the factory folds every Add of two consts, so the 7 x 4 = 28 combinations
+  // of the second add collapse onto the ten sums 0..9. combine() used to
+  // truncate at MaxPatternsPerLoad *pushes* and dedup afterwards, so
+  // duplicate sums occupied the cap and the largest sums were silently lost
+  // (only a 7-wide window of values survived). All ten must be distinct
+  // patterns of the load.
+  std::string Asm = ".text\n.globl f\nf:\n";
+  auto diamond = [&](const char *RegName, int Tag) {
+    for (int I = 0; I != 3; ++I)
+      Asm += formatString("        beq $a0, $zero, L%d_%d\n", Tag, I);
+    Asm += formatString("        li %s, 0\n", RegName);
+    Asm += formatString("        j L%d_end\n", Tag);
+    for (int I = 0; I != 3; ++I) {
+      Asm += formatString("L%d_%d:\n", Tag, I);
+      Asm += formatString("        li %s, %d\n", RegName, I + 1);
+      if (I != 2)
+        Asm += formatString("        j L%d_end\n", Tag);
+    }
+    Asm += formatString("L%d_end:\n", Tag);
+  };
+  diamond("$t0", 1);
+  diamond("$t1", 2);
+  diamond("$t2", 3);
+  Asm += "        add $t3, $t0, $t1\n";
+  Asm += "        add $t4, $t3, $t2\n";
+  Asm += "        lw  $t5, 0($t4)\n";
+  Asm += "        jr  $ra\n";
+
+  PatternFixture F(Asm.c_str());
+  // Each diamond is 3 beq + 4 li + 3 j = 10 instructions; the load follows
+  // the two adds.
+  uint32_t LoadIdx = 32;
+  ASSERT_TRUE(F.Patterns.count(LoadIdx));
+  std::vector<std::string> P = F.of(LoadIdx);
+  std::sort(P.begin(), P.end());
+  EXPECT_EQ(P.size(), 10u);
+  for (int Sum = 0; Sum != 10; ++Sum)
+    EXPECT_TRUE(std::find(P.begin(), P.end(), std::to_string(Sum)) != P.end())
+        << "missing constant pattern " << Sum;
+}
+
 TEST(ApPattern, PrintPrecedence) {
   Arena A;
   ApFactory F(A);
@@ -324,6 +370,26 @@ TEST(ApPattern, EqualityIsStructural) {
       F.getDeref(F.getBinary(ApKind::Add, F.getBase(Reg::SP), F.getConst(12)));
   EXPECT_TRUE(patternsEqual(P1, P2));
   EXPECT_FALSE(patternsEqual(P1, P3));
+}
+
+TEST(ApPattern, ConstantFoldingWrapsOnOverflow) {
+  // Found by the sanitized fuzz campaign: folding Const+Const (and Sub/Mul,
+  // and negating a Sub's rhs) overflowed in signed host arithmetic, which is
+  // UB on valid analyzed programs. The folds now wrap mod 2^32 like the
+  // simulated machine.
+  Arena A;
+  ApFactory F(A);
+  const ApNode *Max = F.getConst(2147483647);
+  const ApNode *Min = F.getConst(-2147483647 - 1);
+  EXPECT_EQ(F.getBinary(ApKind::Add, Max, F.getConst(1))->Value,
+            -2147483647 - 1);
+  EXPECT_EQ(F.getBinary(ApKind::Sub, Min, F.getConst(1))->Value, 2147483647);
+  EXPECT_EQ(F.getBinary(ApKind::Mul, Max, F.getConst(2))->Value, -2);
+  // Sub with a Const rhs rewrites to Add of the negation; INT_MIN must not
+  // be negated in signed arithmetic.
+  const ApNode *N = F.getBinary(ApKind::Sub, F.getBase(Reg::SP), Min);
+  ASSERT_EQ(N->Kind, ApKind::Add);
+  EXPECT_EQ(N->Rhs->Value, -2147483647 - 1);
 }
 
 TEST(ApPattern, SubFoldsToNegativeAdd) {

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 using namespace dlq;
 using namespace dlq::freq;
 using namespace dlq::masm;
@@ -155,4 +157,42 @@ TEST(StaticFreq, LoadExecCountsPlugIntoHeuristic) {
   auto DeltaNone = MA.delinquentSet(NoH5, nullptr);
   EXPECT_LE(DeltaStatic.size(), DeltaNone.size())
       << "static frequency classes can only suppress";
+}
+
+TEST(StaticFreq, DeepCallChainPropagatesWithinRoundBudget) {
+  // main -> f1 -> ... -> f8 is exactly Rounds=8 levels deep. Propagation
+  // used to start from an all-zero vector and seed main *inside* round 0,
+  // which burned one round and left the deepest callee at frequency 0.
+  std::string Src = "int f8(int n) { return n; }";
+  for (int I = 7; I >= 1; --I)
+    Src += "int f" + std::to_string(I) + "(int n) { return f" +
+           std::to_string(I + 1) + "(n + 1); }";
+  Src += "int main() { return f1(0); }";
+  auto M = test::compileOrDie(Src.c_str(), 0);
+  ASSERT_TRUE(M);
+  StaticFreqEstimate E(*M);
+  EXPECT_DOUBLE_EQ(E.functionFreq(M->functionIndex("f8")), 1.0);
+}
+
+TEST(StaticFreq, RecursiveFixpointIsRoundCountIndependent) {
+  // A damped self-recursion (call weight 1/4) approaches its fixpoint
+  // geometrically and never reaches it exactly, so the old exact-equality
+  // convergence test ran every round and the answer depended on the Rounds
+  // cap. With a relative tolerance both budgets stop at the same fixpoint.
+  auto M = test::compileOrDie("int f(int n) {"
+                              "  if (n > 0) {"
+                              "    if (n > 1) { return f(n - 2); }"
+                              "  }"
+                              "  return 1; }"
+                              "int main() { return f(9); }",
+                              0);
+  ASSERT_TRUE(M);
+  StaticFreqOptions Short;
+  Short.Rounds = 20;
+  StaticFreqOptions Long;
+  Long.Rounds = 40;
+  double FS = StaticFreqEstimate(*M, Short).functionFreq(M->functionIndex("f"));
+  double FL = StaticFreqEstimate(*M, Long).functionFreq(M->functionIndex("f"));
+  EXPECT_DOUBLE_EQ(FS, FL);
+  EXPECT_GT(FS, 1.0);
 }

@@ -6,6 +6,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "fuzz/Fuzzer.h"
+#include "fuzz/Generator.h"
+#include "fuzz/Minimizer.h"
+#include "fuzz/Oracles.h"
 #include "masm/Parser.h"
 #include "masm/Printer.h"
 #include "mcc/Compiler.h"
@@ -82,8 +86,9 @@ TEST_P(ParserFuzz, MinCSoupNeverCrashes) {
   for (int Trial = 0; Trial != 50; ++Trial) {
     std::string Soup = randomMinCSoup(R, 5 + R.nextBelow(80));
     mcc::CompileResult Result = mcc::compile(Soup);
-    if (!Result.ok())
+    if (!Result.ok()) {
       EXPECT_FALSE(Result.Errors.empty());
+    }
   }
 }
 
@@ -111,8 +116,9 @@ TEST(ParserFuzz2, DeeplyNestedExpressionsAreBounded) {
   Deep += "; }";
   mcc::CompileResult R = mcc::compile(Deep);
   // Either outcome is fine; the process surviving is the test.
-  if (!R.ok())
+  if (!R.ok()) {
     EXPECT_FALSE(R.Errors.empty());
+  }
 }
 
 TEST(ParserFuzz2, LongChainsOfStatements) {
@@ -123,4 +129,97 @@ TEST(ParserFuzz2, LongChainsOfStatements) {
   mcc::CompileResult R = mcc::compile(Src);
   ASSERT_TRUE(R.ok()) << R.Errors;
   EXPECT_GT(R.M->totalInstrs(), 4000u);
+}
+
+//===----------------------------------------------------------------------===//
+// Differential pipeline fuzzing (src/fuzz): a deterministic slice of the
+// campaign that tools/fuzz_pipeline runs at scale. Fixed seeds, so a failure
+// here is a plain regression, and the reproducer is `fuzz_pipeline --emit`.
+//===----------------------------------------------------------------------===//
+
+TEST(PipelineFuzz, GeneratorIsDeterministic) {
+  for (uint64_t Seed : {1ull, 42ull, 0xDEADBEEFull}) {
+    std::string A = fuzz::generateProgram(Seed);
+    std::string B = fuzz::generateProgram(Seed);
+    EXPECT_EQ(A, B) << "seed " << Seed;
+    EXPECT_NE(A.find("int main()"), std::string::npos);
+  }
+}
+
+TEST(PipelineFuzz, GeneratedProgramsAlwaysCompile) {
+  // Validity discipline: every generated program is legal MinC.
+  mcc::CompileOptions O0;
+  mcc::CompileOptions O1;
+  O1.OptLevel = 1;
+  for (uint64_t Index = 0; Index != 64; ++Index) {
+    std::string Src = fuzz::generateProgram(fuzz::programSeed(11, Index));
+    mcc::CompileResult R0 = mcc::compile(Src, O0);
+    mcc::CompileResult R1 = mcc::compile(Src, O1);
+    EXPECT_TRUE(R0.ok()) << "index " << Index << ": " << R0.Errors;
+    EXPECT_TRUE(R1.ok()) << "index " << Index << ": " << R1.Errors;
+  }
+}
+
+TEST(PipelineFuzz, DeterministicCampaignSliceIsClean) {
+  // ~100 programs through all four oracles. Smaller generator limits keep the
+  // simulated instruction counts unit-test sized; the nightly sanitizer job
+  // runs the full-size campaign.
+  fuzz::GeneratorOptions Gen;
+  Gen.MaxLoopBound = 8;
+  Gen.MaxListLen = 12;
+  fuzz::OracleOptions Oracle;
+  Oracle.MaxInstrs = 5'000'000;
+  unsigned Failures = 0;
+  for (uint64_t Index = 0; Index != 96 && Failures < 5; ++Index) {
+    uint64_t Seed = fuzz::programSeed(1, Index);
+    std::string Src = fuzz::generateProgram(Seed, Gen);
+    fuzz::OracleReport Rep = fuzz::runOracles(Src, Oracle);
+    for (const fuzz::OracleFinding &F : Rep.Findings) {
+      ++Failures;
+      ADD_FAILURE() << "index " << Index << " seed " << Seed << " ["
+                    << std::string(fuzz::oracleName(F.Id)) << "] " << F.Detail;
+    }
+  }
+}
+
+TEST(PipelineFuzz, MinimizerShrinksAndPreservesTheFinding) {
+  // Plant a genuine divergence: opt-level oracle trips on a program whose
+  // observable output depends on an uninitialized stack slot at -O0 vs -O1
+  // is NOT generator-reachable, so instead use a trap divergence: division
+  // by zero behind a branch the folder removes at -O1.
+  // Simpler and fully deterministic: a program that always traps. The Trap
+  // finding survives line deletion down to a tiny core.
+  std::string Src = "int g0;\n"
+                    "int g1;\n"
+                    "int main() {\n"
+                    "  int a;\n"
+                    "  int b;\n"
+                    "  a = 3;\n"
+                    "  b = 0;\n"
+                    "  print_int(a);\n"
+                    "  print_int(a / b);\n"
+                    "  return 0;\n"
+                    "}\n";
+  fuzz::OracleReport Rep = fuzz::runOracles(Src);
+  ASSERT_TRUE(Rep.has(fuzz::OracleId::Trap));
+  fuzz::MinimizeOptions MO;
+  fuzz::MinimizeResult MR =
+      fuzz::minimizeProgram(Src, fuzz::OracleId::Trap, MO);
+  EXPECT_TRUE(fuzz::runOracles(MR.Program).has(fuzz::OracleId::Trap));
+  EXPECT_LT(MR.Program.size(), Src.size());
+  EXPECT_GT(MR.Probes, 0u);
+}
+
+TEST(PipelineFuzz, CampaignApiFindsNothingOnASmallRun) {
+  fuzz::FuzzOptions FO;
+  FO.Programs = 12;
+  FO.Seed = 3;
+  FO.Minimize = false;
+  FO.Gen.MaxLoopBound = 8;
+  FO.Gen.MaxListLen = 12;
+  FO.Oracle.MaxInstrs = 5'000'000;
+  fuzz::FuzzResult FR = fuzz::runCampaign(FO);
+  EXPECT_TRUE(FR.clean());
+  EXPECT_EQ(FR.Stats.Programs, 12u);
+  EXPECT_GT(FR.Stats.InstrsExecuted, 0u);
 }

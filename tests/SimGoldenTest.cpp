@@ -82,8 +82,8 @@ const GoldenRow Golden[] = {
     {"equake_like", 1, 1, 0, 20000000ull, 2165296ull, 600785ull, 27165ull, 0x689e2f95d7022640ull, 0xd338cd7d9c455001ull, 0xcbf29ce484222325ull},
     {"ammp_like", 0, 1, 0, 20000000ull, 8520595ull, 745442ull, 10474ull, 0xe322231e87e6c1efull, 0x92a2f2542689068cull, 0xcbf29ce484222325ull},
     {"ammp_like", 1, 1, 0, 20000000ull, 3055827ull, 748325ull, 10354ull, 0x8092c26278fe7c1cull, 0xaca73d89778fb457ull, 0xcbf29ce484222325ull},
-    {"parser_like", 0, 0, 0, 8207248ull, 4098235ull, 343417ull, 16213ull, 0x6abcf3a196014278ull, 0x843bacd0ee439913ull, 0x57319efce9f0e86eull},
-    {"parser_like", 1, 0, 0, 8688097ull, 1532679ull, 343339ull, 16213ull, 0xec87b64d896b789ull, 0x88b3b84416cb36bbull, 0x57319efce9f0e86eull},
+    {"parser_like", 0, 0, 0, 8267248ull, 4158235ull, 343417ull, 16213ull, 0xb4b12de0bb961dccull, 0x8e1ae180cbc10fd3ull, 0x57319efce9f0e86eull},
+    {"parser_like", 1, 0, 0, 8748097ull, 1592679ull, 343339ull, 16213ull, 0x872026748cc5601dull, 0x804e68f89474b6fbull, 0x57319efce9f0e86eull},
     {"twolf_like", 0, 0, 0, 12965173ull, 5460341ull, 422575ull, 7104ull, 0x2215fb7e9bccc63eull, 0x210cea5191e1eb11ull, 0x7e088a2bd3390e2cull},
     {"twolf_like", 1, 0, 0, 12900484ull, 1479452ull, 422443ull, 7104ull, 0xc0d69b8bc51ef16bull, 0xe366d18609beff2aull, 0x7e088a2bd3390e2cull},
 };

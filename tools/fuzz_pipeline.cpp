@@ -1,0 +1,162 @@
+//===- tools/fuzz_pipeline.cpp - differential fuzzing CLI ------------------------//
+//
+// Drives the differential fuzzing harness (src/fuzz) from the command line:
+//
+//   fuzz_pipeline --programs 10000 --seed 1 --out fuzz-repros
+//
+// Each program is generated from a seed derived from (--seed, index),
+// compiled at -O0 and -O1, simulated under flat and paged memory backings,
+// with and without superinstruction fusion, and analyzed by the AP builder
+// and classifier; any observable difference is a finding. Findings are
+// delta-reduced and written to --out as standalone .mc reproducers. Exit
+// status: 0 = clean campaign, 1 = findings, 2 = usage error.
+//
+// Replaying one finding: `fuzz_pipeline --replay repro.mc` re-runs the
+// oracle battery over an existing file (minimization off), which is how the
+// regression tests in tests/FuzzRegressionTest.cpp were produced.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+#include "support/Format.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace dlq;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: fuzz_pipeline [options]\n"
+      "  --programs <n>    programs to generate and check (default 1000)\n"
+      "  --seed <s>        campaign seed (default 1)\n"
+      "  --jobs <n>        worker threads (default: hardware)\n"
+      "  --out <dir>       write minimized reproducers here\n"
+      "  --max-instrs <n>  simulation fuel per run (default 50000000)\n"
+      "  --no-minimize     report original programs without reduction\n"
+      "  --no-analysis     skip the AP/classifier oracle\n"
+      "  --emit <seed>     print the generated program for a seed and exit\n"
+      "  --replay <file>   run the oracles over one .mc file and exit\n"
+      "  --quiet           no per-batch progress\n");
+  return 2;
+}
+
+bool parseU64(const char *S, uint64_t &V) {
+  char *End = nullptr;
+  V = std::strtoull(S, &End, 0);
+  return End && *End == '\0' && End != S;
+}
+
+int replay(const std::string &Path, const fuzz::OracleOptions &Opts) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot read %s\n", Path.c_str());
+    return 2;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  fuzz::OracleReport Rep = fuzz::runOracles(Buf.str(), Opts);
+  for (const fuzz::OracleFinding &F : Rep.Findings)
+    std::printf("[%s] %s\n", std::string(fuzz::oracleName(F.Id)).c_str(),
+                F.Detail.c_str());
+  if (Rep.clean())
+    std::printf("clean (%llu instrs%s)\n",
+                static_cast<unsigned long long>(Rep.InstrsExecuted),
+                Rep.FuelExhausted ? ", fuel exhausted" : "");
+  return Rep.clean() ? 0 : 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  fuzz::FuzzOptions Opts;
+  bool Quiet = false;
+  std::string ReplayPath;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    if (A == "--programs") {
+      if (const char *V = next(); !V || !parseU64(V, Opts.Programs))
+        return usage();
+    } else if (A == "--seed") {
+      if (const char *V = next(); !V || !parseU64(V, Opts.Seed))
+        return usage();
+    } else if (A == "--jobs") {
+      uint64_t J;
+      if (const char *V = next(); !V || !parseU64(V, J))
+        return usage();
+      else
+        Opts.Jobs = static_cast<unsigned>(J);
+    } else if (A == "--out") {
+      if (const char *V = next())
+        Opts.OutDir = V;
+      else
+        return usage();
+    } else if (A == "--max-instrs") {
+      if (const char *V = next(); !V || !parseU64(V, Opts.Oracle.MaxInstrs))
+        return usage();
+    } else if (A == "--no-minimize") {
+      Opts.Minimize = false;
+    } else if (A == "--no-analysis") {
+      Opts.Oracle.CheckAnalysis = false;
+    } else if (A == "--emit") {
+      uint64_t S;
+      if (const char *V = next(); !V || !parseU64(V, S))
+        return usage();
+      else
+        std::fputs(fuzz::generateProgram(S, Opts.Gen).c_str(), stdout);
+      return 0;
+    } else if (A == "--replay") {
+      if (const char *V = next())
+        ReplayPath = V;
+      else
+        return usage();
+    } else if (A == "--quiet") {
+      Quiet = true;
+    } else {
+      return usage();
+    }
+  }
+
+  if (!ReplayPath.empty())
+    return replay(ReplayPath, Opts.Oracle);
+
+  if (!Quiet)
+    Opts.OnProgress = [](uint64_t Done, uint64_t Total, uint64_t Findings) {
+      std::fprintf(stderr, "fuzz: %llu/%llu programs, %llu findings\n",
+                   static_cast<unsigned long long>(Done),
+                   static_cast<unsigned long long>(Total),
+                   static_cast<unsigned long long>(Findings));
+    };
+
+  fuzz::FuzzResult Res = fuzz::runCampaign(Opts);
+
+  for (const fuzz::FuzzFinding &F : Res.Findings) {
+    std::printf("FINDING seed=0x%016llx index=%llu oracle=%s\n  %s\n",
+                static_cast<unsigned long long>(F.Seed),
+                static_cast<unsigned long long>(F.Index),
+                std::string(fuzz::oracleName(F.Oracle)).c_str(),
+                F.Detail.c_str());
+    if (!F.ReproPath.empty())
+      std::printf("  reproducer: %s (%zu -> %zu lines)\n", F.ReproPath.c_str(),
+                  F.OriginalLines, F.MinimizedLines);
+  }
+  std::printf("fuzz: %llu programs, %llu clean, %zu findings, "
+              "%llu fuel-exhausted, %llu instrs simulated\n",
+              static_cast<unsigned long long>(Res.Stats.Programs),
+              static_cast<unsigned long long>(Res.Stats.Clean),
+              Res.Findings.size(),
+              static_cast<unsigned long long>(Res.Stats.FuelExhausted),
+              static_cast<unsigned long long>(Res.Stats.InstrsExecuted));
+  return Res.clean() ? 0 : 1;
+}
