@@ -1,0 +1,590 @@
+//===- absint/Absint.cpp --------------------------------------------------==//
+
+#include "absint/Absint.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+using namespace dlq;
+using namespace dlq::absint;
+using namespace dlq::masm;
+
+//===----------------------------------------------------------------------===//
+// State lattice
+//===----------------------------------------------------------------------===//
+
+State State::entry() {
+  State S;
+  S.Reachable = true;
+  for (unsigned R = 0; R != NumRegs; ++R)
+    S.Regs[R] = AbsValue::entry(static_cast<Reg>(R));
+  S.Regs[0] = AbsValue::constant(0);
+  return S;
+}
+
+bool dlq::absint::operator==(const State &A, const State &B) {
+  return A.Reachable == B.Reachable && A.Regs == B.Regs &&
+         A.Written == B.Written && A.Words == B.Words;
+}
+
+State dlq::absint::joinState(const State &A, const State &B) {
+  if (!A.Reachable)
+    return B;
+  if (!B.Reachable)
+    return A;
+  State R;
+  R.Reachable = true;
+  for (unsigned I = 0; I != NumRegs; ++I)
+    R.Regs[I] = join(A.Regs[I], B.Regs[I]);
+  std::set_intersection(A.Written.begin(), A.Written.end(), B.Written.begin(),
+                        B.Written.end(),
+                        std::inserter(R.Written, R.Written.end()));
+  for (const auto &[Off, V] : A.Words) {
+    auto It = B.Words.find(Off);
+    if (It == B.Words.end())
+      continue;
+    AbsValue J = join(V, It->second);
+    if (!J.isTop())
+      R.Words.emplace(Off, J);
+  }
+  return R;
+}
+
+State dlq::absint::widenState(const State &Old, const State &New) {
+  if (!Old.Reachable)
+    return New;
+  if (!New.Reachable)
+    return Old;
+  State R;
+  R.Reachable = true;
+  for (unsigned I = 0; I != NumRegs; ++I)
+    R.Regs[I] = widen(Old.Regs[I], New.Regs[I]);
+  std::set_intersection(Old.Written.begin(), Old.Written.end(),
+                        New.Written.begin(), New.Written.end(),
+                        std::inserter(R.Written, R.Written.end()));
+  for (const auto &[Off, V] : Old.Words) {
+    auto It = New.Words.find(Off);
+    if (It == New.Words.end())
+      continue;
+    AbsValue W = widen(V, It->second);
+    if (!W.isTop())
+      R.Words.emplace(Off, W);
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Transfer function
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// 32-bit wrap of a host value, sign-extended back (simulator semantics).
+int64_t wrap32(int64_t V) {
+  return static_cast<int32_t>(static_cast<uint32_t>(V));
+}
+
+/// Folds a binary ALU op over two concrete 32-bit values.
+int64_t foldAlu(Opcode Op, int64_t A64, int64_t B64) {
+  int32_t A = static_cast<int32_t>(A64), B = static_cast<int32_t>(B64);
+  uint32_t UA = static_cast<uint32_t>(A), UB = static_cast<uint32_t>(B);
+  switch (Op) {
+  case Opcode::Div:
+    if (B == 0)
+      return 0;
+    if (A == INT32_MIN && B == -1)
+      return INT32_MIN;
+    return A / B;
+  case Opcode::Rem:
+    if (B == 0)
+      return 0;
+    if (A == INT32_MIN && B == -1)
+      return 0;
+    return A % B;
+  case Opcode::And:
+  case Opcode::Andi:
+    return static_cast<int32_t>(UA & UB);
+  case Opcode::Or:
+  case Opcode::Ori:
+    return static_cast<int32_t>(UA | UB);
+  case Opcode::Xor:
+  case Opcode::Xori:
+    return static_cast<int32_t>(UA ^ UB);
+  case Opcode::Nor:
+    return static_cast<int32_t>(~(UA | UB));
+  case Opcode::Slt:
+  case Opcode::Slti:
+    return A < B ? 1 : 0;
+  case Opcode::Sltu:
+  case Opcode::Sltiu:
+    return UA < UB ? 1 : 0;
+  case Opcode::Sllv:
+  case Opcode::Sll:
+    return static_cast<int32_t>(UA << (UB & 31));
+  case Opcode::Srlv:
+  case Opcode::Srl:
+    return static_cast<int32_t>(UA >> (UB & 31));
+  case Opcode::Srav:
+  case Opcode::Sra:
+    return A >> (UB & 31);
+  default:
+    return 0;
+  }
+}
+
+AbsValue boolRange() {
+  AbsValue V;
+  V.Base = SymBase::none();
+  V.Lo = 0;
+  V.Hi = 1;
+  V.Stride = 1;
+  return V;
+}
+
+AbsValue rangeValue(int64_t Lo, int64_t Hi) {
+  AbsValue V;
+  V.Base = SymBase::none();
+  V.Lo = Lo;
+  V.Hi = Hi;
+  V.Stride = 1;
+  return V;
+}
+
+} // namespace
+
+Interp::Interp(const cfg::Cfg &Graph, const cfg::LoopInfo &Loops, Options O)
+    : G(Graph), LI(Loops), Opts(O) {
+  In.resize(G.numBlocks());
+}
+
+void Interp::step(State &S, uint32_t InstrIdx) const {
+  const Instr &I = G.function().instrs()[InstrIdx];
+  switch (I.Op) {
+  // Three-register ALU.
+  case Opcode::Add:
+    S.setReg(I.Rd, addValues(S.reg(I.Rs), S.reg(I.Rt)));
+    return;
+  case Opcode::Sub:
+    S.setReg(I.Rd, subValues(S.reg(I.Rs), S.reg(I.Rt)));
+    return;
+  case Opcode::Mul:
+    S.setReg(I.Rd, mulValues(S.reg(I.Rs), S.reg(I.Rt)));
+    return;
+  case Opcode::Sllv:
+    S.setReg(I.Rd, shlValues(S.reg(I.Rs), S.reg(I.Rt)));
+    return;
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Nor:
+  case Opcode::Srlv:
+  case Opcode::Srav: {
+    AbsValue A = S.reg(I.Rs), B = S.reg(I.Rt);
+    if (A.isConst() && B.isConst())
+      S.setReg(I.Rd, AbsValue::constant(
+                         foldAlu(I.Op, A.constValue(), B.constValue())));
+    else
+      S.setReg(I.Rd, AbsValue::top());
+    return;
+  }
+  case Opcode::Slt:
+  case Opcode::Sltu: {
+    AbsValue A = S.reg(I.Rs), B = S.reg(I.Rt);
+    if (A.isConst() && B.isConst())
+      S.setReg(I.Rd, AbsValue::constant(
+                         foldAlu(I.Op, A.constValue(), B.constValue())));
+    else
+      S.setReg(I.Rd, boolRange());
+    return;
+  }
+  // Register-immediate ALU.
+  case Opcode::Addi:
+    S.setReg(I.Rd, addValues(S.reg(I.Rs), AbsValue::constant(I.Imm)));
+    return;
+  case Opcode::Sll:
+    S.setReg(I.Rd, shlValues(S.reg(I.Rs), AbsValue::constant(I.Imm)));
+    return;
+  case Opcode::Andi: {
+    AbsValue A = S.reg(I.Rs);
+    if (A.isConst())
+      S.setReg(I.Rd, AbsValue::constant(foldAlu(I.Op, A.constValue(), I.Imm)));
+    else if (I.Imm >= 0)
+      S.setReg(I.Rd, rangeValue(0, I.Imm)); // Masking bounds the result.
+    else
+      S.setReg(I.Rd, AbsValue::top());
+    return;
+  }
+  case Opcode::Ori:
+  case Opcode::Xori:
+  case Opcode::Srl:
+  case Opcode::Sra: {
+    AbsValue A = S.reg(I.Rs);
+    if (A.isConst())
+      S.setReg(I.Rd, AbsValue::constant(foldAlu(I.Op, A.constValue(), I.Imm)));
+    else
+      S.setReg(I.Rd, AbsValue::top());
+    return;
+  }
+  case Opcode::Slti:
+  case Opcode::Sltiu: {
+    AbsValue A = S.reg(I.Rs);
+    if (A.isConst())
+      S.setReg(I.Rd, AbsValue::constant(foldAlu(I.Op, A.constValue(), I.Imm)));
+    else
+      S.setReg(I.Rd, boolRange());
+    return;
+  }
+  case Opcode::Lui:
+    S.setReg(I.Rd, AbsValue::constant(wrap32(int64_t(I.Imm) << 16)));
+    return;
+  // Pseudo data movement.
+  case Opcode::Li:
+    S.setReg(I.Rd, AbsValue::constant(I.Imm));
+    return;
+  case Opcode::La: {
+    uint32_t Addr = Opts.ModLayout ? Opts.ModLayout->globalAddress(I.Sym)
+                                   : masm::Layout::InvalidAddress;
+    if (Addr != masm::Layout::InvalidAddress)
+      S.setReg(I.Rd, AbsValue::constant(int64_t(Addr) + I.Imm));
+    else
+      S.setReg(I.Rd, AbsValue::opaque(SymBase::loadVal(InstrIdx)));
+    return;
+  }
+  case Opcode::Move:
+    S.setReg(I.Rd, S.reg(I.Rs));
+    return;
+  // Loads.
+  case Opcode::Lw: {
+    AbsValue Addr = addValues(S.reg(I.Rs), AbsValue::constant(I.Imm));
+    if (Addr.Base == SymBase::entryReg(Reg::SP) && Addr.isSingleton()) {
+      auto It = S.Words.find(static_cast<int32_t>(Addr.Lo));
+      if (It != S.Words.end()) {
+        S.setReg(I.Rd, It->second);
+        return;
+      }
+    }
+    S.setReg(I.Rd, AbsValue::opaque(SymBase::loadVal(InstrIdx)));
+    return;
+  }
+  case Opcode::Lb:
+    S.setReg(I.Rd, rangeValue(-128, 127));
+    return;
+  case Opcode::Lbu:
+    S.setReg(I.Rd, rangeValue(0, 255));
+    return;
+  case Opcode::Lh:
+    S.setReg(I.Rd, rangeValue(-32768, 32767));
+    return;
+  case Opcode::Lhu:
+    S.setReg(I.Rd, rangeValue(0, 65535));
+    return;
+  // Stores.
+  case Opcode::Sw:
+  case Opcode::Sh:
+  case Opcode::Sb: {
+    AbsValue Addr = addValues(S.reg(I.Rs), AbsValue::constant(I.Imm));
+    unsigned Size = accessSize(I.Op);
+    if (Addr.Base != SymBase::entryReg(Reg::SP))
+      return; // Not a frame store: tracked slots are unaffected (see docs).
+    if (Addr.isSingleton()) {
+      int32_t Off = static_cast<int32_t>(Addr.Lo);
+      for (unsigned Byte = 0; Byte != Size; ++Byte)
+        S.Written.insert(Off + static_cast<int32_t>(Byte));
+      // Invalidate any tracked word the store overlaps, then (for aligned
+      // word stores) record the new value.
+      for (int32_t W = Off - 3; W < Off + static_cast<int32_t>(Size); ++W)
+        S.Words.erase(W);
+      if (I.Op == Opcode::Sw && Off % 4 == 0)
+        S.Words[Off] = S.reg(I.Rt);
+    } else {
+      // A store somewhere within [Lo, Hi]: every tracked word it might hit
+      // becomes unknown; nothing is must-written. With frame metadata, the
+      // only variable-offset frame stores are indexed accesses into
+      // declared locals (arrays / structs), so the damage is confined to
+      // the declared-variable region even when the index interval has been
+      // widened to infinity — without this, one `a[i] = x` would erase the
+      // prologue's save-slot facts and the epilogue restores would look
+      // like clobbers.
+      int64_t Lo = Addr.Lo == NegInf ? INT32_MIN : Addr.Lo - 3;
+      int64_t Hi = Addr.Hi == PosInf ? INT32_MAX : Addr.Hi + Size - 1;
+      AbsValue Sp = S.reg(Reg::SP);
+      if (Opts.Frame && Sp.Base == SymBase::entryReg(Reg::SP) &&
+          Sp.isSingleton()) {
+        // Tighter still: the interval's low anchor is the first element the
+        // indexed access can touch. When it lands inside one declared
+        // variable, an in-bounds store stays inside that variable, so only
+        // its words go unknown — the slots of *other* locals (say, a
+        // spilled induction variable next to the array) survive and keep
+        // the trip-count derivation alive at -O0.
+        if (Addr.Lo != NegInf) {
+          int64_t Anchor = Addr.Lo - Sp.Lo; // Post-prologue sp-relative.
+          for (const FrameVar &V : Opts.Frame->Vars) {
+            if (Anchor < V.SpOffset || Anchor >= V.SpOffset + V.Type.Size)
+              continue;
+            int64_t B = Sp.Lo + V.SpOffset;
+            int64_t E = B + V.Type.Size;
+            for (auto It = S.Words.lower_bound(static_cast<int32_t>(B - 3));
+                 It != S.Words.end() && It->first < E;)
+              It = S.Words.erase(It);
+            return;
+          }
+        }
+        for (const FrameVar &V : Opts.Frame->Vars) {
+          int64_t B = Sp.Lo + V.SpOffset;
+          int64_t E = B + V.Type.Size;
+          for (auto It = S.Words.lower_bound(
+                   static_cast<int32_t>(std::max<int64_t>(B - 3, Lo)));
+               It != S.Words.end() && It->first < E && It->first <= Hi;)
+            It = S.Words.erase(It);
+        }
+      } else {
+        for (auto It = S.Words.begin(); It != S.Words.end();) {
+          if (It->first >= Lo && It->first <= Hi)
+            It = S.Words.erase(It);
+          else
+            ++It;
+        }
+      }
+    }
+    return;
+  }
+  // Control flow.
+  case Opcode::Beq:
+  case Opcode::Bne:
+  case Opcode::Blt:
+  case Opcode::Bge:
+  case Opcode::Ble:
+  case Opcode::Bgt:
+  case Opcode::J:
+  case Opcode::Jr:
+  case Opcode::Nop:
+    return;
+  case Opcode::Jal:
+  case Opcode::Jalr: {
+    // Calls clobber every caller-saved register. $v0 carries the callee's
+    // result: an opaque value identified by the call site, so pointer
+    // increments over it still accumulate stride facts.
+    for (unsigned R = 0; R != NumRegs; ++R)
+      if (isCallerSaved(static_cast<Reg>(R)))
+        S.Regs[R] = AbsValue::top();
+    S.setReg(Reg::V0, AbsValue::opaque(SymBase::callRet(InstrIdx)));
+    // The callee runs below our $sp and cannot reach this frame — except
+    // through a pointer we passed into the declared-local region (a local
+    // array). With frame metadata, drop knowledge of those slots; the
+    // compiler's own spill/save slots can never escape.
+    if (Opts.Frame) {
+      AbsValue Sp = S.reg(Reg::SP);
+      if (Sp.Base == SymBase::entryReg(Reg::SP) && Sp.isSingleton()) {
+        for (const FrameVar &V : Opts.Frame->Vars) {
+          int32_t Begin = static_cast<int32_t>(Sp.Lo) + V.SpOffset;
+          int32_t End = Begin + static_cast<int32_t>(V.Type.Size);
+          for (auto It = S.Words.lower_bound(Begin - 3);
+               It != S.Words.end() && It->first < End;)
+            It = S.Words.erase(It);
+        }
+      }
+    }
+    return;
+  }
+  }
+}
+
+State Interp::stateBefore(uint32_t InstrIdx) const {
+  uint32_t B = G.blockOf(InstrIdx);
+  State S = In[B];
+  if (!S.Reachable)
+    return S;
+  for (uint32_t Idx = G.blocks()[B].Begin; Idx != InstrIdx; ++Idx)
+    step(S, Idx);
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Fixpoint
+//===----------------------------------------------------------------------===//
+
+void Interp::run() {
+  if (Ran)
+    return;
+  Ran = true;
+  if (G.numBlocks() == 0)
+    return;
+
+  std::vector<unsigned> Updates(G.numBlocks(), 0);
+  std::deque<uint32_t> Work;
+  std::vector<uint8_t> InWork(G.numBlocks(), 0);
+  unsigned TotalUpdates = 0;
+
+  In[G.entry()] = State::entry();
+  Work.push_back(G.entry());
+  InWork[G.entry()] = 1;
+
+  while (!Work.empty()) {
+    uint32_t B = Work.front();
+    Work.pop_front();
+    InWork[B] = 0;
+
+    State Out = In[B];
+    for (uint32_t Idx = G.blocks()[B].Begin; Idx != G.blocks()[B].End; ++Idx)
+      step(Out, Idx);
+
+    for (uint32_t Succ : G.blocks()[B].Succs) {
+      State NewIn;
+      if (!In[Succ].Reachable) {
+        NewIn = Out;
+      } else {
+        State J = joinState(In[Succ], Out);
+        NewIn = Updates[Succ] >= Opts.WidenAfter ? widenState(In[Succ], J)
+                                                 : std::move(J);
+      }
+      if (++TotalUpdates > Opts.MaxUpdates) {
+        // Safety valve: collapse to top so the loop must close.
+        for (unsigned R = 1; R != NumRegs; ++R)
+          NewIn.Regs[R] = AbsValue::top();
+        NewIn.Words.clear();
+      }
+      if (NewIn != In[Succ]) {
+        In[Succ] = std::move(NewIn);
+        ++Updates[Succ];
+        if (!InWork[Succ]) {
+          InWork[Succ] = 1;
+          Work.push_back(Succ);
+        }
+      }
+    }
+  }
+
+  deriveTripCounts();
+}
+
+//===----------------------------------------------------------------------===//
+// Trip counts
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+int64_t ceilDiv(int64_t A, int64_t M) { return (A + M - 1) / M; }
+
+/// Flips a comparison so the induction value sits on the left.
+Opcode flipCmp(Opcode Op) {
+  switch (Op) {
+  case Opcode::Blt:
+    return Opcode::Bgt;
+  case Opcode::Bgt:
+    return Opcode::Blt;
+  case Opcode::Ble:
+    return Opcode::Bge;
+  case Opcode::Bge:
+    return Opcode::Ble;
+  default:
+    return Op;
+  }
+}
+
+/// Negates a comparison (exit taken on fallthrough).
+Opcode negateCmp(Opcode Op) {
+  switch (Op) {
+  case Opcode::Beq:
+    return Opcode::Bne;
+  case Opcode::Bne:
+    return Opcode::Beq;
+  case Opcode::Blt:
+    return Opcode::Bge;
+  case Opcode::Bge:
+    return Opcode::Blt;
+  case Opcode::Ble:
+    return Opcode::Bgt;
+  case Opcode::Bgt:
+    return Opcode::Ble;
+  default:
+    return Op;
+  }
+}
+
+constexpr uint64_t MaxTripCount = 1000000000ull; // 1e9: beyond this, give up.
+
+/// Trip count from "exit when Ind ExitOp Bound", where Ind is an arithmetic
+/// progression and Bound a singleton with the same symbolic base. Returns 0
+/// when the pair proves nothing.
+uint64_t tripFromExit(Opcode ExitOp, const AbsValue &Ind,
+                      const AbsValue &Bound) {
+  if (Ind.isTop() || Bound.isTop() || !Bound.isSingleton() ||
+      Ind.Base != Bound.Base)
+    return 0;
+  if (Ind.Stride < 1 || Ind.isSingleton())
+    return 0;
+  int64_t M = static_cast<int64_t>(Ind.Stride);
+  int64_t C = Bound.Lo;
+  int64_t K = 0;
+  switch (ExitOp) {
+  case Opcode::Bge: // Ascending: first k with Lo + k*M >= C.
+    if (Ind.Lo == NegInf)
+      return 0;
+    K = C <= Ind.Lo ? 0 : ceilDiv(C - Ind.Lo, M);
+    break;
+  case Opcode::Bgt: // Ascending: first k with Lo + k*M > C.
+    if (Ind.Lo == NegInf)
+      return 0;
+    K = C < Ind.Lo ? 0 : ceilDiv(C + 1 - Ind.Lo, M);
+    break;
+  case Opcode::Ble: // Descending: first k with Hi - k*M <= C.
+    if (Ind.Hi == PosInf)
+      return 0;
+    K = C >= Ind.Hi ? 0 : ceilDiv(Ind.Hi - C, M);
+    break;
+  case Opcode::Blt: // Descending: first k with Hi - k*M < C.
+    if (Ind.Hi == PosInf)
+      return 0;
+    K = C > Ind.Hi ? 0 : ceilDiv(Ind.Hi - C + 1, M);
+    break;
+  default: // Beq/Bne bounds prove nothing about iteration counts.
+    return 0;
+  }
+  if (K < 1)
+    K = 1;
+  if (static_cast<uint64_t>(K) > MaxTripCount)
+    return 0;
+  return static_cast<uint64_t>(K);
+}
+
+} // namespace
+
+void Interp::deriveTripCounts() {
+  const std::vector<cfg::Loop> &Loops = LI.loops();
+  for (uint32_t LIdx = 0; LIdx != Loops.size(); ++LIdx) {
+    const cfg::Loop &L = Loops[LIdx];
+    uint64_t Best = 0;
+    for (uint32_t ExitB : L.Exits) {
+      const cfg::BasicBlock &BB = G.blocks()[ExitB];
+      if (BB.size() == 0 || !In[ExitB].Reachable)
+        continue;
+      uint32_t BrIdx = BB.End - 1;
+      const Instr &Br = G.function().instrs()[BrIdx];
+      if (!isCondBranch(Br.Op) || Br.TargetIndex == InvalidIndex)
+        continue;
+      // Which way leaves the loop?
+      bool TakenExits = !L.contains(G.blockOf(Br.TargetIndex));
+      bool FallExits = BB.End < G.function().size() &&
+                       !L.contains(G.blockOf(BB.End));
+      if (TakenExits == FallExits)
+        continue; // Both or neither side leaves: no bound here.
+      Opcode ExitOp = TakenExits ? Br.Op : negateCmp(Br.Op);
+
+      State S = stateBefore(BrIdx);
+      if (!S.Reachable)
+        continue;
+      AbsValue A = S.reg(Br.Rs), B = S.reg(Br.Rt);
+      // Try induction-on-the-left, then induction-on-the-right.
+      uint64_t T = tripFromExit(ExitOp, A, B);
+      if (!T)
+        T = tripFromExit(flipCmp(ExitOp), B, A);
+      if (T && (!Best || T < Best))
+        Best = T;
+    }
+    if (Best)
+      Trips[LIdx] = Best;
+  }
+}

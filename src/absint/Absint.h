@@ -1,0 +1,139 @@
+//===- absint/Absint.h - Forward abstract interpretation over the CFG -----==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A forward dataflow / abstract-interpretation framework over cfg::Cfg.
+/// Each register carries an AbsValue (symbolic base x interval x stride) and
+/// each program point carries tracked stack-frame state: the set of frame
+/// bytes written on every path (a must-analysis, for use-before-write
+/// checking) and the known values of word-sized frame slots (so spilled
+/// induction variables stay visible to the interval/stride domain at -O0).
+/// Widening at re-visited blocks makes the fixpoint finite; trip counts for
+/// loops with interval-proven constant bounds fall out of the header states.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_ABSINT_ABSINT_H
+#define DLQ_ABSINT_ABSINT_H
+
+#include "absint/Domain.h"
+#include "cfg/Cfg.h"
+#include "masm/Module.h"
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace dlq {
+namespace absint {
+
+/// Abstract machine state at one program point.
+struct State {
+  /// One value per architectural register. $zero is pinned to 0 by eval().
+  std::array<AbsValue, masm::NumRegs> Regs;
+  /// Frame byte offsets (relative to the entry $sp, so negative inside the
+  /// frame) written on EVERY path reaching this point.
+  std::set<int32_t> Written;
+  /// Known values of 4-byte-aligned frame words, keyed by entry-relative
+  /// offset. Absent means unknown.
+  std::map<int32_t, AbsValue> Words;
+  bool Reachable = false;
+
+  /// The state on function entry: every register holds its symbolic entry
+  /// value, no frame byte written, no slot known.
+  static State entry();
+
+  AbsValue reg(masm::Reg R) const {
+    if (R == masm::Reg::Zero)
+      return AbsValue::constant(0);
+    return Regs[static_cast<unsigned>(R)];
+  }
+  void setReg(masm::Reg R, const AbsValue &V) {
+    if (R != masm::Reg::Zero)
+      Regs[static_cast<unsigned>(R)] = V;
+  }
+
+};
+
+bool operator==(const State &A, const State &B);
+inline bool operator!=(const State &A, const State &B) { return !(A == B); }
+
+/// Control-flow join of two states (pointwise value join, intersection of
+/// the must-written set, intersection-with-join of known slots).
+State joinState(const State &A, const State &B);
+
+/// Widening applied at re-visited blocks: pointwise value widening, joins on
+/// the frame sets (which move monotonically on their own).
+State widenState(const State &Old, const State &New);
+
+/// One proven loop trip count.
+struct TripCount {
+  uint32_t LoopIdx = 0; ///< Index into LoopInfo::loops().
+  uint64_t Count = 0;   ///< Bodies executed per loop entry (>= 1).
+};
+
+/// The abstract interpreter for one function.
+class Interp {
+public:
+  struct Options {
+    /// Start widening once a block's in-state has changed this many times.
+    unsigned WidenAfter = 2;
+    /// Hard safety cap on total in-state updates; beyond it, states are
+    /// forced straight to top so the fixpoint always closes.
+    unsigned MaxUpdates = 10000;
+    /// Optional module layout: lets `la` evaluate to its concrete address.
+    const masm::Layout *ModLayout = nullptr;
+    /// Optional frame metadata of the analyzed function: calls invalidate
+    /// known slot values inside the declared-local region (a local array's
+    /// address may have escaped to the callee).
+    const masm::FunctionTypeInfo *Frame = nullptr;
+  };
+
+  Interp(const cfg::Cfg &G, const cfg::LoopInfo &LI, Options Opts);
+  Interp(const cfg::Cfg &G, const cfg::LoopInfo &LI)
+      : Interp(G, LI, Options()) {}
+
+  /// Runs to fixpoint. Idempotent.
+  void run();
+
+  /// In-state of block \p B (valid after run()).
+  const State &blockIn(uint32_t B) const { return In[B]; }
+
+  /// True if \p B is reachable from the entry.
+  bool reachable(uint32_t B) const { return In[B].Reachable; }
+
+  /// Applies the transfer function of instruction \p InstrIdx to \p S.
+  /// Public so clients (the lint driver, trip-count extraction) can replay
+  /// a block from its in-state and inspect the state at each instruction.
+  void step(State &S, uint32_t InstrIdx) const;
+
+  /// The state immediately before instruction \p InstrIdx, by replaying its
+  /// block (valid after run()).
+  State stateBefore(uint32_t InstrIdx) const;
+
+  /// Trip counts proven from exit-branch intervals, per loop index. Only
+  /// loops with at least one `induction vs same-base constant` exit bound
+  /// appear (valid after run()).
+  const std::map<uint32_t, uint64_t> &tripCounts() const { return Trips; }
+
+private:
+  const cfg::Cfg &G;
+  const cfg::LoopInfo &LI;
+  Options Opts;
+  std::vector<State> In;
+  std::map<uint32_t, uint64_t> Trips;
+  bool Ran = false;
+
+  void deriveTripCounts();
+};
+
+} // namespace absint
+} // namespace dlq
+
+#endif // DLQ_ABSINT_ABSINT_H

@@ -1,0 +1,231 @@
+//===- absint/Domain.cpp --------------------------------------------------==//
+
+#include "absint/Domain.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+
+using namespace dlq;
+using namespace dlq::absint;
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool finite(int64_t B) { return B != NegInf && B != PosInf; }
+
+/// Saturating addition of interval bounds.
+int64_t addBound(int64_t A, int64_t B) {
+  if (A == NegInf || B == NegInf)
+    return NegInf;
+  if (A == PosInf || B == PosInf)
+    return PosInf;
+  // Both finite: offsets stay within +-2^33 of zero in practice, but guard
+  // anyway.
+  if (B > 0 && A > PosInf - B)
+    return PosInf;
+  if (B < 0 && A < NegInf + 1 - B)
+    return NegInf;
+  return A + B;
+}
+
+int64_t negBound(int64_t A) {
+  if (A == NegInf)
+    return PosInf;
+  if (A == PosInf)
+    return NegInf;
+  return -A;
+}
+
+/// Restores the (Hi - Lo) % Stride == 0 invariant after interval surgery,
+/// shrinking Hi (both bounds finite) or dropping to stride 1.
+AbsValue normalize(AbsValue V) {
+  if (V.Base.K == SymBase::Top)
+    return AbsValue::top();
+  if (V.Lo == V.Hi && finite(V.Lo)) {
+    V.Stride = 0;
+    return V;
+  }
+  if (V.Stride == 0)
+    V.Stride = 1;
+  if (V.Stride > 1 && finite(V.Lo) && finite(V.Hi)) {
+    int64_t Span = V.Hi - V.Lo;
+    V.Hi = V.Lo + Span - (Span % static_cast<int64_t>(V.Stride));
+    if (V.Lo == V.Hi)
+      V.Stride = 0;
+  }
+  return V;
+}
+
+} // namespace
+
+std::string AbsValue::str() const {
+  if (isTop())
+    return "top";
+  std::string S;
+  switch (Base.K) {
+  case SymBase::None:
+    break;
+  case SymBase::EntryReg:
+    S += std::string(masm::regName(Base.R)) + "0+";
+    break;
+  case SymBase::CallRet:
+    S += formatString("ret@%u+", Base.DefInstr);
+    break;
+  case SymBase::LoadVal:
+    S += formatString("mem@%u+", Base.DefInstr);
+    break;
+  case SymBase::Top:
+    return "top";
+  }
+  auto bnd = [](int64_t B) {
+    if (B == NegInf)
+      return std::string("-inf");
+    if (B == PosInf)
+      return std::string("+inf");
+    return formatString("%lld", static_cast<long long>(B));
+  };
+  if (isSingleton()) {
+    // Against a symbolic base, render "$sp0-16" rather than "$sp0+-16".
+    if (!S.empty() && Lo < 0 && Lo != NegInf)
+      S.pop_back();
+    return S + bnd(Lo);
+  }
+  S += "[" + bnd(Lo) + "," + bnd(Hi) + "]";
+  if (Stride > 1)
+    S += formatString("%%%llu", static_cast<unsigned long long>(Stride));
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Lattice operations
+//===----------------------------------------------------------------------===//
+
+uint64_t dlq::absint::combineStride(uint64_t A, uint64_t B) {
+  if (A == 0)
+    return B;
+  if (B == 0)
+    return A;
+  return std::gcd(A, B);
+}
+
+AbsValue dlq::absint::join(const AbsValue &A, const AbsValue &B) {
+  if (A.isTop() || B.isTop())
+    return AbsValue::top();
+  if (A.Base != B.Base)
+    return AbsValue::top();
+  AbsValue R;
+  R.Base = A.Base;
+  R.Lo = std::min(A.Lo, B.Lo);
+  R.Hi = std::max(A.Hi, B.Hi);
+  R.Stride = combineStride(A.Stride, B.Stride);
+  // The two progressions are anchored at different offsets; their union is
+  // congruent only modulo gcd with the anchor distance.
+  if (A.Lo != B.Lo) {
+    if (finite(A.Lo) && finite(B.Lo))
+      R.Stride = combineStride(
+          R.Stride, static_cast<uint64_t>(std::llabs(A.Lo - B.Lo)));
+    else
+      R.Stride = 1;
+  }
+  return normalize(R);
+}
+
+AbsValue dlq::absint::widen(const AbsValue &Old, const AbsValue &New) {
+  if (Old.isTop() || New.isTop())
+    return AbsValue::top();
+  if (Old.Base != New.Base)
+    return AbsValue::top();
+  AbsValue J = join(Old, New);
+  AbsValue R;
+  R.Base = Old.Base;
+  R.Lo = J.Lo < Old.Lo ? NegInf : Old.Lo;
+  R.Hi = J.Hi > Old.Hi ? PosInf : Old.Hi;
+  // Keep the gcd-combined congruence: each widening step either leaves the
+  // modulus alone or strictly reduces it, so the chain is finite.
+  R.Stride = J.Stride;
+  return normalize(R);
+}
+
+//===----------------------------------------------------------------------===//
+// Arithmetic transfer
+//===----------------------------------------------------------------------===//
+
+AbsValue dlq::absint::addValues(const AbsValue &A, const AbsValue &B) {
+  if (A.isTop() || B.isTop())
+    return AbsValue::top();
+  // Exactly one symbolic base survives an addition.
+  SymBase Base;
+  if (A.Base.K == SymBase::None)
+    Base = B.Base;
+  else if (B.Base.K == SymBase::None)
+    Base = A.Base;
+  else
+    return AbsValue::top();
+  AbsValue R;
+  R.Base = Base;
+  R.Lo = addBound(A.Lo, B.Lo);
+  R.Hi = addBound(A.Hi, B.Hi);
+  R.Stride = combineStride(A.Stride, B.Stride);
+  return normalize(R);
+}
+
+AbsValue dlq::absint::subValues(const AbsValue &A, const AbsValue &B) {
+  if (A.isTop() || B.isTop())
+    return AbsValue::top();
+  // A - B with matching symbolic bases cancels them: (base+x) - (base+y)
+  // is the plain number x - y. Otherwise only a numeric B keeps A's base.
+  AbsValue R;
+  if (A.Base == B.Base)
+    R.Base = SymBase::none();
+  else if (B.Base.K == SymBase::None)
+    R.Base = A.Base;
+  else
+    return AbsValue::top();
+  R.Lo = addBound(A.Lo, negBound(B.Hi));
+  R.Hi = addBound(A.Hi, negBound(B.Lo));
+  R.Stride = combineStride(A.Stride, B.Stride);
+  return normalize(R);
+}
+
+AbsValue dlq::absint::mulValues(const AbsValue &A, const AbsValue &B) {
+  if (A.isTop() || B.isTop())
+    return AbsValue::top();
+  // Only constant * value keeps structure.
+  const AbsValue *C = A.isConst() ? &A : (B.isConst() ? &B : nullptr);
+  const AbsValue *V = A.isConst() ? &B : &A;
+  if (!C)
+    return AbsValue::top();
+  int64_t K = C->constValue();
+  if (V->Base.K != SymBase::None && K != 1 && K != 0)
+    return AbsValue::top(); // K * (base + d) is no longer base-relative.
+  if (K == 0)
+    return AbsValue::constant(0);
+  auto scale = [&](int64_t Bound) {
+    if (!finite(Bound))
+      return (Bound == PosInf) == (K > 0) ? PosInf : NegInf;
+    // Saturate on overflow.
+    if (Bound != 0 && std::llabs(K) > PosInf / std::llabs(Bound))
+      return (Bound > 0) == (K > 0) ? PosInf : NegInf;
+    return Bound * K;
+  };
+  AbsValue R;
+  R.Base = V->Base;
+  int64_t X = scale(V->Lo), Y = scale(V->Hi);
+  R.Lo = std::min(X, Y);
+  R.Hi = std::max(X, Y);
+  uint64_t AbsK = static_cast<uint64_t>(std::llabs(K));
+  R.Stride = V->Stride == 0 ? 0 : V->Stride * AbsK;
+  return normalize(R);
+}
+
+AbsValue dlq::absint::shlValues(const AbsValue &A, const AbsValue &B) {
+  if (B.isConst() && B.constValue() >= 0 && B.constValue() < 32)
+    return mulValues(A, AbsValue::constant(int64_t(1) << B.constValue()));
+  return AbsValue::top();
+}

@@ -1,0 +1,182 @@
+//===- absint/Domain.h - Abstract value domain ----------------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The value domain of the abstract interpreter: a symbolic base (a register
+/// value at function entry, a call result, a load result, or none) plus an
+/// interval of offsets and a congruence modulus ("stride"). The domain is
+/// rich enough to prove the facts the lint checks and the heuristic stack
+/// need — constant sp adjustments, gp-relative address ranges, and the
+/// arithmetic progressions of loop induction variables — while staying a
+/// finite-height lattice under widening.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_ABSINT_DOMAIN_H
+#define DLQ_ABSINT_DOMAIN_H
+
+#include "masm/Register.h"
+
+#include <cstdint>
+#include <string>
+
+namespace dlq {
+namespace absint {
+
+/// Interval bound sentinels. Offsets are tracked as int64 so 32-bit
+/// arithmetic never overflows the bound representation.
+constexpr int64_t NegInf = INT64_MIN;
+constexpr int64_t PosInf = INT64_MAX;
+
+/// The symbolic part of an abstract value.
+struct SymBase {
+  enum Kind : uint8_t {
+    None,     ///< A plain number: value = offset.
+    EntryReg, ///< Value of register R at function entry, plus offset.
+    CallRet,  ///< $v0 produced by the call at instruction DefInstr.
+    LoadVal,  ///< Result of the (untracked) load at instruction DefInstr.
+    Top,      ///< Any value at all.
+  };
+
+  Kind K = None;
+  masm::Reg R = masm::Reg::Zero; ///< For EntryReg.
+  uint32_t DefInstr = 0;         ///< For CallRet / LoadVal.
+
+  static SymBase none() { return SymBase{}; }
+  static SymBase entryReg(masm::Reg Reg) {
+    SymBase B;
+    B.K = EntryReg;
+    B.R = Reg;
+    return B;
+  }
+  static SymBase callRet(uint32_t Instr) {
+    SymBase B;
+    B.K = CallRet;
+    B.DefInstr = Instr;
+    return B;
+  }
+  static SymBase loadVal(uint32_t Instr) {
+    SymBase B;
+    B.K = LoadVal;
+    B.DefInstr = Instr;
+    return B;
+  }
+  static SymBase top() {
+    SymBase B;
+    B.K = Top;
+    return B;
+  }
+
+  friend bool operator==(const SymBase &A, const SymBase &B) {
+    if (A.K != B.K)
+      return false;
+    switch (A.K) {
+    case EntryReg:
+      return A.R == B.R;
+    case CallRet:
+    case LoadVal:
+      return A.DefInstr == B.DefInstr;
+    default:
+      return true;
+    }
+  }
+  friend bool operator!=(const SymBase &A, const SymBase &B) {
+    return !(A == B);
+  }
+};
+
+/// An abstract value: Base + d for some d in [Lo, Hi] with d ≡ Lo (mod
+/// Stride). Stride 0 means the singleton offset Lo (Lo == Hi); stride 1
+/// means no congruence information. When both bounds are finite,
+/// (Hi - Lo) % Stride == 0 is an invariant (for Stride >= 1).
+struct AbsValue {
+  SymBase Base;
+  int64_t Lo = NegInf;
+  int64_t Hi = PosInf;
+  uint64_t Stride = 1;
+
+  /// The unconstrained value.
+  static AbsValue top() {
+    AbsValue V;
+    V.Base = SymBase::top();
+    return V;
+  }
+
+  /// The exact constant \p C.
+  static AbsValue constant(int64_t C) {
+    AbsValue V;
+    V.Base = SymBase::none();
+    V.Lo = V.Hi = C;
+    V.Stride = 0;
+    return V;
+  }
+
+  /// Exactly "register \p R as of function entry".
+  static AbsValue entry(masm::Reg R) {
+    AbsValue V;
+    V.Base = SymBase::entryReg(R);
+    V.Lo = V.Hi = 0;
+    V.Stride = 0;
+    return V;
+  }
+
+  /// An unknown-but-fixed value distinguished by its defining instruction.
+  static AbsValue opaque(SymBase B) {
+    AbsValue V;
+    V.Base = B;
+    V.Lo = V.Hi = 0;
+    V.Stride = 0;
+    return V;
+  }
+
+  bool isTop() const { return Base.K == SymBase::Top; }
+
+  /// True when this is a single known offset from its base.
+  bool isSingleton() const { return Stride == 0 && Lo == Hi; }
+
+  /// True when this is one concrete number (no symbolic part).
+  bool isConst() const { return Base.K == SymBase::None && isSingleton(); }
+  int64_t constValue() const { return Lo; }
+
+  friend bool operator==(const AbsValue &A, const AbsValue &B) {
+    if (A.Base.K == SymBase::Top && B.Base.K == SymBase::Top)
+      return true;
+    return A.Base == B.Base && A.Lo == B.Lo && A.Hi == B.Hi &&
+           A.Stride == B.Stride;
+  }
+  friend bool operator!=(const AbsValue &A, const AbsValue &B) {
+    return !(A == B);
+  }
+
+  /// Renders e.g. "sp+[−8,−8]", "[0,+inf) % 4", "top" for diagnostics.
+  std::string str() const;
+};
+
+/// gcd-style combination of congruence moduli: 0 acts as the identity
+/// (an exact value imposes no new congruence constraint).
+uint64_t combineStride(uint64_t A, uint64_t B);
+
+/// Least upper bound of two values (control-flow join).
+AbsValue join(const AbsValue &A, const AbsValue &B);
+
+/// Widening: \p Old is the accumulated state at a loop header, \p New the
+/// incoming state on the next visit. Any bound that grew jumps to infinity;
+/// the congruence modulus is combined with gcd, whose chains are finite, so
+/// repeated widening terminates.
+AbsValue widen(const AbsValue &Old, const AbsValue &New);
+
+/// Arithmetic transfer functions (32-bit two's complement semantics,
+/// conservatively approximated).
+AbsValue addValues(const AbsValue &A, const AbsValue &B);
+AbsValue subValues(const AbsValue &A, const AbsValue &B);
+AbsValue mulValues(const AbsValue &A, const AbsValue &B);
+AbsValue shlValues(const AbsValue &A, const AbsValue &B);
+
+} // namespace absint
+} // namespace dlq
+
+#endif // DLQ_ABSINT_DOMAIN_H

@@ -1,0 +1,249 @@
+//===- absint/Lint.cpp ----------------------------------------------------==//
+
+#include "absint/Lint.h"
+
+#include "absint/Absint.h"
+#include "dataflow/ReachingDefs.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <optional>
+
+using namespace dlq;
+using namespace dlq::absint;
+using namespace dlq::masm;
+
+std::string_view dlq::absint::lintCheckName(LintCheck C) {
+  switch (C) {
+  case LintCheck::UseBeforeWrite:
+    return "use-before-write";
+  case LintCheck::CallClobberedUse:
+    return "call-clobbered-use";
+  case LintCheck::CalleeSavedClobber:
+    return "callee-saved-clobber";
+  case LintCheck::UnbalancedSp:
+    return "unbalanced-sp";
+  case LintCheck::GpOutOfData:
+    return "gp-out-of-data";
+  case LintCheck::UnreachableBlock:
+    return "unreachable-block";
+  }
+  return "?";
+}
+
+std::string LintFinding::str() const {
+  return formatString("%s:+%u: %s: %s", Function.c_str(), InstrIdx,
+                      std::string(lintCheckName(Check)).c_str(),
+                      Detail.c_str());
+}
+
+namespace {
+
+/// Per-function lint context.
+class FunctionLinter {
+public:
+  FunctionLinter(const masm::Module &M, const masm::Layout &L,
+                 uint32_t FuncIdx, const LintOptions &Opts)
+      : M(M), L(L), F(M.functions()[FuncIdx]), Opts(Opts), G(F), DT(G),
+        LoopI(G, DT), RD(G) {
+    Interp::Options IO;
+    IO.ModLayout = &L;
+    FTI = M.typeInfo().lookupFunction(F.name());
+    IO.Frame = FTI;
+    AI.emplace(G, LoopI, IO);
+    AI->run();
+    for (const Instr &I : F.instrs())
+      DefinedRegs |= 1u << static_cast<unsigned>(I.def());
+  }
+
+  std::vector<LintFinding> run();
+
+private:
+  const masm::Module &M;
+  const masm::Layout &L;
+  const masm::Function &F;
+  const LintOptions &Opts;
+  cfg::Cfg G;
+  cfg::DominatorTree DT;
+  cfg::LoopInfo LoopI;
+  dataflow::ReachingDefs RD;
+  const FunctionTypeInfo *FTI = nullptr;
+  std::optional<Interp> AI;
+
+  std::vector<LintFinding> Findings;
+  unsigned CountPerCheck[6] = {};
+  uint32_t DefinedRegs = 0; ///< Bitmask of registers written anywhere.
+
+  void report(LintCheck C, uint32_t InstrIdx, std::string Detail) {
+    unsigned &N = CountPerCheck[static_cast<unsigned>(C)];
+    if (++N > Opts.MaxPerCheck)
+      return;
+    LintFinding Fd;
+    Fd.Check = C;
+    Fd.Function = F.name();
+    Fd.InstrIdx = InstrIdx;
+    Fd.Detail = std::move(Detail);
+    Findings.push_back(std::move(Fd));
+  }
+
+  void checkUnreachable();
+  void checkMemoryAccess(const State &S, uint32_t InstrIdx);
+  void checkCallClobberedUses(uint32_t InstrIdx);
+  void checkReturn(const State &S, uint32_t InstrIdx);
+};
+
+void FunctionLinter::checkUnreachable() {
+  for (uint32_t B = 0; B != G.numBlocks(); ++B)
+    if (!AI->reachable(B))
+      report(LintCheck::UnreachableBlock, G.blocks()[B].Begin,
+             formatString("block B%u [%u,%u) has no path from the entry", B,
+                          G.blocks()[B].Begin, G.blocks()[B].End));
+}
+
+void FunctionLinter::checkMemoryAccess(const State &S, uint32_t InstrIdx) {
+  const Instr &I = F.instrs()[InstrIdx];
+  if (!isLoad(I.Op) && !isStore(I.Op))
+    return;
+  AbsValue Addr = addValues(S.reg(I.Rs), AbsValue::constant(I.Imm));
+  unsigned Size = accessSize(I.Op);
+
+  // gp-relative accesses must land inside [.data base, .data end).
+  if (Addr.Base == SymBase::entryReg(Reg::GP)) {
+    int64_t AbsLo =
+        Addr.Lo == NegInf ? NegInf : int64_t(LayoutConstants::GpValue) + Addr.Lo;
+    int64_t AbsHi = Addr.Hi == PosInf
+                        ? PosInf
+                        : int64_t(LayoutConstants::GpValue) + Addr.Hi + Size - 1;
+    if (AbsLo < int64_t(LayoutConstants::DataBase) ||
+        AbsHi >= int64_t(L.dataEnd()))
+      report(LintCheck::GpOutOfData, InstrIdx,
+             formatString("gp-relative access %s spans [0x%llx,0x%llx], .data "
+                          "is [0x%x,0x%x)",
+                          Addr.str().c_str(),
+                          static_cast<unsigned long long>(AbsLo),
+                          static_cast<unsigned long long>(AbsHi),
+                          LayoutConstants::DataBase, L.dataEnd()));
+    return;
+  }
+
+  // Use-before-write: a load of a frame slot (below the entry $sp) must
+  // only read bytes stored on EVERY path from the entry. Declared locals
+  // are exempt when frame metadata is present: reading an uninitialized
+  // source variable is legal, while the compiler's own spill, temp and
+  // save slots must always be written first.
+  if (isLoad(I.Op) && Addr.Base == SymBase::entryReg(Reg::SP) &&
+      Addr.isSingleton() && Addr.Lo < 0) {
+    int32_t Off = static_cast<int32_t>(Addr.Lo);
+    if (FTI) {
+      AbsValue Sp = S.reg(Reg::SP);
+      if (Sp.Base == SymBase::entryReg(Reg::SP) && Sp.isSingleton() &&
+          FTI->resolve(Off - static_cast<int32_t>(Sp.Lo)))
+        return; // A declared local variable.
+    }
+    for (unsigned Byte = 0; Byte != Size; ++Byte) {
+      if (!S.Written.count(Off + static_cast<int32_t>(Byte))) {
+        report(LintCheck::UseBeforeWrite, InstrIdx,
+               formatString("frame slot sp0%+d (%u bytes) read but not "
+                            "written on every path",
+                            Off, Size));
+        return;
+      }
+    }
+  }
+}
+
+void FunctionLinter::checkCallClobberedUses(uint32_t InstrIdx) {
+  const Instr &I = F.instrs()[InstrIdx];
+  Reg Used[2] = {Reg::Zero, Reg::Zero};
+  unsigned N = 0;
+  if (readsRs(I.Op))
+    Used[N++] = I.Rs;
+  if (readsRt(I.Op))
+    Used[N++] = I.Rt;
+  for (unsigned U = 0; U != N; ++U) {
+    Reg R = Used[U];
+    // $v0/$v1 are legitimately read after a call — that is how results
+    // arrive. Everything else caller-saved is garbage after a call.
+    if (R == Reg::Zero || !isCallerSaved(R) || isRetReg(R))
+      continue;
+    for (const dataflow::Def &D : RD.defsReaching(InstrIdx, R)) {
+      if (D.Kind != dataflow::DefKind::Call)
+        continue;
+      report(LintCheck::CallClobberedUse, InstrIdx,
+             formatString("%s read here but clobbered by the call at +%u",
+                          std::string(regName(R)).c_str(), D.InstrIdx));
+      break;
+    }
+  }
+}
+
+void FunctionLinter::checkReturn(const State &S, uint32_t InstrIdx) {
+  // A return: $sp must hold exactly its entry value...
+  AbsValue Sp = S.reg(Reg::SP);
+  if (Sp != AbsValue::entry(Reg::SP))
+    report(LintCheck::UnbalancedSp, InstrIdx,
+           formatString("$sp at return is %s, expected sp0+0",
+                        Sp.str().c_str()));
+  // ...and every callee-saved register the function writes must have been
+  // restored (abstractly: it again equals its entry value).
+  for (unsigned RI = 0; RI != NumRegs; ++RI) {
+    Reg R = static_cast<Reg>(RI);
+    if (!isCalleeSaved(R) || R == Reg::SP)
+      continue;
+    if (!(DefinedRegs & (1u << RI)))
+      continue;
+    if (S.reg(R) != AbsValue::entry(R))
+      report(LintCheck::CalleeSavedClobber, InstrIdx,
+             formatString("%s is %s at return, not its entry value",
+                          std::string(regName(R)).c_str(),
+                          S.reg(R).str().c_str()));
+  }
+}
+
+std::vector<LintFinding> FunctionLinter::run() {
+  checkUnreachable();
+  for (uint32_t B = 0; B != G.numBlocks(); ++B) {
+    if (!AI->reachable(B))
+      continue;
+    State S = AI->blockIn(B);
+    for (uint32_t Idx = G.blocks()[B].Begin; Idx != G.blocks()[B].End; ++Idx) {
+      const Instr &I = F.instrs()[Idx];
+      checkMemoryAccess(S, Idx);
+      checkCallClobberedUses(Idx);
+      if (I.Op == Opcode::Jr && I.Rs == Reg::RA)
+        checkReturn(S, Idx);
+      AI->step(S, Idx);
+    }
+  }
+  // Stable order for reports and tests: by instruction, then by check.
+  std::sort(Findings.begin(), Findings.end(),
+            [](const LintFinding &A, const LintFinding &B) {
+              if (A.InstrIdx != B.InstrIdx)
+                return A.InstrIdx < B.InstrIdx;
+              return static_cast<unsigned>(A.Check) <
+                     static_cast<unsigned>(B.Check);
+            });
+  return std::move(Findings);
+}
+
+} // namespace
+
+std::vector<LintFinding> dlq::absint::lintFunction(const masm::Module &M,
+                                                   const masm::Layout &L,
+                                                   uint32_t FuncIdx,
+                                                   const LintOptions &Opts) {
+  if (M.functions()[FuncIdx].empty())
+    return {};
+  return FunctionLinter(M, L, FuncIdx, Opts).run();
+}
+
+std::vector<LintFinding> dlq::absint::lintModule(const masm::Module &M,
+                                                 const LintOptions &Opts) {
+  masm::Layout L(M);
+  std::vector<LintFinding> All;
+  for (uint32_t FI = 0; FI != M.functions().size(); ++FI) {
+    std::vector<LintFinding> Fs = lintFunction(M, L, FI, Opts);
+    All.insert(All.end(), Fs.begin(), Fs.end());
+  }
+  return All;
+}

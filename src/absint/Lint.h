@@ -1,0 +1,75 @@
+//===- absint/Lint.h - Codegen lint checks over the abstract state --------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lint suite over the abstract interpreter: static detectors for the
+/// wrong-code classes the differential fuzzer has had to find dynamically.
+/// The flagship check is stack-slot use-before-write across branch joins —
+/// the exact shape of the PR-3 spill-leak miscompile — plus use of
+/// call-clobbered registers, callee-saved clobber without save/restore,
+/// unbalanced $sp at return, gp-relative accesses outside .data, and
+/// unreachable blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_ABSINT_LINT_H
+#define DLQ_ABSINT_LINT_H
+
+#include "masm/Module.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dlq {
+namespace absint {
+
+enum class LintCheck : uint8_t {
+  UseBeforeWrite,   ///< Load of a frame slot not written on every path.
+  CallClobberedUse, ///< Read of a caller-saved reg last defined by a call.
+  CalleeSavedClobber, ///< s-reg/fp/gp not holding its entry value at return.
+  UnbalancedSp,     ///< $sp at return differs from its entry value.
+  GpOutOfData,      ///< gp-relative access outside the .data segment.
+  UnreachableBlock, ///< Basic block with no path from the function entry.
+};
+
+std::string_view lintCheckName(LintCheck C);
+
+/// One diagnostic.
+struct LintFinding {
+  LintCheck Check = LintCheck::UseBeforeWrite;
+  std::string Function;
+  /// Offending instruction index within the function (for UnreachableBlock,
+  /// the first instruction of the block).
+  uint32_t InstrIdx = 0;
+  std::string Detail;
+
+  /// "func:+12: use-before-write: ..." for reports.
+  std::string str() const;
+};
+
+struct LintOptions {
+  /// Cap on findings per function per check, to keep reports readable when
+  /// one systematic bug fires everywhere.
+  unsigned MaxPerCheck = 8;
+};
+
+/// Lints one function. \p M supplies the layout and frame metadata.
+std::vector<LintFinding> lintFunction(const masm::Module &M,
+                                      const masm::Layout &L,
+                                      uint32_t FuncIdx,
+                                      const LintOptions &Opts = {});
+
+/// Lints every function of \p M (must be finalized).
+std::vector<LintFinding> lintModule(const masm::Module &M,
+                                    const LintOptions &Opts = {});
+
+} // namespace absint
+} // namespace dlq
+
+#endif // DLQ_ABSINT_LINT_H

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
 #include <set>
 
 using namespace dlq;
@@ -189,34 +190,170 @@ bool Loop::contains(uint32_t B) const {
   return std::binary_search(Blocks.begin(), Blocks.end(), B);
 }
 
+namespace {
+
+/// Blocks belonging to a cycle: members of a strongly connected component
+/// with more than one block, or of a self-loop. Iterative Tarjan.
+std::vector<uint32_t> blocksInNontrivialSccs(const Cfg &G) {
+  uint32_t N = static_cast<uint32_t>(G.numBlocks());
+  std::vector<uint32_t> Index(N, InvalidIndex), Low(N, 0);
+  std::vector<uint8_t> OnStack(N, 0);
+  std::vector<uint32_t> Stack;
+  std::vector<uint32_t> Result;
+  uint32_t NextIndex = 0;
+
+  struct Frame {
+    uint32_t B;
+    size_t NextSucc;
+  };
+  for (uint32_t Root = 0; Root != N; ++Root) {
+    if (Index[Root] != InvalidIndex)
+      continue;
+    std::vector<Frame> Frames{{Root, 0}};
+    Index[Root] = Low[Root] = NextIndex++;
+    Stack.push_back(Root);
+    OnStack[Root] = 1;
+    while (!Frames.empty()) {
+      Frame &F = Frames.back();
+      const std::vector<uint32_t> &Succs = G.blocks()[F.B].Succs;
+      if (F.NextSucc < Succs.size()) {
+        uint32_t S = Succs[F.NextSucc++];
+        if (Index[S] == InvalidIndex) {
+          Index[S] = Low[S] = NextIndex++;
+          Stack.push_back(S);
+          OnStack[S] = 1;
+          Frames.push_back({S, 0});
+        } else if (OnStack[S]) {
+          Low[F.B] = std::min(Low[F.B], Index[S]);
+        }
+        continue;
+      }
+      uint32_t B = F.B;
+      Frames.pop_back();
+      if (!Frames.empty())
+        Low[Frames.back().B] = std::min(Low[Frames.back().B], Low[B]);
+      if (Low[B] != Index[B])
+        continue;
+      // B is an SCC root; pop its component.
+      std::vector<uint32_t> Comp;
+      while (true) {
+        uint32_t Popped = Stack.back();
+        Stack.pop_back();
+        OnStack[Popped] = 0;
+        Comp.push_back(Popped);
+        if (Popped == B)
+          break;
+      }
+      bool SelfLoop =
+          Comp.size() == 1 &&
+          std::find(G.blocks()[B].Succs.begin(), G.blocks()[B].Succs.end(),
+                    B) != G.blocks()[B].Succs.end();
+      if (Comp.size() > 1 || SelfLoop)
+        Result.insert(Result.end(), Comp.begin(), Comp.end());
+    }
+  }
+  return Result;
+}
+
+} // namespace
+
 LoopInfo::LoopInfo(const Cfg &G, const DominatorTree &DT) {
   uint32_t N = static_cast<uint32_t>(G.numBlocks());
   Depth.assign(N, 0);
+  if (N == 0)
+    return;
 
-  for (uint32_t B = 0; B != N; ++B) {
-    for (uint32_t S : G.blocks()[B].Succs) {
-      if (!DT.dominates(S, B))
+  // Reverse-postorder numbering, to tell retreat edges (target at or before
+  // the source) from forward/cross edges. Unreachable blocks keep
+  // InvalidIndex and never produce loops or irreducible reports.
+  std::vector<uint32_t> RpoNum(N, InvalidIndex);
+  {
+    std::vector<uint32_t> Order;
+    std::vector<uint8_t> Seen(N, 0);
+    std::vector<std::pair<uint32_t, size_t>> Stack;
+    Stack.push_back({G.entry(), 0});
+    Seen[G.entry()] = 1;
+    while (!Stack.empty()) {
+      auto &[B, Next] = Stack.back();
+      const std::vector<uint32_t> &Succs = G.blocks()[B].Succs;
+      if (Next < Succs.size()) {
+        uint32_t S = Succs[Next++];
+        if (!Seen[S]) {
+          Seen[S] = 1;
+          Stack.push_back({S, 0});
+        }
         continue;
-      // Back edge B -> S: collect the natural loop body.
-      Loop L;
-      L.Header = S;
-      std::set<uint32_t> Body{S, B};
-      std::vector<uint32_t> Work{B};
-      while (!Work.empty()) {
-        uint32_t Cur = Work.back();
-        Work.pop_back();
-        if (Cur == S)
-          continue;
-        for (uint32_t P : G.blocks()[Cur].Preds)
-          if (Body.insert(P).second)
-            Work.push_back(P);
       }
-      L.Blocks.assign(Body.begin(), Body.end());
-      Loops.push_back(std::move(L));
+      Order.push_back(B);
+      Stack.pop_back();
     }
+    std::reverse(Order.begin(), Order.end());
+    for (uint32_t I = 0; I != Order.size(); ++I)
+      RpoNum[Order[I]] = I;
+  }
+
+  // All back edges sharing a header form ONE loop (a `continue` is a second
+  // latch, not a second loop). Retreat edges whose target does not dominate
+  // the source close an irreducible cycle: recorded, not dropped.
+  std::map<uint32_t, std::vector<uint32_t>> HeaderLatches;
+  for (uint32_t B = 0; B != N; ++B) {
+    if (RpoNum[B] == InvalidIndex)
+      continue;
+    for (uint32_t S : G.blocks()[B].Succs) {
+      if (DT.dominates(S, B)) {
+        HeaderLatches[S].push_back(B);
+      } else if (RpoNum[S] <= RpoNum[B]) {
+        Irreducible.push_back({B, S});
+      }
+    }
+  }
+
+  for (auto &[Header, Latches] : HeaderLatches) {
+    Loop L;
+    L.Header = Header;
+    std::sort(Latches.begin(), Latches.end());
+    L.Latches = Latches;
+    // The merged body: everything that reaches any latch without passing
+    // through the header.
+    std::set<uint32_t> Body{Header};
+    std::vector<uint32_t> Work;
+    for (uint32_t Latch : Latches)
+      if (Body.insert(Latch).second)
+        Work.push_back(Latch);
+    while (!Work.empty()) {
+      uint32_t Cur = Work.back();
+      Work.pop_back();
+      for (uint32_t P : G.blocks()[Cur].Preds)
+        if (Body.insert(P).second)
+          Work.push_back(P);
+    }
+    L.Blocks.assign(Body.begin(), Body.end());
+    for (uint32_t B : L.Blocks)
+      for (uint32_t S : G.blocks()[B].Succs)
+        if (!Body.count(S)) {
+          L.Exits.push_back(B);
+          break;
+        }
+    Loops.push_back(std::move(L));
   }
 
   for (const Loop &L : Loops)
     for (uint32_t B : L.Blocks)
       ++Depth[B];
+
+  // Blocks on an irreducible cycle may sit in no natural loop; give every
+  // block of a nontrivial SCC depth >= 1 so frequency estimation does not
+  // treat the cycle as straight-line code.
+  if (!Irreducible.empty()) {
+    for (uint32_t B : blocksInNontrivialSccs(G))
+      if (Depth[B] == 0)
+        Depth[B] = 1;
+  }
+}
+
+uint32_t LoopInfo::loopAtHeader(uint32_t B) const {
+  for (uint32_t I = 0; I != Loops.size(); ++I)
+    if (Loops[I].Header == B)
+      return I;
+  return InvalidIndex;
 }

@@ -76,27 +76,57 @@ private:
   std::vector<uint32_t> Idom;
 };
 
-/// One natural loop discovered from a back edge.
+/// One natural loop. All back edges sharing a header are merged into a
+/// single loop (so a `continue` statement adds a latch, not a second loop).
 struct Loop {
   uint32_t Header = 0;
-  std::vector<uint32_t> Blocks; ///< Sorted block ids, including the header.
+  std::vector<uint32_t> Blocks;  ///< Sorted block ids, including the header.
+  std::vector<uint32_t> Latches; ///< Sorted back-edge source blocks.
+  /// Sorted exiting blocks: loop blocks with at least one successor outside
+  /// the loop.
+  std::vector<uint32_t> Exits;
 
   bool contains(uint32_t B) const;
 };
 
+/// A retreat edge (target at or before the source in reverse postorder)
+/// whose target does not dominate its source: part of an irreducible cycle,
+/// not of any natural loop.
+struct IrreducibleEdge {
+  uint32_t From = 0;
+  uint32_t To = 0;
+};
+
 /// Natural loops of a Cfg, from back edges T->H where H dominates T.
+/// Irreducible retreat edges are not silently dropped: they are reported via
+/// irreducibleEdges(), and every block of a nontrivial strongly connected
+/// component is conservatively given depth >= 1 even when no natural loop
+/// contains it (so frequency estimation does not misread irreducible cycles
+/// as straight-line code).
 class LoopInfo {
 public:
   LoopInfo(const Cfg &G, const DominatorTree &DT);
 
   const std::vector<Loop> &loops() const { return Loops; }
 
-  /// Loop nesting depth of block \p B (0 = not in any loop).
+  /// Loop nesting depth of block \p B (0 = not in any loop). Blocks on an
+  /// irreducible cycle count as depth >= 1.
   unsigned depth(uint32_t B) const { return Depth[B]; }
+
+  /// Retreat edges that are not natural back edges.
+  const std::vector<IrreducibleEdge> &irreducibleEdges() const {
+    return Irreducible;
+  }
+  bool hasIrreducible() const { return !Irreducible.empty(); }
+
+  /// Index into loops() of the innermost loop headed at \p B, or
+  /// masm::InvalidIndex if \p B heads no loop.
+  uint32_t loopAtHeader(uint32_t B) const;
 
 private:
   std::vector<Loop> Loops;
   std::vector<unsigned> Depth;
+  std::vector<IrreducibleEdge> Irreducible;
 };
 
 } // namespace cfg

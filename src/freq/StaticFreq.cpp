@@ -2,10 +2,12 @@
 
 #include "freq/StaticFreq.h"
 
+#include "absint/Absint.h"
 #include "cfg/Cfg.h"
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 
 using namespace dlq;
 using namespace dlq::freq;
@@ -21,6 +23,7 @@ StaticFreqEstimate::StaticFreqEstimate(const Module &Mod,
 void StaticFreqEstimate::computeBlockFrequencies() {
   BlockRelFreq.resize(M.functions().size());
   InstrBlock.resize(M.functions().size());
+  masm::Layout L(M);
 
   for (uint32_t FI = 0; FI != M.functions().size(); ++FI) {
     const Function &F = M.functions()[FI];
@@ -29,6 +32,18 @@ void StaticFreqEstimate::computeBlockFrequencies() {
     cfg::Cfg G(F);
     cfg::DominatorTree DT(G);
     cfg::LoopInfo LI(G, DT);
+
+    // Interval-proven trip counts (by loop index): counted loops with a
+    // constant bound get their real weight instead of the blanket guess.
+    std::map<uint32_t, uint64_t> Trips;
+    if (Opts.UseTripCounts) {
+      absint::Interp::Options IO;
+      IO.ModLayout = &L;
+      IO.Frame = M.typeInfo().lookupFunction(F.name());
+      absint::Interp AI(G, LI, IO);
+      AI.run();
+      Trips = AI.tripCounts();
+    }
 
     InstrBlock[FI].resize(F.size());
     for (uint32_t Idx = 0; Idx != F.size(); ++Idx)
@@ -85,7 +100,25 @@ void StaticFreqEstimate::computeBlockFrequencies() {
 
     BlockRelFreq[FI].resize(NumBlocks, 0.0);
     for (uint32_t B = 0; B != NumBlocks; ++B) {
-      double LoopBoost = std::pow(Opts.LoopBase, LI.depth(B));
+      // Each containing loop multiplies the block's weight by its trip
+      // count when proven, by LoopBase otherwise. Blocks of irreducible
+      // cycles carry a conservative depth without a containing natural
+      // loop; they keep the LoopBase guess per unaccounted level.
+      double LoopBoost = 1.0;
+      unsigned Containing = 0;
+      for (uint32_t LIdx = 0; LIdx != LI.loops().size(); ++LIdx) {
+        if (!LI.loops()[LIdx].contains(B))
+          continue;
+        ++Containing;
+        auto It = Trips.find(LIdx);
+        double W = It != Trips.end() ? static_cast<double>(It->second)
+                                     : Opts.LoopBase;
+        LoopBoost = std::min(LoopBoost * W, Opts.MaxFreq);
+      }
+      if (LI.depth(B) > Containing)
+        LoopBoost = std::min(
+            LoopBoost * std::pow(Opts.LoopBase, LI.depth(B) - Containing),
+            Opts.MaxFreq);
       BlockRelFreq[FI][B] =
           std::min(Acyclic[B] * LoopBoost, Opts.MaxFreq);
     }

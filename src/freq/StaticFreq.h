@@ -13,9 +13,12 @@
 /// load instructions if it is desired to run the heuristic without basic
 /// block profiling". This module implements that replacement:
 ///
-///  * intraprocedural: a block's relative frequency is LoopBase^depth,
-///    attenuated through branch fan-out (each conditional successor is
-///    assumed equally likely, the Wu-Larus fallback prediction);
+///  * intraprocedural: a block's relative frequency is the product of its
+///    containing loops' trip weights, attenuated through branch fan-out
+///    (each conditional successor is assumed equally likely, the Wu-Larus
+///    fallback prediction). A loop's weight is its interval-proven trip
+///    count when the abstract interpreter (absint) can bound it from the
+///    exit branches, and the blanket LoopBase multiplier otherwise;
 ///  * interprocedural: call-site frequencies propagate through the call
 ///    graph from main with bounded iteration (recursion is damped).
 ///
@@ -55,6 +58,9 @@ struct StaticFreqOptions {
   /// oscillates in the low mantissa bits on recursive graphs; anything
   /// within this relative distance counts as converged.
   double ConvergeEps = 1e-9;
+  /// Replace LoopBase with the abstract interpreter's interval-proven trip
+  /// count for loops where one exists (constant-bound counted loops).
+  bool UseTripCounts = true;
 
   StaticFreqOptions() {}
 };

@@ -2,6 +2,7 @@
 
 #include "fuzz/Oracles.h"
 
+#include "absint/Lint.h"
 #include "classify/Delinquency.h"
 #include "classify/Heuristic.h"
 #include "freq/StaticFreq.h"
@@ -30,6 +31,8 @@ std::string_view fuzz::oracleName(OracleId Id) {
     return "analysis";
   case OracleId::Trap:
     return "trap";
+  case OracleId::Lint:
+    return "lint";
   }
   return "unknown";
 }
@@ -301,6 +304,24 @@ OracleReport fuzz::runOracles(std::string_view Source,
     };
     checkAnalysis(*C0.M, toExecMap(R0, *C0.M), "-O0", Rep.Findings);
     checkAnalysis(*C1.M, toExecMap(R1, *C1.M), "-O1", Rep.Findings);
+  }
+
+  // Oracle 5: generated programs compile to lint-clean code at both opt
+  // levels. The lint's checks are exactly the bug classes codegen fuzzing
+  // has caught before (branch-arm spill leaks, clobbered temporaries), so
+  // a finding here localizes a miscompile without needing a behavioral
+  // divergence to witness it.
+  if (Opts.CheckLint) {
+    struct LintCfg {
+      const masm::Module *M;
+      const char *Level;
+    };
+    for (const LintCfg &C :
+         {LintCfg{C0.M.get(), "-O0"}, LintCfg{C1.M.get(), "-O1"}})
+      for (const absint::LintFinding &F : absint::lintModule(*C.M))
+        Rep.Findings.push_back(
+            {OracleId::Lint,
+             formatString("%s: %s", C.Level, F.str().c_str())});
   }
 
   return Rep;

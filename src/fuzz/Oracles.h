@@ -30,6 +30,12 @@
 ///     cross-opt-level derefDepth/recurrence comparison is relaxed to
 ///     per-module invariants because masm carries no source positions to
 ///     match loads across opt levels; see DESIGN.md.)
+///  5. Lint      — the abstract-interpretation codegen lint (absint/Lint.h)
+///     must report zero findings on both the -O0 and the -O1 module: every
+///     generated program is well-formed, so any use-before-write spill
+///     slot, call-clobbered register use, callee-saved clobber, unbalanced
+///     $sp, out-of-.data $gp access or unreachable block is a code
+///     generator bug.
 ///
 /// Compile failures and simulator traps are also findings: the generator
 /// only emits programs that must compile and run cleanly.
@@ -55,6 +61,7 @@ enum class OracleId : uint8_t {
   Fusion,     ///< Fused vs no-fusion execution.
   Analysis,   ///< AP/classifier invariant violation.
   Trap,       ///< A run trapped on a generator-guaranteed-clean program.
+  Lint,       ///< The codegen lint flagged a generated module.
 };
 
 std::string_view oracleName(OracleId Id);
@@ -73,6 +80,8 @@ struct OracleOptions {
   /// Oracle 4 is the most expensive; campaigns can disable it to focus on
   /// execution differentials.
   bool CheckAnalysis = true;
+  /// Oracle 5: both compiles must be lint-clean under absint/Lint.h.
+  bool CheckLint = true;
 };
 
 /// Everything the oracles observed about one program.

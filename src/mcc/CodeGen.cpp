@@ -79,6 +79,11 @@ private:
   std::vector<std::string> BreakLabels;
   std::vector<std::string> ContinueLabels;
   std::string RetLabel;
+  std::map<std::string, unsigned> LabelRefs; ///< Jump/branch reference counts.
+  /// True once the current emission point is past an unconditional transfer
+  /// (return/break/continue) with no intervening referenced label: anything
+  /// emitted here would be unreachable.
+  bool Terminated = false;
 
   //===--- value allocator -------------------------------------------------===//
   struct ValState {
@@ -157,13 +162,28 @@ private:
     I.Rs = Rs;
     I.Rt = Rt;
     I.Sym = Target;
+    ++LabelRefs[Target];
     emit(std::move(I));
   }
   void emitJump(const std::string &Target) {
     Instr I;
     I.Op = Opcode::J;
     I.Sym = Target;
+    ++LabelRefs[Target];
     emit(std::move(I));
+  }
+
+  /// Defines \p L. Code after the label is reachable again iff some emitted
+  /// jump or branch targets it, or the fall-through path was still live.
+  void bindLabel(const std::string &L) {
+    auto It = LabelRefs.find(L);
+    bool Referenced = It != LabelRefs.end() && It->second > 0;
+    if (Referenced)
+      Terminated = false;
+    // An unreferenced label in dead code has no possible incoming edge;
+    // defining it would only decorate the unreachable region.
+    if (Referenced || !Terminated)
+      F.defineLabel(L);
   }
   void emitCall(const std::string &Callee) {
     Instr I;
@@ -451,7 +471,7 @@ void FuncEmitter::emitPrologue() {
 }
 
 void FuncEmitter::emitEpilogue() {
-  F.defineLabel(RetLabel);
+  bindLabel(RetLabel);
   // Compute the final frame size: locals + temps + saved s-regs + ra.
   uint32_t SaveBytes = 4 + static_cast<uint32_t>(UsedPromoRegs.size()) * 4;
   FrameSize = LocalBytes + 4 * NumTempSlots + SaveBytes;
@@ -491,7 +511,10 @@ void FuncEmitter::emitFunction() {
 //===----------------------------------------------------------------------===//
 
 void FuncEmitter::genStmt(const Stmt *S) {
-  if (!S || HadError)
+  // Statements after a return/break/continue (with no referenced label in
+  // between) can never execute; emitting them would litter the function
+  // with unreachable blocks.
+  if (!S || HadError || Terminated)
     return;
   switch (S->Kind) {
   case StmtKind::Empty:
@@ -514,12 +537,17 @@ void FuncEmitter::genStmt(const Stmt *S) {
     genStmt(S->Then);
     if (S->Else) {
       std::string EndL = freshLabel();
-      emitJump(EndL);
-      F.defineLabel(ElseL);
+      // A then-arm ending in return/break/continue needs no jump over the
+      // else-arm; the join label then stays unreferenced, and bindLabel
+      // keeps Terminated set when the else-arm terminates too.
+      if (!Terminated)
+        emitJump(EndL);
+      Terminated = false; // The else-arm is reached via the cond branch.
+      bindLabel(ElseL);
       genStmt(S->Else);
-      F.defineLabel(EndL);
+      bindLabel(EndL);
     } else {
-      F.defineLabel(ElseL);
+      bindLabel(ElseL);
     }
     return;
   }
@@ -533,8 +561,9 @@ void FuncEmitter::genStmt(const Stmt *S) {
     genStmt(S->Then);
     BreakLabels.pop_back();
     ContinueLabels.pop_back();
-    emitJump(HeadL);
-    F.defineLabel(EndL);
+    if (!Terminated)
+      emitJump(HeadL);
+    bindLabel(EndL);
     return;
   }
   case StmtKind::For: {
@@ -551,11 +580,13 @@ void FuncEmitter::genStmt(const Stmt *S) {
     genStmt(S->Then);
     BreakLabels.pop_back();
     ContinueLabels.pop_back();
-    F.defineLabel(StepL);
-    if (S->ForStep)
-      releaseVal(genExpr(S->ForStep));
-    emitJump(HeadL);
-    F.defineLabel(EndL);
+    bindLabel(StepL);
+    if (!Terminated) {
+      if (S->ForStep)
+        releaseVal(genExpr(S->ForStep));
+      emitJump(HeadL);
+    }
+    bindLabel(EndL);
     return;
   }
   case StmtKind::Return: {
@@ -567,6 +598,7 @@ void FuncEmitter::genStmt(const Stmt *S) {
       releaseVal(V);
     }
     emitJump(RetLabel);
+    Terminated = true;
     return;
   }
   case StmtKind::Break:
@@ -575,6 +607,7 @@ void FuncEmitter::genStmt(const Stmt *S) {
       return;
     }
     emitJump(BreakLabels.back());
+    Terminated = true;
     return;
   case StmtKind::Continue:
     if (ContinueLabels.empty()) {
@@ -582,6 +615,7 @@ void FuncEmitter::genStmt(const Stmt *S) {
       return;
     }
     emitJump(ContinueLabels.back());
+    Terminated = true;
     return;
   }
 }

@@ -1,0 +1,281 @@
+//===- tests/AbsintTest.cpp - abstract domain and interpreter tests ----------//
+//
+// Part of the delinq project test suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "absint/Absint.h"
+#include "absint/Domain.h"
+#include "cfg/Cfg.h"
+#include "fuzz/Fuzzer.h"
+#include "fuzz/Generator.h"
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace dlq;
+using namespace dlq::absint;
+
+namespace {
+
+AbsValue spPlus(int64_t Off) {
+  AbsValue V = AbsValue::entry(masm::Reg::SP);
+  V.Lo = V.Hi = Off;
+  V.Stride = 0;
+  return V;
+}
+
+TEST(AbsDomain, JoinOfConstantsIsHullWithGcdStride) {
+  AbsValue J = join(AbsValue::constant(4), AbsValue::constant(8));
+  EXPECT_EQ(J.Lo, 4);
+  EXPECT_EQ(J.Hi, 8);
+  EXPECT_EQ(J.Stride, 4u);
+
+  // Joining in a third point keeps the congruence as long as it fits.
+  J = join(J, AbsValue::constant(12));
+  EXPECT_EQ(J.Lo, 4);
+  EXPECT_EQ(J.Hi, 12);
+  EXPECT_EQ(J.Stride, 4u);
+
+  // An off-grid point collapses the stride but not the hull.
+  J = join(J, AbsValue::constant(5));
+  EXPECT_EQ(J.Lo, 4);
+  EXPECT_EQ(J.Hi, 12);
+  EXPECT_EQ(J.Stride, 1u);
+}
+
+TEST(AbsDomain, JoinOfDifferentBasesIsTop) {
+  AbsValue A = AbsValue::entry(masm::Reg::A0);
+  AbsValue B = AbsValue::entry(masm::Reg::A1);
+  EXPECT_TRUE(join(A, B).isTop());
+  EXPECT_FALSE(join(A, A).isTop());
+}
+
+TEST(AbsDomain, JoinKeepsSymbolicBase) {
+  AbsValue A = spPlus(-8);
+  AbsValue B = spPlus(-16);
+  AbsValue J = join(A, B);
+  EXPECT_EQ(J.Base, SymBase::entryReg(masm::Reg::SP));
+  EXPECT_EQ(J.Lo, -16);
+  EXPECT_EQ(J.Hi, -8);
+  EXPECT_EQ(J.Stride, 8u);
+}
+
+TEST(AbsDomain, WidenSendsGrownBoundsToInfinity) {
+  AbsValue Old = AbsValue::constant(0);
+  AbsValue New = join(Old, AbsValue::constant(1));
+  AbsValue W = widen(Old, New);
+  EXPECT_EQ(W.Lo, 0);
+  EXPECT_EQ(W.Hi, PosInf);
+  // Widening an unchanged state is the identity (fixpoint test relies on
+  // it).
+  EXPECT_EQ(widen(W, W), W);
+}
+
+TEST(AbsDomain, WidenPreservesStride) {
+  AbsValue Old = AbsValue::constant(0);
+  AbsValue New = join(Old, AbsValue::constant(4));
+  AbsValue W = widen(Old, New);
+  EXPECT_EQ(W.Lo, 0);
+  EXPECT_EQ(W.Hi, PosInf);
+  EXPECT_EQ(W.Stride, 4u);
+}
+
+TEST(AbsDomain, ArithmeticTracksStride) {
+  // (sp + [0,+inf) % 4) + 8 keeps base, anchor moves, stride survives.
+  AbsValue Idx = AbsValue::entry(masm::Reg::SP);
+  Idx.Lo = 0;
+  Idx.Hi = PosInf;
+  Idx.Stride = 4;
+  AbsValue Sum = addValues(Idx, AbsValue::constant(8));
+  EXPECT_EQ(Sum.Base, SymBase::entryReg(masm::Reg::SP));
+  EXPECT_EQ(Sum.Lo, 8);
+  EXPECT_EQ(Sum.Stride, 4u);
+
+  // Multiplying a strided plain interval by a constant scales the stride.
+  AbsValue I;
+  I.Lo = 0;
+  I.Hi = 40;
+  I.Stride = 2;
+  AbsValue Scaled = mulValues(I, AbsValue::constant(4));
+  EXPECT_EQ(Scaled.Lo, 0);
+  EXPECT_EQ(Scaled.Hi, 160);
+  EXPECT_EQ(Scaled.Stride, 8u);
+
+  // Subtracting same-base values cancels the base.
+  AbsValue D = subValues(spPlus(-8), spPlus(-16));
+  EXPECT_TRUE(D.isConst());
+  EXPECT_EQ(D.constValue(), 8);
+}
+
+TEST(AbsDomain, StateJoinIntersectsMustWrittenBytes) {
+  State A = State::entry();
+  State B = State::entry();
+  A.Reachable = B.Reachable = true;
+  A.Written = {-4, -3, -2, -1, -8};
+  B.Written = {-4, -3, -2, -1, -12};
+  A.Words[-4] = AbsValue::constant(1);
+  B.Words[-4] = AbsValue::constant(3);
+  B.Words[-8] = AbsValue::constant(7);
+  State J = joinState(A, B);
+  EXPECT_EQ(J.Written, (std::set<int32_t>{-4, -3, -2, -1}));
+  // Common slot joins its values; one-sided slots drop.
+  ASSERT_TRUE(J.Words.count(-4));
+  EXPECT_EQ(J.Words.at(-4).Lo, 1);
+  EXPECT_EQ(J.Words.at(-4).Hi, 3);
+  EXPECT_FALSE(J.Words.count(-8));
+}
+
+TEST(AbsInterp, CountedLoopTripFromRegisters) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl f
+f:
+        li   $t0, 0
+        li   $t1, 10
+Lhead:
+        bge  $t0, $t1, Ldone
+        addi $t0, $t0, 1
+        j    Lhead
+Ldone:
+        jr   $ra
+)");
+  ASSERT_TRUE(M);
+  cfg::Cfg G(M->functions()[0]);
+  cfg::DominatorTree DT(G);
+  cfg::LoopInfo LI(G, DT);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  Interp AI(G, LI);
+  AI.run();
+  ASSERT_TRUE(AI.tripCounts().count(0));
+  EXPECT_EQ(AI.tripCounts().at(0), 10u);
+}
+
+TEST(AbsInterp, NonUnitStrideDividesTripCount) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl f
+f:
+        li   $t0, 0
+        li   $t1, 100
+Lhead:
+        bge  $t0, $t1, Ldone
+        addi $t0, $t0, 8
+        j    Lhead
+Ldone:
+        jr   $ra
+)");
+  ASSERT_TRUE(M);
+  cfg::Cfg G(M->functions()[0]);
+  cfg::DominatorTree DT(G);
+  cfg::LoopInfo LI(G, DT);
+  Interp AI(G, LI);
+  AI.run();
+  ASSERT_TRUE(AI.tripCounts().count(0));
+  EXPECT_EQ(AI.tripCounts().at(0), 13u); // ceil(100 / 8)
+}
+
+TEST(AbsInterp, SpilledInductionVariableStaysVisible) {
+  // -O0 keeps `i` in a frame slot; the Words map must carry it through the
+  // loop so the trip count is still proven.
+  auto M = test::compileOrDie(R"(
+int main() {
+  int s; int i;
+  s = 0;
+  for (i = 0; i < 25; i = i + 1) {
+    s = s + i;
+  }
+  print_int(s);
+  return 0;
+}
+)",
+                              0);
+  const masm::Function *Main = nullptr;
+  for (const masm::Function &F : M->functions())
+    if (F.name() == "main")
+      Main = &F;
+  ASSERT_NE(Main, nullptr);
+  cfg::Cfg G(*Main);
+  cfg::DominatorTree DT(G);
+  cfg::LoopInfo LI(G, DT);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  masm::Layout L(*M);
+  Interp::Options IO;
+  IO.ModLayout = &L;
+  IO.Frame = M->typeInfo().lookupFunction("main");
+  Interp AI(G, LI, IO);
+  AI.run();
+  ASSERT_TRUE(AI.tripCounts().count(0));
+  EXPECT_EQ(AI.tripCounts().at(0), 25u);
+}
+
+TEST(AbsInterp, DataDependentLoopHasNoTripCount) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl f
+f:
+        move $t0, $a0
+Lhead:
+        beq  $t0, $zero, Ldone
+        lw   $t0, 0($t0)
+        j    Lhead
+Ldone:
+        jr   $ra
+)");
+  ASSERT_TRUE(M);
+  cfg::Cfg G(M->functions()[0]);
+  cfg::DominatorTree DT(G);
+  cfg::LoopInfo LI(G, DT);
+  Interp AI(G, LI);
+  AI.run();
+  EXPECT_TRUE(AI.tripCounts().empty());
+}
+
+TEST(AbsInterp, StateBeforeMatchesReplay) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl f
+f:
+        li   $t0, 3
+        addi $t1, $t0, 4
+        jr   $ra
+)");
+  ASSERT_TRUE(M);
+  cfg::Cfg G(M->functions()[0]);
+  cfg::DominatorTree DT(G);
+  cfg::LoopInfo LI(G, DT);
+  Interp AI(G, LI);
+  AI.run();
+  State S = AI.stateBefore(2);
+  ASSERT_TRUE(S.reg(masm::Reg::T0).isConst());
+  EXPECT_EQ(S.reg(masm::Reg::T0).constValue(), 3);
+  ASSERT_TRUE(S.reg(masm::Reg::T1).isConst());
+  EXPECT_EQ(S.reg(masm::Reg::T1).constValue(), 7);
+}
+
+TEST(AbsInterp, TerminatesOnGeneratedCorpus) {
+  // Widening must close the fixpoint on arbitrary generated control flow,
+  // at both opt levels. Campaign seed 7 held past miscompile reproducers.
+  for (uint64_t Index : {0ull, 4ull, 12ull, 39ull, 77ull}) {
+    std::string Source = fuzz::generateProgram(fuzz::programSeed(7, Index));
+    for (unsigned Opt = 0; Opt <= 1; ++Opt) {
+      auto M = test::compileOrDie(Source, Opt);
+      masm::Layout L(*M);
+      for (const masm::Function &F : M->functions()) {
+        if (F.empty())
+          continue;
+        cfg::Cfg G(F);
+        cfg::DominatorTree DT(G);
+        cfg::LoopInfo LI(G, DT);
+        Interp::Options IO;
+        IO.ModLayout = &L;
+        IO.Frame = M->typeInfo().lookupFunction(F.name());
+        Interp AI(G, LI, IO);
+        AI.run();
+        EXPECT_TRUE(AI.reachable(G.entry()));
+      }
+    }
+  }
+}
+
+} // namespace

@@ -114,6 +114,142 @@ TEST(Loops, SimpleLoopDetected) {
   EXPECT_EQ(LI.depth(Exit), 0u);
 }
 
+TEST(Loops, LatchAndExitsExposed) {
+  auto M = test::parseAsmOrDie(LoopAsm);
+  ASSERT_TRUE(M);
+  Cfg G(M->functions()[0]);
+  DominatorTree DT(G);
+  LoopInfo LI(G, DT);
+
+  ASSERT_EQ(LI.loops().size(), 1u);
+  const Loop &L = LI.loops()[0];
+  uint32_t Head = G.blockOf(2);
+  uint32_t Body = G.blockOf(3);
+  ASSERT_EQ(L.Latches.size(), 1u);
+  EXPECT_EQ(L.Latches[0], Body);
+  // Only the header branches out of the loop.
+  ASSERT_EQ(L.Exits.size(), 1u);
+  EXPECT_EQ(L.Exits[0], Head);
+  EXPECT_EQ(LI.loopAtHeader(Head), 0u);
+  EXPECT_EQ(LI.loopAtHeader(Body), masm::InvalidIndex);
+  EXPECT_FALSE(LI.hasIrreducible());
+}
+
+TEST(Loops, NestedLoopsHaveNestedDepths) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl f
+f:
+        li   $t0, 0
+Louter:
+        li   $t1, 0
+Linner:
+        addi $t1, $t1, 1
+        blt  $t1, $t0, Linner
+        addi $t0, $t0, 1
+        li   $t2, 10
+        blt  $t0, $t2, Louter
+        jr   $ra
+)");
+  ASSERT_TRUE(M);
+  Cfg G(M->functions()[0]);
+  DominatorTree DT(G);
+  LoopInfo LI(G, DT);
+
+  ASSERT_EQ(LI.loops().size(), 2u);
+  uint32_t InnerHead = G.blockOf(2);
+  uint32_t OuterHead = G.blockOf(1);
+  EXPECT_EQ(LI.depth(InnerHead), 2u);
+  EXPECT_EQ(LI.depth(OuterHead), 1u);
+  EXPECT_EQ(LI.depth(G.entry()), 0u);
+
+  uint32_t InnerIdx = LI.loopAtHeader(InnerHead);
+  uint32_t OuterIdx = LI.loopAtHeader(OuterHead);
+  ASSERT_NE(InnerIdx, masm::InvalidIndex);
+  ASSERT_NE(OuterIdx, masm::InvalidIndex);
+  EXPECT_TRUE(LI.loops()[OuterIdx].contains(InnerHead));
+  EXPECT_FALSE(LI.loops()[InnerIdx].contains(OuterHead));
+  EXPECT_FALSE(LI.hasIrreducible());
+}
+
+TEST(Loops, SharedHeaderBackEdgesMergeIntoOneLoop) {
+  // A `continue` inside a while loop: two back edges to one header must
+  // produce ONE loop with two latches, and body blocks at depth 1, not 2.
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl f
+f:
+        li   $t0, 0
+Lhead:
+        li   $t1, 10
+        bge  $t0, $t1, Ldone
+        addi $t0, $t0, 1
+        li   $t2, 5
+        beq  $t0, $t2, Lhead
+        addi $t3, $t3, 1
+        j    Lhead
+Ldone:
+        jr   $ra
+)");
+  ASSERT_TRUE(M);
+  Cfg G(M->functions()[0]);
+  DominatorTree DT(G);
+  LoopInfo LI(G, DT);
+
+  ASSERT_EQ(LI.loops().size(), 1u);
+  const Loop &L = LI.loops()[0];
+  EXPECT_EQ(L.Header, G.blockOf(1));
+  EXPECT_EQ(L.Latches.size(), 2u);
+  for (uint32_t B : L.Blocks)
+    EXPECT_EQ(LI.depth(B), 1u) << "block B" << B << " double-counted";
+  EXPECT_FALSE(LI.hasIrreducible());
+}
+
+TEST(Loops, IrreducibleRetreatEdgeDetected) {
+  // Classic irreducible cycle: entry branches into the middle of a cycle
+  // between L1 and L2, so neither cycle node dominates the other. No
+  // natural loop exists, but the retreat edge must be reported and the
+  // cycle blocks conservatively marked depth >= 1.
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl f
+f:
+        li   $t0, 1
+        beq  $t0, $zero, L2
+L1:
+        addi $t1, $t1, 1
+        beq  $t1, $zero, Lout
+        j    L2
+L2:
+        addi $t2, $t2, 1
+        beq  $t2, $zero, Lout
+        j    L1
+Lout:
+        jr   $ra
+)");
+  ASSERT_TRUE(M);
+  Cfg G(M->functions()[0]);
+  DominatorTree DT(G);
+  LoopInfo LI(G, DT);
+
+  EXPECT_TRUE(LI.loops().empty());
+  ASSERT_TRUE(LI.hasIrreducible());
+  // The cycle blocks (everything between the entry and Lout) must not be
+  // misread as straight-line code.
+  uint32_t L1B = G.blockOf(2);
+  uint32_t L2B = G.blockOf(5);
+  EXPECT_GE(LI.depth(L1B), 1u);
+  EXPECT_GE(LI.depth(L2B), 1u);
+  EXPECT_EQ(LI.depth(G.entry()), 0u);
+  EXPECT_EQ(LI.depth(G.blockOf(8)), 0u);
+  // The reported edge really is a retreat edge inside the cycle.
+  for (const IrreducibleEdge &E : LI.irreducibleEdges()) {
+    EXPECT_TRUE(E.From == L1B || E.From == L2B ||
+                E.From == G.blockOf(4) || E.From == G.blockOf(7));
+    EXPECT_TRUE(E.To == L1B || E.To == L2B);
+  }
+}
+
 TEST(Loops, StraightLineHasNone) {
   auto M = test::parseAsmOrDie(R"(
         .text

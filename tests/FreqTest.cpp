@@ -27,22 +27,36 @@ TEST(StaticFreq, LoopsBoostFrequency) {
                               "  return s; }",
                               0);
   ASSERT_TRUE(M);
-  StaticFreqEstimate E(*M);
 
   // The array load sits in the loop; the epilogue's ra reload does not.
-  double LoopLoad = 0, StraightLoad = 0;
-  const Function &F = *M->lookupFunction("main");
-  for (uint32_t Idx = 0; Idx != F.size(); ++Idx) {
-    if (!isLoad(F.instrs()[Idx].Op))
-      continue;
-    double Freq = E.instrFreq(InstrRef{M->functionIndex("main"), Idx});
-    if (F.instrs()[Idx].Rd == Reg::RA)
-      StraightLoad = Freq;
-    else
-      LoopLoad = std::max(LoopLoad, Freq);
-  }
-  EXPECT_GT(LoopLoad, 100.0);
+  auto loads = [&](const StaticFreqEstimate &E) {
+    double LoopLoad = 0, StraightLoad = 0;
+    const Function &F = *M->lookupFunction("main");
+    for (uint32_t Idx = 0; Idx != F.size(); ++Idx) {
+      if (!isLoad(F.instrs()[Idx].Op))
+        continue;
+      double Freq = E.instrFreq(InstrRef{M->functionIndex("main"), Idx});
+      if (F.instrs()[Idx].Rd == Reg::RA)
+        StraightLoad = Freq;
+      else
+        LoopLoad = std::max(LoopLoad, Freq);
+    }
+    return std::pair<double, double>(LoopLoad, StraightLoad);
+  };
+
+  // Default: the abstract interpreter proves the 8-iteration bound, so the
+  // loop load carries the real trip weight instead of the blanket guess.
+  auto [LoopLoad, StraightLoad] = loads(StaticFreqEstimate(*M));
+  EXPECT_GT(LoopLoad, 2.0);
+  EXPECT_LE(LoopLoad, 8.0);
   EXPECT_LE(StraightLoad, 1.0);
+
+  // Knob off: the Wu-Larus blanket multiplier is back.
+  StaticFreqOptions Blanket;
+  Blanket.UseTripCounts = false;
+  auto [BLoop, BStraight] = loads(StaticFreqEstimate(*M, Blanket));
+  EXPECT_GT(BLoop, 100.0);
+  EXPECT_LE(BStraight, 1.0);
 }
 
 TEST(StaticFreq, NestedLoopsMultiply) {
@@ -55,19 +69,49 @@ TEST(StaticFreq, NestedLoopsMultiply) {
                               "  return s; }",
                               0);
   ASSERT_TRUE(M);
-  StaticFreqEstimate E(*M);
   uint32_t MainIdx = M->functionIndex("main");
   const Function &F = *M->lookupFunction("main");
 
+  auto best = [&](const StaticFreqEstimate &E) {
+    double Best = 0;
+    for (uint32_t Idx = 0; Idx != F.size(); ++Idx)
+      if (isLoad(F.instrs()[Idx].Op))
+        Best = std::max(Best, E.instrFreq(InstrRef{MainIdx, Idx}));
+    return Best;
+  };
+
+  // Default: both 4-iteration bounds are proven, so the inner load carries
+  // roughly 4*4 (attenuated by the loop-header branch splits).
+  double Best = best(StaticFreqEstimate(*M));
+  EXPECT_GE(Best, 16.0 / 4) << "depth-2 loads must carry both trip counts";
+  EXPECT_LE(Best, 16.0);
+
+  // Knob off: the squared blanket weight, same attenuation allowance.
+  StaticFreqOptions Blanket;
+  Blanket.UseTripCounts = false;
+  EXPECT_GE(best(StaticFreqEstimate(*M, Blanket)),
+            Blanket.LoopBase * Blanket.LoopBase / 4)
+      << "depth-2 loads must carry the squared loop weight";
+}
+
+TEST(StaticFreq, DataDependentLoopKeepsBlanketWeight) {
+  // A pointer chase has no interval-proven bound; those loops must keep
+  // the presumed-hot LoopBase multiplier so H5 never calls them seldom.
+  auto M = test::compileOrDie("struct Node { int v; struct Node *next; };"
+                              "int walk(struct Node *p) { int s; s = 0;"
+                              "  while (p != 0) { s = s + p->v; p = p->next; }"
+                              "  return s; }"
+                              "int main() { return walk(0); }",
+                              0);
+  ASSERT_TRUE(M);
+  StaticFreqEstimate E(*M);
+  uint32_t WalkIdx = M->functionIndex("walk");
+  const Function &F = *M->lookupFunction("walk");
   double Best = 0;
   for (uint32_t Idx = 0; Idx != F.size(); ++Idx)
     if (isLoad(F.instrs()[Idx].Op))
-      Best = std::max(Best, E.instrFreq(InstrRef{MainIdx, Idx}));
-  StaticFreqOptions Opts;
-  // Loop-header branch splits halve the acyclic flow; allow that
-  // attenuation on top of the squared loop weight.
-  EXPECT_GE(Best, Opts.LoopBase * Opts.LoopBase / 4)
-      << "depth-2 loads must carry the squared loop weight";
+      Best = std::max(Best, E.instrFreq(InstrRef{WalkIdx, Idx}));
+  EXPECT_GT(Best, 100.0);
 }
 
 TEST(StaticFreq, UncalledFunctionIsCold) {

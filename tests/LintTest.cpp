@@ -1,0 +1,244 @@
+//===- tests/LintTest.cpp - codegen lint suite tests -------------------------//
+//
+// Part of the delinq project test suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "absint/Lint.h"
+#include "workloads/Workloads.h"
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace dlq;
+using namespace dlq::absint;
+
+namespace {
+
+std::vector<LintFinding> lintAsm(std::string_view Asm) {
+  auto M = test::parseAsmOrDie(Asm);
+  return lintModule(*M);
+}
+
+bool hasCheck(const std::vector<LintFinding> &Fs, LintCheck C) {
+  for (const LintFinding &F : Fs)
+    if (F.Check == C)
+      return true;
+  return false;
+}
+
+TEST(Lint, SpillLeakAcrossBranchJoinIsFlagged) {
+  // The PR-3 miscompile class: a value spilled inside one branch arm and
+  // reloaded after the join, so the other path reads a never-written slot.
+  // Equivalent to reverting the genCondBranch spill-before-branch fix.
+  std::vector<LintFinding> Fs = lintAsm(R"(
+        .text
+        .globl main
+main:
+        addi $sp, $sp, -8
+        li   $t0, 5
+        beq  $a0, $zero, Lelse
+        sw   $t0, 0($sp)
+        j    Ljoin
+Lelse:
+        li   $t0, 7
+Ljoin:
+        lw   $t1, 0($sp)
+        move $v0, $t1
+        addi $sp, $sp, 8
+        jr   $ra
+)");
+  ASSERT_EQ(Fs.size(), 1u);
+  EXPECT_EQ(Fs[0].Check, LintCheck::UseBeforeWrite);
+  EXPECT_EQ(Fs[0].Function, "main");
+  EXPECT_EQ(Fs[0].InstrIdx, 6u); // The lw after the join.
+}
+
+TEST(Lint, SpillWrittenOnBothArmsIsClean) {
+  std::vector<LintFinding> Fs = lintAsm(R"(
+        .text
+        .globl main
+main:
+        addi $sp, $sp, -8
+        li   $t0, 5
+        beq  $a0, $zero, Lelse
+        sw   $t0, 0($sp)
+        j    Ljoin
+Lelse:
+        li   $t0, 7
+        sw   $t0, 0($sp)
+Ljoin:
+        lw   $t1, 0($sp)
+        move $v0, $t1
+        addi $sp, $sp, 8
+        jr   $ra
+)");
+  EXPECT_TRUE(Fs.empty());
+}
+
+TEST(Lint, CallClobberedTemporaryUseIsFlagged) {
+  std::vector<LintFinding> Fs = lintAsm(R"(
+        .text
+        .globl helper
+helper:
+        jr   $ra
+        .globl main
+main:
+        addi $sp, $sp, -8
+        sw   $ra, 4($sp)
+        li   $t3, 9
+        jal  helper
+        move $v0, $t3
+        lw   $ra, 4($sp)
+        addi $sp, $sp, 8
+        jr   $ra
+)");
+  ASSERT_TRUE(hasCheck(Fs, LintCheck::CallClobberedUse));
+  // Reading the call's result out of $v0 must NOT be flagged.
+  std::vector<LintFinding> Clean = lintAsm(R"(
+        .text
+        .globl helper
+helper:
+        li   $v0, 1
+        jr   $ra
+        .globl main
+main:
+        addi $sp, $sp, -8
+        sw   $ra, 4($sp)
+        jal  helper
+        move $t0, $v0
+        lw   $ra, 4($sp)
+        addi $sp, $sp, 8
+        jr   $ra
+)");
+  EXPECT_FALSE(hasCheck(Clean, LintCheck::CallClobberedUse));
+}
+
+TEST(Lint, CalleeSavedClobberWithoutRestoreIsFlagged) {
+  std::vector<LintFinding> Fs = lintAsm(R"(
+        .text
+        .globl f
+f:
+        li   $s0, 3
+        move $v0, $s0
+        jr   $ra
+)");
+  ASSERT_TRUE(hasCheck(Fs, LintCheck::CalleeSavedClobber));
+  // The standard save/restore protocol is clean.
+  std::vector<LintFinding> Clean = lintAsm(R"(
+        .text
+        .globl f
+f:
+        addi $sp, $sp, -8
+        sw   $s0, 0($sp)
+        li   $s0, 3
+        move $v0, $s0
+        lw   $s0, 0($sp)
+        addi $sp, $sp, 8
+        jr   $ra
+)");
+  EXPECT_TRUE(Clean.empty());
+}
+
+TEST(Lint, UnbalancedStackPointerAtReturnIsFlagged) {
+  std::vector<LintFinding> Fs = lintAsm(R"(
+        .text
+        .globl f
+f:
+        addi $sp, $sp, -16
+        jr   $ra
+)");
+  ASSERT_TRUE(hasCheck(Fs, LintCheck::UnbalancedSp));
+}
+
+TEST(Lint, GpAccessOutsideDataSectionIsFlagged) {
+  // No .data at all: any gp-relative access is out of bounds.
+  std::vector<LintFinding> Fs = lintAsm(R"(
+        .text
+        .globl f
+f:
+        lw   $v0, 4096($gp)
+        jr   $ra
+)");
+  ASSERT_TRUE(hasCheck(Fs, LintCheck::GpOutOfData));
+  // An access inside a declared global is clean.
+  std::vector<LintFinding> Clean = lintAsm(R"(
+        .data
+g:      .word 1, 2, 3, 4
+        .text
+        .globl f
+f:
+        lw   $v0, -32768($gp)
+        jr   $ra
+)");
+  EXPECT_FALSE(hasCheck(Clean, LintCheck::GpOutOfData));
+}
+
+TEST(Lint, UnreachableBlockIsFlagged) {
+  std::vector<LintFinding> Fs = lintAsm(R"(
+        .text
+        .globl f
+f:
+        li   $v0, 1
+        jr   $ra
+        li   $v0, 2
+        jr   $ra
+)");
+  ASSERT_TRUE(hasCheck(Fs, LintCheck::UnreachableBlock));
+}
+
+TEST(Lint, FindingsAreCappedPerCheck) {
+  // Twenty unreachable blocks, MaxPerCheck 3: the report stays bounded.
+  std::string Asm = "        .text\n        .globl f\nf:\n        jr   $ra\n";
+  for (int I = 0; I != 20; ++I)
+    Asm += "        li   $v0, 1\n        jr   $ra\n";
+  auto M = test::parseAsmOrDie(Asm);
+  LintOptions Opts;
+  Opts.MaxPerCheck = 3;
+  std::vector<LintFinding> Fs = lintModule(*M, Opts);
+  EXPECT_EQ(Fs.size(), 3u);
+}
+
+TEST(Lint, CompiledProgramsAreCleanAtBothOptLevels) {
+  const char *Source = R"(
+int fib(int n) {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+int main() {
+  int a[8]; int i; int s;
+  s = 0;
+  for (i = 0; i < 8; i = i + 1) { a[i] = fib(i); }
+  for (i = 0; i < 8; i = i + 1) { s = s + a[i]; }
+  print_int(s);
+  return 0;
+}
+)";
+  for (unsigned Opt = 0; Opt <= 1; ++Opt) {
+    auto M = test::compileOrDie(Source, Opt);
+    std::vector<LintFinding> Fs = lintModule(*M);
+    std::string All;
+    for (const LintFinding &F : Fs)
+      All += F.str() + "\n";
+    EXPECT_TRUE(Fs.empty()) << "-O" << Opt << " findings:\n" << All;
+  }
+}
+
+TEST(Lint, WorkloadRegistryIsCleanAtBothOptLevels) {
+  // The CI gate in test form: every registry workload, both opt levels,
+  // zero findings. Any miscompile pattern the lint can see fails here.
+  for (const workloads::Workload &W : workloads::allWorkloads()) {
+    std::string Source = workloads::instantiate(W, W.Input1);
+    for (unsigned Opt = 0; Opt <= 1; ++Opt) {
+      auto M = test::compileOrDie(Source, Opt);
+      std::vector<LintFinding> Fs = lintModule(*M);
+      std::string All;
+      for (const LintFinding &F : Fs)
+        All += F.str() + "\n";
+      EXPECT_TRUE(Fs.empty())
+          << W.Name << " -O" << Opt << " findings:\n" << All;
+    }
+  }
+}
+
+} // namespace

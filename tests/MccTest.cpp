@@ -7,6 +7,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "cfg/Cfg.h"
 #include "masm/Printer.h"
 #include "mcc/Compiler.h"
 #include "mcc/Frontend.h"
@@ -496,6 +497,54 @@ TEST(MccCodeShape, EmitsTypeMetadata) {
       EXPECT_TRUE(V.Type.Fields[1].IsPointer);
     }
   EXPECT_TRUE(SawStruct);
+}
+
+TEST(MccCodeShape, NoUnreachableCodeAfterTerminatedArms) {
+  // Both arms of the if/else return, so there is no jump-over-else, no join
+  // code, and nothing after the statement: every emitted block must be
+  // reachable from the entry.
+  for (int OptLevel : {0, 1}) {
+    auto M = test::compileOrDie(
+        "int f(int c) { if (c > 0) { return 1; } else { return 2; } }"
+        "int main() { int i; int s; s = 0;"
+        "  for (i = 0; i < 4; i = i + 1) {"
+        "    if (i == 2) { continue; }"
+        "    s = s + f(i);"
+        "  }"
+        "  return s; }",
+        OptLevel);
+    ASSERT_TRUE(M);
+    for (const masm::Function &F : M->functions()) {
+      cfg::Cfg G(F);
+      std::vector<uint8_t> Seen(G.numBlocks(), 0);
+      std::vector<uint32_t> Work{G.entry()};
+      Seen[G.entry()] = 1;
+      while (!Work.empty()) {
+        uint32_t B = Work.back();
+        Work.pop_back();
+        for (uint32_t S : G.blocks()[B].Succs)
+          if (!Seen[S]) {
+            Seen[S] = 1;
+            Work.push_back(S);
+          }
+      }
+      for (uint32_t B = 0; B != G.numBlocks(); ++B)
+        EXPECT_TRUE(Seen[B]) << F.name() << " block B" << B
+                             << " unreachable at -O" << OptLevel << "\n"
+                             << G.dump();
+    }
+    // And the program still computes the right thing.
+    sim::RunResult R = test::compileAndRun(
+        "int f(int c) { if (c > 0) { return 1; } else { return 2; } }"
+        "int main() { int i; int s; s = 0;"
+        "  for (i = 0; i < 4; i = i + 1) {"
+        "    if (i == 2) { continue; }"
+        "    s = s + f(i);"
+        "  }"
+        "  print_int(s); return 0; }",
+        OptLevel);
+    EXPECT_EQ(R.Output, "4\n"); // f(0)+f(1)+f(3) = 2+1+1, i==2 skipped.
+  }
 }
 
 TEST(MccCodeShape, CompiledModuleParsesBack) {

@@ -21,6 +21,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "absint/Absint.h"
+#include "absint/Lint.h"
+#include "ap/Pattern.h"
+#include "cfg/Cfg.h"
 #include "classify/Delinquency.h"
 #include "exec/ExecStats.h"
 #include "exec/Hash.h"
@@ -35,10 +39,14 @@
 #include "mcc/Compiler.h"
 #include "sim/Machine.h"
 #include "support/Format.h"
+#include "workloads/Workloads.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -57,8 +65,12 @@ int usage() {
       "  analyze prog.mc... [-O1]     static delinquent-load identification\n"
       "  encode  prog.mc out.dqx [-O1] compile to a binary object file\n"
       "  disasm  prog.dqx             decode a binary object to assembly\n"
+      "  lint    prog.mc... [-O1]     abstract-interpretation codegen lint\n"
+      "  lint-workloads               lint all registry workloads at -O0/-O1\n"
       "options:\n"
       "  -O1                          optimized code generation\n"
+      "  --dump-cfg                   print each function's CFG as Graphviz\n"
+      "  --dump-loops                 print loop nests, latches, exits, trips\n"
       "  --cache=<kb>,<assoc>,<block> cache geometry for `run` (default "
       "8,4,32)\n"
       "  --delta=<v>                  delinquency threshold (default 0.10)\n"
@@ -145,6 +157,8 @@ struct CliOptions {
   double Delta = 0.10;
   exec::ExecOptions Exec = exec::ExecOptions::fromEnv();
   bool ShowStats = false;
+  bool DumpCfg = false;
+  bool DumpLoops = false;
 };
 
 bool parseFlags(int Argc, char **Argv, int First, CliOptions &Out) {
@@ -176,6 +190,10 @@ bool parseFlags(int Argc, char **Argv, int First, CliOptions &Out) {
       Out.Delta = std::atof(Arg.c_str() + 8);
     } else if (Arg == "--stats") {
       Out.ShowStats = true;
+    } else if (Arg == "--dump-cfg") {
+      Out.DumpCfg = true;
+    } else if (Arg == "--dump-loops") {
+      Out.DumpLoops = true;
     } else {
       std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
       return false;
@@ -183,6 +201,9 @@ bool parseFlags(int Argc, char **Argv, int First, CliOptions &Out) {
   }
   return true;
 }
+
+void appendDumps(const masm::Module &M, const CliOptions &Opts,
+                 std::string &Out);
 
 /// One file's finished report: stdout text, stderr text, exit code.
 struct FileReport {
@@ -320,6 +341,44 @@ int cmdRun(const std::vector<std::string> &Paths, const CliOptions &Opts) {
   return Code;
 }
 
+/// Per-function abstract-interpretation bundle for `analyze` annotations.
+struct FuncAbs {
+  cfg::Cfg G;
+  cfg::DominatorTree DT;
+  cfg::LoopInfo LI;
+  absint::Interp AI;
+
+  static absint::Interp::Options interpOpts(const masm::Module &M,
+                                            const masm::Layout &L,
+                                            const masm::Function &F) {
+    absint::Interp::Options IO;
+    IO.ModLayout = &L;
+    IO.Frame = M.typeInfo().lookupFunction(F.name());
+    return IO;
+  }
+
+  FuncAbs(const masm::Module &M, const masm::Layout &L,
+          const masm::Function &F)
+      : G(F), DT(G), LI(G, DT), AI(G, LI, interpOpts(M, L, F)) {
+    AI.run();
+  }
+};
+
+/// How a recurrent load walks memory, from the stride component of its
+/// abstract address. Distinguishes the paper's streaming loads (prefetchable
+/// unit/constant stride) from pointer chases (serially dependent).
+std::string strideNote(const absint::AbsValue &Addr, unsigned AccessSize) {
+  if (Addr.Base == absint::SymBase::top())
+    return "irregular address (pointer-chase)";
+  if (Addr.isSingleton())
+    return "loop-invariant address";
+  if (Addr.Stride > 1)
+    return formatString("%s, %llu bytes/iter",
+                        Addr.Stride == AccessSize ? "unit-stride" : "strided",
+                        static_cast<unsigned long long>(Addr.Stride));
+  return "same object, stride unproven";
+}
+
 FileReport analyzeOne(const std::string &Path, const CliOptions &Opts,
                       exec::ExecStats &Stats) {
   FileReport Rep;
@@ -340,6 +399,9 @@ FileReport analyzeOne(const std::string &Path, const CliOptions &Opts,
   HOpts.Delta = Opts.Delta;
   HOpts.UseFreqClasses = false; // Static-only: no profile input here.
   auto Scores = Analysis.scores(HOpts, nullptr);
+  masm::Layout L(*M);
+  appendDumps(*M, Opts, Rep.Out);
+  std::map<uint32_t, std::unique_ptr<FuncAbs>> AbsCache;
 
   size_t Flagged = 0;
   for (const auto &[Ref, Patterns] : Analysis.loadPatterns()) {
@@ -347,13 +409,30 @@ FileReport analyzeOne(const std::string &Path, const CliOptions &Opts,
     double Phi = Scores.at(Ref);
     bool Delinquent = classify::isPossiblyDelinquent(Phi, HOpts);
     Flagged += Delinquent;
+    const masm::Instr &Load = F.instrs()[Ref.InstrIdx];
     Rep.Out += formatString("%c %s+%-4u %-26s phi=%+.2f\n",
                             Delinquent ? '*' : ' ', F.name().c_str(),
-                            Ref.InstrIdx,
-                            masm::printInstr(F.instrs()[Ref.InstrIdx]).c_str(),
+                            Ref.InstrIdx, masm::printInstr(Load).c_str(),
                             Phi);
-    for (const ap::ApNode *P : Patterns)
+    bool Recur = false;
+    for (const ap::ApNode *P : Patterns) {
       Rep.Out += formatString("      %s\n", ap::printPattern(P).c_str());
+      Recur = Recur || ap::hasRecurrence(P);
+    }
+    // Recurrent loads walk memory every iteration: say how, from the
+    // stride component of the abstract address (streaming strided access
+    // vs serially-dependent pointer chasing).
+    if (Recur) {
+      auto &FA = AbsCache[Ref.FuncIdx];
+      if (!FA)
+        FA = std::make_unique<FuncAbs>(*M, L, F);
+      absint::State S = FA->AI.stateBefore(Ref.InstrIdx);
+      absint::AbsValue Addr = absint::addValues(
+          S.reg(Load.Rs), absint::AbsValue::constant(Load.Imm));
+      Rep.Out += formatString(
+          "      addr: %s\n",
+          strideNote(Addr, masm::accessSize(Load.Op)).c_str());
+    }
   }
   Rep.Out += formatString("\n%zu of %zu loads possibly delinquent "
                           "(delta=%.2f, static AG1..AG7)\n",
@@ -373,6 +452,175 @@ int cmdAnalyze(const std::vector<std::string> &Paths,
       });
   int Code = emitReports(Paths, Reports);
   emitStats(Opts, Stats, Store, Pool.workers());
+  return Code;
+}
+
+/// Renders every function's CFG as a Graphviz digraph. Loop headers get a
+/// double border, back edges are blue, irreducible retreat edges dashed red.
+std::string dumpCfgDot(const masm::Module &M) {
+  std::string Out;
+  for (const masm::Function &F : M.functions()) {
+    if (F.empty())
+      continue;
+    cfg::Cfg G(F);
+    cfg::DominatorTree DT(G);
+    cfg::LoopInfo LI(G, DT);
+    Out += formatString("digraph \"%s\" {\n  label=\"%s\";\n"
+                        "  node [shape=box, fontname=\"monospace\"];\n",
+                        F.name().c_str(), F.name().c_str());
+    for (uint32_t B = 0; B != G.numBlocks(); ++B) {
+      bool Header = LI.loopAtHeader(B) != masm::InvalidIndex;
+      Out += formatString("  B%u [label=\"B%u [%u,%u)\"%s];\n", B, B,
+                          G.blocks()[B].Begin, G.blocks()[B].End,
+                          Header ? ", peripheries=2" : "");
+    }
+    auto IsBackEdge = [&](uint32_t From, uint32_t To) {
+      uint32_t LIdx = LI.loopAtHeader(To);
+      if (LIdx == masm::InvalidIndex)
+        return false;
+      const cfg::Loop &L = LI.loops()[LIdx];
+      return std::find(L.Latches.begin(), L.Latches.end(), From) !=
+             L.Latches.end();
+    };
+    auto IsIrreducible = [&](uint32_t From, uint32_t To) {
+      for (const cfg::IrreducibleEdge &E : LI.irreducibleEdges())
+        if (E.From == From && E.To == To)
+          return true;
+      return false;
+    };
+    for (uint32_t B = 0; B != G.numBlocks(); ++B)
+      for (uint32_t S : G.blocks()[B].Succs) {
+        const char *Attr = "";
+        if (IsIrreducible(B, S))
+          Attr = " [style=dashed, color=red]";
+        else if (IsBackEdge(B, S))
+          Attr = " [color=blue]";
+        Out += formatString("  B%u -> B%u%s;\n", B, S, Attr);
+      }
+    Out += "}\n";
+  }
+  return Out;
+}
+
+/// Textual loop report: nesting, latches, exits, blocks, and any trip count
+/// the abstract interpreter proves from exit-branch intervals.
+std::string dumpLoopsText(const masm::Module &M) {
+  masm::Layout L(M);
+  std::string Out;
+  for (const masm::Function &F : M.functions()) {
+    if (F.empty())
+      continue;
+    cfg::Cfg G(F);
+    cfg::DominatorTree DT(G);
+    cfg::LoopInfo LI(G, DT);
+    absint::Interp::Options IO;
+    IO.ModLayout = &L;
+    IO.Frame = M.typeInfo().lookupFunction(F.name());
+    absint::Interp AI(G, LI, IO);
+    AI.run();
+    Out += formatString("func %s: %zu loop(s)\n", F.name().c_str(),
+                        LI.loops().size());
+    auto List = [](const std::vector<uint32_t> &Bs) {
+      std::string S;
+      for (uint32_t B : Bs)
+        S += formatString("%sB%u", S.empty() ? "" : " ", B);
+      return S;
+    };
+    for (uint32_t LIdx = 0; LIdx != LI.loops().size(); ++LIdx) {
+      const cfg::Loop &Lp = LI.loops()[LIdx];
+      std::string Trip = "?";
+      auto It = AI.tripCounts().find(LIdx);
+      if (It != AI.tripCounts().end())
+        Trip = formatString("%llu",
+                            static_cast<unsigned long long>(It->second));
+      Out += formatString(
+          "  loop %u: header B%u depth %u latches{%s} exits{%s} "
+          "blocks{%s} trip=%s\n",
+          LIdx, Lp.Header, LI.depth(Lp.Header), List(Lp.Latches).c_str(),
+          List(Lp.Exits).c_str(), List(Lp.Blocks).c_str(), Trip.c_str());
+    }
+    for (const cfg::IrreducibleEdge &E : LI.irreducibleEdges())
+      Out += formatString("  irreducible edge: B%u -> B%u\n", E.From, E.To);
+  }
+  return Out;
+}
+
+void appendDumps(const masm::Module &M, const CliOptions &Opts,
+                 std::string &Out) {
+  if (Opts.DumpCfg)
+    Out += dumpCfgDot(M);
+  if (Opts.DumpLoops)
+    Out += dumpLoopsText(M);
+}
+
+FileReport lintOne(const std::string &Path, const CliOptions &Opts) {
+  FileReport Rep;
+  std::string Err;
+  std::unique_ptr<masm::Module> M = loadModule(Path, Opts.OptLevel, Err);
+  if (!M) {
+    Rep.Err = Err;
+    Rep.Code = 1;
+    return Rep;
+  }
+  appendDumps(*M, Opts, Rep.Out);
+  std::vector<absint::LintFinding> Findings = absint::lintModule(*M);
+  for (const absint::LintFinding &Fd : Findings)
+    Rep.Out += Fd.str() + "\n";
+  if (Findings.empty())
+    Rep.Out += formatString("%s: clean (-O%u)\n", Path.c_str(), Opts.OptLevel);
+  else
+    Rep.Code = 1;
+  return Rep;
+}
+
+int cmdLint(const std::vector<std::string> &Paths, const CliOptions &Opts) {
+  exec::ExecStats Stats;
+  exec::JobPool Pool(Opts.Exec.Jobs, &Stats.Jobs);
+  std::vector<FileReport> Reports =
+      Pool.map<FileReport>(Paths.size(), [&](size_t I) {
+        return lintOne(Paths[I], Opts);
+      });
+  return emitReports(Paths, Reports);
+}
+
+/// Lints every registry workload at both opt levels; any finding is a hard
+/// failure. This is the CI gate that keeps the code generator lint-clean.
+int cmdLintWorkloads(const CliOptions &Opts) {
+  int Code = 0;
+  size_t Findings = 0;
+  for (const workloads::Workload &W : workloads::allWorkloads()) {
+    std::string Source = workloads::instantiate(W, W.Input1);
+    for (unsigned Opt = 0; Opt <= 1; ++Opt) {
+      mcc::CompileOptions CO;
+      CO.OptLevel = Opt;
+      mcc::CompileResult C = mcc::compile(Source, CO);
+      if (!C.ok()) {
+        std::printf("FAIL  %-16s -O%u: compile errors:\n%s", W.Name.c_str(),
+                    Opt, C.Errors.c_str());
+        Code = 1;
+        continue;
+      }
+      if (Opts.DumpCfg || Opts.DumpLoops) {
+        std::string Dumps;
+        appendDumps(*C.M, Opts, Dumps);
+        std::fputs(Dumps.c_str(), stdout);
+      }
+      std::vector<absint::LintFinding> Fs = absint::lintModule(*C.M);
+      if (Fs.empty()) {
+        std::printf("ok    %-16s -O%u\n", W.Name.c_str(), Opt);
+        continue;
+      }
+      Code = 1;
+      Findings += Fs.size();
+      std::printf("FAIL  %-16s -O%u (%zu finding(s))\n", W.Name.c_str(), Opt,
+                  Fs.size());
+      for (const absint::LintFinding &Fd : Fs)
+        std::printf("      %s\n", Fd.str().c_str());
+    }
+  }
+  if (Code)
+    std::printf("\n%zu lint finding(s) across the workload registry\n",
+                Findings);
   return Code;
 }
 
@@ -400,25 +648,31 @@ int cmdEncode(const std::string &Path, const std::string &OutPath,
 } // namespace
 
 int main(int Argc, char **Argv) {
-  if (Argc < 3)
+  if (Argc < 2)
     return usage();
   std::string Cmd = Argv[1];
+  if (Cmd == "--lint") // `delinq --lint prog.mc` reads naturally too.
+    Cmd = "lint";
 
   // Everything after the command that is not a flag is an input file;
-  // `run` and `analyze` accept several.
+  // `run`, `analyze` and `lint` accept several.
   std::vector<std::string> Paths;
   int FlagStart = 2;
   while (FlagStart < Argc && Argv[FlagStart][0] != '-') {
     Paths.push_back(Argv[FlagStart]);
     ++FlagStart;
   }
-  if (Paths.empty())
+  if (Paths.empty() && Cmd != "lint-workloads")
     return usage();
 
   CliOptions Opts;
   if (!parseFlags(Argc, Argv, FlagStart, Opts))
     return 2;
 
+  if (Cmd == "lint-workloads")
+    return cmdLintWorkloads(Opts);
+  if (Cmd == "lint")
+    return cmdLint(Paths, Opts);
   if (Cmd == "run")
     return cmdRun(Paths, Opts);
   if (Cmd == "analyze")
