@@ -87,6 +87,7 @@ inline BenchConfig parseArgs(int Argc, char **Argv) {
         C.Ok = false;
         break;
       }
+      C.Exec.applyTracing();
       continue;
     }
     std::string Arg = Argv[I];
@@ -139,13 +140,15 @@ private:
                                                            double>>>> Rows;
 };
 
-/// Bench epilogue: the exec report on stderr, the JSON report when asked.
+/// Bench epilogue: the exec report on stderr, the JSON report when asked,
+/// and the Chrome-trace artifact when --trace gave a path.
 inline void finish(pipeline::Driver &D, const BenchConfig &Cfg,
                    const JsonReport *Json = nullptr) {
   std::fprintf(stderr, "%s\n",
                D.stats().render(D.store().stats(), D.workers()).c_str());
   if (Json && !Cfg.JsonPath.empty())
     Json->write(Cfg.JsonPath, D);
+  Cfg.Exec.writeTrace();
 }
 
 /// Registry names, preserving table order.

@@ -4,6 +4,7 @@
 
 #include "cfg/Cfg.h"
 #include "dataflow/ReachingDefs.h"
+#include "obs/Trace.h"
 
 using namespace dlq;
 using namespace dlq::classify;
@@ -16,9 +17,19 @@ ModuleAnalysis::ModuleAnalysis(const Module &Mod,
     const Function &F = M.functions()[FI];
     if (F.empty())
       continue;
-    cfg::Cfg G(F);
-    dataflow::ReachingDefs RD(G);
-    ap::ApBuilder Builder(A, F, G, RD, Options);
+    obs::Span FuncSpan("stage.ap-build");
+    FuncSpan.attr("function", F.name());
+    std::unique_ptr<cfg::Cfg> G;
+    {
+      obs::Span S("stage.cfg");
+      G = std::make_unique<cfg::Cfg>(F);
+    }
+    std::unique_ptr<dataflow::ReachingDefs> RD;
+    {
+      obs::Span S("stage.dataflow");
+      RD = std::make_unique<dataflow::ReachingDefs>(*G);
+    }
+    ap::ApBuilder Builder(A, F, *G, *RD, Options);
     for (uint32_t Idx = 0; Idx != F.size(); ++Idx)
       if (isLoad(F.instrs()[Idx].Op))
         Patterns[InstrRef{FI, Idx}] = Builder.buildForLoad(Idx);

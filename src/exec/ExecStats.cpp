@@ -7,10 +7,47 @@
 using namespace dlq;
 using namespace dlq::exec;
 
+ExecStats::ExecStats() : Start(std::chrono::steady_clock::now()) {
+  PhaseNs[0] = &Registry.counter("phase.compile.ns");
+  PhaseNs[1] = &Registry.counter("phase.simulate.ns");
+  PhaseNs[2] = &Registry.counter("phase.analyze.ns");
+}
+
+const char *exec::phaseName(Phase P) {
+  switch (P) {
+  case Phase::Compile:
+    return "compile";
+  case Phase::Simulate:
+    return "simulate";
+  case Phase::Analyze:
+    return "analyze";
+  }
+  return "?";
+}
+
+const char *PhaseTimer::spanName(Phase P) {
+  switch (P) {
+  case Phase::Compile:
+    return "phase.compile";
+  case Phase::Simulate:
+    return "phase.simulate";
+  case Phase::Analyze:
+    return "phase.analyze";
+  }
+  return "phase.?";
+}
+
 std::string ExecStats::render(const StoreStats &Store,
                               unsigned Workers) const {
   uint64_t Run = Jobs.JobsRun.load(std::memory_order_relaxed);
   uint64_t Failed = Jobs.JobsFailed.load(std::memory_order_relaxed);
+  std::string Extra;
+  if (Store.Invalid)
+    Extra += formatString(", %llu invalid dropped",
+                          static_cast<unsigned long long>(Store.Invalid));
+  if (Store.Drops)
+    Extra += formatString(", %llu store drops",
+                          static_cast<unsigned long long>(Store.Drops));
   return formatString(
       "exec: %llu jobs on %u workers (%llu failed) | cache %llu hit / "
       "%llu miss (%.0f%%), %llu written%s | compile %.2fs, simulate %.2fs, "
@@ -19,12 +56,7 @@ std::string ExecStats::render(const StoreStats &Store,
       static_cast<unsigned long long>(Failed),
       static_cast<unsigned long long>(Store.Hits),
       static_cast<unsigned long long>(Store.Misses), 100 * hitRate(Store),
-      static_cast<unsigned long long>(Store.Writes),
-      Store.Invalid ? formatString(", %llu invalid dropped",
-                                   static_cast<unsigned long long>(
-                                       Store.Invalid))
-                          .c_str()
-                    : "",
+      static_cast<unsigned long long>(Store.Writes), Extra.c_str(),
       phaseSeconds(Phase::Compile), phaseSeconds(Phase::Simulate),
       phaseSeconds(Phase::Analyze), wallSeconds());
 }
@@ -33,7 +65,9 @@ std::string ExecStats::json(const StoreStats &Store, unsigned Workers) const {
   return formatString(
       "{\"workers\": %u, \"jobs_run\": %llu, \"jobs_failed\": %llu, "
       "\"cache_hits\": %llu, \"cache_misses\": %llu, \"cache_writes\": %llu, "
-      "\"cache_invalid\": %llu, \"cache_hit_rate\": %.4f, "
+      "\"cache_invalid\": %llu, \"cache_drops\": %llu, "
+      "\"cache_bytes_written\": %llu, \"cache_bytes_read\": %llu, "
+      "\"cache_hit_rate\": %.4f, "
       "\"compile_sec\": %.4f, \"simulate_sec\": %.4f, \"analyze_sec\": %.4f, "
       "\"wall_sec\": %.4f}",
       Workers,
@@ -44,7 +78,10 @@ std::string ExecStats::json(const StoreStats &Store, unsigned Workers) const {
       static_cast<unsigned long long>(Store.Hits),
       static_cast<unsigned long long>(Store.Misses),
       static_cast<unsigned long long>(Store.Writes),
-      static_cast<unsigned long long>(Store.Invalid), hitRate(Store),
+      static_cast<unsigned long long>(Store.Invalid),
+      static_cast<unsigned long long>(Store.Drops),
+      static_cast<unsigned long long>(Store.BytesWritten),
+      static_cast<unsigned long long>(Store.BytesRead), hitRate(Store),
       phaseSeconds(Phase::Compile), phaseSeconds(Phase::Simulate),
       phaseSeconds(Phase::Analyze), wallSeconds());
 }

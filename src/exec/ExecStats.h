@@ -8,9 +8,12 @@
 /// \file
 /// Counters the execution layer accumulates while a bench or tool runs: jobs
 /// executed and failed, result-cache traffic, and wall time spent per
-/// pipeline phase (compile, simulate, analyze). Benches print the rendered
-/// report to stderr — stdout stays byte-identical across worker counts and
-/// cache states — and embed the JSON form in their `--json` output.
+/// pipeline phase (compile, simulate, analyze). The phase totals live in an
+/// obs::Counters registry owned by the stats object (superseding the old
+/// fixed atomic array), so `registry()` exposes them alongside any other
+/// counters a driver wants to publish. Benches print the rendered report to
+/// stderr — stdout stays byte-identical across worker counts and cache
+/// states — and embed the JSON form in their `--json` output.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,8 +22,9 @@
 
 #include "exec/JobPool.h"
 #include "exec/ResultStore.h"
+#include "obs/Counters.h"
+#include "obs/Trace.h"
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -35,19 +39,17 @@ enum class Phase { Compile, Simulate, Analyze };
 /// Driver; all members are safe to update from worker threads.
 class ExecStats {
 public:
-  ExecStats() : Start(std::chrono::steady_clock::now()) {}
+  ExecStats();
 
   JobCounters Jobs;
 
   void addPhase(Phase P, std::chrono::steady_clock::duration D) {
-    phaseNs(P).fetch_add(
-        static_cast<uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(D).count()),
-        std::memory_order_relaxed);
+    PhaseNs[static_cast<unsigned>(P)]->add(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(D).count()));
   }
 
   double phaseSeconds(Phase P) const {
-    return static_cast<double>(phaseNs(P).load(std::memory_order_relaxed)) *
+    return static_cast<double>(PhaseNs[static_cast<unsigned>(P)]->value()) *
            1e-9;
   }
 
@@ -57,6 +59,11 @@ public:
                                          Start)
         .count();
   }
+
+  /// The registry backing the phase counters ("phase.compile.ns", ...);
+  /// drivers may hang extra counters off it.
+  obs::Counters &registry() { return Registry; }
+  const obs::Counters &registry() const { return Registry; }
 
   /// Human-readable one-paragraph report, e.g. for stderr after a bench.
   std::string render(const StoreStats &Store, unsigned Workers) const;
@@ -70,30 +77,32 @@ public:
   }
 
 private:
-  std::atomic<uint64_t> &phaseNs(Phase P) {
-    return Ns[static_cast<unsigned>(P)];
-  }
-  const std::atomic<uint64_t> &phaseNs(Phase P) const {
-    return Ns[static_cast<unsigned>(P)];
-  }
-
-  std::atomic<uint64_t> Ns[3] = {};
+  obs::Counters Registry;
+  obs::Counter *PhaseNs[3];
   std::chrono::steady_clock::time_point Start;
 };
 
-/// RAII phase timer: adds the scope's elapsed time to one phase counter.
+/// Names a phase for spans and counters ("compile", "simulate", "analyze").
+const char *phaseName(Phase P);
+
+/// RAII phase timer: adds the scope's elapsed time to one phase counter and,
+/// when the tracer is enabled, records a "phase.<name>" span.
 class PhaseTimer {
 public:
   PhaseTimer(ExecStats &Stats, Phase P)
-      : Stats(Stats), P(P), T0(std::chrono::steady_clock::now()) {}
+      : Stats(Stats), P(P), Guard(spanName(P)),
+        T0(std::chrono::steady_clock::now()) {}
   ~PhaseTimer() { Stats.addPhase(P, std::chrono::steady_clock::now() - T0); }
 
   PhaseTimer(const PhaseTimer &) = delete;
   PhaseTimer &operator=(const PhaseTimer &) = delete;
 
 private:
+  static const char *spanName(Phase P);
+
   ExecStats &Stats;
   Phase P;
+  obs::Span Guard;
   std::chrono::steady_clock::time_point T0;
 };
 

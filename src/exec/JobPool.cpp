@@ -2,11 +2,30 @@
 
 #include "exec/JobPool.h"
 
+#include "obs/Trace.h"
+
 #include <cstdlib>
 #include <stdexcept>
 
 using namespace dlq;
 using namespace dlq::exec;
+
+namespace {
+
+// Pool-wide latency distributions, shared by every JobPool in the process.
+// Always on: the cost per job is two clock reads and a few relaxed atomics,
+// noise against jobs that compile or simulate whole programs.
+struct JobHistograms {
+  obs::Histogram &QueueWait = obs::counters().histogram("job.queue_wait.ns");
+  obs::Histogram &Run = obs::counters().histogram("job.run.ns");
+};
+
+JobHistograms &jobHistograms() {
+  static JobHistograms *G = new JobHistograms();
+  return *G;
+}
+
+} // namespace
 
 unsigned exec::defaultJobCount() {
   if (const char *Env = std::getenv("DLQ_JOBS")) {
@@ -38,9 +57,10 @@ JobPool::~JobPool() {
 }
 
 void JobPool::submit(std::function<void()> Fn) {
+  uint64_t Now = obs::Tracer::instance().nowNs();
   {
     std::unique_lock<std::mutex> Lock(Mu);
-    Queue.push_back(std::move(Fn));
+    Queue.push_back(PendingJob{std::move(Fn), Now});
     ++InFlight;
   }
   WorkReady.notify_one();
@@ -52,8 +72,9 @@ void JobPool::waitIdle() {
 }
 
 void JobPool::workerLoop() {
+  obs::Tracer &Tracer = obs::Tracer::instance();
   for (;;) {
-    std::function<void()> Job;
+    PendingJob Job;
     {
       std::unique_lock<std::mutex> Lock(Mu);
       WorkReady.wait(Lock, [this] { return Stopping || !Queue.empty(); });
@@ -62,18 +83,25 @@ void JobPool::workerLoop() {
       Job = std::move(Queue.front());
       Queue.pop_front();
     }
-    try {
-      Job();
-      if (Counters)
-        Counters->JobsRun.fetch_add(1, std::memory_order_relaxed);
-    } catch (...) {
-      // Job-level exceptions are the caller's business (map/TaskSet capture
-      // them inside the closure); anything reaching here is fire-and-forget.
-      if (Counters) {
-        Counters->JobsRun.fetch_add(1, std::memory_order_relaxed);
-        Counters->JobsFailed.fetch_add(1, std::memory_order_relaxed);
+    uint64_t DequeuedNs = Tracer.nowNs();
+    jobHistograms().QueueWait.record(DequeuedNs - Job.EnqueueNs);
+    {
+      obs::Span S("job.run");
+      S.attr("queue_wait_us", (DequeuedNs - Job.EnqueueNs) / 1000);
+      try {
+        Job.Fn();
+        if (Counters)
+          Counters->JobsRun.fetch_add(1, std::memory_order_relaxed);
+      } catch (...) {
+        // Job-level exceptions are the caller's business (map/TaskSet capture
+        // them inside the closure); anything reaching here is fire-and-forget.
+        if (Counters) {
+          Counters->JobsRun.fetch_add(1, std::memory_order_relaxed);
+          Counters->JobsFailed.fetch_add(1, std::memory_order_relaxed);
+        }
       }
     }
+    jobHistograms().Run.record(Tracer.nowNs() - DequeuedNs);
     {
       std::unique_lock<std::mutex> Lock(Mu);
       if (--InFlight == 0)

@@ -23,6 +23,8 @@
 #ifndef DLQ_EXEC_JOBPOOL_H
 #define DLQ_EXEC_JOBPOOL_H
 
+#include "obs/Counters.h"
+
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -103,12 +105,21 @@ public:
   }
 
 private:
+  /// A queued closure stamped with its enqueue time, so the dequeuing worker
+  /// can attribute queue-wait separately from run time (the job.queue_wait.ns
+  /// and job.run.ns histograms in obs::counters(), plus a "job.run" span per
+  /// job when the tracer is enabled).
+  struct PendingJob {
+    std::function<void()> Fn;
+    uint64_t EnqueueNs;
+  };
+
   void workerLoop();
 
   std::mutex Mu;
   std::condition_variable WorkReady;
   std::condition_variable Idle;
-  std::deque<std::function<void()>> Queue;
+  std::deque<PendingJob> Queue;
   std::vector<std::thread> Threads;
   size_t InFlight = 0; ///< Queued + currently executing.
   bool Stopping = false;

@@ -2,6 +2,8 @@
 
 #include "exec/Options.h"
 
+#include "obs/Trace.h"
+
 #include <cstdlib>
 #include <cstring>
 
@@ -61,7 +63,24 @@ bool ExecOptions::consumeArg(int Argc, char **Argv, int &I) {
     CacheDir = Value;
     return true;
   }
+  if (valueArg("--trace", Argc, Argv, I, Value)) {
+    TracePath = Value;
+    if (TracePath.empty())
+      Error = "empty --trace path";
+    return true;
+  }
   return false;
+}
+
+void ExecOptions::applyTracing() const {
+  if (!TracePath.empty())
+    obs::Tracer::instance().enable();
+}
+
+bool ExecOptions::writeTrace() const {
+  if (TracePath.empty())
+    return true;
+  return obs::Tracer::instance().writeChromeTrace(TracePath);
 }
 
 const char *ExecOptions::usageText() {
@@ -69,5 +88,7 @@ const char *ExecOptions::usageText() {
          "hardware threads)\n"
          "  --cache-dir <dir>    persistent result cache directory (default "
          ".dlq-cache)\n"
-         "  --no-cache           bypass the persistent result cache\n";
+         "  --no-cache           bypass the persistent result cache\n"
+         "  --trace <file>       write a Chrome trace_event JSON "
+         "(Perfetto-loadable) span trace\n";
 }

@@ -8,8 +8,9 @@
 /// \file
 /// The knobs every bench and tool exposes identically: worker count
 /// (`--jobs N`, env DLQ_JOBS), store directory (`--cache-dir D`, env
-/// DLQ_CACHE_DIR) and cache bypass (`--no-cache`, env DLQ_NO_CACHE). The
-/// environment seeds the defaults; command-line flags override it.
+/// DLQ_CACHE_DIR), cache bypass (`--no-cache`, env DLQ_NO_CACHE) and span
+/// tracing (`--trace out.json`, env DLQ_TRACE). The environment seeds the
+/// defaults; command-line flags override it.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,7 +26,8 @@ struct ExecOptions {
   unsigned Jobs = 0; ///< 0 = defaultJobCount() (DLQ_JOBS or hw threads).
   bool UseDiskCache = true;
   std::string CacheDir = ".dlq-cache";
-  std::string Error; ///< Set by consumeArg on a malformed value.
+  std::string TracePath; ///< Chrome-trace output path; empty = tracing off.
+  std::string Error;     ///< Set by consumeArg on a malformed value.
 
   /// Defaults with DLQ_CACHE_DIR / DLQ_NO_CACHE applied (DLQ_JOBS is read
   /// by defaultJobCount() at pool construction, so Jobs stays 0 here).
@@ -40,6 +42,14 @@ struct ExecOptions {
 
   /// The usage text block describing the shared flags.
   static const char *usageText();
+
+  /// Arms the process tracer when TracePath is set. Callers pair this with
+  /// writeTrace() once the workload finished.
+  void applyTracing() const;
+
+  /// Writes the accumulated trace to TracePath (no-op when unset); returns
+  /// false on write failure.
+  bool writeTrace() const;
 };
 
 } // namespace exec

@@ -4,7 +4,9 @@
 
 #include "exec/Hash.h"
 #include "exec/Serialize.h"
+#include "obs/Counters.h"
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -16,6 +18,36 @@ using namespace dlq::exec;
 namespace {
 
 constexpr char Magic[4] = {'D', 'L', 'Q', 'R'};
+
+// Test-only fault injection (see ResultStore::injectFailure). Checked on
+// every publish; zero in production, so the cost is one relaxed load.
+std::atomic<int> Inject{0};
+
+} // namespace
+
+void ResultStore::injectFailure(FailureInjection F) {
+  Inject.store(static_cast<int>(F), std::memory_order_relaxed);
+}
+
+namespace {
+
+// Process-global mirrors of every store's traffic, under the store.* names
+// (a process can hold several ResultStore instances; the registry view
+// aggregates them). Looked up once.
+struct GlobalStoreCounters {
+  obs::Counter &Hits = obs::counters().counter("store.hits");
+  obs::Counter &Misses = obs::counters().counter("store.misses");
+  obs::Counter &Writes = obs::counters().counter("store.writes");
+  obs::Counter &Invalid = obs::counters().counter("store.invalid");
+  obs::Counter &Drops = obs::counters().counter("store.drops");
+  obs::Counter &BytesWritten = obs::counters().counter("store.bytes_written");
+  obs::Counter &BytesRead = obs::counters().counter("store.bytes_read");
+};
+
+GlobalStoreCounters &storeCounters() {
+  static GlobalStoreCounters *G = new GlobalStoreCounters();
+  return *G;
+}
 
 } // namespace
 
@@ -29,6 +61,7 @@ bool ResultStore::lookup(uint64_t Key, std::vector<uint8_t> &Payload) {
 
   std::ifstream In(pathFor(Key), std::ios::binary);
   if (!In) {
+    storeCounters().Misses.inc();
     std::lock_guard<std::mutex> Lock(Mu);
     ++S.Misses;
     return false;
@@ -37,6 +70,8 @@ bool ResultStore::lookup(uint64_t Key, std::vector<uint8_t> &Payload) {
                            std::istreambuf_iterator<char>());
 
   auto invalid = [&] {
+    storeCounters().Misses.inc();
+    storeCounters().Invalid.inc();
     std::lock_guard<std::mutex> Lock(Mu);
     ++S.Misses;
     ++S.Invalid;
@@ -67,8 +102,11 @@ bool ResultStore::lookup(uint64_t Key, std::vector<uint8_t> &Payload) {
   if (Checksum != fnv1a(Payload.data(), Payload.size()))
     return invalid();
 
+  storeCounters().Hits.inc();
+  storeCounters().BytesRead.add(Raw.size());
   std::lock_guard<std::mutex> Lock(Mu);
   ++S.Hits;
+  S.BytesRead += Raw.size();
   return true;
 }
 
@@ -101,22 +139,50 @@ bool ResultStore::store(uint64_t Key, const std::vector<uint8_t> &Payload) {
                     std::to_string(std::hash<std::thread::id>()(
                         std::this_thread::get_id()) %
                                    0xFFFF);
+  auto drop = [&] {
+    storeCounters().Drops.inc();
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++S.Drops;
+    return false;
+  };
+
   {
     std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
     if (!Out)
-      return false;
+      return drop();
     Out.write(reinterpret_cast<const char *>(Entry.data()),
               static_cast<std::streamsize>(Entry.size()));
     if (!Out)
-      return false;
+      return drop();
   }
-  std::filesystem::rename(Tmp, Path, Ec);
-  if (Ec) {
-    std::filesystem::remove(Tmp, Ec);
-    return false;
+
+  FailureInjection Inj =
+      static_cast<FailureInjection>(Inject.load(std::memory_order_relaxed));
+  bool RenameOk = false;
+  if (Inj == FailureInjection::None) {
+    std::filesystem::rename(Tmp, Path, Ec);
+    RenameOk = !Ec;
   }
+  if (!RenameOk) {
+    // rename(2) fails with EXDEV when the cache dir sits on a different
+    // filesystem than the tmp file's parent (e.g. --cache-dir on tmpfs or
+    // NFS). Fall back to a copy: not atomic, but readers validate the
+    // checksum, so a torn copy reads as a miss rather than a bad result.
+    bool CopyOk = Inj != FailureInjection::RenameAndCopy &&
+                  std::filesystem::copy_file(
+                      Tmp, Path,
+                      std::filesystem::copy_options::overwrite_existing, Ec) &&
+                  !Ec;
+    std::error_code Ignored;
+    std::filesystem::remove(Tmp, Ignored);
+    if (!CopyOk)
+      return drop();
+  }
+  storeCounters().Writes.inc();
+  storeCounters().BytesWritten.add(Entry.size());
   std::lock_guard<std::mutex> Lock(Mu);
   ++S.Writes;
+  S.BytesWritten += Entry.size();
   return true;
 }
 

@@ -36,6 +36,9 @@ struct StoreStats {
   uint64_t Misses = 0;
   uint64_t Writes = 0;
   uint64_t Invalid = 0; ///< Corrupt or version-mismatched entries seen.
+  uint64_t Drops = 0;   ///< Entries irrecoverably lost on the write path.
+  uint64_t BytesWritten = 0; ///< Serialized entry bytes persisted.
+  uint64_t BytesRead = 0;    ///< Entry bytes read back on hits.
 };
 
 class ResultStore {
@@ -67,6 +70,14 @@ public:
   std::string pathFor(uint64_t Key) const;
 
   StoreStats stats() const;
+
+  /// Test-only fault injection on the publish path. `Rename` makes the
+  /// tmp→final rename act as if it failed (exercising the copy fallback,
+  /// as a cross-filesystem cache dir would); `RenameAndCopy` fails the
+  /// fallback too, producing a counted drop. Process-global; reset to None
+  /// after use.
+  enum class FailureInjection { None, Rename, RenameAndCopy };
+  static void injectFailure(FailureInjection F);
 
 private:
   std::string Dir;

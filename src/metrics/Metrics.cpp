@@ -83,7 +83,11 @@ LoadSet metrics::combineWithProfiling(
                 return SA > SB;
               return A < B;
             });
-  size_t Take = static_cast<size_t>(Epsilon * static_cast<double>(DeltaD.size()));
+  // Nearest-integer, not truncation: a small epsilon over a small remainder
+  // must still admit its share (0.15 * 4 rounds to 1, not 0), or the
+  // Table 14 sweep plateaus in truncation steps.
+  size_t Take = static_cast<size_t>(
+      std::llround(Epsilon * static_cast<double>(DeltaD.size())));
   for (size_t I = 0; I != Take && I != DeltaD.size(); ++I)
     Result.insert(DeltaD[I]);
   return Result;

@@ -1,0 +1,139 @@
+//===- obs/Counters.cpp ---------------------------------------------------------//
+
+#include "obs/Counters.h"
+
+#include "support/Format.h"
+#include "support/Table.h"
+
+using namespace dlq;
+using namespace dlq::obs;
+
+void Histogram::record(uint64_t Value) {
+  unsigned B = 0;
+  if (Value != 0)
+    B = 64 - static_cast<unsigned>(__builtin_clzll(Value));
+  if (B >= NumBuckets)
+    B = NumBuckets - 1;
+  Buckets[B].fetch_add(1, std::memory_order_relaxed);
+  N.fetch_add(1, std::memory_order_relaxed);
+  Sum.fetch_add(Value, std::memory_order_relaxed);
+  uint64_t Cur = Min.load(std::memory_order_relaxed);
+  while (Value < Cur &&
+         !Min.compare_exchange_weak(Cur, Value, std::memory_order_relaxed))
+    ;
+  Cur = Max.load(std::memory_order_relaxed);
+  while (Value > Cur &&
+         !Max.compare_exchange_weak(Cur, Value, std::memory_order_relaxed))
+    ;
+}
+
+uint64_t Histogram::min() const {
+  uint64_t M = Min.load(std::memory_order_relaxed);
+  return M == UINT64_MAX ? 0 : M;
+}
+
+double Histogram::mean() const {
+  uint64_t C = count();
+  return C == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(C);
+}
+
+uint64_t Histogram::quantileBound(double Q) const {
+  uint64_t Total = count();
+  if (Total == 0)
+    return 0;
+  if (Q < 0)
+    Q = 0;
+  if (Q > 1)
+    Q = 1;
+  uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(Total - 1));
+  uint64_t Seen = 0;
+  for (unsigned B = 0; B != NumBuckets; ++B) {
+    Seen += bucketCount(B);
+    if (Seen > Rank)
+      return B == 0 ? 0 : (B >= 64 ? UINT64_MAX : (uint64_t(1) << B) - 1);
+  }
+  return max();
+}
+
+Counter &Counters::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::unique_ptr<Counter> &Slot = Cs[Name];
+  if (!Slot)
+    Slot = std::make_unique<Counter>();
+  return *Slot;
+}
+
+Histogram &Counters::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::unique_ptr<Histogram> &Slot = Hs[Name];
+  if (!Slot)
+    Slot = std::make_unique<Histogram>();
+  return *Slot;
+}
+
+void Counters::forEachCounter(
+    const std::function<void(const std::string &, const Counter &)> &Fn)
+    const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (const auto &[Name, C] : Cs)
+    Fn(Name, *C);
+}
+
+void Counters::forEachHistogram(
+    const std::function<void(const std::string &, const Histogram &)> &Fn)
+    const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (const auto &[Name, H] : Hs)
+    Fn(Name, *H);
+}
+
+std::string Counters::summaryTable() const {
+  TextTable T({"counter", "value"});
+  forEachCounter([&](const std::string &Name, const Counter &C) {
+    T.addRow({Name, formatWithCommas(C.value())});
+  });
+  std::string Out = T.render();
+  bool AnyHist = false;
+  TextTable HT({"histogram", "count", "mean", "p50<=", "p99<=", "max"});
+  forEachHistogram([&](const std::string &Name, const Histogram &H) {
+    AnyHist = true;
+    HT.addRow({Name, formatWithCommas(H.count()),
+               formatString("%.0f", H.mean()),
+               formatWithCommas(H.quantileBound(0.50)),
+               formatWithCommas(H.quantileBound(0.99)),
+               formatWithCommas(H.max())});
+  });
+  if (AnyHist)
+    Out += HT.render();
+  return Out;
+}
+
+std::string Counters::json() const {
+  std::string Out = "{";
+  bool First = true;
+  forEachCounter([&](const std::string &Name, const Counter &C) {
+    Out += formatString("%s\"%s\": %llu", First ? "" : ", ", Name.c_str(),
+                        static_cast<unsigned long long>(C.value()));
+    First = false;
+  });
+  forEachHistogram([&](const std::string &Name, const Histogram &H) {
+    Out += formatString(
+        "%s\"%s\": {\"count\": %llu, \"sum\": %llu, \"mean\": %.1f, "
+        "\"min\": %llu, \"max\": %llu}",
+        First ? "" : ", ", Name.c_str(),
+        static_cast<unsigned long long>(H.count()),
+        static_cast<unsigned long long>(H.sum()), H.mean(),
+        static_cast<unsigned long long>(H.min()),
+        static_cast<unsigned long long>(H.max()));
+    First = false;
+  });
+  Out += "}";
+  return Out;
+}
+
+Counters &obs::counters() {
+  // Leaked on purpose: atexit trace/counter dumps must outlive every static
+  // destructor that might still record.
+  static Counters *G = new Counters();
+  return *G;
+}

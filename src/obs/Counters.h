@@ -1,0 +1,121 @@
+//===- obs/Counters.h - monotonic counters and latency histograms -----------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The counter half of the observability layer (the span half is
+/// obs/Trace.h). A `Counters` registry hands out named `Counter`s (monotonic
+/// 64-bit adds) and `Histogram`s (log2-bucketed value distributions, built
+/// for nanosecond latencies). Handles returned by the registry are stable
+/// for the registry's lifetime, so hot paths look a counter up once and then
+/// pay a single relaxed atomic add per event — safe to leave enabled
+/// everywhere, including worker threads.
+///
+/// Two kinds of registries exist: the process-global one (`obs::counters()`)
+/// that the simulator, job pool and result store feed, and per-component
+/// instances such as the one inside exec::ExecStats, which supersedes its
+/// old ad-hoc phase map. Registries render themselves as a text table or as
+/// a JSON object.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_OBS_COUNTERS_H
+#define DLQ_OBS_COUNTERS_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace dlq {
+namespace obs {
+
+/// A monotonic counter. add() is wait-free (one relaxed fetch_add);
+/// value() is a relaxed load, exact once the writers have quiesced.
+class Counter {
+public:
+  void add(uint64_t N) { V.fetch_add(N, std::memory_order_relaxed); }
+  void inc() { add(1); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// A log2-bucketed histogram of non-negative values (nanosecond latencies,
+/// byte sizes). Bucket B holds values in [2^(B-1), 2^B); bucket 0 holds 0.
+/// record() is a handful of relaxed atomics; min/max converge via CAS.
+class Histogram {
+public:
+  static constexpr unsigned NumBuckets = 64;
+
+  void record(uint64_t Value);
+
+  uint64_t count() const { return N.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+  uint64_t min() const;
+  uint64_t max() const { return Max.load(std::memory_order_relaxed); }
+  double mean() const;
+  /// Upper bound of the bucket holding the q-quantile (q in [0,1]), i.e. a
+  /// within-2x estimate of the percentile. 0 when empty.
+  uint64_t quantileBound(double Q) const;
+
+  uint64_t bucketCount(unsigned B) const {
+    return Buckets[B].load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<uint64_t> Buckets[NumBuckets] = {};
+  std::atomic<uint64_t> N{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Min{UINT64_MAX};
+  std::atomic<uint64_t> Max{0};
+};
+
+/// A named registry of counters and histograms. counter()/histogram()
+/// find-or-create under a mutex and return references that stay valid for
+/// the registry's lifetime — look them up once, then update lock-free.
+class Counters {
+public:
+  Counters() = default;
+  Counters(const Counters &) = delete;
+  Counters &operator=(const Counters &) = delete;
+
+  Counter &counter(const std::string &Name);
+  Histogram &histogram(const std::string &Name);
+
+  /// Visits every counter / histogram in name order.
+  void forEachCounter(
+      const std::function<void(const std::string &, const Counter &)> &Fn)
+      const;
+  void forEachHistogram(
+      const std::function<void(const std::string &, const Histogram &)> &Fn)
+      const;
+
+  /// Rendered table of every counter and histogram, name-ordered.
+  std::string summaryTable() const;
+  /// `{"counter.name": 123, "hist.name": {"count": ..., ...}, ...}`.
+  std::string json() const;
+
+private:
+  mutable std::mutex Mu;
+  std::map<std::string, std::unique_ptr<Counter>> Cs;
+  std::map<std::string, std::unique_ptr<Histogram>> Hs;
+};
+
+/// The process-global registry: sim.* (instructions retired, fused dispatch,
+/// cache traffic), job.* (pool queue-wait/run latencies), store.* (result
+/// cache hits/misses/stores/drops and byte traffic), trace.* (tracer
+/// self-accounting). Never destroyed, so atexit hooks may read it.
+Counters &counters();
+
+} // namespace obs
+} // namespace dlq
+
+#endif // DLQ_OBS_COUNTERS_H

@@ -1,0 +1,271 @@
+//===- obs/Trace.cpp ------------------------------------------------------------//
+
+#include "obs/Trace.h"
+
+#include "obs/Counters.h"
+#include "support/Format.h"
+#include "support/Table.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+using namespace dlq;
+using namespace dlq::obs;
+
+static uint64_t steadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Tracer::Tracer() : EpochNs(steadyNowNs()) {
+  // DLQ_TRACE=<path> arms tracing in any binary — no flag plumbing needed.
+  // The trace is flushed from atexit so even abnormal-but-clean exits (the
+  // fuzz campaign's findings path) leave an artifact behind.
+  if (const char *Path = std::getenv("DLQ_TRACE")) {
+    if (*Path) {
+      static std::string AtExitPath;
+      AtExitPath = Path;
+      enable();
+      std::atexit(
+          [] { Tracer::instance().writeChromeTrace(AtExitPath); });
+    }
+  }
+}
+
+Tracer &Tracer::instance() {
+  // Leaked on purpose: spans may still close from static destructors after
+  // main returns, and the atexit flush must find the buffers intact.
+  static Tracer *G = new Tracer();
+  return *G;
+}
+
+uint64_t Tracer::nowNs() const { return steadyNowNs() - EpochNs; }
+
+Tracer::ThreadBuf &Tracer::localBuf() {
+  thread_local std::shared_ptr<ThreadBuf> Local;
+  if (!Local) {
+    Local = std::make_shared<ThreadBuf>();
+    std::lock_guard<std::mutex> Lock(RegMu);
+    Local->Tid = NextTid++;
+    Bufs.push_back(Local);
+  }
+  return *Local;
+}
+
+void Tracer::record(const char *Name, uint64_t StartNs, uint64_t DurNs,
+                    std::string Args) {
+  ThreadBuf &B = localBuf();
+  std::lock_guard<std::mutex> Lock(B.Mu);
+  if (B.Events.size() >= MaxEventsPerThread.load(std::memory_order_relaxed)) {
+    ++B.Dropped;
+    return;
+  }
+  B.Events.push_back({Name, StartNs, DurNs, B.Tid, std::move(Args)});
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> Out;
+  std::lock_guard<std::mutex> RegLock(RegMu);
+  for (const std::shared_ptr<ThreadBuf> &B : Bufs) {
+    std::lock_guard<std::mutex> Lock(B->Mu);
+    Out.insert(Out.end(), B->Events.begin(), B->Events.end());
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const TraceEvent &A, const TraceEvent &B) {
+              if (A.StartNs != B.StartNs)
+                return A.StartNs < B.StartNs;
+              return A.DurNs > B.DurNs;
+            });
+  return Out;
+}
+
+size_t Tracer::eventCount() const {
+  size_t N = 0;
+  std::lock_guard<std::mutex> RegLock(RegMu);
+  for (const std::shared_ptr<ThreadBuf> &B : Bufs) {
+    std::lock_guard<std::mutex> Lock(B->Mu);
+    N += B->Events.size();
+  }
+  return N;
+}
+
+uint64_t Tracer::droppedCount() const {
+  uint64_t N = 0;
+  std::lock_guard<std::mutex> RegLock(RegMu);
+  for (const std::shared_ptr<ThreadBuf> &B : Bufs) {
+    std::lock_guard<std::mutex> Lock(B->Mu);
+    N += B->Dropped;
+  }
+  return N;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> RegLock(RegMu);
+  for (const std::shared_ptr<ThreadBuf> &B : Bufs) {
+    std::lock_guard<std::mutex> Lock(B->Mu);
+    B->Events.clear();
+    B->Dropped = 0;
+  }
+}
+
+std::string obs::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += formatString("\\u%04x", C);
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}
+
+void Span::attr(const char *Key, const std::string &Value) {
+  if (!Active)
+    return;
+  if (!Args.empty())
+    Args += ", ";
+  Args += formatString("\"%s\": \"%s\"", Key, jsonEscape(Value).c_str());
+}
+
+void Span::attr(const char *Key, const char *Value) {
+  if (!Active)
+    return;
+  attr(Key, std::string(Value));
+}
+
+void Span::attr(const char *Key, uint64_t Value) {
+  if (!Active)
+    return;
+  if (!Args.empty())
+    Args += ", ";
+  Args += formatString("\"%s\": %llu", Key,
+                       static_cast<unsigned long long>(Value));
+}
+
+void Span::attr(const char *Key, double Value) {
+  if (!Active)
+    return;
+  if (!Args.empty())
+    Args += ", ";
+  Args += formatString("\"%s\": %.6g", Key, Value);
+}
+
+std::string Tracer::chromeTraceJson() const {
+  // Emit duration events as balanced B/E pairs per tid. Spans on one thread
+  // nest properly by construction (RAII, same-thread begin/end), so sorting
+  // by (start asc, duration desc) and unwinding ends through a stack yields
+  // a well-formed, timestamp-monotonic event sequence for each tid.
+  std::vector<TraceEvent> All = snapshot();
+  std::map<uint32_t, std::vector<const TraceEvent *>> ByTid;
+  for (const TraceEvent &E : All)
+    ByTid[E.Tid].push_back(&E);
+
+  std::string Out = "{\"traceEvents\": [\n";
+  bool FirstEvent = true;
+  auto emit = [&](const char *Phase, const TraceEvent &E, uint64_t TsNs,
+                  bool WithArgs) {
+    if (!FirstEvent)
+      Out += ",\n";
+    FirstEvent = false;
+    Out += formatString(
+        "{\"name\": \"%s\", \"ph\": \"%s\", \"pid\": 1, \"tid\": %u, "
+        "\"ts\": %.3f",
+        jsonEscape(E.Name).c_str(), Phase, E.Tid,
+        static_cast<double>(TsNs) / 1000.0);
+    if (WithArgs && !E.Args.empty())
+      Out += formatString(", \"args\": {%s}", E.Args.c_str());
+    Out += "}";
+  };
+
+  for (auto &[Tid, Events] : ByTid) {
+    (void)Tid;
+    std::vector<const TraceEvent *> Stack;
+    for (const TraceEvent *E : Events) {
+      while (!Stack.empty() &&
+             Stack.back()->StartNs + Stack.back()->DurNs <= E->StartNs) {
+        emit("E", *Stack.back(), Stack.back()->StartNs + Stack.back()->DurNs,
+             false);
+        Stack.pop_back();
+      }
+      emit("B", *E, E->StartNs, true);
+      Stack.push_back(E);
+    }
+    while (!Stack.empty()) {
+      emit("E", *Stack.back(), Stack.back()->StartNs + Stack.back()->DurNs,
+           false);
+      Stack.pop_back();
+    }
+  }
+  Out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return Out;
+}
+
+bool Tracer::writeChromeTrace(const std::string &Path) const {
+  std::string Json = chromeTraceJson();
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    std::fprintf(stderr, "obs: cannot write trace to '%s'\n", Path.c_str());
+    return false;
+  }
+  size_t Written = std::fwrite(Json.data(), 1, Json.size(), F);
+  bool Ok = Written == Json.size() && std::fclose(F) == 0;
+  if (!Ok)
+    std::fprintf(stderr, "obs: short write to '%s'\n", Path.c_str());
+  return Ok;
+}
+
+std::string Tracer::summaryTable() const {
+  std::map<std::string, SpanStats> Stats;
+  for (const TraceEvent &E : snapshot()) {
+    SpanStats &S = Stats[E.Name];
+    ++S.Count;
+    S.TotalNs += E.DurNs;
+    S.MinNs = std::min(S.MinNs, E.DurNs);
+    S.MaxNs = std::max(S.MaxNs, E.DurNs);
+  }
+  std::vector<std::pair<std::string, SpanStats>> Rows(Stats.begin(),
+                                                      Stats.end());
+  std::sort(Rows.begin(), Rows.end(), [](const auto &A, const auto &B) {
+    if (A.second.TotalNs != B.second.TotalNs)
+      return A.second.TotalNs > B.second.TotalNs;
+    return A.first < B.first;
+  });
+  TextTable T({"span", "count", "total ms", "mean us", "min us", "max us"});
+  for (const auto &[Name, S] : Rows)
+    T.addRow({Name, formatWithCommas(S.Count),
+              formatString("%.3f", static_cast<double>(S.TotalNs) / 1e6),
+              formatString("%.1f", static_cast<double>(S.TotalNs) /
+                                       static_cast<double>(S.Count) / 1e3),
+              formatString("%.1f", static_cast<double>(S.MinNs) / 1e3),
+              formatString("%.1f", static_cast<double>(S.MaxNs) / 1e3)});
+  uint64_t Dropped = droppedCount();
+  std::string Out = T.render();
+  if (Dropped)
+    Out += formatString("(%llu spans dropped at buffer cap)\n",
+                        static_cast<unsigned long long>(Dropped));
+  return Out;
+}

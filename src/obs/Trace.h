@@ -1,0 +1,171 @@
+//===- obs/Trace.h - structured span tracing -------------------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The span half of the observability layer (obs/Counters.h is the counter
+/// half). A `Span` is an RAII guard around one timed region — a pipeline
+/// stage, one JobPool job, one simulation — with optional key=value
+/// attributes. Completed spans land in per-thread buffers inside the
+/// process-global `Tracer`, which exports them as Chrome `trace_event` JSON
+/// (loadable in Perfetto / chrome://tracing) and as a flat per-stage summary
+/// table.
+///
+/// The tracer is disabled by default. A disabled Span is two relaxed loads
+/// and a branch: no clock read, no allocation, no buffer touch — cheap
+/// enough that every stage of the pipeline stays instrumented
+/// unconditionally. Enable it with `--trace out.json` on delinq and every
+/// bench binary, with the `delinq trace` subcommand, or by setting
+/// `DLQ_TRACE=<path>` in the environment (the trace is then written from an
+/// atexit hook, which is how the fuzz campaign runs traced).
+///
+/// Span names must be string literals (they are kept by pointer). Attributes
+/// are rendered into the span's `args` object in the Chrome trace. Spans
+/// must begin and end on the same thread; per-thread begin/end pairs
+/// therefore nest properly, which the exporter relies on to emit balanced
+/// B/E event sequences with monotonic timestamps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_OBS_TRACE_H
+#define DLQ_OBS_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dlq {
+namespace obs {
+
+/// One completed span, as stored in a thread buffer.
+struct TraceEvent {
+  const char *Name;   ///< Static string; spans are named by literals.
+  uint64_t StartNs;   ///< Relative to the tracer epoch (steady clock).
+  uint64_t DurNs;
+  uint32_t Tid;       ///< Small sequential id, assigned per recording thread.
+  std::string Args;   ///< Pre-rendered JSON members, `"k":"v",...` or empty.
+};
+
+/// Aggregate of every span sharing one name, for the summary table.
+struct SpanStats {
+  uint64_t Count = 0;
+  uint64_t TotalNs = 0;
+  uint64_t MinNs = UINT64_MAX;
+  uint64_t MaxNs = 0;
+};
+
+/// The process-global span sink. All methods are thread-safe.
+class Tracer {
+public:
+  static Tracer &instance();
+
+  void enable() { Enabled.store(true, std::memory_order_relaxed); }
+  void disable() { Enabled.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+
+  /// Nanoseconds since the tracer epoch (set once at first use, so
+  /// timestamps stay monotonic across enable/disable cycles).
+  uint64_t nowNs() const;
+
+  /// Appends one completed span to the calling thread's buffer. Called by
+  /// ~Span; callable directly for externally-timed regions.
+  void record(const char *Name, uint64_t StartNs, uint64_t DurNs,
+              std::string Args = std::string());
+
+  /// Every recorded span, merged across threads, ordered by start time.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Total recorded spans (all threads).
+  size_t eventCount() const;
+
+  /// Spans dropped because a thread buffer hit the cap.
+  uint64_t droppedCount() const;
+
+  /// Chrome trace_event JSON: `{"traceEvents": [...]}` with balanced
+  /// B/E pairs per tid, microsecond timestamps, and per-span args.
+  std::string chromeTraceJson() const;
+
+  /// Writes chromeTraceJson() to \p Path; false (with a message on stderr)
+  /// when the file cannot be written.
+  bool writeChromeTrace(const std::string &Path) const;
+
+  /// Per-name aggregation table: count, total, mean, min, max; sorted by
+  /// total time descending.
+  std::string summaryTable() const;
+
+  /// Discards all recorded spans (buffers stay registered).
+  void clear();
+
+  /// Per-thread buffer cap; further spans are dropped and counted. The
+  /// default (1M spans/thread) bounds a runaway traced campaign at ~64 MB
+  /// per thread.
+  void setMaxEventsPerThread(size_t N) { MaxEventsPerThread = N; }
+
+private:
+  Tracer();
+  Tracer(const Tracer &) = delete;
+  Tracer &operator=(const Tracer &) = delete;
+
+  struct ThreadBuf {
+    std::mutex Mu;
+    uint32_t Tid = 0;
+    std::vector<TraceEvent> Events;
+    uint64_t Dropped = 0;
+  };
+
+  ThreadBuf &localBuf();
+
+  std::atomic<bool> Enabled{false};
+  uint64_t EpochNs = 0; ///< steady_clock time_since_epoch at construction.
+  mutable std::mutex RegMu;
+  std::vector<std::shared_ptr<ThreadBuf>> Bufs;
+  uint32_t NextTid = 0;
+  std::atomic<size_t> MaxEventsPerThread{size_t(1) << 20};
+};
+
+/// RAII span guard. When the tracer is disabled at construction, the guard
+/// is inert: no clock read, no allocation, attrs are no-ops.
+class Span {
+public:
+  explicit Span(const char *Name)
+      : Name(Name), Active(Tracer::instance().enabled()) {
+    if (Active)
+      StartNs = Tracer::instance().nowNs();
+  }
+  ~Span() {
+    if (Active) {
+      Tracer &T = Tracer::instance();
+      T.record(Name, StartNs, T.nowNs() - StartNs, std::move(Args));
+    }
+  }
+
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+  /// Attaches a key=value attribute (rendered into the Chrome-trace args
+  /// object). No-ops on an inactive span.
+  void attr(const char *Key, const std::string &Value);
+  void attr(const char *Key, const char *Value);
+  void attr(const char *Key, uint64_t Value);
+  void attr(const char *Key, double Value);
+
+private:
+  const char *Name;
+  uint64_t StartNs = 0;
+  std::string Args;
+  bool Active;
+};
+
+/// Escapes \p S for inclusion in a JSON string literal.
+std::string jsonEscape(const std::string &S);
+
+} // namespace obs
+} // namespace dlq
+
+#endif // DLQ_OBS_TRACE_H

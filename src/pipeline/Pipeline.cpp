@@ -5,6 +5,7 @@
 #include "exec/Hash.h"
 #include "exec/Serialize.h"
 #include "mcc/Compiler.h"
+#include "obs/Trace.h"
 #include "support/Format.h"
 
 #include <cstdio>
@@ -133,7 +134,12 @@ const Compiled &Driver::compiled(const std::string &Workload, InputSel In,
     exec::PhaseTimer Timer(Stats, exec::Phase::Compile);
     mcc::CompileOptions MOpts;
     MOpts.OptLevel = OptLevel;
-    mcc::CompileResult CR = mcc::compile(sourceText(Workload, In), MOpts);
+    mcc::CompileResult CR = [&] {
+      obs::Span S("stage.compile");
+      S.attr("workload", Workload);
+      S.attr("opt", static_cast<uint64_t>(OptLevel));
+      return mcc::compile(sourceText(Workload, In), MOpts);
+    }();
     if (!CR.ok()) {
       std::fprintf(stderr, "error: workload '%s' failed to compile:\n%s",
                    Workload.c_str(), CR.Errors.c_str());
@@ -142,7 +148,11 @@ const Compiled &Driver::compiled(const std::string &Workload, InputSel In,
     Compiled C;
     C.M = std::move(CR.M);
     C.L = std::make_unique<Layout>(*C.M);
-    C.Cfgs = sim::buildAllCfgs(*C.M);
+    {
+      obs::Span S("stage.cfg");
+      S.attr("workload", Workload);
+      C.Cfgs = sim::buildAllCfgs(*C.M);
+    }
     C.Analysis = std::make_unique<classify::ModuleAnalysis>(*C.M);
     return C;
   });
@@ -184,8 +194,19 @@ const sim::RunResult &Driver::runImpl(const std::string &Workload, InputSel In,
       MOpts.DCache = Cache;
       MOpts.MaxInstrs = MaxInstrs;
       MOpts.PrefetchLoads = PrefetchLoads;
-      sim::Machine Mach(*C.M, *C.L, MOpts);
-      R = Mach.run();
+      std::unique_ptr<sim::Machine> Mach;
+      {
+        obs::Span S("stage.predecode");
+        S.attr("workload", Workload);
+        Mach = std::make_unique<sim::Machine>(*C.M, *C.L, MOpts);
+      }
+      {
+        obs::Span S("stage.sim");
+        S.attr("workload", Workload);
+        S.attr("input", inputName(In));
+        S.attr("opt", static_cast<uint64_t>(OptLevel));
+        R = Mach->run();
+      }
     }
     if (R.Halt != sim::HaltReason::Exited) {
       std::fprintf(stderr, "error: workload '%s' did not exit cleanly: %s\n",
@@ -238,6 +259,8 @@ Driver::evalHeuristic(const std::string &Workload, InputSel In,
     GroundTruth G = groundTruth(Workload, In, OptLevel, Cache);
 
     exec::PhaseTimer Timer(Stats, exec::Phase::Analyze);
+    obs::Span S("stage.classify");
+    S.attr("workload", Workload);
     HeuristicEval H;
     H.Scores = C.Analysis->scores(Opts, &G.ExecCounts);
     for (const auto &[Ref, Phi] : H.Scores)
@@ -264,6 +287,8 @@ metrics::LoadSet Driver::hotspotLoads(const std::string &Workload, InputSel In,
     const Compiled &C = compiled(Workload, In, OptLevel);
     const sim::RunResult &R = run(Workload, In, OptLevel, Cache);
     exec::PhaseTimer Timer(Stats, exec::Phase::Analyze);
+    obs::Span S("stage.freq");
+    S.attr("workload", Workload);
     sim::BlockProfile P(*C.M, C.Cfgs, R);
     return P.hotspotLoads(CycleCoverage);
   });

@@ -154,6 +154,20 @@ enum class XOp : uint8_t {
 /// Number of XOp values (dispatch-table size).
 constexpr unsigned NumXOps = static_cast<unsigned>(XOp::FuseLwSwJ) + 1;
 
+/// True for the fused superinstruction opcodes (pair and triple heads).
+constexpr bool isFusedXOp(XOp Op) { return Op >= XOp::FuseLwLw; }
+
+/// How many original instructions one dispatch of \p Op executes: 3 for
+/// fused triples, 2 for fused pairs, 1 otherwise. Keep in sync with the
+/// enum layout above — the triples are the FuseLwLwLw..FuseLwSwLw block and
+/// the FuseSwLwLi..FuseLwSwJ tail of the second wave.
+constexpr unsigned xopComponents(XOp Op) {
+  if ((Op >= XOp::FuseLwLwLw && Op <= XOp::FuseLwSwLw) ||
+      (Op >= XOp::FuseSwLwLi && Op <= XOp::FuseLwSwJ))
+    return 3;
+  return isFusedXOp(Op) ? 2 : 1;
+}
+
 /// Destination-register slot that absorbs writes to $zero. The decoder
 /// rewrites `Rd == $zero` to this index, so the interpreter writes every
 /// result unconditionally — the architectural `Regs[0]` is never written and

@@ -2,6 +2,7 @@
 
 #include "sim/Machine.h"
 
+#include "obs/Counters.h"
 #include "sim/Cache.h"
 #include "support/Format.h"
 
@@ -95,8 +96,71 @@ void Machine::handleRuntimeCall(RuntimeFn F, RunResult &R, bool &ShouldHalt) {
   }
 }
 
+namespace {
+
+// Process-global simulator counters (sim.* in obs::counters()). Recorded
+// once per run from the per-run totals, so the interpreter's hot loop stays
+// untouched; the fused-dispatch share comes from a post-run scan of the
+// predecoded text (O(text size), noise next to the run itself).
+struct SimCounters {
+  obs::Counter &Runs = obs::counters().counter("sim.runs");
+  obs::Counter &Instrs = obs::counters().counter("sim.instrs_retired");
+  obs::Counter &Dispatches = obs::counters().counter("sim.dispatches");
+  obs::Counter &FusedDispatches =
+      obs::counters().counter("sim.fused_dispatches");
+  obs::Counter &FusedInstrs = obs::counters().counter("sim.fused_instrs");
+  obs::Counter &DataAccesses = obs::counters().counter("sim.data_accesses");
+  obs::Counter &LoadMisses = obs::counters().counter("sim.load_misses");
+  obs::Counter &StoreMisses = obs::counters().counter("sim.store_misses");
+  obs::Counter &ICacheMisses = obs::counters().counter("sim.icache_misses");
+  obs::Counter &Prefetches = obs::counters().counter("sim.prefetches");
+};
+
+SimCounters &simCounters() {
+  static SimCounters *G = new SimCounters();
+  return *G;
+}
+
+} // namespace
+
 RunResult Machine::run() {
-  return Opts.SimulateICache ? runLoop<true>() : runLoop<false>();
+  RunResult R = Opts.SimulateICache ? runLoop<true>() : runLoop<false>();
+
+  // Fused-dispatch share. ExecCounts[pc] counts every execution of pc —
+  // dispatches of its own handler plus executions as the 2nd/3rd component
+  // of an earlier fused head (sequences may overlap: a component position
+  // can itself be a rewritten head). Subtracting the component executions
+  // left-to-right recovers per-pc dispatch counts exactly; the only slack is
+  // the fuel-exhaustion fallback, which runs a head stand-alone at most a
+  // couple of times per run.
+  uint64_t FusedDispatches = 0, FusedInstrs = 0;
+  size_t N = std::min(Prog.Instrs.size(), R.ExecCounts.size());
+  std::vector<uint64_t> Cover(N + 3, 0);
+  for (size_t I = 0; I != N; ++I) {
+    unsigned Comp = xopComponents(Prog.Instrs[I].Op);
+    if (Comp == 1)
+      continue;
+    uint64_t Dispatch =
+        R.ExecCounts[I] > Cover[I] ? R.ExecCounts[I] - Cover[I] : 0;
+    FusedDispatches += Dispatch;
+    FusedInstrs += Dispatch * Comp;
+    for (unsigned K = 1; K != Comp; ++K)
+      Cover[I + K] += Dispatch;
+  }
+  SimCounters &C = simCounters();
+  C.Runs.inc();
+  C.Instrs.add(R.InstrsExecuted);
+  C.Dispatches.add(R.InstrsExecuted >= FusedInstrs - FusedDispatches
+                       ? R.InstrsExecuted - (FusedInstrs - FusedDispatches)
+                       : 0);
+  C.FusedDispatches.add(FusedDispatches);
+  C.FusedInstrs.add(FusedInstrs);
+  C.DataAccesses.add(R.DataAccesses);
+  C.LoadMisses.add(R.LoadMisses);
+  C.StoreMisses.add(R.StoreMisses);
+  C.ICacheMisses.add(R.ICacheMisses);
+  C.Prefetches.add(R.PrefetchesIssued);
+  return R;
 }
 
 /// The interpreter proper. Token-threaded dispatch: every handler begins

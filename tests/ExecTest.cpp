@@ -344,6 +344,80 @@ TEST(ResultStore, KeyMismatchIsInvalid) {
       << "an entry must only decode under the key it was written for";
 }
 
+TEST(ResultStore, ByteTrafficIsCounted) {
+  TempStoreDir Dir("bytes");
+  ResultStore Store(Dir.str());
+  std::vector<uint8_t> Payload(100, 0x11);
+  ASSERT_TRUE(Store.store(12, Payload));
+  EXPECT_GT(Store.stats().BytesWritten, Payload.size())
+      << "written bytes include the entry header";
+  std::vector<uint8_t> Out;
+  ASSERT_TRUE(Store.lookup(12, Out));
+  EXPECT_EQ(Store.stats().BytesRead, Store.stats().BytesWritten)
+      << "a hit reads back exactly the bytes the write persisted";
+}
+
+/// Restores FailureInjection::None even if the test body fails early.
+struct InjectionGuard {
+  explicit InjectionGuard(ResultStore::FailureInjection F) {
+    ResultStore::injectFailure(F);
+  }
+  ~InjectionGuard() {
+    ResultStore::injectFailure(ResultStore::FailureInjection::None);
+  }
+};
+
+// Regression test for the publish-path bug: a failed tmp→final rename (as on
+// a cross-filesystem cache dir, EXDEV) used to lose the entry silently. The
+// store must fall back to copy+remove and still publish a readable entry.
+TEST(ResultStore, RenameFailureFallsBackToCopyAndPublishes) {
+  TempStoreDir Dir("inject-rename");
+  ResultStore Store(Dir.str());
+  std::vector<uint8_t> Payload(64, 0x2b);
+  {
+    InjectionGuard G(ResultStore::FailureInjection::Rename);
+    EXPECT_TRUE(Store.store(77, Payload))
+        << "rename failure must not lose the entry";
+  }
+  EXPECT_EQ(Store.stats().Writes, 1u);
+  EXPECT_EQ(Store.stats().Drops, 0u);
+
+  std::vector<uint8_t> Out;
+  ASSERT_TRUE(Store.lookup(77, Out)) << "fallback-published entry unreadable";
+  EXPECT_EQ(Out, Payload);
+
+  // The temp file must not linger next to the published entry.
+  size_t Files = 0;
+  for (const auto &E : std::filesystem::directory_iterator(Dir.Path)) {
+    (void)E;
+    ++Files;
+  }
+  EXPECT_EQ(Files, 1u) << "temp file left behind after copy fallback";
+}
+
+TEST(ResultStore, RenameAndCopyFailureIsACountedDrop) {
+  TempStoreDir Dir("inject-drop");
+  ResultStore Store(Dir.str());
+  {
+    InjectionGuard G(ResultStore::FailureInjection::RenameAndCopy);
+    EXPECT_FALSE(Store.store(88, {1, 2, 3}))
+        << "a doubly-failed publish must report failure";
+  }
+  EXPECT_EQ(Store.stats().Writes, 0u);
+  EXPECT_EQ(Store.stats().Drops, 1u);
+  EXPECT_EQ(Store.stats().BytesWritten, 0u);
+
+  // Nothing half-written may be visible to readers.
+  std::vector<uint8_t> Out;
+  EXPECT_FALSE(Store.lookup(88, Out));
+  EXPECT_FALSE(std::filesystem::exists(Store.pathFor(88)));
+
+  // The store stays usable once the fault clears.
+  EXPECT_TRUE(Store.store(88, {1, 2, 3}));
+  EXPECT_TRUE(Store.lookup(88, Out));
+  EXPECT_EQ(Out, (std::vector<uint8_t>{1, 2, 3}));
+}
+
 //===----------------------------------------------------------------------===//
 // Options
 //===----------------------------------------------------------------------===//

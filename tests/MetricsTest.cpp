@@ -89,6 +89,32 @@ TEST(Metrics, CombineEpsilonAddsHighestScoring) {
   EXPECT_EQ(C, (LoadSet{ref(1), ref(3), ref(4)}));
 }
 
+// Regression tests for the epsilon-mixing truncation bug: the take count is
+// round(eps * |Delta_d|) (half away from zero), not a float-to-int truncate.
+TEST(Metrics, CombineEpsilonRoundsToNearest) {
+  LoadSet DeltaP = {ref(0)};
+  LoadSet DeltaH = {ref(0), ref(1), ref(2), ref(3), ref(4)};
+  std::map<InstrRef, double> Scores = {
+      {ref(1), 0.4}, {ref(2), 0.8}, {ref(3), 0.6}, {ref(4), 0.1}};
+  // Delta_d = {1,2,3,4}; 0.15 * 4 = 0.6 rounds to 1 (truncation gave 0).
+  LoadSet C = combineWithProfiling(DeltaP, DeltaH, Scores, 0.15);
+  EXPECT_EQ(C, (LoadSet{ref(0), ref(2)}));
+  // 0.1 * 4 = 0.4 rounds to 0.
+  LoadSet CDown = combineWithProfiling(DeltaP, DeltaH, Scores, 0.1);
+  EXPECT_EQ(CDown, (LoadSet{ref(0)}));
+}
+
+TEST(Metrics, CombineEpsilonRoundsHalfAwayFromZero) {
+  LoadSet DeltaP = {ref(0)};
+  LoadSet DeltaH = {ref(1), ref(2), ref(3), ref(4), ref(5)};
+  std::map<InstrRef, double> Scores = {{ref(1), 0.9}, {ref(2), 0.7},
+                                       {ref(3), 0.5}, {ref(4), 0.3},
+                                       {ref(5), 0.1}};
+  // Delta_d = {1..5}; 0.5 * 5 = 2.5 rounds up to 3 (truncation gave 2).
+  LoadSet C = combineWithProfiling(DeltaP, DeltaH, Scores, 0.5);
+  EXPECT_EQ(C, (LoadSet{ref(1), ref(2), ref(3)}));
+}
+
 TEST(Metrics, CombineEpsilonOneTakesAll) {
   LoadSet DeltaP = {ref(0)};
   LoadSet DeltaH = {ref(1), ref(2)};

@@ -37,6 +37,9 @@
 #include "masm/Parser.h"
 #include "masm/Printer.h"
 #include "mcc/Compiler.h"
+#include "obs/Counters.h"
+#include "obs/Trace.h"
+#include "pipeline/Pipeline.h"
 #include "sim/Machine.h"
 #include "support/Format.h"
 #include "workloads/Workloads.h"
@@ -62,11 +65,16 @@ int usage() {
       "commands:\n"
       "  compile prog.mc [-O1]        compile MinC to assembly (stdout)\n"
       "  run     prog.mc... [-O1]     simulate and report cache behaviour\n"
+      "          (also accepts registry workload names: the full pipeline\n"
+      "          runs — compile, simulate, classify, freq, absint)\n"
       "  analyze prog.mc... [-O1]     static delinquent-load identification\n"
       "  encode  prog.mc out.dqx [-O1] compile to a binary object file\n"
       "  disasm  prog.dqx             decode a binary object to assembly\n"
       "  lint    prog.mc... [-O1]     abstract-interpretation codegen lint\n"
       "  lint-workloads               lint all registry workloads at -O0/-O1\n"
+      "  trace   workload...          run the full pipeline over registry\n"
+      "          workloads and print the per-stage span summary (use --trace\n"
+      "          out.json for the Perfetto-loadable artifact)\n"
       "options:\n"
       "  -O1                          optimized code generation\n"
       "  --dump-cfg                   print each function's CFG as Graphviz\n"
@@ -75,7 +83,8 @@ int usage() {
       "8,4,32)\n"
       "  --delta=<v>                  delinquency threshold (default 0.10)\n"
       "%s"
-      "  --stats                      print the execution report to stderr\n",
+      "  --stats                      print the execution report to stderr\n"
+      "  --counters                   print the counter registry to stderr\n",
       exec::ExecOptions::usageText());
   return 2;
 }
@@ -105,6 +114,8 @@ std::unique_ptr<masm::Module> loadModule(const std::string &Path,
       Err = formatString("error: cannot read '%s'\n", Path.c_str());
       return nullptr;
     }
+    obs::Span Span("stage.disasm");
+    Span.attr("file", Path);
     std::vector<uint8_t> Bytes(Raw.begin(), Raw.end());
     masm::DecodeResult D = masm::decodeModule(Bytes);
     if (!D.ok()) {
@@ -140,6 +151,9 @@ std::unique_ptr<masm::Module> loadModule(const std::string &Path,
     }
     return std::move(P.M);
   }
+  obs::Span Span("stage.compile");
+  Span.attr("file", Path);
+  Span.attr("opt", static_cast<uint64_t>(OptLevel));
   mcc::CompileOptions Opts;
   Opts.OptLevel = OptLevel;
   mcc::CompileResult C = mcc::compile(Source, Opts);
@@ -157,6 +171,7 @@ struct CliOptions {
   double Delta = 0.10;
   exec::ExecOptions Exec = exec::ExecOptions::fromEnv();
   bool ShowStats = false;
+  bool ShowCounters = false;
   bool DumpCfg = false;
   bool DumpLoops = false;
 };
@@ -190,6 +205,8 @@ bool parseFlags(int Argc, char **Argv, int First, CliOptions &Out) {
       Out.Delta = std::atof(Arg.c_str() + 8);
     } else if (Arg == "--stats") {
       Out.ShowStats = true;
+    } else if (Arg == "--counters") {
+      Out.ShowCounters = true;
     } else if (Arg == "--dump-cfg") {
       Out.DumpCfg = true;
     } else if (Arg == "--dump-loops") {
@@ -233,6 +250,16 @@ void emitStats(const CliOptions &Opts, const exec::ExecStats &Stats,
   if (Opts.ShowStats)
     std::fprintf(stderr, "%s\n",
                  Stats.render(Store.stats(), Workers).c_str());
+  if (Opts.ShowCounters)
+    std::fputs(obs::counters().summaryTable().c_str(), stderr);
+}
+
+/// Flushes the span trace to --trace's path (if given) after a command ran.
+/// Returns 1 on write failure so traced CI jobs fail loudly.
+int finishTracing(const CliOptions &Opts) {
+  if (Opts.Exec.TracePath.empty())
+    return 0;
+  return Opts.Exec.writeTrace() ? 0 : 1;
 }
 
 int cmdCompile(const std::string &Path, const CliOptions &Opts) {
@@ -328,7 +355,90 @@ FileReport runOne(const std::string &Path, const CliOptions &Opts,
   return Rep;
 }
 
+/// True when \p Arg names a registry workload rather than a file on disk:
+/// no recognized source suffix, and the registry knows the name.
+bool isRegistryWorkload(const std::string &Arg) {
+  return !hasSuffix(Arg, ".mc") && !hasSuffix(Arg, ".s") &&
+         !hasSuffix(Arg, ".dqx") && workloads::findWorkload(Arg) != nullptr;
+}
+
+/// Runs the whole pipeline over one registry workload through the shared
+/// Driver: compile, simulate, classify (Delta_H), frequency hotspots, plus a
+/// disassembly and an abstract-interpretation lint pass, so a traced run
+/// covers every stage the toolchain has.
+FileReport runWorkloadFull(pipeline::Driver &D, const std::string &Name,
+                           const CliOptions &Opts) {
+  FileReport Rep;
+  const sim::RunResult &R =
+      D.run(Name, pipeline::InputSel::Input1, Opts.OptLevel, Opts.Cache);
+
+  classify::HeuristicOptions HOpts;
+  HOpts.Delta = Opts.Delta;
+  const pipeline::HeuristicEval &H = D.evalHeuristic(
+      Name, pipeline::InputSel::Input1, Opts.OptLevel, Opts.Cache, HOpts);
+  metrics::LoadSet Hot = D.hotspotLoads(Name, pipeline::InputSel::Input1,
+                                        Opts.OptLevel, Opts.Cache);
+
+  const pipeline::Compiled &C =
+      D.compiled(Name, pipeline::InputSel::Input1, Opts.OptLevel);
+  size_t AsmBytes;
+  {
+    obs::Span S("stage.disasm");
+    S.attr("workload", Name);
+    AsmBytes = masm::printModule(*C.M).size();
+  }
+  size_t LintFindings;
+  {
+    obs::Span S("stage.absint");
+    S.attr("workload", Name);
+    LintFindings = absint::lintModule(*C.M).size();
+  }
+
+  Rep.Out = R.Output;
+  Rep.Err = formatString(
+      "exit %d | %llu instructions | %llu data accesses | "
+      "%llu load misses, %llu store misses (%s)\n"
+      "delta_h %zu of %zu loads, covers %llu of %llu misses | "
+      "hotspot loads %zu | asm %zu bytes | lint %zu finding(s)\n",
+      R.ExitCode, static_cast<unsigned long long>(R.InstrsExecuted),
+      static_cast<unsigned long long>(R.DataAccesses),
+      static_cast<unsigned long long>(R.LoadMisses),
+      static_cast<unsigned long long>(R.StoreMisses),
+      Opts.Cache.describe().c_str(), H.Delta.size(), C.lambda(),
+      static_cast<unsigned long long>(H.E.CoveredMisses),
+      static_cast<unsigned long long>(H.E.TotalMisses), Hot.size(), AsmBytes,
+      LintFindings);
+  Rep.Code = LintFindings == 0 ? 0 : 1;
+  return Rep;
+}
+
+/// Shared by `run` (on registry names) and `trace`: fan the workloads out
+/// over the Driver's pool so the trace also shows per-job JobPool spans.
+int runWorkloads(const std::vector<std::string> &Names,
+                 const CliOptions &Opts) {
+  pipeline::Driver D(Opts.Exec);
+  std::vector<FileReport> Reports =
+      D.pool().map<FileReport>(Names.size(), [&](size_t I) {
+        return runWorkloadFull(D, Names[I], Opts);
+      });
+  int Code = emitReports(Names, Reports);
+  emitStats(Opts, D.stats(), D.store(), D.workers());
+  return Code;
+}
+
 int cmdRun(const std::vector<std::string> &Paths, const CliOptions &Opts) {
+  bool AnyWorkload = false, AnyFile = false;
+  for (const std::string &P : Paths)
+    (isRegistryWorkload(P) ? AnyWorkload : AnyFile) = true;
+  if (AnyWorkload && AnyFile) {
+    std::fprintf(stderr,
+                 "error: cannot mix files and registry workloads in one "
+                 "`run`\n");
+    return 2;
+  }
+  if (AnyWorkload)
+    return runWorkloads(Paths, Opts);
+
   exec::ExecStats Stats;
   exec::JobPool Pool(Opts.Exec.Jobs, &Stats.Jobs);
   exec::ResultStore Store(Opts.Exec.CacheDir, Opts.Exec.UseDiskCache);
@@ -338,6 +448,22 @@ int cmdRun(const std::vector<std::string> &Paths, const CliOptions &Opts) {
       });
   int Code = emitReports(Paths, Reports);
   emitStats(Opts, Stats, Store, Pool.workers());
+  return Code;
+}
+
+/// `delinq trace`: the full pipeline over registry workloads with the tracer
+/// forced on, ending in the per-stage span summary (and the Chrome-trace
+/// artifact when --trace gave a path).
+int cmdTrace(const std::vector<std::string> &Names, const CliOptions &Opts) {
+  for (const std::string &N : Names)
+    if (!isRegistryWorkload(N)) {
+      std::fprintf(stderr, "error: '%s' is not a registry workload\n",
+                   N.c_str());
+      return 2;
+    }
+  obs::Tracer::instance().enable();
+  int Code = runWorkloads(Names, Opts);
+  std::fputs(obs::Tracer::instance().summaryTable().c_str(), stderr);
   return Code;
 }
 
@@ -668,27 +794,35 @@ int main(int Argc, char **Argv) {
   CliOptions Opts;
   if (!parseFlags(Argc, Argv, FlagStart, Opts))
     return 2;
+  Opts.Exec.applyTracing();
 
-  if (Cmd == "lint-workloads")
-    return cmdLintWorkloads(Opts);
-  if (Cmd == "lint")
-    return cmdLint(Paths, Opts);
-  if (Cmd == "run")
-    return cmdRun(Paths, Opts);
-  if (Cmd == "analyze")
-    return cmdAnalyze(Paths, Opts);
-  if (Paths.size() > 1 && Cmd != "encode") {
-    std::fprintf(stderr, "error: `%s` takes a single file\n", Cmd.c_str());
-    return 2;
-  }
-  if (Cmd == "compile")
-    return cmdCompile(Paths[0], Opts);
-  if (Cmd == "encode") {
-    if (Paths.size() != 2)
-      return usage();
-    return cmdEncode(Paths[0], Paths[1], Opts);
-  }
-  if (Cmd == "disasm")
-    return cmdCompile(Paths[0], Opts); // loadModule handles .dqx; print as asm.
-  return usage();
+  int Code = [&]() -> int {
+    if (Cmd == "lint-workloads")
+      return cmdLintWorkloads(Opts);
+    if (Cmd == "lint")
+      return cmdLint(Paths, Opts);
+    if (Cmd == "run")
+      return cmdRun(Paths, Opts);
+    if (Cmd == "trace")
+      return cmdTrace(Paths, Opts);
+    if (Cmd == "analyze")
+      return cmdAnalyze(Paths, Opts);
+    if (Paths.size() > 1 && Cmd != "encode") {
+      std::fprintf(stderr, "error: `%s` takes a single file\n", Cmd.c_str());
+      return 2;
+    }
+    if (Cmd == "compile")
+      return cmdCompile(Paths[0], Opts);
+    if (Cmd == "encode") {
+      if (Paths.size() != 2)
+        return usage();
+      return cmdEncode(Paths[0], Paths[1], Opts);
+    }
+    if (Cmd == "disasm")
+      return cmdCompile(Paths[0], Opts); // loadModule handles .dqx; print as
+                                         // asm.
+    return usage();
+  }();
+  int TraceCode = finishTracing(Opts);
+  return Code != 0 ? Code : TraceCode;
 }
