@@ -60,10 +60,26 @@ void JobPool::submit(std::function<void()> Fn) {
   uint64_t Now = obs::Tracer::instance().nowNs();
   {
     std::unique_lock<std::mutex> Lock(Mu);
+    if (Draining.load(std::memory_order_relaxed))
+      throw std::logic_error("JobPool::submit after drain()");
     Queue.push_back(PendingJob{std::move(Fn), Now});
     ++InFlight;
   }
   WorkReady.notify_one();
+}
+
+void JobPool::drain() {
+  std::vector<std::thread> ToJoin;
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    Draining.store(true, std::memory_order_relaxed);
+    Idle.wait(Lock, [this] { return InFlight == 0; });
+    Stopping = true;
+    ToJoin.swap(Threads);
+  }
+  WorkReady.notify_all();
+  for (std::thread &T : ToJoin)
+    T.join();
 }
 
 void JobPool::waitIdle() {

@@ -68,6 +68,17 @@ public:
   /// Blocks until every submitted job has finished.
   void waitIdle();
 
+  /// Shuts the pool down for good: rejects further submissions, waits for
+  /// every queued and running job to finish, then joins the workers. Unlike
+  /// destructor teardown this leaves the pool object alive and quiescent —
+  /// a daemon drains its pool, then still reads counters and renders stats
+  /// before exiting. Idempotent and safe to call from any non-worker
+  /// thread; submit()/map() after drain() throw std::logic_error.
+  void drain();
+
+  /// True once drain() has begun; submissions are rejected from then on.
+  bool draining() const { return Draining.load(std::memory_order_relaxed); }
+
   /// Records a failed job in the pool's counters. Used by `map` and TaskSet,
   /// which capture job exceptions for rethrow instead of letting them reach
   /// the worker loop.
@@ -123,6 +134,7 @@ private:
   std::vector<std::thread> Threads;
   size_t InFlight = 0; ///< Queued + currently executing.
   bool Stopping = false;
+  std::atomic<bool> Draining{false};
   JobCounters *Counters = nullptr;
 };
 

@@ -1,0 +1,72 @@
+//===- net/Client.h - blocking delinqd protocol client ----------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simple synchronous client for the delinqd frame protocol: one TCP
+/// connection, request ids assigned sequentially, responses correlated by
+/// id. Used by the delinq_bots load fleet (one Client per synthetic user)
+/// and the network tests. Typed helpers return the protocol Status and
+/// decode the response body; transport failures (connect/send/recv/framing)
+/// surface as `false` with an error string.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_NET_CLIENT_H
+#define DLQ_NET_CLIENT_H
+
+#include "net/Frame.h"
+#include "net/Protocol.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dlq {
+namespace net {
+
+class Client {
+public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  bool connect(const std::string &Host, uint16_t Port, std::string &Err);
+  void close();
+  bool connected() const { return Fd >= 0; }
+
+  /// Sends one request and blocks for the response with the matching id.
+  /// False on any transport failure.
+  bool call(Opcode Op, std::vector<uint8_t> Payload, Frame &Resp,
+            std::string &Err);
+
+  // Typed helpers. Return false on transport failure; otherwise \p S is the
+  // server's status and the body (on Ok) is decoded into the out-param.
+  bool ping(const std::string &Echo, Status &S, std::string &Err);
+  bool analyze(const AnalyzeRequest &R, AnalyzeResponse &Out, Status &S,
+               std::string &Err);
+  bool run(const RunRequest &R, RunResponse &Out, Status &S,
+           std::string &Err);
+  bool classify(const ClassifyRequest &R, ClassifyResponse &Out, Status &S,
+                std::string &Err);
+  bool stats(StatsResponse &Out, Status &S, std::string &Err);
+  bool drain(Status &S, std::string &Err);
+
+private:
+  bool sendAll(const uint8_t *Data, size_t N, std::string &Err);
+  bool readFrame(Frame &Out, std::string &Err);
+
+  int Fd = -1;
+  uint64_t NextId = 1;
+  FrameDecoder Dec;
+};
+
+} // namespace net
+} // namespace dlq
+
+#endif // DLQ_NET_CLIENT_H

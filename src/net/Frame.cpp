@@ -1,0 +1,130 @@
+//===- net/Frame.cpp ------------------------------------------------------------//
+
+#include "net/Frame.h"
+
+#include "support/Format.h"
+
+using namespace dlq;
+using namespace dlq::net;
+
+bool net::knownOpcode(uint16_t Op) {
+  return Op <= static_cast<uint16_t>(Opcode::Drain);
+}
+
+const char *net::opcodeName(uint16_t Op) {
+  switch (static_cast<Opcode>(Op)) {
+  case Opcode::Ping:
+    return "PING";
+  case Opcode::Analyze:
+    return "ANALYZE";
+  case Opcode::Run:
+    return "RUN";
+  case Opcode::Classify:
+    return "CLASSIFY";
+  case Opcode::Stats:
+    return "STATS";
+  case Opcode::Drain:
+    return "DRAIN";
+  }
+  return "?";
+}
+
+namespace {
+
+void putU16(std::vector<uint8_t> &Out, uint16_t V) {
+  Out.push_back(static_cast<uint8_t>(V));
+  Out.push_back(static_cast<uint8_t>(V >> 8));
+}
+
+void putU32(std::vector<uint8_t> &Out, uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+void putU64(std::vector<uint8_t> &Out, uint64_t V) {
+  putU32(Out, static_cast<uint32_t>(V));
+  putU32(Out, static_cast<uint32_t>(V >> 32));
+}
+
+uint16_t getU16(const uint8_t *P) {
+  return static_cast<uint16_t>(P[0] | (uint16_t(P[1]) << 8));
+}
+
+uint32_t getU32(const uint8_t *P) {
+  return P[0] | (uint32_t(P[1]) << 8) | (uint32_t(P[2]) << 16) |
+         (uint32_t(P[3]) << 24);
+}
+
+uint64_t getU64(const uint8_t *P) {
+  return getU32(P) | (uint64_t(getU32(P + 4)) << 32);
+}
+
+} // namespace
+
+void net::appendFrame(std::vector<uint8_t> &Wire, const Frame &F) {
+  Wire.reserve(Wire.size() + kHeaderBytes + F.Payload.size());
+  putU32(Wire, kMagic);
+  putU16(Wire, kVersion);
+  putU16(Wire, F.Op);
+  putU64(Wire, F.RequestId);
+  putU32(Wire, static_cast<uint32_t>(F.Payload.size()));
+  Wire.insert(Wire.end(), F.Payload.begin(), F.Payload.end());
+}
+
+std::vector<uint8_t> net::encodeFrame(const Frame &F) {
+  std::vector<uint8_t> Wire;
+  appendFrame(Wire, F);
+  return Wire;
+}
+
+void FrameDecoder::feed(const uint8_t *Data, size_t N) {
+  if (Dead)
+    return;
+  // Compact once the consumed prefix dominates, so a long-lived connection
+  // does not grow its buffer without bound.
+  if (Off > 4096 && Off * 2 > Buf.size()) {
+    Buf.erase(Buf.begin(), Buf.begin() + static_cast<ptrdiff_t>(Off));
+    Off = 0;
+  }
+  Buf.insert(Buf.end(), Data, Data + N);
+}
+
+FrameDecoder::Status FrameDecoder::next(Frame &Out) {
+  if (Dead)
+    return Status::Corrupt;
+  if (buffered() < kHeaderBytes)
+    return Status::NeedMore;
+  const uint8_t *H = Buf.data() + Off;
+  uint32_t Magic = getU32(H);
+  uint16_t Version = getU16(H + 4);
+  uint16_t Op = getU16(H + 6);
+  uint64_t RequestId = getU64(H + 8);
+  uint32_t Len = getU32(H + 16);
+  if (Magic != kMagic) {
+    Err = formatString("bad magic 0x%08x", Magic);
+    Dead = true;
+    return Status::Corrupt;
+  }
+  if (Version != kVersion) {
+    Err = formatString("unsupported version %u", Version);
+    Dead = true;
+    return Status::Corrupt;
+  }
+  if (Len > kMaxPayloadBytes) {
+    Err = formatString("payload length %u exceeds limit %u", Len,
+                       kMaxPayloadBytes);
+    Dead = true;
+    return Status::Corrupt;
+  }
+  if (buffered() < kHeaderBytes + Len)
+    return Status::NeedMore;
+  Out.Op = Op;
+  Out.RequestId = RequestId;
+  Out.Payload.assign(H + kHeaderBytes, H + kHeaderBytes + Len);
+  Off += kHeaderBytes + Len;
+  if (Off == Buf.size()) {
+    Buf.clear();
+    Off = 0;
+  }
+  return Status::Ready;
+}

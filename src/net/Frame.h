@@ -1,0 +1,104 @@
+//===- net/Frame.h - length-prefixed binary frame codec ---------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire unit of the delinqd protocol. Every message — request or
+/// response — is one frame: a fixed 20-byte little-endian header followed by
+/// an opaque payload.
+///
+///   offset  size  field
+///        0     4  magic       0x30514C44 ("DLQ0")
+///        4     2  version     1
+///        6     2  opcode      Opcode (responses echo the request's opcode)
+///        8     8  request id  caller-chosen; responses echo it back, which
+///                             is how a pipelined client correlates replies
+///       16     4  payload length (bytes; <= kMaxPayloadBytes)
+///
+/// Encoding is a straight append. Decoding is incremental: a FrameDecoder is
+/// fed whatever recv() produced and yields complete frames as they form.
+/// The header is validated *before* any payload-sized allocation happens —
+/// a hostile length field can never make the decoder allocate; it kills the
+/// connection instead. Bad magic, bad version and oversized lengths are
+/// unrecoverable (the stream has lost framing), so the decoder latches into
+/// a dead state and the owner must close the connection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_NET_FRAME_H
+#define DLQ_NET_FRAME_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dlq {
+namespace net {
+
+constexpr uint32_t kMagic = 0x30514C44; // "DLQ0" read as little-endian u32.
+constexpr uint16_t kVersion = 1;
+constexpr size_t kHeaderBytes = 20;
+/// Frames above this payload size are a protocol violation. Large enough for
+/// any STATS dump, small enough that a forged length cannot balloon memory.
+constexpr uint32_t kMaxPayloadBytes = 4u << 20;
+
+/// Request opcodes. Responses carry the same opcode as the request they
+/// answer; direction is implied by who sent the frame.
+enum class Opcode : uint16_t {
+  Ping = 0,     ///< Liveness + echo; payload is returned verbatim.
+  Analyze = 1,  ///< Static-only delinquency analysis of a registry workload.
+  Run = 2,      ///< Full simulation under a cache geometry.
+  Classify = 3, ///< Heuristic evaluation (Delta_H vs ground truth).
+  Stats = 4,    ///< Server counters, store traffic, per-opcode latencies.
+  Drain = 5,    ///< Graceful shutdown; answered last, after in-flight work.
+};
+
+bool knownOpcode(uint16_t Op);
+const char *opcodeName(uint16_t Op); // "ANALYZE", ...; "?" when unknown.
+
+/// One decoded frame.
+struct Frame {
+  uint16_t Op = 0;
+  uint64_t RequestId = 0;
+  std::vector<uint8_t> Payload;
+};
+
+/// Appends the encoded frame (header + payload) to \p Wire.
+void appendFrame(std::vector<uint8_t> &Wire, const Frame &F);
+std::vector<uint8_t> encodeFrame(const Frame &F);
+
+/// Incremental frame extractor over a byte stream.
+class FrameDecoder {
+public:
+  enum class Status {
+    NeedMore, ///< No complete frame buffered yet.
+    Ready,    ///< A frame was produced.
+    Corrupt,  ///< Framing lost (bad magic/version/length); close the stream.
+  };
+
+  /// Appends received bytes. Buffer growth is bounded by what was actually
+  /// received plus one validated payload — never by a claimed length.
+  void feed(const uint8_t *Data, size_t N);
+
+  /// Extracts the next complete frame into \p Out. Once Corrupt is
+  /// returned, the decoder stays dead and error() describes why.
+  Status next(Frame &Out);
+
+  const std::string &error() const { return Err; }
+  size_t buffered() const { return Buf.size() - Off; }
+
+private:
+  std::vector<uint8_t> Buf;
+  size_t Off = 0; ///< Consumed prefix of Buf; compacted opportunistically.
+  std::string Err;
+  bool Dead = false;
+};
+
+} // namespace net
+} // namespace dlq
+
+#endif // DLQ_NET_FRAME_H

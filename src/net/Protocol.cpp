@@ -1,0 +1,221 @@
+//===- net/Protocol.cpp ---------------------------------------------------------//
+
+#include "net/Protocol.h"
+
+using namespace dlq;
+using namespace dlq::net;
+using exec::ByteReader;
+using exec::ByteWriter;
+
+const char *net::statusName(Status S) {
+  switch (S) {
+  case Status::Ok:
+    return "ok";
+  case Status::BadRequest:
+    return "bad-request";
+  case Status::UnknownWorkload:
+    return "unknown-workload";
+  case Status::Unsupported:
+    return "unsupported";
+  case Status::Draining:
+    return "draining";
+  case Status::Internal:
+    return "internal";
+  }
+  return "?";
+}
+
+// --- Request bodies ---------------------------------------------------------
+
+std::vector<uint8_t> net::encodeAnalyzeRequest(const AnalyzeRequest &R) {
+  ByteWriter W;
+  W.str(R.Workload);
+  W.u8(R.OptLevel);
+  W.u8(R.Input);
+  W.f64(R.Delta);
+  return W.take();
+}
+
+bool net::decodeAnalyzeRequest(ByteReader &In, AnalyzeRequest &Out) {
+  return In.str(Out.Workload) && In.u8(Out.OptLevel) && In.u8(Out.Input) &&
+         In.f64(Out.Delta) && In.atEnd();
+}
+
+std::vector<uint8_t> net::encodeRunRequest(const RunRequest &R) {
+  ByteWriter W;
+  W.str(R.Workload);
+  W.u8(R.OptLevel);
+  W.u8(R.Input);
+  W.u32(R.CacheSizeBytes);
+  W.u32(R.CacheAssoc);
+  W.u32(R.CacheBlockBytes);
+  return W.take();
+}
+
+bool net::decodeRunRequest(ByteReader &In, RunRequest &Out) {
+  return In.str(Out.Workload) && In.u8(Out.OptLevel) && In.u8(Out.Input) &&
+         In.u32(Out.CacheSizeBytes) && In.u32(Out.CacheAssoc) &&
+         In.u32(Out.CacheBlockBytes) && In.atEnd();
+}
+
+std::vector<uint8_t> net::encodeClassifyRequest(const ClassifyRequest &R) {
+  ByteWriter W;
+  W.str(R.Workload);
+  W.u8(R.OptLevel);
+  W.u8(R.Input);
+  W.u32(R.CacheSizeBytes);
+  W.u32(R.CacheAssoc);
+  W.u32(R.CacheBlockBytes);
+  W.f64(R.Delta);
+  return W.take();
+}
+
+bool net::decodeClassifyRequest(ByteReader &In, ClassifyRequest &Out) {
+  return In.str(Out.Workload) && In.u8(Out.OptLevel) && In.u8(Out.Input) &&
+         In.u32(Out.CacheSizeBytes) && In.u32(Out.CacheAssoc) &&
+         In.u32(Out.CacheBlockBytes) && In.f64(Out.Delta) && In.atEnd();
+}
+
+std::vector<uint8_t> net::encodePingRequest(const std::string &Echo) {
+  ByteWriter W;
+  W.str(Echo);
+  return W.take();
+}
+
+// --- Response payloads ------------------------------------------------------
+
+namespace {
+
+ByteWriter okHead() {
+  ByteWriter W;
+  W.u8(static_cast<uint8_t>(Status::Ok));
+  return W;
+}
+
+} // namespace
+
+std::vector<uint8_t> net::encodeErrorResponse(Status S,
+                                              const std::string &Msg) {
+  ByteWriter W;
+  W.u8(static_cast<uint8_t>(S));
+  W.str(Msg);
+  return W.take();
+}
+
+std::vector<uint8_t> net::encodePingResponse(const std::string &Echo) {
+  ByteWriter W = okHead();
+  W.str(Echo);
+  return W.take();
+}
+
+std::vector<uint8_t> net::encodeAnalyzeResponse(const AnalyzeResponse &R) {
+  ByteWriter W = okHead();
+  W.u32(R.Loads);
+  W.u32(R.Flagged);
+  return W.take();
+}
+
+std::vector<uint8_t> net::encodeRunResponse(const RunResponse &R) {
+  ByteWriter W = okHead();
+  W.u8(R.Halt);
+  W.i32(R.ExitCode);
+  W.u64(R.Instrs);
+  W.u64(R.DataAccesses);
+  W.u64(R.LoadMisses);
+  W.u64(R.StoreMisses);
+  return W.take();
+}
+
+std::vector<uint8_t> net::encodeClassifyResponse(const ClassifyResponse &R) {
+  ByteWriter W = okHead();
+  W.u32(R.DeltaH);
+  W.u32(R.Lambda);
+  W.u64(R.CoveredMisses);
+  W.u64(R.TotalMisses);
+  return W.take();
+}
+
+std::vector<uint8_t> net::encodeStatsResponse(const StatsResponse &R) {
+  ByteWriter W = okHead();
+  W.u64(R.UptimeNs);
+  W.u64(R.Accepts);
+  W.u64(R.FramesIn);
+  W.u64(R.FramesOut);
+  W.u64(R.BytesIn);
+  W.u64(R.BytesOut);
+  W.u64(R.Rejects);
+  W.u64(R.ResponsesDropped);
+  W.u64(R.StoreHits);
+  W.u64(R.StoreMisses);
+  W.u64(R.StoreWrites);
+  W.u32(static_cast<uint32_t>(R.Latencies.size()));
+  for (const OpcodeLatency &L : R.Latencies) {
+    W.u32(L.Op);
+    W.u64(L.Count);
+    W.f64(L.MeanNs);
+    W.f64(L.P50Ns);
+    W.f64(L.P90Ns);
+    W.f64(L.P99Ns);
+    W.u64(L.MaxNs);
+  }
+  W.str(R.CountersJson);
+  return W.take();
+}
+
+std::vector<uint8_t> net::encodeDrainResponse() { return okHead().take(); }
+
+bool net::decodeResponseHead(ByteReader &In, Status &S, std::string &Error) {
+  uint8_t Raw;
+  if (!In.u8(Raw))
+    return false;
+  if (Raw > static_cast<uint8_t>(Status::Internal))
+    return false;
+  S = static_cast<Status>(Raw);
+  if (S == Status::Ok)
+    return true;
+  return In.str(Error);
+}
+
+bool net::decodePingResponseBody(ByteReader &In, std::string &Echo) {
+  return In.str(Echo) && In.atEnd();
+}
+
+bool net::decodeAnalyzeResponseBody(ByteReader &In, AnalyzeResponse &Out) {
+  return In.u32(Out.Loads) && In.u32(Out.Flagged) && In.atEnd();
+}
+
+bool net::decodeRunResponseBody(ByteReader &In, RunResponse &Out) {
+  return In.u8(Out.Halt) && In.i32(Out.ExitCode) && In.u64(Out.Instrs) &&
+         In.u64(Out.DataAccesses) && In.u64(Out.LoadMisses) &&
+         In.u64(Out.StoreMisses) && In.atEnd();
+}
+
+bool net::decodeClassifyResponseBody(ByteReader &In, ClassifyResponse &Out) {
+  return In.u32(Out.DeltaH) && In.u32(Out.Lambda) &&
+         In.u64(Out.CoveredMisses) && In.u64(Out.TotalMisses) && In.atEnd();
+}
+
+bool net::decodeStatsResponseBody(ByteReader &In, StatsResponse &Out) {
+  uint32_t N = 0;
+  if (!(In.u64(Out.UptimeNs) && In.u64(Out.Accepts) && In.u64(Out.FramesIn) &&
+        In.u64(Out.FramesOut) && In.u64(Out.BytesIn) && In.u64(Out.BytesOut) &&
+        In.u64(Out.Rejects) && In.u64(Out.ResponsesDropped) &&
+        In.u64(Out.StoreHits) && In.u64(Out.StoreMisses) &&
+        In.u64(Out.StoreWrites) && In.u32(N)))
+    return false;
+  if (N > 64) // Far above the opcode count: implausible, refuse to allocate.
+    return false;
+  Out.Latencies.clear();
+  Out.Latencies.reserve(N);
+  for (uint32_t I = 0; I != N; ++I) {
+    OpcodeLatency L;
+    uint32_t Op = 0;
+    if (!(In.u32(Op) && In.u64(L.Count) && In.f64(L.MeanNs) &&
+          In.f64(L.P50Ns) && In.f64(L.P90Ns) && In.f64(L.P99Ns) &&
+          In.u64(L.MaxNs)))
+      return false;
+    L.Op = static_cast<uint16_t>(Op);
+    Out.Latencies.push_back(L);
+  }
+  return In.str(Out.CountersJson) && In.atEnd();
+}

@@ -1,0 +1,169 @@
+//===- net/Protocol.h - delinqd request/response payloads -------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Typed payloads for each opcode, encoded with the same little-endian
+/// exec::ByteWriter/ByteReader the ResultStore uses, so a truncated or
+/// hostile payload degrades to a decode failure, never an over-read.
+///
+/// Every response payload begins with a one-byte Status. Ok is followed by
+/// the opcode-specific body; anything else is followed by a human-readable
+/// error string. A decode failure of a *request* body is answered with
+/// BadRequest on the same connection — only broken framing (net/Frame.h)
+/// costs the client its connection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_NET_PROTOCOL_H
+#define DLQ_NET_PROTOCOL_H
+
+#include "exec/Serialize.h"
+#include "net/Frame.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dlq {
+namespace net {
+
+enum class Status : uint8_t {
+  Ok = 0,
+  BadRequest = 1,      ///< Request body failed to decode or had bad values.
+  UnknownWorkload = 2, ///< Name not in the workload registry.
+  Unsupported = 3,     ///< Opcode outside the protocol.
+  Draining = 4,        ///< Server is draining; no new work accepted.
+  Internal = 5,        ///< Handler threw; message carries what().
+};
+
+const char *statusName(Status S);
+
+/// ANALYZE: static-only classification (compile + AG1..AG7 scores, no
+/// simulation, no profile input).
+struct AnalyzeRequest {
+  std::string Workload;
+  uint8_t OptLevel = 0; ///< 0 or 1.
+  uint8_t Input = 0;    ///< 0 = input1, 1 = input2.
+  double Delta = 0.10;
+};
+
+struct AnalyzeResponse {
+  uint32_t Loads = 0;   ///< lambda: static loads in the module.
+  uint32_t Flagged = 0; ///< Loads with phi > delta.
+};
+
+/// RUN: full simulation under a cache geometry (served from the Driver's
+/// memo tables and the persistent ResultStore when warm).
+struct RunRequest {
+  std::string Workload;
+  uint8_t OptLevel = 0;
+  uint8_t Input = 0;
+  uint32_t CacheSizeBytes = 8 * 1024;
+  uint32_t CacheAssoc = 4;
+  uint32_t CacheBlockBytes = 32;
+};
+
+struct RunResponse {
+  uint8_t Halt = 0; ///< sim::HaltReason.
+  int32_t ExitCode = 0;
+  uint64_t Instrs = 0;
+  uint64_t DataAccesses = 0;
+  uint64_t LoadMisses = 0;
+  uint64_t StoreMisses = 0;
+};
+
+/// CLASSIFY: heuristic evaluation against simulated ground truth.
+struct ClassifyRequest {
+  std::string Workload;
+  uint8_t OptLevel = 0;
+  uint8_t Input = 0;
+  uint32_t CacheSizeBytes = 8 * 1024;
+  uint32_t CacheAssoc = 4;
+  uint32_t CacheBlockBytes = 32;
+  double Delta = 0.10;
+};
+
+struct ClassifyResponse {
+  uint32_t DeltaH = 0; ///< |Delta_H|: loads flagged delinquent.
+  uint32_t Lambda = 0; ///< Static loads in the module.
+  uint64_t CoveredMisses = 0;
+  uint64_t TotalMisses = 0;
+};
+
+/// STATS: a structured snapshot for load clients plus the full counter
+/// registry JSON for humans.
+struct OpcodeLatency {
+  uint16_t Op = 0;
+  uint64_t Count = 0;
+  double MeanNs = 0;
+  double P50Ns = 0;
+  double P90Ns = 0;
+  double P99Ns = 0;
+  uint64_t MaxNs = 0;
+};
+
+struct StatsResponse {
+  uint64_t UptimeNs = 0;
+  uint64_t Accepts = 0;
+  uint64_t FramesIn = 0;
+  uint64_t FramesOut = 0;
+  uint64_t BytesIn = 0;
+  uint64_t BytesOut = 0;
+  uint64_t Rejects = 0;
+  uint64_t ResponsesDropped = 0;
+  uint64_t StoreHits = 0;
+  uint64_t StoreMisses = 0;
+  uint64_t StoreWrites = 0;
+  std::vector<OpcodeLatency> Latencies; ///< Server-side, per opcode.
+  std::string CountersJson;             ///< Full obs::counters() dump.
+
+  double storeHitRate() const {
+    uint64_t Total = StoreHits + StoreMisses;
+    return Total == 0 ? 0.0
+                      : static_cast<double>(StoreHits) /
+                            static_cast<double>(Total);
+  }
+};
+
+// --- Request bodies ---------------------------------------------------------
+
+std::vector<uint8_t> encodeAnalyzeRequest(const AnalyzeRequest &R);
+bool decodeAnalyzeRequest(exec::ByteReader &In, AnalyzeRequest &Out);
+std::vector<uint8_t> encodeRunRequest(const RunRequest &R);
+bool decodeRunRequest(exec::ByteReader &In, RunRequest &Out);
+std::vector<uint8_t> encodeClassifyRequest(const ClassifyRequest &R);
+bool decodeClassifyRequest(exec::ByteReader &In, ClassifyRequest &Out);
+// PING carries an arbitrary echo string; STATS and DRAIN have empty bodies.
+std::vector<uint8_t> encodePingRequest(const std::string &Echo);
+
+// --- Response payloads (status envelope + body) -----------------------------
+
+/// A non-Ok response: status byte + message.
+std::vector<uint8_t> encodeErrorResponse(Status S, const std::string &Msg);
+
+std::vector<uint8_t> encodePingResponse(const std::string &Echo);
+std::vector<uint8_t> encodeAnalyzeResponse(const AnalyzeResponse &R);
+std::vector<uint8_t> encodeRunResponse(const RunResponse &R);
+std::vector<uint8_t> encodeClassifyResponse(const ClassifyResponse &R);
+std::vector<uint8_t> encodeStatsResponse(const StatsResponse &R);
+std::vector<uint8_t> encodeDrainResponse();
+
+/// Consumes the status envelope from a response payload reader. On a non-Ok
+/// status \p Error receives the message; on Ok the reader is left at the
+/// opcode body. False when the envelope itself is truncated.
+bool decodeResponseHead(exec::ByteReader &In, Status &S, std::string &Error);
+
+bool decodePingResponseBody(exec::ByteReader &In, std::string &Echo);
+bool decodeAnalyzeResponseBody(exec::ByteReader &In, AnalyzeResponse &Out);
+bool decodeRunResponseBody(exec::ByteReader &In, RunResponse &Out);
+bool decodeClassifyResponseBody(exec::ByteReader &In, ClassifyResponse &Out);
+bool decodeStatsResponseBody(exec::ByteReader &In, StatsResponse &Out);
+
+} // namespace net
+} // namespace dlq
+
+#endif // DLQ_NET_PROTOCOL_H

@@ -1,0 +1,689 @@
+//===- net/Server.cpp -----------------------------------------------------------//
+
+#include "net/Server.h"
+
+#include "classify/Heuristic.h"
+#include "obs/Counters.h"
+#include "obs/Trace.h"
+#include "support/Format.h"
+#include "workloads/Workloads.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace dlq;
+using namespace dlq::net;
+
+// Process-global net.* instrumentation. Shared across Server instances (they
+// already share obs::counters()); resolved once so the hot paths pay one
+// relaxed atomic per event.
+struct Server::NetCounters {
+  obs::Counter &Accepts = obs::counters().counter("net.accepts");
+  obs::Counter &ConnsClosed = obs::counters().counter("net.conns.closed");
+  obs::Counter &FramesIn = obs::counters().counter("net.frames.in");
+  obs::Counter &FramesOut = obs::counters().counter("net.frames.out");
+  obs::Counter &BytesIn = obs::counters().counter("net.bytes.in");
+  obs::Counter &BytesOut = obs::counters().counter("net.bytes.out");
+  obs::Counter &Rejects = obs::counters().counter("net.rejects");
+  obs::Counter &Dropped = obs::counters().counter("net.responses.dropped");
+  obs::Counter &Dispatched =
+      obs::counters().counter("net.requests.dispatched");
+  obs::Histogram &OutQDepth = obs::counters().histogram("net.outq.bytes");
+  obs::Histogram *ReqNs[6];
+
+  NetCounters() {
+    static const char *Names[6] = {
+        "net.req.ping.ns", "net.req.analyze.ns", "net.req.run.ns",
+        "net.req.classify.ns", "net.req.stats.ns", "net.req.drain.ns"};
+    for (unsigned I = 0; I != 6; ++I)
+      ReqNs[I] = &obs::counters().histogram(Names[I]);
+  }
+
+  static NetCounters &instance() {
+    static NetCounters *G = new NetCounters();
+    return *G;
+  }
+};
+
+namespace {
+
+uint64_t nowNs() { return obs::Tracer::instance().nowNs(); }
+
+bool setNonBlocking(int Fd) {
+  int Flags = fcntl(Fd, F_GETFL, 0);
+  return Flags >= 0 && fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+pipeline::InputSel inputSel(uint8_t In) {
+  return In == 0 ? pipeline::InputSel::Input1 : pipeline::InputSel::Input2;
+}
+
+} // namespace
+
+Server::Server(const ServerOptions &Opts)
+    : Opts(Opts), D(Opts.Exec, Opts.MaxInstrsPerRun),
+      NC(NetCounters::instance()) {}
+
+Server::~Server() {
+  for (auto &[Id, C] : Conns)
+    ::close(C.Fd);
+  if (ListenFd >= 0)
+    ::close(ListenFd);
+  if (WakeRead >= 0)
+    ::close(WakeRead);
+  if (WakeWrite >= 0)
+    ::close(WakeWrite);
+}
+
+bool Server::start(std::string &Err) {
+  int Pipe[2];
+  if (pipe(Pipe) != 0) {
+    Err = formatString("pipe: %s", std::strerror(errno));
+    return false;
+  }
+  WakeRead = Pipe[0];
+  WakeWrite = Pipe[1];
+  if (!setNonBlocking(WakeRead) || !setNonBlocking(WakeWrite)) {
+    Err = "cannot make wakeup pipe non-blocking";
+    return false;
+  }
+
+  ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    Err = formatString("socket: %s", std::strerror(errno));
+    return false;
+  }
+  int One = 1;
+  setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Opts.Port);
+  if (inet_pton(AF_INET, Opts.Host.c_str(), &Addr.sin_addr) != 1) {
+    Err = formatString("bad listen address '%s'", Opts.Host.c_str());
+    return false;
+  }
+  if (bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    Err = formatString("bind %s:%u: %s", Opts.Host.c_str(), Opts.Port,
+                       std::strerror(errno));
+    return false;
+  }
+  if (listen(ListenFd, 256) != 0) {
+    Err = formatString("listen: %s", std::strerror(errno));
+    return false;
+  }
+  if (!setNonBlocking(ListenFd)) {
+    Err = "cannot make listen socket non-blocking";
+    return false;
+  }
+  socklen_t Len = sizeof(Addr);
+  if (getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Addr), &Len) == 0)
+    BoundPort = ntohs(Addr.sin_port);
+  return true;
+}
+
+void Server::wake() {
+  uint8_t B = 0;
+  // A full pipe already guarantees a pending wakeup; EAGAIN is success.
+  ssize_t Ignored = ::write(WakeWrite, &B, 1);
+  (void)Ignored;
+}
+
+void Server::requestDrain() {
+  DrainRequested.store(true, std::memory_order_relaxed);
+  wake();
+}
+
+int Server::serve() {
+  if (ListenFd < 0)
+    return 1;
+  StartNs = nowNs();
+  while (!LoopDone)
+    loopOnce(100);
+  // Quiesce the pool so the caller can read final counters/stats and flush
+  // the trace with nothing still running.
+  D.pool().drain();
+  return 0;
+}
+
+void Server::loopOnce(int TimeoutMs) {
+  std::vector<pollfd> Pfds;
+  std::vector<uint64_t> Ids; // Parallel to Pfds; 0 = wake/listen slots.
+  Pfds.push_back({WakeRead, POLLIN, 0});
+  Ids.push_back(0);
+  if (!Draining && ListenFd >= 0 && Conns.size() < Opts.MaxConns) {
+    Pfds.push_back({ListenFd, POLLIN, 0});
+    Ids.push_back(0);
+  }
+  size_t FirstConn = Pfds.size();
+  for (auto &[Id, C] : Conns) {
+    short Ev = 0;
+    if (!Draining && !C.ReadPaused && !C.PeerClosed)
+      Ev |= POLLIN;
+    if (!C.OutQ.empty())
+      Ev |= POLLOUT;
+    Pfds.push_back({C.Fd, Ev, 0});
+    Ids.push_back(Id);
+  }
+
+  int N = ::poll(Pfds.data(), Pfds.size(), TimeoutMs);
+  if (N < 0 && errno != EINTR)
+    return;
+
+  if (Pfds[0].revents & POLLIN) {
+    uint8_t Buf[256];
+    while (::read(WakeRead, Buf, sizeof(Buf)) > 0)
+      ;
+  }
+
+  pumpCompletions();
+
+  if (FirstConn == 2 && (Pfds[1].revents & POLLIN))
+    acceptReady();
+
+  for (size_t I = FirstConn; I != Pfds.size(); ++I) {
+    uint64_t Id = Ids[I];
+    short Re = Pfds[I].revents;
+    if (Re == 0 || !Conns.count(Id))
+      continue;
+    if (Re & (POLLERR | POLLNVAL)) {
+      closeConn(Id, "socket error");
+      continue;
+    }
+    if (Re & POLLIN)
+      readReady(Id, Conns.at(Id));
+    if (Conns.count(Id) && (Re & POLLHUP) && !(Re & POLLIN)) {
+      // Peer gone and nothing left to read; deliverable bytes are moot.
+      closeConn(Id, "hangup");
+      continue;
+    }
+  }
+
+  // Flush every connection with pending output (completions enqueued above
+  // included), not only the ones poll flagged writable — EAGAIN is cheap.
+  std::vector<uint64_t> Writable;
+  for (auto &[Id, C] : Conns)
+    if (!C.OutQ.empty())
+      Writable.push_back(Id);
+  for (uint64_t Id : Writable)
+    if (Conns.count(Id))
+      writeReady(Id, Conns.at(Id));
+
+  sweepIdle(nowNs());
+
+  if (DrainRequested.load(std::memory_order_relaxed) && !Draining)
+    beginDrain();
+  if (Draining)
+    maybeFinishDrain();
+}
+
+void Server::acceptReady() {
+  for (;;) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      return; // EAGAIN (or transient error): nothing more to accept now.
+    if (Conns.size() >= Opts.MaxConns || !setNonBlocking(Fd)) {
+      NC.Rejects.inc();
+      ::close(Fd);
+      continue;
+    }
+    int One = 1;
+    setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    NC.Accepts.inc();
+    uint64_t Id = NextConnId++;
+    Conn &C = Conns[Id];
+    C.Fd = Fd;
+    C.LastActivityNs = nowNs();
+  }
+}
+
+void Server::readReady(uint64_t Id, Conn &C) {
+  uint8_t Buf[64 * 1024];
+  size_t PassBytes = 0;
+  for (;;) {
+    ssize_t R = ::recv(C.Fd, Buf, sizeof(Buf), 0);
+    if (R < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+        break;
+      closeConn(Id, "recv error");
+      return;
+    }
+    if (R == 0) {
+      C.PeerClosed = true;
+      break;
+    }
+    NC.BytesIn.add(static_cast<uint64_t>(R));
+    C.LastActivityNs = nowNs();
+    C.Dec.feed(Buf, static_cast<size_t>(R));
+    PassBytes += static_cast<size_t>(R);
+    if (R < static_cast<ssize_t>(sizeof(Buf)) || PassBytes >= (256u << 10))
+      break; // Short read, or enough for one pass — stay fair.
+  }
+
+  for (;;) {
+    Frame F;
+    FrameDecoder::Status St;
+    {
+      obs::Span S("net.frame.decode");
+      St = C.Dec.next(F);
+      if (St == FrameDecoder::Status::Ready) {
+        S.attr("req", F.RequestId);
+        S.attr("op", opcodeName(F.Op));
+      }
+    }
+    if (St == FrameDecoder::Status::NeedMore)
+      break;
+    if (St == FrameDecoder::Status::Corrupt) {
+      NC.Rejects.inc();
+      closeConn(Id, C.Dec.error().c_str());
+      return;
+    }
+    handleFrame(Id, C, std::move(F));
+    if (!Conns.count(Id))
+      return; // handleFrame may have begun a drain that closed us.
+    if (Draining)
+      break; // DRAIN processed: later frames of this batch are refused.
+  }
+
+  if (C.PeerClosed && C.InFlight == 0 && C.OutQ.empty())
+    closeConn(Id, "eof");
+}
+
+void Server::writeReady(uint64_t Id, Conn &C) {
+  while (!C.OutQ.empty()) {
+    const std::vector<uint8_t> &Front = C.OutQ.front();
+    ssize_t W = ::send(C.Fd, Front.data() + C.FrontOff,
+                       Front.size() - C.FrontOff, MSG_NOSIGNAL);
+    if (W < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+        return;
+      closeConn(Id, "send error");
+      return;
+    }
+    NC.BytesOut.add(static_cast<uint64_t>(W));
+    C.FrontOff += static_cast<size_t>(W);
+    C.LastActivityNs = nowNs();
+    if (C.FrontOff == Front.size()) {
+      C.OutQBytes -= Front.size();
+      C.FrontOff = 0;
+      C.OutQ.pop_front();
+    }
+  }
+  if (C.ReadPaused && C.OutQBytes < Opts.MaxOutboundBytes / 2)
+    C.ReadPaused = false;
+  if (C.PeerClosed && C.InFlight == 0 && C.OutQ.empty())
+    closeConn(Id, "eof");
+}
+
+void Server::enqueue(Conn &C, std::vector<uint8_t> Wire) {
+  C.OutQBytes += Wire.size();
+  C.OutQ.push_back(std::move(Wire));
+  NC.FramesOut.inc();
+  NC.OutQDepth.record(C.OutQBytes);
+  if (C.OutQBytes > Opts.MaxOutboundBytes)
+    C.ReadPaused = true; // Backpressure: stop reading until drained.
+}
+
+void Server::closeConn(uint64_t Id, const char *Why) {
+  (void)Why;
+  auto It = Conns.find(Id);
+  if (It == Conns.end())
+    return;
+  ::close(It->second.Fd);
+  // In-flight jobs of this connection still complete; pumpCompletions drops
+  // their responses (counted) when it finds the id gone.
+  Conns.erase(It);
+  NC.ConnsClosed.inc();
+}
+
+void Server::pumpCompletions() {
+  std::vector<Completion> Batch;
+  {
+    std::lock_guard<std::mutex> Lock(CompMu);
+    Batch.swap(Completed);
+  }
+  for (Completion &Done : Batch) {
+    --GlobalInFlight;
+    auto It = Conns.find(Done.ConnId);
+    if (It == Conns.end()) {
+      NC.Dropped.inc();
+      continue;
+    }
+    --It->second.InFlight;
+    enqueue(It->second, std::move(Done.Wire));
+  }
+}
+
+void Server::handleFrame(uint64_t Id, Conn &C, Frame &&F) {
+  NC.FramesIn.inc();
+  uint64_t T0 = nowNs();
+  uint16_t Op = F.Op;
+  uint64_t Req = F.RequestId;
+
+  auto RespondNow = [&](std::vector<uint8_t> Payload) {
+    std::vector<uint8_t> Wire;
+    {
+      obs::Span ES("net.frame.encode");
+      ES.attr("req", Req);
+      ES.attr("op", opcodeName(Op));
+      Frame RF;
+      RF.Op = Op;
+      RF.RequestId = Req;
+      RF.Payload = std::move(Payload);
+      Wire = encodeFrame(RF);
+    }
+    if (knownOpcode(Op))
+      NC.ReqNs[Op]->record(nowNs() - T0);
+    enqueue(C, std::move(Wire));
+  };
+
+  if (!knownOpcode(Op)) {
+    NC.Rejects.inc();
+    RespondNow(encodeErrorResponse(
+        Status::Unsupported, formatString("unknown opcode %u", Op)));
+    return;
+  }
+
+  switch (static_cast<Opcode>(Op)) {
+  case Opcode::Ping: {
+    exec::ByteReader In(F.Payload);
+    std::string Echo;
+    if (!In.str(Echo) || !In.atEnd()) {
+      RespondNow(
+          encodeErrorResponse(Status::BadRequest, "malformed PING body"));
+      return;
+    }
+    RespondNow(encodePingResponse(Echo));
+    return;
+  }
+  case Opcode::Stats:
+    RespondNow(encodeStatsResponse(snapshotStats()));
+    return;
+  case Opcode::Drain:
+    // Answered in maybeFinishDrain(), after every in-flight response has
+    // been enqueued ahead of it.
+    DrainWaiters.emplace_back(Id, Req);
+    beginDrain();
+    return;
+  case Opcode::Analyze:
+  case Opcode::Run:
+  case Opcode::Classify:
+    if (Draining) {
+      RespondNow(
+          encodeErrorResponse(Status::Draining, "server is draining"));
+      return;
+    }
+    dispatchJob(Id, C, std::move(F));
+    return;
+  }
+}
+
+void Server::dispatchJob(uint64_t Id, Conn &C, Frame &&F) {
+  obs::Span S("net.dispatch");
+  S.attr("req", F.RequestId);
+  S.attr("op", opcodeName(F.Op));
+  uint64_t T0 = nowNs();
+  uint16_t Op = F.Op;
+  uint64_t Req = F.RequestId;
+  ++C.InFlight;
+  ++GlobalInFlight;
+  NC.Dispatched.inc();
+  try {
+    D.pool().submit([this, Id, Op, Req, T0,
+                     Body = std::move(F.Payload)]() {
+      std::vector<uint8_t> Payload;
+      switch (static_cast<Opcode>(Op)) {
+      case Opcode::Analyze:
+        Payload = handleAnalyze(Body);
+        break;
+      case Opcode::Run:
+        Payload = handleRun(Body);
+        break;
+      case Opcode::Classify:
+        Payload = handleClassify(Body);
+        break;
+      default:
+        Payload = encodeErrorResponse(Status::Internal, "bad dispatch");
+        break;
+      }
+      std::vector<uint8_t> Wire;
+      {
+        obs::Span ES("net.frame.encode");
+        ES.attr("req", Req);
+        ES.attr("op", opcodeName(Op));
+        Frame RF;
+        RF.Op = Op;
+        RF.RequestId = Req;
+        RF.Payload = std::move(Payload);
+        Wire = encodeFrame(RF);
+      }
+      NC.ReqNs[Op]->record(nowNs() - T0);
+      {
+        std::lock_guard<std::mutex> Lock(CompMu);
+        Completed.push_back(Completion{Id, std::move(Wire)});
+      }
+      wake();
+    });
+  } catch (const std::exception &E) {
+    // Pool refused (draining): answer inline.
+    --C.InFlight;
+    --GlobalInFlight;
+    std::vector<uint8_t> Wire = encodeFrame(
+        Frame{Op, Req, encodeErrorResponse(Status::Draining, E.what())});
+    enqueue(C, std::move(Wire));
+  }
+}
+
+void Server::sweepIdle(uint64_t NowNs) {
+  if (Opts.IdleTimeoutNs == 0)
+    return;
+  std::vector<uint64_t> Stale;
+  for (auto &[Id, C] : Conns)
+    if (C.InFlight == 0 && C.OutQ.empty() &&
+        NowNs - C.LastActivityNs > Opts.IdleTimeoutNs)
+      Stale.push_back(Id);
+  for (uint64_t Id : Stale)
+    closeConn(Id, "idle timeout");
+}
+
+void Server::beginDrain() {
+  if (Draining)
+    return;
+  Draining = true;
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+}
+
+void Server::maybeFinishDrain() {
+  if (GlobalInFlight > 0)
+    return;
+  {
+    std::lock_guard<std::mutex> Lock(CompMu);
+    if (!Completed.empty())
+      return; // A worker finished between pump and here; next pass.
+  }
+  // Every in-flight response is now enqueued; the DRAIN acknowledgements go
+  // out strictly after them.
+  for (auto &[ConnId, Req] : DrainWaiters) {
+    auto It = Conns.find(ConnId);
+    if (It == Conns.end())
+      continue;
+    Frame RF;
+    RF.Op = static_cast<uint16_t>(Opcode::Drain);
+    RF.RequestId = Req;
+    RF.Payload = encodeDrainResponse();
+    enqueue(It->second, encodeFrame(RF));
+    NC.ReqNs[static_cast<unsigned>(Opcode::Drain)]->record(0);
+  }
+  DrainWaiters.clear();
+
+  // Push what we can right now; anything the kernel refuses waits for the
+  // next poll pass (POLLOUT stays armed while queues are non-empty).
+  std::vector<uint64_t> Pending;
+  for (auto &[Id, C] : Conns)
+    if (!C.OutQ.empty())
+      Pending.push_back(Id);
+  for (uint64_t Id : Pending)
+    if (Conns.count(Id))
+      writeReady(Id, Conns.at(Id));
+  for (auto &[Id, C] : Conns)
+    if (!C.OutQ.empty())
+      return;
+
+  std::vector<uint64_t> All;
+  for (auto &[Id, C] : Conns)
+    All.push_back(Id);
+  for (uint64_t Id : All)
+    closeConn(Id, "drained");
+  LoopDone = true;
+}
+
+StatsResponse Server::snapshotStats() const {
+  StatsResponse R;
+  R.UptimeNs = nowNs() - StartNs;
+  R.Accepts = NC.Accepts.value();
+  R.FramesIn = NC.FramesIn.value();
+  R.FramesOut = NC.FramesOut.value();
+  R.BytesIn = NC.BytesIn.value();
+  R.BytesOut = NC.BytesOut.value();
+  R.Rejects = NC.Rejects.value();
+  R.ResponsesDropped = NC.Dropped.value();
+  exec::StoreStats SS = D.store().stats();
+  R.StoreHits = SS.Hits;
+  R.StoreMisses = SS.Misses;
+  R.StoreWrites = SS.Writes;
+  for (unsigned Op = 0; Op != 6; ++Op) {
+    const obs::Histogram &H = *NC.ReqNs[Op];
+    if (H.count() == 0)
+      continue;
+    OpcodeLatency L;
+    L.Op = static_cast<uint16_t>(Op);
+    L.Count = H.count();
+    L.MeanNs = H.mean();
+    L.P50Ns = H.quantile(0.50);
+    L.P90Ns = H.quantile(0.90);
+    L.P99Ns = H.quantile(0.99);
+    L.MaxNs = H.max();
+    R.Latencies.push_back(L);
+  }
+  R.CountersJson = obs::counters().json();
+  return R;
+}
+
+// --- Request handlers (pool worker threads) ---------------------------------
+
+std::vector<uint8_t>
+Server::handleAnalyze(const std::vector<uint8_t> &Body) {
+  AnalyzeRequest R;
+  exec::ByteReader In(Body);
+  if (!decodeAnalyzeRequest(In, R))
+    return encodeErrorResponse(Status::BadRequest, "malformed ANALYZE body");
+  if (R.OptLevel > 1 || R.Input > 1)
+    return encodeErrorResponse(Status::BadRequest,
+                               "opt level and input must be 0 or 1");
+  if (!workloads::findWorkload(R.Workload))
+    return encodeErrorResponse(
+        Status::UnknownWorkload,
+        formatString("no workload '%s'", R.Workload.c_str()));
+  try {
+    const pipeline::Compiled &C =
+        D.compiled(R.Workload, inputSel(R.Input), R.OptLevel);
+    classify::HeuristicOptions HO;
+    HO.Delta = R.Delta;
+    HO.UseFreqClasses = false; // Static-only: no profile input over the wire.
+    auto Scores = C.Analysis->scores(HO, nullptr);
+    AnalyzeResponse Resp;
+    Resp.Loads = static_cast<uint32_t>(C.lambda());
+    for (const auto &[Ref, Phi] : Scores)
+      Resp.Flagged += classify::isPossiblyDelinquent(Phi, HO) ? 1 : 0;
+    return encodeAnalyzeResponse(Resp);
+  } catch (const std::exception &E) {
+    return encodeErrorResponse(Status::Internal, E.what());
+  }
+}
+
+namespace {
+
+bool cacheOf(uint32_t Size, uint32_t Assoc, uint32_t Block,
+             sim::CacheConfig &Out) {
+  Out = sim::CacheConfig{Size, Assoc, Block};
+  return Out.valid();
+}
+
+} // namespace
+
+std::vector<uint8_t> Server::handleRun(const std::vector<uint8_t> &Body) {
+  RunRequest R;
+  exec::ByteReader In(Body);
+  if (!decodeRunRequest(In, R))
+    return encodeErrorResponse(Status::BadRequest, "malformed RUN body");
+  if (R.OptLevel > 1 || R.Input > 1)
+    return encodeErrorResponse(Status::BadRequest,
+                               "opt level and input must be 0 or 1");
+  sim::CacheConfig Cache;
+  if (!cacheOf(R.CacheSizeBytes, R.CacheAssoc, R.CacheBlockBytes, Cache))
+    return encodeErrorResponse(Status::BadRequest, "invalid cache geometry");
+  if (!workloads::findWorkload(R.Workload))
+    return encodeErrorResponse(
+        Status::UnknownWorkload,
+        formatString("no workload '%s'", R.Workload.c_str()));
+  try {
+    const sim::RunResult &Run =
+        D.run(R.Workload, inputSel(R.Input), R.OptLevel, Cache);
+    RunResponse Resp;
+    Resp.Halt = static_cast<uint8_t>(Run.Halt);
+    Resp.ExitCode = Run.ExitCode;
+    Resp.Instrs = Run.InstrsExecuted;
+    Resp.DataAccesses = Run.DataAccesses;
+    Resp.LoadMisses = Run.LoadMisses;
+    Resp.StoreMisses = Run.StoreMisses;
+    return encodeRunResponse(Resp);
+  } catch (const std::exception &E) {
+    return encodeErrorResponse(Status::Internal, E.what());
+  }
+}
+
+std::vector<uint8_t>
+Server::handleClassify(const std::vector<uint8_t> &Body) {
+  ClassifyRequest R;
+  exec::ByteReader In(Body);
+  if (!decodeClassifyRequest(In, R))
+    return encodeErrorResponse(Status::BadRequest,
+                               "malformed CLASSIFY body");
+  if (R.OptLevel > 1 || R.Input > 1)
+    return encodeErrorResponse(Status::BadRequest,
+                               "opt level and input must be 0 or 1");
+  sim::CacheConfig Cache;
+  if (!cacheOf(R.CacheSizeBytes, R.CacheAssoc, R.CacheBlockBytes, Cache))
+    return encodeErrorResponse(Status::BadRequest, "invalid cache geometry");
+  if (!workloads::findWorkload(R.Workload))
+    return encodeErrorResponse(
+        Status::UnknownWorkload,
+        formatString("no workload '%s'", R.Workload.c_str()));
+  try {
+    classify::HeuristicOptions HO;
+    HO.Delta = R.Delta;
+    const pipeline::HeuristicEval &H = D.evalHeuristic(
+        R.Workload, inputSel(R.Input), R.OptLevel, Cache, HO);
+    const pipeline::Compiled &C =
+        D.compiled(R.Workload, inputSel(R.Input), R.OptLevel);
+    ClassifyResponse Resp;
+    Resp.DeltaH = static_cast<uint32_t>(H.Delta.size());
+    Resp.Lambda = static_cast<uint32_t>(C.lambda());
+    Resp.CoveredMisses = H.E.CoveredMisses;
+    Resp.TotalMisses = H.E.TotalMisses;
+    return encodeClassifyResponse(Resp);
+  } catch (const std::exception &E) {
+    return encodeErrorResponse(Status::Internal, E.what());
+  }
+}

@@ -1,0 +1,159 @@
+//===- net/Server.h - the delinqd analysis service -------------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A long-lived TCP service over the pipeline Driver. One event-dispatcher
+/// thread owns every socket: poll-based, non-blocking accept/read/write.
+/// Complete frames are decoded into typed requests and dispatched as jobs
+/// onto the Driver's JobPool; the Driver's memo tables plus the persistent
+/// ResultStore act as the shared hot cache, keyed exactly as the CLI keys
+/// its runs. Workers hand finished, already-encoded responses back through
+/// a completion queue and a self-pipe wakeup; the dispatcher correlates
+/// nothing — responses carry their request id — it only moves bytes.
+///
+/// Flow control is per connection: each has a bounded outbound byte queue,
+/// and a connection over its bound stops being polled for reads until the
+/// queue drains below half (backpressure instead of unbounded buffering).
+/// Idle connections (no traffic, nothing in flight) are closed after a
+/// timeout. DRAIN — or a signal routed through requestDrain() — stops the
+/// listener and all reads, lets in-flight jobs finish, flushes every
+/// outbound queue (the DRAIN response is enqueued last, after all in-flight
+/// responses), and returns 0 from serve().
+///
+/// Observability: net.* counters (accepts, frames/bytes in and out, rejects,
+/// dropped responses, outbound queue depth) and per-opcode latency
+/// histograms (net.req.<op>.ns, dispatch-to-encoded) in obs::counters();
+/// per-request spans net.frame.decode -> net.dispatch -> job.run ->
+/// net.frame.encode, each tagged with the request id, when tracing is on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_NET_SERVER_H
+#define DLQ_NET_SERVER_H
+
+#include "exec/Options.h"
+#include "net/Frame.h"
+#include "net/Protocol.h"
+#include "pipeline/Pipeline.h"
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dlq {
+namespace net {
+
+struct ServerOptions {
+  std::string Host = "127.0.0.1";
+  uint16_t Port = 0; ///< 0 = ephemeral; port() reports the bound port.
+  exec::ExecOptions Exec;
+  uint64_t MaxInstrsPerRun = 400'000'000;
+  uint64_t IdleTimeoutNs = 60ull * 1000 * 1000 * 1000;
+  size_t MaxOutboundBytes = 8u << 20; ///< Per-connection backpressure bound.
+  size_t MaxConns = 1024;
+};
+
+class Server {
+public:
+  explicit Server(const ServerOptions &Opts);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds and listens. False (with \p Err) when the address is taken or
+  /// invalid. Must be called before serve().
+  bool start(std::string &Err);
+
+  /// The bound port (valid after start()).
+  uint16_t port() const { return BoundPort; }
+
+  /// Runs the dispatcher loop until drained. Returns 0 on a clean drain,
+  /// 1 on an internal loop failure. Callable from any thread, once.
+  int serve();
+
+  /// Initiates a drain from outside the loop (signal handlers use this:
+  /// one atomic store and one pipe write, both async-signal-safe).
+  void requestDrain();
+
+  /// The Driver serving requests (exposed for stats rendering after serve()
+  /// returns).
+  pipeline::Driver &driver() { return D; }
+
+private:
+  struct Conn {
+    int Fd = -1;
+    FrameDecoder Dec;
+    std::deque<std::vector<uint8_t>> OutQ; ///< Encoded frames, FIFO.
+    size_t OutQBytes = 0;
+    size_t FrontOff = 0; ///< Bytes of OutQ.front() already written.
+    uint64_t LastActivityNs = 0;
+    uint32_t InFlight = 0;    ///< Dispatched jobs not yet enqueued back.
+    bool ReadPaused = false;  ///< Backpressure: over the outbound bound.
+    bool PeerClosed = false;  ///< EOF seen; flush and close.
+  };
+
+  /// A worker-finished response awaiting the dispatcher.
+  struct Completion {
+    uint64_t ConnId;
+    std::vector<uint8_t> Wire; ///< Fully encoded response frame.
+  };
+
+  void loopOnce(int TimeoutMs);
+  void acceptReady();
+  void readReady(uint64_t Id, Conn &C);
+  void writeReady(uint64_t Id, Conn &C);
+  void handleFrame(uint64_t Id, Conn &C, Frame &&F);
+  void dispatchJob(uint64_t Id, Conn &C, Frame &&F);
+  void enqueue(Conn &C, std::vector<uint8_t> Wire);
+  void closeConn(uint64_t Id, const char *Why);
+  void pumpCompletions();
+  void sweepIdle(uint64_t NowNs);
+  void beginDrain();
+  void maybeFinishDrain();
+  StatsResponse snapshotStats() const;
+  void wake();
+
+  // Request handlers; run on pool workers, return the response payload.
+  std::vector<uint8_t> handleAnalyze(const std::vector<uint8_t> &Body);
+  std::vector<uint8_t> handleRun(const std::vector<uint8_t> &Body);
+  std::vector<uint8_t> handleClassify(const std::vector<uint8_t> &Body);
+
+  ServerOptions Opts;
+  pipeline::Driver D;
+  int ListenFd = -1;
+  int WakeRead = -1;
+  int WakeWrite = -1;
+  uint16_t BoundPort = 0;
+  uint64_t StartNs = 0;
+
+  std::map<uint64_t, Conn> Conns;
+  uint64_t NextConnId = 1;
+  size_t GlobalInFlight = 0; ///< Dispatched jobs across all connections.
+
+  /// (conn id, request id) of every DRAIN awaiting its response.
+  std::vector<std::pair<uint64_t, uint64_t>> DrainWaiters;
+  std::atomic<bool> DrainRequested{false};
+  bool Draining = false;
+  bool LoopDone = false;
+
+  std::mutex CompMu;
+  std::vector<Completion> Completed;
+
+  // Counter handles, resolved once against obs::counters().
+  struct NetCounters;
+  NetCounters &NC;
+};
+
+} // namespace net
+} // namespace dlq
+
+#endif // DLQ_NET_SERVER_H

@@ -55,6 +55,48 @@ uint64_t Histogram::quantileBound(double Q) const {
   return max();
 }
 
+double Histogram::quantile(double Q) const {
+  uint64_t Total = count();
+  if (Total == 0)
+    return 0.0;
+  if (Q < 0)
+    Q = 0;
+  if (Q > 1)
+    Q = 1;
+  // Target rank in [0, Total]; the bucket containing it gets a linear
+  // interpolation across its value span (the values inside a bucket are
+  // assumed uniformly spread, the usual log-bucket estimate).
+  double Rank = Q * static_cast<double>(Total);
+  uint64_t Seen = 0;
+  double V = static_cast<double>(max());
+  for (unsigned B = 0; B != NumBuckets; ++B) {
+    uint64_t C = bucketCount(B);
+    if (C == 0)
+      continue;
+    if (static_cast<double>(Seen + C) >= Rank) {
+      if (B == 0) {
+        V = 0.0;
+      } else {
+        double Lo = static_cast<double>(uint64_t(1) << (B - 1));
+        double Hi = B >= 63 ? static_cast<double>(max()) + 1
+                            : static_cast<double>(uint64_t(1) << B);
+        double Frac = (Rank - static_cast<double>(Seen)) /
+                      static_cast<double>(C);
+        V = Lo + (Hi - Lo) * Frac;
+      }
+      break;
+    }
+    Seen += C;
+  }
+  double MinV = static_cast<double>(min());
+  double MaxV = static_cast<double>(max());
+  if (V < MinV)
+    V = MinV;
+  if (V > MaxV)
+    V = MaxV;
+  return V;
+}
+
 Counter &Counters::counter(const std::string &Name) {
   std::lock_guard<std::mutex> Lock(Mu);
   std::unique_ptr<Counter> &Slot = Cs[Name];
@@ -94,13 +136,14 @@ std::string Counters::summaryTable() const {
   });
   std::string Out = T.render();
   bool AnyHist = false;
-  TextTable HT({"histogram", "count", "mean", "p50<=", "p99<=", "max"});
+  TextTable HT({"histogram", "count", "mean", "p50", "p90", "p99", "max"});
   forEachHistogram([&](const std::string &Name, const Histogram &H) {
     AnyHist = true;
     HT.addRow({Name, formatWithCommas(H.count()),
                formatString("%.0f", H.mean()),
-               formatWithCommas(H.quantileBound(0.50)),
-               formatWithCommas(H.quantileBound(0.99)),
+               formatString("%.0f", H.quantile(0.50)),
+               formatString("%.0f", H.quantile(0.90)),
+               formatString("%.0f", H.quantile(0.99)),
                formatWithCommas(H.max())});
   });
   if (AnyHist)
@@ -119,11 +162,13 @@ std::string Counters::json() const {
   forEachHistogram([&](const std::string &Name, const Histogram &H) {
     Out += formatString(
         "%s\"%s\": {\"count\": %llu, \"sum\": %llu, \"mean\": %.1f, "
-        "\"min\": %llu, \"max\": %llu}",
+        "\"min\": %llu, \"p50\": %.1f, \"p90\": %.1f, \"p99\": %.1f, "
+        "\"max\": %llu}",
         First ? "" : ", ", Name.c_str(),
         static_cast<unsigned long long>(H.count()),
         static_cast<unsigned long long>(H.sum()), H.mean(),
-        static_cast<unsigned long long>(H.min()),
+        static_cast<unsigned long long>(H.min()), H.quantile(0.50),
+        H.quantile(0.90), H.quantile(0.99),
         static_cast<unsigned long long>(H.max()));
     First = false;
   });

@@ -66,6 +66,14 @@ public:
   /// within-2x estimate of the percentile. 0 when empty.
   uint64_t quantileBound(double Q) const;
 
+  /// Interpolated q-quantile (q in [0,1]): the rank's bucket is found from
+  /// the cumulative counts and the value is interpolated linearly across the
+  /// bucket's [2^(B-1), 2^B) span, then clamped to the observed [min, max].
+  /// Exact for single-valued distributions, within the bucket span
+  /// otherwise — tight enough for p50/p90/p99 latency reporting. 0 when
+  /// empty.
+  double quantile(double Q) const;
+
   uint64_t bucketCount(unsigned B) const {
     return Buckets[B].load(std::memory_order_relaxed);
   }

@@ -17,11 +17,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <set>
 #include <stdexcept>
+#include <thread>
 
 using namespace dlq;
 using namespace dlq::exec;
@@ -131,6 +133,28 @@ TEST(JobPool, SmallestFailingIndexWins) {
   } catch (const std::runtime_error &E) {
     EXPECT_STREQ(E.what(), "fail at 2");
   }
+}
+
+TEST(JobPool, DrainCompletesInFlightWorkBeforeReturning) {
+  JobPool Pool(4);
+  std::atomic<unsigned> Done{0};
+  for (unsigned I = 0; I != 32; ++I)
+    Pool.submit([&Done] {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      ++Done;
+    });
+  Pool.drain();
+  EXPECT_EQ(Done.load(), 32u) << "drain returned with work still in flight";
+  EXPECT_TRUE(Pool.draining());
+}
+
+TEST(JobPool, SubmitAfterDrainThrows) {
+  JobPool Pool(2);
+  Pool.submit([] {});
+  Pool.drain();
+  EXPECT_THROW(Pool.submit([] {}), std::logic_error);
+  // drain() is idempotent and the destructor must still be safe.
+  Pool.drain();
 }
 
 TEST(TaskSet, DependenciesRunBeforeDependents) {

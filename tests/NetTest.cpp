@@ -1,0 +1,419 @@
+//===- tests/NetTest.cpp - frame codec and delinqd server tests -----------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+//
+// Two layers. The FrameDecoder tests hammer the codec with truncation,
+// hostile lengths and randomized re-chunking — the properties that keep a
+// byte stream from ever turning into an over-read or an attacker-sized
+// allocation. The Server tests boot a real delinqd instance on an ephemeral
+// loopback port with serve() on its own thread and drive it through the
+// blocking Client, including the drain-under-load ordering guarantee.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Client.h"
+#include "net/Frame.h"
+#include "net/Protocol.h"
+#include "net/Server.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace dlq;
+using namespace dlq::net;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Frame codec
+//===----------------------------------------------------------------------===//
+
+void putU16(std::vector<uint8_t> &B, uint16_t V) {
+  B.push_back(static_cast<uint8_t>(V));
+  B.push_back(static_cast<uint8_t>(V >> 8));
+}
+
+void putU32(std::vector<uint8_t> &B, uint32_t V) {
+  for (unsigned I = 0; I != 4; ++I)
+    B.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+void putU64(std::vector<uint8_t> &B, uint64_t V) {
+  for (unsigned I = 0; I != 8; ++I)
+    B.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+/// A raw header with every field under test control.
+std::vector<uint8_t> rawHeader(uint32_t Magic, uint16_t Version, uint16_t Op,
+                               uint64_t Id, uint32_t Len) {
+  std::vector<uint8_t> B;
+  putU32(B, Magic);
+  putU16(B, Version);
+  putU16(B, Op);
+  putU64(B, Id);
+  putU32(B, Len);
+  return B;
+}
+
+TEST(Frame, RoundTripsThroughDecoder) {
+  Frame In;
+  In.Op = static_cast<uint16_t>(Opcode::Run);
+  In.RequestId = 0x0123456789ABCDEFull;
+  In.Payload = {1, 2, 3, 250, 251, 252};
+  std::vector<uint8_t> Wire = encodeFrame(In);
+  ASSERT_EQ(Wire.size(), kHeaderBytes + In.Payload.size());
+
+  FrameDecoder Dec;
+  Dec.feed(Wire.data(), Wire.size());
+  Frame Out;
+  ASSERT_EQ(Dec.next(Out), FrameDecoder::Status::Ready);
+  EXPECT_EQ(Out.Op, In.Op);
+  EXPECT_EQ(Out.RequestId, In.RequestId);
+  EXPECT_EQ(Out.Payload, In.Payload);
+  EXPECT_EQ(Dec.next(Out), FrameDecoder::Status::NeedMore);
+  EXPECT_EQ(Dec.buffered(), 0u);
+}
+
+TEST(Frame, ByteAtATimeFeedYieldsTheFrameOnlyWhenComplete) {
+  Frame In;
+  In.Op = static_cast<uint16_t>(Opcode::Ping);
+  In.RequestId = 7;
+  In.Payload = {9, 8, 7};
+  std::vector<uint8_t> Wire = encodeFrame(In);
+
+  FrameDecoder Dec;
+  Frame Out;
+  for (size_t I = 0; I + 1 < Wire.size(); ++I) {
+    Dec.feed(&Wire[I], 1);
+    ASSERT_EQ(Dec.next(Out), FrameDecoder::Status::NeedMore)
+        << "frame produced after only " << I + 1 << " bytes";
+  }
+  Dec.feed(&Wire[Wire.size() - 1], 1);
+  ASSERT_EQ(Dec.next(Out), FrameDecoder::Status::Ready);
+  EXPECT_EQ(Out.Payload, In.Payload);
+}
+
+TEST(Frame, TruncatedHeaderIsNeedMoreNotCorrupt) {
+  std::vector<uint8_t> H = rawHeader(kMagic, kVersion, 0, 1, 0);
+  FrameDecoder Dec;
+  Dec.feed(H.data(), kHeaderBytes - 1);
+  Frame Out;
+  EXPECT_EQ(Dec.next(Out), FrameDecoder::Status::NeedMore);
+}
+
+TEST(Frame, OversizedLengthIsRejectedBeforeAnyAllocation) {
+  // A forged length just under 4 GiB: the decoder must latch Corrupt from
+  // the 20 header bytes alone, never sizing a buffer from the claim.
+  std::vector<uint8_t> H = rawHeader(kMagic, kVersion, 0, 1, 0xFFFFFF00u);
+  FrameDecoder Dec;
+  Dec.feed(H.data(), H.size());
+  Frame Out;
+  ASSERT_EQ(Dec.next(Out), FrameDecoder::Status::Corrupt);
+  EXPECT_NE(Dec.error().find("length"), std::string::npos) << Dec.error();
+  // Only what was actually received is buffered.
+  EXPECT_LE(Dec.buffered(), kHeaderBytes);
+}
+
+TEST(Frame, BadMagicIsCorrupt) {
+  std::vector<uint8_t> H = rawHeader(0xDEADBEEF, kVersion, 0, 1, 0);
+  FrameDecoder Dec;
+  Dec.feed(H.data(), H.size());
+  Frame Out;
+  ASSERT_EQ(Dec.next(Out), FrameDecoder::Status::Corrupt);
+  EXPECT_NE(Dec.error().find("magic"), std::string::npos) << Dec.error();
+}
+
+TEST(Frame, BadVersionIsCorrupt) {
+  std::vector<uint8_t> H = rawHeader(kMagic, 99, 0, 1, 0);
+  FrameDecoder Dec;
+  Dec.feed(H.data(), H.size());
+  Frame Out;
+  ASSERT_EQ(Dec.next(Out), FrameDecoder::Status::Corrupt);
+  EXPECT_NE(Dec.error().find("version"), std::string::npos) << Dec.error();
+}
+
+TEST(Frame, DecoderStaysDeadAfterCorruption) {
+  std::vector<uint8_t> Bad = rawHeader(0, 0, 0, 0, 0);
+  FrameDecoder Dec;
+  Dec.feed(Bad.data(), Bad.size());
+  Frame Out;
+  ASSERT_EQ(Dec.next(Out), FrameDecoder::Status::Corrupt);
+  // Even a perfectly valid frame cannot revive a stream that lost framing.
+  Frame Good;
+  Good.Op = 0;
+  std::vector<uint8_t> Wire = encodeFrame(Good);
+  Dec.feed(Wire.data(), Wire.size());
+  EXPECT_EQ(Dec.next(Out), FrameDecoder::Status::Corrupt);
+}
+
+TEST(Frame, RandomizedChunkingPreservesEveryFrame) {
+  // Fuzz the re-chunking: many frames with varied payloads, delivered in
+  // random slices, must come out intact and in order regardless of where
+  // the slice boundaries fall.
+  Rng Rand(0xF00D);
+  std::vector<Frame> Sent;
+  std::vector<uint8_t> Stream;
+  for (unsigned I = 0; I != 50; ++I) {
+    Frame F;
+    F.Op = static_cast<uint16_t>(Rand.nextBelow(6));
+    F.RequestId = Rand.next();
+    F.Payload.resize(Rand.nextBelow(5000));
+    for (uint8_t &B : F.Payload)
+      B = static_cast<uint8_t>(Rand.nextBelow(256));
+    appendFrame(Stream, F);
+    Sent.push_back(std::move(F));
+  }
+
+  FrameDecoder Dec;
+  std::vector<Frame> Got;
+  size_t Off = 0;
+  while (Off != Stream.size()) {
+    size_t N = std::min<size_t>(1 + Rand.nextBelow(700),
+                                Stream.size() - Off);
+    Dec.feed(Stream.data() + Off, N);
+    Off += N;
+    Frame Out;
+    while (Dec.next(Out) == FrameDecoder::Status::Ready)
+      Got.push_back(std::move(Out));
+  }
+  ASSERT_EQ(Got.size(), Sent.size());
+  for (size_t I = 0; I != Sent.size(); ++I) {
+    EXPECT_EQ(Got[I].Op, Sent[I].Op);
+    EXPECT_EQ(Got[I].RequestId, Sent[I].RequestId);
+    EXPECT_EQ(Got[I].Payload, Sent[I].Payload) << "frame " << I;
+  }
+  EXPECT_EQ(Dec.buffered(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Server
+//===----------------------------------------------------------------------===//
+
+/// Boots a hermetic delinqd (no disk cache, ephemeral loopback port) with
+/// serve() on a background thread; tears it down with a drain.
+class NetServer : public ::testing::Test {
+protected:
+  void boot() {
+    ServerOptions O;
+    O.Exec.UseDiskCache = false;
+    O.Exec.Jobs = 2;
+    std::string Err;
+    S = std::make_unique<Server>(O);
+    ASSERT_TRUE(S->start(Err)) << Err;
+    Serving = std::thread([this] { ServeResult = S->serve(); });
+  }
+
+  void TearDown() override {
+    if (Serving.joinable()) {
+      S->requestDrain();
+      Serving.join();
+    }
+  }
+
+  std::unique_ptr<Server> S;
+  std::thread Serving;
+  int ServeResult = -1;
+};
+
+TEST_F(NetServer, PingEchoes) {
+  boot();
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connect("127.0.0.1", S->port(), Err)) << Err;
+  Status St = Status::Internal;
+  ASSERT_TRUE(C.ping("hello delinqd", St, Err)) << Err;
+  EXPECT_EQ(St, Status::Ok);
+}
+
+TEST_F(NetServer, AnalyzeCountsLoads) {
+  boot();
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connect("127.0.0.1", S->port(), Err)) << Err;
+  AnalyzeRequest Req;
+  Req.Workload = "li_like";
+  AnalyzeResponse Resp;
+  Status St = Status::Internal;
+  ASSERT_TRUE(C.analyze(Req, Resp, St, Err)) << Err;
+  ASSERT_EQ(St, Status::Ok) << Err;
+  EXPECT_GT(Resp.Loads, 0u);
+  EXPECT_LE(Resp.Flagged, Resp.Loads);
+}
+
+TEST_F(NetServer, RunSimulatesToCompletion) {
+  boot();
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connect("127.0.0.1", S->port(), Err)) << Err;
+  RunRequest Req;
+  Req.Workload = "li_like";
+  RunResponse Resp;
+  Status St = Status::Internal;
+  ASSERT_TRUE(C.run(Req, Resp, St, Err)) << Err;
+  ASSERT_EQ(St, Status::Ok) << Err;
+  EXPECT_GT(Resp.Instrs, 0u);
+  EXPECT_GT(Resp.DataAccesses, 0u);
+}
+
+TEST_F(NetServer, ClassifyReportsCoverage) {
+  boot();
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connect("127.0.0.1", S->port(), Err)) << Err;
+  ClassifyRequest Req;
+  Req.Workload = "li_like";
+  ClassifyResponse Resp;
+  Status St = Status::Internal;
+  ASSERT_TRUE(C.classify(Req, Resp, St, Err)) << Err;
+  ASSERT_EQ(St, Status::Ok) << Err;
+  EXPECT_GT(Resp.Lambda, 0u);
+  EXPECT_LE(Resp.CoveredMisses, Resp.TotalMisses);
+}
+
+TEST_F(NetServer, UnknownWorkloadIsAStatusNotAClosedConnection) {
+  boot();
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connect("127.0.0.1", S->port(), Err)) << Err;
+  AnalyzeRequest Req;
+  Req.Workload = "no_such_workload";
+  AnalyzeResponse Resp;
+  Status St = Status::Ok;
+  ASSERT_TRUE(C.analyze(Req, Resp, St, Err)) << Err;
+  EXPECT_EQ(St, Status::UnknownWorkload);
+  // The connection survives an application-level error.
+  ASSERT_TRUE(C.ping("still here", St, Err)) << Err;
+  EXPECT_EQ(St, Status::Ok);
+}
+
+TEST_F(NetServer, MalformedBodyIsBadRequest) {
+  boot();
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connect("127.0.0.1", S->port(), Err)) << Err;
+  Frame Resp;
+  ASSERT_TRUE(C.call(Opcode::Analyze, {0xDE, 0xAD}, Resp, Err)) << Err;
+  exec::ByteReader Body(Resp.Payload);
+  Status St = Status::Ok;
+  std::string Remote;
+  ASSERT_TRUE(decodeResponseHead(Body, St, Remote));
+  EXPECT_EQ(St, Status::BadRequest);
+}
+
+TEST_F(NetServer, UnknownOpcodeIsUnsupportedAndKeepsTheConnection) {
+  boot();
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connect("127.0.0.1", S->port(), Err)) << Err;
+  Frame Resp;
+  ASSERT_TRUE(C.call(static_cast<Opcode>(99), {}, Resp, Err)) << Err;
+  exec::ByteReader Body(Resp.Payload);
+  Status St = Status::Ok;
+  std::string Remote;
+  ASSERT_TRUE(decodeResponseHead(Body, St, Remote));
+  EXPECT_EQ(St, Status::Unsupported);
+  Status PingSt = Status::Internal;
+  ASSERT_TRUE(C.ping("after unknown opcode", PingSt, Err)) << Err;
+  EXPECT_EQ(PingSt, Status::Ok);
+}
+
+TEST_F(NetServer, BrokenFramingCostsTheConnection) {
+  boot();
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(S->port());
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &Addr.sin_addr), 1);
+  ASSERT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                      sizeof(Addr)),
+            0);
+  // At least one full header of non-protocol bytes, so the decoder sees the
+  // bad magic immediately rather than waiting for more.
+  const char Garbage[] = "GET / HTTP/1.1\r\nHost: delinqd\r\n\r\n";
+  static_assert(sizeof(Garbage) - 1 >= kHeaderBytes);
+  ASSERT_GT(::send(Fd, Garbage, sizeof(Garbage) - 1, 0), 0);
+  // The server must close; recv sees EOF (or a reset), never a response.
+  uint8_t Buf[64];
+  ssize_t R = ::recv(Fd, Buf, sizeof(Buf), 0);
+  EXPECT_LE(R, 0);
+  ::close(Fd);
+}
+
+TEST_F(NetServer, StatsReflectTrafficAndLatencies) {
+  boot();
+  Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connect("127.0.0.1", S->port(), Err)) << Err;
+  Status St = Status::Internal;
+  ASSERT_TRUE(C.ping("one", St, Err)) << Err;
+  StatsResponse Stats;
+  ASSERT_TRUE(C.stats(Stats, St, Err)) << Err;
+  ASSERT_EQ(St, Status::Ok);
+  EXPECT_GE(Stats.FramesIn, 2u);
+  EXPECT_GE(Stats.Accepts, 1u);
+  bool SawPing = false;
+  for (const OpcodeLatency &L : Stats.Latencies)
+    if (L.Op == static_cast<uint16_t>(Opcode::Ping)) {
+      SawPing = true;
+      EXPECT_GT(L.Count, 0u);
+      EXPECT_GE(L.P99Ns, L.P50Ns);
+    }
+  EXPECT_TRUE(SawPing);
+  EXPECT_NE(Stats.CountersJson.find("net.frames.in"), std::string::npos);
+}
+
+TEST_F(NetServer, DrainUnderLoadDeliversEveryInFlightResponse) {
+  boot();
+  // Client A puts a real simulation in flight...
+  Client A;
+  std::string ErrA;
+  ASSERT_TRUE(A.connect("127.0.0.1", S->port(), ErrA)) << ErrA;
+  Status StA = Status::Internal;
+  RunResponse RespA;
+  bool OkA = false;
+  std::thread InFlight([&] {
+    RunRequest Req;
+    Req.Workload = "mcf_like";
+    OkA = A.run(Req, RespA, StA, ErrA);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  // ...while client B asks for a graceful shutdown.
+  Client B;
+  std::string ErrB;
+  ASSERT_TRUE(B.connect("127.0.0.1", S->port(), ErrB)) << ErrB;
+  Status StB = Status::Internal;
+  ASSERT_TRUE(B.drain(StB, ErrB)) << ErrB;
+  EXPECT_EQ(StB, Status::Ok);
+
+  // The RUN response was delivered before the server exited.
+  InFlight.join();
+  ASSERT_TRUE(OkA) << ErrA;
+  EXPECT_EQ(StA, Status::Ok);
+  EXPECT_GT(RespA.Instrs, 0u);
+
+  Serving.join();
+  EXPECT_EQ(ServeResult, 0);
+}
+
+TEST_F(NetServer, RequestDrainFromOutsideTheLoopExitsCleanly) {
+  boot();
+  S->requestDrain();
+  Serving.join();
+  EXPECT_EQ(ServeResult, 0);
+}
+
+} // namespace

@@ -88,6 +88,47 @@ TEST(Counters, HistogramStatistics) {
   EXPECT_EQ(H.quantileBound(1.0), 1023u);
 }
 
+TEST(Counters, QuantileEmptyAndSingleValued) {
+  obs::Histogram H;
+  EXPECT_DOUBLE_EQ(H.quantile(0.5), 0.0);
+  // A single-valued distribution is exact at every quantile: interpolation
+  // lands inside the bucket span but the [min, max] clamp collapses it.
+  for (int I = 0; I != 100; ++I)
+    H.record(100);
+  EXPECT_DOUBLE_EQ(H.quantile(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(H.quantile(0.5), 100.0);
+  EXPECT_DOUBLE_EQ(H.quantile(0.99), 100.0);
+  EXPECT_DOUBLE_EQ(H.quantile(1.0), 100.0);
+}
+
+TEST(Counters, QuantileInterpolatesUniformData) {
+  obs::Histogram H;
+  for (uint64_t V = 1; V <= 1000; ++V)
+    H.record(V);
+  // Rank 500 falls in bucket [256, 512): 255 values seen below it, so the
+  // linear estimate is 256 + 256 * (500-255)/256 = 501.
+  EXPECT_NEAR(H.quantile(0.50), 501.0, 1.0);
+  // p99's bucket is [512, 1024); the estimate stays inside the true decade.
+  EXPECT_GE(H.quantile(0.99), 512.0);
+  EXPECT_LE(H.quantile(0.99), 1000.0);
+  // Extremes clamp to what was actually observed.
+  EXPECT_DOUBLE_EQ(H.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(H.quantile(1.0), 1000.0);
+}
+
+TEST(Counters, QuantileIsMonotonicInQ) {
+  obs::Histogram H;
+  for (uint64_t V : {3ull, 17ull, 90ull, 1200ull, 55000ull, 55000ull, 7ull})
+    H.record(V);
+  double Prev = 0;
+  for (double Q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    double V = H.quantile(Q);
+    EXPECT_GE(V, Prev) << "quantile not monotonic at Q=" << Q;
+    Prev = V;
+  }
+  EXPECT_DOUBLE_EQ(H.quantile(1.0), 55000.0);
+}
+
 TEST(Counters, HistogramBucketBoundaries) {
   obs::Histogram H;
   H.record(0); // bucket 0

@@ -1,0 +1,139 @@
+//===- tools/delinqd.cpp - the delinquent-load analysis daemon ------------------//
+//
+// A long-lived network service over the toolchain:
+//
+//   delinqd --port 7099 &
+//   delinq_bots --port 7099 --users 200 --requests 20
+//
+// delinqd accepts ANALYZE / RUN / CLASSIFY / STATS / DRAIN / PING requests
+// over the length-prefixed binary frame protocol (src/net/Frame.h), fans the
+// work onto the shared JobPool, and serves repeated requests from the
+// Driver's memo tables plus the persistent content-addressed ResultStore —
+// the same keys the CLI uses, so a store warmed by `delinq run` also warms
+// the daemon and vice versa.
+//
+// SIGINT/SIGTERM and the DRAIN opcode trigger the same graceful shutdown:
+// stop accepting, finish in-flight jobs, deliver every pending response,
+// flush counters and the trace, exit 0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/Options.h"
+#include "net/Server.h"
+#include "obs/Counters.h"
+#include "support/Format.h"
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace dlq;
+
+namespace {
+
+net::Server *GServer = nullptr;
+
+void onSignal(int) {
+  if (GServer)
+    GServer->requestDrain();
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: delinqd [options]\n"
+      "options:\n"
+      "  --port N                     listen port (default 0 = ephemeral;\n"
+      "                               the bound port is printed on stdout)\n"
+      "  --host A                     listen address (default 127.0.0.1)\n"
+      "  --idle-timeout-ms N          close idle connections (default "
+      "60000;\n"
+      "                               0 disables)\n"
+      "  --max-outbound-kb N          per-connection write backpressure\n"
+      "                               bound (default 8192)\n"
+      "  --max-conns N                concurrent connection cap (default "
+      "1024)\n"
+      "  --max-instrs N               per-run instruction budget\n"
+      "%s"
+      "  --counters                   print the counter registry on exit\n",
+      exec::ExecOptions::usageText());
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  net::ServerOptions Opts;
+  Opts.Exec = exec::ExecOptions::fromEnv();
+  bool ShowCounters = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    if (Opts.Exec.consumeArg(Argc, Argv, I)) {
+      if (!Opts.Exec.Error.empty()) {
+        std::fprintf(stderr, "error: %s\n", Opts.Exec.Error.c_str());
+        return 2;
+      }
+      continue;
+    }
+    std::string Arg = Argv[I];
+    auto Value = [&](const char *Name) -> const char * {
+      size_t N = std::strlen(Name);
+      if (Arg.compare(0, N, Name) == 0 && Arg.size() > N + 1 &&
+          Arg[N] == '=')
+        return Arg.c_str() + N + 1;
+      if (Arg == Name && I + 1 < Argc)
+        return Argv[++I];
+      return nullptr;
+    };
+    if (const char *V = Value("--port")) {
+      Opts.Port = static_cast<uint16_t>(std::atoi(V));
+    } else if (const char *V = Value("--host")) {
+      Opts.Host = V;
+    } else if (const char *V = Value("--idle-timeout-ms")) {
+      Opts.IdleTimeoutNs = std::strtoull(V, nullptr, 10) * 1'000'000ull;
+    } else if (const char *V = Value("--max-outbound-kb")) {
+      Opts.MaxOutboundBytes = std::strtoull(V, nullptr, 10) << 10;
+    } else if (const char *V = Value("--max-conns")) {
+      Opts.MaxConns = std::strtoull(V, nullptr, 10);
+    } else if (const char *V = Value("--max-instrs")) {
+      Opts.MaxInstrsPerRun = std::strtoull(V, nullptr, 10);
+    } else if (Arg == "--counters") {
+      ShowCounters = true;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      return usage();
+    }
+  }
+
+  Opts.Exec.applyTracing();
+  std::signal(SIGPIPE, SIG_IGN);
+
+  net::Server Server(Opts);
+  std::string Err;
+  if (!Server.start(Err)) {
+    std::fprintf(stderr, "delinqd: %s\n", Err.c_str());
+    return 1;
+  }
+
+  GServer = &Server;
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+
+  std::printf("delinqd listening on %s port %u (workers=%u)\n",
+              Opts.Host.c_str(), Server.port(),
+              Server.driver().workers());
+  std::fflush(stdout);
+
+  int Code = Server.serve();
+  GServer = nullptr;
+
+  std::fprintf(stderr, "delinqd: drained (exit %d)\n", Code);
+  if (ShowCounters)
+    std::fputs(obs::counters().summaryTable().c_str(), stderr);
+  if (!Opts.Exec.TracePath.empty() && !Opts.Exec.writeTrace())
+    return 1;
+  return Code;
+}
