@@ -4,7 +4,8 @@
 // paper's evaluation; these helpers keep the binaries declarative.
 //
 // Every bench accepts the shared execution flags (--jobs, --cache-dir,
-// --no-cache) plus --json <path>, fans its per-benchmark rows out through
+// --no-cache, --trace, --engine) plus --json <path>, fans its per-benchmark
+// rows out through
 // the driver's JobPool as a dependency-aware TaskSet (a warm-up task per
 // workload feeding the row task), and prints an execution report to stderr.
 // Tables and averages go to stdout in registry order, so stdout is

@@ -1,27 +1,36 @@
-//===- bench/perf_sim.cpp - interpreter throughput harness ---------------------//
+//===- bench/perf_sim.cpp - execution-engine throughput harness ---------------//
 //
 // Part of the delinq project: reproduction of "Static Identification of
 // Delinquent Loads" (CGO 2004).
 //
-// Measures raw interpreter throughput (guest instructions and data accesses
+// Measures raw guest-execution throughput (instructions and data accesses
 // retired per second of host time) for every workload in the registry at
-// -O0 and -O1. This is the perf-regression companion to
-// tests/SimGoldenTest.cpp: the golden test pins *what* the simulator
-// computes, this harness tracks *how fast*, so an accidental slowdown of the
-// predecoded core shows up as a number, not a feeling.
+// -O0 and -O1, for the interpreter and the JIT side by side. This is the
+// perf-regression companion to tests/SimGoldenTest.cpp: the golden test pins
+// *what* the simulator computes, this harness tracks *how fast*, so an
+// accidental slowdown of the predecoded core or the compiled-code path shows
+// up as a number, not a feeling.
 //
 // Output contract:
 //  - stdout carries only deterministic simulation results (workload,
-//    category, halt, exit code, instruction/access counts). It is
-//    byte-identical across hosts, build types and repetition counts, so CI
-//    can diff a Debug run against a Release run to catch build-type-
-//    dependent behaviour.
-//  - All timing goes to stderr, and to the --json report.
+//    category, halt, exit code, instruction/access counts), printed once per
+//    row whatever engines ran. It is byte-identical across hosts, build
+//    types, engines and repetition counts, so CI can diff a Debug run
+//    against a Release run — or a --engine=jit run against --engine=interp.
+//  - When both engines run, the harness itself asserts the full result
+//    identity (counters and per-PC profiles) and fails loudly on any
+//    difference.
+//  - All timing goes to stderr, and to the --json report. The report keeps
+//    the legacy seconds/instrs_per_sec/accesses_per_sec fields (fed from the
+//    primary engine: JIT when measured, interpreter otherwise) and adds
+//    interp_seconds / jit_seconds / speedup per row.
 //
-// Usage: perf_sim [--json <path>] [--reps <n>] [--max-instrs <n>]
+// Usage: perf_sim [--json <path>] [--reps <n> | --repeat <n>]
+//                 [--max-instrs <n>] [--engine=interp|jit|both]
 //
 //===----------------------------------------------------------------------===//
 
+#include "jit/CodeBuffer.h"
 #include "masm/Module.h"
 #include "mcc/Compiler.h"
 #include "sim/Machine.h"
@@ -44,14 +53,72 @@ struct Row {
   unsigned OptLevel = 0;
   uint64_t Instrs = 0;
   uint64_t DataAccesses = 0;
-  double Seconds = 0; ///< Best (minimum) over the repetitions.
+  double InterpSeconds = 0; ///< Best (minimum) over the repetitions; 0 = not run.
+  double JitSeconds = 0;    ///< Likewise.
+
+  double primarySeconds() const {
+    return JitSeconds > 0 ? JitSeconds : InterpSeconds;
+  }
+  double speedup() const {
+    return InterpSeconds > 0 && JitSeconds > 0 ? InterpSeconds / JitSeconds
+                                               : 0;
+  }
 };
 
-double runOnce(sim::Machine &Mach, sim::RunResult &R) {
-  auto T0 = std::chrono::steady_clock::now();
-  R = Mach.run();
-  auto T1 = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(T1 - T0).count();
+/// Minimum-of-N wall time for one engine; \p Result holds the last run.
+/// A fresh Machine per repetition: every rep starts from a cold simulated
+/// cache and memory, so the reps are identical work and the minimum is a
+/// valid noise filter.
+double timeEngine(const masm::Module &M, const masm::Layout &L,
+                  const sim::MachineOptions &Base, sim::EngineKind Engine,
+                  unsigned Reps, sim::RunResult &Result) {
+  sim::MachineOptions SO = Base;
+  SO.Engine = Engine;
+  double Best = 1e99;
+  for (unsigned Rep = 0; Rep != Reps; ++Rep) {
+    sim::Machine Mach(M, L, SO);
+    auto T0 = std::chrono::steady_clock::now();
+    Result = Mach.run();
+    auto T1 = std::chrono::steady_clock::now();
+    double Sec = std::chrono::duration<double>(T1 - T0).count();
+    if (Sec < Best)
+      Best = Sec;
+  }
+  return Best;
+}
+
+/// Full result-identity check between the two engines; exits on mismatch.
+void requireIdentical(const char *Workload, unsigned Opt,
+                      const sim::RunResult &A, const sim::RunResult &B) {
+  auto Fail = [&](const char *What) {
+    std::fprintf(stderr,
+                 "perf_sim: %s -O%u: interp and jit disagree on %s\n",
+                 Workload, Opt, What);
+    std::exit(1);
+  };
+  if (A.Halt != B.Halt)
+    Fail("halt reason");
+  if (A.TrapMessage != B.TrapMessage)
+    Fail("trap message");
+  if (A.ExitCode != B.ExitCode)
+    Fail("exit code");
+  if (A.Output != B.Output)
+    Fail("output");
+  if (A.InstrsExecuted != B.InstrsExecuted)
+    Fail("instruction count");
+  if (A.DataAccesses != B.DataAccesses)
+    Fail("data accesses");
+  if (A.LoadMisses != B.LoadMisses)
+    Fail("load misses");
+  if (A.StoreMisses != B.StoreMisses)
+    Fail("store misses");
+  if (A.PrefetchesIssued != B.PrefetchesIssued ||
+      A.PrefetchFills != B.PrefetchFills)
+    Fail("prefetch counters");
+  if (A.ExecCounts != B.ExecCounts)
+    Fail("per-PC ExecCounts");
+  if (A.MissCounts != B.MissCounts)
+    Fail("per-PC MissCounts");
 }
 
 void writeJson(const char *Path, const std::vector<Row> &Rows) {
@@ -63,17 +130,21 @@ void writeJson(const char *Path, const std::vector<Row> &Rows) {
   std::fprintf(F, "{\n  \"bench\": \"perf_sim\",\n  \"rows\": [\n");
   for (size_t I = 0; I != Rows.size(); ++I) {
     const Row &R = Rows[I];
-    double InstrRate = R.Seconds > 0 ? R.Instrs / R.Seconds : 0;
-    double AccessRate = R.Seconds > 0 ? R.DataAccesses / R.Seconds : 0;
+    double Seconds = R.primarySeconds();
+    double InstrRate = Seconds > 0 ? R.Instrs / Seconds : 0;
+    double AccessRate = Seconds > 0 ? R.DataAccesses / Seconds : 0;
     std::fprintf(F,
                  "    {\"workload\": \"%s\", \"category\": \"%s\", "
                  "\"opt_level\": %u, \"instrs\": %llu, "
                  "\"data_accesses\": %llu, \"seconds\": %.6f, "
-                 "\"instrs_per_sec\": %.0f, \"accesses_per_sec\": %.0f}%s\n",
+                 "\"instrs_per_sec\": %.0f, \"accesses_per_sec\": %.0f, "
+                 "\"interp_seconds\": %.6f, \"jit_seconds\": %.6f, "
+                 "\"speedup\": %.3f}%s\n",
                  R.Workload.c_str(), R.Category.c_str(), R.OptLevel,
                  static_cast<unsigned long long>(R.Instrs),
-                 static_cast<unsigned long long>(R.DataAccesses), R.Seconds,
-                 InstrRate, AccessRate, I + 1 == Rows.size() ? "" : ",");
+                 static_cast<unsigned long long>(R.DataAccesses), Seconds,
+                 InstrRate, AccessRate, R.InterpSeconds, R.JitSeconds,
+                 R.speedup(), I + 1 == Rows.size() ? "" : ",");
   }
   std::fprintf(F, "  ]\n}\n");
   std::fclose(F);
@@ -85,22 +156,42 @@ int main(int argc, char **argv) {
   const char *JsonPath = nullptr;
   unsigned Reps = 3;
   uint64_t MaxInstrs = 20000000ull;
+  std::string Engine = "both";
   for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--json") && I + 1 < argc) {
       JsonPath = argv[++I];
-    } else if (!std::strcmp(argv[I], "--reps") && I + 1 < argc) {
+    } else if ((!std::strcmp(argv[I], "--reps") ||
+                !std::strcmp(argv[I], "--repeat")) &&
+               I + 1 < argc) {
       Reps = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
     } else if (!std::strcmp(argv[I], "--max-instrs") && I + 1 < argc) {
       MaxInstrs = std::strtoull(argv[++I], nullptr, 10);
+    } else if (!std::strncmp(argv[I], "--engine=", 9)) {
+      Engine = argv[I] + 9;
+    } else if (!std::strcmp(argv[I], "--engine") && I + 1 < argc) {
+      Engine = argv[++I];
     } else {
       std::fprintf(stderr,
-                   "usage: perf_sim [--json <path>] [--reps <n>] "
-                   "[--max-instrs <n>]\n");
+                   "usage: perf_sim [--json <path>] [--reps <n> | --repeat "
+                   "<n>] [--max-instrs <n>] [--engine=interp|jit|both]\n");
       return 2;
     }
   }
   if (Reps == 0)
     Reps = 1;
+  if (Engine != "interp" && Engine != "jit" && Engine != "both") {
+    std::fprintf(stderr, "perf_sim: unknown engine '%s'\n", Engine.c_str());
+    return 2;
+  }
+  bool WantInterp = Engine != "jit";
+  bool WantJit = Engine != "interp";
+  if (WantJit && !jit::available()) {
+    std::fprintf(stderr,
+                 "perf_sim: no executable memory on this host; measuring the "
+                 "interpreter only\n");
+    WantJit = false;
+    WantInterp = true;
+  }
 
   std::vector<Row> Rows;
   std::printf("workload opt category halt exit instrs accesses\n");
@@ -123,17 +214,17 @@ int main(int argc, char **argv) {
       R.Workload = W.Name;
       R.Category = W.Category;
       R.OptLevel = Opt;
-      R.Seconds = 1e99;
-      sim::RunResult Result;
-      for (unsigned Rep = 0; Rep != Reps; ++Rep) {
-        // A fresh Machine per repetition: every rep starts from a cold
-        // simulated cache and memory, so the reps are identical work and
-        // the minimum is a valid noise filter.
-        sim::Machine Mach(*CR.M, L, SO);
-        double Sec = runOnce(Mach, Result);
-        if (Sec < R.Seconds)
-          R.Seconds = Sec;
-      }
+      sim::RunResult Result, JitResult;
+      if (WantInterp)
+        R.InterpSeconds =
+            timeEngine(*CR.M, L, SO, sim::EngineKind::Interp, Reps, Result);
+      if (WantJit)
+        R.JitSeconds =
+            timeEngine(*CR.M, L, SO, sim::EngineKind::Jit, Reps, JitResult);
+      if (WantInterp && WantJit)
+        requireIdentical(W.Name.c_str(), Opt, Result, JitResult);
+      if (!WantInterp)
+        Result = JitResult;
       R.Instrs = Result.InstrsExecuted;
       R.DataAccesses = Result.DataAccesses;
       Rows.push_back(R);
@@ -143,9 +234,15 @@ int main(int argc, char **argv) {
                   Result.ExitCode,
                   static_cast<unsigned long long>(Result.InstrsExecuted),
                   static_cast<unsigned long long>(Result.DataAccesses));
-      std::fprintf(stderr, "%-16s -O%u  %7.1f Minstr/s  %6.1f Macc/s  %.3fs\n",
-                   W.Name.c_str(), Opt, R.Instrs / R.Seconds / 1e6,
-                   R.DataAccesses / R.Seconds / 1e6, R.Seconds);
+      double Prim = R.primarySeconds();
+      std::fprintf(stderr,
+                   "%-16s -O%u  %7.1f Minstr/s  %6.1f Macc/s  %.3fs",
+                   W.Name.c_str(), Opt, R.Instrs / Prim / 1e6,
+                   R.DataAccesses / Prim / 1e6, Prim);
+      if (R.speedup() > 0)
+        std::fprintf(stderr, "  (interp %.3fs, jit %.3fs, %.2fx)",
+                     R.InterpSeconds, R.JitSeconds, R.speedup());
+      std::fprintf(stderr, "\n");
     }
   }
 

@@ -1,0 +1,47 @@
+//===- absint/JitHints.cpp ------------------------------------------------==//
+
+#include "absint/JitHints.h"
+
+#include "absint/Absint.h"
+#include "cfg/Cfg.h"
+
+#include <algorithm>
+
+using namespace dlq;
+using namespace dlq::absint;
+
+std::vector<HotBlock> dlq::absint::provenHotBlocks(const masm::Module &M,
+                                                   const masm::Layout &L,
+                                                   uint64_t MinTrips) {
+  std::vector<HotBlock> Hot;
+  for (uint32_t FI = 0; FI != M.functions().size(); ++FI) {
+    const masm::Function &F = M.functions()[FI];
+    cfg::Cfg G(F);
+    cfg::DominatorTree DT(G);
+    cfg::LoopInfo LI(G, DT);
+    if (LI.loops().empty())
+      continue;
+    Interp::Options IO;
+    IO.ModLayout = &L;
+    IO.Frame = M.typeInfo().lookupFunction(F.name());
+    Interp AI(G, LI, IO);
+    AI.run();
+    for (const auto &[LoopIdx, Count] : AI.tripCounts()) {
+      if (Count < MinTrips)
+        continue;
+      for (uint32_t B : LI.loops()[LoopIdx].Blocks)
+        Hot.push_back(HotBlock{FI, G.blocks()[B].Begin});
+    }
+  }
+  std::sort(Hot.begin(), Hot.end(), [](const HotBlock &A, const HotBlock &B) {
+    return A.FuncIdx != B.FuncIdx ? A.FuncIdx < B.FuncIdx
+                                  : A.InstrIdx < B.InstrIdx;
+  });
+  Hot.erase(std::unique(Hot.begin(), Hot.end(),
+                        [](const HotBlock &A, const HotBlock &B) {
+                          return A.FuncIdx == B.FuncIdx &&
+                                 A.InstrIdx == B.InstrIdx;
+                        }),
+            Hot.end());
+  return Hot;
+}

@@ -1,0 +1,45 @@
+//===- absint/JitHints.h - Analysis-driven compilation hints --------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Feeds the abstract interpreter's proven loop trip counts (see
+/// absint/Absint.h) to the JIT: a block inside a loop whose bound the
+/// interval domain proved is guaranteed to execute its trip count times per
+/// loop entry, so the execution engine compiles it up front instead of
+/// waiting for the hotness ramp. Purely a scheduling hint — unlisted blocks
+/// still compile once they turn hot dynamically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_ABSINT_JITHINTS_H
+#define DLQ_ABSINT_JITHINTS_H
+
+#include "masm/Module.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dlq {
+namespace absint {
+
+/// One statically-proven-hot basic block.
+struct HotBlock {
+  uint32_t FuncIdx = 0;  ///< Function index within the module.
+  uint32_t InstrIdx = 0; ///< First instruction of the block, function-local.
+};
+
+/// Blocks of every loop with an interval-proven trip count of at least
+/// \p MinTrips, over all functions of the finalized module \p M. Ordered by
+/// (function, instruction), deduplicated.
+std::vector<HotBlock> provenHotBlocks(const masm::Module &M,
+                                      const masm::Layout &L,
+                                      uint64_t MinTrips = 16);
+
+} // namespace absint
+} // namespace dlq
+
+#endif // DLQ_ABSINT_JITHINTS_H

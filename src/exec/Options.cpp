@@ -18,6 +18,12 @@ ExecOptions ExecOptions::fromEnv() {
   if (const char *No = std::getenv("DLQ_NO_CACHE"))
     if (*No && std::strcmp(No, "0") != 0)
       O.UseDiskCache = false;
+  // DLQ_JIT=0 forces the interpreter, any other non-empty value requests the
+  // JIT; unset stays "auto" (which itself consults DLQ_JIT at run time, so
+  // tools that never parse flags behave the same way).
+  if (const char *Jit = std::getenv("DLQ_JIT"))
+    if (*Jit)
+      O.Engine = std::strcmp(Jit, "0") == 0 ? "interp" : "jit";
   return O;
 }
 
@@ -69,6 +75,15 @@ bool ExecOptions::consumeArg(int Argc, char **Argv, int &I) {
       Error = "empty --trace path";
     return true;
   }
+  if (valueArg("--engine", Argc, Argv, I, Value)) {
+    if (std::strcmp(Value, "auto") == 0 || std::strcmp(Value, "interp") == 0 ||
+        std::strcmp(Value, "jit") == 0)
+      Engine = Value;
+    else
+      Error = std::string("invalid --engine value '") + Value +
+              "' (expected auto, interp or jit)";
+    return true;
+  }
   return false;
 }
 
@@ -90,5 +105,7 @@ const char *ExecOptions::usageText() {
          ".dlq-cache)\n"
          "  --no-cache           bypass the persistent result cache\n"
          "  --trace <file>       write a Chrome trace_event JSON "
-         "(Perfetto-loadable) span trace\n";
+         "(Perfetto-loadable) span trace\n"
+         "  --engine <kind>      guest execution engine: auto (default), "
+         "interp, or jit (env DLQ_JIT)\n";
 }

@@ -8,9 +8,10 @@
 /// \file
 /// The knobs every bench and tool exposes identically: worker count
 /// (`--jobs N`, env DLQ_JOBS), store directory (`--cache-dir D`, env
-/// DLQ_CACHE_DIR), cache bypass (`--no-cache`, env DLQ_NO_CACHE) and span
-/// tracing (`--trace out.json`, env DLQ_TRACE). The environment seeds the
-/// defaults; command-line flags override it.
+/// DLQ_CACHE_DIR), cache bypass (`--no-cache`, env DLQ_NO_CACHE), span
+/// tracing (`--trace out.json`, env DLQ_TRACE) and execution-engine
+/// selection (`--engine auto|interp|jit`, env DLQ_JIT). The environment
+/// seeds the defaults; command-line flags override it.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,7 +28,13 @@ struct ExecOptions {
   bool UseDiskCache = true;
   std::string CacheDir = ".dlq-cache";
   std::string TracePath; ///< Chrome-trace output path; empty = tracing off.
-  std::string Error;     ///< Set by consumeArg on a malformed value.
+  /// Guest execution engine: "auto" (JIT when the host and run support it),
+  /// "interp" (always the predecoded interpreter) or "jit" (request native
+  /// compilation; falls back to the interpreter only where the JIT cannot
+  /// run at all). Feeds sim::MachineOptions::Engine via
+  /// sim::engineKindFromString.
+  std::string Engine = "auto";
+  std::string Error; ///< Set by consumeArg on a malformed value.
 
   /// Defaults with DLQ_CACHE_DIR / DLQ_NO_CACHE applied (DLQ_JOBS is read
   /// by defaultJobCount() at pool construction, so Jobs stays 0 here).

@@ -4,6 +4,7 @@
 
 #include "absint/Lint.h"
 #include "classify/Delinquency.h"
+#include "jit/CodeBuffer.h"
 #include "classify/Heuristic.h"
 #include "freq/StaticFreq.h"
 #include "masm/Module.h"
@@ -33,6 +34,8 @@ std::string_view fuzz::oracleName(OracleId Id) {
     return "trap";
   case OracleId::Lint:
     return "lint";
+  case OracleId::JitInterp:
+    return "jit-interp";
   }
   return "unknown";
 }
@@ -105,13 +108,20 @@ std::string diffRuns(const sim::RunResult &A, const sim::RunResult &B) {
   return std::string();
 }
 
+/// All baseline differentials pin the interpreter: a process-wide JIT
+/// default must not silently change what oracles 1-3 compare. Oracle 6 is
+/// the one place the JIT engine enters.
 sim::RunResult runModule(const masm::Module &M, const masm::Layout &L,
                          uint64_t MaxInstrs, sim::Memory::Backing Backing,
-                         bool NoFusion) {
+                         bool NoFusion,
+                         sim::EngineKind Engine = sim::EngineKind::Interp) {
   sim::MachineOptions MO;
   MO.MaxInstrs = MaxInstrs;
   MO.MemBacking = Backing;
   MO.NoFusion = NoFusion;
+  MO.Engine = Engine;
+  if (Engine == sim::EngineKind::Jit)
+    MO.JitHotThreshold = 1; // Push everything reached through compiled code.
   sim::Machine Mach(M, L, MO);
   return Mach.run();
 }
@@ -291,6 +301,19 @@ OracleReport fuzz::runOracles(std::string_view Source,
       Rep.Findings.push_back(
           {OracleId::Fusion,
            formatString("%s fused vs unfused: %s", C.Level, D.c_str())});
+
+    // Oracle 6: the JIT engine against the interpreter reference. Compare
+    // via diffRuns like oracles 2/3 — the contract is the full RunResult,
+    // per-PC counter vectors included.
+    if (Opts.CheckJit && jit::available()) {
+      sim::RunResult Jitted =
+          runModule(*C.M, *C.L, Opts.MaxInstrs, sim::Memory::Backing::Auto,
+                    false, sim::EngineKind::Jit);
+      if (std::string D = diffRuns(*C.Ref, Jitted); !D.empty())
+        Rep.Findings.push_back(
+            {OracleId::JitInterp,
+             formatString("%s jit vs interp: %s", C.Level, D.c_str())});
+    }
   }
 
   // Oracle 4: analysis invariants per module, frequency classes fed from

@@ -36,6 +36,15 @@
 ///     slot, call-clobbered register use, callee-saved clobber, unbalanced
 ///     $sp, out-of-.data $gp access or unreachable block is a code
 ///     generator bug.
+///  6. JitInterp — a JIT-engine run (hotness threshold 1, so every reached
+///     block executes as compiled x86-64) must produce a RunResult
+///     bit-identical to the interpreter reference: halt state, output,
+///     aggregate counters, and per-PC ExecCounts/MissCounts. Skipped on
+///     hosts without executable memory.
+///
+/// All oracle runs other than 6 pin the interpreter engine explicitly, so
+/// the baseline differentials keep their meaning whatever the process-wide
+/// engine default is.
 ///
 /// Compile failures and simulator traps are also findings: the generator
 /// only emits programs that must compile and run cleanly.
@@ -62,6 +71,7 @@ enum class OracleId : uint8_t {
   Analysis,   ///< AP/classifier invariant violation.
   Trap,       ///< A run trapped on a generator-guaranteed-clean program.
   Lint,       ///< The codegen lint flagged a generated module.
+  JitInterp,  ///< JIT vs interpreter execution.
 };
 
 std::string_view oracleName(OracleId Id);
@@ -82,6 +92,8 @@ struct OracleOptions {
   bool CheckAnalysis = true;
   /// Oracle 5: both compiles must be lint-clean under absint/Lint.h.
   bool CheckLint = true;
+  /// Oracle 6: JIT execution must be bit-identical to the interpreter.
+  bool CheckJit = true;
 };
 
 /// Everything the oracles observed about one program.

@@ -1,0 +1,125 @@
+//===- jit/CodeBuffer.cpp --------------------------------------------------==//
+
+#include "jit/CodeBuffer.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define DLQ_JIT_HAVE_MMAP 1
+#else
+#define DLQ_JIT_HAVE_MMAP 0
+#endif
+
+using namespace dlq;
+using namespace dlq::jit;
+
+CodeBuffer::~CodeBuffer() {
+#if DLQ_JIT_HAVE_MMAP
+  for (Chunk &C : Chunks)
+    if (C.Base)
+      ::munmap(C.Base, C.Size);
+#endif
+}
+
+CodeBuffer::Chunk *CodeBuffer::chunkWithRoom(size_t MinBytes) {
+#if !DLQ_JIT_HAVE_MMAP
+  (void)MinBytes;
+  return nullptr;
+#else
+  if (!Chunks.empty()) {
+    Chunk &Last = Chunks.back();
+    if (Last.Size - Last.Used >= MinBytes)
+      return &Last;
+  }
+  size_t Size = ChunkBytes;
+  while (Size < MinBytes)
+    Size += ChunkBytes;
+  void *Mem = ::mmap(nullptr, Size, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (Mem == MAP_FAILED)
+    return nullptr;
+  // Fresh chunks start RX like sealed ones, so the RW window opens only
+  // inside a session.
+  if (::mprotect(Mem, Size, PROT_READ | PROT_EXEC) != 0) {
+    ::munmap(Mem, Size);
+    return nullptr;
+  }
+  Chunks.push_back(Chunk{static_cast<uint8_t *>(Mem), Size, 0});
+  return &Chunks.back();
+#endif
+}
+
+uint8_t *CodeBuffer::begin(size_t MinBytes) {
+#if !DLQ_JIT_HAVE_MMAP
+  (void)MinBytes;
+  return nullptr;
+#else
+  if (SessionOpen || Broken || MinBytes == 0)
+    return nullptr;
+  Chunk *C = chunkWithRoom(MinBytes);
+  if (!C)
+    return nullptr;
+  if (::mprotect(C->Base, C->Size, PROT_READ | PROT_WRITE) != 0) {
+    Broken = true;
+    return nullptr;
+  }
+  SessionOpen = true;
+  return C->Base + C->Used;
+#endif
+}
+
+bool CodeBuffer::commit(size_t Len) {
+#if !DLQ_JIT_HAVE_MMAP
+  (void)Len;
+  return false;
+#else
+  if (!SessionOpen)
+    return false;
+  SessionOpen = false;
+  Chunk &C = Chunks.back();
+  if (::mprotect(C.Base, C.Size, PROT_READ | PROT_EXEC) != 0) {
+    // Without RX the code cannot run; poison the buffer rather than risk
+    // executing from a writable page.
+    Broken = true;
+    return false;
+  }
+  C.Used += Len;
+  Committed += Len;
+  return true;
+#endif
+}
+
+void CodeBuffer::abort() {
+#if DLQ_JIT_HAVE_MMAP
+  if (!SessionOpen)
+    return;
+  SessionOpen = false;
+  Chunk &C = Chunks.back();
+  if (::mprotect(C.Base, C.Size, PROT_READ | PROT_EXEC) != 0)
+    Broken = true;
+#endif
+}
+
+bool jit::available() {
+#if !defined(__x86_64__) || !DLQ_JIT_HAVE_MMAP
+  return false;
+#else
+  // Probe once by emitting and running `mov eax, 0x2a; ret`. This exercises
+  // the whole W^X path; a kernel that forbids it (hardened configs, some
+  // seccomp jails) fails here and the simulator quietly keeps interpreting.
+  static const bool Ok = [] {
+    CodeBuffer Buf;
+    uint8_t *P = Buf.begin(16);
+    if (!P)
+      return false;
+    static const uint8_t Probe[] = {0xB8, 0x2A, 0x00, 0x00, 0x00, 0xC3};
+    for (size_t I = 0; I != sizeof(Probe); ++I)
+      P[I] = Probe[I];
+    if (!Buf.commit(sizeof(Probe)))
+      return false;
+    using Fn = int (*)();
+    return reinterpret_cast<Fn>(P)() == 0x2A;
+  }();
+  return Ok;
+#endif
+}

@@ -1,0 +1,82 @@
+//===- jit/CodeBuffer.h - W^X executable code storage -----------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Owns the executable memory the template JIT emits into. Code lives in
+/// `mmap`ed chunks that are never writable and executable at the same time:
+/// a chunk is RW only inside a begin()/commit() emission session and RX at
+/// every other moment, including while guest code runs from it (W^X). The
+/// compiler emits directly at the code's final address, so rel32
+/// branches/chains can be resolved at emission time with no relocation pass.
+///
+/// Failure is graceful everywhere: if `mmap` or `mprotect` is refused (or
+/// the host is not x86-64), begin() returns nullptr and the engine reports
+/// itself unavailable, leaving the interpreter in charge.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_JIT_CODEBUFFER_H
+#define DLQ_JIT_CODEBUFFER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dlq {
+namespace jit {
+
+/// Executable code arena with W^X chunk management.
+class CodeBuffer {
+public:
+  /// Chunks are multiples of this; single emissions must stay below it.
+  static constexpr size_t ChunkBytes = 256 * 1024;
+
+  CodeBuffer() = default;
+  ~CodeBuffer();
+  CodeBuffer(const CodeBuffer &) = delete;
+  CodeBuffer &operator=(const CodeBuffer &) = delete;
+
+  /// Opens an emission session and returns a writable span of at least
+  /// \p MinBytes at the code's final address, or nullptr when executable
+  /// memory cannot be obtained. The owning chunk is RW until commit()/abort().
+  uint8_t *begin(size_t MinBytes);
+
+  /// Seals \p Len bytes written at the span returned by begin() and flips
+  /// the chunk back to RX. Returns false if mprotect refuses (the chunk is
+  /// then discarded and the code must not be used).
+  bool commit(size_t Len);
+
+  /// Closes the session keeping nothing; the chunk returns to RX.
+  void abort();
+
+  /// Total committed code bytes across all chunks.
+  size_t codeBytes() const { return Committed; }
+
+private:
+  struct Chunk {
+    uint8_t *Base = nullptr;
+    size_t Size = 0;
+    size_t Used = 0;
+  };
+
+  Chunk *chunkWithRoom(size_t MinBytes);
+
+  std::vector<Chunk> Chunks;
+  size_t Committed = 0;
+  bool SessionOpen = false;
+  bool Broken = false; ///< An mprotect failed; refuse all further sessions.
+};
+
+/// True when this process can map and execute generated code (x86-64 host,
+/// working `mmap`/`mprotect`). Probed once by actually running a generated
+/// stub; the result is cached.
+bool available();
+
+} // namespace jit
+} // namespace dlq
+
+#endif // DLQ_JIT_CODEBUFFER_H

@@ -1,0 +1,596 @@
+//===- jit/Compiler.cpp -----------------------------------------------------==//
+//
+// Template bodies for every compilable XOp. The conventions the templates
+// share (fixed by the entry stub in Engine.cpp):
+//
+//   r12 = JitState*   rbx = Regs   r13 = guest flat memory
+//   r14 = ExecCounts  rbp = CodePtrs
+//
+// rax/rcx/rdx/rsi/rdi/r8-r11 are scratch; guest register values live in
+// memory slots [rbx + 4*reg] and never stay live across an instruction, so
+// the out-of-line helper calls need no spills. Accounting is batched: the
+// block prologue checks fuel for the whole block and bumps Executed and
+// every ExecCounts slot up front; paths that bail mid-block (deopt) first
+// subtract the not-yet-executed tail so the counter state a re-entering
+// interpreter sees is exactly as if it had stepped to that instruction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/Compiler.h"
+
+#include "jit/JitState.h"
+
+#include <cassert>
+#include <deque>
+#include <functional>
+#include <vector>
+
+using namespace dlq;
+using namespace dlq::jit;
+using sim::DecodedInstr;
+using sim::XOp;
+
+namespace {
+
+/// Guest register-file slot displacement off rbx. Slot 32 (DiscardReg)
+/// absorbs retargeted $zero writes, exactly like the interpreter.
+int32_t regSlot(uint8_t R) { return int32_t(4) * R; }
+
+constexpr uint8_t RegV0 = 2;
+constexpr uint8_t RegRA = 31;
+/// The sentinel return address `jr` recognizes as "main returned".
+constexpr int32_t ExitPcImm = -4; // 0xFFFFFFFC as a 32-bit immediate
+
+class BlockCompiler {
+public:
+  BlockCompiler(Emitter &Em, const CompileContext &Ctx, uint32_t Leader,
+                unsigned Len)
+      : Em(Em), Ctx(Ctx), Leader(Leader), Len(Len) {}
+
+  bool emit();
+
+private:
+  Emitter::Label &newLabel() {
+    Labels.emplace_back();
+    return Labels.back();
+  }
+
+  /// Cold stub: roll back the counters for instructions K.. and exit with
+  /// ExitDeopt at pc Leader+K. The dispatcher re-interprets that
+  /// instruction, which re-counts it and reproduces the interpreter's trap
+  /// (or its architected edge-case result) exactly.
+  Emitter::Label &deoptStub(unsigned K);
+
+  void emitPrologue();
+  /// Returns true if \p I ended the block (emitted a terminal epilogue).
+  bool emitInstr(const DecodedInstr &I, unsigned K);
+
+  /// Terminal: continue at static target \p T (compiled-to-compiled direct
+  /// jump when T is already compiled, else table-check-or-exit).
+  void emitDispatch(uint32_t T);
+  /// Terminal: continue at the flat pc in rax (jr/jalr).
+  void emitDynamicDispatch();
+  void emitExit(uint32_t Reason) {
+    Em.storeImm32(R12, OffExitReason, Reason);
+    Em.ret();
+  }
+
+  void emitAluRR(const DecodedInstr &I, XOp Op);
+  void emitAluImm(const DecodedInstr &I, XOp Op);
+  void emitShiftVar(const DecodedInstr &I, XOp Op);
+  void emitDivRem(const DecodedInstr &I, unsigned K, bool IsRem);
+  void emitLoad(const DecodedInstr &I, unsigned K);
+  void emitStore(const DecodedInstr &I, unsigned K);
+  void emitBranch(const DecodedInstr &I, Cond CC);
+  void emitJr(const DecodedInstr &I, unsigned K);
+  void emitJalr(const DecodedInstr &I, unsigned K);
+
+  Emitter &Em;
+  const CompileContext &Ctx;
+  const uint32_t Leader;
+  const unsigned Len;
+  /// Stable label storage: cold-stub lambdas hold references into it.
+  std::deque<Emitter::Label> Labels;
+  /// Out-of-line code (slow memory paths, deopt/fuel stubs) emitted after
+  /// the straight-line body so the hot path stays branch-fallthrough.
+  std::vector<std::function<void()>> ColdStubs;
+};
+
+Emitter::Label &BlockCompiler::deoptStub(unsigned K) {
+  Emitter::Label &L = newLabel();
+  ColdStubs.push_back([this, &L, K] {
+    Em.bind(L);
+    for (unsigned I = K; I != Len; ++I)
+      Em.addMemImm8_64(R14, int32_t(8 * (Leader + I)), -1);
+    Em.subMemImm32_64(R12, OffExecuted, int32_t(Len - K));
+    Em.movRegImm32(RAX, Leader + K);
+    emitExit(ExitDeopt);
+  });
+  return L;
+}
+
+void BlockCompiler::emitPrologue() {
+  // Fuel for the whole block at once: all Len instructions retire iff
+  // Executed + Len <= MaxInstrs (the interpreter executes instruction i iff
+  // Executed + i < MaxInstrs). On failure nothing has been counted yet, so
+  // the fuel stub exits clean and the interpreter finds the exact halt
+  // point one instruction at a time.
+  Em.load64(RAX, R12, OffExecuted);
+  Em.addRegImm64(RAX, int32_t(Len));
+  Em.cmpReg64Mem(RAX, R12, OffMaxInstrs);
+  Emitter::Label &Fuel = newLabel();
+  Em.jcc(CC_A, Fuel);
+  Em.store64(R12, OffExecuted, RAX);
+  for (unsigned I = 0; I != Len; ++I)
+    Em.addMemImm8_64(R14, int32_t(8 * (Leader + I)), 1);
+  ColdStubs.push_back([this, &Fuel] {
+    Em.bind(Fuel);
+    Em.movRegImm32(RAX, Leader);
+    emitExit(ExitFuel);
+  });
+}
+
+void BlockCompiler::emitDispatch(uint32_t T) {
+  if (const uint8_t *Known = Ctx.CodePtrs[T]) {
+    Em.jmpAbs(Known);
+    return;
+  }
+  Em.load64(RCX, RBP, int32_t(8 * T));
+  Em.testRegReg64(RCX, RCX);
+  Emitter::Label &Miss = newLabel();
+  Em.jcc(CC_E, Miss);
+  Em.jmpReg(RCX);
+  Em.bind(Miss);
+  Em.movRegImm32(RAX, T);
+  emitExit(ExitDispatch);
+}
+
+void BlockCompiler::emitDynamicDispatch() {
+  // rax = flat pc (zero-extended 32-bit). pc > FlatCount exits to the
+  // dispatcher, whose out-of-text path matches BRANCH_TO; pc == FlatCount
+  // indexes the sentinel slot, which is always null and exits the same way.
+  Emitter::Label &Exit = newLabel();
+  Em.cmpReg64Mem(RAX, R12, OffFlatCount);
+  Em.jcc(CC_A, Exit);
+  Em.load64Idx(RCX, RBP, RAX, 8);
+  Em.testRegReg64(RCX, RCX);
+  Em.jcc(CC_E, Exit);
+  Em.jmpReg(RCX);
+  Em.bind(Exit);
+  emitExit(ExitDispatch);
+}
+
+void BlockCompiler::emitAluRR(const DecodedInstr &I, XOp Op) {
+  Em.load32(RAX, RBX, regSlot(I.Rs));
+  switch (Op) {
+  case XOp::Add:
+    Em.addRegMem32(RAX, RBX, regSlot(I.Rt));
+    break;
+  case XOp::Sub:
+    Em.load32(RCX, RBX, regSlot(I.Rt));
+    Em.subRegReg32(RAX, RCX);
+    break;
+  case XOp::Mul:
+    // 32-bit imul == the interpreter's 64-bit product truncated to 32 bits.
+    Em.load32(RCX, RBX, regSlot(I.Rt));
+    Em.imulRegReg32(RAX, RCX);
+    break;
+  case XOp::And:
+    Em.load32(RCX, RBX, regSlot(I.Rt));
+    Em.andRegReg32(RAX, RCX);
+    break;
+  case XOp::Or:
+    Em.load32(RCX, RBX, regSlot(I.Rt));
+    Em.orRegReg32(RAX, RCX);
+    break;
+  case XOp::Xor:
+    Em.load32(RCX, RBX, regSlot(I.Rt));
+    Em.xorRegReg32(RAX, RCX);
+    break;
+  case XOp::Nor:
+    Em.load32(RCX, RBX, regSlot(I.Rt));
+    Em.orRegReg32(RAX, RCX);
+    Em.notReg32(RAX);
+    break;
+  case XOp::Slt:
+    Em.cmpRegMem32(RAX, RBX, regSlot(I.Rt));
+    Em.setcc(CC_L, RAX);
+    break;
+  case XOp::Sltu:
+    Em.cmpRegMem32(RAX, RBX, regSlot(I.Rt));
+    Em.setcc(CC_B, RAX);
+    break;
+  default:
+    assert(false && "not a reg-reg ALU op");
+  }
+  Em.store32(RBX, regSlot(I.Rd), RAX);
+}
+
+void BlockCompiler::emitAluImm(const DecodedInstr &I, XOp Op) {
+  Em.load32(RAX, RBX, regSlot(I.Rs));
+  switch (Op) {
+  case XOp::Addi:
+    if (I.Imm != 0)
+      Em.addRegImm32(RAX, I.Imm);
+    break;
+  case XOp::Andi:
+    Em.andRegImm32(RAX, I.Imm);
+    break;
+  case XOp::Ori:
+    Em.orRegImm32(RAX, I.Imm);
+    break;
+  case XOp::Xori:
+    Em.xorRegImm32(RAX, I.Imm);
+    break;
+  case XOp::Slti:
+    Em.cmpRegImm32(RAX, I.Imm);
+    Em.setcc(CC_L, RAX);
+    break;
+  case XOp::Sltiu:
+    Em.cmpRegImm32(RAX, I.Imm);
+    Em.setcc(CC_B, RAX);
+    break;
+  case XOp::Sll:
+    Em.shlImm32(RAX, uint8_t(uint32_t(I.Imm) & 31));
+    break;
+  case XOp::Srl:
+    Em.shrImm32(RAX, uint8_t(uint32_t(I.Imm) & 31));
+    break;
+  case XOp::Sra:
+    Em.sarImm32(RAX, uint8_t(uint32_t(I.Imm) & 31));
+    break;
+  default:
+    assert(false && "not a reg-imm ALU op");
+  }
+  Em.store32(RBX, regSlot(I.Rd), RAX);
+}
+
+void BlockCompiler::emitShiftVar(const DecodedInstr &I, XOp Op) {
+  // x86 masks the cl count mod 32, which IS the guest's `& 31`.
+  Em.load32(RCX, RBX, regSlot(I.Rt));
+  Em.load32(RAX, RBX, regSlot(I.Rs));
+  if (Op == XOp::Sllv)
+    Em.shlCl32(RAX);
+  else if (Op == XOp::Srlv)
+    Em.shrCl32(RAX);
+  else
+    Em.sarCl32(RAX);
+  Em.store32(RBX, regSlot(I.Rd), RAX);
+}
+
+void BlockCompiler::emitDivRem(const DecodedInstr &I, unsigned K, bool IsRem) {
+  // idiv faults on divisor 0 (the interpreter traps: deopt) and on
+  // INT_MIN/-1 (the interpreter defines the result: special-case -1).
+  Em.load32(RAX, RBX, regSlot(I.Rs));
+  Em.load32(RCX, RBX, regSlot(I.Rt));
+  Em.testRegReg32(RCX, RCX);
+  Em.jcc(CC_E, deoptStub(K));
+  Em.cmpRegImm32(RCX, -1);
+  if (IsRem) {
+    // x % -1 == 0 for every x, including INT_MIN.
+    Emitter::Label &Zero = newLabel(), &Done = newLabel();
+    Em.jcc(CC_E, Zero);
+    Em.cdq();
+    Em.idivReg32(RCX);
+    Em.store32(RBX, regSlot(I.Rd), RDX);
+    Em.jmp(Done);
+    Em.bind(Zero);
+    Em.storeImm32(RBX, regSlot(I.Rd), 0);
+    Em.bind(Done);
+  } else {
+    // x / -1 == -x, and neg INT_MIN wraps to INT_MIN — the defined result.
+    Emitter::Label &Full = newLabel(), &Store = newLabel();
+    Em.jcc(CC_NE, Full);
+    Em.negReg32(RAX);
+    Em.jmp(Store);
+    Em.bind(Full);
+    Em.cdq();
+    Em.idivReg32(RCX);
+    Em.bind(Store);
+    Em.store32(RBX, regSlot(I.Rd), RAX);
+  }
+}
+
+void BlockCompiler::emitLoad(const DecodedInstr &I, unsigned K) {
+  unsigned Width = I.Op == XOp::Lw   ? 2
+                   : I.Op == XOp::Lb ? 0
+                   : I.Op == XOp::Lbu ? 0
+                                      : 1;
+  bool Signed = I.Op == XOp::Lh || I.Op == XOp::Lb;
+
+  Em.load32(RSI, RBX, regSlot(I.Rs));
+  if (I.Imm != 0)
+    Em.addRegImm32(RSI, I.Imm);
+
+  // Addresses whose access crosses the top of the 4 GiB space wrap byte-wise
+  // in the interpreter; everything else — aligned or not — is a plain
+  // little-endian host load at Flat+Addr. Only the wrap sliver (3 addresses
+  // for words, 1 for halves, none for bytes) takes the out-of-line path.
+  Emitter::Label *Slow = nullptr;
+  if (Width != 0) {
+    Slow = &newLabel();
+    Em.cmpRegImm32(RSI, Width == 2 ? -4 : -2);
+    Em.jcc(CC_A, *Slow);
+  }
+  if (Width == 2)
+    Em.load32Idx(RAX, R13, RSI, 1);
+  else if (Width == 1)
+    Signed ? Em.loadSx16Idx(RAX, R13, RSI) : Em.loadZx16Idx(RAX, R13, RSI);
+  else
+    Signed ? Em.loadSx8Idx(RAX, R13, RSI) : Em.loadZx8Idx(RAX, R13, RSI);
+  Em.store32(RBX, regSlot(I.Rd), RAX);
+  // Cache accounting stays out of line; rsi still holds the address.
+  Em.movRegReg64(RDI, R12);
+  Em.movRegImm32(RDX, Leader + K);
+  Em.callAbs(I.Prefetch ? reinterpret_cast<const void *>(&dlqJitLoadAcctPf)
+                        : reinterpret_cast<const void *>(&dlqJitLoadAcct));
+
+  if (Slow) {
+    Emitter::Label &After = newLabel();
+    Em.bind(After);
+    uint32_t Kind = Width | (Signed ? KindSigned : 0) |
+                    (I.Prefetch ? KindPrefetch : 0);
+    uint8_t Rd = I.Rd;
+    uint32_t Pc = Leader + K;
+    ColdStubs.push_back([this, Slow, &After, Kind, Rd, Pc] {
+      Em.bind(*Slow);
+      Em.movRegReg64(RDI, R12); // rsi = address, set on the hot path
+      Em.movRegImm32(RDX, Pc);
+      Em.movRegImm32(RCX, Kind);
+      Em.callAbs(reinterpret_cast<const void *>(&dlqJitSlowLoad));
+      Em.store32(RBX, regSlot(Rd), RAX);
+      Em.jmp(After);
+    });
+  }
+}
+
+void BlockCompiler::emitStore(const DecodedInstr &I, unsigned K) {
+  (void)K;
+  unsigned Width = I.Op == XOp::Sw ? 2 : I.Op == XOp::Sh ? 1 : 0;
+
+  Em.load32(RSI, RBX, regSlot(I.Rs));
+  if (I.Imm != 0)
+    Em.addRegImm32(RSI, I.Imm);
+  Em.load32(RCX, RBX, regSlot(I.Rt));
+
+  Emitter::Label *Slow = nullptr;
+  if (Width != 0) {
+    Slow = &newLabel();
+    Em.cmpRegImm32(RSI, Width == 2 ? -4 : -2);
+    Em.jcc(CC_A, *Slow);
+  }
+  if (Width == 2)
+    Em.store32Idx(R13, RSI, RCX);
+  else if (Width == 1)
+    Em.store16Idx(R13, RSI, RCX);
+  else
+    Em.store8Idx(R13, RSI, RCX); // cl is a plain byte register
+  Em.movRegReg64(RDI, R12);
+  Em.callAbs(reinterpret_cast<const void *>(&dlqJitStoreAcct));
+
+  if (Slow) {
+    Emitter::Label &After = newLabel();
+    Em.bind(After);
+    uint32_t Kind = Width;
+    ColdStubs.push_back([this, Slow, &After, Kind] {
+      Em.bind(*Slow);
+      Em.movRegReg64(RDI, R12); // rsi = address
+      Em.movRegReg32(RDX, RCX); // value, before Kind lands in ecx
+      Em.movRegImm32(RCX, Kind);
+      Em.callAbs(reinterpret_cast<const void *>(&dlqJitSlowStore));
+      Em.jmp(After);
+    });
+  }
+}
+
+void BlockCompiler::emitBranch(const DecodedInstr &I, Cond CC) {
+  Em.load32(RAX, RBX, regSlot(I.Rs));
+  Em.cmpRegMem32(RAX, RBX, regSlot(I.Rt));
+  Emitter::Label &Taken = newLabel();
+  Em.jcc(CC, Taken);
+  emitDispatch(Leader + Len);
+  Em.bind(Taken);
+  emitDispatch(I.Target);
+}
+
+void BlockCompiler::emitJr(const DecodedInstr &I, unsigned K) {
+  Em.load32(RAX, RBX, regSlot(I.Rs));
+  // Sentinel return address: the guest exited with $v0.
+  Em.cmpRegImm32(RAX, ExitPcImm);
+  Emitter::Label &NotExit = newLabel();
+  Em.jcc(CC_NE, NotExit);
+  Em.load32(RCX, RBX, regSlot(RegV0));
+  Em.store32(R12, OffExitCode, RCX);
+  emitExit(ExitGuestExit);
+  Em.bind(NotExit);
+  // Bad targets (below text, misaligned) trap in the interpreter: deopt.
+  Emitter::Label &Bad = deoptStub(K);
+  Em.testRegImm32(RAX, 3);
+  Em.jcc(CC_NE, Bad);
+  Em.cmpRegImm32(RAX, int32_t(Ctx.TextBase));
+  Em.jcc(CC_B, Bad);
+  Em.addRegImm32(RAX, -int32_t(Ctx.TextBase));
+  Em.shrImm32(RAX, 2);
+  emitDynamicDispatch();
+}
+
+void BlockCompiler::emitJalr(const DecodedInstr &I, unsigned K) {
+  Em.load32(RAX, RBX, regSlot(I.Rs));
+  Emitter::Label &Bad = deoptStub(K);
+  Em.testRegImm32(RAX, 3);
+  Em.jcc(CC_NE, Bad);
+  Em.cmpRegImm32(RAX, int32_t(Ctx.TextBase));
+  Em.jcc(CC_B, Bad);
+  // $ra is written only after the checks pass, like the interpreter.
+  Em.storeImm32(RBX, regSlot(RegRA),
+                Ctx.TextBase + uint32_t(Leader + K + 1) * 4);
+  Em.addRegImm32(RAX, -int32_t(Ctx.TextBase));
+  Em.shrImm32(RAX, 2);
+  emitDynamicDispatch();
+}
+
+bool BlockCompiler::emitInstr(const DecodedInstr &I, unsigned K) {
+  switch (I.Op) {
+  case XOp::Add:
+  case XOp::Sub:
+  case XOp::Mul:
+  case XOp::And:
+  case XOp::Or:
+  case XOp::Xor:
+  case XOp::Nor:
+  case XOp::Slt:
+  case XOp::Sltu:
+    emitAluRR(I, I.Op);
+    return false;
+  case XOp::Sllv:
+  case XOp::Srlv:
+  case XOp::Srav:
+    emitShiftVar(I, I.Op);
+    return false;
+  case XOp::Addi:
+  case XOp::Andi:
+  case XOp::Ori:
+  case XOp::Xori:
+  case XOp::Slti:
+  case XOp::Sltiu:
+  case XOp::Sll:
+  case XOp::Srl:
+  case XOp::Sra:
+    emitAluImm(I, I.Op);
+    return false;
+  case XOp::Div:
+  case XOp::Rem:
+    emitDivRem(I, K, I.Op == XOp::Rem);
+    return false;
+  case XOp::Lui:
+    Em.storeImm32(RBX, regSlot(I.Rd), uint32_t(I.Imm) << 16);
+    return false;
+  case XOp::Li:
+    Em.storeImm32(RBX, regSlot(I.Rd), uint32_t(I.Imm));
+    return false;
+  case XOp::Move:
+    Em.load32(RAX, RBX, regSlot(I.Rs));
+    Em.store32(RBX, regSlot(I.Rd), RAX);
+    return false;
+  case XOp::Nop:
+    return false;
+  case XOp::Lw:
+  case XOp::Lh:
+  case XOp::Lhu:
+  case XOp::Lb:
+  case XOp::Lbu:
+    emitLoad(I, K);
+    return false;
+  case XOp::Sw:
+  case XOp::Sh:
+  case XOp::Sb:
+    emitStore(I, K);
+    return false;
+  case XOp::Beq:
+    emitBranch(I, CC_E);
+    return true;
+  case XOp::Bne:
+    emitBranch(I, CC_NE);
+    return true;
+  case XOp::Blt:
+    emitBranch(I, CC_L);
+    return true;
+  case XOp::Bge:
+    emitBranch(I, CC_GE);
+    return true;
+  case XOp::Ble:
+    emitBranch(I, CC_LE);
+    return true;
+  case XOp::Bgt:
+    emitBranch(I, CC_G);
+    return true;
+  case XOp::J:
+    emitDispatch(I.Target);
+    return true;
+  case XOp::Jr:
+    emitJr(I, K);
+    return true;
+  case XOp::Jalr:
+    emitJalr(I, K);
+    return true;
+  case XOp::CallFunc:
+    Em.storeImm32(RBX, regSlot(RegRA),
+                  Ctx.TextBase + uint32_t(Leader + K + 1) * 4);
+    emitDispatch(I.Target);
+    return true;
+  case XOp::CallRuntime: {
+    Em.movRegReg64(RDI, R12);
+    Em.movRegImm32(RSI, I.Target);
+    Em.callAbs(reinterpret_cast<const void *>(&dlqJitRuntimeCall));
+    Em.testRegReg32(RAX, RAX);
+    Emitter::Label &Halt = newLabel();
+    Em.jcc(CC_NE, Halt);
+    emitDispatch(Leader + Len);
+    Em.bind(Halt);
+    emitExit(ExitRuntimeHalt);
+    return true;
+  }
+  default:
+    assert(false && "scanBlockLen admitted a non-compilable op");
+    return true;
+  }
+}
+
+bool BlockCompiler::emit() {
+  emitPrologue();
+  bool Terminated = false;
+  for (unsigned K = 0; K != Len; ++K)
+    Terminated = emitInstr(Ctx.Code[Leader + K], K);
+  if (!Terminated)
+    emitDispatch(Leader + Len);
+  for (const std::function<void()> &Cold : ColdStubs)
+    Cold();
+  return Em.ok();
+}
+
+} // namespace
+
+unsigned jit::scanBlockLen(const CompileContext &Ctx, uint32_t Leader) {
+  unsigned Len = 0;
+  // The stream carries an OutOfText sentinel at FlatCount, so scanning one
+  // past the last real instruction is safe; the sentinel ends the block via
+  // the default case.
+  while (Len < Ctx.MaxBlockInstrs) {
+    const DecodedInstr &I = Ctx.Code[Leader + Len];
+    switch (I.Op) {
+    case XOp::Beq:
+    case XOp::Bne:
+    case XOp::Blt:
+    case XOp::Bge:
+    case XOp::Ble:
+    case XOp::Bgt:
+    case XOp::J:
+    case XOp::CallFunc:
+      // Decoder-verified targets are in range; a stale one would trap in the
+      // interpreter's BRANCH_TO, so leave it to the interpreter.
+      if (I.Target > Ctx.FlatCount)
+        return Len;
+      return Len + 1;
+    case XOp::Jr:
+    case XOp::Jalr:
+    case XOp::CallRuntime:
+      return Len + 1;
+    case XOp::CallUnresolved:
+    case XOp::LaUnresolved:
+    case XOp::OutOfText:
+      return Len;
+    default:
+      if (sim::isFusedXOp(I.Op))
+        return Len; // The engine predecodes unfused; defensive only.
+      ++Len;
+      continue;
+    }
+  }
+  return Len;
+}
+
+bool jit::compileBlockBody(Emitter &Em, const CompileContext &Ctx,
+                           uint32_t Leader, unsigned Len) {
+  assert(Len != 0 && Len <= Ctx.MaxBlockInstrs);
+  return BlockCompiler(Em, Ctx, Leader, Len).emit();
+}

@@ -1,0 +1,54 @@
+//===- jit/Compiler.h - Basic-block template compiler -----------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles one guest basic block — a contiguous run of predecoded
+/// instructions from a leader up to and including the first control
+/// transfer — into x86-64 using per-XOp templates (see jit/Engine.h for the
+/// protocol and register pinning). The compiler is a pure function of the
+/// predecoded stream: the engine owns hotness, buffers and the dispatch
+/// loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_JIT_COMPILER_H
+#define DLQ_JIT_COMPILER_H
+
+#include "jit/Emitter.h"
+#include "sim/Decode.h"
+
+#include <cstdint>
+
+namespace dlq {
+namespace jit {
+
+/// Everything block compilation reads. `CodePtrs[Leader]` must already
+/// point at the emission address so self-loops chain with a direct jump.
+struct CompileContext {
+  const sim::DecodedInstr *Code; ///< Predecoded stream (UNFUSED), + sentinel.
+  uint64_t FlatCount;            ///< Logical instruction count.
+  const uint8_t *const *CodePtrs; ///< Live compiled-block table.
+  uint32_t TextBase;             ///< masm text base address.
+  uint32_t MaxBlockInstrs;       ///< Block length cap.
+};
+
+/// Length of the compilable block at \p Leader: instructions from the leader
+/// up to and including the first terminator (branch/jump/call), stopping
+/// before anything only the interpreter handles (unresolved calls/la, the
+/// out-of-text sentinel, fused superinstructions). 0 = the leader itself is
+/// not compilable.
+unsigned scanBlockLen(const CompileContext &Ctx, uint32_t Leader);
+
+/// Emits the block body (prologue, templates, epilogue, cold stubs) for the
+/// \p Len instructions at \p Leader into \p Em. Returns Em.ok().
+bool compileBlockBody(Emitter &Em, const CompileContext &Ctx, uint32_t Leader,
+                      unsigned Len);
+
+} // namespace jit
+} // namespace dlq
+
+#endif // DLQ_JIT_COMPILER_H

@@ -1,0 +1,439 @@
+//===- jit/Emitter.cpp ------------------------------------------------------==//
+
+#include "jit/Emitter.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace dlq;
+using namespace dlq::jit;
+
+void Emitter::u8(uint8_t B) {
+  if (Pos >= Cap) {
+    Overflow = true;
+    return;
+  }
+  Base[Pos++] = B;
+}
+
+void Emitter::u32(uint32_t V) {
+  if (Pos + 4 > Cap) {
+    Overflow = true;
+    Pos = Cap;
+    return;
+  }
+  std::memcpy(Base + Pos, &V, 4);
+  Pos += 4;
+}
+
+void Emitter::u64(uint64_t V) {
+  if (Pos + 8 > Cap) {
+    Overflow = true;
+    Pos = Cap;
+    return;
+  }
+  std::memcpy(Base + Pos, &V, 8);
+  Pos += 8;
+}
+
+void Emitter::patch32(size_t At, uint32_t V) {
+  if (At + 4 > Cap) {
+    Overflow = true;
+    return;
+  }
+  std::memcpy(Base + At, &V, 4);
+}
+
+void Emitter::rex(bool W, unsigned Reg, unsigned Index, unsigned Base_) {
+  uint8_t B = 0x40;
+  if (W)
+    B |= 0x08;
+  if (Reg & 8)
+    B |= 0x04;
+  if (Index & 8)
+    B |= 0x02;
+  if (Base_ & 8)
+    B |= 0x01;
+  if (B != 0x40)
+    u8(B);
+}
+
+void Emitter::memOp(bool W, uint8_t Op1, uint8_t Op2, unsigned Reg, unsigned B,
+                    int Index, uint8_t Scale, int32_t Disp, bool OpSize16) {
+  assert(Index != RSP && "rsp cannot be an index register");
+  if (OpSize16)
+    u8(0x66);
+  rex(W, Reg, Index >= 0 ? unsigned(Index) : 0, B);
+  u8(Op1);
+  if (Op2)
+    u8(Op2);
+
+  // mod: rbp/r13 bases have no disp-less form; otherwise pick the shortest.
+  unsigned Mod;
+  if (Disp == 0 && (B & 7) != RBP)
+    Mod = 0;
+  else if (Disp >= -128 && Disp <= 127)
+    Mod = 1;
+  else
+    Mod = 2;
+
+  bool NeedSib = Index >= 0 || (B & 7) == RSP;
+  unsigned RmField = NeedSib ? unsigned(RSP) : (B & 7);
+  u8(uint8_t((Mod << 6) | ((Reg & 7) << 3) | RmField));
+  if (NeedSib) {
+    unsigned Ss = Scale == 8 ? 3 : Scale == 4 ? 2 : Scale == 2 ? 1 : 0;
+    unsigned Idx = Index >= 0 ? (unsigned(Index) & 7) : unsigned(RSP); // rsp = no index
+    u8(uint8_t((Ss << 6) | (Idx << 3) | (B & 7)));
+  }
+  if (Mod == 1)
+    u8(uint8_t(int8_t(Disp)));
+  else if (Mod == 2)
+    u32(uint32_t(Disp));
+}
+
+void Emitter::regOp(bool W, uint8_t Op1, uint8_t Op2, unsigned Reg,
+                    unsigned Rm) {
+  rex(W, Reg, 0, Rm);
+  u8(Op1);
+  if (Op2)
+    u8(Op2);
+  u8(uint8_t(0xC0 | ((Reg & 7) << 3) | (Rm & 7)));
+}
+
+// -- labels ------------------------------------------------------------------
+
+void Emitter::bind(Label &L) {
+  assert(!L.bound() && "label bound twice");
+  L.Pos = Pos;
+  for (size_t FixAt : L.Fixups)
+    patch32(FixAt, uint32_t(int32_t(Pos - (FixAt + 4))));
+  L.Fixups.clear();
+}
+
+void Emitter::jmp(Label &L) {
+  u8(0xE9);
+  if (L.bound()) {
+    u32(uint32_t(int32_t(L.Pos - (Pos + 4))));
+  } else {
+    L.Fixups.push_back(Pos);
+    u32(0);
+  }
+}
+
+void Emitter::jcc(Cond CC, Label &L) {
+  u8(0x0F);
+  u8(uint8_t(0x80 | CC));
+  if (L.bound()) {
+    u32(uint32_t(int32_t(L.Pos - (Pos + 4))));
+  } else {
+    L.Fixups.push_back(Pos);
+    u32(0);
+  }
+}
+
+void Emitter::jmpAbs(const uint8_t *Target) {
+  // rel32 when the displacement fits; the emission address is final so this
+  // is exact.
+  const uint8_t *Next = Base + Pos + 5;
+  int64_t Delta = Target - Next;
+  if (Delta >= INT32_MIN && Delta <= INT32_MAX) {
+    u8(0xE9);
+    u32(uint32_t(int32_t(Delta)));
+    return;
+  }
+  movRegImm64(R11, reinterpret_cast<uintptr_t>(Target));
+  jmpReg(R11);
+}
+
+void Emitter::callAbs(const void *Fn) {
+  movRegImm64(R11, reinterpret_cast<uintptr_t>(Fn));
+  callReg(R11);
+}
+
+// -- moves -------------------------------------------------------------------
+
+void Emitter::movRegImm32(HostReg Dst, uint32_t Imm) {
+  rex(false, 0, 0, Dst);
+  u8(uint8_t(0xB8 | (Dst & 7)));
+  u32(Imm);
+}
+
+void Emitter::movRegImm64(HostReg Dst, uint64_t Imm) {
+  if (Imm <= UINT32_MAX) {
+    movRegImm32(Dst, uint32_t(Imm)); // zero-extends
+    return;
+  }
+  rex(true, 0, 0, Dst);
+  u8(uint8_t(0xB8 | (Dst & 7)));
+  u64(Imm);
+}
+
+void Emitter::movRegReg64(HostReg Dst, HostReg Src) {
+  regOp(true, 0x8B, 0, Dst, Src);
+}
+
+void Emitter::movRegReg32(HostReg Dst, HostReg Src) {
+  regOp(false, 0x8B, 0, Dst, Src);
+}
+
+// -- [base + disp] -----------------------------------------------------------
+
+void Emitter::load32(HostReg Dst, HostReg B, int32_t Disp) {
+  memOp(false, 0x8B, 0, Dst, B, -1, 1, Disp);
+}
+
+void Emitter::load64(HostReg Dst, HostReg B, int32_t Disp) {
+  memOp(true, 0x8B, 0, Dst, B, -1, 1, Disp);
+}
+
+void Emitter::store32(HostReg B, int32_t Disp, HostReg Src) {
+  memOp(false, 0x89, 0, Src, B, -1, 1, Disp);
+}
+
+void Emitter::store64(HostReg B, int32_t Disp, HostReg Src) {
+  memOp(true, 0x89, 0, Src, B, -1, 1, Disp);
+}
+
+void Emitter::storeImm32(HostReg B, int32_t Disp, uint32_t Imm) {
+  memOp(false, 0xC7, 0, 0, B, -1, 1, Disp);
+  u32(Imm);
+}
+
+void Emitter::addMemImm8_64(HostReg B, int32_t Disp, int8_t Imm) {
+  memOp(true, 0x83, 0, 0, B, -1, 1, Disp); // /0 = add
+  u8(uint8_t(Imm));
+}
+
+void Emitter::subMemImm32_64(HostReg B, int32_t Disp, int32_t Imm) {
+  if (Imm >= -128 && Imm <= 127) {
+    memOp(true, 0x83, 0, 5, B, -1, 1, Disp); // /5 = sub, imm8
+    u8(uint8_t(int8_t(Imm)));
+    return;
+  }
+  memOp(true, 0x81, 0, 5, B, -1, 1, Disp);
+  u32(uint32_t(Imm));
+}
+
+void Emitter::cmpReg64Mem(HostReg R, HostReg B, int32_t Disp) {
+  memOp(true, 0x3B, 0, R, B, -1, 1, Disp);
+}
+
+// -- [base + index*scale] ----------------------------------------------------
+
+void Emitter::load32Idx(HostReg Dst, HostReg B, HostReg Idx, uint8_t Scale) {
+  memOp(false, 0x8B, 0, Dst, B, Idx, Scale, 0);
+}
+
+void Emitter::load64Idx(HostReg Dst, HostReg B, HostReg Idx, uint8_t Scale) {
+  memOp(true, 0x8B, 0, Dst, B, Idx, Scale, 0);
+}
+
+void Emitter::loadSx8Idx(HostReg Dst, HostReg B, HostReg Idx) {
+  memOp(false, 0x0F, 0xBE, Dst, B, Idx, 1, 0);
+}
+
+void Emitter::loadZx8Idx(HostReg Dst, HostReg B, HostReg Idx) {
+  memOp(false, 0x0F, 0xB6, Dst, B, Idx, 1, 0);
+}
+
+void Emitter::loadSx16Idx(HostReg Dst, HostReg B, HostReg Idx) {
+  memOp(false, 0x0F, 0xBF, Dst, B, Idx, 1, 0);
+}
+
+void Emitter::loadZx16Idx(HostReg Dst, HostReg B, HostReg Idx) {
+  memOp(false, 0x0F, 0xB7, Dst, B, Idx, 1, 0);
+}
+
+void Emitter::store32Idx(HostReg B, HostReg Idx, HostReg Src) {
+  memOp(false, 0x89, 0, Src, B, Idx, 1, 0);
+}
+
+void Emitter::store16Idx(HostReg B, HostReg Idx, HostReg Src) {
+  memOp(false, 0x89, 0, Src, B, Idx, 1, 0, /*OpSize16=*/true);
+}
+
+void Emitter::store8Idx(HostReg B, HostReg Idx, HostReg Src) {
+  // Without REX only al/cl/dl/bl encode as byte registers; templates keep
+  // store values in eax/ecx/edx so no REX juggling is needed.
+  assert(Src < 4 && "byte store source must be rax/rcx/rdx/rbx");
+  memOp(false, 0x88, 0, Src, B, Idx, 1, 0);
+}
+
+// -- ALU ---------------------------------------------------------------------
+
+void Emitter::addRegReg32(HostReg Dst, HostReg Src) {
+  regOp(false, 0x03, 0, Dst, Src);
+}
+
+void Emitter::addRegMem32(HostReg Dst, HostReg B, int32_t Disp) {
+  memOp(false, 0x03, 0, Dst, B, -1, 1, Disp);
+}
+
+void Emitter::subRegReg32(HostReg Dst, HostReg Src) {
+  regOp(false, 0x2B, 0, Dst, Src);
+}
+
+void Emitter::andRegReg32(HostReg Dst, HostReg Src) {
+  regOp(false, 0x23, 0, Dst, Src);
+}
+
+void Emitter::orRegReg32(HostReg Dst, HostReg Src) {
+  regOp(false, 0x0B, 0, Dst, Src);
+}
+
+void Emitter::xorRegReg32(HostReg Dst, HostReg Src) {
+  regOp(false, 0x33, 0, Dst, Src);
+}
+
+void Emitter::imulRegReg32(HostReg Dst, HostReg Src) {
+  regOp(false, 0x0F, 0xAF, Dst, Src);
+}
+
+void Emitter::notReg32(HostReg R) { regOp(false, 0xF7, 0, 2, R); }
+
+void Emitter::negReg32(HostReg R) { regOp(false, 0xF7, 0, 3, R); }
+
+static bool fitsImm8(int32_t V) { return V >= -128 && V <= 127; }
+
+void Emitter::addRegImm32(HostReg Dst, int32_t Imm) {
+  if (fitsImm8(Imm)) {
+    regOp(false, 0x83, 0, 0, Dst);
+    u8(uint8_t(int8_t(Imm)));
+  } else {
+    regOp(false, 0x81, 0, 0, Dst);
+    u32(uint32_t(Imm));
+  }
+}
+
+void Emitter::andRegImm32(HostReg Dst, int32_t Imm) {
+  if (fitsImm8(Imm)) {
+    regOp(false, 0x83, 0, 4, Dst);
+    u8(uint8_t(int8_t(Imm)));
+  } else {
+    regOp(false, 0x81, 0, 4, Dst);
+    u32(uint32_t(Imm));
+  }
+}
+
+void Emitter::orRegImm32(HostReg Dst, int32_t Imm) {
+  if (fitsImm8(Imm)) {
+    regOp(false, 0x83, 0, 1, Dst);
+    u8(uint8_t(int8_t(Imm)));
+  } else {
+    regOp(false, 0x81, 0, 1, Dst);
+    u32(uint32_t(Imm));
+  }
+}
+
+void Emitter::xorRegImm32(HostReg Dst, int32_t Imm) {
+  if (fitsImm8(Imm)) {
+    regOp(false, 0x83, 0, 6, Dst);
+    u8(uint8_t(int8_t(Imm)));
+  } else {
+    regOp(false, 0x81, 0, 6, Dst);
+    u32(uint32_t(Imm));
+  }
+}
+
+void Emitter::addRegImm64(HostReg Dst, int32_t Imm) {
+  if (fitsImm8(Imm)) {
+    regOp(true, 0x83, 0, 0, Dst);
+    u8(uint8_t(int8_t(Imm)));
+  } else {
+    regOp(true, 0x81, 0, 0, Dst);
+    u32(uint32_t(Imm));
+  }
+}
+
+void Emitter::cmpRegReg32(HostReg A, HostReg B) {
+  regOp(false, 0x3B, 0, A, B);
+}
+
+void Emitter::cmpRegMem32(HostReg A, HostReg B, int32_t Disp) {
+  memOp(false, 0x3B, 0, A, B, -1, 1, Disp);
+}
+
+void Emitter::cmpRegImm32(HostReg R, int32_t Imm) {
+  if (fitsImm8(Imm)) {
+    regOp(false, 0x83, 0, 7, R);
+    u8(uint8_t(int8_t(Imm)));
+  } else {
+    regOp(false, 0x81, 0, 7, R);
+    u32(uint32_t(Imm));
+  }
+}
+
+void Emitter::testRegReg32(HostReg A, HostReg B) {
+  regOp(false, 0x85, 0, B, A); // test rm, reg
+}
+
+void Emitter::testRegReg64(HostReg A, HostReg B) {
+  regOp(true, 0x85, 0, B, A);
+}
+
+void Emitter::testRegImm32(HostReg R, uint32_t Imm) {
+  regOp(false, 0xF7, 0, 0, R);
+  u32(Imm);
+}
+
+void Emitter::shlImm32(HostReg R, uint8_t Imm) {
+  regOp(false, 0xC1, 0, 4, R);
+  u8(Imm);
+}
+
+void Emitter::shrImm32(HostReg R, uint8_t Imm) {
+  regOp(false, 0xC1, 0, 5, R);
+  u8(Imm);
+}
+
+void Emitter::sarImm32(HostReg R, uint8_t Imm) {
+  regOp(false, 0xC1, 0, 7, R);
+  u8(Imm);
+}
+
+void Emitter::shlCl32(HostReg R) { regOp(false, 0xD3, 0, 4, R); }
+
+void Emitter::shrCl32(HostReg R) { regOp(false, 0xD3, 0, 5, R); }
+
+void Emitter::sarCl32(HostReg R) { regOp(false, 0xD3, 0, 7, R); }
+
+void Emitter::cdq() { u8(0x99); }
+
+void Emitter::idivReg32(HostReg R) { regOp(false, 0xF7, 0, 7, R); }
+
+void Emitter::setcc(Cond CC, HostReg Dst) {
+  // SETcc on spl/bpl/sil/dil needs a REX prefix even without high bits set.
+  if (Dst >= RSP && Dst <= RDI)
+    u8(0x40);
+  else
+    rex(false, 0, 0, Dst);
+  u8(0x0F);
+  u8(uint8_t(0x90 | CC));
+  u8(uint8_t(0xC0 | (Dst & 7)));
+  // movzx Dst32, Dst8 — same REX-for-sil/dil rule applies to the source.
+  if (Dst >= RSP && Dst <= RDI)
+    u8(0x40);
+  else
+    rex(false, Dst, 0, Dst);
+  u8(0x0F);
+  u8(0xB6);
+  u8(uint8_t(0xC0 | ((Dst & 7) << 3) | (Dst & 7)));
+}
+
+// -- control -----------------------------------------------------------------
+
+void Emitter::callReg(HostReg R) { regOp(false, 0xFF, 0, 2, R); }
+
+void Emitter::jmpReg(HostReg R) { regOp(false, 0xFF, 0, 4, R); }
+
+void Emitter::ret() { u8(0xC3); }
+
+void Emitter::push(HostReg R) {
+  rex(false, 0, 0, R);
+  u8(uint8_t(0x50 | (R & 7)));
+}
+
+void Emitter::pop(HostReg R) {
+  rex(false, 0, 0, R);
+  u8(uint8_t(0x58 | (R & 7)));
+}

@@ -1,0 +1,189 @@
+//===- jit/Emitter.h - x86-64 instruction encoder ---------------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal x86-64 encoder for the template JIT: exactly the instruction
+/// forms the block compiler's handler templates need, nothing more. The
+/// emitter writes directly into the code's final address (a CodeBuffer
+/// session), so absolute targets and cross-block rel32 chains are resolved
+/// as they are emitted; only intra-block forward branches go through Label
+/// fixups (always rel32 — template code is not size-critical on cold edges).
+///
+/// Encoding notes the templates rely on:
+///  - 32-bit destination writes zero the upper half, so a guest value held
+///    in eax/esi can index the flat 4 GiB guest memory as `[r13 + rsi]`
+///    without masking.
+///  - r12/rsp as a base always takes a SIB byte; rbp/r13 as a base always
+///    takes a displacement. memOp() hides both quirks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_JIT_EMITTER_H
+#define DLQ_JIT_EMITTER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dlq {
+namespace jit {
+
+/// Host register numbers (x86-64 encoding order).
+enum HostReg : uint8_t {
+  RAX = 0,
+  RCX = 1,
+  RDX = 2,
+  RBX = 3,
+  RSP = 4,
+  RBP = 5,
+  RSI = 6,
+  RDI = 7,
+  R8 = 8,
+  R9 = 9,
+  R10 = 10,
+  R11 = 11,
+  R12 = 12,
+  R13 = 13,
+  R14 = 14,
+  R15 = 15,
+};
+
+/// Condition codes (the `cc` nibble of Jcc/SETcc).
+enum Cond : uint8_t {
+  CC_O = 0x0,
+  CC_B = 0x2,  ///< unsigned <
+  CC_AE = 0x3, ///< unsigned >=
+  CC_E = 0x4,
+  CC_NE = 0x5,
+  CC_BE = 0x6, ///< unsigned <=
+  CC_A = 0x7,  ///< unsigned >
+  CC_S = 0x8,
+  CC_L = 0xC,  ///< signed <
+  CC_GE = 0xD, ///< signed >=
+  CC_LE = 0xE, ///< signed <=
+  CC_G = 0xF,  ///< signed >
+};
+
+/// Writes instructions into a fixed-capacity span at its final address.
+/// Overflow latches a flag instead of writing out of bounds; callers check
+/// ok() once after emission.
+class Emitter {
+public:
+  Emitter(uint8_t *Base, size_t Capacity) : Base(Base), Cap(Capacity) {}
+
+  const uint8_t *base() const { return Base; }
+  size_t size() const { return Pos; }
+  bool ok() const { return !Overflow; }
+  /// Address the NEXT byte will land at.
+  const uint8_t *pc() const { return Base + Pos; }
+
+  /// An intra-emission branch target; forward references patch rel32 slots
+  /// on bind().
+  struct Label {
+    size_t Pos = SIZE_MAX;
+    std::vector<size_t> Fixups; ///< Offsets of pending rel32 slots.
+    bool bound() const { return Pos != SIZE_MAX; }
+  };
+
+  void bind(Label &L);
+  void jmp(Label &L);            ///< E9 rel32.
+  void jcc(Cond CC, Label &L);   ///< 0F 8x rel32.
+
+  /// `jmp` to an absolute address: rel32 when reachable, else through r11.
+  void jmpAbs(const uint8_t *Target);
+  /// `call` to an absolute address through r11 (clobbers r11).
+  void callAbs(const void *Fn);
+
+  // -- moves ---------------------------------------------------------------
+  void movRegImm32(HostReg Dst, uint32_t Imm);       ///< B8+r id (zero-ext).
+  void movRegImm64(HostReg Dst, uint64_t Imm);       ///< REX.W B8+r io.
+  void movRegReg64(HostReg Dst, HostReg Src);        ///< REX.W 8B /r.
+  void movRegReg32(HostReg Dst, HostReg Src);        ///< 8B /r.
+
+  // -- memory, [Base + Disp] ----------------------------------------------
+  void load32(HostReg Dst, HostReg B, int32_t Disp);  ///< mov r32, [B+d].
+  void load64(HostReg Dst, HostReg B, int32_t Disp);  ///< mov r64, [B+d].
+  void store32(HostReg B, int32_t Disp, HostReg Src); ///< mov [B+d], r32.
+  void store64(HostReg B, int32_t Disp, HostReg Src); ///< mov [B+d], r64.
+  void storeImm32(HostReg B, int32_t Disp, uint32_t Imm); ///< mov dword.
+  void addMemImm8_64(HostReg B, int32_t Disp, int8_t Imm); ///< add qword.
+  void subMemImm32_64(HostReg B, int32_t Disp, int32_t Imm); ///< sub qword.
+  void cmpReg64Mem(HostReg R, HostReg B, int32_t Disp);    ///< cmp r64,[B+d].
+
+  // -- memory, [Base + Index*Scale] (guest flat memory / code tables) ------
+  void load32Idx(HostReg Dst, HostReg B, HostReg Idx, uint8_t Scale);
+  void load64Idx(HostReg Dst, HostReg B, HostReg Idx, uint8_t Scale);
+  void loadSx8Idx(HostReg Dst, HostReg B, HostReg Idx);  ///< movsx r32, byte.
+  void loadZx8Idx(HostReg Dst, HostReg B, HostReg Idx);  ///< movzx r32, byte.
+  void loadSx16Idx(HostReg Dst, HostReg B, HostReg Idx); ///< movsx r32, word.
+  void loadZx16Idx(HostReg Dst, HostReg B, HostReg Idx); ///< movzx r32, word.
+  void store32Idx(HostReg B, HostReg Idx, HostReg Src);
+  void store16Idx(HostReg B, HostReg Idx, HostReg Src); ///< 66 89 /r.
+  void store8Idx(HostReg B, HostReg Idx, HostReg Src);  ///< 88 /r (Src<4).
+
+  // -- ALU -----------------------------------------------------------------
+  void addRegReg32(HostReg Dst, HostReg Src);
+  void addRegMem32(HostReg Dst, HostReg B, int32_t Disp); ///< add r32,[B+d].
+  void subRegReg32(HostReg Dst, HostReg Src);
+  void andRegReg32(HostReg Dst, HostReg Src);
+  void orRegReg32(HostReg Dst, HostReg Src);
+  void xorRegReg32(HostReg Dst, HostReg Src);
+  void imulRegReg32(HostReg Dst, HostReg Src); ///< 0F AF /r.
+  void notReg32(HostReg R);
+  void negReg32(HostReg R);
+  void addRegImm32(HostReg Dst, int32_t Imm);
+  void andRegImm32(HostReg Dst, int32_t Imm);
+  void orRegImm32(HostReg Dst, int32_t Imm);
+  void xorRegImm32(HostReg Dst, int32_t Imm);
+  void addRegImm64(HostReg Dst, int32_t Imm); ///< REX.W add (sign-ext imm).
+  void cmpRegReg32(HostReg A, HostReg B);
+  void cmpRegMem32(HostReg A, HostReg B, int32_t Disp); ///< cmp r32,[B+d].
+  void cmpRegImm32(HostReg R, int32_t Imm);
+  void testRegReg32(HostReg A, HostReg B);
+  void testRegReg64(HostReg A, HostReg B);
+  void testRegImm32(HostReg R, uint32_t Imm); ///< F7 /0 id.
+  void shlImm32(HostReg R, uint8_t Imm);
+  void shrImm32(HostReg R, uint8_t Imm);
+  void sarImm32(HostReg R, uint8_t Imm);
+  void shlCl32(HostReg R); ///< D3 /4 (count in cl, masked mod 32).
+  void shrCl32(HostReg R);
+  void sarCl32(HostReg R);
+  void cdq();              ///< 99.
+  void idivReg32(HostReg R); ///< F7 /7.
+  void setcc(Cond CC, HostReg Dst); ///< SETcc dst8 + movzx dst32, dst8.
+
+  // -- control -------------------------------------------------------------
+  void callReg(HostReg R);
+  void jmpReg(HostReg R);
+  void ret();
+  void push(HostReg R);
+  void pop(HostReg R);
+
+private:
+  void u8(uint8_t B);
+  void u32(uint32_t V);
+  void u64(uint64_t V);
+  void patch32(size_t At, uint32_t V);
+  /// REX prefix; emitted only when a bit is set.
+  void rex(bool W, unsigned Reg, unsigned Index, unsigned Base);
+  /// Opcode + ModRM (+SIB +disp) for reg, [Base+Disp] with optional index.
+  /// \p Op2 == 0 means a one-byte opcode.
+  void memOp(bool W, uint8_t Op1, uint8_t Op2, unsigned Reg, unsigned B,
+             int Index, uint8_t Scale, int32_t Disp, bool OpSize16 = false);
+  /// Opcode + ModRM for reg, reg.
+  void regOp(bool W, uint8_t Op1, uint8_t Op2, unsigned Reg, unsigned Rm);
+
+  uint8_t *Base;
+  size_t Cap;
+  size_t Pos = 0;
+  bool Overflow = false;
+};
+
+} // namespace jit
+} // namespace dlq
+
+#endif // DLQ_JIT_EMITTER_H

@@ -1,0 +1,148 @@
+//===- jit/JitState.h - Interpreter/JIT shared state ABI --------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one struct generated code addresses by hand-written offsets. The
+/// entry stub pins r12 at a JitState and loads the hot pointers into
+/// callee-saved registers:
+///
+///   r12 = JitState*        rbx = Regs        r13 = guest flat memory
+///   r14 = ExecCounts       rbp = CodePtrs (compiled-block table)
+///
+/// Everything else is reached as [r12 + Off*]. The static_asserts below pin
+/// each offset the templates bake into displacement bytes; reorder a field
+/// and the build breaks instead of the generated code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_JIT_JITSTATE_H
+#define DLQ_JIT_JITSTATE_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dlq {
+namespace sim {
+class Cache;
+class Memory;
+} // namespace sim
+
+namespace jit {
+
+class Engine;
+
+/// Why compiled code returned to the dispatcher. Lives in
+/// JitState::ExitReason; the next guest pc (when one is meaningful) is the
+/// stub's uint64_t return value.
+enum ExitReason : uint32_t {
+  /// Control reached a guest pc with no compiled block (or past the text);
+  /// pc in the return value. Nothing to undo — the block completed.
+  ExitDispatch = 0,
+  /// `jr $ra` hit the sentinel return address: the guest exited with
+  /// JitState::ExitCode.
+  ExitGuestExit = 1,
+  /// The block-entry fuel check failed; NOTHING of the block retired.
+  /// pc (the block leader) in the return value; the interpreter finishes
+  /// instruction-at-a-time so the halt lands on the exact instruction.
+  ExitFuel = 2,
+  /// A template hit a case only the interpreter handles (division by zero,
+  /// jr/jalr to a bad address). Counters are already rolled back past the
+  /// deopting instruction; pc (of that instruction) in the return value.
+  /// The dispatcher MUST interpret at least one instruction before
+  /// re-entering compiled code.
+  ExitDeopt = 3,
+  /// A runtime call (exit/abort) halted the run; RunResult::ExitCode was
+  /// set by the runtime-call callback.
+  ExitRuntimeHalt = 4,
+};
+
+/// State block generated code runs against.
+struct JitState {
+  uint32_t *Regs;                 ///< Register file (incl. DiscardReg slot).
+  uint8_t *Flat;                  ///< Guest flat 4 GiB memory base.
+  uint64_t *ExecCounts;           ///< Per-pc execution counts.
+  uint64_t *MissCounts;           ///< Per-pc load-miss counts.
+  const uint8_t *const *CodePtrs; ///< Flat pc -> compiled entry (or null).
+  uint64_t Executed;
+  uint64_t MaxInstrs;
+  uint64_t DataAccesses;
+  uint64_t LoadMisses;
+  uint64_t StoreMisses;
+  uint64_t PrefetchesIssued;
+  uint64_t PrefetchFills;
+  sim::Cache *DCache;
+  sim::Memory *Mem;
+  uint32_t PrefetchStride;
+  uint32_t ExitReason;
+  uint64_t FlatCount; ///< Logical instruction count (sentinel excluded).
+  int32_t ExitCode;
+  uint32_t Pad;
+  Engine *Owner;
+};
+
+// Offsets the templates encode as displacements.
+constexpr int32_t OffRegs = 0;
+constexpr int32_t OffFlat = 8;
+constexpr int32_t OffExecCounts = 16;
+constexpr int32_t OffMissCounts = 24;
+constexpr int32_t OffCodePtrs = 32;
+constexpr int32_t OffExecuted = 40;
+constexpr int32_t OffMaxInstrs = 48;
+constexpr int32_t OffPrefetchStride = 112;
+constexpr int32_t OffExitReason = 116;
+constexpr int32_t OffFlatCount = 120;
+constexpr int32_t OffExitCode = 128;
+
+static_assert(offsetof(JitState, Regs) == OffRegs, "ABI drift");
+static_assert(offsetof(JitState, Flat) == OffFlat, "ABI drift");
+static_assert(offsetof(JitState, ExecCounts) == OffExecCounts, "ABI drift");
+static_assert(offsetof(JitState, MissCounts) == OffMissCounts, "ABI drift");
+static_assert(offsetof(JitState, CodePtrs) == OffCodePtrs, "ABI drift");
+static_assert(offsetof(JitState, Executed) == OffExecuted, "ABI drift");
+static_assert(offsetof(JitState, MaxInstrs) == OffMaxInstrs, "ABI drift");
+static_assert(offsetof(JitState, PrefetchStride) == OffPrefetchStride,
+              "ABI drift");
+static_assert(offsetof(JitState, ExitReason) == OffExitReason, "ABI drift");
+static_assert(offsetof(JitState, FlatCount) == OffFlatCount, "ABI drift");
+static_assert(offsetof(JitState, ExitCode) == OffExitCode, "ABI drift");
+
+/// Entry stub signature: (state, compiled block entry) -> next guest pc
+/// (meaningful for ExitDispatch/ExitFuel/ExitDeopt).
+using StubFn = uint64_t (*)(JitState *, const uint8_t *);
+
+/// `Kind` bits for the out-of-line slow memory helpers.
+constexpr uint32_t KindWidthMask = 3; ///< 0 = byte, 1 = half, 2 = word.
+constexpr uint32_t KindSigned = 4;
+constexpr uint32_t KindPrefetch = 8;
+
+} // namespace jit
+} // namespace dlq
+
+/// Out-of-line runtime the templates call (SysV x86-64, extern "C" so the
+/// emitter can take plain addresses). Accounting order matches the
+/// interpreter's LOAD_EPILOGUE/STORE_EPILOGUE exactly.
+extern "C" {
+/// Load accounting after an inline flat-memory read at \p Addr by \p Pc.
+void dlqJitLoadAcct(dlq::jit::JitState *S, uint32_t Addr, uint32_t Pc);
+/// Same, for a load with the next-line prefetch flag set.
+void dlqJitLoadAcctPf(dlq::jit::JitState *S, uint32_t Addr, uint32_t Pc);
+/// Store accounting after an inline flat-memory write at \p Addr.
+void dlqJitStoreAcct(dlq::jit::JitState *S, uint32_t Addr);
+/// Full load (read + accounting) for addresses the inline path must not
+/// touch (byte-wise wrap at the top of the 4 GiB space). Returns the
+/// (sign/zero-extended) value.
+uint32_t dlqJitSlowLoad(dlq::jit::JitState *S, uint32_t Addr, uint32_t Pc,
+                        uint32_t Kind);
+/// Full store (write + accounting) for wrap-risk addresses.
+void dlqJitSlowStore(dlq::jit::JitState *S, uint32_t Addr, uint32_t Val,
+                     uint32_t Kind);
+/// Runtime service dispatch (malloc/print/exit/...). Returns nonzero when
+/// the run must halt (exit/abort).
+uint32_t dlqJitRuntimeCall(dlq::jit::JitState *S, uint32_t Fn);
+}
+
+#endif // DLQ_JIT_JITSTATE_H

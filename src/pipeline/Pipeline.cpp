@@ -194,6 +194,10 @@ const sim::RunResult &Driver::runImpl(const std::string &Workload, InputSel In,
       MOpts.DCache = Cache;
       MOpts.MaxInstrs = MaxInstrs;
       MOpts.PrefetchLoads = PrefetchLoads;
+      // Engine choice never changes RunResults (the JIT is bit-identical to
+      // the interpreter by contract), so it is deliberately not part of the
+      // run-cache key above.
+      MOpts.Engine = sim::engineKindFromString(Opts.Engine);
       std::unique_ptr<sim::Machine> Mach;
       {
         obs::Span S("stage.predecode");

@@ -2,15 +2,27 @@
 
 #include "sim/Machine.h"
 
+#include "absint/JitHints.h"
+#include "jit/CodeBuffer.h"
+#include "jit/Engine.h"
 #include "obs/Counters.h"
 #include "sim/Cache.h"
 #include "support/Format.h"
 
 #include <cassert>
+#include <cstdlib>
 
 using namespace dlq;
 using namespace dlq::sim;
 using namespace dlq::masm;
+
+EngineKind dlq::sim::engineKindFromString(const std::string &S) {
+  if (S == "interp")
+    return EngineKind::Interp;
+  if (S == "jit")
+    return EngineKind::Jit;
+  return EngineKind::Auto;
+}
 
 std::map<InstrRef, LoadStat> RunResult::loadStats(const Module &M) const {
   std::map<InstrRef, LoadStat> Stats;
@@ -23,10 +35,39 @@ std::map<InstrRef, LoadStat> RunResult::loadStats(const Module &M) const {
   return Stats;
 }
 
+namespace {
+
+/// Engine selection, settled before predecode (the JIT wants the unfused
+/// stream: superinstructions only exist to amortize interpreter dispatch).
+bool wantJit(const MachineOptions &Opts, const Memory &Mem) {
+  bool Want = false;
+  switch (Opts.Engine) {
+  case EngineKind::Interp:
+    Want = false;
+    break;
+  case EngineKind::Jit:
+    Want = true;
+    break;
+  case EngineKind::Auto: {
+    const char *Env = std::getenv("DLQ_JIT");
+    Want = !(Env && Env[0] == '0' && Env[1] == '\0');
+    break;
+  }
+  }
+  return Want && jit::available() && !Opts.SimulateICache && Mem.isFlat();
+}
+
+} // namespace
+
 Machine::Machine(const Module &Mod, const Layout &Lay, MachineOptions Options)
     : M(Mod), L(Lay), Opts(std::move(Options)), Mem(Opts.MemBacking),
       Rand(Opts.RandSeed) {
-  Prog = predecode(M, L, Opts.PrefetchLoads, !Opts.NoFusion);
+  UseJit = wantJit(Opts, Mem);
+  Prog = predecode(M, L, Opts.PrefetchLoads, !Opts.NoFusion && !UseJit);
+  // Generated code addresses CodePtrs with 8*pc int32 displacements; no real
+  // module comes near the limit.
+  if (Prog.FlatMap.size() >= (1u << 27))
+    UseJit = false;
 }
 
 uint32_t Machine::runtimeMalloc(uint32_t Size) {
@@ -114,6 +155,13 @@ struct SimCounters {
   obs::Counter &StoreMisses = obs::counters().counter("sim.store_misses");
   obs::Counter &ICacheMisses = obs::counters().counter("sim.icache_misses");
   obs::Counter &Prefetches = obs::counters().counter("sim.prefetches");
+  // JIT engine activity (zero on interpreter-only runs).
+  obs::Counter &JitRuns = obs::counters().counter("sim.jit.runs");
+  obs::Counter &JitBlocks = obs::counters().counter("sim.jit.blocks_compiled");
+  obs::Counter &JitCodeBytes = obs::counters().counter("sim.jit.code_bytes");
+  obs::Counter &JitDeopts = obs::counters().counter("sim.jit.deopts");
+  obs::Counter &JitInterpRetired =
+      obs::counters().counter("sim.jit.interp_retires");
 };
 
 SimCounters &simCounters() {
@@ -124,7 +172,9 @@ SimCounters &simCounters() {
 } // namespace
 
 RunResult Machine::run() {
-  RunResult R = Opts.SimulateICache ? runLoop<true>() : runLoop<false>();
+  RunResult R = UseJit ? runJit()
+                       : (Opts.SimulateICache ? runLoop<true>()
+                                              : runLoop<false>());
 
   // Fused-dispatch share. ExecCounts[pc] counts every execution of pc —
   // dispatches of its own handler plus executions as the 2nd/3rd component
@@ -160,6 +210,80 @@ RunResult Machine::run() {
   C.StoreMisses.add(R.StoreMisses);
   C.ICacheMisses.add(R.ICacheMisses);
   C.Prefetches.add(R.PrefetchesIssued);
+  return R;
+}
+
+/// The JIT-driven run. Same preamble as runLoop (globals, register reset,
+/// entry protocol), with execution delegated to jit::Engine: hot blocks run
+/// as compiled x86-64, everything else through the engine's built-in
+/// fallback interpreter. Results are bit-identical to runLoop by contract —
+/// the differential fuzzer's oracle 6 holds both engines to that.
+RunResult Machine::runJit() {
+  RunResult R;
+  const uint64_t FlatCount = Prog.FlatMap.size();
+  R.ExecCounts.assign(FlatCount, 0);
+  R.MissCounts.assign(FlatCount, 0);
+  R.FlatMap = Prog.FlatMap;
+
+  // Materialize global initializers.
+  for (const Global &G : M.globals()) {
+    uint32_t Addr = L.globalAddress(G.Name);
+    if (!G.Init.empty())
+      Mem.writeBlock(Addr, G.Init.data(), static_cast<uint32_t>(G.Init.size()));
+  }
+
+  Cache DCache(Opts.DCache);
+
+  // Initial machine state (the runLoop entry protocol, verbatim).
+  constexpr uint32_t ExitPc = 0xFFFFFFFC;
+  for (uint32_t &RegSlot : Regs)
+    RegSlot = 0;
+  writeReg(Reg::SP, LayoutConstants::StackTop);
+  writeReg(Reg::FP, LayoutConstants::StackTop);
+  writeReg(Reg::GP, LayoutConstants::GpValue);
+  writeReg(Reg::RA, ExitPc);
+  for (size_t AI = 0; AI != Opts.Args.size() && AI != 4; ++AI)
+    writeReg(static_cast<Reg>(static_cast<unsigned>(Reg::A0) + AI),
+             static_cast<uint32_t>(Opts.Args[AI]));
+
+  uint32_t MainIdx = M.functionIndex("main");
+  if (MainIdx == InvalidIndex) {
+    R.Halt = HaltReason::Trapped;
+    R.TrapMessage = "no 'main' function";
+    return R;
+  }
+
+  jit::EngineOptions EOpts;
+  EOpts.HotThreshold = Opts.JitHotThreshold;
+  jit::EngineCallbacks ECbs;
+  ECbs.RuntimeCall = [this, &R](uint32_t Fn) {
+    bool ShouldHalt = false;
+    handleRuntimeCall(static_cast<RuntimeFn>(Fn), R, ShouldHalt);
+    return ShouldHalt;
+  };
+  ECbs.SymAt = [this](uint64_t Pc) {
+    return M.instrAt(Prog.FlatMap[Pc]).Sym;
+  };
+  jit::Engine E(Prog, Mem, DCache, Regs, Opts.MaxInstrs,
+                Opts.DCache.BlockBytes, EOpts, std::move(ECbs));
+
+  if (Opts.JitFromAnalysis) {
+    std::vector<uint32_t> Leaders;
+    for (const absint::HotBlock &H :
+         absint::provenHotBlocks(M, L, Opts.JitHotThreshold))
+      Leaders.push_back(Prog.FuncEntryFlat[H.FuncIdx] + H.InstrIdx);
+    E.precompile(Leaders);
+  }
+
+  E.run(Prog.FuncEntryFlat[MainIdx], R);
+
+  const jit::EngineStats &S = E.stats();
+  SimCounters &C = simCounters();
+  C.JitRuns.inc();
+  C.JitBlocks.add(S.BlocksCompiled);
+  C.JitCodeBytes.add(S.CodeBytes);
+  C.JitDeopts.add(S.Deopts);
+  C.JitInterpRetired.add(S.InterpRetired);
   return R;
 }
 

@@ -48,6 +48,19 @@ enum class HaltReason {
   Trapped,       ///< Bad instruction, bad call, division by zero, ...
 };
 
+/// Which execution engine drives a run. Either engine produces bit-identical
+/// results (per-PC counters included); the choice is purely about speed.
+enum class EngineKind {
+  Auto,   ///< JIT when eligible (see MachineOptions::Engine), honoring the
+          ///< DLQ_JIT environment variable ("0" forces the interpreter).
+  Interp, ///< The token-threaded interpreter, always.
+  Jit,    ///< The copy-and-patch JIT; silently falls back to the
+          ///< interpreter when the host or the configuration rules it out.
+};
+
+/// Parses "auto" / "interp" / "jit" (anything else falls back to Auto).
+EngineKind engineKindFromString(const std::string &S);
+
 /// Simulator options.
 struct MachineOptions {
   CacheConfig DCache = CacheConfig::baseline();
@@ -72,6 +85,15 @@ struct MachineOptions {
   /// motivating application: software prefetching precisely targeted at the
   /// (predicted) delinquent loads. Empty set = no prefetching.
   std::set<masm::InstrRef> PrefetchLoads;
+  /// Execution engine. The JIT requires the flat memory backing, no
+  /// I-cache simulation and an executable-memory host; ineligible
+  /// configurations run the interpreter regardless of this setting.
+  EngineKind Engine = EngineKind::Auto;
+  /// Dispatcher visits of a block leader before the JIT compiles it.
+  uint32_t JitHotThreshold = 16;
+  /// Precompile loop bodies whose trip counts the abstract interpreter
+  /// proved (absint/JitHints.h) instead of waiting for the hotness ramp.
+  bool JitFromAnalysis = true;
 };
 
 /// Per-load dynamic statistics at one PC.
@@ -123,10 +145,18 @@ public:
   /// Runs from `main` to completion and returns the collected statistics.
   RunResult run();
 
+  /// Whether this machine will execute through the JIT (engine selection is
+  /// settled at construction: it affects predecode fusion).
+  bool usingJit() const { return UseJit; }
+
 private:
   /// The interpreter loop, specialized at compile time on whether an I-cache
   /// is simulated so the common no-I-cache configuration pays nothing for it.
   template <bool WithICache> RunResult runLoop();
+
+  /// The JIT-driven run: same preamble and result contract as runLoop, with
+  /// execution delegated to jit::Engine.
+  RunResult runJit();
 
 private:
   const masm::Module &M;
@@ -134,6 +164,8 @@ private:
   MachineOptions Opts;
 
   DecodedProgram Prog;
+  /// Settled in the constructor (the JIT needs an unfused predecode).
+  bool UseJit = false;
 
   Memory Mem;
   /// Register file plus one extra slot: Regs[DiscardReg] absorbs writes the

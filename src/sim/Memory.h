@@ -137,6 +137,10 @@ public:
   /// Whether the flat 4 GiB backing is active.
   bool isFlat() const { return Flat != nullptr; }
 
+  /// Base of the flat backing (null when paged). The JIT inlines guest
+  /// accesses against this pointer; it is stable for the Memory's lifetime.
+  uint8_t *flatBase() const { return Flat; }
+
   /// Number of materialized pages. Only meaningful for the paged backing
   /// (the flat backing leaves materialization to the host kernel and
   /// reports 0).

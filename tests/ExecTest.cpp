@@ -19,6 +19,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <set>
@@ -483,6 +484,36 @@ TEST(ExecOptions, MalformedJobsValueSetsError) {
     EXPECT_FALSE(Opts.Error.empty()) << Bad;
     EXPECT_EQ(Opts.Jobs, 0u) << Bad;
   }
+}
+
+TEST(ExecOptions, EngineFlagParsesAndValidates) {
+  for (const char *Kind : {"auto", "interp", "jit"}) {
+    ExecOptions Opts;
+    std::string Flag = std::string("--engine=") + Kind;
+    const char *Args[] = {"prog", Flag.c_str()};
+    char **Argv = const_cast<char **>(Args);
+    int I = 1;
+    EXPECT_TRUE(Opts.consumeArg(2, Argv, I)) << Kind;
+    EXPECT_TRUE(Opts.Error.empty()) << Kind;
+    EXPECT_EQ(Opts.Engine, Kind);
+  }
+
+  ExecOptions Opts;
+  const char *Args[] = {"prog", "--engine", "turbo"};
+  char **Argv = const_cast<char **>(Args);
+  int I = 1;
+  EXPECT_TRUE(Opts.consumeArg(3, Argv, I));
+  EXPECT_FALSE(Opts.Error.empty());
+  EXPECT_EQ(Opts.Engine, "auto");
+}
+
+TEST(ExecOptions, EngineComesFromDlqJitEnvironment) {
+  ASSERT_EQ(setenv("DLQ_JIT", "0", 1), 0);
+  EXPECT_EQ(ExecOptions::fromEnv().Engine, "interp");
+  ASSERT_EQ(setenv("DLQ_JIT", "1", 1), 0);
+  EXPECT_EQ(ExecOptions::fromEnv().Engine, "jit");
+  ASSERT_EQ(unsetenv("DLQ_JIT"), 0);
+  EXPECT_EQ(ExecOptions::fromEnv().Engine, "auto");
 }
 
 //===----------------------------------------------------------------------===//

@@ -323,6 +323,7 @@ FileReport runOne(const std::string &Path, const CliOptions &Opts,
     masm::Layout L(*M);
     sim::MachineOptions MOpts;
     MOpts.DCache = Opts.Cache;
+    MOpts.Engine = sim::engineKindFromString(Opts.Exec.Engine);
     exec::PhaseTimer Timer(Stats, exec::Phase::Simulate);
     sim::Machine Mach(*M, L, MOpts);
     R = Mach.run();
