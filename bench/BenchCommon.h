@@ -16,6 +16,7 @@
 #ifndef DLQ_BENCH_BENCHCOMMON_H
 #define DLQ_BENCH_BENCHCOMMON_H
 
+#include "camodel/Camodel.h"
 #include "exec/Hash.h"
 #include "exec/JobPool.h"
 #include "exec/Options.h"
@@ -72,16 +73,42 @@ inline uint64_t workloadSeed(uint64_t Base, const std::string &Name) {
   return Base ^ exec::fnv1a(Name.data(), Name.size());
 }
 
+/// The cache geometries of the paper's sweeps, in one place so the sweep
+/// benches and the analytical backend can never drift apart: Table 8 holds
+/// the baseline size and block and varies associativity; Table 9 holds
+/// 4-way 32-byte blocks and varies the size.
+inline sim::CacheConfig assocSweepCache(uint32_t Assoc) {
+  return sim::CacheConfig{8 * 1024, Assoc, 32};
+}
+inline sim::CacheConfig sizeSweepCache(uint32_t Kb) {
+  return sim::CacheConfig{Kb * 1024, 4, 32};
+}
+
 /// The shared bench command line.
 struct BenchConfig {
   exec::ExecOptions Exec = exec::ExecOptions::fromEnv();
   std::string JsonPath;
+  /// --engine=camodel: geometry sweeps use the analytical cache model with
+  /// a single baseline-geometry simulation as ground truth, instead of one
+  /// simulation per geometry.
+  bool Camodel = false;
   bool Ok = true;
 };
 
 inline BenchConfig parseArgs(int Argc, char **Argv) {
   BenchConfig C;
   for (int I = 1; I < Argc; ++I) {
+    // The analytical backend is a bench-level engine, not a simulation
+    // engine: intercept it before ExecOptions validates --engine values.
+    std::string Lead = Argv[I];
+    if (Lead == "--engine=camodel" ||
+        (Lead == "--engine" && I + 1 < Argc &&
+         std::string(Argv[I + 1]) == "camodel")) {
+      if (Lead == "--engine")
+        ++I;
+      C.Camodel = true;
+      continue;
+    }
     if (C.Exec.consumeArg(Argc, Argv, I)) {
       if (!C.Exec.Error.empty()) {
         std::fprintf(stderr, "error: %s\n", C.Exec.Error.c_str());
@@ -150,6 +177,30 @@ inline void finish(pipeline::Driver &D, const BenchConfig &Cfg,
   if (Json && !Cfg.JsonPath.empty())
     Json->write(Cfg.JsonPath, D);
   Cfg.Exec.writeTrace();
+}
+
+/// rho under geometry \p Preds was computed for, with misses *estimated*
+/// instead of simulated: each load contributes execs x predicted miss
+/// ratio; loads the model cannot capture fall back to their miss ratio
+/// from the baseline-geometry simulation in \p G. This is what makes
+/// --engine=camodel sweeps one-simulation cheap.
+inline double
+analyticRho(const metrics::LoadSet &Delta, const pipeline::GroundTruth &G,
+            const std::map<masm::InstrRef, camodel::Prediction> &Preds) {
+  double Covered = 0, Total = 0;
+  for (const auto &[Ref, St] : G.Stats) {
+    if (St.Execs == 0)
+      continue;
+    double Ratio = static_cast<double>(St.Misses) / St.Execs;
+    auto It = Preds.find(Ref);
+    if (It != Preds.end() && It->second.Known)
+      Ratio = It->second.MissRatio;
+    double Miss = static_cast<double>(St.Execs) * Ratio;
+    Total += Miss;
+    if (Delta.count(Ref))
+      Covered += Miss;
+  }
+  return Total == 0 ? 0 : Covered / Total;
 }
 
 /// Registry names, preserving table order.

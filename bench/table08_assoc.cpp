@@ -25,7 +25,11 @@ int main(int Argc, char **Argv) {
   BenchConfig Cfg = parseArgs(Argc, Argv);
   if (!Cfg.Ok)
     return 2;
-  banner("Table 8", "rho stability across cache associativity (-O code)");
+  banner("Table 8", Cfg.Camodel
+                        ? "rho stability across cache associativity "
+                          "(-O code, analytical cache model)"
+                        : "rho stability across cache associativity "
+                          "(-O code)");
 
   Driver D(Cfg.Exec);
   classify::HeuristicOptions Opts;
@@ -36,14 +40,34 @@ int main(int Argc, char **Argv) {
   std::vector<Row> Rows = tableRows<Row>(
       D, Names,
       [&](const std::string &Name) {
+        if (Cfg.Camodel) {
+          // One simulation at the baseline geometry; the sweep itself is
+          // closed-form.
+          D.run(Name, InputSel::Input1, OptLevel, assocSweepCache(4));
+          return;
+        }
         for (uint32_t A : Assocs)
-          D.run(Name, InputSel::Input1, OptLevel,
-                sim::CacheConfig{8 * 1024, A, 32});
+          D.run(Name, InputSel::Input1, OptLevel, assocSweepCache(A));
       },
       [&](const std::string &Name) {
         Row R;
+        if (Cfg.Camodel) {
+          sim::CacheConfig Base = assocSweepCache(4);
+          const HeuristicEval &E =
+              D.evalHeuristic(Name, InputSel::Input1, OptLevel, Base, Opts);
+          GroundTruth G =
+              D.groundTruth(Name, InputSel::Input1, OptLevel, Base);
+          const Compiled &C = D.compiled(Name, InputSel::Input1, OptLevel);
+          camodel::CacheModel Model(*C.M, *C.L);
+          R.Pi = E.E.pi();
+          for (unsigned AI = 0; AI != 3; ++AI)
+            R.Rho[AI] =
+                analyticRho(E.Delta, G, Model.predict(assocSweepCache(
+                                            Assocs[AI])));
+          return R;
+        }
         for (unsigned AI = 0; AI != 3; ++AI) {
-          sim::CacheConfig Cache{8 * 1024, Assocs[AI], 32};
+          sim::CacheConfig Cache = assocSweepCache(Assocs[AI]);
           const HeuristicEval &E =
               D.evalHeuristic(Name, InputSel::Input1, OptLevel, Cache, Opts);
           if (AI == 0)

@@ -24,7 +24,10 @@ int main(int Argc, char **Argv) {
   BenchConfig Cfg = parseArgs(Argc, Argv);
   if (!Cfg.Ok)
     return 2;
-  banner("Table 9", "rho stability across cache sizes (-O code)");
+  banner("Table 9", Cfg.Camodel
+                        ? "rho stability across cache sizes (-O code, "
+                          "analytical cache model)"
+                        : "rho stability across cache sizes (-O code)");
 
   Driver D(Cfg.Exec);
   classify::HeuristicOptions Opts;
@@ -35,14 +38,33 @@ int main(int Argc, char **Argv) {
   std::vector<Row> Rows = tableRows<Row>(
       D, Names,
       [&](const std::string &Name) {
+        if (Cfg.Camodel) {
+          // One simulation at the baseline geometry; the sweep itself is
+          // closed-form.
+          D.run(Name, InputSel::Input1, OptLevel, sizeSweepCache(8));
+          return;
+        }
         for (uint32_t Kb : SizesKb)
-          D.run(Name, InputSel::Input1, OptLevel,
-                sim::CacheConfig{Kb * 1024, 4, 32});
+          D.run(Name, InputSel::Input1, OptLevel, sizeSweepCache(Kb));
       },
       [&](const std::string &Name) {
         Row R;
+        if (Cfg.Camodel) {
+          sim::CacheConfig Base = sizeSweepCache(8);
+          const HeuristicEval &E =
+              D.evalHeuristic(Name, InputSel::Input1, OptLevel, Base, Opts);
+          GroundTruth G =
+              D.groundTruth(Name, InputSel::Input1, OptLevel, Base);
+          const Compiled &C = D.compiled(Name, InputSel::Input1, OptLevel);
+          camodel::CacheModel Model(*C.M, *C.L);
+          R.Pi = E.E.pi();
+          for (unsigned SI = 0; SI != 4; ++SI)
+            R.Rho[SI] = analyticRho(
+                E.Delta, G, Model.predict(sizeSweepCache(SizesKb[SI])));
+          return R;
+        }
         for (unsigned SI = 0; SI != 4; ++SI) {
-          sim::CacheConfig Cache{SizesKb[SI] * 1024, 4, 32};
+          sim::CacheConfig Cache = sizeSweepCache(SizesKb[SI]);
           const HeuristicEval &E =
               D.evalHeuristic(Name, InputSel::Input1, OptLevel, Cache, Opts);
           if (SI == 0)

@@ -11,6 +11,7 @@
 
 #include "baselines/Bdh.h"
 #include "baselines/Okn.h"
+#include "baselines/ReuseDist.h"
 #include "metrics/Metrics.h"
 
 using namespace dlq;
@@ -20,8 +21,8 @@ using namespace dlq::pipeline;
 namespace {
 
 struct Row {
-  double OknPi = 0, OknRho = 0, BdhPi = 0, BdhRho = 0, OursPi = 0,
-         OursRho = 0;
+  double OknPi = 0, OknRho = 0, BdhPi = 0, BdhRho = 0, RdPi = 0, RdRho = 0,
+         OursPi = 0, OursRho = 0;
 };
 
 } // namespace
@@ -54,48 +55,60 @@ int main(int Argc, char **Argv) {
         metrics::LoadSet BdhD = Bdh.delinquentSet();
         metrics::EvalResult BdhE = metrics::evaluate(Lambda, BdhD, G.Stats);
 
+        baselines::ReuseDistAnalyzer Rd(*C.M, *C.L, Cache);
+        metrics::LoadSet RdD(Rd.delinquentSet().begin(),
+                             Rd.delinquentSet().end());
+        metrics::EvalResult RdE = metrics::evaluate(Lambda, RdD, G.Stats);
+
         const HeuristicEval &Ours =
             D.evalHeuristic(Name, InputSel::Input1, 0, Cache, Opts);
 
-        return Row{OknE.pi(),  OknE.rho(),    BdhE.pi(),
-                   BdhE.rho(), Ours.E.pi(),   Ours.E.rho()};
+        return Row{OknE.pi(),  OknE.rho(), BdhE.pi(),    BdhE.rho(),
+                   RdE.pi(),   RdE.rho(),  Ours.E.pi(),  Ours.E.rho()};
       });
 
   TextTable T({"Benchmark", "OKN pi", "OKN rho", "BDH pi", "BDH rho",
-               "Ours pi", "Ours rho"});
+               "RD pi", "RD rho", "Ours pi", "Ours rho"});
   JsonReport Json("table12_baselines");
-  double Sop = 0, Sor = 0, Sbp = 0, Sbr = 0, Shp = 0, Shr = 0;
+  double Sop = 0, Sor = 0, Sbp = 0, Sbr = 0, Srp = 0, Srr = 0, Shp = 0,
+         Shr = 0;
   unsigned N = 0;
   for (size_t I = 0; I != Names.size(); ++I) {
     const workloads::Workload &W = *workloads::findWorkload(Names[I]);
     const Row &R = Rows[I];
     T.addRow({benchLabel(W), formatPercent(R.OknPi), pct(R.OknRho),
-              formatPercent(R.BdhPi), pct(R.BdhRho),
-              formatPercent(R.OursPi), pct(R.OursRho)});
+              formatPercent(R.BdhPi), pct(R.BdhRho), formatPercent(R.RdPi),
+              pct(R.RdRho), formatPercent(R.OursPi), pct(R.OursRho)});
     Json.addRow(W.Name, {{"okn_pi", R.OknPi},
                          {"okn_rho", R.OknRho},
                          {"bdh_pi", R.BdhPi},
                          {"bdh_rho", R.BdhRho},
+                         {"rd_pi", R.RdPi},
+                         {"rd_rho", R.RdRho},
                          {"ours_pi", R.OursPi},
                          {"ours_rho", R.OursRho}});
     Sop += R.OknPi;
     Sor += R.OknRho;
     Sbp += R.BdhPi;
     Sbr += R.BdhRho;
+    Srp += R.RdPi;
+    Srr += R.RdRho;
     Shp += R.OursPi;
     Shr += R.OursRho;
     ++N;
   }
   T.addRule();
   T.addRow({"AVERAGE", formatPercent(Sop / N), pct(Sor / N, 2),
-            formatPercent(Sbp / N), pct(Sbr / N, 2), formatPercent(Shp / N),
-            pct(Shr / N, 2)});
+            formatPercent(Sbp / N), pct(Sbr / N, 2), formatPercent(Srp / N),
+            pct(Srr / N, 2), formatPercent(Shp / N), pct(Shr / N, 2)});
   emit(T);
   footnote("paper: OKN 55.88%/92.06%, BDH 50.73%/93.00%, ours 10.15%/92.61% "
            "— all three cover most misses; only ours is precise. (Absolute "
            "baseline pi here is lower than SPEC's because unoptimized MinC "
            "binaries carry a larger share of plain stack-slot reloads that "
-           "no structural method flags.)");
+           "no structural method flags.) RD is this repo's reuse-distance "
+           "baseline: analytical per-PC miss ratios thresholded at the "
+           "baseline geometry, unknown-in-loop loads flagged.");
   finish(D, Cfg, &Json);
   return 0;
 }

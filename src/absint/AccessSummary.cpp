@@ -1,0 +1,192 @@
+//===- absint/AccessSummary.cpp -------------------------------------------==//
+
+#include "absint/AccessSummary.h"
+
+#include "masm/Opcode.h"
+
+using namespace dlq;
+using namespace dlq::absint;
+using namespace dlq::masm;
+
+namespace {
+
+/// Trip-count products saturate instead of wrapping: a nest of 1e9-trip
+/// loops must still compare sanely against object extents.
+constexpr uint64_t TripSaturation = 1000000000000000ull; // 1e15
+
+uint64_t satMul(uint64_t A, uint64_t B) {
+  if (A == 0 || B == 0)
+    return 0;
+  if (A > TripSaturation / B)
+    return TripSaturation;
+  return A * B;
+}
+
+} // namespace
+
+uint64_t FunctionAccessInfo::nestTrips(uint32_t LoopIdx) const {
+  uint64_t Product = 1;
+  for (uint32_t I = LoopIdx; I != InvalidIndex; I = Loops[I].Parent) {
+    if (Loops[I].Trip == 0)
+      return 0;
+    Product = satMul(Product, Loops[I].Trip);
+  }
+  return Product;
+}
+
+FunctionAccessInfo absint::collectAccessInfo(const Module &M, const Layout &L,
+                                             uint32_t FuncIdx) {
+  FunctionAccessInfo Info;
+  Info.FuncIdx = FuncIdx;
+  const Function &F = M.functions()[FuncIdx];
+  if (F.empty())
+    return Info;
+
+  cfg::Cfg G(F);
+  cfg::DominatorTree DT(G);
+  cfg::LoopInfo LI(G, DT);
+  Interp::Options IO;
+  IO.ModLayout = &L;
+  IO.Frame = M.typeInfo().lookupFunction(F.name());
+  Interp AI(G, LI, IO);
+  AI.run();
+
+  // Loop nest: parent = smallest strictly-containing loop. Natural loops
+  // sharing a header are merged by LoopInfo, so containment of the header
+  // decides containment of the loop.
+  const std::vector<cfg::Loop> &Loops = LI.loops();
+  Info.Loops.resize(Loops.size());
+  for (uint32_t I = 0; I != Loops.size(); ++I) {
+    LoopSummary &S = Info.Loops[I];
+    S.Header = Loops[I].Header;
+    auto It = AI.tripCounts().find(I);
+    if (It != AI.tripCounts().end())
+      S.Trip = It->second;
+    size_t BestBlocks = ~size_t(0);
+    for (uint32_t J = 0; J != Loops.size(); ++J) {
+      if (J == I || !Loops[J].contains(Loops[I].Header) ||
+          Loops[J].Header == Loops[I].Header)
+        continue;
+      if (Loops[J].Blocks.size() < BestBlocks) {
+        BestBlocks = Loops[J].Blocks.size();
+        S.Parent = J;
+      }
+    }
+  }
+  // Depths follow the parent chains (parents always have more blocks, so a
+  // second pass ordered by block count would also work; chain-walking is
+  // simplest and the nests are shallow).
+  for (uint32_t I = 0; I != Info.Loops.size(); ++I) {
+    uint32_t Depth = 1;
+    for (uint32_t P = Info.Loops[I].Parent; P != InvalidIndex;
+         P = Info.Loops[P].Parent)
+      ++Depth;
+    Info.Loops[I].Depth = Depth;
+    // Entered every parent iteration iff the header dominates each path
+    // back to the parent's header.
+    uint32_t P = Info.Loops[I].Parent;
+    if (P != InvalidIndex)
+      for (uint32_t Latch : Loops[P].Latches)
+        if (!DT.dominates(Info.Loops[I].Header, Latch))
+          Info.Loops[I].Unconditional = false;
+  }
+
+  for (uint32_t I = 0; I != F.size(); ++I) {
+    const Instr &In = F.instrs()[I];
+    if (!isLoad(In.Op) && !isStore(In.Op))
+      continue;
+
+    AccessSummary S;
+    S.Ref = InstrRef{FuncIdx, I};
+    S.IsStore = isStore(In.Op);
+    S.Size = static_cast<uint8_t>(accessSize(In.Op));
+
+    uint32_t B = G.blockOf(I);
+    size_t InnerBlocks = ~size_t(0);
+    for (uint32_t LIdx = 0; LIdx != Loops.size(); ++LIdx) {
+      if (!Loops[LIdx].contains(B))
+        continue;
+      ++S.LoopDepth;
+      if (Loops[LIdx].Blocks.size() < InnerBlocks) {
+        InnerBlocks = Loops[LIdx].Blocks.size();
+        S.InnermostLoop = LIdx;
+      }
+    }
+    S.NestTrips = S.InnermostLoop == InvalidIndex
+                      ? 1
+                      : Info.nestTrips(S.InnermostLoop);
+
+    State Before = AI.stateBefore(I);
+    if (!Before.Reachable) {
+      // Dead code: keep the (never-executed) access visible but unknown.
+      Info.Accesses.push_back(S);
+      continue;
+    }
+    AbsValue Addr =
+        addValues(Before.reg(In.Rs), AbsValue::constant(In.Imm));
+    S.Base = Addr.Base;
+    S.Lo = Addr.Lo;
+    S.Hi = Addr.Hi;
+    S.Stride = Addr.Stride;
+
+    if (Addr.isTop()) {
+      S.Kind = AccessKind::Irregular;
+    } else if (Addr.Base.K == SymBase::LoadVal) {
+      // The base itself was loaded from memory: a pointer chase. This must
+      // outrank the singleton test — `8(p)` with a loaded p is a singleton
+      // *offset* from a value that changes every iteration, not a fixed
+      // address. Even a proven congruence would describe alignment, not the
+      // visit order.
+      S.Kind = AccessKind::Irregular;
+    } else if (Addr.isSingleton()) {
+      S.Kind = AccessKind::Invariant;
+      S.Stride = 0;
+    } else if (Addr.Stride >= 2 && (Addr.Lo != NegInf || Addr.Hi != PosInf)) {
+      S.Kind = AccessKind::Regular;
+    } else {
+      // Stride 1 is the congruence lattice's "no information": it cannot
+      // distinguish a byte-wise walk from a data-dependent index.
+      S.Kind = AccessKind::Irregular;
+    }
+
+    // Object extent from the anchor in the walk direction. Ascending walks
+    // anchor at Lo, descending at Hi; invariant accesses anchor at their
+    // fixed address.
+    bool Ascending = Addr.Lo != NegInf;
+    int64_t Anchor = Ascending ? Addr.Lo : Addr.Hi;
+    int64_t Concrete = 0;
+    bool HasConcrete = false;
+    if (Addr.Base.K == SymBase::None && (Addr.Lo != NegInf ||
+                                         Addr.Hi != PosInf)) {
+      Concrete = Anchor;
+      HasConcrete = true;
+    } else if (Addr.Base.K == SymBase::EntryReg &&
+               Addr.Base.R == Reg::GP &&
+               (Addr.Lo != NegInf || Addr.Hi != PosInf)) {
+      Concrete = static_cast<int64_t>(LayoutConstants::GpValue) + Anchor;
+      HasConcrete = true;
+    }
+    if (HasConcrete && Concrete >= 0 && Concrete <= UINT32_MAX) {
+      uint32_t Offset = 0;
+      if (const Global *Gl =
+              L.globalAt(static_cast<uint32_t>(Concrete), Offset)) {
+        S.Extent = Ascending
+                       ? static_cast<uint64_t>(Gl->Size) - Offset
+                       : static_cast<uint64_t>(Offset) + S.Size;
+        S.ObjBase = static_cast<uint64_t>(Concrete) - Offset;
+      }
+    }
+
+    Info.Accesses.push_back(S);
+  }
+  return Info;
+}
+
+std::vector<FunctionAccessInfo>
+absint::collectModuleAccessInfo(const Module &M, const Layout &L) {
+  std::vector<FunctionAccessInfo> All;
+  All.reserve(M.functions().size());
+  for (uint32_t FI = 0; FI != M.functions().size(); ++FI)
+    All.push_back(collectAccessInfo(M, L, FI));
+  return All;
+}

@@ -1,0 +1,128 @@
+//===- absint/AccessSummary.h - Per-access address functions ----------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exports what the abstract interpreter proved about every memory access of
+/// a function in a form the analytical cache model (src/camodel) can consume:
+/// the symbolic base and offset interval of the address, its congruence
+/// stride (the per-iteration advance of affine array walks), the enclosing
+/// natural-loop nest with any proven trip counts, and the extent of the
+/// underlying object when the base resolves to a global, the stack frame or
+/// a gp-relative address. This is the "static reuse profile" front half of
+/// the Razzak-style estimator: everything here is computed without running
+/// the program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_ABSINT_ACCESSSUMMARY_H
+#define DLQ_ABSINT_ACCESSSUMMARY_H
+
+#include "absint/Absint.h"
+#include "cfg/Cfg.h"
+#include "masm/Module.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dlq {
+namespace absint {
+
+/// How an access walks memory, as far as the domain can prove.
+enum class AccessKind : uint8_t {
+  /// The address is a fixed offset from its base for the whole execution
+  /// (scalar reloads, loop-invariant addresses).
+  Invariant,
+  /// The address is an affine walk: offsets form an arithmetic progression
+  /// with the proven congruence stride (unit-stride and strided array
+  /// accesses).
+  Regular,
+  /// The domain cannot capture the address sequence: loaded-pointer bases
+  /// (pointer chasing), data-dependent indices, or walks whose stride the
+  /// congruence lattice cannot separate from "anything" (stride 1).
+  Irregular,
+};
+
+/// What the abstract interpreter proved about one load or store.
+struct AccessSummary {
+  masm::InstrRef Ref;
+  bool IsStore = false;
+  uint8_t Size = 0; ///< Access width in bytes.
+  AccessKind Kind = AccessKind::Irregular;
+
+  /// Symbolic base of the address. None with a finite bound means the
+  /// address is concrete (global data); EntryReg sp/gp/params otherwise.
+  SymBase Base;
+  /// Offset interval relative to Base (absolute address when Base is None).
+  /// One side is typically infinite after widening; the finite side anchors
+  /// the walk (Lo for ascending, Hi for descending).
+  int64_t Lo = NegInf;
+  int64_t Hi = PosInf;
+  /// Address congruence modulus: the proven per-iteration advance of a
+  /// Regular walk. 0 = fixed address.
+  uint64_t Stride = 0;
+
+  /// Number of natural loops enclosing the access.
+  uint32_t LoopDepth = 0;
+  /// Index (into FunctionAccessInfo::Loops) of the innermost enclosing
+  /// loop, or masm::InvalidIndex when the access is outside all loops.
+  uint32_t InnermostLoop = masm::InvalidIndex;
+  /// Product of proven trip counts over all enclosing loops: the static
+  /// estimate of executions per function invocation. 0 when any enclosing
+  /// loop's trip count is unproven.
+  uint64_t NestTrips = 0;
+
+  /// Bytes of the underlying object reachable from the anchor in the walk
+  /// direction (including the access itself): the tightest static cap on
+  /// the walk's footprint. 0 when the object cannot be identified.
+  uint64_t Extent = 0;
+  /// Start address of the resolved underlying object (identity token: two
+  /// accesses with equal nonzero ObjBase walk the same global). 0 when the
+  /// object cannot be identified.
+  uint64_t ObjBase = 0;
+
+  bool regular() const { return Kind == AccessKind::Regular; }
+};
+
+/// One loop of the function's nest, with its proven trip count.
+struct LoopSummary {
+  uint32_t Header = 0;            ///< Header block id (for diagnostics).
+  uint32_t Parent = masm::InvalidIndex; ///< Immediately enclosing loop.
+  uint64_t Trip = 0;              ///< Proven bodies per entry; 0 = unproven.
+  uint32_t Depth = 1;             ///< Nesting depth (1 = outermost).
+  /// True when the loop is entered on every iteration of its parent (its
+  /// header dominates the parent's latches). False marks conditionally
+  /// guarded loops — amortized resets, error paths — whose footprint must
+  /// not be charged to every iteration of the enclosing loop.
+  bool Unconditional = true;
+};
+
+/// All access summaries of one function plus the loop nest they refer to.
+struct FunctionAccessInfo {
+  uint32_t FuncIdx = 0;
+  std::vector<AccessSummary> Accesses;
+  /// Parallel to cfg::LoopInfo::loops() of the function.
+  std::vector<LoopSummary> Loops;
+
+  /// Walks Loops' parent chain from \p LoopIdx to the root, multiplying
+  /// proven trip counts. Returns 0 if any loop on the chain is unproven.
+  uint64_t nestTrips(uint32_t LoopIdx) const;
+};
+
+/// Runs the abstract interpreter over function \p FuncIdx of \p M and
+/// summarizes every load and store. \p L supplies concrete addresses for
+/// global data (so `la`-rooted walks resolve to object extents).
+FunctionAccessInfo collectAccessInfo(const masm::Module &M,
+                                     const masm::Layout &L, uint32_t FuncIdx);
+
+/// collectAccessInfo over every non-empty function of the module.
+std::vector<FunctionAccessInfo> collectModuleAccessInfo(const masm::Module &M,
+                                                        const masm::Layout &L);
+
+} // namespace absint
+} // namespace dlq
+
+#endif // DLQ_ABSINT_ACCESSSUMMARY_H

@@ -1,0 +1,31 @@
+//===- baselines/ReuseDist.cpp --------------------------------------------==//
+
+#include "baselines/ReuseDist.h"
+
+using namespace dlq;
+using namespace dlq::baselines;
+
+ReuseDistAnalyzer::ReuseDistAnalyzer(const masm::Module &M,
+                                     const masm::Layout &L,
+                                     const sim::CacheConfig &Cache,
+                                     const ReuseDistOptions &Opts) {
+  camodel::CacheModel Model(M, L);
+  Preds = Model.predict(Cache);
+
+  // Loop membership of Unknown loads comes from the model's own access
+  // summaries (the predictions carry no loop context).
+  std::map<masm::InstrRef, bool> InLoop;
+  for (const absint::FunctionAccessInfo &Info : Model.accessInfo())
+    for (const absint::AccessSummary &A : Info.Accesses)
+      InLoop[A.Ref] = A.InnermostLoop != masm::InvalidIndex;
+
+  for (const auto &[Ref, P] : Preds) {
+    if (!P.Known) {
+      if (Opts.FlagUnknownInLoop && InLoop[Ref])
+        Delta.insert(Ref);
+      continue;
+    }
+    if (P.MissRatio >= Opts.MissThreshold)
+      Delta.insert(Ref);
+  }
+}

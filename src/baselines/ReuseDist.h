@@ -1,0 +1,64 @@
+//===- baselines/ReuseDist.h - reuse-distance baseline --------------------------//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A third baseline for Table 12, built on the analytical cache model
+/// (src/camodel) instead of address patterns: a load is predicted
+/// delinquent when its statically estimated reuse-distance profile gives a
+/// miss ratio at or above a threshold under the baseline cache. Loads the
+/// model cannot capture (pointer chases, data-dependent indices) are
+/// flagged when they sit inside a loop — a reuse-distance argument cannot
+/// clear them, and in practice they are exactly the delinquent ones.
+///
+/// This is the "static reuse profile" school of prior work next to the
+/// paper's pattern-matching school (OKN, BDH): structurally blind but
+/// geometry-aware, where the AG classes are geometry-blind but structurally
+/// sharp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_BASELINES_REUSEDIST_H
+#define DLQ_BASELINES_REUSEDIST_H
+
+#include "camodel/Camodel.h"
+#include "masm/Module.h"
+
+#include <map>
+#include <set>
+
+namespace dlq {
+namespace baselines {
+
+struct ReuseDistOptions {
+  /// Predicted miss ratio at or above this marks a load delinquent.
+  double MissThreshold = 0.05;
+  /// Flag model-Unknown loads that execute inside a loop.
+  bool FlagUnknownInLoop = true;
+};
+
+/// The reuse-distance classifier: camodel predictions under one geometry,
+/// thresholded into a delinquent set.
+class ReuseDistAnalyzer {
+public:
+  ReuseDistAnalyzer(const masm::Module &M, const masm::Layout &L,
+                    const sim::CacheConfig &Cache,
+                    const ReuseDistOptions &Opts = ReuseDistOptions());
+
+  const std::set<masm::InstrRef> &delinquentSet() const { return Delta; }
+  const std::map<masm::InstrRef, camodel::Prediction> &predictions() const {
+    return Preds;
+  }
+
+private:
+  std::map<masm::InstrRef, camodel::Prediction> Preds;
+  std::set<masm::InstrRef> Delta;
+};
+
+} // namespace baselines
+} // namespace dlq
+
+#endif // DLQ_BASELINES_REUSEDIST_H

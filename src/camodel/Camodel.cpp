@@ -1,0 +1,424 @@
+//===- camodel/Camodel.cpp ------------------------------------------------==//
+
+#include "camodel/Camodel.h"
+
+#include "masm/Opcode.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace dlq;
+using namespace dlq::camodel;
+using namespace dlq::absint;
+using namespace dlq::masm;
+
+const char *camodel::regimeName(Regime R) {
+  switch (R) {
+  case Regime::Invariant:
+    return "invariant";
+  case Regime::Fits:
+    return "fits";
+  case Regime::Streaming:
+    return "streaming";
+  case Regime::Cold:
+    return "cold";
+  case Regime::Unknown:
+    return "unknown";
+  }
+  return "?";
+}
+
+double camodel::hitProbability(uint64_t D, const sim::CacheConfig &Cfg) {
+  uint64_t Assoc = Cfg.Assoc;
+  if (D < Assoc)
+    return 1.0; // Fewer intervening blocks than ways: LRU cannot evict it.
+  uint32_t Sets = Cfg.numSets();
+  if (Sets <= 1)
+    return 0.0; // Fully associative and D >= ways: exact closed form.
+  // Uniform-placement correction: each of the D intervening blocks lands in
+  // this block's set with probability 1/S; the reuse hits iff fewer than A
+  // of them did. Terms are built iteratively from q^D.
+  double P = 1.0 / Sets, Q = 1.0 - P;
+  double Term = std::exp(static_cast<double>(D) * std::log(Q));
+  double Sum = Term;
+  for (uint64_t K = 0; K + 1 < Assoc; ++K) {
+    Term *= static_cast<double>(D - K) / static_cast<double>(K + 1) * (P / Q);
+    Sum += Term;
+  }
+  return std::min(1.0, Sum);
+}
+
+namespace {
+
+constexpr uint64_t Unbounded = ~0ull;
+
+uint64_t satMul(uint64_t A, uint64_t B) {
+  if (A == 0 || B == 0)
+    return 0;
+  if (A > Unbounded / 2 / B)
+    return Unbounded / 2;
+  return A * B;
+}
+
+uint64_t ceilDiv(uint64_t A, uint64_t B) { return (A + B - 1) / B; }
+
+/// The per-function model: footprints and loop-relative working sets are
+/// geometry-independent except for the block size, so everything is derived
+/// on demand per predict() call (a call is microseconds; clarity wins).
+class FunctionModel {
+public:
+  FunctionModel(const FunctionAccessInfo &Info, const sim::CacheConfig &Cfg)
+      : Info(Info), Cfg(Cfg), Block(Cfg.BlockBytes) {
+    Footprints.reserve(Info.Accesses.size());
+    for (const AccessSummary &A : Info.Accesses)
+      Footprints.push_back(footprintOf(A));
+  }
+
+  Prediction predict(size_t Idx) const;
+
+private:
+  /// Estimated distinct bytes the access touches over one function
+  /// invocation; Unbounded when nothing caps the walk.
+  uint64_t footprintOf(const AccessSummary &A) const {
+    if (A.Kind == AccessKind::Invariant)
+      return A.Size;
+    uint64_t F = Unbounded;
+    if (A.Lo != NegInf && A.Hi != PosInf)
+      F = std::min(F, static_cast<uint64_t>(A.Hi - A.Lo) + A.Size);
+    if (A.Kind == AccessKind::Regular && A.NestTrips > 0)
+      F = std::min(F, satMul(A.Stride, A.NestTrips) + A.Size);
+    if (A.Extent > 0)
+      F = std::min(F, A.Extent);
+    return F;
+  }
+
+  /// True when loop \p Ancestor is on \p Loop's parent chain (inclusive).
+  bool inLoop(uint32_t Loop, uint32_t Ancestor) const {
+    for (uint32_t L = Loop; L != InvalidIndex; L = Info.Loops[L].Parent)
+      if (L == Ancestor)
+        return true;
+    return false;
+  }
+
+  /// Product of proven trips of the loops enclosing \p A strictly inside
+  /// \p Outer (how many times A runs per iteration of Outer). 0 = unproven.
+  uint64_t tripsWithin(const AccessSummary &A, uint32_t Outer) const {
+    uint64_t Product = 1;
+    for (uint32_t L = A.InnermostLoop; L != InvalidIndex && L != Outer;
+         L = Info.Loops[L].Parent) {
+      if (Info.Loops[L].Trip == 0)
+        return 0;
+      Product = satMul(Product, Info.Loops[L].Trip);
+    }
+    return Product;
+  }
+
+  /// True when every loop strictly between \p A's innermost loop and
+  /// \p Outer (inclusive of the former) is entered on each iteration of its
+  /// parent. A conditional level — an amortized table reset, a rare slow
+  /// path — means A's full per-visit footprint must not be charged to every
+  /// \p Outer iteration.
+  bool runsEveryIteration(const AccessSummary &A, uint32_t Outer) const {
+    for (uint32_t L = A.InnermostLoop; L != InvalidIndex && L != Outer;
+         L = Info.Loops[L].Parent)
+      if (!Info.Loops[L].Unconditional)
+        return false;
+    return true;
+  }
+
+  /// Distinct blocks access \p BIdx touches during one iteration of loop
+  /// \p Outer (the reuse-interval contribution of a neighboring access).
+  uint64_t contribBlocks(size_t BIdx, uint32_t Outer) const {
+    const AccessSummary &A = Info.Accesses[BIdx];
+    if (A.Kind == AccessKind::Invariant)
+      return 1;
+    // Conditionally reached accesses pollute some iterations, not the
+    // steady state: charge the site once.
+    if (!runsEveryIteration(A, Outer))
+      return 1;
+    uint64_t Execs = tripsWithin(A, Outer);
+    uint64_t Bytes = Footprints[BIdx];
+    if (A.Kind == AccessKind::Regular) {
+      if (Execs > 0)
+        Bytes = std::min(Bytes, satMul(A.Stride, Execs) + A.Size);
+      if (Bytes == Unbounded)
+        return 1; // Nothing proven: count the stream once.
+      uint64_t Blocks = ceilDiv(Bytes, Block);
+      // A sparse walk (stride beyond the block) touches one block per
+      // execution, not span/Block blocks: the span is mostly skipped.
+      if (A.Stride >= Block && Execs > 0)
+        Blocks = std::min(Blocks, Execs);
+      return std::max<uint64_t>(1, Blocks);
+    }
+    // Irregular with a resolved object: every execution may touch a fresh
+    // block, capped by the object's extent. With no resolved object there
+    // is no evidence for per-execution pollution (a hash probe that mostly
+    // re-hits would count the same as a fresh-node chase), so the site
+    // counts once rather than swamping every neighbour's reuse distance.
+    if (A.Extent == 0)
+      return 1;
+    uint64_t ByExt = ceilDiv(A.Extent, Block);
+    uint64_t ByExec = Execs > 0 ? Execs : Unbounded;
+    return std::max<uint64_t>(1, std::min(ByExt, ByExec));
+  }
+
+  static int64_t anchorOf(const AccessSummary &A) {
+    return A.Lo != NegInf ? A.Lo : A.Hi;
+  }
+
+  /// True when accesses \p A and \p B provably address the same object:
+  /// the resolved global matches, or (unresolved bases) the symbolic base
+  /// and the finite anchor of the walk match.
+  bool sameObject(const AccessSummary &A, const AccessSummary &B) const {
+    if (A.ObjBase != 0 && B.ObjBase != 0)
+      return A.ObjBase == B.ObjBase;
+    if (A.Base.K != B.Base.K || A.Base.R != B.Base.R ||
+        A.Base.DefInstr != B.Base.DefInstr)
+      return false;
+    int64_t AnchorA = anchorOf(A), AnchorB = anchorOf(B);
+    return AnchorA != NegInf && AnchorA != PosInf && AnchorA == AnchorB;
+  }
+
+  /// Smallest positive distance (bytes, in walk direction) to another
+  /// regular access of the same object and stride in the same innermost
+  /// loop. Such a "leader" touches this access's blocks first (stencil
+  /// neighbours, rowptr[i]/rowptr[i+1] pairs); the follower then reuses
+  /// them a few iterations later. Returns 0 when no leader exists.
+  uint64_t leaderGap(size_t Idx) const {
+    const AccessSummary &A = Info.Accesses[Idx];
+    if (A.InnermostLoop == InvalidIndex)
+      return 0;
+    bool Ascending = A.Lo != NegInf;
+    uint64_t Best = 0;
+    for (size_t J = 0; J != Info.Accesses.size(); ++J) {
+      if (J == Idx)
+        continue;
+      const AccessSummary &B = Info.Accesses[J];
+      if (B.Kind != AccessKind::Regular || B.Stride != A.Stride ||
+          B.InnermostLoop != A.InnermostLoop || !sameObject(A, B))
+        continue;
+      int64_t G = Ascending ? anchorOf(B) - anchorOf(A)
+                            : anchorOf(A) - anchorOf(B);
+      if (G > 0 && (Best == 0 || static_cast<uint64_t>(G) < Best))
+        Best = static_cast<uint64_t>(G);
+    }
+    return Best;
+  }
+
+  /// Reuse distance (blocks) behind a leader \p GapBytes ahead: every
+  /// stream in the innermost loop advances for Gap/stride iterations
+  /// before the follower re-touches the leader's blocks. Same-object
+  /// streams whose anchors fall in the same block are one stream (e.g.
+  /// x[i][j-1] and x[i][j+1]).
+  uint64_t gapReuseDistance(size_t Self, uint64_t GapBytes) const {
+    const AccessSummary &A = Info.Accesses[Self];
+    uint32_t Li = A.InnermostLoop;
+    uint64_t Stride = std::max<uint64_t>(1, A.Stride);
+    uint64_t GapIters = std::max<uint64_t>(1, GapBytes / Stride);
+    uint64_t D = 0;
+    std::vector<std::pair<uint64_t, int64_t>> Buckets; // (obj, anchor/B)
+    for (size_t J = 0; J != Info.Accesses.size(); ++J) {
+      const AccessSummary &B = Info.Accesses[J];
+      if (!inLoop(B.InnermostLoop, Li))
+        continue;
+      if (B.InnermostLoop != Li) {
+        // A nested loop runs to completion GapIters times in the window.
+        D += satMul(GapIters, contribBlocks(J, Li));
+        continue;
+      }
+      if (B.Kind != AccessKind::Regular) {
+        D += 1;
+        continue;
+      }
+      std::pair<uint64_t, int64_t> Key{
+          B.ObjBase, anchorOf(B) / static_cast<int64_t>(Block)};
+      if (std::find(Buckets.begin(), Buckets.end(), Key) != Buckets.end())
+        continue;
+      Buckets.push_back(Key);
+      uint64_t Adv = ceilDiv(satMul(B.Stride, GapIters), Block);
+      if (B.Stride >= Block)
+        Adv = std::min(Adv, GapIters); // Sparse: one block per iteration.
+      D += std::max<uint64_t>(1, Adv);
+      if (D > (1ull << 32))
+        break;
+    }
+    return D;
+  }
+
+  /// True when some other analysable access in a different innermost loop
+  /// inside \p Carrier walks the same object as \p Idx. Sibling loops of
+  /// one carrier iteration then re-touch the blocks between each other, so
+  /// the object's reuse distance is its own footprint, not the carrier's
+  /// whole working set (the classic "several passes over the same small
+  /// array per outer iteration" shape).
+  bool rescannedBySibling(size_t Idx, uint32_t Carrier) const {
+    const AccessSummary &A = Info.Accesses[Idx];
+    for (size_t J = 0; J != Info.Accesses.size(); ++J) {
+      if (J == Idx)
+        continue;
+      const AccessSummary &B = Info.Accesses[J];
+      if (B.Kind == AccessKind::Irregular ||
+          B.InnermostLoop == A.InnermostLoop ||
+          !inLoop(B.InnermostLoop, Carrier))
+        continue;
+      if (sameObject(A, B))
+        return true;
+    }
+    return false;
+  }
+
+  /// Reuse distance (in blocks) seen across one iteration of \p Outer:
+  /// everything the loop body touches, except the access itself. Accesses
+  /// that resolve to the same object are distinct *blocks* of one array,
+  /// so their summed contribution is capped by the object's extent —
+  /// three walks of a 4KB matrix pollute 128 blocks, not 384.
+  uint64_t reuseDistance(size_t Self, uint32_t Outer) const {
+    uint64_t D = 0;
+    std::vector<std::pair<uint64_t, uint64_t>> PerObj; // (obj, blocks)
+    std::vector<std::pair<uint64_t, uint64_t>> ObjCap; // (obj, extent)
+    for (size_t I = 0; I != Info.Accesses.size(); ++I) {
+      if (I == Self)
+        continue;
+      const AccessSummary &B = Info.Accesses[I];
+      if (!inLoop(B.InnermostLoop, Outer))
+        continue;
+      uint64_t C = contribBlocks(I, Outer);
+      if (B.ObjBase != 0 && B.Extent > 0) {
+        auto Find = [&](auto &V) {
+          for (auto &E : V)
+            if (E.first == B.ObjBase)
+              return &E;
+          V.push_back({B.ObjBase, uint64_t(0)});
+          return &V.back();
+        };
+        Find(PerObj)->second += C;
+        auto *Cap = Find(ObjCap);
+        Cap->second = std::max(Cap->second, ceilDiv(B.Extent, Block));
+        continue;
+      }
+      D += C;
+      if (D > (1ull << 32))
+        break; // Far beyond any cache; stop summing.
+    }
+    for (size_t I = 0; I != PerObj.size(); ++I)
+      D += std::min(PerObj[I].second, ObjCap[I].second);
+    return D;
+  }
+
+  const FunctionAccessInfo &Info;
+  const sim::CacheConfig &Cfg;
+  uint64_t Block;
+  std::vector<uint64_t> Footprints;
+};
+
+Prediction FunctionModel::predict(size_t Idx) const {
+  const AccessSummary &A = Info.Accesses[Idx];
+  Prediction P;
+
+  if (A.Kind == AccessKind::Irregular)
+    return P; // Unknown.
+
+  if (A.Kind == AccessKind::Invariant) {
+    P.Known = true;
+    P.Footprint = A.Size;
+    if (A.InnermostLoop == InvalidIndex) {
+      // Executed once per call: steady-state miss ratio is not meaningful,
+      // and the contribution to total misses is negligible.
+      P.R = Regime::Cold;
+      P.MissRatio = 0;
+      return P;
+    }
+    // Re-accessed every iteration; it survives iff the rest of one
+    // iteration's working set does not push it out.
+    P.SpatialBlocks = reuseDistance(Idx, A.InnermostLoop);
+    P.MissRatio = 1.0 - hitProbability(P.SpatialBlocks, Cfg);
+    P.R = Regime::Invariant;
+    return P;
+  }
+
+  // Regular affine walk.
+  uint64_t F = Footprints[Idx];
+  if (F == Unbounded)
+    return P; // No proven cap on the walk: honest Unknown.
+  P.Known = true;
+  P.Footprint = F;
+
+  double NewBlockFrac =
+      std::min(1.0, static_cast<double>(A.Stride) / Block);
+
+  // Find the reuse-carrying loop: the parent of the innermost level whose
+  // full run covers the object (its next iteration re-walks the blocks).
+  uint32_t Carrier = InvalidIndex;
+  bool Covered = false;
+  uint64_t CoverTrips = 1; // Executions of A per object traversal.
+  for (uint32_t L = A.InnermostLoop; L != InvalidIndex;
+       L = Info.Loops[L].Parent) {
+    if (Info.Loops[L].Trip == 0)
+      break; // Unproven level: cannot see reuse above it.
+    CoverTrips = satMul(CoverTrips, Info.Loops[L].Trip);
+    if (satMul(A.Stride, CoverTrips) + A.Size >= F) {
+      Carrier = Info.Loops[L].Parent;
+      Covered = true;
+      break;
+    }
+  }
+
+  double TemporalHit = 0;
+  double ColdShare = 0;
+  uint64_t Gap = leaderGap(Idx);
+  if (Gap > 0) {
+    // A leader stream runs ahead: this access's blocks were touched
+    // Gap/stride iterations ago, whatever the loop nest above does. The
+    // leader pays the cold misses.
+    P.ReuseBlocks = gapReuseDistance(Idx, Gap);
+    TemporalHit = hitProbability(P.ReuseBlocks, Cfg);
+  } else if (Covered && Carrier != InvalidIndex) {
+    P.ReuseBlocks = reuseDistance(Idx, Carrier) + ceilDiv(F, Block);
+    if (rescannedBySibling(Idx, Carrier))
+      P.ReuseBlocks = std::min(P.ReuseBlocks, ceilDiv(F, Block));
+    TemporalHit = hitProbability(P.ReuseBlocks, Cfg);
+    // The first traversal still cold-misses; amortize it over the number
+    // of traversals the proven trip counts give.
+    uint64_t Traversals = 1;
+    if (A.NestTrips > 0 && CoverTrips > 0)
+      Traversals = std::max<uint64_t>(1, A.NestTrips / CoverTrips);
+    ColdShare = 1.0 / static_cast<double>(Traversals);
+  }
+
+  // Spatial reuse: successive iterations land in the same block (when the
+  // stride is below the block size) across one innermost iteration's
+  // working set.
+  double SpatialHit = 0;
+  if (A.Stride < Block && A.InnermostLoop != InvalidIndex) {
+    P.SpatialBlocks = reuseDistance(Idx, A.InnermostLoop);
+    SpatialHit = hitProbability(P.SpatialBlocks, Cfg);
+  }
+
+  double MissOnNewBlock =
+      (1.0 - TemporalHit) + TemporalHit * ColdShare;
+  P.MissRatio = NewBlockFrac * MissOnNewBlock +
+                (1.0 - NewBlockFrac) * (1.0 - SpatialHit);
+  P.MissRatio = std::min(1.0, std::max(0.0, P.MissRatio));
+  P.R = TemporalHit >= 0.5 ? Regime::Fits : Regime::Streaming;
+  return P;
+}
+
+} // namespace
+
+CacheModel::CacheModel(const Module &M, const Layout &L)
+    : Infos(collectModuleAccessInfo(M, L)) {}
+
+std::map<InstrRef, Prediction>
+CacheModel::predict(const sim::CacheConfig &Cfg) const {
+  std::map<InstrRef, Prediction> Out;
+  for (const FunctionAccessInfo &Info : Infos) {
+    FunctionModel FM(Info, Cfg);
+    for (size_t I = 0; I != Info.Accesses.size(); ++I) {
+      const AccessSummary &A = Info.Accesses[I];
+      if (A.IsStore)
+        continue; // Stores shape working sets; predictions are per load.
+      Out[A.Ref] = FM.predict(I);
+    }
+  }
+  return Out;
+}

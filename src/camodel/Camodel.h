@@ -1,0 +1,101 @@
+//===- camodel/Camodel.h - Analytical cache model ---------------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The second backend for per-PC miss prediction: instead of simulating the
+/// program against a sim::Cache, predict each load's miss ratio analytically
+/// from the static reuse profile of its access function (absint's
+/// AccessSummary export). The construction follows the two papers named in
+/// the ROADMAP:
+///
+///  - a static reuse/stack-distance profile per access, estimated from the
+///    loop nest: how many distinct cache blocks are touched between two uses
+///    of the same block ("Static Reuse Profile Estimation for Array
+///    Applications", Razzak et al.);
+///  - a fully-associative closed form — a reuse at stack distance D hits iff
+///    D < C/B blocks — plus a set-associative correction that treats block
+///    placement as uniform over the S sets, giving
+///        P(hit | D) = sum_{k=0}^{A-1} C(D,k) (1/S)^k (1 - 1/S)^(D-k)
+///    ("A Fast Analytical Model of Fully Associative Caches", Gysi et al.).
+///
+/// Every prediction is per-PC and per-geometry, so associativity/size sweeps
+/// (Tables 8/9 and the widened camodel sweep) cost microseconds per point
+/// instead of a full simulation. Accesses the domain cannot capture —
+/// pointer chases, data-dependent indices, byte-granular walks — get an
+/// honest Unknown verdict rather than a guess.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_CAMODEL_CAMODEL_H
+#define DLQ_CAMODEL_CAMODEL_H
+
+#include "absint/AccessSummary.h"
+#include "masm/Module.h"
+#include "sim/Cache.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dlq {
+namespace camodel {
+
+/// Which closed form produced a prediction (diagnostics and triage).
+enum class Regime : uint8_t {
+  Invariant, ///< Fixed address: stays resident while the loop runs.
+  Fits,      ///< Walk re-traverses an object whose reuse interval fits.
+  Streaming, ///< Walk never re-finds its blocks: misses on each new block.
+  Cold,      ///< Executed too rarely for steady-state behaviour (no loop).
+  Unknown,   ///< The domain could not capture the access.
+};
+
+/// One load's analytical prediction under one cache geometry.
+struct Prediction {
+  bool Known = false;   ///< False = Unknown verdict; MissRatio meaningless.
+  double MissRatio = 0; ///< Predicted misses / executions, in [0, 1].
+  Regime R = Regime::Unknown;
+
+  // Diagnostics for `delinq camodel` and divergence triage.
+  uint64_t Footprint = 0;     ///< Estimated distinct bytes walked.
+  uint64_t ReuseBlocks = 0;   ///< Temporal reuse distance (blocks; 0 none).
+  uint64_t SpatialBlocks = 0; ///< Spatial reuse distance (blocks; 0 none).
+};
+
+const char *regimeName(Regime R);
+
+/// P(hit) for one reuse whose backward stack distance is \p DistanceBlocks
+/// distinct blocks, under \p Cfg. Fully associative caches use the exact
+/// closed form (distance < blocks-in-cache); set-associative caches apply
+/// the uniform-placement binomial correction.
+double hitProbability(uint64_t DistanceBlocks, const sim::CacheConfig &Cfg);
+
+/// The analytical model of one module. Construction runs the abstract
+/// interpreter once per function (the expensive part); predictions for any
+/// number of geometries are then closed-form arithmetic per load.
+class CacheModel {
+public:
+  CacheModel(const masm::Module &M, const masm::Layout &L);
+
+  /// Per-load predictions under \p Cfg (all loads of the module appear;
+  /// irregular ones carry Known = false).
+  std::map<masm::InstrRef, Prediction>
+  predict(const sim::CacheConfig &Cfg) const;
+
+  /// The access summaries the model was built from (for reporting).
+  const std::vector<absint::FunctionAccessInfo> &accessInfo() const {
+    return Infos;
+  }
+
+private:
+  std::vector<absint::FunctionAccessInfo> Infos;
+};
+
+} // namespace camodel
+} // namespace dlq
+
+#endif // DLQ_CAMODEL_CAMODEL_H

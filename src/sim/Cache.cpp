@@ -4,21 +4,30 @@
 
 #include "support/Format.h"
 
-#include <cassert>
+#include <stdexcept>
 
 using namespace dlq;
 using namespace dlq::sim;
 
 static bool isPowerOfTwo(uint32_t V) { return V != 0 && (V & (V - 1)) == 0; }
 
-bool CacheConfig::valid() const {
+bool CacheConfig::valid() const { return validate().empty(); }
+
+std::string CacheConfig::validate() const {
   if (Assoc == 0 || BlockBytes == 0 || SizeBytes == 0)
-    return false;
+    return "cache geometry fields must be nonzero";
   if (!isPowerOfTwo(BlockBytes))
-    return false;
-  if (SizeBytes % (Assoc * BlockBytes) != 0)
-    return false;
-  return isPowerOfTwo(numSets());
+    return formatString("block size %u is not a power of two", BlockBytes);
+  // 64-bit product: Assoc * BlockBytes can wrap uint32 for adversarial
+  // sweep inputs, and a wrapped way size would fake divisibility.
+  uint64_t WayBytes = static_cast<uint64_t>(Assoc) * BlockBytes;
+  if (SizeBytes % WayBytes != 0)
+    return formatString("%u bytes is not a whole number of %u-byte ways "
+                        "(size must equal sets * assoc * block)",
+                        SizeBytes, static_cast<unsigned>(WayBytes));
+  if (!isPowerOfTwo(numSets()))
+    return formatString("set count %u is not a power of two", numSets());
+  return std::string();
 }
 
 std::string CacheConfig::describe() const {
@@ -27,7 +36,13 @@ std::string CacheConfig::describe() const {
 }
 
 Cache::Cache(const CacheConfig &Config) : Cfg(Config) {
-  assert(Cfg.valid() && "invalid cache configuration");
+  // Unconditional (not an assert): numSets() == 0 would otherwise become a
+  // division by zero / all-ones mask in Release builds, silently corrupting
+  // every sweep point downstream of the bad geometry.
+  std::string Problem = Cfg.validate();
+  if (!Problem.empty())
+    throw std::invalid_argument("invalid cache configuration (" +
+                                Cfg.describe() + "): " + Problem);
   SetMask = Cfg.numSets() - 1;
   uint32_t Block = Cfg.BlockBytes;
   BlockShift = 0;

@@ -31,8 +31,17 @@ struct CacheConfig {
   uint32_t Assoc = 4;
   uint32_t BlockBytes = 32;
 
-  uint32_t numSets() const { return SizeBytes / (Assoc * BlockBytes); }
+  /// Number of sets, or 0 when the geometry is not a whole number of sets
+  /// (callers must check valid() before using this as a divisor or mask).
+  uint32_t numSets() const {
+    uint64_t Way = static_cast<uint64_t>(Assoc) * BlockBytes;
+    if (Way == 0 || SizeBytes % Way != 0)
+      return 0;
+    return static_cast<uint32_t>(SizeBytes / Way);
+  }
   bool valid() const;
+  /// Empty when valid(); otherwise says what is wrong with the geometry.
+  std::string validate() const;
   std::string describe() const;
 
   /// The paper's training configuration: 4-way, 256 sets of 32-byte blocks.
@@ -44,6 +53,10 @@ struct CacheConfig {
 /// One cache with true-LRU replacement.
 class Cache {
 public:
+  /// Throws std::invalid_argument when \p Config is not a whole power-of-two
+  /// number of sets (an invalid geometry would otherwise divide and mask by
+  /// zero). Sweeps over unusual geometries rely on this being unconditional,
+  /// not an assert.
   explicit Cache(const CacheConfig &Config);
 
   /// Performs one access; returns true on hit. Loads and stores are treated

@@ -50,6 +50,34 @@ TEST(Pipeline, RunIsMemoizedPerCache) {
       << "a larger cache must not miss more on the same trace";
 }
 
+TEST(Pipeline, RunKeyCoversEveryGeometryField) {
+  // Regression: geometries sharing SizeBytes must not alias in the run
+  // cache — associativity and block size change miss counts too.
+  Driver &D = driver();
+  sim::CacheConfig Base = sim::CacheConfig::baseline(); // 8k, 4-way, 32B
+  sim::CacheConfig OneWay{8 * 1024, 1, 32};
+  sim::CacheConfig WideBlock{8 * 1024, 4, 64};
+  const sim::RunResult &A = D.run(FastBench, InputSel::Input1, 0, Base);
+  const sim::RunResult &B = D.run(FastBench, InputSel::Input1, 0, OneWay);
+  const sim::RunResult &C = D.run(FastBench, InputSel::Input1, 0, WideBlock);
+  EXPECT_NE(&A, &B);
+  EXPECT_NE(&A, &C);
+  EXPECT_NE(&B, &C);
+  // Same trace either way.
+  EXPECT_EQ(A.InstrsExecuted, B.InstrsExecuted);
+  EXPECT_EQ(A.InstrsExecuted, C.InstrsExecuted);
+  EXPECT_LE(A.LoadMisses, B.LoadMisses)
+      << "dropping associativity at fixed size must not reduce misses";
+
+  // The heuristic-eval cache must separate them as well.
+  classify::HeuristicOptions Opts;
+  const HeuristicEval &EA =
+      D.evalHeuristic(FastBench, InputSel::Input1, 0, Base, Opts);
+  const HeuristicEval &EB =
+      D.evalHeuristic(FastBench, InputSel::Input1, 0, OneWay, Opts);
+  EXPECT_NE(&EA, &EB);
+}
+
 TEST(Pipeline, GroundTruthConsistency) {
   Driver &D = driver();
   GroundTruth G =

@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 using namespace dlq;
 using namespace dlq::sim;
 using namespace dlq::masm;
@@ -120,6 +122,42 @@ TEST(Cache, ConfigValidation) {
   EXPECT_FALSE((CacheConfig{100, 4, 32}.valid()));
   EXPECT_EQ(CacheConfig::training().numSets(), 256u);
   EXPECT_EQ(CacheConfig::baseline().numSets(), 64u);
+}
+
+// Regression: numSets() used to silently compute 0 when SizeBytes is not
+// divisible by Assoc * BlockBytes, and Cache construction only asserted
+// (compiled out in Release), so the constructor went on to mask and divide
+// with 0. Geometry problems must be loud, unconditional errors.
+TEST(Cache, InvalidGeometryIsRejectedLoudly) {
+  // 1 KiB at 32 ways of 64-byte blocks: one way is 2 KiB > total size, so
+  // numSets computes 0.
+  CacheConfig ZeroSets{1024, 32, 64};
+  EXPECT_EQ(ZeroSets.numSets(), 0u);
+  EXPECT_FALSE(ZeroSets.valid());
+  EXPECT_THROW(Cache{ZeroSets}, std::invalid_argument);
+
+  // 24 KiB, 4-way, 32 B: divides to 192 sets — not a power of two.
+  CacheConfig BadSets{24 * 1024, 4, 32};
+  EXPECT_EQ(BadSets.numSets(), 192u);
+  EXPECT_FALSE(BadSets.valid());
+  EXPECT_NE(BadSets.validate().find("power of two"), std::string::npos);
+  EXPECT_THROW(Cache{BadSets}, std::invalid_argument);
+
+  // Zero fields and non-power-of-two blocks are named explicitly.
+  EXPECT_FALSE((CacheConfig{8192, 0, 32}.valid()));
+  EXPECT_THROW((Cache{CacheConfig{8192, 0, 32}}), std::invalid_argument);
+  EXPECT_FALSE((CacheConfig{8192, 4, 24}.valid()));
+
+  // Assoc * BlockBytes wrapping uint32 must not fake divisibility.
+  CacheConfig Overflow{1u << 31, 1u << 16, 1u << 16};
+  EXPECT_FALSE(Overflow.valid());
+
+  // The widened camodel sweep's extreme-but-legal corners stay accepted.
+  EXPECT_TRUE((CacheConfig{1024, 32, 32}.valid())) << "one set, 32 ways";
+  EXPECT_TRUE((CacheConfig{1024 * 1024, 1, 32}.valid())) << "1 MiB direct";
+  Cache OneSet(CacheConfig{1024, 32, 32});
+  EXPECT_FALSE(OneSet.access(0));
+  EXPECT_TRUE(OneSet.access(0));
 }
 
 TEST(Cache, ColdMissThenHit) {

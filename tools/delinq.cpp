@@ -24,6 +24,7 @@
 #include "absint/Absint.h"
 #include "absint/Lint.h"
 #include "ap/Pattern.h"
+#include "camodel/Camodel.h"
 #include "cfg/Cfg.h"
 #include "classify/Delinquency.h"
 #include "exec/ExecStats.h"
@@ -70,6 +71,8 @@ int usage() {
       "  analyze prog.mc... [-O1]     static delinquent-load identification\n"
       "  encode  prog.mc out.dqx [-O1] compile to a binary object file\n"
       "  disasm  prog.dqx             decode a binary object to assembly\n"
+      "  camodel workload... [-O1]    analytical per-PC miss prediction vs\n"
+      "          the simulator (registry workloads; honours --cache)\n"
       "  lint    prog.mc... [-O1]     abstract-interpretation codegen lint\n"
       "  lint-workloads               lint all registry workloads at -O0/-O1\n"
       "  trace   workload...          run the full pipeline over registry\n"
@@ -751,6 +754,83 @@ int cmdLintWorkloads(const CliOptions &Opts) {
   return Code;
 }
 
+/// `delinq camodel`: per-PC predicted-vs-simulated miss ratios for registry
+/// workloads under the --cache geometry. Loads the simulator counted as
+/// ground truth sit next to the analytical model's closed-form prediction,
+/// with the regime and footprint the model derived for triage.
+FileReport camodelOne(pipeline::Driver &D, const std::string &Name,
+                      const CliOptions &Opts) {
+  FileReport Rep;
+  const pipeline::Compiled &C =
+      D.compiled(Name, pipeline::InputSel::Input1, Opts.OptLevel);
+  pipeline::GroundTruth GT = D.groundTruth(Name, pipeline::InputSel::Input1,
+                                           Opts.OptLevel, Opts.Cache);
+
+  camodel::CacheModel Model(*C.M, *C.L);
+  std::map<masm::InstrRef, camodel::Prediction> Pred =
+      Model.predict(Opts.Cache);
+
+  Rep.Out += formatString("%s (%s)\n", Name.c_str(),
+                          Opts.Cache.describe().c_str());
+  Rep.Out += formatString("  %-22s %10s %8s %8s %7s  %-9s %s\n", "load",
+                          "execs", "sim", "pred", "|err|", "regime",
+                          "footprint");
+  size_t Known = 0, Executed = 0;
+  double ErrSum = 0, ErrMax = 0;
+  for (const auto &[Ref, P] : Pred) {
+    const masm::Function &F = C.M->functions()[Ref.FuncIdx];
+    auto It = GT.Stats.find(Ref);
+    uint64_t Execs = It == GT.Stats.end() ? 0 : It->second.Execs;
+    double SimRatio =
+        Execs == 0 ? 0.0
+                   : static_cast<double>(It->second.Misses) / Execs;
+    std::string Loc = formatString("%s+%u", F.name().c_str(), Ref.InstrIdx);
+    if (!P.Known) {
+      Rep.Out += formatString("  %-22s %10llu %8.4f %8s %7s  %-9s -\n",
+                              Loc.c_str(),
+                              static_cast<unsigned long long>(Execs),
+                              SimRatio, "?", "?", "unknown");
+      continue;
+    }
+    ++Known;
+    double Err = Execs == 0 ? 0.0 : std::abs(P.MissRatio - SimRatio);
+    if (Execs > 0) {
+      ++Executed;
+      ErrSum += Err;
+      ErrMax = std::max(ErrMax, Err);
+    }
+    Rep.Out += formatString(
+        "  %-22s %10llu %8.4f %8.4f %7.4f  %-9s %llu\n", Loc.c_str(),
+        static_cast<unsigned long long>(Execs), SimRatio, P.MissRatio, Err,
+        camodel::regimeName(P.R),
+        static_cast<unsigned long long>(P.Footprint));
+  }
+  Rep.Out += formatString(
+      "  %zu loads: %zu predicted, %zu unknown | executed+predicted %zu: "
+      "mean |err| %.4f, max %.4f\n",
+      Pred.size(), Known, Pred.size() - Known, Executed,
+      Executed ? ErrSum / Executed : 0.0, ErrMax);
+  return Rep;
+}
+
+int cmdCamodel(const std::vector<std::string> &Names,
+               const CliOptions &Opts) {
+  for (const std::string &N : Names)
+    if (!isRegistryWorkload(N)) {
+      std::fprintf(stderr, "error: '%s' is not a registry workload\n",
+                   N.c_str());
+      return 2;
+    }
+  pipeline::Driver D(Opts.Exec);
+  std::vector<FileReport> Reports =
+      D.pool().map<FileReport>(Names.size(), [&](size_t I) {
+        return camodelOne(D, Names[I], Opts);
+      });
+  int Code = emitReports(Names, Reports);
+  emitStats(Opts, D.stats(), D.store(), D.workers());
+  return Code;
+}
+
 int cmdEncode(const std::string &Path, const std::string &OutPath,
               const CliOptions &Opts) {
   std::string Err;
@@ -806,6 +886,8 @@ int main(int Argc, char **Argv) {
       return cmdRun(Paths, Opts);
     if (Cmd == "trace")
       return cmdTrace(Paths, Opts);
+    if (Cmd == "camodel")
+      return cmdCamodel(Paths, Opts);
     if (Cmd == "analyze")
       return cmdAnalyze(Paths, Opts);
     if (Paths.size() > 1 && Cmd != "encode") {
