@@ -1,0 +1,389 @@
+//===- bench/ipa_gate.cpp - interprocedural-analysis acceptance gate -----------//
+//
+// Measures what turning the interprocedural summaries on (--ipa) does to the
+// full workload registry, and enforces the PR's acceptance criteria:
+//
+//  - rho may not regress on any workload, and pi may grow only by flagging
+//    loads the intraprocedural analysis could not classify at all (phi = 0
+//    without IPA) -- new coverage, never lost precision;
+//  - on the pointer-chase workloads (li_like, gcc_like, parser_like) at
+//    least one argument-rooted load must resolve to a concrete pattern, the
+//    camodel's exec-weighted Unknown share must not grow, and at least one
+//    of the three must show a strict Unknown-share drop;
+//  - the analysis wall-time overhead of IPA must stay under 2x, measured by
+//    repeated direct construction of the analyses (no result caches).
+//
+// The registry is evaluated at -O1, where arguments stay in $a0..$a3 and
+// argument substitution is observable (-O0 spills them to frame slots). The
+// pointer-chase trio is additionally evaluated at -O0, where entry facts
+// make frame-resident address computations concrete for the camodel.
+//
+// `--write-baseline <path>` records the IPA-off numbers; `--check <path>`
+// additionally fails if the current IPA-off numbers drift from that
+// committed artifact (the CI pointer-chase coverage gate).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "ap/Pattern.h"
+#include "classify/Delinquency.h"
+#include "ipa/Summaries.h"
+#include "metrics/Metrics.h"
+
+#include <chrono>
+#include <cmath>
+#include <sstream>
+
+using namespace dlq;
+using namespace dlq::bench;
+using namespace dlq::pipeline;
+
+namespace {
+
+constexpr double Tolerance = 0.005;
+constexpr unsigned OptLevel = 1;
+const char *const PointerChase[] = {"li_like", "gcc_like", "parser_like"};
+
+struct Row {
+  double PiOff = 0, RhoOff = 0, PiOn = 0, RhoOn = 0;
+  double UnkOff = 0, UnkOn = 0;
+  unsigned ArgResolved = 0; ///< Param-rooted loads that became concrete.
+  /// Loads entering Delta that the IPA-off heuristic had already scored
+  /// above zero: growth not explained by new classification coverage.
+  unsigned UnexplainedFlags = 0;
+};
+
+/// The trio's extra -O0 evaluation (camodel entry-fact criterion).
+struct O0Row {
+  std::string Name;
+  double PiOff = 0, RhoOff = 0, UnkOff = 0, UnkOn = 0;
+};
+
+bool isPointerChase(const std::string &Name) {
+  for (const char *P : PointerChase)
+    if (Name == P)
+      return true;
+  return false;
+}
+
+/// Exec-weighted share of loads the analytical model cannot capture.
+double unknownShare(const Compiled &C, const GroundTruth &G,
+                    const sim::CacheConfig &Cache) {
+  camodel::CacheModel Model(*C.M, *C.L, C.Ipa.get());
+  std::map<masm::InstrRef, camodel::Prediction> Preds = Model.predict(Cache);
+  double Unknown = 0, Total = 0;
+  for (const auto &[Ref, St] : G.Stats) {
+    if (St.Execs == 0)
+      continue;
+    Total += static_cast<double>(St.Execs);
+    auto It = Preds.find(Ref);
+    if (It == Preds.end() || !It->second.Known)
+      Unknown += static_cast<double>(St.Execs);
+  }
+  return Total == 0 ? 0 : Unknown / Total;
+}
+
+bool anyParamLeaf(const std::vector<const ap::ApNode *> &Pats) {
+  for (const ap::ApNode *P : Pats)
+    if (ap::countBaseRegs(P).Param != 0)
+      return true;
+  return false;
+}
+
+/// Loads whose IPA-off pattern hangs off an argument register but whose
+/// IPA-on patterns are all concrete (no reg_param leaf left).
+unsigned argRootedResolved(const Compiled &Off, const Compiled &On) {
+  unsigned N = 0;
+  for (const auto &[Ref, Pats] : Off.Analysis->loadPatterns()) {
+    if (!anyParamLeaf(Pats))
+      continue;
+    auto It = On.Analysis->loadPatterns().find(Ref);
+    if (It != On.Analysis->loadPatterns().end() && !anyParamLeaf(It->second))
+      ++N;
+  }
+  return N;
+}
+
+/// Delta growth the IPA cannot take credit for: loads it newly flags even
+/// though the intraprocedural heuristic already classified them (phi > 0).
+unsigned unexplainedFlags(const HeuristicEval &Off, const HeuristicEval &On) {
+  unsigned N = 0;
+  for (const masm::InstrRef &Ref : On.Delta) {
+    if (Off.Delta.count(Ref))
+      continue;
+    auto It = Off.Scores.find(Ref);
+    if (It != Off.Scores.end() && It->second > 0)
+      ++N;
+  }
+  return N;
+}
+
+/// Minimal parser for the baseline artifact this tool itself writes: one
+/// `{"name": "...", "pi_off": x, "rho_off": y, "unk_off": z}` object per
+/// workload (names suffixed "@O0" for the trio's -O0 rows). Returns false
+/// (with a message) on malformed input.
+bool readBaseline(const std::string &Path,
+                  std::map<std::string, std::array<double, 3>> &Out) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot read baseline '%s'\n", Path.c_str());
+    return false;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string S = Buf.str();
+  size_t Pos = 0;
+  while ((Pos = S.find("\"name\": \"", Pos)) != std::string::npos) {
+    Pos += 9;
+    size_t End = S.find('"', Pos);
+    if (End == std::string::npos)
+      return false;
+    std::string Name = S.substr(Pos, End - Pos);
+    std::array<double, 3> V{};
+    const char *Keys[3] = {"\"pi_off\": ", "\"rho_off\": ", "\"unk_off\": "};
+    for (int K = 0; K != 3; ++K) {
+      size_t P = S.find(Keys[K], End);
+      if (P == std::string::npos)
+        return false;
+      V[K] = std::strtod(S.c_str() + P + std::strlen(Keys[K]), nullptr);
+    }
+    Out[Name] = V;
+    Pos = End;
+  }
+  return !Out.empty();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  // Peel this tool's own flags off before the shared parse sees them.
+  std::string WriteBaseline, CheckBaseline;
+  std::vector<char *> Args;
+  for (int I = 0; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if ((A == "--write-baseline" || A == "--check") && I + 1 < Argc) {
+      (A == "--check" ? CheckBaseline : WriteBaseline) = Argv[++I];
+      continue;
+    }
+    Args.push_back(Argv[I]);
+  }
+  BenchConfig Cfg = parseArgs(static_cast<int>(Args.size()), Args.data());
+  if (!Cfg.Ok)
+    return 2;
+  banner("IPA gate", "pi/rho, camodel Unknown share and analysis wall time, "
+                     "IPA off vs on");
+
+  exec::ExecOptions OffOpts = Cfg.Exec;
+  OffOpts.Ipa = false;
+  exec::ExecOptions OnOpts = Cfg.Exec;
+  OnOpts.Ipa = true;
+  Driver DOff(OffOpts);
+  Driver DOn(OnOpts);
+
+  sim::CacheConfig Cache = sim::CacheConfig::baseline();
+  classify::HeuristicOptions HOpts;
+  std::vector<std::string> Names = workloadNames(workloads::allWorkloads());
+
+  // Warm the simulations (shared between the two drivers through the
+  // persistent store).
+  {
+    exec::TaskSet Warm(DOff.pool());
+    for (const std::string &Name : Names)
+      Warm.add([&DOff, &Name, &Cache] {
+        DOff.run(Name, InputSel::Input1, OptLevel, Cache);
+      });
+    for (const char *Name : PointerChase)
+      Warm.add([&DOff, Name, &Cache] {
+        DOff.run(Name, InputSel::Input1, 0, Cache);
+      });
+    Warm.run();
+  }
+
+  std::vector<Row> Rows(Names.size());
+  for (size_t I = 0; I != Names.size(); ++I) {
+    GroundTruth G = DOff.groundTruth(Names[I], InputSel::Input1, OptLevel, Cache);
+    const HeuristicEval &EOff =
+        DOff.evalHeuristic(Names[I], InputSel::Input1, OptLevel, Cache, HOpts);
+    const HeuristicEval &EOn =
+        DOn.evalHeuristic(Names[I], InputSel::Input1, OptLevel, Cache, HOpts);
+    const Compiled &COff = DOff.compiled(Names[I], InputSel::Input1, OptLevel);
+    const Compiled &COn = DOn.compiled(Names[I], InputSel::Input1, OptLevel);
+    Row &R = Rows[I];
+    R.PiOff = EOff.E.pi();
+    R.RhoOff = EOff.E.rho();
+    R.PiOn = EOn.E.pi();
+    R.RhoOn = EOn.E.rho();
+    R.UnkOff = unknownShare(COff, G, Cache);
+    R.UnkOn = unknownShare(COn, G, Cache);
+    R.ArgResolved = argRootedResolved(COff, COn);
+    R.UnexplainedFlags = unexplainedFlags(EOff, EOn);
+  }
+
+  std::vector<O0Row> O0Rows;
+  for (const char *Name : PointerChase) {
+    GroundTruth G = DOff.groundTruth(Name, InputSel::Input1, 0, Cache);
+    const HeuristicEval &EOff =
+        DOff.evalHeuristic(Name, InputSel::Input1, 0, Cache, HOpts);
+    O0Row R;
+    R.Name = Name;
+    R.PiOff = EOff.E.pi();
+    R.RhoOff = EOff.E.rho();
+    R.UnkOff = unknownShare(DOff.compiled(Name, InputSel::Input1, 0), G, Cache);
+    R.UnkOn = unknownShare(DOn.compiled(Name, InputSel::Input1, 0), G, Cache);
+    O0Rows.push_back(R);
+  }
+
+  // Analysis wall time, measured by direct construction (the drivers'
+  // result caches would otherwise hide the work). Both sides run the full
+  // static stack a pipeline pays per module — pattern analysis plus the
+  // analytical cache model — since camodel re-runs the abstract
+  // interpreter itself when no summaries are available to share fixpoints
+  // with. Best of three passes over the registry.
+  using Clock = std::chrono::steady_clock;
+  double OffSeconds = 0, OnSeconds = 0;
+  for (int Rep = 0; Rep != 3; ++Rep) {
+    double Off = 0, On = 0;
+    for (const std::string &Name : Names) {
+      const Compiled &C = DOff.compiled(Name, InputSel::Input1, OptLevel);
+      Clock::time_point T0 = Clock::now();
+      {
+        classify::ModuleAnalysis A(*C.M);
+        camodel::CacheModel CM(*C.M, *C.L, nullptr);
+        CM.predict(Cache);
+      }
+      Off += std::chrono::duration<double>(Clock::now() - T0).count();
+      ipa::IpaOptions IO;
+      IO.Enable = true;
+      IO.ContextK = OnOpts.IpaK;
+      T0 = Clock::now();
+      {
+        ipa::ModuleSummaries S(*C.M, *C.L, IO);
+        classify::ModuleAnalysis A(*C.M, ap::ApBuilderOptions(), IO);
+        camodel::CacheModel CM(*C.M, *C.L, &S);
+        CM.predict(Cache);
+      }
+      On += std::chrono::duration<double>(Clock::now() - T0).count();
+    }
+    OffSeconds = Rep == 0 ? Off : std::min(OffSeconds, Off);
+    OnSeconds = Rep == 0 ? On : std::min(OnSeconds, On);
+  }
+
+  TextTable T({"Benchmark", "pi off", "pi on", "rho off", "rho on",
+               "unk off", "unk on", "arg-resolved"});
+  JsonReport Json("ipa_gate");
+  unsigned Failures = 0;
+  auto fail = [&Failures](const std::string &Msg) {
+    std::fprintf(stderr, "GATE FAIL: %s\n", Msg.c_str());
+    ++Failures;
+  };
+
+  for (size_t I = 0; I != Names.size(); ++I) {
+    const workloads::Workload &W = *workloads::findWorkload(Names[I]);
+    const Row &R = Rows[I];
+    T.addRow({benchLabel(W), formatPercent(R.PiOff), formatPercent(R.PiOn),
+              pct(R.RhoOff), pct(R.RhoOn), pct(R.UnkOff), pct(R.UnkOn),
+              formatString("%u", R.ArgResolved)});
+    Json.addRow(W.Name, {{"pi_off", R.PiOff},
+                         {"rho_off", R.RhoOff},
+                         {"unk_off", R.UnkOff},
+                         {"pi_on", R.PiOn},
+                         {"rho_on", R.RhoOn},
+                         {"unk_on", R.UnkOn},
+                         {"arg_resolved", double(R.ArgResolved)},
+                         {"unexplained_flags", double(R.UnexplainedFlags)}});
+
+    if (R.RhoOn < R.RhoOff - Tolerance)
+      fail(formatString("%s: rho regressed %.4f -> %.4f", Names[I].c_str(),
+                        R.RhoOff, R.RhoOn));
+    if (R.UnexplainedFlags != 0)
+      fail(formatString(
+          "%s: %u flagged load(s) the intraprocedural heuristic had already "
+          "classified (pi %.4f -> %.4f is not new coverage)",
+          Names[I].c_str(), R.UnexplainedFlags, R.PiOff, R.PiOn));
+    if (isPointerChase(Names[I])) {
+      if (R.ArgResolved == 0)
+        fail(formatString("%s: no argument-rooted load resolved",
+                          Names[I].c_str()));
+      if (R.UnkOn > R.UnkOff + Tolerance)
+        fail(formatString("%s: camodel Unknown share grew %.4f -> %.4f",
+                          Names[I].c_str(), R.UnkOff, R.UnkOn));
+    }
+  }
+  emit(T);
+
+  bool AnyUnknownDrop = false;
+  std::printf("pointer-chase trio at -O0 (camodel entry-fact criterion):\n");
+  for (const O0Row &R : O0Rows) {
+    std::printf("  %-12s unk off %5.1f%%  on %5.1f%%\n", R.Name.c_str(),
+                100 * R.UnkOff, 100 * R.UnkOn);
+    if (R.UnkOn > R.UnkOff + Tolerance)
+      fail(formatString("%s: -O0 camodel Unknown share grew %.4f -> %.4f",
+                        R.Name.c_str(), R.UnkOff, R.UnkOn));
+    AnyUnknownDrop |= R.UnkOn < R.UnkOff - Tolerance;
+  }
+  for (const Row &R : Rows)
+    AnyUnknownDrop |= R.UnkOn < R.UnkOff - Tolerance;
+  if (!AnyUnknownDrop)
+    fail("no workload's camodel Unknown share dropped at either opt level");
+
+  double Ratio = OffSeconds > 0 ? OnSeconds / OffSeconds : 1.0;
+  std::printf("analysis wall time: off %.3fs, on %.3fs (ratio %.2fx)\n\n",
+              OffSeconds, OnSeconds, Ratio);
+  if (Ratio >= 2.0)
+    fail(formatString("wall-time overhead %.2fx >= 2x", Ratio));
+
+  if (!CheckBaseline.empty()) {
+    std::map<std::string, std::array<double, 3>> Base;
+    if (!readBaseline(CheckBaseline, Base))
+      return 2;
+    auto check = [&](const std::string &Key, double Pi, double Rho,
+                     double Unk) {
+      auto It = Base.find(Key);
+      if (It == Base.end()) {
+        fail(formatString("%s: missing from baseline", Key.c_str()));
+        return;
+      }
+      double Cur[3] = {Pi, Rho, Unk};
+      const char *What[3] = {"pi_off", "rho_off", "unk_off"};
+      for (int K = 0; K != 3; ++K)
+        if (std::fabs(Cur[K] - It->second[K]) > Tolerance)
+          fail(formatString("%s: %s drifted from baseline %.4f -> %.4f",
+                            Key.c_str(), What[K], It->second[K], Cur[K]));
+    };
+    for (size_t I = 0; I != Names.size(); ++I)
+      check(Names[I], Rows[I].PiOff, Rows[I].RhoOff, Rows[I].UnkOff);
+    for (const O0Row &R : O0Rows)
+      check(R.Name + "@O0", R.PiOff, R.RhoOff, R.UnkOff);
+  }
+
+  if (!WriteBaseline.empty()) {
+    std::ofstream Out(WriteBaseline, std::ios::trunc);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   WriteBaseline.c_str());
+      return 2;
+    }
+    Out << "{\"workloads\": [\n";
+    for (size_t I = 0; I != Names.size(); ++I)
+      Out << formatString(
+          "  {\"name\": \"%s\", \"pi_off\": %.6f, \"rho_off\": %.6f, "
+          "\"unk_off\": %.6f},\n",
+          Names[I].c_str(), Rows[I].PiOff, Rows[I].RhoOff, Rows[I].UnkOff);
+    for (size_t I = 0; I != O0Rows.size(); ++I)
+      Out << formatString(
+          "  {\"name\": \"%s@O0\", \"pi_off\": %.6f, \"rho_off\": %.6f, "
+          "\"unk_off\": %.6f}%s\n",
+          O0Rows[I].Name.c_str(), O0Rows[I].PiOff, O0Rows[I].RhoOff,
+          O0Rows[I].UnkOff, I + 1 == O0Rows.size() ? "" : ",");
+    Out << "]}\n";
+  }
+
+  finish(DOff, Cfg, &Json);
+  if (Failures) {
+    std::fprintf(stderr, "ipa_gate: %u gate failure(s)\n", Failures);
+    return 1;
+  }
+  std::fprintf(stderr, "ipa_gate: all gates passed\n");
+  return 0;
+}

@@ -10,6 +10,9 @@ using namespace dlq;
 using namespace dlq::absint;
 using namespace dlq::masm;
 
+CallModel::~CallModel() = default;
+InterprocInfo::~InterprocInfo() = default;
+
 //===----------------------------------------------------------------------===//
 // State lattice
 //===----------------------------------------------------------------------===//
@@ -33,6 +36,8 @@ State dlq::absint::joinState(const State &A, const State &B) {
     return B;
   if (!B.Reachable)
     return A;
+  if (A == B)
+    return A;
   State R;
   R.Reachable = true;
   for (unsigned I = 0; I != NumRegs; ++I)
@@ -55,6 +60,8 @@ State dlq::absint::widenState(const State &Old, const State &New) {
   if (!Old.Reachable)
     return New;
   if (!New.Reachable)
+    return Old;
+  if (Old == New)
     return Old;
   State R;
   R.Reachable = true;
@@ -366,16 +373,24 @@ void Interp::step(State &S, uint32_t InstrIdx) const {
   case Opcode::Jalr: {
     // Calls clobber every caller-saved register. $v0 carries the callee's
     // result: an opaque value identified by the call site, so pointer
-    // increments over it still accumulate stride facts.
+    // increments over it still accumulate stride facts. A call model (ipa
+    // summaries) can refine both the return value and the frame damage;
+    // it must see the pre-call state, where argument registers are live.
+    CallEffect Effect;
+    if (Opts.Calls)
+      Effect = Opts.Calls->effectAt(InstrIdx, S);
     for (unsigned R = 0; R != NumRegs; ++R)
       if (isCallerSaved(static_cast<Reg>(R)))
         S.Regs[R] = AbsValue::top();
-    S.setReg(Reg::V0, AbsValue::opaque(SymBase::callRet(InstrIdx)));
+    S.setReg(Reg::V0, Effect.KnownRet
+                          ? Effect.V0
+                          : AbsValue::opaque(SymBase::callRet(InstrIdx)));
     // The callee runs below our $sp and cannot reach this frame — except
     // through a pointer we passed into the declared-local region (a local
     // array). With frame metadata, drop knowledge of those slots; the
-    // compiler's own spill/save slots can never escape.
-    if (Opts.Frame) {
+    // compiler's own spill/save slots can never escape. A summary proving
+    // the callee stores only below its own frame keeps them all.
+    if (Opts.Frame && !Effect.PreservesLocals) {
       AbsValue Sp = S.reg(Reg::SP);
       if (Sp.Base == SymBase::entryReg(Reg::SP) && Sp.isSingleton()) {
         for (const FrameVar &V : Opts.Frame->Vars) {
@@ -418,7 +433,7 @@ void Interp::run() {
   std::vector<uint8_t> InWork(G.numBlocks(), 0);
   unsigned TotalUpdates = 0;
 
-  In[G.entry()] = State::entry();
+  In[G.entry()] = Opts.EntryState ? *Opts.EntryState : State::entry();
   Work.push_back(G.entry());
   InWork[G.entry()] = 1;
 

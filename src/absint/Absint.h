@@ -78,6 +78,55 @@ struct TripCount {
   uint64_t Count = 0;   ///< Bodies executed per loop entry (>= 1).
 };
 
+/// What a summary proves about one call site, already translated into the
+/// caller's frame of reference. The default-constructed effect is the
+/// legacy blanket havoc.
+struct CallEffect {
+  /// When true, V0 below is a sound abstraction of the callee's return
+  /// value; otherwise $v0 becomes the usual opaque call token.
+  bool KnownRet = false;
+  AbsValue V0;
+  /// When true, the callee (transitively) cannot store through any pointer
+  /// that may reach this frame's declared locals, so known frame-slot
+  /// values survive the call.
+  bool PreservesLocals = false;
+};
+
+/// Per-function oracle consulted at each call instruction. Implemented by
+/// ipa::ModuleSummaries; absint itself never depends on how the summaries
+/// are computed.
+class CallModel {
+public:
+  virtual ~CallModel();
+  /// The effect of the call at \p InstrIdx given the abstract state \p S
+  /// immediately before the call (argument registers still live). Must be
+  /// conservative: returning the default CallEffect is always sound.
+  virtual CallEffect effectAt(uint32_t InstrIdx, const State &S) const = 0;
+};
+
+struct FuncAnalysis;
+
+/// Module-wide interprocedural facts handed to the analyses that embed an
+/// Interp (AccessSummary, StaticFreq, Lint). Implemented by
+/// ipa::ModuleSummaries.
+class InterprocInfo {
+public:
+  virtual ~InterprocInfo();
+  /// Call model to install when interpreting function \p FuncIdx, or null.
+  virtual const CallModel *callModelFor(uint32_t FuncIdx) const = 0;
+  /// Entry state (argument-register facts joined over all known call
+  /// sites) for \p FuncIdx, or null for the generic State::entry().
+  virtual const State *entryStateFor(uint32_t FuncIdx) const = 0;
+  /// True when function \p CalleeIdx may read incoming argument register
+  /// $a<ArgIdx> (directly or by forwarding it to another call).
+  virtual bool calleeReadsArg(uint32_t CalleeIdx, unsigned ArgIdx) const = 0;
+  /// Optional cached per-function analysis, already run with exactly
+  /// callModelFor(FuncIdx) and entryStateFor(FuncIdx) installed. Consumers
+  /// that would build the same fixpoint (collectAccessInfo) reuse it;
+  /// null means build your own.
+  virtual const FuncAnalysis *analysisFor(uint32_t) const { return nullptr; }
+};
+
 /// The abstract interpreter for one function.
 class Interp {
 public:
@@ -93,6 +142,13 @@ public:
     /// known slot values inside the declared-local region (a local array's
     /// address may have escaped to the callee).
     const masm::FunctionTypeInfo *Frame = nullptr;
+    /// Optional interprocedural call summaries: refines the blanket
+    /// caller-saved havoc at call sites. Null keeps the legacy transfer.
+    const CallModel *Calls = nullptr;
+    /// Optional entry state override (argument facts from call sites).
+    /// Null keeps the generic State::entry(). The pointee must outlive
+    /// run().
+    const State *EntryState = nullptr;
   };
 
   Interp(const cfg::Cfg &G, const cfg::LoopInfo &LI, Options Opts);
@@ -131,6 +187,23 @@ private:
   bool Ran = false;
 
   void deriveTripCounts();
+};
+
+/// The per-function analysis stack every interprocedural pass needs — CFG,
+/// dominators, loops and the fixpoint over them. Bundled so a pass that
+/// already paid for the run (ipa::ModuleSummaries) can hand the result to
+/// later consumers via InterprocInfo::analysisFor instead of each of them
+/// re-running the interpreter.
+struct FuncAnalysis {
+  cfg::Cfg G;
+  cfg::DominatorTree DT;
+  cfg::LoopInfo LI;
+  Interp AI;
+
+  FuncAnalysis(const masm::Function &F, Interp::Options IO)
+      : G(F), DT(G), LI(G, DT), AI(G, LI, IO) {
+    AI.run();
+  }
 };
 
 } // namespace absint

@@ -4,6 +4,8 @@
 
 #include "masm/Opcode.h"
 
+#include <memory>
+
 using namespace dlq;
 using namespace dlq::absint;
 using namespace dlq::masm;
@@ -35,21 +37,34 @@ uint64_t FunctionAccessInfo::nestTrips(uint32_t LoopIdx) const {
 }
 
 FunctionAccessInfo absint::collectAccessInfo(const Module &M, const Layout &L,
-                                             uint32_t FuncIdx) {
+                                             uint32_t FuncIdx,
+                                             const InterprocInfo *Ipa) {
   FunctionAccessInfo Info;
   Info.FuncIdx = FuncIdx;
   const Function &F = M.functions()[FuncIdx];
   if (F.empty())
     return Info;
 
-  cfg::Cfg G(F);
-  cfg::DominatorTree DT(G);
-  cfg::LoopInfo LI(G, DT);
-  Interp::Options IO;
-  IO.ModLayout = &L;
-  IO.Frame = M.typeInfo().lookupFunction(F.name());
-  Interp AI(G, LI, IO);
-  AI.run();
+  // An interprocedural run may already hold this function's fixpoint (run
+  // with the same call model and entry state we would install); reuse it
+  // rather than paying for a second one.
+  const FuncAnalysis *FA = Ipa ? Ipa->analysisFor(FuncIdx) : nullptr;
+  std::unique_ptr<FuncAnalysis> Own;
+  if (!FA) {
+    Interp::Options IO;
+    IO.ModLayout = &L;
+    IO.Frame = M.typeInfo().lookupFunction(F.name());
+    if (Ipa) {
+      IO.Calls = Ipa->callModelFor(FuncIdx);
+      IO.EntryState = Ipa->entryStateFor(FuncIdx);
+    }
+    Own = std::make_unique<FuncAnalysis>(F, IO);
+    FA = Own.get();
+  }
+  const cfg::Cfg &G = FA->G;
+  const cfg::DominatorTree &DT = FA->DT;
+  const cfg::LoopInfo &LI = FA->LI;
+  const Interp &AI = FA->AI;
 
   // Loop nest: parent = smallest strictly-containing loop. Natural loops
   // sharing a header are merged by LoopInfo, so containment of the header
@@ -183,10 +198,11 @@ FunctionAccessInfo absint::collectAccessInfo(const Module &M, const Layout &L,
 }
 
 std::vector<FunctionAccessInfo>
-absint::collectModuleAccessInfo(const Module &M, const Layout &L) {
+absint::collectModuleAccessInfo(const Module &M, const Layout &L,
+                                const InterprocInfo *Ipa) {
   std::vector<FunctionAccessInfo> All;
   All.reserve(M.functions().size());
   for (uint32_t FI = 0; FI != M.functions().size(); ++FI)
-    All.push_back(collectAccessInfo(M, L, FI));
+    All.push_back(collectAccessInfo(M, L, FI, Ipa));
   return All;
 }

@@ -114,13 +114,18 @@ struct FunctionAccessInfo {
 
 /// Runs the abstract interpreter over function \p FuncIdx of \p M and
 /// summarizes every load and store. \p L supplies concrete addresses for
-/// global data (so `la`-rooted walks resolve to object extents).
+/// global data (so `la`-rooted walks resolve to object extents). \p Ipa
+/// optionally supplies interprocedural call summaries and entry facts
+/// (ipa::ModuleSummaries): calls then havoc less and argument-rooted
+/// addresses may resolve to concrete bases.
 FunctionAccessInfo collectAccessInfo(const masm::Module &M,
-                                     const masm::Layout &L, uint32_t FuncIdx);
+                                     const masm::Layout &L, uint32_t FuncIdx,
+                                     const InterprocInfo *Ipa = nullptr);
 
 /// collectAccessInfo over every non-empty function of the module.
-std::vector<FunctionAccessInfo> collectModuleAccessInfo(const masm::Module &M,
-                                                        const masm::Layout &L);
+std::vector<FunctionAccessInfo>
+collectModuleAccessInfo(const masm::Module &M, const masm::Layout &L,
+                        const InterprocInfo *Ipa = nullptr);
 
 } // namespace absint
 } // namespace dlq

@@ -115,6 +115,8 @@ uint64_t dlq::absint::combineStride(uint64_t A, uint64_t B) {
 }
 
 AbsValue dlq::absint::join(const AbsValue &A, const AbsValue &B) {
+  if (A == B)
+    return A; // Stored values are normalized; idempotence needs no work.
   if (A.isTop() || B.isTop())
     return AbsValue::top();
   if (A.Base != B.Base)
@@ -137,6 +139,8 @@ AbsValue dlq::absint::join(const AbsValue &A, const AbsValue &B) {
 }
 
 AbsValue dlq::absint::widen(const AbsValue &Old, const AbsValue &New) {
+  if (Old == New)
+    return Old;
   if (Old.isTop() || New.isTop())
     return AbsValue::top();
   if (Old.Base != New.Base)

@@ -27,6 +27,8 @@ std::string_view dlq::absint::lintCheckName(LintCheck C) {
     return "gp-out-of-data";
   case LintCheck::UnreachableBlock:
     return "unreachable-block";
+  case LintCheck::ArgUseBeforeSet:
+    return "arg-use-before-set";
   }
   return "?";
 }
@@ -50,6 +52,10 @@ public:
     IO.ModLayout = &L;
     FTI = M.typeInfo().lookupFunction(F.name());
     IO.Frame = FTI;
+    if (Opts.Ipa) {
+      IO.Calls = Opts.Ipa->callModelFor(FuncIdx);
+      IO.EntryState = Opts.Ipa->entryStateFor(FuncIdx);
+    }
     AI.emplace(G, LoopI, IO);
     AI->run();
     for (const Instr &I : F.instrs())
@@ -71,7 +77,7 @@ private:
   std::optional<Interp> AI;
 
   std::vector<LintFinding> Findings;
-  unsigned CountPerCheck[6] = {};
+  unsigned CountPerCheck[NumLintChecks] = {};
   uint32_t DefinedRegs = 0; ///< Bitmask of registers written anywhere.
 
   void report(LintCheck C, uint32_t InstrIdx, std::string Detail) {
@@ -89,6 +95,7 @@ private:
   void checkUnreachable();
   void checkMemoryAccess(const State &S, uint32_t InstrIdx);
   void checkCallClobberedUses(uint32_t InstrIdx);
+  void checkArgUseBeforeSet(uint32_t InstrIdx);
   void checkReturn(const State &S, uint32_t InstrIdx);
 };
 
@@ -177,6 +184,36 @@ void FunctionLinter::checkCallClobberedUses(uint32_t InstrIdx) {
   }
 }
 
+void FunctionLinter::checkArgUseBeforeSet(uint32_t InstrIdx) {
+  // Interprocedural cousin of CallClobberedUse: the jal itself does not
+  // read $a0-$a3, but the callee does. Passing an argument register whose
+  // last definition on some path is a call hands the callee a clobber.
+  // Needs summaries to know which argument slots the callee actually reads.
+  if (!Opts.Ipa)
+    return;
+  const Instr &I = F.instrs()[InstrIdx];
+  if (I.Op != Opcode::Jal)
+    return;
+  uint32_t Callee = M.functionIndex(I.Sym);
+  if (Callee == InvalidIndex)
+    return;
+  for (unsigned N = 0; N != 4; ++N) {
+    if (!Opts.Ipa->calleeReadsArg(Callee, N))
+      continue;
+    Reg R = static_cast<Reg>(static_cast<unsigned>(Reg::A0) + N);
+    for (const dataflow::Def &D : RD.defsReaching(InstrIdx, R)) {
+      if (D.Kind != dataflow::DefKind::Call)
+        continue;
+      report(LintCheck::ArgUseBeforeSet, InstrIdx,
+             formatString("%s passed to %s, which reads it, but it was "
+                          "clobbered by the call at +%u",
+                          std::string(regName(R)).c_str(), I.Sym.c_str(),
+                          D.InstrIdx));
+      break;
+    }
+  }
+}
+
 void FunctionLinter::checkReturn(const State &S, uint32_t InstrIdx) {
   // A return: $sp must hold exactly its entry value...
   AbsValue Sp = S.reg(Reg::SP);
@@ -210,6 +247,7 @@ std::vector<LintFinding> FunctionLinter::run() {
       const Instr &I = F.instrs()[Idx];
       checkMemoryAccess(S, Idx);
       checkCallClobberedUses(Idx);
+      checkArgUseBeforeSet(Idx);
       if (I.Op == Opcode::Jr && I.Rs == Reg::RA)
         checkReturn(S, Idx);
       AI->step(S, Idx);

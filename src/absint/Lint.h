@@ -29,6 +29,8 @@
 namespace dlq {
 namespace absint {
 
+class InterprocInfo;
+
 enum class LintCheck : uint8_t {
   UseBeforeWrite,   ///< Load of a frame slot not written on every path.
   CallClobberedUse, ///< Read of a caller-saved reg last defined by a call.
@@ -36,7 +38,14 @@ enum class LintCheck : uint8_t {
   UnbalancedSp,     ///< $sp at return differs from its entry value.
   GpOutOfData,      ///< gp-relative access outside the .data segment.
   UnreachableBlock, ///< Basic block with no path from the function entry.
+  /// A call passes an argument register the callee reads, but on some path
+  /// the register still holds a previous call's clobber rather than a
+  /// value this function set. Requires interprocedural summaries
+  /// (LintOptions::Ipa) to know what each callee reads.
+  ArgUseBeforeSet,
 };
+
+constexpr unsigned NumLintChecks = 7;
 
 std::string_view lintCheckName(LintCheck C);
 
@@ -57,6 +66,10 @@ struct LintOptions {
   /// Cap on findings per function per check, to keep reports readable when
   /// one systematic bug fires everywhere.
   unsigned MaxPerCheck = 8;
+  /// Interprocedural summaries (ipa::ModuleSummaries). When set, the
+  /// interpreter runs with call models and entry facts, and the
+  /// ArgUseBeforeSet check is enabled.
+  const InterprocInfo *Ipa = nullptr;
 };
 
 /// Lints one function. \p M supplies the layout and frame metadata.

@@ -32,10 +32,12 @@ bool ap::patternsEqual(const ApNode *A, const ApNode *B) {
   }
 }
 
+InterprocPatterns::~InterprocPatterns() = default;
+
 ApBuilder::ApBuilder(Arena &Arena_, const Function &Fn, const cfg::Cfg &G,
                      const dataflow::ReachingDefs &Defs,
-                     ApBuilderOptions Options)
-    : A(Arena_), Factory(A), F(Fn), RD(Defs), Opts(Options) {
+                     ApBuilderOptions Options, const InterprocPatterns *Ipa)
+    : A(Arena_), Factory(A), F(Fn), RD(Defs), Opts(Options), Ipa(Ipa) {
   (void)G;
 }
 
@@ -102,12 +104,38 @@ ApBuilder::AltList ApBuilder::expandReg(Reg R, uint32_t UsePoint,
       break;
     switch (D.Kind) {
     case DefKind::Entry:
+      // With caller patterns available, an incoming argument expands to
+      // the caller's actual (closed) address expressions.
+      if (Ipa && isParamReg(R)) {
+        if (const std::vector<const ApNode *> *AP = Ipa->argPatterns(R);
+            AP && !AP->empty()) {
+          ++Stats.ArgSubsts;
+          Out.insert(Out.end(), AP->begin(), AP->end());
+          break;
+        }
+      }
       Out.push_back(isBasicReg(R) ? Factory.getBase(R)
                                   : Factory.getUnknown());
       break;
     case DefKind::Call:
       // A call's return value is a reg_ret basic register; other clobbered
-      // registers carry unknown values.
+      // registers carry unknown values. A callee summary replaces the
+      // reg_ret leaf with the callee's return patterns, rebound to this
+      // site's arguments.
+      if (Ipa && R == Reg::V0) {
+        if (const std::vector<const ApNode *> *RP =
+                Ipa->calleeReturnPatterns(D.InstrIdx);
+            RP && !RP->empty()) {
+          ++Stats.CallSubsts;
+          for (const ApNode *P : *RP) {
+            AltList Sub = rebindAtCall(P, D.InstrIdx, Depth + 1, Stack);
+            Out.insert(Out.end(), Sub.begin(), Sub.end());
+            if (Out.size() >= Opts.MaxPatternsPerLoad)
+              break;
+          }
+          break;
+        }
+      }
       Out.push_back(isRetReg(R) ? Factory.getBase(R) : Factory.getUnknown());
       break;
     case DefKind::Normal: {
@@ -211,6 +239,47 @@ ApBuilder::AltList ApBuilder::expandDefInstr(uint32_t DefIdx, unsigned Depth,
   default:
     return {Factory.getUnknown()};
   }
+}
+
+ApBuilder::AltList ApBuilder::rebindAtCall(const ApNode *P, uint32_t CallIdx,
+                                           unsigned Depth,
+                                           std::vector<uint32_t> &Stack) {
+  if (Depth >= Opts.MaxDepth)
+    return {Factory.getUnknown()};
+  switch (P->Kind) {
+  case ApKind::Const:
+  case ApKind::GlobalAddr:
+  case ApKind::Unknown:
+  case ApKind::Recur:
+    return {P};
+  case ApKind::Base:
+    if (isParamReg(P->BaseReg))
+      return expandReg(P->BaseReg, CallIdx, Depth + 1, Stack);
+    if (P->BaseReg == Reg::GP)
+      return {P}; // gp holds the same global value in every frame.
+    // The callee's sp and incoming reg_ret values have no expression in
+    // the caller.
+    return {Factory.getUnknown()};
+  case ApKind::Deref: {
+    AltList Sub = rebindAtCall(P->Lhs, CallIdx, Depth + 1, Stack);
+    AltList Out;
+    for (const ApNode *S : Sub)
+      Out.push_back(Factory.getDeref(S));
+    capAlts(Out);
+    return Out;
+  }
+  default:
+    return combine(P->Kind, rebindAtCall(P->Lhs, CallIdx, Depth + 1, Stack),
+                   rebindAtCall(P->Rhs, CallIdx, Depth + 1, Stack));
+  }
+}
+
+std::vector<const ApNode *> ApBuilder::buildForReg(Reg R, uint32_t UsePoint) {
+  std::vector<uint32_t> Stack;
+  AltList Out = expandReg(R, UsePoint, 0, Stack);
+  if (Out.empty())
+    Out.push_back(Factory.getUnknown());
+  return Out;
 }
 
 std::vector<const ApNode *> ApBuilder::buildForAddressOperand(

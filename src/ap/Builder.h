@@ -46,12 +46,41 @@ struct ApBuilderOptions {
   ApBuilderOptions() {}
 };
 
+/// Cross-function pattern source, installed per function by
+/// classify::ModuleAnalysis when interprocedural analysis is enabled. All
+/// returned pattern lists must live in the same arena as the builder's.
+class InterprocPatterns {
+public:
+  virtual ~InterprocPatterns();
+
+  /// Return-value patterns of the known callee at call instruction
+  /// \p CallInstrIdx, expressed in *callee-entry* terms (reg_param leaves
+  /// are rebound to the caller's values at the site). Null or empty means
+  /// no summary: the call stays an opaque reg_ret.
+  virtual const std::vector<const ApNode *> *
+  calleeReturnPatterns(uint32_t CallInstrIdx) const = 0;
+
+  /// Patterns for the current function's incoming argument register \p R,
+  /// already expressed in caller-independent ("closed") terms: constants,
+  /// globals, gp and derefs thereof. Null or empty keeps the reg_param
+  /// leaf.
+  virtual const std::vector<const ApNode *> *
+  argPatterns(masm::Reg R) const = 0;
+};
+
+/// How often interprocedural substitution actually fired in one builder.
+struct ApSubstStats {
+  unsigned CallSubsts = 0; ///< reg_ret leaves replaced by callee patterns.
+  unsigned ArgSubsts = 0;  ///< reg_param leaves replaced by caller patterns.
+};
+
 /// Address-pattern builder for one function.
 class ApBuilder {
 public:
   ApBuilder(Arena &A, const masm::Function &F, const cfg::Cfg &G,
             const dataflow::ReachingDefs &RD,
-            ApBuilderOptions Options = ApBuilderOptions());
+            ApBuilderOptions Options = ApBuilderOptions(),
+            const InterprocPatterns *Ipa = nullptr);
 
   /// Patterns for the load at \p InstrIdx (at least one, possibly Unknown).
   std::vector<const ApNode *> buildForLoad(uint32_t InstrIdx);
@@ -60,6 +89,13 @@ public:
   /// stores alike); used by the baselines.
   std::vector<const ApNode *> buildForAddressOperand(uint32_t InstrIdx);
 
+  /// Patterns of register \p R as seen just before instruction
+  /// \p UsePoint. The interprocedural driver uses this for $v0 at returns
+  /// (export) and $a0..$a3 at call sites (substitution).
+  std::vector<const ApNode *> buildForReg(masm::Reg R, uint32_t UsePoint);
+
+  const ApSubstStats &substStats() const { return Stats; }
+
 private:
   using AltList = std::vector<const ApNode *>;
 
@@ -67,6 +103,11 @@ private:
                     std::vector<uint32_t> &Stack);
   AltList expandDefInstr(uint32_t DefIdx, unsigned Depth,
                          std::vector<uint32_t> &Stack);
+  /// Re-expresses callee pattern \p P in the caller's terms at call site
+  /// \p CallIdx: reg_param leaves expand to the caller's argument values,
+  /// gp stays (it is global), sp and reg_ret leaves become Unknown.
+  AltList rebindAtCall(const ApNode *P, uint32_t CallIdx, unsigned Depth,
+                       std::vector<uint32_t> &Stack);
   AltList combine(ApKind Kind, const AltList &L, const AltList &R);
   void capAlts(AltList &Alts) const;
 
@@ -75,6 +116,8 @@ private:
   const masm::Function &F;
   const dataflow::ReachingDefs &RD;
   ApBuilderOptions Opts;
+  const InterprocPatterns *Ipa;
+  ApSubstStats Stats;
 };
 
 /// Convenience: all loads of a function mapped to their patterns.

@@ -405,8 +405,9 @@ Prediction FunctionModel::predict(size_t Idx) const {
 
 } // namespace
 
-CacheModel::CacheModel(const Module &M, const Layout &L)
-    : Infos(collectModuleAccessInfo(M, L)) {}
+CacheModel::CacheModel(const Module &M, const Layout &L,
+                       const absint::InterprocInfo *Ipa)
+    : Infos(collectModuleAccessInfo(M, L, Ipa)) {}
 
 std::map<InstrRef, Prediction>
 CacheModel::predict(const sim::CacheConfig &Cfg) const {

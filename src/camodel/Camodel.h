@@ -79,7 +79,12 @@ double hitProbability(uint64_t DistanceBlocks, const sim::CacheConfig &Cfg);
 /// number of geometries are then closed-form arithmetic per load.
 class CacheModel {
 public:
-  CacheModel(const masm::Module &M, const masm::Layout &L);
+  /// \p Ipa optionally supplies interprocedural summaries
+  /// (ipa::ModuleSummaries): argument-rooted addresses then classify
+  /// against caller facts and fewer trip counts are lost to call havoc,
+  /// shrinking the Known = false population.
+  CacheModel(const masm::Module &M, const masm::Layout &L,
+             const absint::InterprocInfo *Ipa = nullptr);
 
   /// Per-load predictions under \p Cfg (all loads of the module appear;
   /// irregular ones carry Known = false).

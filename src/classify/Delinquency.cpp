@@ -10,9 +10,87 @@ using namespace dlq;
 using namespace dlq::classify;
 using namespace dlq::masm;
 
+namespace {
+
+Reg argRegOf(unsigned N) {
+  return static_cast<Reg>(static_cast<unsigned>(Reg::A0) + N);
+}
+
+/// A pattern is "closed" when it mentions no frame-relative basic register:
+/// its leaves are constants, globals, gp, Unknown/Recur markers and derefs
+/// thereof. Only closed patterns may cross a call boundary into a callee —
+/// a reg_param or sp leaf would silently change meaning (the caller's
+/// register, read as the callee's).
+bool patternClosed(const ap::ApNode *N) {
+  switch (N->Kind) {
+  case ap::ApKind::Const:
+  case ap::ApKind::GlobalAddr:
+  case ap::ApKind::Unknown:
+  case ap::ApKind::Recur:
+    return true;
+  case ap::ApKind::Base:
+    return N->BaseReg == Reg::GP;
+  case ap::ApKind::Deref:
+    return patternClosed(N->Lhs);
+  default:
+    return patternClosed(N->Lhs) && patternClosed(N->Rhs);
+  }
+}
+
+void appendUnique(std::vector<const ap::ApNode *> &Out, const ap::ApNode *N,
+                  unsigned Cap) {
+  if (Out.size() >= Cap)
+    return;
+  for (const ap::ApNode *U : Out)
+    if (ap::patternsEqual(N, U))
+      return;
+  Out.push_back(N);
+}
+
+/// The per-function view handed to ApBuilder: callee return patterns by
+/// call-site instruction, caller argument patterns by register.
+struct FuncPatternProvider final : ap::InterprocPatterns {
+  std::map<uint32_t, uint32_t> CalleeAt;
+  const std::vector<std::vector<const ap::ApNode *>> *RetPats = nullptr;
+  std::array<std::vector<const ap::ApNode *>, 4> ArgPats;
+
+  const std::vector<const ap::ApNode *> *
+  calleeReturnPatterns(uint32_t CallInstrIdx) const override {
+    auto It = CalleeAt.find(CallInstrIdx);
+    if (It == CalleeAt.end())
+      return nullptr;
+    const std::vector<const ap::ApNode *> &V = (*RetPats)[It->second];
+    return V.empty() ? nullptr : &V;
+  }
+
+  const std::vector<const ap::ApNode *> *
+  argPatterns(Reg R) const override {
+    if (!isParamReg(R))
+      return nullptr;
+    unsigned N =
+        static_cast<unsigned>(R) - static_cast<unsigned>(Reg::A0);
+    return ArgPats[N].empty() ? nullptr : &ArgPats[N];
+  }
+};
+
+} // namespace
+
 ModuleAnalysis::ModuleAnalysis(const Module &Mod,
                                ap::ApBuilderOptions Options)
     : M(Mod) {
+  buildIntra(Options);
+}
+
+ModuleAnalysis::ModuleAnalysis(const Module &Mod, ap::ApBuilderOptions Options,
+                               const ipa::IpaOptions &IpaOpts)
+    : M(Mod) {
+  if (IpaOpts.Enable)
+    buildInter(Options, IpaOpts);
+  else
+    buildIntra(Options);
+}
+
+void ModuleAnalysis::buildIntra(ap::ApBuilderOptions Options) {
   for (uint32_t FI = 0; FI != M.functions().size(); ++FI) {
     const Function &F = M.functions()[FI];
     if (F.empty())
@@ -34,6 +112,173 @@ ModuleAnalysis::ModuleAnalysis(const Module &Mod,
       if (isLoad(F.instrs()[Idx].Op))
         Patterns[InstrRef{FI, Idx}] = Builder.buildForLoad(Idx);
   }
+}
+
+void ModuleAnalysis::buildInter(ap::ApBuilderOptions Options,
+                                const ipa::IpaOptions &IpaOpts) {
+  obs::Span IpaSpan("stage.ipa-patterns");
+  uint32_t N = static_cast<uint32_t>(M.functions().size());
+  CG = std::make_unique<ipa::CallGraph>(M);
+  FuncStats.resize(N);
+
+  struct PerFunc {
+    std::unique_ptr<cfg::Cfg> G;
+    std::unique_ptr<dataflow::ReachingDefs> RD;
+    std::unique_ptr<FuncPatternProvider> Provider;
+    std::unique_ptr<ap::ApBuilder> Builder;
+  };
+  std::vector<PerFunc> PF(N);
+  // Return patterns in callee-entry terms, indexed by function. Pre-sized:
+  // providers keep pointers into it.
+  std::vector<std::vector<const ap::ApNode *>> RetPats(N);
+
+  for (uint32_t FI = 0; FI != N; ++FI) {
+    const Function &F = M.functions()[FI];
+    if (F.empty())
+      continue;
+    obs::Span FuncSpan("stage.ap-build");
+    FuncSpan.attr("function", F.name());
+    {
+      obs::Span S("stage.cfg");
+      PF[FI].G = std::make_unique<cfg::Cfg>(F);
+    }
+    {
+      obs::Span S("stage.dataflow");
+      PF[FI].RD = std::make_unique<dataflow::ReachingDefs>(*PF[FI].G);
+    }
+    PF[FI].Provider = std::make_unique<FuncPatternProvider>();
+    PF[FI].Provider->RetPats = &RetPats;
+    for (const ipa::CallSite &S : CG->sitesIn(FI))
+      if (S.known())
+        PF[FI].Provider->CalleeAt.emplace(S.InstrIdx, S.Callee);
+    PF[FI].Builder = std::make_unique<ap::ApBuilder>(
+        A, F, *PF[FI].G, *PF[FI].RD, Options, PF[FI].Provider.get());
+  }
+
+  // Phase 1, bottom-up: export $v0 patterns at returns. Callees precede
+  // callers, so a caller's reg_ret substitutions see final callee
+  // patterns. Recursive SCC members export nothing (their reg_ret leaf is
+  // the conservative fixed point).
+  for (uint32_t FI : CG->bottomUpOrder()) {
+    const Function &F = M.functions()[FI];
+    if (F.empty() || CG->isRecursive(FI))
+      continue;
+    std::vector<const ap::ApNode *> Pats;
+    for (uint32_t Idx = 0; Idx != F.size(); ++Idx) {
+      const Instr &I = F.instrs()[Idx];
+      if (I.Op != Opcode::Jr || I.Rs != Reg::RA)
+        continue;
+      for (const ap::ApNode *P : PF[FI].Builder->buildForReg(Reg::V0, Idx))
+        appendUnique(Pats, P, Options.MaxAltsPerUse);
+    }
+    RetPats[FI] = std::move(Pats);
+    FuncStats[FI].RetPatternsExported =
+        static_cast<unsigned>(RetPats[FI].size());
+  }
+
+  // Phase 2, top-down: argument patterns. Requires the complete caller
+  // set (no jalr — runtime `jal`s never re-enter the module) and stops at
+  // the context-k depth from main, at the per-callee context budget, and
+  // at recursion — exactly the absint entry-fact policy.
+  uint32_t MainIdx = M.functionIndex("main");
+  if (!CG->moduleHasIndirectCalls() && MainIdx != masm::InvalidIndex) {
+    std::vector<uint32_t> Depth(N, masm::InvalidIndex);
+    std::vector<uint32_t> Bfs{MainIdx};
+    Depth[MainIdx] = 0;
+    for (size_t I = 0; I != Bfs.size(); ++I)
+      for (uint32_t Callee : CG->calleesOf(Bfs[I]))
+        if (Depth[Callee] == masm::InvalidIndex) {
+          Depth[Callee] = Depth[Bfs[I]] + 1;
+          Bfs.push_back(Callee);
+        }
+    // Self-recursion (an SCC of one) keeps its slots: the recursive sites
+    // contribute the @rec marker below, so a tree walk's argument reads
+    // "an external caller's closed expression, or a recursion-carried
+    // value". Mutual recursion stays at the generic leaf.
+    auto eligible = [&](uint32_t F) {
+      return F != MainIdx && !M.functions()[F].empty() &&
+             (!CG->isRecursive(F) || CG->sccSize(F) == 1) &&
+             Depth[F] != masm::InvalidIndex && Depth[F] <= IpaOpts.ContextK;
+    };
+    std::vector<unsigned> Sites(N, 0);
+    // A slot is usable only when EVERY call site contributed a closed
+    // expression for it; one opaque caller poisons the slot back to the
+    // generic reg_param leaf. Bit AI of Poisoned[F] marks slot $aAI.
+    std::vector<uint8_t> Poisoned(N, 0);
+    const ap::ApNode *RecurNode = ap::ApFactory(A).getRecur();
+    std::vector<uint32_t> TopDown(CG->bottomUpOrder().rbegin(),
+                                  CG->bottomUpOrder().rend());
+    for (uint32_t C : TopDown) {
+      // Finalize C before it runs as a caller: poisoned or over-budget
+      // slots revert to the generic leaf.
+      for (unsigned AI = 0; AI != 4; ++AI)
+        if (Poisoned[C] & (1u << AI))
+          PF[C].Provider->ArgPats[AI].clear();
+      if (M.functions()[C].empty())
+        continue;
+      for (const ipa::CallSite &Site : CG->sitesIn(C)) {
+        uint32_t Callee = Site.Callee;
+        if (!Site.known() || !eligible(Callee))
+          continue;
+        if (Callee == C) {
+          // A self-recursive site's arguments are expressed in this
+          // frame's own entry terms; their fixed point is the
+          // loop-carried-recurrence marker, and the site does not count
+          // as a distinct caller context.
+          for (unsigned AI = 0; AI != 4; ++AI)
+            if (!(Poisoned[Callee] & (1u << AI)))
+              appendUnique(PF[Callee].Provider->ArgPats[AI], RecurNode,
+                           Options.MaxAltsPerUse);
+          continue;
+        }
+        if (++Sites[Callee] > IpaOpts.MaxContextsPerFunction) {
+          Poisoned[Callee] = 0xF; // Budget blown: all slots generic.
+          continue;
+        }
+        for (unsigned AI = 0; AI != 4; ++AI) {
+          if (Poisoned[Callee] & (1u << AI))
+            continue;
+          std::vector<const ap::ApNode *> Pats =
+              PF[C].Builder->buildForReg(argRegOf(AI), Site.InstrIdx);
+          for (const ap::ApNode *P : Pats)
+            if (!patternClosed(P)) {
+              Poisoned[Callee] |= 1u << AI;
+              break;
+            }
+          if (Poisoned[Callee] & (1u << AI))
+            continue;
+          for (const ap::ApNode *P : Pats)
+            appendUnique(PF[Callee].Provider->ArgPats[AI], P,
+                         Options.MaxAltsPerUse);
+        }
+      }
+    }
+    for (uint32_t F = 0; F != N; ++F)
+      if (PF[F].Provider)
+        for (unsigned AI = 0; AI != 4; ++AI)
+          if (Poisoned[F] & (1u << AI))
+            PF[F].Provider->ArgPats[AI].clear();
+  }
+
+  // Phase 3: the per-load build with both substitutions live.
+  for (uint32_t FI = 0; FI != N; ++FI) {
+    const Function &F = M.functions()[FI];
+    if (F.empty())
+      continue;
+    for (uint32_t Idx = 0; Idx != F.size(); ++Idx)
+      if (isLoad(F.instrs()[Idx].Op))
+        Patterns[InstrRef{FI, Idx}] = PF[FI].Builder->buildForLoad(Idx);
+    const ap::ApSubstStats &SS = PF[FI].Builder->substStats();
+    FuncStats[FI].CallSubsts = SS.CallSubsts;
+    FuncStats[FI].ArgSubsts = SS.ArgSubsts;
+    for (const auto &Slot : PF[FI].Provider->ArgPats)
+      if (!Slot.empty())
+        ++FuncStats[FI].ArgSlotsResolved;
+  }
+  uint64_t Loads = 0;
+  for (const auto &KV : Patterns)
+    Loads += KV.second.size();
+  IpaSpan.attr("patterns", Loads);
 }
 
 std::map<InstrRef, double>

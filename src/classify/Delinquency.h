@@ -19,9 +19,12 @@
 
 #include "ap/Builder.h"
 #include "classify/Heuristic.h"
+#include "ipa/CallGraph.h"
+#include "ipa/Summaries.h"
 #include "masm/Module.h"
 
 #include <map>
+#include <memory>
 #include <set>
 #include <vector>
 
@@ -32,18 +35,47 @@ namespace classify {
 /// the map are treated as never executed.
 using ExecCountMap = std::map<masm::InstrRef, uint64_t>;
 
+/// Per-function interprocedural pattern statistics, surfaced by the
+/// `delinq callgraph` dump. All zero when IPA is off.
+struct IpaFuncStats {
+  /// Return-value patterns exported to callers of this function.
+  unsigned RetPatternsExported = 0;
+  /// Argument slots ($a0..$a3) for which closed caller patterns exist.
+  unsigned ArgSlotsResolved = 0;
+  /// reg_ret leaves replaced by callee return patterns while building
+  /// this function's patterns.
+  unsigned CallSubsts = 0;
+  /// reg_param leaves replaced by caller argument patterns.
+  unsigned ArgSubsts = 0;
+};
+
 /// Static analysis results for a whole module. Construction performs all the
 /// static work once; scoring with different options is then cheap (this is
 /// how the delta/weight sweeps of Tables 11 and 13 reuse one analysis).
+/// With ipa::IpaOptions::Enable set, pattern construction runs the
+/// context-sensitive interprocedural schedule: return patterns bottom-up
+/// over the call-graph SCC order, argument patterns top-down with the
+/// k-limit and context budget, then the final per-load build with both
+/// substitutions installed. IPA off is bit-identical to the
+/// intraprocedural analysis.
 class ModuleAnalysis {
 public:
   explicit ModuleAnalysis(const masm::Module &M,
                           ap::ApBuilderOptions Options = ap::ApBuilderOptions());
+  ModuleAnalysis(const masm::Module &M, ap::ApBuilderOptions Options,
+                 const ipa::IpaOptions &IpaOpts);
 
   ModuleAnalysis(const ModuleAnalysis &) = delete;
   ModuleAnalysis &operator=(const ModuleAnalysis &) = delete;
 
   const masm::Module &module() const { return M; }
+
+  /// The call graph, when the interprocedural schedule ran; null otherwise.
+  const ipa::CallGraph *callGraph() const { return CG.get(); }
+
+  /// Per-function substitution statistics, parallel to M.functions().
+  /// Empty when IPA is off.
+  const std::vector<IpaFuncStats> &ipaStats() const { return FuncStats; }
 
   /// Address patterns of every load in the module.
   const std::map<masm::InstrRef, std::vector<const ap::ApNode *>> &
@@ -65,6 +97,12 @@ private:
   const masm::Module &M;
   Arena A;
   std::map<masm::InstrRef, std::vector<const ap::ApNode *>> Patterns;
+  std::unique_ptr<ipa::CallGraph> CG;
+  std::vector<IpaFuncStats> FuncStats;
+
+  void buildIntra(ap::ApBuilderOptions Options);
+  void buildInter(ap::ApBuilderOptions Options,
+                  const ipa::IpaOptions &IpaOpts);
 };
 
 } // namespace classify

@@ -24,6 +24,15 @@ ExecOptions ExecOptions::fromEnv() {
   if (const char *Jit = std::getenv("DLQ_JIT"))
     if (*Jit)
       O.Engine = std::strcmp(Jit, "0") == 0 ? "interp" : "jit";
+  if (const char *Ipa = std::getenv("DLQ_IPA"))
+    if (*Ipa && std::strcmp(Ipa, "0") != 0)
+      O.Ipa = true;
+  if (const char *K = std::getenv("DLQ_IPA_K")) {
+    char *End = nullptr;
+    long N = std::strtol(K, &End, 10);
+    if (N >= 0 && End != K && *End == '\0')
+      O.IpaK = static_cast<unsigned>(N);
+  }
   return O;
 }
 
@@ -55,6 +64,10 @@ bool ExecOptions::consumeArg(int Argc, char **Argv, int &I) {
     UseDiskCache = false;
     return true;
   }
+  if (std::strcmp(Argv[I], "--ipa") == 0) {
+    Ipa = true;
+    return true;
+  }
   const char *Value = nullptr;
   if (valueArg("--jobs", Argc, Argv, I, Value)) {
     char *End = nullptr;
@@ -73,6 +86,15 @@ bool ExecOptions::consumeArg(int Argc, char **Argv, int &I) {
     TracePath = Value;
     if (TracePath.empty())
       Error = "empty --trace path";
+    return true;
+  }
+  if (valueArg("--ipa-k", Argc, Argv, I, Value)) {
+    char *End = nullptr;
+    long N = std::strtol(Value, &End, 10);
+    if (N >= 0 && End != Value && *End == '\0')
+      IpaK = static_cast<unsigned>(N);
+    else
+      Error = std::string("invalid --ipa-k value '") + Value + "'";
     return true;
   }
   if (valueArg("--engine", Argc, Argv, I, Value)) {
@@ -107,5 +129,9 @@ const char *ExecOptions::usageText() {
          "  --trace <file>       write a Chrome trace_event JSON "
          "(Perfetto-loadable) span trace\n"
          "  --engine <kind>      guest execution engine: auto (default), "
-         "interp, or jit (env DLQ_JIT)\n";
+         "interp, or jit (env DLQ_JIT)\n"
+         "  --ipa                enable interprocedural summaries and "
+         "patterns (env DLQ_IPA)\n"
+         "  --ipa-k <n>          IPA call-string depth below main (default "
+         "3; env DLQ_IPA_K)\n";
 }

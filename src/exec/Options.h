@@ -34,6 +34,15 @@ struct ExecOptions {
   /// run at all). Feeds sim::MachineOptions::Engine via
   /// sim::engineKindFromString.
   std::string Engine = "auto";
+  /// Interprocedural analysis (`--ipa`, env DLQ_IPA): the compile stage
+  /// additionally builds ipa::ModuleSummaries and runs the
+  /// context-sensitive pattern schedule. Off reproduces the
+  /// intraprocedural results bit-exactly.
+  bool Ipa = false;
+  /// Call-string depth for IPA entry facts (`--ipa-k N`, env DLQ_IPA_K).
+  /// Three levels reach the leaf of a main -> driver -> worker -> leaf
+  /// chain, the deepest shape the workload registry exercises.
+  unsigned IpaK = 3;
   std::string Error; ///< Set by consumeArg on a malformed value.
 
   /// Defaults with DLQ_CACHE_DIR / DLQ_NO_CACHE applied (DLQ_JOBS is read

@@ -40,6 +40,10 @@ void StaticFreqEstimate::computeBlockFrequencies() {
       absint::Interp::Options IO;
       IO.ModLayout = &L;
       IO.Frame = M.typeInfo().lookupFunction(F.name());
+      if (Opts.Ipa) {
+        IO.Calls = Opts.Ipa->callModelFor(FI);
+        IO.EntryState = Opts.Ipa->entryStateFor(FI);
+      }
       absint::Interp AI(G, LI, IO);
       AI.run();
       Trips = AI.tripCounts();

@@ -61,6 +61,11 @@ struct StaticFreqOptions {
   /// Replace LoopBase with the abstract interpreter's interval-proven trip
   /// count for loops where one exists (constant-bound counted loops).
   bool UseTripCounts = true;
+  /// Optional interprocedural summaries (ipa::ModuleSummaries): trip
+  /// counts then survive call havoc and argument-driven bounds resolve,
+  /// improving the per-loop weights. Null keeps the intraprocedural
+  /// estimate.
+  const absint::InterprocInfo *Ipa = nullptr;
 
   StaticFreqOptions() {}
 };

@@ -92,8 +92,14 @@ private:
   void emitStructs();
   void emitGlobals();
   void emitHelpers();
+  void emitWalkers();
   void emitMain();
   void beginFunctionScope();
+
+  /// Deepest pointer-arg walker emitted by emitWalkers, called from main;
+  /// empty when Opts.InterprocDepth is 0.
+  std::string TopWalker;
+  unsigned WalkerSI = 0;
 
   std::string structName(unsigned SI) {
     return formatString("S%u", SI);
@@ -703,6 +709,63 @@ void ProgramBuilder::emitHelpers() {
   }
 }
 
+/// The interprocedural bias: pointer-argument walkers over one struct's
+/// chain. walk0 iterates `p = p->next` in a loop (the summary must keep
+/// `p->val` rooted at the argument); walk1 recurses with a structural depth
+/// guard (a recursive SCC: summaries must widen to generic); fwd2/fwd3
+/// forward the head down 2-3 call levels, so argument patterns must
+/// substitute transitively before `8($a0)` resolves in the caller's terms.
+void ProgramBuilder::emitWalkers() {
+  if (Opts.InterprocDepth == 0)
+    return;
+  WalkerSI = pick(static_cast<unsigned>(Structs.size()));
+  const StructInfo &S = Structs[WalkerSI];
+  std::string SN = structName(WalkerSI);
+
+  line(formatString("int walk0(struct %s *p) {", SN.c_str()));
+  ++Indent;
+  line("int sum;");
+  line("sum = 0;");
+  line("while (p != 0) {");
+  ++Indent;
+  line("sum = sum + p->val;");
+  if (S.ArrLen)
+    line(formatString("sum = sum + p->tab[%u];", pick(S.ArrLen)));
+  line("p = p->next;");
+  --Indent;
+  line("}");
+  line("return sum;");
+  --Indent;
+  line("}");
+
+  line(formatString("int walk1(struct %s *p, int d) {", SN.c_str()));
+  ++Indent;
+  line("if (p == 0) { return 0; }");
+  line("if (d <= 0) { return p->val; }");
+  line(formatString("return p->val + walk1(p->next, d - 1);"));
+  --Indent;
+  line("}");
+
+  TopWalker = "walk0";
+  unsigned Levels = std::min(Opts.InterprocDepth, 3u);
+  for (unsigned L = 2; L <= Levels; ++L) {
+    std::string Name = formatString("fwd%u", L);
+    std::string Inner = L == 2 ? "walk0" : formatString("fwd%u", L - 1);
+    line(formatString("int %s(struct %s *p) {", Name.c_str(), SN.c_str()));
+    ++Indent;
+    line("int sum;");
+    line("sum = 0;");
+    line(formatString("if (p != 0) { sum = sum + p->val + %s(p->next); }",
+                      Inner.c_str()));
+    line(formatString("sum = sum + walk1(p, %u);", 4 + pick(12)));
+    line("return sum;");
+    --Indent;
+    line("}");
+    TopWalker = Name;
+  }
+  line("");
+}
+
 void ProgramBuilder::emitMain() {
   beginFunctionScope();
   InMain = true;
@@ -771,6 +834,10 @@ void ProgramBuilder::emitMain() {
   for (unsigned SI : Built)
     if (chance(80))
       genChainWalk(SI, formatString("gp%u", SI));
+  // The interprocedural walkers null-guard, so the call is safe whether or
+  // not this struct's chain was built above.
+  if (!TopWalker.empty())
+    line(formatString("sum = sum + %s(gp%u);", TopWalker.c_str(), WalkerSI));
   genBlock(0, 1 + pick(3));
 
   line("print_int(sum);");
@@ -784,6 +851,7 @@ std::string ProgramBuilder::build() {
   emitStructs();
   emitGlobals();
   emitHelpers();
+  emitWalkers();
   emitMain();
   return std::move(Out);
 }

@@ -54,6 +54,14 @@ struct GeneratorOptions {
   unsigned MaxExprDepth = 4;
   unsigned MaxBlockDepth = 3;   ///< Loop/if nesting ceiling.
   unsigned MaxListLen = 32;     ///< Linked-structure length ceiling.
+  /// Interprocedural bias: when >0, additionally emit a family of
+  /// pointer-argument walker helpers — an iterative chain walk, a
+  /// self-recursive walk with a depth guard, and up to this many
+  /// forwarding levels passing the chain head down — and call the deepest
+  /// one from main. This manufactures exactly the cross-procedure address
+  /// shapes the IPA summaries must transport. Default 0 (off) so
+  /// historical seeds replay byte-identically.
+  unsigned InterprocDepth = 0;
 
   GeneratorOptions() {}
 };

@@ -7,6 +7,7 @@
 #include "jit/CodeBuffer.h"
 #include "classify/Heuristic.h"
 #include "freq/StaticFreq.h"
+#include "ipa/Summaries.h"
 #include "masm/Module.h"
 #include "mcc/Compiler.h"
 #include "sim/Machine.h"
@@ -36,6 +37,8 @@ std::string_view fuzz::oracleName(OracleId Id) {
     return "lint";
   case OracleId::JitInterp:
     return "jit-interp";
+  case OracleId::Ipa:
+    return "ipa";
   }
   return "unknown";
 }
@@ -345,6 +348,26 @@ OracleReport fuzz::runOracles(std::string_view Source,
         Rep.Findings.push_back(
             {OracleId::Lint,
              formatString("%s: %s", C.Level, F.str().c_str())});
+  }
+
+  // Oracle 7: the interprocedural summaries must over-approximate inlining
+  // at every known, non-recursive call site — on both modules, so -O1's
+  // tighter register allocation cannot hide a transport bug.
+  if (Opts.CheckIpa) {
+    struct IpaCfg {
+      const masm::Module *M;
+      const masm::Layout *L;
+      const char *Level;
+    };
+    for (const IpaCfg &C :
+         {IpaCfg{C0.M.get(), &L0, "-O0"}, IpaCfg{C1.M.get(), &L1, "-O1"}}) {
+      ipa::IpaOptions IO;
+      IO.Enable = true;
+      for (const std::string &V :
+           ipa::checkInterprocSoundness(*C.M, *C.L, IO))
+        Rep.Findings.push_back(
+            {OracleId::Ipa, formatString("%s: %s", C.Level, V.c_str())});
+    }
   }
 
   return Rep;

@@ -41,6 +41,13 @@
 ///     bit-identical to the interpreter reference: halt state, output,
 ///     aggregate counters, and per-PC ExecCounts/MissCounts. Skipped on
 ///     hosts without executable memory.
+///  7. Ipa       — the interprocedural summaries (ipa/Summaries.h) must be
+///     sound on both modules: at every known, non-recursive call site the
+///     summary-applied state must contain the state obtained by inlining
+///     the callee with the transported arguments (see
+///     ipa::checkInterprocSoundness). Pairs with the generator's
+///     InterprocDepth bias, which manufactures pointer-argument call
+///     chains 2-3 levels deep.
 ///
 /// All oracle runs other than 6 pin the interpreter engine explicitly, so
 /// the baseline differentials keep their meaning whatever the process-wide
@@ -72,6 +79,7 @@ enum class OracleId : uint8_t {
   Trap,       ///< A run trapped on a generator-guaranteed-clean program.
   Lint,       ///< The codegen lint flagged a generated module.
   JitInterp,  ///< JIT vs interpreter execution.
+  Ipa,        ///< Interprocedural summary soundness violation.
 };
 
 std::string_view oracleName(OracleId Id);
@@ -94,6 +102,8 @@ struct OracleOptions {
   bool CheckLint = true;
   /// Oracle 6: JIT execution must be bit-identical to the interpreter.
   bool CheckJit = true;
+  /// Oracle 7: interprocedural summaries must over-approximate inlining.
+  bool CheckIpa = true;
 };
 
 /// Everything the oracles observed about one program.

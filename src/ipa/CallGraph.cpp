@@ -1,0 +1,122 @@
+//===- ipa/CallGraph.cpp --------------------------------------------------==//
+
+#include "ipa/CallGraph.h"
+
+#include "masm/Opcode.h"
+
+#include <algorithm>
+
+using namespace dlq;
+using namespace dlq::ipa;
+using namespace dlq::masm;
+
+CallGraph::CallGraph(const Module &M) {
+  uint32_t N = static_cast<uint32_t>(M.functions().size());
+  Sites.resize(N);
+  Callees.resize(N);
+  Callers.resize(N);
+  UnknownSite.assign(N, 0);
+  SccId.assign(N, 0);
+  Recursive.assign(N, 0);
+
+  for (uint32_t F = 0; F != N; ++F) {
+    const Function &Fn = M.functions()[F];
+    for (uint32_t I = 0; I != Fn.size(); ++I) {
+      const Instr &In = Fn.instrs()[I];
+      if (In.Op != Opcode::Jal && In.Op != Opcode::Jalr)
+        continue;
+      CallSite S;
+      S.Caller = F;
+      S.InstrIdx = I;
+      if (In.Op == Opcode::Jal)
+        S.Callee = M.functionIndex(In.Sym);
+      else
+        S.Indirect = true;
+      Sites[F].push_back(S);
+      if (!S.known()) {
+        UnknownSite[F] = 1;
+        AnyUnknown = true;
+        AnyIndirect = AnyIndirect || S.Indirect;
+        continue;
+      }
+      Callees[F].push_back(S.Callee);
+      Callers[S.Callee].push_back(F);
+      if (S.Callee == F)
+        Recursive[F] = 1;
+    }
+  }
+  for (uint32_t F = 0; F != N; ++F) {
+    auto dedup = [](std::vector<uint32_t> &V) {
+      std::sort(V.begin(), V.end());
+      V.erase(std::unique(V.begin(), V.end()), V.end());
+    };
+    dedup(Callees[F]);
+    dedup(Callers[F]);
+  }
+  computeSccs();
+}
+
+void CallGraph::computeSccs() {
+  // Iterative Tarjan over the known-callee edges. Completion order of the
+  // components is a reverse topological order of the condensation, which is
+  // exactly the bottom-up (callees first) order the summary passes need.
+  uint32_t N = numFunctions();
+  constexpr uint32_t Unvisited = ~uint32_t(0);
+  std::vector<uint32_t> Index(N, Unvisited), Low(N, 0);
+  std::vector<uint8_t> OnStack(N, 0);
+  std::vector<uint32_t> Stack;
+  uint32_t NextIndex = 0, NextScc = 0;
+
+  struct Frame {
+    uint32_t Node;
+    size_t EdgeIt;
+  };
+  std::vector<Frame> Dfs;
+
+  for (uint32_t Root = 0; Root != N; ++Root) {
+    if (Index[Root] != Unvisited)
+      continue;
+    Dfs.push_back({Root, 0});
+    while (!Dfs.empty()) {
+      Frame &Top = Dfs.back();
+      uint32_t V = Top.Node;
+      if (Top.EdgeIt == 0) {
+        Index[V] = Low[V] = NextIndex++;
+        Stack.push_back(V);
+        OnStack[V] = 1;
+      }
+      if (Top.EdgeIt < Callees[V].size()) {
+        uint32_t W = Callees[V][Top.EdgeIt++];
+        if (Index[W] == Unvisited) {
+          Dfs.push_back({W, 0});
+        } else if (OnStack[W]) {
+          Low[V] = std::min(Low[V], Index[W]);
+        }
+        continue;
+      }
+      // All edges of V explored: close the component if V is its root.
+      if (Low[V] == Index[V]) {
+        uint32_t Size = 0;
+        for (;;) {
+          uint32_t W = Stack.back();
+          Stack.pop_back();
+          OnStack[W] = 0;
+          SccId[W] = NextScc;
+          BottomUp.push_back(W);
+          ++Size;
+          if (W == V)
+            break;
+        }
+        SccSizes.push_back(Size);
+        ++NextScc;
+      }
+      Dfs.pop_back();
+      if (!Dfs.empty())
+        Low[Dfs.back().Node] = std::min(Low[Dfs.back().Node], Low[V]);
+    }
+  }
+
+  for (uint32_t F = 0; F != N; ++F)
+    if (SccSizes[SccId[F]] > 1)
+      Recursive[F] = 1;
+}

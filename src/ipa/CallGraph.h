@@ -1,0 +1,115 @@
+//===- ipa/CallGraph.h - Module call graph with SCC detection ---------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The module call graph: one node per function, one edge per `jal` whose
+/// symbol resolves to a function in the module. `jalr` (and `jal` to a
+/// runtime symbol) becomes an "unknown callee" site — the caller keeps the
+/// edge with masm::InvalidIndex so summary clients can fall back to havoc.
+/// Tarjan's algorithm (iterative, so deep chains cannot blow the C++ stack)
+/// groups mutual recursion into SCCs; the SCC completion order doubles as a
+/// bottom-up traversal order (callees before callers for every
+/// cross-component edge).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_IPA_CALLGRAPH_H
+#define DLQ_IPA_CALLGRAPH_H
+
+#include "masm/Module.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace dlq {
+namespace ipa {
+
+/// One call instruction, with its resolved target.
+struct CallSite {
+  uint32_t Caller = 0;   ///< Function index of the containing function.
+  uint32_t InstrIdx = 0; ///< Function-local instruction index of the call.
+  /// Target function index; masm::InvalidIndex for `jalr` and for `jal` to
+  /// a symbol outside the module (runtime call).
+  uint32_t Callee = masm::InvalidIndex;
+  /// True for `jalr`: the target is a register value, so it may be any
+  /// module function. A `jal` to an out-of-module symbol is NOT indirect —
+  /// it reaches the runtime (malloc, print, ...), which never re-enters
+  /// guest code, so it cannot add hidden callers to module functions.
+  bool Indirect = false;
+
+  bool known() const { return Callee != masm::InvalidIndex; }
+};
+
+class CallGraph {
+public:
+  explicit CallGraph(const masm::Module &M);
+
+  uint32_t numFunctions() const {
+    return static_cast<uint32_t>(Sites.size());
+  }
+
+  /// Call sites inside function \p F, in instruction order (known and
+  /// unknown targets both included).
+  const std::vector<CallSite> &sitesIn(uint32_t F) const { return Sites[F]; }
+
+  /// Unique known callees of \p F, sorted ascending.
+  const std::vector<uint32_t> &calleesOf(uint32_t F) const {
+    return Callees[F];
+  }
+
+  /// Unique known callers of \p F, sorted ascending.
+  const std::vector<uint32_t> &callersOf(uint32_t F) const {
+    return Callers[F];
+  }
+
+  /// True when \p F contains a call whose target is not a module function.
+  bool hasUnknownCallee(uint32_t F) const { return UnknownSite[F] != 0; }
+
+  /// True when any function contains an unknown-target call: indirect
+  /// control flow the graph cannot account for.
+  bool moduleHasUnknownCalls() const { return AnyUnknown; }
+
+  /// True when any function contains a `jalr`. Only then can a module
+  /// function have callers the graph does not see (callersOf is complete
+  /// for every function otherwise, runtime `jal`s notwithstanding).
+  bool moduleHasIndirectCalls() const { return AnyIndirect; }
+
+  /// SCC id of \p F. Ids follow Tarjan completion order: for every edge
+  /// between distinct components, sccOf(callee) < sccOf(caller).
+  uint32_t sccOf(uint32_t F) const { return SccId[F]; }
+
+  /// Number of functions in \p F's SCC.
+  uint32_t sccSize(uint32_t F) const { return SccSizes[SccId[F]]; }
+
+  /// True when \p F can (transitively) call itself: its SCC has more than
+  /// one member, or it has a direct self edge.
+  bool isRecursive(uint32_t F) const { return Recursive[F] != 0; }
+
+  /// All function indices ordered callees-first: for every known call edge
+  /// crossing SCCs, the callee appears before the caller. Members of one
+  /// SCC appear contiguously.
+  const std::vector<uint32_t> &bottomUpOrder() const { return BottomUp; }
+
+private:
+  std::vector<std::vector<CallSite>> Sites;
+  std::vector<std::vector<uint32_t>> Callees;
+  std::vector<std::vector<uint32_t>> Callers;
+  std::vector<uint8_t> UnknownSite;
+  std::vector<uint32_t> SccId;
+  std::vector<uint32_t> SccSizes;
+  std::vector<uint8_t> Recursive;
+  std::vector<uint32_t> BottomUp;
+  bool AnyUnknown = false;
+  bool AnyIndirect = false;
+
+  void computeSccs();
+};
+
+} // namespace ipa
+} // namespace dlq
+
+#endif // DLQ_IPA_CALLGRAPH_H

@@ -1,0 +1,677 @@
+//===- ipa/Summaries.cpp --------------------------------------------------==//
+
+#include "ipa/Summaries.h"
+
+#include "cfg/Cfg.h"
+#include "dataflow/ReachingDefs.h"
+#include "masm/Opcode.h"
+#include "masm/Runtime.h"
+#include "obs/Counters.h"
+#include "obs/Trace.h"
+#include "support/Format.h"
+
+#include <deque>
+#include <set>
+
+using namespace dlq;
+using namespace dlq::ipa;
+using namespace dlq::absint;
+using namespace dlq::masm;
+
+namespace {
+
+Reg argReg(unsigned N) {
+  return static_cast<Reg>(static_cast<unsigned>(Reg::A0) + N);
+}
+
+/// Argument registers the runtime service consumes ($a0..$a<n-1>). The
+/// simulator ABI (masm/Runtime.h, sim::Machine) reads at most $a0/$a1
+/// (calloc) and never $a2/$a3.
+unsigned runtimeArgCount(masm::RuntimeFn F) {
+  switch (F) {
+  case masm::RuntimeFn::Calloc:
+    return 2;
+  case masm::RuntimeFn::Rand:
+  case masm::RuntimeFn::Abort:
+    return 0;
+  default:
+    return 1;
+  }
+}
+
+Interp::Options baseOptions(const Module &M, const Layout &L,
+                            const Function &F) {
+  Interp::Options IO;
+  IO.ModLayout = &L;
+  IO.Frame = M.typeInfo().lookupFunction(F.name());
+  return IO;
+}
+
+/// Concrete addresses this far below the stack region can never alias any
+/// frame. Globals sit at 0x10000000 and the heap at 0x20000000; the stack
+/// top is 0x7FFFF000, so anything under 0x70000000 is safely non-stack.
+constexpr int64_t NonStackLimit = 0x70000000;
+
+/// True when the store at \p Addr (width \p Size) provably cannot touch an
+/// ancestor stack frame. Ancestor frames live at callee-entry-$sp +
+/// non-negative offsets, so sp-relative stores strictly below the entry sp
+/// are safe, as are concrete (global/heap) addresses below the stack
+/// region.
+bool storeIsFrameLocal(const AbsValue &Addr, unsigned Size) {
+  if (Addr.isTop() || Addr.Hi == PosInf)
+    return false;
+  int64_t End = Addr.Hi + static_cast<int64_t>(Size);
+  if (Addr.Base == SymBase::entryReg(Reg::SP))
+    return End <= 0;
+  if (Addr.Base.K == SymBase::None)
+    return End <= NonStackLimit;
+  if (Addr.Base == SymBase::entryReg(Reg::GP))
+    return static_cast<int64_t>(LayoutConstants::GpValue) + End <=
+           NonStackLimit;
+  return false;
+}
+
+/// The entry-fact transport rule: a caller-side argument value may be
+/// re-expressed in the callee's frame only when it does not mention the
+/// caller's frame. Plain numbers travel verbatim; gp-relative values
+/// travel when the caller's gp still holds its own entry value (gp is
+/// global, so callee-entry-gp == caller-entry-gp then). Everything else
+/// collapses to the callee's generic entry symbol.
+/// $v0 joined over the reachable returns of \p Fn, reduced to the bases a
+/// call site can rebind (plain numbers and non-RA entry registers). First
+/// element false = no exportable return summary.
+std::pair<bool, AbsValue> extractRet(const FuncAnalysis &FA,
+                                     const Function &Fn) {
+  bool Any = false;
+  AbsValue V0;
+  for (uint32_t I = 0; I != Fn.size(); ++I) {
+    const Instr &In = Fn.instrs()[I];
+    if (In.Op != Opcode::Jr || In.Rs != Reg::RA)
+      continue;
+    State S = FA.AI.stateBefore(I);
+    if (!S.Reachable)
+      continue;
+    AbsValue V = S.reg(Reg::V0);
+    V0 = Any ? join(V0, V) : V;
+    Any = true;
+  }
+  if (!Any || V0.isTop() ||
+      (V0.Base.K != SymBase::None &&
+       !(V0.Base.K == SymBase::EntryReg && V0.Base.R != Reg::RA)))
+    return {false, AbsValue::top()};
+  return {true, V0};
+}
+
+AbsValue transportArg(const AbsValue &V, const State &CallerS, Reg A) {
+  if (!V.isTop()) {
+    if (V.Base.K == SymBase::None)
+      return V;
+    if (V.Base == SymBase::entryReg(Reg::GP) &&
+        CallerS.reg(Reg::GP) == AbsValue::entry(Reg::GP))
+      return V;
+  }
+  return AbsValue::entry(A);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Call model
+//===----------------------------------------------------------------------===//
+
+class ModuleSummaries::FunctionCallModel : public CallModel {
+public:
+  FunctionCallModel(const ModuleSummaries &MS, uint32_t F) : MS(MS) {
+    for (const CallSite &S : MS.graph().sitesIn(F))
+      if (S.known())
+        CalleeAt.emplace(S.InstrIdx, S.Callee);
+  }
+
+  CallEffect effectAt(uint32_t InstrIdx, const State &S) const override {
+    CallEffect E;
+    auto It = CalleeAt.find(InstrIdx);
+    if (It == CalleeAt.end())
+      return E; // jalr or runtime call: blanket havoc.
+    const FuncSummary &Sum = MS.summary(It->second);
+    E.PreservesLocals = !Sum.WritesEscaped;
+    if (!Sum.HasRet)
+      return E;
+    const AbsValue &R = Sum.RetV0;
+    if (R.Base.K == SymBase::None) {
+      E.KnownRet = true;
+      E.V0 = R;
+    } else if (R.Base.K == SymBase::EntryReg && R.Base.R != Reg::RA) {
+      // The callee's entry value of R equals the caller's R at the call
+      // (jal changes no register), so rebind the base to the caller's
+      // current abstraction of R and keep the offset part.
+      AbsValue Arg = S.reg(R.Base.R);
+      if (!Arg.isTop()) {
+        AbsValue Off = R;
+        Off.Base = SymBase::none();
+        AbsValue V = addValues(Arg, Off);
+        if (!V.isTop()) {
+          E.KnownRet = true;
+          E.V0 = V;
+        }
+      }
+    }
+    return E;
+  }
+
+private:
+  const ModuleSummaries &MS;
+  std::map<uint32_t, uint32_t> CalleeAt;
+};
+
+//===----------------------------------------------------------------------===//
+// ModuleSummaries
+//===----------------------------------------------------------------------===//
+
+ModuleSummaries::ModuleSummaries(const Module &M, const Layout &L,
+                                 IpaOptions O)
+    : M(M), L(L), Opts(O), CG(M) {
+  obs::Span Sp("stage.ipa");
+  uint32_t N = CG.numFunctions();
+  Summaries.resize(N);
+  EntryFacts.resize(N);
+  Analyses.resize(N);
+  Depth.assign(N, masm::InvalidIndex);
+  Models.reserve(N);
+  for (uint32_t F = 0; F != N; ++F) {
+    Summaries[F].Recursive = CG.isRecursive(F);
+    // Empty bodies (runtime-backed symbols) are fully unknown.
+    if (M.functions()[F].empty())
+      for (unsigned A = 0; A != 4; ++A)
+        Summaries[F].ReadsArg[A] = true;
+    Models.push_back(std::make_unique<FunctionCallModel>(*this, F));
+  }
+
+  computeBodySummaries();
+  computeReadsArgs();
+  computeEntryFacts();
+
+  uint64_t Contexts = 0, BudgetHits = 0, Rets = 0;
+  for (const FuncSummary &S : Summaries) {
+    Contexts += S.Contexts;
+    BudgetHits += S.BudgetHit ? 1 : 0;
+    Rets += S.HasRet ? 1 : 0;
+  }
+  obs::counters().counter("ipa.contexts").add(Contexts);
+  obs::counters().counter("ipa.budget_hits").add(BudgetHits);
+  Sp.attr("functions", static_cast<uint64_t>(N));
+  Sp.attr("contexts", Contexts);
+  Sp.attr("ret_summaries", Rets);
+}
+
+ModuleSummaries::~ModuleSummaries() = default;
+
+const CallModel *ModuleSummaries::callModelFor(uint32_t FuncIdx) const {
+  if (FuncIdx >= Models.size())
+    return nullptr;
+  return Models[FuncIdx].get();
+}
+
+const State *ModuleSummaries::entryStateFor(uint32_t FuncIdx) const {
+  if (FuncIdx >= EntryFacts.size())
+    return nullptr;
+  return EntryFacts[FuncIdx].get();
+}
+
+bool ModuleSummaries::calleeReadsArg(uint32_t CalleeIdx,
+                                     unsigned ArgIdx) const {
+  if (CalleeIdx >= Summaries.size() || ArgIdx >= 4)
+    return true;
+  return Summaries[CalleeIdx].ReadsArg[ArgIdx];
+}
+
+const FuncAnalysis *ModuleSummaries::analysisFor(uint32_t FuncIdx) const {
+  if (FuncIdx >= Analyses.size() || M.functions()[FuncIdx].empty())
+    return nullptr;
+  if (!Analyses[FuncIdx]) {
+    const Function &Fn = M.functions()[FuncIdx];
+    Interp::Options IO = baseOptions(M, L, Fn);
+    IO.Calls = Models[FuncIdx].get();
+    IO.EntryState = EntryFacts[FuncIdx].get();
+    Analyses[FuncIdx] = std::make_unique<FuncAnalysis>(Fn, IO);
+  }
+  return Analyses[FuncIdx].get();
+}
+
+void ModuleSummaries::computeBodySummaries() {
+  // One bottom-up pass, one fixpoint per function, feeding two summaries:
+  //
+  //  - LocalEscape: the function itself stores somewhere that may alias an
+  //    ancestor frame (frame stores go through $sp, which no call havocs,
+  //    and global stores through la/gp-rooted addresses);
+  //  - RetV0: $v0 at the returns, in entry terms. Recursive SCC members
+  //    keep the conservative "no summary": their $v0 stays the opaque
+  //    per-site token (= widening at recursion).
+  //
+  // The fixpoint runs with the function's own call model installed, so in
+  // bottom-up order each callee outside the current SCC contributes its
+  // final return summary; SCC mates still hold the defaults (WritesEscaped
+  // = true, no RetV0), the same widening the split passes applied. Each
+  // function's interim escape bit is published before its callers run; the
+  // exact closure at the end then removes the SCC artifact, so a
+  // store-free recursive nest still preserves its caller's locals.
+  uint32_t N = CG.numFunctions();
+  std::vector<uint8_t> LocalEscape(N, 1); // Unknown bodies escape.
+  // The escape bit each later-processed caller actually observed for F.
+  std::vector<uint8_t> Interim(N, 1);
+  for (uint32_t F : CG.bottomUpOrder()) {
+    const Function &Fn = M.functions()[F];
+    FuncSummary &Sum = Summaries[F];
+    if (Fn.empty())
+      continue;
+    Interp::Options IO = baseOptions(M, L, Fn);
+    IO.Calls = Models[F].get();
+    auto FA = std::make_unique<FuncAnalysis>(Fn, IO);
+
+    LocalEscape[F] = 0;
+    for (uint32_t I = 0; I != Fn.size() && !LocalEscape[F]; ++I) {
+      const Instr &In = Fn.instrs()[I];
+      if (!isStore(In.Op))
+        continue;
+      State S = FA->AI.stateBefore(I);
+      if (!S.Reachable)
+        continue;
+      AbsValue Addr = addValues(S.reg(In.Rs), AbsValue::constant(In.Imm));
+      if (!storeIsFrameLocal(Addr, accessSize(In.Op)))
+        LocalEscape[F] = 1;
+    }
+    // Interim escape bit (self-edges contribute nothing: the closure's
+    // smallest solution ignores them).
+    if (!LocalEscape[F] && !CG.hasUnknownCallee(F)) {
+      bool CalleeEscapes = false;
+      for (uint32_t Callee : CG.calleesOf(F))
+        if (Callee != F && Summaries[Callee].WritesEscaped)
+          CalleeEscapes = true;
+      Sum.WritesEscaped = CalleeEscapes;
+    }
+    Interim[F] = Sum.WritesEscaped ? 1 : 0;
+
+    if (!Sum.Recursive) {
+      auto [Has, V0] = extractRet(*FA, Fn);
+      Sum.HasRet = Has;
+      if (Has)
+        Sum.RetV0 = V0;
+    }
+    Analyses[F] = std::move(FA);
+  }
+
+  // Exact escape closure from the local bits, replacing the interim ones;
+  // unknown callees escape.
+  for (uint32_t F = 0; F != N; ++F)
+    Summaries[F].WritesEscaped = LocalEscape[F] != 0 || CG.hasUnknownCallee(F);
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t F = 0; F != N; ++F) {
+      if (Summaries[F].WritesEscaped)
+        continue;
+      for (uint32_t Callee : CG.calleesOf(F))
+        if (Summaries[Callee].WritesEscaped) {
+          Summaries[F].WritesEscaped = true;
+          Changed = true;
+          break;
+        }
+    }
+  }
+
+  // A fixpoint above ran under a weaker model than the final bits wherever
+  // a callee's observed bit exceeded its final one — above all a recursive
+  // body's view of its own SCC, which still held the conservative default.
+  // Re-run exactly those under the final summaries (one bottom-up sweep:
+  // the bits are final, and return-summary improvements propagate upward
+  // in sweep order), so the cached analyses and exported RetV0 match what
+  // a consumer building fresh against this object would compute.
+  std::vector<uint8_t> RetChanged(N, 0);
+  for (uint32_t F : CG.bottomUpOrder()) {
+    const Function &Fn = M.functions()[F];
+    if (Fn.empty())
+      continue;
+    bool Stale = false;
+    for (uint32_t Callee : CG.calleesOf(F)) {
+      bool Observed =
+          CG.sccOf(Callee) == CG.sccOf(F) ? true : Interim[Callee] != 0;
+      if ((Observed && !Summaries[Callee].WritesEscaped) ||
+          RetChanged[Callee])
+        Stale = true;
+    }
+    if (!Stale)
+      continue;
+    Interp::Options IO = baseOptions(M, L, Fn);
+    IO.Calls = Models[F].get();
+    auto FA = std::make_unique<FuncAnalysis>(Fn, IO);
+    FuncSummary &Sum = Summaries[F];
+    if (!Sum.Recursive) {
+      auto [Has, V0] = extractRet(*FA, Fn);
+      if (Has != Sum.HasRet || (Has && !(V0 == Sum.RetV0))) {
+        Sum.HasRet = Has;
+        Sum.RetV0 = V0;
+        RetChanged[F] = 1;
+      }
+    }
+    Analyses[F] = std::move(FA);
+  }
+}
+
+void ModuleSummaries::computeReadsArgs() {
+  // Direct reads: the entry definition of $aN reaches an instruction that
+  // reads $aN. Forwarded reads: the entry definition reaches a call whose
+  // callee (transitively) reads its own $aN; unknown callees read
+  // everything.
+  uint32_t N = CG.numFunctions();
+  struct Forward {
+    uint32_t From, To; ///< ReadsArg[From][N] |= ReadsArg[To][N].
+    unsigned Arg;
+  };
+  std::vector<Forward> Forwards;
+  for (uint32_t F = 0; F != N; ++F) {
+    const Function &Fn = M.functions()[F];
+    if (Fn.empty())
+      continue; // Already conservatively all-true.
+    cfg::Cfg G(Fn);
+    dataflow::ReachingDefs RD(G);
+    auto entryReaches = [&](uint32_t I, Reg R) {
+      for (const dataflow::Def &D : RD.defsReaching(I, R))
+        if (D.Kind == dataflow::DefKind::Entry)
+          return true;
+      return false;
+    };
+    for (uint32_t I = 0; I != Fn.size(); ++I) {
+      const Instr &In = Fn.instrs()[I];
+      bool IsCall = In.Op == Opcode::Jal || In.Op == Opcode::Jalr;
+      for (Reg R : {In.Rs, In.Rt}) {
+        if (!isParamReg(R))
+          continue;
+        bool Reads = (R == In.Rs && readsRs(In.Op)) ||
+                     (R == In.Rt && readsRt(In.Op));
+        if (!Reads)
+          continue;
+        unsigned A = static_cast<unsigned>(R) -
+                     static_cast<unsigned>(Reg::A0);
+        if (!Summaries[F].ReadsArg[A] && entryReaches(I, R))
+          Summaries[F].ReadsArg[A] = true;
+      }
+      if (!IsCall)
+        continue;
+      uint32_t Callee = In.Op == Opcode::Jal ? M.functionIndex(In.Sym)
+                                             : masm::InvalidIndex;
+      for (unsigned A = 0; A != 4; ++A) {
+        if (Summaries[F].ReadsArg[A] || !entryReaches(I, argReg(A)))
+          continue;
+        if (Callee == masm::InvalidIndex) {
+          // Outside the module: a jalr may enter anything, but a jal that
+          // resolves to no function is a runtime service with a pinned
+          // argument signature.
+          std::optional<RuntimeFn> RF =
+              In.Op == Opcode::Jal ? runtimeFnByName(In.Sym) : std::nullopt;
+          if (!RF || A < runtimeArgCount(*RF))
+            Summaries[F].ReadsArg[A] = true;
+        } else {
+          Forwards.push_back({F, Callee, A});
+        }
+      }
+    }
+  }
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const Forward &E : Forwards)
+      if (!Summaries[E.From].ReadsArg[E.Arg] &&
+          Summaries[E.To].ReadsArg[E.Arg]) {
+        Summaries[E.From].ReadsArg[E.Arg] = true;
+        Changed = true;
+      }
+  }
+}
+
+void ModuleSummaries::computeEntryFacts() {
+  // Entry facts require the complete caller set; a jalr anywhere could
+  // target any module function, so the whole pass is skipped then. Runtime
+  // `jal`s are fine: the runtime never re-enters guest code, so they add
+  // no hidden callers.
+  if (CG.moduleHasIndirectCalls())
+    return;
+  uint32_t N = CG.numFunctions();
+  uint32_t MainIdx = M.functionIndex("main");
+  if (MainIdx == masm::InvalidIndex)
+    return; // No root: every function is externally callable.
+
+  // Min call depth from main over known edges (BFS on the call graph).
+  std::deque<uint32_t> Work;
+  Depth[MainIdx] = 0;
+  Work.push_back(MainIdx);
+  while (!Work.empty()) {
+    uint32_t F = Work.front();
+    Work.pop_front();
+    for (uint32_t Callee : CG.calleesOf(F))
+      if (Depth[Callee] == masm::InvalidIndex) {
+        Depth[Callee] = Depth[F] + 1;
+        Work.push_back(Callee);
+      }
+  }
+
+  auto eligible = [&](uint32_t F) {
+    return F != MainIdx && !M.functions()[F].empty() &&
+           !Summaries[F].Recursive && Depth[F] != masm::InvalidIndex &&
+           Depth[F] <= Opts.ContextK && !CG.callersOf(F).empty();
+  };
+
+  // Accumulators, folded as callers are processed top-down.
+  std::vector<std::array<AbsValue, 4>> Acc(N);
+  std::vector<unsigned> Contribs(N, 0);
+  std::vector<std::set<std::string>> Keys(N);
+
+  // Reverse bottom-up = callers before callees across SCCs, so each
+  // function's own entry facts are final before it is analyzed as a
+  // caller.
+  std::vector<uint32_t> TopDown(CG.bottomUpOrder().rbegin(),
+                                CG.bottomUpOrder().rend());
+  for (uint32_t C : TopDown) {
+    // Finalize C's own facts: every caller has been processed.
+    FuncSummary &Sum = Summaries[C];
+    if (eligible(C) && Contribs[C] != 0 && !Sum.BudgetHit) {
+      Sum.Contexts = static_cast<unsigned>(Keys[C].size());
+      bool NonGeneric = false;
+      for (unsigned A = 0; A != 4; ++A)
+        if (!(Acc[C][A] == AbsValue::entry(argReg(A))))
+          NonGeneric = true;
+      if (NonGeneric) {
+        auto S = std::make_unique<State>(State::entry());
+        for (unsigned A = 0; A != 4; ++A)
+          S->setReg(argReg(A), Acc[C][A]);
+        EntryFacts[C] = std::move(S);
+        Sum.HasEntryFacts = true;
+        // The body-pass fixpoint ran under the generic entry state; it no
+        // longer matches this function's final configuration.
+        Analyses[C].reset();
+      }
+    } else if (Sum.BudgetHit) {
+      Sum.Contexts = static_cast<unsigned>(Keys[C].size());
+    }
+
+    // Contribute C's call sites to its callees' facts. Functions the call
+    // graph proves unreachable from main never execute, so their sites
+    // are irrelevant.
+    const Function &Fn = M.functions()[C];
+    if (Fn.empty() || Depth[C] == masm::InvalidIndex)
+      continue;
+    bool AnyEligibleSite = false;
+    for (const CallSite &Site : CG.sitesIn(C))
+      if (Site.known() && eligible(Site.Callee) && Site.Callee != C)
+        AnyEligibleSite = true;
+    if (!AnyEligibleSite)
+      continue;
+
+    // analysisFor rebuilds the fixpoint only when C's own entry facts just
+    // invalidated the body-pass run; every caller processed here is final
+    // (top-down order), so the cache entry is the one consumers see too.
+    const FuncAnalysis &FA = *analysisFor(C);
+    for (const CallSite &Site : CG.sitesIn(C)) {
+      uint32_t Callee = Site.Callee;
+      if (!Site.known() || Callee == C || !eligible(Callee) ||
+          Summaries[Callee].BudgetHit)
+        continue;
+      State S = FA.AI.stateBefore(Site.InstrIdx);
+      if (!S.Reachable)
+        continue; // A site the abstraction proves dead never calls.
+      std::array<AbsValue, 4> T;
+      std::string Key;
+      for (unsigned A = 0; A != 4; ++A) {
+        T[A] = transportArg(S.reg(argReg(A)), S, argReg(A));
+        Key += T[A].str();
+        Key += '|';
+      }
+      if (Keys[Callee].insert(Key).second &&
+          Keys[Callee].size() > Opts.MaxContextsPerFunction) {
+        Summaries[Callee].BudgetHit = true;
+        continue;
+      }
+      if (Contribs[Callee]++ == 0)
+        Acc[Callee] = T;
+      else
+        for (unsigned A = 0; A != 4; ++A)
+          Acc[Callee][A] = join(Acc[Callee][A], T[A]);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Soundness oracle
+//===----------------------------------------------------------------------===//
+
+bool ipa::containsValue(const AbsValue &A, const AbsValue &B) {
+  if (A.isTop())
+    return true;
+  if (B.isTop())
+    return false;
+  if (A.Base != B.Base)
+    return false;
+  if (A.Lo != NegInf && (B.Lo == NegInf || B.Lo < A.Lo))
+    return false;
+  if (A.Hi != PosInf && (B.Hi == PosInf || B.Hi > A.Hi))
+    return false;
+  if (A.Stride == 0)
+    return B.Stride == 0 && A.Lo == B.Lo;
+  if (A.Stride == 1)
+    return true;
+  // Congruence is anchored at the finite end of the interval; without a
+  // shared anchor the encoding makes no comparable claim.
+  int64_t AAnchor, BAnchor;
+  if (A.Lo != NegInf && B.Lo != NegInf) {
+    AAnchor = A.Lo;
+    BAnchor = B.Lo;
+  } else if (A.Hi != PosInf && B.Hi != PosInf) {
+    AAnchor = A.Hi;
+    BAnchor = B.Hi;
+  } else {
+    return true;
+  }
+  int64_t St = static_cast<int64_t>(A.Stride);
+  if (((BAnchor - AAnchor) % St + St) % St != 0)
+    return false;
+  return B.Stride == 0 || B.Stride % A.Stride == 0;
+}
+
+std::vector<std::string>
+ipa::checkInterprocSoundness(const Module &M, const Layout &L, IpaOptions O) {
+  O.Enable = true;
+  ModuleSummaries MS(M, L, O);
+  const CallGraph &CG = MS.graph();
+  std::vector<std::string> Out;
+
+  for (uint32_t C = 0; C != CG.numFunctions(); ++C) {
+    const Function &CFn = M.functions()[C];
+    if (CFn.empty() || CG.sitesIn(C).empty())
+      continue;
+    Interp::Options CIO = baseOptions(M, L, CFn);
+    CIO.Calls = MS.callModelFor(C);
+    CIO.EntryState = MS.entryStateFor(C);
+    FuncAnalysis CA(CFn, CIO);
+
+    for (const CallSite &Site : CG.sitesIn(C)) {
+      if (!Site.known())
+        continue;
+      uint32_t Callee = Site.Callee;
+      const Function &GFn = M.functions()[Callee];
+      if (GFn.empty() || CG.isRecursive(Callee))
+        continue;
+      State S = CA.AI.stateBefore(Site.InstrIdx);
+      if (!S.Reachable)
+        continue;
+
+      std::array<AbsValue, 4> T;
+      for (unsigned A = 0; A != 4; ++A)
+        T[A] = transportArg(S.reg(argReg(A)), S, argReg(A));
+
+      // (a) Entry facts must cover this site's transported arguments —
+      // except from callers the graph proves unreachable from main, whose
+      // sites never execute and contribute nothing (mirrors
+      // computeEntryFacts).
+      if (const State *EF = MS.callDepth(C) != masm::InvalidIndex
+                                ? MS.entryStateFor(Callee)
+                                : nullptr)
+        for (unsigned A = 0; A != 4; ++A)
+          if (!containsValue(EF->reg(argReg(A)), T[A]))
+            Out.push_back(formatString(
+                "%s+%u -> %s: entry fact $a%u [%s] excludes call-site "
+                "value [%s]",
+                CFn.name().c_str(), Site.InstrIdx, GFn.name().c_str(), A,
+                EF->reg(argReg(A)).str().c_str(), T[A].str().c_str()));
+
+      CallEffect E = MS.callModelFor(C)->effectAt(Site.InstrIdx, S);
+      if (!E.KnownRet)
+        continue;
+
+      // (b) Inline reference: interpret the callee with this site's
+      // argument values; the summary-applied $v0 must contain it.
+      State Entry = State::entry();
+      for (unsigned A = 0; A != 4; ++A)
+        Entry.setReg(argReg(A), T[A]);
+      Interp::Options GIO = baseOptions(M, L, GFn);
+      GIO.Calls = MS.callModelFor(Callee);
+      GIO.EntryState = &Entry;
+      FuncAnalysis GA(GFn, GIO);
+      bool Any = false;
+      AbsValue V0;
+      for (uint32_t I = 0; I != GFn.size(); ++I) {
+        const Instr &In = GFn.instrs()[I];
+        if (In.Op != Opcode::Jr || In.Rs != Reg::RA)
+          continue;
+        State RS = GA.AI.stateBefore(I);
+        if (!RS.Reachable)
+          continue;
+        AbsValue V = RS.reg(Reg::V0);
+        V0 = Any ? join(V0, V) : V;
+        Any = true;
+      }
+      if (!Any)
+        continue;
+      // Rebind the inlined value into caller terms the same way the call
+      // model rebinds the summary. Function-local tokens are fresh
+      // symbols on both sides and cannot be compared.
+      AbsValue Inlined;
+      if (V0.Base.K == SymBase::None) {
+        Inlined = V0;
+      } else if (V0.Base.K == SymBase::EntryReg && V0.Base.R != Reg::RA) {
+        AbsValue Arg = S.reg(V0.Base.R);
+        if (Arg.isTop())
+          continue;
+        AbsValue Off = V0;
+        Off.Base = SymBase::none();
+        Inlined = addValues(Arg, Off);
+      } else {
+        continue;
+      }
+      if (!containsValue(E.V0, Inlined))
+        Out.push_back(formatString(
+            "%s+%u -> %s: summary return [%s] excludes inlined return "
+            "[%s]",
+            CFn.name().c_str(), Site.InstrIdx, GFn.name().c_str(),
+            E.V0.str().c_str(), Inlined.str().c_str()));
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,158 @@
+//===- ipa/Summaries.h - Context-sensitive procedure summaries --------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interprocedural transfer summaries for the abstract interpreter. Per
+/// function the pass computes, over the call graph:
+///
+///  - a return-value summary (RetV0): the callee's $v0 at its returns in
+///    callee-entry terms (symbolic base x interval x stride), applied at
+///    call sites by rebinding entry-register bases to the caller's actual
+///    argument values;
+///  - a memory-effect summary (WritesEscaped): whether the callee may,
+///    transitively, store through any pointer reaching an ancestor frame —
+///    when it cannot, the caller's known frame-slot values survive the call
+///    instead of being havocked;
+///  - argument-read facts (ReadsArg): whether $a0..$a3 are consumed before
+///    being set, feeding the arg-use-before-set lint across call
+///    boundaries;
+///  - entry facts: the join of the argument-register abstract values over
+///    every known call site, so `8($a0)` inside a callee resolves against
+///    the caller's actual base.
+///
+/// Context sensitivity is budgeted, not exhaustive (Monniaux: the
+/// complexity gap grows once calls are added): entry facts stop at
+/// call-string depth ContextK from main, at MaxContextsPerFunction distinct
+/// argument contexts per callee (beyond it the callee falls back to the
+/// generic entry state = the old havoc behaviour), and at recursive SCCs,
+/// whose members always get generic summaries. Cost is reported through
+/// obs ("stage.ipa" span, ipa.contexts / ipa.budget_hits counters).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_IPA_SUMMARIES_H
+#define DLQ_IPA_SUMMARIES_H
+
+#include "absint/Absint.h"
+#include "ipa/CallGraph.h"
+#include "masm/Module.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dlq {
+namespace ipa {
+
+/// Knobs for the summary computation. Part of pipeline cache keys: any new
+/// field must be folded into Driver::evalKeyOf.
+struct IpaOptions {
+  /// Master switch. Off must reproduce the intraprocedural results
+  /// bit-exactly (no summaries are computed or consulted).
+  bool Enable = false;
+  /// Entry facts are propagated at most this many call levels below main
+  /// (k-limited call strings). Functions deeper than this keep the generic
+  /// entry state.
+  unsigned ContextK = 3;
+  /// Distinct argument contexts tolerated per callee before its entry
+  /// facts widen back to the generic state.
+  unsigned MaxContextsPerFunction = 8;
+};
+
+/// Everything the pass proved about one function.
+struct FuncSummary {
+  /// RetV0 below is a sound abstraction of $v0 at every return, expressed
+  /// in callee-entry terms (EntryReg bases refer to the callee's entry
+  /// register values and are rebound at each call site).
+  bool HasRet = false;
+  absint::AbsValue RetV0;
+  /// The function may (transitively) store through a pointer that reaches
+  /// an ancestor stack frame. Conservative default: true.
+  bool WritesEscaped = true;
+  /// $a0..$a3 may be read before being redefined (directly or by
+  /// forwarding to a callee that reads it).
+  bool ReadsArg[4] = {false, false, false, false};
+  /// Entry facts were computed (entryStateFor returns non-null).
+  bool HasEntryFacts = false;
+  /// Distinct argument contexts observed across the known call sites.
+  unsigned Contexts = 0;
+  /// The context budget was exhausted and entry facts were widened away.
+  bool BudgetHit = false;
+  /// Member of a recursive SCC (or self-recursive): summaries are the
+  /// conservative generic ones.
+  bool Recursive = false;
+};
+
+/// The module-wide summary database. Implements absint::InterprocInfo, so
+/// AccessSummary / StaticFreq / Lint / camodel consume it without knowing
+/// about src/ipa. Not thread-safe: build one per analysis thread.
+class ModuleSummaries : public absint::InterprocInfo {
+public:
+  ModuleSummaries(const masm::Module &M, const masm::Layout &L,
+                  IpaOptions Opts = IpaOptions());
+  ~ModuleSummaries() override;
+
+  const absint::CallModel *callModelFor(uint32_t FuncIdx) const override;
+  const absint::State *entryStateFor(uint32_t FuncIdx) const override;
+  bool calleeReadsArg(uint32_t CalleeIdx, unsigned ArgIdx) const override;
+  /// The function's fixpoint under its final call model and entry facts.
+  /// Populated by the summary passes where their own runs already match
+  /// that configuration, completed lazily otherwise, so downstream
+  /// consumers (collectAccessInfo, the pattern builder's clients) never
+  /// pay for a second interpreter run per function.
+  const absint::FuncAnalysis *analysisFor(uint32_t FuncIdx) const override;
+
+  const CallGraph &graph() const { return CG; }
+  const FuncSummary &summary(uint32_t F) const { return Summaries[F]; }
+  /// Min known-call-graph depth of \p F below main; masm::InvalidIndex when
+  /// the graph proves \p F unreachable from main. Entry facts treat call
+  /// sites inside unreachable functions as dead (they never execute), so
+  /// soundness claims about entry facts are scoped to reachable callers.
+  uint32_t callDepth(uint32_t F) const { return Depth[F]; }
+  const IpaOptions &options() const { return Opts; }
+  const masm::Module &module() const { return M; }
+
+private:
+  class FunctionCallModel;
+
+  const masm::Module &M;
+  const masm::Layout &L;
+  IpaOptions Opts;
+  CallGraph CG;
+  std::vector<FuncSummary> Summaries;
+  std::vector<std::unique_ptr<FunctionCallModel>> Models;
+  std::vector<std::unique_ptr<absint::State>> EntryFacts;
+  /// Cached per-function fixpoints for analysisFor. Mutable for the lazy
+  /// completion path; the class is documented single-thread anyway.
+  mutable std::vector<std::unique_ptr<absint::FuncAnalysis>> Analyses;
+  /// Min call levels from main over known edges; InvalidIndex = not
+  /// reachable from main (or no main in the module).
+  std::vector<uint32_t> Depth;
+
+  void computeBodySummaries();
+  void computeReadsArgs();
+  void computeEntryFacts();
+};
+
+/// Interval/stride containment: every concrete value of \p B is a value of
+/// \p A. Used by the fuzz oracle and the ipa tests; errs on the side of
+/// "contained" only where the congruence encoding genuinely makes no claim.
+bool containsValue(const absint::AbsValue &A, const absint::AbsValue &B);
+
+/// Differential soundness check, for the fuzz oracle: at every known,
+/// non-recursive call site, the summary-applied state must over-approximate
+/// the state obtained by interpreting the callee inline with the actual
+/// (transported) argument values. Returns human-readable violation
+/// descriptions; empty means sound on this module.
+std::vector<std::string> checkInterprocSoundness(const masm::Module &M,
+                                                 const masm::Layout &L,
+                                                 IpaOptions Opts = IpaOptions());
+
+} // namespace ipa
+} // namespace dlq
+
+#endif // DLQ_IPA_SUMMARIES_H

@@ -99,7 +99,8 @@ uint64_t Driver::runKeyOf(const std::string &SourceText,
 
 uint64_t Driver::evalKeyOf(uint64_t RunKey,
                            const classify::HeuristicOptions &Opts,
-                           const ap::ApBuilderOptions &ApOpts) {
+                           const ap::ApBuilderOptions &ApOpts,
+                           bool IpaEnabled, unsigned IpaK) {
   exec::Fnv1a H;
   H.str("dlq-eval").u64(RunKey);
   H.f64(Opts.Delta);
@@ -108,6 +109,10 @@ uint64_t Driver::evalKeyOf(uint64_t RunKey,
   H.b(Opts.UseFreqClasses).u64(Opts.RareBelow).u64(Opts.SeldomBelow);
   H.u32(ApOpts.MaxPatternsPerLoad).u32(ApOpts.MaxAltsPerUse)
       .u32(ApOpts.MaxDepth);
+  // Folded in only when on: IPA-off keys must match the pre-IPA scheme so
+  // existing persistent caches are not invalidated.
+  if (IpaEnabled)
+    H.str("ipa").u32(IpaK);
   return H.value();
 }
 
@@ -130,7 +135,10 @@ const std::string &Driver::sourceText(const std::string &Workload,
 
 const Compiled &Driver::compiled(const std::string &Workload, InputSel In,
                                  unsigned OptLevel) {
-  return latched(CompileCache, stageKey(Workload, In, OptLevel), [&] {
+  std::string Key = stageKey(Workload, In, OptLevel);
+  if (Opts.Ipa)
+    Key += formatString("/ipa-k%u", Opts.IpaK);
+  return latched(CompileCache, Key, [&] {
     exec::PhaseTimer Timer(Stats, exec::Phase::Compile);
     mcc::CompileOptions MOpts;
     MOpts.OptLevel = OptLevel;
@@ -153,7 +161,16 @@ const Compiled &Driver::compiled(const std::string &Workload, InputSel In,
       S.attr("workload", Workload);
       C.Cfgs = sim::buildAllCfgs(*C.M);
     }
-    C.Analysis = std::make_unique<classify::ModuleAnalysis>(*C.M);
+    if (Opts.Ipa) {
+      ipa::IpaOptions IpaOpts;
+      IpaOpts.Enable = true;
+      IpaOpts.ContextK = Opts.IpaK;
+      C.Ipa = std::make_unique<ipa::ModuleSummaries>(*C.M, *C.L, IpaOpts);
+      C.Analysis = std::make_unique<classify::ModuleAnalysis>(
+          *C.M, ap::ApBuilderOptions(), IpaOpts);
+    } else {
+      C.Analysis = std::make_unique<classify::ModuleAnalysis>(*C.M);
+    }
     return C;
   });
 }
@@ -249,7 +266,8 @@ Driver::evalHeuristic(const std::string &Workload, InputSel In,
                       const classify::HeuristicOptions &Opts) {
   uint64_t RunKey = runKeyOf(sourceText(Workload, In), inputName(In),
                              OptLevel, Cache, MaxInstrs, metrics::LoadSet());
-  uint64_t Key = evalKeyOf(RunKey, Opts, ap::ApBuilderOptions());
+  uint64_t Key = evalKeyOf(RunKey, Opts, ap::ApBuilderOptions(),
+                           this->Opts.Ipa, this->Opts.IpaK);
   return latched(EvalCache, exec::hexKey(Key), [&]() -> HeuristicEval {
     std::vector<uint8_t> Payload;
     if (Store.lookup(Key, Payload)) {

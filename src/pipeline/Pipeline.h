@@ -25,6 +25,7 @@
 
 #include "classify/Delinquency.h"
 #include "exec/ExecStats.h"
+#include "ipa/Summaries.h"
 #include "exec/JobPool.h"
 #include "exec/Options.h"
 #include "exec/ResultStore.h"
@@ -52,6 +53,8 @@ struct Compiled {
   std::unique_ptr<masm::Layout> L;
   std::vector<cfg::Cfg> Cfgs;
   std::unique_ptr<classify::ModuleAnalysis> Analysis;
+  /// Interprocedural summaries; null unless ExecOptions::Ipa was set.
+  std::unique_ptr<ipa::ModuleSummaries> Ipa;
 
   size_t lambda() const { return M->countLoads(); }
 };
@@ -131,10 +134,13 @@ public:
 
   /// Content key of a heuristic evaluation: the run key plus *all* analysis
   /// knobs — delta, the nine class weights, the AG8/AG9 toggle, the H5
-  /// frequency thresholds, and the pattern-expansion caps.
+  /// frequency thresholds, the pattern-expansion caps, and (when enabled)
+  /// the interprocedural knobs. IPA-off keys are identical to the keys
+  /// computed before IPA existed, so warm caches stay valid.
   static uint64_t evalKeyOf(uint64_t RunKey,
                             const classify::HeuristicOptions &Opts,
-                            const ap::ApBuilderOptions &ApOpts);
+                            const ap::ApBuilderOptions &ApOpts,
+                            bool IpaEnabled = false, unsigned IpaK = 0);
 
   /// Human-readable short name of an input selection.
   static const workloads::WorkloadInput &inputOf(const workloads::Workload &W,

@@ -1,0 +1,583 @@
+//===- tests/IpaTest.cpp - interprocedural summary tests ---------------------//
+//
+// Part of the delinq project test suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "absint/Lint.h"
+#include "ap/Pattern.h"
+#include "classify/Delinquency.h"
+#include "ipa/CallGraph.h"
+#include "ipa/Summaries.h"
+#include "TestHelpers.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace dlq;
+using namespace dlq::ipa;
+using absint::AbsValue;
+using absint::SymBase;
+
+namespace {
+
+IpaOptions ipaOn(unsigned K = 2, unsigned MaxContexts = 8) {
+  IpaOptions O;
+  O.Enable = true;
+  O.ContextK = K;
+  O.MaxContextsPerFunction = MaxContexts;
+  return O;
+}
+
+/// Position of \p F in \p Order (asserts membership).
+size_t orderPos(const std::vector<uint32_t> &Order, uint32_t F) {
+  auto It = std::find(Order.begin(), Order.end(), F);
+  EXPECT_NE(It, Order.end());
+  return static_cast<size_t>(It - Order.begin());
+}
+
+//===----------------------------------------------------------------------===//
+// Call graph
+//===----------------------------------------------------------------------===//
+
+TEST(IpaCallGraph, DirectEdgesAndBottomUpOrder) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl main
+main:
+        jal f
+        jr  $ra
+        .globl f
+f:
+        jal g
+        jal h
+        jr  $ra
+        .globl g
+g:
+        jr  $ra
+        .globl h
+h:
+        jal g
+        jr  $ra
+)");
+  CallGraph CG(*M);
+  uint32_t Main = M->functionIndex("main"), F = M->functionIndex("f"),
+           G = M->functionIndex("g"), H = M->functionIndex("h");
+
+  EXPECT_EQ(CG.calleesOf(Main), (std::vector<uint32_t>{F}));
+  EXPECT_EQ(CG.calleesOf(F), (std::vector<uint32_t>{G, H}));
+  EXPECT_EQ(CG.callersOf(G), (std::vector<uint32_t>{F, H}));
+  EXPECT_TRUE(CG.callersOf(Main).empty());
+  EXPECT_FALSE(CG.moduleHasUnknownCalls());
+  EXPECT_FALSE(CG.moduleHasIndirectCalls());
+  for (uint32_t X : {Main, F, G, H})
+    EXPECT_FALSE(CG.isRecursive(X));
+
+  // Callees precede callers for every cross-SCC edge.
+  const std::vector<uint32_t> &BU = CG.bottomUpOrder();
+  EXPECT_LT(orderPos(BU, G), orderPos(BU, F));
+  EXPECT_LT(orderPos(BU, G), orderPos(BU, H));
+  EXPECT_LT(orderPos(BU, H), orderPos(BU, F));
+  EXPECT_LT(orderPos(BU, F), orderPos(BU, Main));
+}
+
+TEST(IpaCallGraph, RuntimeJalIsUnknownButNotIndirect) {
+  // `jal malloc` leaves the module, so the callee is unknown — but the
+  // runtime never re-enters guest code, so it adds no hidden callers and
+  // must NOT count as indirect control flow.
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl main
+main:
+        li  $a0, 16
+        jal malloc
+        jr  $ra
+)");
+  CallGraph CG(*M);
+  uint32_t Main = M->functionIndex("main");
+  EXPECT_TRUE(CG.hasUnknownCallee(Main));
+  EXPECT_TRUE(CG.moduleHasUnknownCalls());
+  EXPECT_FALSE(CG.moduleHasIndirectCalls());
+  ASSERT_EQ(CG.sitesIn(Main).size(), 1u);
+  EXPECT_FALSE(CG.sitesIn(Main)[0].known());
+  EXPECT_FALSE(CG.sitesIn(Main)[0].Indirect);
+}
+
+TEST(IpaCallGraph, JalrIsIndirect) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl main
+main:
+        la   $t0, f
+        jalr $t0
+        jr   $ra
+        .globl f
+f:
+        jr   $ra
+)");
+  CallGraph CG(*M);
+  uint32_t Main = M->functionIndex("main");
+  EXPECT_TRUE(CG.moduleHasUnknownCalls());
+  EXPECT_TRUE(CG.moduleHasIndirectCalls());
+  ASSERT_EQ(CG.sitesIn(Main).size(), 1u);
+  EXPECT_TRUE(CG.sitesIn(Main)[0].Indirect);
+}
+
+TEST(IpaCallGraph, MutualRecursionSharesScc) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl main
+main:
+        jal a
+        jr  $ra
+        .globl a
+a:
+        jal b
+        jr  $ra
+        .globl b
+b:
+        jal a
+        jr  $ra
+        .globl c
+c:
+        jal c
+        jr  $ra
+)");
+  CallGraph CG(*M);
+  uint32_t A = M->functionIndex("a"), B = M->functionIndex("b"),
+           C = M->functionIndex("c"), Main = M->functionIndex("main");
+  EXPECT_EQ(CG.sccOf(A), CG.sccOf(B));
+  EXPECT_EQ(CG.sccSize(A), 2u);
+  EXPECT_TRUE(CG.isRecursive(A));
+  EXPECT_TRUE(CG.isRecursive(B));
+  EXPECT_TRUE(CG.isRecursive(C)) << "direct self edge";
+  EXPECT_EQ(CG.sccSize(C), 1u);
+  EXPECT_FALSE(CG.isRecursive(Main));
+  EXPECT_NE(CG.sccOf(Main), CG.sccOf(A));
+}
+
+//===----------------------------------------------------------------------===//
+// containsValue
+//===----------------------------------------------------------------------===//
+
+TEST(IpaContainsValue, IntervalAndStride) {
+  auto iv = [](int64_t Lo, int64_t Hi, uint64_t Stride) {
+    AbsValue V;
+    V.Base = SymBase::none();
+    V.Lo = Lo;
+    V.Hi = Hi;
+    V.Stride = Stride;
+    return V;
+  };
+  EXPECT_TRUE(containsValue(AbsValue::top(), AbsValue::constant(3)));
+  EXPECT_FALSE(containsValue(AbsValue::constant(3), AbsValue::top()));
+  EXPECT_TRUE(containsValue(iv(0, 10, 1), AbsValue::constant(7)));
+  EXPECT_FALSE(containsValue(iv(0, 10, 1), AbsValue::constant(11)));
+  EXPECT_TRUE(containsValue(iv(0, 16, 4), iv(0, 8, 4)));
+  EXPECT_FALSE(containsValue(iv(0, 16, 4), iv(1, 9, 4)))
+      << "misaligned congruence anchor";
+  EXPECT_FALSE(containsValue(iv(0, 16, 4), iv(0, 16, 2)))
+      << "finer stride admits values the coarser one excludes";
+  // Different symbolic bases never contain one another.
+  EXPECT_FALSE(
+      containsValue(AbsValue::entry(masm::Reg::A0), AbsValue::constant(0)));
+  EXPECT_TRUE(containsValue(AbsValue::entry(masm::Reg::A0),
+                            AbsValue::entry(masm::Reg::A0)));
+}
+
+//===----------------------------------------------------------------------===//
+// Summaries
+//===----------------------------------------------------------------------===//
+
+TEST(IpaSummaries, ConstantReturnPropagates) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl main
+main:
+        jal f
+        jr  $ra
+        .globl f
+f:
+        li  $v0, 7
+        jr  $ra
+)");
+  masm::Layout L(*M);
+  ModuleSummaries MS(*M, L, ipaOn());
+  const FuncSummary &S = MS.summary(M->functionIndex("f"));
+  EXPECT_TRUE(S.HasRet);
+  EXPECT_EQ(S.RetV0, AbsValue::constant(7));
+}
+
+TEST(IpaSummaries, ArgOffsetReturnIsEntryRelative) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl main
+main:
+        jal f
+        jr   $ra
+        .globl f
+f:
+        addi $v0, $a0, 8
+        jr   $ra
+)");
+  masm::Layout L(*M);
+  ModuleSummaries MS(*M, L, ipaOn());
+  const FuncSummary &S = MS.summary(M->functionIndex("f"));
+  ASSERT_TRUE(S.HasRet);
+  EXPECT_EQ(S.RetV0.Base, SymBase::entryReg(masm::Reg::A0));
+  EXPECT_EQ(S.RetV0.Lo, 8);
+  EXPECT_EQ(S.RetV0.Hi, 8);
+}
+
+TEST(IpaSummaries, EntryFactsResolveArgBase) {
+  auto M = test::parseAsmOrDie(R"(
+        .data
+g:      .space 64
+        .text
+        .globl main
+main:
+        la  $a0, g
+        jal f
+        jr  $ra
+        .globl f
+f:
+        lw  $t0, 8($a0)
+        jr  $ra
+)");
+  masm::Layout L(*M);
+  ModuleSummaries MS(*M, L, ipaOn());
+  uint32_t F = M->functionIndex("f");
+  const FuncSummary &S = MS.summary(F);
+  EXPECT_TRUE(S.HasEntryFacts);
+  EXPECT_EQ(S.Contexts, 1u);
+  EXPECT_FALSE(S.BudgetHit);
+  EXPECT_TRUE(S.ReadsArg[0]);
+  const absint::State *EF = MS.entryStateFor(F);
+  ASSERT_NE(EF, nullptr);
+  const AbsValue &A0 = EF->reg(masm::Reg::A0);
+  EXPECT_FALSE(A0.isTop());
+  EXPECT_NE(A0, AbsValue::entry(masm::Reg::A0))
+      << "the fact must be sharper than the generic entry symbol";
+}
+
+TEST(IpaSummaries, RecursiveFunctionsStayGeneric) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl main
+main:
+        li  $a0, 5
+        jal f
+        jr  $ra
+        .globl f
+f:
+        beq  $a0, $zero, Ldone
+        addi $a0, $a0, -1
+        jal  f
+Ldone:
+        jr  $ra
+)");
+  masm::Layout L(*M);
+  ModuleSummaries MS(*M, L, ipaOn());
+  uint32_t F = M->functionIndex("f");
+  EXPECT_TRUE(MS.summary(F).Recursive);
+  EXPECT_FALSE(MS.summary(F).HasEntryFacts);
+  EXPECT_EQ(MS.entryStateFor(F), nullptr);
+}
+
+TEST(IpaSummaries, ContextBudgetWidensBackToGeneric) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl main
+main:
+        li  $a0, 1
+        jal f
+        li  $a0, 2
+        jal f
+        jr  $ra
+        .globl f
+f:
+        lw  $v0, 0($a0)
+        jr  $ra
+)");
+  masm::Layout L(*M);
+  // Budget 1, but main presents two distinct argument contexts.
+  ModuleSummaries MS(*M, L, ipaOn(2, 1));
+  uint32_t F = M->functionIndex("f");
+  EXPECT_TRUE(MS.summary(F).BudgetHit);
+  EXPECT_FALSE(MS.summary(F).HasEntryFacts);
+  EXPECT_EQ(MS.entryStateFor(F), nullptr);
+
+  // A budget of 8 keeps both contexts and joins them into one fact.
+  ModuleSummaries Wide(*M, L, ipaOn());
+  EXPECT_FALSE(Wide.summary(F).BudgetHit);
+  EXPECT_TRUE(Wide.summary(F).HasEntryFacts);
+  EXPECT_EQ(Wide.summary(F).Contexts, 2u);
+  const absint::State *EF = Wide.entryStateFor(F);
+  ASSERT_NE(EF, nullptr);
+  EXPECT_TRUE(containsValue(EF->reg(masm::Reg::A0), AbsValue::constant(1)));
+  EXPECT_TRUE(containsValue(EF->reg(masm::Reg::A0), AbsValue::constant(2)));
+}
+
+TEST(IpaSummaries, KLimitStopsDeepPropagation) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl main
+main:
+        li  $a0, 1
+        jal d1
+        jr  $ra
+        .globl d1
+d1:
+        jal d2
+        jr  $ra
+        .globl d2
+d2:
+        jal d3
+        jr  $ra
+        .globl d3
+d3:
+        lw  $v0, 0($a0)
+        jr  $ra
+)");
+  masm::Layout L(*M);
+  ModuleSummaries MS(*M, L, ipaOn(2));
+  EXPECT_TRUE(MS.summary(M->functionIndex("d1")).HasEntryFacts ||
+              MS.summary(M->functionIndex("d2")).HasEntryFacts);
+  EXPECT_FALSE(MS.summary(M->functionIndex("d3")).HasEntryFacts)
+      << "d3 sits at call depth 3 > k=2";
+  EXPECT_EQ(MS.callDepth(M->functionIndex("main")), 0u);
+  EXPECT_EQ(MS.callDepth(M->functionIndex("d3")), 3u);
+}
+
+TEST(IpaSummaries, UnreachableCallerContributesNothing) {
+  // `dead` passes an unconstrained pointer to f, but nothing calls `dead`,
+  // so the entry fact for f comes from main's constant alone.
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl main
+main:
+        li  $a0, 3
+        jal f
+        jr  $ra
+        .globl f
+f:
+        lw  $v0, 0($a0)
+        jr  $ra
+        .globl dead
+dead:
+        jal f
+        jr  $ra
+)");
+  masm::Layout L(*M);
+  ModuleSummaries MS(*M, L, ipaOn());
+  uint32_t F = M->functionIndex("f");
+  EXPECT_EQ(MS.callDepth(M->functionIndex("dead")), masm::InvalidIndex);
+  ASSERT_TRUE(MS.summary(F).HasEntryFacts);
+  EXPECT_EQ(MS.entryStateFor(F)->reg(masm::Reg::A0), AbsValue::constant(3));
+  EXPECT_TRUE(checkInterprocSoundness(*M, L, ipaOn()).empty())
+      << "facts scoped to reachable callers must still verify";
+}
+
+TEST(IpaSummaries, SoundnessCheckCleanOnCallChain) {
+  auto M = test::parseAsmOrDie(R"(
+        .data
+tbl:    .space 128
+        .text
+        .globl main
+main:
+        la   $a0, tbl
+        li   $a1, 4
+        jal  mid
+        move $a0, $v0
+        jal  leaf
+        jr   $ra
+        .globl mid
+mid:
+        jal  leaf
+        addi $v0, $v0, 4
+        jr   $ra
+        .globl leaf
+leaf:
+        addi $v0, $a0, 8
+        jr   $ra
+)");
+  masm::Layout L(*M);
+  std::vector<std::string> V = checkInterprocSoundness(*M, L, ipaOn());
+  EXPECT_TRUE(V.empty()) << (V.empty() ? "" : V.front());
+}
+
+//===----------------------------------------------------------------------===//
+// Interprocedural address patterns (classify::ModuleAnalysis)
+//===----------------------------------------------------------------------===//
+
+TEST(ModuleAnalysisIpa, ArgPatternSubstitutesCallerBase) {
+  auto M = test::parseAsmOrDie(R"(
+        .data
+g:      .space 64
+        .text
+        .globl main
+main:
+        la  $a0, g
+        jal f
+        jr  $ra
+        .globl f
+f:
+        lw  $t0, 8($a0)
+        jr  $ra
+)");
+  uint32_t F = M->functionIndex("f");
+  masm::InstrRef Load{F, 0};
+
+  classify::ModuleAnalysis Off(*M);
+  ASSERT_EQ(Off.loadPatterns().at(Load).size(), 1u);
+  EXPECT_EQ(ap::printPattern(Off.loadPatterns().at(Load)[0]), "a0+8");
+
+  classify::ModuleAnalysis On(*M, ap::ApBuilderOptions(), ipaOn());
+  ASSERT_NE(On.callGraph(), nullptr);
+  ASSERT_EQ(On.loadPatterns().at(Load).size(), 1u);
+  EXPECT_EQ(ap::printPattern(On.loadPatterns().at(Load)[0]), "&g+8")
+      << "the caller's global base must replace the reg_param leaf";
+  ASSERT_EQ(On.ipaStats().size(), M->functions().size());
+  EXPECT_GE(On.ipaStats()[F].ArgSubsts, 1u);
+}
+
+TEST(ModuleAnalysisIpa, ReturnPatternSubstitutesAtCallSite) {
+  auto M = test::parseAsmOrDie(R"(
+        .data
+tbl:    .space 64
+        .text
+        .globl main
+main:
+        jal g
+        lw  $t0, 4($v0)
+        jr  $ra
+        .globl g
+g:
+        la  $v0, tbl
+        jr  $ra
+)");
+  uint32_t Main = M->functionIndex("main");
+  masm::InstrRef Load{Main, 1};
+
+  classify::ModuleAnalysis Off(*M);
+  ASSERT_EQ(Off.loadPatterns().at(Load).size(), 1u);
+  EXPECT_EQ(ap::printPattern(Off.loadPatterns().at(Load)[0]), "v0+4");
+
+  classify::ModuleAnalysis On(*M, ap::ApBuilderOptions(), ipaOn());
+  ASSERT_EQ(On.loadPatterns().at(Load).size(), 1u);
+  EXPECT_EQ(ap::printPattern(On.loadPatterns().at(Load)[0]), "&tbl+4")
+      << "the callee's return pattern must replace the reg_ret leaf";
+  EXPECT_GE(On.ipaStats()[Main].CallSubsts, 1u);
+  EXPECT_GE(On.ipaStats()[M->functionIndex("g")].RetPatternsExported, 1u);
+}
+
+TEST(ModuleAnalysisIpa, DisabledIsBitIdenticalToIntra) {
+  auto M = test::parseAsmOrDie(R"(
+        .data
+buf:    .space 256
+        .text
+        .globl main
+main:
+        la   $a0, buf
+        jal  f
+        lw   $t0, 0($v0)
+        jr   $ra
+        .globl f
+f:
+        lw   $t1, 4($a0)
+        jal  g
+        addi $v0, $v0, 12
+        jr   $ra
+        .globl g
+g:
+        lw   $v0, 16($a0)
+        jr   $ra
+)");
+  classify::ModuleAnalysis Intra(*M);
+  IpaOptions OffOpts; // Enable defaults to false.
+  classify::ModuleAnalysis Off(*M, ap::ApBuilderOptions(), OffOpts);
+
+  EXPECT_EQ(Off.callGraph(), nullptr);
+  ASSERT_EQ(Intra.loadPatterns().size(), Off.loadPatterns().size());
+  for (const auto &[Ref, Pats] : Intra.loadPatterns()) {
+    const auto &OffPats = Off.loadPatterns().at(Ref);
+    ASSERT_EQ(Pats.size(), OffPats.size());
+    for (size_t I = 0; I != Pats.size(); ++I)
+      EXPECT_EQ(ap::printPattern(Pats[I]), ap::printPattern(OffPats[I]))
+          << "IPA-off must reproduce the intraprocedural patterns exactly";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Arg-use-before-set lint
+//===----------------------------------------------------------------------===//
+
+TEST(IpaLint, ArgClobberedByCallIsFlagged) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl main
+main:
+        addi $sp, $sp, -8
+        li   $a0, 1
+        jal  f
+        jal  g
+        addi $sp, $sp, 8
+        jr   $ra
+        .globl f
+f:
+        li   $v0, 0
+        jr   $ra
+        .globl g
+g:
+        lw   $v0, 0($a0)
+        jr   $ra
+)");
+  masm::Layout L(*M);
+  ModuleSummaries MS(*M, L, ipaOn());
+  EXPECT_TRUE(MS.calleeReadsArg(M->functionIndex("g"), 0));
+  EXPECT_FALSE(MS.calleeReadsArg(M->functionIndex("f"), 0));
+
+  absint::LintOptions LO;
+  LO.Ipa = &MS;
+  std::vector<absint::LintFinding> Fs = absint::lintModule(*M, LO);
+  bool Found = false;
+  for (const absint::LintFinding &F : Fs)
+    if (F.Check == absint::LintCheck::ArgUseBeforeSet) {
+      Found = true;
+      EXPECT_EQ(F.Function, "main");
+      EXPECT_EQ(F.InstrIdx, 3u) << "the jal g consuming the stale $a0";
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(IpaLint, ArgRewrittenBetweenCallsIsClean) {
+  auto M = test::parseAsmOrDie(R"(
+        .text
+        .globl main
+main:
+        addi $sp, $sp, -8
+        li   $a0, 1
+        jal  f
+        li   $a0, 2
+        jal  g
+        addi $sp, $sp, 8
+        jr   $ra
+        .globl f
+f:
+        li   $v0, 0
+        jr   $ra
+        .globl g
+g:
+        lw   $v0, 0($a0)
+        jr   $ra
+)");
+  masm::Layout L(*M);
+  ModuleSummaries MS(*M, L, ipaOn());
+  absint::LintOptions LO;
+  LO.Ipa = &MS;
+  for (const absint::LintFinding &F : absint::lintModule(*M, LO))
+    EXPECT_NE(F.Check, absint::LintCheck::ArgUseBeforeSet) << F.str();
+}
+
+} // namespace

@@ -252,12 +252,29 @@ TEST(Pipeline, EvalKeyCoversEveryAnalysisKnob) {
     A.MaxDepth += 1;
     Keys.push_back(Driver::evalKeyOf(RunKey, Base, A));
   }
+  // IPA on must key differently from off, and distinct k values from each
+  // other.
+  Keys.push_back(Driver::evalKeyOf(RunKey, Base, ApBase, true, 2));
+  Keys.push_back(Driver::evalKeyOf(RunKey, Base, ApBase, true, 3));
   Keys.push_back(Driver::evalKeyOf(RunKey + 1, Base, ApBase));
 
   for (size_t I = 0; I != Keys.size(); ++I)
     for (size_t J = I + 1; J != Keys.size(); ++J)
       EXPECT_NE(Keys[I], Keys[J])
           << "knob variants " << I << " and " << J << " alias to one key";
+}
+
+TEST(Pipeline, EvalKeyWithIpaOffMatchesLegacyKey) {
+  // Caches persisted before the IPA knob existed must stay valid: with IPA
+  // disabled the key is computed exactly as it always was, whatever k says.
+  const uint64_t RunKey = 0x9e3779b9u;
+  classify::HeuristicOptions Base;
+  ap::ApBuilderOptions ApBase;
+  uint64_t Legacy = Driver::evalKeyOf(RunKey, Base, ApBase);
+  EXPECT_EQ(Driver::evalKeyOf(RunKey, Base, ApBase, false, 0), Legacy);
+  EXPECT_EQ(Driver::evalKeyOf(RunKey, Base, ApBase, false, 2), Legacy)
+      << "k must be ignored while IPA is off";
+  EXPECT_NE(Driver::evalKeyOf(RunKey, Base, ApBase, true, 2), Legacy);
 }
 
 TEST(Pipeline, DistinctKnobsYieldDistinctCachedEvals) {

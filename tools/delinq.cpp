@@ -33,6 +33,7 @@
 #include "exec/Options.h"
 #include "exec/ResultStore.h"
 #include "exec/Serialize.h"
+#include "ipa/Summaries.h"
 #include "masm/ObjectFile.h"
 #include "masm/Verifier.h"
 #include "masm/Parser.h"
@@ -75,6 +76,9 @@ int usage() {
       "          the simulator (registry workloads; honours --cache)\n"
       "  lint    prog.mc... [-O1]     abstract-interpretation codegen lint\n"
       "  lint-workloads               lint all registry workloads at -O0/-O1\n"
+      "  callgraph prog.mc... [-O1]   dump the call graph as Graphviz with\n"
+      "          per-procedure IPA summary statistics (accepts registry\n"
+      "          workload names too; --ipa-k sets the context depth)\n"
       "  trace   workload...          run the full pipeline over registry\n"
       "          workloads and print the per-stage span summary (use --trace\n"
       "          out.json for the Perfetto-loadable artifact)\n"
@@ -395,7 +399,9 @@ FileReport runWorkloadFull(pipeline::Driver &D, const std::string &Name,
   {
     obs::Span S("stage.absint");
     S.attr("workload", Name);
-    LintFindings = absint::lintModule(*C.M).size();
+    absint::LintOptions LO;
+    LO.Ipa = C.Ipa.get();
+    LintFindings = absint::lintModule(*C.M, LO).size();
   }
 
   Rep.Out = R.Output;
@@ -524,7 +530,10 @@ FileReport analyzeOne(const std::string &Path, const CliOptions &Opts,
     return Rep;
   }
   exec::PhaseTimer Timer(Stats, exec::Phase::Analyze);
-  classify::ModuleAnalysis Analysis(*M);
+  ipa::IpaOptions IpaOpts;
+  IpaOpts.Enable = Opts.Exec.Ipa;
+  IpaOpts.ContextK = Opts.Exec.IpaK;
+  classify::ModuleAnalysis Analysis(*M, ap::ApBuilderOptions(), IpaOpts);
   classify::HeuristicOptions HOpts;
   HOpts.Delta = Opts.Delta;
   HOpts.UseFreqClasses = false; // Static-only: no profile input here.
@@ -693,7 +702,18 @@ FileReport lintOne(const std::string &Path, const CliOptions &Opts) {
     return Rep;
   }
   appendDumps(*M, Opts, Rep.Out);
-  std::vector<absint::LintFinding> Findings = absint::lintModule(*M);
+  absint::LintOptions LO;
+  std::unique_ptr<masm::Layout> L;
+  std::unique_ptr<ipa::ModuleSummaries> Sums;
+  if (Opts.Exec.Ipa) {
+    L = std::make_unique<masm::Layout>(*M);
+    ipa::IpaOptions IO;
+    IO.Enable = true;
+    IO.ContextK = Opts.Exec.IpaK;
+    Sums = std::make_unique<ipa::ModuleSummaries>(*M, *L, IO);
+    LO.Ipa = Sums.get();
+  }
+  std::vector<absint::LintFinding> Findings = absint::lintModule(*M, LO);
   for (const absint::LintFinding &Fd : Findings)
     Rep.Out += Fd.str() + "\n";
   if (Findings.empty())
@@ -735,7 +755,18 @@ int cmdLintWorkloads(const CliOptions &Opts) {
         appendDumps(*C.M, Opts, Dumps);
         std::fputs(Dumps.c_str(), stdout);
       }
-      std::vector<absint::LintFinding> Fs = absint::lintModule(*C.M);
+      absint::LintOptions LO;
+      std::unique_ptr<masm::Layout> L;
+      std::unique_ptr<ipa::ModuleSummaries> Sums;
+      if (Opts.Exec.Ipa) {
+        L = std::make_unique<masm::Layout>(*C.M);
+        ipa::IpaOptions IO;
+        IO.Enable = true;
+        IO.ContextK = Opts.Exec.IpaK;
+        Sums = std::make_unique<ipa::ModuleSummaries>(*C.M, *L, IO);
+        LO.Ipa = Sums.get();
+      }
+      std::vector<absint::LintFinding> Fs = absint::lintModule(*C.M, LO);
       if (Fs.empty()) {
         std::printf("ok    %-16s -O%u\n", W.Name.c_str(), Opt);
         continue;
@@ -766,7 +797,7 @@ FileReport camodelOne(pipeline::Driver &D, const std::string &Name,
   pipeline::GroundTruth GT = D.groundTruth(Name, pipeline::InputSel::Input1,
                                            Opts.OptLevel, Opts.Cache);
 
-  camodel::CacheModel Model(*C.M, *C.L);
+  camodel::CacheModel Model(*C.M, *C.L, C.Ipa.get());
   std::map<masm::InstrRef, camodel::Prediction> Pred =
       Model.predict(Opts.Cache);
 
@@ -831,6 +862,94 @@ int cmdCamodel(const std::vector<std::string> &Names,
   return Code;
 }
 
+/// `delinq callgraph`: the interprocedural call graph as Graphviz, annotated
+/// with each procedure's summary results — distinct argument contexts seen,
+/// return patterns exported to callers, argument slots resolved from
+/// callers, and substitution counts from the pattern build. Recursive-SCC
+/// members get a double border (their summaries are the generic ones),
+/// unknown-target call sites a dashed edge to an "indirect" sink.
+FileReport callgraphOne(const std::string &Arg, const CliOptions &Opts) {
+  FileReport Rep;
+  std::string Err;
+  std::unique_ptr<masm::Module> M;
+  if (isRegistryWorkload(Arg)) {
+    const workloads::Workload *W = workloads::findWorkload(Arg);
+    mcc::CompileOptions CO;
+    CO.OptLevel = Opts.OptLevel;
+    mcc::CompileResult C = mcc::compile(workloads::instantiate(*W, W->Input1),
+                                        CO);
+    if (!C.ok()) {
+      Rep.Err = formatString("%s: compile errors:\n%s", Arg.c_str(),
+                             C.Errors.c_str());
+      Rep.Code = 1;
+      return Rep;
+    }
+    M = std::move(C.M);
+  } else {
+    M = loadModule(Arg, Opts.OptLevel, Err);
+    if (!M) {
+      Rep.Err = Err;
+      Rep.Code = 1;
+      return Rep;
+    }
+  }
+
+  masm::Layout L(*M);
+  ipa::IpaOptions IO;
+  IO.Enable = true;
+  IO.ContextK = Opts.Exec.IpaK;
+  ipa::ModuleSummaries Sums(*M, L, IO);
+  classify::ModuleAnalysis Analysis(*M, ap::ApBuilderOptions(), IO);
+  const ipa::CallGraph &CG = Sums.graph();
+
+  Rep.Out += formatString("digraph \"callgraph\" {\n  label=\"%s (k=%u)\";\n"
+                          "  node [shape=box, fontname=\"monospace\"];\n",
+                          Arg.c_str(), IO.ContextK);
+  bool AnyUnknown = false;
+  for (uint32_t F = 0; F != CG.numFunctions(); ++F) {
+    if (M->functions()[F].empty())
+      continue;
+    const ipa::FuncSummary &S = Sums.summary(F);
+    const classify::IpaFuncStats &St = Analysis.ipaStats()[F];
+    std::string Extra;
+    if (S.Recursive)
+      Extra += "\\nrecursive (generic summaries)";
+    else if (S.BudgetHit)
+      Extra += "\\ncontext budget hit (generic entry)";
+    Rep.Out += formatString(
+        "  F%u [label=\"%s\\nctx=%u ret-pats=%u arg-slots=%u\\n"
+        "subst: call=%u arg=%u%s\"%s];\n",
+        F, M->functions()[F].name().c_str(), S.Contexts,
+        St.RetPatternsExported, St.ArgSlotsResolved, St.CallSubsts,
+        St.ArgSubsts, Extra.c_str(), S.Recursive ? ", peripheries=2" : "");
+    AnyUnknown = AnyUnknown || CG.hasUnknownCallee(F);
+  }
+  if (AnyUnknown)
+    Rep.Out += "  indirect [label=\"indirect/runtime\", style=dashed];\n";
+  for (uint32_t F = 0; F != CG.numFunctions(); ++F) {
+    for (uint32_t Callee : CG.calleesOf(F)) {
+      bool SameScc = CG.sccOf(F) == CG.sccOf(Callee);
+      Rep.Out += formatString("  F%u -> F%u%s;\n", F, Callee,
+                              SameScc ? " [color=blue]" : "");
+    }
+    if (CG.hasUnknownCallee(F))
+      Rep.Out += formatString("  F%u -> indirect [style=dashed];\n", F);
+  }
+  Rep.Out += "}\n";
+  return Rep;
+}
+
+int cmdCallgraph(const std::vector<std::string> &Args,
+                 const CliOptions &Opts) {
+  exec::ExecStats Stats;
+  exec::JobPool Pool(Opts.Exec.Jobs, &Stats.Jobs);
+  std::vector<FileReport> Reports =
+      Pool.map<FileReport>(Args.size(), [&](size_t I) {
+        return callgraphOne(Args[I], Opts);
+      });
+  return emitReports(Args, Reports);
+}
+
 int cmdEncode(const std::string &Path, const std::string &OutPath,
               const CliOptions &Opts) {
   std::string Err;
@@ -888,6 +1007,8 @@ int main(int Argc, char **Argv) {
       return cmdTrace(Paths, Opts);
     if (Cmd == "camodel")
       return cmdCamodel(Paths, Opts);
+    if (Cmd == "callgraph")
+      return cmdCallgraph(Paths, Opts);
     if (Cmd == "analyze")
       return cmdAnalyze(Paths, Opts);
     if (Paths.size() > 1 && Cmd != "encode") {

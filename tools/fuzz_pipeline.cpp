@@ -42,6 +42,7 @@ int usage() {
       "  --max-instrs <n>  simulation fuel per run (default 50000000)\n"
       "  --no-minimize     report original programs without reduction\n"
       "  --no-analysis     skip the AP/classifier oracle\n"
+      "  --interproc <n>   bias toward pointer-arg call chains n levels deep\n"
       "  --emit <seed>     print the generated program for a seed and exit\n"
       "  --replay <file>   run the oracles over one .mc file and exit\n"
       "  --quiet           no per-batch progress\n");
@@ -109,6 +110,12 @@ int main(int Argc, char **Argv) {
       Opts.Minimize = false;
     } else if (A == "--no-analysis") {
       Opts.Oracle.CheckAnalysis = false;
+    } else if (A == "--interproc") {
+      uint64_t D;
+      if (const char *V = next(); !V || !parseU64(V, D))
+        return usage();
+      else
+        Opts.Gen.InterprocDepth = static_cast<unsigned>(D);
     } else if (A == "--emit") {
       uint64_t S;
       if (const char *V = next(); !V || !parseU64(V, S))
