@@ -33,6 +33,10 @@ ExecOptions ExecOptions::fromEnv() {
     if (N >= 0 && End != K && *End == '\0')
       O.IpaK = static_cast<unsigned>(N);
   }
+  if (const char *Pf = std::getenv("DLQ_PREFETCH"))
+    if (std::strcmp(Pf, "none") == 0 || std::strcmp(Pf, "nextline") == 0 ||
+        std::strcmp(Pf, "pcax") == 0)
+      O.Prefetch = Pf;
   return O;
 }
 
@@ -97,6 +101,15 @@ bool ExecOptions::consumeArg(int Argc, char **Argv, int &I) {
       Error = std::string("invalid --ipa-k value '") + Value + "'";
     return true;
   }
+  if (valueArg("--prefetch", Argc, Argv, I, Value)) {
+    if (std::strcmp(Value, "none") == 0 || std::strcmp(Value, "nextline") == 0 ||
+        std::strcmp(Value, "pcax") == 0)
+      Prefetch = Value;
+    else
+      Error = std::string("invalid --prefetch value '") + Value +
+              "' (expected none, nextline or pcax)";
+    return true;
+  }
   if (valueArg("--engine", Argc, Argv, I, Value)) {
     if (std::strcmp(Value, "auto") == 0 || std::strcmp(Value, "interp") == 0 ||
         std::strcmp(Value, "jit") == 0)
@@ -133,5 +146,7 @@ const char *ExecOptions::usageText() {
          "  --ipa                enable interprocedural summaries and "
          "patterns (env DLQ_IPA)\n"
          "  --ipa-k <n>          IPA call-string depth below main (default "
-         "3; env DLQ_IPA_K)\n";
+         "3; env DLQ_IPA_K)\n"
+         "  --prefetch <policy>  armed-load prefetch policy: nextline "
+         "(default), pcax, or none (env DLQ_PREFETCH)\n";
 }

@@ -43,6 +43,11 @@ struct ExecOptions {
   /// Three levels reach the leaf of a main -> driver -> worker -> leaf
   /// chain, the deepest shape the workload registry exercises.
   unsigned IpaK = 3;
+  /// Prefetch policy for armed runs (`--prefetch none|nextline|pcax`, env
+  /// DLQ_PREFETCH): what the engine does at each statically-flagged load.
+  /// Feeds sim::MachineOptions::PrefetchPolicy via
+  /// prefetch::policyFromString; has no effect on runs that arm no loads.
+  std::string Prefetch = "nextline";
   std::string Error; ///< Set by consumeArg on a malformed value.
 
   /// Defaults with DLQ_CACHE_DIR / DLQ_NO_CACHE applied (DLQ_JOBS is read

@@ -92,6 +92,17 @@ void exec::writeRunResult(ByteWriter &W, const sim::RunResult &R) {
     W.u32(Ref.FuncIdx);
     W.u32(Ref.InstrIdx);
   }
+  // Prefetch-engine accounting rides at the tail, so any payload written
+  // before these fields existed fails to parse and is recomputed.
+  W.u64(R.PrefetchUseful);
+  W.u64(R.PrefetchLate);
+  W.u64(R.PrefetchPerPc.size());
+  for (const sim::RunResult::PcPrefetch &P : R.PrefetchPerPc) {
+    W.u32(P.FlatPc);
+    W.u64(P.Issued);
+    W.u64(P.Useful);
+    W.u64(P.Late);
+  }
 }
 
 bool exec::readRunResult(ByteReader &R, sim::RunResult &Out) {
@@ -112,6 +123,16 @@ bool exec::readRunResult(ByteReader &R, sim::RunResult &Out) {
   Out.FlatMap.resize(static_cast<size_t>(N));
   for (masm::InstrRef &Ref : Out.FlatMap)
     if (!R.u32(Ref.FuncIdx) || !R.u32(Ref.InstrIdx))
+      return false;
+  if (!R.u64(Out.PrefetchUseful) || !R.u64(Out.PrefetchLate))
+    return false;
+  uint64_t NPf;
+  if (!R.u64(NPf) || NPf > R.remaining() / 28)
+    return false;
+  Out.PrefetchPerPc.resize(static_cast<size_t>(NPf));
+  for (sim::RunResult::PcPrefetch &P : Out.PrefetchPerPc)
+    if (!R.u32(P.FlatPc) || !R.u64(P.Issued) || !R.u64(P.Useful) ||
+        !R.u64(P.Late))
       return false;
   // A well-formed payload has one counter per instruction.
   return Out.ExecCounts.size() == Out.FlatMap.size() &&

@@ -319,11 +319,17 @@ void BlockCompiler::emitLoad(const DecodedInstr &I, unsigned K) {
   else
     Signed ? Em.loadSx8Idx(RAX, R13, RSI) : Em.loadZx8Idx(RAX, R13, RSI);
   Em.store32(RBX, regSlot(I.Rd), RAX);
-  // Cache accounting stays out of line; rsi still holds the address.
+  // Cache accounting stays out of line; rsi still holds the address. Armed
+  // loads hand the loaded value along (rax) — the prefetch engine's
+  // pointer-chase entries use it as the next-element base.
   Em.movRegReg64(RDI, R12);
   Em.movRegImm32(RDX, Leader + K);
-  Em.callAbs(I.Prefetch ? reinterpret_cast<const void *>(&dlqJitLoadAcctPf)
-                        : reinterpret_cast<const void *>(&dlqJitLoadAcct));
+  if (I.Prefetch) {
+    Em.movRegReg32(RCX, RAX);
+    Em.callAbs(reinterpret_cast<const void *>(&dlqJitLoadAcctPf));
+  } else {
+    Em.callAbs(reinterpret_cast<const void *>(&dlqJitLoadAcct));
+  }
 
   if (Slow) {
     Emitter::Label &After = newLabel();

@@ -5,6 +5,7 @@
 #include "jit/Compiler.h"
 #include "masm/Module.h"
 #include "obs/Trace.h"
+#include "prefetch/Prefetch.h"
 #include "support/Format.h"
 
 #include <cassert>
@@ -48,8 +49,8 @@ bool isControlOp(XOp Op) {
 
 Engine::Engine(const sim::DecodedProgram &Prog, sim::Memory &Mem,
                sim::Cache &DCache, uint32_t *Regs, uint64_t MaxInstrs,
-               uint32_t PrefetchStride, const EngineOptions &Opts,
-               EngineCallbacks Callbacks)
+               uint32_t PrefetchStride, prefetch::Engine *Pf,
+               const EngineOptions &Opts, EngineCallbacks Callbacks)
     : Prog(Prog), Mem(Mem), DCache(DCache), Opts(Opts),
       CB(std::move(Callbacks)) {
   FlatCount = Prog.FlatMap.size();
@@ -67,6 +68,7 @@ Engine::Engine(const sim::DecodedProgram &Prog, sim::Memory &Mem,
   St.PrefetchStride = PrefetchStride;
   St.FlatCount = FlatCount;
   St.Owner = this;
+  St.Pf = Pf;
 
   assert(St.Flat && "the JIT engine requires the flat memory backing");
 
@@ -268,20 +270,25 @@ bool Engine::stepOne(uint64_t &Pc, RunResult &R) {
 
   auto loadEpilogue = [&](uint32_t Addr) {
     ++St.DataAccesses;
-    if (!DCache.access(Addr)) {
+    bool Hit = DCache.access(Addr);
+    if (!Hit) {
       ++St.LoadMisses;
       ++St.MissCounts[Pc];
     }
-    if (I.Prefetch) {
-      ++St.PrefetchesIssued;
-      if (!DCache.access(Addr + St.PrefetchStride))
-        ++St.PrefetchFills;
+    if (St.Pf) {
+      St.Pf->onDemand(Addr, Hit);
+      if (I.Prefetch)
+        St.Pf->onArmedLoad(static_cast<uint32_t>(Pc), Addr, Regs[I.Rd], Hit,
+                           DCache);
     }
   };
   auto storeEpilogue = [&](uint32_t Addr) {
     ++St.DataAccesses;
-    if (!DCache.access(Addr))
+    bool Hit = DCache.access(Addr);
+    if (!Hit)
       ++St.StoreMisses;
+    if (St.Pf)
+      St.Pf->onDemand(Addr, Hit);
   };
 
   switch (I.Op) {
@@ -537,27 +544,36 @@ bool Engine::stepOne(uint64_t &Pc, RunResult &R) {
 
 extern "C" void dlqJitLoadAcct(JitState *S, uint32_t Addr, uint32_t Pc) {
   ++S->DataAccesses;
-  if (!S->DCache->access(Addr)) {
+  bool Hit = S->DCache->access(Addr);
+  if (!Hit) {
     ++S->LoadMisses;
     ++S->MissCounts[Pc];
   }
+  if (S->Pf)
+    S->Pf->onDemand(Addr, Hit);
 }
 
-extern "C" void dlqJitLoadAcctPf(JitState *S, uint32_t Addr, uint32_t Pc) {
+extern "C" void dlqJitLoadAcctPf(JitState *S, uint32_t Addr, uint32_t Pc,
+                                 uint32_t Val) {
   ++S->DataAccesses;
-  if (!S->DCache->access(Addr)) {
+  bool Hit = S->DCache->access(Addr);
+  if (!Hit) {
     ++S->LoadMisses;
     ++S->MissCounts[Pc];
   }
-  ++S->PrefetchesIssued;
-  if (!S->DCache->access(Addr + S->PrefetchStride))
-    ++S->PrefetchFills;
+  if (S->Pf) {
+    S->Pf->onDemand(Addr, Hit);
+    S->Pf->onArmedLoad(Pc, Addr, Val, Hit, *S->DCache);
+  }
 }
 
 extern "C" void dlqJitStoreAcct(JitState *S, uint32_t Addr) {
   ++S->DataAccesses;
-  if (!S->DCache->access(Addr))
+  bool Hit = S->DCache->access(Addr);
+  if (!Hit)
     ++S->StoreMisses;
+  if (S->Pf)
+    S->Pf->onDemand(Addr, Hit);
 }
 
 extern "C" uint32_t dlqJitSlowLoad(JitState *S, uint32_t Addr, uint32_t Pc,
@@ -583,14 +599,15 @@ extern "C" uint32_t dlqJitSlowLoad(JitState *S, uint32_t Addr, uint32_t Pc,
     break;
   }
   ++S->DataAccesses;
-  if (!S->DCache->access(Addr)) {
+  bool Hit = S->DCache->access(Addr);
+  if (!Hit) {
     ++S->LoadMisses;
     ++S->MissCounts[Pc];
   }
-  if (Kind & KindPrefetch) {
-    ++S->PrefetchesIssued;
-    if (!S->DCache->access(Addr + S->PrefetchStride))
-      ++S->PrefetchFills;
+  if (S->Pf) {
+    S->Pf->onDemand(Addr, Hit);
+    if (Kind & KindPrefetch)
+      S->Pf->onArmedLoad(Pc, Addr, V, Hit, *S->DCache);
   }
   return V;
 }
@@ -610,8 +627,11 @@ extern "C" void dlqJitSlowStore(JitState *S, uint32_t Addr, uint32_t Val,
     break;
   }
   ++S->DataAccesses;
-  if (!S->DCache->access(Addr))
+  bool Hit = S->DCache->access(Addr);
+  if (!Hit)
     ++S->StoreMisses;
+  if (S->Pf)
+    S->Pf->onDemand(Addr, Hit);
 }
 
 extern "C" uint32_t dlqJitRuntimeCall(JitState *S, uint32_t Fn) {

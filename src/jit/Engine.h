@@ -77,9 +77,12 @@ struct EngineCallbacks {
 /// flat memory backing, and jit::available().
 class Engine {
 public:
+  /// \p Pf is the run's prefetch engine (null when no loads are armed); the
+  /// out-of-line memory helpers call its hooks the way the interpreter's
+  /// epilogues do.
   Engine(const sim::DecodedProgram &Prog, sim::Memory &Mem, sim::Cache &DCache,
          uint32_t *Regs, uint64_t MaxInstrs, uint32_t PrefetchStride,
-         const EngineOptions &Opts, EngineCallbacks CB);
+         prefetch::Engine *Pf, const EngineOptions &Opts, EngineCallbacks CB);
 
   /// Compiles the blocks at \p Leaders ahead of execution (absint-proven
   /// hot loop bodies). Unknown/ineligible leaders are skipped quietly.

@@ -31,6 +31,10 @@ class Cache;
 class Memory;
 } // namespace sim
 
+namespace prefetch {
+class Engine;
+} // namespace prefetch
+
 namespace jit {
 
 class Engine;
@@ -82,6 +86,10 @@ struct JitState {
   int32_t ExitCode;
   uint32_t Pad;
   Engine *Owner;
+  /// The run's prefetch engine, or null on unarmed runs. Reached only from
+  /// the out-of-line helpers — no generated code addresses it, so it rides
+  /// safely past the pinned offsets above.
+  prefetch::Engine *Pf;
 };
 
 // Offsets the templates encode as displacements.
@@ -128,8 +136,10 @@ constexpr uint32_t KindPrefetch = 8;
 extern "C" {
 /// Load accounting after an inline flat-memory read at \p Addr by \p Pc.
 void dlqJitLoadAcct(dlq::jit::JitState *S, uint32_t Addr, uint32_t Pc);
-/// Same, for a load with the next-line prefetch flag set.
-void dlqJitLoadAcctPf(dlq::jit::JitState *S, uint32_t Addr, uint32_t Pc);
+/// Same, for a load armed with the prefetch engine; \p Val is the loaded
+/// value (the next-element base for pointer-chase table entries).
+void dlqJitLoadAcctPf(dlq::jit::JitState *S, uint32_t Addr, uint32_t Pc,
+                      uint32_t Val);
 /// Store accounting after an inline flat-memory write at \p Addr.
 void dlqJitStoreAcct(dlq::jit::JitState *S, uint32_t Addr);
 /// Full load (read + accounting) for addresses the inline path must not

@@ -6,6 +6,7 @@
 #include "exec/Serialize.h"
 #include "mcc/Compiler.h"
 #include "obs/Trace.h"
+#include "prefetch/Seed.h"
 #include "support/Format.h"
 
 #include <cstdio>
@@ -86,7 +87,9 @@ Driver::Driver(const exec::ExecOptions &Options, uint64_t MaxInstrsPerRun)
 uint64_t Driver::runKeyOf(const std::string &SourceText,
                           const std::string &InputName, unsigned OptLevel,
                           const sim::CacheConfig &Cache, uint64_t MaxInstrs,
-                          const metrics::LoadSet &PrefetchLoads) {
+                          const metrics::LoadSet &PrefetchLoads,
+                          prefetch::Policy Policy,
+                          const prefetch::HintMap *Hints) {
   exec::Fnv1a H;
   H.str("dlq-run").str(SourceText).str(InputName).u32(OptLevel);
   H.u32(Cache.SizeBytes).u32(Cache.Assoc).u32(Cache.BlockBytes);
@@ -94,6 +97,18 @@ uint64_t Driver::runKeyOf(const std::string &SourceText,
   H.u64(PrefetchLoads.size());
   for (const InstrRef &Ref : PrefetchLoads)
     H.u32(Ref.FuncIdx).u32(Ref.InstrIdx);
+  // Folded in only when they depart from the legacy armed-next-line scheme,
+  // so unarmed/next-line keys match the pre-engine key format.
+  if (Policy != prefetch::Policy::NextLine)
+    H.str("pf").str(prefetch::policyName(Policy)).u32(prefetch::EngineVersion);
+  if (Hints && !Hints->empty()) {
+    H.str("hints").u64(Hints->size());
+    for (const auto &[Ref, Hint] : *Hints)
+      H.u32(Ref.FuncIdx)
+          .u32(Ref.InstrIdx)
+          .u32(static_cast<uint32_t>(Hint.Class))
+          .u32(static_cast<uint32_t>(Hint.StrideBytes));
+  }
   return H.value();
 }
 
@@ -178,22 +193,92 @@ const Compiled &Driver::compiled(const std::string &Workload, InputSel In,
 const sim::RunResult &Driver::run(const std::string &Workload, InputSel In,
                                   unsigned OptLevel,
                                   const sim::CacheConfig &Cache) {
-  return runImpl(Workload, In, OptLevel, Cache, metrics::LoadSet());
+  return runImpl(Workload, In, OptLevel, Cache, metrics::LoadSet(),
+                 prefetch::Policy::NextLine);
 }
 
 const sim::RunResult &
 Driver::runWithPrefetch(const std::string &Workload, InputSel In,
                         unsigned OptLevel, const sim::CacheConfig &Cache,
                         const metrics::LoadSet &PrefetchLoads) {
-  return runImpl(Workload, In, OptLevel, Cache, PrefetchLoads);
+  prefetch::Policy P = prefetch::Policy::NextLine;
+  prefetch::policyFromString(Opts.Prefetch, P);
+  return runWithPrefetchPolicy(Workload, In, OptLevel, Cache, P,
+                               PrefetchLoads);
+}
+
+const sim::RunResult &
+Driver::runWithPrefetchPolicy(const std::string &Workload, InputSel In,
+                              unsigned OptLevel, const sim::CacheConfig &Cache,
+                              prefetch::Policy Policy,
+                              const metrics::LoadSet &PrefetchLoads) {
+  return runImpl(Workload, In, OptLevel, Cache, PrefetchLoads, Policy);
+}
+
+const prefetch::HintMap &Driver::prefetchHints(const std::string &Workload,
+                                               InputSel In, unsigned OptLevel) {
+  std::string Key = stageKey(Workload, In, OptLevel);
+  if (Opts.Ipa)
+    Key += formatString("/ipa-k%u", Opts.IpaK);
+  return latched(HintCache, Key, [&] {
+    const Compiled &C = compiled(Workload, In, OptLevel);
+    exec::PhaseTimer Timer(Stats, exec::Phase::Analyze);
+    obs::Span S("stage.prefetch_hints");
+    S.attr("workload", Workload);
+    return prefetch::buildStaticHints(*C.M, *C.L, C.Analysis->loadPatterns(),
+                                      C.Ipa.get());
+  });
+}
+
+std::shared_ptr<const prefetch::MissTrace>
+Driver::missTrace(const std::string &Workload, InputSel In, unsigned OptLevel,
+                  const sim::CacheConfig &Cache,
+                  const metrics::LoadSet &PrefetchLoads) {
+  uint64_t Key = runKeyOf(sourceText(Workload, In), inputName(In), OptLevel,
+                          Cache, MaxInstrs, PrefetchLoads,
+                          prefetch::Policy::Record);
+  return latched(TraceCache, exec::hexKey(Key), [&] {
+    const Compiled &C = compiled(Workload, In, OptLevel);
+    exec::PhaseTimer Timer(Stats, exec::Phase::Simulate);
+    sim::MachineOptions MOpts;
+    MOpts.DCache = Cache;
+    MOpts.MaxInstrs = MaxInstrs;
+    MOpts.PrefetchLoads = PrefetchLoads;
+    MOpts.PrefetchPolicy = prefetch::Policy::Record;
+    MOpts.Engine = sim::engineKindFromString(Opts.Engine);
+    obs::Span S("stage.pf_record");
+    S.attr("workload", Workload);
+    sim::Machine Mach(*C.M, *C.L, MOpts);
+    sim::RunResult R = Mach.run();
+    if (R.Halt != sim::HaltReason::Exited) {
+      std::fprintf(stderr,
+                   "error: workload '%s' did not exit cleanly while "
+                   "recording a miss trace\n",
+                   Workload.c_str());
+      std::exit(1);
+    }
+    return Mach.recordedTrace();
+  });
 }
 
 const sim::RunResult &Driver::runImpl(const std::string &Workload, InputSel In,
                                       unsigned OptLevel,
                                       const sim::CacheConfig &Cache,
-                                      const metrics::LoadSet &PrefetchLoads) {
+                                      const metrics::LoadSet &PrefetchLoads,
+                                      prefetch::Policy Policy) {
+  // Pcax static seeds and Oracle traces are inputs to the run: the hints
+  // feed the key (a better seed builder must re-simulate); the trace is
+  // fully determined by inputs already in the key.
+  const prefetch::HintMap *Hints =
+      Policy == prefetch::Policy::Pcax && !PrefetchLoads.empty()
+          ? &prefetchHints(Workload, In, OptLevel)
+          : nullptr;
+  std::shared_ptr<const prefetch::MissTrace> Trace;
+  if (Policy == prefetch::Policy::Oracle && !PrefetchLoads.empty())
+    Trace = missTrace(Workload, In, OptLevel, Cache, PrefetchLoads);
+
   uint64_t Key = runKeyOf(sourceText(Workload, In), inputName(In), OptLevel,
-                          Cache, MaxInstrs, PrefetchLoads);
+                          Cache, MaxInstrs, PrefetchLoads, Policy, Hints);
   return latched(RunCache, exec::hexKey(Key), [&]() -> sim::RunResult {
     std::vector<uint8_t> Payload;
     if (Store.lookup(Key, Payload)) {
@@ -211,6 +296,10 @@ const sim::RunResult &Driver::runImpl(const std::string &Workload, InputSel In,
       MOpts.DCache = Cache;
       MOpts.MaxInstrs = MaxInstrs;
       MOpts.PrefetchLoads = PrefetchLoads;
+      MOpts.PrefetchPolicy = Policy;
+      if (Hints)
+        MOpts.PrefetchHints = *Hints;
+      MOpts.OracleTrace = Trace;
       // Engine choice never changes RunResults (the JIT is bit-identical to
       // the interpreter by contract), so it is deliberately not part of the
       // run-cache key above.

@@ -91,13 +91,30 @@ public:
   const sim::RunResult &run(const std::string &Workload, InputSel In,
                             unsigned OptLevel, const sim::CacheConfig &Cache);
 
-  /// Simulates with next-line prefetching armed on \p PrefetchLoads (the
-  /// Section 1 motivating application); cached like `run`, keyed by the
-  /// prefetch set as well.
+  /// Simulates with prefetching armed on \p PrefetchLoads (the Section 1
+  /// motivating application) under the policy ExecOptions::Prefetch selects
+  /// (next-line by default); cached like `run`, keyed by the prefetch set
+  /// and policy as well.
   const sim::RunResult &runWithPrefetch(const std::string &Workload,
                                         InputSel In, unsigned OptLevel,
                                         const sim::CacheConfig &Cache,
                                         const metrics::LoadSet &PrefetchLoads);
+
+  /// Same with an explicit policy. Pcax runs are seeded with the workload's
+  /// static hints (prefetchHints below); Oracle runs first record the
+  /// baseline miss trace of the same armed set (memoized in memory, not
+  /// persisted) and replay it with perfect next-miss lookahead.
+  const sim::RunResult &
+  runWithPrefetchPolicy(const std::string &Workload, InputSel In,
+                        unsigned OptLevel, const sim::CacheConfig &Cache,
+                        prefetch::Policy Policy,
+                        const metrics::LoadSet &PrefetchLoads);
+
+  /// The static per-load prefetch seeds of a compiled workload: proven
+  /// stride magnitude+sign from the absint access summaries, pointer-chase
+  /// class from the ap patterns (memoized; honors the IPA setting).
+  const prefetch::HintMap &prefetchHints(const std::string &Workload,
+                                         InputSel In, unsigned OptLevel);
 
   /// Run + per-load stats bundle.
   GroundTruth groundTruth(const std::string &Workload, InputSel In,
@@ -126,11 +143,16 @@ public:
   const exec::ExecOptions &options() const { return Opts; }
 
   /// Content key of a simulation run. Exposed (with evalKeyOf) so tests can
-  /// assert that every result-changing knob feeds the key.
-  static uint64_t runKeyOf(const std::string &SourceText,
-                           const std::string &InputName, unsigned OptLevel,
-                           const sim::CacheConfig &Cache, uint64_t MaxInstrs,
-                           const metrics::LoadSet &PrefetchLoads);
+  /// assert that every result-changing knob feeds the key. Policy and hints
+  /// are folded in only when they depart from the legacy armed-next-line
+  /// scheme (non-default policy / non-empty hints), so unarmed and plain
+  /// next-line keys match the pre-engine scheme.
+  static uint64_t
+  runKeyOf(const std::string &SourceText, const std::string &InputName,
+           unsigned OptLevel, const sim::CacheConfig &Cache, uint64_t MaxInstrs,
+           const metrics::LoadSet &PrefetchLoads,
+           prefetch::Policy Policy = prefetch::Policy::NextLine,
+           const prefetch::HintMap *Hints = nullptr);
 
   /// Content key of a heuristic evaluation: the run key plus *all* analysis
   /// knobs — delta, the nine class weights, the AG8/AG9 toggle, the H5
@@ -181,7 +203,16 @@ private:
   const sim::RunResult &runImpl(const std::string &Workload, InputSel In,
                                 unsigned OptLevel,
                                 const sim::CacheConfig &Cache,
-                                const metrics::LoadSet &PrefetchLoads);
+                                const metrics::LoadSet &PrefetchLoads,
+                                prefetch::Policy Policy);
+
+  /// Records the baseline miss trace of \p PrefetchLoads (a Policy::Record
+  /// run — bit-identical to the unarmed baseline, so it needs no result
+  /// cache; the trace itself is memoized in memory only).
+  std::shared_ptr<const prefetch::MissTrace>
+  missTrace(const std::string &Workload, InputSel In, unsigned OptLevel,
+            const sim::CacheConfig &Cache,
+            const metrics::LoadSet &PrefetchLoads);
 
   /// The instantiated MinC source of one workload input (memoized — it is
   /// part of every content key).
@@ -201,6 +232,10 @@ private:
   std::map<std::string, std::shared_ptr<Slot<sim::RunResult>>> RunCache;
   std::map<std::string, std::shared_ptr<Slot<HeuristicEval>>> EvalCache;
   std::map<std::string, std::shared_ptr<Slot<metrics::LoadSet>>> HotspotCache;
+  std::map<std::string, std::shared_ptr<Slot<prefetch::HintMap>>> HintCache;
+  std::map<std::string,
+           std::shared_ptr<Slot<std::shared_ptr<const prefetch::MissTrace>>>>
+      TraceCache;
 };
 
 } // namespace pipeline

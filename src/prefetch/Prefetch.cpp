@@ -1,0 +1,234 @@
+//===- prefetch/Prefetch.cpp ----------------------------------------------------//
+
+#include "prefetch/Prefetch.h"
+
+#include <cassert>
+#include <cstdlib>
+
+using namespace dlq;
+using namespace dlq::prefetch;
+
+const char *prefetch::policyName(Policy P) {
+  switch (P) {
+  case Policy::None:
+    return "none";
+  case Policy::NextLine:
+    return "nextline";
+  case Policy::Pcax:
+    return "pcax";
+  case Policy::Record:
+    return "record";
+  case Policy::Oracle:
+    return "oracle";
+  }
+  return "?";
+}
+
+bool prefetch::policyFromString(const std::string &S, Policy &Out) {
+  if (S == "none")
+    Out = Policy::None;
+  else if (S == "nextline")
+    Out = Policy::NextLine;
+  else if (S == "pcax")
+    Out = Policy::Pcax;
+  else
+    return false;
+  return true;
+}
+
+Engine::Engine(Policy P, uint32_t BlockBytes, size_t FlatCount)
+    : Pol(P), BlockBytes(BlockBytes) {
+  assert(BlockBytes > 0);
+  SlotOfPc.assign(FlatCount, -1);
+  if (Pol == Policy::Record)
+    Recorded = std::make_shared<MissTrace>();
+}
+
+void Engine::addSlot(uint32_t FlatPc, masm::InstrRef Ref,
+                     const StaticHint &H) {
+  assert(FlatPc < SlotOfPc.size() && SlotOfPc[FlatPc] < 0);
+  Entry E;
+  E.FlatPc = FlatPc;
+  E.Ref = Ref;
+  E.Seed = H;
+  // A proven static fact starts the entry confident, so the very first
+  // execution already prefetches at the right distance and direction;
+  // unproven entries stay quiet until the runtime delta confirms twice.
+  if (H.Class == PatternClass::Stride && H.StrideBytes != 0) {
+    E.ConfirmedDelta = H.StrideBytes;
+    E.Conf = 2;
+  } else if (H.Class == PatternClass::Pointer) {
+    E.Conf = 2;
+  }
+  SlotOfPc[FlatPc] = static_cast<int32_t>(Slots.size());
+  Slots.push_back(E);
+  if (Recorded)
+    Recorded->PerSlot.emplace_back();
+}
+
+void Engine::issue(Entry &E, uint32_t TargetAddr, sim::Cache &D) {
+  ++Stats.Issued;
+  ++E.S.Issued;
+  if (!D.access(TargetAddr)) {
+    ++Stats.Fills;
+    ++E.S.Fills;
+    Outstanding[TargetAddr / BlockBytes] =
+        static_cast<uint32_t>(&E - Slots.data());
+  }
+}
+
+void Engine::armedNextLine(Entry &E, uint32_t Addr, sim::Cache &D) {
+  // Direction from consecutive addresses at this pc; the first execution
+  // keeps the ascending default (matching the original prefetcher where it
+  // was right). Repeated addresses keep the last direction.
+  if (E.Seen) {
+    int32_t Delta = static_cast<int32_t>(Addr - E.LastAddr);
+    if (Delta < 0)
+      E.Dir = -1;
+    else if (Delta > 0)
+      E.Dir = 1;
+  }
+  E.LastAddr = Addr;
+  E.Seen = true;
+  issue(E, E.Dir > 0 ? Addr + BlockBytes : Addr - BlockBytes, D);
+}
+
+void Engine::armedPcax(Entry &E, uint32_t Addr, uint32_t Value,
+                       sim::Cache &D) {
+  if (E.Seed.Class == PatternClass::Pointer) {
+    // Next-element scheme: the loaded value is (part of) the next node. The
+    // confidence check asks whether the previous loaded value predicted this
+    // access — for `p = p->next`-style chases the current address is the
+    // previous value plus a small field offset.
+    if (E.Seen) {
+      int32_t Delta = static_cast<int32_t>(Addr - E.LastAddr);
+      if (Delta >= 0 && Delta < 256) {
+        if (E.Conf < 3)
+          ++E.Conf;
+      } else if (E.Conf > 0) {
+        --E.Conf;
+      }
+    }
+    E.LastAddr = Value; // remember the value, not the address
+    E.Seen = true;
+    bool Plausible = Value >= masm::LayoutConstants::DataBase &&
+                     Value < masm::LayoutConstants::StackTop;
+    if (E.Conf > 0 && Plausible) {
+      uint64_t Block = Value / BlockBytes;
+      if (Block != E.LastTarget) {
+        E.LastTarget = Block;
+        issue(E, Value, D);
+      }
+      return;
+    }
+    // The chase broke (or the value is no address): fall back to ascending
+    // next-line — chained nodes are overwhelmingly allocated in address
+    // order, so the spatial guess is the best remaining predictor.
+    E.LastTarget = (static_cast<uint64_t>(Addr) + BlockBytes) / BlockBytes;
+    issue(E, Addr + BlockBytes, D);
+    return;
+  }
+
+  // Stride scheme: classic two-confirmation delta table, except a proven
+  // static stride pre-loads ConfirmedDelta with full confidence (addSlot).
+  if (E.Seen) {
+    int32_t Delta = static_cast<int32_t>(Addr - E.LastAddr);
+    if (Delta < 0)
+      E.Dir = -1;
+    else if (Delta > 0)
+      E.Dir = 1;
+    if (Delta != 0) {
+      if (Delta == E.ConfirmedDelta) {
+        if (E.Conf < 3)
+          ++E.Conf;
+      } else if (E.Conf > 0) {
+        --E.Conf;
+      } else {
+        E.ConfirmedDelta = Delta;
+      }
+    }
+  }
+  E.LastAddr = Addr;
+  E.Seen = true;
+  if (E.Conf < 2 || E.ConfirmedDelta == 0) {
+    // No trustworthy stride to project — either never confirmed, or still
+    // re-training after a break. A stride is trusted only at confidence 2+
+    // (statically proven, or the same delta observed twice running); below
+    // that the entry degenerates to direction-aware next-line rather than
+    // going quiet or aiming a stale delta, so pcax never trails the
+    // NextLine policy on pcs whose walks the delta table cannot describe.
+    uint32_t Target = E.Dir > 0 ? Addr + BlockBytes : Addr - BlockBytes;
+    E.LastTarget = static_cast<uint64_t>(Target) / BlockBytes;
+    issue(E, Target, D);
+    return;
+  }
+  // Per-pc distance: far enough ahead in the walk direction to leave the
+  // current block, whatever the stride magnitude. Strides past the block
+  // size land exactly one element ahead — the next-line scheme would skip
+  // to a block the walk never visits.
+  int64_t Stride = E.ConfirmedDelta;
+  int64_t Mag = Stride < 0 ? -Stride : Stride;
+  int64_t Dist = (static_cast<int64_t>(BlockBytes) + Mag - 1) / Mag;
+  uint32_t Target =
+      static_cast<uint32_t>(static_cast<int64_t>(Addr) + Stride * Dist);
+  // Deliberately unfiltered, like the NextLine policy: re-issuing while a
+  // sub-block walk keeps aiming at the same target block re-fills it if a
+  // conflicting stream evicted it in between (issue() only counts a fill
+  // when the block is actually absent).
+  E.LastTarget = static_cast<uint64_t>(Target) / BlockBytes;
+  issue(E, Target, D);
+  // Element-spanning second issue: a stride past the block size means one
+  // element covers several blocks — the projection lands on the *next*
+  // element while the rest of the current one still has to stream in. Cover
+  // it with the adjacent line in the walk direction when that is a
+  // different block than the projection.
+  uint32_t Adjacent = E.Dir > 0 ? Addr + BlockBytes : Addr - BlockBytes;
+  if (Adjacent / BlockBytes != E.LastTarget)
+    issue(E, Adjacent, D);
+}
+
+void Engine::armedOracle(Entry &E, sim::Cache &D) {
+  uint64_t Seq = E.Seq++;
+  const std::vector<MissTrace::Ev> &T =
+      Trace->PerSlot[static_cast<size_t>(&E - Slots.data())];
+  // Perfect next-miss lookahead: skip every baseline miss at or before this
+  // execution, prefetch the next one strictly in the future.
+  while (E.Cursor < T.size() && T[E.Cursor].Seq <= Seq)
+    ++E.Cursor;
+  if (E.Cursor == T.size())
+    return;
+  uint64_t Block = T[E.Cursor].Block;
+  if (Block == E.LastTarget)
+    return;
+  E.LastTarget = Block;
+  issue(E, static_cast<uint32_t>(Block) * BlockBytes, D);
+}
+
+void Engine::onArmedLoad(uint32_t FlatPc, uint32_t Addr, uint32_t Value,
+                         bool Hit, sim::Cache &D) {
+  int32_t SlotIdx = SlotOfPc[FlatPc];
+  if (SlotIdx < 0)
+    return; // an armed flag with no slot cannot happen by construction
+  Entry &E = Slots[static_cast<size_t>(SlotIdx)];
+  switch (Pol) {
+  case Policy::None:
+    return;
+  case Policy::NextLine:
+    armedNextLine(E, Addr, D);
+    return;
+  case Policy::Pcax:
+    armedPcax(E, Addr, Value, D);
+    return;
+  case Policy::Record:
+    if (!Hit)
+      Recorded->PerSlot[static_cast<size_t>(SlotIdx)].push_back(
+          {E.Seq, Addr / BlockBytes});
+    ++E.Seq;
+    return;
+  case Policy::Oracle:
+    assert(Trace && Trace->PerSlot.size() == Slots.size() &&
+           "oracle engine needs a matching recorded trace");
+    armedOracle(E, D);
+    return;
+  }
+}

@@ -1,0 +1,225 @@
+//===- prefetch/Prefetch.h - PC-indexed prefetch engine ---------------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulator-resident prefetch engine behind the what-if application, in
+/// the spirit of PCAX (PC-indexed data address translation): every
+/// statically-flagged load pc owns a table entry seeded from static analysis
+/// facts (proven stride magnitude *and sign*, pattern class) and refined at
+/// runtime (last address, confirmed delta, a 2-bit confidence counter). A
+/// prefetch is issued per armed execution at the entry's distance and
+/// direction rather than blindly one block up; pointer-chase pcs use the
+/// loaded value as the next-element prefetch base instead of an address
+/// delta.
+///
+/// Policies:
+///  - NextLine: direction-aware next-line. Tracks the per-pc walk direction
+///    from consecutive addresses and prefetches +-BlockBytes accordingly
+///    (the first execution defaults to +BlockBytes). This is the fixed form
+///    of the original hardwired `Addr + BlockBytes` prefetcher, which pushed
+///    descending sweeps into already-visited blocks.
+///  - Pcax: the per-pc stride/pointer table described above. Pointer-chase
+///    entries carry a last-target filter so repeated loads of the same link
+///    issue a single prefetch per target block; stride entries re-issue like
+///    NextLine does, re-filling targets a conflicting stream evicted.
+///    Entries whose predictor has
+///    nothing usable — an unconfirmed stride, or a pointer chase whose value
+///    is implausible as an address — fall back to direction-aware next-line
+///    for that execution, so pcax degenerates to the NextLine policy instead
+///    of going quiet on pcs the table cannot describe.
+///  - Record: issues nothing; logs (sequence, miss block) per armed pc. The
+///    run is bit-identical to an unarmed baseline.
+///  - Oracle: replays a recorded trace with perfect next-miss lookahead:
+///    each armed execution prefetches the block of that pc's next future
+///    baseline miss. The upper bound accuracy/coverage are reported against.
+///
+/// Usefulness accounting (under the model's instant-fill cache): the engine
+/// tracks blocks it actually brought in; a later demand *hit* on a tracked
+/// block counts it useful, a later demand *miss* means the block was evicted
+/// before first use and counts it late. Each tracked fill is counted once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_PREFETCH_PREFETCH_H
+#define DLQ_PREFETCH_PREFETCH_H
+
+#include "masm/Module.h"
+#include "sim/Cache.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dlq {
+namespace prefetch {
+
+/// What the engine does on each armed execution.
+enum class Policy : uint8_t {
+  None,     ///< Armed loads issue nothing (prefetch-off control).
+  NextLine, ///< Direction-aware next-line (+-BlockBytes).
+  Pcax,     ///< Per-pc stride/pointer table, statically seeded.
+  Record,   ///< No prefetches; collect the per-pc miss trace.
+  Oracle,   ///< Replay a recorded trace with next-miss lookahead.
+};
+
+/// Bumped whenever a policy's issue behavior changes; pipeline run keys fold
+/// it in for non-legacy policies so persisted results from an older engine
+/// are recomputed rather than replayed.
+constexpr uint32_t EngineVersion = 5;
+
+const char *policyName(Policy P);
+
+/// Parses the user-facing policy names ("none", "nextline", "pcax");
+/// Record/Oracle are internal modes and not accepted here.
+bool policyFromString(const std::string &S, Policy &Out);
+
+/// Static pattern class of an armed load, from absint/ap facts.
+enum class PatternClass : uint8_t {
+  Unknown, ///< No usable static fact; the entry learns from scratch.
+  Stride,  ///< Proven affine walk; StrideBytes carries magnitude and sign.
+  Pointer, ///< Recurrent dereference (`@rec` pattern): pointer chase.
+};
+
+/// The static seed of one pc's table entry.
+struct StaticHint {
+  PatternClass Class = PatternClass::Unknown;
+  /// Signed proven per-iteration advance in bytes; 0 = unproven. Only
+  /// meaningful for Class == Stride.
+  int32_t StrideBytes = 0;
+};
+
+/// Per-load static seeds, keyed the way arming sets are.
+using HintMap = std::map<masm::InstrRef, StaticHint>;
+
+/// A recorded baseline miss trace: for each armed slot (in flat-pc order,
+/// the same order the engine assigns slots), the (sequence, block) of every
+/// miss that pc took, where sequence is the pc's armed-execution ordinal.
+struct MissTrace {
+  struct Ev {
+    uint64_t Seq;   ///< Armed-execution ordinal at this pc (0-based).
+    uint32_t Block; ///< Missing block address / BlockBytes.
+  };
+  std::vector<std::vector<Ev>> PerSlot;
+};
+
+/// Engine-wide totals (RunResult::Prefetch* and sim.prefetch.* feed from
+/// these).
+struct EngineStats {
+  uint64_t Issued = 0; ///< Prefetches issued.
+  uint64_t Fills = 0;  ///< Issues that brought a new block in.
+  uint64_t Useful = 0; ///< Filled blocks demand-hit before eviction.
+  uint64_t Late = 0;   ///< Filled blocks evicted before first use.
+};
+
+/// Per-slot accounting, for `delinq prefetch` triage.
+struct SlotStats {
+  uint64_t Issued = 0;
+  uint64_t Fills = 0;
+  uint64_t Useful = 0;
+  uint64_t Late = 0;
+};
+
+/// One run's prefetch engine. Constructed per simulation by sim::Machine;
+/// both execution engines (interpreter and JIT) call the same two hooks.
+class Engine {
+public:
+  /// \p FlatCount is the program's logical instruction count; slots are
+  /// registered against flat pcs below it.
+  Engine(Policy P, uint32_t BlockBytes, size_t FlatCount);
+
+  /// Registers \p FlatPc as armed with seed \p H. Call in ascending flat-pc
+  /// order (the slot order is the MissTrace::PerSlot order).
+  void addSlot(uint32_t FlatPc, masm::InstrRef Ref, const StaticHint &H);
+
+  /// Supplies the baseline trace an Oracle engine replays. Slots must match
+  /// the recording engine's (same module, same armed set).
+  void setOracleTrace(std::shared_ptr<const MissTrace> T) {
+    Trace = std::move(T);
+  }
+
+  /// Every demand D-cache access of an armed run (loads and stores), after
+  /// its cache access. Settles useful/late for tracked blocks.
+  void onDemand(uint32_t Addr, bool Hit) {
+    if (Outstanding.empty())
+      return;
+    auto It = Outstanding.find(Addr / BlockBytes);
+    if (It == Outstanding.end())
+      return;
+    SlotStats &S = Slots[It->second].S;
+    if (Hit) {
+      ++Stats.Useful;
+      ++S.Useful;
+    } else {
+      ++Stats.Late;
+      ++S.Late;
+    }
+    Outstanding.erase(It);
+  }
+
+  /// An armed load's execution, after its own demand access (and its
+  /// onDemand call). \p Value is the loaded value — the next-element base
+  /// for pointer-chase entries; \p Hit is the demand access's outcome
+  /// (consumed by Record mode).
+  void onArmedLoad(uint32_t FlatPc, uint32_t Addr, uint32_t Value, bool Hit,
+                   sim::Cache &D);
+
+  const EngineStats &stats() const { return Stats; }
+  Policy policy() const { return Pol; }
+  size_t numSlots() const { return Slots.size(); }
+
+  /// Flat pc and per-slot stats of slot \p I (slots in flat-pc order).
+  uint32_t slotPc(size_t I) const { return Slots[I].FlatPc; }
+  const masm::InstrRef &slotRef(size_t I) const { return Slots[I].Ref; }
+  const SlotStats &slotStats(size_t I) const { return Slots[I].S; }
+
+  /// The trace a Record engine collected (null for other policies).
+  std::shared_ptr<const MissTrace> recordedTrace() const { return Recorded; }
+
+private:
+  /// One pc's table entry. LastAddr doubles as the last loaded value for
+  /// pointer-class entries (the quantity the confidence check compares
+  /// against).
+  struct Entry {
+    uint32_t FlatPc = 0;
+    masm::InstrRef Ref;
+    StaticHint Seed;
+    uint32_t LastAddr = 0;
+    int32_t ConfirmedDelta = 0;
+    uint8_t Conf = 0; ///< Saturating 0..3; >=1 issues.
+    bool Seen = false;
+    int8_t Dir = 1;              ///< NextLine walk direction.
+    uint64_t Seq = 0;            ///< Armed executions (Record/Oracle).
+    size_t Cursor = 0;           ///< Oracle replay position.
+    uint64_t LastTarget = ~0ull; ///< Last issued block (issue filter).
+    SlotStats S;
+  };
+
+  void issue(Entry &E, uint32_t TargetAddr, sim::Cache &D);
+
+  void armedNextLine(Entry &E, uint32_t Addr, sim::Cache &D);
+  void armedPcax(Entry &E, uint32_t Addr, uint32_t Value, sim::Cache &D);
+  void armedOracle(Entry &E, sim::Cache &D);
+
+  Policy Pol;
+  uint32_t BlockBytes;
+  std::vector<int32_t> SlotOfPc; ///< Flat pc -> slot index, -1 = unarmed.
+  std::vector<Entry> Slots;
+  /// Blocks this engine filled that no demand access has touched yet,
+  /// mapped to the issuing slot.
+  std::unordered_map<uint64_t, uint32_t> Outstanding;
+  EngineStats Stats;
+  std::shared_ptr<const MissTrace> Trace;  ///< Oracle input.
+  std::shared_ptr<MissTrace> Recorded;     ///< Record output.
+};
+
+} // namespace prefetch
+} // namespace dlq
+
+#endif // DLQ_PREFETCH_PREFETCH_H

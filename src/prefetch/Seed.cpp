@@ -1,0 +1,58 @@
+//===- prefetch/Seed.cpp --------------------------------------------------------//
+
+#include "prefetch/Seed.h"
+
+#include "absint/AccessSummary.h"
+
+using namespace dlq;
+using namespace dlq::prefetch;
+
+namespace {
+
+/// Clamp a proven stride into the engine's signed field. Strides anywhere
+/// near this bound prefetch garbage at worst and nothing useful at best,
+/// so saturating is harmless.
+constexpr uint64_t MaxSeedStride = 1u << 20;
+
+} // namespace
+
+HintMap prefetch::buildStaticHints(
+    const masm::Module &M, const masm::Layout &L,
+    const std::map<masm::InstrRef, std::vector<const ap::ApNode *>> &Patterns,
+    const absint::InterprocInfo *Ipa) {
+  HintMap Hints;
+
+  // Stride class: Regular access summaries carry the proven per-iteration
+  // magnitude; the finite interval side gives the sign (a finite lower
+  // bound anchors an ascending walk, a finite upper bound a descending one).
+  for (const absint::FunctionAccessInfo &F :
+       absint::collectModuleAccessInfo(M, L, Ipa)) {
+    for (const absint::AccessSummary &A : F.Accesses) {
+      if (A.IsStore || !A.regular() || A.Stride == 0 ||
+          A.Stride > MaxSeedStride)
+        continue;
+      StaticHint H;
+      H.Class = PatternClass::Stride;
+      H.StrideBytes = static_cast<int32_t>(A.Stride);
+      if (A.Hi != absint::PosInf && A.Lo == absint::NegInf)
+        H.StrideBytes = -H.StrideBytes;
+      Hints[A.Ref] = H;
+    }
+  }
+
+  // Pointer class: any pattern alternative that dereferences a loop-carried
+  // recurrence is a chase (`*(rec + c)` and friends); the loaded value is
+  // the next element. This overrides a Regular summary only when absint
+  // proved nothing (a chase never summarizes as Regular).
+  for (const auto &[Ref, Pats] : Patterns) {
+    if (Hints.count(Ref))
+      continue;
+    for (const ap::ApNode *N : Pats) {
+      if (ap::hasRecurrence(N) && ap::derefDepth(N) > 0) {
+        Hints[Ref] = StaticHint{PatternClass::Pointer, 0};
+        break;
+      }
+    }
+  }
+  return Hints;
+}

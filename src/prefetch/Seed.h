@@ -1,0 +1,46 @@
+//===- prefetch/Seed.h - static table seeds from analysis facts -------------==//
+//
+// Part of the delinq project: reproduction of "Static Identification of
+// Delinquent Loads" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the PCAX engine's static seeds from the same analyses the
+/// delinquency heuristic runs on: the abstract interpreter's access
+/// summaries supply proven stride magnitude and direction (the finite side
+/// of the offset interval anchors the walk — Lo for ascending, Hi for
+/// descending), and the address-pattern builder's recurrence/dereference
+/// facts flag pointer chases for the next-element scheme.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DLQ_PREFETCH_SEED_H
+#define DLQ_PREFETCH_SEED_H
+
+#include "absint/AccessSummary.h"
+#include "ap/Pattern.h"
+#include "masm/Module.h"
+#include "prefetch/Prefetch.h"
+
+#include <map>
+#include <vector>
+
+namespace dlq {
+namespace prefetch {
+
+/// Derives a StaticHint for every load the analyses say something useful
+/// about. \p Patterns is classify::ModuleAnalysis::loadPatterns() (the
+/// per-load address-pattern alternatives); \p Ipa optionally sharpens the
+/// access summaries across calls. Loads absent from the result get the
+/// Unknown/learn-from-scratch entry.
+HintMap
+buildStaticHints(const masm::Module &M, const masm::Layout &L,
+                 const std::map<masm::InstrRef,
+                                std::vector<const ap::ApNode *>> &Patterns,
+                 const absint::InterprocInfo *Ipa = nullptr);
+
+} // namespace prefetch
+} // namespace dlq
+
+#endif // DLQ_PREFETCH_SEED_H

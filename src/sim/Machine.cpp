@@ -154,7 +154,10 @@ struct SimCounters {
   obs::Counter &LoadMisses = obs::counters().counter("sim.load_misses");
   obs::Counter &StoreMisses = obs::counters().counter("sim.store_misses");
   obs::Counter &ICacheMisses = obs::counters().counter("sim.icache_misses");
-  obs::Counter &Prefetches = obs::counters().counter("sim.prefetches");
+  obs::Counter &PfIssued = obs::counters().counter("sim.prefetch.issued");
+  obs::Counter &PfFills = obs::counters().counter("sim.prefetch.fills");
+  obs::Counter &PfUseful = obs::counters().counter("sim.prefetch.useful");
+  obs::Counter &PfLate = obs::counters().counter("sim.prefetch.late");
   // JIT engine activity (zero on interpreter-only runs).
   obs::Counter &JitRuns = obs::counters().counter("sim.jit.runs");
   obs::Counter &JitBlocks = obs::counters().counter("sim.jit.blocks_compiled");
@@ -172,9 +175,50 @@ SimCounters &simCounters() {
 } // namespace
 
 RunResult Machine::run() {
-  RunResult R = UseJit ? runJit()
-                       : (Opts.SimulateICache ? runLoop<true>()
-                                              : runLoop<false>());
+  // Build the per-run prefetch engine. Policy::None skips it entirely: the
+  // run must be bit-identical to an unarmed one (the prefetch-off control).
+  PfEng.reset();
+  if (!Opts.PrefetchLoads.empty() &&
+      Opts.PrefetchPolicy != prefetch::Policy::None) {
+    PfEng = std::make_unique<prefetch::Engine>(
+        Opts.PrefetchPolicy, Opts.DCache.BlockBytes, Prog.FlatMap.size());
+    for (size_t Flat = 0; Flat != Prog.FlatMap.size(); ++Flat) {
+      const InstrRef &Ref = Prog.FlatMap[Flat];
+      if (!Opts.PrefetchLoads.count(Ref))
+        continue;
+      auto HintIt = Opts.PrefetchHints.find(Ref);
+      PfEng->addSlot(static_cast<uint32_t>(Flat), Ref,
+                     HintIt != Opts.PrefetchHints.end()
+                         ? HintIt->second
+                         : prefetch::StaticHint{});
+    }
+    if (Opts.PrefetchPolicy == prefetch::Policy::Oracle)
+      PfEng->setOracleTrace(Opts.OracleTrace);
+  }
+
+  RunResult R;
+  if (UseJit)
+    R = runJit();
+  else if (Opts.SimulateICache)
+    R = PfEng ? runLoop<true, true>() : runLoop<true, false>();
+  else
+    R = PfEng ? runLoop<false, true>() : runLoop<false, false>();
+
+  // Prefetch accounting lives in the engine (shared by both execution
+  // engines); fold it into the result here.
+  if (PfEng) {
+    const prefetch::EngineStats &PS = PfEng->stats();
+    R.PrefetchesIssued = PS.Issued;
+    R.PrefetchFills = PS.Fills;
+    R.PrefetchUseful = PS.Useful;
+    R.PrefetchLate = PS.Late;
+    R.PrefetchPerPc.reserve(PfEng->numSlots());
+    for (size_t S = 0; S != PfEng->numSlots(); ++S) {
+      const prefetch::SlotStats &SS = PfEng->slotStats(S);
+      R.PrefetchPerPc.push_back(
+          {PfEng->slotPc(S), SS.Issued, SS.Useful, SS.Late});
+    }
+  }
 
   // Fused-dispatch share. ExecCounts[pc] counts every execution of pc —
   // dispatches of its own handler plus executions as the 2nd/3rd component
@@ -209,7 +253,10 @@ RunResult Machine::run() {
   C.LoadMisses.add(R.LoadMisses);
   C.StoreMisses.add(R.StoreMisses);
   C.ICacheMisses.add(R.ICacheMisses);
-  C.Prefetches.add(R.PrefetchesIssued);
+  C.PfIssued.add(R.PrefetchesIssued);
+  C.PfFills.add(R.PrefetchFills);
+  C.PfUseful.add(R.PrefetchUseful);
+  C.PfLate.add(R.PrefetchLate);
   return R;
 }
 
@@ -265,7 +312,7 @@ RunResult Machine::runJit() {
     return M.instrAt(Prog.FlatMap[Pc]).Sym;
   };
   jit::Engine E(Prog, Mem, DCache, Regs, Opts.MaxInstrs,
-                Opts.DCache.BlockBytes, EOpts, std::move(ECbs));
+                Opts.DCache.BlockBytes, PfEng.get(), EOpts, std::move(ECbs));
 
   if (Opts.JitFromAnalysis) {
     std::vector<uint32_t> Leaders;
@@ -297,7 +344,7 @@ RunResult Machine::runJit() {
 /// seed interpreter exactly, as do all trap messages; the bounds check rides
 /// on the decoder's OutOfText sentinel, with explicit re-checks only where a
 /// target is data-dependent (jr/jalr) or decoder-provided (branches).
-template <bool WithICache> RunResult Machine::runLoop() {
+template <bool WithICache, bool WithPf> RunResult Machine::runLoop() {
   RunResult R;
   const uint64_t FlatCount = Prog.FlatMap.size();
   R.ExecCounts.assign(FlatCount, 0);
@@ -338,15 +385,15 @@ template <bool WithICache> RunResult Machine::runLoop() {
   uint64_t *ExecCounts = R.ExecCounts.data();
   uint64_t *MissCounts = R.MissCounts.data();
   const uint64_t MaxInstrs = Opts.MaxInstrs;
-  const uint32_t PrefetchStride = Opts.DCache.BlockBytes;
+  // Prefetch accounting lives inside the engine; run() folds it into R.
+  prefetch::Engine *const Pf = PfEng.get();
+  (void)Pf;
 
   uint64_t Executed = 0;
   uint64_t DataAccesses = 0;
   uint64_t LoadMisses = 0;
   uint64_t StoreMisses = 0;
   uint64_t ICacheMisses = 0;
-  uint64_t PrefetchesIssued = 0;
-  uint64_t PrefetchFills = 0;
 
   auto flushCounters = [&] {
     R.InstrsExecuted = Executed;
@@ -354,8 +401,6 @@ template <bool WithICache> RunResult Machine::runLoop() {
     R.LoadMisses = LoadMisses;
     R.StoreMisses = StoreMisses;
     R.ICacheMisses = ICacheMisses;
-    R.PrefetchesIssued = PrefetchesIssued;
-    R.PrefetchFills = PrefetchFills;
   };
   auto trap = [&](std::string Message) {
     R.Halt = HaltReason::Trapped;
@@ -426,19 +471,22 @@ template <bool WithICache> RunResult Machine::runLoop() {
     NEXT();                                                                    \
   } while (0)
 
-// Shared tail of the five load handlers: cache accounting plus the optional
-// next-line software prefetch on predicted-delinquent loads.
+// Shared tail of the five load handlers: cache accounting plus the prefetch
+// engine hooks on armed runs (onDemand settles useful/late for every access;
+// onArmedLoad drives the policy on predicted-delinquent loads).
 #define LOAD_EPILOGUE(Addr)                                                    \
   do {                                                                         \
     ++DataAccesses;                                                            \
-    if (!DCache.access(Addr)) {                                                \
+    bool Hit = DCache.access(Addr);                                            \
+    if (!Hit) {                                                                \
       ++LoadMisses;                                                            \
       ++MissCounts[FlatPc];                                                    \
     }                                                                          \
-    if (I->Prefetch) {                                                         \
-      ++PrefetchesIssued;                                                      \
-      if (!DCache.access((Addr) + PrefetchStride))                             \
-        ++PrefetchFills;                                                       \
+    if constexpr (WithPf) {                                                    \
+      Pf->onDemand((Addr), Hit);                                               \
+      if (I->Prefetch)                                                         \
+        Pf->onArmedLoad(static_cast<uint32_t>(FlatPc), (Addr), Regs[I->Rd],    \
+                        Hit, DCache);                                          \
     }                                                                          \
     ++FlatPc;                                                                  \
     NEXT();                                                                    \
@@ -447,8 +495,11 @@ template <bool WithICache> RunResult Machine::runLoop() {
 #define STORE_EPILOGUE(Addr)                                                   \
   do {                                                                         \
     ++DataAccesses;                                                            \
-    if (!DCache.access(Addr))                                                  \
+    bool Hit = DCache.access(Addr);                                            \
+    if (!Hit)                                                                  \
       ++StoreMisses;                                                           \
+    if constexpr (WithPf)                                                      \
+      Pf->onDemand((Addr), Hit);                                               \
     ++FlatPc;                                                                  \
     NEXT();                                                                    \
   } while (0)
@@ -764,14 +815,16 @@ L_LaUnresolved:
     uint32_t Addr = Regs[(IP)->Rs] + static_cast<uint32_t>((IP)->Imm);         \
     Regs[(IP)->Rd] = Mem.readWord(Addr);                                       \
     ++DataAccesses;                                                            \
-    if (!DCache.access(Addr)) {                                                \
+    bool Hit = DCache.access(Addr);                                            \
+    if (!Hit) {                                                                \
       ++LoadMisses;                                                            \
       ++MissCounts[FlatPc + (PcOff)];                                          \
     }                                                                          \
-    if ((IP)->Prefetch) {                                                      \
-      ++PrefetchesIssued;                                                      \
-      if (!DCache.access(Addr + PrefetchStride))                               \
-        ++PrefetchFills;                                                       \
+    if constexpr (WithPf) {                                                    \
+      Pf->onDemand(Addr, Hit);                                                 \
+      if ((IP)->Prefetch)                                                      \
+        Pf->onArmedLoad(static_cast<uint32_t>(FlatPc + (PcOff)), Addr,         \
+                        Regs[(IP)->Rd], Hit, DCache);                          \
     }                                                                          \
   } while (0)
 
@@ -780,8 +833,11 @@ L_LaUnresolved:
     uint32_t Addr = Regs[(IP)->Rs] + static_cast<uint32_t>((IP)->Imm);         \
     Mem.writeWord(Addr, Regs[(IP)->Rt]);                                       \
     ++DataAccesses;                                                            \
-    if (!DCache.access(Addr))                                                  \
+    bool Hit = DCache.access(Addr);                                            \
+    if (!Hit)                                                                  \
       ++StoreMisses;                                                           \
+    if constexpr (WithPf)                                                      \
+      Pf->onDemand(Addr, Hit);                                                 \
   } while (0)
 
 #define DO_ADD(IP) Regs[(IP)->Rd] = Regs[(IP)->Rs] + Regs[(IP)->Rt]

@@ -27,6 +27,7 @@
 
 #include "masm/Module.h"
 #include "masm/Runtime.h"
+#include "prefetch/Prefetch.h"
 #include "sim/Cache.h"
 #include "sim/Decode.h"
 #include "sim/Memory.h"
@@ -34,6 +35,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -81,10 +83,20 @@ struct MachineOptions {
   /// Command-line style integer arguments: main(argc-like) receives Args[0]
   /// in $a0, Args[1] in $a1, ... (up to 4).
   std::vector<int32_t> Args;
-  /// Loads that issue a next-line prefetch after each access — the paper's
+  /// Loads armed with the PC-indexed prefetch engine — the paper's
   /// motivating application: software prefetching precisely targeted at the
   /// (predicted) delinquent loads. Empty set = no prefetching.
   std::set<masm::InstrRef> PrefetchLoads;
+  /// What the engine does per armed execution (prefetch/Prefetch.h). The
+  /// default reproduces the original next-line prefetcher, now
+  /// direction-aware.
+  prefetch::Policy PrefetchPolicy = prefetch::Policy::NextLine;
+  /// Static per-pc table seeds for Policy::Pcax (prefetch/Seed.h builds
+  /// them from absint/ap facts). Loads without an entry learn from scratch.
+  prefetch::HintMap PrefetchHints;
+  /// The recorded baseline miss trace a Policy::Oracle run replays. Must
+  /// come from a Policy::Record run of the same module and armed set.
+  std::shared_ptr<const prefetch::MissTrace> OracleTrace;
   /// Execution engine. The JIT requires the flat memory backing, no
   /// I-cache simulation and an executable-memory host; ineligible
   /// configurations run the interpreter regardless of this setting.
@@ -116,6 +128,18 @@ struct RunResult {
   uint64_t ICacheMisses = 0;
   uint64_t PrefetchesIssued = 0;
   uint64_t PrefetchFills = 0; ///< Prefetches that brought a new block in.
+  uint64_t PrefetchUseful = 0; ///< Filled blocks demand-hit before eviction.
+  uint64_t PrefetchLate = 0;   ///< Filled blocks evicted before first use.
+
+  /// Per-armed-pc prefetch accounting (flat ordinal + counters), in flat-pc
+  /// order; empty for unarmed runs. Feeds `delinq prefetch` triage.
+  struct PcPrefetch {
+    uint32_t FlatPc = 0;
+    uint64_t Issued = 0;
+    uint64_t Useful = 0;
+    uint64_t Late = 0;
+  };
+  std::vector<PcPrefetch> PrefetchPerPc;
 
   /// Execution count per instruction, indexed by flat instruction ordinal.
   std::vector<uint64_t> ExecCounts;
@@ -149,10 +173,17 @@ public:
   /// settled at construction: it affects predecode fusion).
   bool usingJit() const { return UseJit; }
 
+  /// The miss trace a Policy::Record run collected (null otherwise; valid
+  /// after run()).
+  std::shared_ptr<const prefetch::MissTrace> recordedTrace() const {
+    return PfEng ? PfEng->recordedTrace() : nullptr;
+  }
+
 private:
-  /// The interpreter loop, specialized at compile time on whether an I-cache
-  /// is simulated so the common no-I-cache configuration pays nothing for it.
-  template <bool WithICache> RunResult runLoop();
+  /// The interpreter loop, specialized at compile time on whether an
+  /// I-cache is simulated and whether a prefetch engine is armed, so the
+  /// common plain configuration pays nothing for either.
+  template <bool WithICache, bool WithPf> RunResult runLoop();
 
   /// The JIT-driven run: same preamble and result contract as runLoop, with
   /// execution delegated to jit::Engine.
@@ -166,6 +197,9 @@ private:
   DecodedProgram Prog;
   /// Settled in the constructor (the JIT needs an unfused predecode).
   bool UseJit = false;
+  /// The per-run prefetch engine; null unless PrefetchLoads is non-empty.
+  /// Built at the top of run(), kept alive for recordedTrace().
+  std::unique_ptr<prefetch::Engine> PfEng;
 
   Memory Mem;
   /// Register file plus one extra slot: Regs[DiscardReg] absorbs writes the

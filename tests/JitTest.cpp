@@ -54,6 +54,15 @@ void expectEnginesAgree(const Module &M, MachineOptions Base = {}) {
   EXPECT_EQ(RI.StoreMisses, RJ.StoreMisses);
   EXPECT_EQ(RI.PrefetchesIssued, RJ.PrefetchesIssued);
   EXPECT_EQ(RI.PrefetchFills, RJ.PrefetchFills);
+  EXPECT_EQ(RI.PrefetchUseful, RJ.PrefetchUseful);
+  EXPECT_EQ(RI.PrefetchLate, RJ.PrefetchLate);
+  ASSERT_EQ(RI.PrefetchPerPc.size(), RJ.PrefetchPerPc.size());
+  for (size_t I = 0; I != RI.PrefetchPerPc.size(); ++I) {
+    EXPECT_EQ(RI.PrefetchPerPc[I].FlatPc, RJ.PrefetchPerPc[I].FlatPc);
+    EXPECT_EQ(RI.PrefetchPerPc[I].Issued, RJ.PrefetchPerPc[I].Issued);
+    EXPECT_EQ(RI.PrefetchPerPc[I].Useful, RJ.PrefetchPerPc[I].Useful);
+    EXPECT_EQ(RI.PrefetchPerPc[I].Late, RJ.PrefetchPerPc[I].Late);
+  }
   ASSERT_EQ(RI.ExecCounts.size(), RJ.ExecCounts.size());
   for (size_t I = 0; I != RI.ExecCounts.size(); ++I)
     EXPECT_EQ(RI.ExecCounts[I], RJ.ExecCounts[I]) << "ExecCounts[" << I << "]";
@@ -328,6 +337,57 @@ TEST(JitDifferential, PrefetchingLoadsCountIdentically) {
                    "        addi $t1, $t1, 1\n"
                    "        li   $t4, 500\n"
                    "        blt  $t1, $t4, loop\n"
+                   "        li   $v0, 0\n",
+                   Base);
+}
+
+TEST(JitDifferential, PcaxArmedLoadsCountIdentically) {
+  // The pcax policy consumes the loaded value (pointer scheme) and per-pc
+  // runtime state; both engines must drive the shared engine through the
+  // same hook sequence, including the useful/late settlement.
+  MachineOptions Base;
+  Base.PrefetchPolicy = prefetch::Policy::Pcax;
+  Base.PrefetchLoads.insert(InstrRef{0, 4});
+  Base.PrefetchHints[InstrRef{0, 4}] = {prefetch::PatternClass::Stride, 4};
+  expectBodyAgrees("        li   $t0, 0x20000000\n"
+                   "        li   $t1, 0\n"
+                   "loop:\n"
+                   "        sll  $t2, $t1, 2\n"
+                   "        add  $t2, $t0, $t2\n"
+                   "        lw   $t3, 0($t2)\n"
+                   "        addi $t1, $t1, 1\n"
+                   "        li   $t4, 500\n"
+                   "        blt  $t1, $t4, loop\n"
+                   "        li   $v0, 0\n",
+                   Base);
+}
+
+TEST(JitDifferential, PcaxPointerChaseCountsIdentically) {
+  // A descending in-memory chase: each loaded word is the next address. The
+  // pointer scheme prefetches through the loaded value, which the JIT hands
+  // to the engine from a register the interpreter never materializes the
+  // same way.
+  MachineOptions Base;
+  Base.PrefetchPolicy = prefetch::Policy::Pcax;
+  Base.PrefetchLoads.insert(InstrRef{0, 11});
+  Base.PrefetchHints[InstrRef{0, 11}] = {prefetch::PatternClass::Pointer, 0};
+  expectBodyAgrees("        li   $t0, 0x20000000\n"
+                   "        li   $t1, 0\n"
+                   "build:\n"
+                   "        sll  $t2, $t1, 6\n"
+                   "        add  $t2, $t0, $t2\n"
+                   "        addi $t3, $t2, 64\n"
+                   "        sw   $t3, 0($t2)\n"
+                   "        addi $t1, $t1, 1\n"
+                   "        li   $t4, 100\n"
+                   "        blt  $t1, $t4, build\n"
+                   "        move $t5, $t0\n"
+                   "        li   $t6, 0\n"
+                   "chase:\n"
+                   "        lw   $t5, 0($t5)\n"
+                   "        addi $t6, $t6, 1\n"
+                   "        li   $t4, 99\n"
+                   "        blt  $t6, $t4, chase\n"
                    "        li   $v0, 0\n",
                    Base);
 }

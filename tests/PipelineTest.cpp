@@ -277,6 +277,55 @@ TEST(Pipeline, EvalKeyWithIpaOffMatchesLegacyKey) {
   EXPECT_NE(Driver::evalKeyOf(RunKey, Base, ApBase, true, 2), Legacy);
 }
 
+TEST(Pipeline, RunKeyCoversPrefetchPolicyAndHints) {
+  // Two armed runs differing only in engine policy (or static seeds) must
+  // not alias in the persistent run cache.
+  const std::string Src = "source", In = "input1";
+  sim::CacheConfig Cache = sim::CacheConfig::baseline();
+  metrics::LoadSet Armed;
+  Armed.insert(masm::InstrRef{0, 4});
+
+  std::vector<uint64_t> Keys;
+  Keys.push_back(Driver::runKeyOf(Src, In, 0, Cache, 0, Armed,
+                                  prefetch::Policy::None));
+  Keys.push_back(Driver::runKeyOf(Src, In, 0, Cache, 0, Armed,
+                                  prefetch::Policy::NextLine));
+  Keys.push_back(Driver::runKeyOf(Src, In, 0, Cache, 0, Armed,
+                                  prefetch::Policy::Pcax));
+  Keys.push_back(Driver::runKeyOf(Src, In, 0, Cache, 0, Armed,
+                                  prefetch::Policy::Oracle));
+  {
+    // Pcax with a seed differs from unseeded pcax, and seeds with different
+    // facts differ from each other.
+    prefetch::HintMap Hints;
+    Hints[masm::InstrRef{0, 4}] = {prefetch::PatternClass::Stride, 4};
+    Keys.push_back(Driver::runKeyOf(Src, In, 0, Cache, 0, Armed,
+                                    prefetch::Policy::Pcax, &Hints));
+    Hints[masm::InstrRef{0, 4}] = {prefetch::PatternClass::Stride, -32};
+    Keys.push_back(Driver::runKeyOf(Src, In, 0, Cache, 0, Armed,
+                                    prefetch::Policy::Pcax, &Hints));
+    Hints[masm::InstrRef{0, 4}] = {prefetch::PatternClass::Pointer, 0};
+    Keys.push_back(Driver::runKeyOf(Src, In, 0, Cache, 0, Armed,
+                                    prefetch::Policy::Pcax, &Hints));
+  }
+  for (size_t I = 0; I != Keys.size(); ++I)
+    for (size_t J = I + 1; J != Keys.size(); ++J)
+      EXPECT_NE(Keys[I], Keys[J])
+          << "policy/hint variants " << I << " and " << J << " alias";
+
+  // Legacy compatibility: the armed next-line key with no hints is exactly
+  // the default-argument key — warm caches from before the engine existed
+  // stay valid.
+  prefetch::HintMap Empty;
+  uint64_t Legacy = Driver::runKeyOf(Src, In, 0, Cache, 0, Armed);
+  EXPECT_EQ(Driver::runKeyOf(Src, In, 0, Cache, 0, Armed,
+                             prefetch::Policy::NextLine, &Empty),
+            Legacy);
+  EXPECT_EQ(Driver::runKeyOf(Src, In, 0, Cache, 0, Armed,
+                             prefetch::Policy::NextLine, nullptr),
+            Legacy);
+}
+
 TEST(Pipeline, DistinctKnobsYieldDistinctCachedEvals) {
   // The end-to-end shape of the aliasing bug: two thresholds evaluated
   // back-to-back on one driver must not return the same Delta.

@@ -74,6 +74,9 @@ int usage() {
       "  disasm  prog.dqx             decode a binary object to assembly\n"
       "  camodel workload... [-O1]    analytical per-PC miss prediction vs\n"
       "          the simulator (registry workloads; honours --cache)\n"
+      "  prefetch workload... [-O1]   per-pc prefetch-engine triage over\n"
+      "          Delta_H (registry workloads; honours --cache and\n"
+      "          --prefetch, e.g. --prefetch=pcax)\n"
       "  lint    prog.mc... [-O1]     abstract-interpretation codegen lint\n"
       "  lint-workloads               lint all registry workloads at -O0/-O1\n"
       "  callgraph prog.mc... [-O1]   dump the call graph as Graphviz with\n"
@@ -862,6 +865,99 @@ int cmdCamodel(const std::vector<std::string> &Names,
   return Code;
 }
 
+/// `delinq prefetch`: per-pc triage of the prefetch engine over registry
+/// workloads — which loads the heuristic armed, what the static seed said
+/// about each, and what its prefetches did at runtime under the --prefetch
+/// policy (issued / useful / late, accuracy, and the armed run's residual
+/// misses next to the baseline's).
+FileReport prefetchOne(pipeline::Driver &D, const std::string &Name,
+                       const CliOptions &Opts) {
+  using pipeline::InputSel;
+  FileReport Rep;
+  const pipeline::Compiled &C =
+      D.compiled(Name, InputSel::Input1, Opts.OptLevel);
+  classify::HeuristicOptions HO;
+  HO.Delta = Opts.Delta;
+  const pipeline::HeuristicEval &H =
+      D.evalHeuristic(Name, InputSel::Input1, Opts.OptLevel, Opts.Cache, HO);
+  const sim::RunResult &Base =
+      D.run(Name, InputSel::Input1, Opts.OptLevel, Opts.Cache);
+
+  prefetch::Policy Pol = prefetch::Policy::NextLine;
+  prefetch::policyFromString(Opts.Exec.Prefetch, Pol);
+  if (Pol == prefetch::Policy::None) {
+    Rep.Err = formatString("%s: nothing to triage under --prefetch=none\n",
+                           Name.c_str());
+    Rep.Code = 2;
+    return Rep;
+  }
+  const sim::RunResult &R = D.runWithPrefetchPolicy(
+      Name, InputSel::Input1, Opts.OptLevel, Opts.Cache, Pol, H.Delta);
+  const prefetch::HintMap &Hints =
+      D.prefetchHints(Name, InputSel::Input1, Opts.OptLevel);
+
+  Rep.Out += formatString(
+      "%s (%s, policy %s): %zu armed load(s), misses %llu -> %llu\n",
+      Name.c_str(), Opts.Cache.describe().c_str(), prefetch::policyName(Pol),
+      H.Delta.size(), static_cast<unsigned long long>(Base.LoadMisses),
+      static_cast<unsigned long long>(R.LoadMisses));
+  Rep.Out += formatString("  %-22s %-10s %10s %10s %10s %9s %9s %6s\n",
+                          "load", "seed", "base miss", "armed miss", "issued",
+                          "useful", "late", "acc");
+  for (const sim::RunResult::PcPrefetch &P : R.PrefetchPerPc) {
+    const masm::InstrRef &Ref = R.FlatMap[P.FlatPc];
+    const masm::Function &F = C.M->functions()[Ref.FuncIdx];
+    std::string Loc = formatString("%s+%u", F.name().c_str(), Ref.InstrIdx);
+    std::string Seed = "learn";
+    auto HintIt = Hints.find(Ref);
+    if (HintIt != Hints.end()) {
+      if (HintIt->second.Class == prefetch::PatternClass::Pointer)
+        Seed = "pointer";
+      else
+        Seed = formatString("stride%+d", HintIt->second.StrideBytes);
+    }
+    double Acc = P.Issued == 0
+                     ? 0.0
+                     : static_cast<double>(P.Useful) / P.Issued;
+    Rep.Out += formatString(
+        "  %-22s %-10s %10llu %10llu %10llu %9llu %9llu %5.1f%%\n",
+        Loc.c_str(), Seed.c_str(),
+        static_cast<unsigned long long>(Base.MissCounts[P.FlatPc]),
+        static_cast<unsigned long long>(R.MissCounts[P.FlatPc]),
+        static_cast<unsigned long long>(P.Issued),
+        static_cast<unsigned long long>(P.Useful),
+        static_cast<unsigned long long>(P.Late), 100.0 * Acc);
+  }
+  double Redux = Base.LoadMisses == 0
+                     ? 0.0
+                     : 1.0 - static_cast<double>(R.LoadMisses) /
+                                 static_cast<double>(Base.LoadMisses);
+  Rep.Out += formatString(
+      "  total: issued %llu, useful %llu, late %llu | miss reduction %.1f%%\n",
+      static_cast<unsigned long long>(R.PrefetchesIssued),
+      static_cast<unsigned long long>(R.PrefetchUseful),
+      static_cast<unsigned long long>(R.PrefetchLate), 100.0 * Redux);
+  return Rep;
+}
+
+int cmdPrefetch(const std::vector<std::string> &Names,
+                const CliOptions &Opts) {
+  for (const std::string &N : Names)
+    if (!isRegistryWorkload(N)) {
+      std::fprintf(stderr, "error: '%s' is not a registry workload\n",
+                   N.c_str());
+      return 2;
+    }
+  pipeline::Driver D(Opts.Exec);
+  std::vector<FileReport> Reports =
+      D.pool().map<FileReport>(Names.size(), [&](size_t I) {
+        return prefetchOne(D, Names[I], Opts);
+      });
+  int Code = emitReports(Names, Reports);
+  emitStats(Opts, D.stats(), D.store(), D.workers());
+  return Code;
+}
+
 /// `delinq callgraph`: the interprocedural call graph as Graphviz, annotated
 /// with each procedure's summary results — distinct argument contexts seen,
 /// return patterns exported to callers, argument slots resolved from
@@ -1007,6 +1103,8 @@ int main(int Argc, char **Argv) {
       return cmdTrace(Paths, Opts);
     if (Cmd == "camodel")
       return cmdCamodel(Paths, Opts);
+    if (Cmd == "prefetch")
+      return cmdPrefetch(Paths, Opts);
     if (Cmd == "callgraph")
       return cmdCallgraph(Paths, Opts);
     if (Cmd == "analyze")
